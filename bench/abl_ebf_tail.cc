@@ -1,0 +1,100 @@
+// Ablation: the Exponentially Bounded Fluctuation (EBF) model of §3.1. With stochastic
+// (Poisson) interrupt processing, the CPU's service deficit over fixed windows should
+// have an exponentially decaying tail — the EBF premise — and a thread's attained
+// service inherits it. We measure the empirical tail P(deficit > gamma), fit the decay
+// rate, and check the EbfServer abstraction brackets the observations.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/qos/server_model.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+
+using hscommon::kMicrosecond;
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::TextTable;
+using hscommon::Time;
+using hscommon::Work;
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = hbench::CsvDir(argc, argv);
+  std::printf("Ablation: EBF tail of CPU service under Poisson interrupts\n");
+
+  // Interrupts: Poisson arrivals, mean every 2 ms, exponential service mean 200 us
+  // -> ~10%% of the CPU on average.
+  constexpr Time kMeanInterval = 2 * kMillisecond;
+  constexpr Work kMeanService = 200 * kMicrosecond;
+  const double util = static_cast<double>(kMeanService) / static_cast<double>(kMeanInterval);
+  const double rate = 1.0 - util;
+
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  auto hog = sys.CreateThread("hog", *leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  sys.AddInterruptSource({.arrival = hsim::InterruptSourceConfig::Arrival::kPoisson,
+                          .interval = kMeanInterval,
+                          .service = kMeanService,
+                          .exponential_service = true,
+                          .seed = 1});
+
+  // Sample cumulative service every 1 ms for 200 s; evaluate 50 ms windows.
+  std::vector<Work> samples;
+  sys.Every(kMillisecond, kMillisecond, [&](hsim::System& s) {
+    samples.push_back(s.StatsOf(*hog).total_service);
+  });
+  sys.RunUntil(200 * kSecond);
+
+  constexpr size_t kWindowMs = 50;
+  std::vector<double> deficits;
+  for (size_t i = 0; i + kWindowMs < samples.size(); ++i) {
+    const double got = static_cast<double>(samples[i + kWindowMs] - samples[i]);
+    const double expect = rate * static_cast<double>(kWindowMs) * 1e6;
+    deficits.push_back(expect - got);  // positive = behind the average rate
+  }
+
+  // Empirical tail at gamma = k * 0.2 ms.
+  TextTable table({"gamma_ms", "P(deficit>gamma)", "ln_P"});
+  std::vector<double> gammas;
+  std::vector<double> lnp;
+  for (int k = 0; k <= 10; ++k) {
+    const double gamma = 0.2e6 * k;
+    size_t hits = 0;
+    for (double d : deficits) {
+      hits += d > gamma ? 1 : 0;
+    }
+    const double p = static_cast<double>(hits) / static_cast<double>(deficits.size());
+    table.AddRow({TextTable::Num(gamma / 1e6, 1), TextTable::Num(p, 5),
+                  TextTable::Num(p > 0 ? std::log(p) : -99, 2)});
+    if (p > 1e-4 && k >= 2) {
+      gammas.push_back(gamma);
+      lnp.push_back(std::log(p));
+    }
+  }
+  hbench::Emit(table, "empirical deficit tail (50 ms windows)", csv_dir, "abl_ebf_tail");
+
+  // Fit the tail with the library's estimator (also unit-tested in tests/qos).
+  const hqos::EbfServer ebf = hqos::FitEbfTail(deficits, rate, 0.2e6, 10);
+  const double alpha = ebf.alpha;
+  std::printf("\nfitted EBF decay rate alpha = %.3g per ms of deficit\n", alpha * 1e6);
+  const double delta999 = ebf.DeficitAtProbability(1e-3);
+  size_t violations = 0;
+  for (double d : deficits) {
+    violations += d > delta999 ? 1 : 0;
+  }
+  const double violation_rate =
+      static_cast<double>(violations) / static_cast<double>(deficits.size());
+  std::printf("EbfServer::DeficitAtProbability(1e-3) = %.2f ms; observed violation rate "
+              "%.5f\n",
+              delta999 / 1e6, violation_rate);
+  std::printf("\nPaper's shape: with stochastic interrupt processing the CPU is an EBF "
+              "server — deficit tails decay exponentially, so statistical (overbooked) "
+              "guarantees are meaningful.\n");
+  std::printf("Reproduced:    %s (alpha > 0 and the 1e-3 deficit bound holds within 3x)\n",
+              alpha > 0 && violation_rate < 3e-3 ? "yes" : "NO");
+  return 0;
+}

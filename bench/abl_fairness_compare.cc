@@ -1,0 +1,149 @@
+// Ablation: unfairness of the whole fair-queuing family under the three regimes the
+// paper's related-work section argues about (§6):
+//   1. steady    — all flows continuously backlogged, full fixed quanta (everyone fair);
+//   2. variable  — one flow consistently uses short quanta (WFQ/SCFQ/classic-stride
+//                  charge the assumed maximum and starve it; SFQ/FQS/EEVDF do not);
+//   3. fluctuate — effective capacity fluctuates (interrupt-like stolen wall time) while
+//                  a third flow comes and goes (wall-clock-driven v(t) in WFQ/FQS skews
+//                  arrivals; self-clocked SFQ stays fair); lottery shows its short-window
+//                  variance here too.
+// Metric: max normalized service gap |W_f/w_f - W_m/w_m| between the two persistent
+// flows, in units of the quantum, measured over windows where both are backlogged, and
+// the final service ratio (ideal 1.0 at equal weights).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/common/prng.h"
+#include "src/fair/make.h"
+
+using hfair::Algorithm;
+using hfair::FairQueue;
+using hfair::FlowId;
+using hscommon::kMillisecond;
+using hscommon::TextTable;
+using hscommon::Time;
+using hscommon::Work;
+
+namespace {
+
+constexpr Work kQ = 10 * kMillisecond;
+constexpr int kRounds = 30000;
+
+struct Result {
+  double final_ratio;      // service(flow b) / service(flow a); ideal 1.0
+  double worst_gap_quanta; // max |W_a - W_b| / quantum while both backlogged
+};
+
+Result RunSteady(FairQueue& fq) {
+  const FlowId a = fq.AddFlow(1);
+  const FlowId b = fq.AddFlow(1);
+  Time now = 0;
+  fq.Arrive(a, now);
+  fq.Arrive(b, now);
+  double wa = 0;
+  double wb = 0;
+  double worst = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const FlowId f = fq.PickNext(now);
+    now += kQ;
+    (f == a ? wa : wb) += static_cast<double>(kQ);
+    fq.Complete(f, kQ, now, true);
+    worst = std::max(worst, std::abs(wa - wb) / static_cast<double>(kQ));
+  }
+  return {wb / wa, worst};
+}
+
+Result RunVariable(FairQueue& fq) {
+  // Flow a uses only kQ/5 each time it is dispatched; b uses the full quantum. Both are
+  // always backlogged; a fair scheduler must still deliver equal *service*.
+  const FlowId a = fq.AddFlow(1);
+  const FlowId b = fq.AddFlow(1);
+  Time now = 0;
+  fq.Arrive(a, now);
+  fq.Arrive(b, now);
+  double wa = 0;
+  double wb = 0;
+  double worst = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const FlowId f = fq.PickNext(now);
+    const Work used = f == a ? kQ / 5 : kQ;
+    now += used;
+    (f == a ? wa : wb) += static_cast<double>(used);
+    fq.Complete(f, used, now, true);
+    worst = std::max(worst, std::abs(wa - wb) / static_cast<double>(kQ));
+  }
+  return {wb / wa, worst};
+}
+
+Result RunFluctuating(FairQueue& fq, uint64_t seed) {
+  // Stolen wall time between quanta (interrupts / a sibling class) plus a third flow that
+  // sleeps and wakes, so arrivals sample v(t) at fluctuating points.
+  hscommon::Prng prng(seed);
+  const FlowId a = fq.AddFlow(1);
+  const FlowId b = fq.AddFlow(1);
+  const FlowId c = fq.AddFlow(2);
+  Time now = 0;
+  fq.Arrive(a, now);
+  fq.Arrive(b, now);
+  bool c_active = false;
+  double wa = 0;
+  double wb = 0;
+  double worst = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    if (!c_active && prng.Bernoulli(0.02)) {
+      fq.Arrive(c, now);
+      c_active = true;
+    }
+    // Stolen wall time: the CPU disappears for a while (highest-priority work).
+    now += static_cast<Time>(prng.UniformU64(3 * kQ));
+    const FlowId f = fq.PickNext(now);
+    now += kQ;
+    bool keep = true;
+    if (f == c && prng.Bernoulli(0.1)) {
+      keep = false;
+      c_active = false;
+    }
+    if (f == a) {
+      wa += static_cast<double>(kQ);
+    } else if (f == b) {
+      wb += static_cast<double>(kQ);
+    }
+    fq.Complete(f, kQ, now, keep);
+    worst = std::max(worst, std::abs(wa - wb) / static_cast<double>(kQ));
+  }
+  return {wb / wa, worst};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = hbench::CsvDir(argc, argv);
+  std::printf("Ablation: fairness of SFQ vs the related-work algorithms (paper §6)\n");
+  std::printf("Two equal-weight flows; gap = max |W_a - W_b| in quanta while both "
+              "backlogged; ratio ideal = 1.0\n");
+
+  TextTable table({"algorithm", "steady_ratio", "steady_gap", "variable_ratio",
+                   "variable_gap", "fluct_ratio", "fluct_gap"});
+  for (const Algorithm alg : hfair::AllAlgorithms()) {
+    const Result steady = RunSteady(*hfair::MakeFairQueue(alg, kQ, 5));
+    const Result variable = RunVariable(*hfair::MakeFairQueue(alg, kQ, 5));
+    const Result fluct = RunFluctuating(*hfair::MakeFairQueue(alg, kQ, 5), 77);
+    table.AddRow({hfair::AlgorithmName(alg), TextTable::Num(steady.final_ratio, 3),
+                  TextTable::Num(steady.worst_gap_quanta, 1),
+                  TextTable::Num(variable.final_ratio, 3),
+                  TextTable::Num(variable.worst_gap_quanta, 1),
+                  TextTable::Num(fluct.final_ratio, 3),
+                  TextTable::Num(fluct.worst_gap_quanta, 1)});
+  }
+  hbench::Emit(table, "unfairness by regime", csv_dir, "abl_fairness");
+
+  std::printf(
+      "\nPaper's shape: every algorithm is fair when all flows are backlogged with full\n"
+      "quanta; WFQ/SCFQ/classic stride starve the short-quantum flow (variable_ratio >>\n"
+      "1); SFQ keeps a 2-quanta worst gap in every regime; lottery's gap grows with\n"
+      "sqrt(time) even in steady state.\n");
+  return 0;
+}

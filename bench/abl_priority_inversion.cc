@@ -1,0 +1,92 @@
+// Ablation: priority inversion and the paper's §4 remedy (weight transfer in an SFQ
+// leaf). A low-weight thread holds a lock a high-weight thread needs while medium-weight
+// hogs consume the leaf's bandwidth. We sweep the interference level and measure how long
+// the high thread waits for the lock, with and without the remedy.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::TextTable;
+using hscommon::Time;
+using Step = hsim::ScriptedWorkload::Step;
+
+namespace {
+
+// Returns the time at which the high-weight thread finally acquired the lock.
+Time MeasureAcquisition(int medium_hogs, bool remedy) {
+  hsim::System sys(hsim::System::Config{.default_quantum = 5 * kMillisecond,
+                                        .inversion_remedy = remedy});
+  const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const hsim::MutexId m = sys.CreateMutex();
+  // Low grabs the lock at t=0; its critical section needs 100 ms of CPU.
+  (void)*sys.CreateThread(
+      "low", leaf, {.weight = 1},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::Compute(kMillisecond), Step::Lock(m),
+                            Step::Compute(100 * kMillisecond), Step::Unlock(m),
+                            Step::Compute(10 * kSecond)},
+          /*loop=*/false));
+  for (int i = 0; i < medium_hogs; ++i) {
+    (void)*sys.CreateThread("med" + std::to_string(i), leaf, {.weight = 4},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  // High arrives at 20 ms and blocks on the lock.
+  (void)*sys.CreateThread(
+      "high", leaf, {.weight = 40},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(5 * kMillisecond),
+                            Step::Unlock(m)},
+          /*loop=*/false),
+      /*start_time=*/20 * kMillisecond);
+  Time acquired_at = 0;
+  sys.Every(kMillisecond, kMillisecond, [&](hsim::System& s) {
+    if (acquired_at == 0 && s.HolderOf(m) != 0 && s.HolderOf(m) != hsfq::kInvalidThread) {
+      acquired_at = s.now();
+    }
+  });
+  sys.RunUntil(120 * kSecond);
+  return acquired_at;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = hbench::CsvDir(argc, argv);
+  std::printf("Ablation: priority inversion in an SFQ leaf and the weight-transfer "
+              "remedy (paper §4)\n");
+  std::printf("low (w=1) holds the lock for a 100 ms critical section; high (w=40) "
+              "blocks on it at t=20 ms;\nN medium hogs (w=4 each) interfere.\n");
+
+  TextTable table({"medium_hogs", "no_remedy_ms", "weight_transfer_ms", "speedup"});
+  bool shape_ok = true;
+  for (int hogs : {0, 2, 4, 8, 16}) {
+    const Time without = MeasureAcquisition(hogs, /*remedy=*/false);
+    const Time with = MeasureAcquisition(hogs, /*remedy=*/true);
+    const double speedup = static_cast<double>(without) / static_cast<double>(with);
+    if (hogs >= 4) {
+      shape_ok = shape_ok && speedup > 3.0;
+    }
+    table.AddRow({TextTable::Int(hogs), TextTable::Num(static_cast<double>(without) / 1e6, 1),
+                  TextTable::Num(static_cast<double>(with) / 1e6, 1),
+                  TextTable::Num(speedup, 1)});
+  }
+  hbench::Emit(table, "time until the high-weight thread holds the lock", csv_dir,
+               "abl_inversion");
+
+  std::printf("\nPaper's shape: transferring the blocked thread's weight to the holder "
+              "gives the holder at least the blocked thread's allocation, so the wait is"
+              " bounded by CS-length / combined-share instead of growing with the "
+              "interference.\n");
+  std::printf("Reproduced:    %s (remedy keeps the wait ~flat as hogs grow; without it "
+              "the wait scales with the hog count)\n",
+              shape_ok ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every fig* binary prints the paper-style table(s) on stdout and, when invoked with
+// `--csv <dir>`, mirrors each table to <dir>/<name>.csv for plotting.
+
+#ifndef HSCHED_BENCH_BENCH_UTIL_H_
+#define HSCHED_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.h"
+
+namespace hbench {
+
+// Parses `--csv <dir>` from argv; empty string when absent.
+inline std::string CsvDir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Prints the table under a heading and optionally mirrors it to CSV.
+inline void Emit(const hscommon::TextTable& table, const std::string& title,
+                 const std::string& csv_dir, const std::string& csv_name) {
+  std::printf("\n== %s ==\n", title.c_str());
+  table.Print();
+  if (!csv_dir.empty()) {
+    const std::string path = csv_dir + "/" + csv_name + ".csv";
+    if (table.WriteCsv(path)) {
+      std::printf("(csv: %s)\n", path.c_str());
+    } else {
+      std::printf("(csv write FAILED: %s)\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace hbench
+
+#endif  // HSCHED_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Microbenchmarks (google-benchmark): the O(log Q) cost claim of §3.1(4) and the raw
+// decision costs that feed the Figure 7 overhead experiment.
+//
+//   * SFQ PickNext+Complete vs number of flows (expected ~log growth);
+//   * full hierarchical Schedule+Update vs tree depth (expected linear in depth);
+//   * fanout sweep at a fixed depth;
+//   * SFQ vs WFQ vs SCFQ vs Stride vs Lottery vs EEVDF single-level decision cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/fair/make.h"
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+
+using hscommon::kMillisecond;
+
+namespace {
+
+void BM_SfqDecision(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  auto fq = hfair::MakeFairQueue(hfair::Algorithm::kSfq, 10 * kMillisecond);
+  std::vector<hfair::FlowId> ids;
+  for (int i = 0; i < flows; ++i) {
+    ids.push_back(fq->AddFlow(1 + static_cast<hscommon::Weight>(i % 7)));
+    fq->Arrive(ids.back(), 0);
+  }
+  for (auto _ : state) {
+    const hfair::FlowId f = fq->PickNext(0);
+    benchmark::DoNotOptimize(f);
+    fq->Complete(f, 10 * kMillisecond, 0, true);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SfqDecision)->RangeMultiplier(4)->Range(2, 2048);
+
+void BM_AlgorithmDecision(benchmark::State& state) {
+  const auto alg = static_cast<hfair::Algorithm>(state.range(0));
+  state.SetLabel(hfair::AlgorithmName(alg));
+  auto fq = hfair::MakeFairQueue(alg, 10 * kMillisecond, /*seed=*/42);
+  std::vector<hfair::FlowId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(fq->AddFlow(1 + static_cast<hscommon::Weight>(i % 5)));
+    fq->Arrive(ids.back(), 0);
+  }
+  hscommon::Time now = 0;
+  for (auto _ : state) {
+    const hfair::FlowId f = fq->PickNext(now);
+    benchmark::DoNotOptimize(f);
+    now += 10 * kMillisecond;
+    fq->Complete(f, 10 * kMillisecond, now, true);
+  }
+}
+BENCHMARK(BM_AlgorithmDecision)
+    ->DenseRange(0, static_cast<int>(hfair::Algorithm::kEevdf), 1);
+
+// Builds a chain of `depth` interior nodes over a leaf with `threads` runnable threads.
+std::unique_ptr<hsfq::SchedulingStructure> BuildTree(int depth, int threads) {
+  auto tree = std::make_unique<hsfq::SchedulingStructure>();
+  hsfq::NodeId parent = hsfq::kRootNode;
+  for (int d = 0; d < depth; ++d) {
+    parent = *tree->MakeNode("d" + std::to_string(d), parent, 1, nullptr);
+  }
+  const hsfq::NodeId leaf =
+      *tree->MakeNode("leaf", parent, 1, std::make_unique<hleaf::SfqLeafScheduler>());
+  for (int i = 0; i < threads; ++i) {
+    (void)tree->AttachThread(i + 1, leaf, {});
+    tree->SetRun(i + 1, 0);
+  }
+  return tree;
+}
+
+void BM_HierarchicalDispatchDepth(benchmark::State& state) {
+  auto tree = BuildTree(static_cast<int>(state.range(0)), /*threads=*/8);
+  for (auto _ : state) {
+    const hsfq::ThreadId t = tree->Schedule(0);
+    benchmark::DoNotOptimize(t);
+    tree->Update(t, 20 * kMillisecond, 0, true);
+  }
+}
+BENCHMARK(BM_HierarchicalDispatchDepth)->DenseRange(0, 30, 5);
+
+void BM_HierarchicalDispatchFanout(benchmark::State& state) {
+  // One interior node with `fanout` leaf children, one runnable thread each.
+  const auto fanout = static_cast<int>(state.range(0));
+  hsfq::SchedulingStructure tree;
+  for (int i = 0; i < fanout; ++i) {
+    const hsfq::NodeId leaf =
+        *tree.MakeNode("leaf" + std::to_string(i), hsfq::kRootNode, 1,
+                       std::make_unique<hleaf::SfqLeafScheduler>());
+    (void)tree.AttachThread(i + 1, leaf, {});
+    tree.SetRun(i + 1, 0);
+  }
+  for (auto _ : state) {
+    const hsfq::ThreadId t = tree.Schedule(0);
+    benchmark::DoNotOptimize(t);
+    tree.Update(t, 20 * kMillisecond, 0, true);
+  }
+}
+BENCHMARK(BM_HierarchicalDispatchFanout)->RangeMultiplier(2)->Range(2, 128);
+
+void BM_SetRunSleepPropagation(benchmark::State& state) {
+  // Wake/sleep of a single thread under a deep chain: the hsfq_setrun/hsfq_sleep path.
+  auto tree = BuildTree(static_cast<int>(state.range(0)), /*threads=*/1);
+  // Put the thread to sleep first (it was set runnable in BuildTree).
+  tree->Sleep(1, 0);
+  for (auto _ : state) {
+    tree->SetRun(1, 0);
+    tree->Sleep(1, 0);
+  }
+}
+BENCHMARK(BM_SetRunSleepPropagation)->DenseRange(0, 30, 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

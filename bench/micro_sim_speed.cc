@@ -1,0 +1,84 @@
+// Microbenchmarks of the simulation substrate itself: event-queue throughput and
+// simulated-seconds-per-wall-second for representative machine configurations — the
+// numbers that tell a user how big an experiment they can afford.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/system.h"
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  hsim::EventQueue q;
+  const auto horizon = static_cast<hscommon::Time>(state.range(0));
+  hscommon::Time t = 0;
+  for (auto _ : state) {
+    q.At(t % horizon, [] {});
+    if (!q.Empty() && q.NextTime() <= t) {
+      q.PopAndRun();
+    }
+    ++t;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(64)->Arg(4096);
+
+// Simulated wall time per benchmark iteration: one simulated second of a machine with
+// `threads` CPU-bound threads in one SFQ leaf (20 ms quanta -> ~50 dispatches per
+// simulated second).
+void BM_SimulatedSecond(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  for (int i = 0; i < threads; ++i) {
+    (void)*sys.CreateThread("t" + std::to_string(i), *leaf, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  hscommon::Time horizon = 0;
+  for (auto _ : state) {
+    horizon += kSecond;
+    sys.RunUntil(horizon);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("simulated seconds");
+}
+BENCHMARK(BM_SimulatedSecond)->Arg(2)->Arg(16)->Arg(128);
+
+// The same with heavy event traffic: interactive workloads (two events per burst) and
+// Poisson interrupts — the worst realistic case for the event loop.
+void BM_SimulatedSecondEventHeavy(benchmark::State& state) {
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  for (int i = 0; i < 16; ++i) {
+    (void)*sys.CreateThread(
+        "i" + std::to_string(i), *leaf, {},
+        std::make_unique<hsim::InteractiveWorkload>(i + 1, 5 * kMillisecond,
+                                                    kMillisecond));
+  }
+  sys.AddInterruptSource({.arrival = hsim::InterruptSourceConfig::Arrival::kPoisson,
+                          .interval = kMillisecond,
+                          .service = 50 * hscommon::kMicrosecond,
+                          .exponential_service = true,
+                          .seed = 3});
+  hscommon::Time horizon = 0;
+  for (auto _ : state) {
+    horizon += kSecond;
+    sys.RunUntil(horizon);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("simulated seconds, ~5k events each");
+}
+BENCHMARK(BM_SimulatedSecondEventHeavy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

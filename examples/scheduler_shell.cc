@@ -1,0 +1,306 @@
+// An interactive shell over the hierarchical scheduler + simulator — build a scheduling
+// structure, populate it with workloads, advance simulated time, and inspect the result.
+//
+//   $ ./scheduler_shell            # interactive
+//   $ ./scheduler_shell < script   # scripted (see `help`)
+//
+// Example session:
+//   > mknod /video sfq 3
+//   > mknod /batch rr 1
+//   > spawn /video decoder cpu 1
+//   > spawn /batch job cpu 1
+//   > run 5
+//   > stats
+//   > tree
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/mpeg/player.h"
+#include "src/mpeg/trace.h"
+#include "src/sched/edf.h"
+#include "src/sched/fair_leaf.h"
+#include "src/sched/reserve.h"
+#include "src/sched/rma.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/simple.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+namespace {
+
+std::unique_ptr<hsfq::LeafScheduler> MakeScheduler(const std::string& kind) {
+  if (kind == "sfq") {
+    return std::make_unique<hleaf::SfqLeafScheduler>();
+  }
+  if (kind == "ts") {
+    return std::make_unique<hleaf::TsScheduler>();
+  }
+  if (kind == "edf") {
+    return std::make_unique<hleaf::EdfScheduler>(
+        hleaf::EdfScheduler::Config{.admission_control = false});
+  }
+  if (kind == "rma") {
+    return std::make_unique<hleaf::RmaScheduler>(
+        hleaf::RmaScheduler::Config{.admission_control = false});
+  }
+  if (kind == "rr") {
+    return std::make_unique<hleaf::RoundRobinScheduler>();
+  }
+  if (kind == "fifo") {
+    return std::make_unique<hleaf::FifoScheduler>();
+  }
+  if (kind == "reserves") {
+    return std::make_unique<hleaf::ReserveScheduler>(
+        hleaf::ReserveScheduler::Config{.admission_control = false});
+  }
+  return nullptr;
+}
+
+class Shell {
+ public:
+  Shell() : trace_(hmpeg::VbrTrace::Generate({})) {}
+
+  void Run() {
+    std::printf("hierarchical-sfq scheduler shell — type `help`\n");
+    std::string line;
+    for (;;) {
+      std::printf("> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) {
+        break;
+      }
+      if (!Dispatch(line)) {
+        break;
+      }
+    }
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') {
+      return true;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      return false;
+    }
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "mknod") {
+      CmdMknod(in);
+    } else if (cmd == "rmnod") {
+      CmdRmnod(in);
+    } else if (cmd == "weight") {
+      CmdWeight(in);
+    } else if (cmd == "spawn") {
+      CmdSpawn(in);
+    } else if (cmd == "run") {
+      CmdRun(in);
+    } else if (cmd == "tree") {
+      std::fputs(sys_.tree().DebugString().c_str(), stdout);
+    } else if (cmd == "stats") {
+      CmdStats();
+    } else {
+      std::printf("unknown command '%s' — try `help`\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  static void Help() {
+    std::printf(
+        "  mknod <path> <sfq|ts|edf|rma|rr|fifo|reserves|interior> <weight>\n"
+        "  rmnod <path>\n"
+        "  weight <path> <weight>\n"
+        "  spawn <leaf-path> <name> <cpu|interactive|bursty|mpeg> [weight]\n"
+        "  spawn <leaf-path> <name> periodic <period_ms> <compute_ms>\n"
+        "  run <seconds>          advance simulated time\n"
+        "  tree                   dump the scheduling structure\n"
+        "  stats                  per-thread CPU service\n"
+        "  quit\n");
+  }
+
+  void CmdMknod(std::istringstream& in) {
+    std::string path;
+    std::string kind;
+    int weight = 1;
+    if (!(in >> path >> kind >> weight)) {
+      std::printf("usage: mknod <path> <kind> <weight>\n");
+      return;
+    }
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos) {
+      std::printf("path must be absolute\n");
+      return;
+    }
+    const std::string parent_path = slash == 0 ? "/" : path.substr(0, slash);
+    const std::string name = path.substr(slash + 1);
+    auto parent = sys_.tree().Parse(parent_path);
+    if (!parent.ok()) {
+      std::printf("%s\n", parent.status().ToString().c_str());
+      return;
+    }
+    std::unique_ptr<hsfq::LeafScheduler> sched;
+    if (kind != "interior") {
+      sched = MakeScheduler(kind);
+      if (sched == nullptr) {
+        std::printf("unknown scheduler kind '%s'\n", kind.c_str());
+        return;
+      }
+    }
+    auto node = sys_.tree().MakeNode(name, *parent, static_cast<hscommon::Weight>(weight),
+                                     std::move(sched));
+    if (!node.ok()) {
+      std::printf("%s\n", node.status().ToString().c_str());
+      return;
+    }
+    std::printf("created %s (node %u)\n", path.c_str(), *node);
+  }
+
+  void CmdRmnod(std::istringstream& in) {
+    std::string path;
+    if (!(in >> path)) {
+      std::printf("usage: rmnod <path>\n");
+      return;
+    }
+    auto node = sys_.tree().Parse(path);
+    if (!node.ok()) {
+      std::printf("%s\n", node.status().ToString().c_str());
+      return;
+    }
+    const auto status = sys_.tree().RemoveNode(*node);
+    std::printf("%s\n", status.ToString().c_str());
+  }
+
+  void CmdWeight(std::istringstream& in) {
+    std::string path;
+    int weight = 0;
+    if (!(in >> path >> weight)) {
+      std::printf("usage: weight <path> <weight>\n");
+      return;
+    }
+    auto node = sys_.tree().Parse(path);
+    if (!node.ok()) {
+      std::printf("%s\n", node.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n",
+                sys_.tree()
+                    .SetNodeWeight(*node, static_cast<hscommon::Weight>(weight))
+                    .ToString()
+                    .c_str());
+  }
+
+  void CmdSpawn(std::istringstream& in) {
+    std::string path;
+    std::string name;
+    std::string kind;
+    if (!(in >> path >> name >> kind)) {
+      std::printf("usage: spawn <leaf-path> <name> <kind> ...\n");
+      return;
+    }
+    auto node = sys_.tree().Parse(path);
+    if (!node.ok()) {
+      std::printf("%s\n", node.status().ToString().c_str());
+      return;
+    }
+    hsfq::ThreadParams params;
+    std::unique_ptr<hsim::Workload> workload;
+    if (kind == "cpu") {
+      int weight = 1;
+      in >> weight;
+      params.weight = static_cast<hscommon::Weight>(weight);
+      workload = std::make_unique<hsim::CpuBoundWorkload>();
+    } else if (kind == "interactive") {
+      workload = std::make_unique<hsim::InteractiveWorkload>(seed_++, 50 * kMillisecond,
+                                                             5 * kMillisecond);
+    } else if (kind == "bursty") {
+      workload = std::make_unique<hsim::BurstyWorkload>(
+          seed_++, 5 * kMillisecond, 100 * kMillisecond, 10 * kMillisecond,
+          300 * kMillisecond);
+    } else if (kind == "mpeg") {
+      int weight = 1;
+      in >> weight;
+      params.weight = static_cast<hscommon::Weight>(weight);
+      workload = std::make_unique<hmpeg::MpegPlayerWorkload>(
+          &trace_, hmpeg::MpegPlayerWorkload::Config{});
+    } else if (kind == "periodic") {
+      long period_ms = 0;
+      long compute_ms = 0;
+      if (!(in >> period_ms >> compute_ms)) {
+        std::printf("usage: spawn <path> <name> periodic <period_ms> <compute_ms>\n");
+        return;
+      }
+      params.period = period_ms * kMillisecond;
+      params.computation = compute_ms * kMillisecond;
+      workload =
+          std::make_unique<hsim::PeriodicWorkload>(params.period, params.computation);
+    } else {
+      std::printf("unknown workload kind '%s'\n", kind.c_str());
+      return;
+    }
+    auto tid = sys_.CreateThread(name, *node, params, std::move(workload), sys_.now());
+    if (!tid.ok()) {
+      std::printf("%s\n", tid.status().ToString().c_str());
+      return;
+    }
+    thread_ids_.push_back(*tid);
+    std::printf("spawned '%s' (thread %llu) in %s\n", name.c_str(),
+                static_cast<unsigned long long>(*tid), path.c_str());
+  }
+
+  void CmdRun(std::istringstream& in) {
+    double seconds = 1.0;
+    in >> seconds;
+    const auto until =
+        sys_.now() + static_cast<hscommon::Time>(seconds * static_cast<double>(kSecond));
+    sys_.RunUntil(until);
+    std::printf("simulated time now %.3f s (idle %.1f%%, %llu interrupts)\n",
+                hscommon::ToSeconds(sys_.now()),
+                sys_.now() > 0
+                    ? 100.0 * static_cast<double>(sys_.idle_time()) /
+                          static_cast<double>(sys_.now())
+                    : 0.0,
+                static_cast<unsigned long long>(sys_.interrupt_count()));
+  }
+
+  void CmdStats() {
+    hscommon::TextTable table({"thread", "class", "cpu_s", "share_%", "dispatches"});
+    for (const hsfq::ThreadId tid : thread_ids_) {
+      const auto& stats = sys_.StatsOf(tid);
+      const auto leaf = sys_.tree().LeafOf(tid);
+      table.AddRow({sys_.NameOf(tid), leaf.ok() ? sys_.tree().PathOf(*leaf) : "-",
+                    hscommon::TextTable::Num(hscommon::ToSeconds(stats.total_service), 3),
+                    hscommon::TextTable::Num(
+                        sys_.now() > 0 ? 100.0 * static_cast<double>(stats.total_service) /
+                                             static_cast<double>(sys_.now())
+                                       : 0.0,
+                        1),
+                    hscommon::TextTable::Int(static_cast<int64_t>(stats.dispatches))});
+    }
+    table.Print();
+  }
+
+  hsim::System sys_;
+  hmpeg::VbrTrace trace_;
+  std::vector<hsfq::ThreadId> thread_ids_;
+  uint64_t seed_ = 1;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  shell.Run();
+  return 0;
+}

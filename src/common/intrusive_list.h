@@ -1,0 +1,137 @@
+// A minimal intrusive doubly-linked list.
+//
+// Run queues (FIFO, round-robin, the TS dispatch queues) hold threads that are owned
+// elsewhere; an intrusive list gives O(1) unlink on state transitions without allocation,
+// which is the idiom kernel run queues use. A node may be on at most one list at a time.
+
+#ifndef HSCHED_SRC_COMMON_INTRUSIVE_LIST_H_
+#define HSCHED_SRC_COMMON_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace hscommon {
+
+// Embed one of these in any object that needs list membership.
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return next != nullptr; }
+};
+
+// Intrusive list of T. `NodeMember` selects which embedded ListNode to use, so one object
+// can belong to several (distinct) lists.
+template <typename T, ListNode T::* NodeMember = &T::list_node>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+
+  // Lists do not own their elements; destruction unlinks whatever is still on the list,
+  // so every element must outlive the list (declare elements before the list, or Clear()
+  // manually before the elements die).
+  ~IntrusiveList() { Clear(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+  size_t size() const { return size_; }
+
+  void PushBack(T* item) { InsertBefore(&head_, item); }
+  void PushFront(T* item) { InsertBefore(head_.next, item); }
+
+  // Inserts `item` immediately before `pos` (which must be on this list).
+  void InsertBefore(T* pos, T* item) { InsertBefore(&(pos->*NodeMember), item); }
+
+  T* Front() const { return empty() ? nullptr : FromNode(head_.next); }
+  T* Back() const { return empty() ? nullptr : FromNode(head_.prev); }
+
+  // Unlinks and returns the front element, or nullptr when empty.
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* item = Front();
+    Remove(item);
+    return item;
+  }
+
+  // Unlinks `item`, which must currently be on this list.
+  void Remove(T* item) {
+    ListNode* n = &(item->*NodeMember);
+    assert(n->linked());
+    n->prev->next = n->next;
+    n->next->prev = n->prev;
+    n->prev = nullptr;
+    n->next = nullptr;
+    --size_;
+  }
+
+  // Unlinks every element (without destroying them).
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  // The element after `item`, or nullptr at the end.
+  T* Next(T* item) const {
+    ListNode* n = (item->*NodeMember).next;
+    return n == &head_ ? nullptr : FromNode(n);
+  }
+
+  // Minimal forward iteration support (enough for range-for).
+  class Iterator {
+   public:
+    Iterator(const IntrusiveList* list, ListNode* node) : list_(list), node_(node) {}
+    T* operator*() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    const IntrusiveList* list_;
+    ListNode* node_;
+  };
+
+  Iterator begin() const { return Iterator(this, head_.next); }
+  Iterator end() const { return Iterator(this, const_cast<ListNode*>(&head_)); }
+
+ private:
+  // Byte offset of the embedded node within T, measured from a live object at insertion
+  // time (avoids the undefined null-pointer-deref offsetof idiom).
+  static ptrdiff_t NodeOffset(T* item) {
+    return reinterpret_cast<char*>(&(item->*NodeMember)) - reinterpret_cast<char*>(item);
+  }
+
+  static T* FromNode(ListNode* n) {
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - node_offset_);
+  }
+
+  void InsertBefore(ListNode* pos, T* item) {
+    node_offset_ = NodeOffset(item);
+    ListNode* n = &(item->*NodeMember);
+    assert(!n->linked() && "item is already on a list");
+    n->prev = pos->prev;
+    n->next = pos;
+    pos->prev->next = n;
+    pos->prev = n;
+    ++size_;
+  }
+
+  ListNode head_;
+  size_t size_ = 0;
+  // The offset is a property of (T, NodeMember), shared by all lists of this type.
+  static inline ptrdiff_t node_offset_ = 0;
+};
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_INTRUSIVE_LIST_H_

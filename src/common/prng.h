@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (interrupt arrivals, scene changes, lottery
+// draws, workload jitter) draws from a Prng seeded explicitly, so every experiment is
+// reproducible bit-for-bit. The core generator is xoshiro256** (Blackman & Vigna), which
+// is fast, tiny, and passes BigCrush.
+
+#ifndef HSCHED_SRC_COMMON_PRNG_H_
+#define HSCHED_SRC_COMMON_PRNG_H_
+
+#include <cstdint>
+
+namespace hscommon {
+
+// xoshiro256** with SplitMix64 seeding. Not cryptographic.
+class Prng {
+ public:
+  // Seeds the state by running SplitMix64 from `seed`. Any seed (including 0) is valid.
+  explicit Prng(uint64_t seed);
+
+  // Next raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform in [0, bound). `bound` must be > 0. Uses rejection to avoid modulo bias.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double UniformDouble();
+
+  // Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller (no cached spare: stays stateless per call pair).
+  double Normal(double mean, double stddev);
+
+  // Lognormal: exp(Normal(mu, sigma)).
+  double Lognormal(double mu, double sigma);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // A derived generator with an independent stream (for giving sub-components their
+  // own deterministic randomness).
+  Prng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_PRNG_H_

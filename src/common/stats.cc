@@ -1,0 +1,124 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace hscommon {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::coefficient_of_variation() const {
+  if (count_ == 0 || mean_ == 0.0) {
+    return 0.0;
+  }
+  return stddev() / mean_;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  auto idx = static_cast<int64_t>((x - lo_) / width_);
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar =
+        peak == 0 ? 0 : static_cast<size_t>(counts_[i] * max_width / peak);
+    std::snprintf(line, sizeof(line), "[%10.3f) %8llu |", bucket_lo(i) + width_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double JainFairnessIndex(std::span<const double> shares) {
+  if (shares.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) {
+    return 0.0;
+  }
+  return (sum * sum) / (static_cast<double>(shares.size()) * sumsq);
+}
+
+double MaxRelativeDeviation(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (double x : values) {
+    mean += x;
+  }
+  mean /= static_cast<double>(values.size());
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  double worst = 0.0;
+  for (double x : values) {
+    worst = std::max(worst, std::fabs(x - mean) / mean);
+  }
+  return worst;
+}
+
+}  // namespace hscommon

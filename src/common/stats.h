@@ -1,0 +1,76 @@
+// Streaming statistics used by the metrics library, the benches, and the tests.
+
+#ifndef HSCHED_SRC_COMMON_STATS_H_
+#define HSCHED_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hscommon {
+
+// Single-pass mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  // stddev / mean; 0 when the mean is 0.
+  double coefficient_of_variation() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples land in clamped edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  // Inclusive lower edge of bucket i.
+  double bucket_lo(size_t i) const;
+  uint64_t total() const { return total_; }
+
+  // Value at quantile q in [0,1], linearly interpolated within the bucket.
+  double Quantile(double q) const;
+
+  // Multi-line ASCII rendering, for bench output.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 is perfectly fair; 1/n is the
+// worst case (one party gets everything). Empty or all-zero input yields 0.
+double JainFairnessIndex(std::span<const double> shares);
+
+// Max relative deviation from the mean: max_i |x_i - mean| / mean. 0 when mean == 0.
+double MaxRelativeDeviation(std::span<const double> values);
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_STATS_H_

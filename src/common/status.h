@@ -1,0 +1,113 @@
+// Error handling for fallible public APIs.
+//
+// The libraries do not throw across their boundaries (DESIGN.md §5); fallible operations
+// return Status or StatusOr<T>. This is a deliberately small subset of the absl interface
+// so downstream users find it familiar.
+
+#ifndef HSCHED_SRC_COMMON_STATUS_H_
+#define HSCHED_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hscommon {
+
+// Error taxonomy for the scheduling APIs. Mirrors the errno-style results the paper's
+// system calls (hsfq_mknod & co.) would return.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed name, zero weight, bad flag
+  kNotFound,          // no node with that name/id
+  kAlreadyExists,     // duplicate child name
+  kFailedPrecondition,// e.g. removing a node that still has children or threads
+  kResourceExhausted, // admission control rejected the request
+  kInternal,          // invariant violation (a bug)
+};
+
+// Human-readable name of a StatusCode ("kOk" -> "OK", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result with an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+// A value or an error. Accessing value() on an error aborts (programming error).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() && "StatusOr must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_STATUS_H_

@@ -1,0 +1,87 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hscommon {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += ' ';
+      out.append(widths[c] - row[c].size(), ' ');
+      out += row[c];
+      out += ' ';
+      if (c + 1 < row.size()) {
+        out += '|';
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    if (c + 1 < widths.size()) {
+      out += '+';
+    }
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row, out);
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+bool TextTable::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fputs(row[c].c_str(), f);
+      std::fputc(c + 1 < row.size() ? ',' : '\n', f);
+    }
+  };
+  write_row(header_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hscommon

@@ -1,0 +1,46 @@
+// Text-table and CSV emitters used by every bench binary.
+//
+// Each bench prints a human-readable table to stdout (the "paper row/series" view) and can
+// optionally mirror the same rows to a CSV file for plotting.
+
+#ifndef HSCHED_SRC_COMMON_TABLE_H_
+#define HSCHED_SRC_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hscommon {
+
+// Accumulates rows of stringified cells and pretty-prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; the cell count must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Formatting helpers for cells.
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(int64_t v);
+
+  // Renders with a separator line under the header.
+  std::string ToString() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+  // Writes header + rows as RFC-4180-ish CSV (no quoting needed for our cells).
+  // Returns false if the file could not be opened.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_TABLE_H_

@@ -1,0 +1,45 @@
+// Core scalar types shared by every hsched library.
+//
+// Conventions (see DESIGN.md §5):
+//  * Simulated wall-clock time is `Time`, a signed 64-bit count of nanoseconds.
+//  * CPU work ("service") is `Work`, a signed 64-bit count of nanoseconds of CPU
+//    service at unit capacity. On an uncontended, interrupt-free CPU a thread
+//    attains one nanosecond of Work per nanosecond of Time.
+//  * Scheduling weights are strictly positive 64-bit integers.
+
+#ifndef HSCHED_SRC_COMMON_TYPES_H_
+#define HSCHED_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hscommon {
+
+// Simulated wall-clock time in nanoseconds since simulation start.
+using Time = int64_t;
+
+// CPU service in nanoseconds at unit capacity.
+using Work = int64_t;
+
+// Scheduling weight. Must be >= 1 wherever the schedulers accept it.
+using Weight = uint64_t;
+
+// Convenient duration literals (all expressed in nanoseconds).
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+// Converts nanoseconds to (fractional) seconds for reporting.
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+
+// Converts nanoseconds to (fractional) milliseconds for reporting.
+constexpr double ToMillis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_TYPES_H_

@@ -1,0 +1,13 @@
+#include "src/common/virtual_time.h"
+
+#include <cstdio>
+
+namespace hscommon {
+
+std::string VirtualTime::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", ToDouble());
+  return buf;
+}
+
+}  // namespace hscommon

@@ -1,0 +1,91 @@
+// 96.32 fixed-point virtual time.
+//
+// Fair-queuing tags are monotone sums of `work / weight`. Floating point drifts over long
+// runs and breaks the exact tag-inequality assertions in the property tests, so tags are
+// kept as an unsigned 128-bit integer with 32 fractional bits. The integer part therefore
+// has 96 bits of headroom: with work in nanoseconds and weight >= 1, a simulation would
+// need ~2.5e12 years of CPU service to overflow.
+
+#ifndef HSCHED_SRC_COMMON_VIRTUAL_TIME_H_
+#define HSCHED_SRC_COMMON_VIRTUAL_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace hscommon {
+
+// A point on a fair-queuing virtual time axis. Ordered, additive, and exactly
+// representable: (a + b) - b == a for all in-range values.
+class VirtualTime {
+ public:
+  constexpr VirtualTime() = default;
+
+  // The zero of the virtual axis.
+  static constexpr VirtualTime Zero() { return VirtualTime(0); }
+
+  // A value greater than any tag a simulation can produce; used as an "idle" sentinel.
+  static constexpr VirtualTime Infinity() { return VirtualTime(~static_cast<unsigned __int128>(0)); }
+
+  // The virtual-time increment for `work` units of service at weight `weight`,
+  // i.e. work / weight in 96.32 fixed point, truncated. `work` must be >= 0 and
+  // `weight` must be >= 1.
+  static constexpr VirtualTime FromService(Work work, Weight weight) {
+    return VirtualTime((static_cast<unsigned __int128>(work) << kFractionBits) / weight);
+  }
+
+  // A virtual-time span of exactly `units` integer units (for tests and bounds).
+  static constexpr VirtualTime FromUnits(uint64_t units) {
+    return VirtualTime(static_cast<unsigned __int128>(units) << kFractionBits);
+  }
+
+  constexpr VirtualTime operator+(VirtualTime other) const {
+    return VirtualTime(raw_ + other.raw_);
+  }
+  constexpr VirtualTime operator-(VirtualTime other) const {
+    return VirtualTime(raw_ - other.raw_);
+  }
+  constexpr VirtualTime& operator+=(VirtualTime other) {
+    raw_ += other.raw_;
+    return *this;
+  }
+
+  constexpr bool operator==(const VirtualTime&) const = default;
+  constexpr bool operator<(VirtualTime other) const { return raw_ < other.raw_; }
+  constexpr bool operator<=(VirtualTime other) const { return raw_ <= other.raw_; }
+  constexpr bool operator>(VirtualTime other) const { return raw_ > other.raw_; }
+  constexpr bool operator>=(VirtualTime other) const { return raw_ >= other.raw_; }
+
+  // Lossy conversion for reporting. Full precision is only available via raw().
+  constexpr double ToDouble() const {
+    return static_cast<double>(raw_) / static_cast<double>(static_cast<unsigned __int128>(1)
+                                                           << kFractionBits);
+  }
+
+  // The amount of service a flow of weight `weight` receives while virtual time advances
+  // by this span: work = span * weight (truncated). Inverse of FromService.
+  constexpr Work ScaleToWork(Weight weight) const {
+    return static_cast<Work>((raw_ * weight) >> kFractionBits);
+  }
+
+  // Raw fixed-point bits (for hashing / debugging).
+  constexpr unsigned __int128 raw() const { return raw_; }
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kFractionBits = 32;
+
+  explicit constexpr VirtualTime(unsigned __int128 raw) : raw_(raw) {}
+
+  unsigned __int128 raw_ = 0;
+};
+
+// max(a, b), the operation SFQ applies when stamping a start tag.
+constexpr VirtualTime Max(VirtualTime a, VirtualTime b) { return a < b ? b : a; }
+constexpr VirtualTime Min(VirtualTime a, VirtualTime b) { return a < b ? a : b; }
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_VIRTUAL_TIME_H_

@@ -1,0 +1,88 @@
+#include "src/fair/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfair {
+
+double SfqFairnessBound(hscommon::Work lmax_f, hscommon::Weight w_f, hscommon::Work lmax_m,
+                        hscommon::Weight w_m) {
+  return static_cast<double>(lmax_f) / static_cast<double>(w_f) +
+         static_cast<double>(lmax_m) / static_cast<double>(w_m);
+}
+
+double FairnessLowerBound(hscommon::Work lmax_f, hscommon::Weight w_f, hscommon::Work lmax_m,
+                          hscommon::Weight w_m) {
+  return SfqFairnessBound(lmax_f, w_f, lmax_m, w_m) / 2.0;
+}
+
+namespace {
+
+hscommon::Time WorkToTime(hscommon::Work work, hscommon::Work capacity_num,
+                          hscommon::Work capacity_den) {
+  assert(capacity_num > 0 && capacity_den > 0);
+  return work * capacity_den / capacity_num;
+}
+
+}  // namespace
+
+hscommon::Time SfqDelayBound(std::span<const FlowParams> competitors, size_t flow_index,
+                             hscommon::Work quantum_len, hscommon::Work fc_delta,
+                             hscommon::Work capacity_num, hscommon::Work capacity_den) {
+  hscommon::Work others = 0;
+  for (size_t m = 0; m < competitors.size(); ++m) {
+    if (m != flow_index) {
+      others += competitors[m].lmax;
+    }
+  }
+  return WorkToTime(others + quantum_len + fc_delta, capacity_num, capacity_den);
+}
+
+hscommon::Time WfqDelayBound(std::span<const FlowParams> competitors, size_t flow_index,
+                             hscommon::Work quantum_len, hscommon::Work fc_delta,
+                             hscommon::Work capacity_num, hscommon::Work capacity_den) {
+  hscommon::Work lmax_system = 0;
+  hscommon::Weight total_weight = 0;
+  for (const FlowParams& f : competitors) {
+    lmax_system = std::max(lmax_system, f.lmax);
+    total_weight += f.weight;
+  }
+  // The quantum is served at the flow's reserved rate r_f = C * w_f / W:
+  // l / r_f = l * W / (w_f * C).
+  const hscommon::Work weighted_len =
+      quantum_len * static_cast<hscommon::Work>(total_weight) /
+      static_cast<hscommon::Work>(competitors[flow_index].weight);
+  return WorkToTime(lmax_system + weighted_len + fc_delta, capacity_num, capacity_den);
+}
+
+hscommon::Time ScfqDelayBound(std::span<const FlowParams> competitors, size_t flow_index,
+                              hscommon::Work quantum_len, hscommon::Work fc_delta,
+                              hscommon::Work capacity_num, hscommon::Work capacity_den) {
+  hscommon::Work others = 0;
+  hscommon::Weight total_weight = 0;
+  for (size_t m = 0; m < competitors.size(); ++m) {
+    total_weight += competitors[m].weight;
+    if (m != flow_index) {
+      others += competitors[m].lmax;
+    }
+  }
+  const hscommon::Work weighted_len =
+      quantum_len * static_cast<hscommon::Work>(total_weight) /
+      static_cast<hscommon::Work>(competitors[flow_index].weight);
+  return WorkToTime(others + weighted_len + fc_delta, capacity_num, capacity_den);
+}
+
+hscommon::Time EatTracker::OnRequest(hscommon::Time arrival, hscommon::Work len) {
+  hscommon::Time eat = arrival;
+  if (!first_) {
+    // EAT = max(arrival, EAT_prev + l_prev / rate).
+    const hscommon::Time service_span = prev_len_ * rate_den_ / rate_num_;
+    eat = std::max(arrival, prev_eat_ + service_span);
+  }
+  first_ = false;
+  prev_eat_ = eat;
+  prev_len_ = len;
+  return eat;
+}
+
+}  // namespace hfair

@@ -1,0 +1,104 @@
+#include "src/fair/eevdf.h"
+
+#include <cassert>
+
+namespace hfair {
+
+Eevdf::Eevdf() : Eevdf(Config{}) {}
+
+Eevdf::Eevdf(const Config& config) : config_(config) {}
+
+FlowId Eevdf::AddFlow(Weight weight) {
+  assert(weight >= 1);
+  const FlowId id = flows_.Allocate();
+  flows_[id].weight = weight;
+  return id;
+}
+
+void Eevdf::RemoveFlow(FlowId flow) {
+  assert(flow != in_service_);
+  FlowState& f = flows_[flow];
+  if (f.backlogged) {
+    ready_.erase({f.vd, flow});
+    backlogged_weight_ -= f.weight;
+  }
+  flows_.Free(flow);
+}
+
+void Eevdf::SetWeight(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  FlowState& f = flows_[flow];
+  if (f.backlogged || flow == in_service_) {
+    backlogged_weight_ = backlogged_weight_ - f.weight + weight;
+  }
+  f.weight = weight;
+}
+
+Weight Eevdf::GetWeight(FlowId flow) const { return flows_[flow].weight; }
+
+void Eevdf::StampDeadline(FlowId flow) {
+  FlowState& f = flows_[flow];
+  f.vd = f.ve + VirtualTime::FromService(config_.quantum, f.weight);
+}
+
+void Eevdf::Arrive(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(!f.backlogged && flow != in_service_);
+  // A (re)joining flow may not carry forward unused virtual time from before it slept.
+  f.ve = hscommon::Max(f.ve, v_);
+  StampDeadline(flow);
+  f.backlogged = true;
+  ready_.emplace(f.vd, flow);
+  backlogged_weight_ += f.weight;
+}
+
+FlowId Eevdf::PickNext(Time /*now*/) {
+  assert(in_service_ == kInvalidFlow);
+  if (ready_.empty()) {
+    return kInvalidFlow;
+  }
+  // Earliest virtual deadline among eligible flows; deadlines are the set order, so the
+  // first eligible entry in deadline order wins. Fall back to the overall earliest
+  // deadline when nothing is eligible (work conservation).
+  FlowId pick = kInvalidFlow;
+  for (const auto& [vd, flow] : ready_) {
+    if (flows_[flow].ve <= v_) {
+      pick = flow;
+      break;
+    }
+  }
+  if (pick == kInvalidFlow) {
+    pick = ready_.begin()->second;
+  }
+  ready_.erase({flows_[pick].vd, pick});
+  flows_[pick].backlogged = false;
+  in_service_ = pick;
+  return pick;
+}
+
+void Eevdf::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged) {
+  assert(flow == in_service_);
+  FlowState& f = flows_[flow];
+  in_service_ = kInvalidFlow;
+  if (backlogged_weight_ > 0) {
+    v_ += VirtualTime::FromService(used, backlogged_weight_);
+  }
+  f.ve += VirtualTime::FromService(used, f.weight);
+  if (still_backlogged) {
+    StampDeadline(flow);
+    f.backlogged = true;
+    ready_.emplace(f.vd, flow);
+  } else {
+    backlogged_weight_ -= f.weight;
+  }
+}
+
+void Eevdf::Depart(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && flow != in_service_);
+  ready_.erase({f.vd, flow});
+  f.backlogged = false;
+  backlogged_weight_ -= f.weight;
+}
+
+}  // namespace hfair

@@ -1,0 +1,67 @@
+// Earliest Eligible Virtual Deadline First (Stoica, Abdel-Wahab & Jeffay, RTSS '96) —
+// the contemporaneous proportional-share algorithm the paper's related work cites.
+//
+// Quantum-based formulation: global virtual time V advances by used/total_weight on every
+// completion. Each flow keeps a virtual eligible time ve and virtual deadline
+// vd = ve + q/w for its next request of size q. A flow is *eligible* when ve <= V; among
+// eligible flows the one with the earliest vd runs. If nothing is eligible (all flows are
+// ahead of their share), the earliest-vd flow runs anyway (work conservation).
+
+#ifndef HSCHED_SRC_FAIR_EEVDF_H_
+#define HSCHED_SRC_FAIR_EEVDF_H_
+
+#include <set>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+
+namespace hfair {
+
+class Eevdf : public FairQueue {
+ public:
+  struct Config {
+    // Nominal request size used for virtual deadlines.
+    Work quantum = 10 * hscommon::kMillisecond;
+  };
+
+  Eevdf();
+  explicit Eevdf(const Config& config);
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  void Depart(FlowId flow, Time now) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override { return "EEVDF"; }
+
+  VirtualTime GlobalVirtualTime() const { return v_; }
+  VirtualTime EligibleTime(FlowId flow) const { return flows_[flow].ve; }
+  VirtualTime Deadline(FlowId flow) const { return flows_[flow].vd; }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    VirtualTime ve;
+    VirtualTime vd;
+    bool backlogged = false;
+  };
+
+  void StampDeadline(FlowId flow);
+
+  Config config_;
+  FlowTable<FlowState> flows_;
+  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by virtual deadline
+  FlowId in_service_ = kInvalidFlow;
+  VirtualTime v_;
+  Weight backlogged_weight_ = 0;  // includes the in-service flow
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_EEVDF_H_

@@ -1,0 +1,85 @@
+// Abstract interface for single-level proportional-share ("fair queuing") schedulers.
+//
+// A *flow* is any schedulable entity that requests CPU service one quantum at a time: a
+// thread inside a leaf class, or a child node inside an intermediate node of the
+// hierarchical scheduling structure. The lifecycle seen by a scheduler is:
+//
+//   AddFlow(w)  ->  Arrive(f)  ->  PickNext()==f  ->  Complete(f, used, backlogged)
+//                     ^                                        |
+//                     +------ (if it blocked, a later) --------+
+//
+// `used` is the *actual* service consumed, which is only known when the quantum ends —
+// the property SFQ exploits and WFQ/SCFQ cannot (§3 of the paper). Algorithms that need
+// the quantum length a priori are configured with an assumed (maximum) length.
+//
+// `now` is simulated wall-clock time. SFQ, SCFQ, Stride, Lottery and EEVDF ignore it —
+// they are self-clocked. WFQ and FQS compute the GPS round number v(t), which advances
+// with wall time at the *nominal* capacity; this is exactly why they lose fairness when
+// the effective capacity fluctuates (paper §6), and the ablation bench demonstrates it.
+
+#ifndef HSCHED_SRC_FAIR_FAIR_QUEUE_H_
+#define HSCHED_SRC_FAIR_FAIR_QUEUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/common/virtual_time.h"
+
+namespace hfair {
+
+using hscommon::Time;
+using hscommon::VirtualTime;
+using hscommon::Weight;
+using hscommon::Work;
+
+// Dense handle for a flow within one scheduler instance.
+using FlowId = uint32_t;
+inline constexpr FlowId kInvalidFlow = UINT32_MAX;
+
+// Interface implemented by every fair scheduler in this library.
+class FairQueue {
+ public:
+  virtual ~FairQueue() = default;
+
+  // Registers a new, initially idle flow with the given weight (>= 1). Returns its id.
+  virtual FlowId AddFlow(Weight weight) = 0;
+
+  // Unregisters `flow`. The flow must not be backlogged or in service.
+  virtual void RemoveFlow(FlowId flow) = 0;
+
+  // Changes the weight of `flow` (>= 1). Takes effect from the next tag computation;
+  // already-assigned tags are not rewritten (this is what the paper's dynamic-allocation
+  // experiment, Figure 11, exercises).
+  virtual void SetWeight(FlowId flow, Weight weight) = 0;
+  virtual Weight GetWeight(FlowId flow) const = 0;
+
+  // `flow` becomes backlogged (blocked -> runnable transition) at time `now`.
+  virtual void Arrive(FlowId flow, Time now) = 0;
+
+  // Selects the next flow to serve and marks it in service. Returns kInvalidFlow when no
+  // flow is backlogged. Must not be called while a flow is in service.
+  virtual FlowId PickNext(Time now) = 0;
+
+  // The in-service `flow` finished a quantum of actual length `used` (>= 0) at `now`.
+  // `still_backlogged` says whether it immediately requests another quantum (true) or
+  // blocked/exited (false).
+  virtual void Complete(FlowId flow, Work used, Time now, bool still_backlogged) = 0;
+
+  // Retracts a backlogged (not in-service) flow from the ready set without charging it
+  // any service (a queued entity was suspended externally). Tags/passes are preserved.
+  virtual void Depart(FlowId flow, Time now) = 0;
+
+  // True if some flow is waiting for service (not counting one currently in service).
+  virtual bool HasBacklog() const = 0;
+
+  // Number of backlogged flows (not counting one in service).
+  virtual size_t BacklogSize() const = 0;
+
+  // Algorithm name for reports ("SFQ", "WFQ", ...).
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_FAIR_QUEUE_H_

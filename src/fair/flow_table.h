@@ -1,0 +1,75 @@
+// Slot-map style storage for per-flow scheduler state.
+//
+// Every concrete scheduler defines its own per-flow struct (tags, passes, deadlines, ...)
+// and stores it in a FlowTable, which hands out dense FlowIds and recycles freed slots.
+
+#ifndef HSCHED_SRC_FAIR_FLOW_TABLE_H_
+#define HSCHED_SRC_FAIR_FLOW_TABLE_H_
+
+#include <cassert>
+#include <vector>
+
+#include "src/fair/fair_queue.h"
+
+namespace hfair {
+
+template <typename FlowState>
+class FlowTable {
+ public:
+  // Allocates a slot (possibly recycling a freed one, reset to a default-constructed
+  // state) and returns its id.
+  FlowId Allocate() {
+    if (!free_.empty()) {
+      const FlowId id = free_.back();
+      free_.pop_back();
+      slots_[id] = Slot{FlowState{}, true};
+      return id;
+    }
+    slots_.push_back(Slot{FlowState{}, true});
+    return static_cast<FlowId>(slots_.size() - 1);
+  }
+
+  // Frees the slot; the id may be recycled by a later Allocate.
+  void Free(FlowId id) {
+    assert(Contains(id));
+    slots_[id].in_use = false;
+    free_.push_back(id);
+  }
+
+  bool Contains(FlowId id) const { return id < slots_.size() && slots_[id].in_use; }
+
+  FlowState& operator[](FlowId id) {
+    assert(Contains(id));
+    return slots_[id].state;
+  }
+  const FlowState& operator[](FlowId id) const {
+    assert(Contains(id));
+    return slots_[id].state;
+  }
+
+  // Number of live flows.
+  size_t size() const { return slots_.size() - free_.size(); }
+
+  // Visits every live flow.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (FlowId id = 0; id < slots_.size(); ++id) {
+      if (slots_[id].in_use) {
+        fn(id, slots_[id].state);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    FlowState state;
+    bool in_use = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<FlowId> free_;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_FLOW_TABLE_H_

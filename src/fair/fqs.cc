@@ -1,0 +1,88 @@
+#include "src/fair/fqs.h"
+
+#include <cassert>
+
+namespace hfair {
+
+Fqs::Fqs() : Fqs(Config{}) {}
+
+Fqs::Fqs(const Config& config) : gps_(config.capacity_num, config.capacity_den) {}
+
+FlowId Fqs::AddFlow(Weight weight) {
+  assert(weight >= 1);
+  const FlowId id = flows_.Allocate();
+  flows_[id].weight = weight;
+  return id;
+}
+
+void Fqs::RemoveFlow(FlowId flow) {
+  assert(flow != in_service_);
+  FlowState& f = flows_[flow];
+  if (f.backlogged) {
+    ready_.erase({f.start, flow});
+  }
+  if (f.in_gps) {
+    gps_.FlowDeactivatedNoAdvance(f.weight);
+  }
+  flows_.Free(flow);
+}
+
+void Fqs::SetWeight(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  FlowState& f = flows_[flow];
+  if (f.in_gps) {
+    gps_.AdjustWeightNoAdvance(f.weight, weight);
+  }
+  f.weight = weight;
+}
+
+Weight Fqs::GetWeight(FlowId flow) const { return flows_[flow].weight; }
+
+void Fqs::Arrive(FlowId flow, Time now) {
+  FlowState& f = flows_[flow];
+  assert(!f.backlogged && flow != in_service_);
+  gps_.FlowActivated(f.weight, now);
+  f.in_gps = true;
+  f.start = hscommon::Max(gps_.Advance(now), f.finish);
+  f.backlogged = true;
+  ready_.emplace(f.start, flow);
+}
+
+FlowId Fqs::PickNext(Time now) {
+  assert(in_service_ == kInvalidFlow);
+  gps_.Advance(now);
+  if (ready_.empty()) {
+    return kInvalidFlow;
+  }
+  const FlowId flow = ready_.begin()->second;
+  ready_.erase(ready_.begin());
+  flows_[flow].backlogged = false;
+  in_service_ = flow;
+  return flow;
+}
+
+void Fqs::Complete(FlowId flow, Work used, Time now, bool still_backlogged) {
+  assert(flow == in_service_);
+  FlowState& f = flows_[flow];
+  in_service_ = kInvalidFlow;
+  f.finish = f.start + VirtualTime::FromService(used, f.weight);
+  if (still_backlogged) {
+    f.start = hscommon::Max(gps_.Advance(now), f.finish);
+    f.backlogged = true;
+    ready_.emplace(f.start, flow);
+  } else {
+    gps_.FlowDeactivated(f.weight, now);
+    f.in_gps = false;
+  }
+}
+
+void Fqs::Depart(FlowId flow, Time now) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && flow != in_service_);
+  ready_.erase({f.start, flow});
+  f.backlogged = false;
+  gps_.FlowDeactivated(f.weight, now);
+  f.in_gps = false;
+}
+
+}  // namespace hfair

@@ -1,0 +1,63 @@
+// Fair Queuing based on Start-time (FQS, Greenberg & Madras) — baseline.
+//
+// FQS computes the same tags as WFQ (GPS round number v(t), S = max(v(t), F_prev)) but
+// dispatches in increasing START-tag order, so the quantum length is not needed at pick
+// time; the finish tag is written with the actual length when the quantum completes.
+// Its remaining drawbacks, per the paper: the expensive v(t) computation and loss of
+// fairness when the available capacity fluctuates (v(t) still runs on wall time).
+
+#ifndef HSCHED_SRC_FAIR_FQS_H_
+#define HSCHED_SRC_FAIR_FQS_H_
+
+#include <set>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+#include "src/fair/gps_clock.h"
+
+namespace hfair {
+
+class Fqs : public FairQueue {
+ public:
+  struct Config {
+    Work capacity_num = 1;
+    Work capacity_den = 1;
+  };
+
+  Fqs();
+  explicit Fqs(const Config& config);
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  void Depart(FlowId flow, Time now) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override { return "FQS"; }
+
+  VirtualTime StartTag(FlowId flow) const { return flows_[flow].start; }
+  VirtualTime FinishTag(FlowId flow) const { return flows_[flow].finish; }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    VirtualTime start;
+    VirtualTime finish;
+    bool backlogged = false;
+    bool in_gps = false;
+  };
+
+  FlowTable<FlowState> flows_;
+  GpsClock gps_;
+  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by start tag
+  FlowId in_service_ = kInvalidFlow;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_FQS_H_

@@ -1,0 +1,87 @@
+// GPS round-number ("virtual time") clock shared by WFQ and FQS.
+//
+// The round number v(t) of the hypothetical bit-by-bit weighted round-robin server
+// advances at rate C / (sum of weights of backlogged flows) per unit of wall-clock time
+// (paper eq. 12). This implementation is the standard lazy approximation: the backlog set
+// tracked is the real system's backlog set, and v is brought forward on every observation.
+//
+// Crucially, v(t) advances with *wall-clock* time at the *nominal* capacity C. When the
+// effective capacity fluctuates (interrupt processing, or a parent class squeezing this
+// class's bandwidth), v(t) runs ahead of the service actually delivered — this is the
+// precise mechanism by which WFQ-family schedulers lose fairness under fluctuation, which
+// the paper argues and `bench/abl_fairness_compare` measures.
+
+#ifndef HSCHED_SRC_FAIR_GPS_CLOCK_H_
+#define HSCHED_SRC_FAIR_GPS_CLOCK_H_
+
+#include <cassert>
+
+#include "src/common/types.h"
+#include "src/common/virtual_time.h"
+
+namespace hfair {
+
+class GpsClock {
+ public:
+  // `capacity_num / capacity_den` is the nominal capacity in work units per nanosecond of
+  // wall time. The default (1/1) models a CPU whose full bandwidth delivers one unit of
+  // service per nanosecond.
+  explicit GpsClock(hscommon::Work capacity_num = 1, hscommon::Work capacity_den = 1)
+      : capacity_num_(capacity_num), capacity_den_(capacity_den) {
+    assert(capacity_num > 0 && capacity_den > 0);
+  }
+
+  // Brings v forward to wall-clock time `now`, then returns it.
+  hscommon::VirtualTime Advance(hscommon::Time now) {
+    assert(now >= last_time_);
+    if (active_weight_ > 0) {
+      const hscommon::Work elapsed_work =
+          (now - last_time_) * capacity_num_ / capacity_den_;
+      v_ += hscommon::VirtualTime::FromService(elapsed_work, active_weight_);
+    }
+    last_time_ = now;
+    return v_;
+  }
+
+  // A flow joined / left the backlogged set at time `now`.
+  void FlowActivated(hscommon::Weight w, hscommon::Time now) {
+    Advance(now);
+    active_weight_ += w;
+  }
+  void FlowDeactivated(hscommon::Weight w, hscommon::Time now) {
+    Advance(now);
+    assert(active_weight_ >= w);
+    active_weight_ -= w;
+  }
+
+  // Weight updates for flows that stay backlogged.
+  void AdjustWeight(hscommon::Weight old_w, hscommon::Weight new_w, hscommon::Time now) {
+    Advance(now);
+    active_weight_ = active_weight_ - old_w + new_w;
+  }
+
+  // Bookkeeping variants for callers that have no clock in scope (RemoveFlow/SetWeight
+  // of the schedulers): the weight changes take effect from the LAST observed time —
+  // v is not advanced first, a second-order inaccuracy the lazy clock already has.
+  void FlowDeactivatedNoAdvance(hscommon::Weight w) {
+    assert(active_weight_ >= w);
+    active_weight_ -= w;
+  }
+  void AdjustWeightNoAdvance(hscommon::Weight old_w, hscommon::Weight new_w) {
+    active_weight_ = active_weight_ - old_w + new_w;
+  }
+
+  hscommon::Weight active_weight() const { return active_weight_; }
+  hscommon::VirtualTime v() const { return v_; }
+
+ private:
+  hscommon::Work capacity_num_;
+  hscommon::Work capacity_den_;
+  hscommon::VirtualTime v_;
+  hscommon::Time last_time_ = 0;
+  hscommon::Weight active_weight_ = 0;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_GPS_CLOCK_H_

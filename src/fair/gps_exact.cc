@@ -1,0 +1,71 @@
+#include "src/fair/gps_exact.h"
+
+#include <cassert>
+
+namespace hfair {
+
+VirtualTime ExactGpsClock::Advance(Time now) {
+  assert(now >= last_time_);
+  Time t = last_time_;
+  // Process departure epochs one at a time (including any that land exactly on `now`):
+  // each removes a flow from the backlogged set and changes the slope of v.
+  while (active_weight_ > 0 && !departures_.empty()) {
+    const auto [vf, flow] = *departures_.begin();
+    const VirtualTime gap = vf - v_;
+    // Wall time needed to advance v by `gap` at the current slope C / W.
+    const Work wall_needed =
+        gap.ScaleToWork(active_weight_) * capacity_den_ / capacity_num_;
+    if (t + wall_needed > now) {
+      break;  // the departure lies beyond `now`
+    }
+    v_ = vf;
+    t += wall_needed;
+    departures_.erase(departures_.begin());
+    FlowFluid& fluid = flows_.at(flow);
+    fluid.backlogged = false;
+    active_weight_ -= fluid.weight;
+  }
+  if (t < now && active_weight_ > 0) {
+    const Work elapsed_work = (now - t) * capacity_num_ / capacity_den_;
+    v_ += VirtualTime::FromService(elapsed_work, active_weight_);
+  }
+  last_time_ = now;
+  return v_;
+}
+
+VirtualTime ExactGpsClock::AddWork(FlowId flow, Weight weight, Work len, Time now) {
+  Advance(now);
+  FlowFluid& fluid = flows_[flow];
+  fluid.weight = weight;  // weight changes apply to newly queued fluid
+  if (fluid.backlogged) {
+    departures_.erase({fluid.busy_until, flow});
+    fluid.busy_until = fluid.busy_until + VirtualTime::FromService(len, weight);
+  } else {
+    const VirtualTime base = hscommon::Max(v_, fluid.busy_until);
+    fluid.busy_until = base + VirtualTime::FromService(len, weight);
+    fluid.backlogged = true;
+    active_weight_ += weight;
+  }
+  departures_.emplace(fluid.busy_until, flow);
+  return fluid.busy_until;
+}
+
+void ExactGpsClock::Remove(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    return;
+  }
+  if (it->second.backlogged) {
+    departures_.erase({it->second.busy_until, flow});
+    active_weight_ -= it->second.weight;
+  }
+  flows_.erase(it);
+}
+
+bool ExactGpsClock::IsBacklogged(FlowId flow, Time now) {
+  Advance(now);
+  const auto it = flows_.find(flow);
+  return it != flows_.end() && it->second.backlogged;
+}
+
+}  // namespace hfair

@@ -1,0 +1,70 @@
+// EXACT GPS fluid simulation — the "hypothetical server" whose simulation the paper's §6
+// calls computationally expensive, implemented so the claim can be measured.
+//
+// The Generalized Processor Sharing reference server serves every backlogged flow
+// simultaneously at rate C * w_i / W(t), where W(t) is the total weight of the flows that
+// still have fluid queued IN THE GPS SYSTEM (not the real system). The round number v(t)
+// advances at C / W(t), and W(t) changes at GPS departure epochs — future events that the
+// lazy GpsClock approximation ignores. This class tracks per-flow fluid backlogs and
+// processes departure epochs exactly (to fixed-point resolution), which is what makes it
+// O(departures) per observation instead of O(1).
+//
+// Key behavioural difference from GpsClock: a flow that blocks in the real system keeps
+// draining its queued fluid here, so W(t) shrinks only when the fluid is gone.
+
+#ifndef HSCHED_SRC_FAIR_GPS_EXACT_H_
+#define HSCHED_SRC_FAIR_GPS_EXACT_H_
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+
+namespace hfair {
+
+class ExactGpsClock {
+ public:
+  // Nominal capacity in work units per nanosecond of wall time (num/den).
+  explicit ExactGpsClock(Work capacity_num = 1, Work capacity_den = 1)
+      : capacity_num_(capacity_num), capacity_den_(capacity_den) {}
+
+  // Brings v forward to wall-clock time `now`, processing any GPS departures in
+  // [last, now], and returns it.
+  VirtualTime Advance(Time now);
+
+  // A quantum of `len` fluid for `flow` (weight `weight`) arrives at `now`. Returns the
+  // quantum's GPS virtual finishing time max(v(now), prev finish) + len/weight.
+  VirtualTime AddWork(FlowId flow, Weight weight, Work len, Time now);
+
+  // Discards any fluid still queued for `flow` (the flow was destroyed).
+  void Remove(FlowId flow);
+
+  // True if the GPS system still holds fluid for `flow` at `now`.
+  bool IsBacklogged(FlowId flow, Time now);
+
+  // Total weight of GPS-backlogged flows (after the last Advance).
+  Weight backlogged_weight() const { return active_weight_; }
+
+  VirtualTime v() const { return v_; }
+
+ private:
+  struct FlowFluid {
+    Weight weight = 1;
+    VirtualTime busy_until;  // virtual time at which this flow's fluid drains
+    bool backlogged = false;
+  };
+
+  Work capacity_num_;
+  Work capacity_den_;
+  VirtualTime v_;
+  Time last_time_ = 0;
+  Weight active_weight_ = 0;
+  std::unordered_map<FlowId, FlowFluid> flows_;
+  // GPS departure epochs, earliest virtual finish first.
+  std::set<std::pair<VirtualTime, FlowId>> departures_;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_GPS_EXACT_H_

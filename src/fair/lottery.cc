@@ -1,0 +1,94 @@
+#include "src/fair/lottery.h"
+
+#include <cassert>
+
+namespace hfair {
+
+FlowId Lottery::AddFlow(Weight weight) {
+  assert(weight >= 1);
+  const FlowId id = flows_.Allocate();
+  flows_[id].weight = weight;
+  return id;
+}
+
+void Lottery::RemoveFlow(FlowId flow) {
+  assert(flow != in_service_);
+  FlowState& f = flows_[flow];
+  if (f.backlogged) {
+    // Swap-with-last removal from the ready vector.
+    const size_t idx = f.ready_index;
+    ready_[idx] = ready_.back();
+    flows_[ready_[idx]].ready_index = idx;
+    ready_.pop_back();
+    ready_tickets_ -= f.weight;
+  }
+  flows_.Free(flow);
+}
+
+void Lottery::SetWeight(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  FlowState& f = flows_[flow];
+  if (f.backlogged) {
+    ready_tickets_ = ready_tickets_ - f.weight + weight;
+  }
+  f.weight = weight;
+}
+
+Weight Lottery::GetWeight(FlowId flow) const { return flows_[flow].weight; }
+
+void Lottery::Arrive(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(!f.backlogged && flow != in_service_);
+  f.backlogged = true;
+  f.ready_index = ready_.size();
+  ready_.push_back(flow);
+  ready_tickets_ += f.weight;
+}
+
+FlowId Lottery::PickNext(Time /*now*/) {
+  assert(in_service_ == kInvalidFlow);
+  if (ready_.empty()) {
+    return kInvalidFlow;
+  }
+  // Draw a winning ticket and walk to its holder.
+  uint64_t ticket = prng_.UniformU64(ready_tickets_);
+  FlowId winner = ready_.back();
+  for (FlowId candidate : ready_) {
+    const Weight w = flows_[candidate].weight;
+    if (ticket < w) {
+      winner = candidate;
+      break;
+    }
+    ticket -= w;
+  }
+  FlowState& f = flows_[winner];
+  const size_t idx = f.ready_index;
+  ready_[idx] = ready_.back();
+  flows_[ready_[idx]].ready_index = idx;
+  ready_.pop_back();
+  ready_tickets_ -= f.weight;
+  f.backlogged = false;
+  in_service_ = winner;
+  return winner;
+}
+
+void Lottery::Complete(FlowId flow, Work /*used*/, Time now, bool still_backlogged) {
+  assert(flow == in_service_);
+  in_service_ = kInvalidFlow;
+  if (still_backlogged) {
+    Arrive(flow, now);
+  }
+}
+
+void Lottery::Depart(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && flow != in_service_);
+  const size_t idx = f.ready_index;
+  ready_[idx] = ready_.back();
+  flows_[ready_[idx]].ready_index = idx;
+  ready_.pop_back();
+  ready_tickets_ -= f.weight;
+  f.backlogged = false;
+}
+
+}  // namespace hfair

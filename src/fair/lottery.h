@@ -1,0 +1,52 @@
+// Lottery scheduling (Waldspurger & Weihl, OSDI '94) — baseline.
+//
+// Randomized proportional share: each dispatch draws a ticket uniformly from the
+// backlogged flows' tickets (weights). Expected allocation is proportional; the paper's
+// criticism is that fairness holds only over long intervals (the variance of a binomial
+// process), which `bench/abl_fairness_compare` quantifies.
+
+#ifndef HSCHED_SRC_FAIR_LOTTERY_H_
+#define HSCHED_SRC_FAIR_LOTTERY_H_
+
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+
+namespace hfair {
+
+class Lottery : public FairQueue {
+ public:
+  // `seed` makes draws reproducible.
+  explicit Lottery(uint64_t seed) : prng_(seed) {}
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  void Depart(FlowId flow, Time now) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override { return "Lottery"; }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    bool backlogged = false;
+    size_t ready_index = 0;  // position in ready_ while backlogged
+  };
+
+  hscommon::Prng prng_;
+  FlowTable<FlowState> flows_;
+  std::vector<FlowId> ready_;  // unordered; swap-with-last removal
+  Weight ready_tickets_ = 0;
+  FlowId in_service_ = kInvalidFlow;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_LOTTERY_H_

@@ -1,0 +1,78 @@
+#include "src/fair/make.h"
+
+#include "src/fair/eevdf.h"
+#include "src/fair/fqs.h"
+#include "src/fair/lottery.h"
+#include "src/fair/scfq.h"
+#include "src/fair/sfq.h"
+#include "src/fair/stride.h"
+#include "src/fair/wfq.h"
+#include "src/fair/wfq_exact.h"
+
+namespace hfair {
+
+std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kSfq,           Algorithm::kWfq,     Algorithm::kWfqActual,
+          Algorithm::kWfqExact,      Algorithm::kFqs,     Algorithm::kScfq,
+          Algorithm::kStride,        Algorithm::kStrideClassic,
+          Algorithm::kLottery,       Algorithm::kEevdf};
+}
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSfq:
+      return "SFQ";
+    case Algorithm::kWfq:
+      return "WFQ";
+    case Algorithm::kWfqActual:
+      return "WFQ-actual";
+    case Algorithm::kWfqExact:
+      return "WFQ-exact";
+    case Algorithm::kFqs:
+      return "FQS";
+    case Algorithm::kScfq:
+      return "SCFQ";
+    case Algorithm::kStride:
+      return "Stride";
+    case Algorithm::kStrideClassic:
+      return "Stride-classic";
+    case Algorithm::kLottery:
+      return "Lottery";
+    case Algorithm::kEevdf:
+      return "EEVDF";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<FairQueue> MakeFairQueue(Algorithm algorithm, Work assumed_quantum,
+                                         uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kSfq:
+      return std::make_unique<Sfq>();
+    case Algorithm::kWfq:
+      return std::make_unique<Wfq>(Wfq::Config{.assumed_quantum = assumed_quantum});
+    case Algorithm::kWfqActual:
+      return std::make_unique<Wfq>(
+          Wfq::Config{.assumed_quantum = assumed_quantum, .charge_actual = true});
+    case Algorithm::kWfqExact:
+      return std::make_unique<WfqExact>(
+          WfqExact::Config{.assumed_quantum = assumed_quantum});
+    case Algorithm::kFqs:
+      return std::make_unique<Fqs>();
+    case Algorithm::kScfq:
+      return std::make_unique<Scfq>(Scfq::Config{.assumed_quantum = assumed_quantum});
+    case Algorithm::kStride:
+      return std::make_unique<Stride>(
+          Stride::Config{.quantum = assumed_quantum, .charge_actual = true});
+    case Algorithm::kStrideClassic:
+      return std::make_unique<Stride>(
+          Stride::Config{.quantum = assumed_quantum, .charge_actual = false});
+    case Algorithm::kLottery:
+      return std::make_unique<Lottery>(seed);
+    case Algorithm::kEevdf:
+      return std::make_unique<Eevdf>(Eevdf::Config{.quantum = assumed_quantum});
+  }
+  return nullptr;
+}
+
+}  // namespace hfair

@@ -1,0 +1,41 @@
+// Factory for the fair-queuing algorithm family, used by benches and parameterized tests.
+
+#ifndef HSCHED_SRC_FAIR_MAKE_H_
+#define HSCHED_SRC_FAIR_MAKE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fair/fair_queue.h"
+
+namespace hfair {
+
+// Algorithm selector.
+enum class Algorithm {
+  kSfq,
+  kWfq,
+  kWfqActual,  // WFQ with finish tags rewritten to actual usage
+  kWfqExact,   // WFQ over the exact GPS fluid simulation (gps_exact.h)
+  kFqs,
+  kScfq,
+  kStride,
+  kStrideClassic,  // charges a full stride per quantum regardless of usage
+  kLottery,
+  kEevdf,
+};
+
+// All algorithms, for sweep-style tests/benches.
+std::vector<Algorithm> AllAlgorithms();
+
+// Display name ("SFQ", "WFQ", ...).
+std::string AlgorithmName(Algorithm algorithm);
+
+// Creates an instance. `assumed_quantum` configures algorithms that need an a-priori
+// length; `seed` feeds the lottery.
+std::unique_ptr<FairQueue> MakeFairQueue(Algorithm algorithm, Work assumed_quantum,
+                                         uint64_t seed = 42);
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_MAKE_H_

@@ -1,0 +1,83 @@
+#include "src/fair/scfq.h"
+
+#include <cassert>
+
+namespace hfair {
+
+Scfq::Scfq() : Scfq(Config{}) {}
+
+Scfq::Scfq(const Config& config) : config_(config) {}
+
+FlowId Scfq::AddFlow(Weight weight) {
+  assert(weight >= 1);
+  const FlowId id = flows_.Allocate();
+  flows_[id].weight = weight;
+  return id;
+}
+
+void Scfq::RemoveFlow(FlowId flow) {
+  assert(flow != in_service_);
+  if (flows_[flow].backlogged) {
+    ready_.erase({flows_[flow].finish, flow});
+  }
+  flows_.Free(flow);
+}
+
+void Scfq::SetWeight(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  flows_[flow].weight = weight;
+}
+
+Weight Scfq::GetWeight(FlowId flow) const { return flows_[flow].weight; }
+
+void Scfq::Arrive(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(!f.backlogged && flow != in_service_);
+  // F = max(v, F_prev) + l_assumed / w, stamped at arrival.
+  f.finish = hscommon::Max(v_, f.finish) +
+             VirtualTime::FromService(config_.assumed_quantum, f.weight);
+  f.backlogged = true;
+  ready_.emplace(f.finish, flow);
+}
+
+FlowId Scfq::PickNext(Time /*now*/) {
+  assert(in_service_ == kInvalidFlow);
+  if (ready_.empty()) {
+    return kInvalidFlow;
+  }
+  const FlowId flow = ready_.begin()->second;
+  ready_.erase(ready_.begin());
+  flows_[flow].backlogged = false;
+  in_service_ = flow;
+  v_ = flows_[flow].finish;  // the self-clock
+  return flow;
+}
+
+void Scfq::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged) {
+  assert(flow == in_service_);
+  FlowState& f = flows_[flow];
+  in_service_ = kInvalidFlow;
+  if (config_.charge_actual) {
+    f.finish = f.finish - VirtualTime::FromService(config_.assumed_quantum, f.weight) +
+               VirtualTime::FromService(used, f.weight);
+  }
+  if (still_backlogged) {
+    // Next quantum requested immediately: v equals this flow's finish tag, so the
+    // max(v, F) term is just F.
+    f.finish = f.finish + VirtualTime::FromService(config_.assumed_quantum, f.weight);
+    f.backlogged = true;
+    ready_.emplace(f.finish, flow);
+  }
+}
+
+void Scfq::Depart(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && flow != in_service_);
+  ready_.erase({f.finish, flow});
+  f.backlogged = false;
+  // Retract the quantum's tag so a later re-arrival does not pay for service it never
+  // received (the tag was stamped at arrival assuming the assumed quantum).
+  f.finish = f.finish - VirtualTime::FromService(config_.assumed_quantum, f.weight);
+}
+
+}  // namespace hfair

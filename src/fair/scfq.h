@@ -1,0 +1,61 @@
+// Self-Clocked Fair Queuing (Davin & Heybey / Golestani) — baseline.
+//
+// SCFQ avoids the GPS simulation by approximating v(t) with the finish tag of the quantum
+// in service. It dispatches in increasing finish-tag order, so the quantum length is
+// needed when the tag is stamped — like WFQ it must assume a maximum length. Fairness
+// matches SFQ but its delay bound is larger by (Q-1) * lmax/C (paper §6).
+
+#ifndef HSCHED_SRC_FAIR_SCFQ_H_
+#define HSCHED_SRC_FAIR_SCFQ_H_
+
+#include <set>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+
+namespace hfair {
+
+class Scfq : public FairQueue {
+ public:
+  struct Config {
+    Work assumed_quantum = 10 * hscommon::kMillisecond;
+    // If true, rewrite the finish tag with actual usage at completion (non-standard).
+    bool charge_actual = false;
+  };
+
+  Scfq();
+  explicit Scfq(const Config& config);
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  void Depart(FlowId flow, Time now) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override { return "SCFQ"; }
+
+  VirtualTime FinishTag(FlowId flow) const { return flows_[flow].finish; }
+  VirtualTime VirtualTimeNow() const { return v_; }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    VirtualTime finish;
+    bool backlogged = false;
+  };
+
+  Config config_;
+  FlowTable<FlowState> flows_;
+  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by finish tag
+  FlowId in_service_ = kInvalidFlow;
+  VirtualTime v_;  // finish tag of the quantum in service
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_SCFQ_H_

@@ -1,0 +1,95 @@
+#include "src/fair/sfq.h"
+
+#include <cassert>
+
+namespace hfair {
+
+FlowId Sfq::AddFlow(Weight weight) {
+  assert(weight >= 1);
+  const FlowId id = flows_.Allocate();
+  flows_[id].weight = weight;
+  return id;
+}
+
+void Sfq::RemoveFlow(FlowId flow) {
+  assert(flow != in_service_ && "cannot remove a flow in service");
+  if (flows_[flow].backlogged) {
+    EraseReady(flow);
+    flows_[flow].backlogged = false;
+  }
+  flows_.Free(flow);
+}
+
+void Sfq::SetWeight(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  flows_[flow].weight = weight;
+}
+
+Weight Sfq::GetWeight(FlowId flow) const { return flows_[flow].weight; }
+
+VirtualTime Sfq::VirtualTimeNow() const {
+  if (in_service_ != kInvalidFlow) {
+    return flows_[in_service_].start;
+  }
+  if (!ready_.empty()) {
+    return ready_.begin()->first;
+  }
+  return max_finish_;
+}
+
+void Sfq::Arrive(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(!f.backlogged && flow != in_service_ && "flow is already runnable");
+  f.start = hscommon::Max(VirtualTimeNow(), f.finish);
+  f.backlogged = true;
+  InsertReady(flow);
+}
+
+FlowId Sfq::PickNext(Time /*now*/) {
+  assert(in_service_ == kInvalidFlow && "a flow is already in service");
+  if (ready_.empty()) {
+    return kInvalidFlow;
+  }
+  const FlowId flow = ready_.begin()->second;
+  EraseReady(flow);
+  flows_[flow].backlogged = false;
+  in_service_ = flow;
+  return flow;
+}
+
+void Sfq::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged) {
+  assert(flow == in_service_ && "Complete on a flow that is not in service");
+  assert(used >= 0);
+  FlowState& f = flows_[flow];
+  f.finish = f.start + VirtualTime::FromService(used, f.weight);
+  max_finish_ = hscommon::Max(max_finish_, f.finish);
+  // While the quantum was ending the flow was still "in service", so v(t) = S_f and the
+  // re-request stamp max(v(t), F_f) collapses to F_f (F_f >= S_f always).
+  in_service_ = kInvalidFlow;
+  if (still_backlogged) {
+    f.start = f.finish;
+    f.backlogged = true;
+    InsertReady(flow);
+  }
+}
+
+void Sfq::Depart(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && flow != in_service_);
+  EraseReady(flow);
+  f.backlogged = false;
+}
+
+void Sfq::InsertReady(FlowId flow) {
+  const bool inserted = ready_.emplace(flows_[flow].start, flow).second;
+  assert(inserted);
+  (void)inserted;
+}
+
+void Sfq::EraseReady(FlowId flow) {
+  const size_t erased = ready_.erase(ReadyKey{flows_[flow].start, flow});
+  assert(erased == 1);
+  (void)erased;
+}
+
+}  // namespace hfair

@@ -1,0 +1,89 @@
+// Start-time Fair Queuing (SFQ) — the paper's core algorithm (§3).
+//
+// Each flow f carries a start tag S_f and a finish tag F_f (both initially 0):
+//
+//   * When flow f requests a quantum (it unblocks, or its previous quantum ends and it is
+//     still runnable), it is stamped  S_f = max(v(t), F_f).
+//   * When the quantum of actual length l finishes,  F_f = S_f + l / w_f.
+//   * The virtual time v(t) is the start tag of the flow in service; when no flow is in
+//     service it is the minimum start tag of the backlogged flows (the paper's
+//     implementation choice for intermediate nodes), and when the scheduler is idle it is
+//     the maximum finish tag ever assigned.
+//   * Flows are served in increasing start-tag order (ties broken by flow id).
+//
+// Properties (paper §3.1): fairness bound |W_f/w_f - W_m/w_m| <= l_max_f/w_f + l_max_m/w_m
+// over any interval where both are backlogged, regardless of capacity fluctuation; no
+// a-priori quantum length needed; O(log n) per decision.
+
+#ifndef HSCHED_SRC_FAIR_SFQ_H_
+#define HSCHED_SRC_FAIR_SFQ_H_
+
+#include <set>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+
+namespace hfair {
+
+class Sfq : public FairQueue {
+ public:
+  Sfq() = default;
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override { return "SFQ"; }
+
+  // Retracts a backlogged (not in-service) flow from the ready set without charging it
+  // any service; its tags are preserved. The hierarchical scheduler uses this when a
+  // class loses its last runnable thread while queued (hsfq_sleep).
+  void Depart(FlowId flow, Time now) override;
+  void Depart(FlowId flow) { Depart(flow, 0); }
+
+  // --- Introspection (tests, the Figure 3 golden example, and the hierarchy) ---
+
+  // Current virtual time per the rules above.
+  VirtualTime VirtualTimeNow() const;
+
+  // Tags of a live flow.
+  VirtualTime StartTag(FlowId flow) const { return flows_[flow].start; }
+  VirtualTime FinishTag(FlowId flow) const { return flows_[flow].finish; }
+
+  // Largest finish tag ever assigned (the idle-time virtual clock).
+  VirtualTime MaxFinishTag() const { return max_finish_; }
+
+  // Flow currently in service, or kInvalidFlow.
+  FlowId InService() const { return in_service_; }
+
+  // True if the given flow is currently backlogged (waiting, not in service).
+  bool IsBacklogged(FlowId flow) const { return flows_[flow].backlogged; }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    VirtualTime start;
+    VirtualTime finish;
+    bool backlogged = false;  // in ready_ (excludes in-service)
+  };
+
+  using ReadyKey = std::pair<VirtualTime, FlowId>;
+
+  void InsertReady(FlowId flow);
+  void EraseReady(FlowId flow);
+
+  FlowTable<FlowState> flows_;
+  std::set<ReadyKey> ready_;
+  FlowId in_service_ = kInvalidFlow;
+  VirtualTime max_finish_;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_SFQ_H_

@@ -1,0 +1,85 @@
+#include "src/fair/stride.h"
+
+#include <cassert>
+
+namespace hfair {
+
+Stride::Stride() : Stride(Config{}) {}
+
+Stride::Stride(const Config& config) : config_(config) {}
+
+FlowId Stride::AddFlow(Weight weight) {
+  assert(weight >= 1);
+  const FlowId id = flows_.Allocate();
+  flows_[id].weight = weight;
+  return id;
+}
+
+void Stride::RemoveFlow(FlowId flow) {
+  assert(flow != in_service_);
+  if (flows_[flow].backlogged) {
+    ready_.erase({flows_[flow].pass, flow});
+  }
+  flows_.Free(flow);
+}
+
+void Stride::SetWeight(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  flows_[flow].weight = weight;
+}
+
+Weight Stride::GetWeight(FlowId flow) const { return flows_[flow].weight; }
+
+VirtualTime Stride::GlobalPass() const {
+  if (in_service_ != kInvalidFlow) {
+    return flows_[in_service_].pass;
+  }
+  if (!ready_.empty()) {
+    return ready_.begin()->first;
+  }
+  return max_pass_;
+}
+
+void Stride::Arrive(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(!f.backlogged && flow != in_service_);
+  // A joining flow starts from the global pass so it neither monopolizes the CPU
+  // nor forfeits service (TM-528's "dynamic participation" rule).
+  f.pass = hscommon::Max(f.pass, GlobalPass());
+  f.backlogged = true;
+  ready_.emplace(f.pass, flow);
+}
+
+FlowId Stride::PickNext(Time /*now*/) {
+  assert(in_service_ == kInvalidFlow);
+  if (ready_.empty()) {
+    return kInvalidFlow;
+  }
+  const FlowId flow = ready_.begin()->second;
+  ready_.erase(ready_.begin());
+  flows_[flow].backlogged = false;
+  in_service_ = flow;
+  return flow;
+}
+
+void Stride::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged) {
+  assert(flow == in_service_);
+  FlowState& f = flows_[flow];
+  in_service_ = kInvalidFlow;
+  const Work charge = config_.charge_actual ? used : config_.quantum;
+  f.pass = f.pass + VirtualTime::FromService(charge, f.weight);
+  max_pass_ = hscommon::Max(max_pass_, f.pass);
+  if (still_backlogged) {
+    f.backlogged = true;
+    ready_.emplace(f.pass, flow);
+  }
+}
+
+void Stride::Depart(FlowId flow, Time /*now*/) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && flow != in_service_);
+  ready_.erase({f.pass, flow});
+  f.backlogged = false;
+}
+
+}  // namespace hfair

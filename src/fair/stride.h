@@ -1,0 +1,68 @@
+// Stride scheduling (Waldspurger & Weihl, TM-528) — baseline.
+//
+// Deterministic proportional share: each flow holds tickets (its weight) and a pass value;
+// the flow with the minimum pass runs and its pass advances by stride = stride1/tickets
+// per quantum. The paper classifies stride as "a variant of WFQ ... with all the drawbacks
+// of WFQ". Two charging modes are provided:
+//   * charge_actual = false (classic): pass advances one full stride per quantum no matter
+//     how little of it the flow used — the WFQ-style a-priori-length flaw.
+//   * charge_actual = true: pass advances proportionally to actual usage (the common
+//     OS adaptation; equivalent to finish-tag SFQ without the start-tag rule).
+// Re-arriving flows restart from the global pass (minimum pass of the backlogged set).
+
+#ifndef HSCHED_SRC_FAIR_STRIDE_H_
+#define HSCHED_SRC_FAIR_STRIDE_H_
+
+#include <set>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+
+namespace hfair {
+
+class Stride : public FairQueue {
+ public:
+  struct Config {
+    Work quantum = 10 * hscommon::kMillisecond;
+    bool charge_actual = true;
+  };
+
+  Stride();
+  explicit Stride(const Config& config);
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  void Depart(FlowId flow, Time now) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override {
+    return config_.charge_actual ? "Stride-actual" : "Stride";
+  }
+
+  VirtualTime Pass(FlowId flow) const { return flows_[flow].pass; }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    VirtualTime pass;
+    bool backlogged = false;
+  };
+
+  VirtualTime GlobalPass() const;
+
+  Config config_;
+  FlowTable<FlowState> flows_;
+  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by pass
+  FlowId in_service_ = kInvalidFlow;
+  VirtualTime max_pass_;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_STRIDE_H_

@@ -1,0 +1,98 @@
+#include "src/fair/wfq.h"
+
+#include <cassert>
+
+namespace hfair {
+
+Wfq::Wfq() : Wfq(Config{}) {}
+
+Wfq::Wfq(const Config& config)
+    : config_(config), gps_(config.capacity_num, config.capacity_den) {}
+
+FlowId Wfq::AddFlow(Weight weight) {
+  assert(weight >= 1);
+  const FlowId id = flows_.Allocate();
+  flows_[id].weight = weight;
+  return id;
+}
+
+void Wfq::RemoveFlow(FlowId flow) {
+  assert(flow != in_service_);
+  FlowState& f = flows_[flow];
+  if (f.backlogged) {
+    ready_.erase({f.finish, flow});
+  }
+  if (f.in_gps) {
+    gps_.FlowDeactivatedNoAdvance(f.weight);
+  }
+  flows_.Free(flow);
+}
+
+void Wfq::SetWeight(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  FlowState& f = flows_[flow];
+  if (f.in_gps) {
+    gps_.AdjustWeightNoAdvance(f.weight, weight);
+  }
+  f.weight = weight;
+}
+
+Weight Wfq::GetWeight(FlowId flow) const { return flows_[flow].weight; }
+
+void Wfq::StampNextQuantum(FlowId flow, Time now) {
+  FlowState& f = flows_[flow];
+  f.start = hscommon::Max(gps_.Advance(now), f.finish);
+  f.finish = f.start + VirtualTime::FromService(config_.assumed_quantum, f.weight);
+}
+
+void Wfq::Arrive(FlowId flow, Time now) {
+  FlowState& f = flows_[flow];
+  assert(!f.backlogged && flow != in_service_);
+  gps_.FlowActivated(f.weight, now);
+  f.in_gps = true;
+  StampNextQuantum(flow, now);
+  f.backlogged = true;
+  ready_.emplace(f.finish, flow);
+}
+
+FlowId Wfq::PickNext(Time now) {
+  assert(in_service_ == kInvalidFlow);
+  gps_.Advance(now);
+  if (ready_.empty()) {
+    return kInvalidFlow;
+  }
+  const FlowId flow = ready_.begin()->second;
+  ready_.erase(ready_.begin());
+  flows_[flow].backlogged = false;
+  in_service_ = flow;
+  return flow;
+}
+
+void Wfq::Complete(FlowId flow, Work used, Time now, bool still_backlogged) {
+  assert(flow == in_service_);
+  FlowState& f = flows_[flow];
+  in_service_ = kInvalidFlow;
+  if (config_.charge_actual) {
+    // "Modified WFQ": rewrite the finish tag with what was actually consumed.
+    f.finish = f.start + VirtualTime::FromService(used, f.weight);
+  }
+  if (still_backlogged) {
+    StampNextQuantum(flow, now);
+    f.backlogged = true;
+    ready_.emplace(f.finish, flow);
+  } else {
+    gps_.FlowDeactivated(f.weight, now);
+    f.in_gps = false;
+  }
+}
+
+void Wfq::Depart(FlowId flow, Time now) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && flow != in_service_);
+  ready_.erase({f.finish, flow});
+  f.backlogged = false;
+  gps_.FlowDeactivated(f.weight, now);
+  f.in_gps = false;
+}
+
+}  // namespace hfair

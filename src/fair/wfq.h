@@ -1,0 +1,79 @@
+// Weighted Fair Queuing (Demers/Keshav/Shenker), adapted to CPU scheduling as the paper's
+// related-work section describes — a *baseline*, kept faithful to its documented flaws:
+//
+//   * Tags:  S = max(v(t), F_prev),  F = S + l/w, computed when the quantum is REQUESTED,
+//     so the quantum length l must be known a priori. Per the paper's discussion, the
+//     scheduler assumes the maximum quantum length; a thread that blocks early is still
+//     charged the full assumed length and "will not receive its fair share".
+//   * Dispatch order: increasing FINISH tag.
+//   * v(t) is the GPS round number advancing with wall-clock time at nominal capacity
+//     (GpsClock) — the source of unfairness under capacity fluctuation.
+//
+// Config::charge_actual enables the "modified WFQ" the paper mentions (rewrite F with the
+// actual length when the quantum ends); it is off by default and exists for the ablation.
+
+#ifndef HSCHED_SRC_FAIR_WFQ_H_
+#define HSCHED_SRC_FAIR_WFQ_H_
+
+#include <set>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+#include "src/fair/gps_clock.h"
+
+namespace hfair {
+
+class Wfq : public FairQueue {
+ public:
+  struct Config {
+    // Quantum length assumed when stamping finish tags.
+    Work assumed_quantum = 10 * hscommon::kMillisecond;
+    // If true, finish tags are rewritten with the actual service on completion
+    // ("modified WFQ"; no fairness proof is known for it — paper §6).
+    bool charge_actual = false;
+    // Nominal capacity for the GPS round number, in work per wall-clock nanosecond.
+    Work capacity_num = 1;
+    Work capacity_den = 1;
+  };
+
+  Wfq();
+  explicit Wfq(const Config& config);
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  void Depart(FlowId flow, Time now) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override { return config_.charge_actual ? "WFQ-actual" : "WFQ"; }
+
+  VirtualTime StartTag(FlowId flow) const { return flows_[flow].start; }
+  VirtualTime FinishTag(FlowId flow) const { return flows_[flow].finish; }
+  VirtualTime RoundNumber(Time now) { return gps_.Advance(now); }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    VirtualTime start;
+    VirtualTime finish;
+    bool backlogged = false;
+    bool in_gps = false;  // counted in the GPS active-weight sum
+  };
+
+  void StampNextQuantum(FlowId flow, Time now);
+
+  Config config_;
+  FlowTable<FlowState> flows_;
+  GpsClock gps_;
+  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by finish tag
+  FlowId in_service_ = kInvalidFlow;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_WFQ_H_

@@ -1,0 +1,65 @@
+// WFQ over the EXACT GPS reference simulation (gps_exact.h) — the algorithm as Demers et
+// al. defined it, with the full hypothetical-server bookkeeping the paper's §6 contrasts
+// against SFQ's O(1) tag updates. `bench/micro_sched_cost` measures the price.
+//
+// Tags: each quantum's virtual finish comes straight from the fluid simulation
+// (max(v(arrival), F_prev) + l_assumed/w, with departure-epoch-exact v); dispatch order
+// is increasing virtual finish. Like classic WFQ it needs the quantum length a priori.
+
+#ifndef HSCHED_SRC_FAIR_WFQ_EXACT_H_
+#define HSCHED_SRC_FAIR_WFQ_EXACT_H_
+
+#include <set>
+#include <utility>
+
+#include "src/fair/fair_queue.h"
+#include "src/fair/flow_table.h"
+#include "src/fair/gps_exact.h"
+
+namespace hfair {
+
+class WfqExact : public FairQueue {
+ public:
+  struct Config {
+    Work assumed_quantum = 10 * hscommon::kMillisecond;
+    Work capacity_num = 1;
+    Work capacity_den = 1;
+  };
+
+  WfqExact();
+  explicit WfqExact(const Config& config);
+
+  FlowId AddFlow(Weight weight) override;
+  void RemoveFlow(FlowId flow) override;
+  void SetWeight(FlowId flow, Weight weight) override;
+  Weight GetWeight(FlowId flow) const override;
+  void Arrive(FlowId flow, Time now) override;
+  FlowId PickNext(Time now) override;
+  void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
+  void Depart(FlowId flow, Time now) override;
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
+  std::string Name() const override { return "WFQ-exact"; }
+
+  VirtualTime FinishTag(FlowId flow) const { return flows_[flow].finish; }
+  VirtualTime RoundNumber(Time now) { return gps_.Advance(now); }
+
+ private:
+  struct FlowState {
+    Weight weight = 1;
+    VirtualTime finish;
+    bool backlogged = false;
+  };
+
+  void StampNextQuantum(FlowId flow, Time now);
+
+  Config config_;
+  FlowTable<FlowState> flows_;
+  ExactGpsClock gps_;
+  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by virtual finish
+  FlowId in_service_ = kInvalidFlow;
+};
+
+}  // namespace hfair
+
+#endif  // HSCHED_SRC_FAIR_WFQ_EXACT_H_

@@ -1,0 +1,116 @@
+#include "src/hsfq/api.h"
+
+namespace hsfq {
+
+HsfqApi::HsfqApi() = default;
+
+void HsfqApi::RegisterScheduler(SchedulerId sid,
+                                std::function<std::unique_ptr<LeafScheduler>()> factory) {
+  factories_[sid] = std::move(factory);
+}
+
+int HsfqApi::ToError(const hscommon::Status& status) {
+  switch (status.code()) {
+    case hscommon::StatusCode::kOk:
+      return 0;
+    case hscommon::StatusCode::kInvalidArgument:
+      return kErrInval;
+    case hscommon::StatusCode::kNotFound:
+      return kErrNoEnt;
+    case hscommon::StatusCode::kAlreadyExists:
+      return kErrExist;
+    case hscommon::StatusCode::kFailedPrecondition:
+      return kErrBusy;
+    case hscommon::StatusCode::kResourceExhausted:
+      return kErrAgain;
+    case hscommon::StatusCode::kInternal:
+      return kErrInval;
+  }
+  return kErrInval;
+}
+
+int HsfqApi::hsfq_mknod(const char* name, int parent, int weight, int flag, SchedulerId sid) {
+  if (name == nullptr || parent < 0 || weight < 1) {
+    return kErrInval;
+  }
+  std::unique_ptr<LeafScheduler> leaf;
+  if (flag == kNodeLeaf) {
+    const auto it = factories_.find(sid);
+    if (it == factories_.end()) {
+      return kErrNoSched;
+    }
+    leaf = it->second();
+  } else if (flag != kNodeInterior) {
+    return kErrInval;
+  }
+  auto result = structure_.MakeNode(name, static_cast<NodeId>(parent),
+                                    static_cast<Weight>(weight), std::move(leaf));
+  if (!result.ok()) {
+    return ToError(result.status());
+  }
+  return static_cast<int>(*result);
+}
+
+int HsfqApi::hsfq_parse(const char* name, int hint) {
+  if (name == nullptr || hint < 0) {
+    return kErrInval;
+  }
+  auto result = structure_.Parse(name, static_cast<NodeId>(hint));
+  if (!result.ok()) {
+    return ToError(result.status());
+  }
+  return static_cast<int>(*result);
+}
+
+int HsfqApi::hsfq_rmnod(int id, int /*mode*/) {
+  if (id < 0) {
+    return kErrInval;
+  }
+  return ToError(structure_.RemoveNode(static_cast<NodeId>(id)));
+}
+
+int HsfqApi::hsfq_move(ThreadId thread, int to, const ThreadParams& params, Time now) {
+  if (to < 0) {
+    return kErrInval;
+  }
+  return ToError(structure_.MoveThread(thread, static_cast<NodeId>(to), params, now));
+}
+
+int HsfqApi::hsfq_admin(int node, AdminCmd cmd, void* args) {
+  if (node < 0 || args == nullptr) {
+    return kErrInval;
+  }
+  const auto id = static_cast<NodeId>(node);
+  switch (cmd) {
+    case AdminCmd::kSetWeight:
+      return ToError(structure_.SetNodeWeight(id, *static_cast<const Weight*>(args)));
+    case AdminCmd::kGetWeight: {
+      auto w = structure_.GetNodeWeight(id);
+      if (!w.ok()) {
+        return ToError(w.status());
+      }
+      *static_cast<Weight*>(args) = *w;
+      return 0;
+    }
+    case AdminCmd::kGetPath: {
+      // Validate the id via GetNodeWeight before calling PathOf (which asserts liveness).
+      auto w = structure_.GetNodeWeight(id);
+      if (!w.ok()) {
+        return ToError(w.status());
+      }
+      *static_cast<std::string*>(args) = structure_.PathOf(id);
+      return 0;
+    }
+    case AdminCmd::kGetService: {
+      auto service = structure_.ServiceOf(id);
+      if (!service.ok()) {
+        return ToError(service.status());
+      }
+      *static_cast<Work*>(args) = *service;
+      return 0;
+    }
+  }
+  return kErrInval;
+}
+
+}  // namespace hsfq

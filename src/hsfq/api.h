@@ -1,0 +1,77 @@
+// The paper's system-call interface (§4), verbatim names, layered over
+// SchedulingStructure. Each call returns a node id (>= 0) or a negative errno-style code.
+//
+//   int hsfq_mknod(char* name, int parent, int weight, int flag, scheduler_id sid)
+//   int hsfq_parse(char* name, int hint)
+//   int hsfq_rmnod(int id, int mode)
+//   int hsfq_move(int from, int to, ...)
+//   int hsfq_admin(int node, int cmd, void* args)
+//
+// The `sid` registry maps small integers to leaf-scheduler factories so callers can
+// instantiate schedulers by id exactly as the Solaris implementation installed scheduling-
+// class function pointers.
+
+#ifndef HSCHED_SRC_HSFQ_API_H_
+#define HSCHED_SRC_HSFQ_API_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/hsfq/structure.h"
+
+namespace hsfq {
+
+// Error codes (negative, so ids and errors share the int return).
+inline constexpr int kErrInval = -1;    // invalid argument
+inline constexpr int kErrNoEnt = -2;    // no such node/thread
+inline constexpr int kErrExist = -3;    // duplicate name
+inline constexpr int kErrBusy = -4;     // node busy (children/threads/in service)
+inline constexpr int kErrNoSched = -5;  // unknown scheduler id
+inline constexpr int kErrAgain = -6;    // admission control rejected
+
+// Node-type flag for hsfq_mknod.
+inline constexpr int kNodeLeaf = 1;
+inline constexpr int kNodeInterior = 0;
+
+// Identifies a registered leaf-scheduler class.
+using SchedulerId = int;
+
+// hsfq_admin commands.
+enum class AdminCmd {
+  kSetWeight,   // args: const Weight*
+  kGetWeight,   // args: Weight* (out)
+  kGetPath,     // args: std::string* (out)
+  kGetService,  // args: Work* (out) — cumulative CPU service of the subtree
+};
+
+// A kernel instance: one scheduling structure plus the scheduler-class registry.
+class HsfqApi {
+ public:
+  HsfqApi();
+
+  // Registers a leaf-scheduler factory under `sid`; replaces any previous registration.
+  void RegisterScheduler(SchedulerId sid,
+                         std::function<std::unique_ptr<LeafScheduler>()> factory);
+
+  // The system calls. Return node id or a negative error code.
+  int hsfq_mknod(const char* name, int parent, int weight, int flag, SchedulerId sid);
+  int hsfq_parse(const char* name, int hint);
+  int hsfq_rmnod(int id, int mode);
+  int hsfq_move(ThreadId thread, int to, const ThreadParams& params, Time now);
+  int hsfq_admin(int node, AdminCmd cmd, void* args);
+
+  // The underlying structure, for attaching threads and driving dispatch.
+  SchedulingStructure& structure() { return structure_; }
+  const SchedulingStructure& structure() const { return structure_; }
+
+ private:
+  static int ToError(const hscommon::Status& status);
+
+  SchedulingStructure structure_;
+  std::unordered_map<SchedulerId, std::function<std::unique_ptr<LeafScheduler>()>>
+      factories_;
+};
+
+}  // namespace hsfq
+
+#endif  // HSCHED_SRC_HSFQ_API_H_

@@ -1,0 +1,106 @@
+// The leaf-class scheduler plug-in contract (paper §4).
+//
+// A leaf node of the scheduling structure aggregates threads of one application class and
+// owns a LeafScheduler chosen for that class (SFQ, SVR4 time-sharing, EDF, RMA, ...).
+// The paper's contract: a leaf scheduler must (1) provide a function hsfq_schedule() can
+// invoke to select the next thread, and (2) drive hsfq_setrun / hsfq_sleep / hsfq_update.
+// In this library the direction of (2) is inverted without loss of generality: the
+// embedding system calls SchedulingStructure::SetRun/Update, and the structure forwards
+// the per-thread transitions to the leaf scheduler through this interface.
+
+#ifndef HSCHED_SRC_HSFQ_LEAF_SCHEDULER_H_
+#define HSCHED_SRC_HSFQ_LEAF_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace hsfq {
+
+using hscommon::Time;
+using hscommon::Weight;
+using hscommon::Work;
+
+// Identifies a thread. Thread objects are owned by the embedding system (the simulator or
+// the user-level runtime); schedulers only track ids.
+using ThreadId = uint64_t;
+inline constexpr ThreadId kInvalidThread = UINT64_MAX;
+
+// Scheduler-class-specific parameters supplied when a thread joins a leaf.
+struct ThreadParams {
+  // Proportional-share leaves (SFQ, Stride, Lottery): relative share.
+  Weight weight = 1;
+  // SVR4 time-sharing leaf: initial user priority (0 = lowest .. 59 = highest).
+  int priority = 29;
+  // Real-time leaves (EDF, RMA): period, per-period computation, relative deadline
+  // (0 means "equal to the period").
+  Time period = 0;
+  Work computation = 0;
+  Time relative_deadline = 0;
+};
+
+// Interface every leaf-class scheduler implements.
+class LeafScheduler {
+ public:
+  virtual ~LeafScheduler() = default;
+
+  // Registers a thread (initially not runnable). Fails if the class's admission control
+  // rejects the parameters (e.g. an RMA leaf past the Liu–Layland bound).
+  virtual hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) = 0;
+
+  // Unregisters a thread that is not currently running on the CPU.
+  virtual void RemoveThread(ThreadId thread) = 0;
+
+  // Adjusts a thread's parameters (e.g. its SFQ weight — Figure 11).
+  virtual hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) = 0;
+
+  // The thread transitioned blocked -> runnable at `now`.
+  virtual void ThreadRunnable(ThreadId thread, Time now) = 0;
+
+  // A runnable-but-not-running thread was suspended at `now` (a running thread blocks via
+  // Charge(..., still_runnable=false) instead).
+  virtual void ThreadBlocked(ThreadId thread, Time now) = 0;
+
+  // Selects the next thread to run; the thread is considered "in service" until Charge.
+  // Returns kInvalidThread when no thread is runnable.
+  virtual ThreadId PickNext(Time now) = 0;
+
+  // The in-service thread consumed `used` nanoseconds of CPU; it either remains runnable
+  // or has blocked.
+  virtual void Charge(ThreadId thread, Work used, Time now, bool still_runnable) = 0;
+
+  // True if any thread is runnable (including one in service).
+  virtual bool HasRunnable() const = 0;
+
+  // True if the given thread is currently runnable (queued or in service).
+  virtual bool IsThreadRunnable(ThreadId thread) const = 0;
+
+  // Suggested quantum for the given thread; the dispatcher may clip it. Returning 0 means
+  // "use the system default".
+  virtual Work PreferredQuantum(ThreadId thread) const { return 0; }
+
+  // --- Optional priority-inversion remedy hooks (paper §4) ---
+  //
+  // Invoked by the embedding system when `waiter` blocks on a resource held by `holder`
+  // and both belong to THIS class (the paper deems cross-class synchronization
+  // undesirable and leaves it un-remedied). Default: no remedy.
+  // SFQ leaves transfer the waiter's weight to the holder; RMA leaves apply classic
+  // priority inheritance.
+  virtual void OnResourceBlocked(ThreadId holder, ThreadId waiter) {
+    (void)holder;
+    (void)waiter;
+  }
+  // The holder released the resource (or ownership moved): undo the remedy for `waiter`.
+  virtual void OnResourceReleased(ThreadId holder, ThreadId waiter) {
+    (void)holder;
+    (void)waiter;
+  }
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace hsfq
+
+#endif  // HSCHED_SRC_HSFQ_LEAF_SCHEDULER_H_

@@ -1,0 +1,539 @@
+#include "src/hsfq/structure.h"
+
+#include <cassert>
+
+#include "src/common/virtual_time.h"
+
+namespace hsfq {
+
+using hscommon::AlreadyExists;
+using hscommon::FailedPrecondition;
+using hscommon::Internal;
+using hscommon::InvalidArgument;
+using hscommon::NotFound;
+
+SchedulingStructure::SchedulingStructure() {
+  const NodeId root = AllocateNode();
+  assert(root == kRootNode);
+  Node& n = nodes_[root];
+  n.name = "";
+  n.parent = kInvalidNode;
+  n.weight = 1;
+  n.sfq = std::make_unique<hfair::Sfq>();
+}
+
+SchedulingStructure::~SchedulingStructure() = default;
+
+NodeId SchedulingStructure::AllocateNode() {
+  ++node_count_;
+  if (!free_nodes_.empty()) {
+    const NodeId id = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[id] = Node{};
+    nodes_[id].in_use = true;
+    return id;
+  }
+  nodes_.emplace_back();
+  nodes_.back().in_use = true;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+SchedulingStructure::Node& SchedulingStructure::NodeRef(NodeId id) {
+  assert(id < nodes_.size() && nodes_[id].in_use);
+  return nodes_[id];
+}
+
+const SchedulingStructure::Node& SchedulingStructure::NodeRef(NodeId id) const {
+  assert(id < nodes_.size() && nodes_[id].in_use);
+  return nodes_[id];
+}
+
+Status SchedulingStructure::ValidateLiveNode(NodeId id) const {
+  if (id >= nodes_.size() || !nodes_[id].in_use) {
+    return NotFound("no such node id " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId parent,
+                                               Weight weight,
+                                               std::unique_ptr<LeafScheduler> leaf_scheduler) {
+  if (Status s = ValidateLiveNode(parent); !s.ok()) {
+    return s;
+  }
+  if (name.empty() || name.find('/') != std::string::npos || name == "." || name == "..") {
+    return InvalidArgument("node name must be one non-empty path component: '" + name + "'");
+  }
+  if (weight < 1) {
+    return InvalidArgument("node weight must be >= 1");
+  }
+  Node& p = NodeRef(parent);
+  if (p.is_leaf()) {
+    return FailedPrecondition("parent '" + PathOf(parent) + "' is a leaf node");
+  }
+  for (NodeId sibling : p.children) {
+    if (NodeRef(sibling).name == name) {
+      return AlreadyExists("node '" + PathOf(sibling) + "' already exists");
+    }
+  }
+
+  const NodeId id = AllocateNode();
+  Node& n = nodes_[id];
+  n.name = name;
+  n.parent = parent;
+  n.weight = weight;
+  if (leaf_scheduler != nullptr) {
+    n.leaf = std::move(leaf_scheduler);
+  } else {
+    n.sfq = std::make_unique<hfair::Sfq>();
+  }
+  // Register the new node as a flow of its parent's SFQ instance.
+  Node& parent_ref = NodeRef(parent);  // re-fetch: AllocateNode may have reallocated
+  n.flow_in_parent = parent_ref.sfq->AddFlow(weight);
+  if (parent_ref.flow_to_child.size() <= n.flow_in_parent) {
+    parent_ref.flow_to_child.resize(n.flow_in_parent + 1, kInvalidNode);
+  }
+  parent_ref.flow_to_child[n.flow_in_parent] = id;
+  parent_ref.children.push_back(id);
+  return id;
+}
+
+StatusOr<NodeId> SchedulingStructure::Parse(const std::string& path, NodeId hint) const {
+  if (path.empty()) {
+    return InvalidArgument("empty path");
+  }
+  NodeId cur;
+  size_t pos = 0;
+  if (path[0] == '/') {
+    cur = kRootNode;
+    pos = 1;
+  } else {
+    if (Status s = ValidateLiveNode(hint); !s.ok()) {
+      return s;
+    }
+    cur = hint;
+  }
+  while (pos < path.size()) {
+    const size_t next = path.find('/', pos);
+    const std::string component =
+        path.substr(pos, next == std::string::npos ? std::string::npos : next - pos);
+    pos = next == std::string::npos ? path.size() : next + 1;
+    if (component.empty() || component == ".") {
+      continue;
+    }
+    const Node& n = NodeRef(cur);
+    if (component == "..") {
+      cur = n.parent == kInvalidNode ? kRootNode : n.parent;
+      continue;
+    }
+    NodeId found = kInvalidNode;
+    for (NodeId child : n.children) {
+      if (NodeRef(child).name == component) {
+        found = child;
+        break;
+      }
+    }
+    if (found == kInvalidNode) {
+      return NotFound("no node '" + component + "' under '" + PathOf(cur) + "'");
+    }
+    cur = found;
+  }
+  return cur;
+}
+
+Status SchedulingStructure::RemoveNode(NodeId node) {
+  if (Status s = ValidateLiveNode(node); !s.ok()) {
+    return s;
+  }
+  if (node == kRootNode) {
+    return FailedPrecondition("cannot remove the root node");
+  }
+  Node& n = NodeRef(node);
+  if (!n.children.empty()) {
+    return FailedPrecondition("node '" + PathOf(node) + "' still has children");
+  }
+  if (n.thread_count > 0) {
+    return FailedPrecondition("node '" + PathOf(node) + "' still has threads");
+  }
+  if (n.in_service) {
+    return FailedPrecondition("node '" + PathOf(node) + "' is being dispatched");
+  }
+  assert(!n.runnable && "a node with no threads cannot be runnable");
+
+  Node& p = NodeRef(n.parent);
+  p.sfq->RemoveFlow(n.flow_in_parent);
+  p.flow_to_child[n.flow_in_parent] = kInvalidNode;
+  std::erase(p.children, node);
+
+  nodes_[node] = Node{};
+  free_nodes_.push_back(node);
+  --node_count_;
+  return Status::Ok();
+}
+
+Status SchedulingStructure::AttachThread(ThreadId thread, NodeId leaf,
+                                         const ThreadParams& params) {
+  if (Status s = ValidateLiveNode(leaf); !s.ok()) {
+    return s;
+  }
+  Node& n = NodeRef(leaf);
+  if (!n.is_leaf()) {
+    return FailedPrecondition("node '" + PathOf(leaf) + "' is not a leaf");
+  }
+  if (thread_to_leaf_.contains(thread)) {
+    return AlreadyExists("thread " + std::to_string(thread) + " is already attached");
+  }
+  if (Status s = n.leaf->AddThread(thread, params); !s.ok()) {
+    return s;
+  }
+  thread_to_leaf_.emplace(thread, leaf);
+  ++n.thread_count;
+  return Status::Ok();
+}
+
+Status SchedulingStructure::DetachThread(ThreadId thread) {
+  const auto it = thread_to_leaf_.find(thread);
+  if (it == thread_to_leaf_.end()) {
+    return NotFound("thread " + std::to_string(thread) + " is not attached");
+  }
+  if (thread == running_thread_) {
+    return FailedPrecondition("thread " + std::to_string(thread) + " is running");
+  }
+  const NodeId leaf_id = it->second;
+  Node& n = NodeRef(leaf_id);
+  const bool was_runnable = n.leaf->IsThreadRunnable(thread);
+  n.leaf->RemoveThread(thread);
+  --n.thread_count;
+  thread_to_leaf_.erase(it);
+  if (was_runnable && n.runnable && !n.in_service && !n.leaf->HasRunnable()) {
+    PropagateSleep(leaf_id, /*now=*/0);
+  }
+  return Status::Ok();
+}
+
+Status SchedulingStructure::MoveThread(ThreadId thread, NodeId to, const ThreadParams& params,
+                                       Time now) {
+  const auto it = thread_to_leaf_.find(thread);
+  if (it == thread_to_leaf_.end()) {
+    return NotFound("thread " + std::to_string(thread) + " is not attached");
+  }
+  if (Status s = ValidateLiveNode(to); !s.ok()) {
+    return s;
+  }
+  if (!NodeRef(to).is_leaf()) {
+    return FailedPrecondition("destination '" + PathOf(to) + "' is not a leaf");
+  }
+  if (thread == running_thread_) {
+    return FailedPrecondition("thread " + std::to_string(thread) + " is running");
+  }
+  const bool was_runnable = NodeRef(it->second).leaf->IsThreadRunnable(thread);
+  if (Status s = DetachThread(thread); !s.ok()) {
+    return s;
+  }
+  if (Status s = AttachThread(thread, to, params); !s.ok()) {
+    return s;
+  }
+  if (was_runnable) {
+    SetRun(thread, now);
+  }
+  return Status::Ok();
+}
+
+Status SchedulingStructure::SetNodeWeight(NodeId node, Weight weight) {
+  if (Status s = ValidateLiveNode(node); !s.ok()) {
+    return s;
+  }
+  if (weight < 1) {
+    return InvalidArgument("node weight must be >= 1");
+  }
+  Node& n = NodeRef(node);
+  n.weight = weight;
+  if (n.parent != kInvalidNode) {
+    NodeRef(n.parent).sfq->SetWeight(n.flow_in_parent, weight);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Weight> SchedulingStructure::GetNodeWeight(NodeId node) const {
+  if (Status s = ValidateLiveNode(node); !s.ok()) {
+    return s;
+  }
+  return NodeRef(node).weight;
+}
+
+Status SchedulingStructure::SetThreadParams(ThreadId thread, const ThreadParams& params) {
+  const auto it = thread_to_leaf_.find(thread);
+  if (it == thread_to_leaf_.end()) {
+    return NotFound("thread " + std::to_string(thread) + " is not attached");
+  }
+  return NodeRef(it->second).leaf->SetThreadParams(thread, params);
+}
+
+void SchedulingStructure::PropagateRunnable(NodeId node, Time now) {
+  // Walk up, stamping SFQ arrivals, until an already-runnable ancestor is found
+  // (the paper's hsfq_setrun early-stop).
+  NodeId cur = node;
+  for (;;) {
+    Node& n = NodeRef(cur);
+    n.runnable = true;
+    if (cur == kRootNode) {
+      return;
+    }
+    Node& p = NodeRef(n.parent);
+    p.sfq->Arrive(n.flow_in_parent, now);
+    if (p.runnable) {
+      return;
+    }
+    cur = n.parent;
+  }
+}
+
+void SchedulingStructure::PropagateSleep(NodeId node, Time now) {
+  (void)now;
+  // Walk up, retracting SFQ arrivals, while ancestors lose their last runnable child
+  // (the paper's hsfq_sleep early-stop).
+  NodeId cur = node;
+  for (;;) {
+    Node& n = NodeRef(cur);
+    n.runnable = false;
+    if (cur == kRootNode) {
+      return;
+    }
+    Node& p = NodeRef(n.parent);
+    p.sfq->Depart(n.flow_in_parent);
+    if (p.sfq->HasBacklog() || p.sfq->InService() != hfair::kInvalidFlow) {
+      return;  // the parent still has another runnable child
+    }
+    cur = n.parent;
+  }
+}
+
+void SchedulingStructure::SetRun(ThreadId thread, Time now) {
+  const auto it = thread_to_leaf_.find(thread);
+  assert(it != thread_to_leaf_.end() && "SetRun on unattached thread");
+  Node& n = NodeRef(it->second);
+  n.leaf->ThreadRunnable(thread, now);
+  if (!n.runnable) {
+    PropagateRunnable(it->second, now);
+  }
+}
+
+void SchedulingStructure::Sleep(ThreadId thread, Time now) {
+  const auto it = thread_to_leaf_.find(thread);
+  assert(it != thread_to_leaf_.end() && "Sleep on unattached thread");
+  assert(thread != running_thread_ && "a running thread blocks via Update instead");
+  Node& n = NodeRef(it->second);
+  n.leaf->ThreadBlocked(thread, now);
+  if (n.runnable && !n.in_service && !n.leaf->HasRunnable()) {
+    PropagateSleep(it->second, now);
+  }
+}
+
+ThreadId SchedulingStructure::Schedule(Time now) {
+  ++schedule_count_;
+  assert(running_thread_ == kInvalidThread && "previous dispatch was not Updated");
+  if (!NodeRef(kRootNode).runnable) {
+    return kInvalidThread;
+  }
+  NodeId cur = kRootNode;
+  for (;;) {
+    Node& n = NodeRef(cur);
+    n.in_service = true;
+    if (n.is_leaf()) {
+      break;
+    }
+    const hfair::FlowId flow = n.sfq->PickNext(now);
+    assert(flow != hfair::kInvalidFlow && "runnable interior node with empty backlog");
+    cur = n.flow_to_child[flow];
+  }
+  Node& leaf = NodeRef(cur);
+  const ThreadId thread = leaf.leaf->PickNext(now);
+  assert(thread != kInvalidThread && "runnable leaf with no runnable thread");
+  running_thread_ = thread;
+  running_leaf_ = cur;
+  return thread;
+}
+
+void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool still_runnable) {
+  ++update_count_;
+  assert(thread == running_thread_ && "Update must name the running thread");
+  Node& leaf = NodeRef(running_leaf_);
+  leaf.leaf->Charge(thread, used, now, still_runnable);
+  leaf.runnable = leaf.leaf->HasRunnable();
+  leaf.in_service = false;
+  leaf.total_service += used;
+
+  NodeId cur = running_leaf_;
+  while (cur != kRootNode) {
+    Node& n = NodeRef(cur);
+    Node& p = NodeRef(n.parent);
+    p.sfq->Complete(n.flow_in_parent, used, now, n.runnable);
+    p.runnable = p.sfq->HasBacklog();
+    p.in_service = false;
+    p.total_service += used;
+    cur = n.parent;
+  }
+  running_thread_ = kInvalidThread;
+  running_leaf_ = kInvalidNode;
+}
+
+bool SchedulingStructure::HasRunnable() const { return NodeRef(kRootNode).runnable; }
+
+StatusOr<NodeId> SchedulingStructure::LeafOf(ThreadId thread) const {
+  const auto it = thread_to_leaf_.find(thread);
+  if (it == thread_to_leaf_.end()) {
+    return NotFound("thread " + std::to_string(thread) + " is not attached");
+  }
+  return it->second;
+}
+
+std::string SchedulingStructure::PathOf(NodeId node) const {
+  if (node == kRootNode) {
+    return "/";
+  }
+  std::vector<const std::string*> parts;
+  NodeId cur = node;
+  while (cur != kRootNode) {
+    const Node& n = NodeRef(cur);
+    parts.push_back(&n.name);
+    cur = n.parent;
+  }
+  std::string path;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    path += '/';
+    path += **it;
+  }
+  return path;
+}
+
+NodeId SchedulingStructure::ParentOf(NodeId node) const { return NodeRef(node).parent; }
+
+bool SchedulingStructure::IsLeaf(NodeId node) const { return NodeRef(node).is_leaf(); }
+
+std::vector<NodeId> SchedulingStructure::ChildrenOf(NodeId node) const {
+  return NodeRef(node).children;
+}
+
+LeafScheduler* SchedulingStructure::LeafSchedulerOf(NodeId leaf) const {
+  return NodeRef(leaf).leaf.get();
+}
+
+Work SchedulingStructure::PreferredQuantumOf(ThreadId thread) const {
+  const auto it = thread_to_leaf_.find(thread);
+  if (it == thread_to_leaf_.end()) {
+    return 0;
+  }
+  return NodeRef(it->second).leaf->PreferredQuantum(thread);
+}
+
+StatusOr<Work> SchedulingStructure::ServiceOf(NodeId node) const {
+  if (Status s = ValidateLiveNode(node); !s.ok()) {
+    return s;
+  }
+  return NodeRef(node).total_service;
+}
+
+hscommon::VirtualTime SchedulingStructure::StartTagOf(NodeId child) const {
+  const Node& n = NodeRef(child);
+  assert(n.parent != kInvalidNode);
+  return NodeRef(n.parent).sfq->StartTag(n.flow_in_parent);
+}
+
+hscommon::VirtualTime SchedulingStructure::FinishTagOf(NodeId child) const {
+  const Node& n = NodeRef(child);
+  assert(n.parent != kInvalidNode);
+  return NodeRef(n.parent).sfq->FinishTag(n.flow_in_parent);
+}
+
+std::string SchedulingStructure::DebugString() const {
+  std::string out;
+  // Depth-first walk with explicit stack of (node, depth).
+  std::vector<std::pair<NodeId, int>> stack{{kRootNode, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = NodeRef(id);
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += id == kRootNode ? "/" : n.name;
+    out += " (w=" + std::to_string(n.weight);
+    if (n.is_leaf()) {
+      out += ", " + n.leaf->Name();
+      out += ", threads=" + std::to_string(n.thread_count);
+    }
+    if (n.runnable) {
+      out += ", runnable";
+    }
+    if (n.in_service) {
+      out += ", IN-SERVICE";
+    }
+    if (id != kRootNode) {
+      out += ", S=" + NodeRef(n.parent).sfq->StartTag(n.flow_in_parent).ToString();
+      out += ", F=" + NodeRef(n.parent).sfq->FinishTag(n.flow_in_parent).ToString();
+    }
+    out += ")\n";
+    // Push children in reverse so they render in creation order.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+Status SchedulingStructure::CheckInvariants() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (!n.in_use) {
+      continue;
+    }
+    // Parent/child mutual consistency.
+    if (id != kRootNode) {
+      if (n.parent >= nodes_.size() || !nodes_[n.parent].in_use) {
+        return Internal("node " + std::to_string(id) + " has a dead parent");
+      }
+      const Node& p = nodes_[n.parent];
+      bool found = false;
+      for (NodeId c : p.children) {
+        found = found || c == id;
+      }
+      if (!found) {
+        return Internal("node " + std::to_string(id) + " missing from parent's children");
+      }
+      if (p.flow_to_child.size() <= n.flow_in_parent ||
+          p.flow_to_child[n.flow_in_parent] != id) {
+        return Internal("node " + std::to_string(id) + " has a stale flow mapping");
+      }
+      if (p.sfq->GetWeight(n.flow_in_parent) != n.weight) {
+        return Internal("node " + std::to_string(id) + " weight disagrees with parent SFQ");
+      }
+    }
+    if (n.weight < 1) {
+      return Internal("node " + std::to_string(id) + " has zero weight");
+    }
+    if (n.is_leaf() && !n.children.empty()) {
+      return Internal("leaf node " + std::to_string(id) + " has children");
+    }
+    // Runnability consistency.
+    if (n.is_leaf()) {
+      const bool expect = n.leaf->HasRunnable();
+      if (n.runnable != expect) {
+        return Internal("leaf " + PathOf(id) + " runnable flag is stale");
+      }
+    } else {
+      bool any_child_runnable = false;
+      for (NodeId c : n.children) {
+        any_child_runnable = any_child_runnable || nodes_[c].runnable;
+      }
+      if (n.runnable != any_child_runnable) {
+        return Internal("interior " + PathOf(id) + " runnable flag is stale");
+      }
+    }
+  }
+  for (const auto& [thread, leaf] : thread_to_leaf_) {
+    if (leaf >= nodes_.size() || !nodes_[leaf].in_use || !nodes_[leaf].is_leaf()) {
+      return Internal("thread " + std::to_string(thread) + " maps to a non-leaf");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hsfq

@@ -1,0 +1,191 @@
+// The scheduling structure — the paper's hierarchical CPU scheduling framework (§2, §4).
+//
+// A tree of weighted nodes. Interior nodes schedule their children with SFQ; each leaf
+// node owns a pluggable class scheduler over its threads. Scheduling descends from the
+// root picking the child with the minimum start tag until a leaf selects a thread
+// (hsfq_schedule); when the thread stops running, the consumed service is charged to the
+// leaf and every ancestor (hsfq_update). Runnability propagates up on wakeup
+// (hsfq_setrun) and down-to-idle on sleep (hsfq_sleep).
+//
+// Node naming follows the paper: every node has a UNIX-filename-like path such as
+// "/best-effort/user1", resolvable absolutely or relative to a hint node (hsfq_parse).
+
+#ifndef HSCHED_SRC_HSFQ_STRUCTURE_H_
+#define HSCHED_SRC_HSFQ_STRUCTURE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/fair/sfq.h"
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hsfq {
+
+using hscommon::Status;
+using hscommon::StatusOr;
+
+// Identifies a node in one SchedulingStructure.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+// The root always exists and has id 0.
+inline constexpr NodeId kRootNode = 0;
+
+class SchedulingStructure {
+ public:
+  SchedulingStructure();
+  ~SchedulingStructure();
+
+  SchedulingStructure(const SchedulingStructure&) = delete;
+  SchedulingStructure& operator=(const SchedulingStructure&) = delete;
+
+  // --- Structure management (the paper's system calls) ---
+
+  // hsfq_mknod: creates a node named `name` (one path component, no '/') as a child of
+  // `parent` with the given weight. Passing a scheduler makes it a leaf; nullptr makes it
+  // an interior node. Fails on duplicate names, zero weight, or a leaf parent.
+  StatusOr<NodeId> MakeNode(const std::string& name, NodeId parent, Weight weight,
+                            std::unique_ptr<LeafScheduler> leaf_scheduler);
+
+  // hsfq_parse: resolves "/abs/path" or "relative/path" (relative to `hint`) to a node.
+  StatusOr<NodeId> Parse(const std::string& path, NodeId hint = kRootNode) const;
+
+  // hsfq_rmnod: removes a node with no children and no threads. The root is not removable.
+  Status RemoveNode(NodeId node);
+
+  // hsfq_move: moves a (non-running) thread to another leaf node, preserving its
+  // runnability across the move.
+  Status MoveThread(ThreadId thread, NodeId to, const ThreadParams& params, Time now);
+
+  // hsfq_admin operations.
+  Status SetNodeWeight(NodeId node, Weight weight);
+  StatusOr<Weight> GetNodeWeight(NodeId node) const;
+  Status SetThreadParams(ThreadId thread, const ThreadParams& params);
+
+  // --- Thread membership ---
+
+  // Adds a thread (initially blocked) to a leaf node.
+  Status AttachThread(ThreadId thread, NodeId leaf, const ThreadParams& params);
+
+  // Removes a thread that is not currently running.
+  Status DetachThread(ThreadId thread);
+
+  // --- Kernel hooks ---
+
+  // hsfq_setrun: `thread` became runnable at `now`.
+  void SetRun(ThreadId thread, Time now);
+
+  // hsfq_sleep: a runnable-but-not-running `thread` was suspended at `now`. (A *running*
+  // thread blocks by passing still_runnable=false to Update instead.)
+  void Sleep(ThreadId thread, Time now);
+
+  // hsfq_schedule: walks the tree and returns the thread to run, or kInvalidThread when
+  // the system is idle. The returned thread stays "in service" until Update.
+  ThreadId Schedule(Time now);
+
+  // hsfq_update: the in-service thread consumed `used` nanoseconds; charges the leaf
+  // scheduler and the SFQ tags of every ancestor. `still_runnable=false` means the thread
+  // blocked or exited.
+  void Update(ThreadId thread, Work used, Time now, bool still_runnable);
+
+  // --- Introspection ---
+
+  // True if any thread anywhere in the tree is runnable.
+  bool HasRunnable() const;
+
+  // The thread currently dispatched (between Schedule and Update), if any.
+  ThreadId RunningThread() const { return running_thread_; }
+
+  // Leaf node a thread belongs to.
+  StatusOr<NodeId> LeafOf(ThreadId thread) const;
+
+  // Full path name of a node ("/"-rooted).
+  std::string PathOf(NodeId node) const;
+
+  NodeId ParentOf(NodeId node) const;
+  bool IsLeaf(NodeId node) const;
+  std::vector<NodeId> ChildrenOf(NodeId node) const;
+  size_t NodeCount() const { return node_count_; }
+
+  // Leaf scheduler access (for tests and quantum negotiation).
+  LeafScheduler* LeafSchedulerOf(NodeId leaf) const;
+
+  // Preferred quantum of the currently running thread's leaf scheduler (0 = default).
+  Work PreferredQuantumOf(ThreadId thread) const;
+
+  // SFQ tag introspection for an interior node's child (tests).
+  hscommon::VirtualTime StartTagOf(NodeId child) const;
+  hscommon::VirtualTime FinishTagOf(NodeId child) const;
+
+  // Cumulative CPU service charged to the subtree rooted at `node` (ns). Maintained on
+  // every Update along the dispatched path, so per-class throughput needs no thread
+  // enumeration.
+  StatusOr<Work> ServiceOf(NodeId node) const;
+
+  // Number of Schedule / Update calls served (overhead accounting, Figure 7).
+  uint64_t schedule_count() const { return schedule_count_; }
+  uint64_t update_count() const { return update_count_; }
+
+  // Verifies internal invariants (tree shape, runnability consistency); returns an error
+  // describing the first violation. Used by tests and debug builds.
+  Status CheckInvariants() const;
+
+  // Multi-line ASCII rendering of the tree: names, weights, leaf scheduler names,
+  // runnability, thread counts, and SFQ tags of runnable children. For logs and demos.
+  std::string DebugString() const;
+
+ private:
+  struct Node {
+    std::string name;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+    Weight weight = 1;
+    bool in_use = false;
+
+    // Interior-node state: SFQ over child flows.
+    std::unique_ptr<hfair::Sfq> sfq;
+    std::vector<NodeId> flow_to_child;  // indexed by hfair::FlowId
+
+    // Leaf-node state.
+    std::unique_ptr<LeafScheduler> leaf;
+
+    hfair::FlowId flow_in_parent = hfair::kInvalidFlow;
+    size_t thread_count = 0;  // threads attached (leaf nodes only)
+    Work total_service = 0;   // cumulative service charged to this subtree
+    bool runnable = false;    // some descendant thread is runnable
+    bool in_service = false;  // on the currently dispatched root->leaf path
+
+    bool is_leaf() const { return leaf != nullptr; }
+  };
+
+  NodeId AllocateNode();
+  Node& NodeRef(NodeId id);
+  const Node& NodeRef(NodeId id) const;
+  Status ValidateLiveNode(NodeId id) const;
+
+  // Marks `node` runnable and arrives it in its parent, recursing upward until an
+  // already-runnable ancestor (the paper's early-stop).
+  void PropagateRunnable(NodeId node, Time now);
+
+  // Marks `node` not runnable and departs it from its parent, recursing upward while
+  // ancestors lose their last runnable child.
+  void PropagateSleep(NodeId node, Time now);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> free_nodes_;
+  size_t node_count_ = 0;
+  std::unordered_map<ThreadId, NodeId> thread_to_leaf_;
+
+  ThreadId running_thread_ = kInvalidThread;
+  NodeId running_leaf_ = kInvalidNode;
+
+  uint64_t schedule_count_ = 0;
+  uint64_t update_count_ = 0;
+};
+
+}  // namespace hsfq
+
+#endif  // HSCHED_SRC_HSFQ_STRUCTURE_H_

@@ -1,0 +1,52 @@
+#include "src/metrics/metrics.h"
+
+#include <cmath>
+
+namespace hmetrics {
+
+ServiceSampler::ServiceSampler(hsim::System& system, Time start, Time interval) {
+  system.Every(start, interval, [this](hsim::System& s) { Sample(s); });
+}
+
+void ServiceSampler::Track(std::string label, std::vector<ThreadId> threads) {
+  groups_.push_back(Group{std::move(label), std::move(threads), {}});
+}
+
+void ServiceSampler::Sample(hsim::System& system) {
+  sample_times_.push_back(system.now());
+  for (Group& g : groups_) {
+    Work total = 0;
+    for (ThreadId t : g.threads) {
+      total += system.StatsOf(t).total_service;
+    }
+    g.cumulative.push_back(total);
+  }
+}
+
+std::vector<Work> ServiceSampler::PerInterval(size_t group) const {
+  const std::vector<Work>& cum = groups_[group].cumulative;
+  std::vector<Work> deltas;
+  for (size_t i = 1; i < cum.size(); ++i) {
+    deltas.push_back(cum[i] - cum[i - 1]);
+  }
+  return deltas;
+}
+
+double MaxNormalizedServiceGap(std::span<const std::pair<Work, hscommon::Weight>> flows) {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const auto& [service, weight] : flows) {
+    const double normalized = static_cast<double>(service) / static_cast<double>(weight);
+    if (first) {
+      lo = hi = normalized;
+      first = false;
+    } else {
+      lo = std::min(lo, normalized);
+      hi = std::max(hi, normalized);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace hmetrics

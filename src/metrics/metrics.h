@@ -1,0 +1,62 @@
+// Measurement taps used by the experiment harnesses.
+
+#ifndef HSCHED_SRC_METRICS_METRICS_H_
+#define HSCHED_SRC_METRICS_METRICS_H_
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/system.h"
+
+namespace hmetrics {
+
+using hscommon::Time;
+using hscommon::Work;
+using hsfq::ThreadId;
+
+// Samples the cumulative CPU service of labelled thread groups at a fixed interval —
+// the "number of loops completed per second" meter behind Figures 5, 8 and 11.
+class ServiceSampler {
+ public:
+  // Registers the periodic sampling on `system`; samples at start, start+interval, ...
+  // Call Track() for each group before running the simulation.
+  ServiceSampler(hsim::System& system, Time start, Time interval);
+
+  // Adds a group. All Track calls must precede RunUntil.
+  void Track(std::string label, std::vector<ThreadId> threads);
+
+  size_t group_count() const { return groups_.size(); }
+  const std::string& label(size_t group) const { return groups_[group].label; }
+
+  // Sample timestamps (simulated seconds boundaries).
+  const std::vector<Time>& sample_times() const { return sample_times_; }
+
+  // Cumulative service of the group at each sample.
+  const std::vector<Work>& cumulative(size_t group) const { return groups_[group].cumulative; }
+
+  // Service attained during interval k (between samples k and k+1).
+  std::vector<Work> PerInterval(size_t group) const;
+
+ private:
+  struct Group {
+    std::string label;
+    std::vector<ThreadId> threads;
+    std::vector<Work> cumulative;
+  };
+
+  void Sample(hsim::System& system);
+
+  std::vector<Group> groups_;
+  std::vector<Time> sample_times_;
+};
+
+// Max pairwise |W_f/w_f - W_m/w_m| over a set of (service, weight) pairs — the paper's
+// fairness measure (eq. 5's left-hand side). Units: work per unit weight.
+double MaxNormalizedServiceGap(std::span<const std::pair<Work, hscommon::Weight>> flows);
+
+}  // namespace hmetrics
+
+#endif  // HSCHED_SRC_METRICS_METRICS_H_

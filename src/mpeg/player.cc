@@ -1,0 +1,49 @@
+#include "src/mpeg/player.h"
+
+namespace hmpeg {
+
+hscommon::Time MpegPlayerWorkload::FrameDeadline(uint64_t frame_index) const {
+  const double seconds = static_cast<double>(frame_index + 1) / config_.fps;
+  return t0_ + config_.startup_latency +
+         static_cast<hscommon::Time>(seconds * static_cast<double>(hscommon::kSecond));
+}
+
+hsim::WorkloadAction MpegPlayerWorkload::NextAction(hscommon::Time now) {
+  if (!started_) {
+    started_ = true;
+    t0_ = now;
+  }
+  if (decoding_) {
+    // The decode burst for frame next_frame_ just completed.
+    decoding_ = false;
+    const uint64_t finished = next_frame_;
+    ++next_frame_;
+    ++frames_decoded_;
+    if (config_.mode == Mode::kPaced) {
+      const hscommon::Time deadline = FrameDeadline(finished);
+      const hscommon::Time late = now - deadline;
+      lateness_.Add(static_cast<double>(late));
+      if (late > 0) {
+        ++late_frames_;
+      }
+      if (config_.skip_when_late_by > 0 && late > config_.skip_when_late_by) {
+        // Resynchronize: drop every frame whose display time has already passed.
+        while (FrameDeadline(next_frame_) <= now) {
+          ++next_frame_;
+          ++skipped_frames_;
+        }
+      }
+      if (now < deadline) {
+        return hsim::WorkloadAction::SleepUntil(deadline);
+      }
+    }
+  }
+  const size_t stream_index = next_frame_ % trace_->size();
+  if (!config_.loop && next_frame_ >= trace_->size()) {
+    return hsim::WorkloadAction::Exit();
+  }
+  decoding_ = true;
+  return hsim::WorkloadAction::Compute(trace_->cost(stream_index));
+}
+
+}  // namespace hmpeg

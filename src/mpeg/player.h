@@ -1,0 +1,68 @@
+// MPEG player workload — the Berkeley mpeg_play stand-in (Figures 9 and 10).
+//
+// Two modes:
+//   * kFreeRunning: decode frames back to back, never blocking — how the Figure 10
+//     experiment uses the player (frames decoded grow with attained CPU bandwidth).
+//   * kPaced: decode a frame, then sleep until its display deadline if it finished early
+//     (a real soft real-time player); records per-frame display lateness.
+
+#ifndef HSCHED_SRC_MPEG_PLAYER_H_
+#define HSCHED_SRC_MPEG_PLAYER_H_
+
+#include "src/common/stats.h"
+#include "src/mpeg/trace.h"
+#include "src/sim/workload.h"
+
+namespace hmpeg {
+
+class MpegPlayerWorkload : public hsim::Workload {
+ public:
+  enum class Mode { kFreeRunning, kPaced };
+
+  struct Config {
+    Mode mode = Mode::kFreeRunning;
+    // Display rate for kPaced mode.
+    double fps = 30.0;
+    // Loop the trace when it is exhausted (otherwise the thread exits).
+    bool loop = true;
+    // kPaced resynchronization: when a frame completes more than this much past its
+    // display deadline, skip ahead to the next not-yet-due frame (what real players do
+    // under transient overload). 0 disables skipping.
+    hscommon::Time skip_when_late_by = 0;
+    // kPaced playout buffer: display of frame 0 is delayed by this much after the first
+    // decode starts, absorbing VBR bursts (real players buffer before starting).
+    hscommon::Time startup_latency = 0;
+  };
+
+  // `trace` must outlive the workload.
+  MpegPlayerWorkload(const VbrTrace* trace, const Config& config)
+      : trace_(trace), config_(config) {}
+
+  hsim::WorkloadAction NextAction(hscommon::Time now) override;
+
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+  // kPaced: lateness = completion - display deadline (ns; negative = on time).
+  const hscommon::RunningStats& lateness() const { return lateness_; }
+  uint64_t late_frames() const { return late_frames_; }
+  // kPaced with skipping enabled: frames dropped to resynchronize.
+  uint64_t skipped_frames() const { return skipped_frames_; }
+
+ private:
+  hscommon::Time FrameDeadline(uint64_t frame_index) const;
+
+  const VbrTrace* trace_;
+  Config config_;
+  uint64_t next_frame_ = 0;     // index into the (possibly looped) stream
+  uint64_t frames_decoded_ = 0;
+  bool decoding_ = false;       // a decode burst is outstanding
+  hscommon::Time t0_ = 0;
+  bool started_ = false;
+  hscommon::RunningStats lateness_;
+  uint64_t late_frames_ = 0;
+  uint64_t skipped_frames_ = 0;
+};
+
+}  // namespace hmpeg
+
+#endif  // HSCHED_SRC_MPEG_PLAYER_H_

@@ -1,0 +1,171 @@
+#include "src/mpeg/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/prng.h"
+
+namespace hmpeg {
+
+char FrameTypeChar(FrameType type) {
+  switch (type) {
+    case FrameType::kI:
+      return 'I';
+    case FrameType::kP:
+      return 'P';
+    case FrameType::kB:
+      return 'B';
+  }
+  return '?';
+}
+
+VbrTrace VbrTrace::Generate(const VbrTraceConfig& config) {
+  hscommon::Prng prng(config.seed);
+  VbrTrace trace;
+  trace.costs_.reserve(config.frame_count);
+  trace.types_.reserve(config.frame_count);
+  trace.scenes_.reserve(config.frame_count);
+
+  uint32_t scene = 0;
+  size_t scene_end = 0;
+  double scene_multiplier = 1.0;
+
+  for (size_t i = 0; i < config.frame_count; ++i) {
+    if (i >= scene_end) {
+      // New scene: draw its length and complexity.
+      if (i > 0) {
+        ++scene;
+      }
+      const double len = std::max(1.0, prng.Exponential(config.mean_scene_frames));
+      scene_end = i + static_cast<size_t>(len);
+      // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); center the mean at 1.
+      scene_multiplier =
+          prng.Lognormal(-config.scene_sigma * config.scene_sigma / 2.0, config.scene_sigma);
+    }
+
+    const int pos = static_cast<int>(i) % config.gop_size;
+    FrameType type = FrameType::kB;
+    Work base = config.mean_cost_b;
+    if (pos == 0) {
+      type = FrameType::kI;
+      base = config.mean_cost_i;
+    } else if (pos % config.p_spacing == 0) {
+      type = FrameType::kP;
+      base = config.mean_cost_p;
+    }
+
+    const double noise =
+        prng.Lognormal(-config.frame_sigma * config.frame_sigma / 2.0, config.frame_sigma);
+    const Work cost = std::max<Work>(
+        hscommon::kMillisecond,
+        static_cast<Work>(static_cast<double>(base) * scene_multiplier * noise));
+
+    trace.costs_.push_back(cost);
+    trace.types_.push_back(type);
+    trace.scenes_.push_back(scene);
+  }
+  return trace;
+}
+
+hscommon::Status VbrTrace::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return hscommon::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  std::fputs("index,type,cost_ns,scene\n", f);
+  for (size_t i = 0; i < costs_.size(); ++i) {
+    std::fprintf(f, "%zu,%c,%lld,%u\n", i, FrameTypeChar(types_[i]),
+                 static_cast<long long>(costs_[i]), scenes_[i]);
+  }
+  std::fclose(f);
+  return hscommon::Status::Ok();
+}
+
+hscommon::StatusOr<VbrTrace> VbrTrace::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return hscommon::NotFound("cannot open '" + path + "'");
+  }
+  VbrTrace trace;
+  char line[256];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (first) {
+      first = false;  // header
+      continue;
+    }
+    size_t index = 0;
+    char type = 0;
+    long long cost = 0;
+    unsigned scene = 0;
+    if (std::sscanf(line, "%zu,%c,%lld,%u", &index, &type, &cost, &scene) != 4) {
+      std::fclose(f);
+      return hscommon::InvalidArgument("malformed trace line: " + std::string(line));
+    }
+    FrameType ft = FrameType::kB;
+    if (type == 'I') {
+      ft = FrameType::kI;
+    } else if (type == 'P') {
+      ft = FrameType::kP;
+    }
+    trace.costs_.push_back(cost);
+    trace.types_.push_back(ft);
+    trace.scenes_.push_back(scene);
+  }
+  std::fclose(f);
+  if (trace.costs_.empty()) {
+    return hscommon::InvalidArgument("trace file '" + path + "' has no frames");
+  }
+  return trace;
+}
+
+hscommon::RunningStats VbrTrace::CostStats() const {
+  hscommon::RunningStats stats;
+  for (Work c : costs_) {
+    stats.Add(static_cast<double>(c));
+  }
+  return stats;
+}
+
+hscommon::RunningStats VbrTrace::WindowDemandStats(size_t frames_per_window) const {
+  hscommon::RunningStats stats;
+  Work window = 0;
+  size_t count = 0;
+  for (Work c : costs_) {
+    window += c;
+    if (++count == frames_per_window) {
+      stats.Add(static_cast<double>(window));
+      window = 0;
+      count = 0;
+    }
+  }
+  return stats;
+}
+
+hscommon::RunningStats VbrTrace::CostStatsFor(FrameType type) const {
+  hscommon::RunningStats stats;
+  for (size_t i = 0; i < costs_.size(); ++i) {
+    if (types_[i] == type) {
+      stats.Add(static_cast<double>(costs_[i]));
+    }
+  }
+  return stats;
+}
+
+Work VbrTrace::TotalCost() const {
+  Work total = 0;
+  for (Work c : costs_) {
+    total += c;
+  }
+  return total;
+}
+
+Work VbrTrace::PeakCost() const {
+  Work peak = 0;
+  for (Work c : costs_) {
+    peak = std::max(peak, c);
+  }
+  return peak;
+}
+
+}  // namespace hmpeg

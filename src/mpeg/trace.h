@@ -1,0 +1,80 @@
+// Synthetic VBR MPEG decode-cost traces.
+//
+// Substitutes for the paper's real MPEG sequences (DESIGN.md §2). Per-frame decompression
+// cost varies at two time scales, as Figure 1 of the paper shows:
+//   * frame-to-frame (tens of ms): the GOP structure — I frames cost the most, P frames
+//     less, B frames the least — plus lognormal per-frame noise;
+//   * scene-to-scene (seconds): a renewal process of scenes, each with its own lognormal
+//     complexity multiplier applied to every frame in the scene.
+
+#ifndef HSCHED_SRC_MPEG_TRACE_H_
+#define HSCHED_SRC_MPEG_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace hmpeg {
+
+using hscommon::Time;
+using hscommon::Work;
+
+enum class FrameType : uint8_t { kI, kP, kB };
+
+char FrameTypeChar(FrameType type);
+
+struct VbrTraceConfig {
+  size_t frame_count = 3000;       // ~100 s at 30 fps
+  int gop_size = 12;               // I BB P BB P BB P BB
+  int p_spacing = 3;               // P every 3rd frame within the GOP
+  Work mean_cost_i = 38 * hscommon::kMillisecond;
+  Work mean_cost_p = 24 * hscommon::kMillisecond;
+  Work mean_cost_b = 15 * hscommon::kMillisecond;
+  double frame_sigma = 0.12;       // lognormal sigma of per-frame noise
+  double scene_sigma = 0.35;       // lognormal sigma of per-scene complexity
+  double mean_scene_frames = 90;   // mean scene length (exponential)
+  uint64_t seed = 1234;
+};
+
+// An immutable sequence of per-frame decode costs.
+class VbrTrace {
+ public:
+  // Generates a trace from the model above. Deterministic in the seed.
+  static VbrTrace Generate(const VbrTraceConfig& config);
+
+  // Loads a trace from a CSV written by Save (columns: index,type,cost_ns,scene).
+  static hscommon::StatusOr<VbrTrace> Load(const std::string& path);
+
+  hscommon::Status Save(const std::string& path) const;
+
+  size_t size() const { return costs_.size(); }
+  Work cost(size_t frame) const { return costs_[frame]; }
+  FrameType type(size_t frame) const { return types_[frame]; }
+  uint32_t scene(size_t frame) const { return scenes_[frame]; }
+  uint32_t scene_count() const { return scenes_.empty() ? 0 : scenes_.back() + 1; }
+
+  // Aggregate statistics (for the Figure 1 bench and the EBF model fit).
+  hscommon::RunningStats CostStats() const;
+
+  // Statistics of total decode work per window of `frames_per_window` consecutive frames
+  // — the per-second demand distribution a QoS manager should declare (scene-scale
+  // correlation makes this much wider than sqrt(n) * per-frame stddev).
+  hscommon::RunningStats WindowDemandStats(size_t frames_per_window) const;
+  hscommon::RunningStats CostStatsFor(FrameType type) const;
+  Work TotalCost() const;
+  Work PeakCost() const;
+
+ private:
+  VbrTrace() = default;
+
+  std::vector<Work> costs_;
+  std::vector<FrameType> types_;
+  std::vector<uint32_t> scenes_;
+};
+
+}  // namespace hmpeg
+
+#endif  // HSCHED_SRC_MPEG_TRACE_H_

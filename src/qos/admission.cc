@@ -1,0 +1,117 @@
+#include "src/qos/admission.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hqos {
+
+hscommon::Status DeterministicAdmission::CheckSet(const std::vector<Task>& tasks) const {
+  double utilization = 0.0;
+  for (const Task& t : tasks) {
+    utilization += static_cast<double>(t.computation) / static_cast<double>(t.period);
+  }
+  if (utilization > server_.rate + 1e-12) {
+    return hscommon::ResourceExhausted("utilization exceeds the class rate");
+  }
+  // Per-task response check: in the worst case the class's server owes `delta` work, and
+  // every other task's computation may precede a job once (EDF within the class).
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    const Time deadline = t.relative_deadline > 0 ? t.relative_deadline : t.period;
+    double demand = static_cast<double>(t.computation) + server_.delta;
+    for (size_t j = 0; j < tasks.size(); ++j) {
+      if (j != i) {
+        demand += static_cast<double>(tasks[j].computation);
+      }
+    }
+    const double response = demand / server_.rate;
+    if (response > static_cast<double>(deadline)) {
+      return hscommon::ResourceExhausted("worst-case response time misses a deadline");
+    }
+  }
+  return hscommon::Status::Ok();
+}
+
+hscommon::Status DeterministicAdmission::Check(const Task& candidate) const {
+  if (candidate.period <= 0 || candidate.computation <= 0) {
+    return hscommon::InvalidArgument("task needs period > 0 and computation > 0");
+  }
+  std::vector<Task> tasks = admitted_;
+  tasks.push_back(candidate);
+  return CheckSet(tasks);
+}
+
+hscommon::Status DeterministicAdmission::Admit(const Task& candidate) {
+  if (auto s = Check(candidate); !s.ok()) {
+    return s;
+  }
+  admitted_.push_back(candidate);
+  utilization_ +=
+      static_cast<double>(candidate.computation) / static_cast<double>(candidate.period);
+  return hscommon::Status::Ok();
+}
+
+void DeterministicAdmission::Release(const Task& task) {
+  for (auto it = admitted_.begin(); it != admitted_.end(); ++it) {
+    if (it->period == task.period && it->computation == task.computation &&
+        it->relative_deadline == task.relative_deadline) {
+      utilization_ -=
+          static_cast<double>(it->computation) / static_cast<double>(it->period);
+      admitted_.erase(it);
+      return;
+    }
+  }
+}
+
+StatisticalAdmission::StatisticalAdmission(double rate_per_second, double epsilon)
+    : rate_(rate_per_second), z_(ZScore(epsilon)) {
+  assert(rate_per_second > 0.0);
+}
+
+double StatisticalAdmission::ZScore(double epsilon) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  // Beasley-Springer-Moro style rational approximation of the normal quantile.
+  const double p = 1.0 - epsilon;
+  const double t = std::sqrt(-2.0 * std::log(1.0 - p));
+  const double z =
+      t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t);
+  return z > 0.0 ? z : 0.0;
+}
+
+hscommon::Status StatisticalAdmission::Check(const Stream& candidate) const {
+  if (candidate.mean_rate <= 0.0 || candidate.stddev_rate < 0.0) {
+    return hscommon::InvalidArgument("stream needs mean_rate > 0 and stddev >= 0");
+  }
+  const double mean = mean_total_ + candidate.mean_rate;
+  const double var = var_total_ + candidate.stddev_rate * candidate.stddev_rate;
+  if (mean + z_ * std::sqrt(var) > rate_ + 1e-9) {
+    return hscommon::ResourceExhausted("statistical test: overload probability too high");
+  }
+  return hscommon::Status::Ok();
+}
+
+hscommon::Status StatisticalAdmission::Admit(const Stream& candidate) {
+  if (auto s = Check(candidate); !s.ok()) {
+    return s;
+  }
+  mean_total_ += candidate.mean_rate;
+  var_total_ += candidate.stddev_rate * candidate.stddev_rate;
+  ++count_;
+  return hscommon::Status::Ok();
+}
+
+void StatisticalAdmission::Release(const Stream& stream) {
+  mean_total_ -= stream.mean_rate;
+  var_total_ -= stream.stddev_rate * stream.stddev_rate;
+  if (mean_total_ < 0.0) {
+    mean_total_ = 0.0;
+  }
+  if (var_total_ < 0.0) {
+    var_total_ = 0.0;
+  }
+  if (count_ > 0) {
+    --count_;
+  }
+}
+
+}  // namespace hqos

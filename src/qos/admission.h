@@ -1,0 +1,83 @@
+// Admission control policies — the class-dependent procedures the paper's QoS manager
+// applies (§4, Figure 4): deterministic tests for hard real-time classes, statistical
+// tests for soft real-time (VBR video) classes, and no control for best effort.
+
+#ifndef HSCHED_SRC_QOS_ADMISSION_H_
+#define HSCHED_SRC_QOS_ADMISSION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/qos/server_model.h"
+
+namespace hqos {
+
+// Deterministic admission for a hard real-time class served by an FC server.
+// Admits a periodic task set iff (a) utilization fits the class rate and (b) each task's
+// worst-case completion — its computation plus the server deficit at the class rate —
+// meets its deadline.
+class DeterministicAdmission {
+ public:
+  explicit DeterministicAdmission(const FcServer& server) : server_(server) {}
+
+  struct Task {
+    Time period = 0;
+    Work computation = 0;
+    Time relative_deadline = 0;  // 0 = period
+  };
+
+  // Checks whether `candidate` fits alongside the already-admitted tasks.
+  hscommon::Status Check(const Task& candidate) const;
+
+  // Checks and records the task.
+  hscommon::Status Admit(const Task& candidate);
+
+  void Release(const Task& task);
+
+  double BookedUtilization() const { return utilization_; }
+
+ private:
+  hscommon::Status CheckSet(const std::vector<Task>& tasks) const;
+
+  FcServer server_;
+  std::vector<Task> admitted_;
+  double utilization_ = 0.0;
+};
+
+// Statistical admission for a soft real-time (VBR video) class: each stream declares its
+// mean demand rate and standard deviation (work per second). The class overbooks
+// deliberately (the paper's motivation); the test bounds the overload probability with a
+// Gaussian aggregate: admit while  mu_total + z(epsilon) * sigma_total <= class rate.
+class StatisticalAdmission {
+ public:
+  // `rate_per_second` is the class's guaranteed bandwidth in work per second;
+  // `epsilon` the acceptable overload probability.
+  StatisticalAdmission(double rate_per_second, double epsilon);
+
+  struct Stream {
+    double mean_rate = 0.0;   // work per second
+    double stddev_rate = 0.0; // work per second
+  };
+
+  hscommon::Status Check(const Stream& candidate) const;
+  hscommon::Status Admit(const Stream& candidate);
+  void Release(const Stream& stream);
+
+  double MeanBooked() const { return mean_total_; }
+  size_t AdmittedCount() const { return count_; }
+
+  // The z-score such that P(N(0,1) > z) = epsilon (rational approximation).
+  static double ZScore(double epsilon);
+
+ private:
+  double rate_;
+  double z_;
+  double mean_total_ = 0.0;
+  double var_total_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace hqos
+
+#endif  // HSCHED_SRC_QOS_ADMISSION_H_

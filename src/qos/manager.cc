@@ -1,0 +1,178 @@
+#include "src/qos/manager.h"
+
+#include <array>
+#include <cassert>
+
+#include "src/sched/edf.h"
+#include "src/sched/sfq_leaf.h"
+
+namespace hqos {
+
+QosManager::QosManager(hsim::System& system, const Config& config)
+    : system_(system), config_(config) {
+  auto& tree = system_.tree();
+  auto hard = tree.MakeNode("hard-rt", hsfq::kRootNode, config_.hard_rt_weight,
+                            std::make_unique<hleaf::EdfScheduler>(hleaf::EdfScheduler::Config{
+                                .utilization_limit = 1.0,
+                                // Admission happens here in the manager, against the FC
+                                // composition; the leaf's own test stays permissive.
+                                .admission_control = false,
+                            }));
+  auto soft = tree.MakeNode("soft-rt", hsfq::kRootNode, config_.soft_rt_weight,
+                            std::make_unique<hleaf::SfqLeafScheduler>());
+  auto best = tree.MakeNode("best-effort", hsfq::kRootNode, config_.best_effort_weight,
+                            /*leaf_scheduler=*/nullptr);
+  assert(hard.ok() && soft.ok() && best.ok());
+  hard_rt_ = *hard;
+  soft_rt_ = *soft;
+  best_effort_ = *best;
+  RebuildAdmission();
+}
+
+double QosManager::ClassFraction(NodeId class_node) const {
+  const auto& tree = system_.tree();
+  double total = 0.0;
+  for (NodeId child : tree.ChildrenOf(hsfq::kRootNode)) {
+    total += static_cast<double>(*tree.GetNodeWeight(child));
+  }
+  return static_cast<double>(*tree.GetNodeWeight(class_node)) / total;
+}
+
+FcServer QosManager::ClassServer(NodeId class_node) const {
+  const auto& tree = system_.tree();
+  const auto children = tree.ChildrenOf(hsfq::kRootNode);
+  std::vector<hscommon::Weight> weights;
+  std::vector<hscommon::Work> lmax;
+  size_t index = 0;
+  for (size_t i = 0; i < children.size(); ++i) {
+    weights.push_back(*tree.GetNodeWeight(children[i]));
+    lmax.push_back(config_.max_quantum);
+    if (children[i] == class_node) {
+      index = i;
+    }
+  }
+  return ComposeFcChild(config_.cpu, weights, lmax, index);
+}
+
+void QosManager::RebuildAdmission() {
+  const FcServer hard_server = ClassServer(hard_rt_);
+  const FcServer soft_server = ClassServer(soft_rt_);
+  hard_admission_ = std::make_unique<DeterministicAdmission>(hard_server);
+  soft_admission_ = std::make_unique<StatisticalAdmission>(
+      soft_server.rate * static_cast<double>(hscommon::kSecond), config_.overload_epsilon);
+  // Replay existing bookings against the new capacity. A shrink can leave the class
+  // overcommitted; the replay keeps the booked totals honest either way.
+  for (const auto& task : booked_tasks_) {
+    (void)hard_admission_->Admit(task);
+  }
+  for (const auto& stream : booked_streams_) {
+    (void)soft_admission_->Admit(stream);
+  }
+}
+
+hscommon::StatusOr<ThreadId> QosManager::SubmitHardRt(
+    const std::string& name, hscommon::Time period, hscommon::Work computation,
+    std::unique_ptr<hsim::Workload> workload) {
+  const DeterministicAdmission::Task task{
+      .period = period, .computation = computation, .relative_deadline = 0};
+  if (auto s = hard_admission_->Admit(task); !s.ok()) {
+    return s;
+  }
+  hsfq::ThreadParams params;
+  params.period = period;
+  params.computation = computation;
+  auto result =
+      system_.CreateThread(name, hard_rt_, params, std::move(workload), system_.now());
+  if (!result.ok()) {
+    hard_admission_->Release(task);
+  } else {
+    booked_tasks_.push_back(task);
+  }
+  return result;
+}
+
+hscommon::StatusOr<ThreadId> QosManager::SubmitSoftRt(
+    const std::string& name, hscommon::Weight weight, double mean_rate, double stddev_rate,
+    std::unique_ptr<hsim::Workload> workload) {
+  const StatisticalAdmission::Stream stream{.mean_rate = mean_rate,
+                                            .stddev_rate = stddev_rate};
+  if (auto s = soft_admission_->Admit(stream); !s.ok()) {
+    return s;
+  }
+  hsfq::ThreadParams params;
+  params.weight = weight;
+  auto result =
+      system_.CreateThread(name, soft_rt_, params, std::move(workload), system_.now());
+  if (!result.ok()) {
+    soft_admission_->Release(stream);
+  } else {
+    booked_streams_.push_back(stream);
+  }
+  return result;
+}
+
+hscommon::StatusOr<ThreadId> QosManager::SubmitBestEffort(
+    const std::string& name, const std::string& user, hscommon::Weight weight,
+    std::unique_ptr<hsim::Workload> workload) {
+  auto it = user_leaves_.find(user);
+  if (it == user_leaves_.end()) {
+    auto leaf = system_.tree().MakeNode(user, best_effort_, /*weight=*/1,
+                                        std::make_unique<hleaf::SfqLeafScheduler>());
+    if (!leaf.ok()) {
+      return leaf.status();
+    }
+    it = user_leaves_.emplace(user, *leaf).first;
+  }
+  hsfq::ThreadParams params;
+  params.weight = weight;
+  return system_.CreateThread(name, it->second, params, std::move(workload), system_.now());
+}
+
+hscommon::Status QosManager::DemoteToBestEffort(ThreadId thread, const std::string& user,
+                                                hscommon::Weight weight, double mean_rate,
+                                                double stddev_rate) {
+  auto current = system_.tree().LeafOf(thread);
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (*current != soft_rt_) {
+    return hscommon::FailedPrecondition("thread is not in the soft real-time class");
+  }
+  // Ensure the user's best-effort leaf exists.
+  auto it = user_leaves_.find(user);
+  if (it == user_leaves_.end()) {
+    auto leaf = system_.tree().MakeNode(user, best_effort_, /*weight=*/1,
+                                        std::make_unique<hleaf::SfqLeafScheduler>());
+    if (!leaf.ok()) {
+      return leaf.status();
+    }
+    it = user_leaves_.emplace(user, *leaf).first;
+  }
+  hsfq::ThreadParams params;
+  params.weight = weight;
+  if (auto s = system_.tree().MoveThread(thread, it->second, params, system_.now());
+      !s.ok()) {
+    return s;
+  }
+  // Release the stream's soft-class booking.
+  const StatisticalAdmission::Stream stream{.mean_rate = mean_rate,
+                                            .stddev_rate = stddev_rate};
+  soft_admission_->Release(stream);
+  for (auto sit = booked_streams_.begin(); sit != booked_streams_.end(); ++sit) {
+    if (sit->mean_rate == mean_rate && sit->stddev_rate == stddev_rate) {
+      booked_streams_.erase(sit);
+      break;
+    }
+  }
+  return hscommon::Status::Ok();
+}
+
+hscommon::Status QosManager::SetClassWeight(NodeId class_node, hscommon::Weight weight) {
+  if (auto s = system_.tree().SetNodeWeight(class_node, weight); !s.ok()) {
+    return s;
+  }
+  RebuildAdmission();
+  return hscommon::Status::Ok();
+}
+
+}  // namespace hqos

@@ -1,0 +1,99 @@
+// The QoS manager (paper §4, Figure 4): sits between applications and the scheduling
+// structure. It builds the canonical three-class partition of Figure 2 (hard real-time /
+// soft real-time / best-effort), applies class-dependent admission control, places
+// admitted work into the right leaf, and re-partitions bandwidth dynamically.
+
+#ifndef HSCHED_SRC_QOS_MANAGER_H_
+#define HSCHED_SRC_QOS_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/qos/admission.h"
+#include "src/sim/system.h"
+
+namespace hqos {
+
+using hsfq::NodeId;
+using hsfq::ThreadId;
+
+class QosManager {
+ public:
+  struct Config {
+    // Initial class weights (Figure 2 uses 1 : 3 : 6).
+    hscommon::Weight hard_rt_weight = 1;
+    hscommon::Weight soft_rt_weight = 3;
+    hscommon::Weight best_effort_weight = 6;
+    // The physical CPU model, for composing per-class guarantees.
+    FcServer cpu = FcServer{1.0, 0.0};
+    // Maximum quantum used in the FC composition (the dispatcher's slice length).
+    hscommon::Work max_quantum = 20 * hscommon::kMillisecond;
+    // Acceptable overload probability for the soft real-time class.
+    double overload_epsilon = 0.05;
+  };
+
+  // Builds /hard-rt (EDF leaf), /soft-rt (SFQ leaf) and /best-effort (interior) on the
+  // system's scheduling structure.
+  QosManager(hsim::System& system, const Config& config);
+
+  NodeId hard_rt_node() const { return hard_rt_; }
+  NodeId soft_rt_node() const { return soft_rt_; }
+  NodeId best_effort_node() const { return best_effort_; }
+
+  // The FC server guaranteed to a class under the current weights (paper eq. 6).
+  FcServer ClassServer(NodeId class_node) const;
+
+  // Hard real-time request: deterministic admission, then an EDF-scheduled periodic
+  // thread. Fails with RESOURCE_EXHAUSTED when the task set would not be schedulable.
+  hscommon::StatusOr<ThreadId> SubmitHardRt(const std::string& name, hscommon::Time period,
+                                            hscommon::Work computation,
+                                            std::unique_ptr<hsim::Workload> workload);
+
+  // Soft real-time request (e.g. a VBR decoder): statistical admission on declared mean
+  // and standard deviation of demand (work per second), then an SFQ-scheduled thread.
+  hscommon::StatusOr<ThreadId> SubmitSoftRt(const std::string& name, hscommon::Weight weight,
+                                            double mean_rate, double stddev_rate,
+                                            std::unique_ptr<hsim::Workload> workload);
+
+  // Best-effort request: never denied. Creates /best-effort/<user> (an SFQ leaf) on
+  // demand; threads of one user share that leaf.
+  hscommon::StatusOr<ThreadId> SubmitBestEffort(const std::string& name,
+                                                const std::string& user,
+                                                hscommon::Weight weight,
+                                                std::unique_ptr<hsim::Workload> workload);
+
+  // Dynamic re-partitioning (the paper's video-conference example): changes a class's
+  // weight. Affects future admissions' capacity computations.
+  hscommon::Status SetClassWeight(NodeId class_node, hscommon::Weight weight);
+
+  // "The QoS manager may also move applications between classes" (§4): reclassifies a
+  // (non-running) soft real-time thread as best-effort work of `user` — e.g. a stream
+  // whose client stopped paying for guarantees. Its soft-class booking is released.
+  hscommon::Status DemoteToBestEffort(ThreadId thread, const std::string& user,
+                                      hscommon::Weight weight, double mean_rate,
+                                      double stddev_rate);
+
+  const DeterministicAdmission& hard_admission() const { return *hard_admission_; }
+  const StatisticalAdmission& soft_admission() const { return *soft_admission_; }
+
+ private:
+  void RebuildAdmission();
+  double ClassFraction(NodeId class_node) const;
+
+  hsim::System& system_;
+  Config config_;
+  NodeId hard_rt_ = hsfq::kInvalidNode;
+  NodeId soft_rt_ = hsfq::kInvalidNode;
+  NodeId best_effort_ = hsfq::kInvalidNode;
+  std::unordered_map<std::string, NodeId> user_leaves_;
+  std::unique_ptr<DeterministicAdmission> hard_admission_;
+  std::unique_ptr<StatisticalAdmission> soft_admission_;
+  // Booked work, replayed into fresh admission state after a re-partition.
+  std::vector<DeterministicAdmission::Task> booked_tasks_;
+  std::vector<StatisticalAdmission::Stream> booked_streams_;
+};
+
+}  // namespace hqos
+
+#endif  // HSCHED_SRC_QOS_MANAGER_H_

@@ -1,0 +1,114 @@
+#include "src/qos/server_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace hqos {
+
+double EbfServer::DeficitAtProbability(double p) const {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= bound) {
+    return delta;
+  }
+  return delta + std::log(bound / p) / alpha;
+}
+
+namespace {
+
+double WeightFraction(std::span<const Weight> weights, size_t child) {
+  double total = 0.0;
+  for (Weight w : weights) {
+    total += static_cast<double>(w);
+  }
+  assert(total > 0.0);
+  return static_cast<double>(weights[child]) / total;
+}
+
+double SiblingQuantumSum(std::span<const Work> lmax, size_t child) {
+  double sum = 0.0;
+  for (size_t i = 0; i < lmax.size(); ++i) {
+    if (i != child) {
+      sum += static_cast<double>(lmax[i]);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+FcServer ComposeFcChild(const FcServer& parent, std::span<const Weight> weights,
+                        std::span<const Work> lmax, size_t child) {
+  assert(weights.size() == lmax.size());
+  assert(child < weights.size());
+  const double phi = WeightFraction(weights, child);
+  const double child_rate = phi * parent.rate;
+  // During any interval the child may lag its rate share by the parent's own deficit
+  // (scaled to child rate) plus one maximum quantum of every sibling (SFQ serves whole
+  // quanta), plus its own quantum granularity.
+  const double child_delta = child_rate * (parent.delta / parent.rate +
+                                           SiblingQuantumSum(lmax, child) / parent.rate) +
+                             static_cast<double>(lmax[child]);
+  return FcServer{child_rate, child_delta};
+}
+
+EbfServer ComposeEbfChild(const EbfServer& parent, std::span<const Weight> weights,
+                          std::span<const Work> lmax, size_t child) {
+  assert(weights.size() == lmax.size());
+  assert(child < weights.size());
+  const double phi = WeightFraction(weights, child);
+  const double child_rate = phi * parent.rate;
+  const double child_delta = child_rate * (parent.delta / parent.rate +
+                                           SiblingQuantumSum(lmax, child) / parent.rate) +
+                             static_cast<double>(lmax[child]);
+  // The tail keeps the parent's prefactor; the decay rate is per unit of *child* work,
+  // so it stretches by the inverse rate fraction.
+  return EbfServer{child_rate, parent.bound, parent.alpha / phi, child_delta};
+}
+
+EbfServer FitEbfTail(std::span<const double> deficits, double rate, double gamma_step,
+                     int gamma_points) {
+  std::vector<double> gammas;
+  std::vector<double> lnp;
+  for (int k = 1; k <= gamma_points; ++k) {
+    const double gamma = gamma_step * k;
+    size_t hits = 0;
+    for (double d : deficits) {
+      hits += d > gamma ? 1 : 0;
+    }
+    const double p = static_cast<double>(hits) / static_cast<double>(deficits.size());
+    if (p > 1e-4) {
+      gammas.push_back(gamma);
+      lnp.push_back(std::log(p));
+    }
+  }
+  EbfServer result{rate, 1.0, 0.0, 0.0};
+  if (gammas.size() < 2) {
+    return result;  // alpha = 0: not enough tail mass to fit
+  }
+  double mx = 0.0;
+  double my = 0.0;
+  for (size_t i = 0; i < gammas.size(); ++i) {
+    mx += gammas[i];
+    my += lnp[i];
+  }
+  mx /= static_cast<double>(gammas.size());
+  my /= static_cast<double>(gammas.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < gammas.size(); ++i) {
+    num += (gammas[i] - mx) * (lnp[i] - my);
+    den += (gammas[i] - mx) * (gammas[i] - mx);
+  }
+  result.alpha = -num / den;
+  return result;
+}
+
+FcServer FcFromPeriodicInterrupts(Time interval, Work service) {
+  assert(interval > 0 && service >= 0 && service < interval);
+  const double rate =
+      1.0 - static_cast<double>(service) / static_cast<double>(interval);
+  return FcServer{rate, static_cast<double>(service)};
+}
+
+}  // namespace hqos

@@ -1,0 +1,87 @@
+// Fluctuation Constrained (FC) and Exponentially Bounded Fluctuation (EBF) server models
+// (Lee '95, used by the paper's throughput/delay guarantees in §3.1).
+//
+// FC(C, delta): over any interval of a busy period the server does at least
+// C * length - delta work. EBF(C, B, alpha, delta): the probability the deficit exceeds
+// delta + gamma is at most B * exp(-alpha * gamma).
+//
+// The composition rules implement the paper's recursion (eqs. 6-7): if a class's server is
+// FC/EBF, each SFQ-scheduled child class is again FC/EBF with parameters derived from its
+// weight fraction and its siblings' maximum quanta — so guarantees propagate down the
+// scheduling structure.
+
+#ifndef HSCHED_SRC_QOS_SERVER_MODEL_H_
+#define HSCHED_SRC_QOS_SERVER_MODEL_H_
+
+#include <span>
+
+#include "src/common/types.h"
+#include "src/fair/bounds.h"
+
+namespace hqos {
+
+using hscommon::Time;
+using hscommon::Weight;
+using hscommon::Work;
+
+// A Fluctuation Constrained server. `rate` is in work per nanosecond; `delta` in work.
+struct FcServer {
+  double rate = 1.0;
+  double delta = 0.0;
+
+  // Minimum work guaranteed over an in-busy-period interval of `span` nanoseconds.
+  double MinWork(Time span) const {
+    const double w = rate * static_cast<double>(span) - delta;
+    return w > 0.0 ? w : 0.0;
+  }
+
+  // Latest completion of `work` units started at the beginning of a busy period.
+  Time MaxLatency(Work work) const {
+    return static_cast<Time>((static_cast<double>(work) + delta) / rate);
+  }
+};
+
+// An Exponentially Bounded Fluctuation server: a stochastic relaxation of FC.
+// P(deficit over an interval > delta + gamma) <= bound * exp(-alpha * gamma).
+struct EbfServer {
+  double rate = 1.0;
+  double bound = 1.0;   // B
+  double alpha = 1.0;   // per unit work
+  double delta = 0.0;
+
+  // The deficit delta(p) such that the violation probability is at most p.
+  double DeficitAtProbability(double p) const;
+
+  // The FC server this EBF degenerates to at violation probability p.
+  FcServer ToFcAtProbability(double p) const {
+    return FcServer{rate, DeficitAtProbability(p)};
+  }
+};
+
+// Composition (paper eq. 6): the SFQ child with `weights[i]` of an FC parent. `lmax[i]`
+// are the children's maximum quantum lengths. The child's guaranteed rate is its weight
+// fraction of the parent rate; its burstiness inflates by the parent's normalized deficit
+// plus one maximum quantum of every sibling.
+FcServer ComposeFcChild(const FcServer& parent, std::span<const Weight> weights,
+                        std::span<const Work> lmax, size_t child);
+
+// Composition (paper eq. 7): same shape for an EBF parent; the exponential decay rate
+// scales with the child's rate fraction.
+EbfServer ComposeEbfChild(const EbfServer& parent, std::span<const Weight> weights,
+                          std::span<const Work> lmax, size_t child);
+
+// FC parameters of a CPU whose interrupts arrive periodically every `interval` and cost
+// `service` each: rate = 1 - service/interval, delta = service (work units = ns at unit
+// capacity). This is how the simulator's interrupt sources map onto the model.
+FcServer FcFromPeriodicInterrupts(Time interval, Work service);
+
+// Fits an EBF tail to observed service deficits (positive = behind `rate`): estimates
+// alpha as the least-squares slope of ln P(deficit > gamma) over a gamma grid, with
+// bound = 1. Returns an EbfServer with the given rate and delta = 0. Requires enough
+// samples with positive deficits; alpha <= 0 signals an unusable fit.
+EbfServer FitEbfTail(std::span<const double> deficits, double rate, double gamma_step,
+                     int gamma_points);
+
+}  // namespace hqos
+
+#endif  // HSCHED_SRC_QOS_SERVER_MODEL_H_

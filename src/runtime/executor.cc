@@ -1,0 +1,136 @@
+#include "src/runtime/executor.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace hrt {
+
+Executor::Executor() : Executor(Config{}) {}
+
+Executor::Executor(const Config& config) : config_(config) {}
+
+hscommon::Time Executor::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+hscommon::StatusOr<ThreadId> Executor::Spawn(std::string name, NodeId leaf,
+                                             const ThreadParams& params,
+                                             std::function<StepResult()> step) {
+  return Spawn(std::move(name), leaf, params,
+               [step = std::move(step)](TaskControl&) { return step(); });
+}
+
+hscommon::StatusOr<ThreadId> Executor::Spawn(std::string name, NodeId leaf,
+                                             const ThreadParams& params,
+                                             std::function<StepResult(TaskControl&)> step) {
+  const ThreadId id = tasks_.size();
+  if (auto s = tree_.AttachThread(id, leaf, params); !s.ok()) {
+    return s;
+  }
+  auto task = std::make_unique<Task>();
+  task->name = std::move(name);
+  task->step = std::move(step);
+  tasks_.push_back(std::move(task));
+  ++live_tasks_;
+  tree_.SetRun(id, NowNs());
+  return id;
+}
+
+void Executor::WakeDueSleepers(hscommon::Time now) {
+  if (sleeping_tasks_ == 0) {
+    return;
+  }
+  for (ThreadId id = 0; id < tasks_.size(); ++id) {
+    Task& task = *tasks_[id];
+    if (task.sleeping && task.wake_at <= now) {
+      task.sleeping = false;
+      --sleeping_tasks_;
+      tree_.SetRun(id, now);
+    }
+  }
+}
+
+hscommon::Time Executor::NextWake() const {
+  hscommon::Time next = 0;
+  for (const auto& task : tasks_) {
+    if (task->sleeping && (next == 0 || task->wake_at < next)) {
+      next = task->wake_at;
+    }
+  }
+  return next;
+}
+
+bool Executor::DispatchOnce() {
+  WakeDueSleepers(NowNs());
+  if (!tree_.HasRunnable()) {
+    // Idle: if tasks are sleeping, wait (really) for the earliest wake.
+    const hscommon::Time next = NextWake();
+    if (next == 0) {
+      return false;
+    }
+    const hscommon::Time now = NowNs();
+    if (next > now) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(next - now));
+    }
+    WakeDueSleepers(NowNs());
+    if (!tree_.HasRunnable()) {
+      return live_tasks_ > 0;  // spurious; try again next cycle
+    }
+  }
+  const hscommon::Time t0 = NowNs();
+  const ThreadId id = tree_.Schedule(t0);
+  assert(id != hsfq::kInvalidThread);
+  Task& task = *tasks_[id];
+  ++dispatches_;
+
+  bool still_runnable = true;
+  hscommon::Time now = t0;
+  TaskControl ctl;
+  while (now - t0 < config_.quantum) {
+    const StepResult result = task.step(ctl);
+    now = NowNs();
+    if (result == StepResult::kDone) {
+      task.done = true;
+      still_runnable = false;
+      --live_tasks_;
+      break;
+    }
+    if (result == StepResult::kSleep) {
+      task.sleeping = true;
+      task.wake_at = now + ctl.sleep_for_;
+      ++sleeping_tasks_;
+      still_runnable = false;
+      break;
+    }
+    if (result == StepResult::kYield) {
+      break;
+    }
+  }
+  const hscommon::Work used = now - t0;
+  task.cpu_time += used;
+  tree_.Update(id, used, now, still_runnable);
+  return true;
+}
+
+void Executor::Run() {
+  while (live_tasks_ > 0 && DispatchOnce()) {
+  }
+}
+
+void Executor::RunFor(hscommon::Time duration) {
+  const hscommon::Time deadline = NowNs() + duration;
+  while (NowNs() < deadline && live_tasks_ > 0) {
+    if (!DispatchOnce()) {
+      break;
+    }
+  }
+}
+
+hscommon::Work Executor::CpuTimeOf(ThreadId task) const { return tasks_[task]->cpu_time; }
+
+const std::string& Executor::NameOf(ThreadId task) const { return tasks_[task]->name; }
+
+}  // namespace hrt

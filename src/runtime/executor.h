@@ -1,0 +1,119 @@
+// A real (non-simulated) user-level task runtime scheduled by the hierarchical SFQ
+// framework — the "user-level thread scheduler" face of the library.
+//
+// Tasks are cooperative step functions: the executor dispatches the task chosen by
+// SchedulingStructure::Schedule(), invokes its step repeatedly until the quantum (real
+// CPU time, measured with a monotonic clock) is exhausted or the task yields/finishes,
+// then charges the measured time through SchedulingStructure::Update(). This exercises
+// the exact kernel-hook cycle of the paper on real hardware, and the quickstart and
+// userlevel_runtime examples are built on it.
+
+#ifndef HSCHED_SRC_RUNTIME_EXECUTOR_H_
+#define HSCHED_SRC_RUNTIME_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hsfq/structure.h"
+
+namespace hrt {
+
+using hsfq::NodeId;
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+// What a task's step tells the executor.
+enum class StepResult {
+  kMore,   // more work; keep scheduling me
+  kYield,  // more work, but end my quantum early (cooperative yield)
+  kSleep,  // block me for the duration passed to TaskControl::SleepFor
+  kDone,   // finished; remove me
+};
+
+// Per-step control surface handed to extended step functions.
+class TaskControl {
+ public:
+  // Arms a sleep; return StepResult::kSleep from the step to take effect.
+  void SleepFor(hscommon::Time duration) { sleep_for_ = duration; }
+
+ private:
+  friend class Executor;
+  hscommon::Time sleep_for_ = 0;
+};
+
+class Executor {
+ public:
+  struct Config {
+    // Real-CPU-time slice per dispatch.
+    hscommon::Work quantum = 2 * hscommon::kMillisecond;
+  };
+
+  Executor();
+  explicit Executor(const Config& config);
+
+  // The scheduling structure; build class nodes through this before spawning tasks.
+  hsfq::SchedulingStructure& tree() { return tree_; }
+
+  // Spawns a task in `leaf`. `step` is called repeatedly; each call should do a small
+  // chunk of work (tens of microseconds) and return its status.
+  hscommon::StatusOr<ThreadId> Spawn(std::string name, NodeId leaf,
+                                     const ThreadParams& params,
+                                     std::function<StepResult()> step);
+
+  // Extended spawn: the step receives a TaskControl and may sleep
+  // (ctl.SleepFor(...) + return StepResult::kSleep). The executor wakes the task after
+  // the duration elapses — real wall-clock time.
+  hscommon::StatusOr<ThreadId> Spawn(std::string name, NodeId leaf,
+                                     const ThreadParams& params,
+                                     std::function<StepResult(TaskControl&)> step);
+
+  // Runs until every task reports kDone.
+  void Run();
+
+  // Runs dispatch cycles for approximately `duration` of real time (for demos).
+  void RunFor(hscommon::Time duration);
+
+  // Measured CPU time a task has attained so far (ns).
+  hscommon::Work CpuTimeOf(ThreadId task) const;
+
+  const std::string& NameOf(ThreadId task) const;
+  size_t live_tasks() const { return live_tasks_; }
+  uint64_t dispatches() const { return dispatches_; }
+
+ private:
+  struct Task {
+    std::string name;
+    std::function<StepResult(TaskControl&)> step;
+    hscommon::Work cpu_time = 0;
+    hscommon::Time wake_at = 0;  // sleeping until this monotonic instant
+    bool sleeping = false;
+    bool done = false;
+  };
+
+  // Monotonic clock in nanoseconds.
+  static hscommon::Time NowNs();
+
+  // One dispatch cycle; returns false when nothing is runnable (after waking any due
+  // sleepers). Blocks (real sleep) until the next sleeper is due if the tree is idle but
+  // sleepers exist.
+  bool DispatchOnce();
+
+  // Marks due sleepers runnable again.
+  void WakeDueSleepers(hscommon::Time now);
+  // Earliest pending wake time, or 0 when none.
+  hscommon::Time NextWake() const;
+
+  Config config_;
+  hsfq::SchedulingStructure tree_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  size_t live_tasks_ = 0;
+  size_t sleeping_tasks_ = 0;
+  uint64_t dispatches_ = 0;
+};
+
+}  // namespace hrt
+
+#endif  // HSCHED_SRC_RUNTIME_EXECUTOR_H_

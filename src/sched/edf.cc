@@ -1,0 +1,137 @@
+#include "src/sched/edf.h"
+
+#include <cassert>
+
+namespace hleaf {
+
+EdfScheduler::EdfScheduler() : EdfScheduler(Config{}) {}
+
+EdfScheduler::EdfScheduler(const Config& config) : config_(config) {}
+
+hscommon::Status EdfScheduler::ValidateParams(const ThreadParams& params) {
+  if (params.period <= 0 || params.computation <= 0) {
+    return hscommon::InvalidArgument("EDF threads need period > 0 and computation > 0");
+  }
+  if (params.relative_deadline < 0 ||
+      (params.relative_deadline > 0 && params.relative_deadline > params.period)) {
+    return hscommon::InvalidArgument("relative deadline must be in (0, period]");
+  }
+  return hscommon::Status::Ok();
+}
+
+hscommon::Status EdfScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
+  if (threads_.contains(thread)) {
+    return hscommon::AlreadyExists("thread already in this class");
+  }
+  if (auto s = ValidateParams(params); !s.ok()) {
+    return s;
+  }
+  const double u = static_cast<double>(params.computation) / static_cast<double>(params.period);
+  if (config_.admission_control && utilization_ + u > config_.utilization_limit + 1e-12) {
+    return hscommon::ResourceExhausted("EDF admission: utilization would exceed limit");
+  }
+  ThreadState state;
+  state.period = params.period;
+  state.computation = params.computation;
+  state.rel_deadline =
+      params.relative_deadline > 0 ? params.relative_deadline : params.period;
+  threads_.emplace(thread, state);
+  utilization_ += u;
+  return hscommon::Status::Ok();
+}
+
+void EdfScheduler::RemoveThread(ThreadId thread) {
+  const auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  assert(thread != in_service_);
+  if (it->second.runnable) {
+    ready_.erase({it->second.abs_deadline, thread});
+  }
+  utilization_ -= static_cast<double>(it->second.computation) /
+                  static_cast<double>(it->second.period);
+  threads_.erase(it);
+}
+
+hscommon::Status EdfScheduler::SetThreadParams(ThreadId thread, const ThreadParams& params) {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return hscommon::NotFound("no such thread in this class");
+  }
+  if (auto s = ValidateParams(params); !s.ok()) {
+    return s;
+  }
+  ThreadState& state = it->second;
+  const double old_u =
+      static_cast<double>(state.computation) / static_cast<double>(state.period);
+  const double new_u =
+      static_cast<double>(params.computation) / static_cast<double>(params.period);
+  if (config_.admission_control &&
+      utilization_ - old_u + new_u > config_.utilization_limit + 1e-12) {
+    return hscommon::ResourceExhausted("EDF admission: utilization would exceed limit");
+  }
+  state.period = params.period;
+  state.computation = params.computation;
+  state.rel_deadline =
+      params.relative_deadline > 0 ? params.relative_deadline : params.period;
+  utilization_ += new_u - old_u;
+  return hscommon::Status::Ok();
+}
+
+void EdfScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
+  ThreadState& state = threads_.at(thread);
+  assert(!state.runnable && thread != in_service_);
+  // A wakeup is a job release: stamp the job's absolute deadline.
+  state.abs_deadline = now + state.rel_deadline;
+  state.runnable = true;
+  ready_.emplace(state.abs_deadline, thread);
+}
+
+void EdfScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
+  (void)now;
+  ThreadState& state = threads_.at(thread);
+  assert(state.runnable && thread != in_service_);
+  ready_.erase({state.abs_deadline, thread});
+  state.runnable = false;
+}
+
+ThreadId EdfScheduler::PickNext(hscommon::Time /*now*/) {
+  assert(in_service_ == hsfq::kInvalidThread);
+  if (ready_.empty()) {
+    return hsfq::kInvalidThread;
+  }
+  const ThreadId thread = ready_.begin()->second;
+  ready_.erase(ready_.begin());
+  threads_.at(thread).runnable = false;
+  in_service_ = thread;
+  return thread;
+}
+
+void EdfScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Time /*now*/,
+                          bool still_runnable) {
+  assert(thread == in_service_);
+  ThreadState& state = threads_.at(thread);
+  in_service_ = hsfq::kInvalidThread;
+  if (still_runnable) {
+    // Same job continues: the absolute deadline is unchanged.
+    state.runnable = true;
+    ready_.emplace(state.abs_deadline, thread);
+  }
+}
+
+bool EdfScheduler::HasRunnable() const {
+  return !ready_.empty() || in_service_ != hsfq::kInvalidThread;
+}
+
+bool EdfScheduler::IsThreadRunnable(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return false;
+  }
+  return it->second.runnable || thread == in_service_;
+}
+
+hscommon::Time EdfScheduler::CurrentDeadline(ThreadId thread) const {
+  return threads_.at(thread).abs_deadline;
+}
+
+}  // namespace hleaf

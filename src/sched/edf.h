@@ -1,0 +1,75 @@
+// Earliest Deadline First leaf scheduler for hard real-time classes (paper §1, Figure 2).
+//
+// Threads are periodic: each declares (period, computation, relative deadline). A
+// blocked->runnable transition is a job release; the job's absolute deadline is
+// release + relative deadline, and the earliest absolute deadline runs first.
+// Admission control enforces sum(C_i / T_i) <= utilization limit, the EDF bound
+// (Liu & Layland 1973) scaled by the fraction of the CPU this class is allocated.
+
+#ifndef HSCHED_SRC_SCHED_EDF_H_
+#define HSCHED_SRC_SCHED_EDF_H_
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+class EdfScheduler : public hsfq::LeafScheduler {
+ public:
+  struct Config {
+    // Fraction of the CPU this class is allocated, as admission-control budget.
+    // 1.0 means the class may book the whole CPU.
+    double utilization_limit = 1.0;
+    // If false, AddThread never rejects (no admission control — the paper notes some
+    // classes run without it).
+    bool admission_control = true;
+  };
+
+  EdfScheduler();
+  explicit EdfScheduler(const Config& config);
+
+  hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
+  void RemoveThread(ThreadId thread) override;
+  hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
+  void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
+  ThreadId PickNext(hscommon::Time now) override;
+  void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+              bool still_runnable) override;
+  bool HasRunnable() const override;
+  bool IsThreadRunnable(ThreadId thread) const override;
+  std::string Name() const override { return "EDF"; }
+
+  // Booked utilization sum(C/T) of admitted threads.
+  double BookedUtilization() const { return utilization_; }
+
+  // Absolute deadline of the thread's current job (kTimeInfinity if none released).
+  hscommon::Time CurrentDeadline(ThreadId thread) const;
+
+ private:
+  struct ThreadState {
+    hscommon::Time period = 0;
+    hscommon::Work computation = 0;
+    hscommon::Time rel_deadline = 0;
+    hscommon::Time abs_deadline = hscommon::kTimeInfinity;
+    bool runnable = false;
+  };
+
+  static hscommon::Status ValidateParams(const ThreadParams& params);
+
+  Config config_;
+  double utilization_ = 0.0;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  std::set<std::pair<hscommon::Time, ThreadId>> ready_;  // keyed by absolute deadline
+  ThreadId in_service_ = hsfq::kInvalidThread;
+};
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_EDF_H_

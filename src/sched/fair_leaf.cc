@@ -1,0 +1,96 @@
+#include "src/sched/fair_leaf.h"
+
+#include <cassert>
+
+namespace hleaf {
+
+hscommon::Status FairLeafScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
+  if (params.weight < 1) {
+    return hscommon::InvalidArgument("thread weight must be >= 1");
+  }
+  if (threads_.contains(thread)) {
+    return hscommon::AlreadyExists("thread already in this class");
+  }
+  const hfair::FlowId flow = queue_->AddFlow(params.weight);
+  threads_[thread] = ThreadState{.flow = flow, .runnable = false};
+  if (flow_to_thread_.size() <= flow) {
+    flow_to_thread_.resize(flow + 1, hsfq::kInvalidThread);
+  }
+  flow_to_thread_[flow] = thread;
+  return hscommon::Status::Ok();
+}
+
+void FairLeafScheduler::RemoveThread(ThreadId thread) {
+  const auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  assert(thread != in_service_);
+  if (it->second.runnable) {
+    queue_->Depart(it->second.flow, 0);
+  }
+  flow_to_thread_[it->second.flow] = hsfq::kInvalidThread;
+  queue_->RemoveFlow(it->second.flow);
+  threads_.erase(it);
+}
+
+hscommon::Status FairLeafScheduler::SetThreadParams(ThreadId thread,
+                                                    const ThreadParams& params) {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return hscommon::NotFound("no such thread in this class");
+  }
+  if (params.weight < 1) {
+    return hscommon::InvalidArgument("thread weight must be >= 1");
+  }
+  queue_->SetWeight(it->second.flow, params.weight);
+  return hscommon::Status::Ok();
+}
+
+void FairLeafScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
+  auto& state = threads_.at(thread);
+  assert(!state.runnable && thread != in_service_);
+  queue_->Arrive(state.flow, now);
+  state.runnable = true;
+}
+
+void FairLeafScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
+  auto& state = threads_.at(thread);
+  assert(state.runnable && thread != in_service_);
+  queue_->Depart(state.flow, now);
+  state.runnable = false;
+}
+
+ThreadId FairLeafScheduler::PickNext(hscommon::Time now) {
+  assert(in_service_ == hsfq::kInvalidThread);
+  const hfair::FlowId flow = queue_->PickNext(now);
+  if (flow == hfair::kInvalidFlow) {
+    return hsfq::kInvalidThread;
+  }
+  const ThreadId tid = flow_to_thread_[flow];
+  assert(tid != hsfq::kInvalidThread);
+  threads_.at(tid).runnable = false;
+  in_service_ = tid;
+  return tid;
+}
+
+void FairLeafScheduler::Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+                               bool still_runnable) {
+  assert(thread == in_service_);
+  auto& state = threads_.at(thread);
+  queue_->Complete(state.flow, used, now, still_runnable);
+  state.runnable = still_runnable;
+  in_service_ = hsfq::kInvalidThread;
+}
+
+bool FairLeafScheduler::HasRunnable() const {
+  return queue_->HasBacklog() || in_service_ != hsfq::kInvalidThread;
+}
+
+bool FairLeafScheduler::IsThreadRunnable(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return false;
+  }
+  return it->second.runnable || thread == in_service_;
+}
+
+}  // namespace hleaf

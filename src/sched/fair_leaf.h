@@ -1,0 +1,59 @@
+// Generic leaf-class scheduler backed by ANY algorithm of the fair-queuing family.
+//
+// The paper's framework lets a leaf class pick the scheduler its applications need; this
+// adapter turns every hfair::FairQueue implementation (SFQ, WFQ, SCFQ, FQS, Stride,
+// Lottery, EEVDF) into a leaf class, so e.g. a "legacy" class can keep lottery semantics
+// while the rest of the machine runs SFQ. `bench/abl_leaf_algorithms` compares them in
+// situ. For SFQ specifically, prefer SfqLeafScheduler — it adds the weight-transfer
+// priority-inversion remedy and tag introspection.
+
+#ifndef HSCHED_SRC_SCHED_FAIR_LEAF_H_
+#define HSCHED_SRC_SCHED_FAIR_LEAF_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fair/fair_queue.h"
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+class FairLeafScheduler : public hsfq::LeafScheduler {
+ public:
+  // Takes ownership of the algorithm instance.
+  explicit FairLeafScheduler(std::unique_ptr<hfair::FairQueue> queue)
+      : queue_(std::move(queue)) {}
+
+  hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
+  void RemoveThread(ThreadId thread) override;
+  hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
+  void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
+  ThreadId PickNext(hscommon::Time now) override;
+  void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+              bool still_runnable) override;
+  bool HasRunnable() const override;
+  bool IsThreadRunnable(ThreadId thread) const override;
+  std::string Name() const override { return queue_->Name() + "-leaf"; }
+
+  const hfair::FairQueue& queue() const { return *queue_; }
+
+ private:
+  struct ThreadState {
+    hfair::FlowId flow = hfair::kInvalidFlow;
+    bool runnable = false;
+  };
+
+  std::unique_ptr<hfair::FairQueue> queue_;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  std::vector<ThreadId> flow_to_thread_;
+  ThreadId in_service_ = hsfq::kInvalidThread;
+};
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_FAIR_LEAF_H_

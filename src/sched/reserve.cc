@@ -1,0 +1,202 @@
+#include "src/sched/reserve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace hleaf {
+
+ReserveScheduler::ReserveScheduler() : ReserveScheduler(Config{}) {}
+
+ReserveScheduler::ReserveScheduler(const Config& config) : config_(config) {}
+
+hscommon::Status ReserveScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
+  if (threads_.contains(thread)) {
+    return hscommon::AlreadyExists("thread already in this class");
+  }
+  if (params.period <= 0 || params.computation <= 0 || params.computation > params.period) {
+    return hscommon::InvalidArgument(
+        "a reserve needs 0 < computation (budget) <= period");
+  }
+  const double u =
+      static_cast<double>(params.computation) / static_cast<double>(params.period);
+  if (config_.admission_control && utilization_ + u > config_.cpu_fraction + 1e-12) {
+    return hscommon::ResourceExhausted("reserve admission: capacity exceeded");
+  }
+  ThreadState state;
+  state.budget = params.computation;
+  state.period = params.period;
+  state.remaining = params.computation;
+  state.next_replenish = params.period;  // relative to time 0; Replenish catches up
+  threads_.emplace(thread, state);
+  utilization_ += u;
+  return hscommon::Status::Ok();
+}
+
+void ReserveScheduler::RemoveThread(ThreadId thread) {
+  const auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  assert(thread != in_service_);
+  if (it->second.runnable) {
+    DequeueRunnable(thread, it->second);
+  }
+  utilization_ -=
+      static_cast<double>(it->second.budget) / static_cast<double>(it->second.period);
+  threads_.erase(it);
+}
+
+hscommon::Status ReserveScheduler::SetThreadParams(ThreadId thread,
+                                                   const ThreadParams& params) {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return hscommon::NotFound("no such thread in this class");
+  }
+  if (params.period <= 0 || params.computation <= 0 || params.computation > params.period) {
+    return hscommon::InvalidArgument(
+        "a reserve needs 0 < computation (budget) <= period");
+  }
+  ThreadState& state = it->second;
+  const double old_u =
+      static_cast<double>(state.budget) / static_cast<double>(state.period);
+  const double new_u =
+      static_cast<double>(params.computation) / static_cast<double>(params.period);
+  if (config_.admission_control &&
+      utilization_ - old_u + new_u > config_.cpu_fraction + 1e-12) {
+    return hscommon::ResourceExhausted("reserve admission: capacity exceeded");
+  }
+  const bool requeue = state.runnable;
+  if (requeue) {
+    DequeueRunnable(thread, state);
+  }
+  state.budget = params.computation;
+  state.period = params.period;
+  state.remaining = std::min(state.remaining, state.budget);
+  utilization_ += new_u - old_u;
+  if (requeue) {
+    EnqueueRunnable(thread, state, state.next_replenish - state.period);
+  }
+  return hscommon::Status::Ok();
+}
+
+void ReserveScheduler::Replenish(ThreadState& state, hscommon::Time now) {
+  if (now < state.next_replenish) {
+    return;
+  }
+  // Catch up over any number of elapsed periods; budget does not accumulate.
+  const hscommon::Time elapsed = now - state.next_replenish;
+  state.next_replenish += (elapsed / state.period + 1) * state.period;
+  state.remaining = state.budget;
+}
+
+void ReserveScheduler::EnqueueRunnable(ThreadId thread, ThreadState& state,
+                                       hscommon::Time now) {
+  Replenish(state, now);
+  state.runnable = true;
+  if (state.remaining > 0) {
+    state.in_reserved_queue = true;
+    reserved_.emplace(state.next_replenish, thread);
+  } else {
+    state.in_reserved_queue = false;
+    background_.push_back(thread);
+  }
+}
+
+void ReserveScheduler::DequeueRunnable(ThreadId thread, ThreadState& state) {
+  if (state.in_reserved_queue) {
+    reserved_.erase({state.next_replenish, thread});
+  } else {
+    background_.erase(std::find(background_.begin(), background_.end(), thread));
+  }
+  state.runnable = false;
+}
+
+void ReserveScheduler::PromoteReplenished(hscommon::Time now) {
+  for (size_t i = 0; i < background_.size();) {
+    const ThreadId thread = background_[i];
+    ThreadState& state = threads_.at(thread);
+    if (now >= state.next_replenish) {
+      background_.erase(background_.begin() + static_cast<std::ptrdiff_t>(i));
+      Replenish(state, now);
+      state.in_reserved_queue = true;
+      reserved_.emplace(state.next_replenish, thread);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ReserveScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
+  ThreadState& state = threads_.at(thread);
+  assert(!state.runnable && thread != in_service_);
+  EnqueueRunnable(thread, state, now);
+}
+
+void ReserveScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
+  (void)now;
+  ThreadState& state = threads_.at(thread);
+  assert(state.runnable && thread != in_service_);
+  DequeueRunnable(thread, state);
+}
+
+ThreadId ReserveScheduler::PickNext(hscommon::Time now) {
+  assert(in_service_ == hsfq::kInvalidThread);
+  PromoteReplenished(now);
+  ThreadId thread = hsfq::kInvalidThread;
+  if (!reserved_.empty()) {
+    thread = reserved_.begin()->second;
+  } else if (!background_.empty()) {
+    thread = background_.front();
+  } else {
+    return hsfq::kInvalidThread;
+  }
+  DequeueRunnable(thread, threads_.at(thread));
+  in_service_ = thread;
+  return thread;
+}
+
+void ReserveScheduler::Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+                              bool still_runnable) {
+  assert(thread == in_service_);
+  ThreadState& state = threads_.at(thread);
+  in_service_ = hsfq::kInvalidThread;
+  state.remaining = std::max<hscommon::Work>(0, state.remaining - used);
+  if (still_runnable) {
+    EnqueueRunnable(thread, state, now);
+  }
+}
+
+bool ReserveScheduler::HasRunnable() const {
+  return !reserved_.empty() || !background_.empty() ||
+         in_service_ != hsfq::kInvalidThread;
+}
+
+bool ReserveScheduler::IsThreadRunnable(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return false;
+  }
+  return it->second.runnable || thread == in_service_;
+}
+
+hscommon::Work ReserveScheduler::PreferredQuantum(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end() || it->second.remaining <= 0) {
+    return 0;  // background: use the system default slice
+  }
+  return it->second.remaining;
+}
+
+hscommon::Work ReserveScheduler::RemainingBudget(ThreadId thread, hscommon::Time now) {
+  ThreadState& state = threads_.at(thread);
+  if (state.runnable) {
+    // Re-key through the queues: Replenish changes next_replenish, which is part of the
+    // reserved-set ordering key.
+    DequeueRunnable(thread, state);
+    EnqueueRunnable(thread, state, now);
+  } else {
+    Replenish(state, now);
+  }
+  return state.remaining;
+}
+
+}  // namespace hleaf

@@ -1,0 +1,86 @@
+// Processor capacity reserves (Mercer, Savage & Tokuda, ICMCS '94) — one of the
+// "complementary" class schedulers the paper's related work says can run as a leaf class
+// inside the hierarchy (§6).
+//
+// Each thread holds a reserve (C, T): a budget of C nanoseconds of CPU per period T,
+// replenished at period boundaries. Threads with remaining budget are *reserved* and are
+// scheduled earliest-replenishment-deadline first; a thread that exhausts its budget is
+// demoted to a background round-robin until its next replenishment (it is not suspended,
+// so the class stays work-conserving). Admission control enforces sum(C/T) <= fraction.
+
+#ifndef HSCHED_SRC_SCHED_RESERVE_H_
+#define HSCHED_SRC_SCHED_RESERVE_H_
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+class ReserveScheduler : public hsfq::LeafScheduler {
+ public:
+  struct Config {
+    // Fraction of the CPU this class is allocated (admission budget).
+    double cpu_fraction = 1.0;
+    bool admission_control = true;
+  };
+
+  ReserveScheduler();
+  explicit ReserveScheduler(const Config& config);
+
+  hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
+  void RemoveThread(ThreadId thread) override;
+  hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
+  void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
+  ThreadId PickNext(hscommon::Time now) override;
+  void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+              bool still_runnable) override;
+  bool HasRunnable() const override;
+  bool IsThreadRunnable(ThreadId thread) const override;
+  // Caps the slice at the thread's remaining budget so depletion lands on a dispatch
+  // boundary.
+  hscommon::Work PreferredQuantum(ThreadId thread) const override;
+  std::string Name() const override { return "Reserves"; }
+
+  double BookedUtilization() const { return utilization_; }
+
+  // Remaining budget in the thread's current period (after lazy replenishment at `now`).
+  hscommon::Work RemainingBudget(ThreadId thread, hscommon::Time now);
+
+ private:
+  struct ThreadState {
+    hscommon::Work budget = 0;       // C
+    hscommon::Time period = 0;       // T
+    hscommon::Work remaining = 0;    // budget left this period
+    hscommon::Time next_replenish = 0;
+    bool runnable = false;
+    bool in_reserved_queue = false;  // which queue it currently sits on
+  };
+
+  // Brings the thread's budget up to date with period boundaries.
+  void Replenish(ThreadState& state, hscommon::Time now);
+  void EnqueueRunnable(ThreadId thread, ThreadState& state, hscommon::Time now);
+  void DequeueRunnable(ThreadId thread, ThreadState& state);
+  // Moves any background thread whose replenishment arrived back to the reserved queue.
+  void PromoteReplenished(hscommon::Time now);
+
+  Config config_;
+  double utilization_ = 0.0;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  // Reserved threads, earliest replenishment deadline first.
+  std::set<std::pair<hscommon::Time, ThreadId>> reserved_;
+  // Budget-exhausted threads, round-robin.
+  std::deque<ThreadId> background_;
+  ThreadId in_service_ = hsfq::kInvalidThread;
+};
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_RESERVE_H_

@@ -1,0 +1,153 @@
+#include "src/sched/rma.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hleaf {
+
+RmaScheduler::RmaScheduler() : RmaScheduler(Config{}) {}
+
+RmaScheduler::RmaScheduler(const Config& config) : config_(config) {}
+
+double RmaScheduler::LiuLaylandBound(size_t n) {
+  if (n == 0) {
+    return 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  return static_cast<double>(n) * (std::pow(2.0, inv) - 1.0);
+}
+
+hscommon::Status RmaScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
+  if (threads_.contains(thread)) {
+    return hscommon::AlreadyExists("thread already in this class");
+  }
+  if (params.period <= 0 || params.computation <= 0) {
+    return hscommon::InvalidArgument("RMA threads need period > 0 and computation > 0");
+  }
+  const double u = static_cast<double>(params.computation) / static_cast<double>(params.period);
+  if (config_.admission_control) {
+    const size_t n = threads_.size() + 1;
+    const double bound = config_.utilization_test_only ? 1.0 : LiuLaylandBound(n);
+    if (utilization_ + u > bound * config_.cpu_fraction + 1e-12) {
+      return hscommon::ResourceExhausted("RMA admission: schedulability bound exceeded");
+    }
+  }
+  ThreadState state;
+  state.period = params.period;
+  state.computation = params.computation;
+  state.effective_period = params.period;
+  threads_.emplace(thread, state);
+  utilization_ += u;
+  return hscommon::Status::Ok();
+}
+
+void RmaScheduler::RemoveThread(ThreadId thread) {
+  const auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  assert(thread != in_service_);
+  if (it->second.runnable) {
+    ready_.erase({it->second.effective_period, thread});
+  }
+  utilization_ -= static_cast<double>(it->second.computation) /
+                  static_cast<double>(it->second.period);
+  threads_.erase(it);
+}
+
+hscommon::Status RmaScheduler::SetThreadParams(ThreadId thread, const ThreadParams& params) {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return hscommon::NotFound("no such thread in this class");
+  }
+  if (params.period <= 0 || params.computation <= 0) {
+    return hscommon::InvalidArgument("RMA threads need period > 0 and computation > 0");
+  }
+  ThreadState& state = it->second;
+  assert(!state.runnable && thread != in_service_ &&
+         "change RMA parameters only while the thread is blocked");
+  const double old_u =
+      static_cast<double>(state.computation) / static_cast<double>(state.period);
+  const double new_u =
+      static_cast<double>(params.computation) / static_cast<double>(params.period);
+  if (config_.admission_control) {
+    const double bound =
+        config_.utilization_test_only ? 1.0 : LiuLaylandBound(threads_.size());
+    if (utilization_ - old_u + new_u > bound * config_.cpu_fraction + 1e-12) {
+      return hscommon::ResourceExhausted("RMA admission: schedulability bound exceeded");
+    }
+  }
+  state.period = params.period;
+  state.computation = params.computation;
+  state.effective_period = params.period;
+  utilization_ += new_u - old_u;
+  return hscommon::Status::Ok();
+}
+
+void RmaScheduler::ThreadRunnable(ThreadId thread, hscommon::Time /*now*/) {
+  ThreadState& state = threads_.at(thread);
+  assert(!state.runnable && thread != in_service_);
+  state.runnable = true;
+  ready_.emplace(state.effective_period, thread);
+}
+
+void RmaScheduler::ThreadBlocked(ThreadId thread, hscommon::Time /*now*/) {
+  ThreadState& state = threads_.at(thread);
+  assert(state.runnable && thread != in_service_);
+  ready_.erase({state.effective_period, thread});
+  state.runnable = false;
+}
+
+ThreadId RmaScheduler::PickNext(hscommon::Time /*now*/) {
+  assert(in_service_ == hsfq::kInvalidThread);
+  if (ready_.empty()) {
+    return hsfq::kInvalidThread;
+  }
+  const ThreadId thread = ready_.begin()->second;
+  ready_.erase(ready_.begin());
+  threads_.at(thread).runnable = false;
+  in_service_ = thread;
+  return thread;
+}
+
+void RmaScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Time /*now*/,
+                          bool still_runnable) {
+  assert(thread == in_service_);
+  ThreadState& state = threads_.at(thread);
+  in_service_ = hsfq::kInvalidThread;
+  if (still_runnable) {
+    state.runnable = true;
+    ready_.emplace(state.effective_period, thread);
+  }
+}
+
+bool RmaScheduler::HasRunnable() const {
+  return !ready_.empty() || in_service_ != hsfq::kInvalidThread;
+}
+
+bool RmaScheduler::IsThreadRunnable(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return false;
+  }
+  return it->second.runnable || thread == in_service_;
+}
+
+void RmaScheduler::InheritPriority(ThreadId holder, ThreadId waiter) {
+  ThreadState& h = threads_.at(holder);
+  hscommon::Time target = h.period;
+  if (waiter != hsfq::kInvalidThread) {
+    target = std::min(target, threads_.at(waiter).period);
+  }
+  if (target == h.effective_period) {
+    return;
+  }
+  // Re-key the ready entry if the holder is queued.
+  if (h.runnable) {
+    ready_.erase({h.effective_period, holder});
+    h.effective_period = target;
+    ready_.emplace(h.effective_period, holder);
+  } else {
+    h.effective_period = target;
+  }
+}
+
+}  // namespace hleaf

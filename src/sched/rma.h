@@ -1,0 +1,86 @@
+// Rate Monotonic leaf scheduler (Liu & Layland 1973) — the algorithm Figure 9 runs inside
+// the RT class: static priorities, shorter period = higher priority.
+//
+// Admission control uses the Liu–Layland bound U <= n(2^{1/n} - 1) scaled by the class's
+// CPU fraction; an optional priority-inheritance hook counters priority inversion when
+// threads of this class share simulated locks (paper §4's discussion).
+
+#ifndef HSCHED_SRC_SCHED_RMA_H_
+#define HSCHED_SRC_SCHED_RMA_H_
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+class RmaScheduler : public hsfq::LeafScheduler {
+ public:
+  struct Config {
+    // Fraction of the CPU this class is allocated.
+    double cpu_fraction = 1.0;
+    bool admission_control = true;
+    // If true, admit up to cpu_fraction (utilization test) instead of the more
+    // conservative Liu–Layland bound.
+    bool utilization_test_only = false;
+  };
+
+  RmaScheduler();
+  explicit RmaScheduler(const Config& config);
+
+  hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
+  void RemoveThread(ThreadId thread) override;
+  hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
+  void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
+  ThreadId PickNext(hscommon::Time now) override;
+  void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+              bool still_runnable) override;
+  bool HasRunnable() const override;
+  bool IsThreadRunnable(ThreadId thread) const override;
+  std::string Name() const override { return "RMA"; }
+
+  // Priority inheritance: while `holder` blocks `waiter` (shorter period), `holder`
+  // is scheduled at `waiter`'s rate-monotonic priority. Pass kInvalidThread as waiter to
+  // clear. (Paper §4: "standard priority inheritance techniques can be employed".)
+  void InheritPriority(ThreadId holder, ThreadId waiter);
+
+  // LeafScheduler remedy hooks.
+  void OnResourceBlocked(ThreadId holder, ThreadId waiter) override {
+    InheritPriority(holder, waiter);
+  }
+  void OnResourceReleased(ThreadId holder, ThreadId /*waiter*/) override {
+    InheritPriority(holder, hsfq::kInvalidThread);
+  }
+
+  double BookedUtilization() const { return utilization_; }
+
+  // The Liu–Layland bound n(2^{1/n}-1) for n tasks.
+  static double LiuLaylandBound(size_t n);
+
+ private:
+  struct ThreadState {
+    hscommon::Time period = 0;
+    hscommon::Work computation = 0;
+    // Effective period used for priority ordering (shrinks under inheritance).
+    hscommon::Time effective_period = 0;
+    bool runnable = false;
+  };
+
+  using ReadyKey = std::pair<hscommon::Time, ThreadId>;  // (effective period, id)
+
+  Config config_;
+  double utilization_ = 0.0;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  std::set<ReadyKey> ready_;
+  ThreadId in_service_ = hsfq::kInvalidThread;
+};
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_RMA_H_

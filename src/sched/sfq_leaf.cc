@@ -1,0 +1,137 @@
+#include "src/sched/sfq_leaf.h"
+
+#include <cassert>
+
+namespace hleaf {
+
+hscommon::Status SfqLeafScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
+  if (params.weight < 1) {
+    return hscommon::InvalidArgument("thread weight must be >= 1");
+  }
+  if (threads_.contains(thread)) {
+    return hscommon::AlreadyExists("thread already in this class");
+  }
+  const hfair::FlowId flow = sfq_.AddFlow(params.weight);
+  threads_[thread] =
+      ThreadState{.flow = flow, .base_weight = params.weight, .runnable = false};
+  if (flow_to_thread_.size() <= flow) {
+    flow_to_thread_.resize(flow + 1, hsfq::kInvalidThread);
+  }
+  flow_to_thread_[flow] = thread;
+  return hscommon::Status::Ok();
+}
+
+void SfqLeafScheduler::RemoveThread(ThreadId thread) {
+  const auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  assert(thread != in_service_);
+  RevokeDonation(thread);
+  assert(it->second.donated_in == 0 && "remove a donation recipient's donors first");
+  if (it->second.runnable) {
+    sfq_.Depart(it->second.flow);
+  }
+  flow_to_thread_[it->second.flow] = hsfq::kInvalidThread;
+  sfq_.RemoveFlow(it->second.flow);
+  threads_.erase(it);
+}
+
+hscommon::Status SfqLeafScheduler::SetThreadParams(ThreadId thread,
+                                                   const ThreadParams& params) {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return hscommon::NotFound("no such thread in this class");
+  }
+  if (params.weight < 1) {
+    return hscommon::InvalidArgument("thread weight must be >= 1");
+  }
+  // The weight of a backlogged flow feeds the *next* finish-tag computation; SFQ does not
+  // reorder already-stamped start tags (this is what Figure 11 exercises).
+  it->second.base_weight = params.weight;
+  ApplyEffectiveWeight(thread);
+  return hscommon::Status::Ok();
+}
+
+void SfqLeafScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
+  auto& state = threads_.at(thread);
+  assert(!state.runnable && thread != in_service_);
+  sfq_.Arrive(state.flow, now);
+  state.runnable = true;
+}
+
+void SfqLeafScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
+  (void)now;
+  auto& state = threads_.at(thread);
+  assert(state.runnable && thread != in_service_);
+  sfq_.Depart(state.flow);
+  state.runnable = false;
+}
+
+ThreadId SfqLeafScheduler::PickNext(hscommon::Time now) {
+  assert(in_service_ == hsfq::kInvalidThread);
+  const hfair::FlowId flow = sfq_.PickNext(now);
+  if (flow == hfair::kInvalidFlow) {
+    return hsfq::kInvalidThread;
+  }
+  const ThreadId tid = flow_to_thread_[flow];
+  assert(tid != hsfq::kInvalidThread);
+  in_service_ = tid;
+  return tid;
+}
+
+void SfqLeafScheduler::Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+                              bool still_runnable) {
+  assert(thread == in_service_);
+  auto& state = threads_.at(thread);
+  sfq_.Complete(state.flow, used, now, still_runnable);
+  state.runnable = still_runnable;
+  in_service_ = hsfq::kInvalidThread;
+}
+
+bool SfqLeafScheduler::HasRunnable() const {
+  return sfq_.HasBacklog() || in_service_ != hsfq::kInvalidThread;
+}
+
+void SfqLeafScheduler::ApplyEffectiveWeight(ThreadId thread) {
+  const ThreadState& state = threads_.at(thread);
+  sfq_.SetWeight(state.flow, state.base_weight + state.donated_in);
+}
+
+void SfqLeafScheduler::DonateWeight(ThreadId donor, ThreadId recipient) {
+  assert(donor != recipient);
+  assert(!donations_.contains(donor) && "donor already has an outstanding donation");
+  const ThreadState& d = threads_.at(donor);
+  ThreadState& r = threads_.at(recipient);
+  r.donated_in += d.base_weight + d.donated_in;  // transitive: pass through chains
+  donations_.emplace(donor, recipient);
+  ApplyEffectiveWeight(recipient);
+}
+
+void SfqLeafScheduler::RevokeDonation(ThreadId donor) {
+  const auto it = donations_.find(donor);
+  if (it == donations_.end()) {
+    return;
+  }
+  const ThreadId recipient = it->second;
+  const ThreadState& d = threads_.at(donor);
+  ThreadState& r = threads_.at(recipient);
+  const hscommon::Weight amount = d.base_weight + d.donated_in;
+  assert(r.donated_in >= amount);
+  r.donated_in -= amount;
+  donations_.erase(it);
+  ApplyEffectiveWeight(recipient);
+}
+
+hscommon::Weight SfqLeafScheduler::EffectiveWeight(ThreadId thread) const {
+  const ThreadState& state = threads_.at(thread);
+  return state.base_weight + state.donated_in;
+}
+
+bool SfqLeafScheduler::IsThreadRunnable(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return false;
+  }
+  return it->second.runnable || thread == in_service_;
+}
+
+}  // namespace hleaf

@@ -1,0 +1,82 @@
+// SFQ as a leaf-class scheduler (paper §4, §5.4): fairly distributes the leaf's CPU
+// allocation among its threads in proportion to their weights. This is the scheduler the
+// paper assigns to the soft real-time and user1 classes in Figure 2 and evaluates as a
+// leaf in Figures 10 and 11.
+
+#ifndef HSCHED_SRC_SCHED_SFQ_LEAF_H_
+#define HSCHED_SRC_SCHED_SFQ_LEAF_H_
+
+#include <unordered_map>
+
+#include "src/fair/sfq.h"
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+class SfqLeafScheduler : public hsfq::LeafScheduler {
+ public:
+  SfqLeafScheduler() = default;
+
+  hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
+  void RemoveThread(ThreadId thread) override;
+  hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
+  void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
+  ThreadId PickNext(hscommon::Time now) override;
+  void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+              bool still_runnable) override;
+  bool HasRunnable() const override;
+  bool IsThreadRunnable(ThreadId thread) const override;
+  std::string Name() const override { return "SFQ-leaf"; }
+
+  // --- Priority-inversion remedy (paper §4) ---
+  //
+  // "When the leaf scheduler is SFQ, priority inversion can be avoided by transferring
+  // the weight of the blocked thread to the thread that is blocking it." While a donation
+  // is in force, `recipient` runs with its own weight plus every donor's weight; the
+  // donor is blocked, so no weight is counted twice.
+
+  // Starts a donation from `donor` (blocked on a resource) to `recipient` (the holder).
+  // A donor may have at most one outstanding donation.
+  void DonateWeight(ThreadId donor, ThreadId recipient);
+
+  // LeafScheduler remedy hooks: map to DonateWeight / RevokeDonation.
+  void OnResourceBlocked(ThreadId holder, ThreadId waiter) override {
+    DonateWeight(waiter, holder);
+  }
+  void OnResourceReleased(ThreadId /*holder*/, ThreadId waiter) override {
+    RevokeDonation(waiter);
+  }
+
+  // Ends `donor`'s outstanding donation (the resource was released). No-op if none.
+  void RevokeDonation(ThreadId donor);
+
+  // The weight a thread is currently scheduled with (base + received donations).
+  hscommon::Weight EffectiveWeight(ThreadId thread) const;
+
+  // Tag introspection for tests.
+  const hfair::Sfq& sfq() const { return sfq_; }
+
+ private:
+  struct ThreadState {
+    hfair::FlowId flow = hfair::kInvalidFlow;
+    hscommon::Weight base_weight = 1;
+    hscommon::Weight donated_in = 0;  // weight received from blocked donors
+    bool runnable = false;
+  };
+
+  void ApplyEffectiveWeight(ThreadId thread);
+
+  hfair::Sfq sfq_;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  std::vector<ThreadId> flow_to_thread_;  // indexed by FlowId
+  std::unordered_map<ThreadId, ThreadId> donations_;  // donor -> recipient
+  ThreadId in_service_ = hsfq::kInvalidThread;
+};
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_SFQ_LEAF_H_

@@ -1,0 +1,86 @@
+#include "src/sched/simple.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hleaf {
+
+hscommon::Status QueueScheduler::AddThread(ThreadId thread, const ThreadParams& /*params*/) {
+  if (runnable_.contains(thread)) {
+    return hscommon::AlreadyExists("thread already in this class");
+  }
+  runnable_.emplace(thread, false);
+  return hscommon::Status::Ok();
+}
+
+void QueueScheduler::RemoveThread(ThreadId thread) {
+  const auto it = runnable_.find(thread);
+  assert(it != runnable_.end());
+  assert(thread != in_service_);
+  if (it->second) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), thread));
+  }
+  runnable_.erase(it);
+}
+
+hscommon::Status QueueScheduler::SetThreadParams(ThreadId thread,
+                                                 const ThreadParams& /*params*/) {
+  if (!runnable_.contains(thread)) {
+    return hscommon::NotFound("no such thread in this class");
+  }
+  return hscommon::Status::Ok();  // nothing tunable
+}
+
+void QueueScheduler::ThreadRunnable(ThreadId thread, hscommon::Time /*now*/) {
+  auto& flag = runnable_.at(thread);
+  assert(!flag && thread != in_service_);
+  flag = true;
+  queue_.push_back(thread);
+}
+
+void QueueScheduler::ThreadBlocked(ThreadId thread, hscommon::Time /*now*/) {
+  auto& flag = runnable_.at(thread);
+  assert(flag && thread != in_service_);
+  queue_.erase(std::find(queue_.begin(), queue_.end(), thread));
+  flag = false;
+}
+
+ThreadId QueueScheduler::PickNext(hscommon::Time /*now*/) {
+  assert(in_service_ == hsfq::kInvalidThread);
+  if (queue_.empty()) {
+    return hsfq::kInvalidThread;
+  }
+  const ThreadId thread = queue_.front();
+  queue_.pop_front();
+  runnable_.at(thread) = false;
+  in_service_ = thread;
+  return thread;
+}
+
+void QueueScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Time /*now*/,
+                            bool still_runnable) {
+  assert(thread == in_service_);
+  in_service_ = hsfq::kInvalidThread;
+  if (still_runnable) {
+    runnable_.at(thread) = true;
+    if (RequeueAtTail()) {
+      queue_.push_back(thread);
+    } else {
+      queue_.push_front(thread);
+    }
+  }
+}
+
+bool QueueScheduler::HasRunnable() const {
+  return !queue_.empty() || in_service_ != hsfq::kInvalidThread;
+}
+
+bool QueueScheduler::IsThreadRunnable(ThreadId thread) const {
+  const auto it = runnable_.find(thread);
+  if (it == runnable_.end()) {
+    return false;
+  }
+  return it->second || thread == in_service_;
+}
+
+}  // namespace hleaf

@@ -1,0 +1,60 @@
+// Round-robin and FIFO leaf schedulers — the simplest class schedulers, used as the
+// "unmodified kernel" baseline in the Figure 7 overhead experiment and in tests.
+
+#ifndef HSCHED_SRC_SCHED_SIMPLE_H_
+#define HSCHED_SRC_SCHED_SIMPLE_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+// Shared queue mechanics; RR re-queues at the tail after each quantum, FIFO re-queues at
+// the head (run to block).
+class QueueScheduler : public hsfq::LeafScheduler {
+ public:
+  hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
+  void RemoveThread(ThreadId thread) override;
+  hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
+  void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
+  ThreadId PickNext(hscommon::Time now) override;
+  void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+              bool still_runnable) override;
+  bool HasRunnable() const override;
+  bool IsThreadRunnable(ThreadId thread) const override;
+
+ protected:
+  // True = tail (round-robin), false = head (FIFO / run-to-block).
+  virtual bool RequeueAtTail() const = 0;
+
+ private:
+  std::unordered_map<ThreadId, bool> runnable_;
+  std::deque<ThreadId> queue_;
+  ThreadId in_service_ = hsfq::kInvalidThread;
+};
+
+class RoundRobinScheduler : public QueueScheduler {
+ public:
+  std::string Name() const override { return "RR"; }
+
+ protected:
+  bool RequeueAtTail() const override { return true; }
+};
+
+class FifoScheduler : public QueueScheduler {
+ public:
+  std::string Name() const override { return "FIFO"; }
+
+ protected:
+  bool RequeueAtTail() const override { return false; }
+};
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_SIMPLE_H_

@@ -1,0 +1,288 @@
+#include "src/sched/ts_svr4.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace hleaf {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+const TsDispatchTable& DefaultTsDispatchTable() {
+  static const TsDispatchTable table = [] {
+    TsDispatchTable t{};
+    for (int pri = 0; pri < kTsPriorityLevels; ++pri) {
+      // Long slices for CPU hogs at the bottom, short slices near the top.
+      hscommon::Work quantum = 20 * kMillisecond;
+      if (pri < 10) {
+        quantum = 200 * kMillisecond;
+      } else if (pri < 20) {
+        quantum = 160 * kMillisecond;
+      } else if (pri < 30) {
+        quantum = 120 * kMillisecond;
+      } else if (pri < 40) {
+        quantum = 80 * kMillisecond;
+      } else if (pri < 50) {
+        quantum = 40 * kMillisecond;
+      }
+      t[pri] = TsDispatchEntry{
+          .ts_quantum = quantum,
+          .ts_tqexp = std::max(0, pri - 10),
+          .ts_slpret = std::min(kTsPriorityLevels - 1, pri + 10),
+          .ts_maxwait = kSecond,
+          .ts_lwait = std::min(kTsPriorityLevels - 1, pri + 20),
+      };
+    }
+    return t;
+  }();
+  return table;
+}
+
+hscommon::Status ValidateTsDispatchTable(const TsDispatchTable& table) {
+  for (int pri = 0; pri < kTsPriorityLevels; ++pri) {
+    const TsDispatchEntry& row = table[pri];
+    if (row.ts_quantum <= 0) {
+      return hscommon::InvalidArgument("ts_quantum must be > 0 at priority " +
+                                       std::to_string(pri));
+    }
+    if (row.ts_tqexp < 0 || row.ts_tqexp > pri) {
+      return hscommon::InvalidArgument("ts_tqexp must demote (0 <= tqexp <= pri) at " +
+                                       std::to_string(pri));
+    }
+    if (row.ts_slpret < pri || row.ts_slpret >= kTsPriorityLevels) {
+      return hscommon::InvalidArgument("ts_slpret must promote (pri <= slpret < 60) at " +
+                                       std::to_string(pri));
+    }
+    if (row.ts_lwait < pri || row.ts_lwait >= kTsPriorityLevels) {
+      return hscommon::InvalidArgument("ts_lwait must promote (pri <= lwait < 60) at " +
+                                       std::to_string(pri));
+    }
+    if (row.ts_maxwait <= 0) {
+      return hscommon::InvalidArgument("ts_maxwait must be > 0 at priority " +
+                                       std::to_string(pri));
+    }
+  }
+  return hscommon::Status::Ok();
+}
+
+hscommon::Status SaveTsDispatchTable(const TsDispatchTable& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return hscommon::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  std::fputs("# ts_quantum_ms ts_tqexp ts_slpret ts_maxwait_ms ts_lwait\n", f);
+  for (int pri = 0; pri < kTsPriorityLevels; ++pri) {
+    const TsDispatchEntry& row = table[pri];
+    std::fprintf(f, "%lld %d %d %lld %d   # priority %d\n",
+                 static_cast<long long>(row.ts_quantum / kMillisecond), row.ts_tqexp,
+                 row.ts_slpret, static_cast<long long>(row.ts_maxwait / kMillisecond),
+                 row.ts_lwait, pri);
+  }
+  std::fclose(f);
+  return hscommon::Status::Ok();
+}
+
+hscommon::StatusOr<TsDispatchTable> LoadTsDispatchTable(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return hscommon::NotFound("cannot open '" + path + "'");
+  }
+  TsDispatchTable table{};
+  int pri = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long long quantum_ms = 0;
+    int tqexp = 0;
+    int slpret = 0;
+    long long maxwait_ms = 0;
+    int lwait = 0;
+    if (std::sscanf(line, "%lld %d %d %lld %d", &quantum_ms, &tqexp, &slpret, &maxwait_ms,
+                    &lwait) != 5) {
+      continue;  // comment or blank line
+    }
+    if (pri >= kTsPriorityLevels) {
+      std::fclose(f);
+      return hscommon::InvalidArgument("more than 60 rows in '" + path + "'");
+    }
+    table[pri] = TsDispatchEntry{quantum_ms * kMillisecond, tqexp, slpret,
+                                 maxwait_ms * kMillisecond, lwait};
+    ++pri;
+  }
+  std::fclose(f);
+  if (pri != kTsPriorityLevels) {
+    return hscommon::InvalidArgument("expected 60 rows in '" + path + "', got " +
+                                     std::to_string(pri));
+  }
+  if (auto s = ValidateTsDispatchTable(table); !s.ok()) {
+    return s;
+  }
+  return table;
+}
+
+TsScheduler::TsScheduler(const TsDispatchTable& table) : table_(table) {}
+
+int TsScheduler::ClampPriority(int priority) const {
+  return std::clamp(priority, 0, kTsPriorityLevels - 1);
+}
+
+hscommon::Status TsScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
+  if (threads_.contains(thread)) {
+    return hscommon::AlreadyExists("thread already in this class");
+  }
+  if (params.priority < 0 || params.priority >= kTsPriorityLevels) {
+    return hscommon::InvalidArgument("TS priority must be in [0, 60)");
+  }
+  ThreadState state;
+  state.upri = params.priority;
+  state.priority = params.priority;
+  state.slice_left = table_[state.priority].ts_quantum;
+  threads_.emplace(thread, state);
+  return hscommon::Status::Ok();
+}
+
+void TsScheduler::RemoveThread(ThreadId thread) {
+  const auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  assert(thread != in_service_);
+  if (it->second.runnable) {
+    Dequeue(thread);
+  }
+  threads_.erase(it);
+}
+
+hscommon::Status TsScheduler::SetThreadParams(ThreadId thread, const ThreadParams& params) {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return hscommon::NotFound("no such thread in this class");
+  }
+  if (params.priority < 0 || params.priority >= kTsPriorityLevels) {
+    return hscommon::InvalidArgument("TS priority must be in [0, 60)");
+  }
+  // Re-base: the new user priority becomes the current dispatch priority too (SVR4's
+  // priocntl semantics at our granularity). Re-queue if the thread is waiting.
+  ThreadState& state = it->second;
+  state.upri = params.priority;
+  const bool requeue = state.runnable;
+  hscommon::Time enqueued_at = state.enqueued_at;
+  if (requeue) {
+    Dequeue(thread);
+  }
+  state.priority = params.priority;
+  state.slice_left = table_[state.priority].ts_quantum;
+  if (requeue) {
+    Enqueue(thread, enqueued_at);
+  }
+  return hscommon::Status::Ok();
+}
+
+void TsScheduler::Enqueue(ThreadId thread, hscommon::Time now) {
+  ThreadState& state = threads_.at(thread);
+  state.runnable = true;
+  state.enqueued_at = now;
+  queues_[state.priority].push_back(thread);
+  ++runnable_count_;
+}
+
+void TsScheduler::Dequeue(ThreadId thread) {
+  ThreadState& state = threads_.at(thread);
+  auto& q = queues_[state.priority];
+  const auto it = std::find(q.begin(), q.end(), thread);
+  assert(it != q.end());
+  q.erase(it);
+  state.runnable = false;
+  --runnable_count_;
+}
+
+void TsScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
+  ThreadState& state = threads_.at(thread);
+  assert(!state.runnable && thread != in_service_);
+  if (state.was_asleep) {
+    // Sleep-return boost: interactive threads float to the top of the class.
+    state.priority = ClampPriority(table_[state.priority].ts_slpret);
+    state.slice_left = table_[state.priority].ts_quantum;
+    state.was_asleep = false;
+  }
+  Enqueue(thread, now);
+}
+
+void TsScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
+  (void)now;
+  ThreadState& state = threads_.at(thread);
+  assert(state.runnable && thread != in_service_);
+  Dequeue(thread);
+  state.was_asleep = true;
+}
+
+void TsScheduler::ApplyWaitBoosts(hscommon::Time now) {
+  // SVR4 runs this from a periodic callout; doing it at dispatch points is equivalent at
+  // our quantum granularity. Collect, then re-queue at the boosted priority.
+  for (auto& [tid, state] : threads_) {
+    if (!state.runnable) {
+      continue;
+    }
+    const TsDispatchEntry& row = table_[state.priority];
+    if (row.ts_lwait > state.priority && now - state.enqueued_at >= row.ts_maxwait) {
+      Dequeue(tid);
+      state.priority = ClampPriority(row.ts_lwait);
+      state.slice_left = table_[state.priority].ts_quantum;
+      Enqueue(tid, now);
+    }
+  }
+}
+
+ThreadId TsScheduler::PickNext(hscommon::Time now) {
+  assert(in_service_ == hsfq::kInvalidThread);
+  ApplyWaitBoosts(now);
+  for (int pri = kTsPriorityLevels - 1; pri >= 0; --pri) {
+    if (!queues_[pri].empty()) {
+      const ThreadId thread = queues_[pri].front();
+      Dequeue(thread);
+      in_service_ = thread;
+      return thread;
+    }
+  }
+  return hsfq::kInvalidThread;
+}
+
+void TsScheduler::Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+                         bool still_runnable) {
+  assert(thread == in_service_);
+  ThreadState& state = threads_.at(thread);
+  in_service_ = hsfq::kInvalidThread;
+  state.slice_left -= used;
+  if (state.slice_left <= 0) {
+    // Quantum fully consumed: the CPU-hog demotion.
+    state.priority = ClampPriority(table_[state.priority].ts_tqexp);
+    state.slice_left = table_[state.priority].ts_quantum;
+  }
+  if (still_runnable) {
+    Enqueue(thread, now);
+  } else {
+    state.was_asleep = true;
+  }
+}
+
+bool TsScheduler::HasRunnable() const {
+  return runnable_count_ > 0 || in_service_ != hsfq::kInvalidThread;
+}
+
+bool TsScheduler::IsThreadRunnable(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return false;
+  }
+  return it->second.runnable || thread == in_service_;
+}
+
+hscommon::Work TsScheduler::PreferredQuantum(ThreadId thread) const {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return 0;
+  }
+  return std::max<hscommon::Work>(it->second.slice_left, hscommon::kMillisecond);
+}
+
+int TsScheduler::PriorityOf(ThreadId thread) const { return threads_.at(thread).priority; }
+
+}  // namespace hleaf

@@ -1,0 +1,107 @@
+// SVR4/Solaris-style time-sharing (TS) scheduling class, used two ways in the paper:
+// as the baseline whose unpredictability Figure 5 demonstrates, and as a leaf-class
+// scheduler inside the hierarchy (node "SVR4" in Figure 6).
+//
+// Mechanics follow the SVR4 TS dispatch table: 60 priority levels, each with
+//   ts_quantum  — time slice at this level,
+//   ts_tqexp    — new priority after the slice is fully consumed (CPU hogs sink),
+//   ts_slpret   — new priority when returning from sleep (interactive threads float),
+//   ts_maxwait  — runnable-wait threshold after which the starvation boost fires,
+//   ts_lwait    — priority granted by the starvation boost.
+// Dispatch picks the highest-priority runnable thread, round-robin within a level.
+// This priority feedback is exactly the mechanism that makes per-thread throughput
+// unpredictable for mixed workloads, which SFQ's weight-proportional service replaces.
+//
+// The table below is synthesized to SVR4 semantics (the numeric tables shipped with each
+// vendor's kernel differ slightly; the shape — long slices at low priority, sleep-return
+// boosts into the 50s, ~1 s starvation boost — is what matters).
+
+#ifndef HSCHED_SRC_SCHED_TS_SVR4_H_
+#define HSCHED_SRC_SCHED_TS_SVR4_H_
+
+#include <array>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+// One row of the TS dispatch table.
+struct TsDispatchEntry {
+  hscommon::Work ts_quantum;  // nanoseconds of CPU per slice
+  int ts_tqexp;               // priority after quantum expiry
+  int ts_slpret;              // priority after sleep return
+  hscommon::Time ts_maxwait;  // runnable wait before the lwait boost
+  int ts_lwait;               // priority after the starvation boost
+};
+
+inline constexpr int kTsPriorityLevels = 60;
+using TsDispatchTable = std::array<TsDispatchEntry, kTsPriorityLevels>;
+
+// The default table (SVR4 shape; see header comment).
+const TsDispatchTable& DefaultTsDispatchTable();
+
+// Validates SVR4 semantics: positive quanta, priorities in range, demote-on-expiry
+// (tqexp <= pri), promote-on-sleep-return and starvation boost (slpret/lwait >= pri),
+// positive maxwait.
+hscommon::Status ValidateTsDispatchTable(const TsDispatchTable& table);
+
+// dispadmin(1M)-style table I/O. File format: one row per priority,
+//   ts_quantum_ms ts_tqexp ts_slpret ts_maxwait_ms ts_lwait   # comment
+// Exactly kTsPriorityLevels data rows; '#' comments and blank lines ignored.
+hscommon::Status SaveTsDispatchTable(const TsDispatchTable& table, const std::string& path);
+hscommon::StatusOr<TsDispatchTable> LoadTsDispatchTable(const std::string& path);
+
+class TsScheduler : public hsfq::LeafScheduler {
+ public:
+  // The table is copied, so callers may pass temporaries (e.g. a freshly loaded table).
+  explicit TsScheduler(const TsDispatchTable& table = DefaultTsDispatchTable());
+
+  hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
+  void RemoveThread(ThreadId thread) override;
+  hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
+  void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
+  ThreadId PickNext(hscommon::Time now) override;
+  void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
+              bool still_runnable) override;
+  bool HasRunnable() const override;
+  bool IsThreadRunnable(ThreadId thread) const override;
+  // The running thread's remaining slice, so the dispatcher honours the table's quantum.
+  hscommon::Work PreferredQuantum(ThreadId thread) const override;
+  std::string Name() const override { return "SVR4-TS"; }
+
+  // Current priority of a thread (tests).
+  int PriorityOf(ThreadId thread) const;
+
+ private:
+  struct ThreadState {
+    int upri = 0;              // user priority (base, set at AddThread)
+    int priority = 0;          // current dispatch priority, 0..59
+    hscommon::Work slice_left = 0;
+    hscommon::Time enqueued_at = 0;  // when it last became runnable/waiting
+    bool runnable = false;
+    bool was_asleep = false;  // next wakeup applies ts_slpret
+  };
+
+  int ClampPriority(int priority) const;
+  void Enqueue(ThreadId thread, hscommon::Time now);
+  void Dequeue(ThreadId thread);
+  // Applies the ts_maxwait/ts_lwait starvation boost to long-waiting threads.
+  void ApplyWaitBoosts(hscommon::Time now);
+
+  TsDispatchTable table_;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  std::array<std::deque<ThreadId>, kTsPriorityLevels> queues_;
+  size_t runnable_count_ = 0;
+  ThreadId in_service_ = hsfq::kInvalidThread;
+};
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_TS_SVR4_H_

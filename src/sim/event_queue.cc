@@ -1,0 +1,46 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+
+namespace hsim {
+
+EventId EventQueue::At(Time time, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id != kInvalidEvent) {
+    cancelled_.insert(id);
+  }
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::NextTime() const {
+  DropCancelledHead();
+  return heap_.empty() ? hscommon::kTimeInfinity : heap_.top().time;
+}
+
+bool EventQueue::Empty() const {
+  DropCancelledHead();
+  return heap_.empty();
+}
+
+Time EventQueue::PopAndRun() {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  // Move the entry out before popping so the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  entry.fn();
+  return entry.time;
+}
+
+}  // namespace hsim

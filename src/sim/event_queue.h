@@ -1,0 +1,68 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, sequence) order, so two events scheduled for the same instant
+// fire in the order they were scheduled — no dependence on container iteration order or
+// wall-clock noise, which keeps every experiment bit-reproducible.
+
+#ifndef HSCHED_SRC_SIM_EVENT_QUEUE_H_
+#define HSCHED_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hsim {
+
+using hscommon::Time;
+
+// Token for cancelling a scheduled event.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  // Schedules `fn` to fire at `time`. Returns a token usable with Cancel.
+  EventId At(Time time, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  // Earliest pending event time, or kTimeInfinity when empty.
+  Time NextTime() const;
+
+  bool Empty() const;
+
+  // Pops and runs the earliest event. Returns its scheduled time. Must not be called when
+  // empty.
+  Time PopAndRun();
+
+  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return id > other.id;  // ids are monotone, so this is insertion order
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace hsim
+
+#endif  // HSCHED_SRC_SIM_EVENT_QUEUE_H_

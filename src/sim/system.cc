@@ -1,0 +1,457 @@
+#include "src/sim/system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace hsim {
+
+System::System() : System(Config{}) {}
+
+System::System(const Config& config) : config_(config) {}
+
+System::~System() = default;
+
+System::Thread& System::ThreadRef(ThreadId id) {
+  assert(id < threads_.size());
+  return *threads_[id];
+}
+
+const System::Thread& System::ThreadRef(ThreadId id) const {
+  assert(id < threads_.size());
+  return *threads_[id];
+}
+
+hscommon::StatusOr<ThreadId> System::CreateThread(std::string name, NodeId leaf,
+                                                  const ThreadParams& params,
+                                                  std::unique_ptr<Workload> workload,
+                                                  Time start_time) {
+  const ThreadId id = threads_.size();
+  if (auto s = tree_.AttachThread(id, leaf, params); !s.ok()) {
+    return s;
+  }
+  auto t = std::make_unique<Thread>();
+  t->id = id;
+  t->name = std::move(name);
+  t->workload = std::move(workload);
+  threads_.push_back(std::move(t));
+  Thread* raw = threads_.back().get();
+  events_.At(std::max(start_time, now_), [this, raw] { WakeThread(*raw); });
+  return id;
+}
+
+bool System::RefillBurst(Thread& t) {
+  while (t.burst_remaining == 0) {
+    const WorkloadAction action = t.workload->NextAction(now_);
+    switch (action.kind) {
+      case WorkloadAction::Kind::kCompute:
+        assert(action.work > 0);
+        t.burst_remaining = action.work;
+        break;
+      case WorkloadAction::Kind::kSleep: {
+        if (action.until <= now_) {
+          continue;  // zero-length sleep: ask for the next action immediately
+        }
+        Thread* raw = &t;
+        t.wake_event = events_.At(action.until, [this, raw] {
+          raw->wake_event = kInvalidEvent;
+          WakeThread(*raw);
+        });
+        return false;
+      }
+      case WorkloadAction::Kind::kLock:
+        if (!LockMutex(action.mutex, t)) {
+          return false;  // enqueued as a waiter; UnlockMutex wakes it with ownership
+        }
+        break;
+      case WorkloadAction::Kind::kUnlock:
+        UnlockMutex(action.mutex, t);
+        break;
+      case WorkloadAction::Kind::kExit:
+        t.stats.exited = true;
+        return false;
+    }
+  }
+  return true;
+}
+
+void System::ApplyInversionRemedy(ThreadId holder, ThreadId waiter) {
+  if (!config_.inversion_remedy) {
+    return;
+  }
+  const auto leaf_h = tree_.LeafOf(holder);
+  const auto leaf_w = tree_.LeafOf(waiter);
+  assert(leaf_h.ok() && leaf_w.ok());
+  if (*leaf_h != *leaf_w) {
+    ++cross_class_blocks_;  // cross-class synchronization: no remedy (paper §4)
+    return;
+  }
+  tree_.LeafSchedulerOf(*leaf_h)->OnResourceBlocked(holder, waiter);
+}
+
+void System::RevokeInversionRemedy(ThreadId holder, ThreadId waiter) {
+  if (!config_.inversion_remedy) {
+    return;
+  }
+  const auto leaf_h = tree_.LeafOf(holder);
+  const auto leaf_w = tree_.LeafOf(waiter);
+  if (!leaf_h.ok() || !leaf_w.ok() || *leaf_h != *leaf_w) {
+    return;
+  }
+  tree_.LeafSchedulerOf(*leaf_h)->OnResourceReleased(holder, waiter);
+}
+
+MutexId System::CreateMutex() {
+  mutexes_.emplace_back();
+  return static_cast<MutexId>(mutexes_.size() - 1);
+}
+
+const MutexStats& System::StatsOfMutex(MutexId mutex) const {
+  return mutexes_.at(mutex).stats;
+}
+
+ThreadId System::HolderOf(MutexId mutex) const { return mutexes_.at(mutex).holder; }
+
+bool System::LockMutex(MutexId id, Thread& t) {
+  Mutex& m = mutexes_.at(id);
+  assert(m.holder != t.id && "recursive locking is not modelled");
+  if (m.holder == hsfq::kInvalidThread) {
+    m.holder = t.id;
+    ++m.stats.acquisitions;
+    return true;
+  }
+  m.waiters.push_back(t.id);
+  ++m.stats.contentions;
+  ApplyInversionRemedy(m.holder, t.id);
+  return false;
+}
+
+void System::UnlockMutex(MutexId id, Thread& t) {
+  Mutex& m = mutexes_.at(id);
+  assert(m.holder == t.id && "unlock by a non-holder");
+  // Undo every remedy aimed at the departing holder.
+  for (ThreadId w : m.waiters) {
+    RevokeInversionRemedy(t.id, w);
+  }
+  if (m.waiters.empty()) {
+    m.holder = hsfq::kInvalidThread;
+    return;
+  }
+  // Hand ownership to the longest waiter and re-apply remedies from the rest.
+  const ThreadId next = m.waiters.front();
+  m.waiters.pop_front();
+  m.holder = next;
+  ++m.stats.acquisitions;
+  for (ThreadId w : m.waiters) {
+    ApplyInversionRemedy(next, w);
+  }
+  WakeThread(ThreadRef(next));
+}
+
+void System::WakeThread(Thread& t) {
+  if (t.stats.exited) {
+    return;
+  }
+  if (t.suspended) {
+    t.wake_pending = true;
+    return;
+  }
+  if (t.burst_remaining == 0 && !RefillBurst(t)) {
+    return;  // the workload went straight back to sleep or exited
+  }
+  assert(!t.runnable);
+  t.runnable = true;
+  ++t.stats.wakeups;
+  t.last_wake = now_;
+  t.awaiting_first_dispatch = true;
+  tree_.SetRun(t.id, now_);
+}
+
+void System::Suspend(ThreadId thread) {
+  Thread& t = ThreadRef(thread);
+  assert(thread != running_ && "cannot suspend the thread mid-slice");
+  if (t.suspended || t.stats.exited) {
+    return;
+  }
+  t.suspended = true;
+  if (t.runnable) {
+    tree_.Sleep(thread, now_);
+    t.runnable = false;
+  }
+}
+
+void System::Resume(ThreadId thread) {
+  Thread& t = ThreadRef(thread);
+  if (!t.suspended) {
+    return;
+  }
+  t.suspended = false;
+  if (t.stats.exited) {
+    return;
+  }
+  if (t.wake_pending) {
+    t.wake_pending = false;
+    WakeThread(t);
+    return;
+  }
+  if (t.burst_remaining > 0 && !t.runnable) {
+    t.runnable = true;
+    ++t.stats.wakeups;
+    t.last_wake = now_;
+    t.awaiting_first_dispatch = true;
+    tree_.SetRun(thread, now_);
+  }
+}
+
+void System::AddInterruptSource(const InterruptSourceConfig& config) {
+  InterruptSource src{config, hscommon::Prng(config.seed), /*next_arrival=*/now_};
+  if (config.arrival == InterruptSourceConfig::Arrival::kPeriodic) {
+    src.next_arrival = now_ + config.interval;
+  } else {
+    src.next_arrival =
+        now_ + std::max<Time>(1, static_cast<Time>(src.prng.Exponential(
+                                     static_cast<double>(config.interval))));
+  }
+  interrupt_sources_.push_back(std::move(src));
+}
+
+void System::At(Time t, std::function<void(System&)> fn) {
+  events_.At(std::max(t, now_), [this, fn = std::move(fn)] { fn(*this); });
+}
+
+void System::Every(Time first, Time interval, std::function<void(System&)> fn) {
+  assert(interval > 0);
+  At(first, [first, interval, fn](System& s) {
+    fn(s);
+    s.Every(first + interval, interval, fn);
+  });
+}
+
+Time System::NextInterruptTime() const {
+  Time next = hscommon::kTimeInfinity;
+  for (const InterruptSource& src : interrupt_sources_) {
+    next = std::min(next, src.next_arrival);
+  }
+  return next;
+}
+
+void System::ServiceInterrupts() {
+  for (InterruptSource& src : interrupt_sources_) {
+    if (src.next_arrival > now_) {
+      continue;
+    }
+    Work service = src.config.service;
+    if (src.config.exponential_service) {
+      service = std::max<Work>(
+          1, static_cast<Work>(src.prng.Exponential(static_cast<double>(service))));
+    }
+    now_ += service;  // stolen at top priority; the running slice is stretched, not ended
+    interrupt_time_ += service;
+    ++interrupt_count_;
+    if (src.config.arrival == InterruptSourceConfig::Arrival::kPeriodic) {
+      src.next_arrival += src.config.interval;
+    } else {
+      src.next_arrival += std::max<Time>(
+          1, static_cast<Time>(src.prng.Exponential(static_cast<double>(src.config.interval))));
+    }
+  }
+}
+
+void System::ProcessDueEvents() {
+  while (events_.NextTime() <= now_) {
+    events_.PopAndRun();
+  }
+}
+
+void System::Dispatch() {
+  assert(running_ == hsfq::kInvalidThread);
+  const ThreadId tid = tree_.Schedule(now_);
+  assert(tid != hsfq::kInvalidThread);
+  running_ = tid;
+  Thread& t = ThreadRef(tid);
+  ++t.stats.dispatches;
+  if (t.awaiting_first_dispatch) {
+    const auto latency = static_cast<double>(now_ - t.last_wake);
+    t.stats.sched_latency.Add(latency);
+    if (t.stats.latency_samples.size() < config_.max_latency_samples ||
+        config_.max_latency_samples == 0) {
+      t.stats.latency_samples.push_back(latency);
+    }
+    t.awaiting_first_dispatch = false;
+  }
+  if (config_.dispatch_overhead > 0) {
+    now_ += config_.dispatch_overhead;
+    overhead_time_ += config_.dispatch_overhead;
+  }
+  const Work preferred = tree_.PreferredQuantumOf(tid);
+  slice_quantum_left_ = preferred > 0 ? preferred : config_.default_quantum;
+  slice_used_ = 0;
+}
+
+void System::EndSlice(bool still_runnable) {
+  assert(running_ != hsfq::kInvalidThread);
+  Thread& t = ThreadRef(running_);
+  tree_.Update(running_, slice_used_, now_, still_runnable);
+  t.runnable = still_runnable;
+  running_ = hsfq::kInvalidThread;
+  slice_used_ = 0;
+  slice_quantum_left_ = 0;
+}
+
+void System::RunUntil(Time until) {
+  while (now_ < until) {
+    if (running_ == hsfq::kInvalidThread) {
+      if (events_.NextTime() <= now_) {
+        ProcessDueEvents();
+        continue;
+      }
+      if (NextInterruptTime() <= now_) {
+        ServiceInterrupts();
+        continue;
+      }
+      if (tree_.HasRunnable()) {
+        Dispatch();
+        continue;
+      }
+      // Idle: jump to the next stimulus.
+      const Time next = std::min({events_.NextTime(), NextInterruptTime(), until});
+      assert(next > now_);
+      idle_time_ += next - now_;
+      now_ = next;
+      continue;
+    }
+
+    Thread& t = ThreadRef(running_);
+    const Work service_left = std::min(slice_quantum_left_, t.burst_remaining);
+    const Time slice_end = now_ + service_left;
+    // Events (or interrupt arrivals) can be overdue when interrupt service pushed the
+    // clock past them; clamp so the slice never accrues negative service.
+    const Time stop = std::max(
+        now_, std::min({slice_end, events_.NextTime(), NextInterruptTime(), until}));
+    const Work served = stop - now_;
+    now_ = stop;
+    slice_used_ += served;
+    slice_quantum_left_ -= served;
+    t.burst_remaining -= served;
+    t.stats.total_service += served;
+    total_service_ += served;
+
+    if (stop == slice_end) {
+      if (t.burst_remaining == 0) {
+        if (!RefillBurst(t)) {
+          EndSlice(/*still_runnable=*/false);  // slept or exited
+          continue;
+        }
+        if (slice_quantum_left_ == 0) {
+          EndSlice(/*still_runnable=*/true);  // quantum also expired
+        }
+        continue;  // same slice continues into the next burst
+      }
+      EndSlice(/*still_runnable=*/true);  // quantum expiry
+      continue;
+    }
+    if (now_ >= until) {
+      // Leave the slice in flight: the next RunUntil continues it, so stopping at a
+      // horizon never perturbs the schedule. Per-thread stats are already accrued
+      // per-segment; only the SFQ tags lag until the slice really ends.
+      break;
+    }
+    if (NextInterruptTime() <= now_) {
+      ServiceInterrupts();  // steals time; the slice is NOT ended
+      continue;
+    }
+    // A timer/wakeup/scripted event preempts the slice.
+    EndSlice(/*still_runnable=*/true);
+    ProcessDueEvents();
+  }
+}
+
+namespace {
+
+// Minimal JSON string escaping for names (quotes and backslashes).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+void WalkNodes(const hsfq::SchedulingStructure& tree, NodeId node, std::FILE* f,
+               bool* first) {
+  if (!*first) {
+    std::fputs(",\n", f);
+  }
+  *first = false;
+  std::fprintf(f, "    {\"path\": \"%s\", \"weight\": %llu, \"is_leaf\": %s, "
+               "\"service_ns\": %lld}",
+               JsonEscape(tree.PathOf(node)).c_str(),
+               static_cast<unsigned long long>(*tree.GetNodeWeight(node)),
+               tree.IsLeaf(node) ? "true" : "false",
+               static_cast<long long>(*tree.ServiceOf(node)));
+  for (NodeId child : tree.ChildrenOf(node)) {
+    WalkNodes(tree, child, f, first);
+  }
+}
+
+}  // namespace
+
+hscommon::Status System::WriteStatsJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return hscommon::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  std::fprintf(f, "{\n  \"now_ns\": %lld,\n", static_cast<long long>(now_));
+  std::fprintf(f, "  \"total_service_ns\": %lld,\n", static_cast<long long>(total_service_));
+  std::fprintf(f, "  \"idle_ns\": %lld,\n", static_cast<long long>(idle_time_));
+  std::fprintf(f, "  \"interrupt_ns\": %lld,\n", static_cast<long long>(interrupt_time_));
+  std::fprintf(f, "  \"interrupt_count\": %llu,\n",
+               static_cast<unsigned long long>(interrupt_count_));
+  std::fprintf(f, "  \"overhead_ns\": %lld,\n", static_cast<long long>(overhead_time_));
+  std::fprintf(f, "  \"cross_class_blocks\": %llu,\n",
+               static_cast<unsigned long long>(cross_class_blocks_));
+
+  std::fputs("  \"threads\": [\n", f);
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    const Thread& t = *threads_[i];
+    std::fprintf(f,
+                 "    {\"id\": %zu, \"name\": \"%s\", \"service_ns\": %lld, "
+                 "\"dispatches\": %llu, \"wakeups\": %llu, \"latency_mean_ns\": %.1f, "
+                 "\"latency_max_ns\": %.1f, \"exited\": %s}%s\n",
+                 i, JsonEscape(t.name).c_str(), static_cast<long long>(t.stats.total_service),
+                 static_cast<unsigned long long>(t.stats.dispatches),
+                 static_cast<unsigned long long>(t.stats.wakeups),
+                 t.stats.sched_latency.mean(), t.stats.sched_latency.max(),
+                 t.stats.exited ? "true" : "false", i + 1 < threads_.size() ? "," : "");
+  }
+  std::fputs("  ],\n", f);
+
+  std::fputs("  \"nodes\": [\n", f);
+  bool first = true;
+  WalkNodes(tree_, hsfq::kRootNode, f, &first);
+  std::fputs("\n  ],\n", f);
+
+  std::fputs("  \"mutexes\": [\n", f);
+  for (size_t i = 0; i < mutexes_.size(); ++i) {
+    std::fprintf(f, "    {\"id\": %zu, \"acquisitions\": %llu, \"contentions\": %llu}%s\n",
+                 i, static_cast<unsigned long long>(mutexes_[i].stats.acquisitions),
+                 static_cast<unsigned long long>(mutexes_[i].stats.contentions),
+                 i + 1 < mutexes_.size() ? "," : "");
+  }
+  std::fputs("  ]\n}\n", f);
+  std::fclose(f);
+  return hscommon::Status::Ok();
+}
+
+const ThreadStats& System::StatsOf(ThreadId thread) const { return ThreadRef(thread).stats; }
+
+Workload* System::WorkloadOf(ThreadId thread) const {
+  return threads_[thread]->workload.get();
+}
+
+const std::string& System::NameOf(ThreadId thread) const { return ThreadRef(thread).name; }
+
+}  // namespace hsim

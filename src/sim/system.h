@@ -1,0 +1,239 @@
+// The simulated machine: one CPU, a hierarchical scheduling structure, threads with
+// workloads, interrupt sources, and scripted actions. This substitutes for the paper's
+// Solaris 2.4 / SPARCstation 10 testbed (DESIGN.md §2).
+//
+// Execution model:
+//   * The dispatcher obtains a thread from SchedulingStructure::Schedule(), runs it for a
+//     slice of min(quantum, runnable work), and charges the consumed service back through
+//     SchedulingStructure::Update() — exactly the hsfq_schedule()/hsfq_update() cycle of
+//     the paper's kernel hooks.
+//   * Interrupt sources steal wall-clock time at the highest priority WITHOUT ending the
+//     running thread's quantum: service time != wall time, making the CPU a Fluctuation
+//     Constrained server as in the paper's analysis (§3.1).
+//   * Timer/wakeup/scripted events preempt the running slice (the consumed part is
+//     charged, the thread re-queued), mirroring kernel preemption on wakeup.
+//   * Every dispatch may charge a configurable context-switch overhead (stolen time),
+//     which the Figure 7 overhead experiment sets from measured microbenchmark values.
+
+#ifndef HSCHED_SRC_SIM_SYSTEM_H_
+#define HSCHED_SRC_SIM_SYSTEM_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/hsfq/structure.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/workload.h"
+
+namespace hsim {
+
+using hscommon::Time;
+using hscommon::Work;
+using hsfq::NodeId;
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+// A source of CPU-stealing interrupts (the FC-server fluctuation).
+struct InterruptSourceConfig {
+  enum class Arrival { kPeriodic, kPoisson };
+
+  Arrival arrival = Arrival::kPeriodic;
+  Time interval = 10 * hscommon::kMillisecond;  // period, or mean inter-arrival
+  Work service = 100 * hscommon::kMicrosecond;  // per-interrupt CPU time (mean if exp)
+  bool exponential_service = false;
+  uint64_t seed = 1;
+};
+
+// Per-mutex accounting.
+struct MutexStats {
+  uint64_t acquisitions = 0;  // successful lock operations (immediate or after waiting)
+  uint64_t contentions = 0;   // lock operations that had to wait
+};
+
+// Per-thread accounting the benches and tests read.
+struct ThreadStats {
+  Work total_service = 0;            // CPU service attained
+  uint64_t dispatches = 0;           // times selected by the dispatcher
+  uint64_t wakeups = 0;              // blocked -> runnable transitions
+  hscommon::RunningStats sched_latency;  // wakeup -> first dispatch (ns)
+  std::vector<double> latency_samples;
+  bool exited = false;
+};
+
+class System {
+ public:
+  struct Config {
+    // Default time slice when the leaf scheduler does not express a preference.
+    Work default_quantum = 20 * hscommon::kMillisecond;
+    // Stolen wall time per dispatch (context switch + scheduling decision).
+    Time dispatch_overhead = 0;
+    // Cap per-slice latency-sample retention per thread (0 = keep all).
+    size_t max_latency_samples = 1 << 20;
+    // Apply the class scheduler's priority-inversion remedy (weight transfer for SFQ
+    // leaves, priority inheritance for RMA) when threads of the same class contend on a
+    // simulated mutex. Off reproduces classic unbounded inversion.
+    bool inversion_remedy = true;
+  };
+
+  System();
+  explicit System(const Config& config);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // The scheduling structure (build the tree through this).
+  hsfq::SchedulingStructure& tree() { return tree_; }
+  const hsfq::SchedulingStructure& tree() const { return tree_; }
+
+  // Creates a thread in `leaf` with the given class parameters and behaviour. The thread
+  // starts (first wakeup) at `start_time`. Fails if the leaf's admission control rejects
+  // the parameters.
+  hscommon::StatusOr<ThreadId> CreateThread(std::string name, NodeId leaf,
+                                            const ThreadParams& params,
+                                            std::unique_ptr<Workload> workload,
+                                            Time start_time = 0);
+
+  // Externally suspends a thread (Figure 11's "thread 1 was put to sleep"): it stops
+  // being runnable until Resume. Legal only from scripted events or before RunUntil.
+  void Suspend(ThreadId thread);
+  void Resume(ThreadId thread);
+
+  // Adds an interrupt source (active from time 0).
+  void AddInterruptSource(const InterruptSourceConfig& config);
+
+  // Creates a simulated mutex usable from WorkloadAction::Lock/Unlock.
+  MutexId CreateMutex();
+  const MutexStats& StatsOfMutex(MutexId mutex) const;
+  // Current holder of the mutex (kInvalidThread when free).
+  ThreadId HolderOf(MutexId mutex) const;
+  // Contended blocks between threads of different classes (no remedy possible; the
+  // paper deems such synchronization undesirable).
+  uint64_t cross_class_blocks() const { return cross_class_blocks_; }
+
+  // Schedules `fn` to run at simulated time `t` (>= now).
+  void At(Time t, std::function<void(System&)> fn);
+
+  // Schedules `fn` every `interval` starting at `first`.
+  void Every(Time first, Time interval, std::function<void(System&)> fn);
+
+  // Runs the simulation until simulated time `until`. A quantum in progress at the
+  // horizon stays in flight and continues on the next call — observation points do not
+  // perturb the schedule (per-thread stats are exact; tree tags update at slice end).
+  void RunUntil(Time until);
+
+  Time now() const { return now_; }
+
+  // --- Introspection ---
+  const ThreadStats& StatsOf(ThreadId thread) const;
+  Workload* WorkloadOf(ThreadId thread) const;
+  const std::string& NameOf(ThreadId thread) const;
+
+  // Writes a JSON snapshot of the whole machine's statistics — per-thread service,
+  // dispatch counts and latency moments; per-node subtree service and paths; mutex and
+  // interrupt totals. Stable key order, suitable for diffing runs.
+  hscommon::Status WriteStatsJson(const std::string& path) const;
+
+  // Total wall time consumed by interrupt processing so far.
+  Time interrupt_time() const { return interrupt_time_; }
+  // Total wall time consumed by dispatch overhead so far.
+  Time overhead_time() const { return overhead_time_; }
+  // Total CPU service delivered to threads so far.
+  Work total_service() const { return total_service_; }
+  // Total wall time the CPU spent idle so far.
+  Time idle_time() const { return idle_time_; }
+  uint64_t interrupt_count() const { return interrupt_count_; }
+
+ private:
+  struct Thread {
+    ThreadId id = hsfq::kInvalidThread;
+    std::string name;
+    std::unique_ptr<Workload> workload;
+    ThreadStats stats;
+
+    Work burst_remaining = 0;   // remaining service of the current compute action
+    bool runnable = false;      // known-runnable to the scheduling structure
+    bool suspended = false;     // external Suspend in force
+    bool wake_pending = false;  // a wake fired while suspended
+    EventId wake_event = kInvalidEvent;
+    Time last_wake = 0;
+    bool awaiting_first_dispatch = false;
+  };
+
+  struct InterruptSource {
+    InterruptSourceConfig config;
+    hscommon::Prng prng;
+    Time next_arrival = 0;
+  };
+
+  struct Mutex {
+    ThreadId holder = hsfq::kInvalidThread;
+    std::deque<ThreadId> waiters;
+    MutexStats stats;
+  };
+
+  Thread& ThreadRef(ThreadId id);
+  const Thread& ThreadRef(ThreadId id) const;
+
+  // Makes `thread` runnable now (wake path), fetching its first/next burst if needed.
+  void WakeThread(Thread& t);
+
+  // Asks the workload for actions until it yields a compute burst; handles
+  // sleep/lock/unlock/exit. Returns true if the thread is runnable (has a burst), false
+  // if it slept, blocked on a mutex, or exited.
+  bool RefillBurst(Thread& t);
+
+  // Remedy plumbing: forwards to the shared leaf scheduler's hooks when both threads
+  // belong to the same leaf class.
+  void ApplyInversionRemedy(ThreadId holder, ThreadId waiter);
+  void RevokeInversionRemedy(ThreadId holder, ThreadId waiter);
+  // Lock/unlock semantics behind WorkloadAction::kLock/kUnlock. LockMutex returns true
+  // if acquired immediately, false if the thread must block.
+  bool LockMutex(MutexId id, Thread& t);
+  void UnlockMutex(MutexId id, Thread& t);
+
+  // Ends the running slice, charging `used` service; rc says whether the thread is still
+  // runnable. Clears running state.
+  void EndSlice(bool still_runnable);
+
+  // Picks the next thread and opens a slice. Requires no running thread.
+  void Dispatch();
+
+  // Earliest pending interrupt arrival across sources (kTimeInfinity if none).
+  Time NextInterruptTime() const;
+
+  // Processes the due interrupt(s) at now_: steals their service time.
+  void ServiceInterrupts();
+
+  // Runs every event whose time has been reached.
+  void ProcessDueEvents();
+
+  Config config_;
+  hsfq::SchedulingStructure tree_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<InterruptSource> interrupt_sources_;
+  std::vector<Mutex> mutexes_;
+  uint64_t cross_class_blocks_ = 0;
+
+  Time now_ = 0;
+  ThreadId running_ = hsfq::kInvalidThread;
+  Work slice_quantum_left_ = 0;
+  Work slice_used_ = 0;
+
+  Time interrupt_time_ = 0;
+  Time overhead_time_ = 0;
+  Time idle_time_ = 0;
+  Work total_service_ = 0;
+  uint64_t interrupt_count_ = 0;
+};
+
+}  // namespace hsim
+
+#endif  // HSCHED_SRC_SIM_SYSTEM_H_

@@ -1,0 +1,173 @@
+#include "src/sim/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hsim {
+
+WorkloadAction PeriodicWorkload::NextAction(Time now) {
+  if (!started_) {
+    // First call: now is the release time of round 0.
+    started_ = true;
+    t0_ = now;
+    in_round_ = true;
+    return WorkloadAction::Compute(computation_);
+  }
+  if (!in_round_) {
+    // Waking from the inter-round sleep: start the next round's computation.
+    in_round_ = true;
+    return WorkloadAction::Compute(computation_);
+  }
+  // A compute burst just completed: close out the round.
+  const Time release = t0_ + static_cast<Time>(round_) * period_;
+  const Time deadline = release + relative_deadline_;
+  const Time slack = deadline - now;
+  slack_.Add(static_cast<double>(slack));
+  slack_samples_.push_back(static_cast<double>(slack));
+  ++rounds_completed_;
+  if (slack < 0) {
+    ++deadline_misses_;
+  }
+  ++round_;
+  const Time next_release = t0_ + static_cast<Time>(round_) * period_;
+  if (next_release <= now) {
+    // Overrun past the next release: start the next round immediately.
+    return WorkloadAction::Compute(computation_);
+  }
+  in_round_ = false;
+  return WorkloadAction::SleepUntil(next_release);
+}
+
+WorkloadAction InteractiveWorkload::NextAction(Time now) {
+  if (computing_) {
+    computing_ = false;
+    const Time think =
+        std::max<Time>(1, static_cast<Time>(prng_.Exponential(static_cast<double>(mean_think_))));
+    return WorkloadAction::SleepUntil(now + think);
+  }
+  computing_ = true;
+  const Work burst =
+      std::max<Work>(1, static_cast<Work>(prng_.Exponential(static_cast<double>(mean_burst_))));
+  return WorkloadAction::Compute(burst);
+}
+
+WorkloadAction BurstyWorkload::NextAction(Time now) {
+  if (computing_) {
+    computing_ = false;
+    return WorkloadAction::SleepUntil(now + prng_.UniformInt(min_sleep_, max_sleep_));
+  }
+  computing_ = true;
+  return WorkloadAction::Compute(std::max<Work>(1, prng_.UniformInt(min_burst_, max_burst_)));
+}
+
+hscommon::StatusOr<std::vector<TraceWorkload::Record>> TraceWorkload::LoadCsv(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return hscommon::NotFound("cannot open trace '" + path + "'");
+  }
+  std::vector<Record> records;
+  char line[128];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long long compute = 0;
+    long long sleep = 0;
+    if (std::sscanf(line, "%lld,%lld", &compute, &sleep) != 2) {
+      continue;  // header or blank line
+    }
+    if (compute <= 0 || sleep < 0) {
+      std::fclose(f);
+      return hscommon::InvalidArgument("bad trace record: " + std::string(line));
+    }
+    records.push_back(Record{compute, sleep});
+  }
+  std::fclose(f);
+  if (records.empty()) {
+    return hscommon::InvalidArgument("trace '" + path + "' has no records");
+  }
+  return records;
+}
+
+WorkloadAction TraceWorkload::NextAction(Time now) {
+  if (sleeping_next_) {
+    sleeping_next_ = false;
+    const Time sleep = records_[index_].sleep;
+    ++index_;
+    if (sleep > 0) {
+      return WorkloadAction::SleepUntil(now + sleep);
+    }
+  }
+  if (index_ >= records_.size()) {
+    if (!loop_) {
+      return WorkloadAction::Exit();
+    }
+    index_ = 0;
+  }
+  sleeping_next_ = true;
+  return WorkloadAction::Compute(records_[index_].compute);
+}
+
+WorkloadAction RecordingWorkload::NextAction(Time now) {
+  const WorkloadAction action = inner_->NextAction(now);
+  switch (action.kind) {
+    case WorkloadAction::Kind::kCompute:
+      if (have_open_record_) {
+        records_.back().sleep = 0;  // back-to-back computes: no sleep between
+        records_.push_back({action.work, 0});
+      } else {
+        records_.push_back({action.work, 0});
+        have_open_record_ = true;
+      }
+      break;
+    case WorkloadAction::Kind::kSleep:
+      if (have_open_record_) {
+        records_.back().sleep = action.until - now;
+        have_open_record_ = false;
+      }
+      break;
+    case WorkloadAction::Kind::kLock:
+    case WorkloadAction::Kind::kUnlock:
+      break;  // lock behaviour is schedule-dependent; not recordable as a trace
+    case WorkloadAction::Kind::kExit:
+      have_open_record_ = false;
+      break;
+  }
+  return action;
+}
+
+hscommon::Status RecordingWorkload::SaveCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return hscommon::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  std::fputs("compute_ns,sleep_ns\n", f);
+  for (const TraceWorkload::Record& r : records_) {
+    std::fprintf(f, "%lld,%lld\n", static_cast<long long>(r.compute),
+                 static_cast<long long>(r.sleep));
+  }
+  std::fclose(f);
+  return hscommon::Status::Ok();
+}
+
+WorkloadAction ScriptedWorkload::NextAction(Time now) {
+  if (next_ >= steps_.size()) {
+    if (!loop_ || steps_.empty()) {
+      return WorkloadAction::Exit();
+    }
+    next_ = 0;
+    ++iterations_;
+  }
+  const Step& step = steps_[next_++];
+  switch (step.kind) {
+    case Step::Kind::kCompute:
+      return WorkloadAction::Compute(step.work);
+    case Step::Kind::kSleepFor:
+      return WorkloadAction::SleepUntil(now + step.duration);
+    case Step::Kind::kLock:
+      return WorkloadAction::Lock(step.mutex);
+    case Step::Kind::kUnlock:
+      return WorkloadAction::Unlock(step.mutex);
+  }
+  return WorkloadAction::Exit();
+}
+
+}  // namespace hsim

@@ -1,0 +1,255 @@
+// Workload models — what the simulated threads *do*.
+//
+// A workload is a deterministic (seeded) generator of alternating CPU bursts and sleeps.
+// The simulator asks for the next action whenever the previous one completes; a compute
+// action followed immediately by another compute action does NOT block (the thread keeps
+// running within its quantum), which is how multi-frame decoding and loop benchmarks are
+// expressed.
+
+#ifndef HSCHED_SRC_SIM_WORKLOAD_H_
+#define HSCHED_SRC_SIM_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace hsim {
+
+using hscommon::Time;
+using hscommon::Work;
+
+// Identifies a simulated mutex created with System::CreateMutex.
+using MutexId = uint32_t;
+
+// One step of a thread's behaviour.
+struct WorkloadAction {
+  enum class Kind {
+    kCompute,  // consume `work` of CPU service, then ask again
+    kSleep,    // block until `until` (absolute simulated time), then ask again
+    kLock,     // acquire simulated mutex `mutex` (may block), then ask again
+    kUnlock,   // release simulated mutex `mutex`, then ask again
+    kExit,     // thread terminates
+  };
+
+  Kind kind = Kind::kExit;
+  Work work = 0;
+  Time until = 0;
+  MutexId mutex = 0;
+
+  static WorkloadAction Compute(Work work) {
+    return {.kind = Kind::kCompute, .work = work};
+  }
+  static WorkloadAction SleepUntil(Time until) {
+    return {.kind = Kind::kSleep, .until = until};
+  }
+  static WorkloadAction Lock(MutexId mutex) { return {.kind = Kind::kLock, .mutex = mutex}; }
+  static WorkloadAction Unlock(MutexId mutex) {
+    return {.kind = Kind::kUnlock, .mutex = mutex};
+  }
+  static WorkloadAction Exit() { return {.kind = Kind::kExit}; }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  // The next action. `now` is the completion time of the previous action (or the
+  // thread's start time on the first call).
+  virtual WorkloadAction NextAction(Time now) = 0;
+};
+
+// Always-runnable CPU hog — the Dhrystone V2.1 stand-in. "Loops completed" equals
+// attained service divided by cycles-per-loop; the simulator exposes attained service,
+// so the benches derive loop counts from it.
+class CpuBoundWorkload : public Workload {
+ public:
+  // `chunk` is the internal burst granularity (has no scheduling significance; bursts
+  // chain without blocking).
+  explicit CpuBoundWorkload(Work chunk = 100 * hscommon::kMillisecond) : chunk_(chunk) {}
+
+  WorkloadAction NextAction(Time /*now*/) override {
+    return WorkloadAction::Compute(chunk_);
+  }
+
+ private:
+  Work chunk_;
+};
+
+// Periodic hard real-time task: release at t0 + k*period, compute `computation`, sleep
+// until the next release. Records per-round slack (deadline minus completion time);
+// negative slack is a deadline miss. Matches the Figure 9 threads, where "a clock
+// interrupt announces the deadline for the current round and the start of a new round".
+class PeriodicWorkload : public Workload {
+ public:
+  PeriodicWorkload(Time period, Work computation, Time relative_deadline = 0)
+      : period_(period),
+        computation_(computation),
+        relative_deadline_(relative_deadline > 0 ? relative_deadline : period) {}
+
+  WorkloadAction NextAction(Time now) override;
+
+  // Slack statistics across completed rounds (nanoseconds; negative = miss).
+  const hscommon::RunningStats& slack() const { return slack_; }
+  const std::vector<double>& slack_samples() const { return slack_samples_; }
+  uint64_t rounds_completed() const { return rounds_completed_; }
+  uint64_t deadline_misses() const { return deadline_misses_; }
+
+ private:
+  Time period_;
+  Work computation_;
+  Time relative_deadline_;
+  Time t0_ = 0;
+  uint64_t round_ = 0;
+  bool started_ = false;
+  bool in_round_ = false;  // a compute burst of the current round is outstanding
+  uint64_t rounds_completed_ = 0;
+  uint64_t deadline_misses_ = 0;
+  hscommon::RunningStats slack_;
+  std::vector<double> slack_samples_;
+};
+
+// Interactive user: exponential think time, then a short burst — background load with
+// SVR4-style sleep/wake behaviour (drives the TS class's priority churn).
+class InteractiveWorkload : public Workload {
+ public:
+  InteractiveWorkload(uint64_t seed, Time mean_think, Work mean_burst)
+      : prng_(seed), mean_think_(mean_think), mean_burst_(mean_burst) {}
+
+  WorkloadAction NextAction(Time now) override;
+
+ private:
+  hscommon::Prng prng_;
+  Time mean_think_;
+  Work mean_burst_;
+  bool computing_ = false;
+};
+
+// On/off load: uniform-random compute burst, then uniform-random sleep. Models the
+// fluctuating background usage of the SVR4 node in Figure 8(a).
+class BurstyWorkload : public Workload {
+ public:
+  BurstyWorkload(uint64_t seed, Work min_burst, Work max_burst, Time min_sleep,
+                 Time max_sleep)
+      : prng_(seed),
+        min_burst_(min_burst),
+        max_burst_(max_burst),
+        min_sleep_(min_sleep),
+        max_sleep_(max_sleep) {}
+
+  WorkloadAction NextAction(Time now) override;
+
+ private:
+  hscommon::Prng prng_;
+  Work min_burst_;
+  Work max_burst_;
+  Time min_sleep_;
+  Time max_sleep_;
+  bool computing_ = false;
+};
+
+// Replays an explicit step script, optionally looping — the building block for
+// lock-based scenarios (priority inversion) and exact-behaviour tests. Sleeps are
+// expressed as durations relative to the step's start.
+class ScriptedWorkload : public Workload {
+ public:
+  struct Step {
+    enum class Kind { kCompute, kSleepFor, kLock, kUnlock };
+    Kind kind = Kind::kCompute;
+    Work work = 0;       // kCompute
+    Time duration = 0;   // kSleepFor
+    MutexId mutex = 0;   // kLock / kUnlock
+
+    static Step Compute(Work work) { return {.kind = Kind::kCompute, .work = work}; }
+    static Step SleepFor(Time duration) {
+      return {.kind = Kind::kSleepFor, .duration = duration};
+    }
+    static Step Lock(MutexId mutex) { return {.kind = Kind::kLock, .mutex = mutex}; }
+    static Step Unlock(MutexId mutex) { return {.kind = Kind::kUnlock, .mutex = mutex}; }
+  };
+
+  ScriptedWorkload(std::vector<Step> steps, bool loop)
+      : steps_(std::move(steps)), loop_(loop) {}
+
+  WorkloadAction NextAction(Time now) override;
+
+  // Completed passes over the script (loop mode).
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  std::vector<Step> steps_;
+  bool loop_;
+  size_t next_ = 0;
+  uint64_t iterations_ = 0;
+};
+
+// Replays a recorded (compute, sleep) trace from a CSV file — for driving the simulator
+// with measured application behaviour. CSV columns: compute_ns,sleep_ns (header allowed);
+// sleep_ns == 0 means the bursts chain without blocking.
+class TraceWorkload : public Workload {
+ public:
+  struct Record {
+    Work compute = 0;
+    Time sleep = 0;
+  };
+
+  TraceWorkload(std::vector<Record> records, bool loop)
+      : records_(std::move(records)), loop_(loop) {}
+
+  // Loads "compute_ns,sleep_ns" rows; returns an error for unreadable/malformed files.
+  static hscommon::StatusOr<std::vector<Record>> LoadCsv(const std::string& path);
+
+  WorkloadAction NextAction(Time now) override;
+
+ private:
+  std::vector<Record> records_;
+  bool loop_;
+  size_t index_ = 0;
+  bool sleeping_next_ = false;  // the current record's sleep phase is pending
+};
+
+// Decorator that records the wrapped workload's (compute, sleep) behaviour into
+// TraceWorkload records — run a stochastic workload once, save the trace, replay it
+// deterministically forever after.
+class RecordingWorkload : public Workload {
+ public:
+  explicit RecordingWorkload(std::unique_ptr<Workload> inner) : inner_(std::move(inner)) {}
+
+  WorkloadAction NextAction(Time now) override;
+
+  const std::vector<TraceWorkload::Record>& records() const { return records_; }
+
+  // Writes "compute_ns,sleep_ns" rows loadable by TraceWorkload::LoadCsv.
+  hscommon::Status SaveCsv(const std::string& path) const;
+
+ private:
+  std::unique_ptr<Workload> inner_;
+  std::vector<TraceWorkload::Record> records_;
+  bool have_open_record_ = false;  // last action was a compute: its sleep is pending
+};
+
+// Runs a fixed amount of service then exits — for batch jobs and tests.
+class FiniteWorkload : public Workload {
+ public:
+  explicit FiniteWorkload(Work total) : remaining_(total) {}
+
+  WorkloadAction NextAction(Time /*now*/) override {
+    if (remaining_ <= 0) {
+      return WorkloadAction::Exit();
+    }
+    const Work burst = remaining_;
+    remaining_ = 0;
+    return WorkloadAction::Compute(burst);
+  }
+
+ private:
+  Work remaining_;
+};
+
+}  // namespace hsim
+
+#endif  // HSCHED_SRC_SIM_WORKLOAD_H_

@@ -1,0 +1,122 @@
+#include "src/common/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hscommon {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  ListNode list_node;
+};
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  IntrusiveList<Item> list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Front(), nullptr);
+  EXPECT_EQ(list.Back(), nullptr);
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushBackOrder) {
+  IntrusiveList<Item> list;
+  Item a(1);
+  Item b(2);
+  Item c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.Front(), &a);
+  EXPECT_EQ(list.Back(), &c);
+  EXPECT_EQ(list.PopFront(), &a);
+  EXPECT_EQ(list.PopFront(), &b);
+  EXPECT_EQ(list.PopFront(), &c);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, PushFront) {
+  IntrusiveList<Item> list;
+  Item a(1);
+  Item b(2);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.Front(), &b);
+  EXPECT_EQ(list.Back(), &a);
+}
+
+TEST(IntrusiveListTest, RemoveMiddle) {
+  IntrusiveList<Item> list;
+  Item a(1);
+  Item b(2);
+  Item c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.Next(&a), &c);
+  EXPECT_FALSE(b.list_node.linked());
+  // b can be re-added after removal.
+  list.PushBack(&b);
+  EXPECT_EQ(list.Back(), &b);
+}
+
+TEST(IntrusiveListTest, InsertBefore) {
+  IntrusiveList<Item> list;
+  Item a(1);
+  Item c(3);
+  Item b(2);
+  list.PushBack(&a);
+  list.PushBack(&c);
+  list.InsertBefore(&c, &b);
+  std::vector<int> order;
+  for (Item* it : list) {
+    order.push_back(it->value);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveListTest, IterationVisitsAll) {
+  // Elements must outlive the list: declare the storage first.
+  std::vector<Item> items;
+  items.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    items.emplace_back(i);
+  }
+  IntrusiveList<Item> list;
+  for (auto& item : items) {
+    list.PushBack(&item);
+  }
+  int sum = 0;
+  for (Item* it : list) {
+    sum += it->value;
+  }
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(IntrusiveListTest, ClearUnlinksEverything) {
+  IntrusiveList<Item> list;
+  Item a(1);
+  Item b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(a.list_node.linked());
+  EXPECT_FALSE(b.list_node.linked());
+}
+
+TEST(IntrusiveListTest, NextAtEndIsNull) {
+  IntrusiveList<Item> list;
+  Item a(1);
+  list.PushBack(&a);
+  EXPECT_EQ(list.Next(&a), nullptr);
+}
+
+}  // namespace
+}  // namespace hscommon

@@ -1,0 +1,137 @@
+#include "src/common/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hscommon {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    differing += a.Next() != b.Next() ? 1 : 0;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(PrngTest, ZeroSeedIsValid) {
+  Prng p(0);
+  EXPECT_NE(p.Next(), 0u);  // SplitMix64 avoids the all-zero state
+}
+
+TEST(PrngTest, UniformU64RespectsBound) {
+  Prng p(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(p.UniformU64(17), 17u);
+  }
+}
+
+TEST(PrngTest, UniformU64CoversRange) {
+  Prng p(7);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    seen[p.UniformU64(10)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(PrngTest, UniformIntInclusiveEnds) {
+  Prng p(9);
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = p.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo = lo || v == -3;
+    hi = hi || v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(PrngTest, UniformDoubleInUnitInterval) {
+  Prng p(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = p.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(PrngTest, ExponentialHasRequestedMean) {
+  Prng p(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = p.Exponential(5.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(PrngTest, NormalHasRequestedMoments) {
+  Prng p(17);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = p.Normal(10.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(PrngTest, LognormalIsPositive) {
+  Prng p(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(p.Lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(PrngTest, BernoulliMatchesProbability) {
+  Prng p(23);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hits += p.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(PrngTest, ForkProducesIndependentStream) {
+  Prng parent(31);
+  Prng child = parent.Fork();
+  // The child stream must not simply replay the parent's outputs.
+  Prng parent2(31);
+  (void)parent2.Next();  // align with the Fork's consumption
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += child.Next() == parent2.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace hscommon

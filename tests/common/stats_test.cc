@@ -1,0 +1,124 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hscommon {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.sum(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, CoefficientOfVariation) {
+  RunningStats s;
+  s.Add(10.0);
+  s.Add(10.0);
+  EXPECT_EQ(s.coefficient_of_variation(), 0.0);
+  s.Add(40.0);
+  EXPECT_GT(s.coefficient_of_variation(), 0.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(HistogramTest, BucketsAndTotal) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  h.Add(9.9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, AsciiRenderingHasOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  const std::string art = h.ToAscii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(JainIndexTest, PerfectFairnessIsOne) {
+  std::vector<double> shares{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(shares), 1.0);
+}
+
+TEST(JainIndexTest, TotalStarvationIsOneOverN) {
+  std::vector<double> shares{10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(shares), 0.25);
+}
+
+TEST(JainIndexTest, EmptyAndZeroInputs) {
+  EXPECT_EQ(JainFairnessIndex({}), 0.0);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_EQ(JainFairnessIndex(zeros), 0.0);
+}
+
+TEST(MaxRelativeDeviationTest, UniformIsZero) {
+  std::vector<double> v{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(MaxRelativeDeviation(v), 0.0);
+}
+
+TEST(MaxRelativeDeviationTest, KnownDeviation) {
+  std::vector<double> v{1.0, 3.0};  // mean 2, max dev 1 -> 0.5
+  EXPECT_DOUBLE_EQ(MaxRelativeDeviation(v), 0.5);
+}
+
+}  // namespace
+}  // namespace hscommon

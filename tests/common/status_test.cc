@@ -1,0 +1,72 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hscommon {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = NotFound("no node /foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no node /foo");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no node /foo");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(NotFound("a"), NotFound("a"));
+  EXPECT_FALSE(NotFound("a") == NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == InvalidArgument("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFound("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+TEST(StatusCodeNameTest, AllNamesDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STRNE(StatusCodeName(StatusCode::kNotFound),
+               StatusCodeName(StatusCode::kAlreadyExists));
+}
+
+}  // namespace
+}  // namespace hscommon

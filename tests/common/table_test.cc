@@ -1,0 +1,65 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hscommon {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(1.0, 0), "1");
+}
+
+TEST(TextTableTest, IntFormats) {
+  EXPECT_EQ(TextTable::Int(-42), "-42");
+  EXPECT_EQ(TextTable::Int(1234567890123LL), "1234567890123");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, WritesCsv) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  const std::string path = testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    content += buf;
+  }
+  std::fclose(f);
+  EXPECT_EQ(content, "a,b\n1,2\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(TextTableTest, CsvToBadPathFails) {
+  TextTable t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace hscommon

@@ -1,0 +1,92 @@
+#include "src/common/virtual_time.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/types.h"
+
+namespace hscommon {
+namespace {
+
+TEST(VirtualTimeTest, DefaultIsZero) {
+  VirtualTime v;
+  EXPECT_EQ(v, VirtualTime::Zero());
+  EXPECT_EQ(v.ToDouble(), 0.0);
+}
+
+TEST(VirtualTimeTest, FromServiceDividesByWeight) {
+  const VirtualTime v = VirtualTime::FromService(100, 4);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 25.0);
+}
+
+TEST(VirtualTimeTest, FromServiceUnitWeightIsIdentity) {
+  const VirtualTime v = VirtualTime::FromService(12345, 1);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 12345.0);
+}
+
+TEST(VirtualTimeTest, FractionalPartIsExactForPowerOfTwoWeights) {
+  // 1 / 2 has an exact 32-bit fixed-point representation.
+  const VirtualTime half = VirtualTime::FromService(1, 2);
+  EXPECT_DOUBLE_EQ(half.ToDouble(), 0.5);
+  EXPECT_EQ((half + half), VirtualTime::FromUnits(1));
+}
+
+TEST(VirtualTimeTest, AdditionIsExact) {
+  const VirtualTime a = VirtualTime::FromService(7, 3);
+  const VirtualTime b = VirtualTime::FromService(11, 5);
+  EXPECT_EQ((a + b) - b, a);
+}
+
+TEST(VirtualTimeTest, OrderingFollowsMagnitude) {
+  const VirtualTime small = VirtualTime::FromService(10, 3);
+  const VirtualTime large = VirtualTime::FromService(10, 2);
+  EXPECT_LT(small, large);
+  EXPECT_LE(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_GE(large, small);
+  EXPECT_NE(small, large);
+}
+
+TEST(VirtualTimeTest, MaxAndMin) {
+  const VirtualTime a = VirtualTime::FromUnits(3);
+  const VirtualTime b = VirtualTime::FromUnits(5);
+  EXPECT_EQ(Max(a, b), b);
+  EXPECT_EQ(Max(b, a), b);
+  EXPECT_EQ(Min(a, b), a);
+  EXPECT_EQ(Max(a, a), a);
+}
+
+TEST(VirtualTimeTest, InfinityDominatesEverything) {
+  EXPECT_LT(VirtualTime::FromService(kSecond * 3600 * 24 * 365, 1), VirtualTime::Infinity());
+}
+
+TEST(VirtualTimeTest, AccumulationDoesNotDrift) {
+  // One million additions of 1/3 must land exactly on the fixed-point sum,
+  // i.e. exactly 1e6 * floor(2^32/3) raw units.
+  VirtualTime acc;
+  const VirtualTime third = VirtualTime::FromService(1, 3);
+  for (int i = 0; i < 1000000; ++i) {
+    acc += third;
+  }
+  EXPECT_EQ(acc.raw(), third.raw() * 1000000);
+}
+
+TEST(VirtualTimeTest, LargeServiceDoesNotOverflow) {
+  // A century of nanoseconds of service at weight 1.
+  const Work century = kSecond * 3600 * 24 * 365 * 100;
+  const VirtualTime v = VirtualTime::FromService(century, 1);
+  EXPECT_GT(v, VirtualTime::Zero());
+  EXPECT_DOUBLE_EQ(v.ToDouble(), static_cast<double>(century));
+}
+
+TEST(VirtualTimeTest, ToStringFormatsFixed) {
+  EXPECT_EQ(VirtualTime::FromService(3, 2).ToString(), "1.500000");
+}
+
+TEST(VirtualTimeTest, TruncationRoundsDown) {
+  // 1/3 truncates: 3 * (1/3) < 1.
+  const VirtualTime third = VirtualTime::FromService(1, 3);
+  EXPECT_LT(third + third + third, VirtualTime::FromUnits(1));
+}
+
+}  // namespace
+}  // namespace hscommon

@@ -1,0 +1,144 @@
+// Adversarial scenarios: can a flow game SFQ's tag rules to exceed its entitled share?
+// These encode the robustness folklore the paper's design depends on — an OS scheduler
+// faces strategic applications, not just oblivious ones.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/prng.h"
+#include "src/fair/sfq.h"
+
+namespace hfair {
+namespace {
+
+using hscommon::kMillisecond;
+
+constexpr Work kQ = 10 * kMillisecond;
+
+// Share of service an "attacker" flow obtains against one honest always-backlogged flow
+// of equal weight, under a caller-supplied attacker policy. The policy decides, at each
+// of the attacker's quantum completions, how much it used (<= kQ) and whether it blocks
+// (and for how many honest quanta it stays away).
+struct AttackerPolicy {
+  // Returns (used, block_rounds). block_rounds == 0 means stay backlogged.
+  std::function<std::pair<Work, int>(int round, hscommon::Prng&)> decide;
+};
+
+double AttackerShare(const AttackerPolicy& policy, uint64_t seed) {
+  Sfq sfq;
+  const FlowId honest = sfq.AddFlow(1);
+  const FlowId attacker = sfq.AddFlow(1);
+  sfq.Arrive(honest, 0);
+  sfq.Arrive(attacker, 0);
+  hscommon::Prng prng(seed);
+  Work attacker_service = 0;
+  Work total_service = 0;
+  int blocked_for = 0;
+  int round = 0;
+  for (int i = 0; i < 60000; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    if (f == honest) {
+      sfq.Complete(f, kQ, 0, true);
+      total_service += kQ;
+      if (blocked_for > 0 && --blocked_for == 0) {
+        sfq.Arrive(attacker, 0);
+      }
+      continue;
+    }
+    const auto [used, block_rounds] = policy.decide(round++, prng);
+    sfq.Complete(f, used, 0, block_rounds == 0);
+    attacker_service += used;
+    total_service += used;
+    blocked_for = block_rounds;
+  }
+  return static_cast<double>(attacker_service) / static_cast<double>(total_service);
+}
+
+TEST(AdversarialTest, HonestBaselineGetsHalf) {
+  const AttackerPolicy honest{[](int, hscommon::Prng&) { return std::pair{kQ, 0}; }};
+  EXPECT_NEAR(AttackerShare(honest, 1), 0.5, 0.001);
+}
+
+TEST(AdversarialTest, ShortQuantaGainNothing) {
+  // Using tiny quanta gets you dispatched more often but never more *service*: tags
+  // charge actual usage.
+  const AttackerPolicy tiny{[](int, hscommon::Prng&) { return std::pair{kQ / 10, 0}; }};
+  EXPECT_LE(AttackerShare(tiny, 2), 0.5 + 0.001);
+}
+
+TEST(AdversarialTest, BlockJustBeforeCompletionGainsNothing) {
+  // Blocking immediately after each quantum and returning one honest-quantum later: the
+  // re-arrival stamp S = max(v, F) forfeits the time away; no catch-up credit accrues.
+  const AttackerPolicy blink{[](int, hscommon::Prng&) { return std::pair{kQ, 1}; }};
+  EXPECT_LE(AttackerShare(blink, 3), 0.5 + 0.001);
+}
+
+TEST(AdversarialTest, RandomizedSleepPatternsNeverBeatTheShare) {
+  // Sweep random strategies mixing quantum lengths and sleep durations: none may exceed
+  // the 50% entitlement (beyond one quantum of eq. 5 slack).
+  for (uint64_t seed = 10; seed < 20; ++seed) {
+    const AttackerPolicy random{[](int, hscommon::Prng& prng) {
+      const Work used = 1 + static_cast<Work>(prng.UniformU64(kQ));
+      const int block = prng.Bernoulli(0.3) ? 1 + static_cast<int>(prng.UniformU64(5)) : 0;
+      return std::pair{used, block};
+    }};
+    EXPECT_LE(AttackerShare(random, seed), 0.5 + 0.002) << "seed " << seed;
+  }
+}
+
+TEST(AdversarialTest, LateJoinerCannotClaimHistory) {
+  // A flow created (not just unblocked) after the system has run for a long time starts
+  // at the current virtual time: it cannot claim "missed" service retroactively.
+  Sfq sfq;
+  const FlowId old_flow = sfq.AddFlow(1);
+  sfq.Arrive(old_flow, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    sfq.Complete(f, kQ, 0, true);
+  }
+  const FlowId newcomer = sfq.AddFlow(1);
+  sfq.Arrive(newcomer, 0);
+  Work newcomer_service = 0;
+  for (int i = 0; i < 100; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    if (f == newcomer) {
+      newcomer_service += kQ;
+    }
+    sfq.Complete(f, kQ, 0, true);
+  }
+  // Fair split from the join onward, not a burst of catch-up.
+  EXPECT_EQ(newcomer_service, 50 * kQ);
+}
+
+TEST(AdversarialTest, WeightOscillationGainsNothing) {
+  // Toggling one's weight between 1 and 9 every quantum cannot outperform the average
+  // entitlement by more than the eq. 5 slack, because each finish tag is computed with
+  // the weight in force during that quantum.
+  Sfq sfq;
+  const FlowId honest = sfq.AddFlow(5);
+  const FlowId oscillator = sfq.AddFlow(1);
+  sfq.Arrive(honest, 0);
+  sfq.Arrive(oscillator, 0);
+  Work osc_service = 0;
+  Work total = 0;
+  bool high = false;
+  for (int i = 0; i < 40000; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    sfq.Complete(f, kQ, 0, true);
+    total += kQ;
+    if (f == oscillator) {
+      osc_service += kQ;
+      high = !high;
+      sfq.SetWeight(oscillator, high ? 9 : 1);
+    }
+  }
+  // Entitlement bounds: always-1 gives 1/6, always-9 gives 9/14. The oscillator's share
+  // must stay within those envelopes (it averages near weight 5's share).
+  const double share = static_cast<double>(osc_service) / static_cast<double>(total);
+  EXPECT_GT(share, 1.0 / 6.0 - 0.01);
+  EXPECT_LT(share, 9.0 / 14.0 + 0.01);
+}
+
+}  // namespace
+}  // namespace hfair

@@ -1,0 +1,382 @@
+// Per-algorithm behavioural tests for the baseline schedulers (WFQ, FQS, SCFQ, Stride,
+// Lottery, EEVDF) — including the *flaws* the paper attributes to them, which are part of
+// the reproduced behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/common/types.h"
+#include "src/fair/eevdf.h"
+#include "src/fair/fqs.h"
+#include "src/fair/lottery.h"
+#include "src/fair/scfq.h"
+#include "src/fair/stride.h"
+#include "src/fair/wfq.h"
+
+namespace hfair {
+namespace {
+
+using hscommon::kMillisecond;
+
+constexpr Work kQ = 10 * kMillisecond;
+
+// Runs `n` full quanta with all picks remaining backlogged; wall time advances with
+// service (no fluctuation). Returns per-flow service.
+std::map<FlowId, Work> RunBacklogged(FairQueue& fq, int n, Work quantum) {
+  std::map<FlowId, Work> service;
+  Time now = 0;
+  for (int i = 0; i < n; ++i) {
+    const FlowId f = fq.PickNext(now);
+    EXPECT_NE(f, kInvalidFlow);
+    now += quantum;
+    service[f] += quantum;
+    fq.Complete(f, quantum, now, true);
+  }
+  return service;
+}
+
+// --- WFQ ---
+
+TEST(WfqTest, ProportionalForBackloggedFlows) {
+  Wfq wfq(Wfq::Config{.assumed_quantum = kQ});
+  const FlowId a = wfq.AddFlow(1);
+  const FlowId b = wfq.AddFlow(3);
+  wfq.Arrive(a, 0);
+  wfq.Arrive(b, 0);
+  auto service = RunBacklogged(wfq, 4000, kQ);
+  EXPECT_NEAR(static_cast<double>(service[b]) / static_cast<double>(service[a]), 3.0, 0.05);
+}
+
+TEST(WfqTest, FinishTagUsesAssumedQuantum) {
+  Wfq wfq(Wfq::Config{.assumed_quantum = kQ});
+  const FlowId a = wfq.AddFlow(2);
+  wfq.Arrive(a, 0);
+  EXPECT_EQ(wfq.FinishTag(a) - wfq.StartTag(a), hscommon::VirtualTime::FromService(kQ, 2));
+}
+
+TEST(WfqTest, ShortQuantaPenalizedWithoutActualCharging) {
+  // The paper's criticism: a flow that uses less than the assumed maximum does not get
+  // its fair share back under classic WFQ.
+  Wfq wfq(Wfq::Config{.assumed_quantum = kQ});
+  const FlowId a = wfq.AddFlow(1);  // will use only kQ/5 per quantum
+  const FlowId b = wfq.AddFlow(1);
+  wfq.Arrive(a, 0);
+  wfq.Arrive(b, 0);
+  Time now = 0;
+  Work wa = 0;
+  Work wb = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const FlowId f = wfq.PickNext(now);
+    const Work used = f == a ? kQ / 5 : kQ;
+    now += used;
+    (f == a ? wa : wb) += used;
+    wfq.Complete(f, used, now, true);
+  }
+  // a is charged full quanta, so it receives roughly used/assumed = 1/5 of b's service.
+  EXPECT_LT(static_cast<double>(wa) / static_cast<double>(wb), 0.3);
+}
+
+TEST(WfqTest, ChargeActualModeRestoresShare) {
+  Wfq wfq(Wfq::Config{.assumed_quantum = kQ, .charge_actual = true});
+  const FlowId a = wfq.AddFlow(1);
+  const FlowId b = wfq.AddFlow(1);
+  wfq.Arrive(a, 0);
+  wfq.Arrive(b, 0);
+  Time now = 0;
+  Work wa = 0;
+  Work wb = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const FlowId f = wfq.PickNext(now);
+    const Work used = f == a ? kQ / 5 : kQ;
+    now += used;
+    (f == a ? wa : wb) += used;
+    wfq.Complete(f, used, now, true);
+  }
+  EXPECT_NEAR(static_cast<double>(wa) / static_cast<double>(wb), 1.0, 0.1);
+}
+
+TEST(WfqTest, SetWeightAndRemoveAfterTimeAdvances) {
+  // Regression: weight bookkeeping on a clock that has already advanced must not trip
+  // the monotonic-time assertion.
+  Wfq wfq(Wfq::Config{.assumed_quantum = kQ});
+  const FlowId a = wfq.AddFlow(1);
+  const FlowId b = wfq.AddFlow(1);
+  Time now = 0;
+  wfq.Arrive(a, now);
+  wfq.Arrive(b, now);
+  for (int i = 0; i < 10; ++i) {
+    const FlowId f = wfq.PickNext(now);
+    now += kQ;
+    wfq.Complete(f, kQ, now, true);
+  }
+  wfq.SetWeight(a, 5);          // clock is at now >> 0
+  const FlowId f = wfq.PickNext(now);
+  now += kQ;
+  wfq.Complete(f, kQ, now, f == a);
+  if (f == a) {
+    // a blocked; remove the still-backlogged b later.
+    const FlowId g = wfq.PickNext(now);
+    now += kQ;
+    wfq.Complete(g, kQ, now, false);
+    wfq.RemoveFlow(b);
+  } else {
+    wfq.RemoveFlow(b);
+  }
+  SUCCEED();
+}
+
+// --- FQS ---
+
+TEST(FqsTest, ProportionalForBackloggedFlows) {
+  Fqs fqs;
+  const FlowId a = fqs.AddFlow(2);
+  const FlowId b = fqs.AddFlow(5);
+  fqs.Arrive(a, 0);
+  fqs.Arrive(b, 0);
+  auto service = RunBacklogged(fqs, 7000, kQ);
+  EXPECT_NEAR(static_cast<double>(service[b]) / static_cast<double>(service[a]), 2.5, 0.05);
+}
+
+TEST(FqsTest, HandlesActualQuantumLengths) {
+  // FQS orders by start tag, so it needs no a-priori length — variable usage stays fair.
+  Fqs fqs;
+  const FlowId a = fqs.AddFlow(1);
+  const FlowId b = fqs.AddFlow(1);
+  fqs.Arrive(a, 0);
+  fqs.Arrive(b, 0);
+  Time now = 0;
+  Work wa = 0;
+  Work wb = 0;
+  for (int i = 0; i < 9000; ++i) {
+    const FlowId f = fqs.PickNext(now);
+    const Work used = f == a ? kQ / 5 : kQ;
+    now += used;
+    (f == a ? wa : wb) += used;
+    fqs.Complete(f, used, now, true);
+  }
+  EXPECT_NEAR(static_cast<double>(wa) / static_cast<double>(wb), 1.0, 0.1);
+}
+
+// --- SCFQ ---
+
+TEST(ScfqTest, ProportionalForBackloggedFlows) {
+  Scfq scfq(Scfq::Config{.assumed_quantum = kQ});
+  const FlowId a = scfq.AddFlow(1);
+  const FlowId b = scfq.AddFlow(2);
+  scfq.Arrive(a, 0);
+  scfq.Arrive(b, 0);
+  auto service = RunBacklogged(scfq, 3000, kQ);
+  EXPECT_NEAR(static_cast<double>(service[b]) / static_cast<double>(service[a]), 2.0, 0.05);
+}
+
+TEST(ScfqTest, SelfClockFollowsServicedFlow) {
+  Scfq scfq(Scfq::Config{.assumed_quantum = 10});
+  const FlowId a = scfq.AddFlow(1);
+  scfq.Arrive(a, 0);
+  EXPECT_EQ(scfq.PickNext(0), a);
+  // v becomes the finish tag of the quantum in service.
+  EXPECT_EQ(scfq.VirtualTimeNow(), scfq.FinishTag(a));
+}
+
+TEST(ScfqTest, LateArrivalDoesNotStarveOthers) {
+  Scfq scfq(Scfq::Config{.assumed_quantum = 10});
+  const FlowId a = scfq.AddFlow(1);
+  scfq.Arrive(a, 0);
+  for (int i = 0; i < 100; ++i) {
+    const FlowId f = scfq.PickNext(0);
+    scfq.Complete(f, 10, 0, true);
+  }
+  const FlowId b = scfq.AddFlow(1);
+  scfq.Arrive(b, 0);  // F_b = v + 10, not 10
+  std::map<FlowId, int> counts;
+  for (int i = 0; i < 100; ++i) {
+    const FlowId f = scfq.PickNext(0);
+    counts[f]++;
+    scfq.Complete(f, 10, 0, true);
+  }
+  EXPECT_NEAR(counts[a], 50, 2);
+  EXPECT_NEAR(counts[b], 50, 2);
+}
+
+// --- Stride ---
+
+TEST(StrideTest, ProportionalForBackloggedFlows) {
+  Stride stride;
+  const FlowId a = stride.AddFlow(1);
+  const FlowId b = stride.AddFlow(4);
+  stride.Arrive(a, 0);
+  stride.Arrive(b, 0);
+  auto service = RunBacklogged(stride, 5000, kQ);
+  EXPECT_NEAR(static_cast<double>(service[b]) / static_cast<double>(service[a]), 4.0, 0.05);
+}
+
+TEST(StrideTest, ClassicChargingPenalizesShortQuanta) {
+  Stride stride(Stride::Config{.quantum = kQ, .charge_actual = false});
+  const FlowId a = stride.AddFlow(1);
+  const FlowId b = stride.AddFlow(1);
+  stride.Arrive(a, 0);
+  stride.Arrive(b, 0);
+  Work wa = 0;
+  Work wb = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const FlowId f = stride.PickNext(0);
+    const Work used = f == a ? kQ / 4 : kQ;
+    (f == a ? wa : wb) += used;
+    stride.Complete(f, used, 0, true);
+  }
+  EXPECT_LT(static_cast<double>(wa) / static_cast<double>(wb), 0.35);
+}
+
+TEST(StrideTest, RejoiningFlowStartsFromGlobalPass) {
+  Stride stride;
+  const FlowId a = stride.AddFlow(1);
+  const FlowId b = stride.AddFlow(1);
+  stride.Arrive(a, 0);
+  stride.Arrive(b, 0);
+  // b departs after one quantum; a runs alone for a while.
+  FlowId f;
+  for (int k = 0; k < 2; ++k) {
+    f = stride.PickNext(0);
+    stride.Complete(f, kQ, 0, /*still_backlogged=*/f == a);
+  }
+  for (int i = 0; i < 200; ++i) {
+    f = stride.PickNext(0);
+    ASSERT_EQ(f, a);
+    stride.Complete(f, kQ, 0, true);
+  }
+  stride.Arrive(b, 0);
+  // b must not monopolize: within the next 20 quanta a still runs.
+  std::map<FlowId, int> counts;
+  for (int i = 0; i < 20; ++i) {
+    f = stride.PickNext(0);
+    counts[f]++;
+    stride.Complete(f, kQ, 0, true);
+  }
+  EXPECT_GE(counts[a], 9);
+}
+
+// --- Lottery ---
+
+TEST(LotteryTest, ExpectationProportionalOverLongRun) {
+  Lottery lottery(/*seed=*/7);
+  const FlowId a = lottery.AddFlow(1);
+  const FlowId b = lottery.AddFlow(3);
+  lottery.Arrive(a, 0);
+  lottery.Arrive(b, 0);
+  auto service = RunBacklogged(lottery, 40000, kQ);
+  EXPECT_NEAR(static_cast<double>(service[b]) / static_cast<double>(service[a]), 3.0, 0.2);
+}
+
+TEST(LotteryTest, ShortRunVarianceExceedsSfqBound) {
+  // The paper's criticism of lottery scheduling: fairness only over long intervals.
+  // Over short windows the normalized-service gap routinely exceeds SFQ's deterministic
+  // bound of 2 quanta (equal weights).
+  Lottery lottery(/*seed=*/11);
+  const FlowId a = lottery.AddFlow(1);
+  const FlowId b = lottery.AddFlow(1);
+  lottery.Arrive(a, 0);
+  lottery.Arrive(b, 0);
+  Work wa = 0;
+  Work wb = 0;
+  double worst_gap_quanta = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const FlowId f = lottery.PickNext(0);
+    (f == a ? wa : wb) += kQ;
+    lottery.Complete(f, kQ, 0, true);
+    const double gap = std::abs(static_cast<double>(wa - wb)) / static_cast<double>(kQ);
+    worst_gap_quanta = std::max(worst_gap_quanta, gap);
+  }
+  EXPECT_GT(worst_gap_quanta, 2.0);
+}
+
+TEST(LotteryTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    Lottery lottery(seed);
+    const FlowId a = lottery.AddFlow(1);
+    const FlowId b = lottery.AddFlow(2);
+    lottery.Arrive(a, 0);
+    lottery.Arrive(b, 0);
+    std::vector<FlowId> picks;
+    for (int i = 0; i < 50; ++i) {
+      const FlowId f = lottery.PickNext(0);
+      picks.push_back(f);
+      lottery.Complete(f, 1, 0, true);
+    }
+    return picks;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(LotteryTest, WeightChangeAffectsOdds) {
+  Lottery lottery(/*seed=*/13);
+  const FlowId a = lottery.AddFlow(1);
+  const FlowId b = lottery.AddFlow(1);
+  lottery.Arrive(a, 0);
+  lottery.Arrive(b, 0);
+  lottery.SetWeight(a, 9);
+  std::map<FlowId, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    const FlowId f = lottery.PickNext(0);
+    counts[f]++;
+    lottery.Complete(f, 1, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[a]) / (counts[a] + counts[b]), 0.9, 0.02);
+}
+
+// --- EEVDF ---
+
+TEST(EevdfTest, ProportionalForBackloggedFlows) {
+  Eevdf eevdf(Eevdf::Config{.quantum = kQ});
+  const FlowId a = eevdf.AddFlow(1);
+  const FlowId b = eevdf.AddFlow(2);
+  eevdf.Arrive(a, 0);
+  eevdf.Arrive(b, 0);
+  auto service = RunBacklogged(eevdf, 3000, kQ);
+  EXPECT_NEAR(static_cast<double>(service[b]) / static_cast<double>(service[a]), 2.0, 0.05);
+}
+
+TEST(EevdfTest, RejoiningFlowForfeitsSleptTime) {
+  Eevdf eevdf(Eevdf::Config{.quantum = kQ});
+  const FlowId a = eevdf.AddFlow(1);
+  const FlowId b = eevdf.AddFlow(1);
+  eevdf.Arrive(a, 0);
+  eevdf.Arrive(b, 0);
+  FlowId f;
+  for (int k = 0; k < 2; ++k) {
+    f = eevdf.PickNext(0);
+    eevdf.Complete(f, kQ, 0, /*still_backlogged=*/f == a);
+  }
+  for (int i = 0; i < 100; ++i) {
+    f = eevdf.PickNext(0);
+    ASSERT_EQ(f, a);
+    eevdf.Complete(f, kQ, 0, true);
+  }
+  eevdf.Arrive(b, 0);
+  EXPECT_GE(eevdf.EligibleTime(b), eevdf.GlobalVirtualTime());
+  std::map<FlowId, int> counts;
+  for (int i = 0; i < 40; ++i) {
+    f = eevdf.PickNext(0);
+    counts[f]++;
+    eevdf.Complete(f, kQ, 0, true);
+  }
+  EXPECT_NEAR(counts[a], 20, 2);
+}
+
+TEST(EevdfTest, EligibilityGatesOverservedFlow) {
+  Eevdf eevdf(Eevdf::Config{.quantum = kQ});
+  const FlowId a = eevdf.AddFlow(1);
+  const FlowId b = eevdf.AddFlow(1);
+  eevdf.Arrive(a, 0);
+  eevdf.Arrive(b, 0);
+  // Strict alternation for equal weights.
+  const FlowId first = eevdf.PickNext(0);
+  eevdf.Complete(first, kQ, 0, true);
+  const FlowId second = eevdf.PickNext(0);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace hfair

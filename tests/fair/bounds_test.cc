@@ -1,0 +1,113 @@
+#include "src/fair/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hfair {
+namespace {
+
+using hscommon::kMillisecond;
+
+TEST(FairnessBoundTest, SymmetricInFlows) {
+  EXPECT_DOUBLE_EQ(SfqFairnessBound(10, 2, 20, 4), SfqFairnessBound(20, 4, 10, 2));
+}
+
+TEST(FairnessBoundTest, KnownValue) {
+  // 10/2 + 20/4 = 10.
+  EXPECT_DOUBLE_EQ(SfqFairnessBound(10, 2, 20, 4), 10.0);
+}
+
+TEST(FairnessBoundTest, LowerBoundIsHalf) {
+  EXPECT_DOUBLE_EQ(FairnessLowerBound(10, 2, 20, 4), 5.0);
+}
+
+TEST(DelayBoundTest, SfqSumsCompetitorQuanta) {
+  const std::vector<FlowParams> flows = {
+      {.weight = 1, .lmax = 10 * kMillisecond},
+      {.weight = 1, .lmax = 20 * kMillisecond},
+      {.weight = 1, .lmax = 30 * kMillisecond},
+  };
+  // Flow 0: others' lmax (20+30) + own quantum (5) + delta (0) = 55 ms.
+  EXPECT_EQ(SfqDelayBound(flows, 0, 5 * kMillisecond, 0), 55 * kMillisecond);
+}
+
+TEST(DelayBoundTest, FcDeltaExtendsTheBound) {
+  const std::vector<FlowParams> flows = {{.weight = 1, .lmax = 10 * kMillisecond},
+                                         {.weight = 1, .lmax = 10 * kMillisecond}};
+  const hscommon::Time base = SfqDelayBound(flows, 0, kMillisecond, 0);
+  const hscommon::Time with_delta = SfqDelayBound(flows, 0, kMillisecond, 4 * kMillisecond);
+  EXPECT_EQ(with_delta - base, 4 * kMillisecond);
+}
+
+TEST(DelayBoundTest, CapacityScalesTime) {
+  const std::vector<FlowParams> flows = {{.weight = 1, .lmax = 10}, {.weight = 1, .lmax = 10}};
+  // Half capacity -> twice the wall time.
+  EXPECT_EQ(SfqDelayBound(flows, 0, 10, 0, 1, 2), 2 * SfqDelayBound(flows, 0, 10, 0, 1, 1));
+}
+
+TEST(DelayBoundTest, WfqServesAtReservedRate) {
+  // Two equal-lmax flows, one with 10x the weight: WFQ's l/r_f term is 11x the quantum
+  // for the light flow but only 1.1x for the heavy one.
+  const std::vector<FlowParams> flows = {{.weight = 1, .lmax = 10 * kMillisecond},
+                                         {.weight = 10, .lmax = 10 * kMillisecond}};
+  // light flow: 10ms * 11/1 + 10ms = 120ms.
+  EXPECT_EQ(WfqDelayBound(flows, 0, 10 * kMillisecond, 0), 120 * kMillisecond);
+  // heavy flow: 10ms * 11/10 + 10ms = 21ms.
+  EXPECT_EQ(WfqDelayBound(flows, 1, 10 * kMillisecond, 0), 21 * kMillisecond);
+}
+
+TEST(DelayBoundTest, SfqBeatsWfqForLowThroughputFlows) {
+  // The paper's §6 claim: with equal quantum lengths, SFQ's bound is lower than WFQ's
+  // exactly when the flow's rate r_f <= C/Q — i.e. for low-throughput flows.
+  const std::vector<FlowParams> flows = {
+      {.weight = 1, .lmax = 10 * kMillisecond},   // the low-throughput interactive flow
+      {.weight = 10, .lmax = 10 * kMillisecond},
+  };
+  const hscommon::Time sfq = SfqDelayBound(flows, 0, 10 * kMillisecond, 0);
+  const hscommon::Time wfq = WfqDelayBound(flows, 0, 10 * kMillisecond, 0);
+  EXPECT_LT(sfq, wfq);  // 20ms < 120ms
+  // The gap shrinks as the flow's weight (rate) grows: the heavy flow's WFQ bound is
+  // within one quantum of its SFQ bound.
+  const hscommon::Time sfq_heavy = SfqDelayBound(flows, 1, 10 * kMillisecond, 0);
+  const hscommon::Time wfq_heavy = WfqDelayBound(flows, 1, 10 * kMillisecond, 0);
+  EXPECT_LE(wfq_heavy - sfq_heavy, 10 * kMillisecond);
+}
+
+TEST(DelayBoundTest, ScfqExceedsSfqByReservedRateTerm) {
+  const std::vector<FlowParams> flows = {{.weight = 1, .lmax = 10 * kMillisecond},
+                                         {.weight = 1, .lmax = 10 * kMillisecond},
+                                         {.weight = 1, .lmax = 10 * kMillisecond}};
+  const hscommon::Time sfq = SfqDelayBound(flows, 1, kMillisecond, 0);
+  const hscommon::Time scfq = ScfqDelayBound(flows, 1, kMillisecond, 0);
+  // SFQ: 20ms others + 1ms own. SCFQ: 20ms others + 1ms * (W/w = 3).
+  EXPECT_EQ(sfq, 21 * kMillisecond);
+  EXPECT_EQ(scfq, 23 * kMillisecond);
+  // The gap grows as the flow's rate shrinks: l * (W/w - 1) / C.
+  EXPECT_EQ(scfq - sfq, 2 * kMillisecond);
+}
+
+TEST(EatTrackerTest, FirstRequestEatIsArrival) {
+  EatTracker eat(/*rate_num=*/1, /*rate_den=*/2);  // rate 0.5 work/ns
+  EXPECT_EQ(eat.OnRequest(100, 10), 100);
+}
+
+TEST(EatTrackerTest, BackToBackRequestsSpacedByServiceTime) {
+  EatTracker eat(1, 2);  // 0.5 work/ns -> 10 work takes 20 ns
+  EXPECT_EQ(eat.OnRequest(0, 10), 0);
+  // Arrives immediately: EAT = max(0, 0 + 20) = 20.
+  EXPECT_EQ(eat.OnRequest(0, 10), 20);
+  EXPECT_EQ(eat.OnRequest(0, 10), 40);
+}
+
+TEST(EatTrackerTest, LateArrivalResetsEat) {
+  EatTracker eat(1, 1);
+  EXPECT_EQ(eat.OnRequest(0, 10), 0);
+  // Arrival far after the previous EAT+service: EAT = arrival.
+  EXPECT_EQ(eat.OnRequest(1000, 10), 1000);
+}
+
+}  // namespace
+}  // namespace hfair

@@ -1,0 +1,67 @@
+#include "src/fair/flow_table.h"
+
+#include <gtest/gtest.h>
+
+namespace hfair {
+namespace {
+
+struct State {
+  int value = -1;
+};
+
+TEST(FlowTableTest, AllocateAssignsSequentialIds) {
+  FlowTable<State> table;
+  EXPECT_EQ(table.Allocate(), 0u);
+  EXPECT_EQ(table.Allocate(), 1u);
+  EXPECT_EQ(table.Allocate(), 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(FlowTableTest, FreedSlotsAreRecycledWithFreshState) {
+  FlowTable<State> table;
+  const FlowId a = table.Allocate();
+  table[a].value = 42;
+  table.Free(a);
+  EXPECT_FALSE(table.Contains(a));
+  const FlowId b = table.Allocate();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table[b].value, -1);  // default-constructed again
+}
+
+TEST(FlowTableTest, ContainsTracksLiveness) {
+  FlowTable<State> table;
+  EXPECT_FALSE(table.Contains(0));
+  const FlowId id = table.Allocate();
+  EXPECT_TRUE(table.Contains(id));
+  EXPECT_FALSE(table.Contains(id + 1));
+}
+
+TEST(FlowTableTest, ForEachVisitsOnlyLiveFlows) {
+  FlowTable<State> table;
+  const FlowId a = table.Allocate();
+  const FlowId b = table.Allocate();
+  const FlowId c = table.Allocate();
+  table[a].value = 1;
+  table[b].value = 2;
+  table[c].value = 3;
+  table.Free(b);
+  int sum = 0;
+  int count = 0;
+  table.ForEach([&](FlowId, const State& s) {
+    sum += s.value;
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sum, 4);
+}
+
+TEST(FlowTableTest, SizeExcludesFreed) {
+  FlowTable<State> table;
+  table.Allocate();
+  const FlowId b = table.Allocate();
+  table.Free(b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hfair

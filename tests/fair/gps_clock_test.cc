@@ -1,0 +1,58 @@
+#include "src/fair/gps_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace hfair {
+namespace {
+
+using hscommon::VirtualTime;
+
+TEST(GpsClockTest, IdleClockDoesNotAdvance) {
+  GpsClock gps;
+  EXPECT_EQ(gps.Advance(1000), VirtualTime::Zero());
+  EXPECT_EQ(gps.active_weight(), 0u);
+}
+
+TEST(GpsClockTest, AdvancesAtCapacityOverWeight) {
+  GpsClock gps;
+  gps.FlowActivated(4, 0);
+  // 400 ns of wall time at weight 4 -> v advances by 100.
+  EXPECT_EQ(gps.Advance(400), VirtualTime::FromUnits(100));
+}
+
+TEST(GpsClockTest, WeightChangesTakeEffectFromNow) {
+  GpsClock gps;
+  gps.FlowActivated(1, 0);
+  gps.Advance(100);  // v = 100
+  gps.FlowActivated(1, 100);
+  // Another 100 ns at total weight 2 -> +50.
+  EXPECT_EQ(gps.Advance(200), VirtualTime::FromUnits(150));
+  gps.FlowDeactivated(1, 200);
+  EXPECT_EQ(gps.Advance(300), VirtualTime::FromUnits(250));
+}
+
+TEST(GpsClockTest, CapacityScalesRate) {
+  GpsClock gps(/*capacity_num=*/1, /*capacity_den=*/2);  // half-rate server
+  gps.FlowActivated(1, 0);
+  EXPECT_EQ(gps.Advance(100), VirtualTime::FromUnits(50));
+}
+
+TEST(GpsClockTest, AdjustWeightMidFlight) {
+  GpsClock gps;
+  gps.FlowActivated(2, 0);
+  gps.Advance(100);  // v = 50
+  gps.AdjustWeight(2, 4, 100);
+  EXPECT_EQ(gps.active_weight(), 4u);
+  EXPECT_EQ(gps.Advance(200), VirtualTime::FromUnits(75));
+}
+
+TEST(GpsClockTest, StationaryObservationIsIdempotent) {
+  GpsClock gps;
+  gps.FlowActivated(1, 0);
+  const VirtualTime v1 = gps.Advance(500);
+  const VirtualTime v2 = gps.Advance(500);
+  EXPECT_EQ(v1, v2);
+}
+
+}  // namespace
+}  // namespace hfair

@@ -1,0 +1,308 @@
+#include "src/fair/sfq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/fair/bounds.h"
+
+namespace hfair {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::VirtualTime;
+
+// Runs one full quantum for the expected flow and returns it.
+FlowId RunQuantum(Sfq& sfq, Work quantum, bool still_backlogged) {
+  const FlowId f = sfq.PickNext(0);
+  EXPECT_NE(f, kInvalidFlow);
+  sfq.Complete(f, quantum, 0, still_backlogged);
+  return f;
+}
+
+TEST(SfqTest, StartsIdle) {
+  Sfq sfq;
+  EXPECT_FALSE(sfq.HasBacklog());
+  EXPECT_EQ(sfq.PickNext(0), kInvalidFlow);
+  EXPECT_EQ(sfq.VirtualTimeNow(), VirtualTime::Zero());
+}
+
+TEST(SfqTest, SingleFlowTagsAdvance) {
+  Sfq sfq;
+  const FlowId f = sfq.AddFlow(2);
+  sfq.Arrive(f, 0);
+  EXPECT_EQ(sfq.StartTag(f), VirtualTime::Zero());
+  EXPECT_EQ(RunQuantum(sfq, 10, true), f);
+  EXPECT_EQ(sfq.FinishTag(f), VirtualTime::FromService(10, 2));
+  EXPECT_EQ(sfq.StartTag(f), sfq.FinishTag(f));
+}
+
+// The complete worked example of paper §3 / Figure 3: threads A (weight 1) and
+// B (weight 2), 10 ms quanta, B blocks at t=60, A blocks at t=90, A returns at t=110,
+// B returns at t=115. All tag values below are the paper's, in units of ms.
+TEST(SfqTest, PaperFigure3GoldenExample) {
+  const Work q = 10;  // work in "ms" units for direct comparison with the paper
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  const FlowId b = sfq.AddFlow(2);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  EXPECT_EQ(sfq.StartTag(a), VirtualTime::Zero());
+  EXPECT_EQ(sfq.StartTag(b), VirtualTime::Zero());
+
+  // t in [0,10): A runs first (ties broken by id); v(t) = 0 during its quantum.
+  EXPECT_EQ(sfq.PickNext(0), a);
+  EXPECT_EQ(sfq.VirtualTimeNow(), VirtualTime::Zero());
+  sfq.Complete(a, q, 0, true);
+  EXPECT_EQ(sfq.FinishTag(a), VirtualTime::FromUnits(10));
+  EXPECT_EQ(sfq.StartTag(a), VirtualTime::FromUnits(10));
+
+  // t in [10,20): B's first quantum; v stays 0. F_B = 5, S_B = 5.
+  EXPECT_EQ(sfq.PickNext(0), b);
+  EXPECT_EQ(sfq.VirtualTimeNow(), VirtualTime::Zero());
+  sfq.Complete(b, q, 0, true);
+  EXPECT_EQ(sfq.FinishTag(b), VirtualTime::FromUnits(5));
+  EXPECT_EQ(sfq.StartTag(b), VirtualTime::FromUnits(5));
+
+  // t in [20,30): B again (S_B=5 < S_A=10). F_B = S_B + 10/2 = 10.
+  EXPECT_EQ(RunQuantum(sfq, q, true), b);
+  EXPECT_EQ(sfq.StartTag(b), VirtualTime::FromUnits(10));
+
+  // Ties at 10: A (lower id) then B, B — up to t=60 A has run 20, B has run 40,
+  // matching the paper's 1:2 weights.
+  EXPECT_EQ(RunQuantum(sfq, q, true), a);   // S_A -> 20
+  EXPECT_EQ(RunQuantum(sfq, q, true), b);   // S_B -> 15
+  EXPECT_EQ(RunQuantum(sfq, q, false), b);  // B blocks at t=60 with F_B = 20
+
+  EXPECT_EQ(sfq.FinishTag(b), VirtualTime::FromUnits(20));
+
+  // A alone: t in [60,90), three quanta, F_A: 30, 40, 50; blocks at t=90.
+  EXPECT_EQ(RunQuantum(sfq, q, true), a);
+  EXPECT_EQ(RunQuantum(sfq, q, true), a);
+  EXPECT_EQ(RunQuantum(sfq, q, false), a);
+  EXPECT_EQ(sfq.FinishTag(a), VirtualTime::FromUnits(50));
+
+  // Idle: v(t) = max finish tag = 50.
+  EXPECT_FALSE(sfq.HasBacklog());
+  EXPECT_EQ(sfq.VirtualTimeNow(), VirtualTime::FromUnits(50));
+
+  // A returns at t=110: S_A = max(50, 50) = 50 and is scheduled immediately.
+  sfq.Arrive(a, 110);
+  EXPECT_EQ(sfq.StartTag(a), VirtualTime::FromUnits(50));
+  EXPECT_EQ(sfq.PickNext(110), a);
+
+  // B returns at t=115 while A is in service: v = S_A = 50, so S_B = max(50, 20) = 50.
+  sfq.Arrive(b, 115);
+  EXPECT_EQ(sfq.StartTag(b), VirtualTime::FromUnits(50));
+
+  // From here allocation returns to 1:2: over the next 6 quanta A gets 2, B gets 4.
+  sfq.Complete(a, q, 115, true);
+  std::map<FlowId, int> quanta;
+  for (int i = 0; i < 6; ++i) {
+    quanta[RunQuantum(sfq, q, true)]++;
+  }
+  EXPECT_EQ(quanta[a], 2);
+  EXPECT_EQ(quanta[b], 4);
+}
+
+TEST(SfqTest, ProportionalSharingLongRun) {
+  Sfq sfq;
+  const FlowId f1 = sfq.AddFlow(1);
+  const FlowId f2 = sfq.AddFlow(3);
+  const FlowId f3 = sfq.AddFlow(6);
+  sfq.Arrive(f1, 0);
+  sfq.Arrive(f2, 0);
+  sfq.Arrive(f3, 0);
+  std::map<FlowId, Work> service;
+  for (int i = 0; i < 10000; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    service[f] += 10;
+    sfq.Complete(f, 10, 0, true);
+  }
+  const double total = 100000.0;
+  EXPECT_NEAR(service[f1] / total, 0.1, 0.01);
+  EXPECT_NEAR(service[f2] / total, 0.3, 0.01);
+  EXPECT_NEAR(service[f3] / total, 0.6, 0.01);
+}
+
+TEST(SfqTest, FairnessBoundHoldsAtEveryPrefix) {
+  // eq. 5: |W_f/w_f - W_m/w_m| <= lmax_f/w_f + lmax_m/w_m for continuously backlogged
+  // flows, at every point in time.
+  Sfq sfq;
+  const Work q = 10 * kMillisecond;
+  const FlowId a = sfq.AddFlow(2);
+  const FlowId b = sfq.AddFlow(5);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  Work wa = 0;
+  Work wb = 0;
+  const double bound = SfqFairnessBound(q, 2, q, 5);
+  for (int i = 0; i < 5000; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    (f == a ? wa : wb) += q;
+    sfq.Complete(f, q, 0, true);
+    const double gap = std::abs(static_cast<double>(wa) / 2.0 - static_cast<double>(wb) / 5.0);
+    ASSERT_LE(gap, bound + 1e-6) << "violated after quantum " << i;
+  }
+}
+
+TEST(SfqTest, BlockedFlowDoesNotAccumulateCredit) {
+  // A flow that sleeps must not catch up on service it missed (SFQ is not
+  // history-compensating): after it returns, shares are proportional going forward.
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  const FlowId b = sfq.AddFlow(1);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  // b blocks after its first quantum; a stays backlogged.
+  for (int k = 0; k < 2; ++k) {
+    const FlowId f = sfq.PickNext(0);
+    sfq.Complete(f, 10, 0, /*still_backlogged=*/f == a);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const FlowId g = sfq.PickNext(0);
+    ASSERT_EQ(g, a);
+    sfq.Complete(g, 10, 0, true);
+  }
+  // b returns; from now service should split evenly, not favour b.
+  sfq.Arrive(b, 0);
+  std::map<FlowId, int> counts;
+  for (int i = 0; i < 100; ++i) {
+    const FlowId g = sfq.PickNext(0);
+    counts[g]++;
+    sfq.Complete(g, 10, 0, true);
+  }
+  EXPECT_EQ(counts[a], 50);
+  EXPECT_EQ(counts[b], 50);
+}
+
+TEST(SfqTest, VariableQuantumLengthsStayProportional) {
+  // SFQ does not need the quantum length a priori: completion can report any length.
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  const FlowId b = sfq.AddFlow(2);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  Work wa = 0;
+  Work wb = 0;
+  // a uses short quanta, b long ones; proportionality must still emerge.
+  for (int i = 0; i < 30000; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    const Work used = f == a ? 3 : 8;
+    (f == a ? wa : wb) += used;
+    sfq.Complete(f, used, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(wb) / static_cast<double>(wa), 2.0, 0.05);
+}
+
+TEST(SfqTest, WeightChangeAppliesToSubsequentQuanta) {
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  const FlowId b = sfq.AddFlow(1);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  sfq.SetWeight(a, 4);
+  std::map<FlowId, int> counts;
+  for (int i = 0; i < 1000; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    counts[f]++;
+    sfq.Complete(f, 10, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[a]) / counts[b], 4.0, 0.2);
+}
+
+TEST(SfqTest, DepartRemovesWithoutCharging) {
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  const FlowId b = sfq.AddFlow(1);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  const VirtualTime start_b = sfq.StartTag(b);
+  sfq.Depart(b);
+  EXPECT_EQ(sfq.BacklogSize(), 1u);
+  EXPECT_EQ(sfq.StartTag(b), start_b);
+  EXPECT_EQ(sfq.FinishTag(b), VirtualTime::Zero());
+  // b can re-arrive cleanly.
+  sfq.Arrive(b, 0);
+  EXPECT_EQ(sfq.BacklogSize(), 2u);
+}
+
+TEST(SfqTest, ZeroLengthQuantumIsHarmless) {
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  sfq.Arrive(a, 0);
+  const FlowId f = sfq.PickNext(0);
+  sfq.Complete(f, 0, 0, true);
+  EXPECT_EQ(sfq.StartTag(a), sfq.FinishTag(a));
+  EXPECT_TRUE(sfq.HasBacklog());
+}
+
+TEST(SfqTest, IdleVirtualTimeIsMaxFinishTag) {
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  const FlowId b = sfq.AddFlow(4);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  RunQuantum(sfq, 100, false);  // a: F = 100
+  RunQuantum(sfq, 100, false);  // b: F = 25
+  EXPECT_FALSE(sfq.HasBacklog());
+  EXPECT_EQ(sfq.VirtualTimeNow(), VirtualTime::FromUnits(100));
+}
+
+TEST(SfqTest, LateArrivalJoinsAtCurrentVirtualTime) {
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  sfq.Arrive(a, 0);
+  for (int i = 0; i < 50; ++i) {
+    RunQuantum(sfq, 10, true);
+  }
+  // a's start tag is now 500; a fresh flow must start near v, not at 0.
+  const FlowId b = sfq.AddFlow(1);
+  sfq.Arrive(b, 0);
+  EXPECT_EQ(sfq.StartTag(b), VirtualTime::FromUnits(500));
+}
+
+TEST(SfqTest, RemoveFlowRecyclesIds) {
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  sfq.RemoveFlow(a);
+  const FlowId b = sfq.AddFlow(2);
+  EXPECT_EQ(a, b);  // slot reuse
+  EXPECT_EQ(sfq.GetWeight(b), 2u);
+  EXPECT_EQ(sfq.FinishTag(b), VirtualTime::Zero());  // state reset
+}
+
+TEST(SfqTest, RemoveBackloggedFlow) {
+  Sfq sfq;
+  const FlowId a = sfq.AddFlow(1);
+  const FlowId b = sfq.AddFlow(1);
+  sfq.Arrive(a, 0);
+  sfq.Arrive(b, 0);
+  sfq.RemoveFlow(b);
+  EXPECT_EQ(sfq.BacklogSize(), 1u);
+  EXPECT_EQ(sfq.PickNext(0), a);
+}
+
+TEST(SfqTest, ManyFlowsEqualWeightsRoundRobinLike) {
+  Sfq sfq;
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 16; ++i) {
+    flows.push_back(sfq.AddFlow(1));
+    sfq.Arrive(flows.back(), 0);
+  }
+  std::map<FlowId, int> counts;
+  for (int i = 0; i < 1600; ++i) {
+    const FlowId f = sfq.PickNext(0);
+    counts[f]++;
+    sfq.Complete(f, 7, 0, true);
+  }
+  for (FlowId f : flows) {
+    EXPECT_EQ(counts[f], 100);
+  }
+}
+
+}  // namespace
+}  // namespace hfair

@@ -1,0 +1,151 @@
+// Tests for the paper-verbatim system-call layer.
+
+#include "src/hsfq/api.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/ts_svr4.h"
+
+namespace hsfq {
+namespace {
+
+constexpr SchedulerId kSfqSid = 1;
+constexpr SchedulerId kTsSid = 2;
+
+void RegisterSchedulers(HsfqApi& api) {
+  api.RegisterScheduler(kSfqSid, [] { return std::make_unique<hleaf::SfqLeafScheduler>(); });
+  api.RegisterScheduler(kTsSid, [] { return std::make_unique<hleaf::TsScheduler>(); });
+}
+
+TEST(ApiTest, MknodBuildsFigure2Structure) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int hard = api.hsfq_mknod("hard-rt", 0, 1, kNodeLeaf, kSfqSid);
+  const int soft = api.hsfq_mknod("soft-rt", 0, 3, kNodeLeaf, kSfqSid);
+  const int best = api.hsfq_mknod("best-effort", 0, 6, kNodeInterior, 0);
+  ASSERT_GT(hard, 0);
+  ASSERT_GT(soft, 0);
+  ASSERT_GT(best, 0);
+  const int user1 = api.hsfq_mknod("user1", best, 1, kNodeLeaf, kSfqSid);
+  const int user2 = api.hsfq_mknod("user2", best, 1, kNodeLeaf, kTsSid);
+  ASSERT_GT(user1, 0);
+  ASSERT_GT(user2, 0);
+  EXPECT_EQ(api.hsfq_parse("/best-effort/user1", 0), user1);
+}
+
+TEST(ApiTest, MknodErrors) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  EXPECT_EQ(api.hsfq_mknod(nullptr, 0, 1, kNodeLeaf, kSfqSid), kErrInval);
+  EXPECT_EQ(api.hsfq_mknod("x", -1, 1, kNodeLeaf, kSfqSid), kErrInval);
+  EXPECT_EQ(api.hsfq_mknod("x", 0, 0, kNodeLeaf, kSfqSid), kErrInval);
+  EXPECT_EQ(api.hsfq_mknod("x", 0, 1, kNodeLeaf, /*sid=*/99), kErrNoSched);
+  EXPECT_EQ(api.hsfq_mknod("x", 0, 1, /*flag=*/42, kSfqSid), kErrInval);
+  ASSERT_GT(api.hsfq_mknod("x", 0, 1, kNodeLeaf, kSfqSid), 0);
+  EXPECT_EQ(api.hsfq_mknod("x", 0, 1, kNodeLeaf, kSfqSid), kErrExist);
+  EXPECT_EQ(api.hsfq_mknod("y", 999, 1, kNodeLeaf, kSfqSid), kErrNoEnt);
+}
+
+TEST(ApiTest, ParseAbsoluteAndRelative) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int be = api.hsfq_mknod("be", 0, 1, kNodeInterior, 0);
+  const int u = api.hsfq_mknod("u", be, 1, kNodeLeaf, kSfqSid);
+  EXPECT_EQ(api.hsfq_parse("/be/u", 0), u);
+  EXPECT_EQ(api.hsfq_parse("u", be), u);
+  EXPECT_EQ(api.hsfq_parse("/nope", 0), kErrNoEnt);
+  EXPECT_EQ(api.hsfq_parse(nullptr, 0), kErrInval);
+}
+
+TEST(ApiTest, RmnodRules) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int be = api.hsfq_mknod("be", 0, 1, kNodeInterior, 0);
+  const int u = api.hsfq_mknod("u", be, 1, kNodeLeaf, kSfqSid);
+  EXPECT_EQ(api.hsfq_rmnod(be, 0), kErrBusy);  // has a child
+  EXPECT_EQ(api.hsfq_rmnod(u, 0), 0);
+  EXPECT_EQ(api.hsfq_rmnod(be, 0), 0);
+  EXPECT_EQ(api.hsfq_rmnod(be, 0), kErrNoEnt);
+  EXPECT_EQ(api.hsfq_rmnod(0, 0), kErrBusy);  // root
+}
+
+TEST(ApiTest, AdminWeightRoundTrip) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int n = api.hsfq_mknod("n", 0, 4, kNodeLeaf, kSfqSid);
+  Weight w = 0;
+  EXPECT_EQ(api.hsfq_admin(n, AdminCmd::kGetWeight, &w), 0);
+  EXPECT_EQ(w, 4u);
+  Weight neww = 8;
+  EXPECT_EQ(api.hsfq_admin(n, AdminCmd::kSetWeight, &neww), 0);
+  EXPECT_EQ(api.hsfq_admin(n, AdminCmd::kGetWeight, &w), 0);
+  EXPECT_EQ(w, 8u);
+  EXPECT_EQ(api.hsfq_admin(n, AdminCmd::kSetWeight, nullptr), kErrInval);
+}
+
+TEST(ApiTest, AdminGetPath) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int be = api.hsfq_mknod("be", 0, 1, kNodeInterior, 0);
+  const int u = api.hsfq_mknod("u", be, 1, kNodeLeaf, kSfqSid);
+  std::string path;
+  EXPECT_EQ(api.hsfq_admin(u, AdminCmd::kGetPath, &path), 0);
+  EXPECT_EQ(path, "/be/u");
+  EXPECT_EQ(api.hsfq_admin(777, AdminCmd::kGetPath, &path), kErrNoEnt);
+}
+
+TEST(ApiTest, MoveThread) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int l1 = api.hsfq_mknod("l1", 0, 1, kNodeLeaf, kSfqSid);
+  const int l2 = api.hsfq_mknod("l2", 0, 1, kNodeLeaf, kSfqSid);
+  ASSERT_TRUE(api.structure().AttachThread(5, static_cast<NodeId>(l1), {}).ok());
+  EXPECT_EQ(api.hsfq_move(5, l2, {}, 0), 0);
+  EXPECT_EQ(*api.structure().LeafOf(5), static_cast<NodeId>(l2));
+  EXPECT_EQ(api.hsfq_move(99, l2, {}, 0), kErrNoEnt);
+  EXPECT_EQ(api.hsfq_move(5, -1, {}, 0), kErrInval);
+}
+
+TEST(ApiTest, AdminGetService) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int leaf = api.hsfq_mknod("leaf", 0, 1, kNodeLeaf, kSfqSid);
+  auto& tree = api.structure();
+  ASSERT_TRUE(tree.AttachThread(1, static_cast<NodeId>(leaf), {}).ok());
+  tree.SetRun(1, 0);
+  for (int i = 0; i < 10; ++i) {
+    const ThreadId t = tree.Schedule(0);
+    tree.Update(t, 100, 0, true);
+  }
+  Work service = 0;
+  EXPECT_EQ(api.hsfq_admin(leaf, AdminCmd::kGetService, &service), 0);
+  EXPECT_EQ(service, 1000);
+  EXPECT_EQ(api.hsfq_admin(0, AdminCmd::kGetService, &service), 0);  // root aggregates
+  EXPECT_EQ(service, 1000);
+  EXPECT_EQ(api.hsfq_admin(777, AdminCmd::kGetService, &service), kErrNoEnt);
+}
+
+TEST(ApiTest, EndToEndSchedulingThroughApi) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int a = api.hsfq_mknod("a", 0, 2, kNodeLeaf, kSfqSid);
+  const int b = api.hsfq_mknod("b", 0, 1, kNodeLeaf, kSfqSid);
+  auto& tree = api.structure();
+  ASSERT_TRUE(tree.AttachThread(1, static_cast<NodeId>(a), {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, static_cast<NodeId>(b), {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  std::map<ThreadId, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    const ThreadId t = tree.Schedule(0);
+    counts[t]++;
+    tree.Update(t, 10, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace hsfq

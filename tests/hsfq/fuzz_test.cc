@@ -1,0 +1,137 @@
+// Randomized stress of the scheduling structure: a seeded op soup (mknod / rmnod /
+// attach / detach / move / setrun / sleep / weight changes / dispatch cycles) with
+// CheckInvariants() asserted throughout. Catches runnability-propagation and
+// tag-bookkeeping bugs that directed tests miss.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/simple.h"
+
+namespace hsfq {
+namespace {
+
+class StructureFuzz : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructureFuzz, RandomOpSoupKeepsInvariants) {
+  hscommon::Prng prng(GetParam());
+  SchedulingStructure tree;
+
+  std::vector<NodeId> interiors{kRootNode};
+  std::vector<NodeId> leaves;
+  struct ThreadInfo {
+    NodeId leaf;
+    bool runnable = false;
+  };
+  std::map<ThreadId, ThreadInfo> threads;
+  ThreadId next_thread = 1;
+  int name_seq = 0;
+
+  auto make_leaf_sched = [&]() -> std::unique_ptr<LeafScheduler> {
+    if (prng.Bernoulli(0.5)) {
+      return std::make_unique<hleaf::SfqLeafScheduler>();
+    }
+    return std::make_unique<hleaf::RoundRobinScheduler>();
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t pick = prng.UniformU64(100);
+    if (pick < 12) {
+      // mknod (leaf or interior)
+      const NodeId parent = interiors[prng.UniformU64(interiors.size())];
+      const bool leaf = prng.Bernoulli(0.6);
+      auto made = tree.MakeNode("n" + std::to_string(name_seq++), parent,
+                                1 + prng.UniformU64(9),
+                                leaf ? make_leaf_sched() : nullptr);
+      ASSERT_TRUE(made.ok());
+      (leaf ? leaves : interiors).push_back(*made);
+    } else if (pick < 17 && !leaves.empty()) {
+      // rmnod of an empty leaf (may legitimately fail if it has threads)
+      const NodeId victim = leaves[prng.UniformU64(leaves.size())];
+      const auto status = tree.RemoveNode(victim);
+      if (status.ok()) {
+        std::erase(leaves, victim);
+      }
+    } else if (pick < 32 && !leaves.empty()) {
+      // attach a new thread
+      const NodeId leaf = leaves[prng.UniformU64(leaves.size())];
+      const ThreadId tid = next_thread++;
+      ASSERT_TRUE(tree.AttachThread(tid, leaf, {.weight = 1 + prng.UniformU64(5)}).ok());
+      threads[tid] = ThreadInfo{leaf, false};
+    } else if (pick < 40 && !threads.empty()) {
+      // detach a random (non-running) thread
+      auto it = threads.begin();
+      std::advance(it, static_cast<long>(prng.UniformU64(threads.size())));
+      if (it->first != tree.RunningThread()) {
+        ASSERT_TRUE(tree.DetachThread(it->first).ok());
+        threads.erase(it);
+      }
+    } else if (pick < 50 && !threads.empty() && leaves.size() > 1) {
+      // move a thread
+      auto it = threads.begin();
+      std::advance(it, static_cast<long>(prng.UniformU64(threads.size())));
+      const NodeId to = leaves[prng.UniformU64(leaves.size())];
+      if (it->first != tree.RunningThread() && to != it->second.leaf) {
+        ASSERT_TRUE(tree.MoveThread(it->first, to, {.weight = 1}, 0).ok());
+        it->second.leaf = to;
+      }
+    } else if (pick < 65 && !threads.empty()) {
+      // toggle runnability
+      auto it = threads.begin();
+      std::advance(it, static_cast<long>(prng.UniformU64(threads.size())));
+      if (it->first == tree.RunningThread()) {
+        continue;
+      }
+      if (it->second.runnable) {
+        tree.Sleep(it->first, 0);
+        it->second.runnable = false;
+      } else {
+        tree.SetRun(it->first, 0);
+        it->second.runnable = true;
+      }
+    } else if (pick < 72) {
+      // change a node weight
+      const bool interior = prng.Bernoulli(0.5);
+      auto& pool = interior ? interiors : leaves;
+      if (!pool.empty()) {
+        const NodeId node = pool[prng.UniformU64(pool.size())];
+        if (node != kRootNode) {
+          ASSERT_TRUE(tree.SetNodeWeight(node, 1 + prng.UniformU64(9)).ok());
+        }
+      }
+    } else {
+      // a dispatch cycle
+      if (tree.HasRunnable()) {
+        const ThreadId t = tree.Schedule(0);
+        ASSERT_NE(t, kInvalidThread);
+        const bool keep = prng.Bernoulli(0.8);
+        tree.Update(t, 1 + static_cast<hscommon::Work>(prng.UniformU64(10000000)), 0,
+                    keep);
+        threads.at(t).runnable = keep;
+      }
+    }
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "after op " << op;
+  }
+
+  // Drain: every runnable thread can still be scheduled to completion.
+  int guard = 0;
+  while (tree.HasRunnable() && guard++ < 100000) {
+    const ThreadId t = tree.Schedule(0);
+    ASSERT_NE(t, kInvalidThread);
+    tree.Update(t, 1000, 0, /*still_runnable=*/false);
+  }
+  EXPECT_FALSE(tree.HasRunnable());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructureFuzz,
+                         testing::Values(1, 7, 42, 1234, 99991, 31337, 2718281, 161803));
+
+}  // namespace
+}  // namespace hsfq

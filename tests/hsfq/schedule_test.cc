@@ -1,0 +1,327 @@
+// Hierarchical dispatch behaviour: the hsfq_schedule / hsfq_update / hsfq_setrun /
+// hsfq_sleep cycle, tag propagation, runnability propagation, and hierarchical
+// proportional sharing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/simple.h"
+
+namespace hsfq {
+namespace {
+
+using hscommon::kMillisecond;
+
+constexpr Work kQ = 10 * kMillisecond;
+
+std::unique_ptr<LeafScheduler> SfqLeaf() {
+  return std::make_unique<hleaf::SfqLeafScheduler>();
+}
+
+// Runs `rounds` full quanta and returns per-thread service.
+std::map<ThreadId, Work> RunQuanta(SchedulingStructure& tree, int rounds, Work quantum = kQ) {
+  std::map<ThreadId, Work> service;
+  for (int i = 0; i < rounds; ++i) {
+    const ThreadId t = tree.Schedule(0);
+    EXPECT_NE(t, kInvalidThread);
+    service[t] += quantum;
+    tree.Update(t, quantum, 0, /*still_runnable=*/true);
+  }
+  return service;
+}
+
+TEST(ScheduleTest, IdleTreeSchedulesNothing) {
+  SchedulingStructure tree;
+  EXPECT_FALSE(tree.HasRunnable());
+  EXPECT_EQ(tree.Schedule(0), kInvalidThread);
+}
+
+TEST(ScheduleTest, SingleThreadRuns) {
+  SchedulingStructure tree;
+  auto leaf = tree.MakeNode("leaf", kRootNode, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *leaf, {}).ok());
+  EXPECT_FALSE(tree.HasRunnable());
+  tree.SetRun(1, 0);
+  EXPECT_TRUE(tree.HasRunnable());
+  EXPECT_EQ(tree.Schedule(0), 1u);
+  EXPECT_EQ(tree.RunningThread(), 1u);
+  tree.Update(1, kQ, 0, true);
+  EXPECT_EQ(tree.RunningThread(), kInvalidThread);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(ScheduleTest, BlockingThreadIdlesTheTree) {
+  SchedulingStructure tree;
+  auto leaf = tree.MakeNode("leaf", kRootNode, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *leaf, {}).ok());
+  tree.SetRun(1, 0);
+  const ThreadId t = tree.Schedule(0);
+  tree.Update(t, kQ, 0, /*still_runnable=*/false);
+  EXPECT_FALSE(tree.HasRunnable());
+  EXPECT_EQ(tree.Schedule(0), kInvalidThread);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(ScheduleTest, SiblingClassesShareByWeight) {
+  // Figure 2's top level: weights 1 : 3 : 6.
+  SchedulingStructure tree;
+  auto hard = tree.MakeNode("hard", kRootNode, 1, SfqLeaf());
+  auto soft = tree.MakeNode("soft", kRootNode, 3, SfqLeaf());
+  auto best = tree.MakeNode("best", kRootNode, 6, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *hard, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *soft, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(3, *best, {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  tree.SetRun(3, 0);
+  auto service = RunQuanta(tree, 10000);
+  const double total = 10000.0 * kQ;
+  EXPECT_NEAR(service[1] / total, 0.1, 0.005);
+  EXPECT_NEAR(service[2] / total, 0.3, 0.005);
+  EXPECT_NEAR(service[3] / total, 0.6, 0.005);
+}
+
+TEST(ScheduleTest, NestedHierarchyComposesFractions) {
+  // /a (w=1) vs /b (w=1); /b/x (w=1) vs /b/y (w=3): x gets 1/2 * 1/4 = 1/8.
+  SchedulingStructure tree;
+  auto a = tree.MakeNode("a", kRootNode, 1, SfqLeaf());
+  auto b = tree.MakeNode("b", kRootNode, 1, nullptr);
+  auto x = tree.MakeNode("x", *b, 1, SfqLeaf());
+  auto y = tree.MakeNode("y", *b, 3, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *a, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *x, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(3, *y, {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  tree.SetRun(3, 0);
+  auto service = RunQuanta(tree, 16000);
+  const double total = 16000.0 * kQ;
+  EXPECT_NEAR(service[1] / total, 0.5, 0.01);
+  EXPECT_NEAR(service[2] / total, 0.125, 0.01);
+  EXPECT_NEAR(service[3] / total, 0.375, 0.01);
+}
+
+TEST(ScheduleTest, ResidualBandwidthRedistributedByWeight) {
+  // Example 1 / requirement 1 of §2: when the hard class is empty, its share goes to
+  // soft : best in ratio 3 : 6.
+  SchedulingStructure tree;
+  auto hard = tree.MakeNode("hard", kRootNode, 1, SfqLeaf());
+  auto soft = tree.MakeNode("soft", kRootNode, 3, SfqLeaf());
+  auto best = tree.MakeNode("best", kRootNode, 6, SfqLeaf());
+  (void)hard;  // no threads -> no allocation
+  ASSERT_TRUE(tree.AttachThread(2, *soft, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(3, *best, {}).ok());
+  tree.SetRun(2, 0);
+  tree.SetRun(3, 0);
+  auto service = RunQuanta(tree, 9000);
+  EXPECT_NEAR(static_cast<double>(service[3]) / static_cast<double>(service[2]), 2.0, 0.02);
+}
+
+TEST(ScheduleTest, FluctuatingSiblingLoadPreservesRatios) {
+  // user1 and user2 keep a 1:1 split of whatever the best-effort class receives, even as
+  // a real-time class comes and goes (Example 1 of the paper).
+  SchedulingStructure tree;
+  auto rt = tree.MakeNode("rt", kRootNode, 4, SfqLeaf());
+  auto be = tree.MakeNode("be", kRootNode, 6, nullptr);
+  auto user1 = tree.MakeNode("user1", *be, 1, SfqLeaf());
+  auto user2 = tree.MakeNode("user2", *be, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *rt, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *user1, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(3, *user2, {}).ok());
+  tree.SetRun(2, 0);
+  tree.SetRun(3, 0);
+  std::map<ThreadId, Work> service;
+  bool rt_active = false;
+  for (int i = 0; i < 20000; ++i) {
+    // Toggle the RT thread every 100 quanta.
+    if (i % 100 == 0) {
+      if (rt_active) {
+        tree.Sleep(1, 0);
+      } else {
+        tree.SetRun(1, 0);
+      }
+      rt_active = !rt_active;
+    }
+    const ThreadId t = tree.Schedule(0);
+    service[t] += kQ;
+    tree.Update(t, kQ, 0, true);
+  }
+  EXPECT_GT(service[1], 0);
+  EXPECT_NEAR(static_cast<double>(service[2]) / static_cast<double>(service[3]), 1.0, 0.02);
+}
+
+TEST(ScheduleTest, SetRunStopsAtRunnableAncestor) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("be", kRootNode, 1, nullptr);
+  auto u1 = tree.MakeNode("u1", *be, 1, SfqLeaf());
+  auto u2 = tree.MakeNode("u2", *be, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *u1, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *u2, {}).ok());
+  tree.SetRun(1, 0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  tree.SetRun(2, 0);  // /be already runnable; must not double-arrive
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.HasRunnable());
+}
+
+TEST(ScheduleTest, SleepPropagatesUntilBusyAncestor) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("be", kRootNode, 1, nullptr);
+  auto u1 = tree.MakeNode("u1", *be, 1, SfqLeaf());
+  auto u2 = tree.MakeNode("u2", *be, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *u1, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *u2, {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  tree.Sleep(1, 0);  // /be still runnable through u2
+  EXPECT_TRUE(tree.HasRunnable());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  tree.Sleep(2, 0);  // now the whole tree is idle
+  EXPECT_FALSE(tree.HasRunnable());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(ScheduleTest, WakeupDuringServiceJoinsAtNodeVirtualTime) {
+  SchedulingStructure tree;
+  auto u1 = tree.MakeNode("u1", kRootNode, 1, SfqLeaf());
+  auto u2 = tree.MakeNode("u2", kRootNode, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *u1, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *u2, {}).ok());
+  tree.SetRun(1, 0);
+  // Run u1 alone for a while: its tags advance.
+  for (int i = 0; i < 100; ++i) {
+    const ThreadId t = tree.Schedule(0);
+    tree.Update(t, kQ, 0, true);
+  }
+  // u2 wakes while u1 is mid-dispatch.
+  const ThreadId running = tree.Schedule(0);
+  EXPECT_EQ(running, 1u);
+  tree.SetRun(2, 0);
+  // u2's start tag snaps to u1's current start tag (the node virtual time), so it does
+  // not monopolize the CPU to "catch up".
+  EXPECT_EQ(tree.StartTagOf(*u2), tree.StartTagOf(*u1));
+  tree.Update(running, kQ, 0, true);
+  // From here they alternate.
+  std::map<ThreadId, int> counts;
+  for (int i = 0; i < 100; ++i) {
+    const ThreadId t = tree.Schedule(0);
+    counts[t]++;
+    tree.Update(t, kQ, 0, true);
+  }
+  EXPECT_NEAR(counts[1], 50, 1);
+  EXPECT_NEAR(counts[2], 50, 1);
+}
+
+TEST(ScheduleTest, NodeWeightChangeTakesEffect) {
+  SchedulingStructure tree;
+  auto a = tree.MakeNode("a", kRootNode, 1, SfqLeaf());
+  auto b = tree.MakeNode("b", kRootNode, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *a, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *b, {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  ASSERT_TRUE(tree.SetNodeWeight(*a, 3).ok());
+  auto service = RunQuanta(tree, 8000);
+  EXPECT_NEAR(static_cast<double>(service[1]) / static_cast<double>(service[2]), 3.0, 0.05);
+}
+
+TEST(ScheduleTest, PartialQuantaChargeActualUsage) {
+  SchedulingStructure tree;
+  auto a = tree.MakeNode("a", kRootNode, 1, SfqLeaf());
+  auto b = tree.MakeNode("b", kRootNode, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *a, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *b, {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  // Thread 1 always uses 2ms, thread 2 uses 10ms; SFQ must equalize *service*, so
+  // thread 1 runs ~5x as often.
+  std::map<ThreadId, Work> service;
+  std::map<ThreadId, int> dispatches;
+  for (int i = 0; i < 12000; ++i) {
+    const ThreadId t = tree.Schedule(0);
+    const Work used = t == 1 ? 2 * kMillisecond : 10 * kMillisecond;
+    service[t] += used;
+    dispatches[t]++;
+    tree.Update(t, used, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(service[1]) / static_cast<double>(service[2]), 1.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(dispatches[1]) / static_cast<double>(dispatches[2]), 5.0,
+              0.2);
+}
+
+TEST(ScheduleTest, DeepChainDeliversFullBandwidth) {
+  // A 30-deep chain of interior nodes above a single leaf must not lose any service
+  // (the Figure 7(b) property, sans overhead).
+  SchedulingStructure tree;
+  NodeId parent = kRootNode;
+  for (int i = 0; i < 30; ++i) {
+    auto n = tree.MakeNode("n" + std::to_string(i), parent, 1, nullptr);
+    ASSERT_TRUE(n.ok());
+    parent = *n;
+  }
+  auto leaf = tree.MakeNode("leaf", parent, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *leaf, {}).ok());
+  tree.SetRun(1, 0);
+  auto service = RunQuanta(tree, 1000);
+  EXPECT_EQ(service[1], 1000 * kQ);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(ScheduleTest, ServiceOfAccumulatesPerSubtree) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("be", kRootNode, 1, nullptr);
+  auto u1 = tree.MakeNode("u1", *be, 1, SfqLeaf());
+  auto u2 = tree.MakeNode("u2", *be, 1, SfqLeaf());
+  auto rt = tree.MakeNode("rt", kRootNode, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *u1, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *u2, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(3, *rt, {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  tree.SetRun(3, 0);
+  RunQuanta(tree, 4000);
+  // Root accounts everything; /be equals the sum of its leaves; /be : /rt = 1 : 1.
+  EXPECT_EQ(*tree.ServiceOf(kRootNode), 4000 * kQ);
+  EXPECT_EQ(*tree.ServiceOf(*be), *tree.ServiceOf(*u1) + *tree.ServiceOf(*u2));
+  EXPECT_NEAR(static_cast<double>(*tree.ServiceOf(*be)),
+              static_cast<double>(*tree.ServiceOf(*rt)), static_cast<double>(2 * kQ));
+  EXPECT_EQ(tree.ServiceOf(999).status().code(), hscommon::StatusCode::kNotFound);
+}
+
+TEST(ScheduleTest, CountersTrackCalls) {
+  SchedulingStructure tree;
+  auto leaf = tree.MakeNode("leaf", kRootNode, 1, SfqLeaf());
+  ASSERT_TRUE(tree.AttachThread(1, *leaf, {}).ok());
+  tree.SetRun(1, 0);
+  const uint64_t s0 = tree.schedule_count();
+  const uint64_t u0 = tree.update_count();
+  RunQuanta(tree, 10);
+  EXPECT_EQ(tree.schedule_count() - s0, 10u);
+  EXPECT_EQ(tree.update_count() - u0, 10u);
+}
+
+TEST(ScheduleTest, MixedLeafSchedulersCoexist) {
+  // An SFQ leaf and a round-robin leaf with equal node weights each get half the CPU —
+  // the heterogeneity + isolation property of Figure 8(b).
+  SchedulingStructure tree;
+  auto sfq_node = tree.MakeNode("sfq", kRootNode, 1, SfqLeaf());
+  auto rr_node =
+      tree.MakeNode("rr", kRootNode, 1, std::make_unique<hleaf::RoundRobinScheduler>());
+  ASSERT_TRUE(tree.AttachThread(1, *sfq_node, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, *sfq_node, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(3, *rr_node, {}).ok());
+  tree.SetRun(1, 0);
+  tree.SetRun(2, 0);
+  tree.SetRun(3, 0);
+  auto service = RunQuanta(tree, 8000);
+  const double total = 8000.0 * kQ;
+  EXPECT_NEAR((service[1] + service[2]) / total, 0.5, 0.01);
+  EXPECT_NEAR(service[3] / total, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(service[1]) / static_cast<double>(service[2]), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace hsfq

@@ -1,0 +1,225 @@
+// Tree-management tests: mknod/parse/rmnod/move/admin semantics.
+
+#include "src/hsfq/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/simple.h"
+
+namespace hsfq {
+namespace {
+
+using hscommon::StatusCode;
+
+std::unique_ptr<LeafScheduler> Leaf() { return std::make_unique<hleaf::SfqLeafScheduler>(); }
+
+TEST(StructureTest, RootExists) {
+  SchedulingStructure tree;
+  EXPECT_EQ(tree.PathOf(kRootNode), "/");
+  EXPECT_FALSE(tree.IsLeaf(kRootNode));
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(StructureTest, MakeInteriorAndLeafNodes) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("best-effort", kRootNode, 6, nullptr);
+  ASSERT_TRUE(be.ok());
+  auto user1 = tree.MakeNode("user1", *be, 1, Leaf());
+  ASSERT_TRUE(user1.ok());
+  EXPECT_FALSE(tree.IsLeaf(*be));
+  EXPECT_TRUE(tree.IsLeaf(*user1));
+  EXPECT_EQ(tree.PathOf(*user1), "/best-effort/user1");
+  EXPECT_EQ(tree.ParentOf(*user1), *be);
+  EXPECT_EQ(tree.NodeCount(), 3u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(StructureTest, MakeNodeRejectsBadNames) {
+  SchedulingStructure tree;
+  EXPECT_EQ(tree.MakeNode("", kRootNode, 1, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.MakeNode("a/b", kRootNode, 1, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.MakeNode(".", kRootNode, 1, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.MakeNode("..", kRootNode, 1, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StructureTest, MakeNodeRejectsZeroWeight) {
+  SchedulingStructure tree;
+  EXPECT_EQ(tree.MakeNode("x", kRootNode, 0, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StructureTest, MakeNodeRejectsDuplicateSibling) {
+  SchedulingStructure tree;
+  ASSERT_TRUE(tree.MakeNode("x", kRootNode, 1, nullptr).ok());
+  EXPECT_EQ(tree.MakeNode("x", kRootNode, 1, nullptr).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(StructureTest, MakeNodeRejectsLeafParent) {
+  SchedulingStructure tree;
+  auto leaf = tree.MakeNode("leaf", kRootNode, 1, Leaf());
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(tree.MakeNode("child", *leaf, 1, nullptr).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StructureTest, MakeNodeRejectsDeadParent) {
+  SchedulingStructure tree;
+  EXPECT_EQ(tree.MakeNode("x", 999, 1, nullptr).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StructureTest, ParseAbsolutePaths) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("best-effort", kRootNode, 6, nullptr);
+  auto user1 = tree.MakeNode("user1", *be, 1, Leaf());
+  EXPECT_EQ(*tree.Parse("/"), kRootNode);
+  EXPECT_EQ(*tree.Parse("/best-effort"), *be);
+  EXPECT_EQ(*tree.Parse("/best-effort/user1"), *user1);
+  EXPECT_EQ(*tree.Parse("/best-effort/user1/"), *user1);
+  EXPECT_EQ(*tree.Parse("//best-effort//user1"), *user1);
+}
+
+TEST(StructureTest, ParseRelativeWithHint) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("best-effort", kRootNode, 6, nullptr);
+  auto user1 = tree.MakeNode("user1", *be, 1, Leaf());
+  EXPECT_EQ(*tree.Parse("user1", *be), *user1);
+  EXPECT_EQ(*tree.Parse("best-effort/user1", kRootNode), *user1);
+}
+
+TEST(StructureTest, ParseDotAndDotDot) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("best-effort", kRootNode, 6, nullptr);
+  auto user1 = tree.MakeNode("user1", *be, 1, Leaf());
+  EXPECT_EQ(*tree.Parse("./user1", *be), *user1);
+  EXPECT_EQ(*tree.Parse("..", *user1), *be);
+  EXPECT_EQ(*tree.Parse("../user1", *user1), *user1);
+  EXPECT_EQ(*tree.Parse("../..", *user1), kRootNode);
+  EXPECT_EQ(*tree.Parse("/.."), kRootNode);  // root's parent clamps to root
+}
+
+TEST(StructureTest, ParseErrors) {
+  SchedulingStructure tree;
+  EXPECT_EQ(tree.Parse("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.Parse("/nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Parse("x", 999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StructureTest, RemoveNodeConstraints) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("be", kRootNode, 1, nullptr);
+  auto leaf = tree.MakeNode("leaf", *be, 1, Leaf());
+  EXPECT_EQ(tree.RemoveNode(kRootNode).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(tree.RemoveNode(*be).code(), StatusCode::kFailedPrecondition);  // has a child
+  ASSERT_TRUE(tree.AttachThread(1, *leaf, {}).ok());
+  EXPECT_EQ(tree.RemoveNode(*leaf).code(), StatusCode::kFailedPrecondition);  // has threads
+  ASSERT_TRUE(tree.DetachThread(1).ok());
+  EXPECT_TRUE(tree.RemoveNode(*leaf).ok());
+  EXPECT_TRUE(tree.RemoveNode(*be).ok());
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(StructureTest, RemovedIdsAreRecycledSafely) {
+  SchedulingStructure tree;
+  auto a = tree.MakeNode("a", kRootNode, 1, nullptr);
+  ASSERT_TRUE(tree.RemoveNode(*a).ok());
+  auto b = tree.MakeNode("b", kRootNode, 2, Leaf());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(tree.PathOf(*b), "/b");
+  EXPECT_EQ(*tree.GetNodeWeight(*b), 2u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(StructureTest, AttachDetachThread) {
+  SchedulingStructure tree;
+  auto leaf = tree.MakeNode("leaf", kRootNode, 1, Leaf());
+  EXPECT_TRUE(tree.AttachThread(7, *leaf, {}).ok());
+  EXPECT_EQ(tree.AttachThread(7, *leaf, {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*tree.LeafOf(7), *leaf);
+  EXPECT_TRUE(tree.DetachThread(7).ok());
+  EXPECT_EQ(tree.DetachThread(7).code(), StatusCode::kNotFound);
+}
+
+TEST(StructureTest, AttachToInteriorFails) {
+  SchedulingStructure tree;
+  auto interior = tree.MakeNode("int", kRootNode, 1, nullptr);
+  EXPECT_EQ(tree.AttachThread(1, *interior, {}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StructureTest, SetAndGetNodeWeight) {
+  SchedulingStructure tree;
+  auto n = tree.MakeNode("n", kRootNode, 3, Leaf());
+  EXPECT_EQ(*tree.GetNodeWeight(*n), 3u);
+  EXPECT_TRUE(tree.SetNodeWeight(*n, 9).ok());
+  EXPECT_EQ(*tree.GetNodeWeight(*n), 9u);
+  EXPECT_EQ(tree.SetNodeWeight(*n, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.SetNodeWeight(999, 1).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(StructureTest, MoveThreadBetweenLeaves) {
+  SchedulingStructure tree;
+  auto l1 = tree.MakeNode("l1", kRootNode, 1, Leaf());
+  auto l2 = tree.MakeNode("l2", kRootNode, 1, Leaf());
+  ASSERT_TRUE(tree.AttachThread(1, *l1, {}).ok());
+  tree.SetRun(1, 0);
+  EXPECT_TRUE(tree.MoveThread(1, *l2, {}, 0).ok());
+  EXPECT_EQ(*tree.LeafOf(1), *l2);
+  // Runnability preserved: the system still has a runnable thread.
+  EXPECT_TRUE(tree.HasRunnable());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(StructureTest, MoveThreadToInteriorFails) {
+  SchedulingStructure tree;
+  auto l1 = tree.MakeNode("l1", kRootNode, 1, Leaf());
+  auto interior = tree.MakeNode("int", kRootNode, 1, nullptr);
+  ASSERT_TRUE(tree.AttachThread(1, *l1, {}).ok());
+  EXPECT_EQ(tree.MoveThread(1, *interior, {}, 0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StructureTest, DeepTreePaths) {
+  SchedulingStructure tree;
+  NodeId parent = kRootNode;
+  std::string expected;
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    auto node = tree.MakeNode(name, parent, 1, nullptr);
+    ASSERT_TRUE(node.ok());
+    parent = *node;
+    expected += "/" + name;
+  }
+  EXPECT_EQ(tree.PathOf(parent), expected);
+  EXPECT_EQ(*tree.Parse(expected), parent);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(StructureTest, DebugStringRendersTree) {
+  SchedulingStructure tree;
+  auto be = tree.MakeNode("best-effort", kRootNode, 6, nullptr);
+  auto user1 = tree.MakeNode("user1", *be, 1, Leaf());
+  ASSERT_TRUE(tree.AttachThread(1, *user1, {}).ok());
+  tree.SetRun(1, 0);
+  const std::string dump = tree.DebugString();
+  EXPECT_NE(dump.find("best-effort (w=6"), std::string::npos);
+  EXPECT_NE(dump.find("user1 (w=1, SFQ-leaf, threads=1, runnable"), std::string::npos);
+  EXPECT_NE(dump.find("S="), std::string::npos);
+}
+
+TEST(StructureTest, ChildrenOfListsInCreationOrder) {
+  SchedulingStructure tree;
+  auto a = tree.MakeNode("a", kRootNode, 1, nullptr);
+  auto b = tree.MakeNode("b", kRootNode, 1, nullptr);
+  auto c = tree.MakeNode("c", kRootNode, 1, nullptr);
+  EXPECT_EQ(tree.ChildrenOf(kRootNode), (std::vector<NodeId>{*a, *b, *c}));
+}
+
+}  // namespace
+}  // namespace hsfq

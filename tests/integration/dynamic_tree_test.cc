@@ -1,0 +1,105 @@
+// Dynamic scheduling-structure management while the machine runs — the QoS-manager
+// operations of §4: classes created, re-weighted, drained and removed mid-execution.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+using hsfq::NodeId;
+
+TEST(DynamicTreeTest, ClassCreatedMidRunReceivesItsShare) {
+  hsim::System sys;
+  const auto base = *sys.tree().MakeNode("base", kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  auto hog = sys.CreateThread("hog", base, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  (void)hog;
+  // At t=5s the "QoS manager" creates a new equal-weight class with a thread.
+  hsfq::ThreadId newcomer_id = hsfq::kInvalidThread;
+  sys.At(5 * kSecond, [&](hsim::System& s) {
+    auto node = s.tree().MakeNode("newcomer", kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+    ASSERT_TRUE(node.ok());
+    auto t = s.CreateThread("new", *node, {}, std::make_unique<hsim::CpuBoundWorkload>());
+    ASSERT_TRUE(t.ok());
+    newcomer_id = *t;
+  });
+  sys.RunUntil(15 * kSecond);
+  ASSERT_NE(newcomer_id, hsfq::kInvalidThread);
+  // The newcomer held half the CPU for its 10 seconds of existence.
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(newcomer_id).total_service),
+              static_cast<double>(5 * kSecond), static_cast<double>(60 * kMillisecond));
+  EXPECT_TRUE(sys.tree().CheckInvariants().ok());
+}
+
+TEST(DynamicTreeTest, NodeWeightChangeMidRunRebalances) {
+  hsim::System sys;
+  const auto a = *sys.tree().MakeNode("a", kRootNode, 1,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto b = *sys.tree().MakeNode("b", kRootNode, 1,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  auto ta = sys.CreateThread("ta", a, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  auto tb = sys.CreateThread("tb", b, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  (void)tb;
+  sys.At(10 * kSecond, [&](hsim::System& s) {
+    ASSERT_TRUE(s.tree().SetNodeWeight(a, 3).ok());
+  });
+  sys.RunUntil(20 * kSecond);
+  // First half 50/50, second half 75/25: ta = 5s + 7.5s.
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*ta).total_service),
+              static_cast<double>(12500 * kMillisecond),
+              static_cast<double>(80 * kMillisecond));
+}
+
+TEST(DynamicTreeTest, DrainedClassRemovedMidRun) {
+  hsim::System sys;
+  const auto keep = *sys.tree().MakeNode("keep", kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto temp = *sys.tree().MakeNode("temp", kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  auto keeper = sys.CreateThread("keeper", keep, {},
+                                 std::make_unique<hsim::CpuBoundWorkload>());
+  auto batch = sys.CreateThread("batch", temp, {},
+                                std::make_unique<hsim::FiniteWorkload>(2 * kSecond));
+  sys.At(10 * kSecond, [&](hsim::System& s) {
+    // The batch thread exited long ago; tear the class down.
+    ASSERT_TRUE(s.tree().DetachThread(*batch).ok());
+    ASSERT_TRUE(s.tree().RemoveNode(temp).ok());
+  });
+  sys.RunUntil(20 * kSecond);
+  EXPECT_EQ(sys.tree().NodeCount(), 2u);  // root + keep
+  // keeper got everything except the batch's 2 s.
+  EXPECT_EQ(sys.StatsOf(*keeper).total_service, 18 * kSecond);
+  EXPECT_TRUE(sys.tree().CheckInvariants().ok());
+}
+
+TEST(DynamicTreeTest, ThreadMovedBetweenClassesMidRun) {
+  hsim::System sys;
+  const auto slow = *sys.tree().MakeNode("slow", kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto fast = *sys.tree().MakeNode("fast", kRootNode, 9,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  auto mover = sys.CreateThread("mover", slow, {},
+                                std::make_unique<hsim::CpuBoundWorkload>());
+  (void)*sys.CreateThread("fast-hog", fast, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  sys.At(10 * kSecond, [&](hsim::System& s) {
+    // hsfq_move: promote the thread into the fast class (it shares it 1:1 with the hog).
+    ASSERT_TRUE(s.tree().MoveThread(*mover, fast, {.weight = 1}, s.now()).ok());
+  });
+  sys.RunUntil(20 * kSecond);
+  // First half: 10% of 10 s = 1 s. Second half: the fast class holds ~100%... both
+  // classes: slow has no threads after the move, so fast gets everything, split 1:1:
+  // mover gets ~5 s. Total ~6 s.
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*mover).total_service),
+              static_cast<double>(6 * kSecond), static_cast<double>(100 * kMillisecond));
+  EXPECT_TRUE(sys.tree().CheckInvariants().ok());
+}
+
+}  // namespace

@@ -1,0 +1,273 @@
+// Integration tests: scaled-down versions of every experiment in the paper's §5,
+// asserting the qualitative result each figure reports. The full-scale harnesses live in
+// bench/; these keep the claims under continuous test.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/metrics/metrics.h"
+#include "src/mpeg/player.h"
+#include "src/mpeg/trace.h"
+#include "src/sched/rma.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+using hsfq::NodeId;
+using hsfq::ThreadId;
+
+NodeId AddSfqLeaf(hsim::System& sys, const std::string& name, hscommon::Weight w,
+                  NodeId parent = kRootNode) {
+  return *sys.tree().MakeNode(name, parent, w, std::make_unique<hleaf::SfqLeafScheduler>());
+}
+
+void AddBackgroundInterrupts(hsim::System& sys) {
+  sys.AddInterruptSource({.arrival = hsim::InterruptSourceConfig::Arrival::kPoisson,
+                          .interval = 5 * kMillisecond,
+                          .service = 200 * hscommon::kMicrosecond,
+                          .exponential_service = true,
+                          .seed = 7});
+}
+
+// Figure 5: five equal Dhrystone threads — SFQ equal throughput, SVR4 TS unpredictable.
+TEST(Figure5, SfqEqualTsUnequal) {
+  auto run = [](bool use_sfq) {
+    hsim::System sys;
+    NodeId leaf;
+    if (use_sfq) {
+      leaf = AddSfqLeaf(sys, "class", 1);
+    } else {
+      leaf = *sys.tree().MakeNode("class", kRootNode, 1,
+                                  std::make_unique<hleaf::TsScheduler>());
+    }
+    AddBackgroundInterrupts(sys);
+    std::vector<ThreadId> threads;
+    for (int i = 0; i < 5; ++i) {
+      threads.push_back(*sys.CreateThread("dhry" + std::to_string(i), leaf,
+                                          {.weight = 1, .priority = 29},
+                                          std::make_unique<hsim::CpuBoundWorkload>()));
+    }
+    // Background interactive load perturbs the TS priorities, as a real multiuser
+    // system does.
+    for (int i = 0; i < 3; ++i) {
+      (void)*sys.CreateThread(
+          "bg" + std::to_string(i), leaf, {.weight = 1, .priority = 29},
+          std::make_unique<hsim::InteractiveWorkload>(100 + i, 50 * kMillisecond,
+                                                      10 * kMillisecond));
+    }
+    sys.RunUntil(30 * kSecond);
+    std::vector<double> service;
+    for (ThreadId t : threads) {
+      service.push_back(static_cast<double>(sys.StatsOf(t).total_service));
+    }
+    return hscommon::MaxRelativeDeviation(service);
+  };
+  const double sfq_dev = run(true);
+  const double ts_dev = run(false);
+  EXPECT_LT(sfq_dev, 0.01);          // SFQ: equal within 1%
+  EXPECT_GT(ts_dev, 3 * sfq_dev);    // TS: visibly unequal
+}
+
+// Figure 7(a): throughput of the hierarchical scheduler within ~1% of a flat one even
+// with dispatch overhead charged.
+TEST(Figure7, OverheadWithinOnePercent) {
+  auto total_service = [](bool hierarchical, int nthreads) {
+    hsim::System sys(hsim::System::Config{
+        .default_quantum = 20 * kMillisecond,
+        .dispatch_overhead = 2 * hscommon::kMicrosecond,
+    });
+    NodeId leaf = kRootNode;
+    if (hierarchical) {
+      NodeId parent = kRootNode;
+      for (int d = 0; d < 3; ++d) {
+        parent = *sys.tree().MakeNode("d" + std::to_string(d), parent, 1, nullptr);
+      }
+      leaf = AddSfqLeaf(sys, "sfq1", 1, parent);
+    } else {
+      leaf = AddSfqLeaf(sys, "flat", 1);
+    }
+    for (int i = 0; i < nthreads; ++i) {
+      (void)*sys.CreateThread("t" + std::to_string(i), leaf, {},
+                              std::make_unique<hsim::CpuBoundWorkload>());
+    }
+    sys.RunUntil(10 * kSecond);
+    return static_cast<double>(sys.total_service());
+  };
+  for (int n : {1, 10, 20}) {
+    const double ratio = total_service(true, n) / total_service(false, n);
+    EXPECT_GT(ratio, 0.99) << n << " threads";
+    EXPECT_LE(ratio, 1.001) << n << " threads";
+  }
+}
+
+// Figure 8(a): SFQ-1 (w=2) and SFQ-2 (w=6) aggregate throughput 1:3 despite a
+// fluctuating SVR4 class.
+TEST(Figure8a, WeightedAggregateRatioUnderFluctuation) {
+  hsim::System sys;
+  const NodeId sfq1 = AddSfqLeaf(sys, "sfq1", 2);
+  const NodeId sfq2 = AddSfqLeaf(sys, "sfq2", 6);
+  auto svr4 = sys.tree().MakeNode("svr4", kRootNode, 1,
+                                  std::make_unique<hleaf::TsScheduler>());
+  std::vector<ThreadId> g1;
+  std::vector<ThreadId> g2;
+  for (int i = 0; i < 2; ++i) {
+    g1.push_back(*sys.CreateThread("sfq1-t", sfq1, {},
+                                   std::make_unique<hsim::CpuBoundWorkload>()));
+    g2.push_back(*sys.CreateThread("sfq2-t", sfq2, {},
+                                   std::make_unique<hsim::CpuBoundWorkload>()));
+  }
+  // The SVR4 node hosts bursty "system" threads whose demand fluctuates.
+  for (int i = 0; i < 4; ++i) {
+    (void)*sys.CreateThread(
+        "sys" + std::to_string(i), *svr4, {.priority = 29},
+        std::make_unique<hsim::BurstyWorkload>(50 + i, 5 * kMillisecond,
+                                               100 * kMillisecond, 10 * kMillisecond,
+                                               300 * kMillisecond));
+  }
+  sys.RunUntil(30 * kSecond);
+  auto sum = [&](const std::vector<ThreadId>& ts) {
+    hscommon::Work w = 0;
+    for (ThreadId t : ts) {
+      w += sys.StatsOf(t).total_service;
+    }
+    return static_cast<double>(w);
+  };
+  EXPECT_NEAR(sum(g2) / sum(g1), 3.0, 0.05);
+}
+
+// Figure 8(b): SFQ leaf and SVR4 leaf with equal weights receive equal throughput —
+// heterogeneous schedulers coexist and are isolated.
+TEST(Figure8b, HeterogeneousLeavesIsolated) {
+  hsim::System sys;
+  const NodeId sfq1 = AddSfqLeaf(sys, "sfq1", 1);
+  auto svr4 = sys.tree().MakeNode("svr4", kRootNode, 1,
+                                  std::make_unique<hleaf::TsScheduler>());
+  auto t1 = sys.CreateThread("a", sfq1, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("b", sfq1, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  auto t3 = sys.CreateThread("c", *svr4, {.priority = 29},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(20 * kSecond);
+  const double sfq_total = static_cast<double>(sys.StatsOf(*t1).total_service +
+                                               sys.StatsOf(*t2).total_service);
+  const double svr4_total = static_cast<double>(sys.StatsOf(*t3).total_service);
+  EXPECT_NEAR(sfq_total / svr4_total, 1.0, 0.02);
+  // All three threads made progress (no starvation).
+  EXPECT_GT(sys.StatsOf(*t1).total_service, kSecond);
+  EXPECT_GT(sys.StatsOf(*t3).total_service, kSecond);
+}
+
+// Figure 9: RM threads in an RT class meet every deadline; scheduling latency is bounded
+// by the quantum.
+TEST(Figure9, RealTimeLatencyAndSlack) {
+  hsim::System sys(hsim::System::Config{.default_quantum = 25 * kMillisecond});
+  auto rt = sys.tree().MakeNode(
+      "rt", kRootNode, 1,
+      std::make_unique<hleaf::RmaScheduler>(
+          hleaf::RmaScheduler::Config{.admission_control = false}));
+  const NodeId sfq1 = AddSfqLeaf(sys, "sfq1", 1);
+  auto w1 = std::make_unique<hsim::PeriodicWorkload>(60 * kMillisecond, 10 * kMillisecond);
+  hsim::PeriodicWorkload* thread1_wl = w1.get();
+  auto t1 = sys.CreateThread("thread1", *rt,
+                             {.period = 60 * kMillisecond, .computation = 10 * kMillisecond},
+                             std::move(w1));
+  auto t2 = sys.CreateThread(
+      "thread2", *rt, {.period = 960 * kMillisecond, .computation = 150 * kMillisecond},
+      std::make_unique<hsim::PeriodicWorkload>(960 * kMillisecond, 150 * kMillisecond));
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  // An MPEG decoder competes from the SFQ-1 node.
+  hmpeg::VbrTraceConfig tc;
+  tc.frame_count = 2000;
+  static const hmpeg::VbrTrace trace = hmpeg::VbrTrace::Generate(tc);
+  (void)*sys.CreateThread(
+      "mpeg", sfq1, {},
+      std::make_unique<hmpeg::MpegPlayerWorkload>(
+          &trace,
+          hmpeg::MpegPlayerWorkload::Config{
+              .mode = hmpeg::MpegPlayerWorkload::Mode::kFreeRunning}));
+  sys.RunUntil(30 * kSecond);
+  // Latency bounded by the 25 ms quantum (the figure's claim).
+  EXPECT_LE(sys.StatsOf(*t1).sched_latency.max(),
+            static_cast<double>(25 * kMillisecond) * 1.05);
+  // No deadline misses: slack always positive.
+  EXPECT_EQ(thread1_wl->deadline_misses(), 0u);
+  EXPECT_GT(thread1_wl->slack().min(), 0.0);
+  EXPECT_GT(thread1_wl->rounds_completed(), 400u);
+}
+
+// Figure 10: MPEG players with weights 5 and 10 decode frames 1:2.
+TEST(Figure10, WeightedMpegPlayers) {
+  hmpeg::VbrTraceConfig tc;
+  tc.frame_count = 3000;
+  const hmpeg::VbrTrace trace = hmpeg::VbrTrace::Generate(tc);
+  hsim::System sys;
+  const NodeId sfq1 = AddSfqLeaf(sys, "sfq1", 1);
+  auto p1 = std::make_unique<hmpeg::MpegPlayerWorkload>(
+      &trace, hmpeg::MpegPlayerWorkload::Config{});
+  auto p2 = std::make_unique<hmpeg::MpegPlayerWorkload>(
+      &trace, hmpeg::MpegPlayerWorkload::Config{});
+  hmpeg::MpegPlayerWorkload* w5 = p1.get();
+  hmpeg::MpegPlayerWorkload* w10 = p2.get();
+  auto t5 = sys.CreateThread("p5", sfq1, {.weight = 5}, std::move(p1));
+  auto t10 = sys.CreateThread("p10", sfq1, {.weight = 10}, std::move(p2));
+  ASSERT_TRUE(t5.ok() && t10.ok());
+  sys.RunUntil(60 * kSecond);
+  // CPU service divides exactly 1:2 ...
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*t10).total_service) /
+                  static_cast<double>(sys.StatsOf(*t5).total_service),
+              2.0, 0.02);
+  // ... and frame counts follow approximately (the players sit at different positions of
+  // the VBR trace, so per-frame cost differences add a few percent of noise).
+  EXPECT_NEAR(static_cast<double>(w10->frames_decoded()) /
+                  static_cast<double>(w5->frames_decoded()),
+              2.0, 0.15);
+}
+
+// Figure 11: scripted weight/suspend changes track the expected throughput ratios.
+TEST(Figure11, DynamicWeightTimeline) {
+  hsim::System sys;
+  const NodeId sfq1 = AddSfqLeaf(sys, "sfq1", 1);
+  auto t1 = sys.CreateThread("t1", sfq1, {.weight = 4},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("t2", sfq1, {.weight = 4},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  hmetrics::ServiceSampler sampler(sys, kSecond, kSecond);
+  sampler.Track("t1", {*t1});
+  sampler.Track("t2", {*t2});
+  sys.At(4 * kSecond, [&](hsim::System& s) {
+    ASSERT_TRUE(s.tree().SetThreadParams(*t2, {.weight = 2}).ok());
+  });
+  sys.At(6 * kSecond, [&](hsim::System& s) { s.Suspend(*t1); });
+  sys.At(9 * kSecond, [&](hsim::System& s) { s.Resume(*t1); });
+  sys.At(12 * kSecond, [&](hsim::System& s) {
+    ASSERT_TRUE(s.tree().SetThreadParams(*t1, {.weight = 8}).ok());
+  });
+  sys.RunUntil(16 * kSecond + kMillisecond);
+
+  auto ratio_in = [&](size_t from, size_t to) {
+    const auto d1 = sampler.PerInterval(0);
+    const auto d2 = sampler.PerInterval(1);
+    double s1 = 0;
+    double s2 = 0;
+    for (size_t i = from; i < to; ++i) {
+      s1 += static_cast<double>(d1[i]);
+      s2 += static_cast<double>(d2[i]);
+    }
+    return s2 > 0 ? s1 / s2 : -1.0;
+  };
+  // Intervals are [k, k+1) seconds; PerInterval index k covers [k+1, k+2).
+  EXPECT_NEAR(ratio_in(0, 3), 1.0, 0.05);    // 4:4
+  EXPECT_NEAR(ratio_in(3, 5), 2.0, 0.1);     // 4:2
+  EXPECT_NEAR(ratio_in(5, 8), 0.0, 0.02);    // suspended: 0:2
+  EXPECT_NEAR(ratio_in(8, 11), 2.0, 0.1);    // resumed: 4:2
+  EXPECT_NEAR(ratio_in(11, 15), 4.0, 0.2);   // 8:2
+}
+
+}  // namespace

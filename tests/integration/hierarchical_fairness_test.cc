@@ -1,0 +1,91 @@
+// Hierarchical fairness property sweep: in RANDOM trees with random weights, the SFQ
+// fairness bound (eq. 5) holds between every pair of sibling classes that are
+// continuously backlogged, at every level, at every sampling instant — the exact
+// property that makes hierarchical partitioning composable (paper §2 requirement 1).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/fair/bounds.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+using hsfq::NodeId;
+
+class HierarchicalFairnessSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(HierarchicalFairnessSweep, SiblingBoundHoldsEverywhere) {
+  constexpr hscommon::Work kQ = 10 * kMillisecond;
+  hscommon::Prng prng(GetParam());
+  hsim::System sys(hsim::System::Config{.default_quantum = kQ});
+  auto& tree = sys.tree();
+
+  // Random tree: 2-4 interior levels, 2-3 children each, CPU-bound thread per leaf.
+  struct Info {
+    NodeId node;
+    hscommon::Weight weight;
+  };
+  std::map<NodeId, std::vector<Info>> children_of;
+  std::vector<NodeId> frontier{kRootNode};
+  int name_seq = 0;
+  const int depth = 2 + static_cast<int>(prng.UniformU64(3));
+  for (int level = 0; level < depth; ++level) {
+    std::vector<NodeId> next;
+    for (NodeId parent : frontier) {
+      const int fanout = 2 + static_cast<int>(prng.UniformU64(2));
+      for (int c = 0; c < fanout; ++c) {
+        const hscommon::Weight w = 1 + prng.UniformU64(7);
+        const bool leaf_level = level == depth - 1;
+        auto node = tree.MakeNode(
+            "n" + std::to_string(name_seq++), parent, w,
+            leaf_level ? std::make_unique<hleaf::SfqLeafScheduler>() : nullptr);
+        ASSERT_TRUE(node.ok());
+        children_of[parent].push_back({*node, w});
+        if (leaf_level) {
+          ASSERT_TRUE(
+              sys.CreateThread("t" + std::to_string(*node), *node, {},
+                               std::make_unique<hsim::CpuBoundWorkload>())
+                  .ok());
+        } else {
+          next.push_back(*node);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Sample every 100 ms and check eq. 5 for every sibling pair using ServiceOf.
+  // Every leaf is continuously backlogged, so every node is; lmax = kQ for all.
+  sys.Every(100 * kMillisecond, 100 * kMillisecond, [&](hsim::System& s) {
+    for (const auto& [parent, kids] : children_of) {
+      for (size_t i = 0; i < kids.size(); ++i) {
+        for (size_t j = i + 1; j < kids.size(); ++j) {
+          const double wi = static_cast<double>(*s.tree().ServiceOf(kids[i].node)) /
+                            static_cast<double>(kids[i].weight);
+          const double wj = static_cast<double>(*s.tree().ServiceOf(kids[j].node)) /
+                            static_cast<double>(kids[j].weight);
+          const double bound =
+              hfair::SfqFairnessBound(kQ, kids[i].weight, kQ, kids[j].weight);
+          ASSERT_LE(std::abs(wi - wj), bound + 1.0)
+              << "siblings under node " << parent << " at t=" << s.now();
+        }
+      }
+    }
+  });
+  sys.RunUntil(10 * kSecond);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchicalFairnessSweep,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace

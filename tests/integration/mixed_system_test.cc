@@ -1,0 +1,161 @@
+// Cross-module integration: quantum negotiation between leaf schedulers and the
+// dispatcher, many leaf-scheduler types coexisting in one tree, and whole-system
+// determinism with locks and interrupts in play.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fair/make.h"
+#include "src/sched/edf.h"
+#include "src/sched/fair_leaf.h"
+#include "src/sched/reserve.h"
+#include "src/sched/rma.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/simple.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+using Step = hsim::ScriptedWorkload::Step;
+
+TEST(QuantumNegotiationTest, TsLeafGetsTableSlices) {
+  // A priority-0 TS thread's table slice is 200 ms; the dispatcher must honour it, so a
+  // solo TS hog accumulates service in few, long dispatches.
+  hsim::System sys;  // default quantum 20 ms — the TS table must override it
+  auto ts = sys.tree().MakeNode("ts", kRootNode, 1, std::make_unique<hleaf::TsScheduler>());
+  auto tid = sys.CreateThread("hog", *ts, {.priority = 0},
+                              std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(2 * kSecond);
+  EXPECT_EQ(sys.StatsOf(*tid).total_service, 2 * kSecond);
+  // 2 s / 200 ms = 10 dispatches (not 100 at the 20 ms default).
+  EXPECT_LE(sys.StatsOf(*tid).dispatches, 12u);
+}
+
+TEST(QuantumNegotiationTest, ReserveLeafCapsSliceAtBudget) {
+  hsim::System sys;
+  auto node = sys.tree().MakeNode(
+      "rsv", kRootNode, 1,
+      std::make_unique<hleaf::ReserveScheduler>(
+          hleaf::ReserveScheduler::Config{.admission_control = false}));
+  // 5 ms budget per 100 ms; a CPU-bound thread must be throttled to ~5%... with
+  // background demotion it keeps the rest too (work conserving, it is alone), but each
+  // *reserved* dispatch is capped at the 5 ms remaining budget.
+  auto tid = sys.CreateThread(
+      "r", *node, {.period = 100 * kMillisecond, .computation = 5 * kMillisecond},
+      std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(kSecond);
+  // Alone in the system it still gets the whole CPU (work conservation).
+  EXPECT_EQ(sys.StatsOf(*tid).total_service, kSecond);
+}
+
+TEST(MixedTreeTest, SixLeafSchedulerTypesCoexist) {
+  hsim::System sys(hsim::System::Config{.default_quantum = 5 * kMillisecond});
+  auto& tree = sys.tree();
+  const auto sfq = *tree.MakeNode("sfq", kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto ts = *tree.MakeNode("ts", kRootNode, 1, std::make_unique<hleaf::TsScheduler>());
+  const auto edf = *tree.MakeNode(
+      "edf", kRootNode, 1,
+      std::make_unique<hleaf::EdfScheduler>(
+          hleaf::EdfScheduler::Config{.admission_control = false}));
+  const auto rma = *tree.MakeNode(
+      "rma", kRootNode, 1,
+      std::make_unique<hleaf::RmaScheduler>(
+          hleaf::RmaScheduler::Config{.admission_control = false}));
+  const auto rr = *tree.MakeNode("rr", kRootNode, 1,
+                                 std::make_unique<hleaf::RoundRobinScheduler>());
+  const auto rsv = *tree.MakeNode(
+      "rsv", kRootNode, 1,
+      std::make_unique<hleaf::ReserveScheduler>(
+          hleaf::ReserveScheduler::Config{.admission_control = false}));
+
+  std::vector<hsfq::ThreadId> hogs;
+  hogs.push_back(*sys.CreateThread("a", sfq, {}, std::make_unique<hsim::CpuBoundWorkload>()));
+  hogs.push_back(*sys.CreateThread("b", ts, {.priority = 29},
+                                   std::make_unique<hsim::CpuBoundWorkload>()));
+  hogs.push_back(*sys.CreateThread("e", rr, {}, std::make_unique<hsim::CpuBoundWorkload>()));
+  hogs.push_back(*sys.CreateThread(
+      "f", rsv, {.period = 100 * kMillisecond, .computation = 20 * kMillisecond},
+      std::make_unique<hsim::CpuBoundWorkload>()));
+  // Periodic threads for the RT classes.
+  (void)*sys.CreateThread(
+      "c", edf, {.period = 50 * kMillisecond, .computation = 5 * kMillisecond},
+      std::make_unique<hsim::PeriodicWorkload>(50 * kMillisecond, 5 * kMillisecond));
+  (void)*sys.CreateThread(
+      "d", rma, {.period = 80 * kMillisecond, .computation = 8 * kMillisecond},
+      std::make_unique<hsim::PeriodicWorkload>(80 * kMillisecond, 8 * kMillisecond));
+
+  sys.RunUntil(20 * kSecond);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // The four CPU-bound classes split what the periodic classes leave, equally (all
+  // node weights are 1, and the periodic classes use only part of their share —
+  // the residue redistributes). Check they are within 10% of one another.
+  std::vector<double> service;
+  for (auto t : hogs) {
+    service.push_back(static_cast<double>(sys.StatsOf(t).total_service));
+  }
+  EXPECT_LT(hscommon::MaxRelativeDeviation(service), 0.1);
+  // Everyone made progress; the tree's aggregate may lag thread stats by at most the
+  // one slice still in flight at the horizon.
+  const hscommon::Work busy = 20 * kSecond - sys.idle_time();
+  EXPECT_LE(*tree.ServiceOf(kRootNode), busy);
+  EXPECT_GE(*tree.ServiceOf(kRootNode), busy - 5 * kMillisecond);
+}
+
+TEST(DeterminismTest, FullSystemWithLocksAndInterruptsReplays) {
+  auto run = [] {
+    hsim::System sys(hsim::System::Config{.default_quantum = 7 * kMillisecond});
+    auto leaf = sys.tree().MakeNode("leaf", kRootNode, 1,
+                                    std::make_unique<hleaf::SfqLeafScheduler>());
+    const hsim::MutexId m = sys.CreateMutex();
+    std::vector<hsfq::ThreadId> ids;
+    for (int i = 0; i < 4; ++i) {
+      ids.push_back(*sys.CreateThread(
+          "worker" + std::to_string(i), *leaf, {.weight = 1u + i},
+          std::make_unique<hsim::ScriptedWorkload>(
+              std::vector<Step>{Step::Compute(3 * kMillisecond), Step::Lock(m),
+                                Step::Compute(2 * kMillisecond), Step::Unlock(m),
+                                Step::SleepFor(5 * kMillisecond)},
+              /*loop=*/true)));
+    }
+    sys.AddInterruptSource({.arrival = hsim::InterruptSourceConfig::Arrival::kPoisson,
+                            .interval = 3 * kMillisecond,
+                            .service = 150 * hscommon::kMicrosecond,
+                            .exponential_service = true,
+                            .seed = 99});
+    sys.RunUntil(10 * kSecond);
+    std::vector<hscommon::Work> result;
+    for (auto t : ids) {
+      result.push_back(sys.StatsOf(t).total_service);
+    }
+    result.push_back(static_cast<hscommon::Work>(sys.StatsOfMutex(m).contentions));
+    result.push_back(static_cast<hscommon::Work>(sys.interrupt_count()));
+    return result;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MixedTreeTest, FairLeafInDeepHierarchy) {
+  hsim::System sys;
+  auto a = sys.tree().MakeNode("a", kRootNode, 1, nullptr);
+  auto b = sys.tree().MakeNode("b", *a, 1, nullptr);
+  auto stride = sys.tree().MakeNode(
+      "stride", *b, 1,
+      std::make_unique<hleaf::FairLeafScheduler>(
+          hfair::MakeFairQueue(hfair::Algorithm::kStride, 20 * kMillisecond)));
+  auto t1 = sys.CreateThread("x", *stride, {.weight = 1},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("y", *stride, {.weight = 4},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(10 * kSecond);
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*t2).total_service) /
+                  static_cast<double>(sys.StatsOf(*t1).total_service),
+              4.0, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "src/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/workload.h"
+
+namespace hmetrics {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+TEST(ServiceSamplerTest, SamplesCumulativeService) {
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  auto tid = sys.CreateThread("hog", *leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  ServiceSampler sampler(sys, kSecond, kSecond);
+  sampler.Track("hog", {*tid});
+  sys.RunUntil(5 * kSecond + kMillisecond);
+  ASSERT_EQ(sampler.sample_times().size(), 5u);
+  ASSERT_EQ(sampler.cumulative(0).size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sampler.cumulative(0)[i], static_cast<Work>(i + 1) * kSecond);
+  }
+}
+
+TEST(ServiceSamplerTest, PerIntervalDeltas) {
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  auto tid = sys.CreateThread("hog", *leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  ServiceSampler sampler(sys, kSecond, kSecond);
+  sampler.Track("hog", {*tid});
+  sys.RunUntil(4 * kSecond + kMillisecond);
+  const auto deltas = sampler.PerInterval(0);
+  ASSERT_EQ(deltas.size(), 3u);
+  for (Work d : deltas) {
+    EXPECT_EQ(d, kSecond);
+  }
+}
+
+TEST(ServiceSamplerTest, GroupsAggregateThreads) {
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  auto t1 = sys.CreateThread("a", *leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("b", *leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  ServiceSampler sampler(sys, kSecond, kSecond);
+  sampler.Track("both", {*t1, *t2});
+  sampler.Track("first", {*t1});
+  sys.RunUntil(2 * kSecond + kMillisecond);
+  EXPECT_EQ(sampler.group_count(), 2u);
+  EXPECT_EQ(sampler.label(0), "both");
+  EXPECT_EQ(sampler.cumulative(0).back(), 2 * kSecond);
+  EXPECT_NEAR(static_cast<double>(sampler.cumulative(1).back()),
+              static_cast<double>(kSecond), static_cast<double>(25 * kMillisecond));
+}
+
+TEST(MaxNormalizedServiceGapTest, EqualNormalizedServiceIsZero) {
+  std::vector<std::pair<Work, hscommon::Weight>> flows{{100, 1}, {200, 2}, {300, 3}};
+  EXPECT_DOUBLE_EQ(MaxNormalizedServiceGap(flows), 0.0);
+}
+
+TEST(MaxNormalizedServiceGapTest, DetectsWorstPair) {
+  std::vector<std::pair<Work, hscommon::Weight>> flows{{100, 1}, {150, 1}, {120, 1}};
+  EXPECT_DOUBLE_EQ(MaxNormalizedServiceGap(flows), 50.0);
+}
+
+TEST(MaxNormalizedServiceGapTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(MaxNormalizedServiceGap({}), 0.0);
+}
+
+}  // namespace
+}  // namespace hmetrics

@@ -1,0 +1,103 @@
+#include "src/mpeg/player.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+
+namespace hmpeg {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+VbrTrace SmallTrace() {
+  VbrTraceConfig config;
+  config.frame_count = 600;
+  return VbrTrace::Generate(config);
+}
+
+TEST(PlayerTest, FreeRunningDecodesBackToBack) {
+  const VbrTrace trace = SmallTrace();
+  MpegPlayerWorkload player(&trace, {.mode = MpegPlayerWorkload::Mode::kFreeRunning});
+  hscommon::Time now = 0;
+  for (int i = 0; i < 20; ++i) {
+    const hsim::WorkloadAction a = player.NextAction(now);
+    ASSERT_EQ(a.kind, hsim::WorkloadAction::Kind::kCompute);
+    EXPECT_EQ(a.work, trace.cost(i % trace.size()));
+    now += a.work;
+  }
+  EXPECT_EQ(player.frames_decoded(), 19u);  // the 20th burst is in flight
+}
+
+TEST(PlayerTest, LoopsWhenConfigured) {
+  const VbrTrace trace = SmallTrace();
+  MpegPlayerWorkload player(&trace, {.mode = MpegPlayerWorkload::Mode::kFreeRunning,
+                                     .loop = true});
+  hscommon::Time now = 0;
+  for (size_t i = 0; i < trace.size() + 10; ++i) {
+    const hsim::WorkloadAction a = player.NextAction(now);
+    ASSERT_EQ(a.kind, hsim::WorkloadAction::Kind::kCompute);
+    now += a.work;
+  }
+  EXPECT_GT(player.frames_decoded(), trace.size());
+}
+
+TEST(PlayerTest, ExitsAtEndWithoutLoop) {
+  VbrTraceConfig config;
+  config.frame_count = 5;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  MpegPlayerWorkload player(&trace, {.mode = MpegPlayerWorkload::Mode::kFreeRunning,
+                                     .loop = false});
+  hscommon::Time now = 0;
+  for (int i = 0; i < 5; ++i) {
+    const hsim::WorkloadAction a = player.NextAction(now);
+    ASSERT_EQ(a.kind, hsim::WorkloadAction::Kind::kCompute);
+    now += a.work;
+  }
+  EXPECT_EQ(player.NextAction(now).kind, hsim::WorkloadAction::Kind::kExit);
+  EXPECT_EQ(player.frames_decoded(), 5u);
+}
+
+TEST(PlayerTest, PacedModeSleepsUntilDisplayDeadline) {
+  const VbrTrace trace = SmallTrace();
+  MpegPlayerWorkload player(&trace,
+                            {.mode = MpegPlayerWorkload::Mode::kPaced, .fps = 30.0});
+  // Frame 0 decoded instantly relative to its 33.3ms deadline -> sleep.
+  const hsim::WorkloadAction decode = player.NextAction(0);
+  ASSERT_EQ(decode.kind, hsim::WorkloadAction::Kind::kCompute);
+  const hsim::WorkloadAction next = player.NextAction(decode.work);
+  if (decode.work < 33 * kMillisecond) {
+    ASSERT_EQ(next.kind, hsim::WorkloadAction::Kind::kSleep);
+    EXPECT_NEAR(static_cast<double>(next.until), static_cast<double>(kSecond) / 30.0,
+                1e6);
+    EXPECT_EQ(player.late_frames(), 0u);
+  }
+  EXPECT_EQ(player.frames_decoded(), 1u);
+  EXPECT_EQ(player.lateness().count(), 1u);
+}
+
+TEST(PlayerTest, WeightedPlayersDecodeProportionally) {
+  // The Figure 10 behaviour in miniature: weights 5 and 10 -> frames 1:2.
+  const VbrTrace trace = SmallTrace();
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("sfq1", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  auto p1 = std::make_unique<MpegPlayerWorkload>(
+      &trace, MpegPlayerWorkload::Config{.mode = MpegPlayerWorkload::Mode::kFreeRunning});
+  auto p2 = std::make_unique<MpegPlayerWorkload>(
+      &trace, MpegPlayerWorkload::Config{.mode = MpegPlayerWorkload::Mode::kFreeRunning});
+  MpegPlayerWorkload* w1 = p1.get();
+  MpegPlayerWorkload* w2 = p2.get();
+  ASSERT_TRUE(sys.CreateThread("p1", *leaf, {.weight = 5}, std::move(p1)).ok());
+  ASSERT_TRUE(sys.CreateThread("p2", *leaf, {.weight = 10}, std::move(p2)).ok());
+  sys.RunUntil(30 * kSecond);
+  EXPECT_NEAR(static_cast<double>(w2->frames_decoded()) /
+                  static_cast<double>(w1->frames_decoded()),
+              2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace hmpeg

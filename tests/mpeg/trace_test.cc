@@ -1,0 +1,161 @@
+#include "src/mpeg/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+namespace hmpeg {
+namespace {
+
+using hscommon::kMillisecond;
+
+TEST(VbrTraceTest, GeneratesRequestedFrameCount) {
+  VbrTraceConfig config;
+  config.frame_count = 500;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  EXPECT_EQ(trace.size(), 500u);
+}
+
+TEST(VbrTraceTest, GopStructure) {
+  VbrTraceConfig config;
+  config.frame_count = 48;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const int pos = static_cast<int>(i) % config.gop_size;
+    if (pos == 0) {
+      EXPECT_EQ(trace.type(i), FrameType::kI) << i;
+    } else if (pos % config.p_spacing == 0) {
+      EXPECT_EQ(trace.type(i), FrameType::kP) << i;
+    } else {
+      EXPECT_EQ(trace.type(i), FrameType::kB) << i;
+    }
+  }
+}
+
+TEST(VbrTraceTest, FrameTypeCostOrdering) {
+  VbrTraceConfig config;
+  config.frame_count = 6000;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  const double mean_i = trace.CostStatsFor(FrameType::kI).mean();
+  const double mean_p = trace.CostStatsFor(FrameType::kP).mean();
+  const double mean_b = trace.CostStatsFor(FrameType::kB).mean();
+  EXPECT_GT(mean_i, mean_p);
+  EXPECT_GT(mean_p, mean_b);
+  // Means land near the configured targets (within 10%).
+  EXPECT_NEAR(mean_i, static_cast<double>(config.mean_cost_i),
+              0.1 * static_cast<double>(config.mean_cost_i));
+}
+
+TEST(VbrTraceTest, MultipleScenesEmerge) {
+  VbrTraceConfig config;
+  config.frame_count = 3000;
+  config.mean_scene_frames = 90;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  // ~33 scenes expected; demand at least a handful.
+  EXPECT_GE(trace.scene_count(), 10u);
+  // Scene ids are non-decreasing.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace.scene(i), trace.scene(i - 1));
+  }
+}
+
+TEST(VbrTraceTest, SceneScaleVariationExceedsFrameNoise) {
+  // The paper's Figure 1 point: variability exists at the scene scale, not just frame to
+  // frame. Compare mean I-frame cost across scenes.
+  VbrTraceConfig config;
+  config.frame_count = 6000;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  hscommon::RunningStats scene_means;
+  double current_sum = 0.0;
+  int current_count = 0;
+  uint32_t current_scene = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (trace.scene(i) != current_scene) {
+      if (current_count > 0) {
+        scene_means.Add(current_sum / current_count);
+      }
+      current_scene = trace.scene(i);
+      current_sum = 0.0;
+      current_count = 0;
+    }
+    current_sum += static_cast<double>(trace.cost(i));
+    ++current_count;
+  }
+  // Scene-to-scene coefficient of variation reflects scene_sigma (0.35), well above 5%.
+  EXPECT_GT(scene_means.coefficient_of_variation(), 0.1);
+}
+
+TEST(VbrTraceTest, DeterministicInSeed) {
+  VbrTraceConfig config;
+  config.frame_count = 200;
+  const VbrTrace a = VbrTrace::Generate(config);
+  const VbrTrace b = VbrTrace::Generate(config);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.cost(i), b.cost(i));
+  }
+  config.seed = 999;
+  const VbrTrace c = VbrTrace::Generate(config);
+  int differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differing += a.cost(i) != c.cost(i) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 150);
+}
+
+TEST(VbrTraceTest, SaveLoadRoundTrip) {
+  VbrTraceConfig config;
+  config.frame_count = 100;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  const std::string path = testing::TempDir() + "/trace_test.csv";
+  ASSERT_TRUE(trace.Save(path).ok());
+  auto loaded = VbrTrace::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded->cost(i), trace.cost(i));
+    EXPECT_EQ(loaded->type(i), trace.type(i));
+    EXPECT_EQ(loaded->scene(i), trace.scene(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VbrTraceTest, LoadMissingFileFails) {
+  EXPECT_FALSE(VbrTrace::Load("/nonexistent/trace.csv").ok());
+}
+
+TEST(VbrTraceTest, AggregateHelpers) {
+  VbrTraceConfig config;
+  config.frame_count = 100;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  hscommon::Work total = 0;
+  hscommon::Work peak = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    total += trace.cost(i);
+    peak = std::max(peak, trace.cost(i));
+  }
+  EXPECT_EQ(trace.TotalCost(), total);
+  EXPECT_EQ(trace.PeakCost(), peak);
+  EXPECT_EQ(trace.CostStats().count(), 100u);
+}
+
+TEST(VbrTraceTest, WindowDemandWiderThanIndependentFrames) {
+  VbrTraceConfig config;
+  config.frame_count = 6000;
+  const VbrTrace trace = VbrTrace::Generate(config);
+  const auto per_frame = trace.CostStats();
+  const auto per_window = trace.WindowDemandStats(30);
+  EXPECT_EQ(per_window.count(), 200u);
+  EXPECT_NEAR(per_window.mean(), per_frame.mean() * 30.0, per_frame.mean() * 3.0);
+  // Scene correlation: window stddev well above the independent-frames prediction.
+  EXPECT_GT(per_window.stddev(), 1.5 * per_frame.stddev() * std::sqrt(30.0));
+}
+
+TEST(FrameTypeCharTest, Letters) {
+  EXPECT_EQ(FrameTypeChar(FrameType::kI), 'I');
+  EXPECT_EQ(FrameTypeChar(FrameType::kP), 'P');
+  EXPECT_EQ(FrameTypeChar(FrameType::kB), 'B');
+}
+
+}  // namespace
+}  // namespace hmpeg

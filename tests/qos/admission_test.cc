@@ -1,0 +1,119 @@
+#include "src/qos/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace hqos {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::StatusCode;
+
+TEST(DeterministicAdmissionTest, ValidatesTask) {
+  DeterministicAdmission adm(FcServer{1.0, 0.0});
+  EXPECT_EQ(adm.Check({.period = 0, .computation = 1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(adm.Check({.period = 10, .computation = 0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeterministicAdmissionTest, AdmitsWithinUtilization) {
+  DeterministicAdmission adm(FcServer{1.0, 0.0});
+  EXPECT_TRUE(adm.Admit({.period = 100, .computation = 40}).ok());
+  EXPECT_TRUE(adm.Admit({.period = 100, .computation = 40}).ok());
+  EXPECT_NEAR(adm.BookedUtilization(), 0.8, 1e-12);
+  EXPECT_EQ(adm.Admit({.period = 100, .computation = 40}).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DeterministicAdmissionTest, ResponseTimeCheckRejectsTightDeadlines) {
+  // delta = 30: a task with deadline 35 and computation 10 cannot be guaranteed even at
+  // low utilization because the server may owe 30 units of work.
+  DeterministicAdmission adm(FcServer{1.0, 30.0});
+  EXPECT_EQ(adm.Check({.period = 1000, .computation = 10, .relative_deadline = 35})
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(adm.Check({.period = 1000, .computation = 10, .relative_deadline = 50}).ok());
+}
+
+TEST(DeterministicAdmissionTest, ExistingTasksDelayNewOnes) {
+  DeterministicAdmission adm(FcServer{1.0, 0.0});
+  ASSERT_TRUE(adm.Admit({.period = 1000, .computation = 100}).ok());
+  // Candidate with a deadline shorter than the sum of computations is rejected.
+  EXPECT_EQ(adm.Check({.period = 1000, .computation = 50, .relative_deadline = 120})
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(adm.Check({.period = 1000, .computation = 50, .relative_deadline = 200}).ok());
+}
+
+TEST(DeterministicAdmissionTest, AdmissionAlsoProtectsExistingTasks) {
+  DeterministicAdmission adm(FcServer{1.0, 0.0});
+  ASSERT_TRUE(adm.Admit({.period = 100, .computation = 10, .relative_deadline = 15}).ok());
+  // A big candidate would push the existing tight-deadline task past its deadline.
+  EXPECT_EQ(adm.Check({.period = 1000, .computation = 100}).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DeterministicAdmissionTest, ReleaseRestoresCapacity) {
+  DeterministicAdmission adm(FcServer{1.0, 0.0});
+  const DeterministicAdmission::Task t{.period = 100, .computation = 60};
+  ASSERT_TRUE(adm.Admit(t).ok());
+  EXPECT_EQ(adm.Admit({.period = 100, .computation = 60}).code(),
+            StatusCode::kResourceExhausted);
+  adm.Release(t);
+  EXPECT_NEAR(adm.BookedUtilization(), 0.0, 1e-12);
+  EXPECT_TRUE(adm.Admit({.period = 100, .computation = 60}).ok());
+}
+
+TEST(StatisticalAdmissionTest, ZScoreMonotone) {
+  EXPECT_GT(StatisticalAdmission::ZScore(0.01), StatisticalAdmission::ZScore(0.1));
+  EXPECT_NEAR(StatisticalAdmission::ZScore(0.5), 0.0, 0.05);
+  EXPECT_NEAR(StatisticalAdmission::ZScore(0.05), 1.645, 0.05);
+  EXPECT_NEAR(StatisticalAdmission::ZScore(0.01), 2.326, 0.05);
+}
+
+TEST(StatisticalAdmissionTest, AdmitsUpToGaussianBound) {
+  // Capacity 100; epsilon 0.05 -> z ~= 1.645.
+  StatisticalAdmission adm(100.0, 0.05);
+  // Streams of mean 20, stddev 5: admitted while 20k + 1.645*5*sqrt(k) <= 100.
+  int admitted = 0;
+  while (adm.Admit({.mean_rate = 20.0, .stddev_rate = 5.0}).ok()) {
+    ++admitted;
+  }
+  EXPECT_EQ(admitted, 4);  // 4 streams: 80 + 1.645*10 = 96.45 <= 100; 5th would exceed
+  EXPECT_EQ(adm.AdmittedCount(), 4u);
+}
+
+TEST(StatisticalAdmissionTest, OverbookingBeyondDeterministic) {
+  // The soft class deliberately overbooks relative to peak demand: with epsilon = 0.3,
+  // more streams fit than a peak-based test would allow.
+  StatisticalAdmission lax(100.0, 0.3);
+  StatisticalAdmission strict(100.0, 0.001);
+  auto count = [](StatisticalAdmission& adm) {
+    int n = 0;
+    while (adm.Admit({.mean_rate = 15.0, .stddev_rate = 10.0}).ok()) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count(lax), count(strict));
+}
+
+TEST(StatisticalAdmissionTest, ValidatesStream) {
+  StatisticalAdmission adm(100.0, 0.05);
+  EXPECT_EQ(adm.Check({.mean_rate = 0.0, .stddev_rate = 1.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(adm.Check({.mean_rate = 10.0, .stddev_rate = -1.0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatisticalAdmissionTest, ReleaseRestoresCapacity) {
+  StatisticalAdmission adm(50.0, 0.05);
+  const StatisticalAdmission::Stream s{.mean_rate = 40.0, .stddev_rate = 2.0};
+  ASSERT_TRUE(adm.Admit(s).ok());
+  EXPECT_FALSE(adm.Admit(s).ok());
+  adm.Release(s);
+  EXPECT_TRUE(adm.Admit(s).ok());
+}
+
+}  // namespace
+}  // namespace hqos

@@ -1,0 +1,148 @@
+#include "src/qos/manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/workload.h"
+
+namespace hqos {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::StatusCode;
+
+TEST(QosManagerTest, BuildsThreeClassPartition) {
+  hsim::System sys;
+  QosManager qos(sys, {});
+  auto& tree = sys.tree();
+  EXPECT_EQ(*tree.Parse("/hard-rt"), qos.hard_rt_node());
+  EXPECT_EQ(*tree.Parse("/soft-rt"), qos.soft_rt_node());
+  EXPECT_EQ(*tree.Parse("/best-effort"), qos.best_effort_node());
+  EXPECT_TRUE(tree.IsLeaf(qos.hard_rt_node()));
+  EXPECT_TRUE(tree.IsLeaf(qos.soft_rt_node()));
+  EXPECT_FALSE(tree.IsLeaf(qos.best_effort_node()));
+  EXPECT_EQ(*tree.GetNodeWeight(qos.hard_rt_node()), 1u);
+  EXPECT_EQ(*tree.GetNodeWeight(qos.soft_rt_node()), 3u);
+  EXPECT_EQ(*tree.GetNodeWeight(qos.best_effort_node()), 6u);
+}
+
+TEST(QosManagerTest, ClassServerReflectsWeights) {
+  hsim::System sys;
+  QosManager qos(sys, {});
+  EXPECT_DOUBLE_EQ(qos.ClassServer(qos.hard_rt_node()).rate, 0.1);
+  EXPECT_DOUBLE_EQ(qos.ClassServer(qos.best_effort_node()).rate, 0.6);
+}
+
+TEST(QosManagerTest, HardRtAdmissionAcceptsAndRejects) {
+  hsim::System sys;
+  QosManager qos(sys, {.max_quantum = 10 * kMillisecond});
+  // Hard class rate = 0.1: a 10ms/60ms task (u ~ 0.167) does not fit.
+  auto rejected = qos.SubmitHardRt(
+      "rt1", 60 * kMillisecond, 10 * kMillisecond,
+      std::make_unique<hsim::PeriodicWorkload>(60 * kMillisecond, 10 * kMillisecond));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // Grow the class (the QoS manager's dynamic re-partitioning) and retry.
+  ASSERT_TRUE(qos.SetClassWeight(qos.hard_rt_node(), 10).ok());
+  auto admitted = qos.SubmitHardRt(
+      "rt1", 60 * kMillisecond, 10 * kMillisecond,
+      std::make_unique<hsim::PeriodicWorkload>(60 * kMillisecond, 10 * kMillisecond));
+  EXPECT_TRUE(admitted.ok());
+}
+
+TEST(QosManagerTest, SoftRtStatisticalAdmission) {
+  hsim::System sys;
+  QosManager qos(sys, {});
+  // Soft class rate 0.3 -> 0.3e9 work/s capacity.
+  const double mean = 0.1e9;
+  const double sd = 0.01e9;
+  EXPECT_TRUE(qos.SubmitSoftRt("v1", 1, mean, sd,
+                               std::make_unique<hsim::CpuBoundWorkload>())
+                  .ok());
+  EXPECT_TRUE(qos.SubmitSoftRt("v2", 1, mean, sd,
+                               std::make_unique<hsim::CpuBoundWorkload>())
+                  .ok());
+  // Third stream pushes mean to 0.3e9 + z*sd > capacity.
+  EXPECT_EQ(qos.SubmitSoftRt("v3", 1, mean, sd, std::make_unique<hsim::CpuBoundWorkload>())
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(QosManagerTest, BestEffortNeverDenied) {
+  hsim::System sys;
+  QosManager qos(sys, {});
+  for (int i = 0; i < 20; ++i) {
+    auto t = qos.SubmitBestEffort("job" + std::to_string(i), "alice", 1,
+                                  std::make_unique<hsim::CpuBoundWorkload>());
+    EXPECT_TRUE(t.ok());
+  }
+  // User leaves are created on demand under /best-effort.
+  EXPECT_TRUE(sys.tree().Parse("/best-effort/alice").ok());
+  auto bob = qos.SubmitBestEffort("job", "bob", 1,
+                                  std::make_unique<hsim::CpuBoundWorkload>());
+  EXPECT_TRUE(bob.ok());
+  EXPECT_TRUE(sys.tree().Parse("/best-effort/bob").ok());
+}
+
+TEST(QosManagerTest, EndToEndIsolation) {
+  // Best-effort hogs cannot starve an admitted soft-RT stream.
+  hsim::System sys;
+  QosManager qos(sys, {});
+  auto video = qos.SubmitSoftRt("video", 1, 0.1e9, 0.0,
+                                std::make_unique<hsim::CpuBoundWorkload>());
+  ASSERT_TRUE(video.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(qos.SubmitBestEffort("hog" + std::to_string(i), "alice", 1,
+                                     std::make_unique<hsim::CpuBoundWorkload>())
+                    .ok());
+  }
+  sys.RunUntil(10 * kSecond);
+  // The hard class is empty, so its share redistributes 3:6 — the soft class holds
+  // 3/9 = one third of the CPU regardless of the best-effort hog count.
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*video).total_service) /
+                  static_cast<double>(10 * kSecond),
+              1.0 / 3.0, 0.01);
+}
+
+TEST(QosManagerTest, WeightShrinkKeepsBookingsHonest) {
+  hsim::System sys;
+  QosManager qos(sys, {.hard_rt_weight = 10, .max_quantum = 10 * kMillisecond});
+  auto admitted = qos.SubmitHardRt(
+      "rt1", 60 * kMillisecond, 10 * kMillisecond,
+      std::make_unique<hsim::PeriodicWorkload>(60 * kMillisecond, 10 * kMillisecond));
+  ASSERT_TRUE(admitted.ok());
+  // Shrink the class: existing booking is replayed, and a new identical task no longer
+  // fits.
+  ASSERT_TRUE(qos.SetClassWeight(qos.hard_rt_node(), 1).ok());
+  auto rejected = qos.SubmitHardRt(
+      "rt2", 60 * kMillisecond, 10 * kMillisecond,
+      std::make_unique<hsim::PeriodicWorkload>(60 * kMillisecond, 10 * kMillisecond));
+  EXPECT_FALSE(rejected.ok());
+}
+
+TEST(QosManagerTest, DemoteToBestEffortFreesBooking) {
+  hsim::System sys;
+  QosManager qos(sys, {});
+  const double mean = 0.1e9;
+  auto v1 = qos.SubmitSoftRt("v1", 1, mean, 0.0, std::make_unique<hsim::CpuBoundWorkload>());
+  auto v2 = qos.SubmitSoftRt("v2", 1, mean, 0.0, std::make_unique<hsim::CpuBoundWorkload>());
+  auto v3 = qos.SubmitSoftRt("v3", 1, mean, 0.0, std::make_unique<hsim::CpuBoundWorkload>());
+  ASSERT_TRUE(v1.ok() && v2.ok() && v3.ok());
+  // Class capacity 0.3e9 fully booked: a 4th is rejected.
+  EXPECT_FALSE(
+      qos.SubmitSoftRt("v4", 1, mean, 0.0, std::make_unique<hsim::CpuBoundWorkload>()).ok());
+  // Demote v1 to best-effort; its booking frees up and v4 fits.
+  ASSERT_TRUE(qos.DemoteToBestEffort(*v1, "downgraded", 1, mean, 0.0).ok());
+  EXPECT_EQ(*sys.tree().LeafOf(*v1), *sys.tree().Parse("/best-effort/downgraded"));
+  EXPECT_TRUE(
+      qos.SubmitSoftRt("v4", 1, mean, 0.0, std::make_unique<hsim::CpuBoundWorkload>()).ok());
+  // Moving a best-effort thread again is rejected.
+  EXPECT_EQ(qos.DemoteToBestEffort(*v1, "downgraded", 1, mean, 0.0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hqos

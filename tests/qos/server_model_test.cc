@@ -1,0 +1,109 @@
+#include "src/qos/server_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/prng.h"
+
+namespace hqos {
+namespace {
+
+using hscommon::kMillisecond;
+
+TEST(FcServerTest, MinWorkLinearMinusDelta) {
+  const FcServer s{.rate = 0.5, .delta = 100.0};
+  EXPECT_DOUBLE_EQ(s.MinWork(1000), 400.0);
+  EXPECT_DOUBLE_EQ(s.MinWork(100), 0.0);  // clamped at zero
+}
+
+TEST(FcServerTest, MaxLatency) {
+  const FcServer s{.rate = 0.5, .delta = 100.0};
+  // (400 + 100) / 0.5 = 1000 ns.
+  EXPECT_EQ(s.MaxLatency(400), 1000);
+}
+
+TEST(EbfServerTest, DeficitGrowsAsProbabilityShrinks) {
+  const EbfServer s{.rate = 1.0, .bound = 1.0, .alpha = 0.01, .delta = 10.0};
+  const double d1 = s.DeficitAtProbability(0.1);
+  const double d2 = s.DeficitAtProbability(0.01);
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d1, s.delta);
+  // At p >= bound the deficit is just delta.
+  EXPECT_DOUBLE_EQ(s.DeficitAtProbability(1.0), 10.0);
+}
+
+TEST(EbfServerTest, ToFcPreservesRate) {
+  const EbfServer s{.rate = 0.7, .bound = 2.0, .alpha = 0.05, .delta = 5.0};
+  const FcServer fc = s.ToFcAtProbability(0.001);
+  EXPECT_DOUBLE_EQ(fc.rate, 0.7);
+  EXPECT_GT(fc.delta, 5.0);
+}
+
+TEST(ComposeFcTest, RateIsWeightFraction) {
+  const FcServer cpu{.rate = 1.0, .delta = 0.0};
+  const std::vector<hscommon::Weight> weights{1, 3, 6};
+  const std::vector<hscommon::Work> lmax{10, 10, 10};
+  EXPECT_DOUBLE_EQ(ComposeFcChild(cpu, weights, lmax, 0).rate, 0.1);
+  EXPECT_DOUBLE_EQ(ComposeFcChild(cpu, weights, lmax, 1).rate, 0.3);
+  EXPECT_DOUBLE_EQ(ComposeFcChild(cpu, weights, lmax, 2).rate, 0.6);
+}
+
+TEST(ComposeFcTest, DeltaIncludesSiblingQuantaAndParentDeficit) {
+  const FcServer cpu{.rate = 1.0, .delta = 50.0};
+  const std::vector<hscommon::Weight> weights{1, 1};
+  const std::vector<hscommon::Work> lmax{20, 30};
+  const FcServer child = ComposeFcChild(cpu, weights, lmax, 0);
+  // 0.5 * (50 + 30) + 20 = 60.
+  EXPECT_DOUBLE_EQ(child.delta, 60.0);
+}
+
+TEST(ComposeFcTest, RecursiveCompositionShrinksRate) {
+  // Two-level recursion: child of a child.
+  const FcServer cpu{.rate = 1.0, .delta = 0.0};
+  const std::vector<hscommon::Weight> top{1, 1};
+  const std::vector<hscommon::Work> lmax{10, 10};
+  const FcServer level1 = ComposeFcChild(cpu, top, lmax, 0);
+  const FcServer level2 = ComposeFcChild(level1, top, lmax, 0);
+  EXPECT_DOUBLE_EQ(level2.rate, 0.25);
+  EXPECT_GT(level2.delta, level1.delta);
+}
+
+TEST(ComposeEbfTest, AlphaScalesInversely) {
+  const EbfServer cpu{.rate = 1.0, .bound = 1.0, .alpha = 0.1, .delta = 0.0};
+  const std::vector<hscommon::Weight> weights{1, 4};
+  const std::vector<hscommon::Work> lmax{10, 10};
+  const EbfServer child = ComposeEbfChild(cpu, weights, lmax, 0);
+  EXPECT_DOUBLE_EQ(child.rate, 0.2);
+  EXPECT_DOUBLE_EQ(child.alpha, 0.5);  // 0.1 / 0.2
+  EXPECT_DOUBLE_EQ(child.bound, 1.0);
+}
+
+TEST(FcFromInterruptsTest, RateReflectsStolenFraction) {
+  const FcServer s = FcFromPeriodicInterrupts(10 * kMillisecond, kMillisecond);
+  EXPECT_DOUBLE_EQ(s.rate, 0.9);
+  EXPECT_DOUBLE_EQ(s.delta, static_cast<double>(kMillisecond));
+}
+
+TEST(FitEbfTailTest, RecoversKnownExponentialTail) {
+  // Synthesize deficits with an exact exponential tail: P(d > g) = exp(-alpha g).
+  hscommon::Prng prng(5);
+  std::vector<double> deficits;
+  const double alpha = 0.5;
+  for (int i = 0; i < 200000; ++i) {
+    deficits.push_back(prng.Exponential(1.0 / alpha));
+  }
+  const EbfServer fit = FitEbfTail(deficits, /*rate=*/0.9, /*gamma_step=*/1.0,
+                                   /*gamma_points=*/8);
+  EXPECT_NEAR(fit.alpha, alpha, 0.05);
+  EXPECT_DOUBLE_EQ(fit.rate, 0.9);
+}
+
+TEST(FitEbfTailTest, DegenerateInputGivesZeroAlpha) {
+  std::vector<double> deficits(100, -1.0);  // never behind the rate
+  const EbfServer fit = FitEbfTail(deficits, 1.0, 1.0, 5);
+  EXPECT_EQ(fit.alpha, 0.0);
+}
+
+}  // namespace
+}  // namespace hqos

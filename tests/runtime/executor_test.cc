@@ -1,0 +1,179 @@
+// The real (wall-clock) user-level executor. These tests do actual CPU work; tolerances
+// are loose because machine noise is real here.
+
+#include "src/runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+
+namespace hrt {
+namespace {
+
+using hscommon::kMillisecond;
+
+// Burns roughly 50 microseconds of CPU.
+void BurnCpu() {
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 20000; ++i) {
+    x += static_cast<uint64_t>(i) * 2654435761u;
+  }
+}
+
+NodeId AddLeaf(Executor& exec, const std::string& name, hscommon::Weight weight) {
+  auto node = exec.tree().MakeNode(name, hsfq::kRootNode, weight,
+                                   std::make_unique<hleaf::SfqLeafScheduler>());
+  EXPECT_TRUE(node.ok());
+  return *node;
+}
+
+TEST(ExecutorTest, RunsTaskToCompletion) {
+  Executor exec(Executor::Config{.quantum = kMillisecond});
+  const NodeId leaf = AddLeaf(exec, "leaf", 1);
+  int steps = 0;
+  auto task = exec.Spawn("t", leaf, {}, [&] {
+    BurnCpu();
+    return ++steps >= 100 ? StepResult::kDone : StepResult::kMore;
+  });
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(exec.live_tasks(), 1u);
+  exec.Run();
+  EXPECT_EQ(steps, 100);
+  EXPECT_EQ(exec.live_tasks(), 0u);
+  EXPECT_GT(exec.CpuTimeOf(*task), 0);
+}
+
+TEST(ExecutorTest, SpawnIntoInteriorFails) {
+  Executor exec;
+  auto interior = exec.tree().MakeNode("int", hsfq::kRootNode, 1, nullptr);
+  auto task = exec.Spawn("t", *interior, {}, [] { return StepResult::kDone; });
+  EXPECT_FALSE(task.ok());
+}
+
+TEST(ExecutorTest, WeightedTasksShareCpuProportionally) {
+  Executor exec(Executor::Config{.quantum = kMillisecond});
+  const NodeId leaf = AddLeaf(exec, "leaf", 1);
+  std::atomic<bool> stop{false};
+  auto spin = [&stop] {
+    BurnCpu();
+    return stop.load() ? StepResult::kDone : StepResult::kMore;
+  };
+  auto t1 = exec.Spawn("light", leaf, {.weight = 1}, spin);
+  auto t2 = exec.Spawn("heavy", leaf, {.weight = 3}, spin);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  exec.RunFor(300 * kMillisecond);
+  stop = true;
+  exec.Run();
+  const double ratio = static_cast<double>(exec.CpuTimeOf(*t2)) /
+                       static_cast<double>(exec.CpuTimeOf(*t1));
+  EXPECT_NEAR(ratio, 3.0, 0.9);
+}
+
+TEST(ExecutorTest, YieldEndsQuantumEarly) {
+  Executor exec(Executor::Config{.quantum = 50 * kMillisecond});
+  const NodeId leaf = AddLeaf(exec, "leaf", 1);
+  int a_steps = 0;
+  int b_steps = 0;
+  auto ta = exec.Spawn("a", leaf, {}, [&] {
+    ++a_steps;
+    return a_steps >= 10 ? StepResult::kDone : StepResult::kYield;
+  });
+  auto tb = exec.Spawn("b", leaf, {}, [&] {
+    ++b_steps;
+    return b_steps >= 10 ? StepResult::kDone : StepResult::kYield;
+  });
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  exec.Run();
+  // Yields force interleaving: many dispatches, not two 50ms monopolies.
+  EXPECT_GE(exec.dispatches(), 20u);
+  EXPECT_EQ(a_steps, 10);
+  EXPECT_EQ(b_steps, 10);
+}
+
+TEST(ExecutorTest, HierarchicalSharesApply) {
+  Executor exec(Executor::Config{.quantum = kMillisecond});
+  auto prod = exec.tree().MakeNode("prod", hsfq::kRootNode, 3, nullptr);
+  const NodeId prod_leaf = *exec.tree().MakeNode(
+      "tasks", *prod, 1, std::make_unique<hleaf::SfqLeafScheduler>());
+  const NodeId batch = AddLeaf(exec, "batch", 1);
+  std::atomic<bool> stop{false};
+  auto spin = [&stop] {
+    BurnCpu();
+    return stop.load() ? StepResult::kDone : StepResult::kMore;
+  };
+  auto tp = exec.Spawn("prod-task", prod_leaf, {}, spin);
+  auto tb = exec.Spawn("batch-task", batch, {}, spin);
+  ASSERT_TRUE(tp.ok() && tb.ok());
+  exec.RunFor(300 * kMillisecond);
+  stop = true;
+  exec.Run();
+  const double ratio = static_cast<double>(exec.CpuTimeOf(*tp)) /
+                       static_cast<double>(exec.CpuTimeOf(*tb));
+  EXPECT_NEAR(ratio, 3.0, 0.9);
+}
+
+TEST(ExecutorTest, SleepingTaskWakesAndFinishes) {
+  Executor exec(Executor::Config{.quantum = kMillisecond});
+  const NodeId leaf = AddLeaf(exec, "leaf", 1);
+  int phase = 0;
+  auto task = exec.Spawn("sleeper", leaf, {},
+                         std::function<StepResult(TaskControl&)>([&](TaskControl& ctl) {
+                           if (phase == 0) {
+                             ++phase;
+                             ctl.SleepFor(20 * kMillisecond);
+                             return StepResult::kSleep;
+                           }
+                           BurnCpu();
+                           return ++phase >= 5 ? StepResult::kDone : StepResult::kMore;
+                         }));
+  ASSERT_TRUE(task.ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  exec.Run();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 19);  // really slept
+  EXPECT_EQ(phase, 5);
+  EXPECT_EQ(exec.live_tasks(), 0u);
+}
+
+TEST(ExecutorTest, SleeperDoesNotBlockRunnableTasks) {
+  Executor exec(Executor::Config{.quantum = kMillisecond});
+  const NodeId leaf = AddLeaf(exec, "leaf", 1);
+  bool sleeper_resumed = false;
+  auto sleeper = exec.Spawn("sleeper", leaf, {},
+                            std::function<StepResult(TaskControl&)>([&](TaskControl& ctl) {
+                              if (!sleeper_resumed) {
+                                sleeper_resumed = true;
+                                ctl.SleepFor(30 * kMillisecond);
+                                return StepResult::kSleep;
+                              }
+                              return StepResult::kDone;
+                            }));
+  int steps = 0;
+  auto worker = exec.Spawn("worker", leaf, {}, [&] {
+    BurnCpu();
+    return ++steps >= 200 ? StepResult::kDone : StepResult::kMore;
+  });
+  ASSERT_TRUE(sleeper.ok() && worker.ok());
+  exec.Run();
+  // The worker got real CPU while the sleeper slept; both finished.
+  EXPECT_EQ(steps, 200);
+  EXPECT_GT(exec.CpuTimeOf(*worker), exec.CpuTimeOf(*sleeper));
+  EXPECT_EQ(exec.live_tasks(), 0u);
+}
+
+TEST(ExecutorTest, NamesAreRetained) {
+  Executor exec;
+  const NodeId leaf = AddLeaf(exec, "leaf", 1);
+  auto t = exec.Spawn("my-task", leaf, {}, [] { return StepResult::kDone; });
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(exec.NameOf(*t), "my-task");
+}
+
+}  // namespace
+}  // namespace hrt

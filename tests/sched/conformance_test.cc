@@ -1,0 +1,205 @@
+// LeafScheduler conformance suite: every class scheduler in the repository is run
+// through the same interface contract the hierarchical framework depends on (paper §4's
+// plug-in rules). A new leaf scheduler should be added to the factory list below and
+// pass unchanged.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/fair/make.h"
+#include "src/sched/edf.h"
+#include "src/sched/fair_leaf.h"
+#include "src/sched/reserve.h"
+#include "src/sched/rma.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/simple.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+
+namespace hleaf {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::ThreadId;
+using hsfq::ThreadParams;
+
+struct LeafFactory {
+  std::string name;
+  std::function<std::unique_ptr<hsfq::LeafScheduler>()> make;
+  // Valid parameters for a thread of this class.
+  ThreadParams params;
+};
+
+std::vector<LeafFactory> AllLeafFactories() {
+  const ThreadParams share{.weight = 2};
+  const ThreadParams pri{.priority = 30};
+  const ThreadParams rt{.period = 100 * kMillisecond, .computation = 10 * kMillisecond};
+  return {
+      {"SfqLeaf", [] { return std::make_unique<SfqLeafScheduler>(); }, share},
+      {"Ts", [] { return std::make_unique<TsScheduler>(); }, pri},
+      {"Edf",
+       [] {
+         return std::make_unique<EdfScheduler>(
+             EdfScheduler::Config{.admission_control = false});
+       },
+       rt},
+      {"Rma",
+       [] {
+         return std::make_unique<RmaScheduler>(
+             RmaScheduler::Config{.admission_control = false});
+       },
+       rt},
+      {"RoundRobin", [] { return std::make_unique<RoundRobinScheduler>(); }, share},
+      {"Fifo", [] { return std::make_unique<FifoScheduler>(); }, share},
+      {"Reserves",
+       [] {
+         return std::make_unique<ReserveScheduler>(
+             ReserveScheduler::Config{.admission_control = false});
+       },
+       rt},
+      {"FairStride",
+       [] {
+         return std::make_unique<FairLeafScheduler>(
+             hfair::MakeFairQueue(hfair::Algorithm::kStride, 20 * kMillisecond));
+       },
+       share},
+  };
+}
+
+class LeafConformance : public testing::TestWithParam<LeafFactory> {};
+
+TEST_P(LeafConformance, EmptySchedulerIsIdle) {
+  auto leaf = GetParam().make();
+  EXPECT_FALSE(leaf->HasRunnable());
+  EXPECT_EQ(leaf->PickNext(0), hsfq::kInvalidThread);
+  EXPECT_FALSE(leaf->IsThreadRunnable(42));
+}
+
+TEST_P(LeafConformance, AddIsNotRunnableUntilSetRun) {
+  auto leaf = GetParam().make();
+  ASSERT_TRUE(leaf->AddThread(1, GetParam().params).ok());
+  EXPECT_FALSE(leaf->HasRunnable());
+  EXPECT_FALSE(leaf->IsThreadRunnable(1));
+  leaf->ThreadRunnable(1, 0);
+  EXPECT_TRUE(leaf->HasRunnable());
+  EXPECT_TRUE(leaf->IsThreadRunnable(1));
+}
+
+TEST_P(LeafConformance, DuplicateAddRejected) {
+  auto leaf = GetParam().make();
+  ASSERT_TRUE(leaf->AddThread(1, GetParam().params).ok());
+  EXPECT_FALSE(leaf->AddThread(1, GetParam().params).ok());
+}
+
+TEST_P(LeafConformance, InServiceThreadCountsAsRunnable) {
+  auto leaf = GetParam().make();
+  ASSERT_TRUE(leaf->AddThread(1, GetParam().params).ok());
+  leaf->ThreadRunnable(1, 0);
+  ASSERT_EQ(leaf->PickNext(0), 1u);
+  // Between PickNext and Charge the thread is in service and still "runnable".
+  EXPECT_TRUE(leaf->HasRunnable());
+  EXPECT_TRUE(leaf->IsThreadRunnable(1));
+  leaf->Charge(1, kMillisecond, kMillisecond, /*still_runnable=*/false);
+  EXPECT_FALSE(leaf->HasRunnable());
+  EXPECT_FALSE(leaf->IsThreadRunnable(1));
+}
+
+TEST_P(LeafConformance, ChargeKeepsRunnableThreadSchedulable) {
+  auto leaf = GetParam().make();
+  ASSERT_TRUE(leaf->AddThread(1, GetParam().params).ok());
+  leaf->ThreadRunnable(1, 0);
+  hscommon::Time now = 0;
+  for (int i = 0; i < 20; ++i) {
+    const ThreadId t = leaf->PickNext(now);
+    ASSERT_EQ(t, 1u);
+    now += kMillisecond;
+    leaf->Charge(t, kMillisecond, now, /*still_runnable=*/true);
+    ASSERT_TRUE(leaf->HasRunnable());
+  }
+}
+
+TEST_P(LeafConformance, BlockedThreadIsSkipped) {
+  auto leaf = GetParam().make();
+  ASSERT_TRUE(leaf->AddThread(1, GetParam().params).ok());
+  ASSERT_TRUE(leaf->AddThread(2, GetParam().params).ok());
+  leaf->ThreadRunnable(1, 0);
+  leaf->ThreadRunnable(2, 0);
+  leaf->ThreadBlocked(1, 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(leaf->PickNext(0), 2u);
+    leaf->Charge(2, kMillisecond, 0, true);
+  }
+}
+
+TEST_P(LeafConformance, RemoveQueuedThreadLeavesOthersIntact) {
+  auto leaf = GetParam().make();
+  ASSERT_TRUE(leaf->AddThread(1, GetParam().params).ok());
+  ASSERT_TRUE(leaf->AddThread(2, GetParam().params).ok());
+  leaf->ThreadRunnable(1, 0);
+  leaf->ThreadRunnable(2, 0);
+  leaf->RemoveThread(1);
+  EXPECT_FALSE(leaf->IsThreadRunnable(1));
+  EXPECT_EQ(leaf->PickNext(0), 2u);
+  leaf->Charge(2, kMillisecond, 0, false);
+  EXPECT_FALSE(leaf->HasRunnable());
+}
+
+TEST_P(LeafConformance, WorkConservingUnderChurn) {
+  auto leaf = GetParam().make();
+  for (ThreadId t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(leaf->AddThread(t, GetParam().params).ok());
+  }
+  hscommon::Prng prng(11);
+  std::array<bool, 5> runnable{};
+  hscommon::Time now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    for (ThreadId t = 1; t <= 4; ++t) {
+      if (!runnable[t] && prng.Bernoulli(0.3)) {
+        leaf->ThreadRunnable(t, now);
+        runnable[t] = true;
+      }
+    }
+    if (!leaf->HasRunnable()) {
+      now += kMillisecond;
+      continue;
+    }
+    const ThreadId t = leaf->PickNext(now);
+    ASSERT_NE(t, hsfq::kInvalidThread);
+    ASSERT_TRUE(runnable[t]);
+    now += kMillisecond;
+    const bool keep = prng.Bernoulli(0.7);
+    leaf->Charge(t, kMillisecond, now, keep);
+    runnable[t] = keep;
+  }
+}
+
+TEST_P(LeafConformance, RunsInsideTheHierarchy) {
+  hsim::System sys(hsim::System::Config{.default_quantum = 5 * kMillisecond});
+  auto node = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1, GetParam().make());
+  ASSERT_TRUE(node.ok());
+  auto sibling = sys.tree().MakeNode("sibling", hsfq::kRootNode, 1,
+                                     std::make_unique<SfqLeafScheduler>());
+  auto t1 = sys.CreateThread("t1", *node, GetParam().params,
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("hog", *sibling, {},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  sys.RunUntil(4 * kSecond);
+  // Equal node weights: each class gets half, whatever the leaf discipline.
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*t1).total_service),
+              static_cast<double>(2 * kSecond), static_cast<double>(150 * kMillisecond))
+      << GetParam().name;
+  EXPECT_TRUE(sys.tree().CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLeaves, LeafConformance, testing::ValuesIn(AllLeafFactories()),
+                         [](const testing::TestParamInfo<LeafFactory>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace hleaf

@@ -1,0 +1,92 @@
+#include "src/sched/fair_leaf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "src/fair/make.h"
+#include "src/sim/system.h"
+
+namespace hleaf {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::StatusCode;
+
+// NOTE: algorithms that need the quantum a priori (WFQ, SCFQ, classic stride) must be
+// configured with the dispatcher's actual slice length, or their tags drift from real
+// usage — the very fragility the paper criticizes. The simulator's default slice is
+// 20 ms, so in-system tests build leaves with that value.
+std::unique_ptr<FairLeafScheduler> MakeLeaf(hfair::Algorithm alg,
+                                            hscommon::Work quantum = 10 * kMillisecond) {
+  return std::make_unique<FairLeafScheduler>(hfair::MakeFairQueue(alg, quantum, /*seed=*/9));
+}
+
+class FairLeafAllAlgorithms : public testing::TestWithParam<hfair::Algorithm> {};
+
+TEST_P(FairLeafAllAlgorithms, BasicLifecycle) {
+  auto leaf = MakeLeaf(GetParam());
+  EXPECT_TRUE(leaf->AddThread(1, {.weight = 2}).ok());
+  EXPECT_EQ(leaf->AddThread(1, {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(leaf->AddThread(2, {.weight = 0}).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(leaf->HasRunnable());
+  leaf->ThreadRunnable(1, 0);
+  EXPECT_TRUE(leaf->IsThreadRunnable(1));
+  EXPECT_EQ(leaf->PickNext(0), 1u);
+  leaf->Charge(1, 5 * kMillisecond, 5 * kMillisecond, /*still_runnable=*/false);
+  EXPECT_FALSE(leaf->HasRunnable());
+  leaf->RemoveThread(1);
+}
+
+TEST_P(FairLeafAllAlgorithms, BlockedThreadLeavesQueue) {
+  auto leaf = MakeLeaf(GetParam());
+  ASSERT_TRUE(leaf->AddThread(1, {}).ok());
+  ASSERT_TRUE(leaf->AddThread(2, {}).ok());
+  leaf->ThreadRunnable(1, 0);
+  leaf->ThreadRunnable(2, 0);
+  leaf->ThreadBlocked(2, 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(leaf->PickNext(0), 1u);
+    leaf->Charge(1, kMillisecond, 0, true);
+  }
+}
+
+TEST_P(FairLeafAllAlgorithms, ProportionalInsideSimulatedSystem) {
+  const hfair::Algorithm alg = GetParam();
+  hsim::System sys;
+  auto node = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  MakeLeaf(alg, /*quantum=*/20 * kMillisecond));
+  ASSERT_TRUE(node.ok());
+  auto t1 = sys.CreateThread("a", *node, {.weight = 1},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("b", *node, {.weight = 3},
+                             std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(alg == hfair::Algorithm::kLottery ? 60 * kSecond : 20 * kSecond);
+  const double ratio = static_cast<double>(sys.StatsOf(*t2).total_service) /
+                       static_cast<double>(sys.StatsOf(*t1).total_service);
+  EXPECT_NEAR(ratio, 3.0, alg == hfair::Algorithm::kLottery ? 0.3 : 0.05)
+      << hfair::AlgorithmName(alg);
+  EXPECT_TRUE(sys.tree().CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, FairLeafAllAlgorithms,
+                         testing::ValuesIn(hfair::AllAlgorithms()),
+                         [](const testing::TestParamInfo<hfair::Algorithm>& info) {
+                           std::string name = hfair::AlgorithmName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(FairLeafTest, NameReflectsAlgorithm) {
+  EXPECT_EQ(MakeLeaf(hfair::Algorithm::kStride)->Name(), "Stride-actual-leaf");
+  EXPECT_EQ(MakeLeaf(hfair::Algorithm::kLottery)->Name(), "Lottery-leaf");
+}
+
+}  // namespace
+}  // namespace hleaf

@@ -1,0 +1,119 @@
+#include "src/sched/reserve.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/system.h"
+
+namespace hleaf {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::StatusCode;
+
+TEST(ReserveTest, ValidatesParameters) {
+  ReserveScheduler sched;
+  EXPECT_EQ(sched.AddThread(1, {.period = 0, .computation = 5}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sched.AddThread(1, {.period = 10, .computation = 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sched.AddThread(1, {.period = 10, .computation = 20}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(sched.AddThread(1, {.period = 10, .computation = 5}).ok());
+  EXPECT_EQ(sched.AddThread(1, {.period = 10, .computation = 5}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ReserveTest, AdmissionCapsUtilization) {
+  ReserveScheduler sched(ReserveScheduler::Config{.cpu_fraction = 0.5});
+  EXPECT_TRUE(sched.AddThread(1, {.period = 100, .computation = 30}).ok());
+  EXPECT_EQ(sched.AddThread(2, {.period = 100, .computation = 30}).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(sched.AddThread(2, {.period = 100, .computation = 20}).ok());
+  EXPECT_NEAR(sched.BookedUtilization(), 0.5, 1e-12);
+  sched.RemoveThread(1);
+  EXPECT_NEAR(sched.BookedUtilization(), 0.2, 1e-12);
+}
+
+TEST(ReserveTest, BudgetDepletionDemotesToBackground) {
+  ReserveScheduler sched;
+  // 30ms budget per 100ms period.
+  ASSERT_TRUE(sched.AddThread(1, {.period = 100 * kMillisecond,
+                                  .computation = 30 * kMillisecond})
+                  .ok());
+  sched.ThreadRunnable(1, 0);
+  EXPECT_EQ(sched.RemainingBudget(1, 0), 30 * kMillisecond);
+  EXPECT_EQ(sched.PreferredQuantum(1), 30 * kMillisecond);
+  const hsfq::ThreadId t = sched.PickNext(0);
+  sched.Charge(t, 30 * kMillisecond, 30 * kMillisecond, true);
+  EXPECT_EQ(sched.RemainingBudget(1, 30 * kMillisecond), 0);
+  EXPECT_EQ(sched.PreferredQuantum(1), 0);  // background: default slice
+  // Replenished at the period boundary.
+  EXPECT_EQ(sched.RemainingBudget(1, 100 * kMillisecond), 30 * kMillisecond);
+}
+
+TEST(ReserveTest, ReservedOutranksBackground) {
+  ReserveScheduler sched(ReserveScheduler::Config{.admission_control = false});
+  ASSERT_TRUE(sched.AddThread(1, {.period = 100, .computation = 50}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.period = 100, .computation = 50}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  // Deplete thread 1: it drops to background; thread 2 (still reserved) runs next.
+  hsfq::ThreadId t = sched.PickNext(0);
+  sched.Charge(t, 50, 50, true);
+  const hsfq::ThreadId second = sched.PickNext(50);
+  EXPECT_NE(second, t);
+  sched.Charge(second, 10, 60, true);
+}
+
+TEST(ReserveTest, GuaranteesMinimumShareUnderOverload) {
+  // A 20%-reserve thread against a greedy background thread in the same class: the
+  // reserved thread attains at least its 20% even though the hog never yields.
+  hsim::System sys(hsim::System::Config{.default_quantum = 5 * kMillisecond});
+  auto node = sys.tree().MakeNode(
+      "reserves", hsfq::kRootNode, 1,
+      std::make_unique<ReserveScheduler>(ReserveScheduler::Config{.cpu_fraction = 1.0}));
+  ASSERT_TRUE(node.ok());
+  auto reserved = sys.CreateThread(
+      "reserved", *node,
+      {.period = 100 * kMillisecond, .computation = 20 * kMillisecond},
+      std::make_unique<hsim::CpuBoundWorkload>());
+  ASSERT_TRUE(reserved.ok());
+  // The hog gets a tiny reserve (1 ms / 100 ms) and otherwise runs as background.
+  auto hog = sys.CreateThread(
+      "hog", *node, {.period = 100 * kMillisecond, .computation = kMillisecond},
+      std::make_unique<hsim::CpuBoundWorkload>());
+  ASSERT_TRUE(hog.ok());
+  sys.RunUntil(10 * kSecond);
+  const double share = static_cast<double>(sys.StatsOf(*reserved).total_service) /
+                       static_cast<double>(10 * kSecond);
+  EXPECT_GE(share, 0.195);
+  EXPECT_GT(sys.StatsOf(*hog).total_service, kSecond);  // work-conserving background
+}
+
+TEST(ReserveTest, SleepingThreadKeepsReplenishing) {
+  ReserveScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.period = 100, .computation = 40}).ok());
+  sched.ThreadRunnable(1, 0);
+  hsfq::ThreadId t = sched.PickNext(0);
+  sched.Charge(t, 40, 40, /*still_runnable=*/false);  // depleted and blocked
+  // Wakes two periods later: full budget again.
+  sched.ThreadRunnable(1, 250);
+  EXPECT_EQ(sched.RemainingBudget(1, 250), 40);
+  t = sched.PickNext(250);
+  EXPECT_EQ(t, 1u);
+}
+
+TEST(ReserveTest, SetParamsAdjustsReserve) {
+  ReserveScheduler sched(ReserveScheduler::Config{.cpu_fraction = 0.6});
+  ASSERT_TRUE(sched.AddThread(1, {.period = 100, .computation = 30}).ok());
+  EXPECT_EQ(sched.SetThreadParams(1, {.period = 100, .computation = 70}).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(sched.SetThreadParams(1, {.period = 100, .computation = 60}).ok());
+  EXPECT_NEAR(sched.BookedUtilization(), 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace hleaf

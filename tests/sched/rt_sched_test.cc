@@ -1,0 +1,160 @@
+// EDF and RMA leaf schedulers: ordering, admission control, priority inheritance.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/edf.h"
+#include "src/sched/rma.h"
+
+namespace hleaf {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::StatusCode;
+
+// --- EDF ---
+
+TEST(EdfTest, ValidatesParameters) {
+  EdfScheduler edf;
+  EXPECT_EQ(edf.AddThread(1, {.period = 0, .computation = 5}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(edf.AddThread(1, {.period = 10, .computation = 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(edf.AddThread(1, {.period = 10, .computation = 5, .relative_deadline = 20})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(edf.AddThread(1, {.period = 10, .computation = 5}).ok());
+  EXPECT_EQ(edf.AddThread(1, {.period = 10, .computation = 5}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EdfTest, AdmissionControlEnforcesUtilization) {
+  EdfScheduler edf(EdfScheduler::Config{.utilization_limit = 1.0});
+  EXPECT_TRUE(edf.AddThread(1, {.period = 100, .computation = 60}).ok());
+  EXPECT_NEAR(edf.BookedUtilization(), 0.6, 1e-12);
+  EXPECT_EQ(edf.AddThread(2, {.period = 100, .computation = 50}).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(edf.AddThread(2, {.period = 100, .computation = 40}).ok());
+  EXPECT_NEAR(edf.BookedUtilization(), 1.0, 1e-12);
+  edf.RemoveThread(1);
+  EXPECT_NEAR(edf.BookedUtilization(), 0.4, 1e-12);
+}
+
+TEST(EdfTest, NoAdmissionControlWhenDisabled) {
+  EdfScheduler edf(EdfScheduler::Config{.admission_control = false});
+  EXPECT_TRUE(edf.AddThread(1, {.period = 10, .computation = 10}).ok());
+  EXPECT_TRUE(edf.AddThread(2, {.period = 10, .computation = 10}).ok());
+}
+
+TEST(EdfTest, EarliestDeadlineRunsFirst) {
+  EdfScheduler edf(EdfScheduler::Config{.admission_control = false});
+  ASSERT_TRUE(edf.AddThread(1, {.period = 100 * kMillisecond, .computation = 10}).ok());
+  ASSERT_TRUE(edf.AddThread(2, {.period = 50 * kMillisecond, .computation = 10}).ok());
+  // Release 1 at t=0 (deadline 100ms) and 2 at t=20ms (deadline 70ms).
+  edf.ThreadRunnable(1, 0);
+  edf.ThreadRunnable(2, 20 * kMillisecond);
+  EXPECT_EQ(edf.PickNext(20 * kMillisecond), 2u);
+  edf.Charge(2, kMillisecond, 21 * kMillisecond, false);
+  EXPECT_EQ(edf.PickNext(21 * kMillisecond), 1u);
+}
+
+TEST(EdfTest, DeadlinePersistsAcrossPreemption) {
+  EdfScheduler edf(EdfScheduler::Config{.admission_control = false});
+  ASSERT_TRUE(edf.AddThread(1, {.period = 100, .computation = 10}).ok());
+  edf.ThreadRunnable(1, 0);
+  const hscommon::Time d0 = edf.CurrentDeadline(1);
+  const hsfq::ThreadId t = edf.PickNext(0);
+  edf.Charge(t, 5, 0, /*still_runnable=*/true);  // preempted mid-job
+  EXPECT_EQ(edf.CurrentDeadline(1), d0);
+  // A new release re-stamps the deadline.
+  edf.Charge(edf.PickNext(0), 5, 0, false);
+  edf.ThreadRunnable(1, 500);
+  EXPECT_EQ(edf.CurrentDeadline(1), 600);
+}
+
+TEST(EdfTest, RelativeDeadlineDefaultsToPeriod) {
+  EdfScheduler edf(EdfScheduler::Config{.admission_control = false});
+  ASSERT_TRUE(edf.AddThread(1, {.period = 40, .computation = 1}).ok());
+  edf.ThreadRunnable(1, 100);
+  EXPECT_EQ(edf.CurrentDeadline(1), 140);
+}
+
+// --- RMA ---
+
+TEST(RmaTest, LiuLaylandBoundValues) {
+  EXPECT_DOUBLE_EQ(RmaScheduler::LiuLaylandBound(1), 1.0);
+  EXPECT_NEAR(RmaScheduler::LiuLaylandBound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(RmaScheduler::LiuLaylandBound(3), 0.7798, 1e-3);
+  // The bound decreases towards ln 2.
+  EXPECT_GT(RmaScheduler::LiuLaylandBound(100), 0.693);
+}
+
+TEST(RmaTest, AdmissionUsesLiuLayland) {
+  RmaScheduler rma;
+  // Two tasks at 0.45 utilization each: 0.9 > 0.828 -> second rejected.
+  EXPECT_TRUE(rma.AddThread(1, {.period = 100, .computation = 45}).ok());
+  EXPECT_EQ(rma.AddThread(2, {.period = 100, .computation = 45}).code(),
+            StatusCode::kResourceExhausted);
+  // 0.45 + 0.37 = 0.82 < 0.828 -> admitted.
+  EXPECT_TRUE(rma.AddThread(2, {.period = 100, .computation = 37}).ok());
+}
+
+TEST(RmaTest, UtilizationOnlyModeAdmitsMore) {
+  RmaScheduler rma(RmaScheduler::Config{.utilization_test_only = true});
+  EXPECT_TRUE(rma.AddThread(1, {.period = 100, .computation = 45}).ok());
+  EXPECT_TRUE(rma.AddThread(2, {.period = 100, .computation = 45}).ok());
+  EXPECT_EQ(rma.AddThread(3, {.period = 100, .computation = 45}).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(RmaTest, CpuFractionScalesAdmission) {
+  RmaScheduler rma(RmaScheduler::Config{.cpu_fraction = 0.5});
+  EXPECT_EQ(rma.AddThread(1, {.period = 100, .computation = 60}).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(rma.AddThread(1, {.period = 100, .computation = 40}).ok());
+}
+
+TEST(RmaTest, ShorterPeriodHasPriority) {
+  RmaScheduler rma;
+  // Figure 9's task set: 10ms/60ms and 150ms/960ms.
+  ASSERT_TRUE(
+      rma.AddThread(1, {.period = 60 * kMillisecond, .computation = 10 * kMillisecond})
+          .ok());
+  ASSERT_TRUE(
+      rma.AddThread(2, {.period = 960 * kMillisecond, .computation = 150 * kMillisecond})
+          .ok());
+  rma.ThreadRunnable(2, 0);
+  rma.ThreadRunnable(1, 0);
+  EXPECT_EQ(rma.PickNext(0), 1u);  // shorter period wins regardless of release order
+  rma.Charge(1, kMillisecond, 0, false);
+  EXPECT_EQ(rma.PickNext(0), 2u);
+}
+
+TEST(RmaTest, PriorityInheritanceBoostsHolder) {
+  RmaScheduler rma(RmaScheduler::Config{.admission_control = false});
+  ASSERT_TRUE(rma.AddThread(1, {.period = 50, .computation = 10}).ok());   // high prio
+  ASSERT_TRUE(rma.AddThread(2, {.period = 500, .computation = 10}).ok());  // low prio
+  ASSERT_TRUE(rma.AddThread(3, {.period = 100, .computation = 10}).ok());  // medium prio
+  rma.ThreadRunnable(2, 0);
+  rma.ThreadRunnable(3, 0);
+  // Without inheritance, 3 runs before 2.
+  EXPECT_EQ(rma.PickNext(0), 3u);
+  rma.Charge(3, 1, 0, true);
+  // Thread 2 holds a lock thread 1 needs: inherit 1's priority.
+  rma.InheritPriority(/*holder=*/2, /*waiter=*/1);
+  EXPECT_EQ(rma.PickNext(0), 2u);
+  rma.Charge(2, 1, 0, true);
+  // Release the lock: back to its own priority.
+  rma.InheritPriority(2, hsfq::kInvalidThread);
+  EXPECT_EQ(rma.PickNext(0), 3u);
+}
+
+TEST(RmaTest, RemoveReleasesUtilization) {
+  RmaScheduler rma;
+  ASSERT_TRUE(rma.AddThread(1, {.period = 100, .computation = 50}).ok());
+  EXPECT_NEAR(rma.BookedUtilization(), 0.5, 1e-12);
+  rma.RemoveThread(1);
+  EXPECT_NEAR(rma.BookedUtilization(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hleaf

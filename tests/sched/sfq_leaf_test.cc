@@ -1,0 +1,154 @@
+#include "src/sched/sfq_leaf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hleaf {
+namespace {
+
+using hscommon::StatusCode;
+
+TEST(SfqLeafTest, AddAndRemoveThreads) {
+  SfqLeafScheduler sched;
+  EXPECT_TRUE(sched.AddThread(1, {.weight = 2}).ok());
+  EXPECT_EQ(sched.AddThread(1, {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(sched.AddThread(2, {.weight = 0}).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(sched.HasRunnable());
+  sched.RemoveThread(1);
+  EXPECT_TRUE(sched.AddThread(1, {}).ok());
+}
+
+TEST(SfqLeafTest, RunnableLifecycle) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {}).ok());
+  EXPECT_FALSE(sched.IsThreadRunnable(1));
+  sched.ThreadRunnable(1, 0);
+  EXPECT_TRUE(sched.IsThreadRunnable(1));
+  EXPECT_TRUE(sched.HasRunnable());
+  EXPECT_EQ(sched.PickNext(0), 1u);
+  EXPECT_TRUE(sched.IsThreadRunnable(1));  // in service still counts
+  EXPECT_TRUE(sched.HasRunnable());
+  sched.Charge(1, 10, 0, /*still_runnable=*/false);
+  EXPECT_FALSE(sched.IsThreadRunnable(1));
+  EXPECT_FALSE(sched.HasRunnable());
+}
+
+TEST(SfqLeafTest, WeightedSharing) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.weight = 5}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.weight = 10}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  std::map<hsfq::ThreadId, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    const hsfq::ThreadId t = sched.PickNext(0);
+    counts[t]++;
+    sched.Charge(t, 10, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 2.0, 0.05);
+}
+
+TEST(SfqLeafTest, SetThreadParamsChangesWeight) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.weight = 1}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.weight = 1}).ok());
+  EXPECT_EQ(sched.SetThreadParams(3, {.weight = 2}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sched.SetThreadParams(1, {.weight = 0}).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(sched.SetThreadParams(1, {.weight = 4}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  std::map<hsfq::ThreadId, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    const hsfq::ThreadId t = sched.PickNext(0);
+    counts[t]++;
+    sched.Charge(t, 10, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 4.0, 0.1);
+}
+
+TEST(SfqLeafTest, ThreadBlockedRemovesFromQueue) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  sched.ThreadBlocked(2, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sched.PickNext(0), 1u);
+    sched.Charge(1, 10, 0, true);
+  }
+}
+
+TEST(SfqLeafTest, RemoveRunnableThread) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  sched.RemoveThread(2);
+  EXPECT_EQ(sched.PickNext(0), 1u);
+  sched.Charge(1, 5, 0, true);
+  EXPECT_TRUE(sched.HasRunnable());
+}
+
+TEST(SfqLeafTest, DonationRaisesEffectiveWeight) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.weight = 2}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.weight = 10}).ok());
+  EXPECT_EQ(sched.EffectiveWeight(1), 2u);
+  sched.DonateWeight(/*donor=*/2, /*recipient=*/1);
+  EXPECT_EQ(sched.EffectiveWeight(1), 12u);
+  sched.RevokeDonation(2);
+  EXPECT_EQ(sched.EffectiveWeight(1), 2u);
+  sched.RevokeDonation(2);  // idempotent
+  EXPECT_EQ(sched.EffectiveWeight(1), 2u);
+}
+
+TEST(SfqLeafTest, DonationsChainTransitively) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.weight = 1}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.weight = 5}).ok());
+  ASSERT_TRUE(sched.AddThread(3, {.weight = 20}).ok());
+  // 3 blocks on 2, then 2 blocks on 1: 1 must carry 1 + 5 + 20.
+  sched.DonateWeight(3, 2);
+  sched.DonateWeight(2, 1);
+  EXPECT_EQ(sched.EffectiveWeight(1), 26u);
+  sched.RevokeDonation(2);
+  EXPECT_EQ(sched.EffectiveWeight(1), 1u);
+  EXPECT_EQ(sched.EffectiveWeight(2), 25u);
+}
+
+TEST(SfqLeafTest, DonationChangesServiceRatio) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.weight = 1}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.weight = 1}).ok());
+  ASSERT_TRUE(sched.AddThread(3, {.weight = 8}).ok());  // blocked donor
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  sched.DonateWeight(3, 1);
+  std::map<hsfq::ThreadId, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    const hsfq::ThreadId t = sched.PickNext(0);
+    counts[t]++;
+    sched.Charge(t, 10, 0, true);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 9.0, 0.3);
+}
+
+TEST(SfqLeafTest, SetParamsPreservesDonations) {
+  SfqLeafScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.weight = 2}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.weight = 10}).ok());
+  sched.DonateWeight(2, 1);
+  ASSERT_TRUE(sched.SetThreadParams(1, {.weight = 4}).ok());
+  EXPECT_EQ(sched.EffectiveWeight(1), 14u);
+}
+
+TEST(SfqLeafTest, PickFromEmptyReturnsInvalid) {
+  SfqLeafScheduler sched;
+  EXPECT_EQ(sched.PickNext(0), hsfq::kInvalidThread);
+}
+
+}  // namespace
+}  // namespace hleaf

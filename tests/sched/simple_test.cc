@@ -1,0 +1,85 @@
+#include "src/sched/simple.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hleaf {
+namespace {
+
+using hscommon::StatusCode;
+
+TEST(RoundRobinTest, CyclesThroughThreads) {
+  RoundRobinScheduler rr;
+  ASSERT_TRUE(rr.AddThread(1, {}).ok());
+  ASSERT_TRUE(rr.AddThread(2, {}).ok());
+  ASSERT_TRUE(rr.AddThread(3, {}).ok());
+  rr.ThreadRunnable(1, 0);
+  rr.ThreadRunnable(2, 0);
+  rr.ThreadRunnable(3, 0);
+  std::vector<hsfq::ThreadId> order;
+  for (int i = 0; i < 6; ++i) {
+    const hsfq::ThreadId t = rr.PickNext(0);
+    order.push_back(t);
+    rr.Charge(t, 10, 0, true);
+  }
+  EXPECT_EQ(order, (std::vector<hsfq::ThreadId>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(FifoTest, RunsToBlock) {
+  FifoScheduler fifo;
+  ASSERT_TRUE(fifo.AddThread(1, {}).ok());
+  ASSERT_TRUE(fifo.AddThread(2, {}).ok());
+  fifo.ThreadRunnable(1, 0);
+  fifo.ThreadRunnable(2, 0);
+  // FIFO re-queues at the head: thread 1 keeps running until it blocks.
+  for (int i = 0; i < 5; ++i) {
+    const hsfq::ThreadId t = fifo.PickNext(0);
+    EXPECT_EQ(t, 1u);
+    fifo.Charge(t, 10, 0, true);
+  }
+  const hsfq::ThreadId t = fifo.PickNext(0);
+  fifo.Charge(t, 10, 0, /*still_runnable=*/false);
+  EXPECT_EQ(fifo.PickNext(0), 2u);
+}
+
+TEST(QueueSchedulerTest, DuplicateAddRejected) {
+  RoundRobinScheduler rr;
+  ASSERT_TRUE(rr.AddThread(1, {}).ok());
+  EXPECT_EQ(rr.AddThread(1, {}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(QueueSchedulerTest, BlockAndWakePreserveOthers) {
+  RoundRobinScheduler rr;
+  ASSERT_TRUE(rr.AddThread(1, {}).ok());
+  ASSERT_TRUE(rr.AddThread(2, {}).ok());
+  rr.ThreadRunnable(1, 0);
+  rr.ThreadRunnable(2, 0);
+  rr.ThreadBlocked(1, 0);
+  EXPECT_FALSE(rr.IsThreadRunnable(1));
+  EXPECT_TRUE(rr.IsThreadRunnable(2));
+  EXPECT_EQ(rr.PickNext(0), 2u);
+  rr.Charge(2, 1, 0, true);
+  rr.ThreadRunnable(1, 0);
+  EXPECT_TRUE(rr.IsThreadRunnable(1));
+}
+
+TEST(QueueSchedulerTest, RemoveQueuedThread) {
+  RoundRobinScheduler rr;
+  ASSERT_TRUE(rr.AddThread(1, {}).ok());
+  ASSERT_TRUE(rr.AddThread(2, {}).ok());
+  rr.ThreadRunnable(1, 0);
+  rr.ThreadRunnable(2, 0);
+  rr.RemoveThread(1);
+  EXPECT_EQ(rr.PickNext(0), 2u);
+}
+
+TEST(QueueSchedulerTest, SetThreadParamsIsNoOpButValidates) {
+  RoundRobinScheduler rr;
+  ASSERT_TRUE(rr.AddThread(1, {}).ok());
+  EXPECT_TRUE(rr.SetThreadParams(1, {}).ok());
+  EXPECT_EQ(rr.SetThreadParams(9, {}).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hleaf

@@ -1,0 +1,212 @@
+#include "src/sched/ts_svr4.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+namespace hleaf {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::StatusCode;
+
+TEST(TsDispatchTableTest, ShapeMatchesSvr4Semantics) {
+  const TsDispatchTable& t = DefaultTsDispatchTable();
+  // Long slices at the bottom, short at the top.
+  EXPECT_EQ(t[0].ts_quantum, 200 * kMillisecond);
+  EXPECT_EQ(t[59].ts_quantum, 20 * kMillisecond);
+  EXPECT_GT(t[0].ts_quantum, t[59].ts_quantum);
+  for (int pri = 0; pri < kTsPriorityLevels; ++pri) {
+    // Quantum expiry demotes (or keeps at 0); sleep return promotes (or keeps at 59).
+    EXPECT_LE(t[pri].ts_tqexp, pri);
+    EXPECT_GE(t[pri].ts_slpret, pri);
+    EXPECT_GE(t[pri].ts_lwait, pri);
+    EXPECT_GT(t[pri].ts_maxwait, 0);
+  }
+}
+
+TEST(TsSchedulerTest, AddThreadValidatesPriority) {
+  TsScheduler sched;
+  EXPECT_TRUE(sched.AddThread(1, {.priority = 0}).ok());
+  EXPECT_TRUE(sched.AddThread(2, {.priority = 59}).ok());
+  EXPECT_EQ(sched.AddThread(3, {.priority = 60}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sched.AddThread(3, {.priority = -1}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sched.AddThread(1, {.priority = 5}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TsSchedulerTest, HigherPriorityRunsFirst) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 10}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.priority = 40}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  EXPECT_EQ(sched.PickNext(0), 2u);
+}
+
+TEST(TsSchedulerTest, RoundRobinWithinLevel) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 20}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.priority = 20}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  const hsfq::ThreadId first = sched.PickNext(0);
+  sched.Charge(first, kMillisecond, 0, true);  // partial use: stays at same priority
+  const hsfq::ThreadId second = sched.PickNext(0);
+  EXPECT_NE(first, second);
+}
+
+TEST(TsSchedulerTest, QuantumExpiryDemotes) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 30}).ok());
+  sched.ThreadRunnable(1, 0);
+  EXPECT_EQ(sched.PriorityOf(1), 30);
+  const hsfq::ThreadId t = sched.PickNext(0);
+  const hscommon::Work q = sched.PreferredQuantum(t);
+  sched.Charge(t, q, 0, true);  // full quantum consumed
+  EXPECT_EQ(sched.PriorityOf(1), 20);  // 30 - 10
+}
+
+TEST(TsSchedulerTest, CpuHogSinksToBottom) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 29}).ok());
+  sched.ThreadRunnable(1, 0);
+  hscommon::Time now = 0;
+  for (int i = 0; i < 10; ++i) {
+    const hsfq::ThreadId t = sched.PickNext(now);
+    const hscommon::Work q = sched.PreferredQuantum(t);
+    now += q;
+    sched.Charge(t, q, now, true);
+  }
+  EXPECT_EQ(sched.PriorityOf(1), 0);
+}
+
+TEST(TsSchedulerTest, SleepReturnBoosts) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 20}).ok());
+  sched.ThreadRunnable(1, 0);
+  const hsfq::ThreadId t = sched.PickNext(0);
+  sched.Charge(t, kMillisecond, 0, /*still_runnable=*/false);  // blocks
+  sched.ThreadRunnable(1, 100);
+  EXPECT_EQ(sched.PriorityOf(1), 30);  // ts_slpret = pri + 10
+}
+
+TEST(TsSchedulerTest, StarvationBoostFiresAfterMaxwait) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 10}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.priority = 50}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  // Run only thread 2 for over a second of simulated time.
+  hscommon::Time now = 0;
+  while (now < kSecond + 100 * kMillisecond) {
+    const hsfq::ThreadId t = sched.PickNext(now);
+    if (t == 1) {
+      // The boost fired and thread 1 overtook: done.
+      EXPECT_GT(sched.PriorityOf(1), 10);
+      return;
+    }
+    now += 20 * kMillisecond;
+    sched.Charge(t, kMillisecond, now, true);  // partial use: 2 keeps its priority
+  }
+  // If we exit the loop, the lwait boost raised thread 1 above 10 at minimum.
+  EXPECT_GT(sched.PriorityOf(1), 10);
+}
+
+TEST(TsSchedulerTest, PreferredQuantumTracksSliceRemainder) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 0}).ok());
+  sched.ThreadRunnable(1, 0);
+  EXPECT_EQ(sched.PreferredQuantum(1), 200 * kMillisecond);
+  const hsfq::ThreadId t = sched.PickNext(0);
+  sched.Charge(t, 50 * kMillisecond, 0, true);
+  EXPECT_EQ(sched.PreferredQuantum(1), 150 * kMillisecond);
+}
+
+TEST(TsSchedulerTest, RemoveQueuedThread) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 10}).ok());
+  ASSERT_TRUE(sched.AddThread(2, {.priority = 10}).ok());
+  sched.ThreadRunnable(1, 0);
+  sched.ThreadRunnable(2, 0);
+  sched.RemoveThread(1);
+  EXPECT_EQ(sched.PickNext(0), 2u);
+  sched.Charge(2, kMillisecond, 0, false);
+  EXPECT_FALSE(sched.HasRunnable());
+}
+
+TEST(TsSchedulerTest, SetThreadParamsUpdatesUserPriority) {
+  TsScheduler sched;
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 10}).ok());
+  EXPECT_TRUE(sched.SetThreadParams(1, {.priority = 20}).ok());
+  EXPECT_EQ(sched.SetThreadParams(1, {.priority = 99}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sched.SetThreadParams(9, {.priority = 1}).code(), StatusCode::kNotFound);
+}
+
+TEST(TsDispatchTableIoTest, DefaultTableValidates) {
+  EXPECT_TRUE(ValidateTsDispatchTable(DefaultTsDispatchTable()).ok());
+}
+
+TEST(TsDispatchTableIoTest, ValidatorCatchesBadRows) {
+  TsDispatchTable t = DefaultTsDispatchTable();
+  t[5].ts_quantum = 0;
+  EXPECT_EQ(ValidateTsDispatchTable(t).code(), StatusCode::kInvalidArgument);
+  t = DefaultTsDispatchTable();
+  t[30].ts_tqexp = 31;  // promotion on expiry is not SVR4 semantics
+  EXPECT_EQ(ValidateTsDispatchTable(t).code(), StatusCode::kInvalidArgument);
+  t = DefaultTsDispatchTable();
+  t[30].ts_slpret = 10;  // demotion on sleep return is not either
+  EXPECT_EQ(ValidateTsDispatchTable(t).code(), StatusCode::kInvalidArgument);
+  t = DefaultTsDispatchTable();
+  t[59].ts_lwait = 60;  // out of range
+  EXPECT_EQ(ValidateTsDispatchTable(t).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TsDispatchTableIoTest, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/ts_table_test.txt";
+  ASSERT_TRUE(SaveTsDispatchTable(DefaultTsDispatchTable(), path).ok());
+  auto loaded = LoadTsDispatchTable(path);
+  ASSERT_TRUE(loaded.ok());
+  const TsDispatchTable& original = DefaultTsDispatchTable();
+  for (int pri = 0; pri < kTsPriorityLevels; ++pri) {
+    EXPECT_EQ((*loaded)[pri].ts_quantum, original[pri].ts_quantum) << pri;
+    EXPECT_EQ((*loaded)[pri].ts_tqexp, original[pri].ts_tqexp) << pri;
+    EXPECT_EQ((*loaded)[pri].ts_slpret, original[pri].ts_slpret) << pri;
+    EXPECT_EQ((*loaded)[pri].ts_maxwait, original[pri].ts_maxwait) << pri;
+    EXPECT_EQ((*loaded)[pri].ts_lwait, original[pri].ts_lwait) << pri;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TsDispatchTableIoTest, LoadRejectsTruncatedFile) {
+  const std::string path = testing::TempDir() + "/ts_table_short.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("100 0 10 1000 20\n", f);  // only one row
+  std::fclose(f);
+  EXPECT_EQ(LoadTsDispatchTable(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadTsDispatchTable("/no/such/table").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TsDispatchTableIoTest, CustomTableChangesBehaviour) {
+  // A table with a uniform 10 ms quantum and no demotion: a CPU hog keeps its priority.
+  TsDispatchTable t{};
+  for (int pri = 0; pri < kTsPriorityLevels; ++pri) {
+    t[pri] = TsDispatchEntry{10 * kMillisecond, pri, std::min(59, pri + 1), kSecond,
+                             std::min(59, pri + 1)};
+  }
+  ASSERT_TRUE(ValidateTsDispatchTable(t).ok());
+  TsScheduler sched(t);
+  ASSERT_TRUE(sched.AddThread(1, {.priority = 30}).ok());
+  sched.ThreadRunnable(1, 0);
+  for (int i = 0; i < 5; ++i) {
+    const hsfq::ThreadId tid = sched.PickNext(0);
+    sched.Charge(tid, 10 * kMillisecond, 0, true);
+  }
+  EXPECT_EQ(sched.PriorityOf(1), 30);  // tqexp == pri: no demotion
+}
+
+}  // namespace
+}  // namespace hleaf

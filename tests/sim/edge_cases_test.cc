@@ -1,0 +1,180 @@
+// Simulator edge cases: boundary alignments between events, interrupts, quanta, and the
+// run horizon — the places where off-by-one accounting bugs live.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMicrosecond;
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+using Step = ScriptedWorkload::Step;
+
+NodeId SfqLeafNode(System& sys) {
+  return *sys.tree().MakeNode("leaf", kRootNode, 1,
+                              std::make_unique<hleaf::SfqLeafScheduler>());
+}
+
+TEST(EdgeCaseTest, EventExactlyAtQuantumBoundary) {
+  System sys;  // 20 ms quantum
+  const NodeId leaf = SfqLeafNode(sys);
+  auto hog = sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  int fired = 0;
+  // Events at exact multiples of the quantum.
+  sys.Every(20 * kMillisecond, 20 * kMillisecond, [&](System&) { ++fired; });
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(fired, 49);  // t = 20ms .. 980ms inclusive fire before the horizon
+  EXPECT_EQ(sys.StatsOf(*hog).total_service, kSecond);
+}
+
+TEST(EdgeCaseTest, WakeAtExactHorizonDoesNotRun) {
+  System sys;
+  const NodeId leaf = SfqLeafNode(sys);
+  auto late = sys.CreateThread("late", leaf, {}, std::make_unique<CpuBoundWorkload>(),
+                               /*start_time=*/kSecond);
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOf(*late).total_service, 0);
+  // Continuing past the horizon picks it up.
+  sys.RunUntil(2 * kSecond);
+  EXPECT_EQ(sys.StatsOf(*late).total_service, kSecond);
+}
+
+TEST(EdgeCaseTest, BurstEndingExactlyAtQuantumEnd) {
+  System sys;  // 20 ms quantum
+  const NodeId leaf = SfqLeafNode(sys);
+  // Bursts of exactly one quantum, with 20 ms sleeps: both boundaries coincide.
+  auto t = sys.CreateThread(
+      "exact", leaf, {},
+      std::make_unique<ScriptedWorkload>(
+          std::vector<Step>{Step::Compute(20 * kMillisecond),
+                            Step::SleepFor(20 * kMillisecond)},
+          /*loop=*/true));
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOf(*t).total_service, 500 * kMillisecond);
+  EXPECT_EQ(sys.idle_time(), 500 * kMillisecond);
+}
+
+TEST(EdgeCaseTest, InterruptDuringIdleAdvancesClock) {
+  System sys;
+  sys.AddInterruptSource({.arrival = InterruptSourceConfig::Arrival::kPeriodic,
+                          .interval = 100 * kMillisecond,
+                          .service = kMillisecond});
+  sys.RunUntil(kSecond);  // no threads at all
+  EXPECT_EQ(sys.now(), kSecond);
+  EXPECT_GE(sys.interrupt_count(), 9u);
+  EXPECT_EQ(sys.total_service(), 0);
+}
+
+TEST(EdgeCaseTest, InterruptStormDoesNotStarveAccounting) {
+  System sys;
+  const NodeId leaf = SfqLeafNode(sys);
+  auto hog = sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  // 50% of the CPU stolen in big slabs.
+  sys.AddInterruptSource({.arrival = InterruptSourceConfig::Arrival::kPeriodic,
+                          .interval = 10 * kMillisecond,
+                          .service = 5 * kMillisecond});
+  sys.RunUntil(kSecond);
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*hog).total_service),
+              static_cast<double>(500 * kMillisecond),
+              static_cast<double>(6 * kMillisecond));
+  EXPECT_EQ(sys.StatsOf(*hog).total_service + sys.interrupt_time() + sys.idle_time(),
+            kSecond);
+}
+
+TEST(EdgeCaseTest, SuspendResumeAtSameInstant) {
+  System sys;
+  const NodeId leaf = SfqLeafNode(sys);
+  auto t = sys.CreateThread("t", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  sys.At(500 * kMillisecond, [&](System& s) {
+    s.Suspend(*t);
+    s.Resume(*t);  // same event: net no-op
+  });
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOf(*t).total_service, kSecond);
+}
+
+TEST(EdgeCaseTest, DoubleSuspendAndDoubleResumeAreIdempotent) {
+  System sys;
+  const NodeId leaf = SfqLeafNode(sys);
+  auto t = sys.CreateThread("t", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  sys.At(100 * kMillisecond, [&](System& s) {
+    s.Suspend(*t);
+    s.Suspend(*t);
+  });
+  sys.At(200 * kMillisecond, [&](System& s) {
+    s.Resume(*t);
+    s.Resume(*t);
+  });
+  sys.RunUntil(kSecond);
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*t).total_service),
+              static_cast<double>(900 * kMillisecond),
+              static_cast<double>(2 * kMillisecond));
+}
+
+TEST(EdgeCaseTest, SuspendExitedThreadIsNoOp) {
+  System sys;
+  const NodeId leaf = SfqLeafNode(sys);
+  auto t = sys.CreateThread("batch", leaf, {},
+                            std::make_unique<FiniteWorkload>(10 * kMillisecond));
+  sys.At(500 * kMillisecond, [&](System& s) {
+    s.Suspend(*t);
+    s.Resume(*t);
+  });
+  sys.RunUntil(kSecond);
+  EXPECT_TRUE(sys.StatsOf(*t).exited);
+  EXPECT_EQ(sys.StatsOf(*t).total_service, 10 * kMillisecond);
+}
+
+TEST(EdgeCaseTest, ZeroHorizonRunIsNoOp) {
+  System sys;
+  const NodeId leaf = SfqLeafNode(sys);
+  (void)*sys.CreateThread("t", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  sys.RunUntil(0);
+  EXPECT_EQ(sys.now(), 0);
+  EXPECT_EQ(sys.total_service(), 0);
+}
+
+TEST(EdgeCaseTest, RepeatedShortHorizonsEqualOneLongRun) {
+  auto service_after = [](bool stepwise) {
+    System sys;
+    auto leaf = sys.tree().MakeNode("leaf", kRootNode, 1,
+                                    std::make_unique<hleaf::SfqLeafScheduler>());
+    auto a = sys.CreateThread("a", *leaf, {.weight = 2},
+                              std::make_unique<CpuBoundWorkload>());
+    auto b = sys.CreateThread(
+        "b", *leaf, {.weight = 3},
+        std::make_unique<BurstyWorkload>(5, kMillisecond, 30 * kMillisecond,
+                                         kMillisecond, 40 * kMillisecond));
+    (void)b;
+    if (stepwise) {
+      for (int i = 0; i < 100; ++i) {
+        sys.RunUntil((i + 1) * 10 * kMillisecond);
+      }
+    } else {
+      sys.RunUntil(kSecond);
+    }
+    return sys.StatsOf(*a).total_service;
+  };
+  EXPECT_EQ(service_after(true), service_after(false));
+}
+
+TEST(EdgeCaseTest, MicrosecondQuantaWork) {
+  System sys(System::Config{.default_quantum = 50 * kMicrosecond});
+  const NodeId leaf = SfqLeafNode(sys);
+  auto a = sys.CreateThread("a", leaf, {.weight = 1}, std::make_unique<CpuBoundWorkload>());
+  auto b = sys.CreateThread("b", leaf, {.weight = 2}, std::make_unique<CpuBoundWorkload>());
+  sys.RunUntil(100 * kMillisecond);
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*b).total_service) /
+                  static_cast<double>(sys.StatsOf(*a).total_service),
+              2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,100 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hsim {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.NextTime(), hscommon::kTimeInfinity);
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.At(30, [&] { fired.push_back(3); });
+  q.At(10, [&] { fired.push_back(1); });
+  q.At(20, [&] { fired.push_back(2); });
+  while (!q.Empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.At(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.Empty()) {
+    q.PopAndRun();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[i], i);
+  }
+}
+
+TEST(EventQueueTest, PopReturnsScheduledTime) {
+  EventQueue q;
+  q.At(42, [] {});
+  EXPECT_EQ(q.PopAndRun(), 42);
+}
+
+TEST(EventQueueTest, CancelSuppressesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.At(10, [&] { fired = true; });
+  q.Cancel(id);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelMiddleEventKeepsOthers) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.At(10, [&] { fired.push_back(1); });
+  const EventId id = q.At(20, [&] { fired.push_back(2); });
+  q.At(30, [&] { fired.push_back(3); });
+  q.Cancel(id);
+  while (!q.Empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoOp) {
+  EventQueue q;
+  q.Cancel(12345);
+  q.Cancel(kInvalidEvent);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<Time> fired;
+  q.At(1, [&] {
+    fired.push_back(1);
+    q.At(2, [&] { fired.push_back(2); });
+  });
+  while (!q.Empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(fired, (std::vector<Time>{1, 2}));
+}
+
+TEST(EventQueueTest, PendingCountExcludesCancelled) {
+  EventQueue q;
+  q.At(1, [] {});
+  const EventId id = q.At(2, [] {});
+  q.Cancel(id);
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+}  // namespace
+}  // namespace hsim

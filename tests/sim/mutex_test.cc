@@ -1,0 +1,209 @@
+// Simulated mutexes and the priority-inversion remedies (paper §4).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/rma.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+
+using Step = ScriptedWorkload::Step;
+
+TEST(ScriptedWorkloadTest, ReplaysSteps) {
+  ScriptedWorkload w({Step::Compute(10), Step::SleepFor(5), Step::Lock(0), Step::Unlock(0)},
+                     /*loop=*/false);
+  EXPECT_EQ(w.NextAction(0).kind, WorkloadAction::Kind::kCompute);
+  const WorkloadAction sleep = w.NextAction(10);
+  EXPECT_EQ(sleep.kind, WorkloadAction::Kind::kSleep);
+  EXPECT_EQ(sleep.until, 15);
+  EXPECT_EQ(w.NextAction(15).kind, WorkloadAction::Kind::kLock);
+  EXPECT_EQ(w.NextAction(15).kind, WorkloadAction::Kind::kUnlock);
+  EXPECT_EQ(w.NextAction(15).kind, WorkloadAction::Kind::kExit);
+}
+
+TEST(ScriptedWorkloadTest, LoopsAndCountsIterations) {
+  ScriptedWorkload w({Step::Compute(10)}, /*loop=*/true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(w.NextAction(0).kind, WorkloadAction::Kind::kCompute);
+  }
+  EXPECT_EQ(w.iterations(), 4u);
+}
+
+TEST(MutexTest, UncontendedLockIsFree) {
+  System sys;
+  const auto leaf = *sys.tree().MakeNode("leaf", kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const MutexId m = sys.CreateMutex();
+  auto t = sys.CreateThread(
+      "t", leaf, {},
+      std::make_unique<ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(10 * kMillisecond),
+                            Step::Unlock(m)},
+          /*loop=*/false));
+  ASSERT_TRUE(t.ok());
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOfMutex(m).acquisitions, 1u);
+  EXPECT_EQ(sys.StatsOfMutex(m).contentions, 0u);
+  EXPECT_EQ(sys.HolderOf(m), hsfq::kInvalidThread);
+  EXPECT_TRUE(sys.StatsOf(*t).exited);
+}
+
+TEST(MutexTest, ContendedLockSerializesCriticalSections) {
+  System sys;
+  const auto leaf = *sys.tree().MakeNode("leaf", kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const MutexId m = sys.CreateMutex();
+  auto make = [&](const std::string& name) {
+    return *sys.CreateThread(
+        name, leaf, {},
+        std::make_unique<ScriptedWorkload>(
+            std::vector<Step>{Step::Lock(m), Step::Compute(50 * kMillisecond),
+                              Step::Unlock(m)},
+            /*loop=*/false));
+  };
+  const auto a = make("a");
+  const auto b = make("b");
+  sys.RunUntil(kSecond);
+  EXPECT_TRUE(sys.StatsOf(a).exited);
+  EXPECT_TRUE(sys.StatsOf(b).exited);
+  EXPECT_EQ(sys.StatsOfMutex(m).acquisitions, 2u);
+  EXPECT_EQ(sys.StatsOfMutex(m).contentions, 1u);
+}
+
+TEST(MutexTest, FifoHandoffOrder) {
+  System sys;
+  const auto leaf = *sys.tree().MakeNode("leaf", kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const MutexId m = sys.CreateMutex();
+  // Three contenders; completion order must follow wait order once the first releases.
+  std::vector<hsfq::ThreadId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(*sys.CreateThread(
+        "t" + std::to_string(i), leaf, {},
+        std::make_unique<ScriptedWorkload>(
+            std::vector<Step>{Step::Lock(m), Step::Compute(30 * kMillisecond),
+                              Step::Unlock(m)},
+            /*loop=*/false)));
+  }
+  sys.RunUntil(kSecond);
+  for (auto id : ids) {
+    EXPECT_TRUE(sys.StatsOf(id).exited);
+  }
+  EXPECT_EQ(sys.StatsOfMutex(m).contentions, 2u);
+}
+
+// The classic inversion scenario inside one SFQ leaf: a low-weight holder, a high-weight
+// waiter, and heavy "medium" interference. With the weight-transfer remedy the holder
+// inherits the waiter's weight and releases quickly; without it the high-weight thread's
+// progress is held to the low thread's 1/N trickle.
+TEST(MutexTest, WeightTransferBoundsInversion) {
+  // Direct comparison via the low thread's CS completion: measure the time at which the
+  // mutex is released the first time.
+  auto measure = [](bool remedy) {
+    System sys(System::Config{.default_quantum = 5 * kMillisecond,
+                              .inversion_remedy = remedy});
+    const auto leaf = *sys.tree().MakeNode("leaf", kRootNode, 1,
+                                           std::make_unique<hleaf::SfqLeafScheduler>());
+    const MutexId m = sys.CreateMutex();
+    (void)*sys.CreateThread(
+        "low", leaf, {.weight = 1},
+        std::make_unique<ScriptedWorkload>(
+            std::vector<Step>{Step::Lock(m), Step::Compute(200 * kMillisecond),
+                              Step::Unlock(m)},
+            /*loop=*/false));
+    for (int i = 0; i < 8; ++i) {
+      (void)*sys.CreateThread("med" + std::to_string(i), leaf, {.weight = 4},
+                              std::make_unique<CpuBoundWorkload>());
+    }
+    (void)*sys.CreateThread(
+        "high", leaf, {.weight = 40},
+        std::make_unique<ScriptedWorkload>(
+            std::vector<Step>{Step::Lock(m), Step::Compute(10 * kMillisecond),
+                              Step::Unlock(m)},
+            /*loop=*/false),
+        /*start_time=*/50 * kMillisecond);
+    // Poll for the first release.
+    hscommon::Time released_at = 0;
+    sys.Every(10 * kMillisecond, 10 * kMillisecond, [&](System& s) {
+      if (released_at == 0 && s.HolderOf(m) != 0) {
+        released_at = s.now();
+      }
+    });
+    sys.RunUntil(60 * kSecond);
+    return released_at;
+  };
+  const hscommon::Time with_remedy = measure(true);
+  const hscommon::Time without_remedy = measure(false);
+  ASSERT_GT(with_remedy, 0);
+  ASSERT_GT(without_remedy, 0);
+  // With the waiter's weight 40 donated, low runs at 41/73 instead of 1/73 after t=50ms.
+  EXPECT_LT(with_remedy, 600 * kMillisecond);
+  EXPECT_GT(without_remedy, 5 * kSecond);
+  EXPECT_GT(static_cast<double>(without_remedy) / static_cast<double>(with_remedy), 5.0);
+}
+
+TEST(MutexTest, RmaPriorityInheritanceViaHooks) {
+  System sys(System::Config{.default_quantum = kMillisecond});
+  const auto rt = *sys.tree().MakeNode(
+      "rt", kRootNode, 1,
+      std::make_unique<hleaf::RmaScheduler>(
+          hleaf::RmaScheduler::Config{.admission_control = false}));
+  const MutexId m = sys.CreateMutex();
+  // Low-priority (long period) holder.
+  (void)*sys.CreateThread(
+      "low", rt, {.period = kSecond, .computation = 100 * kMillisecond},
+      std::make_unique<ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(50 * kMillisecond),
+                            Step::Unlock(m), Step::SleepFor(10 * kSecond)},
+          /*loop=*/false));
+  // Medium-priority CPU-bound interference.
+  (void)*sys.CreateThread("med", rt, {.period = 500 * kMillisecond, .computation = kSecond},
+                          std::make_unique<CpuBoundWorkload>(),
+                          /*start_time=*/5 * kMillisecond);
+  // High-priority waiter.
+  auto high = sys.CreateThread(
+      "high", rt, {.period = 50 * kMillisecond, .computation = 5 * kMillisecond},
+      std::make_unique<ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(5 * kMillisecond),
+                            Step::Unlock(m)},
+          /*loop=*/false),
+      /*start_time=*/10 * kMillisecond);
+  sys.RunUntil(2 * kSecond);
+  // With inheritance the low holder outranks med and releases; high completes.
+  EXPECT_TRUE(sys.StatsOf(*high).exited);
+}
+
+TEST(MutexTest, CrossClassContentionCountedNotRemedied) {
+  System sys;
+  const auto l1 = *sys.tree().MakeNode("a", kRootNode, 1,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto l2 = *sys.tree().MakeNode("b", kRootNode, 1,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  const MutexId m = sys.CreateMutex();
+  (void)*sys.CreateThread(
+      "holder", l1, {},
+      std::make_unique<ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(100 * kMillisecond),
+                            Step::Unlock(m)},
+          /*loop=*/false));
+  (void)*sys.CreateThread(
+      "waiter", l2, {},
+      std::make_unique<ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(10 * kMillisecond),
+                            Step::Unlock(m)},
+          /*loop=*/false),
+      /*start_time=*/10 * kMillisecond);
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.cross_class_blocks(), 1u);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,104 @@
+// RecordingWorkload record/replay round trip and the JSON stats snapshot.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+
+TEST(RecordingWorkloadTest, CapturesComputeSleepPairs) {
+  auto inner = std::make_unique<ScriptedWorkload>(
+      std::vector<ScriptedWorkload::Step>{ScriptedWorkload::Step::Compute(100),
+                                          ScriptedWorkload::Step::SleepFor(50),
+                                          ScriptedWorkload::Step::Compute(200)},
+      /*loop=*/false);
+  RecordingWorkload rec(std::move(inner));
+  EXPECT_EQ(rec.NextAction(0).kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(rec.NextAction(100).kind, WorkloadAction::Kind::kSleep);
+  EXPECT_EQ(rec.NextAction(150).kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(rec.NextAction(350).kind, WorkloadAction::Kind::kExit);
+  ASSERT_EQ(rec.records().size(), 2u);
+  EXPECT_EQ(rec.records()[0].compute, 100);
+  EXPECT_EQ(rec.records()[0].sleep, 50);
+  EXPECT_EQ(rec.records()[1].compute, 200);
+  EXPECT_EQ(rec.records()[1].sleep, 0);
+}
+
+TEST(RecordingWorkloadTest, RecordReplayRoundTripThroughCsv) {
+  // Record a stochastic workload in one system...
+  hsim::System record_sys;
+  auto leaf1 = record_sys.tree().MakeNode("leaf", kRootNode, 1,
+                                          std::make_unique<hleaf::SfqLeafScheduler>());
+  auto rec = std::make_unique<RecordingWorkload>(
+      std::make_unique<BurstyWorkload>(7, kMillisecond, 20 * kMillisecond,
+                                       5 * kMillisecond, 50 * kMillisecond));
+  RecordingWorkload* rec_ptr = rec.get();
+  auto t1 = record_sys.CreateThread("orig", *leaf1, {}, std::move(rec));
+  record_sys.RunUntil(5 * kSecond);
+  const hscommon::Work original_service = record_sys.StatsOf(*t1).total_service;
+
+  const std::string path = testing::TempDir() + "/recorded_trace.csv";
+  ASSERT_TRUE(rec_ptr->SaveCsv(path).ok());
+
+  // ...and replay it in a fresh one: identical service (alone on an identical machine).
+  auto records = TraceWorkload::LoadCsv(path);
+  ASSERT_TRUE(records.ok());
+  hsim::System replay_sys;
+  auto leaf2 = replay_sys.tree().MakeNode("leaf", kRootNode, 1,
+                                          std::make_unique<hleaf::SfqLeafScheduler>());
+  auto t2 = replay_sys.CreateThread(
+      "replayed", *leaf2, {}, std::make_unique<TraceWorkload>(*records, /*loop=*/false));
+  replay_sys.RunUntil(5 * kSecond);
+  EXPECT_EQ(replay_sys.StatsOf(*t2).total_service, original_service);
+  std::remove(path.c_str());
+}
+
+TEST(StatsJsonTest, SnapshotContainsAllSections) {
+  hsim::System sys;
+  auto be = sys.tree().MakeNode("be", kRootNode, 2, nullptr);
+  auto leaf = sys.tree().MakeNode("u1", *be, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread("hog", *leaf, {}, std::make_unique<CpuBoundWorkload>());
+  const MutexId m = sys.CreateMutex();
+  (void)m;
+  sys.AddInterruptSource({.interval = 50 * kMillisecond, .service = kMillisecond});
+  sys.RunUntil(kSecond);
+
+  const std::string path = testing::TempDir() + "/stats_test.json";
+  ASSERT_TRUE(sys.WriteStatsJson(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"now_ns\": 1000000000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"hog\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"/be/u1\""), std::string::npos);
+  EXPECT_NE(json.find("\"mutexes\""), std::string::npos);
+  EXPECT_NE(json.find("\"interrupt_count\""), std::string::npos);
+  // Balanced braces / brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  std::remove(path.c_str());
+}
+
+TEST(StatsJsonTest, BadPathFails) {
+  hsim::System sys;
+  EXPECT_FALSE(sys.WriteStatsJson("/no/such/dir/stats.json").ok());
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,256 @@
+// End-to-end behaviour of the simulated machine.
+
+#include "src/sim/system.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "src/sched/edf.h"
+#include "src/sched/sfq_leaf.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::kRootNode;
+
+NodeId AddSfqLeaf(System& sys, const std::string& name, hscommon::Weight weight) {
+  auto node = sys.tree().MakeNode(name, kRootNode, weight,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  EXPECT_TRUE(node.ok());
+  return *node;
+}
+
+TEST(SystemTest, SingleCpuBoundThreadGetsAllService) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto tid = sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  ASSERT_TRUE(tid.ok());
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOf(*tid).total_service, kSecond);
+  EXPECT_EQ(sys.idle_time(), 0);
+  EXPECT_EQ(sys.now(), kSecond);
+}
+
+TEST(SystemTest, TwoThreadsShareByWeight) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto t1 = sys.CreateThread("a", leaf, {.weight = 1}, std::make_unique<CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("b", leaf, {.weight = 3}, std::make_unique<CpuBoundWorkload>());
+  sys.RunUntil(10 * kSecond);
+  const double s1 = static_cast<double>(sys.StatsOf(*t1).total_service);
+  const double s2 = static_cast<double>(sys.StatsOf(*t2).total_service);
+  EXPECT_NEAR(s2 / s1, 3.0, 0.02);
+  EXPECT_EQ(sys.total_service(), 10 * kSecond);
+}
+
+TEST(SystemTest, SleepingThreadIdlesCpu) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  // 10ms of work every 100ms: ~10% utilization.
+  auto tid = sys.CreateThread(
+      "periodic", leaf, {},
+      std::make_unique<PeriodicWorkload>(100 * kMillisecond, 10 * kMillisecond));
+  ASSERT_TRUE(tid.ok());
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOf(*tid).total_service, 100 * kMillisecond);
+  EXPECT_EQ(sys.idle_time(), 900 * kMillisecond);
+}
+
+TEST(SystemTest, ThreadExitStopsService) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto tid = sys.CreateThread("batch", leaf, {},
+                              std::make_unique<FiniteWorkload>(50 * kMillisecond));
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOf(*tid).total_service, 50 * kMillisecond);
+  EXPECT_TRUE(sys.StatsOf(*tid).exited);
+  EXPECT_EQ(sys.idle_time(), 950 * kMillisecond);
+}
+
+TEST(SystemTest, StartTimeDelaysThread) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto tid = sys.CreateThread("late", leaf, {}, std::make_unique<CpuBoundWorkload>(),
+                              /*start_time=*/300 * kMillisecond);
+  sys.RunUntil(kSecond);
+  EXPECT_EQ(sys.StatsOf(*tid).total_service, 700 * kMillisecond);
+}
+
+TEST(SystemTest, InterruptsStealTime) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto tid = sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  // Periodic interrupt: 1ms every 10ms -> 10% stolen.
+  sys.AddInterruptSource({.arrival = InterruptSourceConfig::Arrival::kPeriodic,
+                          .interval = 10 * kMillisecond,
+                          .service = 1 * kMillisecond});
+  sys.RunUntil(kSecond);
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*tid).total_service),
+              static_cast<double>(900 * kMillisecond),
+              static_cast<double>(2 * kMillisecond));
+  EXPECT_NEAR(static_cast<double>(sys.interrupt_time()),
+              static_cast<double>(100 * kMillisecond),
+              static_cast<double>(2 * kMillisecond));
+  EXPECT_GE(sys.interrupt_count(), 99u);
+}
+
+TEST(SystemTest, InterruptsDoNotBreakFairness) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto t1 = sys.CreateThread("a", leaf, {.weight = 1}, std::make_unique<CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("b", leaf, {.weight = 2}, std::make_unique<CpuBoundWorkload>());
+  sys.AddInterruptSource({.arrival = InterruptSourceConfig::Arrival::kPoisson,
+                          .interval = 5 * kMillisecond,
+                          .service = 500 * hscommon::kMicrosecond,
+                          .exponential_service = true,
+                          .seed = 3});
+  sys.RunUntil(10 * kSecond);
+  const double s1 = static_cast<double>(sys.StatsOf(*t1).total_service);
+  const double s2 = static_cast<double>(sys.StatsOf(*t2).total_service);
+  EXPECT_NEAR(s2 / s1, 2.0, 0.02);
+}
+
+TEST(SystemTest, DispatchOverheadIsAccounted) {
+  System sys(System::Config{.dispatch_overhead = 100 * hscommon::kMicrosecond});
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto tid = sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  sys.RunUntil(kSecond);
+  EXPECT_GT(sys.overhead_time(), 0);
+  EXPECT_EQ(sys.StatsOf(*tid).total_service + sys.overhead_time(), kSecond);
+}
+
+TEST(SystemTest, SuspendAndResume) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto t1 = sys.CreateThread("a", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("b", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  sys.At(200 * kMillisecond, [&](System& s) { s.Suspend(*t1); });
+  sys.At(600 * kMillisecond, [&](System& s) { s.Resume(*t1); });
+  sys.RunUntil(kSecond);
+  // t1: half of [0,200), none of [200,600), half of [600,1000) = 300ms.
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*t1).total_service),
+              static_cast<double>(300 * kMillisecond),
+              static_cast<double>(15 * kMillisecond));
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*t2).total_service),
+              static_cast<double>(700 * kMillisecond),
+              static_cast<double>(15 * kMillisecond));
+}
+
+TEST(SystemTest, SuspendWhileBlockedDefersWake) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  // Sleeps until t=500ms, then computes.
+  auto tid = sys.CreateThread(
+      "sleeper", leaf, {},
+      std::make_unique<PeriodicWorkload>(500 * kMillisecond, 100 * kMillisecond));
+  // Suspend before its wake at 500ms; resume at 800ms.
+  sys.At(550 * kMillisecond, [&](System& s) { s.Suspend(*tid); });
+  // First round finishes at 100ms, sleeps to 500, but we suspend at 550 (mid round 2).
+  sys.At(560 * kMillisecond, [&](System& s) { s.Resume(*tid); });
+  sys.RunUntil(kSecond);
+  EXPECT_GT(sys.StatsOf(*tid).total_service, 0);
+}
+
+TEST(SystemTest, ScriptedWeightChange) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto t1 = sys.CreateThread("a", leaf, {.weight = 1}, std::make_unique<CpuBoundWorkload>());
+  auto t2 = sys.CreateThread("b", leaf, {.weight = 1}, std::make_unique<CpuBoundWorkload>());
+  (void)t2;
+  sys.At(kSecond, [&](System& s) {
+    ASSERT_TRUE(s.tree().SetThreadParams(*t1, {.weight = 9}).ok());
+  });
+  sys.RunUntil(2 * kSecond);
+  // Second half splits 9:1.
+  const double s1 = static_cast<double>(sys.StatsOf(*t1).total_service);
+  EXPECT_NEAR(s1, static_cast<double>(500 * kMillisecond + 900 * kMillisecond),
+              static_cast<double>(25 * kMillisecond));
+}
+
+TEST(SystemTest, EverySchedulesPeriodically) {
+  System sys;
+  int fired = 0;
+  sys.Every(100 * kMillisecond, 100 * kMillisecond, [&](System&) { ++fired; });
+  sys.RunUntil(kSecond + kMillisecond);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SystemTest, SchedulingLatencyRecorded) {
+  System sys;
+  const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+  auto hog = sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+  (void)hog;
+  auto periodic = sys.CreateThread(
+      "periodic", leaf, {},
+      std::make_unique<PeriodicWorkload>(100 * kMillisecond, 5 * kMillisecond));
+  sys.RunUntil(kSecond);
+  const ThreadStats& stats = sys.StatsOf(*periodic);
+  EXPECT_GT(stats.sched_latency.count(), 5u);
+  // Latency is bounded by the hog's quantum (20ms default).
+  EXPECT_LE(stats.sched_latency.max(), static_cast<double>(20 * kMillisecond));
+}
+
+TEST(SystemTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    System sys;
+    const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
+    auto t1 =
+        sys.CreateThread("a", leaf, {.weight = 2}, std::make_unique<CpuBoundWorkload>());
+    auto t2 = sys.CreateThread(
+        "b", leaf, {.weight = 3},
+        std::make_unique<BurstyWorkload>(7, kMillisecond, 10 * kMillisecond,
+                                         kMillisecond, 30 * kMillisecond));
+    sys.AddInterruptSource({.arrival = InterruptSourceConfig::Arrival::kPoisson,
+                            .interval = 3 * kMillisecond,
+                            .service = 100 * hscommon::kMicrosecond,
+                            .seed = 21});
+    sys.RunUntil(3 * kSecond);
+    return std::pair(sys.StatsOf(*t1).total_service, sys.StatsOf(*t2).total_service);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SystemTest, AdmissionFailurePropagates) {
+  System sys;
+  auto edf = sys.tree().MakeNode(
+      "edf", kRootNode, 1,
+      std::make_unique<hleaf::EdfScheduler>(hleaf::EdfScheduler::Config{}));
+  ASSERT_TRUE(edf.ok());
+  auto ok = sys.CreateThread(
+      "t1", *edf, {.period = 100, .computation = 80},
+      std::make_unique<PeriodicWorkload>(100, 80));
+  EXPECT_TRUE(ok.ok());
+  auto fail = sys.CreateThread(
+      "t2", *edf, {.period = 100, .computation = 50},
+      std::make_unique<PeriodicWorkload>(100, 50));
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), hscommon::StatusCode::kResourceExhausted);
+}
+
+TEST(SystemTest, TreeInvariantsHoldAfterLongMixedRun) {
+  System sys;
+  const NodeId be = *sys.tree().MakeNode("be", kRootNode, 2, nullptr);
+  const NodeId u1 = *sys.tree().MakeNode("u1", be, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const NodeId u2 = *sys.tree().MakeNode("u2", be, 2,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const NodeId rt = AddSfqLeaf(sys, "rt", 3);
+  (void)sys.CreateThread("hog", u1, {}, std::make_unique<CpuBoundWorkload>());
+  (void)sys.CreateThread("bursty", u2, {},
+                         std::make_unique<BurstyWorkload>(3, kMillisecond,
+                                                          20 * kMillisecond, kMillisecond,
+                                                          50 * kMillisecond));
+  (void)sys.CreateThread("periodic", rt, {},
+                         std::make_unique<PeriodicWorkload>(30 * kMillisecond,
+                                                            5 * kMillisecond));
+  sys.AddInterruptSource({.interval = 7 * kMillisecond, .service = 200 * hscommon::kMicrosecond});
+  sys.RunUntil(5 * kSecond);
+  EXPECT_TRUE(sys.tree().CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+TEST(TraceWorkloadTest, ReplaysComputeAndSleep) {
+  TraceWorkload w({{100, 50}, {200, 0}, {300, 10}}, /*loop=*/false);
+  WorkloadAction a = w.NextAction(0);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(a.work, 100);
+  a = w.NextAction(100);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kSleep);
+  EXPECT_EQ(a.until, 150);
+  // Record 2 has zero sleep: the next compute chains immediately.
+  a = w.NextAction(150);
+  EXPECT_EQ(a.work, 200);
+  a = w.NextAction(350);
+  EXPECT_EQ(a.work, 300);  // no sleep action emitted between records 2 and 3
+  a = w.NextAction(650);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kSleep);
+  EXPECT_EQ(w.NextAction(660).kind, WorkloadAction::Kind::kExit);
+}
+
+TEST(TraceWorkloadTest, LoopsWhenRequested) {
+  TraceWorkload w({{10, 5}}, /*loop=*/true);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.NextAction(i * 100).kind, WorkloadAction::Kind::kCompute);
+    EXPECT_EQ(w.NextAction(i * 100 + 10).kind, WorkloadAction::Kind::kSleep);
+  }
+}
+
+TEST(TraceWorkloadTest, LoadCsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/trace_workload_test.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("compute_ns,sleep_ns\n1000,500\n2000,0\n", f);
+  std::fclose(f);
+  auto records = TraceWorkload::LoadCsv(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].compute, 1000);
+  EXPECT_EQ((*records)[0].sleep, 500);
+  EXPECT_EQ((*records)[1].compute, 2000);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkloadTest, LoadCsvRejectsBadRecords) {
+  const std::string path = testing::TempDir() + "/trace_workload_bad.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("-5,10\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(TraceWorkload::LoadCsv(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(TraceWorkload::LoadCsv("/no/such/file.csv").ok());
+}
+
+TEST(TraceWorkloadTest, DrivesSimulatedThread) {
+  hsim::System sys;
+  auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+  // 10 ms on, 90 ms off -> 10% utilization.
+  auto tid = sys.CreateThread(
+      "traced", *leaf, {},
+      std::make_unique<TraceWorkload>(
+          std::vector<TraceWorkload::Record>{{10 * kMillisecond, 90 * kMillisecond}},
+          /*loop=*/true));
+  sys.RunUntil(10 * kSecond);
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(*tid).total_service),
+              static_cast<double>(kSecond), static_cast<double>(20 * kMillisecond));
+}
+
+}  // namespace
+}  // namespace hsim

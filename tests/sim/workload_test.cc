@@ -1,0 +1,108 @@
+#include "src/sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+TEST(CpuBoundTest, AlwaysComputes) {
+  CpuBoundWorkload w(100);
+  for (int i = 0; i < 10; ++i) {
+    const WorkloadAction a = w.NextAction(i * 100);
+    EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+    EXPECT_EQ(a.work, 100);
+  }
+}
+
+TEST(PeriodicTest, FirstActionIsComputation) {
+  PeriodicWorkload w(60 * kMillisecond, 10 * kMillisecond);
+  const WorkloadAction a = w.NextAction(0);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(a.work, 10 * kMillisecond);
+}
+
+TEST(PeriodicTest, SleepsUntilNextRelease) {
+  PeriodicWorkload w(60 * kMillisecond, 10 * kMillisecond);
+  (void)w.NextAction(0);
+  // Round 0 completes at t=15ms: sleep until t=60ms.
+  const WorkloadAction a = w.NextAction(15 * kMillisecond);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kSleep);
+  EXPECT_EQ(a.until, 60 * kMillisecond);
+}
+
+TEST(PeriodicTest, RecordsSlack) {
+  PeriodicWorkload w(60 * kMillisecond, 10 * kMillisecond);
+  (void)w.NextAction(0);
+  (void)w.NextAction(15 * kMillisecond);  // slack = 60 - 15 = 45 ms
+  EXPECT_EQ(w.rounds_completed(), 1u);
+  EXPECT_EQ(w.deadline_misses(), 0u);
+  EXPECT_DOUBLE_EQ(w.slack().mean(), static_cast<double>(45 * kMillisecond));
+}
+
+TEST(PeriodicTest, DetectsDeadlineMiss) {
+  PeriodicWorkload w(60 * kMillisecond, 10 * kMillisecond);
+  (void)w.NextAction(0);
+  // Completes after the deadline (and after the next release): miss + immediate restart.
+  const WorkloadAction a = w.NextAction(70 * kMillisecond);
+  EXPECT_EQ(w.deadline_misses(), 1u);
+  EXPECT_LT(w.slack().min(), 0.0);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+}
+
+TEST(PeriodicTest, ExplicitRelativeDeadline) {
+  PeriodicWorkload w(100 * kMillisecond, 10 * kMillisecond, 30 * kMillisecond);
+  (void)w.NextAction(0);
+  (void)w.NextAction(40 * kMillisecond);  // deadline 30 < completion 40 -> miss
+  EXPECT_EQ(w.deadline_misses(), 1u);
+}
+
+TEST(PeriodicTest, ReleasesAnchoredAtFirstCall) {
+  PeriodicWorkload w(60 * kMillisecond, 10 * kMillisecond);
+  (void)w.NextAction(1 * kSecond);  // t0 = 1s
+  const WorkloadAction a = w.NextAction(1 * kSecond + 12 * kMillisecond);
+  EXPECT_EQ(a.until, 1 * kSecond + 60 * kMillisecond);
+}
+
+TEST(InteractiveTest, AlternatesComputeAndSleep) {
+  InteractiveWorkload w(/*seed=*/5, /*mean_think=*/100 * kMillisecond,
+                        /*mean_burst=*/5 * kMillisecond);
+  const WorkloadAction a = w.NextAction(0);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+  const WorkloadAction b = w.NextAction(a.work);
+  EXPECT_EQ(b.kind, WorkloadAction::Kind::kSleep);
+  EXPECT_GT(b.until, a.work);
+  const WorkloadAction c = w.NextAction(b.until);
+  EXPECT_EQ(c.kind, WorkloadAction::Kind::kCompute);
+}
+
+TEST(BurstyTest, BurstsWithinConfiguredRange) {
+  BurstyWorkload w(/*seed=*/9, /*min_burst=*/10, /*max_burst=*/20, /*min_sleep=*/5,
+                   /*max_sleep=*/7);
+  Time now = 0;
+  for (int i = 0; i < 50; ++i) {
+    const WorkloadAction burst = w.NextAction(now);
+    ASSERT_EQ(burst.kind, WorkloadAction::Kind::kCompute);
+    EXPECT_GE(burst.work, 10);
+    EXPECT_LE(burst.work, 20);
+    now += burst.work;
+    const WorkloadAction sleep = w.NextAction(now);
+    ASSERT_EQ(sleep.kind, WorkloadAction::Kind::kSleep);
+    EXPECT_GE(sleep.until - now, 5);
+    EXPECT_LE(sleep.until - now, 7);
+    now = sleep.until;
+  }
+}
+
+TEST(FiniteTest, ComputesThenExits) {
+  FiniteWorkload w(500);
+  const WorkloadAction a = w.NextAction(0);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(a.work, 500);
+  EXPECT_EQ(w.NextAction(500).kind, WorkloadAction::Kind::kExit);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the CSVs the bench binaries emit.
+
+Usage:
+    mkdir -p out && for b in build/bench/fig*; do $b --csv out; done
+    python3 tools/plot_figures.py out plots/
+
+Requires matplotlib (not needed to *run* any experiment — the benches print the same
+series as text tables).
+"""
+
+import csv
+import pathlib
+import sys
+
+import matplotlib
+
+matplotlib.use("Agg")
+import matplotlib.pyplot as plt  # noqa: E402
+
+
+def read(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def col(rows, name, cast=float):
+    return [cast(r[name]) for r in rows]
+
+
+def save(fig, outdir, name):
+    fig.tight_layout()
+    fig.savefig(outdir / f"{name}.png", dpi = 150)
+    plt.close(fig)
+    print(f"wrote {outdir / name}.png")
+
+
+def plot_fig01(csvdir, outdir):
+    rows = read(csvdir / "fig01_series.csv")
+    fig, ax = plt.subplots(figsize=(9, 3))
+    ax.plot(col(rows, "frame", int), col(rows, "decode_ms"), lw=0.5)
+    ax.set(xlabel="frame number", ylabel="decode time (ms)",
+           title="Fig 1: MPEG frame decompression time")
+    save(fig, outdir, "fig01")
+
+
+def plot_fig05(csvdir, outdir):
+    rows = read(csvdir / "fig05_series.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(10, 3.5), sharey=True)
+    for ax, sched in zip(axes, ("TS", "SFQ")):
+        sub = [r for r in rows if r["sched"] == sched]
+        for i in range(5):
+            ax.plot(col(sub, "second", int), col(sub, f"t{i}"), label=f"thread {i}")
+        ax.set(xlabel="time (s)", title=f"{sched}")
+    axes[0].set_ylabel("loops per second")
+    axes[1].legend(fontsize=7)
+    fig.suptitle("Fig 5: five Dhrystone threads")
+    save(fig, outdir, "fig05")
+
+
+def plot_fig07(csvdir, outdir):
+    a = read(csvdir / "fig07a_threads.csv")
+    b = read(csvdir / "fig07b_depth.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(10, 3.5))
+    axes[0].plot(col(a, "threads", int), col(a, "throughput_ratio"), marker="o")
+    axes[0].axhline(0.99, ls="--", c="gray")
+    axes[0].set(xlabel="# threads", ylabel="hierarchical / unmodified",
+                title="(a) overhead vs threads", ylim=(0.985, 1.005))
+    axes[1].plot(col(b, "depth", int), col(b, "throughput_vs_depth0"), marker="o")
+    axes[1].axhline(0.998, ls="--", c="gray")
+    axes[1].set(xlabel="hierarchy depth", ylabel="throughput vs depth 0",
+                title="(b) overhead vs depth", ylim=(0.985, 1.005))
+    fig.suptitle("Fig 7: scheduling overhead")
+    save(fig, outdir, "fig07")
+
+
+def plot_fig08(csvdir, outdir):
+    a = read(csvdir / "fig08a.csv")
+    b = read(csvdir / "fig08b.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(10, 3.5))
+    axes[0].plot(col(a, "second", int), col(a, "SFQ1_loops"), label="SFQ-1 (w=2)")
+    axes[0].plot(col(a, "second", int), col(a, "SFQ2_loops"), label="SFQ-2 (w=6)")
+    axes[0].set(xlabel="time (s)", ylabel="loops/s", title="(a) weighted nodes, 1:3")
+    axes[0].legend()
+    axes[1].plot(col(b, "second", int), col(b, "SFQ1_loops"), label="SFQ-1")
+    axes[1].plot(col(b, "second", int), col(b, "SVR4_loops"), label="SVR4")
+    axes[1].set(xlabel="time (s)", title="(b) heterogeneous leaves, equal weights")
+    axes[1].legend()
+    fig.suptitle("Fig 8: hierarchical CPU allocation")
+    save(fig, outdir, "fig08")
+
+
+def plot_fig09(csvdir, outdir):
+    rows = read(csvdir / "fig09_series.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(10, 3.5))
+    axes[0].plot(col(rows, "round", int), col(rows, "latency_ms"), lw=0.6)
+    axes[0].set(xlabel="round", ylabel="ms", title="(a) scheduling latency")
+    axes[1].plot(col(rows, "round", int), col(rows, "slack_ms"), lw=0.6)
+    axes[1].axhline(0, ls="--", c="red")
+    axes[1].set(xlabel="round", ylabel="ms", title="(b) slack (>0 = deadline met)")
+    fig.suptitle("Fig 9: rate-monotonic thread1 (10 ms / 60 ms)")
+    save(fig, outdir, "fig09")
+
+
+def plot_fig10(csvdir, outdir):
+    rows = read(csvdir / "fig10_frames.csv")
+    fig, ax = plt.subplots(figsize=(6, 3.5))
+    ax.plot(col(rows, "second", int), col(rows, "frames_w5"), label="weight 5")
+    ax.plot(col(rows, "second", int), col(rows, "frames_w10"), label="weight 10")
+    ax.set(xlabel="time (s)", ylabel="frames decoded",
+           title="Fig 10: MPEG players under SFQ")
+    ax.legend()
+    save(fig, outdir, "fig10")
+
+
+def plot_fig11(csvdir, outdir):
+    rows = read(csvdir / "fig11.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(10, 3.5))
+    axes[0].plot(col(rows, "time_s"), col(rows, "thread1_loops"), label="thread 1")
+    axes[0].plot(col(rows, "time_s"), col(rows, "thread2_loops"), label="thread 2")
+    axes[0].set(xlabel="time (s)", ylabel="loops per ½s", title="(a) throughput")
+    axes[0].legend()
+    ratios = [(t, r) for t, r in zip(col(rows, "time_s"), col(rows, "ratio")) if r >= 0]
+    axes[1].plot([t for t, _ in ratios], [r for _, r in ratios])
+    axes[1].set(xlabel="time (s)", ylabel="thread1 / thread2", title="(b) ratio")
+    fig.suptitle("Fig 11: dynamic weight changes")
+    save(fig, outdir, "fig11")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    csvdir = pathlib.Path(sys.argv[1])
+    outdir = pathlib.Path(sys.argv[2])
+    outdir.mkdir(parents=True, exist_ok=True)
+    for fn in (plot_fig01, plot_fig05, plot_fig07, plot_fig08, plot_fig09, plot_fig10,
+               plot_fig11):
+        try:
+            fn(csvdir, outdir)
+        except FileNotFoundError as e:
+            print(f"skipping {fn.__name__}: {e}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
