@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_delay_bounds.dir/abl_delay_bounds.cc.o"
+  "CMakeFiles/abl_delay_bounds.dir/abl_delay_bounds.cc.o.d"
+  "abl_delay_bounds"
+  "abl_delay_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_delay_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ebf_tail.dir/abl_ebf_tail.cc.o"
+  "CMakeFiles/abl_ebf_tail.dir/abl_ebf_tail.cc.o.d"
+  "abl_ebf_tail"
+  "abl_ebf_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ebf_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fairness_compare.dir/abl_fairness_compare.cc.o"
+  "CMakeFiles/abl_fairness_compare.dir/abl_fairness_compare.cc.o.d"
+  "abl_fairness_compare"
+  "abl_fairness_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fairness_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

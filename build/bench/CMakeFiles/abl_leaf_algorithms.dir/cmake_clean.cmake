@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_leaf_algorithms.dir/abl_leaf_algorithms.cc.o"
+  "CMakeFiles/abl_leaf_algorithms.dir/abl_leaf_algorithms.cc.o.d"
+  "abl_leaf_algorithms"
+  "abl_leaf_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_leaf_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_priority_inversion.dir/abl_priority_inversion.cc.o"
+  "CMakeFiles/abl_priority_inversion.dir/abl_priority_inversion.cc.o.d"
+  "abl_priority_inversion"
+  "abl_priority_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_priority_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_vbr_trace.dir/fig01_vbr_trace.cc.o"
+  "CMakeFiles/fig01_vbr_trace.dir/fig01_vbr_trace.cc.o.d"
+  "fig01_vbr_trace"
+  "fig01_vbr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_vbr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

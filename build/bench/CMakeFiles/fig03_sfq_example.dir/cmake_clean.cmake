@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sfq_example.dir/fig03_sfq_example.cc.o"
+  "CMakeFiles/fig03_sfq_example.dir/fig03_sfq_example.cc.o.d"
+  "fig03_sfq_example"
+  "fig03_sfq_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sfq_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

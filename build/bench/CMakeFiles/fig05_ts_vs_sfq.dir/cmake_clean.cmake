@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ts_vs_sfq.dir/fig05_ts_vs_sfq.cc.o"
+  "CMakeFiles/fig05_ts_vs_sfq.dir/fig05_ts_vs_sfq.cc.o.d"
+  "fig05_ts_vs_sfq"
+  "fig05_ts_vs_sfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ts_vs_sfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_ts_vs_sfq.
+# This may be replaced when dependencies are built.

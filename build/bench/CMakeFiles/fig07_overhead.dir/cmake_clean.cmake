@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_overhead.dir/fig07_overhead.cc.o"
+  "CMakeFiles/fig07_overhead.dir/fig07_overhead.cc.o.d"
+  "fig07_overhead"
+  "fig07_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_hierarchical.dir/fig08_hierarchical.cc.o"
+  "CMakeFiles/fig08_hierarchical.dir/fig08_hierarchical.cc.o.d"
+  "fig08_hierarchical"
+  "fig08_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_realtime.dir/fig09_realtime.cc.o"
+  "CMakeFiles/fig09_realtime.dir/fig09_realtime.cc.o.d"
+  "fig09_realtime"
+  "fig09_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

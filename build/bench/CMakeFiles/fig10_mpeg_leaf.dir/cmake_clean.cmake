@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mpeg_leaf.dir/fig10_mpeg_leaf.cc.o"
+  "CMakeFiles/fig10_mpeg_leaf.dir/fig10_mpeg_leaf.cc.o.d"
+  "fig10_mpeg_leaf"
+  "fig10_mpeg_leaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mpeg_leaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_mpeg_leaf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dynamic.dir/fig11_dynamic.cc.o"
+  "CMakeFiles/fig11_dynamic.dir/fig11_dynamic.cc.o.d"
+  "fig11_dynamic"
+  "fig11_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sched_cost.dir/micro_sched_cost.cc.o"
+  "CMakeFiles/micro_sched_cost.dir/micro_sched_cost.cc.o.d"
+  "micro_sched_cost"
+  "micro_sched_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sched_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

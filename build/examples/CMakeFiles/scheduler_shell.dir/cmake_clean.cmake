@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_shell.dir/scheduler_shell.cc.o"
+  "CMakeFiles/scheduler_shell.dir/scheduler_shell.cc.o.d"
+  "scheduler_shell"
+  "scheduler_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

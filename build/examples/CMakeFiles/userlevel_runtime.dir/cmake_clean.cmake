@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userlevel_runtime.dir/userlevel_runtime.cc.o"
+  "CMakeFiles/userlevel_runtime.dir/userlevel_runtime.cc.o.d"
+  "userlevel_runtime"
+  "userlevel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userlevel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

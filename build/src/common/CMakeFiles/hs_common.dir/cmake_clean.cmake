@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_common.dir/prng.cc.o"
+  "CMakeFiles/hs_common.dir/prng.cc.o.d"
+  "CMakeFiles/hs_common.dir/stats.cc.o"
+  "CMakeFiles/hs_common.dir/stats.cc.o.d"
+  "CMakeFiles/hs_common.dir/status.cc.o"
+  "CMakeFiles/hs_common.dir/status.cc.o.d"
+  "CMakeFiles/hs_common.dir/table.cc.o"
+  "CMakeFiles/hs_common.dir/table.cc.o.d"
+  "CMakeFiles/hs_common.dir/virtual_time.cc.o"
+  "CMakeFiles/hs_common.dir/virtual_time.cc.o.d"
+  "libhs_common.a"
+  "libhs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fair/bounds.cc" "src/fair/CMakeFiles/hs_fair.dir/bounds.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/bounds.cc.o.d"
+  "/root/repo/src/fair/eevdf.cc" "src/fair/CMakeFiles/hs_fair.dir/eevdf.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/eevdf.cc.o.d"
+  "/root/repo/src/fair/fqs.cc" "src/fair/CMakeFiles/hs_fair.dir/fqs.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/fqs.cc.o.d"
+  "/root/repo/src/fair/gps_exact.cc" "src/fair/CMakeFiles/hs_fair.dir/gps_exact.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/gps_exact.cc.o.d"
+  "/root/repo/src/fair/lottery.cc" "src/fair/CMakeFiles/hs_fair.dir/lottery.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/lottery.cc.o.d"
+  "/root/repo/src/fair/make.cc" "src/fair/CMakeFiles/hs_fair.dir/make.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/make.cc.o.d"
+  "/root/repo/src/fair/scfq.cc" "src/fair/CMakeFiles/hs_fair.dir/scfq.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/scfq.cc.o.d"
+  "/root/repo/src/fair/sfq.cc" "src/fair/CMakeFiles/hs_fair.dir/sfq.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/sfq.cc.o.d"
+  "/root/repo/src/fair/stride.cc" "src/fair/CMakeFiles/hs_fair.dir/stride.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/stride.cc.o.d"
+  "/root/repo/src/fair/wfq.cc" "src/fair/CMakeFiles/hs_fair.dir/wfq.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/wfq.cc.o.d"
+  "/root/repo/src/fair/wfq_exact.cc" "src/fair/CMakeFiles/hs_fair.dir/wfq_exact.cc.o" "gcc" "src/fair/CMakeFiles/hs_fair.dir/wfq_exact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

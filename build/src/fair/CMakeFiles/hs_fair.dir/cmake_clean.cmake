@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_fair.dir/bounds.cc.o"
+  "CMakeFiles/hs_fair.dir/bounds.cc.o.d"
+  "CMakeFiles/hs_fair.dir/eevdf.cc.o"
+  "CMakeFiles/hs_fair.dir/eevdf.cc.o.d"
+  "CMakeFiles/hs_fair.dir/fqs.cc.o"
+  "CMakeFiles/hs_fair.dir/fqs.cc.o.d"
+  "CMakeFiles/hs_fair.dir/gps_exact.cc.o"
+  "CMakeFiles/hs_fair.dir/gps_exact.cc.o.d"
+  "CMakeFiles/hs_fair.dir/lottery.cc.o"
+  "CMakeFiles/hs_fair.dir/lottery.cc.o.d"
+  "CMakeFiles/hs_fair.dir/make.cc.o"
+  "CMakeFiles/hs_fair.dir/make.cc.o.d"
+  "CMakeFiles/hs_fair.dir/scfq.cc.o"
+  "CMakeFiles/hs_fair.dir/scfq.cc.o.d"
+  "CMakeFiles/hs_fair.dir/sfq.cc.o"
+  "CMakeFiles/hs_fair.dir/sfq.cc.o.d"
+  "CMakeFiles/hs_fair.dir/stride.cc.o"
+  "CMakeFiles/hs_fair.dir/stride.cc.o.d"
+  "CMakeFiles/hs_fair.dir/wfq.cc.o"
+  "CMakeFiles/hs_fair.dir/wfq.cc.o.d"
+  "CMakeFiles/hs_fair.dir/wfq_exact.cc.o"
+  "CMakeFiles/hs_fair.dir/wfq_exact.cc.o.d"
+  "libhs_fair.a"
+  "libhs_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

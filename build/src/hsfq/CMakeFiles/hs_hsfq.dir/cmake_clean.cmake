@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_hsfq.dir/api.cc.o"
+  "CMakeFiles/hs_hsfq.dir/api.cc.o.d"
+  "CMakeFiles/hs_hsfq.dir/structure.cc.o"
+  "CMakeFiles/hs_hsfq.dir/structure.cc.o.d"
+  "libhs_hsfq.a"
+  "libhs_hsfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_hsfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

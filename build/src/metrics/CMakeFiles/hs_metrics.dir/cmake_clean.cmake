@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_metrics.dir/metrics.cc.o"
+  "CMakeFiles/hs_metrics.dir/metrics.cc.o.d"
+  "libhs_metrics.a"
+  "libhs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

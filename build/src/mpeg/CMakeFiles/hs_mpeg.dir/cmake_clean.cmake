@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_mpeg.dir/player.cc.o"
+  "CMakeFiles/hs_mpeg.dir/player.cc.o.d"
+  "CMakeFiles/hs_mpeg.dir/trace.cc.o"
+  "CMakeFiles/hs_mpeg.dir/trace.cc.o.d"
+  "libhs_mpeg.a"
+  "libhs_mpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

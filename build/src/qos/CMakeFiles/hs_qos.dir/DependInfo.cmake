@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/admission.cc" "src/qos/CMakeFiles/hs_qos.dir/admission.cc.o" "gcc" "src/qos/CMakeFiles/hs_qos.dir/admission.cc.o.d"
+  "/root/repo/src/qos/manager.cc" "src/qos/CMakeFiles/hs_qos.dir/manager.cc.o" "gcc" "src/qos/CMakeFiles/hs_qos.dir/manager.cc.o.d"
+  "/root/repo/src/qos/server_model.cc" "src/qos/CMakeFiles/hs_qos.dir/server_model.cc.o" "gcc" "src/qos/CMakeFiles/hs_qos.dir/server_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fair/CMakeFiles/hs_fair.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsfq/CMakeFiles/hs_hsfq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_qos.dir/admission.cc.o"
+  "CMakeFiles/hs_qos.dir/admission.cc.o.d"
+  "CMakeFiles/hs_qos.dir/manager.cc.o"
+  "CMakeFiles/hs_qos.dir/manager.cc.o.d"
+  "CMakeFiles/hs_qos.dir/server_model.cc.o"
+  "CMakeFiles/hs_qos.dir/server_model.cc.o.d"
+  "libhs_qos.a"
+  "libhs_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

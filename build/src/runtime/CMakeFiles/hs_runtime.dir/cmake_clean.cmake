@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_runtime.dir/executor.cc.o"
+  "CMakeFiles/hs_runtime.dir/executor.cc.o.d"
+  "libhs_runtime.a"
+  "libhs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

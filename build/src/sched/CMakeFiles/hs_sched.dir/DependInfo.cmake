@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/edf.cc" "src/sched/CMakeFiles/hs_sched.dir/edf.cc.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/edf.cc.o.d"
+  "/root/repo/src/sched/fair_leaf.cc" "src/sched/CMakeFiles/hs_sched.dir/fair_leaf.cc.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/fair_leaf.cc.o.d"
+  "/root/repo/src/sched/reserve.cc" "src/sched/CMakeFiles/hs_sched.dir/reserve.cc.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/reserve.cc.o.d"
+  "/root/repo/src/sched/rma.cc" "src/sched/CMakeFiles/hs_sched.dir/rma.cc.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/rma.cc.o.d"
+  "/root/repo/src/sched/sfq_leaf.cc" "src/sched/CMakeFiles/hs_sched.dir/sfq_leaf.cc.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/sfq_leaf.cc.o.d"
+  "/root/repo/src/sched/simple.cc" "src/sched/CMakeFiles/hs_sched.dir/simple.cc.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/simple.cc.o.d"
+  "/root/repo/src/sched/ts_svr4.cc" "src/sched/CMakeFiles/hs_sched.dir/ts_svr4.cc.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/ts_svr4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fair/CMakeFiles/hs_fair.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsfq/CMakeFiles/hs_hsfq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

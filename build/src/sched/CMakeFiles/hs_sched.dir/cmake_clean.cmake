@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sched.dir/edf.cc.o"
+  "CMakeFiles/hs_sched.dir/edf.cc.o.d"
+  "CMakeFiles/hs_sched.dir/fair_leaf.cc.o"
+  "CMakeFiles/hs_sched.dir/fair_leaf.cc.o.d"
+  "CMakeFiles/hs_sched.dir/reserve.cc.o"
+  "CMakeFiles/hs_sched.dir/reserve.cc.o.d"
+  "CMakeFiles/hs_sched.dir/rma.cc.o"
+  "CMakeFiles/hs_sched.dir/rma.cc.o.d"
+  "CMakeFiles/hs_sched.dir/sfq_leaf.cc.o"
+  "CMakeFiles/hs_sched.dir/sfq_leaf.cc.o.d"
+  "CMakeFiles/hs_sched.dir/simple.cc.o"
+  "CMakeFiles/hs_sched.dir/simple.cc.o.d"
+  "CMakeFiles/hs_sched.dir/ts_svr4.cc.o"
+  "CMakeFiles/hs_sched.dir/ts_svr4.cc.o.d"
+  "libhs_sched.a"
+  "libhs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hs_sim.dir/system.cc.o"
+  "CMakeFiles/hs_sim.dir/system.cc.o.d"
+  "CMakeFiles/hs_sim.dir/workload.cc.o"
+  "CMakeFiles/hs_sim.dir/workload.cc.o.d"
+  "libhs_sim.a"
+  "libhs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_tree_test.dir/integration/dynamic_tree_test.cc.o"
+  "CMakeFiles/dynamic_tree_test.dir/integration/dynamic_tree_test.cc.o.d"
+  "dynamic_tree_test"
+  "dynamic_tree_test.pdb"
+  "dynamic_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_leaf_test.dir/sched/fair_leaf_test.cc.o"
+  "CMakeFiles/fair_leaf_test.dir/sched/fair_leaf_test.cc.o.d"
+  "fair_leaf_test"
+  "fair_leaf_test.pdb"
+  "fair_leaf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_leaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_guarantee_test.dir/qos/fc_guarantee_test.cc.o"
+  "CMakeFiles/fc_guarantee_test.dir/qos/fc_guarantee_test.cc.o.d"
+  "fc_guarantee_test"
+  "fc_guarantee_test.pdb"
+  "fc_guarantee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_guarantee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

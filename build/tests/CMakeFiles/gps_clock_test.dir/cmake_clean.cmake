@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_clock_test.dir/fair/gps_clock_test.cc.o"
+  "CMakeFiles/gps_clock_test.dir/fair/gps_clock_test.cc.o.d"
+  "gps_clock_test"
+  "gps_clock_test.pdb"
+  "gps_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

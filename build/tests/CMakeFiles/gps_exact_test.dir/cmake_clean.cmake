@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_exact_test.dir/fair/gps_exact_test.cc.o"
+  "CMakeFiles/gps_exact_test.dir/fair/gps_exact_test.cc.o.d"
+  "gps_exact_test"
+  "gps_exact_test.pdb"
+  "gps_exact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

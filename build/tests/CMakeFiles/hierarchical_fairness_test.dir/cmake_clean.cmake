@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_fairness_test.dir/integration/hierarchical_fairness_test.cc.o"
+  "CMakeFiles/hierarchical_fairness_test.dir/integration/hierarchical_fairness_test.cc.o.d"
+  "hierarchical_fairness_test"
+  "hierarchical_fairness_test.pdb"
+  "hierarchical_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

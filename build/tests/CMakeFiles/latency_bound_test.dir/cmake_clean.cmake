@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_bound_test.dir/integration/latency_bound_test.cc.o"
+  "CMakeFiles/latency_bound_test.dir/integration/latency_bound_test.cc.o.d"
+  "latency_bound_test"
+  "latency_bound_test.pdb"
+  "latency_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/player_test.dir/mpeg/player_test.cc.o"
+  "CMakeFiles/player_test.dir/mpeg/player_test.cc.o.d"
+  "player_test"
+  "player_test.pdb"
+  "player_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

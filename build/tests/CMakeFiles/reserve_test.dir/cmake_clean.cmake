@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reserve_test.dir/sched/reserve_test.cc.o"
+  "CMakeFiles/reserve_test.dir/sched/reserve_test.cc.o.d"
+  "reserve_test"
+  "reserve_test.pdb"
+  "reserve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reserve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

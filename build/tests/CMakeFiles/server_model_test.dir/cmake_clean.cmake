@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_model_test.dir/qos/server_model_test.cc.o"
+  "CMakeFiles/server_model_test.dir/qos/server_model_test.cc.o.d"
+  "server_model_test"
+  "server_model_test.pdb"
+  "server_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

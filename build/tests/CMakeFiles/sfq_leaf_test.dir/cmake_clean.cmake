@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfq_leaf_test.dir/sched/sfq_leaf_test.cc.o"
+  "CMakeFiles/sfq_leaf_test.dir/sched/sfq_leaf_test.cc.o.d"
+  "sfq_leaf_test"
+  "sfq_leaf_test.pdb"
+  "sfq_leaf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfq_leaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_test.dir/sched/simple_test.cc.o"
+  "CMakeFiles/simple_test.dir/sched/simple_test.cc.o.d"
+  "simple_test"
+  "simple_test.pdb"
+  "simple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

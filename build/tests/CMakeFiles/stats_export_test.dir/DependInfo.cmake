@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/stats_export_test.cc" "tests/CMakeFiles/stats_export_test.dir/sim/stats_export_test.cc.o" "gcc" "tests/CMakeFiles/stats_export_test.dir/sim/stats_export_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fair/CMakeFiles/hs_fair.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsfq/CMakeFiles/hs_hsfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/hs_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpeg/CMakeFiles/hs_mpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hs_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

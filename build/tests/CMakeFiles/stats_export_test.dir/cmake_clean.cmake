@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_export_test.dir/sim/stats_export_test.cc.o"
+  "CMakeFiles/stats_export_test.dir/sim/stats_export_test.cc.o.d"
+  "stats_export_test"
+  "stats_export_test.pdb"
+  "stats_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

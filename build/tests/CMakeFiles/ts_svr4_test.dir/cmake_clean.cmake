@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_svr4_test.dir/sched/ts_svr4_test.cc.o"
+  "CMakeFiles/ts_svr4_test.dir/sched/ts_svr4_test.cc.o.d"
+  "ts_svr4_test"
+  "ts_svr4_test.pdb"
+  "ts_svr4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_svr4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
