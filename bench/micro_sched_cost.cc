@@ -34,7 +34,7 @@ void BM_SfqDecision(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
-BENCHMARK(BM_SfqDecision)->RangeMultiplier(4)->Range(2, 2048);
+BENCHMARK(BM_SfqDecision)->RangeMultiplier(4)->Range(2, 4096);
 
 void BM_AlgorithmDecision(benchmark::State& state) {
   const auto alg = static_cast<hfair::Algorithm>(state.range(0));
@@ -55,6 +55,55 @@ void BM_AlgorithmDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_AlgorithmDecision)
     ->DenseRange(0, static_cast<int>(hfair::Algorithm::kEevdf), 1);
+
+// PickNext+Complete for each ready-heap algorithm at small / medium / large backlogs —
+// the perf-regression guard for the indexed d-ary heap migration. range(0) is the
+// algorithm, range(1) the number of backlogged flows.
+void BM_PickNext(benchmark::State& state) {
+  const auto alg = static_cast<hfair::Algorithm>(state.range(0));
+  const auto flows = static_cast<int>(state.range(1));
+  state.SetLabel(hfair::AlgorithmName(alg));
+  auto fq = hfair::MakeFairQueue(alg, 10 * kMillisecond, /*seed=*/42);
+  for (int i = 0; i < flows; ++i) {
+    fq->Arrive(fq->AddFlow(1 + static_cast<hscommon::Weight>(i % 7)), 0);
+  }
+  hscommon::Time now = 0;
+  for (auto _ : state) {
+    const hfair::FlowId f = fq->PickNext(now);
+    benchmark::DoNotOptimize(f);
+    now += 10 * kMillisecond;
+    fq->Complete(f, 10 * kMillisecond, now, true);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PickNext)
+    ->ArgsProduct({{static_cast<int>(hfair::Algorithm::kSfq),
+                    static_cast<int>(hfair::Algorithm::kScfq),
+                    static_cast<int>(hfair::Algorithm::kWfq),
+                    static_cast<int>(hfair::Algorithm::kStride),
+                    static_cast<int>(hfair::Algorithm::kEevdf)},
+                   {2, 64, 4096}});
+
+// Arrive/Depart churn at a standing backlog: blocked<->runnable transitions exercise
+// heap Erase (arbitrary position) and Push rather than the PopMin fast path.
+void BM_ArriveDepartChurn(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  auto fq = hfair::MakeFairQueue(hfair::Algorithm::kSfq, 10 * kMillisecond);
+  std::vector<hfair::FlowId> ids;
+  for (int i = 0; i < flows; ++i) {
+    ids.push_back(fq->AddFlow(1 + static_cast<hscommon::Weight>(i % 7)));
+    fq->Arrive(ids.back(), 0);
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const hfair::FlowId f = ids[cursor];
+    cursor = (cursor + 1) % ids.size();
+    fq->Depart(f, 0);
+    fq->Arrive(f, 0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArriveDepartChurn)->Arg(2)->Arg(64)->Arg(4096);
 
 // Builds a chain of `depth` interior nodes over a leaf with `threads` runnable threads.
 std::unique_ptr<hsfq::SchedulingStructure> BuildTree(int depth, int threads) {

@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/sched/sfq_leaf.h"
 #include "src/sim/event_queue.h"
@@ -15,20 +17,51 @@ using hscommon::kSecond;
 
 namespace {
 
+// Schedule-one/fire-one with a standing population of range(0) pending events — the
+// per-event cost of the queue at a given machine "busyness". The callback carries a
+// 24-byte capture, the shape of the simulator's real callbacks (thread wakeups capture
+// two pointers; System::At wraps a whole std::function): storing and moving such a
+// capture is part of the per-event cost being measured.
 void BM_EventQueueThroughput(benchmark::State& state) {
   hsim::EventQueue q;
-  const auto horizon = static_cast<hscommon::Time>(state.range(0));
+  const auto standing = static_cast<hscommon::Time>(state.range(0));
   hscommon::Time t = 0;
-  for (auto _ : state) {
-    q.At(t % horizon, [] {});
-    if (!q.Empty() && q.NextTime() <= t) {
-      q.PopAndRun();
-    }
-    ++t;
+  uint64_t fired = 0;
+  const uint64_t seq_weight = 3;
+  for (hscommon::Time i = 0; i < standing; ++i) {
+    const uint64_t when = static_cast<uint64_t>(i + 1);
+    q.At(i + 1, [&fired, when, seq_weight] { fired += when * seq_weight; });
   }
+  for (auto _ : state) {
+    const uint64_t when = static_cast<uint64_t>(t + standing + 1);
+    q.At(t + standing + 1, [&fired, when, seq_weight] { fired += when * seq_weight; });
+    t = q.PopAndRun();
+  }
+  benchmark::DoNotOptimize(fired);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EventQueueThroughput)->Arg(64)->Arg(4096);
+
+// Timer-rearm pattern: schedule far in the future, cancel before firing. Exercises the
+// O(1) tombstone cancel plus amortized compaction; the old unordered_set-of-cancelled-ids
+// implementation paid a hash insert per cancel and retained the ids indefinitely.
+void BM_EventScheduleCancelStorm(benchmark::State& state) {
+  hsim::EventQueue q;
+  const auto standing = static_cast<int>(state.range(0));
+  std::vector<hsim::EventId> pending;
+  hscommon::Time t = 0;
+  for (int i = 0; i < standing; ++i) {
+    pending.push_back(q.At(1'000'000 + i, [] {}));
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    q.Cancel(pending[cursor]);
+    pending[cursor] = q.At(1'000'000 + (t++ % 1000), [] {});
+    cursor = (cursor + 1) % pending.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventScheduleCancelStorm)->Arg(64)->Arg(4096);
 
 // Simulated wall time per benchmark iteration: one simulated second of a machine with
 // `threads` CPU-bound threads in one SFQ leaf (20 ms quanta -> ~50 dispatches per

@@ -1,0 +1,259 @@
+// Indexed d-ary min-heap — the allocation-free ready-queue structure behind every
+// scheduler's dispatch path.
+//
+// The fair-queuing and real-time schedulers all need the same four operations on their
+// ready sets: insert with a sort key, peek/pop the minimum, erase an arbitrary member,
+// and re-key a member in place (priority inheritance, replenishment). A red-black tree
+// (std::set) gives them all in O(log n) but pays a heap allocation and three pointer
+// chases per node; a d-ary heap over a flat vector gives the same bounds with zero
+// steady-state allocations and one contiguous array to walk. Arity 4 keeps the tree
+// shallow (log4 n levels) while each node's children share a cache line.
+//
+// Ordering is (key, id) lexicographic — exactly the order of a std::set<std::pair<Key,
+// Id>> — so migrating a scheduler from the set to this heap cannot change its dispatch
+// sequence: the minimum element is unique and identical under both structures.
+//
+// The erase/re-key operations need to find a member's slot in O(1), so the heap keeps a
+// position index keyed by the member id. Two index policies are provided:
+//
+//   * DenseHeapIndex (the default): a flat vector indexed by the id itself. Right for
+//     dense, recycled ids such as hfair::FlowId from a FlowTable.
+//   * ExternalHeapIndex: delegates to a caller functor returning a uint32_t& that lives
+//     inside the caller's own per-entity state. Right for sparse 64-bit ids such as
+//     hsfq::ThreadId, where a dense vector could not be bounded.
+//
+// Neither policy allocates per operation; the only allocations ever performed are
+// amortized vector growth, which Reserve() can eliminate entirely.
+
+#ifndef HSCHED_SRC_COMMON_DARY_HEAP_H_
+#define HSCHED_SRC_COMMON_DARY_HEAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hscommon {
+
+// "Not in the heap" sentinel used by every position index.
+inline constexpr uint32_t kHeapNpos = UINT32_MAX;
+
+// Position index over dense integer ids: a flat vector indexed by the id.
+template <typename Id>
+class DenseHeapIndex {
+ public:
+  uint32_t Get(Id id) const {
+    const size_t i = static_cast<size_t>(id);
+    return i < pos_.size() ? pos_[i] : kHeapNpos;
+  }
+  void Set(Id id, uint32_t pos) {
+    const size_t i = static_cast<size_t>(id);
+    if (i >= pos_.size()) {
+      pos_.resize(i + 1, kHeapNpos);
+    }
+    pos_[i] = pos;
+  }
+  void Reserve(size_t n) { pos_.reserve(n); }
+
+ private:
+  std::vector<uint32_t> pos_;
+};
+
+// Position index that stores each member's slot in caller-owned state. `PosOf` is a
+// functor mapping an id to a uint32_t& (e.g. a field of the scheduler's per-thread
+// struct); it must stay valid for every id currently in the heap.
+template <typename Id, typename PosOf>
+class ExternalHeapIndex {
+ public:
+  ExternalHeapIndex() = default;
+  explicit ExternalHeapIndex(PosOf pos_of) : pos_of_(std::move(pos_of)) {}
+
+  uint32_t Get(Id id) const { return pos_of_(id); }
+  void Set(Id id, uint32_t pos) { pos_of_(id) = pos; }
+  void Reserve(size_t /*n*/) {}
+
+ private:
+  PosOf pos_of_;
+};
+
+template <typename Key, typename Id, typename Index = DenseHeapIndex<Id>,
+          unsigned kArity = 4>
+class DaryHeap {
+  static_assert(kArity >= 2, "a heap needs at least two children per node");
+
+ public:
+  struct Entry {
+    Key key;
+    Id id;
+  };
+
+  DaryHeap() = default;
+  explicit DaryHeap(Index index) : index_(std::move(index)) {}
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Pre-sizes the entry array (and a dense index) for n members.
+  void Reserve(size_t n) {
+    heap_.reserve(n);
+    index_.Reserve(n);
+  }
+
+  // Minimum (key, id) member. Must not be called on an empty heap.
+  const Key& TopKey() const {
+    assert(!heap_.empty());
+    return heap_.front().key;
+  }
+  Id TopId() const {
+    assert(!heap_.empty());
+    return heap_.front().id;
+  }
+
+  bool Contains(Id id) const { return index_.Get(id) != kHeapNpos; }
+
+  // Current key of a member. The id must be in the heap.
+  const Key& KeyOf(Id id) const {
+    assert(Contains(id));
+    return heap_[index_.Get(id)].key;
+  }
+
+  // Inserts a member. The id must not already be in the heap.
+  void Push(Id id, Key key) {
+    assert(!Contains(id));
+    heap_.push_back(Entry{std::move(key), id});
+    SiftUp(heap_.size() - 1);
+  }
+
+  // Removes and returns the minimum member's id.
+  Id PopMin() {
+    assert(!heap_.empty());
+    const Id id = heap_.front().id;
+    RemoveAt(0);
+    return id;
+  }
+
+  // Removes an arbitrary member. The id must be in the heap.
+  void Erase(Id id) {
+    const uint32_t pos = index_.Get(id);
+    assert(pos != kHeapNpos);
+    RemoveAt(pos);
+  }
+
+  // Re-keys a member in place (either direction). The id must be in the heap.
+  void Update(Id id, Key key) {
+    const uint32_t pos = index_.Get(id);
+    assert(pos != kHeapNpos);
+    heap_[pos].key = std::move(key);
+    if (!SiftUp(pos)) {
+      SiftDown(pos);
+    }
+  }
+
+  void Clear() {
+    for (const Entry& e : heap_) {
+      index_.Set(e.id, kHeapNpos);
+    }
+    heap_.clear();
+  }
+
+  // Unordered view of the members, for linear scans (e.g. EEVDF's eligibility search).
+  // The heap invariant guarantees nothing about element order beyond front() being the
+  // minimum.
+  const std::vector<Entry>& Entries() const { return heap_; }
+
+ private:
+  // (key, id) lexicographic strict weak order; requires only operator< on Key.
+  // Evaluated with bitwise (non-short-circuit) logic on purpose: the comparison sits in
+  // the sift loops where its outcome is data-dependent and unpredictable, so both key
+  // comparisons are done unconditionally and combined without branches — the compiler
+  // turns the whole thing into flag arithmetic instead of a mispredicting jump.
+  static bool Less(const Entry& a, const Entry& b) {
+    const bool key_lt = a.key < b.key;
+    const bool key_eq = !(key_lt | (b.key < a.key));
+    return key_lt | (key_eq & (a.id < b.id));
+  }
+
+  void Place(size_t pos, Entry&& e) {
+    index_.Set(e.id, static_cast<uint32_t>(pos));
+    heap_[pos] = std::move(e);
+  }
+
+  // Moves heap_[pos] toward the root until its parent is not greater. Returns true if
+  // the entry moved.
+  bool SiftUp(size_t pos) {
+    Entry e = std::move(heap_[pos]);
+    const size_t start = pos;
+    while (pos > 0) {
+      const size_t parent = (pos - 1) / kArity;
+      if (!Less(e, heap_[parent])) {
+        break;
+      }
+      Place(pos, std::move(heap_[parent]));
+      pos = parent;
+    }
+    Place(pos, std::move(e));
+    return pos != start;
+  }
+
+  // Moves heap_[pos] toward the leaves until no child is smaller.
+  //
+  // Which child wins the min-of-kArity scan is data-dependent and effectively random, so
+  // the selection uses conditional moves (`best = less ? c : best`) rather than branches;
+  // the only branch left per level — "does the subject sink further?" — is highly
+  // predictable (a re-keyed top almost always descends to a leaf). Interior nodes take
+  // the fixed-trip-count unrolled path; only the last, possibly ragged child group falls
+  // back to the bounded loop.
+  void SiftDown(size_t pos) {
+    Entry e = std::move(heap_[pos]);
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t first_child = pos * kArity + 1;
+      if (first_child >= n) {
+        break;
+      }
+      size_t best = first_child;
+      if (first_child + kArity <= n) {
+        for (unsigned c = 1; c < kArity; ++c) {
+          const size_t cand = first_child + c;
+          best = Less(heap_[cand], heap_[best]) ? cand : best;
+        }
+      } else {
+        for (size_t cand = first_child + 1; cand < n; ++cand) {
+          best = Less(heap_[cand], heap_[best]) ? cand : best;
+        }
+      }
+      if (!Less(heap_[best], e)) {
+        break;
+      }
+      Place(pos, std::move(heap_[best]));
+      pos = best;
+    }
+    Place(pos, std::move(e));
+  }
+
+  void RemoveAt(size_t pos) {
+    index_.Set(heap_[pos].id, kHeapNpos);
+    const size_t last = heap_.size() - 1;
+    if (pos != last) {
+      Entry moved = std::move(heap_[last]);
+      heap_.pop_back();
+      heap_[pos].key = std::move(moved.key);  // overwrite before Place re-indexes
+      heap_[pos].id = moved.id;
+      index_.Set(moved.id, static_cast<uint32_t>(pos));
+      if (!SiftUp(pos)) {
+        SiftDown(pos);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<Entry> heap_;
+  Index index_;
+};
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_DARY_HEAP_H_

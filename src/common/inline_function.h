@@ -1,0 +1,129 @@
+// Small-buffer-optimized move-only callable holder.
+//
+// std::function heap-allocates any callable larger than its tiny internal buffer
+// (16 bytes in libstdc++), which puts an allocation on the simulator's event-scheduling
+// hot path for perfectly ordinary lambdas. InlineFunction stores callables up to
+// `Capacity` bytes inline — the event queue sizes it so every callback the simulator
+// schedules fits — and falls back to the heap only for oversized or throwing-move
+// callables, so correctness never depends on the capacity choice.
+//
+// Move-only by design: event callbacks are consumed exactly once and captured state
+// (unique_ptrs, etc.) should not need to be copyable.
+
+#ifndef HSCHED_SRC_COMMON_INLINE_FUNCTION_H_
+#define HSCHED_SRC_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hscommon {
+
+template <typename Signature, size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (FitsInline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &kHeapVtable<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  // Invokes the held callable; undefined if empty (asserted via the vtable deref).
+  R operator()(Args... args) {
+    return vtable_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  void Reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct Vtable {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-constructs `dst` from `src` and destroys `src`.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr bool FitsInline() {
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Vtable kInlineVtable = {
+      [](void* storage, Args&&... args) -> R {
+        return (*static_cast<Fn*>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        Fn* f = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* storage) { static_cast<Fn*>(storage)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Vtable kHeapVtable = {
+      [](void* storage, Args&&... args) -> R {
+        return (**static_cast<Fn**>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* storage) { delete *static_cast<Fn**>(storage); },
+  };
+
+  void MoveFrom(InlineFunction&& other) {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(other.buf_, buf_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity < sizeof(void*)
+                                                   ? sizeof(void*)
+                                                   : Capacity];
+  const Vtable* vtable_ = nullptr;
+};
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_INLINE_FUNCTION_H_

@@ -32,6 +32,14 @@ class VirtualTime {
   // i.e. work / weight in 96.32 fixed point, truncated. `work` must be >= 0 and
   // `weight` must be >= 1.
   static constexpr VirtualTime FromService(Work work, Weight weight) {
+    // Dividing a 128-bit value costs a library call (__udivti3, dozens of cycles) and
+    // this sits on the tag-stamping path of every completion. Work below 2^32 ns (~4.3
+    // simulated seconds of service in one slice — every realistic quantum) keeps
+    // work << 32 within 64 bits, where the division is a single machine instruction.
+    const auto w = static_cast<uint64_t>(work);
+    if (w < (uint64_t{1} << (64 - kFractionBits))) {
+      return VirtualTime((w << kFractionBits) / weight);
+    }
     return VirtualTime((static_cast<unsigned __int128>(work) << kFractionBits) / weight);
   }
 

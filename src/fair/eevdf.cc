@@ -19,7 +19,11 @@ void Eevdf::RemoveFlow(FlowId flow) {
   assert(flow != in_service_);
   FlowState& f = flows_[flow];
   if (f.backlogged) {
-    ready_.erase({f.vd, flow});
+    if (ready_.Contains(flow)) {
+      ready_.Erase(flow);
+    } else {
+      future_.Erase(flow);
+    }
     backlogged_weight_ -= f.weight;
   }
   flows_.Free(flow);
@@ -48,29 +52,51 @@ void Eevdf::Arrive(FlowId flow, Time /*now*/) {
   f.ve = hscommon::Max(f.ve, v_);
   StampDeadline(flow);
   f.backlogged = true;
-  ready_.emplace(f.vd, flow);
+  Enqueue(flow);
   backlogged_weight_ += f.weight;
+}
+
+void Eevdf::Enqueue(FlowId flow) {
+  const FlowState& f = flows_[flow];
+  if (v_ < f.ve) {
+    future_.Push(flow, f.ve);
+  } else {
+    ready_.Push(flow, f.vd);
+  }
+}
+
+void Eevdf::Promote() {
+  while (!future_.empty() && !(v_ < future_.TopKey())) {
+    const FlowId flow = future_.PopMin();
+    ready_.Push(flow, flows_[flow].vd);
+  }
 }
 
 FlowId Eevdf::PickNext(Time /*now*/) {
   assert(in_service_ == kInvalidFlow);
-  if (ready_.empty()) {
+  Promote();
+  FlowId pick;
+  if (!ready_.empty()) {
+    // Earliest (vd, id) among eligible flows: exactly the flow a vd-ordered set's
+    // first-eligible-in-order walk selects.
+    pick = ready_.PopMin();
+  } else if (!future_.empty()) {
+    // Nothing eligible (every flow is ahead of its share): run the earliest overall
+    // virtual deadline anyway, for work conservation. future_ is keyed by ve, so this
+    // rare path scans for the minimum (vd, id).
+    pick = kInvalidFlow;
+    VirtualTime best_vd;
+    for (const auto& e : future_.Entries()) {
+      const VirtualTime vd = flows_[e.id].vd;
+      if (pick == kInvalidFlow || vd < best_vd || (vd == best_vd && e.id < pick)) {
+        pick = e.id;
+        best_vd = vd;
+      }
+    }
+    future_.Erase(pick);
+  } else {
     return kInvalidFlow;
   }
-  // Earliest virtual deadline among eligible flows; deadlines are the set order, so the
-  // first eligible entry in deadline order wins. Fall back to the overall earliest
-  // deadline when nothing is eligible (work conservation).
-  FlowId pick = kInvalidFlow;
-  for (const auto& [vd, flow] : ready_) {
-    if (flows_[flow].ve <= v_) {
-      pick = flow;
-      break;
-    }
-  }
-  if (pick == kInvalidFlow) {
-    pick = ready_.begin()->second;
-  }
-  ready_.erase({flows_[pick].vd, pick});
   flows_[pick].backlogged = false;
   in_service_ = pick;
   return pick;
@@ -87,7 +113,7 @@ void Eevdf::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged
   if (still_backlogged) {
     StampDeadline(flow);
     f.backlogged = true;
-    ready_.emplace(f.vd, flow);
+    Enqueue(flow);
   } else {
     backlogged_weight_ -= f.weight;
   }
@@ -96,7 +122,11 @@ void Eevdf::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged
 void Eevdf::Depart(FlowId flow, Time /*now*/) {
   FlowState& f = flows_[flow];
   assert(f.backlogged && flow != in_service_);
-  ready_.erase({f.vd, flow});
+  if (ready_.Contains(flow)) {
+    ready_.Erase(flow);
+  } else {
+    future_.Erase(flow);
+  }
   f.backlogged = false;
   backlogged_weight_ -= f.weight;
 }

@@ -10,9 +10,7 @@
 #ifndef HSCHED_SRC_FAIR_EEVDF_H_
 #define HSCHED_SRC_FAIR_EEVDF_H_
 
-#include <set>
-#include <utility>
-
+#include "src/common/dary_heap.h"
 #include "src/fair/fair_queue.h"
 #include "src/fair/flow_table.h"
 
@@ -36,8 +34,8 @@ class Eevdf : public FairQueue {
   FlowId PickNext(Time now) override;
   void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
   void Depart(FlowId flow, Time now) override;
-  bool HasBacklog() const override { return !ready_.empty(); }
-  size_t BacklogSize() const override { return ready_.size(); }
+  bool HasBacklog() const override { return !ready_.empty() || !future_.empty(); }
+  size_t BacklogSize() const override { return ready_.size() + future_.size(); }
   std::string Name() const override { return "EEVDF"; }
 
   VirtualTime GlobalVirtualTime() const { return v_; }
@@ -53,10 +51,21 @@ class Eevdf : public FairQueue {
   };
 
   void StampDeadline(FlowId flow);
+  // Inserts a backlogged flow into ready_ or future_ by its eligibility against v_.
+  void Enqueue(FlowId flow);
+  // Moves every flow whose eligible time has been reached from future_ to ready_.
+  // v_ is monotone, so a flow never moves back.
+  void Promote();
 
   Config config_;
   FlowTable<FlowState> flows_;
-  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by virtual deadline
+  // Backlogged flows split by eligibility: eligible flows (ve <= V) keyed by virtual
+  // deadline — PickNext is then a plain min-peek — and not-yet-eligible flows keyed by
+  // virtual eligible time so Promote() can migrate them as V advances. The split gives
+  // the same pick as walking a single vd-ordered set for the first eligible flow,
+  // without the O(n) scan.
+  hscommon::DaryHeap<VirtualTime, FlowId> ready_;
+  hscommon::DaryHeap<VirtualTime, FlowId> future_;
   FlowId in_service_ = kInvalidFlow;
   VirtualTime v_;
   Weight backlogged_weight_ = 0;  // includes the in-service flow

@@ -19,7 +19,7 @@ void Fqs::RemoveFlow(FlowId flow) {
   assert(flow != in_service_);
   FlowState& f = flows_[flow];
   if (f.backlogged) {
-    ready_.erase({f.start, flow});
+    ready_.Erase(flow);
   }
   if (f.in_gps) {
     gps_.FlowDeactivatedNoAdvance(f.weight);
@@ -45,7 +45,7 @@ void Fqs::Arrive(FlowId flow, Time now) {
   f.in_gps = true;
   f.start = hscommon::Max(gps_.Advance(now), f.finish);
   f.backlogged = true;
-  ready_.emplace(f.start, flow);
+  ready_.Push(flow, f.start);
 }
 
 FlowId Fqs::PickNext(Time now) {
@@ -54,8 +54,7 @@ FlowId Fqs::PickNext(Time now) {
   if (ready_.empty()) {
     return kInvalidFlow;
   }
-  const FlowId flow = ready_.begin()->second;
-  ready_.erase(ready_.begin());
+  const FlowId flow = ready_.TopId();  // stays in the heap until Complete re-keys it
   flows_[flow].backlogged = false;
   in_service_ = flow;
   return flow;
@@ -69,8 +68,9 @@ void Fqs::Complete(FlowId flow, Work used, Time now, bool still_backlogged) {
   if (still_backlogged) {
     f.start = hscommon::Max(gps_.Advance(now), f.finish);
     f.backlogged = true;
-    ready_.emplace(f.start, flow);
+    ready_.Update(flow, f.start);
   } else {
+    ready_.Erase(flow);
     gps_.FlowDeactivated(f.weight, now);
     f.in_gps = false;
   }
@@ -79,7 +79,7 @@ void Fqs::Complete(FlowId flow, Work used, Time now, bool still_backlogged) {
 void Fqs::Depart(FlowId flow, Time now) {
   FlowState& f = flows_[flow];
   assert(f.backlogged && flow != in_service_);
-  ready_.erase({f.start, flow});
+  ready_.Erase(flow);
   f.backlogged = false;
   gps_.FlowDeactivated(f.weight, now);
   f.in_gps = false;

@@ -10,7 +10,7 @@ VirtualTime ExactGpsClock::Advance(Time now) {
   // Process departure epochs one at a time (including any that land exactly on `now`):
   // each removes a flow from the backlogged set and changes the slope of v.
   while (active_weight_ > 0 && !departures_.empty()) {
-    const auto [vf, flow] = *departures_.begin();
+    const VirtualTime vf = departures_.TopKey();
     const VirtualTime gap = vf - v_;
     // Wall time needed to advance v by `gap` at the current slope C / W.
     const Work wall_needed =
@@ -20,7 +20,7 @@ VirtualTime ExactGpsClock::Advance(Time now) {
     }
     v_ = vf;
     t += wall_needed;
-    departures_.erase(departures_.begin());
+    const FlowId flow = departures_.PopMin();
     FlowFluid& fluid = flows_.at(flow);
     fluid.backlogged = false;
     active_weight_ -= fluid.weight;
@@ -38,15 +38,15 @@ VirtualTime ExactGpsClock::AddWork(FlowId flow, Weight weight, Work len, Time no
   FlowFluid& fluid = flows_[flow];
   fluid.weight = weight;  // weight changes apply to newly queued fluid
   if (fluid.backlogged) {
-    departures_.erase({fluid.busy_until, flow});
     fluid.busy_until = fluid.busy_until + VirtualTime::FromService(len, weight);
+    departures_.Update(flow, fluid.busy_until);
   } else {
     const VirtualTime base = hscommon::Max(v_, fluid.busy_until);
     fluid.busy_until = base + VirtualTime::FromService(len, weight);
     fluid.backlogged = true;
     active_weight_ += weight;
+    departures_.Push(flow, fluid.busy_until);
   }
-  departures_.emplace(fluid.busy_until, flow);
   return fluid.busy_until;
 }
 
@@ -56,7 +56,7 @@ void ExactGpsClock::Remove(FlowId flow) {
     return;
   }
   if (it->second.backlogged) {
-    departures_.erase({it->second.busy_until, flow});
+    departures_.Erase(flow);
     active_weight_ -= it->second.weight;
   }
   flows_.erase(it);

@@ -15,10 +15,9 @@
 #ifndef HSCHED_SRC_FAIR_GPS_EXACT_H_
 #define HSCHED_SRC_FAIR_GPS_EXACT_H_
 
-#include <set>
 #include <unordered_map>
-#include <utility>
 
+#include "src/common/dary_heap.h"
 #include "src/fair/fair_queue.h"
 
 namespace hfair {
@@ -62,7 +61,7 @@ class ExactGpsClock {
   Weight active_weight_ = 0;
   std::unordered_map<FlowId, FlowFluid> flows_;
   // GPS departure epochs, earliest virtual finish first.
-  std::set<std::pair<VirtualTime, FlowId>> departures_;
+  hscommon::DaryHeap<VirtualTime, FlowId> departures_;
 };
 
 }  // namespace hfair

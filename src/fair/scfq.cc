@@ -18,7 +18,7 @@ FlowId Scfq::AddFlow(Weight weight) {
 void Scfq::RemoveFlow(FlowId flow) {
   assert(flow != in_service_);
   if (flows_[flow].backlogged) {
-    ready_.erase({flows_[flow].finish, flow});
+    ready_.Erase(flow);
   }
   flows_.Free(flow);
 }
@@ -37,7 +37,7 @@ void Scfq::Arrive(FlowId flow, Time /*now*/) {
   f.finish = hscommon::Max(v_, f.finish) +
              VirtualTime::FromService(config_.assumed_quantum, f.weight);
   f.backlogged = true;
-  ready_.emplace(f.finish, flow);
+  ready_.Push(flow, f.finish);
 }
 
 FlowId Scfq::PickNext(Time /*now*/) {
@@ -45,8 +45,7 @@ FlowId Scfq::PickNext(Time /*now*/) {
   if (ready_.empty()) {
     return kInvalidFlow;
   }
-  const FlowId flow = ready_.begin()->second;
-  ready_.erase(ready_.begin());
+  const FlowId flow = ready_.TopId();  // stays in the heap until Complete re-keys it
   flows_[flow].backlogged = false;
   in_service_ = flow;
   v_ = flows_[flow].finish;  // the self-clock
@@ -66,14 +65,16 @@ void Scfq::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged)
     // max(v, F) term is just F.
     f.finish = f.finish + VirtualTime::FromService(config_.assumed_quantum, f.weight);
     f.backlogged = true;
-    ready_.emplace(f.finish, flow);
+    ready_.Update(flow, f.finish);
+  } else {
+    ready_.Erase(flow);
   }
 }
 
 void Scfq::Depart(FlowId flow, Time /*now*/) {
   FlowState& f = flows_[flow];
   assert(f.backlogged && flow != in_service_);
-  ready_.erase({f.finish, flow});
+  ready_.Erase(flow);
   f.backlogged = false;
   // Retract the quantum's tag so a later re-arrival does not pay for service it never
   // received (the tag was stamped at arrival assuming the assumed quantum).

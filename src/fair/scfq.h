@@ -8,9 +8,7 @@
 #ifndef HSCHED_SRC_FAIR_SCFQ_H_
 #define HSCHED_SRC_FAIR_SCFQ_H_
 
-#include <set>
-#include <utility>
-
+#include "src/common/dary_heap.h"
 #include "src/fair/fair_queue.h"
 #include "src/fair/flow_table.h"
 
@@ -35,8 +33,12 @@ class Scfq : public FairQueue {
   FlowId PickNext(Time now) override;
   void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
   void Depart(FlowId flow, Time now) override;
-  bool HasBacklog() const override { return !ready_.empty(); }
-  size_t BacklogSize() const override { return ready_.size(); }
+  // The in-service flow stays in ready_ between PickNext and Complete (it is re-keyed
+  // there in a single sift instead of a pop + reinsert); exclude it from the backlog.
+  bool HasBacklog() const override { return BacklogSize() > 0; }
+  size_t BacklogSize() const override {
+    return ready_.size() - static_cast<size_t>(in_service_ != kInvalidFlow);
+  }
   std::string Name() const override { return "SCFQ"; }
 
   VirtualTime FinishTag(FlowId flow) const { return flows_[flow].finish; }
@@ -51,7 +53,7 @@ class Scfq : public FairQueue {
 
   Config config_;
   FlowTable<FlowState> flows_;
-  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by finish tag
+  hscommon::DaryHeap<VirtualTime, FlowId> ready_;  // keyed by finish tag
   FlowId in_service_ = kInvalidFlow;
   VirtualTime v_;  // finish tag of the quantum in service
 };

@@ -32,7 +32,7 @@ VirtualTime Sfq::VirtualTimeNow() const {
     return flows_[in_service_].start;
   }
   if (!ready_.empty()) {
-    return ready_.begin()->first;
+    return ready_.TopKey();
   }
   return max_finish_;
 }
@@ -50,8 +50,7 @@ FlowId Sfq::PickNext(Time /*now*/) {
   if (ready_.empty()) {
     return kInvalidFlow;
   }
-  const FlowId flow = ready_.begin()->second;
-  EraseReady(flow);
+  const FlowId flow = ready_.TopId();  // stays in the heap until Complete re-keys it
   flows_[flow].backlogged = false;
   in_service_ = flow;
   return flow;
@@ -69,7 +68,9 @@ void Sfq::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged) 
   if (still_backlogged) {
     f.start = f.finish;
     f.backlogged = true;
-    InsertReady(flow);
+    ready_.Update(flow, f.start);
+  } else {
+    ready_.Erase(flow);
   }
 }
 
@@ -80,16 +81,8 @@ void Sfq::Depart(FlowId flow, Time /*now*/) {
   f.backlogged = false;
 }
 
-void Sfq::InsertReady(FlowId flow) {
-  const bool inserted = ready_.emplace(flows_[flow].start, flow).second;
-  assert(inserted);
-  (void)inserted;
-}
+void Sfq::InsertReady(FlowId flow) { ready_.Push(flow, flows_[flow].start); }
 
-void Sfq::EraseReady(FlowId flow) {
-  const size_t erased = ready_.erase(ReadyKey{flows_[flow].start, flow});
-  assert(erased == 1);
-  (void)erased;
-}
+void Sfq::EraseReady(FlowId flow) { ready_.Erase(flow); }
 
 }  // namespace hfair

@@ -18,9 +18,7 @@
 #ifndef HSCHED_SRC_FAIR_SFQ_H_
 #define HSCHED_SRC_FAIR_SFQ_H_
 
-#include <set>
-#include <utility>
-
+#include "src/common/dary_heap.h"
 #include "src/fair/fair_queue.h"
 #include "src/fair/flow_table.h"
 
@@ -37,8 +35,12 @@ class Sfq : public FairQueue {
   void Arrive(FlowId flow, Time now) override;
   FlowId PickNext(Time now) override;
   void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
-  bool HasBacklog() const override { return !ready_.empty(); }
-  size_t BacklogSize() const override { return ready_.size(); }
+  // The in-service flow stays in ready_ between PickNext and Complete (it is re-keyed
+  // there in a single sift instead of a pop + reinsert); exclude it from the backlog.
+  bool HasBacklog() const override { return BacklogSize() > 0; }
+  size_t BacklogSize() const override {
+    return ready_.size() - static_cast<size_t>(in_service_ != kInvalidFlow);
+  }
   std::string Name() const override { return "SFQ"; }
 
   // Retracts a backlogged (not in-service) flow from the ready set without charging it
@@ -73,13 +75,13 @@ class Sfq : public FairQueue {
     bool backlogged = false;  // in ready_ (excludes in-service)
   };
 
-  using ReadyKey = std::pair<VirtualTime, FlowId>;
-
   void InsertReady(FlowId flow);
   void EraseReady(FlowId flow);
 
   FlowTable<FlowState> flows_;
-  std::set<ReadyKey> ready_;
+  // Ready flows keyed by start tag, (tag, id) order — same dispatch sequence as the
+  // std::set<std::pair<...>> this replaced, without its per-node allocations.
+  hscommon::DaryHeap<VirtualTime, FlowId> ready_;
   FlowId in_service_ = kInvalidFlow;
   VirtualTime max_finish_;
 };

@@ -18,7 +18,7 @@ FlowId Stride::AddFlow(Weight weight) {
 void Stride::RemoveFlow(FlowId flow) {
   assert(flow != in_service_);
   if (flows_[flow].backlogged) {
-    ready_.erase({flows_[flow].pass, flow});
+    ready_.Erase(flow);
   }
   flows_.Free(flow);
 }
@@ -35,7 +35,7 @@ VirtualTime Stride::GlobalPass() const {
     return flows_[in_service_].pass;
   }
   if (!ready_.empty()) {
-    return ready_.begin()->first;
+    return ready_.TopKey();
   }
   return max_pass_;
 }
@@ -47,7 +47,7 @@ void Stride::Arrive(FlowId flow, Time /*now*/) {
   // nor forfeits service (TM-528's "dynamic participation" rule).
   f.pass = hscommon::Max(f.pass, GlobalPass());
   f.backlogged = true;
-  ready_.emplace(f.pass, flow);
+  ready_.Push(flow, f.pass);
 }
 
 FlowId Stride::PickNext(Time /*now*/) {
@@ -55,8 +55,7 @@ FlowId Stride::PickNext(Time /*now*/) {
   if (ready_.empty()) {
     return kInvalidFlow;
   }
-  const FlowId flow = ready_.begin()->second;
-  ready_.erase(ready_.begin());
+  const FlowId flow = ready_.TopId();  // stays in the heap until Complete re-keys it
   flows_[flow].backlogged = false;
   in_service_ = flow;
   return flow;
@@ -71,14 +70,16 @@ void Stride::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogge
   max_pass_ = hscommon::Max(max_pass_, f.pass);
   if (still_backlogged) {
     f.backlogged = true;
-    ready_.emplace(f.pass, flow);
+    ready_.Update(flow, f.pass);
+  } else {
+    ready_.Erase(flow);
   }
 }
 
 void Stride::Depart(FlowId flow, Time /*now*/) {
   FlowState& f = flows_[flow];
   assert(f.backlogged && flow != in_service_);
-  ready_.erase({f.pass, flow});
+  ready_.Erase(flow);
   f.backlogged = false;
 }
 

@@ -13,9 +13,7 @@
 #ifndef HSCHED_SRC_FAIR_STRIDE_H_
 #define HSCHED_SRC_FAIR_STRIDE_H_
 
-#include <set>
-#include <utility>
-
+#include "src/common/dary_heap.h"
 #include "src/fair/fair_queue.h"
 #include "src/fair/flow_table.h"
 
@@ -39,8 +37,12 @@ class Stride : public FairQueue {
   FlowId PickNext(Time now) override;
   void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
   void Depart(FlowId flow, Time now) override;
-  bool HasBacklog() const override { return !ready_.empty(); }
-  size_t BacklogSize() const override { return ready_.size(); }
+  // The in-service flow stays in ready_ between PickNext and Complete (it is re-keyed
+  // there in a single sift instead of a pop + reinsert); exclude it from the backlog.
+  bool HasBacklog() const override { return BacklogSize() > 0; }
+  size_t BacklogSize() const override {
+    return ready_.size() - static_cast<size_t>(in_service_ != kInvalidFlow);
+  }
   std::string Name() const override {
     return config_.charge_actual ? "Stride-actual" : "Stride";
   }
@@ -58,7 +60,7 @@ class Stride : public FairQueue {
 
   Config config_;
   FlowTable<FlowState> flows_;
-  std::set<std::pair<VirtualTime, FlowId>> ready_;  // keyed by pass
+  hscommon::DaryHeap<VirtualTime, FlowId> ready_;  // keyed by pass
   FlowId in_service_ = kInvalidFlow;
   VirtualTime max_pass_;
 };

@@ -20,7 +20,7 @@ void Wfq::RemoveFlow(FlowId flow) {
   assert(flow != in_service_);
   FlowState& f = flows_[flow];
   if (f.backlogged) {
-    ready_.erase({f.finish, flow});
+    ready_.Erase(flow);
   }
   if (f.in_gps) {
     gps_.FlowDeactivatedNoAdvance(f.weight);
@@ -52,7 +52,7 @@ void Wfq::Arrive(FlowId flow, Time now) {
   f.in_gps = true;
   StampNextQuantum(flow, now);
   f.backlogged = true;
-  ready_.emplace(f.finish, flow);
+  ready_.Push(flow, f.finish);
 }
 
 FlowId Wfq::PickNext(Time now) {
@@ -61,8 +61,7 @@ FlowId Wfq::PickNext(Time now) {
   if (ready_.empty()) {
     return kInvalidFlow;
   }
-  const FlowId flow = ready_.begin()->second;
-  ready_.erase(ready_.begin());
+  const FlowId flow = ready_.TopId();  // stays in the heap until Complete re-keys it
   flows_[flow].backlogged = false;
   in_service_ = flow;
   return flow;
@@ -79,8 +78,9 @@ void Wfq::Complete(FlowId flow, Work used, Time now, bool still_backlogged) {
   if (still_backlogged) {
     StampNextQuantum(flow, now);
     f.backlogged = true;
-    ready_.emplace(f.finish, flow);
+    ready_.Update(flow, f.finish);
   } else {
+    ready_.Erase(flow);
     gps_.FlowDeactivated(f.weight, now);
     f.in_gps = false;
   }
@@ -89,7 +89,7 @@ void Wfq::Complete(FlowId flow, Work used, Time now, bool still_backlogged) {
 void Wfq::Depart(FlowId flow, Time now) {
   FlowState& f = flows_[flow];
   assert(f.backlogged && flow != in_service_);
-  ready_.erase({f.finish, flow});
+  ready_.Erase(flow);
   f.backlogged = false;
   gps_.FlowDeactivated(f.weight, now);
   f.in_gps = false;

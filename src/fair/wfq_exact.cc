@@ -20,7 +20,7 @@ void WfqExact::RemoveFlow(FlowId flow) {
   assert(flow != in_service_);
   FlowState& f = flows_[flow];
   if (f.backlogged) {
-    ready_.erase({f.finish, flow});
+    ready_.Erase(flow);
   }
   gps_.Remove(flow);
   flows_.Free(flow);
@@ -44,7 +44,7 @@ void WfqExact::Arrive(FlowId flow, Time now) {
   assert(!f.backlogged && flow != in_service_);
   StampNextQuantum(flow, now);
   f.backlogged = true;
-  ready_.emplace(f.finish, flow);
+  ready_.Push(flow, f.finish);
 }
 
 FlowId WfqExact::PickNext(Time now) {
@@ -53,8 +53,7 @@ FlowId WfqExact::PickNext(Time now) {
   if (ready_.empty()) {
     return kInvalidFlow;
   }
-  const FlowId flow = ready_.begin()->second;
-  ready_.erase(ready_.begin());
+  const FlowId flow = ready_.TopId();  // stays in the heap until Complete re-keys it
   flows_[flow].backlogged = false;
   in_service_ = flow;
   return flow;
@@ -67,7 +66,9 @@ void WfqExact::Complete(FlowId flow, Work /*used*/, Time now, bool still_backlog
   if (still_backlogged) {
     StampNextQuantum(flow, now);
     f.backlogged = true;
-    ready_.emplace(f.finish, flow);
+    ready_.Update(flow, f.finish);
+  } else {
+    ready_.Erase(flow);
   }
   // If the flow blocked, its fluid keeps draining in the GPS system — that is the exact
   // semantics (and a behavioural difference from the lazy approximation).
@@ -76,7 +77,7 @@ void WfqExact::Complete(FlowId flow, Work /*used*/, Time now, bool still_backlog
 void WfqExact::Depart(FlowId flow, Time /*now*/) {
   FlowState& f = flows_[flow];
   assert(f.backlogged && flow != in_service_);
-  ready_.erase({f.finish, flow});
+  ready_.Erase(flow);
   f.backlogged = false;
 }
 

@@ -45,7 +45,7 @@ void EdfScheduler::RemoveThread(ThreadId thread) {
   assert(it != threads_.end());
   assert(thread != in_service_);
   if (it->second.runnable) {
-    ready_.erase({it->second.abs_deadline, thread});
+    ready_.Erase(thread);
   }
   utilization_ -= static_cast<double>(it->second.computation) /
                   static_cast<double>(it->second.period);
@@ -83,14 +83,14 @@ void EdfScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
   // A wakeup is a job release: stamp the job's absolute deadline.
   state.abs_deadline = now + state.rel_deadline;
   state.runnable = true;
-  ready_.emplace(state.abs_deadline, thread);
+  ready_.Push(thread, state.abs_deadline);
 }
 
 void EdfScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
   (void)now;
   ThreadState& state = threads_.at(thread);
   assert(state.runnable && thread != in_service_);
-  ready_.erase({state.abs_deadline, thread});
+  ready_.Erase(thread);
   state.runnable = false;
 }
 
@@ -99,8 +99,7 @@ ThreadId EdfScheduler::PickNext(hscommon::Time /*now*/) {
   if (ready_.empty()) {
     return hsfq::kInvalidThread;
   }
-  const ThreadId thread = ready_.begin()->second;
-  ready_.erase(ready_.begin());
+  const ThreadId thread = ready_.PopMin();
   threads_.at(thread).runnable = false;
   in_service_ = thread;
   return thread;
@@ -114,7 +113,7 @@ void EdfScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Ti
   if (still_runnable) {
     // Same job continues: the absolute deadline is unchanged.
     state.runnable = true;
-    ready_.emplace(state.abs_deadline, thread);
+    ready_.Push(thread, state.abs_deadline);
   }
 }
 

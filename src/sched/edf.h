@@ -9,10 +9,9 @@
 #ifndef HSCHED_SRC_SCHED_EDF_H_
 #define HSCHED_SRC_SCHED_EDF_H_
 
-#include <set>
 #include <unordered_map>
-#include <utility>
 
+#include "src/common/dary_heap.h"
 #include "src/hsfq/leaf_scheduler.h"
 
 namespace hleaf {
@@ -59,14 +58,28 @@ class EdfScheduler : public hsfq::LeafScheduler {
     hscommon::Time rel_deadline = 0;
     hscommon::Time abs_deadline = hscommon::kTimeInfinity;
     bool runnable = false;
+    uint32_t heap_pos = hscommon::kHeapNpos;  // slot in ready_, maintained by the heap
   };
+
+  // ThreadIds are sparse 64-bit values, so the ready heap's position index lives in the
+  // per-thread state instead of a dense array.
+  struct ReadyPos {
+    EdfScheduler* self;
+    uint32_t& operator()(ThreadId thread) const {
+      return self->threads_.at(thread).heap_pos;
+    }
+  };
+  using ReadyHeap =
+      hscommon::DaryHeap<hscommon::Time, ThreadId,
+                         hscommon::ExternalHeapIndex<ThreadId, ReadyPos>>;
 
   static hscommon::Status ValidateParams(const ThreadParams& params);
 
   Config config_;
   double utilization_ = 0.0;
   std::unordered_map<ThreadId, ThreadState> threads_;
-  std::set<std::pair<hscommon::Time, ThreadId>> ready_;  // keyed by absolute deadline
+  // Keyed by absolute deadline.
+  ReadyHeap ready_{hscommon::ExternalHeapIndex<ThreadId, ReadyPos>(ReadyPos{this})};
   ThreadId in_service_ = hsfq::kInvalidThread;
 };
 

@@ -94,7 +94,7 @@ void ReserveScheduler::EnqueueRunnable(ThreadId thread, ThreadState& state,
   state.runnable = true;
   if (state.remaining > 0) {
     state.in_reserved_queue = true;
-    reserved_.emplace(state.next_replenish, thread);
+    reserved_.Push(thread, state.next_replenish);
   } else {
     state.in_reserved_queue = false;
     background_.push_back(thread);
@@ -103,7 +103,7 @@ void ReserveScheduler::EnqueueRunnable(ThreadId thread, ThreadState& state,
 
 void ReserveScheduler::DequeueRunnable(ThreadId thread, ThreadState& state) {
   if (state.in_reserved_queue) {
-    reserved_.erase({state.next_replenish, thread});
+    reserved_.Erase(thread);
   } else {
     background_.erase(std::find(background_.begin(), background_.end(), thread));
   }
@@ -118,7 +118,7 @@ void ReserveScheduler::PromoteReplenished(hscommon::Time now) {
       background_.erase(background_.begin() + static_cast<std::ptrdiff_t>(i));
       Replenish(state, now);
       state.in_reserved_queue = true;
-      reserved_.emplace(state.next_replenish, thread);
+      reserved_.Push(thread, state.next_replenish);
     } else {
       ++i;
     }
@@ -143,7 +143,7 @@ ThreadId ReserveScheduler::PickNext(hscommon::Time now) {
   PromoteReplenished(now);
   ThreadId thread = hsfq::kInvalidThread;
   if (!reserved_.empty()) {
-    thread = reserved_.begin()->second;
+    thread = reserved_.TopId();
   } else if (!background_.empty()) {
     thread = background_.front();
   } else {

@@ -12,10 +12,9 @@
 #define HSCHED_SRC_SCHED_RESERVE_H_
 
 #include <deque>
-#include <set>
 #include <unordered_map>
-#include <utility>
 
+#include "src/common/dary_heap.h"
 #include "src/hsfq/leaf_scheduler.h"
 
 namespace hleaf {
@@ -62,7 +61,19 @@ class ReserveScheduler : public hsfq::LeafScheduler {
     hscommon::Time next_replenish = 0;
     bool runnable = false;
     bool in_reserved_queue = false;  // which queue it currently sits on
+    uint32_t heap_pos = hscommon::kHeapNpos;  // slot in reserved_, heap-maintained
   };
+
+  // Sparse 64-bit ThreadIds: the heap's position index lives in ThreadState.
+  struct ReservedPos {
+    ReserveScheduler* self;
+    uint32_t& operator()(ThreadId thread) const {
+      return self->threads_.at(thread).heap_pos;
+    }
+  };
+  using ReservedHeap =
+      hscommon::DaryHeap<hscommon::Time, ThreadId,
+                         hscommon::ExternalHeapIndex<ThreadId, ReservedPos>>;
 
   // Brings the thread's budget up to date with period boundaries.
   void Replenish(ThreadState& state, hscommon::Time now);
@@ -75,7 +86,8 @@ class ReserveScheduler : public hsfq::LeafScheduler {
   double utilization_ = 0.0;
   std::unordered_map<ThreadId, ThreadState> threads_;
   // Reserved threads, earliest replenishment deadline first.
-  std::set<std::pair<hscommon::Time, ThreadId>> reserved_;
+  ReservedHeap reserved_{
+      hscommon::ExternalHeapIndex<ThreadId, ReservedPos>(ReservedPos{this})};
   // Budget-exhausted threads, round-robin.
   std::deque<ThreadId> background_;
   ThreadId in_service_ = hsfq::kInvalidThread;

@@ -46,7 +46,7 @@ void RmaScheduler::RemoveThread(ThreadId thread) {
   assert(it != threads_.end());
   assert(thread != in_service_);
   if (it->second.runnable) {
-    ready_.erase({it->second.effective_period, thread});
+    ready_.Erase(thread);
   }
   utilization_ -= static_cast<double>(it->second.computation) /
                   static_cast<double>(it->second.period);
@@ -86,13 +86,13 @@ void RmaScheduler::ThreadRunnable(ThreadId thread, hscommon::Time /*now*/) {
   ThreadState& state = threads_.at(thread);
   assert(!state.runnable && thread != in_service_);
   state.runnable = true;
-  ready_.emplace(state.effective_period, thread);
+  ready_.Push(thread, state.effective_period);
 }
 
 void RmaScheduler::ThreadBlocked(ThreadId thread, hscommon::Time /*now*/) {
   ThreadState& state = threads_.at(thread);
   assert(state.runnable && thread != in_service_);
-  ready_.erase({state.effective_period, thread});
+  ready_.Erase(thread);
   state.runnable = false;
 }
 
@@ -101,8 +101,7 @@ ThreadId RmaScheduler::PickNext(hscommon::Time /*now*/) {
   if (ready_.empty()) {
     return hsfq::kInvalidThread;
   }
-  const ThreadId thread = ready_.begin()->second;
-  ready_.erase(ready_.begin());
+  const ThreadId thread = ready_.PopMin();
   threads_.at(thread).runnable = false;
   in_service_ = thread;
   return thread;
@@ -115,7 +114,7 @@ void RmaScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Ti
   in_service_ = hsfq::kInvalidThread;
   if (still_runnable) {
     state.runnable = true;
-    ready_.emplace(state.effective_period, thread);
+    ready_.Push(thread, state.effective_period);
   }
 }
 
@@ -140,13 +139,10 @@ void RmaScheduler::InheritPriority(ThreadId holder, ThreadId waiter) {
   if (target == h.effective_period) {
     return;
   }
-  // Re-key the ready entry if the holder is queued.
+  h.effective_period = target;
+  // Re-key the ready entry in place if the holder is queued.
   if (h.runnable) {
-    ready_.erase({h.effective_period, holder});
-    h.effective_period = target;
-    ready_.emplace(h.effective_period, holder);
-  } else {
-    h.effective_period = target;
+    ready_.Update(holder, h.effective_period);
   }
 }
 

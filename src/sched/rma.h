@@ -8,10 +8,9 @@
 #ifndef HSCHED_SRC_SCHED_RMA_H_
 #define HSCHED_SRC_SCHED_RMA_H_
 
-#include <set>
 #include <unordered_map>
-#include <utility>
 
+#include "src/common/dary_heap.h"
 #include "src/hsfq/leaf_scheduler.h"
 
 namespace hleaf {
@@ -70,14 +69,25 @@ class RmaScheduler : public hsfq::LeafScheduler {
     // Effective period used for priority ordering (shrinks under inheritance).
     hscommon::Time effective_period = 0;
     bool runnable = false;
+    uint32_t heap_pos = hscommon::kHeapNpos;  // slot in ready_, maintained by the heap
   };
 
-  using ReadyKey = std::pair<hscommon::Time, ThreadId>;  // (effective period, id)
+  // Sparse 64-bit ThreadIds: the heap's position index lives in ThreadState.
+  struct ReadyPos {
+    RmaScheduler* self;
+    uint32_t& operator()(ThreadId thread) const {
+      return self->threads_.at(thread).heap_pos;
+    }
+  };
+  using ReadyHeap =
+      hscommon::DaryHeap<hscommon::Time, ThreadId,
+                         hscommon::ExternalHeapIndex<ThreadId, ReadyPos>>;
 
   Config config_;
   double utilization_ = 0.0;
   std::unordered_map<ThreadId, ThreadState> threads_;
-  std::set<ReadyKey> ready_;
+  // Keyed by (effective period, id) — the rate-monotonic priority order.
+  ReadyHeap ready_{hscommon::ExternalHeapIndex<ThreadId, ReadyPos>(ReadyPos{this})};
   ThreadId in_service_ = hsfq::kInvalidThread;
 };
 

@@ -1,46 +1,230 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace hsim {
 
-EventId EventQueue::At(Time time, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{time, id, std::move(fn)});
-  return id;
+uint32_t EventQueue::AllocateSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.armed = false;
+  if (++s.gen == 0) {
+    s.gen = 1;  // keep ids nonzero so kInvalidEvent is never produced
+  }
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId EventQueue::At(Time time, Callback fn) {
+  const uint32_t slot = AllocateSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  const HeapEntry e{time, next_seq_++, slot, s.gen};
+  if (time >= threshold_) {
+    far_.push_back(e);  // O(1): ordered lazily, at promotion
+  } else {
+    heap_.push_back(e);
+    SiftUp(heap_.size() - 1);
+  }
+  ++live_;
+  return (static_cast<EventId>(slot) << 32) | s.gen;
 }
 
 void EventQueue::Cancel(EventId id) {
-  if (id != kInvalidEvent) {
-    cancelled_.insert(id);
+  if (id == kInvalidEvent) {
+    return;
+  }
+  const uint32_t slot = static_cast<uint32_t>(id >> 32);
+  const uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= slots_.size() || !slots_[slot].armed || slots_[slot].gen != gen) {
+    return;  // already fired, already cancelled, or never existed
+  }
+  slots_[slot].fn.Reset();
+  FreeSlot(slot);  // the pending entry turns stale via the generation bump
+  --live_;
+  ++stale_;
+  CompactIfWorthIt();
+}
+
+void EventQueue::SiftUp(size_t pos) const {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / kArity;
+    if (!EntryLess(e, heap_[parent])) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void EventQueue::SiftDown(size_t pos) const {
+  const HeapEntry e = heap_[pos];
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t first_child = pos * kArity + 1;
+    if (first_child >= n) {
+      break;
+    }
+    // Conditional-move child selection (see DaryHeap::SiftDown for the rationale): the
+    // winning child is unpredictable, so `best` is selected without branches. Interior
+    // nodes take the unrolled fixed-trip path.
+    size_t best = first_child;
+    if (first_child + kArity <= n) {
+      for (unsigned c = 1; c < kArity; ++c) {
+        const size_t cand = first_child + c;
+        best = EntryLess(heap_[cand], heap_[best]) ? cand : best;
+      }
+    } else {
+      for (size_t cand = first_child + 1; cand < n; ++cand) {
+        best = EntryLess(heap_[cand], heap_[best]) ? cand : best;
+      }
+    }
+    if (!EntryLess(heap_[best], e)) {
+      break;
+    }
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = e;
+}
+
+void EventQueue::PopHeapTop() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
   }
 }
 
-void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+void EventQueue::PromoteFar() const {
+  assert(heap_.empty() && cursor_ == sorted_.size());
+  sorted_.clear();
+  cursor_ = 0;
+  sorted_.swap(far_);  // both vectors keep their capacity: no steady-state allocation
+  // Simulators schedule overwhelmingly forward in time, so the batch is usually already
+  // in (time, seq) order and the sort reduces to one predictable linear scan.
+  if (!std::is_sorted(sorted_.begin(), sorted_.end(), EntryLess)) {
+    std::sort(sorted_.begin(), sorted_.end(), EntryLess);
   }
+  // Later same-time schedules have larger seq numbers and must fire after the entries
+  // of this run, which the (time, seq) head comparison already guarantees — so the
+  // threshold only needs to climb past the run's last time (saturating: an event at
+  // the end of the time axis keeps routing its contemporaries through far_).
+  const Time last = sorted_.back().time;
+  threshold_ = last < hscommon::kTimeInfinity ? last + 1 : hscommon::kTimeInfinity;
+}
+
+void EventQueue::SettleHead() const {
+  while (true) {
+    if (!heap_.empty() && IsStale(heap_.front())) {
+      PopHeapTop();
+      --stale_;
+      continue;
+    }
+    if (cursor_ != sorted_.size() && IsStale(sorted_[cursor_])) {
+      ++cursor_;
+      --stale_;
+      continue;
+    }
+    if (heap_.empty() && cursor_ == sorted_.size() && !far_.empty()) {
+      PromoteFar();
+      continue;
+    }
+    return;
+  }
+}
+
+const EventQueue::HeapEntry& EventQueue::Head(bool* from_heap) const {
+  const bool heap_has = !heap_.empty();
+  const bool sorted_has = cursor_ != sorted_.size();
+  assert(heap_has || sorted_has);
+  *from_heap =
+      heap_has && (!sorted_has || EntryLess(heap_.front(), sorted_[cursor_]));
+  return *from_heap ? heap_.front() : sorted_[cursor_];
+}
+
+void EventQueue::CompactIfWorthIt() {
+  // Sweep when tombstones dominate: amortized O(1) per cancel, and the pending set
+  // never grows past ~2x the live entry count no matter how adversarial the cancel
+  // pattern is.
+  if (stale_ < 64 || stale_ * 2 < HeapSize()) {
+    return;
+  }
+  size_t kept = 0;
+  for (const HeapEntry& e : heap_) {
+    if (!IsStale(e)) {
+      heap_[kept++] = e;
+    }
+  }
+  heap_.resize(kept);
+  if (kept > 1) {
+    // Bottom-up heapify from the last parent.
+    for (size_t i = (kept - 2) / kArity + 1; i-- > 0;) {
+      SiftDown(i);
+    }
+  }
+  // The unconsumed tail of the sorted run stays sorted under a stable sweep.
+  size_t skept = 0;
+  for (size_t i = cursor_; i < sorted_.size(); ++i) {
+    if (!IsStale(sorted_[i])) {
+      sorted_[skept++] = sorted_[i];
+    }
+  }
+  sorted_.resize(skept);
+  cursor_ = 0;
+  kept = 0;
+  for (const HeapEntry& e : far_) {
+    if (!IsStale(e)) {
+      far_[kept++] = e;
+    }
+  }
+  far_.resize(kept);
+  stale_ = 0;
 }
 
 Time EventQueue::NextTime() const {
-  DropCancelledHead();
-  return heap_.empty() ? hscommon::kTimeInfinity : heap_.top().time;
+  SettleHead();
+  if (live_ == 0) {
+    return hscommon::kTimeInfinity;
+  }
+  bool from_heap;
+  return Head(&from_heap).time;
 }
 
-bool EventQueue::Empty() const {
-  DropCancelledHead();
-  return heap_.empty();
-}
+bool EventQueue::Empty() const { return live_ == 0; }
 
 Time EventQueue::PopAndRun() {
-  DropCancelledHead();
-  assert(!heap_.empty());
-  // Move the entry out before popping so the callback may schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  entry.fn();
-  return entry.time;
+  SettleHead();
+  assert(live_ > 0);
+  bool from_heap;
+  const HeapEntry top = Head(&from_heap);
+  if (from_heap) {
+    PopHeapTop();
+  } else {
+    ++cursor_;
+  }
+  Slot& slot = slots_[top.slot];
+  // Move the callback out and recycle the slot before running: the callback may
+  // schedule new events (possibly into this very slot).
+  Callback fn = std::move(slot.fn);
+  FreeSlot(top.slot);
+  --live_;
+  fn();
+  return top.time;
 }
 
 }  // namespace hsim

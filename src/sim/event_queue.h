@@ -3,16 +3,36 @@
 // Events fire in (time, sequence) order, so two events scheduled for the same instant
 // fire in the order they were scheduled — no dependence on container iteration order or
 // wall-clock noise, which keeps every experiment bit-reproducible.
+//
+// The implementation is allocation-free in steady state:
+//
+//   * Callbacks live in a slab of recycled slots (no per-event heap node, and the
+//     InlineFunction holder keeps ordinary lambdas out of the allocator entirely).
+//   * EventIds are (slot, generation) pairs, so Cancel is an O(1) tombstone: the slot is
+//     recycled immediately and the pending entry — a 24-byte POD — is dropped lazily when
+//     it surfaces, with a periodic O(n) compaction that keeps the pending set no larger
+//     than ~2x the live event count even under cancel-heavy workloads.
+//
+// Pending entries are kept calendar-queue style (Brown '88) in three tiers:
+//
+//   * far_:    events at or beyond threshold_, appended unsorted in O(1);
+//   * sorted_: a consumed-from-the-front sorted run (pop = advance a cursor);
+//   * heap_:   a small 4-ary heap for events scheduled below threshold_.
+//
+// When the heap and the sorted run drain, the far batch is promoted: sorted once in
+// bulk and consumed in place. Simulators overwhelmingly schedule forward in time, so
+// the batch usually arrives already ordered and promotion is a linear is_sorted scan;
+// either way the common schedule/fire cycle costs O(1) amortized pointer bumps over
+// sequential memory instead of a full-depth sift over a random heap path per event.
 
 #ifndef HSCHED_SRC_SIM_EVENT_QUEUE_H_
 #define HSCHED_SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/types.h"
 
 namespace hsim {
@@ -25,10 +45,16 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
  public:
-  // Schedules `fn` to fire at `time`. Returns a token usable with Cancel.
-  EventId At(Time time, std::function<void()> fn);
+  // Inline capacity covers every callback the simulator schedules (the largest is a
+  // captured std::function<void(System&)> plus a System*); larger callables still work
+  // via InlineFunction's heap fallback.
+  using Callback = hscommon::InlineFunction<void(), 64>;
 
-  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  // Schedules `fn` to fire at `time`. Returns a token usable with Cancel.
+  EventId At(Time time, Callback fn);
+
+  // Cancels a pending event in O(1). Cancelling an already-fired or unknown id is a
+  // no-op.
   void Cancel(EventId id);
 
   // Earliest pending event time, or kTimeInfinity when empty.
@@ -40,27 +66,77 @@ class EventQueue {
   // empty.
   Time PopAndRun();
 
-  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+  // Number of scheduled, not-yet-fired, not-cancelled events.
+  size_t PendingCount() const { return live_; }
+
+  // --- Introspection for the perf harness and regression tests ---
+
+  // Slots in the slab (high-water mark of concurrently pending events).
+  size_t SlabSize() const { return slots_.size(); }
+
+  // Pending entries across all three tiers, including not-yet-reclaimed cancel
+  // tombstones and the unconsumed tail of the sorted run.
+  size_t HeapSize() const {
+    return heap_.size() + (sorted_.size() - cursor_) + far_.size();
+  }
 
  private:
-  struct Entry {
-    Time time;
-    EventId id;
-    std::function<void()> fn;
+  static constexpr unsigned kArity = 4;
+  static constexpr uint32_t kNoFreeSlot = UINT32_MAX;
 
-    bool operator>(const Entry& other) const {
-      if (time != other.time) {
-        return time > other.time;
-      }
-      return id > other.id;  // ids are monotone, so this is insertion order
-    }
+  struct Slot {
+    Callback fn;
+    uint32_t gen = 1;   // bumped on free; a matching id proves the event is still live
+    uint32_t next_free = kNoFreeSlot;
+    bool armed = false;  // scheduled and neither fired nor cancelled
   };
 
-  void DropCancelledHead() const;
+  struct HeapEntry {
+    Time time;
+    uint64_t seq;   // monotone schedule order: the same-time tie-break
+    uint32_t slot;
+    uint32_t gen;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  // Bitwise logic instead of short-circuiting: the outcome is data-dependent in the sift
+  // loops, so an unconditional compare-and-combine beats a mispredicting branch.
+  static bool EntryLess(const HeapEntry& a, const HeapEntry& b) {
+    const bool time_lt = a.time < b.time;
+    const bool time_eq = a.time == b.time;
+    return time_lt | (time_eq & (a.seq < b.seq));
+  }
+
+  bool IsStale(const HeapEntry& e) const { return slots_[e.slot].gen != e.gen; }
+
+  uint32_t AllocateSlot();
+  void FreeSlot(uint32_t slot);
+  void SiftUp(size_t pos) const;
+  void SiftDown(size_t pos) const;
+  void PopHeapTop() const;
+  // Promotes the far batch into a fresh sorted run (only legal when heap_ and sorted_
+  // are drained).
+  void PromoteFar() const;
+  // Drops stale heads and promotes until the front of heap_/sorted_ is live, or
+  // everything is drained. Afterwards Head() is valid iff live_ > 0.
+  void SettleHead() const;
+  // The live minimum entry: heap top or sorted cursor, whichever is earlier. Only
+  // valid after SettleHead() with live_ > 0; returns heap-entry and a flag saying
+  // which tier it came from.
+  const HeapEntry& Head(bool* from_heap) const;
+  void CompactIfWorthIt();
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
+  // Lazy deletion: pending entries for cancelled events stay until they surface or a
+  // compaction sweeps them, hence mutable for the const peek operations.
+  mutable std::vector<HeapEntry> heap_;      // below-threshold events, 4-ary heap
+  mutable std::vector<HeapEntry> sorted_;    // current run, ascending, consumed at cursor_
+  mutable size_t cursor_ = 0;
+  mutable std::vector<HeapEntry> far_;       // events at/beyond threshold_, unsorted
+  mutable Time threshold_ = 0;               // far_ holds exactly the times >= threshold_
+  mutable size_t stale_ = 0;
+  size_t live_ = 0;
+  uint64_t next_seq_ = 1;
 };
 
 }  // namespace hsim

@@ -1,0 +1,80 @@
+// InlineFunction: the move-only SBO callable holder under the event queue.
+
+#include "src/common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace {
+
+using hscommon::InlineFunction;
+
+TEST(InlineFunctionTest, EmptyAndBool) {
+  InlineFunction<int()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [] { return 7; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFunctionTest, InvokesWithArguments) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, CapturesMoveOnlyState) {
+  auto p = std::make_unique<int>(41);
+  InlineFunction<int()> fn = [p = std::move(p)] { return *p + 1; };
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineFunction<void()> a = [&calls] { ++calls; };
+  InlineFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): tested on purpose
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  struct Bump {
+    std::shared_ptr<int> n;
+    ~Bump() = default;
+    void operator()() { ++*n; }
+  };
+  InlineFunction<void()> fn = Bump{counter};
+  EXPECT_EQ(counter.use_count(), 2);
+  fn = [] {};
+  EXPECT_EQ(counter.use_count(), 1);  // the previous target was destroyed
+}
+
+TEST(InlineFunctionTest, DestructorReleasesCapturedState) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineFunction<void()> fn = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, OversizedCallableFallsBackToHeap) {
+  // A capture far above the inline capacity still works (via the heap fallback).
+  std::string big(4096, 'x');
+  InlineFunction<size_t(), 16> fn = [big] { return big.size(); };
+  EXPECT_EQ(fn(), 4096u);
+  InlineFunction<size_t(), 16> moved = std::move(fn);
+  EXPECT_EQ(moved(), 4096u);
+}
+
+TEST(InlineFunctionTest, ResetEmptiesTheHolder) {
+  InlineFunction<int()> fn = [] { return 1; };
+  fn.Reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+}  // namespace

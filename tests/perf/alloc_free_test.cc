@@ -1,0 +1,172 @@
+// Asserts the PR's zero-allocation invariant: once warmed up (all pools, slabs and heap
+// arrays at their high-water mark), the dispatch loops of the fair-queuing schedulers,
+// the real-time leaves, and the simulator event queue never touch the global heap.
+//
+// Every operator new in this binary is interposed with a counting wrapper; each test
+// snapshots the counter around a steady-state loop and requires a delta of zero.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "src/fair/make.h"
+#include "src/sched/edf.h"
+#include "src/sim/event_queue.h"
+
+namespace {
+// Counts every allocation made through the replaced global operator new below. Plain
+// (non-atomic) is fine: these tests are single-threaded.
+uint64_t g_new_calls = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_new_calls;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_new_calls;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using hscommon::kMillisecond;
+
+// Runs `loop` once as warmup (letting vectors and slabs reach steady capacity), then
+// again under the allocation counter.
+template <typename Fn>
+uint64_t AllocationsInSteadyState(Fn&& loop) {
+  loop();
+  const uint64_t before = g_new_calls;
+  loop();
+  return g_new_calls - before;
+}
+
+TEST(AllocFreeTest, FairQueueDispatchLoopsAreAllocationFree) {
+  for (const hfair::Algorithm alg :
+       {hfair::Algorithm::kSfq, hfair::Algorithm::kScfq, hfair::Algorithm::kWfq,
+        hfair::Algorithm::kStride, hfair::Algorithm::kEevdf}) {
+    auto fq = hfair::MakeFairQueue(alg, 10 * kMillisecond);
+    for (int i = 0; i < 64; ++i) {
+      fq->Arrive(fq->AddFlow(1 + static_cast<hscommon::Weight>(i % 7)), 0);
+    }
+    hscommon::Time now = 0;
+    const uint64_t allocs = AllocationsInSteadyState([&] {
+      for (int i = 0; i < 5000; ++i) {
+        const hfair::FlowId f = fq->PickNext(now);
+        ASSERT_NE(f, hfair::kInvalidFlow);
+        now += 10 * kMillisecond;
+        fq->Complete(f, 10 * kMillisecond, now, /*backlogged=*/true);
+      }
+    });
+    EXPECT_EQ(allocs, 0u) << "algorithm " << hfair::AlgorithmName(alg);
+  }
+}
+
+TEST(AllocFreeTest, FairQueueArriveDepartChurnIsAllocationFree) {
+  // Blocked/unblocked churn: Depart pulls a flow off the ready heap, Arrive re-tags and
+  // re-inserts it. After warmup no path may allocate.
+  auto fq = hfair::MakeFairQueue(hfair::Algorithm::kSfq, 10 * kMillisecond);
+  std::vector<hfair::FlowId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(fq->AddFlow(1));
+    fq->Arrive(ids.back(), 0);
+  }
+  const uint64_t allocs = AllocationsInSteadyState([&] {
+    for (int round = 0; round < 2000; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        fq->Depart(ids[static_cast<size_t>(i) * 7], 0);
+      }
+      for (int i = 0; i < 8; ++i) {
+        fq->Arrive(ids[static_cast<size_t>(i) * 7], 0);
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocFreeTest, EdfDispatchLoopIsAllocationFree) {
+  hleaf::EdfScheduler edf;
+  for (hsfq::ThreadId t = 1; t <= 16; ++t) {
+    ASSERT_TRUE(edf.AddThread(t, {.period = 16 * kMillisecond,
+                                  .computation = kMillisecond})
+                    .ok());
+    edf.ThreadRunnable(t, 0);
+  }
+  hscommon::Time now = 0;
+  const uint64_t allocs = AllocationsInSteadyState([&] {
+    for (int i = 0; i < 5000; ++i) {
+      const hsfq::ThreadId t = edf.PickNext(now);
+      ASSERT_NE(t, hsfq::kInvalidThread);
+      now += kMillisecond;
+      edf.Charge(t, kMillisecond, now, /*still_runnable=*/true);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocFreeTest, EventQueueScheduleFireLoopIsAllocationFree) {
+  hsim::EventQueue q;
+  uint64_t fired = 0;
+  hscommon::Time t = 0;
+  const uint64_t allocs = AllocationsInSteadyState([&] {
+    for (int i = 0; i < 20000; ++i) {
+      // Keep ~64 events in flight, callbacks small enough for the inline buffer.
+      q.At(t + 64, [&fired] { ++fired; });
+      if (q.NextTime() <= t) {
+        q.PopAndRun();
+      }
+      ++t;
+    }
+    while (!q.Empty()) {
+      q.PopAndRun();
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(AllocFreeTest, EventQueueCancelStormIsAllocationFree) {
+  hsim::EventQueue q;
+  const uint64_t allocs = AllocationsInSteadyState([&] {
+    for (int i = 0; i < 20000; ++i) {
+      q.Cancel(q.At(1'000'000 + i, [] {}));
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace

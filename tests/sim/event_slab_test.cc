@@ -1,0 +1,112 @@
+// Regression tests for the slab-backed event queue: bounded memory under cancel-heavy
+// workloads (the old implementation retained cancelled ids in an unordered_set until
+// they reached the heap head — unboundedly, for events deep in the heap), generation
+// safety of recycled slots, and exact PendingCount semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace {
+
+using hsim::EventId;
+using hsim::EventQueue;
+
+TEST(EventSlabTest, CancelStormKeepsPoolBounded) {
+  EventQueue q;
+  // 100k schedule/cancel pairs for far-future events that never reach the heap head.
+  // The slab must recycle the one slot, and compaction must keep tombstones in check.
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = q.At(1'000'000'000 + i, [] {});
+    q.Cancel(id);
+  }
+  EXPECT_EQ(q.PendingCount(), 0u);
+  EXPECT_LE(q.SlabSize(), 4u);     // slots are recycled immediately on cancel
+  EXPECT_LE(q.HeapSize(), 256u);   // tombstones are compacted away
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventSlabTest, InterleavedCancelStormStaysProportionalToLive) {
+  EventQueue q;
+  std::vector<EventId> live;
+  for (int round = 0; round < 1000; ++round) {
+    // Keep 50 live events; schedule and cancel 100 more per round.
+    while (live.size() < 50) {
+      live.push_back(q.At(2'000'000'000 + round, [] {}));
+    }
+    for (int i = 0; i < 100; ++i) {
+      q.Cancel(q.At(3'000'000'000 + i, [] {}));
+    }
+  }
+  EXPECT_EQ(q.PendingCount(), 50u);
+  EXPECT_LE(q.SlabSize(), 256u);
+  EXPECT_LE(q.HeapSize(), 1024u);
+  for (const EventId id : live) {
+    q.Cancel(id);
+  }
+  EXPECT_EQ(q.PendingCount(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventSlabTest, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  int fired = 0;
+  const EventId old_id = q.At(10, [&] { ++fired; });
+  q.Cancel(old_id);
+  // The slot is recycled for a new event; the stale id must not touch it.
+  q.At(20, [&] { fired += 10; });
+  q.Cancel(old_id);
+  q.Cancel(old_id);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_EQ(q.PopAndRun(), 20);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventSlabTest, PendingCountExactUnderCancelAndFire) {
+  EventQueue q;
+  const EventId a = q.At(1, [] {});
+  const EventId b = q.At(2, [] {});
+  q.At(3, [] {});
+  EXPECT_EQ(q.PendingCount(), 3u);
+  q.Cancel(b);
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.Cancel(b);  // double-cancel: no-op
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.PopAndRun();
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.Cancel(a);  // already fired: no-op
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.PopAndRun();
+  EXPECT_EQ(q.PendingCount(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventSlabTest, SlotsRecycledAcrossFirings) {
+  EventQueue q;
+  // Steady-state schedule-one/fire-one: the slab must not grow past a handful of slots.
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    q.At(i, [&] { ++fired; });
+    q.PopAndRun();
+  }
+  EXPECT_EQ(fired, 10000);
+  EXPECT_LE(q.SlabSize(), 2u);
+  EXPECT_LE(q.HeapSize(), 2u);
+}
+
+TEST(EventSlabTest, CallbackMayRescheduleIntoItsOwnSlot) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(1, [&] {
+    order.push_back(1);
+    q.At(2, [&] { order.push_back(2); });
+  });
+  while (!q.Empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace

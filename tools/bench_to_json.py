@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON outputs into the committed BENCH_sched.json.
+
+Each positional argument is LABEL=FILE[,FILE...]: a label (e.g. "before", "after")
+followed by one or more ``--benchmark_format=json`` output files whose benchmark lists
+are concatenated under that label. When both "before" and "after" labels are present the
+output also carries a per-benchmark speedup table (before cpu_time / after cpu_time),
+which is printed to stderr as a human-readable summary.
+
+Example:
+    tools/bench_to_json.py -o BENCH_sched.json \
+        before=/tmp/before_sched.json,/tmp/before_sim.json \
+        after=/tmp/after_sched.json,/tmp/after_sim.json
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(files):
+    """Returns ({name: row}, context) for a list of google-benchmark JSON files."""
+    rows = {}
+    context = None
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if context is None:
+            context = doc.get("context", {})
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            row = {
+                "real_time": bench.get("real_time"),
+                "cpu_time": bench.get("cpu_time"),
+                "time_unit": bench.get("time_unit", "ns"),
+            }
+            if "items_per_second" in bench:
+                row["items_per_second"] = bench["items_per_second"]
+            if "label" in bench and bench["label"]:
+                row["label"] = bench["label"]
+            rows[bench["name"]] = row
+    return rows, context
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", required=True, help="merged JSON to write")
+    parser.add_argument(
+        "runs",
+        nargs="+",
+        metavar="LABEL=FILE[,FILE...]",
+        help="benchmark JSON files to merge under a label",
+    )
+    args = parser.parse_args()
+
+    merged = {"tool": "tools/bench_to_json.py", "runs": {}}
+    for spec in args.runs:
+        if "=" not in spec:
+            parser.error(f"expected LABEL=FILE[,FILE...], got {spec!r}")
+        label, _, files = spec.partition("=")
+        rows, context = load_runs(files.split(","))
+        merged["runs"][label] = rows
+        if context and "context" not in merged:
+            merged["context"] = {
+                k: context[k]
+                for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_version",
+                          "build_type")
+                if k in context
+            }
+
+    before = merged["runs"].get("before", {})
+    after = merged["runs"].get("after", {})
+    common = [n for n in after if n in before]
+    if common:
+        speedup = {}
+        print(f"{'benchmark':<44} {'before':>12} {'after':>12} {'speedup':>8}",
+              file=sys.stderr)
+        for name in common:
+            b, a = before[name]["cpu_time"], after[name]["cpu_time"]
+            if not a:
+                continue
+            speedup[name] = round(b / a, 3)
+            unit = after[name]["time_unit"]
+            print(f"{name:<44} {b:>10.1f}{unit} {a:>10.1f}{unit} "
+                  f"{speedup[name]:>7.2f}x", file=sys.stderr)
+        merged["speedup_before_over_after"] = speedup
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
