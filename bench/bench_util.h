@@ -7,9 +7,13 @@
 #define HSCHED_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "src/common/table.h"
+#include "src/trace/perfetto_export.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/tracer.h"
 
 namespace hbench {
 
@@ -21,6 +25,47 @@ inline std::string CsvDir(int argc, char** argv) {
     }
   }
   return "";
+}
+
+// Parses `--trace=<base>` (or `--trace <base>`) from argv; empty string when absent.
+// `base` is a path prefix: the bench writes <base>.trace (binary) and <base>.json
+// (Perfetto), see ExportTrace below.
+inline std::string TraceBase(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      return arg.substr(8);
+    }
+    if (arg == "--trace" && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// A tracer when `--trace` was given, null otherwise. Attach the result (if non-null) to
+// a System with SetTracer BEFORE building the scheduling tree.
+inline std::unique_ptr<htrace::Tracer> MaybeTracer(const std::string& trace_base) {
+  if (trace_base.empty()) {
+    return nullptr;
+  }
+  return std::make_unique<htrace::Tracer>();
+}
+
+// Writes <base>.trace (binary, replayable) and <base>.json (load in ui.perfetto.dev).
+// No-op when the tracer is null.
+inline void ExportTrace(const htrace::Tracer* tracer, const std::string& trace_base) {
+  if (tracer == nullptr || trace_base.empty()) {
+    return;
+  }
+  const std::string bin = trace_base + ".trace";
+  const std::string json = trace_base + ".json";
+  const auto bin_status = htrace::WriteTraceFile(*tracer, bin);
+  const auto json_status = htrace::ExportPerfettoJson(*tracer, json);
+  std::printf("(trace: %s%s)\n", bin.c_str(),
+              bin_status.ok() ? "" : " WRITE FAILED");
+  std::printf("(perfetto: %s%s — load in ui.perfetto.dev)\n", json.c_str(),
+              json_status.ok() ? "" : " WRITE FAILED");
 }
 
 // Prints the table under a heading and optionally mirrors it to CSV.

@@ -36,8 +36,9 @@ struct RunResult {
   double jain;
 };
 
-RunResult RunOnce(bool use_sfq, uint64_t seed) {
+RunResult RunOnce(bool use_sfq, uint64_t seed, htrace::Tracer* tracer = nullptr) {
   hsim::System sys;
+  sys.SetTracer(tracer);
   hsfq::NodeId leaf;
   if (use_sfq) {
     leaf = *sys.tree().MakeNode("class", hsfq::kRootNode, 1,
@@ -91,10 +92,13 @@ RunResult RunOnce(bool use_sfq, uint64_t seed) {
 
 int main(int argc, char** argv) {
   const std::string csv_dir = hbench::CsvDir(argc, argv);
+  const std::string trace_base = hbench::TraceBase(argc, argv);
+  const auto tracer = hbench::MaybeTracer(trace_base);
   std::printf("Figure 5: throughput of 5 Dhrystone threads — SVR4 TS vs SFQ (30 s)\n");
 
   const RunResult ts = RunOnce(/*use_sfq=*/false, /*seed=*/11);
-  const RunResult sfq = RunOnce(/*use_sfq=*/true, /*seed=*/11);
+  const RunResult sfq = RunOnce(/*use_sfq=*/true, /*seed=*/11, tracer.get());
+  hbench::ExportTrace(tracer.get(), trace_base);
 
   TextTable final_table({"thread", "TS_loops", "SFQ_loops"});
   for (int i = 0; i < kThreads; ++i) {

@@ -22,11 +22,14 @@ using hscommon::ToMillis;
 
 int main(int argc, char** argv) {
   const std::string csv_dir = hbench::CsvDir(argc, argv);
+  const std::string trace_base = hbench::TraceBase(argc, argv);
+  const auto tracer = hbench::MaybeTracer(trace_base);
   std::printf("Figure 9: scheduling latency and slack of a rate-monotonic thread\n");
   std::printf("thread1: 10 ms / 60 ms;  thread2: 150 ms / 960 ms;  quantum 25 ms;\n");
   std::printf("MPEG decoder competing from SFQ-1 (equal node weights).\n");
 
   hsim::System sys(hsim::System::Config{.default_quantum = 25 * kMillisecond});
+  sys.SetTracer(tracer.get());
   const auto rt = *sys.tree().MakeNode(
       "svr4-rt", hsfq::kRootNode, 1,
       std::make_unique<hleaf::RmaScheduler>(
@@ -94,5 +97,6 @@ int main(int argc, char** argv) {
   std::printf("Reproduced:    (a) %s (max %.2f ms); (b) %s (min slack %.2f ms)\n",
               lat_ok ? "yes" : "NO", stats.sched_latency.max() / 1e6,
               slack_ok ? "yes" : "NO", thread1->slack().min() / 1e6);
+  hbench::ExportTrace(tracer.get(), trace_base);
   return 0;
 }

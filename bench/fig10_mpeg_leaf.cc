@@ -18,6 +18,8 @@ using hscommon::TextTable;
 
 int main(int argc, char** argv) {
   const std::string csv_dir = hbench::CsvDir(argc, argv);
+  const std::string trace_base = hbench::TraceBase(argc, argv);
+  const auto tracer = hbench::MaybeTracer(trace_base);
   std::printf("Figure 10: frames decoded by MPEG players with weights 5 and 10\n");
 
   hmpeg::VbrTraceConfig tc;
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   const hmpeg::VbrTrace trace = hmpeg::VbrTrace::Generate(tc);
 
   hsim::System sys;
+  sys.SetTracer(tracer.get());
   const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 1,
                                          std::make_unique<hleaf::SfqLeafScheduler>());
   auto p5 = std::make_unique<hmpeg::MpegPlayerWorkload>(&trace,
@@ -55,5 +58,6 @@ int main(int argc, char** argv) {
               static_cast<double>(w10->frames_decoded()) /
                   static_cast<double>(w5->frames_decoded()),
               ratios.mean(), std::abs(ratios.mean() - 2.0) < 0.2 ? "yes" : "NO");
+  hbench::ExportTrace(tracer.get(), trace_base);
   return 0;
 }

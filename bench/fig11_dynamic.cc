@@ -23,9 +23,12 @@ using hscommon::TextTable;
 
 int main(int argc, char** argv) {
   const std::string csv_dir = hbench::CsvDir(argc, argv);
+  const std::string trace_base = hbench::TraceBase(argc, argv);
+  const auto tracer = hbench::MaybeTracer(trace_base);
   std::printf("Figure 11: dynamic weight changes (SFQ leaf)\n");
 
   hsim::System sys;
+  sys.SetTracer(tracer.get());
   const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 1,
                                          std::make_unique<hleaf::SfqLeafScheduler>());
   const auto t1 = *sys.CreateThread("thread1", sfq1, {.weight = 4},
@@ -100,5 +103,6 @@ int main(int argc, char** argv) {
   std::printf("\nPaper's shape: throughput ratio tracks 4:4 -> 4:2 -> 0:2 -> 4:2 -> 8:2 "
               "-> 8:4 -> 4:4 as weights change.\nReproduced:    %s\n",
               all_ok ? "yes" : "NO");
+  hbench::ExportTrace(tracer.get(), trace_base);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "src/fair/make.h"
 #include "src/hsfq/structure.h"
 #include "src/sched/sfq_leaf.h"
+#include "src/trace/tracer.h"
 
 using hscommon::kMillisecond;
 
@@ -149,6 +150,26 @@ void BM_HierarchicalDispatchFanout(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HierarchicalDispatchFanout)->RangeMultiplier(2)->Range(2, 128);
+
+// Dispatch cost of a depth-3 / 8-thread tree with tracing off vs on: the number quoted
+// in docs/observability.md. arg 0 = untraced, 1 = tracer attached (recording into a
+// preallocated 64k-event ring that wraps continuously — the steady-state worst case).
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  state.SetLabel(traced ? "traced" : "untraced");
+  auto tree = BuildTree(/*depth=*/3, /*threads=*/8);
+  htrace::Tracer tracer(1 << 16);
+  if (traced) {
+    tree->SetTracer(&tracer);
+  }
+  for (auto _ : state) {
+    const hsfq::ThreadId t = tree->Schedule(0);
+    benchmark::DoNotOptimize(t);
+    tree->Update(t, 20 * kMillisecond, 0, true);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
 
 void BM_SetRunSleepPropagation(benchmark::State& state) {
   // Wake/sleep of a single thread under a deep chain: the hsfq_setrun/hsfq_sleep path.

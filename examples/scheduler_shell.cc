@@ -32,6 +32,9 @@
 #include "src/sched/simple.h"
 #include "src/sched/ts_svr4.h"
 #include "src/sim/system.h"
+#include "src/trace/perfetto_export.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/tracer.h"
 
 using hscommon::kMillisecond;
 using hscommon::kSecond;
@@ -111,6 +114,8 @@ class Shell {
       std::fputs(sys_.tree().DebugString().c_str(), stdout);
     } else if (cmd == "stats") {
       CmdStats();
+    } else if (cmd == "trace") {
+      CmdTrace(in);
     } else {
       std::printf("unknown command '%s' — try `help`\n", cmd.c_str());
     }
@@ -127,6 +132,9 @@ class Shell {
         "  run <seconds>          advance simulated time\n"
         "  tree                   dump the scheduling structure\n"
         "  stats                  per-thread CPU service\n"
+        "  trace start [events]   record scheduling decisions (ring of [events])\n"
+        "  trace stop             detach the tracer (events kept until next start)\n"
+        "  trace export <base>    write <base>.trace + <base>.json (ui.perfetto.dev)\n"
         "  quit\n");
   }
 
@@ -274,6 +282,50 @@ class Shell {
                 static_cast<unsigned long long>(sys_.interrupt_count()));
   }
 
+  void CmdTrace(std::istringstream& in) {
+    std::string sub;
+    if (!(in >> sub)) {
+      std::printf("usage: trace <start|stop|export> ...\n");
+      return;
+    }
+    if (sub == "start") {
+      size_t capacity = htrace::Tracer::kDefaultCapacity;
+      in >> capacity;
+      tracer_ = std::make_unique<htrace::Tracer>(capacity);
+      sys_.SetTracer(tracer_.get());
+      std::printf("tracing (ring of %zu events). Note: nodes created before this point "
+                  "appear as placeholders in exports.\n",
+                  capacity);
+    } else if (sub == "stop") {
+      if (tracer_ == nullptr) {
+        std::printf("not tracing\n");
+        return;
+      }
+      sys_.SetTracer(nullptr);
+      std::printf("tracing stopped (%llu events recorded, %llu dropped) — `trace "
+                  "export` still works\n",
+                  static_cast<unsigned long long>(tracer_->ring().size()),
+                  static_cast<unsigned long long>(tracer_->ring().dropped()));
+    } else if (sub == "export") {
+      std::string base;
+      if (!(in >> base)) {
+        std::printf("usage: trace export <base>\n");
+        return;
+      }
+      if (tracer_ == nullptr) {
+        std::printf("nothing recorded — `trace start` first\n");
+        return;
+      }
+      const auto bin = htrace::WriteTraceFile(*tracer_, base + ".trace");
+      const auto json = htrace::ExportPerfettoJson(*tracer_, base + ".json");
+      std::printf("%s.trace: %s\n", base.c_str(), bin.ToString().c_str());
+      std::printf("%s.json:  %s (load in ui.perfetto.dev)\n", base.c_str(),
+                  json.ToString().c_str());
+    } else {
+      std::printf("unknown trace subcommand '%s'\n", sub.c_str());
+    }
+  }
+
   void CmdStats() {
     hscommon::TextTable table({"thread", "class", "cpu_s", "share_%", "dispatches"});
     for (const hsfq::ThreadId tid : thread_ids_) {
@@ -291,6 +343,8 @@ class Shell {
     table.Print();
   }
 
+  // Declared before sys_ so it outlives the system (which holds a raw pointer to it).
+  std::unique_ptr<htrace::Tracer> tracer_;
   hsim::System sys_;
   hmpeg::VbrTrace trace_;
   std::vector<hsfq::ThreadId> thread_ids_;

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/table.h"
@@ -16,15 +17,34 @@
 #include "src/mpeg/trace.h"
 #include "src/qos/manager.h"
 #include "src/sim/workload.h"
+#include "src/trace/perfetto_export.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/tracer.h"
 
 using hscommon::kMillisecond;
 using hscommon::kSecond;
 using hscommon::TextTable;
 
-int main() {
+int main(int argc, char** argv) {
+  // `--trace=<base>` records every scheduling decision and writes <base>.trace (binary,
+  // byte-reproducible across runs — CI diffs two of them) + <base>.json (Perfetto).
+  std::string trace_base;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_base = arg.substr(8);
+    }
+  }
+  std::unique_ptr<htrace::Tracer> tracer;
+  if (!trace_base.empty()) {
+    tracer = std::make_unique<htrace::Tracer>();
+  }
+
   // Short slices keep intra-class dispatch latency well under a 33 ms frame period even
   // with several decoders sharing the soft class.
   hsim::System sys(hsim::System::Config{.default_quantum = 4 * kMillisecond});
+  // Attach before the QoS manager builds the class tree so exports show real paths.
+  sys.SetTracer(tracer.get());
   // The paper's intro scenario: the soft real-time class STARTS SMALL; when many video
   // decoders arrive, the QoS manager grows its allocation (dynamic re-partitioning).
   hqos::QosManager qos(sys, {.hard_rt_weight = 3,
@@ -138,5 +158,17 @@ int main() {
   std::printf("\nworst stream delivered %.2f%% of frames on time while %d best-effort "
               "hogs ran — the hierarchy protected the admitted streams.\n",
               worst, 6);
+
+  if (tracer != nullptr) {
+    const auto bin = htrace::WriteTraceFile(*tracer, trace_base + ".trace");
+    const auto json = htrace::ExportPerfettoJson(*tracer, trace_base + ".json");
+    if (!bin.ok() || !json.ok()) {
+      std::printf("trace export failed: %s / %s\n", bin.ToString().c_str(),
+                  json.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %s.trace + %s.json (load the json in ui.perfetto.dev)\n",
+                trace_base.c_str(), trace_base.c_str());
+  }
   return 0;
 }

@@ -95,6 +95,9 @@ StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId p
   }
   parent_ref.flow_to_child[n.flow_in_parent] = id;
   parent_ref.children.push_back(id);
+  if (tracer_ != nullptr) {
+    tracer_->RecordMakeNode(0, id, parent, weight, n.is_leaf(), name);
+  }
   return id;
 }
 
@@ -168,6 +171,9 @@ Status SchedulingStructure::RemoveNode(NodeId node) {
   nodes_[node] = Node{};
   free_nodes_.push_back(node);
   --node_count_;
+  if (tracer_ != nullptr) {
+    tracer_->RecordRemoveNode(0, node);
+  }
   return Status::Ok();
 }
 
@@ -188,6 +194,9 @@ Status SchedulingStructure::AttachThread(ThreadId thread, NodeId leaf,
   }
   thread_to_leaf_.emplace(thread, leaf);
   ++n.thread_count;
+  if (tracer_ != nullptr) {
+    tracer_->RecordAttachThread(0, leaf, thread, params.weight);
+  }
   return Status::Ok();
 }
 
@@ -207,6 +216,9 @@ Status SchedulingStructure::DetachThread(ThreadId thread) {
   thread_to_leaf_.erase(it);
   if (was_runnable && n.runnable && !n.in_service && !n.leaf->HasRunnable()) {
     PropagateSleep(leaf_id, /*now=*/0);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->RecordDetachThread(0, leaf_id, thread);
   }
   return Status::Ok();
 }
@@ -233,6 +245,9 @@ Status SchedulingStructure::MoveThread(ThreadId thread, NodeId to, const ThreadP
   if (Status s = AttachThread(thread, to, params); !s.ok()) {
     return s;
   }
+  if (tracer_ != nullptr) {
+    tracer_->RecordMoveThread(now, to, thread);
+  }
   if (was_runnable) {
     SetRun(thread, now);
   }
@@ -250,6 +265,9 @@ Status SchedulingStructure::SetNodeWeight(NodeId node, Weight weight) {
   n.weight = weight;
   if (n.parent != kInvalidNode) {
     NodeRef(n.parent).sfq->SetWeight(n.flow_in_parent, weight);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->RecordSetWeight(0, node, weight);
   }
   return Status::Ok();
 }
@@ -311,6 +329,9 @@ void SchedulingStructure::PropagateSleep(NodeId node, Time now) {
 void SchedulingStructure::SetRun(ThreadId thread, Time now) {
   const auto it = thread_to_leaf_.find(thread);
   assert(it != thread_to_leaf_.end() && "SetRun on unattached thread");
+  if (tracer_ != nullptr) {
+    tracer_->RecordSetRun(now, it->second, thread);
+  }
   Node& n = NodeRef(it->second);
   n.leaf->ThreadRunnable(thread, now);
   if (!n.runnable) {
@@ -322,6 +343,9 @@ void SchedulingStructure::Sleep(ThreadId thread, Time now) {
   const auto it = thread_to_leaf_.find(thread);
   assert(it != thread_to_leaf_.end() && "Sleep on unattached thread");
   assert(thread != running_thread_ && "a running thread blocks via Update instead");
+  if (tracer_ != nullptr) {
+    tracer_->RecordSleep(now, it->second, thread);
+  }
   Node& n = NodeRef(it->second);
   n.leaf->ThreadBlocked(thread, now);
   if (n.runnable && !n.in_service && !n.leaf->HasRunnable()) {
@@ -344,19 +368,29 @@ ThreadId SchedulingStructure::Schedule(Time now) {
     }
     const hfair::FlowId flow = n.sfq->PickNext(now);
     assert(flow != hfair::kInvalidFlow && "runnable interior node with empty backlog");
-    cur = n.flow_to_child[flow];
+    const NodeId child = n.flow_to_child[flow];
+    if (tracer_ != nullptr) {
+      tracer_->RecordPickChild(now, cur, child);
+    }
+    cur = child;
   }
   Node& leaf = NodeRef(cur);
   const ThreadId thread = leaf.leaf->PickNext(now);
   assert(thread != kInvalidThread && "runnable leaf with no runnable thread");
   running_thread_ = thread;
   running_leaf_ = cur;
+  if (tracer_ != nullptr) {
+    tracer_->RecordSchedule(now, cur, thread);
+  }
   return thread;
 }
 
 void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool still_runnable) {
   ++update_count_;
   assert(thread == running_thread_ && "Update must name the running thread");
+  if (tracer_ != nullptr) {
+    tracer_->RecordUpdate(now, running_leaf_, thread, used, still_runnable);
+  }
   Node& leaf = NodeRef(running_leaf_);
   leaf.leaf->Charge(thread, used, now, still_runnable);
   leaf.runnable = leaf.leaf->HasRunnable();

@@ -22,6 +22,7 @@
 #include "src/common/types.h"
 #include "src/fair/sfq.h"
 #include "src/hsfq/leaf_scheduler.h"
+#include "src/trace/tracer.h"
 
 namespace hsfq {
 
@@ -129,6 +130,18 @@ class SchedulingStructure {
   uint64_t schedule_count() const { return schedule_count_; }
   uint64_t update_count() const { return update_count_; }
 
+  // --- Tracing ---
+
+  // Attaches (or detaches, with nullptr) a scheduling tracer. Every decision point —
+  // SetRun/Sleep/Schedule/Update, per-level SFQ picks, and structural operations —
+  // appends one fixed-size event to the tracer's preallocated ring. With no tracer the
+  // taps are a single dead branch; with one attached they stay allocation-free. The
+  // tracer must outlive the structure (or be detached first). Kernel-hook events carry
+  // the caller's `now`; structural operations without a time parameter record time 0
+  // (they matter for ordering and tree reconstruction, not for timelines).
+  void SetTracer(htrace::Tracer* tracer) { tracer_ = tracer; }
+  htrace::Tracer* tracer() const { return tracer_; }
+
   // Verifies internal invariants (tree shape, runnability consistency); returns an error
   // describing the first violation. Used by tests and debug builds.
   Status CheckInvariants() const;
@@ -181,6 +194,8 @@ class SchedulingStructure {
 
   ThreadId running_thread_ = kInvalidThread;
   NodeId running_leaf_ = kInvalidNode;
+
+  htrace::Tracer* tracer_ = nullptr;
 
   uint64_t schedule_count_ = 0;
   uint64_t update_count_ = 0;

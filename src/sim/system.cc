@@ -34,6 +34,9 @@ hscommon::StatusOr<ThreadId> System::CreateThread(std::string name, NodeId leaf,
   t->id = id;
   t->name = std::move(name);
   t->workload = std::move(workload);
+  if (tracer_ != nullptr) {
+    tracer_->RecordThreadName(now_, leaf, id, t->name);
+  }
   threads_.push_back(std::move(t));
   Thread* raw = threads_.back().get();
   events_.At(std::max(start_time, now_), [this, raw] { WakeThread(*raw); });
@@ -245,6 +248,9 @@ void System::ServiceInterrupts() {
       service = std::max<Work>(
           1, static_cast<Work>(src.prng.Exponential(static_cast<double>(service))));
     }
+    if (tracer_ != nullptr) {
+      tracer_->RecordInterrupt(now_, service);
+    }
     now_ += service;  // stolen at top priority; the running slice is stretched, not ended
     interrupt_time_ += service;
     ++interrupt_count_;
@@ -286,6 +292,9 @@ void System::Dispatch() {
   const Work preferred = tree_.PreferredQuantumOf(tid);
   slice_quantum_left_ = preferred > 0 ? preferred : config_.default_quantum;
   slice_used_ = 0;
+  if (tracer_ != nullptr) {
+    tracer_->RecordDispatch(now_, tid, slice_quantum_left_);
+  }
 }
 
 void System::EndSlice(bool still_runnable) {
@@ -316,6 +325,9 @@ void System::RunUntil(Time until) {
       // Idle: jump to the next stimulus.
       const Time next = std::min({events_.NextTime(), NextInterruptTime(), until});
       assert(next > now_);
+      if (tracer_ != nullptr) {
+        tracer_->RecordIdle(now_, next);
+      }
       idle_time_ += next - now_;
       now_ = next;
       continue;

@@ -30,6 +30,7 @@
 #include "src/hsfq/structure.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/workload.h"
+#include "src/trace/tracer.h"
 
 namespace hsim {
 
@@ -135,6 +136,17 @@ class System {
   Workload* WorkloadOf(ThreadId thread) const;
   const std::string& NameOf(ThreadId thread) const;
 
+  // Attaches a scheduling tracer to the simulator AND its scheduling structure: tree
+  // decision points (SetRun/Sleep/Schedule/Update, structural ops) plus the simulator's
+  // own dispatch quanta, interrupt steals, idle periods, and thread names all land in
+  // one ordered event stream. Attach before building the tree so the exporter can
+  // reconstruct node paths. Pass nullptr to detach. The tracer must outlive the system.
+  void SetTracer(htrace::Tracer* tracer) {
+    tracer_ = tracer;
+    tree_.SetTracer(tracer);
+  }
+  htrace::Tracer* tracer() const { return tracer_; }
+
   // Writes a JSON snapshot of the whole machine's statistics — per-thread service,
   // dispatch counts and latency moments; per-node subtree service and paths; mutex and
   // interrupt totals. Stable key order, suitable for diffing runs.
@@ -215,6 +227,7 @@ class System {
   void ProcessDueEvents();
 
   Config config_;
+  htrace::Tracer* tracer_ = nullptr;
   hsfq::SchedulingStructure tree_;
   EventQueue events_;
   std::vector<std::unique_ptr<Thread>> threads_;

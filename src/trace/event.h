@@ -1,0 +1,89 @@
+// The trace event record — one fixed-size POD per scheduling decision.
+//
+// Every decision point of the scheduler stack (SchedulingStructure hooks, simulator
+// dispatch/interrupt/idle transitions, structural mknod/rmnod/move operations) appends
+// one 48-byte TraceEvent to a preallocated ring (src/trace/ring.h). Events are plain
+// bytes: trivially copyable, no padding holes, no pointers — so a trace can be written
+// to disk verbatim, read back on any little-endian machine, and two runs of the same
+// scenario can be compared with memcmp (the record/replay oracle, src/trace/replay.h).
+//
+// Field meaning depends on the event type; see the table in docs/observability.md.
+
+#ifndef HSCHED_SRC_TRACE_EVENT_H_
+#define HSCHED_SRC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+#include "src/common/types.h"
+
+namespace htrace {
+
+enum class EventType : uint8_t {
+  kTraceStart = 0,   // ring capacity in a
+  // Structure management (the paper's hsfq_mknod / hsfq_rmnod / hsfq_admin).
+  kMakeNode = 1,     // node = new node, a = parent, b = weight, flags = 1 if leaf,
+                     // name = first 17 chars of the path component
+  kRemoveNode = 2,   // node removed
+  kSetWeight = 3,    // node, a = new weight
+  kAttachThread = 4, // node = leaf, a = thread, b = params.weight
+  kDetachThread = 5, // node = leaf the thread left, a = thread
+  kMoveThread = 6,   // node = destination leaf, a = thread
+  // Kernel hooks (hsfq_setrun / hsfq_sleep / hsfq_schedule / hsfq_update).
+  kSetRun = 7,       // node = leaf, a = thread
+  kSleep = 8,        // node = leaf, a = thread
+  kPickChild = 9,    // node = interior node, a = child picked by its SFQ
+  kSchedule = 10,    // node = leaf whose class scheduler picked, a = thread
+  kUpdate = 11,      // node = leaf, a = thread, b = service used, flags = still_runnable
+  // Simulator events (hsim::System).
+  kThreadName = 12,  // node = leaf, a = thread, name = first 17 chars of the name
+  kDispatch = 13,    // a = thread, b = quantum granted
+  kInterrupt = 14,   // b = CPU time stolen by the interrupt
+  kIdle = 15,        // a = wall time the CPU went idle until, b = idle duration
+};
+
+// Human-readable tag, for dumps and diff reports.
+const char* EventTypeName(EventType type);
+
+// Capacity of TraceEvent::name (including the NUL when the string is shorter).
+inline constexpr size_t kEventNameCapacity = 18;
+
+struct TraceEvent {
+  hscommon::Time time;  // simulated wall clock of the decision
+  uint64_t a;           // thread id / parent node / capacity (see EventType)
+  int64_t b;            // service, weight, quantum, duration (see EventType)
+  uint32_t node;        // scheduling-structure node id (0 = root or n/a)
+  EventType type;
+  uint8_t flags;                  // still_runnable / is_leaf bits
+  char name[kEventNameCapacity];  // NUL-padded component or thread name
+};
+
+// The byte-diff oracle depends on the record having no padding holes: every byte of a
+// TraceEvent is defined after MakeEvent below.
+static_assert(sizeof(TraceEvent) == 48, "TraceEvent must stay exactly 48 bytes");
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+// Builds a fully zero-initialized event (name zero-padded), so memcmp comparisons and
+// on-disk bytes are deterministic.
+inline TraceEvent MakeEvent(EventType type, hscommon::Time time, uint32_t node,
+                            uint64_t a, int64_t b, uint8_t flags = 0,
+                            std::string_view name = {}) {
+  TraceEvent e;
+  std::memset(&e, 0, sizeof(e));
+  e.time = time;
+  e.a = a;
+  e.b = b;
+  e.node = node;
+  e.type = type;
+  e.flags = flags;
+  const size_t n = name.size() < kEventNameCapacity - 1 ? name.size()
+                                                        : kEventNameCapacity - 1;
+  std::memcpy(e.name, name.data(), n);
+  return e;
+}
+
+}  // namespace htrace
+
+#endif  // HSCHED_SRC_TRACE_EVENT_H_

@@ -1,0 +1,155 @@
+#include "src/trace/perfetto_export.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/trace/reader.h"
+
+namespace htrace {
+
+using hscommon::InvalidArgument;
+using hscommon::Status;
+
+namespace {
+
+// JSON string escaping for paths and thread names (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  // Emits one traceEvents element from preassembled body text.
+  void Emit(const std::string& body) {
+    std::fprintf(f_, "%s    {%s}", first_ ? "" : ",\n", body.c_str());
+    first_ = false;
+  }
+
+ private:
+  std::FILE* f_;
+  bool first_ = true;
+};
+
+// Slice/marker label: the recorded thread name when the trace has one, else "t<id>".
+std::string ThreadLabel(const TraceAnalyzer& analyzer, uint64_t thread) {
+  const std::string name = analyzer.ThreadName(thread);
+  return name.empty() ? "t" + std::to_string(thread) : name;
+}
+
+std::string Us(hscommon::Time ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::string& path) {
+  const TraceAnalyzer analyzer(events);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  std::fputs("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n", f);
+  JsonWriter w(f);
+
+  w.Emit("\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+         "\"args\": {\"name\": \"hsched scheduling structure\"}");
+  // One track per scheduling node, ordered by id (root first).
+  for (const auto& [id, info] : analyzer.nodes()) {
+    w.Emit("\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": " +
+           std::to_string(id) + ", \"args\": {\"name\": \"" + JsonEscape(info.path) +
+           "\"}");
+    w.Emit("\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 1, \"tid\": " +
+           std::to_string(id) + ", \"args\": {\"sort_index\": " + std::to_string(id) +
+           "}");
+  }
+
+  // Walk the stream pairing Schedule with the matching Update (exactly one dispatch is
+  // in flight at a time) and accumulating per-node service for the counters.
+  std::map<uint32_t, hscommon::Work> service;
+  bool pending = false;
+  hscommon::Time sched_time = 0;
+  uint64_t sched_thread = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case EventType::kSchedule:
+        pending = true;
+        sched_time = e.time;
+        sched_thread = e.a;
+        break;
+      case EventType::kSetRun: {
+        w.Emit("\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": " +
+               std::to_string(e.node) + ", \"ts\": " + Us(e.time) +
+               ", \"name\": \"wake " + JsonEscape(ThreadLabel(analyzer, e.a)) + "\"");
+        break;
+      }
+      case EventType::kUpdate: {
+        const hscommon::Time start = pending && sched_thread == e.a
+                                         ? sched_time
+                                         : e.time - e.b;  // fall back to used-as-duration
+        pending = false;
+        const std::string label = JsonEscape(ThreadLabel(analyzer, e.a));
+        const std::string common =
+            "\"ph\": \"X\", \"cat\": \"dispatch\", \"pid\": 1, \"ts\": " + Us(start) +
+            ", \"dur\": " + Us(e.time - start) + ", \"name\": \"" + label +
+            "\", \"args\": {\"thread\": " + std::to_string(e.a) +
+            ", \"service_ns\": " + std::to_string(e.b) +
+            ", \"still_runnable\": " + (e.flags ? "true" : "false") + "}";
+        // The slice appears on the leaf and every known ancestor track.
+        const auto& nodes = analyzer.nodes();
+        for (uint32_t cur = e.node;;) {
+          w.Emit(common + ", \"tid\": " + std::to_string(cur));
+          service[cur] += e.b;
+          const auto it = nodes.find(cur);
+          if (cur == 0 || it == nodes.end() || it->second.parent == TraceAnalyzer::kNoParent) {
+            break;
+          }
+          cur = it->second.parent;
+        }
+        // Service counter on the leaf (milliseconds, so the y axis is readable).
+        const auto leaf = nodes.find(e.node);
+        if (leaf != nodes.end()) {
+          char value[48];
+          std::snprintf(value, sizeof(value), "%.3f",
+                        static_cast<double>(service[e.node]) / 1e6);
+          w.Emit("\"ph\": \"C\", \"pid\": 1, \"name\": \"service:" +
+                 JsonEscape(leaf->second.path) + "\", \"ts\": " + Us(e.time) +
+                 ", \"args\": {\"ms\": " + value + "}");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::fputs("\n  ]\n}\n", f);
+  if (std::fclose(f) != 0) {
+    return InvalidArgument("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status ExportPerfettoJson(const Tracer& tracer, const std::string& path) {
+  return ExportPerfettoJson(tracer.ring().Snapshot(), path);
+}
+
+}  // namespace htrace

@@ -1,0 +1,36 @@
+// Chrome trace_event / Perfetto JSON export.
+//
+// Converts a recorded event stream into the JSON trace format that ui.perfetto.dev and
+// chrome://tracing load directly. The mapping:
+//   * one Perfetto thread track per scheduling node (tid = node id, pid = 1), named by
+//     the node's "/"-rooted path — interior nodes included, so the hierarchy's dispatch
+//     attribution is visible at every level;
+//   * each Schedule -> Update pair becomes a complete ("X") slice on the picked leaf's
+//     track AND on every ancestor track, named after the running thread;
+//   * each SetRun becomes an instant ("i") wakeup marker on the leaf's track;
+//   * each Update also advances a per-leaf "service:<path>" counter ("C") with the
+//     cumulative subtree service in milliseconds.
+// Timestamps are microseconds (the format's unit); the simulation's t=0 maps to ts=0.
+
+#ifndef HSCHED_SRC_TRACE_PERFETTO_EXPORT_H_
+#define HSCHED_SRC_TRACE_PERFETTO_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/trace/event.h"
+#include "src/trace/tracer.h"
+
+namespace htrace {
+
+// Writes the Perfetto JSON for `events` to `path`.
+hscommon::Status ExportPerfettoJson(const std::vector<TraceEvent>& events,
+                                    const std::string& path);
+
+// Convenience overload exporting a tracer's retained ring.
+hscommon::Status ExportPerfettoJson(const Tracer& tracer, const std::string& path);
+
+}  // namespace htrace
+
+#endif  // HSCHED_SRC_TRACE_PERFETTO_EXPORT_H_

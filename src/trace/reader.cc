@@ -1,0 +1,148 @@
+#include "src/trace/reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace htrace {
+
+using hscommon::NotFound;
+using hscommon::StatusOr;
+
+namespace {
+
+std::string NameField(const TraceEvent& e) {
+  return std::string(e.name, strnlen(e.name, kEventNameCapacity));
+}
+
+}  // namespace
+
+TraceAnalyzer::NodeInfo& TraceAnalyzer::NodeOrPlaceholder(uint32_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    NodeInfo info;
+    info.id = id;
+    info.path = id == 0 ? "/" : "node:" + std::to_string(id);
+    info.parent = kNoParent;
+    it = nodes_.emplace(id, std::move(info)).first;
+  }
+  return it->second;
+}
+
+TraceAnalyzer::TraceAnalyzer(const std::vector<TraceEvent>& events) : events_(events) {
+  NodeOrPlaceholder(0);  // the root always exists
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (first && e.type != EventType::kTraceStart) {
+      first_time_ = e.time;
+      first = false;
+    }
+    last_time_ = std::max(last_time_, e.time);
+    switch (e.type) {
+      case EventType::kMakeNode: {
+        const uint32_t parent_id = static_cast<uint32_t>(e.a);
+        NodeInfo& parent = NodeOrPlaceholder(parent_id);
+        const std::string path =
+            (parent.path == "/" ? "" : parent.path) + "/" + NameField(e);
+        NodeInfo& n = NodeOrPlaceholder(e.node);
+        n.parent = parent_id;
+        n.path = path;
+        n.weight = static_cast<uint64_t>(e.b);
+        n.is_leaf = e.flags != 0;
+        n.removed = false;
+        break;
+      }
+      case EventType::kRemoveNode:
+        NodeOrPlaceholder(e.node).removed = true;
+        break;
+      case EventType::kSetWeight:
+        NodeOrPlaceholder(e.node).weight = e.a;
+        break;
+      case EventType::kSchedule: {
+        ++schedule_count_;
+        for (uint32_t cur = e.node;;) {
+          NodeInfo& n = NodeOrPlaceholder(cur);
+          ++n.dispatches;
+          if (cur == 0 || n.parent == kNoParent) break;
+          cur = n.parent;
+        }
+        break;
+      }
+      case EventType::kUpdate: {
+        ++update_count_;
+        for (uint32_t cur = e.node;;) {
+          NodeInfo& n = NodeOrPlaceholder(cur);
+          n.total_service += e.b;
+          n.timeline.emplace_back(e.time, n.total_service);
+          if (cur == 0 || n.parent == kNoParent) break;
+          cur = n.parent;
+        }
+        break;
+      }
+      case EventType::kThreadName:
+        thread_names_[e.a] = NameField(e);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+StatusOr<uint32_t> TraceAnalyzer::NodeByPath(const std::string& path) const {
+  for (const auto& [id, info] : nodes_) {
+    if (info.path == path) {
+      return id;
+    }
+  }
+  return NotFound("no node with path '" + path + "' in the trace");
+}
+
+Work TraceAnalyzer::ServiceAt(uint32_t node, Time t) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.timeline.empty()) {
+    return 0;
+  }
+  const auto& tl = it->second.timeline;
+  // Last point with time <= t.
+  const auto pos = std::upper_bound(
+      tl.begin(), tl.end(), t,
+      [](Time value, const std::pair<Time, Work>& p) { return value < p.first; });
+  if (pos == tl.begin()) {
+    return 0;
+  }
+  return std::prev(pos)->second;
+}
+
+double TraceAnalyzer::FairnessGap(uint32_t f, uint32_t g, Time t0, Time t1) const {
+  const auto fi = nodes_.find(f);
+  const auto gi = nodes_.find(g);
+  if (fi == nodes_.end() || gi == nodes_.end()) {
+    return 0.0;
+  }
+  const double wf = static_cast<double>(fi->second.weight);
+  const double wg = static_cast<double>(gi->second.weight);
+  const double sf = static_cast<double>(ServiceIn(f, t0, t1));
+  const double sg = static_cast<double>(ServiceIn(g, t0, t1));
+  const double gap = sf / wf - sg / wg;
+  return gap < 0 ? -gap : gap;
+}
+
+std::vector<Time> TraceAnalyzer::DispatchLatencies(uint64_t thread) const {
+  std::vector<Time> out;
+  Time pending_wake = -1;
+  for (const TraceEvent& e : events_) {
+    if (e.type == EventType::kSetRun && e.a == thread) {
+      pending_wake = e.time;
+    } else if (e.type == EventType::kSchedule && e.a == thread && pending_wake >= 0) {
+      out.push_back(e.time - pending_wake);
+      pending_wake = -1;
+    }
+  }
+  return out;
+}
+
+std::string TraceAnalyzer::ThreadName(uint64_t thread) const {
+  const auto it = thread_names_.find(thread);
+  return it == thread_names_.end() ? "" : it->second;
+}
+
+}  // namespace htrace

@@ -1,0 +1,91 @@
+// Trace analysis: per-node service timelines, dispatch latencies, and the paper's §3
+// fairness bound, computed directly from a recorded event stream.
+//
+// The analyzer replays the structural events (MakeNode/SetWeight/...) to rebuild the
+// node tree, then folds every Update into a per-node cumulative-service step function —
+// the same quantity the paper plots in Figures 5–11, but with per-decision resolution
+// instead of a sampler's fixed intervals. Nodes created before tracing started appear
+// as placeholders named "node:<id>" (their service is still accounted, but without
+// ancestor attribution, since their parent is unknown).
+
+#ifndef HSCHED_SRC_TRACE_READER_H_
+#define HSCHED_SRC_TRACE_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/trace/event.h"
+
+namespace htrace {
+
+using hscommon::Time;
+using hscommon::Work;
+
+class TraceAnalyzer {
+ public:
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+
+  struct NodeInfo {
+    uint32_t id = 0;
+    uint32_t parent = kNoParent;
+    std::string path;        // "/"-rooted path, or "node:<id>" for pre-trace nodes
+    uint64_t weight = 1;     // most recent weight seen in the trace
+    bool is_leaf = false;
+    bool removed = false;
+    Work total_service = 0;  // cumulative service charged to this subtree
+    uint64_t dispatches = 0; // Schedule events that picked inside this subtree
+    // (slice-end time, cumulative subtree service after that slice), non-decreasing.
+    std::vector<std::pair<Time, Work>> timeline;
+  };
+
+  explicit TraceAnalyzer(const std::vector<TraceEvent>& events);
+
+  // Nodes keyed by id; std::map so iteration order is deterministic.
+  const std::map<uint32_t, NodeInfo>& nodes() const { return nodes_; }
+
+  hscommon::StatusOr<uint32_t> NodeByPath(const std::string& path) const;
+
+  // Cumulative subtree service charged by wall time `t` (step function over slice ends).
+  Work ServiceAt(uint32_t node, Time t) const;
+
+  // Service attained in the window (t0, t1].
+  Work ServiceIn(uint32_t node, Time t0, Time t1) const {
+    return ServiceAt(node, t1) - ServiceAt(node, t0);
+  }
+
+  // The §3 fairness measure |W_f(t0,t1)/r_f − W_g(t0,t1)/r_g| in nanoseconds of service
+  // per unit weight. Meaningful over windows where both nodes stay backlogged (SFQ's
+  // guarantee is conditioned on continuous backlog).
+  double FairnessGap(uint32_t f, uint32_t g, Time t0, Time t1) const;
+
+  // Wakeup -> dispatch latency samples (ns) for one thread: every SetRun matched with
+  // the next Schedule that picked the thread.
+  std::vector<Time> DispatchLatencies(uint64_t thread) const;
+
+  // Last name recorded for a thread ("" when the trace has none).
+  std::string ThreadName(uint64_t thread) const;
+
+  uint64_t schedule_count() const { return schedule_count_; }
+  uint64_t update_count() const { return update_count_; }
+  Time first_time() const { return first_time_; }
+  Time last_time() const { return last_time_; }
+
+ private:
+  NodeInfo& NodeOrPlaceholder(uint32_t id);
+
+  std::map<uint32_t, NodeInfo> nodes_;
+  std::map<uint64_t, std::string> thread_names_;
+  std::vector<TraceEvent> events_;  // retained for latency queries
+  uint64_t schedule_count_ = 0;
+  uint64_t update_count_ = 0;
+  Time first_time_ = 0;
+  Time last_time_ = 0;
+};
+
+}  // namespace htrace
+
+#endif  // HSCHED_SRC_TRACE_READER_H_

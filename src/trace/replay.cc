@@ -1,0 +1,73 @@
+#include "src/trace/replay.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace htrace {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kTraceStart: return "TraceStart";
+    case EventType::kMakeNode: return "MakeNode";
+    case EventType::kRemoveNode: return "RemoveNode";
+    case EventType::kSetWeight: return "SetWeight";
+    case EventType::kAttachThread: return "AttachThread";
+    case EventType::kDetachThread: return "DetachThread";
+    case EventType::kMoveThread: return "MoveThread";
+    case EventType::kSetRun: return "SetRun";
+    case EventType::kSleep: return "Sleep";
+    case EventType::kPickChild: return "PickChild";
+    case EventType::kSchedule: return "Schedule";
+    case EventType::kUpdate: return "Update";
+    case EventType::kThreadName: return "ThreadName";
+    case EventType::kDispatch: return "Dispatch";
+    case EventType::kInterrupt: return "Interrupt";
+    case EventType::kIdle: return "Idle";
+  }
+  return "Unknown";
+}
+
+std::string EventToString(const TraceEvent& event) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[%lld] %s node=%u a=%llu b=%lld flags=%u",
+                static_cast<long long>(event.time), EventTypeName(event.type), event.node,
+                static_cast<unsigned long long>(event.a), static_cast<long long>(event.b),
+                event.flags);
+  std::string out(buf);
+  if (event.name[0] != '\0') {
+    out += " name='";
+    out.append(event.name,
+               strnlen(event.name, kEventNameCapacity));
+    out += '\'';
+  }
+  return out;
+}
+
+TraceDiff DiffTraces(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b) {
+  TraceDiff diff;
+  const size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < common; ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(TraceEvent)) != 0) {
+      diff.identical = false;
+      diff.first_divergence = i;
+      diff.description = "event " + std::to_string(i) + " differs:\n  run A: " +
+                         EventToString(a[i]) + "\n  run B: " + EventToString(b[i]);
+      return diff;
+    }
+  }
+  if (a.size() != b.size()) {
+    diff.identical = false;
+    diff.first_divergence = common;
+    diff.description = "trace lengths differ: run A has " + std::to_string(a.size()) +
+                       " events, run B has " + std::to_string(b.size());
+    return diff;
+  }
+  diff.identical = true;
+  return diff;
+}
+
+TraceDiff DiffTraces(const Tracer& a, const Tracer& b) {
+  return DiffTraces(a.ring().Snapshot(), b.ring().Snapshot());
+}
+
+}  // namespace htrace

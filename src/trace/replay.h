@@ -1,0 +1,43 @@
+// The record/replay determinism oracle.
+//
+// The simulator is deterministic by construction (seeded PRNGs, a stable event queue,
+// no wall-clock or address-dependent decisions) — but "by construction" erodes under
+// refactoring. The oracle turns the property into a checkable invariant: run a scenario
+// twice from scratch, trace both runs, and require the two event streams to be
+// byte-identical. Any nondeterminism — iteration over an unordered container on the
+// dispatch path, an unseeded random draw, uninitialized padding — shows up as a first
+// divergent event with a precise index and a readable dump of both sides.
+
+#ifndef HSCHED_SRC_TRACE_REPLAY_H_
+#define HSCHED_SRC_TRACE_REPLAY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+#include "src/trace/tracer.h"
+
+namespace htrace {
+
+// Renders one event as a single line, e.g.
+//   "[12000000] Update node=3 thread=7 b=4000000 flags=1".
+std::string EventToString(const TraceEvent& event);
+
+struct TraceDiff {
+  bool identical = false;
+  // First divergent event index (or the shorter length on a pure length mismatch).
+  size_t first_divergence = 0;
+  // Human-readable description of the divergence; empty when identical.
+  std::string description;
+};
+
+// Byte-compares two event streams (memcmp per record).
+TraceDiff DiffTraces(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b);
+
+// Convenience overload comparing the retained ring contents of two tracers.
+TraceDiff DiffTraces(const Tracer& a, const Tracer& b);
+
+}  // namespace htrace
+
+#endif  // HSCHED_SRC_TRACE_REPLAY_H_

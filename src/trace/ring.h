@@ -1,0 +1,81 @@
+// Preallocated ring buffer of TraceEvents.
+//
+// All storage is acquired once, at construction; Push never allocates, so the tracer
+// can sit inside the dispatch hot path without violating the repo's zero-allocation
+// steady-state invariant (tests/perf/alloc_free_test.cc). When full, Push overwrites
+// the oldest event and counts it in dropped() — a bounded trace keeps the most recent
+// window, like a kernel trace ring.
+
+#ifndef HSCHED_SRC_TRACE_RING_H_
+#define HSCHED_SRC_TRACE_RING_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace htrace {
+
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity) : storage_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return storage_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Events ever pushed, including overwritten ones.
+  uint64_t total() const { return total_; }
+  // Events lost to wraparound (total() - size()).
+  uint64_t dropped() const { return dropped_; }
+
+  void Push(const TraceEvent& event) {
+    ++total_;
+    if (size_ < storage_.size()) {
+      storage_[Wrap(start_ + size_)] = event;
+      ++size_;
+      return;
+    }
+    storage_[start_] = event;  // overwrite the oldest
+    start_ = Wrap(start_ + 1);
+    ++dropped_;
+  }
+
+  // i-th oldest retained event (0 = oldest).
+  const TraceEvent& At(size_t i) const {
+    assert(i < size_);
+    return storage_[Wrap(start_ + i)];
+  }
+
+  void Clear() {
+    start_ = 0;
+    size_ = 0;
+    total_ = 0;
+    dropped_ = 0;
+  }
+
+  // Copies the retained events, oldest first, into a flat vector (not hot-path).
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back(At(i));
+    }
+    return out;
+  }
+
+ private:
+  size_t Wrap(size_t i) const { return i < storage_.size() ? i : i - storage_.size(); }
+
+  std::vector<TraceEvent> storage_;
+  size_t start_ = 0;
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace htrace
+
+#endif  // HSCHED_SRC_TRACE_RING_H_

@@ -1,0 +1,86 @@
+#include "src/trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace htrace {
+
+using hscommon::InvalidArgument;
+using hscommon::Status;
+using hscommon::StatusOr;
+
+namespace {
+
+struct Header {
+  char magic[8];
+  uint32_t version;
+  uint32_t event_size;
+  uint64_t event_count;
+  uint64_t dropped;
+};
+static_assert(sizeof(Header) == 32);
+
+}  // namespace
+
+Status WriteTraceFile(const std::vector<TraceEvent>& events, uint64_t dropped,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  Header h;
+  std::memcpy(h.magic, kTraceMagic, sizeof(h.magic));
+  h.version = kTraceVersion;
+  h.event_size = sizeof(TraceEvent);
+  h.event_count = events.size();
+  h.dropped = dropped;
+  bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+  if (ok && !events.empty()) {
+    ok = std::fwrite(events.data(), sizeof(TraceEvent), events.size(), f) == events.size();
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    return InvalidArgument("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status WriteTraceFile(const Tracer& tracer, const std::string& path) {
+  return WriteTraceFile(tracer.ring().Snapshot(), tracer.ring().dropped(), path);
+}
+
+StatusOr<TraceFile> ReadTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return InvalidArgument("cannot open '" + path + "' for reading");
+  }
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, f) != 1) {
+    std::fclose(f);
+    return InvalidArgument("'" + path + "' is too short to be a trace");
+  }
+  if (std::memcmp(h.magic, kTraceMagic, sizeof(h.magic)) != 0) {
+    std::fclose(f);
+    return InvalidArgument("'" + path + "' has no HSTRACE1 magic");
+  }
+  if (h.version != kTraceVersion || h.event_size != sizeof(TraceEvent)) {
+    std::fclose(f);
+    return InvalidArgument("'" + path + "' has an unsupported version or record size");
+  }
+  TraceFile out;
+  out.dropped = h.dropped;
+  out.events.resize(h.event_count);
+  const size_t read =
+      h.event_count == 0
+          ? 0
+          : std::fread(out.events.data(), sizeof(TraceEvent), h.event_count, f);
+  std::fclose(f);
+  if (read != h.event_count) {
+    return InvalidArgument("'" + path + "' is truncated: header promises " +
+                           std::to_string(h.event_count) + " events, file holds " +
+                           std::to_string(read));
+  }
+  return out;
+}
+
+}  // namespace htrace

@@ -1,0 +1,47 @@
+// Binary trace file I/O.
+//
+// Format (little-endian, host layout — the records are the in-memory PODs):
+//   offset 0: magic   "HSTRACE1"                  (8 bytes)
+//   offset 8: version uint32 (currently 1)
+//   offset 12: event_size uint32 (sizeof(TraceEvent) == 48; readers reject a mismatch)
+//   offset 16: event_count uint64
+//   offset 24: dropped uint64 (events lost to ring wraparound before the snapshot)
+//   offset 32: event_count * event_size bytes of TraceEvent records, oldest first
+//
+// A trace written by WriteTraceFile and read back by ReadTraceFile is byte-identical,
+// so file-level `cmp` is an equivalent determinism oracle to in-memory DiffTraces.
+
+#ifndef HSCHED_SRC_TRACE_TRACE_IO_H_
+#define HSCHED_SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/trace/event.h"
+#include "src/trace/tracer.h"
+
+namespace htrace {
+
+inline constexpr char kTraceMagic[8] = {'H', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+inline constexpr uint32_t kTraceVersion = 1;
+
+// The deserialized contents of a trace file.
+struct TraceFile {
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+// Writes the tracer's retained events (oldest first) to `path`.
+hscommon::Status WriteTraceFile(const Tracer& tracer, const std::string& path);
+
+// Writes an explicit event sequence (e.g. a filtered or replayed one).
+hscommon::Status WriteTraceFile(const std::vector<TraceEvent>& events, uint64_t dropped,
+                                const std::string& path);
+
+// Reads a trace file back, validating magic, version and record size.
+hscommon::StatusOr<TraceFile> ReadTraceFile(const std::string& path);
+
+}  // namespace htrace
+
+#endif  // HSCHED_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,130 @@
+// The scheduling tracer: typed Record* helpers over an EventRing.
+//
+// One Tracer is attached to a SchedulingStructure (and, through hsim::System::SetTracer,
+// to the simulator) with a raw pointer; a null pointer means tracing is compiled down to
+// a single predictable dead branch at each tap site (`if (tracer_ != nullptr)`), and an
+// attached-but-disabled tracer costs one more branch. All Record helpers are inline and
+// allocation-free: they build a 48-byte POD on the stack and copy it into the
+// preallocated ring.
+
+#ifndef HSCHED_SRC_TRACE_TRACER_H_
+#define HSCHED_SRC_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/types.h"
+#include "src/trace/event.h"
+#include "src/trace/ring.h"
+
+namespace htrace {
+
+class Tracer {
+ public:
+  // Default capacity (1M events, 48 MiB) comfortably holds minutes of simulated
+  // dispatching; pass a smaller ring to keep only the most recent window.
+  static constexpr size_t kDefaultCapacity = size_t{1} << 20;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity) : ring_(capacity) {
+    ring_.Push(MakeEvent(EventType::kTraceStart, 0, 0,
+                         static_cast<uint64_t>(ring_.capacity()), 0, 0, "hsched"));
+  }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  const EventRing& ring() const { return ring_; }
+
+  // Drops every recorded event (the kTraceStart marker is re-emitted), e.g. when the
+  // shell restarts tracing.
+  void Clear() {
+    ring_.Clear();
+    ring_.Push(MakeEvent(EventType::kTraceStart, 0, 0,
+                         static_cast<uint64_t>(ring_.capacity()), 0, 0, "hsched"));
+  }
+
+  // --- Structure management taps ---
+
+  void RecordMakeNode(hscommon::Time now, uint32_t node, uint32_t parent,
+                      uint64_t weight, bool is_leaf, std::string_view name) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kMakeNode, now, node, parent,
+                         static_cast<int64_t>(weight), is_leaf ? 1 : 0, name));
+  }
+  void RecordRemoveNode(hscommon::Time now, uint32_t node) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kRemoveNode, now, node, 0, 0));
+  }
+  void RecordSetWeight(hscommon::Time now, uint32_t node, uint64_t weight) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kSetWeight, now, node, weight, 0));
+  }
+  void RecordAttachThread(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                          uint64_t weight) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kAttachThread, now, leaf, thread,
+                         static_cast<int64_t>(weight)));
+  }
+  void RecordDetachThread(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kDetachThread, now, leaf, thread, 0));
+  }
+  void RecordMoveThread(hscommon::Time now, uint32_t to_leaf, uint64_t thread) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kMoveThread, now, to_leaf, thread, 0));
+  }
+
+  // --- Kernel-hook taps (the hot path) ---
+
+  void RecordSetRun(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kSetRun, now, leaf, thread, 0));
+  }
+  void RecordSleep(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kSleep, now, leaf, thread, 0));
+  }
+  void RecordPickChild(hscommon::Time now, uint32_t interior, uint32_t child) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kPickChild, now, interior, child, 0));
+  }
+  void RecordSchedule(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kSchedule, now, leaf, thread, 0));
+  }
+  void RecordUpdate(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                    hscommon::Work used, bool still_runnable) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kUpdate, now, leaf, thread, used,
+                         still_runnable ? 1 : 0));
+  }
+
+  // --- Simulator taps ---
+
+  void RecordThreadName(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                        std::string_view name) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kThreadName, now, leaf, thread, 0, 0, name));
+  }
+  void RecordDispatch(hscommon::Time now, uint64_t thread, hscommon::Work quantum) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kDispatch, now, 0, thread, quantum));
+  }
+  void RecordInterrupt(hscommon::Time now, hscommon::Work stolen) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kInterrupt, now, 0, 0, stolen));
+  }
+  void RecordIdle(hscommon::Time now, hscommon::Time until) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kIdle, now, 0, static_cast<uint64_t>(until),
+                         until - now));
+  }
+
+ private:
+  EventRing ring_;
+  bool enabled_ = true;
+};
+
+}  // namespace htrace
+
+#endif  // HSCHED_SRC_TRACE_TRACER_H_

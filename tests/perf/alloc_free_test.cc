@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "src/fair/make.h"
+#include "src/hsfq/structure.h"
 #include "src/sched/edf.h"
+#include "src/sched/sfq_leaf.h"
 #include "src/sim/event_queue.h"
+#include "src/trace/tracer.h"
 
 namespace {
 // Counts every allocation made through the replaced global operator new below. Plain
@@ -135,6 +138,43 @@ TEST(AllocFreeTest, EdfDispatchLoopIsAllocationFree) {
     }
   });
   EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocFreeTest, TracedHierarchicalDispatchLoopIsAllocationFree) {
+  // The tracer's Push into a preallocated ring must not break the dispatch loop's
+  // zero-allocation property — even while the ring wraps around (capacity 256 is far
+  // smaller than the event volume below, so every iteration overwrites and drops).
+  htrace::Tracer tracer(256);
+  hsfq::SchedulingStructure tree;
+  tree.SetTracer(&tracer);
+  std::vector<hsfq::NodeId> leaves;
+  for (int d = 0; d < 2; ++d) {
+    const auto interior =
+        *tree.MakeNode("dept" + std::to_string(d), hsfq::kRootNode, 1, nullptr);
+    for (int l = 0; l < 2; ++l) {
+      leaves.push_back(*tree.MakeNode("class" + std::to_string(l), interior, 1 + l,
+                                      std::make_unique<hleaf::SfqLeafScheduler>()));
+    }
+  }
+  hsfq::ThreadId next_thread = 1;
+  for (const auto leaf : leaves) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(tree.AttachThread(next_thread, leaf, {.weight = 1}).ok());
+      tree.SetRun(next_thread, 0);
+      ++next_thread;
+    }
+  }
+  hscommon::Time now = 0;
+  const uint64_t allocs = AllocationsInSteadyState([&] {
+    for (int i = 0; i < 5000; ++i) {
+      const hsfq::ThreadId t = tree.Schedule(now);
+      ASSERT_NE(t, hsfq::kInvalidThread);
+      now += kMillisecond;
+      tree.Update(t, kMillisecond, now, /*still_runnable=*/true);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(tracer.ring().dropped(), 0u);  // the ring really wrapped while we measured
 }
 
 TEST(AllocFreeTest, EventQueueScheduleFireLoopIsAllocationFree) {

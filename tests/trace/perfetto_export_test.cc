@@ -1,0 +1,88 @@
+// Perfetto/Chrome trace_event JSON exporter tests.
+//
+// The structural guarantee ("one track per scheduling node", valid JSON) is also
+// enforced end-to-end in CI by tools/trace_to_perfetto.py (a real json.load); here we
+// check the exporter's output shape with substring assertions.
+
+#include "src/trace/perfetto_export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using hscommon::kSecond;
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(PerfettoExportTest, OneTrackPerSchedulingNode) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto interior = *sys.tree().MakeNode("users", hsfq::kRootNode, 1, nullptr);
+  const auto u1 = *sys.tree().MakeNode("u1", interior, 2,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto u2 = *sys.tree().MakeNode("u2", interior, 1,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)u1;
+  (void)u2;
+  (void)*sys.CreateThread("alpha", u1, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  (void)*sys.CreateThread("beta", u2, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(kSecond);
+
+  const std::string path = ::testing::TempDir() + "/export.json";
+  ASSERT_TRUE(htrace::ExportPerfettoJson(tracer, path).ok());
+  const std::string json = ReadAll(path);
+
+  // Root + interior + two leaves = one thread_name metadata record per node.
+  EXPECT_EQ(CountOccurrences(json, "\"thread_name\""), sys.tree().NodeCount());
+  EXPECT_NE(json.find("\"name\": \"/\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"/users\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"/users/u1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"/users/u2\""), std::string::npos);
+
+  // Dispatch slices, wakeup instants, and service counters all present.
+  EXPECT_GT(CountOccurrences(json, "\"ph\": \"X\""), 10u);
+  EXPECT_GT(CountOccurrences(json, "\"ph\": \"i\""), 0u);
+  EXPECT_GT(CountOccurrences(json, "\"ph\": \"C\""), 0u);
+  // Slices are labelled with the recorded thread names.
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"beta\""), std::string::npos);
+
+  // Cheap well-formedness signals (the python tool does a full json.load in CI).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
+  EXPECT_EQ(CountOccurrences(json, "["), CountOccurrences(json, "]"));
+}
+
+TEST(PerfettoExportTest, FailsCleanlyOnUnwritablePath) {
+  htrace::Tracer tracer;
+  EXPECT_FALSE(
+      htrace::ExportPerfettoJson(tracer, "/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// TraceAnalyzer tests: per-node service timelines, the §3 fairness gap, and
+// wakeup->dispatch latency, all computed purely from a recorded event stream.
+
+#include "src/trace/reader.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using htrace::TraceAnalyzer;
+
+// Two always-backlogged CPU-bound classes with weights 1 and 3 under the root.
+struct Scenario {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  hsfq::NodeId slow = 0;
+  hsfq::NodeId fast = 0;
+
+  Scenario() {
+    sys.SetTracer(&tracer);
+    slow = *sys.tree().MakeNode("slow", hsfq::kRootNode, 1,
+                                std::make_unique<hleaf::SfqLeafScheduler>());
+    fast = *sys.tree().MakeNode("fast", hsfq::kRootNode, 3,
+                                std::make_unique<hleaf::SfqLeafScheduler>());
+    (void)*sys.CreateThread("slow-worker", slow, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+    (void)*sys.CreateThread("fast-worker", fast, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+    sys.RunUntil(8 * kSecond);
+  }
+};
+
+TEST(TraceAnalyzerTest, ReconstructsNodePathsAndWeights) {
+  Scenario s;
+  const TraceAnalyzer analyzer(s.tracer.ring().Snapshot());
+  const auto slow = analyzer.NodeByPath("/slow");
+  const auto fast = analyzer.NodeByPath("/fast");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(*slow, s.slow);
+  EXPECT_EQ(*fast, s.fast);
+  EXPECT_EQ(analyzer.nodes().at(*slow).weight, 1u);
+  EXPECT_EQ(analyzer.nodes().at(*fast).weight, 3u);
+  EXPECT_TRUE(analyzer.nodes().at(*fast).is_leaf);
+  EXPECT_EQ(analyzer.nodes().at(0).path, "/");
+  EXPECT_EQ(analyzer.ThreadName(0), "slow-worker");
+  EXPECT_EQ(analyzer.ThreadName(1), "fast-worker");
+}
+
+TEST(TraceAnalyzerTest, ServiceTimelineMatchesWeights) {
+  Scenario s;
+  const TraceAnalyzer analyzer(s.tracer.ring().Snapshot());
+  // Over (1s, 8s] both classes are continuously backlogged: service ratio must be ~3.
+  const auto w_slow = analyzer.ServiceIn(s.slow, kSecond, 8 * kSecond);
+  const auto w_fast = analyzer.ServiceIn(s.fast, kSecond, 8 * kSecond);
+  ASSERT_GT(w_slow, 0);
+  const double ratio = static_cast<double>(w_fast) / static_cast<double>(w_slow);
+  EXPECT_NEAR(ratio, 3.0, 0.1);
+  // The root's timeline aggregates both children.
+  EXPECT_EQ(analyzer.ServiceIn(0, kSecond, 8 * kSecond), w_slow + w_fast);
+  // Cumulative service is monotone in t.
+  EXPECT_LE(analyzer.ServiceAt(s.fast, 2 * kSecond), analyzer.ServiceAt(s.fast, 5 * kSecond));
+  EXPECT_EQ(analyzer.ServiceAt(s.fast, -1), 0);
+}
+
+TEST(TraceAnalyzerTest, FairnessGapIsWithinTheSfqBound) {
+  Scenario s;
+  const TraceAnalyzer analyzer(s.tracer.ring().Snapshot());
+  // §3 Theorem 1: |W_f/r_f - W_g/r_g| <= q/r_f + q/r_g for flows continuously
+  // backlogged over the window. Quantum is the 20 ms default; allow one extra quantum
+  // per endpoint for window truncation.
+  const double q = static_cast<double>(20 * kMillisecond);
+  const double bound = 2.0 * (q / 1.0 + q / 3.0);
+  const double gap = analyzer.FairnessGap(s.slow, s.fast, kSecond, 8 * kSecond);
+  EXPECT_LT(gap, bound);
+  EXPECT_GE(gap, 0.0);
+}
+
+TEST(TraceAnalyzerTest, CountsAndLatencies) {
+  Scenario s;
+  const TraceAnalyzer analyzer(s.tracer.ring().Snapshot());
+  EXPECT_GT(analyzer.schedule_count(), 100u);
+  // A slice can still be in flight at the horizon, so counts differ by at most one.
+  EXPECT_LE(analyzer.schedule_count() - analyzer.update_count(), 1u);
+  EXPECT_GT(analyzer.nodes().at(s.fast).dispatches, analyzer.nodes().at(s.slow).dispatches);
+  // Both threads woke once at t=0; the slow one waited for the fast one's first slice.
+  const auto lat0 = analyzer.DispatchLatencies(0);
+  const auto lat1 = analyzer.DispatchLatencies(1);
+  ASSERT_FALSE(lat0.empty());
+  ASSERT_FALSE(lat1.empty());
+  EXPECT_GE(lat0[0], 0);
+  EXPECT_GE(lat1[0], 0);
+  EXPECT_GE(analyzer.last_time(), 7 * kSecond);
+}
+
+TEST(TraceAnalyzerTest, PreTraceNodesBecomePlaceholders) {
+  // Attach the tracer AFTER the tree exists: service is still accounted per node, but
+  // under a placeholder name.
+  hsim::System sys;
+  const auto leaf = *sys.tree().MakeNode("late", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread("w", leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  htrace::Tracer tracer;
+  sys.SetTracer(&tracer);
+  sys.RunUntil(kSecond);
+  const TraceAnalyzer analyzer(tracer.ring().Snapshot());
+  ASSERT_TRUE(analyzer.nodes().contains(leaf));
+  EXPECT_EQ(analyzer.nodes().at(leaf).path, "node:" + std::to_string(leaf));
+  EXPECT_GT(analyzer.nodes().at(leaf).total_service, 0);
+  EXPECT_FALSE(analyzer.NodeByPath("/late").ok());
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Record/replay determinism oracle: running the same scenario twice from scratch must
+// produce byte-identical traces. Two golden scenarios from the paper's evaluation —
+// the Figure 3 SFQ blocking example and the Figure 8 hierarchical structure — plus
+// divergence-detection checks on deliberately corrupted traces.
+
+#include "src/trace/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using htrace::DiffTraces;
+using htrace::Tracer;
+
+// The paper's Figure 3 worked example as a simulation: threads A (weight 1) and
+// B (weight 2) under one SFQ leaf, 10 ms quanta; B blocks at 60 ms, A at 90 ms,
+// A returns at 110 ms, B at 115 ms.
+void RunFigure3Scenario(Tracer& tracer) {
+  hsim::System sys(hsim::System::Config{.default_quantum = 10 * kMillisecond});
+  sys.SetTracer(&tracer);
+  const auto leaf = *sys.tree().MakeNode("sfq", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto a = *sys.CreateThread("A", leaf, {.weight = 1},
+                                   std::make_unique<hsim::CpuBoundWorkload>());
+  const auto b = *sys.CreateThread("B", leaf, {.weight = 2},
+                                   std::make_unique<hsim::CpuBoundWorkload>());
+  sys.At(60 * kMillisecond, [b](hsim::System& s) { s.Suspend(b); });
+  sys.At(90 * kMillisecond, [a](hsim::System& s) { s.Suspend(a); });
+  sys.At(110 * kMillisecond, [a](hsim::System& s) { s.Resume(a); });
+  sys.At(115 * kMillisecond, [b](hsim::System& s) { s.Resume(b); });
+  sys.RunUntil(300 * kMillisecond);
+}
+
+// The Figure 8(a) hierarchical structure: SFQ-1 (w=2), SFQ-2 (w=6) with two CPU-bound
+// threads each, an SVR4 time-sharing node with seeded bursty system load, and a
+// periodic interrupt source stealing CPU (the FC-server fluctuation).
+void RunFigure8Scenario(Tracer& tracer) {
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 2,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto sfq2 = *sys.tree().MakeNode("sfq2", hsfq::kRootNode, 6,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto svr4 = *sys.tree().MakeNode("svr4", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::TsScheduler>());
+  for (int i = 0; i < 2; ++i) {
+    (void)*sys.CreateThread("sfq1-dhry", sfq1, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+    (void)*sys.CreateThread("sfq2-dhry", sfq2, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  for (int i = 0; i < 3; ++i) {
+    (void)*sys.CreateThread(
+        "sys" + std::to_string(i), svr4, {.priority = 29},
+        std::make_unique<hsim::BurstyWorkload>(40 + i, 5 * kMillisecond,
+                                               150 * kMillisecond, 20 * kMillisecond,
+                                               400 * kMillisecond));
+  }
+  sys.AddInterruptSource({.arrival = hsim::InterruptSourceConfig::Arrival::kPoisson,
+                          .interval = 10 * kMillisecond,
+                          .service = 100 * hscommon::kMicrosecond,
+                          .exponential_service = true,
+                          .seed = 7});
+  sys.RunUntil(2 * kSecond);
+}
+
+TEST(ReplayTest, Figure3ScenarioReplaysByteIdentical) {
+  Tracer run_a;
+  Tracer run_b;
+  RunFigure3Scenario(run_a);
+  RunFigure3Scenario(run_b);
+  ASSERT_GT(run_a.ring().size(), 20u);  // the scenario really produced decisions
+  const auto diff = DiffTraces(run_a, run_b);
+  EXPECT_TRUE(diff.identical) << diff.description;
+}
+
+TEST(ReplayTest, Figure8ScenarioReplaysByteIdentical) {
+  Tracer run_a;
+  Tracer run_b;
+  RunFigure8Scenario(run_a);
+  RunFigure8Scenario(run_b);
+  ASSERT_GT(run_a.ring().size(), 500u);
+  const auto diff = DiffTraces(run_a, run_b);
+  EXPECT_TRUE(diff.identical) << diff.description;
+}
+
+TEST(ReplayTest, TraceFilesAreByteIdenticalAcrossRuns) {
+  // The file-level equivalent (what CI's `cmp` enforces on the examples).
+  Tracer run_a;
+  Tracer run_b;
+  RunFigure3Scenario(run_a);
+  RunFigure3Scenario(run_b);
+  const std::string path_a = ::testing::TempDir() + "/replay_a.trace";
+  const std::string path_b = ::testing::TempDir() + "/replay_b.trace";
+  ASSERT_TRUE(htrace::WriteTraceFile(run_a, path_a).ok());
+  ASSERT_TRUE(htrace::WriteTraceFile(run_b, path_b).ok());
+  const auto loaded_a = htrace::ReadTraceFile(path_a);
+  const auto loaded_b = htrace::ReadTraceFile(path_b);
+  ASSERT_TRUE(loaded_a.ok());
+  ASSERT_TRUE(loaded_b.ok());
+  ASSERT_EQ(loaded_a->events.size(), loaded_b->events.size());
+  EXPECT_EQ(std::memcmp(loaded_a->events.data(), loaded_b->events.data(),
+                        loaded_a->events.size() * sizeof(htrace::TraceEvent)),
+            0);
+}
+
+TEST(ReplayTest, DetectsASingleCorruptedEvent) {
+  Tracer run;
+  RunFigure3Scenario(run);
+  auto a = run.ring().Snapshot();
+  auto b = a;
+  const size_t victim = b.size() / 2;
+  b[victim].b += 1;  // one nanosecond of phantom service
+  const auto diff = DiffTraces(a, b);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergence, victim);
+  EXPECT_NE(diff.description.find("event " + std::to_string(victim)), std::string::npos);
+  EXPECT_NE(diff.description.find("run A"), std::string::npos);
+}
+
+TEST(ReplayTest, DetectsALengthMismatch) {
+  Tracer run;
+  RunFigure3Scenario(run);
+  auto a = run.ring().Snapshot();
+  auto b = a;
+  b.pop_back();
+  const auto diff = DiffTraces(a, b);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergence, b.size());
+  EXPECT_NE(diff.description.find("lengths differ"), std::string::npos);
+}
+
+TEST(ReplayTest, EventToStringIsReadable) {
+  const auto e = htrace::MakeEvent(htrace::EventType::kUpdate, 12 * kMillisecond, 3, 7,
+                                   4 * kMillisecond, 1);
+  const std::string s = htrace::EventToString(e);
+  EXPECT_NE(s.find("Update"), std::string::npos);
+  EXPECT_NE(s.find("node=3"), std::string::npos);
+  EXPECT_NE(s.find("a=7"), std::string::npos);
+}
+
+}  // namespace

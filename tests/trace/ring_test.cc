@@ -1,0 +1,88 @@
+// EventRing unit tests: wraparound semantics, overflow counting, snapshot order.
+
+#include "src/trace/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using htrace::EventRing;
+using htrace::EventType;
+using htrace::MakeEvent;
+using htrace::TraceEvent;
+
+TraceEvent Numbered(uint64_t i) {
+  return MakeEvent(EventType::kDispatch, static_cast<hscommon::Time>(i), 0, i, 0);
+}
+
+TEST(EventRingTest, FillsUpToCapacityWithoutDropping) {
+  EventRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.empty());
+  for (uint64_t i = 0; i < 4; ++i) {
+    ring.Push(Numbered(i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 4u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.At(i).a, i);
+  }
+}
+
+TEST(EventRingTest, WraparoundOverwritesOldestAndCountsDrops) {
+  EventRing ring(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ring.Push(Numbered(i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  // Events 0 and 1 were overwritten; the retained window is 2..5 oldest-first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.At(i).a, i + 2);
+  }
+  const auto snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot.front().a, 2u);
+  EXPECT_EQ(snapshot.back().a, 5u);
+}
+
+TEST(EventRingTest, LongWraparoundKeepsMostRecentWindow) {
+  EventRing ring(8);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ring.Push(Numbered(i));
+  }
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.total(), 1000u);
+  EXPECT_EQ(ring.dropped(), 992u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ring.At(i).a, 992u + i);
+  }
+}
+
+TEST(EventRingTest, ClearResetsCounters) {
+  EventRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Push(Numbered(i));
+  }
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.total(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.Push(Numbered(42));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.At(0).a, 42u);
+}
+
+TEST(EventRingTest, ZeroCapacityIsClampedToOne) {
+  EventRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Push(Numbered(1));
+  ring.Push(Numbered(2));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.At(0).a, 2u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+}  // namespace

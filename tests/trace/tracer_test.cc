@@ -1,0 +1,164 @@
+// Tracer taps + binary I/O round trip.
+//
+// Drives a SchedulingStructure with a tracer attached and asserts the event stream
+// mirrors the decision sequence; checks that a disabled tracer records nothing and that
+// a trace file survives a write/read round trip byte-exactly.
+
+#include "src/trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/trace/trace_io.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using htrace::EventType;
+using htrace::TraceEvent;
+using htrace::Tracer;
+
+std::vector<EventType> Types(const Tracer& tracer) {
+  std::vector<EventType> out;
+  for (size_t i = 0; i < tracer.ring().size(); ++i) {
+    out.push_back(tracer.ring().At(i).type);
+  }
+  return out;
+}
+
+TEST(TracerTest, RecordsTheDecisionSequence) {
+  Tracer tracer(1024);
+  hsfq::SchedulingStructure tree;
+  tree.SetTracer(&tracer);
+
+  const auto video = *tree.MakeNode("video", hsfq::kRootNode, 3,
+                                    std::make_unique<hleaf::SfqLeafScheduler>());
+  ASSERT_TRUE(tree.AttachThread(1, video, {.weight = 1}).ok());
+  tree.SetRun(1, 0);
+  const auto picked = tree.Schedule(0);
+  EXPECT_EQ(picked, 1u);
+  tree.Update(1, 10 * kMillisecond, 10 * kMillisecond, /*still_runnable=*/false);
+
+  const std::vector<EventType> expected = {
+      EventType::kTraceStart, EventType::kMakeNode, EventType::kAttachThread,
+      EventType::kSetRun,     EventType::kPickChild,  // root's SFQ picks /video
+      EventType::kSchedule,   EventType::kUpdate,
+  };
+  EXPECT_EQ(Types(tracer), expected);
+
+  // Field spot checks.
+  const TraceEvent& mknod = tracer.ring().At(1);
+  EXPECT_EQ(mknod.node, video);
+  EXPECT_EQ(mknod.a, hsfq::kRootNode);
+  EXPECT_EQ(mknod.b, 3);
+  EXPECT_EQ(mknod.flags, 1u);  // leaf
+  EXPECT_STREQ(mknod.name, "video");
+
+  const TraceEvent& update = tracer.ring().At(6);
+  EXPECT_EQ(update.node, video);
+  EXPECT_EQ(update.a, 1u);
+  EXPECT_EQ(update.b, 10 * kMillisecond);
+  EXPECT_EQ(update.flags, 0u);  // blocked
+  EXPECT_EQ(update.time, 10 * kMillisecond);
+}
+
+TEST(TracerTest, InteriorPicksAreRecordedPerLevel) {
+  Tracer tracer(1024);
+  hsfq::SchedulingStructure tree;
+  tree.SetTracer(&tracer);
+  const auto interior = *tree.MakeNode("users", hsfq::kRootNode, 1, nullptr);
+  const auto leaf = *tree.MakeNode("u1", interior, 1,
+                                   std::make_unique<hleaf::SfqLeafScheduler>());
+  ASSERT_TRUE(tree.AttachThread(7, leaf, {}).ok());
+  tree.SetRun(7, 0);
+  (void)tree.Schedule(0);
+
+  // Root picks "users", "users" picks "u1", then the leaf's class scheduler picks 7.
+  const auto types = Types(tracer);
+  const std::vector<EventType> tail(types.end() - 3, types.end());
+  const std::vector<EventType> expected = {EventType::kPickChild, EventType::kPickChild,
+                                           EventType::kSchedule};
+  EXPECT_EQ(tail, expected);
+  tree.Update(7, kMillisecond, kMillisecond, true);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(1024);
+  tracer.set_enabled(false);
+  const uint64_t baseline = tracer.ring().total();  // the kTraceStart marker
+  hsfq::SchedulingStructure tree;
+  tree.SetTracer(&tracer);
+  const auto leaf = *tree.MakeNode("a", hsfq::kRootNode, 1,
+                                   std::make_unique<hleaf::SfqLeafScheduler>());
+  ASSERT_TRUE(tree.AttachThread(1, leaf, {}).ok());
+  tree.SetRun(1, 0);
+  (void)tree.Schedule(0);
+  tree.Update(1, kMillisecond, kMillisecond, true);
+  EXPECT_EQ(tracer.ring().total(), baseline);
+}
+
+TEST(TracerTest, ClearReemitsTheStartMarker) {
+  Tracer tracer(16);
+  tracer.RecordDispatch(1, 2, 3);
+  tracer.Clear();
+  ASSERT_EQ(tracer.ring().size(), 1u);
+  EXPECT_EQ(tracer.ring().At(0).type, EventType::kTraceStart);
+  EXPECT_EQ(tracer.ring().At(0).a, 16u);
+}
+
+TEST(TraceIoTest, WriteReadRoundTripIsByteExact) {
+  Tracer tracer(1024);
+  hsfq::SchedulingStructure tree;
+  tree.SetTracer(&tracer);
+  const auto leaf = *tree.MakeNode("class-with-a-very-long-name", hsfq::kRootNode, 2,
+                                   std::make_unique<hleaf::SfqLeafScheduler>());
+  ASSERT_TRUE(tree.AttachThread(1, leaf, {}).ok());
+  tree.SetRun(1, 0);
+  for (int i = 0; i < 50; ++i) {
+    const auto t = tree.Schedule(i * kMillisecond);
+    tree.Update(t, kMillisecond, (i + 1) * kMillisecond, true);
+  }
+
+  const std::string path = ::testing::TempDir() + "/round_trip.trace";
+  ASSERT_TRUE(htrace::WriteTraceFile(tracer, path).ok());
+  const auto loaded = htrace::ReadTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto original = tracer.ring().Snapshot();
+  ASSERT_EQ(loaded->events.size(), original.size());
+  EXPECT_EQ(loaded->dropped, 0u);
+  EXPECT_EQ(std::memcmp(loaded->events.data(), original.data(),
+                        original.size() * sizeof(TraceEvent)),
+            0);
+}
+
+TEST(TraceIoTest, DroppedCountSurvivesTheFile) {
+  Tracer tracer(8);  // tiny ring: force wraparound
+  for (int i = 0; i < 100; ++i) {
+    tracer.RecordDispatch(i, 1, 2);
+  }
+  const std::string path = ::testing::TempDir() + "/dropped.trace";
+  ASSERT_TRUE(htrace::WriteTraceFile(tracer, path).ok());
+  const auto loaded = htrace::ReadTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->events.size(), 8u);
+  EXPECT_EQ(loaded->dropped, tracer.ring().dropped());
+  EXPECT_GT(loaded->dropped, 0u);
+}
+
+TEST(TraceIoTest, RejectsGarbageFiles) {
+  const std::string path = ::testing::TempDir() + "/garbage.trace";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a trace file at all, sorry", f);
+  std::fclose(f);
+  EXPECT_FALSE(htrace::ReadTraceFile(path).ok());
+  EXPECT_FALSE(htrace::ReadTraceFile(::testing::TempDir() + "/missing.trace").ok());
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Standalone reader for hsched binary scheduling traces (src/trace).
+
+Subcommands:
+  convert <in.trace> <out.json>   binary trace -> Chrome/Perfetto trace_event JSON
+  dump <in.trace> [-n N]          print the first N events as text
+  check <in.json> [--min-tracks N]
+                                  json.load a C++ exported file and sanity-check the
+                                  track structure (used by CI)
+  roundtrip <in.trace> <cpp.json> compare this script's conversion of the binary trace
+                                  against the C++ exporter's JSON (same track set)
+
+Only the python standard library is used. The binary format is defined in
+src/trace/trace_io.cc: a 32-byte header (magic "HSTRACE1", u32 version, u32 event
+size, u64 event count, u64 dropped count) followed by packed 48-byte records
+(see src/trace/event.h and docs/observability.md).
+"""
+
+import argparse
+import json
+import struct
+import sys
+
+MAGIC = b"HSTRACE1"
+VERSION = 1
+HEADER = struct.Struct("<8sIIQQ")
+# TraceEvent: i64 time, u64 a, i64 b, u32 node, u8 type, u8 flags, char name[18].
+EVENT = struct.Struct("<qQqIBB18s")
+
+EVENT_NAMES = [
+    "TraceStart", "MakeNode", "RemoveNode", "SetWeight", "AttachThread",
+    "DetachThread", "MoveThread", "SetRun", "Sleep", "PickChild", "Schedule",
+    "Update", "ThreadName", "Dispatch", "Interrupt", "Idle",
+]
+(T_START, T_MKNOD, T_RMNOD, T_SETW, T_ATTACH, T_DETACH, T_MOVE, T_SETRUN,
+ T_SLEEP, T_PICK, T_SCHED, T_UPDATE, T_TNAME, T_DISPATCH, T_IRQ, T_IDLE) = range(16)
+
+
+def read_trace(path):
+    """Returns (events, dropped); each event is a dict."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    if len(blob) < HEADER.size:
+        raise ValueError(f"{path}: too short for a trace header")
+    magic, version, event_size, count, dropped = HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise ValueError(f"{path}: bad magic {magic!r}")
+    if version != VERSION:
+        raise ValueError(f"{path}: unsupported version {version}")
+    if event_size != EVENT.size:
+        raise ValueError(f"{path}: event size {event_size} != {EVENT.size}")
+    expected = HEADER.size + count * event_size
+    if len(blob) < expected:
+        raise ValueError(f"{path}: truncated ({len(blob)} < {expected} bytes)")
+    events = []
+    for i in range(count):
+        time, a, b, node, etype, flags, name = EVENT.unpack_from(
+            blob, HEADER.size + i * event_size)
+        events.append({
+            "time": time, "a": a, "b": b, "node": node, "type": etype,
+            "flags": flags, "name": name.split(b"\0", 1)[0].decode("utf-8", "replace"),
+        })
+    return events, dropped
+
+
+def event_str(e):
+    kind = (EVENT_NAMES[e["type"]]
+            if e["type"] < len(EVENT_NAMES) else f"?{e['type']}")
+    s = (f"[{e['time'] / 1e6:12.3f} ms] {kind:<12} node={e['node']} "
+         f"a={e['a']} b={e['b']} flags={e['flags']}")
+    if e["name"]:
+        s += f" name='{e['name']}'"
+    return s
+
+
+def build_tree(events):
+    """node id -> {path, weight, leaf}; mirrors src/trace/reader.cc."""
+    nodes = {0: {"path": "/", "weight": 1, "leaf": False}}
+
+    def ensure(nid):
+        if nid not in nodes:
+            nodes[nid] = {"path": f"node:{nid}", "weight": 0, "leaf": True}
+
+    thread_names = {}
+    for e in events:
+        if e["type"] == T_MKNOD:
+            ensure(e["a"])
+            parent = nodes[e["a"]]["path"]
+            prefix = "" if parent == "/" else parent
+            nodes[e["node"]] = {
+                "path": f"{prefix}/{e['name']}", "weight": e["b"],
+                "leaf": bool(e["flags"]),
+            }
+        elif e["type"] in (T_SETRUN, T_SLEEP, T_PICK, T_SCHED, T_UPDATE,
+                           T_ATTACH, T_DETACH, T_MOVE, T_SETW):
+            ensure(e["node"])
+        if e["type"] in (T_TNAME, T_ATTACH) and e["name"]:
+            thread_names[e["a"]] = e["name"]
+        elif e["type"] == T_TNAME:
+            thread_names.setdefault(e["a"], f"t{e['a']}")
+    return nodes, thread_names
+
+
+def to_perfetto(events):
+    """Chrome trace_event JSON (dict) for the given decoded events."""
+    nodes, thread_names = build_tree(events)
+    out = [{"ph": "M", "pid": 1, "name": "process_name",
+            "args": {"name": "hsched"}}]
+    for nid in sorted(nodes):
+        out.append({"ph": "M", "pid": 1, "tid": nid, "name": "thread_name",
+                    "args": {"name": nodes[nid]["path"]}})
+        out.append({"ph": "M", "pid": 1, "tid": nid, "name": "thread_sort_index",
+                    "args": {"sort_index": nid}})
+    open_slice = {}  # leaf node -> (start ns, thread)
+    for e in events:
+        if e["type"] == T_SCHED:
+            open_slice[e["node"]] = (e["time"], e["a"])
+        elif e["type"] == T_UPDATE and e["node"] in open_slice:
+            start, thread = open_slice.pop(e["node"])
+            label = thread_names.get(thread, f"t{thread}")
+            out.append({"ph": "X", "pid": 1, "tid": e["node"], "name": label,
+                        "cat": "dispatch", "ts": start / 1e3,
+                        "dur": max(e["time"] - start, 0) / 1e3,
+                        "args": {"thread": thread, "service_ns": e["b"]}})
+        elif e["type"] == T_SETRUN:
+            label = thread_names.get(e["a"], f"t{e['a']}")
+            out.append({"ph": "i", "pid": 1, "tid": e["node"], "s": "t",
+                        "name": f"wake {label}", "ts": e["time"] / 1e3})
+    return {"displayTimeUnit": "ms", "traceEvents": out}
+
+
+def track_names(doc):
+    return sorted(e["args"]["name"] for e in doc["traceEvents"]
+                  if e.get("name") == "thread_name")
+
+
+def cmd_convert(args):
+    events, dropped = read_trace(args.trace)
+    doc = to_perfetto(events)
+    with open(args.json, "w") as f:
+        json.dump(doc, f)
+    print(f"{args.json}: {len(doc['traceEvents'])} trace events from "
+          f"{len(events)} records ({dropped} dropped at record time)")
+
+
+def cmd_dump(args):
+    events, dropped = read_trace(args.trace)
+    for e in events[:args.n]:
+        print(event_str(e))
+    print(f"-- {len(events)} events, {dropped} dropped --")
+
+
+def cmd_check(args):
+    with open(args.json) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        sys.exit(f"{args.json}: no traceEvents array")
+    tracks = track_names(doc)
+    if len(tracks) != len(set(tracks)):
+        sys.exit(f"{args.json}: duplicate track names: {tracks}")
+    if len(tracks) < args.min_tracks:
+        sys.exit(f"{args.json}: {len(tracks)} tracks, expected >= {args.min_tracks}")
+    slices = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+    bad = [e for e in doc["traceEvents"]
+           if e.get("ph") == "X" and (e["dur"] < 0 or e["ts"] < 0)]
+    if bad:
+        sys.exit(f"{args.json}: {len(bad)} slices with negative ts/dur")
+    print(f"{args.json}: OK — {len(tracks)} tracks "
+          f"({', '.join(tracks)}), {slices} dispatch slices")
+
+
+def cmd_roundtrip(args):
+    events, _ = read_trace(args.trace)
+    mine = track_names(to_perfetto(events))
+    with open(args.json) as f:
+        theirs = track_names(json.load(f))
+    if mine != theirs:
+        sys.exit(f"track mismatch:\n  python: {mine}\n  c++:    {theirs}")
+    print(f"roundtrip OK — both exporters agree on {len(mine)} tracks")
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+    c = sub.add_parser("convert", help="binary trace -> perfetto json")
+    c.add_argument("trace")
+    c.add_argument("json")
+    c.set_defaults(fn=cmd_convert)
+    d = sub.add_parser("dump", help="print events as text")
+    d.add_argument("trace")
+    d.add_argument("-n", type=int, default=50)
+    d.set_defaults(fn=cmd_dump)
+    k = sub.add_parser("check", help="validate a C++-exported json file")
+    k.add_argument("json")
+    k.add_argument("--min-tracks", type=int, default=2)
+    k.set_defaults(fn=cmd_check)
+    r = sub.add_parser("roundtrip", help="compare python vs C++ conversion")
+    r.add_argument("trace")
+    r.add_argument("json")
+    r.set_defaults(fn=cmd_roundtrip)
+    args = p.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()
