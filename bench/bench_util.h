@@ -7,10 +7,13 @@
 #define HSCHED_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "src/common/table.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/trace/perfetto_export.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/tracer.h"
@@ -41,6 +44,62 @@ inline std::string TraceBase(int argc, char** argv) {
     }
   }
   return "";
+}
+
+// Parses `--fault=<spec>` (or `--fault <spec>`) from argv; empty string when absent.
+// The spec grammar is FaultPlan::Parse's, e.g.
+//   --fault='seed=42;drop-wakeup:p=0.05,recovery=20ms'
+inline std::string FaultArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--fault=", 0) == 0) {
+      return arg.substr(8);
+    }
+    if (arg == "--fault" && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Parses `spec` and arms the resulting fault plan on `system`. Returns the injector
+// (which must outlive the system's run) or null when the spec is empty. A malformed
+// spec prints the parse error and exits — a bench run with a silently ignored fault
+// flag would masquerade as a faulted run.
+inline std::unique_ptr<hsfault::FaultInjector> MaybeFault(const std::string& spec,
+                                                          hsim::System& system) {
+  if (spec.empty()) {
+    return nullptr;
+  }
+  auto plan = hsfault::FaultPlan::Parse(spec);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bad --fault spec: %s\n", plan.status().ToString().c_str());
+    std::exit(2);
+  }
+  auto injector = std::make_unique<hsfault::FaultInjector>(*std::move(plan));
+  injector->Arm(system);
+  std::printf("(fault plan armed: %s)\n", injector->plan().ToString().c_str());
+  return injector;
+}
+
+// Prints how often each armed fault kind actually fired. No-op when null.
+inline void ReportFaults(const hsfault::FaultInjector* injector) {
+  if (injector == nullptr) {
+    return;
+  }
+  const auto& s = injector->stats();
+  std::printf("(faults fired: %llu — dropped-wake %llu, delayed-wake %llu, "
+              "spurious-wake %llu, jittered-quanta %llu, cswitch-spikes %llu, "
+              "storms %llu, api-failures %llu, crashes %llu)\n",
+              static_cast<unsigned long long>(s.total()),
+              static_cast<unsigned long long>(s.dropped_wakeups),
+              static_cast<unsigned long long>(s.delayed_wakeups),
+              static_cast<unsigned long long>(s.spurious_wakes),
+              static_cast<unsigned long long>(s.jittered_quanta),
+              static_cast<unsigned long long>(s.cswitch_spikes),
+              static_cast<unsigned long long>(s.storms_armed),
+              static_cast<unsigned long long>(s.api_failures),
+              static_cast<unsigned long long>(s.crashes));
 }
 
 // A tracer when `--trace` was given, null otherwise. Attach the result (if non-null) to

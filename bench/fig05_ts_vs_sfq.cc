@@ -36,9 +36,11 @@ struct RunResult {
   double jain;
 };
 
-RunResult RunOnce(bool use_sfq, uint64_t seed, htrace::Tracer* tracer = nullptr) {
+RunResult RunOnce(bool use_sfq, uint64_t seed, htrace::Tracer* tracer = nullptr,
+                  const std::string& fault_spec = "") {
   hsim::System sys;
   sys.SetTracer(tracer);
+  const auto injector = hbench::MaybeFault(fault_spec, sys);
   hsfq::NodeId leaf;
   if (use_sfq) {
     leaf = *sys.tree().MakeNode("class", hsfq::kRootNode, 1,
@@ -85,6 +87,7 @@ RunResult RunOnce(bool use_sfq, uint64_t seed, htrace::Tracer* tracer = nullptr)
   }
   result.max_rel_dev = hscommon::MaxRelativeDeviation(result.loops);
   result.jain = hscommon::JainFairnessIndex(result.loops);
+  hbench::ReportFaults(injector.get());
   return result;
 }
 
@@ -96,8 +99,9 @@ int main(int argc, char** argv) {
   const auto tracer = hbench::MaybeTracer(trace_base);
   std::printf("Figure 5: throughput of 5 Dhrystone threads — SVR4 TS vs SFQ (30 s)\n");
 
+  const std::string fault_spec = hbench::FaultArg(argc, argv);  // faults the SFQ run
   const RunResult ts = RunOnce(/*use_sfq=*/false, /*seed=*/11);
-  const RunResult sfq = RunOnce(/*use_sfq=*/true, /*seed=*/11, tracer.get());
+  const RunResult sfq = RunOnce(/*use_sfq=*/true, /*seed=*/11, tracer.get(), fault_spec);
   hbench::ExportTrace(tracer.get(), trace_base);
 
   TextTable final_table({"thread", "TS_loops", "SFQ_loops"});

@@ -36,6 +36,7 @@ double Loops(hscommon::Work w) {
 int main(int argc, char** argv) {
   const std::string csv_dir = hbench::CsvDir(argc, argv);
   const std::string trace_base = hbench::TraceBase(argc, argv);
+  const std::string fault_spec = hbench::FaultArg(argc, argv);  // perturbs (a) only
   const auto tracer = hbench::MaybeTracer(trace_base);  // records scenario (a) only
   std::printf("Figure 8: hierarchical CPU allocation (Figure 6 structure)\n");
 
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   {
     hsim::System sys;
     sys.SetTracer(tracer.get());
+    const auto injector = hbench::MaybeFault(fault_spec, sys);
     const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 2,
                                            std::make_unique<hleaf::SfqLeafScheduler>());
     const auto sfq2 = *sys.tree().MakeNode("sfq2", hsfq::kRootNode, 6,
@@ -86,6 +88,7 @@ int main(int argc, char** argv) {
                 "fluctuates.\nReproduced:    mean ratio %.3f (stddev %.3f) -> %s\n",
                 ratios.mean(), ratios.stddev(),
                 std::abs(ratios.mean() - 3.0) < 0.15 ? "yes" : "NO");
+    hbench::ReportFaults(injector.get());
     hbench::ExportTrace(tracer.get(), trace_base);
   }
 

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
 
   hsim::System sys(hsim::System::Config{.default_quantum = 25 * kMillisecond});
   sys.SetTracer(tracer.get());
+  const auto injector = hbench::MaybeFault(hbench::FaultArg(argc, argv), sys);
   const auto rt = *sys.tree().MakeNode(
       "svr4-rt", hsfq::kRootNode, 1,
       std::make_unique<hleaf::RmaScheduler>(
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
   std::printf("Reproduced:    (a) %s (max %.2f ms); (b) %s (min slack %.2f ms)\n",
               lat_ok ? "yes" : "NO", stats.sched_latency.max() / 1e6,
               slack_ok ? "yes" : "NO", thread1->slack().min() / 1e6);
+  hbench::ReportFaults(injector.get());
   hbench::ExportTrace(tracer.get(), trace_base);
   return 0;
 }

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
 
   hsim::System sys;
   sys.SetTracer(tracer.get());
+  const auto injector = hbench::MaybeFault(hbench::FaultArg(argc, argv), sys);
   const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 1,
                                          std::make_unique<hleaf::SfqLeafScheduler>());
   const auto t1 = *sys.CreateThread("thread1", sfq1, {.weight = 4},
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
   sys.At(4 * kSecond, [&](hsim::System& s) {
     (void)s.tree().SetThreadParams(t2, {.weight = 2});
   });
-  sys.At(6 * kSecond, [&](hsim::System& s) { s.Suspend(t1); });
+  sys.At(6 * kSecond, [&](hsim::System& s) { (void)s.Suspend(t1); });
   sys.At(9 * kSecond, [&](hsim::System& s) { s.Resume(t1); });
   sys.At(12 * kSecond, [&](hsim::System& s) {
     (void)s.tree().SetThreadParams(t1, {.weight = 8});
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
   std::printf("\nPaper's shape: throughput ratio tracks 4:4 -> 4:2 -> 0:2 -> 4:2 -> 8:2 "
               "-> 8:4 -> 4:4 as weights change.\nReproduced:    %s\n",
               all_ok ? "yes" : "NO");
+  hbench::ReportFaults(injector.get());
   hbench::ExportTrace(tracer.get(), trace_base);
   return 0;
 }

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/mpeg/player.h"
 #include "src/mpeg/trace.h"
 #include "src/qos/manager.h"
@@ -28,11 +30,17 @@ using hscommon::TextTable;
 int main(int argc, char** argv) {
   // `--trace=<base>` records every scheduling decision and writes <base>.trace (binary,
   // byte-reproducible across runs — CI diffs two of them) + <base>.json (Perfetto).
+  // `--fault=<spec>` arms a deterministic fault plan (see docs/robustness.md), e.g.
+  // `--fault='seed=7;storm:start=5s,end=8s,every=500us,steal=200us'`.
   std::string trace_base;
+  std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) {
       trace_base = arg.substr(8);
+    }
+    if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = arg.substr(8);
     }
   }
   std::unique_ptr<htrace::Tracer> tracer;
@@ -45,6 +53,17 @@ int main(int argc, char** argv) {
   hsim::System sys(hsim::System::Config{.default_quantum = 4 * kMillisecond});
   // Attach before the QoS manager builds the class tree so exports show real paths.
   sys.SetTracer(tracer.get());
+  std::unique_ptr<hsfault::FaultInjector> injector;
+  if (!fault_spec.empty()) {
+    auto plan = hsfault::FaultPlan::Parse(fault_spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --fault spec: %s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    injector = std::make_unique<hsfault::FaultInjector>(*std::move(plan));
+    injector->Arm(sys);
+    std::printf("(fault plan armed: %s)\n", injector->plan().ToString().c_str());
+  }
   // The paper's intro scenario: the soft real-time class STARTS SMALL; when many video
   // decoders arrive, the QoS manager grows its allocation (dynamic re-partitioning).
   hqos::QosManager qos(sys, {.hard_rt_weight = 3,

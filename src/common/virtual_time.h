@@ -77,6 +77,12 @@ class VirtualTime {
     return static_cast<Work>((raw_ * weight) >> kFractionBits);
   }
 
+  // The integer part of the tag (whole units, fraction truncated) — fits the tracer's
+  // 64-bit payload for any realistic run; monotone whenever the tag is.
+  constexpr uint64_t IntegerUnits() const {
+    return static_cast<uint64_t>(raw_ >> kFractionBits);
+  }
+
   // Raw fixed-point bits (for hashing / debugging).
   constexpr unsigned __int128 raw() const { return raw_; }
 

@@ -1,0 +1,262 @@
+#include "src/fault/blast_radius.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace hsfault {
+
+namespace {
+
+using htrace::EventType;
+using htrace::TraceEvent;
+
+struct Decision {
+  Time time = 0;
+  uint32_t leaf = 0;
+  uint64_t thread = 0;
+
+  bool SamePick(const Decision& other) const {
+    return leaf == other.leaf && thread == other.thread;
+  }
+};
+
+std::vector<Decision> Decisions(const std::vector<TraceEvent>& events) {
+  std::vector<Decision> out;
+  for (const TraceEvent& e : events) {
+    if (e.type == EventType::kSchedule) {
+      out.push_back(Decision{e.time, e.node, e.a});
+    }
+  }
+  return out;
+}
+
+// Per-window service delivered to each leaf, from Update events. A slice that straddles
+// a window boundary is split proportionally so 20 ms quanta don't alias against the
+// window grid.
+std::vector<std::map<uint32_t, double>> WindowedService(
+    const std::vector<TraceEvent>& events, Time window, size_t num_windows) {
+  std::vector<std::map<uint32_t, double>> out(num_windows);
+  for (const TraceEvent& e : events) {
+    if (e.type != EventType::kUpdate || e.b == 0) continue;
+    const Time end = e.time;
+    const Time start = e.b > static_cast<uint64_t>(end) ? 0 : end - static_cast<Time>(e.b);
+    for (Time t = start; t < end;) {
+      const size_t w = std::min(static_cast<size_t>(t / window), num_windows - 1);
+      const Time boundary = static_cast<Time>(w + 1) * window;
+      const Time chunk = std::min(end, boundary) - t;
+      out[w][e.node] += static_cast<double>(chunk);
+      t += chunk;
+    }
+  }
+  return out;
+}
+
+Time LastTime(const std::vector<TraceEvent>& events) {
+  Time last = 0;
+  for (const TraceEvent& e : events) last = std::max(last, e.time);
+  return last;
+}
+
+// Worst per-leaf difference in share-of-delivered-service between the two windows.
+// A window where one run delivered service and the other was idle counts as fully
+// divergent (delta 1).
+double ShareDelta(const std::map<uint32_t, double>& a, const std::map<uint32_t, double>& b) {
+  double total_a = 0, total_b = 0;
+  for (const auto& [leaf, s] : a) total_a += s;
+  for (const auto& [leaf, s] : b) total_b += s;
+  if (total_a <= 0 && total_b <= 0) return 0.0;
+  if (total_a <= 0 || total_b <= 0) return 1.0;
+  std::set<uint32_t> leaves;
+  for (const auto& [leaf, s] : a) leaves.insert(leaf);
+  for (const auto& [leaf, s] : b) leaves.insert(leaf);
+  double worst = 0.0;
+  for (uint32_t leaf : leaves) {
+    const auto ia = a.find(leaf);
+    const auto ib = b.find(leaf);
+    const double sa = (ia == a.end() ? 0.0 : ia->second) / total_a;
+    const double sb = (ib == b.end() ? 0.0 : ib->second) / total_b;
+    worst = std::max(worst, std::abs(sa - sb));
+  }
+  return worst;
+}
+
+}  // namespace
+
+BlastRadiusReport AnalyzeBlastRadius(const std::vector<TraceEvent>& baseline,
+                                     const std::vector<TraceEvent>& faulted) {
+  return AnalyzeBlastRadius(baseline, faulted, BlastRadiusOptions());
+}
+
+BlastRadiusReport AnalyzeBlastRadius(const std::vector<TraceEvent>& baseline,
+                                     const std::vector<TraceEvent>& faulted,
+                                     const BlastRadiusOptions& options) {
+  BlastRadiusReport report;
+  report.diff = htrace::DiffTraces(baseline, faulted);
+  report.diverged = !report.diff.identical;
+  if (report.diverged && report.diff.first_divergence < faulted.size()) {
+    report.divergence_time = faulted[report.diff.first_divergence].time;
+  } else if (report.diverged && report.diff.first_divergence < baseline.size()) {
+    report.divergence_time = baseline[report.diff.first_divergence].time;
+  }
+
+  // Allocation-level comparison: per-window, per-leaf service shares.
+  const Time horizon = std::max(LastTime(baseline), LastTime(faulted));
+  if (horizon > 0 && options.window > 0) {
+    const size_t num_windows = static_cast<size_t>((horizon + options.window - 1) / options.window);
+    const auto svc_b = WindowedService(baseline, options.window, num_windows);
+    const auto svc_f = WindowedService(faulted, options.window, num_windows);
+    size_t last_divergent = num_windows;  // sentinel: none
+    for (size_t w = 0; w < num_windows; ++w) {
+      const double delta = ShareDelta(svc_b[w], svc_f[w]);
+      report.max_share_delta = std::max(report.max_share_delta, delta);
+      if (delta > options.share_tolerance) {
+        ++report.divergent_windows;
+        last_divergent = w;
+      }
+    }
+    if (report.divergent_windows == 0) {
+      // The allocation never deviated past tolerance — any divergence is decision- or
+      // timing-level noise within the same shares.
+      report.service_reconverged = true;
+      report.service_reconvergence_time = report.divergence_time;
+    } else if (last_divergent + 1 < num_windows) {
+      report.service_reconverged = true;
+      report.service_reconvergence_time = static_cast<Time>(last_divergent + 1) * options.window;
+    }
+  }
+
+  const std::vector<Decision> base = Decisions(baseline);
+  const std::vector<Decision> fault = Decisions(faulted);
+  report.baseline_decisions = base.size();
+  report.faulted_decisions = fault.size();
+
+  const size_t common = std::min(base.size(), fault.size());
+  size_t first_changed = common;
+  std::set<uint32_t> affected;
+  for (size_t i = 0; i < common; ++i) {
+    if (!base[i].SamePick(fault[i])) {
+      if (first_changed == common) first_changed = i;
+      ++report.changed_decisions;
+      affected.insert(base[i].leaf);
+      affected.insert(fault[i].leaf);
+    }
+  }
+  report.changed_decisions +=
+      std::max(base.size(), fault.size()) - common;  // length delta counts as changed
+  for (size_t i = common; i < base.size(); ++i) affected.insert(base[i].leaf);
+  for (size_t i = common; i < fault.size(); ++i) affected.insert(fault[i].leaf);
+  report.first_changed_decision = first_changed;
+  report.nodes_affected = affected.size();
+
+  if (report.changed_decisions == 0) {
+    // Decision streams are identical; any divergence is timing-only.
+    report.reconverged = true;
+    report.common_suffix = common;
+    report.reconvergence_time = report.divergence_time;
+    return report;
+  }
+
+  // Longest common (leaf, thread) suffix, capped so it cannot overlap the identical
+  // prefix (a suffix reaching past the first change would double-count it).
+  const size_t cap = common - first_changed;
+  size_t suffix = 0;
+  while (suffix < cap &&
+         base[base.size() - 1 - suffix].SamePick(fault[fault.size() - 1 - suffix])) {
+    ++suffix;
+  }
+  report.common_suffix = suffix;
+  report.reconverged = suffix > 0;
+  if (report.reconverged) {
+    report.reconvergence_time = fault[fault.size() - suffix].time;
+    report.divergence_window = report.reconvergence_time - report.divergence_time;
+  }
+  return report;
+}
+
+std::string FormatBlastRadiusReport(const BlastRadiusReport& report) {
+  char buf[512];
+  std::string out;
+  if (!report.diverged) {
+    return "blast radius: traces identical (fault had no observable effect)\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "blast radius:\n"
+                "  first divergence:  event #%zu at t=%.3fms\n"
+                "  decisions:         baseline %zu, faulted %zu\n"
+                "  changed decisions: %zu (first at decision #%zu)\n"
+                "  leaves affected:   %zu\n",
+                report.diff.first_divergence,
+                hscommon::ToMillis(report.divergence_time), report.baseline_decisions,
+                report.faulted_decisions, report.changed_decisions,
+                report.first_changed_decision, report.nodes_affected);
+  out = buf;
+  if (report.reconverged) {
+    std::snprintf(buf, sizeof(buf),
+                  "  exact reconverge:  yes, common suffix %zu decisions, at "
+                  "t=%.3fms (window %.3fms)\n",
+                  report.common_suffix, hscommon::ToMillis(report.reconvergence_time),
+                  hscommon::ToMillis(report.divergence_window));
+  } else {
+    std::snprintf(buf, sizeof(buf), "  exact reconverge:  no\n");
+  }
+  out += buf;
+  if (report.service_reconverged) {
+    std::snprintf(buf, sizeof(buf),
+                  "  shares reconverge: yes at t=%.3fms (%zu divergent windows, worst "
+                  "share delta %.1f%%)\n",
+                  hscommon::ToMillis(report.service_reconvergence_time),
+                  report.divergent_windows, 100.0 * report.max_share_delta);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "  shares reconverge: no (%zu divergent windows, worst share delta "
+                  "%.1f%%)\n",
+                  report.divergent_windows, 100.0 * report.max_share_delta);
+  }
+  out += buf;
+  return out;
+}
+
+hscommon::Status WriteBlastRadiusJson(const BlastRadiusReport& report,
+                                      const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return hscommon::InvalidArgument("cannot open " + path + " for writing");
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"diverged\": %s,\n"
+               "  \"first_divergence_event\": %zu,\n"
+               "  \"divergence_time_ns\": %lld,\n"
+               "  \"baseline_decisions\": %zu,\n"
+               "  \"faulted_decisions\": %zu,\n"
+               "  \"changed_decisions\": %zu,\n"
+               "  \"first_changed_decision\": %zu,\n"
+               "  \"nodes_affected\": %zu,\n"
+               "  \"reconverged\": %s,\n"
+               "  \"common_suffix_decisions\": %zu,\n"
+               "  \"reconvergence_time_ns\": %lld,\n"
+               "  \"divergence_window_ns\": %lld,\n"
+               "  \"divergent_windows\": %zu,\n"
+               "  \"max_share_delta\": %.6f,\n"
+               "  \"service_reconverged\": %s,\n"
+               "  \"service_reconvergence_time_ns\": %lld\n"
+               "}\n",
+               report.diverged ? "true" : "false", report.diff.first_divergence,
+               static_cast<long long>(report.divergence_time), report.baseline_decisions,
+               report.faulted_decisions, report.changed_decisions,
+               report.first_changed_decision, report.nodes_affected,
+               report.reconverged ? "true" : "false", report.common_suffix,
+               static_cast<long long>(report.reconvergence_time),
+               static_cast<long long>(report.divergence_window),
+               report.divergent_windows, report.max_share_delta,
+               report.service_reconverged ? "true" : "false",
+               static_cast<long long>(report.service_reconvergence_time));
+  std::fclose(f);
+  return hscommon::Status::Ok();
+}
+
+}  // namespace hsfault

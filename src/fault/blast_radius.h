@@ -1,0 +1,87 @@
+// Blast-radius analysis: how far does one injected fault perturb the schedule?
+//
+// Runs the byte-diff oracle (htrace::DiffTraces) over a baseline trace and a faulted
+// trace of the same scenario, then compares the two runs' dispatch-decision sequences —
+// the (leaf, thread) pairs of every Schedule event — to quantify the damage:
+//
+//   * first divergence: the first byte-different event (and its wall clock);
+//   * changed decisions: how many dispatch decisions differ between the runs
+//     (index-aligned mismatches plus any length difference);
+//   * reconvergence: the longest common decision suffix. Decision suffixes are compared
+//     by (leaf, thread) only — after a fault the two runs' wall clocks stay offset even
+//     once the *schedule* has healed, so timestamps are deliberately ignored here.
+//     A non-empty common suffix means the fault's effect died out; the faulted-run time
+//     of the first suffix decision is the reconvergence time.
+//   * allocation reconvergence: windowed per-leaf service shares. Faults that delay
+//     wakeups permanently phase-shift sleep/wake cycles, so the decision streams never
+//     realign exactly — but the scheduler's *allocation* heals; this metric reports when.
+
+#ifndef HSCHED_SRC_FAULT_BLAST_RADIUS_H_
+#define HSCHED_SRC_FAULT_BLAST_RADIUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/trace/event.h"
+#include "src/trace/replay.h"
+
+namespace hsfault {
+
+using hscommon::Time;
+
+struct BlastRadiusReport {
+  // Raw byte-level diff of the two event streams.
+  htrace::TraceDiff diff;
+  bool diverged = false;
+  Time divergence_time = 0;  // wall clock of the first divergent event (faulted run)
+
+  // Dispatch-decision comparison.
+  size_t baseline_decisions = 0;
+  size_t faulted_decisions = 0;
+  size_t changed_decisions = 0;      // index-aligned (leaf,thread) mismatches + |Δlen|
+  size_t first_changed_decision = 0; // index of the first differing decision
+  size_t nodes_affected = 0;         // distinct leaves appearing in changed decisions
+
+  // Exact reconvergence: the decision streams share a non-empty (leaf, thread) suffix.
+  // Only phase-preserving faults (e.g. pure overhead spikes) reach this.
+  bool reconverged = false;
+  size_t common_suffix = 0;      // decisions identical at the tail of both runs
+  Time reconvergence_time = 0;   // faulted-run time of the first suffix decision
+  Time divergence_window = 0;    // reconvergence_time - divergence_time (0 if never)
+
+  // Allocation reconvergence: per-window, per-leaf service shares. A fault that
+  // permanently phase-shifts sleep/wake cycles never reconverges decision-for-decision,
+  // but the *allocation* heals once the scheduler re-balances — this metric captures
+  // that. A window counts as divergent when some leaf's share of delivered service
+  // differs by more than the tolerance between the runs.
+  size_t divergent_windows = 0;       // windows where shares disagreed
+  double max_share_delta = 0.0;       // worst per-leaf share difference seen
+  bool service_reconverged = false;   // at least one clean window follows the last bad one
+  Time service_reconvergence_time = 0;  // end of the last divergent window
+};
+
+struct BlastRadiusOptions {
+  Time window = 500 * hscommon::kMillisecond;  // share-comparison window
+  double share_tolerance = 0.05;               // |share_b - share_f| allowed per leaf
+};
+
+// Compares a baseline run against a faulted run of the same scenario.
+BlastRadiusReport AnalyzeBlastRadius(const std::vector<htrace::TraceEvent>& baseline,
+                                     const std::vector<htrace::TraceEvent>& faulted);
+BlastRadiusReport AnalyzeBlastRadius(const std::vector<htrace::TraceEvent>& baseline,
+                                     const std::vector<htrace::TraceEvent>& faulted,
+                                     const BlastRadiusOptions& options);
+
+// Multi-line human-readable summary.
+std::string FormatBlastRadiusReport(const BlastRadiusReport& report);
+
+// Writes the report as a flat JSON object (stable key order) to `path`.
+hscommon::Status WriteBlastRadiusJson(const BlastRadiusReport& report,
+                                      const std::string& path);
+
+}  // namespace hsfault
+
+#endif  // HSCHED_SRC_FAULT_BLAST_RADIUS_H_

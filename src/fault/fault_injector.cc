@@ -1,0 +1,172 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsfault {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  // One independent stream per spec, forked in spec order so adding a spec at the end
+  // of a plan does not reshuffle the draws of the specs before it.
+  hscommon::Prng root(plan_.seed);
+  armed_.reserve(plan_.specs.size());
+  for (const FaultSpec& spec : plan_.specs) {
+    armed_.push_back(ArmedSpec{spec, root.Fork(), 0});
+  }
+}
+
+FaultInjector::~FaultInjector() { Disarm(); }
+
+bool FaultInjector::Applies(const FaultSpec& spec, Time now, uint64_t thread) {
+  if (now < spec.start || now > spec.end) return false;
+  return spec.thread == kAnyThread || spec.thread == thread;
+}
+
+void FaultInjector::RecordFault(Time now, const char* kind, uint64_t thread,
+                                int64_t magnitude) {
+  if (system_ != nullptr && system_->tracer() != nullptr) {
+    system_->tracer()->RecordFault(now, kind, thread, magnitude);
+  }
+}
+
+void FaultInjector::Arm(hsim::System& system) {
+  system_ = &system;
+  system.SetFaultHooks(this);
+  for (ArmedSpec& armed : armed_) {
+    const FaultSpec& spec = armed.spec;
+    switch (spec.kind) {
+      case FaultKind::kStorm: {
+        hsim::InterruptSourceConfig storm;
+        storm.arrival = hsim::InterruptSourceConfig::Arrival::kPeriodic;
+        storm.interval = spec.period;
+        storm.service = spec.cost;
+        storm.start = spec.start;
+        storm.end = spec.end;
+        storm.seed = plan_.seed ^ 0x5701'4a3bULL;
+        system.AddInterruptSource(storm);
+        ++stats_.storms_armed;
+        RecordFault(system.now(), FaultKindName(spec.kind), kAnyThread, spec.cost);
+        break;
+      }
+      case FaultKind::kCrash: {
+        const uint64_t victim = spec.thread;
+        system.At(spec.at, [this, victim](hsim::System& s) {
+          if (s.Kill(static_cast<hsfq::ThreadId>(victim)).ok()) {
+            ++stats_.crashes;
+            RecordFault(s.now(), FaultKindName(FaultKind::kCrash), victim, 0);
+          }
+        });
+        break;
+      }
+      case FaultKind::kSpuriousWake: {
+        ArmedSpec* slot = &armed;
+        system.Every(std::max<Time>(spec.start, spec.period), spec.period,
+                     [this, slot](hsim::System& s) {
+                       const FaultSpec& sp = slot->spec;
+                       if (s.now() > sp.end || s.ThreadCount() == 0) return;
+                       // Rotate over threads until one actually has a pending timed
+                       // wakeup to deliver early (at most one injection per firing).
+                       for (size_t i = 0; i < s.ThreadCount(); ++i) {
+                         const auto tid = static_cast<hsfq::ThreadId>(
+                             slot->round_robin++ % s.ThreadCount());
+                         if (sp.thread != kAnyThread &&
+                             tid != static_cast<hsfq::ThreadId>(sp.thread)) {
+                           continue;
+                         }
+                         if (s.SpuriousWake(tid).ok()) {
+                           ++stats_.spurious_wakes;
+                           RecordFault(s.now(), FaultKindName(FaultKind::kSpuriousWake),
+                                       tid, 0);
+                           return;
+                         }
+                       }
+                     });
+        break;
+      }
+      default:
+        break;  // hook-shaped kinds need no scheduling
+    }
+  }
+}
+
+void FaultInjector::ArmApi(hsfq::HsfqApi& api) {
+  api_ = &api;
+  api.SetFaultHook([this](const char* op) {
+    for (ArmedSpec& armed : armed_) {
+      FaultSpec& spec = armed.spec;
+      if (spec.kind != FaultKind::kApiFail) continue;
+      if (spec.op != "any" && spec.op != op) continue;
+      const Time now = system_ != nullptr ? system_->now() : 0;
+      if (now < spec.start || now > spec.end) continue;
+      if (!armed.prng.Bernoulli(spec.p)) continue;
+      ++stats_.api_failures;
+      RecordFault(now, FaultKindName(FaultKind::kApiFail), kAnyThread, 0);
+      return true;
+    }
+    return false;
+  });
+}
+
+void FaultInjector::Disarm() {
+  if (system_ != nullptr && system_->fault_hooks() == this) {
+    system_->SetFaultHooks(nullptr);
+  }
+  if (api_ != nullptr) {
+    api_->SetFaultHook(nullptr);
+  }
+  system_ = nullptr;
+  api_ = nullptr;
+}
+
+Time FaultInjector::OnWakeupDelivery(hsfq::ThreadId thread, Time now) {
+  for (ArmedSpec& armed : armed_) {
+    const FaultSpec& spec = armed.spec;
+    if (spec.kind != FaultKind::kDropWakeup && spec.kind != FaultKind::kDelayWakeup) {
+      continue;
+    }
+    if (!Applies(spec, now, thread)) continue;
+    if (!armed.prng.Bernoulli(spec.p)) continue;
+    // First matching spec wins: one wakeup suffers at most one fault.
+    if (spec.kind == FaultKind::kDropWakeup) {
+      ++stats_.dropped_wakeups;
+    } else {
+      ++stats_.delayed_wakeups;
+    }
+    RecordFault(now, FaultKindName(spec.kind), thread, spec.delay);
+    return spec.delay;
+  }
+  return 0;
+}
+
+Work FaultInjector::OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now) {
+  for (ArmedSpec& armed : armed_) {
+    const FaultSpec& spec = armed.spec;
+    if (spec.kind != FaultKind::kClockJitter) continue;
+    if (!Applies(spec, now, thread)) continue;
+    if (!armed.prng.Bernoulli(spec.p)) continue;
+    // Uniform skew in [-frac, +frac] of the granted quantum, as an imprecise or
+    // drifting quantum timer would produce.
+    const double skew = (armed.prng.UniformDouble() * 2.0 - 1.0) * spec.frac;
+    const Work delta = static_cast<Work>(std::llround(static_cast<double>(quantum) * skew));
+    ++stats_.jittered_quanta;
+    RecordFault(now, FaultKindName(spec.kind), thread, delta);
+    return std::max<Work>(1, quantum + delta);
+  }
+  return quantum;
+}
+
+Time FaultInjector::OnDispatchOverhead(hsfq::ThreadId thread, Time now) {
+  Time extra = 0;
+  for (ArmedSpec& armed : armed_) {
+    const FaultSpec& spec = armed.spec;
+    if (spec.kind != FaultKind::kCswitchSpike) continue;
+    if (!Applies(spec, now, thread)) continue;
+    if (!armed.prng.Bernoulli(spec.p)) continue;
+    ++stats_.cswitch_spikes;
+    RecordFault(now, FaultKindName(spec.kind), thread, spec.cost);
+    extra += spec.cost;
+  }
+  return extra;
+}
+
+}  // namespace hsfault

@@ -1,0 +1,99 @@
+// The deterministic fault injector: arms a FaultPlan on a simulated system.
+//
+// The injector implements hsim::FaultHooks (wakeup delivery, quantum grant, dispatch
+// overhead) and additionally schedules event-queue work for the fault kinds that are
+// not hook-shaped: spurious wakeups and thread crashes become scripted events,
+// interrupt storms become windowed interrupt sources, and transient hsfq_mknod /
+// hsfq_move failures install through HsfqApi::SetFaultHook.
+//
+// Determinism: each spec forks its own Prng stream from the plan seed at construction
+// (in spec order), and every draw happens at a point ordered by the simulator's event
+// queue — so two runs of the same scenario with the same plan produce byte-identical
+// traces. Every injection that fires is recorded as a kFault trace event, anchoring
+// blast-radius analysis (src/fault/blast_radius.h) to the injection points.
+
+#ifndef HSCHED_SRC_FAULT_FAULT_INJECTOR_H_
+#define HSCHED_SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/fault/fault_plan.h"
+#include "src/hsfq/api.h"
+#include "src/sim/system.h"
+
+namespace hsfault {
+
+class FaultInjector : public hsim::FaultHooks {
+ public:
+  // How often each fault kind actually fired.
+  struct Stats {
+    uint64_t dropped_wakeups = 0;
+    uint64_t delayed_wakeups = 0;
+    uint64_t spurious_wakes = 0;
+    uint64_t jittered_quanta = 0;
+    uint64_t cswitch_spikes = 0;
+    uint64_t storms_armed = 0;
+    uint64_t api_failures = 0;
+    uint64_t crashes = 0;
+
+    uint64_t total() const {
+      return dropped_wakeups + delayed_wakeups + spurious_wakes + jittered_quanta +
+             cswitch_spikes + storms_armed + api_failures + crashes;
+    }
+  };
+
+  explicit FaultInjector(FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs the plan on `system`: registers this as the system's FaultHooks,
+  // schedules crash and spurious-wake events, and adds storm interrupt sources.
+  // Call once, before RunUntil, while now() == 0 for full-window coverage. The
+  // injector must outlive the system or Disarm() must be called first.
+  void Arm(hsim::System& system);
+
+  // Installs the transient-failure hook on `api` (kApiFail specs). Independent of
+  // Arm(); arm the system first when both are used so failures are traced with
+  // simulated timestamps.
+  void ArmApi(hsfq::HsfqApi& api);
+
+  // Detaches from the armed system/api. Scheduled events already in the queue keep
+  // their (now inert) callbacks; call before destroying the injector if the system
+  // outlives it.
+  void Disarm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const Stats& stats() const { return stats_; }
+
+  // hsim::FaultHooks:
+  Time OnWakeupDelivery(hsfq::ThreadId thread, Time now) override;
+  Work OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now) override;
+  Time OnDispatchOverhead(hsfq::ThreadId thread, Time now) override;
+
+ private:
+  struct ArmedSpec {
+    FaultSpec spec;
+    hscommon::Prng prng;
+    uint64_t round_robin = 0;  // spurious-wake target rotation
+  };
+
+  // True when `spec` applies at `now` to `thread`.
+  static bool Applies(const FaultSpec& spec, Time now, uint64_t thread);
+
+  void RecordFault(Time now, const char* kind, uint64_t thread, int64_t magnitude);
+
+  FaultPlan plan_;
+  std::vector<ArmedSpec> armed_;
+  hsim::System* system_ = nullptr;
+  hsfq::HsfqApi* api_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace hsfault
+
+#endif  // HSCHED_SRC_FAULT_FAULT_INJECTOR_H_

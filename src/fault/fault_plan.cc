@@ -1,0 +1,283 @@
+#include "src/fault/fault_plan.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hsfault {
+
+namespace {
+
+using hscommon::InvalidArgument;
+using hscommon::Status;
+using hscommon::StatusOr;
+
+// Splits `text` on `sep`, dropping empty pieces.
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  while (!text.empty()) {
+    const size_t pos = text.find(sep);
+    const std::string_view piece = text.substr(0, pos);
+    if (!piece.empty()) out.push_back(piece);
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+StatusOr<double> ParseProbability(std::string_view text) {
+  char* end = nullptr;
+  const std::string buf(text);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || v < 0.0 || v > 1.0) {
+    return InvalidArgument("bad probability '" + buf + "' (want [0,1])");
+  }
+  return v;
+}
+
+StatusOr<double> ParseFraction(std::string_view text) {
+  char* end = nullptr;
+  const std::string buf(text);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || v < 0.0 || v >= 1.0) {
+    return InvalidArgument("bad fraction '" + buf + "' (want [0,1))");
+  }
+  return v;
+}
+
+StatusOr<uint64_t> ParseU64(std::string_view text) {
+  char* end = nullptr;
+  const std::string buf(text);
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (buf.empty() || end != buf.c_str() + buf.size()) {
+    return InvalidArgument("bad integer '" + buf + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+StatusOr<FaultKind> ParseKind(std::string_view name) {
+  for (const FaultKind k :
+       {FaultKind::kDropWakeup, FaultKind::kDelayWakeup, FaultKind::kSpuriousWake,
+        FaultKind::kClockJitter, FaultKind::kCswitchSpike, FaultKind::kStorm,
+        FaultKind::kApiFail, FaultKind::kCrash}) {
+    if (name == FaultKindName(k)) return k;
+  }
+  return InvalidArgument("unknown fault kind '" + std::string(name) + "'");
+}
+
+// Validates cross-field requirements once a spec is fully parsed.
+Status ValidateSpec(const FaultSpec& spec) {
+  const std::string kind = FaultKindName(spec.kind);
+  switch (spec.kind) {
+    case FaultKind::kDropWakeup:
+      if (spec.delay <= 0) {
+        return InvalidArgument(kind + " needs recovery > 0 (a dropped wakeup with no "
+                                      "watchdog loses the thread forever)");
+      }
+      break;
+    case FaultKind::kDelayWakeup:
+      if (spec.delay <= 0) return InvalidArgument(kind + " needs delay > 0");
+      break;
+    case FaultKind::kSpuriousWake:
+      if (spec.period <= 0) return InvalidArgument(kind + " needs every > 0");
+      break;
+    case FaultKind::kClockJitter:
+      if (spec.frac <= 0.0) return InvalidArgument(kind + " needs frac in (0,1)");
+      break;
+    case FaultKind::kCswitchSpike:
+      if (spec.cost <= 0) return InvalidArgument(kind + " needs cost > 0");
+      break;
+    case FaultKind::kStorm:
+      if (spec.period <= 0) return InvalidArgument(kind + " needs every > 0");
+      if (spec.cost <= 0) return InvalidArgument(kind + " needs steal > 0");
+      if (spec.end <= spec.start) return InvalidArgument(kind + " needs end > start");
+      break;
+    case FaultKind::kApiFail:
+      if (spec.op != "any" && spec.op != "mknod" && spec.op != "move") {
+        return InvalidArgument(kind + " op must be mknod, move, or any");
+      }
+      break;
+    case FaultKind::kCrash:
+      if (spec.thread == kAnyThread) return InvalidArgument(kind + " needs thread=<id>");
+      break;
+  }
+  return Status::Ok();
+}
+
+// Applies one `key=value` pair to `spec`. Key names follow the documented spec-string
+// vocabulary, which renames a few fields per kind (recovery/steal/every).
+Status ApplyKey(FaultSpec& spec, std::string_view key, std::string_view value) {
+  if (key == "p") {
+    auto v = ParseProbability(value);
+    if (!v.ok()) return v.status();
+    spec.p = *v;
+    return Status::Ok();
+  }
+  if (key == "frac") {
+    auto v = ParseFraction(value);
+    if (!v.ok()) return v.status();
+    spec.frac = *v;
+    return Status::Ok();
+  }
+  if (key == "thread") {
+    auto v = ParseU64(value);
+    if (!v.ok()) return v.status();
+    spec.thread = *v;
+    return Status::Ok();
+  }
+  if (key == "op") {
+    spec.op = std::string(value);
+    return Status::Ok();
+  }
+  // Everything else is a duration.
+  auto d = ParseDuration(value);
+  if (!d.ok()) return d.status();
+  if (key == "delay" || key == "recovery") {
+    spec.delay = *d;
+  } else if (key == "every" || key == "period") {
+    spec.period = *d;
+  } else if (key == "cost" || key == "steal") {
+    spec.cost = *d;
+  } else if (key == "start") {
+    spec.start = *d;
+  } else if (key == "end") {
+    spec.end = *d;
+  } else if (key == "at") {
+    spec.at = *d;
+  } else {
+    return InvalidArgument("unknown key '" + std::string(key) + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropWakeup: return "drop-wakeup";
+    case FaultKind::kDelayWakeup: return "delay-wakeup";
+    case FaultKind::kSpuriousWake: return "spurious-wake";
+    case FaultKind::kClockJitter: return "clock-jitter";
+    case FaultKind::kCswitchSpike: return "cswitch-spike";
+    case FaultKind::kStorm: return "storm";
+    case FaultKind::kApiFail: return "api-fail";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+StatusOr<Time> ParseDuration(std::string_view text) {
+  if (text.empty()) return InvalidArgument("empty duration");
+  Time unit = 1;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ns") {
+    unit = hscommon::kNanosecond;
+    text.remove_suffix(2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "us") {
+    unit = hscommon::kMicrosecond;
+    text.remove_suffix(2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    unit = hscommon::kMillisecond;
+    text.remove_suffix(2);
+  } else if (text.back() == 's') {
+    unit = hscommon::kSecond;
+    text.remove_suffix(1);
+  }
+  char* end = nullptr;
+  const std::string buf(text);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || end != buf.c_str() + buf.size() || v < 0) {
+    return InvalidArgument("bad duration '" + std::string(text) + "'");
+  }
+  return static_cast<Time>(v * static_cast<double>(unit));
+}
+
+std::string FormatDuration(Time t) {
+  char buf[32];
+  if (t == hscommon::kTimeInfinity) return "inf";
+  if (t % hscommon::kSecond == 0 && t != 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(t / hscommon::kSecond));
+  } else if (t % hscommon::kMillisecond == 0 && t != 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms",
+                  static_cast<long long>(t / hscommon::kMillisecond));
+  } else if (t % hscommon::kMicrosecond == 0 && t != 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus",
+                  static_cast<long long>(t / hscommon::kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+StatusOr<FaultPlan> FaultPlan::Parse(std::string_view text) {
+  FaultPlan plan;
+  for (const std::string_view clause : Split(text, ';')) {
+    if (clause.substr(0, 5) == "seed=") {
+      auto v = ParseU64(clause.substr(5));
+      if (!v.ok()) return v.status();
+      plan.seed = *v;
+      continue;
+    }
+    const size_t colon = clause.find(':');
+    auto kind = ParseKind(clause.substr(0, colon));
+    if (!kind.ok()) return kind.status();
+    FaultSpec spec;
+    spec.kind = *kind;
+    if (colon != std::string_view::npos) {
+      for (const std::string_view kv : Split(clause.substr(colon + 1), ',')) {
+        const size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          return InvalidArgument("expected key=value, got '" + std::string(kv) + "'");
+        }
+        auto s = ApplyKey(spec, kv.substr(0, eq), kv.substr(eq + 1));
+        if (!s.ok()) return s;
+      }
+    }
+    auto s = ValidateSpec(spec);
+    if (!s.ok()) return s;
+    plan.specs.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultSpec& spec : specs) {
+    out += ';';
+    out += FaultKindName(spec.kind);
+    switch (spec.kind) {
+      case FaultKind::kDropWakeup:
+        out += ":p=" + std::to_string(spec.p) + ",recovery=" + FormatDuration(spec.delay);
+        break;
+      case FaultKind::kDelayWakeup:
+        out += ":p=" + std::to_string(spec.p) + ",delay=" + FormatDuration(spec.delay);
+        break;
+      case FaultKind::kSpuriousWake:
+        out += ":every=" + FormatDuration(spec.period);
+        if (spec.thread != kAnyThread) out += ",thread=" + std::to_string(spec.thread);
+        break;
+      case FaultKind::kClockJitter:
+        out += ":p=" + std::to_string(spec.p) + ",frac=" + std::to_string(spec.frac);
+        break;
+      case FaultKind::kCswitchSpike:
+        out += ":p=" + std::to_string(spec.p) + ",cost=" + FormatDuration(spec.cost);
+        break;
+      case FaultKind::kStorm:
+        out += ":start=" + FormatDuration(spec.start) + ",end=" + FormatDuration(spec.end) +
+               ",every=" + FormatDuration(spec.period) + ",steal=" + FormatDuration(spec.cost);
+        break;
+      case FaultKind::kApiFail:
+        out += ":p=" + std::to_string(spec.p) + ",op=" + spec.op;
+        break;
+      case FaultKind::kCrash:
+        out += ":at=" + FormatDuration(spec.at) + ",thread=" + std::to_string(spec.thread);
+        break;
+    }
+    if (spec.kind != FaultKind::kStorm && spec.kind != FaultKind::kCrash) {
+      if (spec.start != 0) out += ",start=" + FormatDuration(spec.start);
+      if (spec.end != hscommon::kTimeInfinity) out += ",end=" + FormatDuration(spec.end);
+    }
+  }
+  return out;
+}
+
+}  // namespace hsfault

@@ -1,0 +1,103 @@
+// Declarative fault plans for the deterministic fault injector.
+//
+// A FaultPlan is a seed plus a list of FaultSpecs, each describing one class of
+// perturbation (dropped wakeups, quantum jitter, interrupt storms, ...). Plans are pure
+// data: the same plan armed on the same scenario produces a byte-identical trace,
+// because every random draw comes from a per-spec Prng forked deterministically from
+// the plan seed and every injection flows through the simulator's event queue.
+//
+// Plans round-trip through a compact spec string so benches and the campaign runner can
+// take them on the command line:
+//
+//   seed=42;drop-wakeup:p=0.05,recovery=20ms;storm:start=5s,end=6s,every=200us,steal=150us
+//
+// Clauses are ';'-separated. The optional leading `seed=N` sets the plan seed; every
+// other clause is `<kind>` or `<kind>:key=val,key=val`. Durations accept ns/us/ms/s
+// suffixes (bare numbers are nanoseconds).
+
+#ifndef HSCHED_SRC_FAULT_FAULT_PLAN_H_
+#define HSCHED_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace hsfault {
+
+using hscommon::Time;
+using hscommon::Work;
+
+// Matches any thread (FaultSpec::thread default).
+inline constexpr uint64_t kAnyThread = UINT64_MAX;
+
+enum class FaultKind : uint8_t {
+  // A wakeup delivery is lost with probability `p`; a watchdog redelivers it after
+  // `delay` (the recovery latency of a lost interrupt). delay must be > 0 or the
+  // thread would be lost forever.
+  kDropWakeup,
+  // A wakeup delivery is late by `delay` with probability `p` (interrupt latency).
+  kDelayWakeup,
+  // Every `period`, one thread's pending timed wakeup is delivered early (round-robin
+  // over threads when `thread` is kAnyThread).
+  kSpuriousWake,
+  // The programmed quantum is skewed by a uniform factor in [-frac, +frac] with
+  // probability `p` (timer clock skew/jitter).
+  kClockJitter,
+  // A dispatch costs an extra `cost` of stolen wall time with probability `p`
+  // (context-switch cost spike: cold caches, TLB shootdown).
+  kCswitchSpike,
+  // A periodic interrupt storm: one interrupt every `period` stealing `cost` each,
+  // active over [start, end].
+  kStorm,
+  // hsfq_mknod / hsfq_move fail transiently (kErrAgain) with probability `p`.
+  // `op` restricts the faulted call: "mknod", "move", or "any".
+  kApiFail,
+  // Thread `thread` is killed at time `at` (mid-scenario crash).
+  kCrash,
+};
+
+// The printable tag for a kind ("drop-wakeup", "storm", ...). Also the tag recorded in
+// kFault trace events and accepted by FaultPlan::Parse.
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDropWakeup;
+  double p = 1.0;            // per-opportunity probability (drop/delay/jitter/spike/api)
+  Time delay = 0;            // drop recovery latency / wakeup delay
+  Time period = 0;           // spurious-wake cadence / storm inter-arrival
+  double frac = 0.0;         // clock-jitter magnitude (fraction of the quantum)
+  Time cost = 0;             // cswitch-spike extra overhead / storm per-interrupt steal
+  Time start = 0;            // active window begin
+  Time end = hscommon::kTimeInfinity;  // active window end
+  Time at = 0;               // crash instant
+  uint64_t thread = kAnyThread;  // restrict to one thread (crash target)
+  std::string op = "any";    // api-fail call filter
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+
+  // Parses the spec-string format above. Unknown kinds, unknown keys, and malformed
+  // values are errors; an empty string parses to an empty plan.
+  static hscommon::StatusOr<FaultPlan> Parse(std::string_view text);
+
+  // Canonical spec string (Parse(ToString()) reproduces the plan).
+  std::string ToString() const;
+};
+
+// Parses a duration like "20ms", "150us", "5s", "250" (ns). Rejects negatives.
+hscommon::StatusOr<Time> ParseDuration(std::string_view text);
+
+// Renders a duration with the largest exact unit ("20ms", "1500us", "250ns").
+std::string FormatDuration(Time t);
+
+}  // namespace hsfault
+
+#endif  // HSCHED_SRC_FAULT_FAULT_PLAN_H_

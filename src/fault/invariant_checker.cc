@@ -1,0 +1,475 @@
+#include "src/fault/invariant_checker.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hsfault {
+
+namespace {
+
+using htrace::EventType;
+using htrace::TraceEvent;
+
+// Structural taps record wall clock 0 (the structure does not know `now`); only these
+// types carry a meaningful, causally ordered timestamp.
+bool IsTimed(EventType type) {
+  switch (type) {
+    case EventType::kSetRun:
+    case EventType::kSleep:
+    case EventType::kPickChild:
+    case EventType::kSchedule:
+    case EventType::kUpdate:
+    case EventType::kMoveThread:
+    case EventType::kDispatch:
+    case EventType::kInterrupt:
+    case EventType::kIdle:
+    case EventType::kFault:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+const char* InvariantChecker::KindName(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kTimeRegression: return "time-regression";
+    case Violation::Kind::kVirtualTimeRegression: return "virtual-time-regression";
+    case Violation::Kind::kSlicePairing: return "slice-pairing";
+    case Violation::Kind::kTreeInconsistency: return "tree-inconsistency";
+    case Violation::Kind::kLostThread: return "lost-thread";
+    case Violation::Kind::kFairnessGap: return "fairness-gap";
+  }
+  return "unknown";
+}
+
+InvariantChecker::InvariantChecker() : InvariantChecker(Options()) {}
+
+InvariantChecker::InvariantChecker(const Options& options) : options_(options) {
+  // The root (node 0) predates any tracer, so it never gets a MakeNode event.
+  NodeState& root = nodes_[0];
+  root.alive = true;
+  root.parent = UINT32_MAX;
+}
+
+InvariantChecker::NodeState& InvariantChecker::NodeAt(uint32_t id) { return nodes_[id]; }
+
+bool InvariantChecker::NodeAlive(uint32_t id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.alive;
+}
+
+void InvariantChecker::AddViolation(Violation::Kind kind, size_t index, std::string what) {
+  ++violation_count_;
+  if (violations_.size() < options_.max_violations) {
+    violations_.push_back(Violation{kind, index, clock_, std::move(what)});
+  }
+}
+
+void InvariantChecker::SetDropped(uint64_t n) {
+  dropped_ = n;
+  if (n > 0) {
+    warnings_.push_back(Format(
+        "ring dropped %" PRIu64 " oldest events; stream starts mid-scenario, "
+        "structural strictness relaxed", n));
+  }
+}
+
+void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
+  const bool strict = dropped_ == 0;
+  if (IsTimed(e.type)) {
+    if (e.time < clock_) {
+      AddViolation(Violation::Kind::kTimeRegression, index,
+                   Format("%s at t=%lld before t=%lld", EventTypeName(e.type),
+                          static_cast<long long>(e.time), static_cast<long long>(clock_)));
+    }
+    clock_ = std::max(clock_, e.time);
+  }
+
+  switch (e.type) {
+    case EventType::kTraceStart:
+      break;
+
+    case EventType::kMakeNode: {
+      const auto parent = static_cast<uint32_t>(e.a);
+      if (NodeAlive(e.node)) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("MakeNode %u: id already live", e.node));
+      }
+      if (strict && !NodeAlive(parent)) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("MakeNode %u under dead parent %u", e.node, parent));
+      }
+      NodeState fresh;  // ids can be recycled: reset everything, incl. the tag watermark
+      fresh.alive = true;
+      fresh.parent = parent;
+      fresh.weight = std::max<uint64_t>(1, static_cast<uint64_t>(e.b));
+      fresh.is_leaf = e.flags != 0;
+      nodes_[e.node] = fresh;
+      ++NodeAt(parent).children;
+      break;
+    }
+
+    case EventType::kRemoveNode: {
+      if (!NodeAlive(e.node)) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("RemoveNode %u: not live", e.node));
+        }
+        break;
+      }
+      NodeState& n = NodeAt(e.node);
+      if (n.children > 0 || n.threads > 0) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("RemoveNode %u with %u children, %u threads", e.node,
+                            n.children, n.threads));
+      }
+      CloseWindowsFor(n.parent, e.node, index);
+      if (n.parent != UINT32_MAX) {
+        NodeState& p = NodeAt(n.parent);
+        if (n.backlog > 0 && p.backlog > 0) --p.backlog;
+        if (p.children > 0) --p.children;
+      }
+      n.alive = false;
+      break;
+    }
+
+    case EventType::kSetWeight: {
+      if (!NodeAlive(e.node)) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("SetWeight on dead node %u", e.node));
+        }
+        break;
+      }
+      NodeAt(e.node).weight = std::max<uint64_t>(1, e.a);
+      // A weight change re-bases every fairness comparison: restart open windows.
+      ResetAllWindows();
+      break;
+    }
+
+    case EventType::kAttachThread: {
+      if (strict && (!NodeAlive(e.node) || !NodeAt(e.node).is_leaf)) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("AttachThread %" PRIu64 " to non-leaf/dead node %u", e.a,
+                            e.node));
+      }
+      if (threads_.count(e.a) != 0) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("thread %" PRIu64 " attached twice", e.a));
+        break;
+      }
+      ThreadState t;
+      t.leaf = e.node;
+      threads_[e.a] = t;
+      ++NodeAt(e.node).threads;
+      break;
+    }
+
+    case EventType::kDetachThread: {
+      const auto it = threads_.find(e.a);
+      if (it == threads_.end()) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("DetachThread of unknown thread %" PRIu64, e.a));
+        }
+        break;
+      }
+      if (it->second.leaf != e.node) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("DetachThread %" PRIu64 " from node %u but attached at %u",
+                            e.a, e.node, it->second.leaf));
+      }
+      if (it->second.runnable) AdjustBacklog(it->second.leaf, -1, index);
+      NodeState& leaf = NodeAt(it->second.leaf);
+      if (leaf.threads > 0) --leaf.threads;
+      threads_.erase(it);
+      break;
+    }
+
+    case EventType::kMoveThread: {
+      const auto it = threads_.find(e.a);
+      if (it == threads_.end()) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("MoveThread of unknown thread %" PRIu64, e.a));
+        }
+        break;
+      }
+      if (strict && (!NodeAlive(e.node) || !NodeAt(e.node).is_leaf)) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("MoveThread %" PRIu64 " to non-leaf/dead node %u", e.a,
+                            e.node));
+      }
+      if (it->second.runnable) AdjustBacklog(it->second.leaf, -1, index);
+      NodeState& from = NodeAt(it->second.leaf);
+      if (from.threads > 0) --from.threads;
+      it->second.leaf = e.node;
+      ++NodeAt(e.node).threads;
+      if (it->second.runnable) AdjustBacklog(e.node, +1, index);
+      break;
+    }
+
+    case EventType::kSetRun: {
+      auto it = threads_.find(e.a);
+      if (it == threads_.end()) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("SetRun for unattached thread %" PRIu64, e.a));
+        }
+        break;
+      }
+      if (it->second.leaf != e.node) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("SetRun thread %" PRIu64 " at node %u but attached at %u",
+                            e.a, e.node, it->second.leaf));
+      }
+      if (!it->second.runnable) {
+        it->second.runnable = true;
+        it->second.runnable_since = e.time;
+        AdjustBacklog(it->second.leaf, +1, index);
+      }
+      break;
+    }
+
+    case EventType::kSleep: {
+      auto it = threads_.find(e.a);
+      if (it == threads_.end()) break;
+      if (it->second.runnable) {
+        it->second.runnable = false;
+        AdjustBacklog(it->second.leaf, -1, index);
+      }
+      break;
+    }
+
+    case EventType::kPickChild: {
+      const auto child = static_cast<uint32_t>(e.a);
+      if (strict && (!NodeAlive(e.node) || !NodeAlive(child) ||
+                     NodeAt(child).parent != e.node)) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("PickChild %u -> %u: no such live edge", e.node, child));
+        break;
+      }
+      NodeState& n = NodeAt(e.node);
+      if (e.b < n.last_pick_tag) {
+        AddViolation(
+            Violation::Kind::kVirtualTimeRegression, index,
+            Format("node %u virtual time regressed %lld -> %lld", e.node,
+                   static_cast<long long>(n.last_pick_tag), static_cast<long long>(e.b)));
+      }
+      n.last_pick_tag = std::max(n.last_pick_tag, e.b);
+      break;
+    }
+
+    case EventType::kSchedule: {
+      if (slice_open_) {
+        AddViolation(Violation::Kind::kSlicePairing, index,
+                     Format("Schedule of thread %" PRIu64 " while thread %" PRIu64
+                            "'s slice is still open", e.a, open_slice_thread_));
+      }
+      slice_open_ = true;
+      open_slice_thread_ = e.a;
+      auto it = threads_.find(e.a);
+      if (it == threads_.end()) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("Schedule picked unattached thread %" PRIu64, e.a));
+        }
+        break;
+      }
+      if (!it->second.runnable && strict) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("Schedule picked non-runnable thread %" PRIu64, e.a));
+      }
+      it->second.last_scheduled = e.time;
+      break;
+    }
+
+    case EventType::kUpdate: {
+      if (!slice_open_) {
+        AddViolation(Violation::Kind::kSlicePairing, index,
+                     Format("Update for thread %" PRIu64 " without an open slice", e.a));
+      } else if (e.a != open_slice_thread_) {
+        AddViolation(Violation::Kind::kSlicePairing, index,
+                     Format("Update for thread %" PRIu64 " but slice belongs to %" PRIu64,
+                            e.a, open_slice_thread_));
+      }
+      slice_open_ = false;
+      // Charge the service up the ancestor chain (bounded by tree depth).
+      uint32_t cur = e.node;
+      for (int depth = 0; cur != UINT32_MAX && depth < 64; ++depth) {
+        NodeState& n = NodeAt(cur);
+        n.service += e.b;
+        n.lmax = std::max(n.lmax, e.b);
+        cur = n.parent;
+      }
+      auto it = threads_.find(e.a);
+      if (it != threads_.end() && e.flags == 0 && it->second.runnable) {
+        it->second.runnable = false;
+        AdjustBacklog(it->second.leaf, -1, index);
+      }
+      break;
+    }
+
+    case EventType::kThreadName:
+    case EventType::kDispatch:
+    case EventType::kInterrupt:
+    case EventType::kIdle:
+    case EventType::kFault:
+      break;
+  }
+}
+
+void InvariantChecker::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& [key, w] : windows_) {
+    CloseWindow(key.first, key.second, w, 0);
+  }
+  windows_.clear();
+  for (const auto& [tid, t] : threads_) {
+    if (!t.runnable) continue;
+    const Time waiting_since = std::max(t.runnable_since, t.last_scheduled);
+    if (clock_ - waiting_since > options_.starvation_horizon) {
+      AddViolation(Violation::Kind::kLostThread, 0,
+                   Format("thread %" PRIu64 " runnable since t=%lld never scheduled "
+                          "again (trace ends at t=%lld)",
+                          tid, static_cast<long long>(waiting_since),
+                          static_cast<long long>(clock_)));
+    }
+  }
+}
+
+void InvariantChecker::AdjustBacklog(uint32_t leaf, int delta, size_t index) {
+  uint32_t child = leaf;
+  NodeState* node = &NodeAt(leaf);
+  bool was = node->backlog > 0;
+  if (delta < 0 && node->backlog == 0) return;  // already inconsistent; don't underflow
+  node->backlog += delta;
+  bool now_backlogged = node->backlog > 0;
+  while (was != now_backlogged) {
+    const uint32_t parent = node->parent;
+    if (parent == UINT32_MAX) break;
+    NodeState& p = NodeAt(parent);
+    const bool parent_was = p.backlog > 0;
+    if (now_backlogged) {
+      ++p.backlog;
+      if (options_.check_fairness) OpenWindowsFor(parent, child);
+    } else {
+      if (options_.check_fairness) CloseWindowsFor(parent, child, index);
+      if (p.backlog > 0) --p.backlog;
+    }
+    child = parent;
+    node = &p;
+    was = parent_was;
+    now_backlogged = p.backlog > 0;
+  }
+}
+
+void InvariantChecker::OpenWindowsFor(uint32_t parent, uint32_t child) {
+  for (const auto& [id, n] : nodes_) {
+    if (id == child || !n.alive || n.parent != parent || n.backlog == 0) continue;
+    const uint32_t lo = std::min(child, id);
+    const uint32_t hi = std::max(child, id);
+    FairWindow w;
+    w.t0 = clock_;
+    w.service_a = NodeAt(lo).service;
+    w.service_b = NodeAt(hi).service;
+    windows_[{lo, hi}] = w;
+  }
+}
+
+void InvariantChecker::CloseWindowsFor(uint32_t parent, uint32_t child, size_t index) {
+  (void)parent;
+  for (auto it = windows_.begin(); it != windows_.end();) {
+    if (it->first.first == child || it->first.second == child) {
+      CloseWindow(it->first.first, it->first.second, it->second, index);
+      it = windows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InvariantChecker::CloseWindow(uint32_t a, uint32_t b, const FairWindow& w,
+                                   size_t index) {
+  const Time dt = clock_ - w.t0;
+  if (dt < options_.fairness_min_window) return;
+  const NodeState& na = NodeAt(a);
+  const NodeState& nb = NodeAt(b);
+  const double wa = static_cast<double>(na.weight);
+  const double wb = static_cast<double>(nb.weight);
+  const double gap = std::abs(static_cast<double>(na.service - w.service_a) / wa -
+                              static_cast<double>(nb.service - w.service_b) / wb);
+  const double bound = options_.fairness_slack *
+                           (static_cast<double>(na.lmax) / wa +
+                            static_cast<double>(nb.lmax) / wb) +
+                       static_cast<double>(options_.fairness_epsilon);
+  if (gap > bound) {
+    AddViolation(Violation::Kind::kFairnessGap, index,
+                 Format("siblings %u,%u co-backlogged %.1fms: gap %.3fms/weight exceeds "
+                        "bound %.3fms",
+                        a, b, hscommon::ToMillis(dt), gap / 1e6, bound / 1e6));
+  }
+}
+
+void InvariantChecker::ResetAllWindows() {
+  for (auto& [key, w] : windows_) {
+    w.t0 = clock_;
+    w.service_a = NodeAt(key.first).service;
+    w.service_b = NodeAt(key.second).service;
+  }
+}
+
+std::string InvariantChecker::Report() const {
+  std::string out;
+  if (violation_count_ == 0) {
+    out = "invariants clean";
+  } else {
+    out = Format("%" PRIu64 " invariant violation(s)", violation_count_);
+  }
+  for (const std::string& w : warnings_) {
+    out += "\n  warning: " + w;
+  }
+  for (const Violation& v : violations_) {
+    out += Format("\n  [%s] event #%zu t=%lld: ", KindName(v.kind), v.event_index,
+                  static_cast<long long>(v.time));
+    out += v.what;
+  }
+  if (violation_count_ > violations_.size()) {
+    out += Format("\n  ... %" PRIu64 " more not retained",
+                  violation_count_ - violations_.size());
+  }
+  return out;
+}
+
+std::vector<InvariantChecker::Violation> InvariantChecker::Check(
+    const std::vector<TraceEvent>& events) {
+  return Check(events, Options());
+}
+
+std::vector<InvariantChecker::Violation> InvariantChecker::Check(
+    const std::vector<TraceEvent>& events, const Options& options, uint64_t dropped) {
+  InvariantChecker checker(options);
+  checker.SetDropped(dropped);
+  for (size_t i = 0; i < events.size(); ++i) {
+    checker.OnEvent(events[i], i);
+  }
+  checker.Finish();
+  return checker.violations_;
+}
+
+}  // namespace hsfault

@@ -1,0 +1,158 @@
+// Offline invariant checking over a recorded scheduling trace.
+//
+// The checker replays an event stream (src/trace/event.h) through a mirror of the
+// scheduling tree and validates the properties the paper's design guarantees:
+//
+//   * wall-clock monotonicity — timed events never run backwards;
+//   * virtual-time monotonicity — the integer start tag recorded with each PickChild
+//     never regresses per interior node (SFQ's v(t) is non-decreasing);
+//   * slice pairing — every Schedule is closed by exactly one Update for the same
+//     thread before the next Schedule;
+//   * tree consistency — structural events reference live nodes, attaches are unique,
+//     removals only hit empty nodes, PickChild edges exist;
+//   * no lost threads — a thread that became runnable is eventually scheduled (within
+//     a configurable starvation horizon of trace end);
+//   * bounded unfairness — over every window where two sibling subtrees stay
+//     continuously backlogged, the §3 gap |W_f/w_f − W_g/w_g| stays within
+//     slack * (l_max_f/w_f + l_max_g/w_g) + epsilon.
+//
+// Violations are collected as structured diagnostics (never asserts), so a faulted run
+// reports what broke instead of aborting. Feed events incrementally with OnEvent() +
+// Finish(), or use the one-shot Check().
+
+#ifndef HSCHED_SRC_FAULT_INVARIANT_CHECKER_H_
+#define HSCHED_SRC_FAULT_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/trace/event.h"
+
+namespace hsfault {
+
+using hscommon::Time;
+using hscommon::Work;
+
+class InvariantChecker {
+ public:
+  struct Options {
+    // A runnable thread unscheduled for this long before trace end is "lost".
+    Time starvation_horizon = 2 * hscommon::kSecond;
+    // Fairness bound = slack * (lmax_f/w_f + lmax_g/w_g) + epsilon. Slack > 1 absorbs
+    // the FC-server fluctuation (interrupts, dispatch overhead) the pure bound
+    // footnotes away; epsilon absorbs quantization at window edges.
+    double fairness_slack = 2.0;
+    Time fairness_epsilon = 2 * hscommon::kMillisecond;
+    // Co-backlog windows shorter than this are not checked (the bound is vacuous
+    // against one quantum of noise).
+    Time fairness_min_window = 100 * hscommon::kMillisecond;
+    bool check_fairness = true;
+    // Violations beyond this many are counted but not retained.
+    size_t max_violations = 64;
+  };
+
+  struct Violation {
+    enum class Kind {
+      kTimeRegression,
+      kVirtualTimeRegression,
+      kSlicePairing,
+      kTreeInconsistency,
+      kLostThread,
+      kFairnessGap,
+    };
+    Kind kind;
+    size_t event_index = 0;  // position in the stream (0 when found at Finish)
+    Time time = 0;           // effective wall clock when detected
+    std::string what;
+  };
+
+  static const char* KindName(Violation::Kind kind);
+
+  InvariantChecker();
+  explicit InvariantChecker(const Options& options);
+
+  // Feed events in stream order, then call Finish() once.
+  void OnEvent(const htrace::TraceEvent& event, size_t index);
+  void Finish();
+
+  // Tell the checker the ring dropped `n` oldest events before this stream. A truncated
+  // stream starts mid-scenario, so structural strictness (unknown nodes/threads) is
+  // relaxed and a warning is noted instead.
+  void SetDropped(uint64_t n);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  uint64_t violation_count() const { return violation_count_; }
+  const std::vector<std::string>& warnings() const { return warnings_; }
+  bool clean() const { return violation_count_ == 0; }
+
+  // Multi-line human-readable report ("clean" or one line per violation).
+  std::string Report() const;
+
+  // One-shot: run `events` through a checker and return its violations.
+  static std::vector<Violation> Check(const std::vector<htrace::TraceEvent>& events);
+  static std::vector<Violation> Check(const std::vector<htrace::TraceEvent>& events,
+                                      const Options& options, uint64_t dropped = 0);
+
+ private:
+  struct NodeState {
+    uint32_t parent = UINT32_MAX;
+    uint64_t weight = 1;
+    bool is_leaf = false;
+    bool alive = false;
+    uint32_t children = 0;        // live child nodes
+    uint32_t threads = 0;         // attached threads (leaf)
+    uint32_t backlog = 0;         // leaf: runnable threads; interior: backlogged children
+    Work service = 0;             // cumulative subtree service
+    Work lmax = 0;                // largest single Update charged in the subtree
+    int64_t last_pick_tag = INT64_MIN;  // PickChild virtual-time watermark
+  };
+
+  struct ThreadState {
+    uint32_t leaf = UINT32_MAX;
+    bool runnable = false;
+    Time runnable_since = 0;  // when it last became runnable
+    Time last_scheduled = -1;
+  };
+
+  // An open co-backlog window between two children of the same parent.
+  struct FairWindow {
+    Time t0 = 0;
+    Work service_a = 0;  // snapshots at open
+    Work service_b = 0;
+  };
+
+  NodeState& NodeAt(uint32_t id);
+  bool NodeAlive(uint32_t id) const;
+  void AddViolation(Violation::Kind kind, size_t index, std::string what);
+
+  // Propagates a leaf backlog delta (+1/-1) up the tree, opening/closing fairness
+  // windows at every level where a child's backlogged status flips.
+  void AdjustBacklog(uint32_t leaf, int delta, size_t index);
+  void OpenWindowsFor(uint32_t parent, uint32_t child);
+  void CloseWindowsFor(uint32_t parent, uint32_t child, size_t index);
+  void CloseWindow(uint32_t a, uint32_t b, const FairWindow& w, size_t index);
+  void ResetAllWindows();
+
+  Options options_;
+  std::map<uint32_t, NodeState> nodes_;
+  std::map<uint64_t, ThreadState> threads_;
+  // Open fairness windows keyed by (smaller child id, larger child id).
+  std::map<std::pair<uint32_t, uint32_t>, FairWindow> windows_;
+
+  Time clock_ = 0;            // max timed-event time seen
+  uint64_t open_slice_thread_ = UINT64_MAX;
+  bool slice_open_ = false;
+  uint64_t dropped_ = 0;
+  bool finished_ = false;
+
+  std::vector<Violation> violations_;
+  uint64_t violation_count_ = 0;
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace hsfault
+
+#endif  // HSCHED_SRC_FAULT_INVARIANT_CHECKER_H_

@@ -33,6 +33,9 @@ int HsfqApi::hsfq_mknod(const char* name, int parent, int weight, int flag, Sche
   if (name == nullptr || parent < 0 || weight < 1) {
     return kErrInval;
   }
+  if (fault_hook_ && fault_hook_("mknod")) {
+    return kErrAgain;  // injected transient failure; retryable
+  }
   std::unique_ptr<LeafScheduler> leaf;
   if (flag == kNodeLeaf) {
     const auto it = factories_.find(sid);
@@ -72,6 +75,9 @@ int HsfqApi::hsfq_rmnod(int id, int /*mode*/) {
 int HsfqApi::hsfq_move(ThreadId thread, int to, const ThreadParams& params, Time now) {
   if (to < 0) {
     return kErrInval;
+  }
+  if (fault_hook_ && fault_hook_("move")) {
+    return kErrAgain;  // injected transient failure; retryable
   }
   return ToError(structure_.MoveThread(thread, static_cast<NodeId>(to), params, now));
 }

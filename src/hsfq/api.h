@@ -53,6 +53,15 @@ class HsfqApi {
   void RegisterScheduler(SchedulerId sid,
                          std::function<std::unique_ptr<LeafScheduler>()> factory);
 
+  // Fault injection (src/fault): when set, `hook(op)` is consulted on entry to
+  // hsfq_mknod ("mknod") and hsfq_move ("move"); returning true makes the call fail
+  // transiently with kErrAgain before touching the structure — the kernel-under-memory-
+  // pressure model. Callers are expected to treat kErrAgain as retryable. Pass nullptr
+  // to remove.
+  void SetFaultHook(std::function<bool(const char* op)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   // The system calls. Return node id or a negative error code.
   int hsfq_mknod(const char* name, int parent, int weight, int flag, SchedulerId sid);
   int hsfq_parse(const char* name, int hint);
@@ -70,6 +79,7 @@ class HsfqApi {
   SchedulingStructure structure_;
   std::unordered_map<SchedulerId, std::function<std::unique_ptr<LeafScheduler>()>>
       factories_;
+  std::function<bool(const char* op)> fault_hook_;
 };
 
 }  // namespace hsfq

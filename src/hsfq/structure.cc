@@ -370,7 +370,10 @@ ThreadId SchedulingStructure::Schedule(Time now) {
     assert(flow != hfair::kInvalidFlow && "runnable interior node with empty backlog");
     const NodeId child = n.flow_to_child[flow];
     if (tracer_ != nullptr) {
-      tracer_->RecordPickChild(now, cur, child);
+      // The picked child's start tag is the node's SFQ virtual time; record its integer
+      // part so offline invariant checking can verify it never regresses.
+      tracer_->RecordPickChild(now, cur, child,
+                               static_cast<int64_t>(n.sfq->StartTag(flow).IntegerUnits()));
     }
     cur = child;
   }

@@ -115,9 +115,22 @@ const MutexStats& System::StatsOfMutex(MutexId mutex) const {
 
 ThreadId System::HolderOf(MutexId mutex) const { return mutexes_.at(mutex).holder; }
 
+void System::ReportDiagnostic(std::string what) {
+  ++diagnostic_count_;
+  if (diagnostics_.size() < kMaxDiagnostics) {
+    diagnostics_.push_back({now_, std::move(what)});
+  }
+}
+
 bool System::LockMutex(MutexId id, Thread& t) {
   Mutex& m = mutexes_.at(id);
-  assert(m.holder != t.id && "recursive locking is not modelled");
+  if (m.holder == t.id) {
+    // Recursive locking is not modelled; survive it as a no-op re-acquire so a faulty
+    // (or fault-perturbed) workload script degrades into a diagnostic, not an abort.
+    ReportDiagnostic("recursive lock of mutex " + std::to_string(id) + " by thread " +
+                     std::to_string(t.id));
+    return true;
+  }
   if (m.holder == hsfq::kInvalidThread) {
     m.holder = t.id;
     ++m.stats.acquisitions;
@@ -131,7 +144,17 @@ bool System::LockMutex(MutexId id, Thread& t) {
 
 void System::UnlockMutex(MutexId id, Thread& t) {
   Mutex& m = mutexes_.at(id);
-  assert(m.holder == t.id && "unlock by a non-holder");
+  if (m.holder != t.id) {
+    // Unlock by a non-holder: reachable when a fault (thread crash with hand-off)
+    // already released the mutex out from under the scripted holder. Report and keep
+    // the mutex state untouched rather than corrupting the waiter queue.
+    ReportDiagnostic("unlock of mutex " + std::to_string(id) + " by thread " +
+                     std::to_string(t.id) + " which does not hold it (holder: " +
+                     (m.holder == hsfq::kInvalidThread ? std::string("none")
+                                                       : std::to_string(m.holder)) +
+                     ")");
+    return;
+  }
   // Undo every remedy aimed at the departing holder.
   for (ThreadId w : m.waiters) {
     RevokeInversionRemedy(t.id, w);
@@ -155,14 +178,36 @@ void System::WakeThread(Thread& t) {
   if (t.stats.exited) {
     return;
   }
+  if (fault_hooks_ != nullptr) {
+    const Time delay = fault_hooks_->OnWakeupDelivery(t.id, now_);
+    if (delay > 0) {
+      // Postponed delivery flows through the event queue, so the perturbed run stays
+      // deterministic; the redelivery is direct (not re-intercepted).
+      Thread* raw = &t;
+      events_.At(now_ + delay, [this, raw] { WakeThreadDirect(*raw); });
+      return;
+    }
+  }
+  WakeThreadDirect(t);
+}
+
+void System::WakeThreadDirect(Thread& t) {
+  if (t.stats.exited) {
+    return;
+  }
   if (t.suspended) {
     t.wake_pending = true;
+    return;
+  }
+  if (t.runnable) {
+    // A wake raced with (or was injected on top of) an already-runnable thread; with
+    // fault injection in play this is survivable, not a programming error.
+    ReportDiagnostic("spurious wakeup of runnable thread " + std::to_string(t.id));
     return;
   }
   if (t.burst_remaining == 0 && !RefillBurst(t)) {
     return;  // the workload went straight back to sleep or exited
   }
-  assert(!t.runnable);
   t.runnable = true;
   ++t.stats.wakeups;
   t.last_wake = now_;
@@ -170,17 +215,78 @@ void System::WakeThread(Thread& t) {
   tree_.SetRun(t.id, now_);
 }
 
-void System::Suspend(ThreadId thread) {
+hscommon::Status System::Suspend(ThreadId thread) {
   Thread& t = ThreadRef(thread);
-  assert(thread != running_ && "cannot suspend the thread mid-slice");
+  if (thread == running_) {
+    // A quantum can be left in flight across a RunUntil horizon; suspending the
+    // running thread there would corrupt the open slice. Report instead of aborting.
+    ReportDiagnostic("suspend of running thread " + std::to_string(thread) + " refused");
+    return hscommon::FailedPrecondition("thread " + std::to_string(thread) +
+                                        " is mid-slice; suspend it from a scripted event");
+  }
   if (t.suspended || t.stats.exited) {
-    return;
+    return hscommon::Status::Ok();
   }
   t.suspended = true;
   if (t.runnable) {
     tree_.Sleep(thread, now_);
     t.runnable = false;
   }
+  return hscommon::Status::Ok();
+}
+
+hscommon::Status System::Kill(ThreadId thread) {
+  Thread& t = ThreadRef(thread);
+  if (t.stats.exited) {
+    return hscommon::Status::Ok();
+  }
+  if (thread == running_) {
+    return hscommon::FailedPrecondition("thread " + std::to_string(thread) +
+                                        " is mid-slice; kill it from a scripted event");
+  }
+  // Robust-mutex semantics: hand held mutexes to their longest waiter and drop out of
+  // any waiter queue, so a crash cannot strand the rest of the scenario.
+  for (size_t i = 0; i < mutexes_.size(); ++i) {
+    Mutex& m = mutexes_[i];
+    if (m.holder == thread) {
+      ReportDiagnostic("thread " + std::to_string(thread) + " killed while holding mutex " +
+                       std::to_string(i) + "; ownership handed off");
+      UnlockMutex(static_cast<MutexId>(i), t);
+    } else {
+      const auto it = std::find(m.waiters.begin(), m.waiters.end(), thread);
+      if (it != m.waiters.end()) {
+        m.waiters.erase(it);
+        RevokeInversionRemedy(m.holder, thread);
+      }
+    }
+  }
+  if (t.wake_event != kInvalidEvent) {
+    events_.Cancel(t.wake_event);
+    t.wake_event = kInvalidEvent;
+  }
+  if (t.runnable) {
+    tree_.Sleep(thread, now_);
+    t.runnable = false;
+  }
+  t.wake_pending = false;
+  t.burst_remaining = 0;
+  t.stats.exited = true;
+  return hscommon::Status::Ok();
+}
+
+hscommon::Status System::SpuriousWake(ThreadId thread) {
+  Thread& t = ThreadRef(thread);
+  if (t.stats.exited) {
+    return hscommon::FailedPrecondition("thread " + std::to_string(thread) + " has exited");
+  }
+  if (t.wake_event == kInvalidEvent) {
+    return hscommon::FailedPrecondition("thread " + std::to_string(thread) +
+                                        " has no pending timed wakeup");
+  }
+  events_.Cancel(t.wake_event);
+  t.wake_event = kInvalidEvent;
+  WakeThreadDirect(t);
+  return hscommon::Status::Ok();
 }
 
 void System::Resume(ThreadId thread) {
@@ -208,12 +314,16 @@ void System::Resume(ThreadId thread) {
 
 void System::AddInterruptSource(const InterruptSourceConfig& config) {
   InterruptSource src{config, hscommon::Prng(config.seed), /*next_arrival=*/now_};
+  const Time base = std::max(now_, config.start);
   if (config.arrival == InterruptSourceConfig::Arrival::kPeriodic) {
-    src.next_arrival = now_ + config.interval;
+    src.next_arrival = base + config.interval;
   } else {
     src.next_arrival =
-        now_ + std::max<Time>(1, static_cast<Time>(src.prng.Exponential(
+        base + std::max<Time>(1, static_cast<Time>(src.prng.Exponential(
                                      static_cast<double>(config.interval))));
+  }
+  if (src.next_arrival > config.end) {
+    src.next_arrival = hscommon::kTimeInfinity;  // window already over: never fires
   }
   interrupt_sources_.push_back(std::move(src));
 }
@@ -260,6 +370,9 @@ void System::ServiceInterrupts() {
       src.next_arrival += std::max<Time>(
           1, static_cast<Time>(src.prng.Exponential(static_cast<double>(src.config.interval))));
     }
+    if (src.next_arrival > src.config.end) {
+      src.next_arrival = hscommon::kTimeInfinity;  // active window over: source retires
+    }
   }
 }
 
@@ -285,12 +398,20 @@ void System::Dispatch() {
     }
     t.awaiting_first_dispatch = false;
   }
-  if (config_.dispatch_overhead > 0) {
-    now_ += config_.dispatch_overhead;
-    overhead_time_ += config_.dispatch_overhead;
+  Time overhead = config_.dispatch_overhead;
+  if (fault_hooks_ != nullptr) {
+    overhead += std::max<Time>(0, fault_hooks_->OnDispatchOverhead(tid, now_));
+  }
+  if (overhead > 0) {
+    now_ += overhead;
+    overhead_time_ += overhead;
   }
   const Work preferred = tree_.PreferredQuantumOf(tid);
-  slice_quantum_left_ = preferred > 0 ? preferred : config_.default_quantum;
+  Work quantum = preferred > 0 ? preferred : config_.default_quantum;
+  if (fault_hooks_ != nullptr) {
+    quantum = std::max<Work>(1, fault_hooks_->OnQuantumGrant(tid, quantum, now_));
+  }
+  slice_quantum_left_ = quantum;
   slice_used_ = 0;
   if (tracer_ != nullptr) {
     tracer_->RecordDispatch(now_, tid, slice_quantum_left_);

@@ -49,6 +49,42 @@ struct InterruptSourceConfig {
   Work service = 100 * hscommon::kMicrosecond;  // per-interrupt CPU time (mean if exp)
   bool exponential_service = false;
   uint64_t seed = 1;
+  // Active window: arrivals begin after `start` and cease past `end`. The defaults keep
+  // a source live for the whole run; fault-injected interrupt storms use a finite window.
+  Time start = 0;
+  Time end = hscommon::kTimeInfinity;
+};
+
+// Decision-point hooks a fault injector (src/fault) installs to perturb the machine.
+// Every method is consulted at a deterministic point of the dispatch cycle, so a seeded
+// implementation keeps runs byte-reproducible. The default implementation is a no-op.
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  // Called once per wakeup delivery (timer expiry, mutex hand-off, Resume). Return 0 to
+  // deliver now, or a positive delay in nanoseconds to postpone delivery — the
+  // postponed delivery is NOT re-intercepted, so faults cannot compound unboundedly.
+  virtual Time OnWakeupDelivery(hsfq::ThreadId /*thread*/, Time /*now*/) { return 0; }
+
+  // Called once per dispatch with the quantum the scheduler granted. Return the
+  // (possibly skewed/jittered) quantum to actually program; values < 1 are clamped.
+  virtual Work OnQuantumGrant(hsfq::ThreadId /*thread*/, Work quantum, Time /*now*/) {
+    return quantum;
+  }
+
+  // Extra context-switch cost for this dispatch, added to Config::dispatch_overhead.
+  virtual Time OnDispatchOverhead(hsfq::ThreadId /*thread*/, Time /*now*/) { return 0; }
+};
+
+// A recoverable anomaly the simulator survived instead of aborting on: misuse of the
+// external API (suspend of a running thread), lock-protocol violations a fault made
+// reachable (unlock by a non-holder), or fault clean-up notes (a crashed thread's
+// mutexes being released). Collected instead of asserted so injected faults surface as
+// reported violations, not aborts in Release builds.
+struct Diagnostic {
+  Time time = 0;
+  std::string what;
 };
 
 // Per-mutex accounting.
@@ -102,9 +138,23 @@ class System {
                                             Time start_time = 0);
 
   // Externally suspends a thread (Figure 11's "thread 1 was put to sleep"): it stops
-  // being runnable until Resume. Legal only from scripted events or before RunUntil.
-  void Suspend(ThreadId thread);
+  // being runnable until Resume. Fails (recoverably) when the thread is mid-slice —
+  // possible when a quantum is left in flight across a RunUntil horizon; suspend it
+  // from a scripted event instead, where no slice is ever open.
+  hscommon::Status Suspend(ThreadId thread);
   void Resume(ThreadId thread);
+
+  // Terminates a thread mid-scenario (fault injection's thread-crash model): pending
+  // wakeups are cancelled, held mutexes are handed off to their longest waiter (with a
+  // diagnostic), and the thread exits as if its workload had issued kExit. Fails when
+  // the thread is mid-slice (schedule the kill from an event instead). Idempotent on
+  // already-exited threads.
+  hscommon::Status Kill(ThreadId thread);
+
+  // Delivers a thread's pending timed wakeup early (a spurious wakeup). Fails when the
+  // thread has no pending timed wakeup. The early delivery bypasses FaultHooks — the
+  // spurious delivery IS the fault.
+  hscommon::Status SpuriousWake(ThreadId thread);
 
   // Adds an interrupt source (active from time 0).
   void AddInterruptSource(const InterruptSourceConfig& config);
@@ -135,6 +185,18 @@ class System {
   const ThreadStats& StatsOf(ThreadId thread) const;
   Workload* WorkloadOf(ThreadId thread) const;
   const std::string& NameOf(ThreadId thread) const;
+  size_t ThreadCount() const { return threads_.size(); }
+
+  // Recoverable anomalies survived so far (bounded retention: the first
+  // kMaxDiagnostics are kept; diagnostic_count() keeps counting past the cap).
+  static constexpr size_t kMaxDiagnostics = 64;
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  uint64_t diagnostic_count() const { return diagnostic_count_; }
+
+  // Installs (or removes, with nullptr) fault-injection hooks consulted at wakeup
+  // delivery and dispatch. The hooks must outlive the system or be detached first.
+  void SetFaultHooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+  FaultHooks* fault_hooks() const { return fault_hooks_; }
 
   // Attaches a scheduling tracer to the simulator AND its scheduling structure: tree
   // decision points (SetRun/Sleep/Schedule/Update, structural ops) plus the simulator's
@@ -194,7 +256,13 @@ class System {
   const Thread& ThreadRef(ThreadId id) const;
 
   // Makes `thread` runnable now (wake path), fetching its first/next burst if needed.
+  // WakeThread consults the fault hooks (which may postpone delivery);
+  // WakeThreadDirect is the uninterceptable delivery itself.
   void WakeThread(Thread& t);
+  void WakeThreadDirect(Thread& t);
+
+  // Appends to diagnostics_ (bounded) and counts.
+  void ReportDiagnostic(std::string what);
 
   // Asks the workload for actions until it yields a compute burst; handles
   // sleep/lock/unlock/exit. Returns true if the thread is runnable (has a burst), false
@@ -228,12 +296,15 @@ class System {
 
   Config config_;
   htrace::Tracer* tracer_ = nullptr;
+  FaultHooks* fault_hooks_ = nullptr;
   hsfq::SchedulingStructure tree_;
   EventQueue events_;
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<InterruptSource> interrupt_sources_;
   std::vector<Mutex> mutexes_;
   uint64_t cross_class_blocks_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+  uint64_t diagnostic_count_ = 0;
 
   Time now_ = 0;
   ThreadId running_ = hsfq::kInvalidThread;

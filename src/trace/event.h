@@ -34,7 +34,9 @@ enum class EventType : uint8_t {
   // Kernel hooks (hsfq_setrun / hsfq_sleep / hsfq_schedule / hsfq_update).
   kSetRun = 7,       // node = leaf, a = thread
   kSleep = 8,        // node = leaf, a = thread
-  kPickChild = 9,    // node = interior node, a = child picked by its SFQ
+  kPickChild = 9,    // node = interior node, a = child picked by its SFQ,
+                     // b = integer part of the picked child's SFQ start tag (the node's
+                     // virtual time — non-decreasing per interior node; src/fault checks)
   kSchedule = 10,    // node = leaf whose class scheduler picked, a = thread
   kUpdate = 11,      // node = leaf, a = thread, b = service used, flags = still_runnable
   // Simulator events (hsim::System).
@@ -42,6 +44,9 @@ enum class EventType : uint8_t {
   kDispatch = 13,    // a = thread, b = quantum granted
   kInterrupt = 14,   // b = CPU time stolen by the interrupt
   kIdle = 15,        // a = wall time the CPU went idle until, b = idle duration
+  // Fault injection (src/fault). Marks where a FaultInjector perturbed the run, so
+  // divergence analysis can anchor the blast radius to the injection point.
+  kFault = 16,       // a = target thread (or ~0), b = magnitude (ns), name = fault kind
 };
 
 // Human-readable tag, for dumps and diff reports.

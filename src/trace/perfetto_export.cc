@@ -1,6 +1,7 @@
 #include "src/trace/perfetto_export.h"
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 
@@ -61,8 +62,9 @@ std::string Us(hscommon::Time ns) {
 
 }  // namespace
 
-Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::string& path) {
-  const TraceAnalyzer analyzer(events);
+Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::string& path,
+                          uint64_t dropped) {
+  const TraceAnalyzer analyzer(events, dropped);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -73,6 +75,12 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
 
   w.Emit("\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
          "\"args\": {\"name\": \"hsched scheduling structure\"}");
+  if (dropped > 0) {
+    // Make truncation visible in the UI, not just in the metadata at the bottom.
+    w.Emit("\"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \"tid\": 0, \"ts\": " +
+           Us(analyzer.first_time()) + ", \"name\": \"WARNING: ring dropped " +
+           std::to_string(dropped) + " events before this window\"");
+  }
   // One track per scheduling node, ordered by id (root first).
   for (const auto& [id, info] : analyzer.nodes()) {
     w.Emit("\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": " +
@@ -100,6 +108,15 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
         w.Emit("\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": " +
                std::to_string(e.node) + ", \"ts\": " + Us(e.time) +
                ", \"name\": \"wake " + JsonEscape(ThreadLabel(analyzer, e.a)) + "\"");
+        break;
+      }
+      case EventType::kFault: {
+        // Process-scoped marker so injected faults are visible on every track.
+        const std::string kind(e.name, strnlen(e.name, kEventNameCapacity));
+        w.Emit("\"ph\": \"i\", \"s\": \"p\", \"pid\": 1, \"tid\": 0, \"ts\": " +
+               Us(e.time) + ", \"name\": \"fault:" + JsonEscape(kind) +
+               "\", \"args\": {\"thread\": " + std::to_string(e.a) +
+               ", \"magnitude_ns\": " + std::to_string(e.b) + "}");
         break;
       }
       case EventType::kUpdate: {
@@ -141,15 +158,23 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
         break;
     }
   }
-  std::fputs("\n  ]\n}\n", f);
+  std::fputs("\n  ],\n", f);
+  std::fprintf(f,
+               "  \"otherData\": {\"dropped_events\": %llu, \"retained_events\": %zu}\n",
+               static_cast<unsigned long long>(dropped), events.size());
+  std::fputs("}\n", f);
   if (std::fclose(f) != 0) {
     return InvalidArgument("short write to '" + path + "'");
   }
   return Status::Ok();
 }
 
+Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::string& path) {
+  return ExportPerfettoJson(events, path, 0);
+}
+
 Status ExportPerfettoJson(const Tracer& tracer, const std::string& path) {
-  return ExportPerfettoJson(tracer.ring().Snapshot(), path);
+  return ExportPerfettoJson(tracer.ring().Snapshot(), path, tracer.ring().dropped());
 }
 
 }  // namespace htrace

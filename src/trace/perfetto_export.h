@@ -24,11 +24,16 @@
 
 namespace htrace {
 
-// Writes the Perfetto JSON for `events` to `path`.
+// Writes the Perfetto JSON for `events` to `path`. `dropped` is the ring's drop
+// counter at snapshot time; when non-zero the export carries it in the top-level
+// "otherData" metadata and emits a warning instant marker at the start of the trace,
+// so a truncated view is visibly truncated in the UI.
+hscommon::Status ExportPerfettoJson(const std::vector<TraceEvent>& events,
+                                    const std::string& path, uint64_t dropped);
 hscommon::Status ExportPerfettoJson(const std::vector<TraceEvent>& events,
                                     const std::string& path);
 
-// Convenience overload exporting a tracer's retained ring.
+// Convenience overload exporting a tracer's retained ring (and its drop counter).
 hscommon::Status ExportPerfettoJson(const Tracer& tracer, const std::string& path);
 
 }  // namespace htrace

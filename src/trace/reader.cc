@@ -28,7 +28,8 @@ TraceAnalyzer::NodeInfo& TraceAnalyzer::NodeOrPlaceholder(uint32_t id) {
   return it->second;
 }
 
-TraceAnalyzer::TraceAnalyzer(const std::vector<TraceEvent>& events) : events_(events) {
+TraceAnalyzer::TraceAnalyzer(const std::vector<TraceEvent>& events, uint64_t dropped)
+    : events_(events), dropped_(dropped) {
   NodeOrPlaceholder(0);  // the root always exists
   bool first = true;
   for (const TraceEvent& e : events_) {

@@ -42,7 +42,9 @@ class TraceAnalyzer {
     std::vector<std::pair<Time, Work>> timeline;
   };
 
-  explicit TraceAnalyzer(const std::vector<TraceEvent>& events);
+  // `dropped` is the ring's drop counter at snapshot time (events lost to wraparound
+  // before this stream); analyses that assume a complete stream should check it.
+  explicit TraceAnalyzer(const std::vector<TraceEvent>& events, uint64_t dropped = 0);
 
   // Nodes keyed by id; std::map so iteration order is deterministic.
   const std::map<uint32_t, NodeInfo>& nodes() const { return nodes_; }
@@ -74,6 +76,12 @@ class TraceAnalyzer {
   Time first_time() const { return first_time_; }
   Time last_time() const { return last_time_; }
 
+  // Events lost to ring wraparound before this stream (0 = complete trace). When
+  // non-zero, the stream starts mid-scenario: early structural events may be missing
+  // and absolute service totals undercount.
+  uint64_t dropped() const { return dropped_; }
+  bool truncated() const { return dropped_ != 0; }
+
  private:
   NodeInfo& NodeOrPlaceholder(uint32_t id);
 
@@ -82,6 +90,7 @@ class TraceAnalyzer {
   std::vector<TraceEvent> events_;  // retained for latency queries
   uint64_t schedule_count_ = 0;
   uint64_t update_count_ = 0;
+  uint64_t dropped_ = 0;
   Time first_time_ = 0;
   Time last_time_ = 0;
 };

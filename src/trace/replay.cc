@@ -23,6 +23,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kDispatch: return "Dispatch";
     case EventType::kInterrupt: return "Interrupt";
     case EventType::kIdle: return "Idle";
+    case EventType::kFault: return "Fault";
   }
   return "Unknown";
 }

@@ -84,9 +84,12 @@ class Tracer {
     if (!enabled_) return;
     ring_.Push(MakeEvent(EventType::kSleep, now, leaf, thread, 0));
   }
-  void RecordPickChild(hscommon::Time now, uint32_t interior, uint32_t child) {
+  // `start_tag_units` is the integer part of the picked child's SFQ start tag — the
+  // interior node's virtual time, which must never regress (src/fault checks it).
+  void RecordPickChild(hscommon::Time now, uint32_t interior, uint32_t child,
+                       int64_t start_tag_units) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kPickChild, now, interior, child, 0));
+    ring_.Push(MakeEvent(EventType::kPickChild, now, interior, child, start_tag_units));
   }
   void RecordSchedule(hscommon::Time now, uint32_t leaf, uint64_t thread) {
     if (!enabled_) return;
@@ -118,6 +121,16 @@ class Tracer {
     if (!enabled_) return;
     ring_.Push(MakeEvent(EventType::kIdle, now, 0, static_cast<uint64_t>(until),
                          until - now));
+  }
+
+  // --- Fault-injection taps (src/fault) ---
+
+  // `kind` is a short tag like "drop-wake"; `magnitude` is the fault's size in
+  // nanoseconds (delay, stolen time, extra overhead) or 0 when not applicable.
+  void RecordFault(hscommon::Time now, std::string_view kind, uint64_t thread,
+                   int64_t magnitude) {
+    if (!enabled_) return;
+    ring_.Push(MakeEvent(EventType::kFault, now, 0, thread, magnitude, 0, kind));
   }
 
  private:

@@ -1,0 +1,148 @@
+// Blast-radius analysis: divergence, changed decisions, and reconvergence for a
+// dropped-wakeup fault on the Figure 8 scenario (the acceptance scenario).
+
+#include "src/fault/blast_radius.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/trace/tracer.h"
+
+namespace hsfault {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+// Figure 8(a)'s tree: SFQ-1 (w=2), SFQ-2 (w=6), and an SVR4 class with bursty
+// "system" threads — the same scenario tools/fault_campaign pins.
+std::vector<htrace::TraceEvent> RunFig8(const std::string& spec,
+                                        hscommon::Time duration) {
+  auto plan = FaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  FaultInjector injector(*std::move(plan));
+  if (!injector.plan().empty()) injector.Arm(sys);
+
+  const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 2,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto sfq2 = *sys.tree().MakeNode("sfq2", hsfq::kRootNode, 6,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto svr4 = *sys.tree().MakeNode("svr4", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::TsScheduler>());
+  for (int i = 0; i < 2; ++i) {
+    (void)*sys.CreateThread("sfq1-dhry", sfq1, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+    (void)*sys.CreateThread("sfq2-dhry", sfq2, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  for (int i = 0; i < 5; ++i) {
+    (void)*sys.CreateThread(
+        "sys" + std::to_string(i), svr4, {.priority = 29},
+        std::make_unique<hsim::BurstyWorkload>(40 + i, 5 * kMillisecond,
+                                               150 * kMillisecond, 20 * kMillisecond,
+                                               400 * kMillisecond));
+  }
+  sys.RunUntil(duration);
+  return tracer.ring().Snapshot();
+}
+
+TEST(BlastRadiusTest, IdenticalRunsHaveNoBlastRadius) {
+  const auto a = RunFig8("", 2 * kSecond);
+  const auto b = RunFig8("", 2 * kSecond);
+  const BlastRadiusReport report = AnalyzeBlastRadius(a, b);
+  EXPECT_FALSE(report.diverged);
+  EXPECT_EQ(report.changed_decisions, 0u);
+  EXPECT_NE(FormatBlastRadiusReport(report).find("identical"), std::string::npos);
+}
+
+// The acceptance criterion: a dropped-wakeup fault on Figure 8 yields a report with a
+// first divergence, a changed-decision count, and a finite reconvergence time.
+TEST(BlastRadiusTest, DroppedWakeupOnFig8Reconverges) {
+  const auto baseline = RunFig8("", 6 * kSecond);
+  const auto faulted =
+      RunFig8("seed=1101;drop-wakeup:p=0.2,recovery=25ms", 6 * kSecond);
+  const BlastRadiusReport report = AnalyzeBlastRadius(baseline, faulted);
+
+  EXPECT_TRUE(report.diverged);
+  EXPECT_LT(report.diff.first_divergence, faulted.size());
+  EXPECT_GT(report.changed_decisions, 0u);
+  EXPECT_GT(report.nodes_affected, 0u);
+  EXPECT_LE(report.first_changed_decision, report.baseline_decisions);
+
+  // The schedule heals: service shares return within tolerance and stay there.
+  EXPECT_TRUE(report.service_reconverged);
+  EXPECT_GT(report.service_reconvergence_time, report.divergence_time);
+  EXPECT_LT(report.service_reconvergence_time, 6 * kSecond);
+
+  const std::string text = FormatBlastRadiusReport(report);
+  EXPECT_NE(text.find("first divergence"), std::string::npos);
+  EXPECT_NE(text.find("changed decisions"), std::string::npos);
+  EXPECT_NE(text.find("shares reconverge: yes"), std::string::npos);
+}
+
+TEST(BlastRadiusTest, EarlyWindowedFaultHealsCompletely) {
+  // One fault window confined to the first 100 ms: the tail of the run must be
+  // allocation-identical, so reconvergence lands early.
+  const auto baseline = RunFig8("", 4 * kSecond);
+  const auto faulted =
+      RunFig8("seed=9;delay-wakeup:p=1,delay=10ms,end=100ms", 4 * kSecond);
+  const BlastRadiusReport report = AnalyzeBlastRadius(baseline, faulted);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_TRUE(report.service_reconverged);
+  EXPECT_LE(report.service_reconvergence_time, 2 * kSecond);
+}
+
+TEST(BlastRadiusTest, StormWindowBoundsTheDivergence) {
+  const auto baseline = RunFig8("", 4 * kSecond);
+  const auto faulted =
+      RunFig8("seed=1105;storm:start=2s,end=3s,every=200us,steal=150us", 4 * kSecond);
+  const BlastRadiusReport report = AnalyzeBlastRadius(baseline, faulted);
+  EXPECT_TRUE(report.diverged);
+  // The storm steals ~75% of the CPU for a second: shares diverge inside the window
+  // (the svr4 class's constant absolute demand becomes a larger share of what's left)...
+  EXPECT_GT(report.max_share_delta, 0.05);
+  EXPECT_GT(report.divergent_windows, 0u);
+  // ...and heal once it passes.
+  EXPECT_TRUE(report.service_reconverged);
+  EXPECT_GE(report.service_reconvergence_time, 2 * kSecond);
+  EXPECT_LE(report.service_reconvergence_time, 3500 * kMillisecond);
+}
+
+TEST(BlastRadiusTest, JsonReportHasStableKeys) {
+  const auto baseline = RunFig8("", kSecond);
+  const auto faulted = RunFig8("seed=3;clock-jitter:p=0.5,frac=0.25", kSecond);
+  const BlastRadiusReport report = AnalyzeBlastRadius(baseline, faulted);
+
+  const std::string path = ::testing::TempDir() + "/blast_radius.json";
+  ASSERT_TRUE(WriteBlastRadiusJson(report, path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  for (const char* key :
+       {"\"diverged\"", "\"first_divergence_event\"", "\"divergence_time_ns\"",
+        "\"changed_decisions\"", "\"nodes_affected\"", "\"reconverged\"",
+        "\"service_reconverged\"", "\"max_share_delta\"",
+        "\"service_reconvergence_time_ns\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hsfault

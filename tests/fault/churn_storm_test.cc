@@ -1,0 +1,200 @@
+// Stress: hsfq_move / hsfq_mknod / hsfq_rmnod churn interleaved with dispatch while an
+// interrupt-storm fault plan is active. The invariant checker must stay clean and no
+// thread may be lost across the churn.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/invariant_checker.h"
+#include "src/hsfq/api.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/trace/replay.h"
+#include "src/trace/tracer.h"
+
+namespace hsfault {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hsfq::NodeId;
+using hsfq::ThreadId;
+
+struct ChurnRun {
+  std::vector<htrace::TraceEvent> events;
+  std::vector<hscommon::Work> service;
+  uint64_t moves = 0;
+  uint64_t transient_nodes = 0;
+  uint64_t diagnostics = 0;
+};
+
+// Three SFQ leaves whose threads rotate every 50 ms, a transient leaf created/removed
+// every 400 ms, all under an interrupt storm.
+ChurnRun RunChurn(const std::string& spec, hscommon::Time duration) {
+  auto plan = FaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  FaultInjector injector(*std::move(plan));
+  if (!injector.plan().empty()) injector.Arm(sys);
+
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 3; ++i) {
+    leaves.push_back(*sys.tree().MakeNode("leaf" + std::to_string(i), hsfq::kRootNode,
+                                          static_cast<hscommon::Weight>(i + 1),
+                                          std::make_unique<hleaf::SfqLeafScheduler>()));
+  }
+  std::vector<ThreadId> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.push_back(*sys.CreateThread("cpu" + std::to_string(i), leaves[i % 3], {},
+                                        std::make_unique<hsim::CpuBoundWorkload>()));
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.push_back(*sys.CreateThread(
+        "burst" + std::to_string(i), leaves[i], {},
+        std::make_unique<hsim::BurstyWorkload>(70 + i, 2 * kMillisecond,
+                                               40 * kMillisecond, 10 * kMillisecond,
+                                               120 * kMillisecond)));
+  }
+
+  auto run = std::make_shared<ChurnRun>();
+  auto cursor = std::make_shared<size_t>(0);
+  sys.Every(50 * kMillisecond, 50 * kMillisecond,
+            [threads, leaves, cursor, run](hsim::System& s) {
+              const size_t i = (*cursor)++ % threads.size();
+              const auto to = leaves[(*cursor + i) % leaves.size()];
+              if (s.tree().MoveThread(threads[i], to, {}, s.now()).ok()) ++run->moves;
+            });
+  auto epoch = std::make_shared<int>(0);
+  sys.Every(400 * kMillisecond, 400 * kMillisecond, [epoch, run](hsim::System& s) {
+    const int e = (*epoch)++;
+    auto made = s.tree().MakeNode("tmp" + std::to_string(e), hsfq::kRootNode, 2,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+    if (made.ok()) {
+      ++run->transient_nodes;
+      const auto id = *made;
+      s.At(s.now() + 200 * kMillisecond,
+           [id](hsim::System& s2) { (void)s2.tree().RemoveNode(id); });
+    }
+  });
+
+  sys.RunUntil(duration);
+  run->events = tracer.ring().Snapshot();
+  for (const auto t : threads) run->service.push_back(sys.StatsOf(t).total_service);
+  run->diagnostics = sys.diagnostic_count();
+  return *run;
+}
+
+TEST(ChurnStormTest, InvariantsHoldAndNoThreadIsLost) {
+  const ChurnRun run =
+      RunChurn("seed=77;storm:start=1s,end=3s,every=250us,steal=100us", 5 * kSecond);
+  ASSERT_GT(run.moves, 50u);           // the churn actually happened
+  ASSERT_GT(run.transient_nodes, 8u);  // so did the mknod/rmnod cycling
+  EXPECT_EQ(run.diagnostics, 0u);      // nothing recoverable-but-suspicious either
+
+  const auto violations = InvariantChecker::Check(run.events);
+  EXPECT_TRUE(violations.empty())
+      << InvariantChecker::KindName(violations[0].kind) << ": " << violations[0].what;
+
+  // No thread lost: every thread kept receiving service through the churn (the CPU
+  // hogs substantially, the bursty pair at least their duty cycle).
+  for (size_t i = 0; i < run.service.size(); ++i) {
+    EXPECT_GT(run.service[i], 10 * kMillisecond) << "thread " << i;
+  }
+}
+
+TEST(ChurnStormTest, ChurnUnderStormIsDeterministic) {
+  const std::string spec = "seed=77;storm:start=1s,end=2s,every=300us,steal=100us";
+  const ChurnRun r1 = RunChurn(spec, 3 * kSecond);
+  const ChurnRun r2 = RunChurn(spec, 3 * kSecond);
+  const htrace::TraceDiff diff = htrace::DiffTraces(r1.events, r2.events);
+  EXPECT_TRUE(diff.identical) << diff.description;
+}
+
+// The hsfq-API flavor of the same churn: mknod/move/rmnod through the system-call
+// surface with an api-fail plan injecting transient kErrAgain failures. Callers retry
+// (the documented contract) and the structure must come through consistent.
+TEST(ChurnStormTest, ApiChurnSurvivesTransientFailures) {
+  auto plan = FaultPlan::Parse("seed=99;api-fail:p=0.3,op=any");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+
+  htrace::Tracer tracer;
+  hsfq::HsfqApi api;
+  api.structure().SetTracer(&tracer);
+  api.RegisterScheduler(1, [] { return std::make_unique<hleaf::SfqLeafScheduler>(); });
+  injector.ArmApi(api);
+
+  auto retry = [](auto fn) {
+    int rc = fn();
+    int spins = 0;
+    while (rc == hsfq::kErrAgain && ++spins < 100) rc = fn();
+    return rc;
+  };
+
+  // Two permanent leaves with four threads.
+  const int leaf_a = retry([&] { return api.hsfq_mknod("a", 0, 1, hsfq::kNodeLeaf, 1); });
+  const int leaf_b = retry([&] { return api.hsfq_mknod("b", 0, 2, hsfq::kNodeLeaf, 1); });
+  ASSERT_GT(leaf_a, 0);
+  ASSERT_GT(leaf_b, 0);
+  for (ThreadId t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(api.structure()
+                    .AttachThread(t, t % 2 == 0 ? leaf_a : leaf_b, {})
+                    .ok());
+    api.structure().SetRun(t, 0);
+  }
+
+  // Dispatch interleaved with move churn and transient-node churn, all via the API.
+  hscommon::Time now = 0;
+  const hscommon::Work slice = 2 * kMillisecond;
+  int transient = -1;
+  for (int round = 0; round < 500; ++round) {
+    const ThreadId running = api.structure().Schedule(now);
+    ASSERT_NE(running, hsfq::kInvalidThread);
+    now += slice;
+    api.structure().Update(running, slice, now, true);
+
+    if (round % 10 == 3) {
+      const ThreadId victim = 1 + (round / 10) % 4;
+      if (victim != running) {
+        const int to = (round % 20 < 10) ? leaf_a : leaf_b;
+        EXPECT_EQ(retry([&] { return api.hsfq_move(victim, to, {}, now); }), 0);
+      }
+    }
+    if (round % 50 == 7) {
+      if (transient > 0) {
+        EXPECT_EQ(api.hsfq_rmnod(transient, 0), 0);  // rmnod is not in the faulted set
+        transient = -1;
+      }
+      const std::string name = "tmp" + std::to_string(round);
+      transient = retry(
+          [&] { return api.hsfq_mknod(name.c_str(), 0, 1, hsfq::kNodeLeaf, 1); });
+      EXPECT_GT(transient, 0);
+    }
+  }
+
+  EXPECT_GT(injector.stats().api_failures, 0u);  // the fault plan really did bite
+
+  // The recorded stream of all that churn satisfies every structural invariant.
+  InvariantChecker::Options options;
+  options.check_fairness = false;  // manual fixed-slice dispatch isn't SFQ-fair
+  const auto violations =
+      InvariantChecker::Check(tracer.ring().Snapshot(), options);
+  EXPECT_TRUE(violations.empty())
+      << InvariantChecker::KindName(violations[0].kind) << ": " << violations[0].what;
+
+  // And no thread was lost: all four are still attached and schedulable.
+  for (ThreadId t = 1; t <= 4; ++t) {
+    EXPECT_TRUE(api.structure().LeafOf(t).ok()) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace hsfault

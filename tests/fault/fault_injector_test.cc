@@ -1,0 +1,193 @@
+// The determinism contract and per-kind firing behaviour of the fault injector.
+
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/hsfq/api.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/trace/replay.h"
+#include "src/trace/tracer.h"
+
+namespace hsfault {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+struct FaultRun {
+  std::vector<htrace::TraceEvent> events;
+  FaultInjector::Stats stats;
+  std::vector<bool> exited;
+  uint64_t diagnostics = 0;
+};
+
+// A small mixed scenario: two SFQ leaves, two CPU hogs, two periodic sleepers (the
+// wakeup-fault targets), run for `duration` under `spec`.
+FaultRun RunScenario(const std::string& spec, hscommon::Time duration = 2 * kSecond) {
+  auto plan = FaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  FaultInjector injector(*std::move(plan));
+  injector.Arm(sys);
+
+  const auto a = *sys.tree().MakeNode("a", hsfq::kRootNode, 1,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto b = *sys.tree().MakeNode("b", hsfq::kRootNode, 2,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  std::vector<hsfq::ThreadId> threads;
+  threads.push_back(
+      *sys.CreateThread("hog0", a, {}, std::make_unique<hsim::CpuBoundWorkload>()));
+  threads.push_back(
+      *sys.CreateThread("hog1", b, {}, std::make_unique<hsim::CpuBoundWorkload>()));
+  threads.push_back(*sys.CreateThread(
+      "per0", a, {},
+      std::make_unique<hsim::PeriodicWorkload>(50 * kMillisecond, 5 * kMillisecond)));
+  threads.push_back(*sys.CreateThread(
+      "per1", b, {},
+      std::make_unique<hsim::PeriodicWorkload>(70 * kMillisecond, 7 * kMillisecond)));
+  sys.RunUntil(duration);
+
+  FaultRun run;
+  run.events = tracer.ring().Snapshot();
+  run.stats = injector.stats();
+  for (const auto t : threads) run.exited.push_back(sys.StatsOf(t).exited);
+  run.diagnostics = sys.diagnostic_count();
+  injector.Disarm();
+  return run;
+}
+
+// The acceptance oracle: a faulted run with a fixed seed is byte-reproducible.
+TEST(FaultInjectorTest, SameSeedIsByteIdentical) {
+  const std::string spec =
+      "seed=33;drop-wakeup:p=0.3,recovery=10ms;clock-jitter:p=0.5,frac=0.2;"
+      "cswitch-spike:p=0.2,cost=200us;storm:start=500ms,end=900ms,every=300us,steal=100us";
+  const FaultRun r1 = RunScenario(spec);
+  const FaultRun r2 = RunScenario(spec);
+  const htrace::TraceDiff diff = htrace::DiffTraces(r1.events, r2.events);
+  EXPECT_TRUE(diff.identical) << diff.description;
+  EXPECT_GT(r1.stats.total(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  const FaultRun r1 = RunScenario("seed=1;clock-jitter:p=0.5,frac=0.2");
+  const FaultRun r2 = RunScenario("seed=2;clock-jitter:p=0.5,frac=0.2");
+  EXPECT_FALSE(htrace::DiffTraces(r1.events, r2.events).identical);
+}
+
+TEST(FaultInjectorTest, DropWakeupFiresAndRecovers) {
+  const FaultRun run = RunScenario("seed=5;drop-wakeup:p=1,recovery=10ms");
+  EXPECT_GT(run.stats.dropped_wakeups, 0u);
+  // Every drop has a watchdog redelivery: the periodic threads must keep running
+  // (they accrue wakeups all the way to the end, just 10ms late each time).
+  size_t fault_events = 0;
+  for (const auto& e : run.events) {
+    if (e.type == htrace::EventType::kFault) ++fault_events;
+  }
+  EXPECT_EQ(fault_events, run.stats.total());
+}
+
+TEST(FaultInjectorTest, DelayWakeupFires) {
+  const FaultRun run = RunScenario("seed=6;delay-wakeup:p=1,delay=3ms");
+  EXPECT_GT(run.stats.delayed_wakeups, 0u);
+}
+
+TEST(FaultInjectorTest, SpuriousWakeFires) {
+  const FaultRun run = RunScenario("seed=7;spurious-wake:every=40ms");
+  EXPECT_GT(run.stats.spurious_wakes, 0u);
+}
+
+TEST(FaultInjectorTest, ClockJitterSkewsQuanta) {
+  const FaultRun run = RunScenario("seed=8;clock-jitter:p=1,frac=0.3");
+  EXPECT_GT(run.stats.jittered_quanta, 0u);
+}
+
+TEST(FaultInjectorTest, CswitchSpikeFires) {
+  const FaultRun run = RunScenario("seed=9;cswitch-spike:p=1,cost=100us");
+  EXPECT_GT(run.stats.cswitch_spikes, 0u);
+}
+
+TEST(FaultInjectorTest, StormArmsWindowedInterrupts) {
+  const FaultRun run = RunScenario("seed=10;storm:start=200ms,end=400ms,every=1ms,steal=200us");
+  EXPECT_EQ(run.stats.storms_armed, 1u);
+  size_t interrupts = 0;
+  for (const auto& e : run.events) {
+    if (e.type == htrace::EventType::kInterrupt) {
+      ++interrupts;
+      EXPECT_GE(e.time, 200 * kMillisecond);
+      EXPECT_LE(e.time, 401 * kMillisecond);
+    }
+  }
+  EXPECT_GT(interrupts, 100u);  // ~200 at 1ms cadence over 200ms
+}
+
+TEST(FaultInjectorTest, CrashKillsItsVictimOnly) {
+  // Thread ids are assigned in creation order; 2 is "per0".
+  const FaultRun run = RunScenario("seed=11;crash:at=1s,thread=2");
+  EXPECT_EQ(run.stats.crashes, 1u);
+  EXPECT_FALSE(run.exited[0]);
+  EXPECT_FALSE(run.exited[1]);
+  EXPECT_TRUE(run.exited[2]);
+  EXPECT_FALSE(run.exited[3]);
+}
+
+TEST(FaultInjectorTest, WindowRestrictsInjection) {
+  const FaultRun run = RunScenario("seed=12;delay-wakeup:p=1,delay=3ms,start=10s,end=20s");
+  EXPECT_EQ(run.stats.delayed_wakeups, 0u);  // window is entirely after the run
+}
+
+TEST(FaultInjectorTest, ThreadFilterRestrictsInjection) {
+  const FaultRun all = RunScenario("seed=13;delay-wakeup:p=1,delay=3ms");
+  const FaultRun one = RunScenario("seed=13;delay-wakeup:p=1,delay=3ms,thread=2");
+  EXPECT_GT(all.stats.delayed_wakeups, one.stats.delayed_wakeups);
+  EXPECT_GT(one.stats.delayed_wakeups, 0u);
+}
+
+TEST(FaultInjectorTest, ApiFailMakesCallsTransientlyRetryable) {
+  auto plan = FaultPlan::Parse("seed=21;api-fail:p=0.5,op=mknod");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+  hsfq::HsfqApi api;
+  api.RegisterScheduler(1, [] { return std::make_unique<hleaf::SfqLeafScheduler>(); });
+  injector.ArmApi(api);
+
+  int failures = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    int rc = api.hsfq_mknod(name.c_str(), 0, 1, hsfq::kNodeLeaf, 1);
+    while (rc == hsfq::kErrAgain) {  // the documented contract: kErrAgain is retryable
+      ++failures;
+      rc = api.hsfq_mknod(name.c_str(), 0, 1, hsfq::kNodeLeaf, 1);
+    }
+    EXPECT_GT(rc, 0) << "mknod " << name;
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_EQ(static_cast<uint64_t>(failures), injector.stats().api_failures);
+  injector.Disarm();
+  // Disarmed, the API is fault-free again.
+  EXPECT_GT(api.hsfq_mknod("after", 0, 1, hsfq::kNodeLeaf, 1), 0);
+}
+
+TEST(FaultInjectorTest, ApiFailOpFilterSparesOtherCalls) {
+  auto plan = FaultPlan::Parse("seed=22;api-fail:p=1,op=move");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+  hsfq::HsfqApi api;
+  api.RegisterScheduler(1, [] { return std::make_unique<hleaf::SfqLeafScheduler>(); });
+  injector.ArmApi(api);
+  // mknod is not in the faulted set even at p=1.
+  EXPECT_GT(api.hsfq_mknod("x", 0, 1, hsfq::kNodeLeaf, 1), 0);
+  injector.Disarm();
+}
+
+}  // namespace
+}  // namespace hsfault

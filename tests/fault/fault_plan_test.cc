@@ -1,0 +1,121 @@
+// Spec-string grammar: parsing, canonical printing, and per-kind validation.
+
+#include "src/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace hsfault {
+namespace {
+
+using hscommon::kMicrosecond;
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+TEST(ParseDurationTest, AcceptsAllUnits) {
+  EXPECT_EQ(*ParseDuration("250"), 250);  // bare numbers are nanoseconds
+  EXPECT_EQ(*ParseDuration("250ns"), 250);
+  EXPECT_EQ(*ParseDuration("150us"), 150 * kMicrosecond);
+  EXPECT_EQ(*ParseDuration("20ms"), 20 * kMillisecond);
+  EXPECT_EQ(*ParseDuration("5s"), 5 * kSecond);
+  EXPECT_EQ(*ParseDuration("0"), 0);
+}
+
+TEST(ParseDurationTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDuration("").ok());
+  EXPECT_FALSE(ParseDuration("-5ms").ok());
+  EXPECT_FALSE(ParseDuration("fast").ok());
+  EXPECT_FALSE(ParseDuration("5 ms").ok());
+  EXPECT_FALSE(ParseDuration("5kg").ok());
+}
+
+TEST(ParseDurationTest, FormatUsesLargestExactUnit) {
+  EXPECT_EQ(FormatDuration(20 * kMillisecond), "20ms");
+  EXPECT_EQ(FormatDuration(1500 * kMicrosecond), "1500us");
+  EXPECT_EQ(FormatDuration(250), "250ns");
+  EXPECT_EQ(FormatDuration(3 * kSecond), "3s");
+}
+
+TEST(FaultPlanTest, EmptyStringIsEmptyPlan) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlanTest, ParsesMultiClausePlan) {
+  auto plan = FaultPlan::Parse(
+      "seed=42;drop-wakeup:p=0.05,recovery=20ms;"
+      "storm:start=5s,end=6s,every=200us,steal=150us");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->specs.size(), 2u);
+  EXPECT_EQ(plan->specs[0].kind, FaultKind::kDropWakeup);
+  EXPECT_DOUBLE_EQ(plan->specs[0].p, 0.05);
+  EXPECT_EQ(plan->specs[0].delay, 20 * kMillisecond);
+  EXPECT_EQ(plan->specs[1].kind, FaultKind::kStorm);
+  EXPECT_EQ(plan->specs[1].start, 5 * kSecond);
+  EXPECT_EQ(plan->specs[1].end, 6 * kSecond);
+  EXPECT_EQ(plan->specs[1].period, 200 * kMicrosecond);
+  EXPECT_EQ(plan->specs[1].cost, 150 * kMicrosecond);
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const char* spec =
+      "seed=7;delay-wakeup:p=0.3,delay=5ms;clock-jitter:p=0.5,frac=0.25;"
+      "cswitch-spike:p=0.1,cost=300us;spurious-wake:every=150ms;"
+      "crash:at=3s,thread=6;api-fail:p=0.5,op=mknod";
+  auto plan = FaultPlan::Parse(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << plan->ToString();
+  EXPECT_EQ(plan->ToString(), reparsed->ToString());
+  EXPECT_EQ(reparsed->seed, 7u);
+  EXPECT_EQ(reparsed->specs.size(), 6u);
+}
+
+TEST(FaultPlanTest, RejectsUnknownKindAndKeys) {
+  EXPECT_FALSE(FaultPlan::Parse("gremlin:p=0.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("storm:every=1ms,steal=1us,end=1s,color=red").ok());
+  EXPECT_FALSE(FaultPlan::Parse("drop-wakeup:p=high,recovery=1ms").ok());
+}
+
+TEST(FaultPlanTest, ValidationCatchesUnrecoverablePlans) {
+  // A dropped wakeup with no watchdog loses the thread forever.
+  EXPECT_FALSE(FaultPlan::Parse("drop-wakeup:p=0.5").ok());
+  // Storms need a cadence, a per-interrupt steal, and a non-empty window.
+  EXPECT_FALSE(FaultPlan::Parse("storm:steal=100us,end=1s").ok());
+  EXPECT_FALSE(FaultPlan::Parse("storm:every=1ms,end=1s").ok());
+  EXPECT_FALSE(FaultPlan::Parse("storm:every=1ms,steal=100us,start=2s,end=1s").ok());
+  // A crash must name its victim.
+  EXPECT_FALSE(FaultPlan::Parse("crash:at=1s").ok());
+  // api-fail's op filter is closed.
+  EXPECT_FALSE(FaultPlan::Parse("api-fail:p=0.5,op=rmnod").ok());
+  EXPECT_TRUE(FaultPlan::Parse("api-fail:p=0.5,op=move").ok());
+  // Probabilities live in [0, 1].
+  EXPECT_FALSE(FaultPlan::Parse("delay-wakeup:p=1.5,delay=1ms").ok());
+}
+
+TEST(FaultPlanTest, KindNamesMatchParser) {
+  for (FaultKind kind :
+       {FaultKind::kDropWakeup, FaultKind::kDelayWakeup, FaultKind::kSpuriousWake,
+        FaultKind::kClockJitter, FaultKind::kCswitchSpike, FaultKind::kStorm,
+        FaultKind::kApiFail, FaultKind::kCrash}) {
+    FaultPlan plan;
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.delay = kMillisecond;
+    spec.period = kMillisecond;
+    spec.cost = kMillisecond;
+    spec.frac = 0.1;
+    spec.end = kSecond;
+    spec.at = kMillisecond;
+    spec.thread = 3;
+    spec.op = "any";
+    plan.specs.push_back(spec);
+    auto reparsed = FaultPlan::Parse(plan.ToString());
+    ASSERT_TRUE(reparsed.ok()) << FaultKindName(kind) << ": " << plan.ToString();
+    EXPECT_EQ(reparsed->specs[0].kind, kind);
+  }
+}
+
+}  // namespace
+}  // namespace hsfault

@@ -244,7 +244,7 @@ TEST(Figure11, DynamicWeightTimeline) {
   sys.At(4 * kSecond, [&](hsim::System& s) {
     ASSERT_TRUE(s.tree().SetThreadParams(*t2, {.weight = 2}).ok());
   });
-  sys.At(6 * kSecond, [&](hsim::System& s) { s.Suspend(*t1); });
+  sys.At(6 * kSecond, [&](hsim::System& s) { (void)s.Suspend(*t1); });
   sys.At(9 * kSecond, [&](hsim::System& s) { s.Resume(*t1); });
   sys.At(12 * kSecond, [&](hsim::System& s) {
     ASSERT_TRUE(s.tree().SetThreadParams(*t1, {.weight = 8}).ok());

@@ -93,7 +93,7 @@ TEST(EdgeCaseTest, SuspendResumeAtSameInstant) {
   const NodeId leaf = SfqLeafNode(sys);
   auto t = sys.CreateThread("t", leaf, {}, std::make_unique<CpuBoundWorkload>());
   sys.At(500 * kMillisecond, [&](System& s) {
-    s.Suspend(*t);
+    (void)s.Suspend(*t);
     s.Resume(*t);  // same event: net no-op
   });
   sys.RunUntil(kSecond);
@@ -105,8 +105,8 @@ TEST(EdgeCaseTest, DoubleSuspendAndDoubleResumeAreIdempotent) {
   const NodeId leaf = SfqLeafNode(sys);
   auto t = sys.CreateThread("t", leaf, {}, std::make_unique<CpuBoundWorkload>());
   sys.At(100 * kMillisecond, [&](System& s) {
-    s.Suspend(*t);
-    s.Suspend(*t);
+    (void)s.Suspend(*t);
+    (void)s.Suspend(*t);
   });
   sys.At(200 * kMillisecond, [&](System& s) {
     s.Resume(*t);
@@ -124,7 +124,7 @@ TEST(EdgeCaseTest, SuspendExitedThreadIsNoOp) {
   auto t = sys.CreateThread("batch", leaf, {},
                             std::make_unique<FiniteWorkload>(10 * kMillisecond));
   sys.At(500 * kMillisecond, [&](System& s) {
-    s.Suspend(*t);
+    (void)s.Suspend(*t);
     s.Resume(*t);
   });
   sys.RunUntil(kSecond);

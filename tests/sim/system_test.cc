@@ -128,7 +128,7 @@ TEST(SystemTest, SuspendAndResume) {
   const NodeId leaf = AddSfqLeaf(sys, "leaf", 1);
   auto t1 = sys.CreateThread("a", leaf, {}, std::make_unique<CpuBoundWorkload>());
   auto t2 = sys.CreateThread("b", leaf, {}, std::make_unique<CpuBoundWorkload>());
-  sys.At(200 * kMillisecond, [&](System& s) { s.Suspend(*t1); });
+  sys.At(200 * kMillisecond, [&](System& s) { (void)s.Suspend(*t1); });
   sys.At(600 * kMillisecond, [&](System& s) { s.Resume(*t1); });
   sys.RunUntil(kSecond);
   // t1: half of [0,200), none of [200,600), half of [600,1000) = 300ms.
@@ -148,7 +148,7 @@ TEST(SystemTest, SuspendWhileBlockedDefersWake) {
       "sleeper", leaf, {},
       std::make_unique<PeriodicWorkload>(500 * kMillisecond, 100 * kMillisecond));
   // Suspend before its wake at 500ms; resume at 800ms.
-  sys.At(550 * kMillisecond, [&](System& s) { s.Suspend(*tid); });
+  sys.At(550 * kMillisecond, [&](System& s) { (void)s.Suspend(*tid); });
   // First round finishes at 100ms, sleeps to 500, but we suspend at 550 (mid round 2).
   sys.At(560 * kMillisecond, [&](System& s) { s.Resume(*tid); });
   sys.RunUntil(kSecond);

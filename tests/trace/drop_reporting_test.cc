@@ -1,0 +1,99 @@
+// An undersized ring must not fail silently: the drop counter surfaces through the
+// analyzer and the Perfetto export annotates the truncation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/trace/perfetto_export.h"
+#include "src/trace/reader.h"
+#include "src/trace/tracer.h"
+
+namespace htrace {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+// Runs a busy two-leaf scenario into a tracer with the given ring capacity.
+std::unique_ptr<Tracer> RunWithCapacity(size_t capacity) {
+  auto tracer = std::make_unique<Tracer>(capacity);
+  hsim::System sys;
+  sys.SetTracer(tracer.get());
+  const auto a = *sys.tree().MakeNode("a", hsfq::kRootNode, 1,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto b = *sys.tree().MakeNode("b", hsfq::kRootNode, 2,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread("hog-a", a, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  (void)*sys.CreateThread("hog-b", b, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  (void)*sys.CreateThread(
+      "per", a, {},
+      std::make_unique<hsim::PeriodicWorkload>(30 * kMillisecond, 3 * kMillisecond));
+  sys.RunUntil(3 * kSecond);
+  return tracer;
+}
+
+TEST(DropReportingTest, UndersizedRingCountsDrops) {
+  const auto tracer = RunWithCapacity(64);
+  EXPECT_GT(tracer->ring().dropped(), 0u);
+  // The ring keeps exactly its capacity of most-recent events.
+  EXPECT_EQ(tracer->ring().Snapshot().size(), 64u);
+}
+
+TEST(DropReportingTest, AnalyzerSurfacesTheDropCount) {
+  const auto tracer = RunWithCapacity(64);
+  const uint64_t dropped = tracer->ring().dropped();
+  const TraceAnalyzer analyzer(tracer->ring().Snapshot(), dropped);
+  EXPECT_EQ(analyzer.dropped(), dropped);
+  EXPECT_TRUE(analyzer.truncated());
+
+  // A big-enough ring reports a complete stream.
+  const auto complete = RunWithCapacity(1 << 20);
+  EXPECT_EQ(complete->ring().dropped(), 0u);
+  const TraceAnalyzer full(complete->ring().Snapshot(), complete->ring().dropped());
+  EXPECT_FALSE(full.truncated());
+}
+
+TEST(DropReportingTest, PerfettoExportAnnotatesTruncation) {
+  const auto tracer = RunWithCapacity(64);
+  const uint64_t dropped = tracer->ring().dropped();
+  ASSERT_GT(dropped, 0u);
+
+  const std::string path = ::testing::TempDir() + "/dropped.json";
+  ASSERT_TRUE(ExportPerfettoJson(*tracer, path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // Machine-readable metadata...
+  EXPECT_NE(json.find("\"dropped_events\": " + std::to_string(dropped)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"retained_events\": 64"), std::string::npos);
+  // ...and a human-visible warning instant at the head of the window.
+  EXPECT_NE(json.find("WARNING: ring dropped"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DropReportingTest, CompleteTraceHasNoWarning) {
+  const auto tracer = RunWithCapacity(1 << 20);
+  const std::string path = ::testing::TempDir() + "/complete.json";
+  ASSERT_TRUE(ExportPerfettoJson(*tracer, path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_EQ(json.find("WARNING: ring dropped"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace htrace

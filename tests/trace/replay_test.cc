@@ -37,8 +37,8 @@ void RunFigure3Scenario(Tracer& tracer) {
                                    std::make_unique<hsim::CpuBoundWorkload>());
   const auto b = *sys.CreateThread("B", leaf, {.weight = 2},
                                    std::make_unique<hsim::CpuBoundWorkload>());
-  sys.At(60 * kMillisecond, [b](hsim::System& s) { s.Suspend(b); });
-  sys.At(90 * kMillisecond, [a](hsim::System& s) { s.Suspend(a); });
+  sys.At(60 * kMillisecond, [b](hsim::System& s) { (void)s.Suspend(b); });
+  sys.At(90 * kMillisecond, [a](hsim::System& s) { (void)s.Suspend(a); });
   sys.At(110 * kMillisecond, [a](hsim::System& s) { s.Resume(a); });
   sys.At(115 * kMillisecond, [b](hsim::System& s) { s.Resume(b); });
   sys.RunUntil(300 * kMillisecond);

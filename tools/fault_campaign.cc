@@ -1,0 +1,302 @@
+// The fault-injection campaign runner (CI's `fault-campaign` job).
+//
+// For each scenario the runner:
+//   1. runs an unfaulted baseline and requires the invariant checker to come back
+//      clean — a violation here is a scheduler bug, and the campaign fails;
+//   2. runs every fault plan in the pinned matrix TWICE and requires the two traces to
+//      be byte-identical (the determinism oracle: seeded faults must not introduce
+//      nondeterminism);
+//   3. checks the faulted trace's invariants — structural kinds (lost thread, tree
+//      inconsistency, virtual-time regression, slice pairing) fail the campaign;
+//      fairness-gap violations are reported but tolerated, since a fault is allowed to
+//      perturb fairness;
+//   4. diffs baseline vs faulted through the blast-radius analyzer and prints first
+//      divergence, changed dispatch decisions, and reconvergence.
+//
+// Usage:
+//   fault_campaign [--scenario=fig8|churn|all] [--fault=<spec>] [--duration=<dur>]
+//                  [--out=<dir>]
+//
+// With --fault, only that plan runs (instead of the matrix). With --out, each
+// blast-radius report is also written as JSON into <dir>.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/blast_radius.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/invariant_checker.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/trace/replay.h"
+#include "src/trace/tracer.h"
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::Time;
+using hsfault::FaultPlan;
+using hsfq::ThreadId;
+
+namespace {
+
+struct RunResult {
+  std::vector<htrace::TraceEvent> events;
+  uint64_t dropped = 0;
+  uint64_t diagnostics = 0;  // recoverable anomalies the simulator survived
+};
+
+// Figure 8(a)'s scenario: SFQ-1 (w=2) and SFQ-2 (w=6) with two CPU-bound threads
+// each, and an SVR4 node hosting five bursty "system" threads.
+RunResult RunFig8(const FaultPlan& plan, Time duration) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  hsfault::FaultInjector injector(plan);
+  if (!plan.empty()) injector.Arm(sys);
+
+  const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 2,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto sfq2 = *sys.tree().MakeNode("sfq2", hsfq::kRootNode, 6,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto svr4 = *sys.tree().MakeNode("svr4", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::TsScheduler>());
+  for (int i = 0; i < 2; ++i) {
+    (void)*sys.CreateThread("sfq1-dhry", sfq1, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+    (void)*sys.CreateThread("sfq2-dhry", sfq2, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  for (int i = 0; i < 5; ++i) {
+    (void)*sys.CreateThread(
+        "sys" + std::to_string(i), svr4, {.priority = 29},
+        std::make_unique<hsim::BurstyWorkload>(40 + i, 5 * kMillisecond,
+                                               150 * kMillisecond, 20 * kMillisecond,
+                                               400 * kMillisecond));
+  }
+  sys.RunUntil(duration);
+  return RunResult{tracer.ring().Snapshot(), tracer.ring().dropped(),
+                   sys.diagnostic_count()};
+}
+
+// Structural churn under dispatch: three SFQ leaves whose threads are continually
+// moved between them (the hsfq_move path), plus a transient leaf that is created and
+// removed every 400 ms (the hsfq_mknod/hsfq_rmnod path).
+RunResult RunChurn(const FaultPlan& plan, Time duration) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  hsfault::FaultInjector injector(plan);
+  if (!plan.empty()) injector.Arm(sys);
+
+  std::vector<hsfq::NodeId> leaves;
+  for (int i = 0; i < 3; ++i) {
+    leaves.push_back(*sys.tree().MakeNode("leaf" + std::to_string(i), hsfq::kRootNode,
+                                          static_cast<hscommon::Weight>(i + 1),
+                                          std::make_unique<hleaf::SfqLeafScheduler>()));
+  }
+  std::vector<ThreadId> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.push_back(*sys.CreateThread("cpu" + std::to_string(i), leaves[i % 3], {},
+                                        std::make_unique<hsim::CpuBoundWorkload>()));
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.push_back(*sys.CreateThread(
+        "burst" + std::to_string(i), leaves[i], {},
+        std::make_unique<hsim::BurstyWorkload>(70 + i, 2 * kMillisecond,
+                                               40 * kMillisecond, 10 * kMillisecond,
+                                               120 * kMillisecond)));
+  }
+  // Every 50 ms, rotate one thread to the next leaf (round-robin over threads).
+  auto cursor = std::make_shared<size_t>(0);
+  sys.Every(50 * kMillisecond, 50 * kMillisecond,
+            [threads, leaves, cursor](hsim::System& s) {
+              const size_t i = (*cursor)++ % threads.size();
+              const auto to = leaves[(*cursor + i) % leaves.size()];
+              (void)s.tree().MoveThread(threads[i], to, {}, s.now());
+            });
+  // Every 400 ms, create a transient empty leaf; remove it 200 ms later.
+  auto epoch = std::make_shared<int>(0);
+  sys.Every(400 * kMillisecond, 400 * kMillisecond, [epoch](hsim::System& s) {
+    const int e = (*epoch)++;
+    auto made = s.tree().MakeNode("tmp" + std::to_string(e), hsfq::kRootNode, 2,
+                                  std::make_unique<hleaf::SfqLeafScheduler>());
+    if (made.ok()) {
+      const auto id = *made;
+      s.At(s.now() + 200 * kMillisecond,
+           [id](hsim::System& s2) { (void)s2.tree().RemoveNode(id); });
+    }
+  });
+  sys.RunUntil(duration);
+  return RunResult{tracer.ring().Snapshot(), tracer.ring().dropped(),
+                   sys.diagnostic_count()};
+}
+
+RunResult RunScenario(const std::string& name, const FaultPlan& plan, Time duration) {
+  if (name == "churn") return RunChurn(plan, duration);
+  return RunFig8(plan, duration);
+}
+
+// Fault plans pinned per scenario: fixed seeds so CI compares like with like.
+std::vector<std::string> MatrixFor(const std::string& scenario) {
+  if (scenario == "churn") {
+    return {
+        "seed=2101;storm:start=1s,end=3s,every=250us,steal=100us",
+        "seed=2102;drop-wakeup:p=0.2,recovery=25ms",
+        "seed=2103;cswitch-spike:p=0.15,cost=300us;clock-jitter:p=0.5,frac=0.2",
+    };
+  }
+  return {
+      "seed=1101;drop-wakeup:p=0.2,recovery=25ms",
+      "seed=1102;delay-wakeup:p=0.3,delay=5ms",
+      "seed=1103;clock-jitter:p=0.5,frac=0.25",
+      "seed=1104;cswitch-spike:p=0.1,cost=300us",
+      "seed=1105;storm:start=2s,end=3s,every=200us,steal=150us",
+      "seed=1106;spurious-wake:every=150ms",
+      "seed=1107;crash:at=3s,thread=6",
+  };
+}
+
+// Structural violation kinds fail the campaign even on faulted runs; fairness gaps are
+// tolerated there (a fault may legitimately disturb fairness).
+bool HasHardViolation(const std::vector<hsfault::InvariantChecker::Violation>& vs) {
+  for (const auto& v : vs) {
+    if (v.kind != hsfault::InvariantChecker::Violation::Kind::kFairnessGap) return true;
+  }
+  return false;
+}
+
+std::string Flag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scenario_flag = Flag(argc, argv, "scenario");
+  const std::string fault_flag = Flag(argc, argv, "fault");
+  const std::string out_dir = Flag(argc, argv, "out");
+  Time duration = 8 * kSecond;
+  if (const std::string d = Flag(argc, argv, "duration"); !d.empty()) {
+    auto parsed = hsfault::ParseDuration(d);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --duration: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    duration = *parsed;
+  }
+
+  std::vector<std::string> scenarios;
+  if (scenario_flag.empty() || scenario_flag == "all") {
+    scenarios = {"fig8", "churn"};
+  } else if (scenario_flag == "fig8" || scenario_flag == "churn") {
+    scenarios = {scenario_flag};
+  } else {
+    std::fprintf(stderr, "unknown --scenario=%s (want fig8, churn, or all)\n",
+                 scenario_flag.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& scenario : scenarios) {
+    std::printf("=== scenario %s (%.1fs simulated) ===\n", scenario.c_str(),
+                hscommon::ToSeconds(duration));
+
+    const RunResult baseline = RunScenario(scenario, FaultPlan{}, duration);
+    {
+      hsfault::InvariantChecker checker;
+      checker.SetDropped(baseline.dropped);
+      for (size_t i = 0; i < baseline.events.size(); ++i) {
+        checker.OnEvent(baseline.events[i], i);
+      }
+      checker.Finish();
+      std::printf("baseline: %zu events, %s\n", baseline.events.size(),
+                  checker.Report().c_str());
+      if (!checker.clean()) {
+        std::fprintf(stderr, "FAIL: unfaulted baseline violates invariants\n");
+        ++failures;
+        continue;
+      }
+      if (baseline.diagnostics != 0) {
+        std::fprintf(stderr, "FAIL: unfaulted baseline reported %llu diagnostics\n",
+                     static_cast<unsigned long long>(baseline.diagnostics));
+        ++failures;
+        continue;
+      }
+    }
+
+    const std::vector<std::string> matrix =
+        fault_flag.empty() ? MatrixFor(scenario)
+                           : std::vector<std::string>{fault_flag};
+    int index = 0;
+    for (const std::string& spec : matrix) {
+      ++index;
+      auto plan = FaultPlan::Parse(spec);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "FAIL: bad fault spec '%s': %s\n", spec.c_str(),
+                     plan.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("\n--- fault %d: %s ---\n", index, spec.c_str());
+
+      const RunResult run1 = RunScenario(scenario, *plan, duration);
+      const RunResult run2 = RunScenario(scenario, *plan, duration);
+      const htrace::TraceDiff determinism = htrace::DiffTraces(run1.events, run2.events);
+      if (!determinism.identical) {
+        std::fprintf(stderr, "FAIL: faulted run is not deterministic:\n%s\n",
+                     determinism.description.c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("determinism: two runs byte-identical (%zu events)\n",
+                  run1.events.size());
+
+      hsfault::InvariantChecker checker;
+      checker.SetDropped(run1.dropped);
+      for (size_t i = 0; i < run1.events.size(); ++i) {
+        checker.OnEvent(run1.events[i], i);
+      }
+      checker.Finish();
+      std::printf("invariants: %s\n", checker.Report().c_str());
+      if (HasHardViolation(checker.violations())) {
+        std::fprintf(stderr, "FAIL: faulted run broke a structural invariant\n");
+        ++failures;
+      }
+
+      const hsfault::BlastRadiusReport blast =
+          hsfault::AnalyzeBlastRadius(baseline.events, run1.events);
+      std::printf("%s", hsfault::FormatBlastRadiusReport(blast).c_str());
+      if (!out_dir.empty()) {
+        const std::string path =
+            out_dir + "/" + scenario + "_fault" + std::to_string(index) + ".json";
+        const auto written = hsfault::WriteBlastRadiusJson(blast, path);
+        if (written.ok()) {
+          std::printf("(report: %s)\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                       written.ToString().c_str());
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "fault campaign FAILED: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("fault campaign passed\n");
+  return 0;
+}

@@ -30,10 +30,11 @@ EVENT = struct.Struct("<qQqIBB18s")
 EVENT_NAMES = [
     "TraceStart", "MakeNode", "RemoveNode", "SetWeight", "AttachThread",
     "DetachThread", "MoveThread", "SetRun", "Sleep", "PickChild", "Schedule",
-    "Update", "ThreadName", "Dispatch", "Interrupt", "Idle",
+    "Update", "ThreadName", "Dispatch", "Interrupt", "Idle", "Fault",
 ]
 (T_START, T_MKNOD, T_RMNOD, T_SETW, T_ATTACH, T_DETACH, T_MOVE, T_SETRUN,
- T_SLEEP, T_PICK, T_SCHED, T_UPDATE, T_TNAME, T_DISPATCH, T_IRQ, T_IDLE) = range(16)
+ T_SLEEP, T_PICK, T_SCHED, T_UPDATE, T_TNAME, T_DISPATCH, T_IRQ, T_IDLE,
+ T_FAULT) = range(17)
 
 
 def read_trace(path):
