@@ -46,6 +46,30 @@ inline std::string TraceBase(int argc, char** argv) {
   return "";
 }
 
+// Parses `--cpus=N` (or `--cpus N`) from argv; 1 (the single-CPU machine) when
+// absent. Exits on a malformed count — a bench silently falling back to one CPU
+// would masquerade as an SMP run.
+inline int Cpus(int argc, char** argv) {
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--cpus=", 0) == 0) {
+      value = arg.substr(7);
+    } else if (arg == "--cpus" && i + 1 < argc) {
+      value = argv[i + 1];
+    }
+  }
+  if (value.empty()) {
+    return 1;
+  }
+  const int n = std::atoi(value.c_str());
+  if (n < 1 || n > 64) {
+    std::fprintf(stderr, "bad --cpus=%s (want 1..64)\n", value.c_str());
+    std::exit(2);
+  }
+  return n;
+}
+
 // Parses `--fault=<spec>` (or `--fault <spec>`) from argv; empty string when absent.
 // The spec grammar is FaultPlan::Parse's, e.g.
 //   --fault='seed=42;drop-wakeup:p=0.05,recovery=20ms'
@@ -103,12 +127,14 @@ inline void ReportFaults(const hsfault::FaultInjector* injector) {
 }
 
 // A tracer when `--trace` was given, null otherwise. Attach the result (if non-null) to
-// a System with SetTracer BEFORE building the scheduling tree.
-inline std::unique_ptr<htrace::Tracer> MaybeTracer(const std::string& trace_base) {
+// a System with SetTracer BEFORE building the scheduling tree. `ncpus` must match the
+// machine's Config::ncpus so every CPU records into its own ring.
+inline std::unique_ptr<htrace::Tracer> MaybeTracer(const std::string& trace_base,
+                                                   int ncpus = 1) {
   if (trace_base.empty()) {
     return nullptr;
   }
-  return std::make_unique<htrace::Tracer>();
+  return std::make_unique<htrace::Tracer>(htrace::Tracer::kDefaultCapacity, ncpus);
 }
 
 // Writes <base>.trace (binary, replayable) and <base>.json (load in ui.perfetto.dev).

@@ -12,7 +12,7 @@ FlowId Sfq::AddFlow(Weight weight) {
 }
 
 void Sfq::RemoveFlow(FlowId flow) {
-  assert(flow != in_service_ && "cannot remove a flow in service");
+  assert(flows_[flow].service_count == 0 && "cannot remove a flow in service");
   if (flows_[flow].backlogged) {
     EraseReady(flow);
     flows_[flow].backlogged = false;
@@ -25,11 +25,56 @@ void Sfq::SetWeight(FlowId flow, Weight weight) {
   flows_[flow].weight = weight;
 }
 
+void Sfq::SetWeightNormalized(FlowId flow, Weight weight) {
+  assert(weight >= 1);
+  FlowState& f = flows_[flow];
+  if (weight == f.weight) {
+    return;
+  }
+  if (f.backlogged) {
+    // Every ready flow has S >= v(t) (the heap minimum, or the max in-service start
+    // that stamped later arrivals), so the pending span is non-negative.
+    const VirtualTime v = VirtualTimeNow();
+    assert(v <= f.start);
+    const Work pending = (f.start - v).ScaleToWork(f.weight);
+    f.start = v + VirtualTime::FromService(pending, weight);
+    // A backlogged flow's finish never exceeds its start (S = max(v, F) on arrival,
+    // S = F on re-enqueue); keep that invariant across the rescale.
+    f.finish = hscommon::Min(f.finish, f.start);
+    ready_.Update(flow, f.start);
+  }
+  f.weight = weight;
+}
+
 Weight Sfq::GetWeight(FlowId flow) const { return flows_[flow].weight; }
 
+VirtualTime Sfq::PricedStartTag(FlowId flow) const {
+  const FlowState& f = flows_[flow];
+  if (f.service_count == 0) {
+    return f.start;
+  }
+  VirtualTime v = hscommon::Max(f.start, f.finish);
+  if (f.est_slice > 0) {
+    v = v + VirtualTime::FromService(static_cast<Work>(f.service_count) * f.est_slice,
+                                     f.weight);
+  }
+  return v;
+}
+
 VirtualTime Sfq::VirtualTimeNow() const {
-  if (in_service_ != kInvalidFlow) {
-    return flows_[in_service_].start;
+  if (!in_service_list_.empty()) {
+    // An in-service flow's virtual time is the point its completed work has reached:
+    // max(start, finish). The start alone goes stale when the flow never leaves
+    // service (see PricedStartTag) and would hand arrivals an ancient tag they then
+    // binge on. During a single uncompleted service finish <= start, so the classic
+    // single-CPU value (the in-service start tag) is unchanged.
+    const FlowState& front = flows_[in_service_list_.front()];
+    VirtualTime v = hscommon::Max(front.start, front.finish);
+    for (size_t i = 1; i < in_service_list_.size(); ++i) {
+      const FlowState& f = flows_[in_service_list_[i]];
+      v = hscommon::Max(v, hscommon::Max(f.start, f.finish));
+    }
+    return v;
   }
   if (!ready_.empty()) {
     return ready_.TopKey();
@@ -39,44 +84,64 @@ VirtualTime Sfq::VirtualTimeNow() const {
 
 void Sfq::Arrive(FlowId flow, Time /*now*/) {
   FlowState& f = flows_[flow];
-  assert(!f.backlogged && flow != in_service_ && "flow is already runnable");
+  assert(!f.backlogged && f.service_count == 0 && "flow is already runnable");
   f.start = hscommon::Max(VirtualTimeNow(), f.finish);
   f.backlogged = true;
   InsertReady(flow);
 }
 
 FlowId Sfq::PickNext(Time /*now*/) {
-  assert(in_service_ == kInvalidFlow && "a flow is already in service");
   if (ready_.empty()) {
     return kInvalidFlow;
   }
-  const FlowId flow = ready_.TopId();  // stays in the heap until Complete re-keys it
-  flows_[flow].backlogged = false;
-  in_service_ = flow;
+  const FlowId flow = ready_.PopMin();
+  FlowState& f = flows_[flow];
+  f.backlogged = false;
+  f.service_count = 1;
+  in_service_list_.push_back(flow);
+  ++in_service_total_;
   return flow;
 }
 
-void Sfq::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged) {
-  assert(flow == in_service_ && "Complete on a flow that is not in service");
-  assert(used >= 0);
+void Sfq::PickAgain(FlowId flow) {
   FlowState& f = flows_[flow];
-  f.finish = f.start + VirtualTime::FromService(used, f.weight);
+  assert(f.service_count > 0 && "PickAgain needs a flow already in service");
+  ++f.service_count;
+  ++in_service_total_;
+}
+
+void Sfq::Complete(FlowId flow, Work used, Time /*now*/, bool still_backlogged) {
+  FlowState& f = flows_[flow];
+  assert(f.service_count > 0 && "Complete on a flow that is not in service");
+  assert(used >= 0);
+  f.est_slice = used;  // the in-flight price estimate for further concurrent picks
+  // At pick time S = max(v, F) >= F, so for a single service max(S, F) is just S and
+  // this is the classic F = S + l/w. Concurrent completions of the same flow chain:
+  // each charges its service after the previous one's finish.
+  f.finish = hscommon::Max(f.start, f.finish) + VirtualTime::FromService(used, f.weight);
   max_finish_ = hscommon::Max(max_finish_, f.finish);
-  // While the quantum was ending the flow was still "in service", so v(t) = S_f and the
-  // re-request stamp max(v(t), F_f) collapses to F_f (F_f >= S_f always).
-  in_service_ = kInvalidFlow;
+  --f.service_count;
+  --in_service_total_;
+  if (f.service_count > 0) {
+    return;  // other CPUs are still inside this flow's subtree
+  }
   if (still_backlogged) {
-    f.start = f.finish;
+    // The re-request happens while the flow is still in service, so v(t) covers its
+    // own start plus any concurrent peers' starts. With no peers this collapses to
+    // the classic S = F (F_f >= S_f always); with peers it keeps the re-enqueued
+    // start at or above the node's virtual time, so pick tags never regress.
+    f.start = hscommon::Max(VirtualTimeNow(), f.finish);
+  }
+  EraseInServiceListEntry(flow);
+  if (still_backlogged) {
     f.backlogged = true;
-    ready_.Update(flow, f.start);
-  } else {
-    ready_.Erase(flow);
+    InsertReady(flow);
   }
 }
 
 void Sfq::Depart(FlowId flow, Time /*now*/) {
   FlowState& f = flows_[flow];
-  assert(f.backlogged && flow != in_service_);
+  assert(f.backlogged && f.service_count == 0);
   EraseReady(flow);
   f.backlogged = false;
 }
@@ -84,5 +149,15 @@ void Sfq::Depart(FlowId flow, Time /*now*/) {
 void Sfq::InsertReady(FlowId flow) { ready_.Push(flow, flows_[flow].start); }
 
 void Sfq::EraseReady(FlowId flow) { ready_.Erase(flow); }
+
+void Sfq::EraseInServiceListEntry(FlowId flow) {
+  for (size_t i = 0; i < in_service_list_.size(); ++i) {
+    if (in_service_list_[i] == flow) {
+      in_service_list_.erase(in_service_list_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  assert(false && "flow missing from the in-service list");
+}
 
 }  // namespace hfair

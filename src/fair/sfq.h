@@ -14,9 +14,19 @@
 // Properties (paper §3.1): fairness bound |W_f/w_f - W_m/w_m| <= l_max_f/w_f + l_max_m/w_m
 // over any interval where both are backlogged, regardless of capacity fluctuation; no
 // a-priori quantum length needed; O(log n) per decision.
+//
+// SMP extension: several flows can be in service at once (one per CPU descending
+// through this node), each tracked with a service count so one flow can even serve
+// multiple CPUs through different parts of its subtree (PickAgain). With more than one
+// flow in service, v(t) is the MAX of their start tags — the rule degenerates to the
+// classic one when at most one flow is in service, and it keeps pick tags per node
+// monotone (every candidate at pick time has S >= the last picked S, and arrivals
+// during service are stamped at or above the max in-service start).
 
 #ifndef HSCHED_SRC_FAIR_SFQ_H_
 #define HSCHED_SRC_FAIR_SFQ_H_
+
+#include <vector>
 
 #include "src/common/dary_heap.h"
 #include "src/fair/fair_queue.h"
@@ -35,12 +45,10 @@ class Sfq : public FairQueue {
   void Arrive(FlowId flow, Time now) override;
   FlowId PickNext(Time now) override;
   void Complete(FlowId flow, Work used, Time now, bool still_backlogged) override;
-  // The in-service flow stays in ready_ between PickNext and Complete (it is re-keyed
-  // there in a single sift instead of a pop + reinsert); exclude it from the backlog.
-  bool HasBacklog() const override { return BacklogSize() > 0; }
-  size_t BacklogSize() const override {
-    return ready_.size() - static_cast<size_t>(in_service_ != kInvalidFlow);
-  }
+  // In-service flows are popped from ready_ at PickNext, so the ready set IS the
+  // backlog (flows waiting for a CPU).
+  bool HasBacklog() const override { return !ready_.empty(); }
+  size_t BacklogSize() const override { return ready_.size(); }
   std::string Name() const override { return "SFQ"; }
 
   // Retracts a backlogged (not in-service) flow from the ready set without charging it
@@ -48,6 +56,21 @@ class Sfq : public FairQueue {
   // class loses its last runnable thread while queued (hsfq_sleep).
   void Depart(FlowId flow, Time now) override;
   void Depart(FlowId flow) { Depart(flow, 0); }
+
+  // Adds one more concurrent service to a flow that is already in service — an SMP
+  // CPU descending through an interior-node flow whose subtree still has dispatchable
+  // work while another CPU serves a different part of it. Each PickAgain must be
+  // balanced by its own Complete.
+  void PickAgain(FlowId flow);
+
+  // Re-prices a flow's pending virtual-time span under a new weight: the span
+  // (S - v(t)) represents queued-but-unserved work charged at the old rate, so the new
+  // start tag is  S' = v + (S - v) * w_old / w_new  (paper §4 re-attachment /
+  // weight-change rule). Unlike the virtual SetWeight (which leaves assigned tags
+  // untouched, Figure 11 semantics), this keeps an already-queued flow's next slice
+  // charged at the new rate. In-service flows need no fixup — their finish tag is
+  // computed at Complete time under the then-current weight.
+  void SetWeightNormalized(FlowId flow, Weight weight);
 
   // --- Introspection (tests, the Figure 3 golden example, and the hierarchy) ---
 
@@ -58,11 +81,38 @@ class Sfq : public FairQueue {
   VirtualTime StartTag(FlowId flow) const { return flows_[flow].start; }
   VirtualTime FinishTag(FlowId flow) const { return flows_[flow].finish; }
 
+  // The tag a further concurrent pick of this flow should compete at. A flow's start
+  // tag is only re-stamped when its LAST outstanding slice completes, so a flow that
+  // is continuously in service on several CPUs (completions and re-picks staggered so
+  // service_count never reaches zero) keeps a frozen start tag forever while its
+  // finish chain advances with every completion. Ordering SMP candidates by the raw
+  // start tag therefore first causes binge/starve oscillation (in-flight work is not
+  // priced) and eventually permanent starvation (the frozen tag always wins). The
+  // priced tag fixes both: take the virtual time the flow's completed work has
+  // reached — max(start, finish) — plus the price of the slices still in flight, each
+  // estimated at the flow's most recently completed slice length. Ready flows have
+  // nothing in flight: PricedStartTag == StartTag, so single-CPU dispatch (which never
+  // picks an in-service flow) is unchanged.
+  VirtualTime PricedStartTag(FlowId flow) const;
+
   // Largest finish tag ever assigned (the idle-time virtual clock).
   VirtualTime MaxFinishTag() const { return max_finish_; }
 
-  // Flow currently in service, or kInvalidFlow.
-  FlowId InService() const { return in_service_; }
+  // The flow PickNext would pop right now (minimum (start tag, id)), or kInvalidFlow.
+  // The SMP descent compares it against in-service flows before committing to a pick.
+  FlowId ReadyTopFlow() const { return ready_.empty() ? kInvalidFlow : ready_.TopId(); }
+
+  // First flow picked into service (oldest outstanding pick), or kInvalidFlow. With at
+  // most one CPU this is "the" in-service flow, as it always was.
+  FlowId InService() const {
+    return in_service_list_.empty() ? kInvalidFlow : in_service_list_.front();
+  }
+  // Flows concurrently in service, in pick order (a flow appears once even when it
+  // serves several CPUs — see service_count).
+  const std::vector<FlowId>& InServiceFlows() const { return in_service_list_; }
+  // Total outstanding services across all in-service flows.
+  uint32_t InServiceCount() const { return in_service_total_; }
+  bool IsInService(FlowId flow) const { return flows_[flow].service_count > 0; }
 
   // True if the given flow is currently backlogged (waiting, not in service).
   bool IsBacklogged(FlowId flow) const { return flows_[flow].backlogged; }
@@ -72,17 +122,21 @@ class Sfq : public FairQueue {
     Weight weight = 1;
     VirtualTime start;
     VirtualTime finish;
-    bool backlogged = false;  // in ready_ (excludes in-service)
+    bool backlogged = false;        // in ready_ (excludes in-service)
+    uint32_t service_count = 0;     // concurrent CPUs currently served by this flow
+    Work est_slice = 0;             // last completed slice length (PricedStartTag)
   };
 
   void InsertReady(FlowId flow);
   void EraseReady(FlowId flow);
+  void EraseInServiceListEntry(FlowId flow);
 
   FlowTable<FlowState> flows_;
   // Ready flows keyed by start tag, (tag, id) order — same dispatch sequence as the
   // std::set<std::pair<...>> this replaced, without its per-node allocations.
   hscommon::DaryHeap<VirtualTime, FlowId> ready_;
-  FlowId in_service_ = kInvalidFlow;
+  std::vector<FlowId> in_service_list_;  // pick order, no duplicates
+  uint32_t in_service_total_ = 0;
   VirtualTime max_finish_;
 };
 

@@ -23,9 +23,10 @@ bool FaultInjector::Applies(const FaultSpec& spec, Time now, uint64_t thread) {
 }
 
 void FaultInjector::RecordFault(Time now, const char* kind, uint64_t thread,
-                                int64_t magnitude) {
+                                int64_t magnitude, int cpu) {
   if (system_ != nullptr && system_->tracer() != nullptr) {
-    system_->tracer()->RecordFault(now, kind, thread, magnitude);
+    system_->tracer()->RecordFault(now, kind, thread, magnitude,
+                                   static_cast<uint32_t>(cpu));
   }
 }
 
@@ -42,6 +43,7 @@ void FaultInjector::Arm(hsim::System& system) {
         storm.service = spec.cost;
         storm.start = spec.start;
         storm.end = spec.end;
+        storm.cpu = spec.cpu;
         storm.seed = plan_.seed ^ 0x5701'4a3bULL;
         system.AddInterruptSource(storm);
         ++stats_.storms_armed;
@@ -138,7 +140,7 @@ Time FaultInjector::OnWakeupDelivery(hsfq::ThreadId thread, Time now) {
   return 0;
 }
 
-Work FaultInjector::OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now) {
+Work FaultInjector::OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now, int cpu) {
   for (ArmedSpec& armed : armed_) {
     const FaultSpec& spec = armed.spec;
     if (spec.kind != FaultKind::kClockJitter) continue;
@@ -149,13 +151,13 @@ Work FaultInjector::OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now
     const double skew = (armed.prng.UniformDouble() * 2.0 - 1.0) * spec.frac;
     const Work delta = static_cast<Work>(std::llround(static_cast<double>(quantum) * skew));
     ++stats_.jittered_quanta;
-    RecordFault(now, FaultKindName(spec.kind), thread, delta);
+    RecordFault(now, FaultKindName(spec.kind), thread, delta, cpu);
     return std::max<Work>(1, quantum + delta);
   }
   return quantum;
 }
 
-Time FaultInjector::OnDispatchOverhead(hsfq::ThreadId thread, Time now) {
+Time FaultInjector::OnDispatchOverhead(hsfq::ThreadId thread, Time now, int cpu) {
   Time extra = 0;
   for (ArmedSpec& armed : armed_) {
     const FaultSpec& spec = armed.spec;
@@ -163,7 +165,7 @@ Time FaultInjector::OnDispatchOverhead(hsfq::ThreadId thread, Time now) {
     if (!Applies(spec, now, thread)) continue;
     if (!armed.prng.Bernoulli(spec.p)) continue;
     ++stats_.cswitch_spikes;
-    RecordFault(now, FaultKindName(spec.kind), thread, spec.cost);
+    RecordFault(now, FaultKindName(spec.kind), thread, spec.cost, cpu);
     extra += spec.cost;
   }
   return extra;

@@ -72,8 +72,8 @@ class FaultInjector : public hsim::FaultHooks {
 
   // hsim::FaultHooks:
   Time OnWakeupDelivery(hsfq::ThreadId thread, Time now) override;
-  Work OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now) override;
-  Time OnDispatchOverhead(hsfq::ThreadId thread, Time now) override;
+  Work OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now, int cpu) override;
+  Time OnDispatchOverhead(hsfq::ThreadId thread, Time now, int cpu) override;
 
  private:
   struct ArmedSpec {
@@ -85,7 +85,8 @@ class FaultInjector : public hsim::FaultHooks {
   // True when `spec` applies at `now` to `thread`.
   static bool Applies(const FaultSpec& spec, Time now, uint64_t thread);
 
-  void RecordFault(Time now, const char* kind, uint64_t thread, int64_t magnitude);
+  void RecordFault(Time now, const char* kind, uint64_t thread, int64_t magnitude,
+                   int cpu = 0);
 
   FaultPlan plan_;
   std::vector<ArmedSpec> armed_;

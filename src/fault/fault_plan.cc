@@ -129,6 +129,12 @@ Status ApplyKey(FaultSpec& spec, std::string_view key, std::string_view value) {
     spec.op = std::string(value);
     return Status::Ok();
   }
+  if (key == "cpu") {
+    auto v = ParseU64(value);
+    if (!v.ok()) return v.status();
+    spec.cpu = static_cast<int>(*v);
+    return Status::Ok();
+  }
   // Everything else is a duration.
   auto d = ParseDuration(value);
   if (!d.ok()) return d.status();
@@ -264,6 +270,7 @@ std::string FaultPlan::ToString() const {
       case FaultKind::kStorm:
         out += ":start=" + FormatDuration(spec.start) + ",end=" + FormatDuration(spec.end) +
                ",every=" + FormatDuration(spec.period) + ",steal=" + FormatDuration(spec.cost);
+        if (spec.cpu != 0) out += ",cpu=" + std::to_string(spec.cpu);
         break;
       case FaultKind::kApiFail:
         out += ":p=" + std::to_string(spec.p) + ",op=" + spec.op;

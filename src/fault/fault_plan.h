@@ -76,6 +76,7 @@ struct FaultSpec {
   Time at = 0;               // crash instant
   uint64_t thread = kAnyThread;  // restrict to one thread (crash target)
   std::string op = "any";    // api-fail call filter
+  int cpu = 0;               // storm target CPU (SMP scenarios; single-CPU ignores it)
 };
 
 struct FaultPlan {

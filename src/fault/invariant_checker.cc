@@ -23,6 +23,7 @@ bool IsTimed(EventType type) {
     case EventType::kSchedule:
     case EventType::kUpdate:
     case EventType::kMoveThread:
+    case EventType::kMoveNode:
     case EventType::kDispatch:
     case EventType::kInterrupt:
     case EventType::kIdle:
@@ -101,6 +102,9 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
 
   switch (e.type) {
     case EventType::kTraceStart:
+      if (e.b > 1) {
+        cpus_ = static_cast<uint32_t>(e.b);
+      }
       break;
 
     case EventType::kMakeNode: {
@@ -223,6 +227,45 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
       break;
     }
 
+    case EventType::kMoveNode: {
+      const auto to = static_cast<uint32_t>(e.a);
+      if (!NodeAlive(e.node) || !NodeAlive(to)) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("MoveNode %u -> %u: dead node", e.node, to));
+        }
+        break;
+      }
+      NodeState& n = NodeAt(e.node);
+      if (NodeAt(to).is_leaf) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("MoveNode %u under leaf %u", e.node, to));
+        break;
+      }
+      // Reject cycles: the destination must not live inside the moved subtree.
+      for (uint32_t cur = to; cur != UINT32_MAX;) {
+        if (cur == e.node) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("MoveNode %u -> %u would create a cycle", e.node, to));
+          return;
+        }
+        cur = NodeAt(cur).parent;
+      }
+      if (to == n.parent) break;  // no-op move
+      // The subtree leaves the old parent (windows close, backlog drains) and joins
+      // the new one as a fresh flow (windows re-open against the new siblings).
+      const bool was_backlogged = n.backlog > 0;
+      if (was_backlogged) PropagateBacklogFlip(e.node, false, index);
+      if (n.parent != UINT32_MAX) {
+        NodeState& old_p = NodeAt(n.parent);
+        if (old_p.children > 0) --old_p.children;
+      }
+      n.parent = to;
+      ++NodeAt(to).children;
+      if (was_backlogged) PropagateBacklogFlip(e.node, true, index);
+      break;
+    }
+
     case EventType::kSetRun: {
       auto it = threads_.find(e.a);
       if (it == threads_.end()) {
@@ -264,7 +307,14 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
         break;
       }
       NodeState& n = NodeAt(e.node);
-      if (e.b < n.last_pick_tag) {
+      // Single-CPU dispatch is strictly serialized, so pick tags are monotone. With
+      // concurrent dispatch a completion re-prices a flow's in-flight estimate, which
+      // can legally land a decision tag slightly below one another CPU recorded in the
+      // meantime — bounded by the in-flight surcharge (cpus * largest subtree slice,
+      // at weight >= 1). Anything beyond that is a real virtual-clock regression.
+      const int64_t tolerance =
+          cpus_ > 1 ? static_cast<int64_t>(cpus_) * n.lmax : 0;
+      if (e.b < n.last_pick_tag - tolerance) {
         AddViolation(
             Violation::Kind::kVirtualTimeRegression, index,
             Format("node %u virtual time regressed %lld -> %lld", e.node,
@@ -275,13 +325,23 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
     }
 
     case EventType::kSchedule: {
-      if (slice_open_) {
+      const auto open = open_slices_.find(e.cpu);
+      if (open != open_slices_.end()) {
         AddViolation(Violation::Kind::kSlicePairing, index,
-                     Format("Schedule of thread %" PRIu64 " while thread %" PRIu64
-                            "'s slice is still open", e.a, open_slice_thread_));
+                     Format("Schedule of thread %" PRIu64 " on cpu %u while thread "
+                            "%" PRIu64 "'s slice is still open",
+                            e.a, e.cpu, open->second));
       }
-      slice_open_ = true;
-      open_slice_thread_ = e.a;
+      // No thread may be dispatched on two CPUs at once (work-conserving SMP descent
+      // marks a picked entity on-cpu so other CPUs skip it).
+      for (const auto& [cpu, tid] : open_slices_) {
+        if (tid == e.a && cpu != e.cpu) {
+          AddViolation(Violation::Kind::kSlicePairing, index,
+                       Format("Schedule of thread %" PRIu64 " on cpu %u while already "
+                              "on cpu %u (double dispatch)", e.a, e.cpu, cpu));
+        }
+      }
+      open_slices_[e.cpu] = e.a;
       auto it = threads_.find(e.a);
       if (it == threads_.end()) {
         if (strict) {
@@ -299,21 +359,31 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
     }
 
     case EventType::kUpdate: {
-      if (!slice_open_) {
+      const auto open = open_slices_.find(e.cpu);
+      if (open == open_slices_.end()) {
         AddViolation(Violation::Kind::kSlicePairing, index,
-                     Format("Update for thread %" PRIu64 " without an open slice", e.a));
-      } else if (e.a != open_slice_thread_) {
-        AddViolation(Violation::Kind::kSlicePairing, index,
-                     Format("Update for thread %" PRIu64 " but slice belongs to %" PRIu64,
-                            e.a, open_slice_thread_));
+                     Format("Update for thread %" PRIu64 " on cpu %u without an open "
+                            "slice", e.a, e.cpu));
+      } else {
+        if (e.a != open->second) {
+          AddViolation(Violation::Kind::kSlicePairing, index,
+                       Format("Update for thread %" PRIu64 " on cpu %u but slice "
+                              "belongs to %" PRIu64, e.a, e.cpu, open->second));
+        }
+        open_slices_.erase(open);
       }
-      slice_open_ = false;
-      // Charge the service up the ancestor chain (bounded by tree depth).
+      // Charge the service up the ancestor chain (bounded by tree depth), and feed
+      // every open fairness window touching a charged node its window-local l_max.
       uint32_t cur = e.node;
       for (int depth = 0; cur != UINT32_MAX && depth < 64; ++depth) {
         NodeState& n = NodeAt(cur);
         n.service += e.b;
         n.lmax = std::max(n.lmax, e.b);
+        n.last_slice = e.b;
+        for (auto& [key, w] : windows_) {
+          if (key.first == cur) w.lmax_a = std::max(w.lmax_a, e.b);
+          else if (key.second == cur) w.lmax_b = std::max(w.lmax_b, e.b);
+        }
         cur = n.parent;
       }
       auto it = threads_.find(e.a);
@@ -354,13 +424,19 @@ void InvariantChecker::Finish() {
 }
 
 void InvariantChecker::AdjustBacklog(uint32_t leaf, int delta, size_t index) {
-  uint32_t child = leaf;
-  NodeState* node = &NodeAt(leaf);
-  bool was = node->backlog > 0;
-  if (delta < 0 && node->backlog == 0) return;  // already inconsistent; don't underflow
-  node->backlog += delta;
-  bool now_backlogged = node->backlog > 0;
-  while (was != now_backlogged) {
+  NodeState& node = NodeAt(leaf);
+  const bool was = node.backlog > 0;
+  if (delta < 0 && node.backlog == 0) return;  // already inconsistent; don't underflow
+  node.backlog += delta;
+  const bool now_backlogged = node.backlog > 0;
+  if (was != now_backlogged) PropagateBacklogFlip(leaf, now_backlogged, index);
+}
+
+void InvariantChecker::PropagateBacklogFlip(uint32_t child, bool now_backlogged,
+                                            size_t index) {
+  NodeState* node = &NodeAt(child);
+  bool flipped = true;
+  while (flipped) {
     const uint32_t parent = node->parent;
     if (parent == UINT32_MAX) break;
     NodeState& p = NodeAt(parent);
@@ -374,7 +450,7 @@ void InvariantChecker::AdjustBacklog(uint32_t leaf, int delta, size_t index) {
     }
     child = parent;
     node = &p;
-    was = parent_was;
+    flipped = parent_was != (p.backlog > 0);
     now_backlogged = p.backlog > 0;
   }
 }
@@ -388,6 +464,11 @@ void InvariantChecker::OpenWindowsFor(uint32_t parent, uint32_t child) {
     w.t0 = clock_;
     w.service_a = NodeAt(lo).service;
     w.service_b = NodeAt(hi).service;
+    // Seed each side's window-local l_max with its most recent slice: a side whose
+    // pending slice completes after the window closes may legitimately lag by one
+    // slice's worth, and that estimate must not be zero.
+    w.lmax_a = NodeAt(lo).last_slice;
+    w.lmax_b = NodeAt(hi).last_slice;
     windows_[{lo, hi}] = w;
   }
 }
@@ -414,9 +495,14 @@ void InvariantChecker::CloseWindow(uint32_t a, uint32_t b, const FairWindow& w,
   const double wb = static_cast<double>(nb.weight);
   const double gap = std::abs(static_cast<double>(na.service - w.service_a) / wa -
                               static_cast<double>(nb.service - w.service_b) / wb);
-  const double bound = options_.fairness_slack *
-                           (static_cast<double>(na.lmax) / wa +
-                            static_cast<double>(nb.lmax) / wb) +
+  // Per-leaf l_max learned inside this window (seeded with each side's most recent
+  // slice at open) — not the all-trace subtree maximum, which masks per-leaf
+  // violations whenever any leaf anywhere once ran a long slice. On an SMP trace each
+  // side can additionally have up to `cpus_` slices in flight at window close, so the
+  // §3 fluctuation term scales with the CPU count.
+  const double bound = options_.fairness_slack * static_cast<double>(cpus_) *
+                           (static_cast<double>(w.lmax_a) / wa +
+                            static_cast<double>(w.lmax_b) / wb) +
                        static_cast<double>(options_.fairness_epsilon);
   if (gap > bound) {
     AddViolation(Violation::Kind::kFairnessGap, index,
@@ -431,6 +517,8 @@ void InvariantChecker::ResetAllWindows() {
     w.t0 = clock_;
     w.service_a = NodeAt(key.first).service;
     w.service_b = NodeAt(key.second).service;
+    w.lmax_a = NodeAt(key.first).last_slice;
+    w.lmax_b = NodeAt(key.second).last_slice;
   }
 }
 

@@ -6,15 +6,19 @@
 //   * wall-clock monotonicity — timed events never run backwards;
 //   * virtual-time monotonicity — the integer start tag recorded with each PickChild
 //     never regresses per interior node (SFQ's v(t) is non-decreasing);
-//   * slice pairing — every Schedule is closed by exactly one Update for the same
-//     thread before the next Schedule;
+//   * slice pairing — per CPU, every Schedule is closed by exactly one Update for the
+//     same thread before that CPU's next Schedule, and no thread is on two CPUs at
+//     once (the SMP no-double-dispatch invariant);
 //   * tree consistency — structural events reference live nodes, attaches are unique,
 //     removals only hit empty nodes, PickChild edges exist;
 //   * no lost threads — a thread that became runnable is eventually scheduled (within
 //     a configurable starvation horizon of trace end);
 //   * bounded unfairness — over every window where two sibling subtrees stay
 //     continuously backlogged, the §3 gap |W_f/w_f − W_g/w_g| stays within
-//     slack * (l_max_f/w_f + l_max_g/w_g) + epsilon.
+//     slack * (l_max_f/w_f + l_max_g/w_g) + epsilon, where each l_max is learned
+//     per window from the Update slices charged to that subtree while the window
+//     is open (not the conservative all-trace maximum, which masks per-leaf
+//     violations when one leaf somewhere in the trace ran a long slice).
 //
 // Violations are collected as structured diagnostics (never asserts), so a faulted run
 // reports what broke instead of aborting. Feed events incrementally with OnEvent() +
@@ -107,8 +111,14 @@ class InvariantChecker {
     uint32_t backlog = 0;         // leaf: runnable threads; interior: backlogged children
     Work service = 0;             // cumulative subtree service
     Work lmax = 0;                // largest single Update charged in the subtree
+    Work last_slice = 0;          // most recent Update charged in the subtree
     int64_t last_pick_tag = INT64_MIN;  // PickChild virtual-time watermark
   };
+
+  // CPU count announced by kTraceStart (1 when absent). On SMP traces the pick-tag
+  // watermark and the §3 fairness bound both widen by the in-flight surcharge: up to
+  // `cpus_` slices can be mid-service per node, each priced only when it completes.
+  uint32_t cpus_ = 1;
 
   struct ThreadState {
     uint32_t leaf = UINT32_MAX;
@@ -122,6 +132,8 @@ class InvariantChecker {
     Time t0 = 0;
     Work service_a = 0;  // snapshots at open
     Work service_b = 0;
+    Work lmax_a = 0;  // largest single Update charged to each side while open
+    Work lmax_b = 0;
   };
 
   NodeState& NodeAt(uint32_t id);
@@ -131,6 +143,10 @@ class InvariantChecker {
   // Propagates a leaf backlog delta (+1/-1) up the tree, opening/closing fairness
   // windows at every level where a child's backlogged status flips.
   void AdjustBacklog(uint32_t leaf, int delta, size_t index);
+  // Walks `child`'s ancestor chain after its backlogged status flipped to
+  // `now_backlogged`, adjusting parent backlog counts and fairness windows. Used by
+  // AdjustBacklog and by kMoveNode (whose subtree flips at the old and new parents).
+  void PropagateBacklogFlip(uint32_t child, bool now_backlogged, size_t index);
   void OpenWindowsFor(uint32_t parent, uint32_t child);
   void CloseWindowsFor(uint32_t parent, uint32_t child, size_t index);
   void CloseWindow(uint32_t a, uint32_t b, const FairWindow& w, size_t index);
@@ -142,9 +158,10 @@ class InvariantChecker {
   // Open fairness windows keyed by (smaller child id, larger child id).
   std::map<std::pair<uint32_t, uint32_t>, FairWindow> windows_;
 
-  Time clock_ = 0;            // max timed-event time seen
-  uint64_t open_slice_thread_ = UINT64_MAX;
-  bool slice_open_ = false;
+  Time clock_ = 0;  // max timed-event time seen
+  // Open slice per CPU (kSchedule seen, kUpdate pending), keyed by the event's cpu
+  // field so merged SMP streams pair correctly.
+  std::map<uint16_t, uint64_t> open_slices_;
   uint64_t dropped_ = 0;
   bool finished_ = false;
 

@@ -82,6 +82,16 @@ int HsfqApi::hsfq_move(ThreadId thread, int to, const ThreadParams& params, Time
   return ToError(structure_.MoveThread(thread, static_cast<NodeId>(to), params, now));
 }
 
+int HsfqApi::hsfq_move(int node, int to, Time now) {
+  if (node < 0 || to < 0) {
+    return kErrInval;
+  }
+  if (fault_hook_ && fault_hook_("move")) {
+    return kErrAgain;  // injected transient failure; retryable
+  }
+  return ToError(structure_.MoveNode(static_cast<NodeId>(node), static_cast<NodeId>(to), now));
+}
+
 int HsfqApi::hsfq_admin(int node, AdminCmd cmd, void* args) {
   if (node < 0 || args == nullptr) {
     return kErrInval;

@@ -67,6 +67,10 @@ class HsfqApi {
   int hsfq_parse(const char* name, int hint);
   int hsfq_rmnod(int id, int mode);
   int hsfq_move(ThreadId thread, int to, const ThreadParams& params, Time now);
+  // hsfq_move of a whole node (the paper's other move form): re-attaches `node` and its
+  // subtree under interior node `to`, re-normalizing its SFQ start tag against the
+  // destination's virtual time (§4). Consults the same "move" fault hook.
+  int hsfq_move(int node, int to, Time now);
   int hsfq_admin(int node, AdminCmd cmd, void* args);
 
   // The underlying structure, for attaching threads and driving dispatch.

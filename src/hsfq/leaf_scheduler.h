@@ -74,12 +74,21 @@ class LeafScheduler {
   // True if any thread is runnable (including one in service).
   virtual bool HasRunnable() const = 0;
 
+  // True if the scheduler could serve one MORE CPU right now — some thread is runnable
+  // and not already on a CPU, and the class can handle another concurrent pick. The SMP
+  // dispatcher skips a leaf whose HasDispatchable() is false, so a class scheduler that
+  // can only track one in-service thread MUST return false while it has one (the
+  // default below is only correct for schedulers whose PickNext tolerates being called
+  // again before Charge). On a single CPU this is never consulted mid-service and
+  // degenerates to HasRunnable().
+  virtual bool HasDispatchable() const { return HasRunnable(); }
+
   // True if the given thread is currently runnable (queued or in service).
   virtual bool IsThreadRunnable(ThreadId thread) const = 0;
 
   // Suggested quantum for the given thread; the dispatcher may clip it. Returning 0 means
   // "use the system default".
-  virtual Work PreferredQuantum(ThreadId thread) const { return 0; }
+  virtual Work PreferredQuantum(ThreadId /*thread*/) const { return 0; }
 
   // --- Optional priority-inversion remedy hooks (paper §4) ---
   //

@@ -158,7 +158,7 @@ Status SchedulingStructure::RemoveNode(NodeId node) {
   if (n.thread_count > 0) {
     return FailedPrecondition("node '" + PathOf(node) + "' still has threads");
   }
-  if (n.in_service) {
+  if (n.in_service()) {
     return FailedPrecondition("node '" + PathOf(node) + "' is being dispatched");
   }
   assert(!n.runnable && "a node with no threads cannot be runnable");
@@ -205,7 +205,7 @@ Status SchedulingStructure::DetachThread(ThreadId thread) {
   if (it == thread_to_leaf_.end()) {
     return NotFound("thread " + std::to_string(thread) + " is not attached");
   }
-  if (thread == running_thread_) {
+  if (IsRunning(thread)) {
     return FailedPrecondition("thread " + std::to_string(thread) + " is running");
   }
   const NodeId leaf_id = it->second;
@@ -214,7 +214,7 @@ Status SchedulingStructure::DetachThread(ThreadId thread) {
   n.leaf->RemoveThread(thread);
   --n.thread_count;
   thread_to_leaf_.erase(it);
-  if (was_runnable && n.runnable && !n.in_service && !n.leaf->HasRunnable()) {
+  if (was_runnable && n.runnable && !n.in_service() && !n.leaf->HasRunnable()) {
     PropagateSleep(leaf_id, /*now=*/0);
   }
   if (tracer_ != nullptr) {
@@ -235,7 +235,7 @@ Status SchedulingStructure::MoveThread(ThreadId thread, NodeId to, const ThreadP
   if (!NodeRef(to).is_leaf()) {
     return FailedPrecondition("destination '" + PathOf(to) + "' is not a leaf");
   }
-  if (thread == running_thread_) {
+  if (IsRunning(thread)) {
     return FailedPrecondition("thread " + std::to_string(thread) + " is running");
   }
   const bool was_runnable = NodeRef(it->second).leaf->IsThreadRunnable(thread);
@@ -254,6 +254,75 @@ Status SchedulingStructure::MoveThread(ThreadId thread, NodeId to, const ThreadP
   return Status::Ok();
 }
 
+Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
+  if (Status s = ValidateLiveNode(node); !s.ok()) {
+    return s;
+  }
+  if (Status s = ValidateLiveNode(to); !s.ok()) {
+    return s;
+  }
+  if (node == kRootNode) {
+    return FailedPrecondition("cannot move the root node");
+  }
+  Node& n = NodeRef(node);
+  if (NodeRef(to).is_leaf()) {
+    return FailedPrecondition("destination '" + PathOf(to) + "' is not an interior node");
+  }
+  if (to == n.parent) {
+    return Status::Ok();  // already there
+  }
+  for (NodeId cur = to; cur != kRootNode; cur = NodeRef(cur).parent) {
+    if (cur == node) {
+      return FailedPrecondition("destination '" + PathOf(to) +
+                                "' is inside the moved subtree");
+    }
+  }
+  // A CPU dispatched anywhere in node's subtree holds in_service_count > 0 on node.
+  if (n.in_service()) {
+    return FailedPrecondition("node '" + PathOf(node) + "' is being dispatched");
+  }
+  for (NodeId sibling : NodeRef(to).children) {
+    if (NodeRef(sibling).name == n.name) {
+      return AlreadyExists("node '" + PathOf(sibling) + "' already exists");
+    }
+  }
+
+  const bool was_runnable = n.runnable;
+  const NodeId old_parent = n.parent;
+  Node& old_p = NodeRef(old_parent);
+  if (was_runnable) {
+    // Runnable and not in service => its flow is backlogged in the old parent.
+    old_p.sfq->Depart(n.flow_in_parent, now);
+  }
+  old_p.sfq->RemoveFlow(n.flow_in_parent);
+  old_p.flow_to_child[n.flow_in_parent] = kInvalidNode;
+  std::erase(old_p.children, node);
+  if (was_runnable && !(old_p.sfq->HasBacklog() || old_p.sfq->InServiceCount() > 0)) {
+    PropagateSleep(old_parent, now);  // the old parent lost its last runnable child
+  }
+
+  // Re-attach as a FRESH flow of the destination (tags S = F = 0): the §4 re-attachment
+  // rule. The stale start tag from the source parent's virtual clock is discarded, and
+  // the arrival below (or the next PropagateRunnable) stamps S = max(v_dest, 0) =
+  // v_dest, so the subtree competes from the destination's present — neither starved by
+  // a clock that ran far ahead nor handed a windfall by one that lagged.
+  Node& dest = NodeRef(to);
+  n.parent = to;
+  n.flow_in_parent = dest.sfq->AddFlow(n.weight);
+  if (dest.flow_to_child.size() <= n.flow_in_parent) {
+    dest.flow_to_child.resize(n.flow_in_parent + 1, kInvalidNode);
+  }
+  dest.flow_to_child[n.flow_in_parent] = node;
+  dest.children.push_back(node);
+  if (was_runnable) {
+    PropagateRunnable(node, now);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->RecordMoveNode(now, node, to);
+  }
+  return Status::Ok();
+}
+
 Status SchedulingStructure::SetNodeWeight(NodeId node, Weight weight) {
   if (Status s = ValidateLiveNode(node); !s.ok()) {
     return s;
@@ -264,7 +333,11 @@ Status SchedulingStructure::SetNodeWeight(NodeId node, Weight weight) {
   Node& n = NodeRef(node);
   n.weight = weight;
   if (n.parent != kInvalidNode) {
-    NodeRef(n.parent).sfq->SetWeight(n.flow_in_parent, weight);
+    // Re-price, don't just relabel: a backlogged flow's start tag was stamped under the
+    // old weight, so the plain SetWeight would charge its already-queued slice at the old
+    // rate until the next Complete. SetWeightNormalized rescales the pending span
+    // (S - v) by w_old/w_new so the very next slice is served at the new share.
+    NodeRef(n.parent).sfq->SetWeightNormalized(n.flow_in_parent, weight);
   }
   if (tracer_ != nullptr) {
     tracer_->RecordSetWeight(0, node, weight);
@@ -319,7 +392,7 @@ void SchedulingStructure::PropagateSleep(NodeId node, Time now) {
     }
     Node& p = NodeRef(n.parent);
     p.sfq->Depart(n.flow_in_parent);
-    if (p.sfq->HasBacklog() || p.sfq->InService() != hfair::kInvalidFlow) {
+    if (p.sfq->HasBacklog() || p.sfq->InServiceCount() > 0) {
       return;  // the parent still has another runnable child
     }
     cur = n.parent;
@@ -342,76 +415,150 @@ void SchedulingStructure::SetRun(ThreadId thread, Time now) {
 void SchedulingStructure::Sleep(ThreadId thread, Time now) {
   const auto it = thread_to_leaf_.find(thread);
   assert(it != thread_to_leaf_.end() && "Sleep on unattached thread");
-  assert(thread != running_thread_ && "a running thread blocks via Update instead");
+  assert(!IsRunning(thread) && "a running thread blocks via Update instead");
   if (tracer_ != nullptr) {
     tracer_->RecordSleep(now, it->second, thread);
   }
   Node& n = NodeRef(it->second);
   n.leaf->ThreadBlocked(thread, now);
-  if (n.runnable && !n.in_service && !n.leaf->HasRunnable()) {
+  if (n.runnable && !n.in_service() && !n.leaf->HasRunnable()) {
     PropagateSleep(it->second, now);
   }
 }
 
-ThreadId SchedulingStructure::Schedule(Time now) {
+bool SchedulingStructure::Dispatchable(NodeId id) const {
+  const Node& n = NodeRef(id);
+  if (n.is_leaf()) {
+    return n.leaf->HasDispatchable();
+  }
+  // Any ready (not-in-service) child flow roots a subtree with no CPU inside it, so a
+  // runnable thread there is necessarily off-cpu.
+  if (n.sfq->HasBacklog()) {
+    return true;
+  }
+  // An in-service child may still have uncovered work in another part of its subtree.
+  for (hfair::FlowId f : n.sfq->InServiceFlows()) {
+    if (Dispatchable(n.flow_to_child[f])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SchedulingStructure::IsRunning(ThreadId thread) const {
+  for (const RunningEntry& r : running_) {
+    if (r.thread == thread) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ThreadId SchedulingStructure::Schedule(Time now, int cpu) {
   ++schedule_count_;
-  assert(running_thread_ == kInvalidThread && "previous dispatch was not Updated");
-  if (!NodeRef(kRootNode).runnable) {
+  if (!Dispatchable(kRootNode)) {
     return kInvalidThread;
   }
   NodeId cur = kRootNode;
   for (;;) {
     Node& n = NodeRef(cur);
-    n.in_service = true;
+    ++n.in_service_count;
     if (n.is_leaf()) {
       break;
     }
-    const hfair::FlowId flow = n.sfq->PickNext(now);
-    assert(flow != hfair::kInvalidFlow && "runnable interior node with empty backlog");
-    const NodeId child = n.flow_to_child[flow];
+    // Candidates at this level: the ready minimum, plus in-service child flows whose
+    // subtrees still hold dispatchable work (another CPU is inside, but has not covered
+    // all of it). The minimum (priced start tag, flow id) wins: in-service candidates
+    // compete with their in-flight slices priced in (see Sfq::PricedStartTag), so
+    // concurrent CPUs spread across flows in weight proportion instead of piling onto
+    // whichever flow's raw tag is momentarily lowest. A ready flow carries no
+    // surcharge, so on one CPU (no in-service flows at pick time) this is exactly the
+    // classic PickNext descent.
+    hfair::FlowId best = n.sfq->ReadyTopFlow();
+    bool best_is_ready = best != hfair::kInvalidFlow;
+    for (hfair::FlowId f : n.sfq->InServiceFlows()) {
+      if (!Dispatchable(n.flow_to_child[f])) {
+        continue;
+      }
+      if (best == hfair::kInvalidFlow ||
+          n.sfq->PricedStartTag(f) < n.sfq->PricedStartTag(best) ||
+          (n.sfq->PricedStartTag(f) == n.sfq->PricedStartTag(best) && f < best)) {
+        best = f;
+        best_is_ready = false;
+      }
+    }
+    assert(best != hfair::kInvalidFlow && "dispatchable interior node with no candidate");
+    // The decision tag, captured before the pick mutates the flow's in-flight count.
+    // For a ready pick this is the raw start tag (single-CPU traces are unchanged
+    // byte for byte); for a concurrent pick it is the priced tag the comparison used.
+    const hscommon::VirtualTime decision_tag = n.sfq->PricedStartTag(best);
+    if (best_is_ready) {
+      const hfair::FlowId picked = n.sfq->PickNext(now);
+      assert(picked == best);
+      (void)picked;
+    } else {
+      n.sfq->PickAgain(best);
+    }
+    const NodeId child = n.flow_to_child[best];
     if (tracer_ != nullptr) {
-      // The picked child's start tag is the node's SFQ virtual time; record its integer
-      // part so offline invariant checking can verify it never regresses.
+      // The picked child's decision tag tracks the node's SFQ virtual time; record its
+      // integer part so offline invariant checking can verify it never regresses (on
+      // SMP traces: never regresses beyond the bounded in-flight surcharge).
       tracer_->RecordPickChild(now, cur, child,
-                               static_cast<int64_t>(n.sfq->StartTag(flow).IntegerUnits()));
+                               static_cast<int64_t>(decision_tag.IntegerUnits()),
+                               static_cast<uint32_t>(cpu));
     }
     cur = child;
   }
   Node& leaf = NodeRef(cur);
   const ThreadId thread = leaf.leaf->PickNext(now);
-  assert(thread != kInvalidThread && "runnable leaf with no runnable thread");
-  running_thread_ = thread;
-  running_leaf_ = cur;
+  assert(thread != kInvalidThread && "dispatchable leaf with no dispatchable thread");
+  assert(!IsRunning(thread) && "leaf handed out a thread that is already on a CPU");
+  running_.push_back(RunningEntry{thread, cur, cpu});
   if (tracer_ != nullptr) {
-    tracer_->RecordSchedule(now, cur, thread);
+    tracer_->RecordSchedule(now, cur, thread, static_cast<uint32_t>(cpu));
   }
   return thread;
 }
 
-void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool still_runnable) {
+void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool still_runnable,
+                                 int cpu) {
   ++update_count_;
-  assert(thread == running_thread_ && "Update must name the running thread");
-  if (tracer_ != nullptr) {
-    tracer_->RecordUpdate(now, running_leaf_, thread, used, still_runnable);
+  size_t idx = running_.size();
+  for (size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].thread == thread) {
+      idx = i;
+      break;
+    }
   }
-  Node& leaf = NodeRef(running_leaf_);
+  assert(idx < running_.size() && "Update must name a running thread");
+  assert(running_[idx].cpu == cpu && "Update must come from the CPU that dispatched");
+  (void)cpu;
+  const NodeId leaf_id = running_[idx].leaf;
+  running_.erase(running_.begin() + static_cast<ptrdiff_t>(idx));
+  if (tracer_ != nullptr) {
+    tracer_->RecordUpdate(now, leaf_id, thread, used, still_runnable,
+                          static_cast<uint32_t>(cpu));
+  }
+  Node& leaf = NodeRef(leaf_id);
   leaf.leaf->Charge(thread, used, now, still_runnable);
   leaf.runnable = leaf.leaf->HasRunnable();
-  leaf.in_service = false;
+  --leaf.in_service_count;
   leaf.total_service += used;
 
-  NodeId cur = running_leaf_;
+  NodeId cur = leaf_id;
   while (cur != kRootNode) {
     Node& n = NodeRef(cur);
     Node& p = NodeRef(n.parent);
     p.sfq->Complete(n.flow_in_parent, used, now, n.runnable);
-    p.runnable = p.sfq->HasBacklog();
-    p.in_service = false;
+    // Another CPU may still be dispatched through p (its flow is in service, not in the
+    // ready backlog), so runnability must account for outstanding services — the classic
+    // HasBacklog()-only formula silently marked such nodes idle.
+    p.runnable = p.sfq->HasBacklog() || p.sfq->InServiceCount() > 0;
+    --p.in_service_count;
     p.total_service += used;
     cur = n.parent;
   }
-  running_thread_ = kInvalidThread;
-  running_leaf_ = kInvalidNode;
 }
 
 bool SchedulingStructure::HasRunnable() const { return NodeRef(kRootNode).runnable; }
@@ -500,8 +647,11 @@ std::string SchedulingStructure::DebugString() const {
     if (n.runnable) {
       out += ", runnable";
     }
-    if (n.in_service) {
+    if (n.in_service()) {
       out += ", IN-SERVICE";
+      if (n.in_service_count > 1) {
+        out += " x" + std::to_string(n.in_service_count);
+      }
     }
     if (id != kRootNode) {
       out += ", S=" + NodeRef(n.parent).sfq->StartTag(n.flow_in_parent).ToString();

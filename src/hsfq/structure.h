@@ -61,6 +61,15 @@ class SchedulingStructure {
   // runnability across the move.
   Status MoveThread(ThreadId thread, NodeId to, const ThreadParams& params, Time now);
 
+  // hsfq_move of a whole class: re-attaches `node` (and its subtree) under the interior
+  // node `to`, preserving runnability. The node's SFQ tags are re-normalized against the
+  // destination parent's virtual time (paper §4 re-attachment rule): it joins as a fresh
+  // flow, so its next arrival stamps S = v_dest instead of carrying a stale tag from the
+  // (possibly much busier or idler) source parent. Fails when `node` is the root, on a
+  // dispatched path, a descendant cycle would form, `to` is a leaf, or a sibling of the
+  // same name exists.
+  Status MoveNode(NodeId node, NodeId to, Time now);
+
   // hsfq_admin operations.
   Status SetNodeWeight(NodeId node, Weight weight);
   StatusOr<Weight> GetNodeWeight(NodeId node) const;
@@ -84,21 +93,38 @@ class SchedulingStructure {
   void Sleep(ThreadId thread, Time now);
 
   // hsfq_schedule: walks the tree and returns the thread to run, or kInvalidThread when
-  // the system is idle. The returned thread stays "in service" until Update.
-  ThreadId Schedule(Time now);
+  // nothing is dispatchable. The returned thread stays "in service" until Update. On an
+  // SMP system each CPU calls this independently on the shared structure with its own
+  // `cpu` id (for trace attribution): a picked entity is marked on-cpu and skipped by
+  // the other CPUs' descents, so the same thread is never double-dispatched.
+  ThreadId Schedule(Time now, int cpu = 0);
 
   // hsfq_update: the in-service thread consumed `used` nanoseconds; charges the leaf
   // scheduler and the SFQ tags of every ancestor. `still_runnable=false` means the thread
-  // blocked or exited.
-  void Update(ThreadId thread, Work used, Time now, bool still_runnable);
+  // blocked or exited. `cpu` must match the Schedule that dispatched the thread.
+  void Update(ThreadId thread, Work used, Time now, bool still_runnable, int cpu = 0);
 
   // --- Introspection ---
 
   // True if any thread anywhere in the tree is runnable.
   bool HasRunnable() const;
 
-  // The thread currently dispatched (between Schedule and Update), if any.
-  ThreadId RunningThread() const { return running_thread_; }
+  // True if some runnable thread is not currently on a CPU — i.e. an idle CPU calling
+  // Schedule would receive a thread. Distinct from HasRunnable() only while another
+  // CPU holds a dispatch (between its Schedule and Update).
+  bool HasDispatchable() const { return Dispatchable(kRootNode); }
+
+  // The thread currently dispatched (between Schedule and Update), if any. With
+  // multiple CPUs dispatched, the oldest outstanding dispatch.
+  ThreadId RunningThread() const {
+    return running_.empty() ? kInvalidThread : running_.front().thread;
+  }
+
+  // True if `thread` is currently dispatched on some CPU.
+  bool IsRunning(ThreadId thread) const;
+
+  // Number of outstanding dispatches (0 or 1 on a single CPU).
+  size_t RunningCount() const { return running_.size(); }
 
   // Leaf node a thread belongs to.
   StatusOr<NodeId> LeafOf(ThreadId thread) const;
@@ -169,15 +195,21 @@ class SchedulingStructure {
     size_t thread_count = 0;  // threads attached (leaf nodes only)
     Work total_service = 0;   // cumulative service charged to this subtree
     bool runnable = false;    // some descendant thread is runnable
-    bool in_service = false;  // on the currently dispatched root->leaf path
+    // Number of dispatched root->leaf paths passing through this node (0 or 1 on a
+    // single CPU; up to ncpus on SMP, where several CPUs can serve one subtree).
+    uint32_t in_service_count = 0;
 
     bool is_leaf() const { return leaf != nullptr; }
+    bool in_service() const { return in_service_count > 0; }
   };
 
   NodeId AllocateNode();
   Node& NodeRef(NodeId id);
   const Node& NodeRef(NodeId id) const;
   Status ValidateLiveNode(NodeId id) const;
+
+  // True if the subtree rooted at `id` holds a runnable thread not already on a CPU.
+  bool Dispatchable(NodeId id) const;
 
   // Marks `node` runnable and arrives it in its parent, recursing upward until an
   // already-runnable ancestor (the paper's early-stop).
@@ -192,8 +224,13 @@ class SchedulingStructure {
   size_t node_count_ = 0;
   std::unordered_map<ThreadId, NodeId> thread_to_leaf_;
 
-  ThreadId running_thread_ = kInvalidThread;
-  NodeId running_leaf_ = kInvalidNode;
+  // Outstanding dispatches, in Schedule order (at most one per CPU).
+  struct RunningEntry {
+    ThreadId thread = kInvalidThread;
+    NodeId leaf = kInvalidNode;
+    int cpu = 0;
+  };
+  std::vector<RunningEntry> running_;
 
   htrace::Tracer* tracer_ = nullptr;
 

@@ -121,6 +121,10 @@ bool EdfScheduler::HasRunnable() const {
   return !ready_.empty() || in_service_ != hsfq::kInvalidThread;
 }
 
+bool EdfScheduler::HasDispatchable() const {
+  return in_service_ == hsfq::kInvalidThread && !ready_.empty();
+}
+
 bool EdfScheduler::IsThreadRunnable(ThreadId thread) const {
   const auto it = threads_.find(thread);
   if (it == threads_.end()) {

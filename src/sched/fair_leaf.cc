@@ -85,6 +85,10 @@ bool FairLeafScheduler::HasRunnable() const {
   return queue_->HasBacklog() || in_service_ != hsfq::kInvalidThread;
 }
 
+bool FairLeafScheduler::HasDispatchable() const {
+  return in_service_ == hsfq::kInvalidThread && queue_->HasBacklog();
+}
+
 bool FairLeafScheduler::IsThreadRunnable(ThreadId thread) const {
   const auto it = threads_.find(thread);
   if (it == threads_.end()) {

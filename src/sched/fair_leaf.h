@@ -37,6 +37,9 @@ class FairLeafScheduler : public hsfq::LeafScheduler {
   void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
               bool still_runnable) override;
   bool HasRunnable() const override;
+  // Single-service class: can feed one CPU at a time, so another CPU may only
+  // dispatch here when no thread of this class is currently on a CPU.
+  bool HasDispatchable() const override;
   bool IsThreadRunnable(ThreadId thread) const override;
   std::string Name() const override { return queue_->Name() + "-leaf"; }
 

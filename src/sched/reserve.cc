@@ -170,6 +170,11 @@ bool ReserveScheduler::HasRunnable() const {
          in_service_ != hsfq::kInvalidThread;
 }
 
+bool ReserveScheduler::HasDispatchable() const {
+  return in_service_ == hsfq::kInvalidThread &&
+         (!reserved_.empty() || !background_.empty());
+}
+
 bool ReserveScheduler::IsThreadRunnable(ThreadId thread) const {
   const auto it = threads_.find(thread);
   if (it == threads_.end()) {

@@ -122,6 +122,10 @@ bool RmaScheduler::HasRunnable() const {
   return !ready_.empty() || in_service_ != hsfq::kInvalidThread;
 }
 
+bool RmaScheduler::HasDispatchable() const {
+  return in_service_ == hsfq::kInvalidThread && !ready_.empty();
+}
+
 bool RmaScheduler::IsThreadRunnable(ThreadId thread) const {
   const auto it = threads_.find(thread);
   if (it == threads_.end()) {

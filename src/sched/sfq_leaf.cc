@@ -24,7 +24,7 @@ hscommon::Status SfqLeafScheduler::AddThread(ThreadId thread, const ThreadParams
 void SfqLeafScheduler::RemoveThread(ThreadId thread) {
   const auto it = threads_.find(thread);
   assert(it != threads_.end());
-  assert(thread != in_service_);
+  assert(!sfq_.IsInService(it->second.flow));
   RevokeDonation(thread);
   assert(it->second.donated_in == 0 && "remove a donation recipient's donors first");
   if (it->second.runnable) {
@@ -53,7 +53,7 @@ hscommon::Status SfqLeafScheduler::SetThreadParams(ThreadId thread,
 
 void SfqLeafScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
   auto& state = threads_.at(thread);
-  assert(!state.runnable && thread != in_service_);
+  assert(!state.runnable && !sfq_.IsInService(state.flow));
   sfq_.Arrive(state.flow, now);
   state.runnable = true;
 }
@@ -61,34 +61,33 @@ void SfqLeafScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
 void SfqLeafScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
   (void)now;
   auto& state = threads_.at(thread);
-  assert(state.runnable && thread != in_service_);
+  assert(state.runnable && !sfq_.IsInService(state.flow));
   sfq_.Depart(state.flow);
   state.runnable = false;
 }
 
 ThreadId SfqLeafScheduler::PickNext(hscommon::Time now) {
-  assert(in_service_ == hsfq::kInvalidThread);
   const hfair::FlowId flow = sfq_.PickNext(now);
   if (flow == hfair::kInvalidFlow) {
     return hsfq::kInvalidThread;
   }
+  // A thread serves one CPU at a time (the inner SFQ popped this flow; a second pick
+  // selects a different one), so each in-service flow maps to a distinct running thread.
   const ThreadId tid = flow_to_thread_[flow];
   assert(tid != hsfq::kInvalidThread);
-  in_service_ = tid;
   return tid;
 }
 
 void SfqLeafScheduler::Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
                               bool still_runnable) {
-  assert(thread == in_service_);
   auto& state = threads_.at(thread);
+  assert(sfq_.IsInService(state.flow));
   sfq_.Complete(state.flow, used, now, still_runnable);
   state.runnable = still_runnable;
-  in_service_ = hsfq::kInvalidThread;
 }
 
 bool SfqLeafScheduler::HasRunnable() const {
-  return sfq_.HasBacklog() || in_service_ != hsfq::kInvalidThread;
+  return sfq_.HasBacklog() || sfq_.InServiceCount() > 0;
 }
 
 void SfqLeafScheduler::ApplyEffectiveWeight(ThreadId thread) {
@@ -131,7 +130,7 @@ bool SfqLeafScheduler::IsThreadRunnable(ThreadId thread) const {
   if (it == threads_.end()) {
     return false;
   }
-  return it->second.runnable || thread == in_service_;
+  return it->second.runnable || sfq_.IsInService(it->second.flow);
 }
 
 }  // namespace hleaf

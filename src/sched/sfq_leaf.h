@@ -29,6 +29,9 @@ class SfqLeafScheduler : public hsfq::LeafScheduler {
   void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
               bool still_runnable) override;
   bool HasRunnable() const override;
+  // Multi-service capable: the inner SFQ tracks one in-service flow per CPU, so the
+  // leaf can feed as many CPUs as it has runnable threads.
+  bool HasDispatchable() const override { return sfq_.HasBacklog(); }
   bool IsThreadRunnable(ThreadId thread) const override;
   std::string Name() const override { return "SFQ-leaf"; }
 
@@ -70,11 +73,10 @@ class SfqLeafScheduler : public hsfq::LeafScheduler {
 
   void ApplyEffectiveWeight(ThreadId thread);
 
-  hfair::Sfq sfq_;
+  hfair::Sfq sfq_;  // also tracks which flows are in service (one per serving CPU)
   std::unordered_map<ThreadId, ThreadState> threads_;
   std::vector<ThreadId> flow_to_thread_;  // indexed by FlowId
   std::unordered_map<ThreadId, ThreadId> donations_;  // donor -> recipient
-  ThreadId in_service_ = hsfq::kInvalidThread;
 };
 
 }  // namespace hleaf

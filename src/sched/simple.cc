@@ -6,63 +6,66 @@
 namespace hleaf {
 
 hscommon::Status QueueScheduler::AddThread(ThreadId thread, const ThreadParams& /*params*/) {
-  if (runnable_.contains(thread)) {
+  if (threads_.contains(thread)) {
     return hscommon::AlreadyExists("thread already in this class");
   }
-  runnable_.emplace(thread, false);
+  threads_.emplace(thread, ThreadState{});
   return hscommon::Status::Ok();
 }
 
 void QueueScheduler::RemoveThread(ThreadId thread) {
-  const auto it = runnable_.find(thread);
-  assert(it != runnable_.end());
-  assert(thread != in_service_);
-  if (it->second) {
+  const auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  assert(!it->second.in_service);
+  if (it->second.queued) {
     queue_.erase(std::find(queue_.begin(), queue_.end(), thread));
   }
-  runnable_.erase(it);
+  threads_.erase(it);
 }
 
 hscommon::Status QueueScheduler::SetThreadParams(ThreadId thread,
                                                  const ThreadParams& /*params*/) {
-  if (!runnable_.contains(thread)) {
+  if (!threads_.contains(thread)) {
     return hscommon::NotFound("no such thread in this class");
   }
   return hscommon::Status::Ok();  // nothing tunable
 }
 
 void QueueScheduler::ThreadRunnable(ThreadId thread, hscommon::Time /*now*/) {
-  auto& flag = runnable_.at(thread);
-  assert(!flag && thread != in_service_);
-  flag = true;
+  auto& state = threads_.at(thread);
+  assert(!state.queued && !state.in_service);
+  state.queued = true;
   queue_.push_back(thread);
 }
 
 void QueueScheduler::ThreadBlocked(ThreadId thread, hscommon::Time /*now*/) {
-  auto& flag = runnable_.at(thread);
-  assert(flag && thread != in_service_);
+  auto& state = threads_.at(thread);
+  assert(state.queued && !state.in_service);
   queue_.erase(std::find(queue_.begin(), queue_.end(), thread));
-  flag = false;
+  state.queued = false;
 }
 
 ThreadId QueueScheduler::PickNext(hscommon::Time /*now*/) {
-  assert(in_service_ == hsfq::kInvalidThread);
   if (queue_.empty()) {
     return hsfq::kInvalidThread;
   }
   const ThreadId thread = queue_.front();
   queue_.pop_front();
-  runnable_.at(thread) = false;
-  in_service_ = thread;
+  auto& state = threads_.at(thread);
+  state.queued = false;
+  state.in_service = true;
+  ++in_service_count_;
   return thread;
 }
 
 void QueueScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Time /*now*/,
                             bool still_runnable) {
-  assert(thread == in_service_);
-  in_service_ = hsfq::kInvalidThread;
+  auto& state = threads_.at(thread);
+  assert(state.in_service);
+  state.in_service = false;
+  --in_service_count_;
   if (still_runnable) {
-    runnable_.at(thread) = true;
+    state.queued = true;
     if (RequeueAtTail()) {
       queue_.push_back(thread);
     } else {
@@ -72,15 +75,15 @@ void QueueScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::
 }
 
 bool QueueScheduler::HasRunnable() const {
-  return !queue_.empty() || in_service_ != hsfq::kInvalidThread;
+  return !queue_.empty() || in_service_count_ > 0;
 }
 
 bool QueueScheduler::IsThreadRunnable(ThreadId thread) const {
-  const auto it = runnable_.find(thread);
-  if (it == runnable_.end()) {
+  const auto it = threads_.find(thread);
+  if (it == threads_.end()) {
     return false;
   }
-  return it->second || thread == in_service_;
+  return it->second.queued || it->second.in_service;
 }
 
 }  // namespace hleaf

@@ -27,6 +27,9 @@ class QueueScheduler : public hsfq::LeafScheduler {
   void Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
               bool still_runnable) override;
   bool HasRunnable() const override;
+  // Multi-service capable: each pick pops a distinct queued thread, so the class can
+  // feed one CPU per queued thread.
+  bool HasDispatchable() const override { return !queue_.empty(); }
   bool IsThreadRunnable(ThreadId thread) const override;
 
  protected:
@@ -34,9 +37,14 @@ class QueueScheduler : public hsfq::LeafScheduler {
   virtual bool RequeueAtTail() const = 0;
 
  private:
-  std::unordered_map<ThreadId, bool> runnable_;
+  struct ThreadState {
+    bool queued = false;
+    bool in_service = false;
+  };
+
+  std::unordered_map<ThreadId, ThreadState> threads_;
   std::deque<ThreadId> queue_;
-  ThreadId in_service_ = hsfq::kInvalidThread;
+  size_t in_service_count_ = 0;
 };
 
 class RoundRobinScheduler : public QueueScheduler {

@@ -267,6 +267,10 @@ bool TsScheduler::HasRunnable() const {
   return runnable_count_ > 0 || in_service_ != hsfq::kInvalidThread;
 }
 
+bool TsScheduler::HasDispatchable() const {
+  return in_service_ == hsfq::kInvalidThread && runnable_count_ > 0;
+}
+
 bool TsScheduler::IsThreadRunnable(ThreadId thread) const {
   const auto it = threads_.find(thread);
   if (it == threads_.end()) {

@@ -8,7 +8,18 @@ namespace hsim {
 
 System::System() : System(Config{}) {}
 
-System::System(const Config& config) : config_(config) {}
+System::System(const Config& config) : config_(config) {
+  cpus_.resize(static_cast<size_t>(std::max(1, config_.ncpus)));
+}
+
+bool System::IsOnCpu(ThreadId thread) const {
+  for (const Cpu& c : cpus_) {
+    if (c.running == thread) {
+      return true;
+    }
+  }
+  return false;
+}
 
 System::~System() = default;
 
@@ -217,7 +228,7 @@ void System::WakeThreadDirect(Thread& t) {
 
 hscommon::Status System::Suspend(ThreadId thread) {
   Thread& t = ThreadRef(thread);
-  if (thread == running_) {
+  if (IsOnCpu(thread)) {
     // A quantum can be left in flight across a RunUntil horizon; suspending the
     // running thread there would corrupt the open slice. Report instead of aborting.
     ReportDiagnostic("suspend of running thread " + std::to_string(thread) + " refused");
@@ -240,7 +251,7 @@ hscommon::Status System::Kill(ThreadId thread) {
   if (t.stats.exited) {
     return hscommon::Status::Ok();
   }
-  if (thread == running_) {
+  if (IsOnCpu(thread)) {
     return hscommon::FailedPrecondition("thread " + std::to_string(thread) +
                                         " is mid-slice; kill it from a scripted event");
   }
@@ -376,6 +387,40 @@ void System::ServiceInterrupts() {
   }
 }
 
+void System::ServiceInterruptsSmp() {
+  for (InterruptSource& src : interrupt_sources_) {
+    if (src.next_arrival > now_) {
+      continue;
+    }
+    Work service = src.config.service;
+    if (src.config.exponential_service) {
+      service = std::max<Work>(
+          1, static_cast<Work>(src.prng.Exponential(static_cast<double>(service))));
+    }
+    const int cpu = std::clamp(src.config.cpu, 0, static_cast<int>(cpus_.size()) - 1);
+    if (tracer_ != nullptr) {
+      tracer_->RecordInterrupt(now_, service, static_cast<uint32_t>(cpu));
+    }
+    interrupt_time_ += service;
+    ++interrupt_count_;
+    // Stolen from the targeted CPU only: its open slice is stretched by the debt while
+    // the other CPUs keep computing. An interrupt landing on an idle CPU overlaps idle
+    // time and delays nothing.
+    if (cpus_[static_cast<size_t>(cpu)].running != hsfq::kInvalidThread) {
+      cpus_[static_cast<size_t>(cpu)].steal_debt += service;
+    }
+    if (src.config.arrival == InterruptSourceConfig::Arrival::kPeriodic) {
+      src.next_arrival += src.config.interval;
+    } else {
+      src.next_arrival += std::max<Time>(
+          1, static_cast<Time>(src.prng.Exponential(static_cast<double>(src.config.interval))));
+    }
+    if (src.next_arrival > src.config.end) {
+      src.next_arrival = hscommon::kTimeInfinity;  // active window over: source retires
+    }
+  }
+}
+
 void System::ProcessDueEvents() {
   while (events_.NextTime() <= now_) {
     events_.PopAndRun();
@@ -383,10 +428,11 @@ void System::ProcessDueEvents() {
 }
 
 void System::Dispatch() {
-  assert(running_ == hsfq::kInvalidThread);
+  Cpu& c0 = cpus_[0];
+  assert(c0.running == hsfq::kInvalidThread);
   const ThreadId tid = tree_.Schedule(now_);
   assert(tid != hsfq::kInvalidThread);
-  running_ = tid;
+  c0.running = tid;
   Thread& t = ThreadRef(tid);
   ++t.stats.dispatches;
   if (t.awaiting_first_dispatch) {
@@ -400,7 +446,7 @@ void System::Dispatch() {
   }
   Time overhead = config_.dispatch_overhead;
   if (fault_hooks_ != nullptr) {
-    overhead += std::max<Time>(0, fault_hooks_->OnDispatchOverhead(tid, now_));
+    overhead += std::max<Time>(0, fault_hooks_->OnDispatchOverhead(tid, now_, /*cpu=*/0));
   }
   if (overhead > 0) {
     now_ += overhead;
@@ -409,28 +455,74 @@ void System::Dispatch() {
   const Work preferred = tree_.PreferredQuantumOf(tid);
   Work quantum = preferred > 0 ? preferred : config_.default_quantum;
   if (fault_hooks_ != nullptr) {
-    quantum = std::max<Work>(1, fault_hooks_->OnQuantumGrant(tid, quantum, now_));
+    quantum = std::max<Work>(1, fault_hooks_->OnQuantumGrant(tid, quantum, now_, /*cpu=*/0));
   }
-  slice_quantum_left_ = quantum;
-  slice_used_ = 0;
+  c0.quantum_left = quantum;
+  c0.used = 0;
   if (tracer_ != nullptr) {
-    tracer_->RecordDispatch(now_, tid, slice_quantum_left_);
+    tracer_->RecordDispatch(now_, tid, c0.quantum_left);
   }
 }
 
-void System::EndSlice(bool still_runnable) {
-  assert(running_ != hsfq::kInvalidThread);
-  Thread& t = ThreadRef(running_);
-  tree_.Update(running_, slice_used_, now_, still_runnable);
+void System::DispatchOn(int cpu) {
+  Cpu& c = cpus_[static_cast<size_t>(cpu)];
+  assert(c.running == hsfq::kInvalidThread);
+  const ThreadId tid = tree_.Schedule(now_, cpu);
+  assert(tid != hsfq::kInvalidThread);
+  c.running = tid;
+  Thread& t = ThreadRef(tid);
+  ++t.stats.dispatches;
+  if (t.awaiting_first_dispatch) {
+    const auto latency = static_cast<double>(now_ - t.last_wake);
+    t.stats.sched_latency.Add(latency);
+    if (t.stats.latency_samples.size() < config_.max_latency_samples ||
+        config_.max_latency_samples == 0) {
+      t.stats.latency_samples.push_back(latency);
+    }
+    t.awaiting_first_dispatch = false;
+  }
+  Time overhead = config_.dispatch_overhead;
+  if (fault_hooks_ != nullptr) {
+    overhead += std::max<Time>(0, fault_hooks_->OnDispatchOverhead(tid, now_, cpu));
+  }
+  if (overhead > 0) {
+    // Charged as this CPU's private stolen time: the other CPUs keep computing while
+    // this one context-switches (unlike the single-CPU path, where overhead advances
+    // the one global clock).
+    c.steal_debt += overhead;
+    overhead_time_ += overhead;
+  }
+  const Work preferred = tree_.PreferredQuantumOf(tid);
+  Work quantum = preferred > 0 ? preferred : config_.default_quantum;
+  if (fault_hooks_ != nullptr) {
+    quantum = std::max<Work>(1, fault_hooks_->OnQuantumGrant(tid, quantum, now_, cpu));
+  }
+  c.quantum_left = quantum;
+  c.used = 0;
+  if (tracer_ != nullptr) {
+    tracer_->RecordDispatch(now_, tid, c.quantum_left, static_cast<uint32_t>(cpu));
+  }
+}
+
+void System::EndSlice(int cpu, bool still_runnable) {
+  Cpu& c = cpus_[static_cast<size_t>(cpu)];
+  assert(c.running != hsfq::kInvalidThread);
+  Thread& t = ThreadRef(c.running);
+  tree_.Update(c.running, c.used, now_, still_runnable, cpu);
   t.runnable = still_runnable;
-  running_ = hsfq::kInvalidThread;
-  slice_used_ = 0;
-  slice_quantum_left_ = 0;
+  c.running = hsfq::kInvalidThread;
+  c.used = 0;
+  c.quantum_left = 0;
 }
 
 void System::RunUntil(Time until) {
+  if (cpus_.size() > 1) {
+    RunUntilSmp(until);
+    return;
+  }
+  Cpu& c0 = cpus_[0];
   while (now_ < until) {
-    if (running_ == hsfq::kInvalidThread) {
+    if (c0.running == hsfq::kInvalidThread) {
       if (events_.NextTime() <= now_) {
         ProcessDueEvents();
         continue;
@@ -454,8 +546,8 @@ void System::RunUntil(Time until) {
       continue;
     }
 
-    Thread& t = ThreadRef(running_);
-    const Work service_left = std::min(slice_quantum_left_, t.burst_remaining);
+    Thread& t = ThreadRef(c0.running);
+    const Work service_left = std::min(c0.quantum_left, t.burst_remaining);
     const Time slice_end = now_ + service_left;
     // Events (or interrupt arrivals) can be overdue when interrupt service pushed the
     // clock past them; clamp so the slice never accrues negative service.
@@ -463,8 +555,8 @@ void System::RunUntil(Time until) {
         now_, std::min({slice_end, events_.NextTime(), NextInterruptTime(), until}));
     const Work served = stop - now_;
     now_ = stop;
-    slice_used_ += served;
-    slice_quantum_left_ -= served;
+    c0.used += served;
+    c0.quantum_left -= served;
     t.burst_remaining -= served;
     t.stats.total_service += served;
     total_service_ += served;
@@ -472,15 +564,15 @@ void System::RunUntil(Time until) {
     if (stop == slice_end) {
       if (t.burst_remaining == 0) {
         if (!RefillBurst(t)) {
-          EndSlice(/*still_runnable=*/false);  // slept or exited
+          EndSlice(0, /*still_runnable=*/false);  // slept or exited
           continue;
         }
-        if (slice_quantum_left_ == 0) {
-          EndSlice(/*still_runnable=*/true);  // quantum also expired
+        if (c0.quantum_left == 0) {
+          EndSlice(0, /*still_runnable=*/true);  // quantum also expired
         }
         continue;  // same slice continues into the next burst
       }
-      EndSlice(/*still_runnable=*/true);  // quantum expiry
+      EndSlice(0, /*still_runnable=*/true);  // quantum expiry
       continue;
     }
     if (now_ >= until) {
@@ -494,8 +586,111 @@ void System::RunUntil(Time until) {
       continue;
     }
     // A timer/wakeup/scripted event preempts the slice.
-    EndSlice(/*still_runnable=*/true);
+    EndSlice(0, /*still_runnable=*/true);
     ProcessDueEvents();
+  }
+}
+
+void System::RunUntilSmp(Time until) {
+  const size_t ncpus = cpus_.size();
+  while (now_ < until) {
+    if (events_.NextTime() <= now_) {
+      // A global tick: every CPU is preempted (in cpu-id order, keeping the run
+      // deterministic), then the due events run against a fully-quiesced tree.
+      for (size_t ci = 0; ci < ncpus; ++ci) {
+        if (cpus_[ci].running != hsfq::kInvalidThread) {
+          EndSlice(static_cast<int>(ci), /*still_runnable=*/true);
+        }
+      }
+      ProcessDueEvents();
+      continue;
+    }
+    if (NextInterruptTime() <= now_) {
+      ServiceInterruptsSmp();
+      continue;
+    }
+
+    // Fill idle CPUs, lowest id first: work-conserving as long as the shared tree has
+    // a dispatchable thread.
+    for (size_t ci = 0; ci < ncpus; ++ci) {
+      if (cpus_[ci].running == hsfq::kInvalidThread && tree_.HasDispatchable()) {
+        DispatchOn(static_cast<int>(ci));
+      }
+    }
+
+    // Advance to the earliest of: next stimulus, the horizon, or a CPU finishing its
+    // slice (its steal debt burned plus the rest of min(quantum, burst)).
+    Time stop = std::min({events_.NextTime(), NextInterruptTime(), until});
+    size_t busy = 0;
+    for (Cpu& c : cpus_) {
+      if (c.running == hsfq::kInvalidThread) {
+        continue;
+      }
+      ++busy;
+      const Thread& t = ThreadRef(c.running);
+      stop = std::min(stop,
+                      now_ + c.steal_debt + std::min(c.quantum_left, t.burst_remaining));
+    }
+
+    if (busy == 0) {
+      // The whole machine is idle: jump to the next stimulus.
+      const Time next = std::min({events_.NextTime(), NextInterruptTime(), until});
+      assert(next > now_);
+      if (tracer_ != nullptr) {
+        for (size_t ci = 0; ci < ncpus; ++ci) {
+          tracer_->RecordIdle(now_, next, static_cast<uint32_t>(ci));
+        }
+      }
+      idle_time_ += (next - now_) * static_cast<Time>(ncpus);
+      now_ = next;
+      continue;
+    }
+
+    assert(stop >= now_);
+    const Time seg = stop - now_;
+    if (seg > 0) {
+      idle_time_ += seg * static_cast<Time>(ncpus - busy);
+      for (Cpu& c : cpus_) {
+        if (c.running == hsfq::kInvalidThread) {
+          continue;
+        }
+        const Time burn = std::min(seg, c.steal_debt);
+        c.steal_debt -= burn;
+        const Work served = seg - burn;
+        if (served > 0) {
+          Thread& t = ThreadRef(c.running);
+          c.used += served;
+          c.quantum_left -= served;
+          t.burst_remaining -= served;
+          t.stats.total_service += served;
+          total_service_ += served;
+        }
+      }
+      now_ = stop;
+    }
+
+    // Close out any slice that ran to completion (again in cpu-id order). Slices still
+    // in flight at the horizon stay in flight, exactly like the single-CPU path.
+    for (size_t ci = 0; ci < ncpus; ++ci) {
+      Cpu& c = cpus_[ci];
+      if (c.running == hsfq::kInvalidThread || c.steal_debt > 0) {
+        continue;
+      }
+      Thread& t = ThreadRef(c.running);
+      if (t.burst_remaining == 0) {
+        if (!RefillBurst(t)) {
+          EndSlice(static_cast<int>(ci), /*still_runnable=*/false);  // slept or exited
+          continue;
+        }
+        if (c.quantum_left == 0) {
+          EndSlice(static_cast<int>(ci), /*still_runnable=*/true);  // quantum also expired
+        }
+        continue;  // same slice continues into the next burst
+      }
+      if (c.quantum_left == 0) {
+        EndSlice(static_cast<int>(ci), /*still_runnable=*/true);  // quantum expiry
+      }
+    }
   }
 }
 

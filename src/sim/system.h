@@ -1,19 +1,28 @@
-// The simulated machine: one CPU, a hierarchical scheduling structure, threads with
+// The simulated machine: N CPUs, a hierarchical scheduling structure, threads with
 // workloads, interrupt sources, and scripted actions. This substitutes for the paper's
 // Solaris 2.4 / SPARCstation 10 testbed (DESIGN.md §2).
 //
 // Execution model:
-//   * The dispatcher obtains a thread from SchedulingStructure::Schedule(), runs it for a
-//     slice of min(quantum, runnable work), and charges the consumed service back through
-//     SchedulingStructure::Update() — exactly the hsfq_schedule()/hsfq_update() cycle of
-//     the paper's kernel hooks.
+//   * Each CPU's dispatcher obtains a thread from SchedulingStructure::Schedule(), runs
+//     it for a slice of min(quantum, runnable work), and charges the consumed service
+//     back through SchedulingStructure::Update() — exactly the
+//     hsfq_schedule()/hsfq_update() cycle of the paper's kernel hooks. The structure is
+//     shared: a picked entity is marked on-cpu and skipped by the other CPUs, so the
+//     dispatch is work-conserving without ever double-running a thread.
 //   * Interrupt sources steal wall-clock time at the highest priority WITHOUT ending the
 //     running thread's quantum: service time != wall time, making the CPU a Fluctuation
-//     Constrained server as in the paper's analysis (§3.1).
+//     Constrained server as in the paper's analysis (§3.1). Each source targets one CPU
+//     (InterruptSourceConfig::cpu); on an SMP run the other CPUs keep computing while
+//     the targeted CPU's slice is stretched.
 //   * Timer/wakeup/scripted events preempt the running slice (the consumed part is
-//     charged, the thread re-queued), mirroring kernel preemption on wakeup.
+//     charged, the thread re-queued), mirroring kernel preemption on wakeup. On SMP
+//     every CPU is preempted at an event boundary (a global tick), keeping the machine
+//     deterministic: CPUs are always serviced in cpu-id order.
 //   * Every dispatch may charge a configurable context-switch overhead (stolen time),
 //     which the Figure 7 overhead experiment sets from measured microbenchmark values.
+//
+// With Config::ncpus == 1 the machine takes the original single-CPU path and produces
+// byte-identical traces to pre-SMP builds.
 
 #ifndef HSCHED_SRC_SIM_SYSTEM_H_
 #define HSCHED_SRC_SIM_SYSTEM_H_
@@ -53,6 +62,9 @@ struct InterruptSourceConfig {
   // a source live for the whole run; fault-injected interrupt storms use a finite window.
   Time start = 0;
   Time end = hscommon::kTimeInfinity;
+  // CPU whose wall clock this source steals (clamped to the machine's CPU count).
+  // Single-CPU machines ignore it.
+  int cpu = 0;
 };
 
 // Decision-point hooks a fault injector (src/fault) installs to perturb the machine.
@@ -67,14 +79,18 @@ class FaultHooks {
   // postponed delivery is NOT re-intercepted, so faults cannot compound unboundedly.
   virtual Time OnWakeupDelivery(hsfq::ThreadId /*thread*/, Time /*now*/) { return 0; }
 
-  // Called once per dispatch with the quantum the scheduler granted. Return the
-  // (possibly skewed/jittered) quantum to actually program; values < 1 are clamped.
-  virtual Work OnQuantumGrant(hsfq::ThreadId /*thread*/, Work quantum, Time /*now*/) {
+  // Called once per dispatch with the quantum the scheduler granted and the dispatching
+  // CPU. Return the (possibly skewed/jittered) quantum to actually program; values < 1
+  // are clamped.
+  virtual Work OnQuantumGrant(hsfq::ThreadId /*thread*/, Work quantum, Time /*now*/,
+                              int /*cpu*/) {
     return quantum;
   }
 
   // Extra context-switch cost for this dispatch, added to Config::dispatch_overhead.
-  virtual Time OnDispatchOverhead(hsfq::ThreadId /*thread*/, Time /*now*/) { return 0; }
+  virtual Time OnDispatchOverhead(hsfq::ThreadId /*thread*/, Time /*now*/, int /*cpu*/) {
+    return 0;
+  }
 };
 
 // A recoverable anomaly the simulator survived instead of aborting on: misuse of the
@@ -116,6 +132,10 @@ class System {
     // leaves, priority inheritance for RMA) when threads of the same class contend on a
     // simulated mutex. Off reproduces classic unbounded inversion.
     bool inversion_remedy = true;
+    // Number of CPUs. 1 (the default) takes the original single-CPU path and is
+    // byte-compatible with pre-SMP traces; with more, every CPU dispatches
+    // independently against the shared scheduling structure.
+    int ncpus = 1;
   };
 
   System();
@@ -220,9 +240,13 @@ class System {
   Time overhead_time() const { return overhead_time_; }
   // Total CPU service delivered to threads so far.
   Work total_service() const { return total_service_; }
-  // Total wall time the CPU spent idle so far.
+  // Total CPU-seconds of idleness so far, summed across CPUs: with k of n CPUs idle for
+  // a wall gap g, idle_time grows by k*g.
   Time idle_time() const { return idle_time_; }
   uint64_t interrupt_count() const { return interrupt_count_; }
+  int ncpus() const { return static_cast<int>(cpus_.size()); }
+  // Thread currently in a slice on `cpu` (kInvalidThread when that CPU is idle).
+  ThreadId RunningOn(int cpu) const { return cpus_.at(static_cast<size_t>(cpu)).running; }
 
  private:
   struct Thread {
@@ -278,21 +302,35 @@ class System {
   bool LockMutex(MutexId id, Thread& t);
   void UnlockMutex(MutexId id, Thread& t);
 
-  // Ends the running slice, charging `used` service; rc says whether the thread is still
-  // runnable. Clears running state.
-  void EndSlice(bool still_runnable);
+  // Ends the slice open on `cpu`, charging its accrued service; still_runnable says
+  // whether the thread can be re-queued. Clears that CPU's running state.
+  void EndSlice(int cpu, bool still_runnable);
 
-  // Picks the next thread and opens a slice. Requires no running thread.
+  // Picks the next thread and opens a slice on `cpu`. Requires that CPU idle. The
+  // single-CPU variant charges dispatch overhead as global stolen wall time (the
+  // original semantics); the SMP variant charges it as that CPU's private steal debt.
   void Dispatch();
+  void DispatchOn(int cpu);
+
+  // True if `thread` is mid-slice on some CPU.
+  bool IsOnCpu(ThreadId thread) const;
 
   // Earliest pending interrupt arrival across sources (kTimeInfinity if none).
   Time NextInterruptTime() const;
 
-  // Processes the due interrupt(s) at now_: steals their service time.
+  // Processes the due interrupt(s) at now_: steals their service time. The single-CPU
+  // variant advances the global clock (stretching the open slice); the SMP variant
+  // books the stolen time as steal debt on the targeted CPU so the other CPUs keep
+  // computing through it.
   void ServiceInterrupts();
+  void ServiceInterruptsSmp();
 
   // Runs every event whose time has been reached.
   void ProcessDueEvents();
+
+  // The SMP dispatch loop (Config::ncpus > 1). RunUntil forwards to it; ncpus == 1
+  // keeps the original single-CPU loop, byte for byte.
+  void RunUntilSmp(Time until);
 
   Config config_;
   htrace::Tracer* tracer_ = nullptr;
@@ -307,9 +345,19 @@ class System {
   uint64_t diagnostic_count_ = 0;
 
   Time now_ = 0;
-  ThreadId running_ = hsfq::kInvalidThread;
-  Work slice_quantum_left_ = 0;
-  Work slice_used_ = 0;
+
+  // Per-CPU run state. cpus_[0] is "the" CPU of a single-CPU machine.
+  struct Cpu {
+    ThreadId running = hsfq::kInvalidThread;  // thread mid-slice, or idle
+    Work quantum_left = 0;                    // remaining quantum of the open slice
+    Work used = 0;                            // service accrued by the open slice
+    // Wall time this CPU must burn (interrupt service, dispatch overhead) before its
+    // thread accrues more service — how one CPU's slice is "stretched" while the
+    // others keep computing. SMP path only; the single-CPU path stretches by advancing
+    // the global clock directly.
+    Time steal_debt = 0;
+  };
+  std::vector<Cpu> cpus_;
 
   Time interrupt_time_ = 0;
   Time overhead_time_ = 0;

@@ -22,10 +22,11 @@
 namespace htrace {
 
 enum class EventType : uint8_t {
-  kTraceStart = 0,   // ring capacity in a
+  kTraceStart = 0,   // ring capacity in a; b = CPU count when tracing an SMP run
+                     // (0 for single-CPU traces, so old recordings stay byte-identical)
   // Structure management (the paper's hsfq_mknod / hsfq_rmnod / hsfq_admin).
   kMakeNode = 1,     // node = new node, a = parent, b = weight, flags = 1 if leaf,
-                     // name = first 17 chars of the path component
+                     // name = first 15 chars of the path component
   kRemoveNode = 2,   // node removed
   kSetWeight = 3,    // node, a = new weight
   kAttachThread = 4, // node = leaf, a = thread, b = params.weight
@@ -40,20 +41,21 @@ enum class EventType : uint8_t {
   kSchedule = 10,    // node = leaf whose class scheduler picked, a = thread
   kUpdate = 11,      // node = leaf, a = thread, b = service used, flags = still_runnable
   // Simulator events (hsim::System).
-  kThreadName = 12,  // node = leaf, a = thread, name = first 17 chars of the name
+  kThreadName = 12,  // node = leaf, a = thread, name = first 15 chars of the name
   kDispatch = 13,    // a = thread, b = quantum granted
   kInterrupt = 14,   // b = CPU time stolen by the interrupt
   kIdle = 15,        // a = wall time the CPU went idle until, b = idle duration
   // Fault injection (src/fault). Marks where a FaultInjector perturbed the run, so
   // divergence analysis can anchor the blast radius to the injection point.
   kFault = 16,       // a = target thread (or ~0), b = magnitude (ns), name = fault kind
+  kMoveNode = 17,    // node = moved node, a = new parent (hsfq_move of a whole class)
 };
 
 // Human-readable tag, for dumps and diff reports.
 const char* EventTypeName(EventType type);
 
 // Capacity of TraceEvent::name (including the NUL when the string is shorter).
-inline constexpr size_t kEventNameCapacity = 18;
+inline constexpr size_t kEventNameCapacity = 16;
 
 struct TraceEvent {
   hscommon::Time time;  // simulated wall clock of the decision
@@ -63,6 +65,7 @@ struct TraceEvent {
   EventType type;
   uint8_t flags;                  // still_runnable / is_leaf bits
   char name[kEventNameCapacity];  // NUL-padded component or thread name
+  uint16_t cpu;                   // CPU the decision ran on (0 on single-CPU runs)
 };
 
 // The byte-diff oracle depends on the record having no padding holes: every byte of a
@@ -74,7 +77,7 @@ static_assert(std::is_trivially_copyable_v<TraceEvent>);
 // on-disk bytes are deterministic.
 inline TraceEvent MakeEvent(EventType type, hscommon::Time time, uint32_t node,
                             uint64_t a, int64_t b, uint8_t flags = 0,
-                            std::string_view name = {}) {
+                            std::string_view name = {}, uint16_t cpu = 0) {
   TraceEvent e;
   std::memset(&e, 0, sizeof(e));
   e.time = time;
@@ -86,6 +89,7 @@ inline TraceEvent MakeEvent(EventType type, hscommon::Time time, uint32_t node,
   const size_t n = name.size() < kEventNameCapacity - 1 ? name.size()
                                                         : kEventNameCapacity - 1;
   std::memcpy(e.name, name.data(), n);
+  e.cpu = cpu;
   return e;
 }
 

@@ -75,6 +75,21 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
 
   w.Emit("\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
          "\"args\": {\"name\": \"hsched scheduling structure\"}");
+  // SMP traces get a second process with one track per CPU: what ran where, plus idle
+  // gaps. Single-CPU traces keep the exact pre-SMP output.
+  const bool smp = analyzer.cpus() > 1;
+  if (smp) {
+    w.Emit("\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 2, "
+           "\"args\": {\"name\": \"hsched cpus\"}");
+    for (int cpu = 0; cpu < analyzer.cpus(); ++cpu) {
+      w.Emit("\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 2, \"tid\": " +
+             std::to_string(cpu) + ", \"args\": {\"name\": \"cpu" +
+             std::to_string(cpu) + "\"}");
+      w.Emit("\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 2, \"tid\": " +
+             std::to_string(cpu) + ", \"args\": {\"sort_index\": " +
+             std::to_string(cpu) + "}");
+    }
+  }
   if (dropped > 0) {
     // Make truncation visible in the UI, not just in the metadata at the bottom.
     w.Emit("\"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \"tid\": 0, \"ts\": " +
@@ -91,19 +106,25 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
            "}");
   }
 
-  // Walk the stream pairing Schedule with the matching Update (exactly one dispatch is
-  // in flight at a time) and accumulating per-node service for the counters.
+  // Walk the stream pairing Schedule with the matching Update (one dispatch in flight
+  // per CPU, so the pairing state is keyed by the recording CPU) and accumulating
+  // per-node service for the counters.
   std::map<uint32_t, hscommon::Work> service;
-  bool pending = false;
-  hscommon::Time sched_time = 0;
-  uint64_t sched_thread = 0;
+  struct PendingSchedule {
+    bool pending = false;
+    hscommon::Time time = 0;
+    uint64_t thread = 0;
+  };
+  std::map<uint16_t, PendingSchedule> pending_by_cpu;
   for (const TraceEvent& e : events) {
     switch (e.type) {
-      case EventType::kSchedule:
-        pending = true;
-        sched_time = e.time;
-        sched_thread = e.a;
+      case EventType::kSchedule: {
+        PendingSchedule& p = pending_by_cpu[e.cpu];
+        p.pending = true;
+        p.time = e.time;
+        p.thread = e.a;
         break;
+      }
       case EventType::kSetRun: {
         w.Emit("\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": " +
                std::to_string(e.node) + ", \"ts\": " + Us(e.time) +
@@ -119,11 +140,19 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
                ", \"magnitude_ns\": " + std::to_string(e.b) + "}");
         break;
       }
+      case EventType::kIdle:
+        if (smp) {
+          w.Emit("\"ph\": \"X\", \"cat\": \"idle\", \"pid\": 2, \"tid\": " +
+                 std::to_string(e.cpu) + ", \"ts\": " + Us(e.time) + ", \"dur\": " +
+                 Us(e.b) + ", \"name\": \"idle\"");
+        }
+        break;
       case EventType::kUpdate: {
-        const hscommon::Time start = pending && sched_thread == e.a
-                                         ? sched_time
+        PendingSchedule& p = pending_by_cpu[e.cpu];
+        const hscommon::Time start = p.pending && p.thread == e.a
+                                         ? p.time
                                          : e.time - e.b;  // fall back to used-as-duration
-        pending = false;
+        p.pending = false;
         const std::string label = JsonEscape(ThreadLabel(analyzer, e.a));
         const std::string common =
             "\"ph\": \"X\", \"cat\": \"dispatch\", \"pid\": 1, \"ts\": " + Us(start) +
@@ -131,6 +160,14 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
             "\", \"args\": {\"thread\": " + std::to_string(e.a) +
             ", \"service_ns\": " + std::to_string(e.b) +
             ", \"still_runnable\": " + (e.flags ? "true" : "false") + "}";
+        // SMP: the slice also lands on the CPU it ran on.
+        if (smp) {
+          w.Emit("\"ph\": \"X\", \"cat\": \"dispatch\", \"pid\": 2, \"tid\": " +
+                 std::to_string(e.cpu) + ", \"ts\": " + Us(start) + ", \"dur\": " +
+                 Us(e.time - start) + ", \"name\": \"" + label +
+                 "\", \"args\": {\"thread\": " + std::to_string(e.a) +
+                 ", \"node\": " + std::to_string(e.node) + "}");
+        }
         // The slice appears on the leaf and every known ancestor track.
         const auto& nodes = analyzer.nodes();
         for (uint32_t cur = e.node;;) {
@@ -174,7 +211,7 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
 }
 
 Status ExportPerfettoJson(const Tracer& tracer, const std::string& path) {
-  return ExportPerfettoJson(tracer.ring().Snapshot(), path, tracer.ring().dropped());
+  return ExportPerfettoJson(tracer.MergedSnapshot(), path, tracer.TotalDropped());
 }
 
 }  // namespace htrace

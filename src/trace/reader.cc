@@ -39,6 +39,11 @@ TraceAnalyzer::TraceAnalyzer(const std::vector<TraceEvent>& events, uint64_t dro
     }
     last_time_ = std::max(last_time_, e.time);
     switch (e.type) {
+      case EventType::kTraceStart:
+        if (e.b > 1) {
+          cpus_ = static_cast<int>(e.b);
+        }
+        break;
       case EventType::kMakeNode: {
         const uint32_t parent_id = static_cast<uint32_t>(e.a);
         NodeInfo& parent = NodeOrPlaceholder(parent_id);
@@ -54,6 +59,9 @@ TraceAnalyzer::TraceAnalyzer(const std::vector<TraceEvent>& events, uint64_t dro
       }
       case EventType::kRemoveNode:
         NodeOrPlaceholder(e.node).removed = true;
+        break;
+      case EventType::kMoveNode:
+        ReparentNode(e.node, static_cast<uint32_t>(e.a));
         break;
       case EventType::kSetWeight:
         NodeOrPlaceholder(e.node).weight = e.a;
@@ -84,6 +92,30 @@ TraceAnalyzer::TraceAnalyzer(const std::vector<TraceEvent>& events, uint64_t dro
         break;
       default:
         break;
+    }
+  }
+}
+
+void TraceAnalyzer::ReparentNode(uint32_t id, uint32_t new_parent) {
+  NodeInfo& n = NodeOrPlaceholder(id);
+  NodeOrPlaceholder(new_parent);
+  n.parent = new_parent;
+  RebuildSubtreePaths(id);
+}
+
+void TraceAnalyzer::RebuildSubtreePaths(uint32_t id) {
+  NodeInfo& n = nodes_.at(id);
+  if (n.parent != kNoParent) {
+    const size_t slash = n.path.rfind('/');
+    // Placeholder nodes ("node:<id>") have no path component to carry over.
+    if (slash != std::string::npos) {
+      const NodeInfo& parent = nodes_.at(n.parent);
+      n.path = (parent.path == "/" ? "" : parent.path) + n.path.substr(slash);
+    }
+  }
+  for (auto& [child_id, child] : nodes_) {
+    if (child_id != id && child.parent == id) {
+      RebuildSubtreePaths(child_id);
     }
   }
 }

@@ -76,6 +76,10 @@ class TraceAnalyzer {
   Time first_time() const { return first_time_; }
   Time last_time() const { return last_time_; }
 
+  // CPUs the recording simulator had (from the kTraceStart marker; 1 for traces made
+  // before rings were per-CPU and for single-CPU runs).
+  int cpus() const { return cpus_; }
+
   // Events lost to ring wraparound before this stream (0 = complete trace). When
   // non-zero, the stream starts mid-scenario: early structural events may be missing
   // and absolute service totals undercount.
@@ -84,6 +88,8 @@ class TraceAnalyzer {
 
  private:
   NodeInfo& NodeOrPlaceholder(uint32_t id);
+  void ReparentNode(uint32_t id, uint32_t new_parent);
+  void RebuildSubtreePaths(uint32_t id);
 
   std::map<uint32_t, NodeInfo> nodes_;
   std::map<uint64_t, std::string> thread_names_;
@@ -93,6 +99,7 @@ class TraceAnalyzer {
   uint64_t dropped_ = 0;
   Time first_time_ = 0;
   Time last_time_ = 0;
+  int cpus_ = 1;
 };
 
 }  // namespace htrace

@@ -24,6 +24,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kInterrupt: return "Interrupt";
     case EventType::kIdle: return "Idle";
     case EventType::kFault: return "Fault";
+    case EventType::kMoveNode: return "MoveNode";
   }
   return "Unknown";
 }
@@ -35,6 +36,9 @@ std::string EventToString(const TraceEvent& event) {
                 static_cast<unsigned long long>(event.a), static_cast<long long>(event.b),
                 event.flags);
   std::string out(buf);
+  if (event.cpu != 0) {
+    out += " cpu=" + std::to_string(event.cpu);
+  }
   if (event.name[0] != '\0') {
     out += " name='";
     out.append(event.name,
@@ -68,7 +72,7 @@ TraceDiff DiffTraces(const std::vector<TraceEvent>& a, const std::vector<TraceEv
 }
 
 TraceDiff DiffTraces(const Tracer& a, const Tracer& b) {
-  return DiffTraces(a.ring().Snapshot(), b.ring().Snapshot());
+  return DiffTraces(a.MergedSnapshot(), b.MergedSnapshot());
 }
 
 }  // namespace htrace

@@ -46,7 +46,7 @@ Status WriteTraceFile(const std::vector<TraceEvent>& events, uint64_t dropped,
 }
 
 Status WriteTraceFile(const Tracer& tracer, const std::string& path) {
-  return WriteTraceFile(tracer.ring().Snapshot(), tracer.ring().dropped(), path);
+  return WriteTraceFile(tracer.MergedSnapshot(), tracer.TotalDropped(), path);
 }
 
 StatusOr<TraceFile> ReadTraceFile(const std::string& path) {

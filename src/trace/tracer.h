@@ -1,4 +1,4 @@
-// The scheduling tracer: typed Record* helpers over an EventRing.
+// The scheduling tracer: typed Record* helpers over per-CPU EventRings.
 //
 // One Tracer is attached to a SchedulingStructure (and, through hsim::System::SetTracer,
 // to the simulator) with a raw pointer; a null pointer means tracing is compiled down to
@@ -6,12 +6,21 @@
 // attached-but-disabled tracer costs one more branch. All Record helpers are inline and
 // allocation-free: they build a 48-byte POD on the stack and copy it into the
 // preallocated ring.
+//
+// An SMP simulator owns one ring per CPU (no cross-CPU ordering cost at record time);
+// MergedSnapshot() k-way-merges the rings into one stream ordered by (time,
+// slice-close-before-open, cpu ring, ring-local sequence) — the deterministic order the
+// replay oracle and the exporters consume. A single-CPU tracer (the default) has exactly one ring and behaves, byte for
+// byte, like it always has: every event carries cpu 0 and the kTraceStart marker keeps
+// b = 0.
 
 #ifndef HSCHED_SRC_TRACE_TRACER_H_
 #define HSCHED_SRC_TRACE_TRACER_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/trace/event.h"
@@ -22,105 +31,200 @@ namespace htrace {
 class Tracer {
  public:
   // Default capacity (1M events, 48 MiB) comfortably holds minutes of simulated
-  // dispatching; pass a smaller ring to keep only the most recent window.
+  // dispatching; pass a smaller ring to keep only the most recent window. The capacity
+  // is per ring: an SMP tracer preallocates `ncpus` rings of `capacity` events each.
   static constexpr size_t kDefaultCapacity = size_t{1} << 20;
 
-  explicit Tracer(size_t capacity = kDefaultCapacity) : ring_(capacity) {
-    ring_.Push(MakeEvent(EventType::kTraceStart, 0, 0,
-                         static_cast<uint64_t>(ring_.capacity()), 0, 0, "hsched"));
+  explicit Tracer(size_t capacity = kDefaultCapacity, int ncpus = 1) {
+    assert(ncpus >= 1);
+    rings_.reserve(static_cast<size_t>(ncpus));
+    for (int i = 0; i < ncpus; ++i) {
+      rings_.emplace_back(capacity);
+    }
+    PushStartMarker();
   }
 
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
-  const EventRing& ring() const { return ring_; }
+  int ncpus() const { return static_cast<int>(rings_.size()); }
+
+  // CPU 0's ring — the only ring of a single-CPU tracer, and the ring that carries the
+  // kTraceStart marker and all global (not-on-a-CPU) events of an SMP run.
+  const EventRing& ring() const { return rings_[0]; }
+  const EventRing& ring(int cpu) const { return rings_[static_cast<size_t>(cpu)]; }
+
+  // Events lost to wraparound across all rings.
+  uint64_t TotalDropped() const {
+    uint64_t dropped = 0;
+    for (const EventRing& r : rings_) {
+      dropped += r.dropped();
+    }
+    return dropped;
+  }
+
+  // The per-CPU rings merged into one stream: ordered by time, ties broken by ring
+  // index then ring-local sequence. Each ring is individually time-ordered (the
+  // simulated clock never goes backwards), so this is a stable k-way merge — the
+  // deterministic order consumed by WriteTraceFile, DiffTraces, and the exporters.
+  // For a single-CPU tracer it is exactly ring().Snapshot().
+  std::vector<TraceEvent> MergedSnapshot() const {
+    if (rings_.size() == 1) {
+      return rings_[0].Snapshot();
+    }
+    std::vector<TraceEvent> out;
+    size_t total = 0;
+    std::vector<size_t> pos(rings_.size(), 0);
+    for (const EventRing& r : rings_) {
+      total += r.size();
+    }
+    out.reserve(total);
+    // At equal timestamps the simulator's causal order is: close every due slice,
+    // then dispatch. Rank slice-closing events first so a cpu's kUpdate at time T
+    // merges ahead of another cpu's kSchedule at the same T — otherwise the merged
+    // stream would show the freed thread "double dispatched". Ties beyond that keep
+    // the lowest ring index. In-ring order is preserved by construction (a k-way
+    // merge only reorders across rings).
+    const auto rank = [](const TraceEvent& e) {
+      return e.type == EventType::kUpdate ? 0 : 1;
+    };
+    while (out.size() < total) {
+      size_t best = rings_.size();
+      for (size_t r = 0; r < rings_.size(); ++r) {
+        if (pos[r] >= rings_[r].size()) {
+          continue;
+        }
+        if (best == rings_.size()) {
+          best = r;
+          continue;
+        }
+        const TraceEvent& cand = rings_[r].At(pos[r]);
+        const TraceEvent& cur = rings_[best].At(pos[best]);
+        if (cand.time < cur.time ||
+            (cand.time == cur.time && rank(cand) < rank(cur))) {
+          best = r;  // strict ordering keeps the lowest ring index on full ties
+        }
+      }
+      out.push_back(rings_[best].At(pos[best]));
+      ++pos[best];
+    }
+    return out;
+  }
 
   // Drops every recorded event (the kTraceStart marker is re-emitted), e.g. when the
   // shell restarts tracing.
   void Clear() {
-    ring_.Clear();
-    ring_.Push(MakeEvent(EventType::kTraceStart, 0, 0,
-                         static_cast<uint64_t>(ring_.capacity()), 0, 0, "hsched"));
+    for (EventRing& r : rings_) {
+      r.Clear();
+    }
+    PushStartMarker();
   }
 
   // --- Structure management taps ---
 
   void RecordMakeNode(hscommon::Time now, uint32_t node, uint32_t parent,
-                      uint64_t weight, bool is_leaf, std::string_view name) {
+                      uint64_t weight, bool is_leaf, std::string_view name,
+                      uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kMakeNode, now, node, parent,
-                         static_cast<int64_t>(weight), is_leaf ? 1 : 0, name));
+    Push(cpu, MakeEvent(EventType::kMakeNode, now, node, parent,
+                        static_cast<int64_t>(weight), is_leaf ? 1 : 0, name,
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordRemoveNode(hscommon::Time now, uint32_t node) {
+  void RecordRemoveNode(hscommon::Time now, uint32_t node, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kRemoveNode, now, node, 0, 0));
+    Push(cpu, MakeEvent(EventType::kRemoveNode, now, node, 0, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordSetWeight(hscommon::Time now, uint32_t node, uint64_t weight) {
+  void RecordSetWeight(hscommon::Time now, uint32_t node, uint64_t weight,
+                       uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kSetWeight, now, node, weight, 0));
+    Push(cpu, MakeEvent(EventType::kSetWeight, now, node, weight, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
   void RecordAttachThread(hscommon::Time now, uint32_t leaf, uint64_t thread,
-                          uint64_t weight) {
+                          uint64_t weight, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kAttachThread, now, leaf, thread,
-                         static_cast<int64_t>(weight)));
+    Push(cpu, MakeEvent(EventType::kAttachThread, now, leaf, thread,
+                        static_cast<int64_t>(weight), 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordDetachThread(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+  void RecordDetachThread(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                          uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kDetachThread, now, leaf, thread, 0));
+    Push(cpu, MakeEvent(EventType::kDetachThread, now, leaf, thread, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordMoveThread(hscommon::Time now, uint32_t to_leaf, uint64_t thread) {
+  void RecordMoveThread(hscommon::Time now, uint32_t to_leaf, uint64_t thread,
+                        uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kMoveThread, now, to_leaf, thread, 0));
+    Push(cpu, MakeEvent(EventType::kMoveThread, now, to_leaf, thread, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
+  }
+  void RecordMoveNode(hscommon::Time now, uint32_t node, uint32_t to_parent,
+                      uint32_t cpu = 0) {
+    if (!enabled_) return;
+    Push(cpu, MakeEvent(EventType::kMoveNode, now, node, to_parent, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
 
   // --- Kernel-hook taps (the hot path) ---
 
-  void RecordSetRun(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+  void RecordSetRun(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                    uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kSetRun, now, leaf, thread, 0));
+    Push(cpu, MakeEvent(EventType::kSetRun, now, leaf, thread, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordSleep(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+  void RecordSleep(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                   uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kSleep, now, leaf, thread, 0));
+    Push(cpu, MakeEvent(EventType::kSleep, now, leaf, thread, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
   // `start_tag_units` is the integer part of the picked child's SFQ start tag — the
   // interior node's virtual time, which must never regress (src/fault checks it).
   void RecordPickChild(hscommon::Time now, uint32_t interior, uint32_t child,
-                       int64_t start_tag_units) {
+                       int64_t start_tag_units, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kPickChild, now, interior, child, start_tag_units));
+    Push(cpu, MakeEvent(EventType::kPickChild, now, interior, child, start_tag_units,
+                        0, {}, static_cast<uint16_t>(cpu)));
   }
-  void RecordSchedule(hscommon::Time now, uint32_t leaf, uint64_t thread) {
+  void RecordSchedule(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                      uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kSchedule, now, leaf, thread, 0));
+    Push(cpu, MakeEvent(EventType::kSchedule, now, leaf, thread, 0, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
   void RecordUpdate(hscommon::Time now, uint32_t leaf, uint64_t thread,
-                    hscommon::Work used, bool still_runnable) {
+                    hscommon::Work used, bool still_runnable, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kUpdate, now, leaf, thread, used,
-                         still_runnable ? 1 : 0));
+    Push(cpu, MakeEvent(EventType::kUpdate, now, leaf, thread, used,
+                        still_runnable ? 1 : 0, {}, static_cast<uint16_t>(cpu)));
   }
 
   // --- Simulator taps ---
 
   void RecordThreadName(hscommon::Time now, uint32_t leaf, uint64_t thread,
-                        std::string_view name) {
+                        std::string_view name, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kThreadName, now, leaf, thread, 0, 0, name));
+    Push(cpu, MakeEvent(EventType::kThreadName, now, leaf, thread, 0, 0, name,
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordDispatch(hscommon::Time now, uint64_t thread, hscommon::Work quantum) {
+  void RecordDispatch(hscommon::Time now, uint64_t thread, hscommon::Work quantum,
+                      uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kDispatch, now, 0, thread, quantum));
+    Push(cpu, MakeEvent(EventType::kDispatch, now, 0, thread, quantum, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordInterrupt(hscommon::Time now, hscommon::Work stolen) {
+  void RecordInterrupt(hscommon::Time now, hscommon::Work stolen, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kInterrupt, now, 0, 0, stolen));
+    Push(cpu, MakeEvent(EventType::kInterrupt, now, 0, 0, stolen, 0, {},
+                        static_cast<uint16_t>(cpu)));
   }
-  void RecordIdle(hscommon::Time now, hscommon::Time until) {
+  void RecordIdle(hscommon::Time now, hscommon::Time until, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kIdle, now, 0, static_cast<uint64_t>(until),
-                         until - now));
+    Push(cpu, MakeEvent(EventType::kIdle, now, 0, static_cast<uint64_t>(until),
+                        until - now, 0, {}, static_cast<uint16_t>(cpu)));
   }
 
   // --- Fault-injection taps (src/fault) ---
@@ -128,13 +232,28 @@ class Tracer {
   // `kind` is a short tag like "drop-wake"; `magnitude` is the fault's size in
   // nanoseconds (delay, stolen time, extra overhead) or 0 when not applicable.
   void RecordFault(hscommon::Time now, std::string_view kind, uint64_t thread,
-                   int64_t magnitude) {
+                   int64_t magnitude, uint32_t cpu = 0) {
     if (!enabled_) return;
-    ring_.Push(MakeEvent(EventType::kFault, now, 0, thread, magnitude, 0, kind));
+    Push(cpu, MakeEvent(EventType::kFault, now, 0, thread, magnitude, 0, kind,
+                        static_cast<uint16_t>(cpu)));
   }
 
  private:
-  EventRing ring_;
+  void Push(uint32_t cpu, const TraceEvent& event) {
+    assert(cpu < rings_.size());
+    rings_[cpu].Push(event);
+  }
+
+  void PushStartMarker() {
+    // b carries the CPU count only for genuinely SMP tracers so single-CPU traces stay
+    // byte-identical with recordings made before rings were per-CPU.
+    const int64_t smp_cpus = rings_.size() > 1 ? static_cast<int64_t>(rings_.size()) : 0;
+    rings_[0].Push(MakeEvent(EventType::kTraceStart, 0, 0,
+                             static_cast<uint64_t>(rings_[0].capacity()), smp_cpus, 0,
+                             "hsched"));
+  }
+
+  std::vector<EventRing> rings_;
   bool enabled_ = true;
 };
 

@@ -208,6 +208,115 @@ TEST(InvariantCheckerTest, DroppedEventsRelaxStructuralStrictness) {
   EXPECT_NE(relaxed.warnings()[0].find("123"), std::string::npos);
 }
 
+TEST(InvariantCheckerTest, AcceptsConcurrentSlicesOnDistinctCpus) {
+  // A merged SMP stream interleaves open slices of different CPUs; pairing is
+  // per CPU, so two concurrent slices of two threads must be clean.
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "leaf"));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 1, 7, 1));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 1, 8, 1));
+  events.push_back(MakeEvent(EventType::kSetRun, 0, 1, 7, 0));
+  events.push_back(MakeEvent(EventType::kSetRun, 0, 1, 8, 0));
+  events.push_back(MakeEvent(EventType::kSchedule, 10 * kMillisecond, 1, 7, 0, 0, {}, 0));
+  events.push_back(MakeEvent(EventType::kSchedule, 10 * kMillisecond, 1, 8, 0, 0, {}, 1));
+  events.push_back(MakeEvent(EventType::kUpdate, 30 * kMillisecond, 1, 7,
+                             20 * kMillisecond, 1, {}, 0));
+  events.push_back(MakeEvent(EventType::kUpdate, 30 * kMillisecond, 1, 8,
+                             20 * kMillisecond, 1, {}, 1));
+  const auto violations = InvariantChecker::Check(events);
+  EXPECT_TRUE(violations.empty()) << InvariantChecker::KindName(violations[0].kind)
+                                  << ": " << violations[0].what;
+}
+
+TEST(InvariantCheckerTest, DetectsDoubleDispatchAcrossCpus) {
+  // The same thread open on two CPUs at once: the no-double-dispatch invariant.
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "leaf"));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 1, 7, 1));
+  events.push_back(MakeEvent(EventType::kSetRun, 0, 1, 7, 0));
+  events.push_back(MakeEvent(EventType::kSchedule, 10 * kMillisecond, 1, 7, 0, 0, {}, 0));
+  events.push_back(MakeEvent(EventType::kSchedule, 10 * kMillisecond, 1, 7, 0, 0, {}, 1));
+  const auto violations = InvariantChecker::Check(events);
+  EXPECT_TRUE(HasKind(violations, Kind::kSlicePairing));
+}
+
+TEST(InvariantCheckerTest, TracksMoveNodeReparenting) {
+  // After a MoveNode the edge lives under the new parent: picks along the new
+  // edge are clean, picks along the stale edge are tree inconsistencies.
+  std::vector<TraceEvent> base;
+  base.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 0, "i1"));
+  base.push_back(MakeEvent(EventType::kMakeNode, 0, 2, 0, 1, 0, "i2"));
+  base.push_back(MakeEvent(EventType::kMakeNode, 0, 3, 1, 1, 1, "leaf3"));
+  base.push_back(MakeEvent(EventType::kMakeNode, 0, 4, 2, 1, 1, "leaf4"));
+  base.push_back(MakeEvent(EventType::kPickChild, 10 * kMillisecond, 1, 3, 100));
+  base.push_back(MakeEvent(EventType::kMoveNode, 20 * kMillisecond, 3, 2, 0));
+  {
+    auto events = base;
+    events.push_back(MakeEvent(EventType::kPickChild, 30 * kMillisecond, 2, 3, 50));
+    const auto violations = InvariantChecker::Check(events);
+    EXPECT_TRUE(violations.empty()) << violations[0].what;
+  }
+  {
+    auto events = base;
+    events.push_back(MakeEvent(EventType::kPickChild, 30 * kMillisecond, 1, 3, 150));
+    EXPECT_TRUE(HasKind(InvariantChecker::Check(events), Kind::kTreeInconsistency));
+  }
+}
+
+TEST(InvariantCheckerTest, RejectsDegenerateMoves) {
+  {
+    // Moving a node under a leaf.
+    std::vector<TraceEvent> events;
+    events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 0, "i1"));
+    events.push_back(MakeEvent(EventType::kMakeNode, 0, 3, 0, 1, 1, "leaf3"));
+    events.push_back(MakeEvent(EventType::kMoveNode, kMillisecond, 1, 3, 0));
+    EXPECT_TRUE(HasKind(InvariantChecker::Check(events), Kind::kTreeInconsistency));
+  }
+  {
+    // Moving a node under its own descendant (a cycle).
+    std::vector<TraceEvent> events;
+    events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 0, "i1"));
+    events.push_back(MakeEvent(EventType::kMakeNode, 0, 5, 1, 1, 0, "i5"));
+    events.push_back(MakeEvent(EventType::kMoveNode, kMillisecond, 1, 5, 0));
+    EXPECT_TRUE(HasKind(InvariantChecker::Check(events), Kind::kTreeInconsistency));
+  }
+}
+
+TEST(InvariantCheckerTest, WindowLocalLmaxTightensTheBound) {
+  // Leaf 2's thread once ran a single 400 ms slice, long before leaf 1 became
+  // backlogged. A checker using the cumulative per-leaf l_max would fold that
+  // ancient slice into the bound (2.0 * 400 ms = 800 ms of allowed gap) and miss
+  // the 600 ms starvation below; the window-local l_max (seeded from each side's
+  // most recent slice, here 10 ms) keeps the §3 bound tight and flags it.
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "l1"));
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 2, 0, 1, 1, "l2"));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 1, 7, 1));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 2, 8, 1));
+  events.push_back(MakeEvent(EventType::kSetRun, 0, 2, 8, 0));
+  // The ancient long slice, then a tail of small slices (the recent regime).
+  events.push_back(MakeEvent(EventType::kSchedule, 0, 2, 8, 0));
+  events.push_back(MakeEvent(EventType::kUpdate, 400 * kMillisecond, 2, 8,
+                             400 * kMillisecond, 1));
+  for (int i = 0; i < 20; ++i) {
+    const hscommon::Time t0 = 400 * kMillisecond + static_cast<hscommon::Time>(i) * 10 * kMillisecond;
+    events.push_back(MakeEvent(EventType::kSchedule, t0, 2, 8, 0));
+    events.push_back(MakeEvent(EventType::kUpdate, t0 + 10 * kMillisecond, 2, 8,
+                               10 * kMillisecond, 1));
+  }
+  // Leaf 1 becomes backlogged at 600 ms (the window opens), then is starved for
+  // 600 ms while leaf 2 keeps receiving 20 ms slices.
+  events.push_back(MakeEvent(EventType::kSetRun, 600 * kMillisecond, 1, 7, 0));
+  for (int i = 0; i < 30; ++i) {
+    const hscommon::Time t0 = 600 * kMillisecond + static_cast<hscommon::Time>(i) * 20 * kMillisecond;
+    events.push_back(MakeEvent(EventType::kSchedule, t0, 2, 8, 0));
+    events.push_back(MakeEvent(EventType::kUpdate, t0 + 20 * kMillisecond, 2, 8,
+                               20 * kMillisecond, 1));
+  }
+  const auto violations = InvariantChecker::Check(events);
+  EXPECT_TRUE(HasKind(violations, Kind::kFairnessGap));
+}
+
 TEST(InvariantCheckerTest, ReportNamesTheViolation) {
   std::vector<TraceEvent> events;
   events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "leaf"));

@@ -1,0 +1,176 @@
+// Virtual-time re-normalization on structural changes (paper §4).
+//
+// Both operations here mutate the tree while SFQ clocks are live, and both used to
+// leave a stale start tag behind: hsfq_move of a node carried the source parent's
+// (possibly far-ahead) virtual time into the destination, and a weight change kept
+// finish tags priced at the old rate. Either way the §3 fairness window broke right
+// after the operation — these tests drive real schedules across the operation and
+// assert the window holds immediately.
+
+#include "src/hsfq/structure.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "src/sched/sfq_leaf.h"
+
+namespace hsfq {
+namespace {
+
+using hscommon::kMillisecond;
+
+constexpr Work kQuantum = 10 * kMillisecond;
+
+std::unique_ptr<LeafScheduler> Leaf() { return std::make_unique<hleaf::SfqLeafScheduler>(); }
+
+// Drives `quanta` full slices, crediting each thread's service into `service`
+// (indexed by thread id). Every slice leaves the thread runnable.
+void Drive(SchedulingStructure& tree, Time& now, int quanta, Work* service,
+           size_t nthreads) {
+  for (int i = 0; i < quanta; ++i) {
+    const ThreadId t = tree.Schedule(now);
+    ASSERT_NE(t, kInvalidThread) << "dispatcher stalled at quantum " << i;
+    now += kQuantum;
+    tree.Update(t, kQuantum, now, /*still_runnable=*/true);
+    ASSERT_LT(t, nthreads);
+    service[t] += kQuantum;
+  }
+}
+
+TEST(RetagTest, MoveNodeRenormalizesAgainstDestinationClock) {
+  SchedulingStructure tree;
+  const NodeId a = *tree.MakeNode("a", kRootNode, 1, nullptr);
+  const NodeId b = *tree.MakeNode("b", kRootNode, 1, nullptr);
+  const NodeId a1 = *tree.MakeNode("a1", a, 1, Leaf());
+  const NodeId moved = *tree.MakeNode("moved", a, 1, Leaf());
+  const NodeId b1 = *tree.MakeNode("b1", b, 1, Leaf());
+  ASSERT_TRUE(tree.AttachThread(1, a1, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, moved, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(3, b1, {}).ok());
+
+  Time now = 0;
+  tree.SetRun(1, now);
+  tree.SetRun(2, now);
+
+  // Phase 1: only a's subtree is busy for 10 s, so a's SFQ clock races ~10 s
+  // ahead of b's (which stays at 0 — b has never been backlogged).
+  Work service[4] = {0, 0, 0, 0};
+  Drive(tree, now, 1000, service, 4);
+  ASSERT_GT(service[2], 0);
+
+  // Move the still-runnable "moved" leaf under b, then wake b's own thread. The
+  // moved flow's start tag was minted against a's clock; had it been carried
+  // over verbatim, thread 2 would be starved until b's clock caught up ~10 s of
+  // virtual time later. §4: the subtree must re-enter at b's virtual time.
+  ASSERT_TRUE(tree.MoveNode(moved, b, now).ok());
+  ASSERT_EQ(tree.ParentOf(moved), b);
+  ASSERT_EQ(tree.PathOf(moved), "/b/moved");
+  tree.SetRun(3, now);
+
+  Work post[4] = {0, 0, 0, 0};
+  Drive(tree, now, 1200, post, 4);
+
+  // Equal weights under b: §3 bounds the normalized service gap over any
+  // interval where both stay backlogged by l_max/w_f + l_max/w_g = 2 quanta.
+  EXPECT_GT(post[2], 0) << "moved thread starved after hsfq_move";
+  EXPECT_LE(std::llabs(static_cast<long long>(post[2]) - static_cast<long long>(post[3])),
+            static_cast<long long>(2 * kQuantum))
+      << "post-move fairness window violated: moved=" << post[2] << " b1=" << post[3];
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RetagTest, MoveNodeIntoBusierParentDoesNotGetFreeCatchUp) {
+  // The symmetric direction: the destination's clock is AHEAD of the source's.
+  // A fresh arrival starts at max(v_dest, old finish), so the moved subtree must
+  // compete from v_dest — not retain a tiny tag that would let it monopolize.
+  SchedulingStructure tree;
+  const NodeId a = *tree.MakeNode("a", kRootNode, 1, nullptr);
+  const NodeId b = *tree.MakeNode("b", kRootNode, 1, nullptr);
+  const NodeId moved = *tree.MakeNode("moved", a, 1, Leaf());
+  const NodeId b1 = *tree.MakeNode("b1", b, 1, Leaf());
+  ASSERT_TRUE(tree.AttachThread(1, moved, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, b1, {}).ok());
+
+  Time now = 0;
+  tree.SetRun(2, now);
+  Work service[3] = {0, 0, 0};
+  Drive(tree, now, 1000, service, 3);  // only b busy: b's clock races ahead
+
+  tree.SetRun(1, now);
+  ASSERT_TRUE(tree.MoveNode(moved, b, now).ok());
+
+  Work post[3] = {0, 0, 0};
+  Drive(tree, now, 1200, post, 3);
+  EXPECT_GT(post[1], 0);
+  EXPECT_GT(post[2], 0) << "incumbent starved by the moved-in subtree";
+  EXPECT_LE(std::llabs(static_cast<long long>(post[1]) - static_cast<long long>(post[2])),
+            static_cast<long long>(2 * kQuantum));
+}
+
+TEST(RetagTest, SetNodeWeightRepricesQueuedFlow) {
+  SchedulingStructure tree;
+  const NodeId x = *tree.MakeNode("x", kRootNode, 1, Leaf());
+  const NodeId y = *tree.MakeNode("y", kRootNode, 1, Leaf());
+  ASSERT_TRUE(tree.AttachThread(1, x, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, y, {}).ok());
+
+  Time now = 0;
+  tree.SetRun(1, now);
+  tree.SetRun(2, now);
+
+  // Before: equal weights, service splits 1:1.
+  Work before[3] = {0, 0, 0};
+  Drive(tree, now, 200, before, 3);
+  EXPECT_LE(std::llabs(static_cast<long long>(before[1]) -
+                       static_cast<long long>(before[2])),
+            static_cast<long long>(2 * kQuantum));
+
+  // x's flow is backlogged (queued in the root SFQ) when its weight changes
+  // 1 -> 3. The pending span S - v and future finish increments must be priced
+  // at the new rate; with a stale tag x would keep receiving the old 1:1 share
+  // for a whole virtual-time lag before converging.
+  ASSERT_TRUE(tree.SetNodeWeight(x, 3).ok());
+  ASSERT_EQ(*tree.GetNodeWeight(x), 3u);
+
+  Work after[3] = {0, 0, 0};
+  Drive(tree, now, 400, after, 3);
+
+  // 400 quanta at weights 3:1 -> ideally 300 vs 100. §3 bound on the normalized
+  // gap: |S_x/3 - S_y/1| <= l_max/3 + l_max/1 (plus one quantum of slack for the
+  // discrete alternation at the changeover).
+  const double gap = std::abs(static_cast<double>(after[1]) / 3.0 -
+                              static_cast<double>(after[2]) / 1.0);
+  EXPECT_LE(gap, static_cast<double>(kQuantum) / 3.0 + 2.0 * kQuantum)
+      << "x=" << after[1] << " y=" << after[2];
+  EXPECT_NEAR(static_cast<double>(after[1]) / static_cast<double>(after[2]), 3.0, 0.25);
+}
+
+TEST(RetagTest, SetNodeWeightDownscaleAlsoReprices) {
+  // 3 -> 1 while backlogged: the mirrored direction. A stale tag here would hand
+  // x a burst of extra service (its old finish tags look cheap at the new rate).
+  SchedulingStructure tree;
+  const NodeId x = *tree.MakeNode("x", kRootNode, 3, Leaf());
+  const NodeId y = *tree.MakeNode("y", kRootNode, 1, Leaf());
+  ASSERT_TRUE(tree.AttachThread(1, x, {}).ok());
+  ASSERT_TRUE(tree.AttachThread(2, y, {}).ok());
+
+  Time now = 0;
+  tree.SetRun(1, now);
+  tree.SetRun(2, now);
+  Work before[3] = {0, 0, 0};
+  Drive(tree, now, 400, before, 3);
+  EXPECT_NEAR(static_cast<double>(before[1]) / static_cast<double>(before[2]), 3.0, 0.25);
+
+  ASSERT_TRUE(tree.SetNodeWeight(x, 1).ok());
+  Work after[3] = {0, 0, 0};
+  Drive(tree, now, 200, after, 3);
+  EXPECT_LE(std::llabs(static_cast<long long>(after[1]) -
+                       static_cast<long long>(after[2])),
+            static_cast<long long>(3 * kQuantum))
+      << "x=" << after[1] << " y=" << after[2];
+}
+
+}  // namespace
+}  // namespace hsfq

@@ -1,0 +1,188 @@
+// N-CPU simulator tests: determinism of the merged per-CPU trace across identical
+// runs, work conservation (no CPU idles while a runnable thread exists anywhere),
+// exact idle accounting when under-committed, per-CPU ring attribution, and the
+// offline invariant checker staying clean on a real merged SMP stream.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/invariant_checker.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/ts_svr4.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/trace/replay.h"
+#include "src/trace/tracer.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::Time;
+using hscommon::Work;
+using hsfq::ThreadId;
+
+constexpr size_t kRingCapacity = 1 << 16;
+
+// The figure-8(a) structure (root -> SFQ-1 w=2, SFQ-2 w=6, SVR4 w=1) scaled to an
+// SMP machine: enough CPU-bound threads per SFQ node to absorb multi-CPU shares,
+// plus fluctuating SVR4 background load.
+void RunFig8Style(htrace::Tracer* tracer, int ncpus, Time duration) {
+  System sys({.ncpus = ncpus});
+  sys.SetTracer(tracer);
+  const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 2,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto sfq2 = *sys.tree().MakeNode("sfq2", hsfq::kRootNode, 6,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto svr4 = *sys.tree().MakeNode("svr4", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::TsScheduler>());
+  for (int i = 0; i < ncpus; ++i) {
+    (void)*sys.CreateThread("sfq1-dhry", sfq1, {},
+                            std::make_unique<CpuBoundWorkload>());
+    (void)*sys.CreateThread("sfq2-dhry", sfq2, {},
+                            std::make_unique<CpuBoundWorkload>());
+  }
+  for (int i = 0; i < 3; ++i) {
+    (void)*sys.CreateThread(
+        "sys" + std::to_string(i), svr4, {.priority = 29},
+        std::make_unique<BurstyWorkload>(40 + i, 5 * kMillisecond, 150 * kMillisecond,
+                                         20 * kMillisecond, 400 * kMillisecond));
+  }
+  sys.RunUntil(duration);
+}
+
+TEST(SmpTest, FourCpuMergedTraceIsDeterministic) {
+  htrace::Tracer t1(kRingCapacity, 4);
+  htrace::Tracer t2(kRingCapacity, 4);
+  RunFig8Style(&t1, 4, 5 * kSecond);
+  RunFig8Style(&t2, 4, 5 * kSecond);
+  ASSERT_EQ(t1.TotalDropped(), 0u);
+  const auto diff = htrace::DiffTraces(t1, t2);
+  EXPECT_TRUE(diff.identical) << "divergence at event " << diff.first_divergence
+                              << ": " << diff.description;
+  EXPECT_FALSE(t1.MergedSnapshot().empty());
+}
+
+TEST(SmpTest, EveryRingOnlyHoldsItsOwnCpu) {
+  htrace::Tracer tracer(kRingCapacity, 4);
+  RunFig8Style(&tracer, 4, kSecond);
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    for (const auto& e : tracer.ring(cpu).Snapshot()) {
+      ASSERT_EQ(e.cpu, cpu) << htrace::EventToString(e) << " landed in ring " << cpu;
+    }
+  }
+}
+
+TEST(SmpTest, MergedSmpTracePassesInvariantChecker) {
+  // Per-CPU slice pairing, no double dispatch, fairness windows: the checker must
+  // stay clean on a real 4-CPU run, exactly as it does on single-CPU traces.
+  htrace::Tracer tracer(kRingCapacity, 4);
+  RunFig8Style(&tracer, 4, 5 * kSecond);
+  const auto violations = hsfault::InvariantChecker::Check(tracer.MergedSnapshot());
+  EXPECT_TRUE(violations.empty())
+      << hsfault::InvariantChecker::KindName(violations[0].kind) << ": "
+      << violations[0].what;
+}
+
+TEST(SmpTest, WorkConservingWithSurplusThreads) {
+  // 6 always-runnable threads in one SFQ leaf on 4 CPUs with zero overhead: no
+  // CPU may ever idle, so delivered service is exactly ncpus * wall time.
+  System sys({.ncpus = 4});
+  const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  std::vector<ThreadId> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.push_back(*sys.CreateThread("hog" + std::to_string(i), leaf, {},
+                                        std::make_unique<CpuBoundWorkload>()));
+  }
+  const Time duration = 2 * kSecond;
+  sys.RunUntil(duration);
+  EXPECT_EQ(sys.idle_time(), 0) << "a CPU idled while runnable threads existed";
+  EXPECT_EQ(sys.total_service(), static_cast<Work>(4) * duration);
+  // And the surplus is spread fairly: six equal threads within one SFQ leaf.
+  for (const ThreadId t : threads) {
+    const Work s = sys.StatsOf(t).total_service;
+    EXPECT_NEAR(static_cast<double>(s), static_cast<double>(4 * duration) / 6.0,
+                static_cast<double>(2 * 20 * kMillisecond));
+  }
+}
+
+TEST(SmpTest, IdleCpusAreChargedExactlyWhenUnderCommitted) {
+  // 3 threads on 4 CPUs: three CPUs run continuously, the fourth idles for the
+  // whole run. idle_time sums CPU-seconds, so it equals exactly one duration.
+  System sys({.ncpus = 4});
+  const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  for (int i = 0; i < 3; ++i) {
+    (void)*sys.CreateThread("hog" + std::to_string(i), leaf, {},
+                            std::make_unique<CpuBoundWorkload>());
+  }
+  const Time duration = 2 * kSecond;
+  sys.RunUntil(duration);
+  EXPECT_EQ(sys.total_service(), static_cast<Work>(3) * duration);
+  EXPECT_EQ(sys.idle_time(), duration);
+}
+
+TEST(SmpTest, HierarchicalSharesHoldAcrossCpus) {
+  // Weights 1:3 on a 2-CPU machine with enough threads on both sides to absorb
+  // fractional-CPU shares: aggregate service must still split 1:3.
+  System sys({.ncpus = 2});
+  const auto a = *sys.tree().MakeNode("a", hsfq::kRootNode, 1,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto b = *sys.tree().MakeNode("b", hsfq::kRootNode, 3,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  std::vector<ThreadId> ga;
+  std::vector<ThreadId> gb;
+  for (int i = 0; i < 2; ++i) {
+    ga.push_back(*sys.CreateThread("a-hog", a, {}, std::make_unique<CpuBoundWorkload>()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    gb.push_back(*sys.CreateThread("b-hog", b, {}, std::make_unique<CpuBoundWorkload>()));
+  }
+  sys.RunUntil(10 * kSecond);
+  Work sa = 0;
+  Work sb = 0;
+  for (const ThreadId t : ga) sa += sys.StatsOf(t).total_service;
+  for (const ThreadId t : gb) sb += sys.StatsOf(t).total_service;
+  ASSERT_GT(sa, 0);
+  EXPECT_NEAR(static_cast<double>(sb) / static_cast<double>(sa), 3.0, 0.2);
+  EXPECT_EQ(sys.idle_time(), 0);
+}
+
+TEST(SmpTest, SingleCpuConfigMatchesDefaultConfigTrace) {
+  // An explicit {.ncpus = 1} machine must reproduce the default machine's trace
+  // byte-for-byte: the SMP dispatcher is the same scheduler when n == 1.
+  htrace::Tracer t1(kRingCapacity);
+  {
+    System sys;  // default config, ncpus == 1
+    sys.SetTracer(&t1);
+    const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                           std::make_unique<hleaf::SfqLeafScheduler>());
+    (void)*sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+    (void)*sys.CreateThread("per", leaf, {},
+                            std::make_unique<PeriodicWorkload>(40 * kMillisecond,
+                                                               4 * kMillisecond));
+    sys.RunUntil(2 * kSecond);
+  }
+  htrace::Tracer t2(kRingCapacity, 1);
+  {
+    System sys({.ncpus = 1});
+    sys.SetTracer(&t2);
+    const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                           std::make_unique<hleaf::SfqLeafScheduler>());
+    (void)*sys.CreateThread("hog", leaf, {}, std::make_unique<CpuBoundWorkload>());
+    (void)*sys.CreateThread("per", leaf, {},
+                            std::make_unique<PeriodicWorkload>(40 * kMillisecond,
+                                                               4 * kMillisecond));
+    sys.RunUntil(2 * kSecond);
+  }
+  const auto diff = htrace::DiffTraces(t1, t2);
+  EXPECT_TRUE(diff.identical) << diff.description;
+}
+
+}  // namespace
+}  // namespace hsim

@@ -14,13 +14,17 @@
 //      divergence, changed dispatch decisions, and reconvergence.
 //
 // Usage:
-//   fault_campaign [--scenario=fig8|churn|all] [--fault=<spec>] [--duration=<dur>]
-//                  [--out=<dir>]
+//   fault_campaign [--scenario=fig8|churn|smp4|all] [--fault=<spec>]
+//                  [--duration=<dur>] [--cpus=N] [--out=<dir>]
 //
 // With --fault, only that plan runs (instead of the matrix). With --out, each
-// blast-radius report is also written as JSON into <dir>.
+// blast-radius report is also written as JSON into <dir>. --cpus overrides the
+// simulated CPU count of every selected scenario; the pinned `smp4` scenario is the
+// fig8 tree on a 4-CPU machine (its matrix includes a CPU-targeted interrupt storm).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -53,9 +57,9 @@ struct RunResult {
 
 // Figure 8(a)'s scenario: SFQ-1 (w=2) and SFQ-2 (w=6) with two CPU-bound threads
 // each, and an SVR4 node hosting five bursty "system" threads.
-RunResult RunFig8(const FaultPlan& plan, Time duration) {
-  htrace::Tracer tracer;
-  hsim::System sys;
+RunResult RunFig8(const FaultPlan& plan, Time duration, int ncpus) {
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
+  hsim::System sys({.ncpus = ncpus});
   sys.SetTracer(&tracer);
   hsfault::FaultInjector injector(plan);
   if (!plan.empty()) injector.Arm(sys);
@@ -66,7 +70,13 @@ RunResult RunFig8(const FaultPlan& plan, Time duration) {
                                          std::make_unique<hleaf::SfqLeafScheduler>());
   const auto svr4 = *sys.tree().MakeNode("svr4", hsfq::kRootNode, 1,
                                          std::make_unique<hleaf::TsScheduler>());
-  for (int i = 0; i < 2; ++i) {
+  // Enough CPU-bound threads per SFQ node for its weight share to stay feasible on
+  // an SMP machine (sfq2's 6/9 of 4 CPUs needs >= 3 threads to absorb). Start-tag
+  // schedulers are only proportionally fair when every node can consume its share —
+  // an infeasible weight makes the fairness invariant itself vacuous, not the run
+  // nondeterministic. On one CPU this stays the classic fig8 pair of threads.
+  const int per_group = std::max(2, ncpus);
+  for (int i = 0; i < per_group; ++i) {
     (void)*sys.CreateThread("sfq1-dhry", sfq1, {},
                             std::make_unique<hsim::CpuBoundWorkload>());
     (void)*sys.CreateThread("sfq2-dhry", sfq2, {},
@@ -80,16 +90,16 @@ RunResult RunFig8(const FaultPlan& plan, Time duration) {
                                                400 * kMillisecond));
   }
   sys.RunUntil(duration);
-  return RunResult{tracer.ring().Snapshot(), tracer.ring().dropped(),
+  return RunResult{tracer.MergedSnapshot(), tracer.TotalDropped(),
                    sys.diagnostic_count()};
 }
 
 // Structural churn under dispatch: three SFQ leaves whose threads are continually
 // moved between them (the hsfq_move path), plus a transient leaf that is created and
 // removed every 400 ms (the hsfq_mknod/hsfq_rmnod path).
-RunResult RunChurn(const FaultPlan& plan, Time duration) {
-  htrace::Tracer tracer;
-  hsim::System sys;
+RunResult RunChurn(const FaultPlan& plan, Time duration, int ncpus) {
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
+  hsim::System sys({.ncpus = ncpus});
   sys.SetTracer(&tracer);
   hsfault::FaultInjector injector(plan);
   if (!plan.empty()) injector.Arm(sys);
@@ -133,13 +143,20 @@ RunResult RunChurn(const FaultPlan& plan, Time duration) {
     }
   });
   sys.RunUntil(duration);
-  return RunResult{tracer.ring().Snapshot(), tracer.ring().dropped(),
+  return RunResult{tracer.MergedSnapshot(), tracer.TotalDropped(),
                    sys.diagnostic_count()};
 }
 
-RunResult RunScenario(const std::string& name, const FaultPlan& plan, Time duration) {
-  if (name == "churn") return RunChurn(plan, duration);
-  return RunFig8(plan, duration);
+// Default CPU count per scenario (overridable with --cpus): the pinned SMP scenario
+// runs the fig8 tree on a 4-CPU machine, everything else stays single-CPU.
+int DefaultCpusFor(const std::string& scenario) {
+  return scenario == "smp4" ? 4 : 1;
+}
+
+RunResult RunScenario(const std::string& name, const FaultPlan& plan, Time duration,
+                      int ncpus) {
+  if (name == "churn") return RunChurn(plan, duration, ncpus);
+  return RunFig8(plan, duration, ncpus);  // fig8 and smp4 share the tree
 }
 
 // Fault plans pinned per scenario: fixed seeds so CI compares like with like.
@@ -149,6 +166,15 @@ std::vector<std::string> MatrixFor(const std::string& scenario) {
         "seed=2101;storm:start=1s,end=3s,every=250us,steal=100us",
         "seed=2102;drop-wakeup:p=0.2,recovery=25ms",
         "seed=2103;cswitch-spike:p=0.15,cost=300us;clock-jitter:p=0.5,frac=0.2",
+    };
+  }
+  if (scenario == "smp4") {
+    return {
+        // The storm pins to CPU 2: only that CPU's slices stretch, the others keep
+        // computing — the per-CPU fault model the single-CPU campaign cannot exercise.
+        "seed=3101;storm:start=2s,end=3s,every=200us,steal=150us,cpu=2",
+        "seed=3102;drop-wakeup:p=0.2,recovery=25ms",
+        "seed=3103;cswitch-spike:p=0.1,cost=300us",
     };
   }
   return {
@@ -197,23 +223,34 @@ int main(int argc, char** argv) {
     duration = *parsed;
   }
 
+  int cpus_override = 0;  // 0 = per-scenario default
+  if (const std::string c = Flag(argc, argv, "cpus"); !c.empty()) {
+    cpus_override = std::atoi(c.c_str());
+    if (cpus_override < 1 || cpus_override > 64) {
+      std::fprintf(stderr, "bad --cpus=%s (want 1..64)\n", c.c_str());
+      return 2;
+    }
+  }
+
   std::vector<std::string> scenarios;
   if (scenario_flag.empty() || scenario_flag == "all") {
-    scenarios = {"fig8", "churn"};
-  } else if (scenario_flag == "fig8" || scenario_flag == "churn") {
+    scenarios = {"fig8", "churn", "smp4"};
+  } else if (scenario_flag == "fig8" || scenario_flag == "churn" ||
+             scenario_flag == "smp4") {
     scenarios = {scenario_flag};
   } else {
-    std::fprintf(stderr, "unknown --scenario=%s (want fig8, churn, or all)\n",
+    std::fprintf(stderr, "unknown --scenario=%s (want fig8, churn, smp4, or all)\n",
                  scenario_flag.c_str());
     return 2;
   }
 
   int failures = 0;
   for (const std::string& scenario : scenarios) {
-    std::printf("=== scenario %s (%.1fs simulated) ===\n", scenario.c_str(),
-                hscommon::ToSeconds(duration));
+    const int ncpus = cpus_override > 0 ? cpus_override : DefaultCpusFor(scenario);
+    std::printf("=== scenario %s (%.1fs simulated, %d cpu%s) ===\n", scenario.c_str(),
+                hscommon::ToSeconds(duration), ncpus, ncpus == 1 ? "" : "s");
 
-    const RunResult baseline = RunScenario(scenario, FaultPlan{}, duration);
+    const RunResult baseline = RunScenario(scenario, FaultPlan{}, duration, ncpus);
     {
       hsfault::InvariantChecker checker;
       checker.SetDropped(baseline.dropped);
@@ -251,8 +288,8 @@ int main(int argc, char** argv) {
       }
       std::printf("\n--- fault %d: %s ---\n", index, spec.c_str());
 
-      const RunResult run1 = RunScenario(scenario, *plan, duration);
-      const RunResult run2 = RunScenario(scenario, *plan, duration);
+      const RunResult run1 = RunScenario(scenario, *plan, duration, ncpus);
+      const RunResult run2 = RunScenario(scenario, *plan, duration, ncpus);
       const htrace::TraceDiff determinism = htrace::DiffTraces(run1.events, run2.events);
       if (!determinism.identical) {
         std::fprintf(stderr, "FAIL: faulted run is not deterministic:\n%s\n",

@@ -24,17 +24,19 @@ import sys
 MAGIC = b"HSTRACE1"
 VERSION = 1
 HEADER = struct.Struct("<8sIIQQ")
-# TraceEvent: i64 time, u64 a, i64 b, u32 node, u8 type, u8 flags, char name[18].
-EVENT = struct.Struct("<qQqIBB18s")
+# TraceEvent: i64 time, u64 a, i64 b, u32 node, u8 type, u8 flags, char name[16],
+# u16 cpu (0 on single-CPU traces).
+EVENT = struct.Struct("<qQqIBB16sH")
 
 EVENT_NAMES = [
     "TraceStart", "MakeNode", "RemoveNode", "SetWeight", "AttachThread",
     "DetachThread", "MoveThread", "SetRun", "Sleep", "PickChild", "Schedule",
     "Update", "ThreadName", "Dispatch", "Interrupt", "Idle", "Fault",
+    "MoveNode",
 ]
 (T_START, T_MKNOD, T_RMNOD, T_SETW, T_ATTACH, T_DETACH, T_MOVE, T_SETRUN,
  T_SLEEP, T_PICK, T_SCHED, T_UPDATE, T_TNAME, T_DISPATCH, T_IRQ, T_IDLE,
- T_FAULT) = range(17)
+ T_FAULT, T_MVNOD) = range(18)
 
 
 def read_trace(path):
@@ -55,11 +57,12 @@ def read_trace(path):
         raise ValueError(f"{path}: truncated ({len(blob)} < {expected} bytes)")
     events = []
     for i in range(count):
-        time, a, b, node, etype, flags, name = EVENT.unpack_from(
+        time, a, b, node, etype, flags, name, cpu = EVENT.unpack_from(
             blob, HEADER.size + i * event_size)
         events.append({
             "time": time, "a": a, "b": b, "node": node, "type": etype,
             "flags": flags, "name": name.split(b"\0", 1)[0].decode("utf-8", "replace"),
+            "cpu": cpu,
         })
     return events, dropped
 
@@ -69,29 +72,54 @@ def event_str(e):
             if e["type"] < len(EVENT_NAMES) else f"?{e['type']}")
     s = (f"[{e['time'] / 1e6:12.3f} ms] {kind:<12} node={e['node']} "
          f"a={e['a']} b={e['b']} flags={e['flags']}")
+    if e["cpu"]:
+        s += f" cpu={e['cpu']}"
     if e["name"]:
         s += f" name='{e['name']}'"
     return s
 
 
 def build_tree(events):
-    """node id -> {path, weight, leaf}; mirrors src/trace/reader.cc."""
-    nodes = {0: {"path": "/", "weight": 1, "leaf": False}}
+    """(node id -> {path, weight, leaf, parent}, thread names, cpu count);
+    mirrors src/trace/reader.cc including MoveNode subtree-path rebuilds."""
+    nodes = {0: {"path": "/", "weight": 1, "leaf": False, "parent": None}}
+    cpus = 1
 
     def ensure(nid):
         if nid not in nodes:
-            nodes[nid] = {"path": f"node:{nid}", "weight": 0, "leaf": True}
+            nodes[nid] = {"path": f"node:{nid}", "weight": 0, "leaf": True,
+                          "parent": None}
+
+    def rebuild_paths(nid):
+        n = nodes[nid]
+        if n["parent"] is not None:
+            slash = n["path"].rfind("/")
+            if slash >= 0:  # placeholder paths have no component to carry over
+                parent_path = nodes[n["parent"]]["path"]
+                prefix = "" if parent_path == "/" else parent_path
+                n["path"] = prefix + n["path"][slash:]
+        for cid, child in nodes.items():
+            if cid != nid and child["parent"] == nid:
+                rebuild_paths(cid)
 
     thread_names = {}
     for e in events:
-        if e["type"] == T_MKNOD:
+        if e["type"] == T_START:
+            if e["b"] > 1:
+                cpus = e["b"]
+        elif e["type"] == T_MKNOD:
             ensure(e["a"])
             parent = nodes[e["a"]]["path"]
             prefix = "" if parent == "/" else parent
             nodes[e["node"]] = {
                 "path": f"{prefix}/{e['name']}", "weight": e["b"],
-                "leaf": bool(e["flags"]),
+                "leaf": bool(e["flags"]), "parent": e["a"],
             }
+        elif e["type"] == T_MVNOD:
+            ensure(e["node"])
+            ensure(e["a"])
+            nodes[e["node"]]["parent"] = e["a"]
+            rebuild_paths(e["node"])
         elif e["type"] in (T_SETRUN, T_SLEEP, T_PICK, T_SCHED, T_UPDATE,
                            T_ATTACH, T_DETACH, T_MOVE, T_SETW):
             ensure(e["node"])
@@ -99,30 +127,54 @@ def build_tree(events):
             thread_names[e["a"]] = e["name"]
         elif e["type"] == T_TNAME:
             thread_names.setdefault(e["a"], f"t{e['a']}")
-    return nodes, thread_names
+    return nodes, thread_names, cpus
 
 
 def to_perfetto(events):
     """Chrome trace_event JSON (dict) for the given decoded events."""
-    nodes, thread_names = build_tree(events)
+    nodes, thread_names, cpus = build_tree(events)
+    smp = cpus > 1
     out = [{"ph": "M", "pid": 1, "name": "process_name",
             "args": {"name": "hsched"}}]
+    if smp:
+        # One track per CPU in a second process, matching the C++ exporter.
+        out.append({"ph": "M", "pid": 2, "name": "process_name",
+                    "args": {"name": "hsched cpus"}})
+        for cpu in range(cpus):
+            out.append({"ph": "M", "pid": 2, "tid": cpu, "name": "thread_name",
+                        "args": {"name": f"cpu{cpu}"}})
+            out.append({"ph": "M", "pid": 2, "tid": cpu,
+                        "name": "thread_sort_index",
+                        "args": {"sort_index": cpu}})
     for nid in sorted(nodes):
         out.append({"ph": "M", "pid": 1, "tid": nid, "name": "thread_name",
                     "args": {"name": nodes[nid]["path"]}})
         out.append({"ph": "M", "pid": 1, "tid": nid, "name": "thread_sort_index",
                     "args": {"sort_index": nid}})
-    open_slice = {}  # leaf node -> (start ns, thread)
+    # One dispatch can be in flight per CPU, so pair Schedule/Update by the
+    # recording CPU (the merged SMP stream interleaves slices of different CPUs).
+    open_slice = {}  # cpu -> (start ns, thread, leaf node)
     for e in events:
         if e["type"] == T_SCHED:
-            open_slice[e["node"]] = (e["time"], e["a"])
-        elif e["type"] == T_UPDATE and e["node"] in open_slice:
-            start, thread = open_slice.pop(e["node"])
-            label = thread_names.get(thread, f"t{thread}")
+            open_slice[e["cpu"]] = (e["time"], e["a"], e["node"])
+        elif e["type"] == T_UPDATE and e["cpu"] in open_slice:
+            start, thread, _node = open_slice.pop(e["cpu"])
+            if thread != e["a"]:
+                start = e["time"] - e["b"]  # mismatched pairing: used-as-duration
+            label = thread_names.get(e["a"], f"t{e['a']}")
             out.append({"ph": "X", "pid": 1, "tid": e["node"], "name": label,
                         "cat": "dispatch", "ts": start / 1e3,
                         "dur": max(e["time"] - start, 0) / 1e3,
-                        "args": {"thread": thread, "service_ns": e["b"]}})
+                        "args": {"thread": e["a"], "service_ns": e["b"]}})
+            if smp:
+                out.append({"ph": "X", "pid": 2, "tid": e["cpu"], "name": label,
+                            "cat": "dispatch", "ts": start / 1e3,
+                            "dur": max(e["time"] - start, 0) / 1e3,
+                            "args": {"thread": e["a"], "node": e["node"]}})
+        elif e["type"] == T_IDLE and smp:
+            out.append({"ph": "X", "pid": 2, "tid": e["cpu"], "name": "idle",
+                        "cat": "idle", "ts": e["time"] / 1e3,
+                        "dur": e["b"] / 1e3})
         elif e["type"] == T_SETRUN:
             label = thread_names.get(e["a"], f"t{e['a']}")
             out.append({"ph": "i", "pid": 1, "tid": e["node"], "s": "t",
