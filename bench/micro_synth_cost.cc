@@ -1,0 +1,133 @@
+// Microbenchmarks of the trace -> workload synthesis pipeline: what one differential
+// comparison costs. Split along the pipeline's stages — parsing a recorded stream into
+// a TraceAnalyzer, fitting per-thread workload models (Synthesize), instantiating the
+// scenario into a fresh System, and the per-action cost of histogram resampling — so a
+// regression in any one stage is attributable.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/registry.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/scenario.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/synth/synth_workload.h"
+#include "src/synth/synthesize.h"
+#include "src/trace/reader.h"
+#include "src/trace/tracer.h"
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+namespace {
+
+// A mixed 8-thread, two-leaf source run; `seconds` controls the event volume.
+std::vector<htrace::TraceEvent> RecordSource(int seconds) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto rt = *sys.tree().MakeNode("rt", hsfq::kRootNode, 3,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto be = *sys.tree().MakeNode("be", hsfq::kRootNode, 1,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread(
+      "video", rt, {},
+      std::make_unique<hsim::PeriodicWorkload>(33 * kMillisecond, 8 * kMillisecond));
+  for (int i = 0; i < 5; ++i) {
+    (void)*sys.CreateThread(
+        "burst" + std::to_string(i), be, {},
+        std::make_unique<hsim::BurstyWorkload>(7 + i, 2 * kMillisecond,
+                                               30 * kMillisecond, 10 * kMillisecond,
+                                               150 * kMillisecond));
+  }
+  for (int i = 0; i < 2; ++i) {
+    (void)*sys.CreateThread("hog" + std::to_string(i), i == 0 ? rt : be, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  sys.RunUntil(static_cast<hscommon::Time>(seconds) * kSecond);
+  return tracer.MergedSnapshot();
+}
+
+// Stream -> TraceAnalyzer: the parse/accounting pass every consumer pays once.
+void BM_TraceAnalyze(benchmark::State& state) {
+  const auto events = RecordSource(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const htrace::TraceAnalyzer analyzer(events);
+    benchmark::DoNotOptimize(analyzer.last_time());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.SetLabel(std::to_string(events.size()) + " events");
+}
+BENCHMARK(BM_TraceAnalyze)->Arg(5)->Arg(30);
+
+// TraceAnalyzer -> SynthScenario: episode extraction plus per-thread model fitting.
+void BM_SynthesizeFit(benchmark::State& state) {
+  const auto events = RecordSource(static_cast<int>(state.range(0)));
+  const htrace::TraceAnalyzer analyzer(events);
+  for (auto _ : state) {
+    auto scenario = hsynth::Synthesize(analyzer, {});
+    benchmark::DoNotOptimize(scenario);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.SetLabel(std::to_string(events.size()) + " events");
+}
+BENCHMARK(BM_SynthesizeFit)->Arg(5)->Arg(30);
+
+// SynthScenario -> live System: tree rebuild + thread creation, the per-side setup
+// cost of a sched_diff run (excludes the simulation itself).
+void BM_ScenarioInstantiation(benchmark::State& state) {
+  const auto events = RecordSource(5);
+  const htrace::TraceAnalyzer analyzer(events);
+  auto scenario = hsynth::Synthesize(analyzer, {});
+  const hsim::ScenarioSpec spec = hsynth::ToScenarioSpec(*scenario, {});
+  for (auto _ : state) {
+    hsim::System sys;
+    auto binding = hsim::BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys);
+    benchmark::DoNotOptimize(binding);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScenarioInstantiation);
+
+// Per-action cost of a synthesized workload in both modes: exact replay is an indexed
+// walk, histogram mode pays one PRNG draw per burst and per sleep.
+void BM_SynthWorkloadStep(benchmark::State& state) {
+  const bool histogram = state.range(0) != 0;
+  std::vector<hsynth::SynthRecord> records;
+  for (int i = 0; i < 512; ++i) {
+    records.push_back({(1 + i % 7) * kMillisecond, (5 + i % 11) * kMillisecond, 0});
+  }
+  const hsynth::SynthesizedWorkload::Spec spec{
+      .records = std::move(records),
+      .mode = histogram ? hsynth::FitMode::kHistogram : hsynth::FitMode::kExactReplay,
+      .seed = 42,
+      .truncated = true};
+  auto w = std::make_unique<hsynth::SynthesizedWorkload>(spec);
+  hscommon::Time now = 0;
+  for (auto _ : state) {
+    const hsim::WorkloadAction a = w->NextAction(now);
+    if (a.kind == hsim::WorkloadAction::Kind::kCompute) {
+      now += a.work;
+    } else if (a.until < hscommon::kTimeInfinity) {
+      now = a.until;
+    } else {
+      // Exact replay ran dry: re-arm (amortized over the 1024 recorded actions).
+      w = std::make_unique<hsynth::SynthesizedWorkload>(spec);
+    }
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(histogram ? "histogram" : "exact");
+}
+BENCHMARK(BM_SynthWorkloadStep)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

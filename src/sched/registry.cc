@@ -1,0 +1,68 @@
+#include "src/sched/registry.h"
+
+#include "src/common/types.h"
+#include "src/fair/make.h"
+#include "src/sched/fair_leaf.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sched/simple.h"
+#include "src/sched/ts_svr4.h"
+
+namespace hleaf {
+
+using hscommon::InvalidArgument;
+using hscommon::StatusOr;
+
+namespace {
+
+StatusOr<hfair::Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "sfq") return hfair::Algorithm::kSfq;
+  if (name == "wfq") return hfair::Algorithm::kWfq;
+  if (name == "wfq_actual") return hfair::Algorithm::kWfqActual;
+  if (name == "wfq_exact") return hfair::Algorithm::kWfqExact;
+  if (name == "fqs") return hfair::Algorithm::kFqs;
+  if (name == "scfq") return hfair::Algorithm::kScfq;
+  if (name == "stride") return hfair::Algorithm::kStride;
+  if (name == "stride_classic") return hfair::Algorithm::kStrideClassic;
+  if (name == "lottery") return hfair::Algorithm::kLottery;
+  if (name == "eevdf") return hfair::Algorithm::kEevdf;
+  return InvalidArgument("unknown fair-queue algorithm '" + name + "'");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<hsfq::LeafScheduler>> MakeLeafScheduler(
+    const std::string& name) {
+  if (name == "sfq") {
+    return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<SfqLeafScheduler>());
+  }
+  if (name == "ts_svr4" || name == "ts" || name == "svr4") {
+    return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<TsScheduler>());
+  }
+  if (name == "rr") {
+    return std::unique_ptr<hsfq::LeafScheduler>(
+        std::make_unique<RoundRobinScheduler>());
+  }
+  if (name == "fifo") {
+    return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<FifoScheduler>());
+  }
+  if (name.rfind("fair:", 0) == 0) {
+    auto algorithm = ParseAlgorithm(name.substr(5));
+    if (!algorithm.ok()) {
+      return algorithm.status();
+    }
+    return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<FairLeafScheduler>(
+        hfair::MakeFairQueue(*algorithm, 20 * hscommon::kMillisecond)));
+  }
+  std::string valid;
+  for (const std::string& n : LeafSchedulerNames()) {
+    valid += valid.empty() ? n : ", " + n;
+  }
+  return InvalidArgument("unknown leaf scheduler '" + name + "' (valid: " + valid +
+                         ")");
+}
+
+std::vector<std::string> LeafSchedulerNames() {
+  return {"sfq", "ts_svr4", "rr", "fifo", "fair:<algo>"};
+}
+
+}  // namespace hleaf

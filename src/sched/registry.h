@@ -1,0 +1,35 @@
+// Name -> leaf-class-scheduler registry, so tools and scenario specs can select a
+// class scheduler by string ("sfq", "ts_svr4", "rr", ...) instead of compiling against
+// the concrete types. This is the standard LeafSchedulerFactory for
+// hsim::BuildScenario and the --a=/--b= configurations of tools/sched_diff.
+
+#ifndef HSCHED_SRC_SCHED_REGISTRY_H_
+#define HSCHED_SRC_SCHED_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hsfq/leaf_scheduler.h"
+
+namespace hleaf {
+
+// Creates a fresh leaf scheduler by registry name. Known names:
+//   sfq                 — SfqLeafScheduler (the paper's default class scheduler)
+//   ts_svr4 | ts | svr4 — TsScheduler with the default dispatch table
+//   rr                  — RoundRobinScheduler
+//   fifo                — FifoScheduler
+//   fair:<algo>         — FairLeafScheduler over hfair::MakeFairQueue; <algo> is one
+//                         of sfq, wfq, wfq_actual, wfq_exact, fqs, scfq, stride,
+//                         stride_classic, lottery, eevdf (20ms assumed quantum)
+// Unknown names are an InvalidArgument error listing the valid choices.
+hscommon::StatusOr<std::unique_ptr<hsfq::LeafScheduler>> MakeLeafScheduler(
+    const std::string& name);
+
+// The non-parameterized registry names, for help text ("fair:<algo>" is listed once).
+std::vector<std::string> LeafSchedulerNames();
+
+}  // namespace hleaf
+
+#endif  // HSCHED_SRC_SCHED_REGISTRY_H_

@@ -1,0 +1,98 @@
+#include "src/sim/scenario.h"
+
+#include <algorithm>
+
+namespace hsim {
+
+using hscommon::InvalidArgument;
+using hscommon::StatusOr;
+
+namespace {
+
+// "/a/b/c" -> {"/a/b", "c"}. The root itself is not creatable.
+StatusOr<std::pair<std::string, std::string>> SplitPath(const std::string& path) {
+  if (path.size() < 2 || path[0] != '/' || path.back() == '/') {
+    return InvalidArgument("bad node path '" + path + "'");
+  }
+  const size_t slash = path.rfind('/');
+  const std::string parent = slash == 0 ? "/" : path.substr(0, slash);
+  const std::string name = path.substr(slash + 1);
+  if (name.empty()) {
+    return InvalidArgument("bad node path '" + path + "'");
+  }
+  return std::make_pair(parent, name);
+}
+
+size_t Depth(const std::string& path) {
+  return static_cast<size_t>(std::count(path.begin(), path.end(), '/'));
+}
+
+}  // namespace
+
+StatusOr<ScenarioBinding> BuildScenario(const ScenarioSpec& spec,
+                                        const std::string& default_scheduler,
+                                        const LeafSchedulerFactory& factory,
+                                        System& system) {
+  ScenarioBinding binding;
+  binding.nodes["/"] = hsfq::kRootNode;
+
+  // Parents before children; stable so sibling order follows the spec.
+  std::vector<const ScenarioNodeSpec*> ordered;
+  ordered.reserve(spec.nodes.size());
+  for (const ScenarioNodeSpec& n : spec.nodes) {
+    ordered.push_back(&n);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScenarioNodeSpec* a, const ScenarioNodeSpec* b) {
+                     return Depth(a->path) < Depth(b->path);
+                   });
+
+  for (const ScenarioNodeSpec* n : ordered) {
+    auto split = SplitPath(n->path);
+    if (!split.ok()) {
+      return split.status();
+    }
+    const auto parent_it = binding.nodes.find(split->first);
+    if (parent_it == binding.nodes.end()) {
+      return InvalidArgument("node '" + n->path + "' has no parent '" + split->first +
+                             "' in the scenario");
+    }
+    std::unique_ptr<hsfq::LeafScheduler> leaf;
+    if (n->is_leaf) {
+      const std::string& name =
+          n->scheduler.empty() ? default_scheduler : n->scheduler;
+      auto made = factory(name);
+      if (!made.ok()) {
+        return made.status();
+      }
+      leaf = std::move(*made);
+    }
+    auto id = system.tree().MakeNode(split->second, parent_it->second, n->weight,
+                                     std::move(leaf));
+    if (!id.ok()) {
+      return id.status();
+    }
+    binding.nodes[n->path] = *id;
+  }
+
+  for (const ScenarioThreadSpec& t : spec.threads) {
+    const auto leaf_it = binding.nodes.find(t.leaf_path);
+    if (leaf_it == binding.nodes.end()) {
+      return InvalidArgument("thread '" + t.name + "' names unknown leaf '" +
+                             t.leaf_path + "'");
+    }
+    if (!t.make_workload) {
+      return InvalidArgument("thread '" + t.name + "' has no workload factory");
+    }
+    auto id = system.CreateThread(t.name, leaf_it->second, t.params, t.make_workload(),
+                                  t.start_time);
+    if (!id.ok()) {
+      return id.status();
+    }
+    binding.threads[t.source_id] = *id;
+    binding.thread_ids.push_back(*id);
+  }
+  return binding;
+}
+
+}  // namespace hsim

@@ -1,0 +1,81 @@
+// Declarative scenarios: a scheduling tree plus a thread population, instantiable into
+// any System — the bridge between captured/synthesized workload descriptions and a live
+// simulation. The workload-synthesis layer (src/synth) produces ScenarioSpecs from
+// recorded traces; tools and tests can also write them by hand.
+//
+// A spec names every node by its "/"-rooted path and every leaf's class scheduler by a
+// registry name resolved through a caller-supplied LeafSchedulerFactory (src/sched's
+// hleaf::MakeLeafScheduler is the standard one) — so the SAME spec can be instantiated
+// under different scheduler configurations, CPU counts, or fault plans, which is what
+// the differential harness (tools/sched_diff) compares.
+
+#ifndef HSCHED_SRC_SIM_SCENARIO_H_
+#define HSCHED_SRC_SIM_SCENARIO_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/hsfq/leaf_scheduler.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+
+namespace hsim {
+
+// One node of the scenario tree. Parents must exist before children at build time;
+// BuildScenario sorts by path depth, so spec order does not matter.
+struct ScenarioNodeSpec {
+  std::string path;              // "/"-rooted, e.g. "/best-effort/user1"
+  hscommon::Weight weight = 1;
+  bool is_leaf = false;
+  // Leaf scheduler registry name ("" = the builder's default). Ignored for interior
+  // nodes.
+  std::string scheduler;
+};
+
+// One thread of the scenario population.
+struct ScenarioThreadSpec {
+  std::string name;
+  std::string leaf_path;                // must name a leaf node of the spec
+  hsfq::ThreadParams params;
+  Time start_time = 0;                  // first wakeup
+  // Identity of this thread in the source the scenario was derived from (trace thread
+  // id); reports use it to correlate across configurations. 0 when not derived.
+  uint64_t source_id = 0;
+  // Fresh workload per instantiation (a spec can be built into many Systems).
+  std::function<std::unique_ptr<Workload>()> make_workload;
+};
+
+struct ScenarioSpec {
+  std::vector<ScenarioNodeSpec> nodes;
+  std::vector<ScenarioThreadSpec> threads;
+  // Natural run length (e.g. the source trace's horizon); 0 = caller decides.
+  Time horizon = 0;
+};
+
+// Resolves a leaf-scheduler registry name to a fresh instance.
+using LeafSchedulerFactory =
+    std::function<hscommon::StatusOr<std::unique_ptr<hsfq::LeafScheduler>>(
+        const std::string& name)>;
+
+// What BuildScenario created, keyed back to the spec's names.
+struct ScenarioBinding {
+  std::map<std::string, hsfq::NodeId> nodes;    // path -> node id
+  std::map<uint64_t, hsfq::ThreadId> threads;   // source_id -> thread id
+  std::vector<hsfq::ThreadId> thread_ids;       // in spec order
+};
+
+// Builds the spec's tree and threads into `system`. Leaves whose spec names no
+// scheduler get `default_scheduler`. Fails (leaving the system partially built) on
+// duplicate/bad paths, unknown scheduler names, or admission-control rejections.
+hscommon::StatusOr<ScenarioBinding> BuildScenario(
+    const ScenarioSpec& spec, const std::string& default_scheduler,
+    const LeafSchedulerFactory& factory, System& system);
+
+}  // namespace hsim
+
+#endif  // HSCHED_SRC_SIM_SCENARIO_H_

@@ -129,6 +129,7 @@ WorkloadAction RecordingWorkload::NextAction(Time now) {
       break;  // lock behaviour is schedule-dependent; not recordable as a trace
     case WorkloadAction::Kind::kExit:
       have_open_record_ = false;
+      exited_ = true;
       break;
   }
   return action;
@@ -143,6 +144,9 @@ hscommon::Status RecordingWorkload::SaveCsv(const std::string& path) const {
   for (const TraceWorkload::Record& r : records_) {
     std::fprintf(f, "%lld,%lld\n", static_cast<long long>(r.compute),
                  static_cast<long long>(r.sleep));
+  }
+  if (exited_) {
+    std::fputs("# exit\n", f);
   }
   std::fclose(f);
   return hscommon::Status::Ok();

@@ -223,13 +223,26 @@ class RecordingWorkload : public Workload {
 
   const std::vector<TraceWorkload::Record>& records() const { return records_; }
 
-  // Writes "compute_ns,sleep_ns" rows loadable by TraceWorkload::LoadCsv.
+  // True once the wrapped workload issued kExit. A replay must honor this: looping a
+  // recording whose source exited would run the synthesized scenario past the source
+  // trace's horizon.
+  bool exited() const { return exited_; }
+
+  // Builds the replaying workload. `loop` is only honored when the source never
+  // exited — a recorded exit caps the replay at the recording's horizon.
+  std::unique_ptr<TraceWorkload> MakeReplay(bool loop) const {
+    return std::make_unique<TraceWorkload>(records_, loop && !exited_);
+  }
+
+  // Writes "compute_ns,sleep_ns" rows loadable by TraceWorkload::LoadCsv. A recorded
+  // exit is noted as a trailing "# exit" comment (ignored by LoadCsv).
   hscommon::Status SaveCsv(const std::string& path) const;
 
  private:
   std::unique_ptr<Workload> inner_;
   std::vector<TraceWorkload::Record> records_;
   bool have_open_record_ = false;  // last action was a compute: its sleep is pending
+  bool exited_ = false;            // the wrapped workload issued kExit
 };
 
 // Runs a fixed amount of service then exits — for batch jobs and tests.

@@ -1,0 +1,207 @@
+#include "src/sim/workload_registry.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hsim {
+
+using hscommon::InvalidArgument;
+using hscommon::Status;
+using hscommon::StatusOr;
+using hscommon::Time;
+using hscommon::Work;
+
+StatusOr<Time> ParseTimeSpec(const std::string& text) {
+  if (text.empty()) {
+    return InvalidArgument("empty duration");
+  }
+  size_t pos = 0;
+  while (pos < text.size() && (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                               text[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == 0) {
+    return InvalidArgument("bad duration '" + text + "'");
+  }
+  const double value = std::atof(text.substr(0, pos).c_str());
+  const std::string unit = text.substr(pos);
+  double scale = 1.0;
+  if (unit == "s") {
+    scale = static_cast<double>(hscommon::kSecond);
+  } else if (unit == "ms") {
+    scale = static_cast<double>(hscommon::kMillisecond);
+  } else if (unit == "us") {
+    scale = static_cast<double>(hscommon::kMicrosecond);
+  } else if (unit == "ns" || unit.empty()) {
+    scale = 1.0;
+  } else {
+    return InvalidArgument("bad duration unit '" + unit + "' in '" + text + "'");
+  }
+  const double ns = value * scale;
+  if (ns < 0) {
+    return InvalidArgument("negative duration '" + text + "'");
+  }
+  return static_cast<Time>(ns);
+}
+
+namespace {
+
+// Key=value pairs of one spec body ("a=1,b=2ms").
+StatusOr<std::map<std::string, std::string>> ParsePairs(const std::string& body) {
+  std::map<std::string, std::string> pairs;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find(',', start);
+    if (end == std::string::npos) {
+      end = body.size();
+    }
+    const std::string item = body.substr(start, end - start);
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return InvalidArgument("bad key=value pair '" + item + "'");
+    }
+    pairs[item.substr(0, eq)] = item.substr(eq + 1);
+    start = end + 1;
+  }
+  return pairs;
+}
+
+StatusOr<Time> RequireTime(const std::map<std::string, std::string>& kv,
+                           const std::string& key) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    return InvalidArgument("missing required key '" + key + "'");
+  }
+  return ParseTimeSpec(it->second);
+}
+
+StatusOr<Time> OptionalTime(const std::map<std::string, std::string>& kv,
+                            const std::string& key, Time fallback) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    return fallback;
+  }
+  return ParseTimeSpec(it->second);
+}
+
+StatusOr<uint64_t> RequireU64(const std::map<std::string, std::string>& kv,
+                              const std::string& key) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    return InvalidArgument("missing required key '" + key + "'");
+  }
+  return static_cast<uint64_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+}
+
+using Kv = std::map<std::string, std::string>;
+
+StatusOr<std::unique_ptr<Workload>> BuildCpu(const Kv& kv) {
+  auto chunk = OptionalTime(kv, "chunk", 100 * hscommon::kMillisecond);
+  if (!chunk.ok()) return chunk.status();
+  if (*chunk <= 0) return InvalidArgument("cpu: chunk must be positive");
+  return std::unique_ptr<Workload>(std::make_unique<CpuBoundWorkload>(*chunk));
+}
+
+StatusOr<std::unique_ptr<Workload>> BuildPeriodic(const Kv& kv) {
+  auto period = RequireTime(kv, "period");
+  if (!period.ok()) return period.status();
+  auto computation = RequireTime(kv, "computation");
+  if (!computation.ok()) return computation.status();
+  auto deadline = OptionalTime(kv, "deadline", 0);
+  if (!deadline.ok()) return deadline.status();
+  if (*period <= 0 || *computation <= 0) {
+    return InvalidArgument("periodic: period and computation must be positive");
+  }
+  return std::unique_ptr<Workload>(
+      std::make_unique<PeriodicWorkload>(*period, *computation, *deadline));
+}
+
+StatusOr<std::unique_ptr<Workload>> BuildInteractive(const Kv& kv) {
+  auto seed = RequireU64(kv, "seed");
+  if (!seed.ok()) return seed.status();
+  auto think = RequireTime(kv, "think");
+  if (!think.ok()) return think.status();
+  auto burst = RequireTime(kv, "burst");
+  if (!burst.ok()) return burst.status();
+  return std::unique_ptr<Workload>(
+      std::make_unique<InteractiveWorkload>(*seed, *think, *burst));
+}
+
+StatusOr<std::unique_ptr<Workload>> BuildBursty(const Kv& kv) {
+  auto seed = RequireU64(kv, "seed");
+  if (!seed.ok()) return seed.status();
+  auto min_burst = RequireTime(kv, "min_burst");
+  if (!min_burst.ok()) return min_burst.status();
+  auto max_burst = RequireTime(kv, "max_burst");
+  if (!max_burst.ok()) return max_burst.status();
+  auto min_sleep = RequireTime(kv, "min_sleep");
+  if (!min_sleep.ok()) return min_sleep.status();
+  auto max_sleep = RequireTime(kv, "max_sleep");
+  if (!max_sleep.ok()) return max_sleep.status();
+  if (*min_burst > *max_burst || *min_sleep > *max_sleep) {
+    return InvalidArgument("bursty: min must not exceed max");
+  }
+  return std::unique_ptr<Workload>(std::make_unique<BurstyWorkload>(
+      *seed, *min_burst, *max_burst, *min_sleep, *max_sleep));
+}
+
+StatusOr<std::unique_ptr<Workload>> BuildFinite(const Kv& kv) {
+  auto work = RequireTime(kv, "work");
+  if (!work.ok()) return work.status();
+  if (*work <= 0) return InvalidArgument("finite: work must be positive");
+  return std::unique_ptr<Workload>(std::make_unique<FiniteWorkload>(*work));
+}
+
+StatusOr<std::unique_ptr<Workload>> BuildTrace(const Kv& kv) {
+  const auto it = kv.find("file");
+  if (it == kv.end()) {
+    return InvalidArgument("missing required key 'file'");
+  }
+  auto records = TraceWorkload::LoadCsv(it->second);
+  if (!records.ok()) return records.status();
+  const auto loop_it = kv.find("loop");
+  const bool loop = loop_it != kv.end() && loop_it->second != "0";
+  return std::unique_ptr<Workload>(
+      std::make_unique<TraceWorkload>(*std::move(records), loop));
+}
+
+std::map<std::string, WorkloadBuilder>& Registry() {
+  static auto* registry = new std::map<std::string, WorkloadBuilder>{
+      {"cpu", BuildCpu},           {"periodic", BuildPeriodic},
+      {"interactive", BuildInteractive}, {"bursty", BuildBursty},
+      {"finite", BuildFinite},     {"trace", BuildTrace},
+  };
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterWorkload(const std::string& kind, WorkloadBuilder builder) {
+  Registry()[kind] = std::move(builder);
+}
+
+std::vector<std::string> RegisteredWorkloadKinds() {
+  std::vector<std::string> kinds;
+  kinds.reserve(Registry().size());
+  for (const auto& [kind, builder] : Registry()) {
+    kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+StatusOr<std::unique_ptr<Workload>> MakeWorkloadFromSpec(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string body = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const auto it = Registry().find(kind);
+  if (it == Registry().end()) {
+    return InvalidArgument("unknown workload kind '" + kind + "'");
+  }
+  auto pairs = ParsePairs(body);
+  if (!pairs.ok()) {
+    return pairs.status();
+  }
+  return it->second(*pairs);
+}
+
+}  // namespace hsim

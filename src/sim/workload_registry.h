@@ -1,0 +1,56 @@
+// A string-spec registry for workload models, so tools and scenario files can name a
+// thread's behaviour without compiling against the concrete Workload classes.
+//
+// Spec grammar (mirrors the fault-plan grammar of src/fault):
+//   <kind>[:key=value,key=value,...]
+// with durations/work accepted as "20ms", "1s", "150us", "5000ns", or raw nanoseconds.
+//
+// Built-in kinds:
+//   cpu         [chunk=100ms]                      — always-runnable hog
+//   periodic    period=,computation=[,deadline=]   — hard-RT rounds (Figure 9)
+//   interactive seed=,think=,burst=                — exponential think/burst
+//   bursty      seed=,min_burst=,max_burst=,min_sleep=,max_sleep=
+//   finite      work=                              — batch job, exits when done
+//   trace       file=[,loop=0|1]                   — TraceWorkload::LoadCsv replay
+//
+// Additional kinds can be registered at runtime (RegisterWorkload); the synthesis
+// layer (src/synth) registers nothing here — it builds workloads directly — but the
+// scenario builder (scenario.h) accepts either a spec string or a factory callback.
+
+#ifndef HSCHED_SRC_SIM_WORKLOAD_REGISTRY_H_
+#define HSCHED_SRC_SIM_WORKLOAD_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/workload.h"
+
+namespace hsim {
+
+// Parses "20ms" / "1s" / "150us" / "42" (ns) into nanoseconds. Rejects empty,
+// non-numeric, and negative values.
+hscommon::StatusOr<hscommon::Time> ParseTimeSpec(const std::string& text);
+
+// A builder receives the parsed key=value pairs of one spec.
+using WorkloadBuilder = std::function<hscommon::StatusOr<std::unique_ptr<Workload>>(
+    const std::map<std::string, std::string>&)>;
+
+// Registers (or replaces) a workload kind. Not thread-safe; call during setup.
+void RegisterWorkload(const std::string& kind, WorkloadBuilder builder);
+
+// Registered kind names, sorted (built-ins are always present).
+std::vector<std::string> RegisteredWorkloadKinds();
+
+// Instantiates a workload from its spec string. Unknown kinds, malformed pairs,
+// missing required keys, and out-of-range values are errors.
+hscommon::StatusOr<std::unique_ptr<Workload>> MakeWorkloadFromSpec(
+    const std::string& spec);
+
+}  // namespace hsim
+
+#endif  // HSCHED_SRC_SIM_WORKLOAD_REGISTRY_H_

@@ -1,0 +1,417 @@
+#include "src/synth/sched_diff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/invariant_checker.h"
+#include "src/sched/registry.h"
+#include "src/sim/scenario.h"
+#include "src/sim/system.h"
+#include "src/trace/reader.h"
+#include "src/trace/tracer.h"
+
+namespace hsynth {
+
+using hscommon::InvalidArgument;
+using hscommon::Status;
+using hscommon::StatusOr;
+using htrace::TraceAnalyzer;
+
+namespace {
+
+// Everything one configuration's run produces that the diff needs.
+struct RunOutput {
+  RunSummary summary;
+  std::unique_ptr<TraceAnalyzer> analyzer;
+  std::map<uint64_t, uint64_t> source_to_thread;  // source_id -> run's ThreadId
+};
+
+StatusOr<RunOutput> RunOne(const SynthScenario& scenario, const SchedDiffConfig& config,
+                           Time duration, const std::string& fault_spec) {
+  if (config.cpus < 1) {
+    return InvalidArgument("cpus must be >= 1");
+  }
+  const Time until = duration > 0 ? duration : scenario.horizon;
+  if (until <= 0) {
+    return InvalidArgument("scenario has no horizon; pass an explicit duration");
+  }
+
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, config.cpus);
+  hsim::System sys({.ncpus = config.cpus});
+  sys.SetTracer(&tracer);
+
+  std::optional<hsfault::FaultInjector> injector;
+  if (!fault_spec.empty()) {
+    auto plan = hsfault::FaultPlan::Parse(fault_spec);
+    if (!plan.ok()) {
+      return plan.status();
+    }
+    injector.emplace(*std::move(plan));
+    injector->Arm(sys);
+  }
+
+  SynthOptions unused;  // seeds already live in each thread's spec
+  const hsim::ScenarioSpec spec = ToScenarioSpec(scenario, unused);
+  auto binding = hsim::BuildScenario(spec, config.scheduler, hleaf::MakeLeafScheduler,
+                                     sys);
+  if (!binding.ok()) {
+    return binding.status();
+  }
+  sys.RunUntil(until);
+  if (injector) {
+    injector->Disarm();
+  }
+
+  RunOutput out;
+  const std::vector<htrace::TraceEvent> events = tracer.MergedSnapshot();
+  out.summary.label = config.label;
+  out.summary.scheduler = config.scheduler;
+  out.summary.cpus = config.cpus;
+  out.summary.duration = until;
+  out.summary.events = events.size();
+  out.summary.dropped = tracer.TotalDropped();
+  out.summary.total_service = sys.total_service();
+
+  hsfault::InvariantChecker checker;
+  checker.SetDropped(out.summary.dropped);
+  for (size_t i = 0; i < events.size(); ++i) {
+    checker.OnEvent(events[i], i);
+  }
+  checker.Finish();
+  out.summary.violations = checker.violation_count();
+  for (const auto& v : checker.violations()) {
+    if (v.kind == hsfault::InvariantChecker::Violation::Kind::kFairnessGap) {
+      ++out.summary.fairness_violations;
+    }
+  }
+  out.summary.checker_report = checker.Report();
+
+  out.analyzer =
+      std::make_unique<TraceAnalyzer>(events, out.summary.dropped);
+  for (const auto& [source_id, thread_id] : binding->threads) {
+    out.source_to_thread[source_id] = thread_id;
+  }
+  return out;
+}
+
+LatencyStats SummarizeLatencies(std::vector<Time> samples) {
+  LatencyStats stats;
+  if (samples.empty()) {
+    return stats;
+  }
+  std::sort(samples.begin(), samples.end());
+  stats.count = samples.size();
+  double sum = 0;
+  for (const Time s : samples) {
+    sum += static_cast<double>(s);
+  }
+  stats.mean_ns = sum / static_cast<double>(samples.size());
+  stats.p50_ns = samples[samples.size() / 2];
+  stats.p99_ns = samples[(samples.size() * 99) / 100 == samples.size()
+                             ? samples.size() - 1
+                             : (samples.size() * 99) / 100];
+  stats.max_ns = samples.back();
+  return stats;
+}
+
+// Sibling-leaf pairs of the scenario tree, by path ("/a","/b" share parent "/").
+std::vector<std::pair<std::string, std::string>> SiblingLeafPairs(
+    const SynthScenario& scenario) {
+  std::map<std::string, std::vector<std::string>> by_parent;
+  for (const SynthNode& n : scenario.nodes) {
+    if (!n.is_leaf) {
+      continue;
+    }
+    const size_t slash = n.path.rfind('/');
+    by_parent[n.path.substr(0, slash == 0 ? 1 : slash)].push_back(n.path);
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& [parent, leaves] : by_parent) {
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      for (size_t j = i + 1; j < leaves.size(); ++j) {
+        pairs.emplace_back(leaves[i], leaves[j]);
+      }
+    }
+  }
+  return pairs;
+}
+
+void JsonEscapeTo(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  JsonEscapeTo(out, s);
+  out += "\"";
+  return out;
+}
+
+void AppendRunSummary(std::string& out, const RunSummary& run, const char* indent) {
+  char buf[256];
+  out += indent;
+  out += "\"label\": " + JsonString(run.label) + ",\n";
+  out += indent;
+  out += "\"scheduler\": " + JsonString(run.scheduler) + ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "%s\"cpus\": %d,\n%s\"duration_ns\": %lld,\n%s\"events\": %llu,\n"
+                "%s\"dropped\": %llu,\n%s\"total_service_ns\": %lld,\n"
+                "%s\"violations\": %llu,\n%s\"fairness_violations\": %llu\n",
+                indent, run.cpus, indent, static_cast<long long>(run.duration), indent,
+                static_cast<unsigned long long>(run.events), indent,
+                static_cast<unsigned long long>(run.dropped), indent,
+                static_cast<long long>(run.total_service), indent,
+                static_cast<unsigned long long>(run.violations), indent,
+                static_cast<unsigned long long>(run.fairness_violations));
+  out += buf;
+}
+
+void AppendLatency(std::string& out, const LatencyStats& stats) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean_ns\": %.1f, \"p50_ns\": %lld, "
+                "\"p99_ns\": %lld, \"max_ns\": %lld}",
+                static_cast<unsigned long long>(stats.count), stats.mean_ns,
+                static_cast<long long>(stats.p50_ns),
+                static_cast<long long>(stats.p99_ns),
+                static_cast<long long>(stats.max_ns));
+  out += buf;
+}
+
+}  // namespace
+
+StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
+                                       const SchedDiffOptions& options) {
+  SchedDiffConfig a = options.a;
+  SchedDiffConfig b = options.b;
+  if (a.label.empty()) a.label = "a";
+  if (b.label.empty()) b.label = "b";
+
+  auto run_a = RunOne(scenario, a, options.duration, options.fault_spec);
+  if (!run_a.ok()) {
+    return run_a.status();
+  }
+  auto run_b = RunOne(scenario, b, options.duration, options.fault_spec);
+  if (!run_b.ok()) {
+    return run_b.status();
+  }
+
+  SchedDiffReport report;
+  report.a = run_a->summary;
+  report.b = run_b->summary;
+
+  // Per-leaf service. Shares are fractions of the leaves' combined service, so they
+  // compare cleanly even when one configuration idles more.
+  Work total_a = 0;
+  Work total_b = 0;
+  struct LeafServices {
+    uint64_t weight;
+    Work a;
+    Work b;
+  };
+  std::vector<std::pair<std::string, LeafServices>> services;
+  for (const SynthNode& node : scenario.nodes) {
+    if (!node.is_leaf) {
+      continue;
+    }
+    Work sa = 0;
+    Work sb = 0;
+    if (auto id = run_a->analyzer->NodeByPath(node.path); id.ok()) {
+      sa = run_a->analyzer->nodes().at(*id).total_service;
+    }
+    if (auto id = run_b->analyzer->NodeByPath(node.path); id.ok()) {
+      sb = run_b->analyzer->nodes().at(*id).total_service;
+    }
+    total_a += sa;
+    total_b += sb;
+    services.emplace_back(node.path, LeafServices{node.weight, sa, sb});
+  }
+  for (const auto& [path, s] : services) {
+    LeafDiff diff;
+    diff.path = path;
+    diff.weight = s.weight;
+    diff.service_a = s.a;
+    diff.service_b = s.b;
+    diff.share_a = total_a > 0 ? static_cast<double>(s.a) / static_cast<double>(total_a)
+                               : 0.0;
+    diff.share_b = total_b > 0 ? static_cast<double>(s.b) / static_cast<double>(total_b)
+                               : 0.0;
+    diff.share_delta = diff.share_b - diff.share_a;
+    report.leaves.push_back(std::move(diff));
+  }
+
+  // §3 fairness gaps over the full run window for every sibling-leaf pair.
+  for (const auto& [f, g] : SiblingLeafPairs(scenario)) {
+    SiblingGap gap;
+    gap.f = f;
+    gap.g = g;
+    const auto fa = run_a->analyzer->NodeByPath(f);
+    const auto ga = run_a->analyzer->NodeByPath(g);
+    if (fa.ok() && ga.ok()) {
+      gap.gap_a = run_a->analyzer->FairnessGap(*fa, *ga, run_a->analyzer->first_time(),
+                                               run_a->analyzer->last_time());
+    }
+    const auto fb = run_b->analyzer->NodeByPath(f);
+    const auto gb = run_b->analyzer->NodeByPath(g);
+    if (fb.ok() && gb.ok()) {
+      gap.gap_b = run_b->analyzer->FairnessGap(*fb, *gb, run_b->analyzer->first_time(),
+                                               run_b->analyzer->last_time());
+    }
+    report.sibling_gaps.push_back(std::move(gap));
+  }
+
+  // Wakeup -> dispatch latencies, correlated by source thread id.
+  for (const SynthThread& thread : scenario.threads) {
+    ThreadLatencyDiff diff;
+    diff.source_id = thread.source_id;
+    diff.name = thread.name;
+    if (auto it = run_a->source_to_thread.find(thread.source_id);
+        it != run_a->source_to_thread.end()) {
+      diff.a = SummarizeLatencies(run_a->analyzer->DispatchLatencies(it->second));
+    }
+    if (auto it = run_b->source_to_thread.find(thread.source_id);
+        it != run_b->source_to_thread.end()) {
+      diff.b = SummarizeLatencies(run_b->analyzer->DispatchLatencies(it->second));
+    }
+    report.latencies.push_back(std::move(diff));
+  }
+  return report;
+}
+
+Status WriteSchedDiffJson(const SchedDiffReport& report, const std::string& path) {
+  std::string out = "{\n  \"a\": {\n";
+  AppendRunSummary(out, report.a, "    ");
+  out += "  },\n  \"b\": {\n";
+  AppendRunSummary(out, report.b, "    ");
+  out += "  },\n  \"leaves\": [\n";
+  for (size_t i = 0; i < report.leaves.size(); ++i) {
+    const LeafDiff& leaf = report.leaves[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"weight\": %llu, \"service_a_ns\": %lld, \"service_b_ns\": "
+                  "%lld, \"share_a\": %.6f, \"share_b\": %.6f, \"share_delta\": %.6f}",
+                  static_cast<unsigned long long>(leaf.weight),
+                  static_cast<long long>(leaf.service_a),
+                  static_cast<long long>(leaf.service_b), leaf.share_a, leaf.share_b,
+                  leaf.share_delta);
+    out += "    {\"path\": " + JsonString(leaf.path) + buf;
+    out += i + 1 < report.leaves.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"sibling_gaps\": [\n";
+  for (size_t i = 0; i < report.sibling_gaps.size(); ++i) {
+    const SiblingGap& gap = report.sibling_gaps[i];
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), ", \"gap_a_ns\": %.1f, \"gap_b_ns\": %.1f}",
+                  gap.gap_a, gap.gap_b);
+    out += "    {\"f\": " + JsonString(gap.f) + ", \"g\": " + JsonString(gap.g) + buf;
+    out += i + 1 < report.sibling_gaps.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"latencies\": [\n";
+  for (size_t i = 0; i < report.latencies.size(); ++i) {
+    const ThreadLatencyDiff& diff = report.latencies[i];
+    out += "    {\"source_id\": " + std::to_string(diff.source_id) +
+           ", \"name\": " + JsonString(diff.name) + ", \"a\": ";
+    AppendLatency(out, diff.a);
+    out += ", \"b\": ";
+    AppendLatency(out, diff.b);
+    out += "}";
+    out += i + 1 < report.latencies.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+std::string FormatSchedDiffReport(const SchedDiffReport& report) {
+  char buf[256];
+  std::string out;
+  for (const RunSummary* run : {&report.a, &report.b}) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] scheduler=%s cpus=%d duration=%.3fs events=%llu "
+                  "service=%.3fs violations=%llu (fairness %llu)\n",
+                  run->label.c_str(), run->scheduler.c_str(), run->cpus,
+                  static_cast<double>(run->duration) / hscommon::kSecond,
+                  static_cast<unsigned long long>(run->events),
+                  static_cast<double>(run->total_service) / hscommon::kSecond,
+                  static_cast<unsigned long long>(run->violations),
+                  static_cast<unsigned long long>(run->fairness_violations));
+    out += buf;
+  }
+  out += "per-leaf service shares:\n";
+  for (const LeafDiff& leaf : report.leaves) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-24s w=%-4llu  %s=%6.2f%%  %s=%6.2f%%  delta=%+6.2f%%\n",
+                  leaf.path.c_str(), static_cast<unsigned long long>(leaf.weight),
+                  report.a.label.c_str(), 100.0 * leaf.share_a, report.b.label.c_str(),
+                  100.0 * leaf.share_b, 100.0 * leaf.share_delta);
+    out += buf;
+  }
+  if (!report.sibling_gaps.empty()) {
+    out += "sibling fairness gaps (ns of service per unit weight, full window):\n";
+    for (const SiblingGap& gap : report.sibling_gaps) {
+      std::snprintf(buf, sizeof(buf), "  %s vs %s:  %s=%.0f  %s=%.0f\n", gap.f.c_str(),
+                    gap.g.c_str(), report.a.label.c_str(), gap.gap_a,
+                    report.b.label.c_str(), gap.gap_b);
+      out += buf;
+    }
+  }
+  out += "wakeup->dispatch latency (p50/p99 us):\n";
+  for (const ThreadLatencyDiff& diff : report.latencies) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-16s %s=%lld/%lld (n=%llu)  %s=%lld/%lld (n=%llu)\n",
+                  diff.name.c_str(), report.a.label.c_str(),
+                  static_cast<long long>(diff.a.p50_ns / hscommon::kMicrosecond),
+                  static_cast<long long>(diff.a.p99_ns / hscommon::kMicrosecond),
+                  static_cast<unsigned long long>(diff.a.count),
+                  report.b.label.c_str(),
+                  static_cast<long long>(diff.b.p50_ns / hscommon::kMicrosecond),
+                  static_cast<long long>(diff.b.p99_ns / hscommon::kMicrosecond),
+                  static_cast<unsigned long long>(diff.b.count));
+    out += buf;
+  }
+  return out;
+}
+
+StatusOr<RunSummary> ReplayAndCheck(const SynthScenario& scenario,
+                                    const SchedDiffConfig& config, Time duration,
+                                    const std::string& fault_spec) {
+  auto run = RunOne(scenario, config, duration, fault_spec);
+  if (!run.ok()) {
+    return run.status();
+  }
+  if (run->summary.dropped != 0) {
+    return InvalidArgument("replay trace lost " +
+                           std::to_string(run->summary.dropped) +
+                           " events to ring wraparound; verdict would be unsound");
+  }
+  return run->summary;
+}
+
+}  // namespace hsynth

@@ -1,0 +1,117 @@
+// Differential scheduler comparison: instantiate ONE synthesized scenario under two
+// scheduler/CPU configurations, run both deterministically, and report what changed —
+// per-leaf service shares, §3 sibling fairness gaps, and per-thread wakeup->dispatch
+// latency distributions — plus each run's invariant-checker verdict. Machine-readable
+// via WriteSchedDiffJson (schema in docs/observability.md), human-readable via
+// FormatSchedDiffReport. tools/sched_diff is the CLI.
+
+#ifndef HSCHED_SRC_SYNTH_SCHED_DIFF_H_
+#define HSCHED_SRC_SYNTH_SCHED_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/synth/synthesize.h"
+
+namespace hsynth {
+
+// One side of the comparison.
+struct SchedDiffConfig {
+  std::string label;      // "a"/"b" by default; shown in reports
+  // Leaf-scheduler registry name (src/sched/registry.h) applied to every leaf whose
+  // spec names no scheduler — i.e. all leaves of a synthesized scenario.
+  std::string scheduler = "sfq";
+  int cpus = 1;
+};
+
+struct SchedDiffOptions {
+  SchedDiffConfig a;
+  SchedDiffConfig b;
+  Time duration = 0;       // 0 = the scenario's horizon
+  // Optional fault-plan spec (src/fault grammar) applied identically to both runs.
+  std::string fault_spec;
+};
+
+// Per-leaf service comparison. Shares are fractions of the run's total leaf service.
+struct LeafDiff {
+  std::string path;
+  uint64_t weight = 1;
+  Work service_a = 0;
+  Work service_b = 0;
+  double share_a = 0;
+  double share_b = 0;
+  double share_delta = 0;  // share_b - share_a
+};
+
+// §3 gap |W_f/r_f − W_g/r_g| between two sibling leaves over the whole run window, in
+// nanoseconds of service per unit weight, under each configuration.
+struct SiblingGap {
+  std::string f;
+  std::string g;
+  double gap_a = 0;
+  double gap_b = 0;
+};
+
+struct LatencyStats {
+  uint64_t count = 0;
+  double mean_ns = 0;
+  Time p50_ns = 0;
+  Time p99_ns = 0;
+  Time max_ns = 0;
+};
+
+// Wakeup -> dispatch latency of one source thread under each configuration.
+struct ThreadLatencyDiff {
+  uint64_t source_id = 0;
+  std::string name;
+  LatencyStats a;
+  LatencyStats b;
+};
+
+// One configuration's run, summarized.
+struct RunSummary {
+  std::string label;
+  std::string scheduler;
+  int cpus = 1;
+  Time duration = 0;
+  uint64_t events = 0;
+  uint64_t dropped = 0;       // tracer ring drops (0 = complete trace)
+  Work total_service = 0;
+  uint64_t violations = 0;          // invariant-checker total
+  uint64_t fairness_violations = 0; // the kFairnessGap subset
+  std::string checker_report;       // "clean" or one line per violation
+};
+
+struct SchedDiffReport {
+  RunSummary a;
+  RunSummary b;
+  std::vector<LeafDiff> leaves;
+  std::vector<SiblingGap> sibling_gaps;
+  std::vector<ThreadLatencyDiff> latencies;
+};
+
+// Runs the scenario under both configurations and diffs them.
+hscommon::StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
+                                                 const SchedDiffOptions& options);
+
+// Stable-key JSON, suitable for diffing and machine consumption.
+hscommon::Status WriteSchedDiffJson(const SchedDiffReport& report,
+                                    const std::string& path);
+
+// Multi-line human-readable summary.
+std::string FormatSchedDiffReport(const SchedDiffReport& report);
+
+// The CI roundtrip gate: run the scenario under ONE configuration and invariant-check
+// the replayed trace. Returns the run summary (callers gate on violations == 0; a
+// truncated replay trace is an error, not a checker pass).
+hscommon::StatusOr<RunSummary> ReplayAndCheck(const SynthScenario& scenario,
+                                              const SchedDiffConfig& config,
+                                              Time duration = 0,
+                                              const std::string& fault_spec = "");
+
+}  // namespace hsynth
+
+#endif  // HSCHED_SRC_SYNTH_SCHED_DIFF_H_

@@ -1,0 +1,70 @@
+#include "src/synth/synth_workload.h"
+
+#include <algorithm>
+
+namespace hsynth {
+
+using hsim::WorkloadAction;
+
+SynthesizedWorkload::SynthesizedWorkload(Spec spec)
+    : spec_(std::move(spec)), prng_(spec_.seed) {
+  if (spec_.mode == FitMode::kHistogram) {
+    for (size_t i = 0; i < spec_.records.size(); ++i) {
+      burst_pool_.push_back(spec_.records[i].compute);
+      // The final record's sleep is absent (nothing woke the thread again), not an
+      // observed zero-length gap — keep it out of the pool.
+      if (i + 1 < spec_.records.size()) {
+        sleep_pool_.push_back(spec_.records[i].sleep);
+      }
+    }
+  }
+}
+
+WorkloadAction SynthesizedWorkload::NextAction(Time now) {
+  return spec_.mode == FitMode::kExactReplay ? NextExact(now) : NextHistogram(now);
+}
+
+WorkloadAction SynthesizedWorkload::NextExact(Time now) {
+  if (sleeping_next_) {
+    sleeping_next_ = false;
+    const SynthRecord& r = spec_.records[index_];
+    ++index_;
+    if (index_ >= spec_.records.size()) {
+      // The sleep after the final episode has no recorded end.
+      return spec_.truncated ? WorkloadAction::SleepUntil(hscommon::kTimeInfinity)
+                             : WorkloadAction::Exit();
+    }
+    const Time wake = spec_.anchor == SleepAnchor::kAbsolute ? r.abs_wake : now + r.sleep;
+    if (wake > now) {
+      return WorkloadAction::SleepUntil(wake);
+    }
+    // Already past the anchor (schedule ran slower than the source): run immediately.
+  }
+  if (index_ >= spec_.records.size()) {
+    return spec_.truncated ? WorkloadAction::SleepUntil(hscommon::kTimeInfinity)
+                           : WorkloadAction::Exit();
+  }
+  sleeping_next_ = true;
+  return WorkloadAction::Compute(spec_.records[index_].compute);
+}
+
+WorkloadAction SynthesizedWorkload::NextHistogram(Time now) {
+  if (burst_pool_.empty()) {
+    return WorkloadAction::Exit();  // source thread never ran
+  }
+  if (sleeping_next_) {
+    sleeping_next_ = false;
+    if (!sleep_pool_.empty()) {
+      const Time sleep = sleep_pool_[prng_.UniformU64(sleep_pool_.size())];
+      if (sleep > 0) {
+        return WorkloadAction::SleepUntil(now + sleep);
+      }
+    }
+    // No observed gaps: the source was effectively CPU-bound; chain bursts.
+  }
+  sleeping_next_ = true;
+  return WorkloadAction::Compute(
+      std::max<Work>(1, burst_pool_[prng_.UniformU64(burst_pool_.size())]));
+}
+
+}  // namespace hsynth

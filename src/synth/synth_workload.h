@@ -1,0 +1,89 @@
+// The workload model fitted from a trace: per-thread burst/sleep behaviour extracted
+// from a TraceAnalyzer's episode stream, replayable either exactly or as a seeded
+// bootstrap over the empirical distributions.
+//
+// Fidelity note: traces record SERVICE time (CPU attained per episode), not wall-clock
+// demand. Under the same scheduler configuration an exact replay reproduces the source
+// schedule; under a different configuration the bursts keep their service demand but
+// their wall-clock extent — and hence everything downstream of preemption timing —
+// legitimately differs. That is the point of the differential harness: hold demand
+// fixed, vary the scheduler. See docs/observability.md "From trace to workload".
+
+#ifndef HSCHED_SRC_SYNTH_SYNTH_WORKLOAD_H_
+#define HSCHED_SRC_SYNTH_SYNTH_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/common/types.h"
+#include "src/sim/workload.h"
+
+namespace hsynth {
+
+using hscommon::Time;
+using hscommon::Work;
+
+// How a fitted workload regenerates behaviour.
+enum class FitMode {
+  // Replay the recorded episodes verbatim, then exit (or keep sleeping forever when the
+  // source thread was still alive at the trace horizon). Highest fidelity; bounded by
+  // the source trace's length.
+  kExactReplay,
+  // Bootstrap-resample the empirical burst and sleep distributions with a seeded Prng,
+  // forever. Unbounded, statistically faithful, not timeline-faithful.
+  kHistogram,
+};
+
+// How exact-replay sleeps are anchored.
+enum class SleepAnchor {
+  // Sleep for (next wake − this block) relative to the replayed block time. Robust to
+  // schedule drift; inter-episode gaps keep their duration.
+  kRelative,
+  // Sleep until the source trace's absolute wake time (skipped when the replay is
+  // already past it). Keeps arrivals phase-aligned with the source timeline.
+  kAbsolute,
+};
+
+// One fitted episode: compute `compute`, then sleep. `sleep` is the relative gap to the
+// next wake; `abs_wake` is the source trace's absolute time of the next wake (0 after
+// the final episode).
+struct SynthRecord {
+  Work compute = 0;
+  Time sleep = 0;
+  Time abs_wake = 0;
+};
+
+// A Workload regenerating one thread's fitted behaviour.
+class SynthesizedWorkload : public hsim::Workload {
+ public:
+  struct Spec {
+    std::vector<SynthRecord> records;  // fitted episodes, time order
+    FitMode mode = FitMode::kExactReplay;
+    SleepAnchor anchor = SleepAnchor::kRelative;
+    uint64_t seed = 1;      // histogram mode resampling stream
+    // The source thread was still alive (blocked or mid-burst) at the trace horizon; in
+    // exact mode the replay sleeps forever instead of exiting after the last record.
+    bool truncated = false;
+  };
+
+  explicit SynthesizedWorkload(Spec spec);
+
+  hsim::WorkloadAction NextAction(Time now) override;
+
+ private:
+  hsim::WorkloadAction NextExact(Time now);
+  hsim::WorkloadAction NextHistogram(Time now);
+
+  Spec spec_;
+  hscommon::Prng prng_;
+  // Histogram-mode sample pools (built once from the records).
+  std::vector<Work> burst_pool_;
+  std::vector<Time> sleep_pool_;
+  size_t index_ = 0;
+  bool sleeping_next_ = false;  // the current record's sleep phase is pending
+};
+
+}  // namespace hsynth
+
+#endif  // HSCHED_SRC_SYNTH_SYNTH_WORKLOAD_H_

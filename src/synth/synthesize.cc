@@ -1,0 +1,118 @@
+#include "src/synth/synthesize.h"
+
+namespace hsynth {
+
+using hscommon::InvalidArgument;
+using hscommon::StatusOr;
+using htrace::TraceAnalyzer;
+
+namespace {
+
+// A per-thread seed stream derived from the base seed: deterministic, distinct per
+// source thread, stable across runs (the roundtrip/determinism tests rely on this).
+uint64_t ThreadSeed(uint64_t base, uint64_t source_id) {
+  return base * 1000003ULL + source_id;
+}
+
+}  // namespace
+
+StatusOr<SynthScenario> Synthesize(const TraceAnalyzer& analyzer,
+                                   const SynthOptions& options) {
+  if (analyzer.truncated()) {
+    return InvalidArgument(
+        "trace lost " + std::to_string(analyzer.dropped()) +
+        " events to ring wraparound; tree and arrival reconstruction would be unsound "
+        "(enlarge the tracer ring and re-capture)");
+  }
+  SynthScenario scenario;
+  scenario.horizon = analyzer.last_time();
+  scenario.source_cpus = analyzer.cpus();
+
+  // Node ids are assigned in creation order, so iterating the id-keyed map already
+  // yields parents before children.
+  for (const auto& [id, node] : analyzer.nodes()) {
+    if (id == 0 || node.removed || node.path.rfind("node:", 0) == 0) {
+      continue;  // root is implicit; pre-trace placeholders have no known parent
+    }
+    scenario.nodes.push_back(SynthNode{node.path, node.weight, node.is_leaf});
+  }
+
+  for (const TraceAnalyzer::ThreadActivity& activity : analyzer.ThreadActivities()) {
+    const auto leaf_it = analyzer.nodes().find(activity.leaf);
+    if (leaf_it == analyzer.nodes().end() || !leaf_it->second.is_leaf ||
+        leaf_it->second.path.rfind("node:", 0) == 0) {
+      continue;  // never attached anywhere reconstructable
+    }
+    SynthThread thread;
+    thread.source_id = activity.thread;
+    thread.name = activity.name.empty() ? "t" + std::to_string(activity.thread)
+                                        : activity.name;
+    thread.leaf_path = leaf_it->second.path;
+    thread.weight = activity.weight;
+    thread.spec.mode = options.mode;
+    thread.spec.anchor = options.anchor;
+    thread.spec.seed = ThreadSeed(options.seed, activity.thread);
+    thread.spec.truncated = !activity.ends_blocked;
+
+    // One fitted record per episode with nonzero service (an episode that attained no
+    // service before blocking again is invisible to the scheduler being compared, and
+    // Compute(0) is not a valid action). The record's sleep is the gap to the next KEPT
+    // episode's wake, so dropped episodes merge into the surrounding gap.
+    bool have_start = false;
+    for (const TraceAnalyzer::ThreadBurst& burst : activity.bursts) {
+      if (burst.service <= 0) {
+        continue;
+      }
+      if (!have_start) {
+        thread.start = burst.wake;
+        have_start = true;
+      }
+      if (!thread.spec.records.empty()) {
+        SynthRecord& prev = thread.spec.records.back();
+        prev.abs_wake = burst.wake;
+        prev.sleep = burst.wake > prev.sleep ? burst.wake - prev.sleep : 0;
+      }
+      // Stash this episode's block time in `sleep` until the next kept episode fixes
+      // the gap up; the final record's sleep stays 0 (no recorded successor).
+      thread.spec.records.push_back(SynthRecord{burst.service, burst.block, 0});
+    }
+    if (!thread.spec.records.empty()) {
+      thread.spec.records.back().sleep = 0;
+    } else {
+      thread.start = activity.attach_time;
+    }
+    scenario.threads.push_back(std::move(thread));
+  }
+  if (scenario.threads.empty()) {
+    return InvalidArgument("trace contains no threads attached to a known leaf");
+  }
+  return scenario;
+}
+
+hsim::ScenarioSpec ToScenarioSpec(const SynthScenario& scenario,
+                                  const SynthOptions& options) {
+  (void)options;  // seeds were derived at Synthesize time and live in each spec
+  hsim::ScenarioSpec spec;
+  spec.horizon = scenario.horizon;
+  for (const SynthNode& node : scenario.nodes) {
+    spec.nodes.push_back(
+        hsim::ScenarioNodeSpec{node.path, node.weight, node.is_leaf, ""});
+  }
+  for (const SynthThread& thread : scenario.threads) {
+    hsim::ScenarioThreadSpec t;
+    t.name = thread.name;
+    t.leaf_path = thread.leaf_path;
+    t.params.weight = thread.weight;
+    t.start_time = thread.start;
+    t.source_id = thread.source_id;
+    const SynthesizedWorkload::Spec workload_spec = thread.spec;
+    t.make_workload = [workload_spec] {
+      return std::unique_ptr<hsim::Workload>(
+          std::make_unique<SynthesizedWorkload>(workload_spec));
+    };
+    spec.threads.push_back(std::move(t));
+  }
+  return spec;
+}
+
+}  // namespace hsynth

@@ -1,0 +1,72 @@
+// Trace -> scenario synthesis: fits a SynthesizedWorkload per thread of a recorded
+// HSTRACE1 stream and packages the scheduling tree plus the thread population as a
+// self-contained SynthScenario, instantiable into a System under ANY scheduler
+// configuration, CPU count, or fault plan via hsim::BuildScenario.
+//
+// What is and is not captured:
+//  - Captured: tree shape, node weights, per-thread leaf placement and weight, arrival
+//    time (first wake), per-episode service demand, inter-episode gaps, exit (a thread
+//    whose last episode completed and never woke again is synthesized to exit there).
+//  - Not captured: TS priorities (traces record only ThreadParams::weight), mutex
+//    interactions (schedule-dependent), and the wall-clock shape of bursts under
+//    preemption — service demand is what transfers across configurations.
+
+#ifndef HSCHED_SRC_SYNTH_SYNTHESIZE_H_
+#define HSCHED_SRC_SYNTH_SYNTHESIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/scenario.h"
+#include "src/synth/synth_workload.h"
+#include "src/trace/reader.h"
+
+namespace hsynth {
+
+struct SynthNode {
+  std::string path;  // "/"-rooted
+  uint64_t weight = 1;
+  bool is_leaf = false;
+};
+
+struct SynthThread {
+  uint64_t source_id = 0;  // thread id in the source trace
+  std::string name;
+  std::string leaf_path;
+  uint64_t weight = 1;
+  Time start = 0;  // first wake in the source trace
+  SynthesizedWorkload::Spec spec;
+};
+
+// A self-contained synthesized scenario. Nodes are ordered parents-first.
+struct SynthScenario {
+  std::vector<SynthNode> nodes;
+  std::vector<SynthThread> threads;
+  Time horizon = 0;  // source trace's last event time
+  int source_cpus = 1;
+};
+
+struct SynthOptions {
+  FitMode mode = FitMode::kExactReplay;
+  SleepAnchor anchor = SleepAnchor::kRelative;
+  uint64_t seed = 1;  // base seed; each thread gets a distinct derived stream
+};
+
+// Fits a scenario from an analyzed trace. Fails when the trace has no usable threads
+// (e.g. an empty or purely structural stream) or is truncated at the front (dropped
+// events make the tree/arrival reconstruction unsound).
+hscommon::StatusOr<SynthScenario> Synthesize(const htrace::TraceAnalyzer& analyzer,
+                                             const SynthOptions& options);
+
+// Lowers a synthesized scenario to the generic scenario spec. Workload factories build
+// fresh SynthesizedWorkloads per instantiation; in histogram mode each thread's seed is
+// derived deterministically from options.seed and its source id.
+hsim::ScenarioSpec ToScenarioSpec(const SynthScenario& scenario,
+                                  const SynthOptions& options);
+
+}  // namespace hsynth
+
+#endif  // HSCHED_SRC_SYNTH_SYNTHESIZE_H_

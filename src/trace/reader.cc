@@ -173,6 +173,109 @@ std::vector<Time> TraceAnalyzer::DispatchLatencies(uint64_t thread) const {
   return out;
 }
 
+std::vector<TraceAnalyzer::ThreadActivity> TraceAnalyzer::ThreadActivities() const {
+  std::map<uint64_t, ThreadActivity> acts;
+  // Open episode per thread: woke at `wake`, `acc` service charged so far.
+  struct Open {
+    bool open = false;
+    Time wake = 0;
+    Work acc = 0;
+  };
+  std::map<uint64_t, Open> open;
+
+  const auto activity = [&](uint64_t thread) -> ThreadActivity& {
+    auto it = acts.find(thread);
+    if (it == acts.end()) {
+      ThreadActivity a;
+      a.thread = thread;
+      it = acts.emplace(thread, std::move(a)).first;
+    }
+    return it->second;
+  };
+  const auto close = [&](uint64_t thread, Time at, bool complete) {
+    Open& o = open[thread];
+    if (!o.open) {
+      return;
+    }
+    activity(thread).bursts.push_back(
+        ThreadBurst{o.wake, at, o.acc, complete});
+    o = Open{};
+  };
+
+  for (const TraceEvent& e : events_) {
+    switch (e.type) {
+      case EventType::kAttachThread: {
+        ThreadActivity& a = activity(e.a);
+        if (!a.attached) {
+          a.attached = true;
+          a.attach_time = e.time;
+          a.leaf = e.node;
+          a.weight = static_cast<uint64_t>(e.b);
+        }
+        break;
+      }
+      case EventType::kThreadName:
+        activity(e.a).name = NameField(e);
+        break;
+      case EventType::kSetRun: {
+        ThreadActivity& a = activity(e.a);
+        if (a.leaf == UINT32_MAX) {
+          a.leaf = e.node;  // truncated trace: no attach was recorded
+        }
+        Open& o = open[e.a];
+        if (!o.open) {
+          o.open = true;
+          o.wake = e.time;
+          o.acc = 0;
+        }
+        break;
+      }
+      case EventType::kUpdate: {
+        ThreadActivity& a = activity(e.a);
+        if (a.leaf == UINT32_MAX) {
+          a.leaf = e.node;
+        }
+        Open& o = open[e.a];
+        if (!o.open) {
+          // Truncated stream: the wake predates the ring. Anchor the episode at the
+          // first charge we can see.
+          o.open = true;
+          o.wake = e.time;
+        }
+        o.acc += e.b;
+        if (e.flags == 0) {
+          close(e.a, e.time, /*complete=*/true);
+        }
+        break;
+      }
+      case EventType::kSleep:
+        // External suspend of a runnable-but-not-running thread closes the episode.
+        close(e.a, e.time, /*complete=*/true);
+        break;
+      case EventType::kDetachThread:
+        close(e.a, e.time, /*complete=*/true);
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<ThreadActivity> out;
+  out.reserve(acts.size());
+  for (auto& [thread, a] : acts) {
+    const Open& o = open[thread];
+    if (o.open) {
+      // Cut off at the horizon: the final burst is a lower bound on the source burst.
+      a.bursts.push_back(ThreadBurst{o.wake, last_time_, o.acc, /*complete=*/false});
+      a.ends_blocked = false;
+    } else {
+      a.ends_blocked = !a.bursts.empty();
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
 std::string TraceAnalyzer::ThreadName(uint64_t thread) const {
   const auto it = thread_names_.find(thread);
   return it == thread_names_.end() ? "" : it->second;

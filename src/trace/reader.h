@@ -68,6 +68,38 @@ class TraceAnalyzer {
   // the next Schedule that picked the thread.
   std::vector<Time> DispatchLatencies(uint64_t thread) const;
 
+  // One contiguous runnable episode of a thread: it became runnable at `wake`
+  // (kSetRun), attained `service` across one or more slices, and blocked again at
+  // `block` (the kUpdate with still_runnable=0, or a kSleep). The workload-synthesis
+  // layer (src/synth) treats an episode as one compute burst.
+  struct ThreadBurst {
+    Time wake = 0;
+    Time block = 0;
+    Work service = 0;
+    // False when the trace ended mid-episode: the thread was still runnable (or mid
+    // slice) at the horizon, so `service` undercounts the source burst.
+    bool complete = false;
+  };
+
+  // Everything the trace says about one thread's behaviour: where it lived in the
+  // tree, when it arrived, and its wake/compute/block episodes in time order.
+  struct ThreadActivity {
+    uint64_t thread = 0;
+    std::string name;            // last kThreadName ("" when the trace has none)
+    uint32_t leaf = UINT32_MAX;  // leaf of the first attach (or first kernel-hook event)
+    uint64_t weight = 1;         // ThreadParams::weight recorded by kAttachThread
+    bool attached = false;       // an explicit kAttachThread was seen
+    Time attach_time = 0;
+    std::vector<ThreadBurst> bursts;
+    // True when the thread's last burst completed and it never woke again before the
+    // trace ended — indistinguishable in the stream from an exit, which is how the
+    // synthesis layer interprets it.
+    bool ends_blocked = false;
+  };
+
+  // Per-thread activity for every thread seen in the stream, ordered by thread id.
+  std::vector<ThreadActivity> ThreadActivities() const;
+
   // Last name recorded for a thread ("" when the trace has none).
   std::string ThreadName(uint64_t thread) const;
 

@@ -1,0 +1,177 @@
+// Scenario-builder and workload-registry tests: path-addressed tree construction,
+// scheduler-name resolution through the leaf registry, and the string-spec workload
+// grammar.
+
+#include "src/sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/sched/registry.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/sim/workload_registry.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+
+ScenarioSpec TwoLeafSpec() {
+  ScenarioSpec spec;
+  spec.nodes.push_back({"/apps", 3, false, ""});
+  spec.nodes.push_back({"/apps/mm", 2, true, ""});
+  spec.nodes.push_back({"/sys", 1, true, "ts_svr4"});
+  ScenarioThreadSpec t;
+  t.name = "hog";
+  t.leaf_path = "/apps/mm";
+  t.source_id = 7;
+  t.make_workload = [] {
+    return std::unique_ptr<Workload>(std::make_unique<CpuBoundWorkload>());
+  };
+  spec.threads.push_back(t);
+  t.name = "sys-hog";
+  t.leaf_path = "/sys";
+  t.source_id = 8;
+  spec.threads.push_back(t);
+  return spec;
+}
+
+TEST(ScenarioTest, BuildsTreeAndThreads) {
+  System sys;
+  auto binding =
+      BuildScenario(TwoLeafSpec(), "sfq", hleaf::MakeLeafScheduler, sys);
+  ASSERT_TRUE(binding.ok()) << binding.status().ToString();
+  EXPECT_EQ(binding->nodes.size(), 4u);  // root + 3
+  EXPECT_EQ(binding->threads.size(), 2u);
+  EXPECT_EQ(binding->thread_ids.size(), 2u);
+  // Paths resolve in the built tree.
+  EXPECT_TRUE(sys.tree().Parse("/apps/mm").ok());
+  EXPECT_TRUE(sys.tree().Parse("/sys").ok());
+  sys.RunUntil(1 * kSecond);
+  const auto hog = binding->threads.at(7);
+  EXPECT_GT(sys.StatsOf(hog).total_service, 0);
+}
+
+TEST(ScenarioTest, NodeOrderDoesNotMatter) {
+  ScenarioSpec spec = TwoLeafSpec();
+  std::reverse(spec.nodes.begin(), spec.nodes.end());  // children listed before parents
+  System sys;
+  EXPECT_TRUE(BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys).ok());
+}
+
+TEST(ScenarioTest, RejectsUnknownParent) {
+  ScenarioSpec spec;
+  spec.nodes.push_back({"/a/b", 1, true, ""});  // "/a" never declared
+  System sys;
+  EXPECT_FALSE(BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys).ok());
+}
+
+TEST(ScenarioTest, RejectsBadPaths) {
+  for (const std::string path : {"", "relative", "/", "/trailing/"}) {
+    ScenarioSpec spec;
+    spec.nodes.push_back({path, 1, true, ""});
+    System sys;
+    EXPECT_FALSE(BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys).ok())
+        << "'" << path << "'";
+  }
+}
+
+TEST(ScenarioTest, RejectsUnknownLeafForThread) {
+  ScenarioSpec spec = TwoLeafSpec();
+  spec.threads[0].leaf_path = "/nope";
+  System sys;
+  EXPECT_FALSE(BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys).ok());
+}
+
+TEST(ScenarioTest, RejectsThreadWithoutWorkloadFactory) {
+  ScenarioSpec spec = TwoLeafSpec();
+  spec.threads[0].make_workload = nullptr;
+  System sys;
+  EXPECT_FALSE(BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys).ok());
+}
+
+TEST(ScenarioTest, RejectsUnknownSchedulerName) {
+  System sys;
+  EXPECT_FALSE(
+      BuildScenario(TwoLeafSpec(), "bogus", hleaf::MakeLeafScheduler, sys).ok());
+}
+
+TEST(LeafRegistryTest, KnownNamesResolve) {
+  for (const std::string name :
+       {"sfq", "ts_svr4", "ts", "svr4", "rr", "fifo", "fair:stride", "fair:lottery"}) {
+    auto made = hleaf::MakeLeafScheduler(name);
+    EXPECT_TRUE(made.ok()) << name;
+  }
+  EXPECT_FALSE(hleaf::MakeLeafScheduler("bogus").ok());
+  EXPECT_FALSE(hleaf::MakeLeafScheduler("fair:bogus").ok());
+  EXPECT_FALSE(hleaf::LeafSchedulerNames().empty());
+}
+
+TEST(WorkloadRegistryTest, ParseTimeSpecUnits) {
+  EXPECT_EQ(*ParseTimeSpec("20ms"), 20 * kMillisecond);
+  EXPECT_EQ(*ParseTimeSpec("1s"), 1 * kSecond);
+  EXPECT_EQ(*ParseTimeSpec("150us"), 150 * hscommon::kMicrosecond);
+  EXPECT_EQ(*ParseTimeSpec("42"), 42);
+  EXPECT_EQ(*ParseTimeSpec("5000ns"), 5000);
+  EXPECT_FALSE(ParseTimeSpec("").ok());
+  EXPECT_FALSE(ParseTimeSpec("ms").ok());
+  EXPECT_FALSE(ParseTimeSpec("10fortnights").ok());
+}
+
+TEST(WorkloadRegistryTest, BuildsEveryBuiltinKind) {
+  for (const std::string spec :
+       {"cpu", "cpu:chunk=50ms", "periodic:period=30ms,computation=5ms",
+        "interactive:seed=1,think=100ms,burst=5ms",
+        "bursty:seed=2,min_burst=1ms,max_burst=10ms,min_sleep=5ms,max_sleep=50ms",
+        "finite:work=1s"}) {
+    auto made = MakeWorkloadFromSpec(spec);
+    EXPECT_TRUE(made.ok()) << spec << ": " << made.status().ToString();
+  }
+}
+
+TEST(WorkloadRegistryTest, RejectsMalformedSpecs) {
+  for (const std::string spec :
+       {"nope", "periodic", "periodic:period=30ms", "cpu:chunk=0",
+        "bursty:seed=1,min_burst=10ms,max_burst=1ms,min_sleep=1ms,max_sleep=2ms",
+        "periodic:=5,period=1ms,computation=1ms", "finite:work=0"}) {
+    EXPECT_FALSE(MakeWorkloadFromSpec(spec).ok()) << spec;
+  }
+}
+
+TEST(WorkloadRegistryTest, RegisteredKindIsUsable) {
+  RegisterWorkload("null-test", [](const std::map<std::string, std::string>&) {
+    return hscommon::StatusOr<std::unique_ptr<Workload>>(
+        std::make_unique<FiniteWorkload>(1));
+  });
+  EXPECT_TRUE(MakeWorkloadFromSpec("null-test").ok());
+  const auto kinds = RegisteredWorkloadKinds();
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "null-test"), kinds.end());
+}
+
+TEST(WorkloadRegistryTest, SpecDrivenScenarioRuns) {
+  // The registry and the scenario builder compose: a fully data-driven scenario.
+  ScenarioSpec spec;
+  spec.nodes.push_back({"/a", 1, true, ""});
+  ScenarioThreadSpec t;
+  t.name = "periodic";
+  t.leaf_path = "/a";
+  t.make_workload = [] {
+    auto made = MakeWorkloadFromSpec("periodic:period=40ms,computation=10ms");
+    return std::move(*made);
+  };
+  spec.threads.push_back(t);
+  System sys;
+  auto binding = BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys);
+  ASSERT_TRUE(binding.ok());
+  sys.RunUntil(1 * kSecond);
+  EXPECT_NEAR(static_cast<double>(sys.StatsOf(binding->thread_ids[0]).total_service),
+              static_cast<double>(250 * kMillisecond),
+              static_cast<double>(20 * kMillisecond));
+}
+
+}  // namespace
+}  // namespace hsim

@@ -65,6 +65,119 @@ TEST(TraceWorkloadTest, LoadCsvRejectsBadRecords) {
   EXPECT_FALSE(TraceWorkload::LoadCsv("/no/such/file.csv").ok());
 }
 
+TEST(TraceWorkloadTest, LoadCsvRejectsEmptyFile) {
+  const std::string path = testing::TempDir() + "/trace_workload_empty.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  EXPECT_FALSE(TraceWorkload::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkloadTest, LoadCsvRejectsHeaderOnlyFile) {
+  const std::string path = testing::TempDir() + "/trace_workload_hdr.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("compute_ns,sleep_ns\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(TraceWorkload::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkloadTest, LoadCsvSkipsRowsWithMissingColumns) {
+  const std::string path = testing::TempDir() + "/trace_workload_cols.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  // A single-column row is not parseable as (compute, sleep): skipped like a header,
+  // not silently read with a garbage sleep.
+  std::fputs("1000\n2000,5\n", f);
+  std::fclose(f);
+  auto records = TraceWorkload::LoadCsv(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].compute, 2000);
+  EXPECT_EQ((*records)[0].sleep, 5);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkloadTest, LoadCsvRejectsZeroComputeAndNegativeSleep) {
+  const std::string path = testing::TempDir() + "/trace_workload_zero.csv";
+  for (const char* row : {"0,10\n", "100,-1\n"}) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(row, f);
+    std::fclose(f);
+    EXPECT_FALSE(TraceWorkload::LoadCsv(path).ok()) << row;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkloadTest, LoadCsvToleratesTrailingNewlinesAndBlankLines) {
+  const std::string path = testing::TempDir() + "/trace_workload_nl.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1000,500\n\n2000,0\n\n\n", f);
+  std::fclose(f);
+  auto records = TraceWorkload::LoadCsv(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+  std::remove(path.c_str());
+}
+
+// Regression: a recorded exit must cap the replay. Looping a recording whose source
+// exited would run a synthesized scenario past the source trace's horizon.
+TEST(RecordingWorkloadTest, RecordsExitAndCapsReplay) {
+  RecordingWorkload rec(std::make_unique<FiniteWorkload>(300));
+  EXPECT_EQ(rec.NextAction(0).kind, WorkloadAction::Kind::kCompute);
+  EXPECT_FALSE(rec.exited());
+  EXPECT_EQ(rec.NextAction(300).kind, WorkloadAction::Kind::kExit);
+  EXPECT_TRUE(rec.exited());
+  ASSERT_EQ(rec.records().size(), 1u);
+
+  // MakeReplay(loop=true) must refuse to loop: the source exited.
+  auto replay = rec.MakeReplay(/*loop=*/true);
+  EXPECT_EQ(replay->NextAction(0).work, 300);
+  EXPECT_EQ(replay->NextAction(300).kind, WorkloadAction::Kind::kExit);
+}
+
+TEST(RecordingWorkloadTest, NonExitedRecordingStillLoops) {
+  // Two records, source never exits (we just stop asking).
+  RecordingWorkload rec(std::make_unique<TraceWorkload>(
+      std::vector<TraceWorkload::Record>{{100, 50}}, /*loop=*/true));
+  (void)rec.NextAction(0);
+  (void)rec.NextAction(100);
+  EXPECT_FALSE(rec.exited());
+  auto replay = rec.MakeReplay(/*loop=*/true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(replay->NextAction(i * 150).work, 100);
+    EXPECT_EQ(replay->NextAction(i * 150 + 100).kind, WorkloadAction::Kind::kSleep);
+  }
+}
+
+TEST(RecordingWorkloadTest, SaveCsvNotesExitAndLoadCsvSkipsIt) {
+  RecordingWorkload rec(std::make_unique<FiniteWorkload>(700));
+  (void)rec.NextAction(0);
+  (void)rec.NextAction(700);
+  ASSERT_TRUE(rec.exited());
+  const std::string path = testing::TempDir() + "/recording_exit.csv";
+  ASSERT_TRUE(rec.SaveCsv(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char line[128];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    content += line;
+  }
+  std::fclose(f);
+  EXPECT_NE(content.find("# exit"), std::string::npos);
+
+  auto records = TraceWorkload::LoadCsv(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(TraceWorkloadTest, DrivesSimulatedThread) {
   hsim::System sys;
   auto leaf = sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,

@@ -1,0 +1,158 @@
+// Round-trip property: record a run of stochastic-but-seeded workloads, synthesize the
+// trace in exact-replay mode, re-run the synthesized scenario under the SAME scheduler
+// configuration, and require every leaf's service timeline to match the source within
+// one quantum — on one CPU and on four. This is the fidelity contract that makes the
+// differential harness meaningful: what sched_diff reports as a scheduler effect cannot
+// be synthesis error, because synthesis error is bounded by a quantum.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/fault/invariant_checker.h"
+#include "src/sched/registry.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/scenario.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/synth/synthesize.h"
+#include "src/trace/reader.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::Time;
+using hscommon::Work;
+using htrace::TraceAnalyzer;
+
+constexpr Time kQuantum = 20 * kMillisecond;  // System::Config::default_quantum
+constexpr Time kDuration = 5 * kSecond;
+
+struct Capture {
+  std::vector<htrace::TraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+// A mixed source scenario: a periodic soft-RT thread, bursty threads, and a finite
+// batch job that exits mid-run, spread over two SFQ leaves of different weight.
+Capture RunSource(int ncpus) {
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
+  hsim::System sys({.ncpus = ncpus});
+  sys.SetTracer(&tracer);
+  const auto rt = *sys.tree().MakeNode("rt", hsfq::kRootNode, 3,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto be = *sys.tree().MakeNode("be", hsfq::kRootNode, 1,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread(
+      "video", rt, {},
+      std::make_unique<hsim::PeriodicWorkload>(33 * kMillisecond, 8 * kMillisecond));
+  for (int i = 0; i < 3; ++i) {
+    (void)*sys.CreateThread(
+        "burst" + std::to_string(i), be, {},
+        std::make_unique<hsim::BurstyWorkload>(7 + i, 2 * kMillisecond,
+                                               30 * kMillisecond, 10 * kMillisecond,
+                                               150 * kMillisecond));
+  }
+  (void)*sys.CreateThread("batch", be, {},
+                          std::make_unique<hsim::FiniteWorkload>(400 * kMillisecond));
+  sys.RunUntil(kDuration);
+  return Capture{tracer.MergedSnapshot(), tracer.TotalDropped()};
+}
+
+void Replay(const hsynth::SynthScenario& scenario, int ncpus, Capture* out) {
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
+  hsim::System sys({.ncpus = ncpus});
+  sys.SetTracer(&tracer);
+  const hsim::ScenarioSpec spec = hsynth::ToScenarioSpec(scenario, {});
+  auto binding = hsim::BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys);
+  ASSERT_TRUE(binding.ok()) << binding.status().ToString();
+  sys.RunUntil(scenario.horizon);
+  *out = Capture{tracer.MergedSnapshot(), tracer.TotalDropped()};
+  EXPECT_EQ(out->dropped, 0u);
+}
+
+// |source - replay| per-leaf cumulative service, sampled every 50 ms, must stay within
+// one quantum.
+void ExpectTimelinesMatch(const Capture& source, const Capture& replay) {
+  const TraceAnalyzer src(source.events, source.dropped);
+  const TraceAnalyzer rep(replay.events, replay.dropped);
+  for (const auto& [id, node] : src.nodes()) {
+    if (!node.is_leaf || id == 0) {
+      continue;
+    }
+    const auto rep_id = rep.NodeByPath(node.path);
+    ASSERT_TRUE(rep_id.ok()) << "replay lost leaf " << node.path;
+    for (Time t = 0; t <= kDuration; t += 50 * kMillisecond) {
+      const Work src_service = src.ServiceAt(id, t);
+      const Work rep_service = rep.ServiceAt(*rep_id, t);
+      const Work delta =
+          src_service > rep_service ? src_service - rep_service : rep_service - src_service;
+      ASSERT_LE(delta, kQuantum)
+          << node.path << " diverged at t=" << t << "ns: source=" << src_service
+          << " replay=" << rep_service;
+    }
+  }
+}
+
+void RoundTrip(int ncpus) {
+  const Capture source = RunSource(ncpus);
+  ASSERT_EQ(source.dropped, 0u);
+  const TraceAnalyzer analyzer(source.events, source.dropped);
+  auto scenario = hsynth::Synthesize(
+      analyzer, {.mode = hsynth::FitMode::kExactReplay,
+                 .anchor = hsynth::SleepAnchor::kRelative});
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  EXPECT_EQ(scenario->source_cpus, ncpus);
+  Capture replay;
+  ASSERT_NO_FATAL_FAILURE(Replay(*scenario, ncpus, &replay));
+  ExpectTimelinesMatch(source, replay);
+  // The replayed trace must itself be a valid schedule.
+  const auto violations = hsfault::InvariantChecker::Check(replay.events);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front().what;
+}
+
+TEST(SynthRoundtripTest, ExactReplayMatchesWithinOneQuantumOneCpu) { RoundTrip(1); }
+
+TEST(SynthRoundtripTest, ExactReplayMatchesWithinOneQuantumFourCpus) { RoundTrip(4); }
+
+// The batch thread's recorded exit must cap the replay: the synthesized scenario may
+// not keep running it past the source trace's horizon (the RecordingWorkload/exit
+// regression, seen from the trace side).
+TEST(SynthRoundtripTest, ExitedThreadDoesNotRunPastSourceHorizon) {
+  const Capture source = RunSource(1);
+  const TraceAnalyzer analyzer(source.events, source.dropped);
+  auto scenario = hsynth::Synthesize(analyzer, {});
+  ASSERT_TRUE(scenario.ok());
+  const hsynth::SynthThread* batch = nullptr;
+  for (const hsynth::SynthThread& t : scenario->threads) {
+    if (t.name == "batch") {
+      batch = &t;
+    }
+  }
+  ASSERT_NE(batch, nullptr);
+  EXPECT_FALSE(batch->spec.truncated) << "exit was not detected from the trace";
+  Work total = 0;
+  for (const hsynth::SynthRecord& r : batch->spec.records) {
+    total += r.compute;
+  }
+  EXPECT_EQ(total, 400 * kMillisecond);
+
+  // Replay twice as long as the source: the batch thread must not gain service.
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const hsim::ScenarioSpec spec = hsynth::ToScenarioSpec(*scenario, {});
+  auto binding = hsim::BuildScenario(spec, "sfq", hleaf::MakeLeafScheduler, sys);
+  ASSERT_TRUE(binding.ok());
+  sys.RunUntil(2 * kDuration);
+  const auto thread = binding->threads.find(batch->source_id);
+  ASSERT_NE(thread, binding->threads.end());
+  EXPECT_EQ(sys.StatsOf(thread->second).total_service, total);
+  EXPECT_TRUE(sys.StatsOf(thread->second).exited);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Differential-harness tests: the report's accounting must be internally consistent,
+// identical configurations must diff to zero, the JSON must round-trip through a
+// parser-grade escape, and the CI gate (ReplayAndCheck) must pass on a clean replay.
+
+#include "src/synth/sched_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/sched/registry.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/synth/synthesize.h"
+#include "src/trace/reader.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using htrace::TraceAnalyzer;
+
+hsynth::SynthScenario CaptureScenario() {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto a = *sys.tree().MakeNode("a", hsfq::kRootNode, 2,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto b = *sys.tree().MakeNode("b", hsfq::kRootNode, 1,
+                                      std::make_unique<hleaf::SfqLeafScheduler>());
+  // Enough CPU-bound threads per leaf that every node can absorb its weight share on
+  // the 4-CPU replay too (/a deserves 8/3 CPUs, /b 4/3): infeasible weights would make
+  // the §3 fairness bound vacuous and trip the checker spuriously.
+  for (int i = 0; i < 3; ++i) {
+    (void)*sys.CreateThread("hog-a" + std::to_string(i), a, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  for (int i = 0; i < 2; ++i) {
+    (void)*sys.CreateThread("hog-b" + std::to_string(i), b, {},
+                            std::make_unique<hsim::CpuBoundWorkload>());
+  }
+  (void)*sys.CreateThread(
+      "video", a, {},
+      std::make_unique<hsim::PeriodicWorkload>(30 * kMillisecond, 5 * kMillisecond));
+  sys.RunUntil(3 * kSecond);
+  const TraceAnalyzer analyzer(tracer.MergedSnapshot());
+  auto scenario = hsynth::Synthesize(analyzer, {});
+  EXPECT_TRUE(scenario.ok());
+  return *std::move(scenario);
+}
+
+TEST(SchedDiffTest, IdenticalConfigsDiffToZero) {
+  const hsynth::SynthScenario scenario = CaptureScenario();
+  auto report = hsynth::RunSchedDiff(
+      scenario, {.a = {.scheduler = "sfq"}, .b = {.scheduler = "sfq"}});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->a.events, report->b.events);
+  for (const hsynth::LeafDiff& leaf : report->leaves) {
+    EXPECT_EQ(leaf.service_a, leaf.service_b) << leaf.path;
+    EXPECT_EQ(leaf.share_delta, 0.0) << leaf.path;
+  }
+  for (const hsynth::SiblingGap& gap : report->sibling_gaps) {
+    EXPECT_EQ(gap.gap_a, gap.gap_b);
+  }
+}
+
+TEST(SchedDiffTest, ReportAccountingIsConsistent) {
+  const hsynth::SynthScenario scenario = CaptureScenario();
+  auto report = hsynth::RunSchedDiff(
+      scenario, {.a = {.label = "sfq", .scheduler = "sfq"},
+                 .b = {.label = "rr", .scheduler = "rr"}});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->leaves.size(), 2u);
+  double sum_a = 0;
+  double sum_b = 0;
+  for (const hsynth::LeafDiff& leaf : report->leaves) {
+    EXPECT_GT(leaf.service_a, 0) << leaf.path;
+    EXPECT_GT(leaf.service_b, 0) << leaf.path;
+    sum_a += leaf.share_a;
+    sum_b += leaf.share_b;
+    EXPECT_NEAR(leaf.share_delta, leaf.share_b - leaf.share_a, 1e-12);
+  }
+  EXPECT_NEAR(sum_a, 1.0, 1e-9);
+  EXPECT_NEAR(sum_b, 1.0, 1e-9);
+  // One sibling pair (/a, /b); both runs have a full-window gap measurement.
+  ASSERT_EQ(report->sibling_gaps.size(), 1u);
+  // Per-thread latency rows exist for every source thread, correlated by id.
+  ASSERT_EQ(report->latencies.size(), scenario.threads.size());
+  EXPECT_EQ(report->a.label, "sfq");
+  EXPECT_EQ(report->b.label, "rr");
+  EXPECT_GT(report->a.events, 0u);
+  const std::string text = hsynth::FormatSchedDiffReport(*report);
+  EXPECT_NE(text.find("/a"), std::string::npos);
+  EXPECT_NE(text.find("per-leaf service shares"), std::string::npos);
+}
+
+TEST(SchedDiffTest, CpusCanDifferPerSide) {
+  const hsynth::SynthScenario scenario = CaptureScenario();
+  auto report = hsynth::RunSchedDiff(
+      scenario, {.a = {.scheduler = "sfq", .cpus = 1},
+                 .b = {.scheduler = "sfq", .cpus = 4}});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->a.cpus, 1);
+  EXPECT_EQ(report->b.cpus, 4);
+  // With more CPUs the work-conserving replay can only deliver more total service.
+  EXPECT_GE(report->b.total_service, report->a.total_service);
+}
+
+TEST(SchedDiffTest, WritesParseableJson) {
+  const hsynth::SynthScenario scenario = CaptureScenario();
+  auto report = hsynth::RunSchedDiff(
+      scenario, {.a = {.scheduler = "sfq"}, .b = {.scheduler = "ts_svr4"}});
+  ASSERT_TRUE(report.ok());
+  const std::string path = testing::TempDir() + "/sched_diff_test.json";
+  ASSERT_TRUE(hsynth::WriteSchedDiffJson(*report, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  // Structural sanity: balanced braces/brackets, the four top-level sections present.
+  long depth = 0;
+  for (const char c : content) {
+    depth += c == '{' || c == '[';
+    depth -= c == '}' || c == ']';
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  for (const char* key : {"\"a\"", "\"b\"", "\"leaves\"", "\"sibling_gaps\"",
+                          "\"latencies\"", "\"share_delta\"", "\"violations\""}) {
+    EXPECT_NE(content.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(SchedDiffTest, UnknownSchedulerIsAnError) {
+  const hsynth::SynthScenario scenario = CaptureScenario();
+  auto report = hsynth::RunSchedDiff(
+      scenario, {.a = {.scheduler = "sfq"}, .b = {.scheduler = "nope"}});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ReplayAndCheckTest, CleanOnSfqReplayBothCpuCounts) {
+  const hsynth::SynthScenario scenario = CaptureScenario();
+  for (const int cpus : {1, 4}) {
+    auto summary = hsynth::ReplayAndCheck(
+        scenario, {.label = "check", .scheduler = "sfq", .cpus = cpus});
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_EQ(summary->violations, 0u)
+        << "cpus=" << cpus << ":\n" << summary->checker_report;
+  }
+}
+
+TEST(ReplayAndCheckTest, AppliesFaultPlan) {
+  const hsynth::SynthScenario scenario = CaptureScenario();
+  auto summary = hsynth::ReplayAndCheck(
+      scenario, {.label = "faulted", .scheduler = "sfq"}, /*duration=*/0,
+      "seed=5;clock-jitter:p=0.5,frac=0.3");
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_GT(summary->events, 0u);
+}
+
+}  // namespace

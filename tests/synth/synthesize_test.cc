@@ -1,0 +1,219 @@
+// Unit tests for the trace -> scenario fit: episode extraction (ThreadActivities),
+// exit/truncation detection, tree reconstruction, and the SynthesizedWorkload's two
+// regeneration modes driven directly, without a simulator.
+
+#include "src/synth/synthesize.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sched/registry.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/synth/synth_workload.h"
+#include "src/trace/reader.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::Time;
+using hscommon::Work;
+using hsim::WorkloadAction;
+using htrace::TraceAnalyzer;
+
+TEST(ThreadActivitiesTest, ExtractsEpisodesAndExit) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  // Three bursts of 5 ms separated by 20 ms sleeps, then exit.
+  std::vector<hsim::ScriptedWorkload::Step> steps;
+  for (int i = 0; i < 3; ++i) {
+    steps.push_back(hsim::ScriptedWorkload::Step::Compute(5 * kMillisecond));
+    steps.push_back(hsim::ScriptedWorkload::Step::SleepFor(20 * kMillisecond));
+  }
+  const auto script = *sys.CreateThread(
+      "script", leaf, {}, std::make_unique<hsim::ScriptedWorkload>(steps, false));
+  // A second thread that is mid-burst (runnable) at the horizon.
+  (void)*sys.CreateThread("alive", leaf, {},
+                          std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(1 * kSecond);
+
+  const TraceAnalyzer analyzer(tracer.MergedSnapshot());
+  const auto activities = analyzer.ThreadActivities();
+  ASSERT_EQ(activities.size(), 2u);
+
+  const TraceAnalyzer::ThreadActivity* script_act = nullptr;
+  const TraceAnalyzer::ThreadActivity* alive_act = nullptr;
+  for (const auto& a : activities) {
+    if (a.thread == script) {
+      script_act = &a;
+    } else {
+      alive_act = &a;
+    }
+  }
+  ASSERT_NE(script_act, nullptr);
+  ASSERT_NE(alive_act, nullptr);
+
+  EXPECT_TRUE(script_act->attached);
+  EXPECT_EQ(script_act->name, "script");
+  ASSERT_EQ(script_act->bursts.size(), 3u);
+  for (const auto& burst : script_act->bursts) {
+    EXPECT_TRUE(burst.complete);
+    EXPECT_EQ(burst.service, 5 * kMillisecond);
+    EXPECT_GE(burst.block, burst.wake);
+  }
+  // Last burst completed and the thread never woke again: read as an exit.
+  EXPECT_TRUE(script_act->ends_blocked);
+
+  // The hog is mid-burst at the horizon: one open episode, clearly not an exit.
+  EXPECT_FALSE(alive_act->ends_blocked);
+  ASSERT_EQ(alive_act->bursts.size(), 1u);
+  EXPECT_FALSE(alive_act->bursts[0].complete);
+}
+
+TEST(SynthesizeTest, BuildsScenarioWithTreeAndArrivals) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto parent = *sys.tree().MakeNode("apps", hsfq::kRootNode, 4, nullptr);
+  const auto leaf = *sys.tree().MakeNode("mm", parent, 2,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  // Arrives late: first wake at 500 ms.
+  (void)*sys.CreateThread(
+      "late", leaf, {.weight = 3},
+      std::make_unique<hsim::PeriodicWorkload>(50 * kMillisecond, 5 * kMillisecond),
+      500 * kMillisecond);
+  sys.RunUntil(2 * kSecond);
+
+  const TraceAnalyzer analyzer(tracer.MergedSnapshot());
+  auto scenario = hsynth::Synthesize(analyzer, {});
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  ASSERT_EQ(scenario->nodes.size(), 2u);
+  EXPECT_EQ(scenario->nodes[0].path, "/apps");
+  EXPECT_EQ(scenario->nodes[0].weight, 4u);
+  EXPECT_FALSE(scenario->nodes[0].is_leaf);
+  EXPECT_EQ(scenario->nodes[1].path, "/apps/mm");
+  EXPECT_TRUE(scenario->nodes[1].is_leaf);
+  ASSERT_EQ(scenario->threads.size(), 1u);
+  EXPECT_EQ(scenario->threads[0].leaf_path, "/apps/mm");
+  EXPECT_EQ(scenario->threads[0].weight, 3u);
+  EXPECT_EQ(scenario->threads[0].start, 500 * kMillisecond);
+  // The thread is asleep at the horizon, which the stream cannot distinguish from an
+  // exit: the fit conservatively ends the replay rather than sleeping forever.
+  EXPECT_FALSE(scenario->threads[0].spec.truncated);
+  EXPECT_EQ(scenario->horizon, analyzer.last_time());
+}
+
+TEST(SynthesizeTest, RejectsTruncatedTraces) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread("t", leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(1 * kSecond);
+  const TraceAnalyzer analyzer(tracer.MergedSnapshot(), /*dropped=*/17);
+  auto scenario = hsynth::Synthesize(analyzer, {});
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(SynthesizeTest, RejectsEmptyTraces) {
+  const TraceAnalyzer analyzer(std::vector<htrace::TraceEvent>{});
+  auto scenario = hsynth::Synthesize(analyzer, {});
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(SynthWorkloadTest, ExactReplayEmitsRecordedPattern) {
+  hsynth::SynthesizedWorkload w({.records = {{10, 90, 0}, {20, 0, 0}},
+                                 .mode = hsynth::FitMode::kExactReplay,
+                                 .anchor = hsynth::SleepAnchor::kRelative});
+  WorkloadAction a = w.NextAction(0);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(a.work, 10);
+  a = w.NextAction(10);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kSleep);
+  EXPECT_EQ(a.until, 100);  // relative: block + 90
+  a = w.NextAction(100);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(a.work, 20);
+  EXPECT_EQ(w.NextAction(120).kind, WorkloadAction::Kind::kExit);
+}
+
+TEST(SynthWorkloadTest, AbsoluteAnchorSkipsPastWakes) {
+  hsynth::SynthesizedWorkload w({.records = {{10, 40, 50}, {20, 0, 0}},
+                                 .mode = hsynth::FitMode::kExactReplay,
+                                 .anchor = hsynth::SleepAnchor::kAbsolute});
+  EXPECT_EQ(w.NextAction(0).work, 10);
+  // The replay is already past the recorded absolute wake (50): no sleep, compute now.
+  WorkloadAction a = w.NextAction(80);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kCompute);
+  EXPECT_EQ(a.work, 20);
+}
+
+TEST(SynthWorkloadTest, TruncatedReplaySleepsForeverInsteadOfExiting) {
+  hsynth::SynthesizedWorkload w({.records = {{10, 0, 0}},
+                                 .mode = hsynth::FitMode::kExactReplay,
+                                 .truncated = true});
+  EXPECT_EQ(w.NextAction(0).work, 10);
+  const WorkloadAction a = w.NextAction(10);
+  EXPECT_EQ(a.kind, WorkloadAction::Kind::kSleep);
+  EXPECT_EQ(a.until, hscommon::kTimeInfinity);
+}
+
+TEST(SynthWorkloadTest, HistogramResamplesFromPools) {
+  hsynth::SynthesizedWorkload w({.records = {{10, 100, 0}, {30, 200, 0}, {50, 0, 0}},
+                                 .mode = hsynth::FitMode::kHistogram,
+                                 .seed = 7});
+  Time now = 0;
+  for (int i = 0; i < 200; ++i) {
+    const WorkloadAction burst = w.NextAction(now);
+    ASSERT_EQ(burst.kind, WorkloadAction::Kind::kCompute);
+    EXPECT_TRUE(burst.work == 10 || burst.work == 30 || burst.work == 50);
+    now += burst.work;
+    const WorkloadAction sleep = w.NextAction(now);
+    ASSERT_EQ(sleep.kind, WorkloadAction::Kind::kSleep);
+    const Time gap = sleep.until - now;
+    // The final record's missing gap must NOT be in the pool as a zero.
+    EXPECT_TRUE(gap == 100 || gap == 200) << gap;
+    now = sleep.until;
+  }
+}
+
+TEST(SynthWorkloadTest, HistogramOfNeverRanThreadExits) {
+  hsynth::SynthesizedWorkload w(
+      {.records = {}, .mode = hsynth::FitMode::kHistogram});
+  EXPECT_EQ(w.NextAction(0).kind, WorkloadAction::Kind::kExit);
+}
+
+// Zero-service episodes (runnable but preempted before any service) must be dropped by
+// the fit: Compute(0) is not a legal action.
+TEST(SynthesizeTest, DropsZeroServiceEpisodes) {
+  htrace::Tracer tracer;
+  hsim::System sys({.ncpus = 1});
+  sys.SetTracer(&tracer);
+  const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread(
+      "b", leaf, {},
+      std::make_unique<hsim::BurstyWorkload>(3, 1 * kMillisecond, 10 * kMillisecond,
+                                             1 * kMillisecond, 30 * kMillisecond));
+  (void)*sys.CreateThread("hog", leaf, {}, std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(3 * kSecond);
+  const TraceAnalyzer analyzer(tracer.MergedSnapshot());
+  auto scenario = hsynth::Synthesize(analyzer, {});
+  ASSERT_TRUE(scenario.ok());
+  for (const hsynth::SynthThread& t : scenario->threads) {
+    for (const hsynth::SynthRecord& r : t.spec.records) {
+      EXPECT_GT(r.compute, 0) << t.name;
+    }
+  }
+}
+
+}  // namespace

@@ -101,6 +101,65 @@ TEST(TraceAnalyzerTest, CountsAndLatencies) {
   EXPECT_GE(analyzer.last_time(), 7 * kSecond);
 }
 
+TEST(TraceAnalyzerTest, ThreadActivitiesExtractsBurstsForHogs) {
+  Scenario s;
+  const TraceAnalyzer analyzer(s.tracer.ring().Snapshot());
+  const auto activities = analyzer.ThreadActivities();
+  ASSERT_EQ(activities.size(), 2u);
+  for (const auto& activity : activities) {
+    EXPECT_TRUE(activity.attached);
+    EXPECT_EQ(activity.weight, 1u);
+    // A CPU hog has exactly one episode: woke at 0, still running at the horizon.
+    ASSERT_EQ(activity.bursts.size(), 1u);
+    EXPECT_EQ(activity.bursts[0].wake, 0);
+    EXPECT_FALSE(activity.bursts[0].complete);
+    EXPECT_FALSE(activity.ends_blocked);
+    EXPECT_GT(activity.bursts[0].service, 0);
+  }
+  // The two hogs' episode service sums to (almost) the root's total.
+  const htrace::Work total =
+      activities[0].bursts[0].service + activities[1].bursts[0].service;
+  EXPECT_GE(total, analyzer.ServiceAt(0, 8 * kSecond) - 20 * kMillisecond);
+  // Leaves are correctly attributed.
+  EXPECT_EQ(activities[0].leaf, s.slow);
+  EXPECT_EQ(activities[1].leaf, s.fast);
+  EXPECT_EQ(activities[0].name, "slow-worker");
+}
+
+TEST(TraceAnalyzerTest, ThreadActivitiesSplitsSleepSeparatedEpisodes) {
+  htrace::Tracer tracer;
+  hsim::System sys;
+  sys.SetTracer(&tracer);
+  const auto leaf = *sys.tree().MakeNode("leaf", hsfq::kRootNode, 1,
+                                         std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto tid = *sys.CreateThread(
+      "periodic", leaf, {.weight = 5},
+      std::make_unique<hsim::PeriodicWorkload>(100 * kMillisecond, 10 * kMillisecond));
+  sys.RunUntil(kSecond);
+  const TraceAnalyzer analyzer(tracer.ring().Snapshot());
+  const auto activities = analyzer.ThreadActivities();
+  ASSERT_EQ(activities.size(), 1u);
+  const auto& activity = activities[0];
+  EXPECT_EQ(activity.thread, tid);
+  EXPECT_EQ(activity.weight, 5u);
+  // ~10 rounds of 10 ms each; every complete episode carries exactly one round.
+  ASSERT_GE(activity.bursts.size(), 9u);
+  for (size_t i = 0; i + 1 < activity.bursts.size(); ++i) {
+    EXPECT_TRUE(activity.bursts[i].complete);
+    EXPECT_EQ(activity.bursts[i].service, 10 * kMillisecond);
+    // Episodes are time-ordered and separated by real sleep.
+    EXPECT_LT(activity.bursts[i].block, activity.bursts[i + 1].wake);
+  }
+  // Sleeping across the horizon is indistinguishable from an exit in the stream: the
+  // periodic thread reads as ends_blocked even though it would have woken again.
+  EXPECT_TRUE(activity.ends_blocked);
+}
+
+TEST(TraceAnalyzerTest, ThreadActivitiesOnEmptyTrace) {
+  const TraceAnalyzer analyzer(std::vector<htrace::TraceEvent>{});
+  EXPECT_TRUE(analyzer.ThreadActivities().empty());
+}
+
 TEST(TraceAnalyzerTest, PreTraceNodesBecomePlaceholders) {
   // Attach the tracer AFTER the tree exists: service is still accounted per node, but
   // under a placeholder name.

@@ -1,0 +1,181 @@
+// Differential scheduler comparison over a synthesized workload (CI's
+// `synth-roundtrip` job and the §6-style what-if tool).
+//
+// Reads an HSTRACE1 capture, fits a workload scenario per thread (src/synth), and
+// either:
+//   * runs it under TWO scheduler configurations and reports the diff (default), or
+//   * runs it under ONE configuration and gates on the invariant checker (--check).
+//
+// Usage:
+//   sched_diff --trace=<file.trace> --a=<sched> [--b=<sched>]
+//              [--cpus=N | --cpus-a=N --cpus-b=N]
+//              [--mode=exact|histogram] [--anchor=relative|absolute] [--seed=N]
+//              [--duration=<dur>] [--fault=<spec>] [--out=<report.json>]
+//              [--check] [--quiet]
+//
+// Scheduler names come from src/sched/registry.h (sfq, ts_svr4, rr, fifo,
+// fair:<algo>). With --check only --a runs; exit status 1 means the invariant checker
+// (including the §3 fairness-gap bound) found violations on the replayed trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/fault/fault_plan.h"
+#include "src/synth/sched_diff.h"
+#include "src/synth/synthesize.h"
+#include "src/trace/reader.h"
+#include "src/trace/trace_io.h"
+
+namespace {
+
+std::string Flag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+bool BoolFlag(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "sched_diff: %s\n", what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = Flag(argc, argv, "trace");
+  if (trace_path.empty()) {
+    return Fail("--trace=<file> is required");
+  }
+  const std::string sched_a = Flag(argc, argv, "a");
+  if (sched_a.empty()) {
+    return Fail("--a=<scheduler> is required");
+  }
+  const bool check_only = BoolFlag(argc, argv, "check");
+  const std::string sched_b = Flag(argc, argv, "b");
+  if (sched_b.empty() && !check_only) {
+    return Fail("--b=<scheduler> is required (or pass --check for a single run)");
+  }
+
+  hsynth::SynthOptions synth_options;
+  if (const std::string mode = Flag(argc, argv, "mode"); !mode.empty()) {
+    if (mode == "exact") {
+      synth_options.mode = hsynth::FitMode::kExactReplay;
+    } else if (mode == "histogram") {
+      synth_options.mode = hsynth::FitMode::kHistogram;
+    } else {
+      return Fail("--mode must be exact or histogram");
+    }
+  }
+  if (const std::string anchor = Flag(argc, argv, "anchor"); !anchor.empty()) {
+    if (anchor == "relative") {
+      synth_options.anchor = hsynth::SleepAnchor::kRelative;
+    } else if (anchor == "absolute") {
+      synth_options.anchor = hsynth::SleepAnchor::kAbsolute;
+    } else {
+      return Fail("--anchor must be relative or absolute");
+    }
+  }
+  if (const std::string seed = Flag(argc, argv, "seed"); !seed.empty()) {
+    synth_options.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  }
+
+  hscommon::Time duration = 0;
+  if (const std::string d = Flag(argc, argv, "duration"); !d.empty()) {
+    auto parsed = hsfault::ParseDuration(d);
+    if (!parsed.ok()) {
+      return Fail(parsed.status().message());
+    }
+    duration = *parsed;
+  }
+  int cpus = 1;
+  if (const std::string c = Flag(argc, argv, "cpus"); !c.empty()) {
+    cpus = std::atoi(c.c_str());
+  }
+  int cpus_a = cpus;
+  int cpus_b = cpus;
+  if (const std::string c = Flag(argc, argv, "cpus-a"); !c.empty()) {
+    cpus_a = std::atoi(c.c_str());
+  }
+  if (const std::string c = Flag(argc, argv, "cpus-b"); !c.empty()) {
+    cpus_b = std::atoi(c.c_str());
+  }
+
+  auto file = htrace::ReadTraceFile(trace_path);
+  if (!file.ok()) {
+    return Fail(file.status().message());
+  }
+  const htrace::TraceAnalyzer analyzer(file->events, file->dropped);
+  auto scenario = hsynth::Synthesize(analyzer, synth_options);
+  if (!scenario.ok()) {
+    return Fail(scenario.status().message());
+  }
+  const bool quiet = BoolFlag(argc, argv, "quiet");
+  if (!quiet) {
+    std::printf("synthesized %zu nodes, %zu threads from %zu events "
+                "(horizon %.3fs, source cpus %d, mode %s)\n",
+                scenario->nodes.size(), scenario->threads.size(), file->events.size(),
+                static_cast<double>(scenario->horizon) / hscommon::kSecond,
+                scenario->source_cpus,
+                synth_options.mode == hsynth::FitMode::kExactReplay ? "exact"
+                                                                    : "histogram");
+  }
+
+  const std::string fault_spec = Flag(argc, argv, "fault");
+  if (check_only) {
+    auto summary = hsynth::ReplayAndCheck(
+        *scenario, {.label = "check", .scheduler = sched_a, .cpus = cpus_a}, duration,
+        fault_spec);
+    if (!summary.ok()) {
+      return Fail(summary.status().message());
+    }
+    if (!quiet || summary->violations != 0) {
+      std::printf("%s\n", summary->checker_report.c_str());
+    }
+    if (summary->violations != 0) {
+      std::fprintf(stderr, "sched_diff: %llu invariant violation(s) on the replay\n",
+                   static_cast<unsigned long long>(summary->violations));
+      return 1;
+    }
+    std::printf("replay clean: scheduler=%s cpus=%d events=%llu\n", sched_a.c_str(),
+                cpus_a, static_cast<unsigned long long>(summary->events));
+    return 0;
+  }
+
+  hsynth::SchedDiffOptions options;
+  options.a = {.label = "a", .scheduler = sched_a, .cpus = cpus_a};
+  options.b = {.label = "b", .scheduler = sched_b, .cpus = cpus_b};
+  options.duration = duration;
+  options.fault_spec = fault_spec;
+  auto report = hsynth::RunSchedDiff(*scenario, options);
+  if (!report.ok()) {
+    return Fail(report.status().message());
+  }
+  if (!quiet) {
+    std::printf("%s", hsynth::FormatSchedDiffReport(*report).c_str());
+  }
+  if (const std::string out = Flag(argc, argv, "out"); !out.empty()) {
+    if (auto status = hsynth::WriteSchedDiffJson(*report, out); !status.ok()) {
+      return Fail(status.message());
+    }
+    if (!quiet) {
+      std::printf("wrote %s\n", out.c_str());
+    }
+  }
+  return 0;
+}
