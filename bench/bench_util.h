@@ -70,6 +70,24 @@ inline int Cpus(int argc, char** argv) {
   return n;
 }
 
+// True when the plain flag `name` (e.g. "--sharded") appears in argv.
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses `--sharded`: dispatch through per-CPU run-queue shards (src/sim/shard.h)
+// instead of the shared-tree SMP path. Defaults to the shared tree.
+inline bool Sharded(int argc, char** argv) { return HasFlag(argc, argv, "--sharded"); }
+
+// Parses `--no-steal`: with --sharded, disables idle/fairness work stealing (the
+// work-conservation ablation). Stealing is on by default.
+inline bool Steal(int argc, char** argv) { return !HasFlag(argc, argv, "--no-steal"); }
+
 // Parses `--fault=<spec>` (or `--fault <spec>`) from argv; empty string when absent.
 // The spec grammar is FaultPlan::Parse's, e.g.
 //   --fault='seed=42;drop-wakeup:p=0.05,recovery=20ms'

@@ -39,13 +39,16 @@ int main(int argc, char** argv) {
   const std::string trace_base = hbench::TraceBase(argc, argv);
   const std::string fault_spec = hbench::FaultArg(argc, argv);  // perturbs (a) only
   const int ncpus = hbench::Cpus(argc, argv);  // SMP applies to scenario (a) only
+  const bool sharded = hbench::Sharded(argc, argv);  // per-CPU shards, (a) only
+  const bool steal = hbench::Steal(argc, argv);
   const auto tracer = hbench::MaybeTracer(trace_base, ncpus);  // records (a) only
-  std::printf("Figure 8: hierarchical CPU allocation (Figure 6 structure)%s\n",
-              ncpus > 1 ? " [SMP]" : "");
+  std::printf("Figure 8: hierarchical CPU allocation (Figure 6 structure)%s%s\n",
+              ncpus > 1 ? " [SMP]" : "",
+              sharded ? (steal ? " [sharded]" : " [sharded, no steal]") : "");
 
   // ---------- (a) ----------
   {
-    hsim::System sys({.ncpus = ncpus});
+    hsim::System sys({.ncpus = ncpus, .sharded = sharded, .steal = steal});
     sys.SetTracer(tracer.get());
     const auto injector = hbench::MaybeFault(fault_spec, sys);
     const auto sfq1 = *sys.tree().MakeNode("sfq1", hsfq::kRootNode, 2,

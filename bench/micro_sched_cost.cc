@@ -9,11 +9,15 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/fair/make.h"
 #include "src/hsfq/structure.h"
 #include "src/sched/sfq_leaf.h"
+#include "src/sim/shard.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
 #include "src/trace/tracer.h"
 
 using hscommon::kMillisecond;
@@ -182,6 +186,93 @@ void BM_SetRunSleepPropagation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SetRunSleepPropagation)->DenseRange(0, 30, 10);
+
+// Full dispatch-loop throughput of the simulated machine: shared-tree dispatch vs
+// per-CPU run-queue shards (src/sim/shard.h), swept over the CPU count and the
+// interior width. The tree is range(2) groups x 64 leaves with one CPU-bound thread
+// each, so every decision under the shared dispatcher walks two levels of fair-queue
+// picks (the root pick scans wider as groups grow) while the sharded path pops a
+// shard heap and commits through ScheduleLeaf, whose cost is width-independent.
+// Items = scheduling decisions, so items/sec is the dispatch-loop throughput the
+// scale curve plots. range(0) = CPUs, range(1) = sharded, range(2) = groups.
+void BM_SmpDispatch(benchmark::State& state) {
+  const int ncpus = static_cast<int>(state.range(0));
+  const bool sharded = state.range(1) != 0;
+  const int kGroups = static_cast<int>(state.range(2));
+  state.SetLabel((sharded ? "sharded/" : "shared/") + std::to_string(ncpus) + "cpu/" +
+                 std::to_string(kGroups) + "g");
+  hsim::System sys({.ncpus = ncpus, .sharded = sharded});
+  constexpr int kLeavesPerGroup = 64;
+  for (int g = 0; g < kGroups; ++g) {
+    const hsfq::NodeId group =
+        *sys.tree().MakeNode("g" + std::to_string(g), hsfq::kRootNode,
+                             1 + static_cast<hscommon::Weight>(g % 5), nullptr);
+    for (int i = 0; i < kLeavesPerGroup; ++i) {
+      const hsfq::NodeId leaf = *sys.tree().MakeNode(
+          "l" + std::to_string(i), group, 1 + static_cast<hscommon::Weight>(i % 7),
+          std::make_unique<hleaf::SfqLeafScheduler>());
+      (void)*sys.CreateThread("t", leaf, {},
+                              std::make_unique<hsim::CpuBoundWorkload>());
+    }
+  }
+  const uint64_t before = sys.tree().schedule_count();
+  hscommon::Time now = 0;
+  for (auto _ : state) {
+    now += 50 * kMillisecond;
+    sys.RunUntil(now);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(sys.tree().schedule_count() - before));
+}
+BENCHMARK(BM_SmpDispatch)->ArgsProduct({{1, 2, 4, 8}, {0, 1}, {16, 64}});
+
+// Per-decision cost of the sharded pick path as the leaf population grows from 10^3
+// to 10^5: PickFor pops a lazy-deletion heap (log of shard size) and ScheduleLeaf
+// charges O(depth), so the curve must grow sub-linearly in the leaf count. The
+// shared-tree pick at the same populations anchors the comparison.
+void BM_DecisionScaleLeaves(benchmark::State& state) {
+  const int nleaves = static_cast<int>(state.range(0));
+  const bool sharded = state.range(1) != 0;
+  state.SetLabel((sharded ? "sharded/" : "shared/") + std::to_string(nleaves) +
+                 "leaves");
+  constexpr int kNcpus = 4;
+  hsfq::SchedulingStructure tree;
+  for (int i = 0; i < nleaves; ++i) {
+    const hsfq::NodeId leaf =
+        *tree.MakeNode("l" + std::to_string(i), hsfq::kRootNode,
+                       1 + static_cast<hscommon::Weight>(i % 7),
+                       std::make_unique<hleaf::SfqLeafScheduler>());
+    (void)tree.AttachThread(i + 1, leaf, {});
+    tree.SetRun(i + 1, 0);
+  }
+  hsim::ShardSet shards(&tree, kNcpus, 2 * kMillisecond);
+  if (sharded) {
+    shards.Resync();
+  }
+  hscommon::Time now = 0;
+  int cpu = 0;
+  for (auto _ : state) {
+    hsfq::ThreadId t;
+    if (sharded) {
+      const hsim::ShardSet::Pick pick = shards.PickFor(cpu, /*steal_enabled=*/true);
+      bool more = false;
+      t = tree.ScheduleLeaf(pick.leaf, now, cpu, &more);
+      shards.OnDispatched(pick.leaf, more);
+      benchmark::DoNotOptimize(t);
+      now += 10 * kMillisecond;
+      tree.Update(t, 10 * kMillisecond, now, true, cpu);
+      shards.OnCharged(pick.leaf, 10 * kMillisecond, tree.LeafDispatchable(pick.leaf));
+    } else {
+      t = tree.Schedule(now, cpu);
+      benchmark::DoNotOptimize(t);
+      now += 10 * kMillisecond;
+      tree.Update(t, 10 * kMillisecond, now, true, cpu);
+    }
+    cpu = (cpu + 1) % kNcpus;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecisionScaleLeaves)
+    ->ArgsProduct({{1000, 10000, 100000}, {0, 1}});
 
 }  // namespace
 

@@ -103,6 +103,16 @@ FlowId Sfq::PickNext(Time /*now*/) {
   return flow;
 }
 
+void Sfq::PickFlow(FlowId flow) {
+  FlowState& f = flows_[flow];
+  assert(f.backlogged && f.service_count == 0 && "PickFlow needs a backlogged flow");
+  EraseReady(flow);
+  f.backlogged = false;
+  f.service_count = 1;
+  in_service_list_.push_back(flow);
+  ++in_service_total_;
+}
+
 void Sfq::PickAgain(FlowId flow) {
   FlowState& f = flows_[flow];
   assert(f.service_count > 0 && "PickAgain needs a flow already in service");

@@ -63,6 +63,13 @@ class Sfq : public FairQueue {
   // balanced by its own Complete.
   void PickAgain(FlowId flow);
 
+  // Picks a SPECIFIC backlogged flow into service, bypassing the (start tag, id)
+  // order. The sharded SMP dispatcher chooses the leaf externally (per-CPU shard
+  // heaps) and then needs the root-to-leaf flows marked in service so tag charging
+  // via Complete works exactly as for an ordered pick. Tags are untouched here —
+  // fairness accounting happens entirely at Complete time.
+  void PickFlow(FlowId flow);
+
   // Re-prices a flow's pending virtual-time span under a new weight: the span
   // (S - v(t)) represents queued-but-unserved work charged at the old rate, so the new
   // start tag is  S' = v + (S - v) * w_old / w_new  (paper §4 re-attachment /

@@ -28,6 +28,7 @@ bool IsTimed(EventType type) {
     case EventType::kInterrupt:
     case EventType::kIdle:
     case EventType::kFault:
+    case EventType::kMigrate:
       return true;
     default:
       return false;
@@ -53,6 +54,8 @@ const char* InvariantChecker::KindName(Violation::Kind kind) {
     case Violation::Kind::kTreeInconsistency: return "tree-inconsistency";
     case Violation::Kind::kLostThread: return "lost-thread";
     case Violation::Kind::kFairnessGap: return "fairness-gap";
+    case Violation::Kind::kMigrationInconsistency: return "migration-inconsistency";
+    case Violation::Kind::kWorkConservation: return "work-conservation";
   }
   return "unknown";
 }
@@ -306,6 +309,9 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
                      Format("PickChild %u -> %u: no such live edge", e.node, child));
         break;
       }
+      if (!options_.ordered_pick_tags) {
+        break;  // sharded dispatch picks by shard key, not per-node tag order
+      }
       NodeState& n = NodeAt(e.node);
       // Single-CPU dispatch is strictly serialized, so pick tags are monotone. With
       // concurrent dispatch a completion re-prices a flow's in-flight estimate, which
@@ -394,10 +400,65 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
       break;
     }
 
+    case EventType::kMigrate: {
+      const auto from = static_cast<uint32_t>(e.a);
+      const auto to = static_cast<uint32_t>(e.b);
+      if (from == to) {
+        AddViolation(Violation::Kind::kMigrationInconsistency, index,
+                     Format("Migrate of leaf %u from cpu %u to itself", e.node, from));
+      }
+      if (from >= cpus_ || to >= cpus_) {
+        AddViolation(Violation::Kind::kMigrationInconsistency, index,
+                     Format("Migrate of leaf %u between cpus %u -> %u outside a "
+                            "%u-cpu machine", e.node, from, to, cpus_));
+      }
+      if (strict && (!NodeAlive(e.node) || !NodeAt(e.node).is_leaf)) {
+        AddViolation(Violation::Kind::kMigrationInconsistency, index,
+                     Format("Migrate of dead or non-leaf node %u", e.node));
+      } else if (strict && NodeAt(e.node).backlog == 0) {
+        // Stealing or rebalancing a leaf with no backlogged work would mean the
+        // shards queued (and could lose) threads the tree does not know about.
+        AddViolation(Violation::Kind::kMigrationInconsistency, index,
+                     Format("Migrate of idle leaf %u (no backlogged threads)", e.node));
+      }
+      break;
+    }
+
+    case EventType::kIdle: {
+      if (!options_.expect_work_conserving) {
+        break;
+      }
+      // A CPU going idle is only legitimate when every runnable thread is already in
+      // an open slice on some other CPU — otherwise the machine idled beside surplus
+      // work (with sharding: a shard held a leaf an idle CPU failed to steal).
+      uint64_t surplus = 0;
+      uint64_t sample = 0;
+      for (const auto& [tid, t] : threads_) {
+        if (!t.runnable) continue;
+        bool on_cpu = false;
+        for (const auto& [cpu, open_tid] : open_slices_) {
+          if (open_tid == tid) {
+            on_cpu = true;
+            break;
+          }
+        }
+        if (!on_cpu) {
+          ++surplus;
+          sample = tid;
+        }
+      }
+      if (surplus > 0) {
+        AddViolation(Violation::Kind::kWorkConservation, index,
+                     Format("cpu %u idles %.1fms while %" PRIu64 " runnable thread(s) "
+                            "wait off-cpu (e.g. thread %" PRIu64 ")",
+                            e.cpu, hscommon::ToMillis(e.b), surplus, sample));
+      }
+      break;
+    }
+
     case EventType::kThreadName:
     case EventType::kDispatch:
     case EventType::kInterrupt:
-    case EventType::kIdle:
     case EventType::kFault:
       break;
   }
@@ -503,7 +564,8 @@ void InvariantChecker::CloseWindow(uint32_t a, uint32_t b, const FairWindow& w,
   const double bound = options_.fairness_slack * static_cast<double>(cpus_) *
                            (static_cast<double>(w.lmax_a) / wa +
                             static_cast<double>(w.lmax_b) / wb) +
-                       static_cast<double>(options_.fairness_epsilon);
+                       static_cast<double>(options_.fairness_epsilon) +
+                       static_cast<double>(options_.steal_drift_allowance);
   if (gap > bound) {
     AddViolation(Violation::Kind::kFairnessGap, index,
                  Format("siblings %u,%u co-backlogged %.1fms: gap %.3fms/weight exceeds "

@@ -18,7 +18,13 @@
 //     slack * (l_max_f/w_f + l_max_g/w_g) + epsilon, where each l_max is learned
 //     per window from the Update slices charged to that subtree while the window
 //     is open (not the conservative all-trace maximum, which masks per-leaf
-//     violations when one leaf somewhere in the trace ran a long slice).
+//     violations when one leaf somewhere in the trace ran a long slice);
+//   * migration consistency — every kMigrate references a live leaf, distinct
+//     source/destination CPUs inside the machine, and a leaf that actually has
+//     backlogged work (you cannot steal or rebalance idle load), so no thread can
+//     be lost across a shard migration;
+//   * work conservation (opt-in) — no CPU records an idle span while a runnable
+//     thread sits off-CPU, the property sharded dispatch with stealing must keep.
 //
 // Violations are collected as structured diagnostics (never asserts), so a faulted run
 // reports what broke instead of aborting. Feed events incrementally with OnEvent() +
@@ -56,6 +62,21 @@ class InvariantChecker {
     bool check_fairness = true;
     // Violations beyond this many are counted but not retained.
     size_t max_violations = 64;
+    // --- Sharded-dispatch knobs (set by callers that know the run config) ---
+    // Per-weight service drift (ns) the §3 fairness bound additionally tolerates on
+    // sharded runs: the steal rule lets shards drift apart by up to the configured
+    // steal window before a steal corrects it, so sibling gaps widen by that much.
+    Time steal_drift_allowance = 0;
+    // Sharded dispatch commits the leaf its shard keys chose, not the per-node SFQ
+    // tag order, so a node's recorded pick tags are legitimately non-monotone (tag
+    // CHARGING stays exact; fairness is covered by the bound above). Set false to
+    // skip the per-node virtual-time-regression check on such traces.
+    bool ordered_pick_tags = true;
+    // Expect work conservation at every traced idle span: a kIdle while some
+    // runnable thread is off-CPU is a violation. Enable only for runs whose leaf
+    // schedulers are work-conserving and (if sharded) have stealing on — a
+    // rate-limited leaf scheduler can legitimately idle the machine.
+    bool expect_work_conserving = false;
   };
 
   struct Violation {
@@ -66,6 +87,8 @@ class InvariantChecker {
       kTreeInconsistency,
       kLostThread,
       kFairnessGap,
+      kMigrationInconsistency,
+      kWorkConservation,
     };
     Kind kind;
     size_t event_index = 0;  // position in the stream (0 when found at Finish)

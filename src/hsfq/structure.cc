@@ -12,6 +12,12 @@ using hscommon::Internal;
 using hscommon::InvalidArgument;
 using hscommon::NotFound;
 
+namespace {
+// Deepest root->leaf path the sharded dispatch fast path supports; matches the
+// offline invariant checker's ancestor-walk bound.
+constexpr size_t kMaxDepth = 64;
+}  // namespace
+
 SchedulingStructure::SchedulingStructure() {
   const NodeId root = AllocateNode();
   assert(root == kRootNode);
@@ -71,10 +77,8 @@ StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId p
   if (p.is_leaf()) {
     return FailedPrecondition("parent '" + PathOf(parent) + "' is a leaf node");
   }
-  for (NodeId sibling : p.children) {
-    if (NodeRef(sibling).name == name) {
-      return AlreadyExists("node '" + PathOf(sibling) + "' already exists");
-    }
+  if (auto it = p.child_index.find(name); it != p.child_index.end()) {
+    return AlreadyExists("node '" + PathOf(it->second) + "' already exists");
   }
 
   const NodeId id = AllocateNode();
@@ -95,6 +99,8 @@ StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId p
   }
   parent_ref.flow_to_child[n.flow_in_parent] = id;
   parent_ref.children.push_back(id);
+  parent_ref.child_index.emplace(name, id);
+  ++state_gen_;
   if (tracer_ != nullptr) {
     tracer_->RecordMakeNode(0, id, parent, weight, n.is_leaf(), name);
   }
@@ -129,17 +135,11 @@ StatusOr<NodeId> SchedulingStructure::Parse(const std::string& path, NodeId hint
       cur = n.parent == kInvalidNode ? kRootNode : n.parent;
       continue;
     }
-    NodeId found = kInvalidNode;
-    for (NodeId child : n.children) {
-      if (NodeRef(child).name == component) {
-        found = child;
-        break;
-      }
-    }
-    if (found == kInvalidNode) {
+    const auto found = n.child_index.find(component);
+    if (found == n.child_index.end()) {
       return NotFound("no node '" + component + "' under '" + PathOf(cur) + "'");
     }
-    cur = found;
+    cur = found->second;
   }
   return cur;
 }
@@ -167,10 +167,12 @@ Status SchedulingStructure::RemoveNode(NodeId node) {
   p.sfq->RemoveFlow(n.flow_in_parent);
   p.flow_to_child[n.flow_in_parent] = kInvalidNode;
   std::erase(p.children, node);
+  p.child_index.erase(n.name);
 
   nodes_[node] = Node{};
   free_nodes_.push_back(node);
   --node_count_;
+  ++state_gen_;
   if (tracer_ != nullptr) {
     tracer_->RecordRemoveNode(0, node);
   }
@@ -281,10 +283,9 @@ Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
   if (n.in_service()) {
     return FailedPrecondition("node '" + PathOf(node) + "' is being dispatched");
   }
-  for (NodeId sibling : NodeRef(to).children) {
-    if (NodeRef(sibling).name == n.name) {
-      return AlreadyExists("node '" + PathOf(sibling) + "' already exists");
-    }
+  if (auto it = NodeRef(to).child_index.find(n.name);
+      it != NodeRef(to).child_index.end()) {
+    return AlreadyExists("node '" + PathOf(it->second) + "' already exists");
   }
 
   const bool was_runnable = n.runnable;
@@ -297,6 +298,7 @@ Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
   old_p.sfq->RemoveFlow(n.flow_in_parent);
   old_p.flow_to_child[n.flow_in_parent] = kInvalidNode;
   std::erase(old_p.children, node);
+  old_p.child_index.erase(n.name);
   if (was_runnable && !(old_p.sfq->HasBacklog() || old_p.sfq->InServiceCount() > 0)) {
     PropagateSleep(old_parent, now);  // the old parent lost its last runnable child
   }
@@ -314,6 +316,8 @@ Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
   }
   dest.flow_to_child[n.flow_in_parent] = node;
   dest.children.push_back(node);
+  dest.child_index.emplace(n.name, node);
+  ++state_gen_;
   if (was_runnable) {
     PropagateRunnable(node, now);
   }
@@ -332,6 +336,7 @@ Status SchedulingStructure::SetNodeWeight(NodeId node, Weight weight) {
   }
   Node& n = NodeRef(node);
   n.weight = weight;
+  ++state_gen_;
   if (n.parent != kInvalidNode) {
     // Re-price, don't just relabel: a backlogged flow's start tag was stamped under the
     // old weight, so the plain SetWeight would charge its already-queued slice at the old
@@ -363,6 +368,7 @@ Status SchedulingStructure::SetThreadParams(ThreadId thread, const ThreadParams&
 void SchedulingStructure::PropagateRunnable(NodeId node, Time now) {
   // Walk up, stamping SFQ arrivals, until an already-runnable ancestor is found
   // (the paper's hsfq_setrun early-stop).
+  ++state_gen_;
   NodeId cur = node;
   for (;;) {
     Node& n = NodeRef(cur);
@@ -383,6 +389,7 @@ void SchedulingStructure::PropagateSleep(NodeId node, Time now) {
   (void)now;
   // Walk up, retracting SFQ arrivals, while ancestors lose their last runnable child
   // (the paper's hsfq_sleep early-stop).
+  ++state_gen_;
   NodeId cur = node;
   for (;;) {
     Node& n = NodeRef(cur);
@@ -535,6 +542,7 @@ void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool stil
   assert(running_[idx].cpu == cpu && "Update must come from the CPU that dispatched");
   (void)cpu;
   const NodeId leaf_id = running_[idx].leaf;
+  const bool fast = running_[idx].fast;
   running_.erase(running_.begin() + static_cast<ptrdiff_t>(idx));
   if (tracer_ != nullptr) {
     tracer_->RecordUpdate(now, leaf_id, thread, used, still_runnable,
@@ -542,7 +550,38 @@ void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool stil
   }
   Node& leaf = NodeRef(leaf_id);
   leaf.leaf->Charge(thread, used, now, still_runnable);
+  const bool leaf_was_runnable = leaf.runnable;
+
+  if (fast) {
+    // Releasing a ScheduleLeaf dispatch: the pick did no interior SFQ work, so the
+    // charge does none either — service and in-service counts roll straight up the
+    // path. In fast mode a leaf counts as runnable while a CPU is still inside it
+    // (its flow stays in every ancestor's ready set while the subtree is active, and
+    // EffectiveShare should keep counting a sibling that is consuming service), so
+    // only when the last slice drains AND no thread is runnable does the ordinary
+    // sleep propagation retract the flow from each ancestor.
+    --leaf.in_service_count;
+    leaf.total_service += used;
+    leaf.runnable = leaf.leaf->HasRunnable() || leaf.in_service_count > 0;
+    if (leaf.runnable != leaf_was_runnable) {
+      ++state_gen_;
+    }
+    for (NodeId cur = leaf_id; cur != kRootNode; cur = NodeRef(cur).parent) {
+      Node& p = NodeRef(NodeRef(cur).parent);
+      --p.in_service_count;
+      p.total_service += used;
+    }
+    assert(leaf_was_runnable && "a fast slice was in service, so the leaf was active");
+    if (!leaf.runnable) {
+      PropagateSleep(leaf_id, now);
+    }
+    return;
+  }
+
   leaf.runnable = leaf.leaf->HasRunnable();
+  if (leaf.runnable != leaf_was_runnable) {
+    ++state_gen_;
+  }
   --leaf.in_service_count;
   leaf.total_service += used;
 
@@ -554,11 +593,82 @@ void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool stil
     // Another CPU may still be dispatched through p (its flow is in service, not in the
     // ready backlog), so runnability must account for outstanding services — the classic
     // HasBacklog()-only formula silently marked such nodes idle.
+    const bool was_runnable = p.runnable;
     p.runnable = p.sfq->HasBacklog() || p.sfq->InServiceCount() > 0;
+    if (p.runnable != was_runnable) {
+      ++state_gen_;
+    }
     --p.in_service_count;
     p.total_service += used;
     cur = n.parent;
   }
+}
+
+ThreadId SchedulingStructure::ScheduleLeaf(NodeId leaf_id, Time now, int cpu,
+                                           bool* still_dispatchable) {
+  ++schedule_count_;
+  Node& leaf = NodeRef(leaf_id);
+  assert(leaf.is_leaf() && "ScheduleLeaf needs a leaf node");
+  if (!leaf.leaf->HasDispatchable()) {
+    return kInvalidThread;
+  }
+  // The shard heap already made the fairness decision, so the interior levels need no
+  // SFQ selection or tag surgery — the running child's flow simply STAYS in its
+  // parent's ready set (Update's fast walk and PropagateSleep retract it when the
+  // subtree really goes idle). Only the in-service counts move: they guard
+  // MoveNode/RemoveNode and tell Sleep a subtree has a CPU inside it.
+  for (NodeId cur = leaf_id; cur != kRootNode; cur = NodeRef(cur).parent) {
+    ++NodeRef(cur).in_service_count;
+  }
+  ++NodeRef(kRootNode).in_service_count;
+  const ThreadId thread = leaf.leaf->PickNext(now);
+  assert(thread != kInvalidThread && "dispatchable leaf with no dispatchable thread");
+  assert(!IsRunning(thread) && "leaf handed out a thread that is already on a CPU");
+  if (still_dispatchable != nullptr) {
+    *still_dispatchable = leaf.leaf->HasDispatchable();  // leaf is hot right here
+  }
+  running_.push_back(RunningEntry{thread, leaf_id, cpu, /*fast=*/true});
+  if (tracer_ != nullptr) {
+    tracer_->RecordSchedule(now, leaf_id, thread, static_cast<uint32_t>(cpu));
+  }
+  return thread;
+}
+
+bool SchedulingStructure::LeafDispatchable(NodeId node) const {
+  if (node >= nodes_.size() || !nodes_[node].in_use || !nodes_[node].is_leaf()) {
+    return false;
+  }
+  return nodes_[node].leaf->HasDispatchable();
+}
+
+std::vector<NodeId> SchedulingStructure::DispatchableLeaves() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.in_use && n.is_leaf() && n.leaf->HasDispatchable()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+double SchedulingStructure::EffectiveShare(NodeId leaf) const {
+  double share = 1.0;
+  NodeId cur = leaf;
+  while (cur != kRootNode) {
+    const Node& n = NodeRef(cur);
+    const Node& p = NodeRef(n.parent);
+    Weight sum = 0;
+    for (NodeId sibling : p.children) {
+      if (sibling == cur || nodes_[sibling].runnable) {
+        sum += nodes_[sibling].weight;
+      }
+    }
+    assert(sum >= n.weight);
+    share *= static_cast<double>(n.weight) / static_cast<double>(sum);
+    cur = n.parent;
+  }
+  return share;
 }
 
 bool SchedulingStructure::HasRunnable() const { return NodeRef(kRootNode).runnable; }

@@ -13,6 +13,7 @@
 #ifndef HSCHED_SRC_HSFQ_STRUCTURE_H_
 #define HSCHED_SRC_HSFQ_STRUCTURE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -104,6 +105,44 @@ class SchedulingStructure {
   // blocked or exited. `cpu` must match the Schedule that dispatched the thread.
   void Update(ThreadId thread, Work used, Time now, bool still_runnable, int cpu = 0);
 
+  // Sharded-dispatch fast path: commits a dispatch of a SPECIFIC leaf chosen
+  // externally (the per-CPU shard heaps of src/sim), touching NO interior SFQ state.
+  // The shard key already carries the hierarchical fairness decision (per-leaf
+  // virtual time over EffectiveShare), so per-level flow selection, tag surgery, and
+  // PickChild events are all skipped: the path is only marked in service (for the
+  // Move/Remove guards and runnability bookkeeping), the leaf scheduler picks the
+  // thread, and a Schedule event is recorded. The returned thread is released with
+  // the ordinary Update, which detects the fast dispatch and charges service and
+  // runnability without per-level SFQ completion. O(depth) pointer chases per call,
+  // independent of the number of sibling classes. While fast dispatches are
+  // outstanding a running child's flow stays in its parent's ready set, so
+  // ScheduleLeaf and Schedule must not be interleaved on one structure. Returns
+  // kInvalidThread when the leaf has no dispatchable thread. When
+  // `still_dispatchable` is non-null it receives whether the leaf has further
+  // dispatchable threads AFTER this pick (saving the caller a separate
+  // LeafDispatchable query on the hot dispatch path).
+  ThreadId ScheduleLeaf(NodeId leaf, Time now, int cpu = 0,
+                        bool* still_dispatchable = nullptr);
+
+  // True if `node` is a live leaf whose scheduler has a runnable thread not on a CPU.
+  bool LeafDispatchable(NodeId node) const;
+
+  // All live leaves with dispatchable work, ascending id order. The shard layer's
+  // resync sweep; O(total nodes), not for the dispatch hot path.
+  std::vector<NodeId> DispatchableLeaves() const;
+
+  // The leaf's hierarchical share of the machine: the product over its path of
+  // weight / (sum of runnable siblings' weights), counting the leaf's own chain as
+  // runnable even when it currently is not. This is the rate the paper's §2 hierarchy
+  // delivers to the leaf while every counted class stays backlogged; the sharded
+  // dispatcher uses it to price shard-local virtual time. O(depth * fanout).
+  double EffectiveShare(NodeId leaf) const;
+
+  // Monotone counter bumped whenever EffectiveShare's inputs may have changed (a
+  // node's runnable flag flips, weights or topology change). Callers cache shares
+  // and recompute on a generation mismatch.
+  uint64_t StateGeneration() const { return state_gen_; }
+
   // --- Introspection ---
 
   // True if any thread anywhere in the tree is runnable.
@@ -143,6 +182,12 @@ class SchedulingStructure {
   // Preferred quantum of the currently running thread's leaf scheduler (0 = default).
   Work PreferredQuantumOf(ThreadId thread) const;
 
+  // Same, but for a caller that already knows the thread's leaf (the sharded dispatch
+  // path, which picked the leaf itself): skips the thread->leaf hash lookup.
+  Work PreferredQuantumAt(NodeId leaf, ThreadId thread) const {
+    return NodeRef(leaf).leaf->PreferredQuantum(thread);
+  }
+
   // SFQ tag introspection for an interior node's child (tests).
   hscommon::VirtualTime StartTagOf(NodeId child) const;
   hscommon::VirtualTime FinishTagOf(NodeId child) const;
@@ -181,6 +226,10 @@ class SchedulingStructure {
     std::string name;
     NodeId parent = kInvalidNode;
     std::vector<NodeId> children;
+    // Children keyed by name: MakeNode/MoveNode uniqueness checks and path lookups
+    // without the O(children) sibling scan (which made wide-tree construction
+    // quadratic and capped usable population sizes).
+    std::map<std::string, NodeId, std::less<>> child_index;
     Weight weight = 1;
     bool in_use = false;
 
@@ -224,11 +273,14 @@ class SchedulingStructure {
   size_t node_count_ = 0;
   std::unordered_map<ThreadId, NodeId> thread_to_leaf_;
 
-  // Outstanding dispatches, in Schedule order (at most one per CPU).
+  // Outstanding dispatches, in Schedule order (at most one per CPU). `fast` marks a
+  // ScheduleLeaf dispatch: its charge in Update must take the matching fast walk
+  // (no per-level SFQ completion, since the pick did no per-level SFQ selection).
   struct RunningEntry {
     ThreadId thread = kInvalidThread;
     NodeId leaf = kInvalidNode;
     int cpu = 0;
+    bool fast = false;
   };
   std::vector<RunningEntry> running_;
 
@@ -236,6 +288,7 @@ class SchedulingStructure {
 
   uint64_t schedule_count_ = 0;
   uint64_t update_count_ = 0;
+  uint64_t state_gen_ = 1;
 };
 
 }  // namespace hsfq

@@ -22,6 +22,10 @@ hscommon::Status SfqLeafScheduler::AddThread(ThreadId thread, const ThreadParams
 }
 
 void SfqLeafScheduler::RemoveThread(ThreadId thread) {
+  if (thread == charge_memo_tid_) {
+    charge_memo_tid_ = hsfq::kInvalidThread;
+    charge_memo_ = nullptr;
+  }
   const auto it = threads_.find(thread);
   assert(it != threads_.end());
   assert(!sfq_.IsInService(it->second.flow));
@@ -80,10 +84,15 @@ ThreadId SfqLeafScheduler::PickNext(hscommon::Time now) {
 
 void SfqLeafScheduler::Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
                               bool still_runnable) {
-  auto& state = threads_.at(thread);
-  assert(sfq_.IsInService(state.flow));
-  sfq_.Complete(state.flow, used, now, still_runnable);
-  state.runnable = still_runnable;
+  ThreadState* state = charge_memo_;
+  if (thread != charge_memo_tid_) {
+    state = &threads_.at(thread);
+    charge_memo_tid_ = thread;
+    charge_memo_ = state;
+  }
+  assert(sfq_.IsInService(state->flow));
+  sfq_.Complete(state->flow, used, now, still_runnable);
+  state->runnable = still_runnable;
 }
 
 bool SfqLeafScheduler::HasRunnable() const {

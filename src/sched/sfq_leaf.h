@@ -75,6 +75,12 @@ class SfqLeafScheduler : public hsfq::LeafScheduler {
 
   hfair::Sfq sfq_;  // also tracks which flows are in service (one per serving CPU)
   std::unordered_map<ThreadId, ThreadState> threads_;
+  // One-entry memo of the last Charge's hash lookup: a leaf serving one thread
+  // charges the same id every slice, so the steady-state dispatch loop skips the
+  // hash entirely. Node-based unordered_map pointers are stable until erase, and
+  // RemoveThread invalidates the memo.
+  ThreadId charge_memo_tid_ = hsfq::kInvalidThread;
+  ThreadState* charge_memo_ = nullptr;
   std::vector<ThreadId> flow_to_thread_;  // indexed by FlowId
   std::unordered_map<ThreadId, ThreadId> donations_;  // donor -> recipient
 };

@@ -1,0 +1,383 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace hsim {
+
+using hsfq::NodeId;
+
+// The entries compare as plain 128-bit integers, which IS the lexicographic
+// (key, leaf id, seq) order by construction — no two entries compare equal, so the
+// heap minimum (and therefore the pop sequence) is uniquely determined by the heap's
+// contents, independent of its internal arrangement. The leaf-id tie-break pins the
+// dispatch order of equal keys, so double-run traces stay byte-identical.
+ShardSet::HeapEntry ShardSet::PackEntry(double key, NodeId leaf, uint32_t seq) {
+  assert(std::isfinite(key) && !std::signbit(key) &&
+         "virtual-time keys are non-negative, or their bit order breaks");
+  return (static_cast<HeapEntry>(std::bit_cast<uint64_t>(key)) << 64) |
+         (static_cast<uint64_t>(leaf) << 32) | seq;
+}
+
+double ShardSet::EntryKey(HeapEntry e) {
+  return std::bit_cast<double>(static_cast<uint64_t>(e >> 64));
+}
+
+NodeId ShardSet::EntryLeaf(HeapEntry e) {
+  return static_cast<NodeId>(static_cast<uint64_t>(e) >> 32);
+}
+
+uint32_t ShardSet::EntrySeq(HeapEntry e) {
+  return static_cast<uint32_t>(e);
+}
+
+namespace {
+
+// 4-ary sift primitives (children of i at 4i+1..4i+4): half the levels of a binary
+// heap, four children per cache line, and single-compare entries the compiler can
+// select with conditional moves — the binary-heap sift's unpredictable per-level
+// branches were the hottest single piece of the dispatch loop.
+void SiftUp(std::vector<ShardSet::HeapEntry>& h, size_t i) {
+  const ShardSet::HeapEntry e = h[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (e >= h[parent]) {
+      break;
+    }
+    h[i] = h[parent];
+    i = parent;
+  }
+  h[i] = e;
+}
+
+void SiftDown(std::vector<ShardSet::HeapEntry>& h, size_t i) {
+  const size_t n = h.size();
+  const ShardSet::HeapEntry e = h[i];
+  for (;;) {
+    const size_t first = 4 * i + 1;
+    if (first >= n) {
+      break;
+    }
+    size_t best = first;
+    if (first + 4 <= n) {
+      best = h[first + 1] < h[best] ? first + 1 : best;
+      best = h[first + 2] < h[best] ? first + 2 : best;
+      best = h[first + 3] < h[best] ? first + 3 : best;
+    } else {
+      for (size_t c = first + 1; c < n; ++c) {
+        best = h[c] < h[best] ? c : best;
+      }
+    }
+    if (h[best] >= e) {
+      break;
+    }
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = e;
+}
+
+// Removes the minimum (h[0]).
+void HeapPop(std::vector<ShardSet::HeapEntry>& h) {
+  h[0] = h.back();
+  h.pop_back();
+  if (!h.empty()) {
+    SiftDown(h, 0);
+  }
+}
+
+constexpr double kNoKey = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ShardSet::ShardSet(const hsfq::SchedulingStructure* tree, int ncpus,
+                   hscommon::Time steal_window)
+    : tree_(tree),
+      ncpus_(std::max(1, ncpus)),
+      steal_window_(static_cast<double>(std::max<hscommon::Time>(0, steal_window))) {
+  heaps_.resize(static_cast<size_t>(ncpus_));
+  top_raw_.resize(static_cast<size_t>(ncpus_), kNoKey);
+}
+
+ShardSet::LeafState& ShardSet::EnsureState(NodeId leaf) {
+  if (static_cast<size_t>(leaf) >= states_.size()) {
+    states_.resize(static_cast<size_t>(leaf) + 1);
+  }
+  return states_[leaf];
+}
+
+void ShardSet::EnsureShare(NodeId leaf, LeafState& s) {
+  const uint64_t gen = tree_->StateGeneration();
+  if (s.share_gen != gen) {
+    s.share = tree_->EffectiveShare(leaf);
+    assert(s.share > 0.0);
+    s.share_gen = gen;
+  }
+}
+
+bool ShardSet::EntryLive(const HeapEntry& e) const {
+  const NodeId leaf = EntryLeaf(e);
+  if (static_cast<size_t>(leaf) >= states_.size()) {
+    return false;
+  }
+  const LeafState& s = states_[leaf];
+  if (!s.queued || s.seq != EntrySeq(e)) {
+    return false;
+  }
+  return tree_->StateGeneration() == synced_gen_ || tree_->LeafDispatchable(leaf);
+}
+
+void ShardSet::CleanTop(int cpu) {
+  auto& h = heaps_[static_cast<size_t>(cpu)];
+  while (!h.empty() && !EntryLive(h.front())) {
+    HeapPop(h);
+  }
+  top_raw_[static_cast<size_t>(cpu)] = h.empty() ? kNoKey : EntryKey(h.front());
+}
+
+void ShardSet::PopTop(int cpu) {
+  auto& h = heaps_[static_cast<size_t>(cpu)];
+  assert(!h.empty());
+  HeapPop(h);
+  top_raw_[static_cast<size_t>(cpu)] = h.empty() ? kNoKey : EntryKey(h.front());
+}
+
+void ShardSet::Enqueue(NodeId leaf) {
+  LeafState& s = states_[leaf];
+  assert(!s.queued);
+  EnsureShare(leaf, s);
+  if (s.home < 0) {
+    // First contact: round-robin spreads new leaves; Rebalance corrects by share.
+    s.home = next_home_;
+    next_home_ = (next_home_ + 1) % ncpus_;
+  }
+  if (s.inflight == 0) {
+    s.start = std::max(vtime_, s.finish);
+  }
+  double key = std::max(s.start, s.finish);
+  if (s.inflight > 0 && s.est_slice > 0) {
+    // Price the slices still running (mirrors Sfq::PricedStartTag): a leaf serving
+    // several CPUs competes as if each in-flight slice repeats its last charge.
+    key += static_cast<double>(s.inflight) * static_cast<double>(s.est_slice) / s.share;
+  }
+  ++s.seq;
+  s.queued = true;
+  auto& h = heaps_[static_cast<size_t>(s.home)];
+  h.push_back(PackEntry(key, leaf, s.seq));
+  SiftUp(h, h.size() - 1);
+  if (key < top_raw_[static_cast<size_t>(s.home)]) {
+    top_raw_[static_cast<size_t>(s.home)] = key;
+  }
+}
+
+ShardSet::Pick ShardSet::PickFor(int cpu, bool steal_enabled) {
+  CleanTop(cpu);
+  auto& own = heaps_[static_cast<size_t>(cpu)];
+  const bool have_own = !own.empty();
+  const double own_key = have_own ? EntryKey(own.front()) : 0.0;
+
+  int victim = -1;
+  if (steal_enabled) {
+    // Cheap precheck before touching any remote shard: keys only grow, so a shard's
+    // raw (possibly stale) front key is a LOWER BOUND on its true best. A busy CPU can
+    // only steal when some remote best undercuts own_key - window, which the lower
+    // bound must too — so in the saturated steady state (no shard lags) the scan is
+    // ncpus double compares and the remote heaps/states stay untouched and uncleaned.
+    bool possible = !have_own;
+    if (!possible) {
+      const double threshold = own_key - steal_window_;
+      for (int c = 0; c < ncpus_ && !possible; ++c) {
+        possible = c != cpu && top_raw_[static_cast<size_t>(c)] < threshold;
+      }
+    }
+    if (possible) {
+      // The packed compare picks the remote minimum by (key, leaf id): a leaf is
+      // queued in exactly one shard, so the seq tail never decides between shards.
+      HeapEntry best = 0;
+      for (int c = 0; c < ncpus_; ++c) {
+        if (c == cpu) {
+          continue;
+        }
+        CleanTop(c);
+        auto& h = heaps_[static_cast<size_t>(c)];
+        if (h.empty()) {
+          continue;
+        }
+        if (victim < 0 || h.front() < best) {
+          victim = c;
+          best = h.front();
+        }
+      }
+      // Steal only when idle, or when the remote best lags the local best by more
+      // than the fairness window (a lagging key IS a per-weight deficit in ns).
+      if (victim >= 0 && have_own && EntryKey(best) >= own_key - steal_window_) {
+        victim = -1;
+      }
+    }
+  }
+
+  if (victim < 0) {
+    if (!have_own) {
+      return Pick{};
+    }
+    const NodeId leaf = EntryLeaf(own.front());
+    PopTop(cpu);
+    LeafState& s = states_[leaf];
+    s.queued = false;
+    vtime_ = std::max(vtime_, std::max(s.start, s.finish));
+    return Pick{leaf, /*stolen=*/false, /*rehomed=*/false, cpu};
+  }
+
+  const NodeId leaf = EntryLeaf(heaps_[static_cast<size_t>(victim)].front());
+  PopTop(victim);
+  LeafState& s = states_[leaf];
+  s.queued = false;
+  vtime_ = std::max(vtime_, std::max(s.start, s.finish));
+  CleanTop(victim);
+  // Re-home only on an IDLE steal (this CPU had nothing) whose victim keeps other
+  // work: that is a genuine load imbalance, so the leaf moves here permanently. A
+  // busy CPU's fairness steal — taken because the remote best lagged by more than
+  // the window — merely BORROWS the leaf for one slice: charging the slice advances
+  // its tag past the drift, and moving homes on every such steal would let transient
+  // tag skew churn the whole affinity map (and drag the rebalancer behind it).
+  const bool rehome = !have_own && !heaps_[static_cast<size_t>(victim)].empty();
+  if (rehome) {
+    // Joining a shard re-normalizes the tags against the global clock — the §4
+    // fresh-flow rule, exactly as MoveNode re-stamps a re-attached class — which
+    // caps how much banked credit a migration can carry to its new home.
+    s.home = cpu;
+    s.start = vtime_;
+    s.finish = vtime_;
+    homes_dirty_ = true;
+  }
+  return Pick{leaf, /*stolen=*/true, rehome, victim};
+}
+
+void ShardSet::OnDispatched(NodeId leaf, bool still_dispatchable) {
+  LeafState& s = EnsureState(leaf);
+  ++s.inflight;
+  if (!s.queued && still_dispatchable) {
+    Enqueue(leaf);  // siblings of the dispatched thread stay visible to other CPUs
+  }
+}
+
+void ShardSet::OnCharged(NodeId leaf, hscommon::Work used, bool still_dispatchable) {
+  LeafState& s = EnsureState(leaf);
+  assert(s.inflight > 0 && "charge without a matching dispatch");
+  --s.inflight;
+  EnsureShare(leaf, s);
+  s.finish = std::max(s.start, s.finish) +
+             static_cast<double>(used) / s.share;
+  s.est_slice = used;
+  if (s.queued) {
+    s.queued = false;  // the queued key pre-dates this charge; re-stamp below
+    ++s.seq;
+  }
+  if (still_dispatchable) {
+    Enqueue(leaf);
+  }
+}
+
+void ShardSet::Resync() {
+  for (size_t id = 0; id < states_.size(); ++id) {
+    LeafState& s = states_[id];
+    if (s.queued && !tree_->LeafDispatchable(static_cast<NodeId>(id))) {
+      s.queued = false;
+      ++s.seq;
+    }
+  }
+  for (NodeId leaf : tree_->DispatchableLeaves()) {
+    LeafState& s = EnsureState(leaf);
+    if (!s.queued) {
+      Enqueue(leaf);
+    }
+  }
+  synced_gen_ = tree_->StateGeneration();
+}
+
+std::vector<ShardSet::Migration> ShardSet::Rebalance() {
+  const uint64_t gen = tree_->StateGeneration();
+  if (gen == rebalanced_gen_ && !homes_dirty_) {
+    return {};  // same inputs as the last pass => same (already applied) partition
+  }
+  struct Item {
+    NodeId leaf;
+    double share;
+  };
+  std::vector<Item> items;
+  for (size_t id = 0; id < states_.size(); ++id) {
+    LeafState& s = states_[id];
+    if (s.queued || s.inflight > 0) {
+      EnsureShare(static_cast<NodeId>(id), s);
+      items.push_back(Item{static_cast<NodeId>(id), s.share});
+    }
+  }
+  // Largest share first (LPT greedy); equal shares keep ascending leaf order so the
+  // partition is deterministic.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.share != b.share) {
+      return a.share > b.share;
+    }
+    return a.leaf < b.leaf;
+  });
+
+  std::vector<Migration> out;
+  std::vector<double> load(static_cast<size_t>(ncpus_), 0.0);
+  for (const Item& item : items) {
+    int best = 0;
+    for (int c = 1; c < ncpus_; ++c) {
+      if (load[static_cast<size_t>(c)] < load[static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    LeafState& s = states_[item.leaf];
+    // Home-stickiness: keep the current home whenever it is tied for least loaded,
+    // so a balanced machine never churns affinity.
+    int target = best;
+    if (s.home >= 0 &&
+        !(load[static_cast<size_t>(best)] < load[static_cast<size_t>(s.home)])) {
+      target = s.home;
+    }
+    load[static_cast<size_t>(target)] += s.share;
+    if (target == s.home) {
+      continue;
+    }
+    out.push_back(Migration{item.leaf, s.home, target});
+    s.home = target;
+    // §4 fresh-flow re-normalization at the new home (as PickFor's rehome path).
+    s.start = vtime_;
+    s.finish = vtime_;
+    if (s.queued) {
+      s.queued = false;
+      ++s.seq;
+    }
+    if (tree_->LeafDispatchable(item.leaf)) {
+      Enqueue(item.leaf);
+    }
+  }
+  rebalanced_gen_ = gen;
+  homes_dirty_ = false;
+  return out;
+}
+
+int ShardSet::HomeOf(NodeId leaf) const {
+  if (static_cast<size_t>(leaf) >= states_.size()) {
+    return -1;
+  }
+  return states_[leaf].home;
+}
+
+size_t ShardSet::QueuedOn(int cpu) const {
+  size_t n = 0;
+  for (const LeafState& s : states_) {
+    if (s.queued && s.home == cpu) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hsim

@@ -1,0 +1,178 @@
+// Per-CPU run-queue shards over the shared scheduling structure — the sharded SMP
+// dispatch of ISSUE 6 (the O(1)-scheduler shape: per-CPU ready state, idle-time work
+// stealing, CPU affinity), kept hierarchically fair with the paper's virtual-time
+// machinery.
+//
+// Each dispatchable LEAF of the SchedulingStructure is homed on one CPU and queued in
+// that CPU's shard heap. The heap key is the leaf's PER-WEIGHT virtual time: service
+// consumed divided by the leaf's hierarchical EffectiveShare, tracked as SFQ start /
+// finish tags (S = max(v, F) on arrival, F = max(S, F) + used/share on charge) against
+// ONE global virtual clock v shared by all shards. Under perfect hierarchical fairness
+// every leaf's tag advances at the wall-clock rate regardless of its share, so "all
+// keys advance together" IS the paper's §3 fairness property — and any per-shard drift
+// is directly readable as a tag gap in nanoseconds.
+//
+// Dispatch: a CPU serves its own shard's minimum-key leaf — O(log n) on the local heap
+// plus an O(depth) committed descent (SchedulingStructure::ScheduleLeaf) — UNLESS some
+// remote shard's best leaf lags the local best by more than the steal window (or the
+// local shard is empty): then it steals. The window bounds per-weight drift between
+// shards; an empty-shard steal is unconditional, which keeps the machine
+// work-conserving. An IDLE CPU's steal whose victim shard still holds other work
+// RE-HOMES the leaf (a real load imbalance: the home moves permanently, tags
+// re-normalized to the global clock exactly like MoveNode's §4 fresh-flow rule). Every
+// other steal — a busy CPU's fairness steal, or one that would empty the victim —
+// BORROWS the leaf for one slice (home and tags unchanged): charging the borrowed
+// slice already erases the lag that justified it, so moving homes too would let
+// transient tag skew churn the affinity map, and borrowing is also how one
+// multi-thread leaf is served by several CPUs at once without bouncing its home.
+//
+// A periodic Rebalance pass re-partitions the active leaves so the summed
+// EffectiveShare per shard is balanced (largest-share-first greedy with
+// home-stickiness), bounding how much load wakeup affinity can pile onto one CPU.
+//
+// Heaps use lazy invalidation: every queued leaf carries a sequence number and an entry
+// is live only while the sequence matches and the tree still reports the leaf
+// dispatchable. Keys grow monotonically with the global clock, so stale entries
+// surface at the top and are dropped on the next pick — the classic lazy-deletion heap
+// with bounded garbage. Everything is deterministic: plain IEEE double arithmetic in a
+// fixed order, ties broken by (key, leaf id).
+
+#ifndef HSCHED_SRC_SIM_SHARD_H_
+#define HSCHED_SRC_SIM_SHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hsfq/structure.h"
+
+namespace hsim {
+
+class ShardSet {
+ public:
+  // Result of a shard pick: which leaf to dispatch and where it came from.
+  struct Pick {
+    hsfq::NodeId leaf = hsfq::kInvalidNode;  // kInvalidNode: nothing to serve
+    bool stolen = false;                     // came from another CPU's shard
+    bool rehomed = false;                    // the steal moved the leaf's home here
+    int from_cpu = -1;                       // shard the leaf was taken from
+  };
+
+  // One home change performed by Rebalance (for kMigrate trace attribution).
+  struct Migration {
+    hsfq::NodeId leaf = hsfq::kInvalidNode;
+    int from = -1;
+    int to = -1;
+  };
+
+  // A heap entry packs (key, leaf, seq) into one 128-bit integer: the keys are
+  // non-negative finite doubles, whose IEEE-754 bit patterns order exactly like the
+  // values, so a single integer compare yields the full lexicographic
+  // (key, leaf id, seq) total order. This keeps the sift loops branchless — the
+  // binary-heap sift's unpredictable per-level branches were the hottest single
+  // piece of the dispatch loop — and at 16 bytes the four children of a 4-ary heap
+  // node share one cache line.
+  using HeapEntry = unsigned __int128;
+  static HeapEntry PackEntry(double key, hsfq::NodeId leaf, uint32_t seq);
+  static double EntryKey(HeapEntry e);
+  static hsfq::NodeId EntryLeaf(HeapEntry e);
+  static uint32_t EntrySeq(HeapEntry e);
+
+  // `tree` must outlive the ShardSet. `steal_window` is the per-weight virtual-time
+  // lag (ns) beyond which a CPU prefers a remote shard's leaf over its own best.
+  ShardSet(const hsfq::SchedulingStructure* tree, int ncpus,
+           hscommon::Time steal_window);
+
+  // Chooses the leaf CPU `cpu` should dispatch, popping it from whichever shard held
+  // it. Returns Pick{} (leaf == kInvalidNode) when no shard has live work this CPU is
+  // allowed to take (with stealing off, only the local shard counts).
+  Pick PickFor(int cpu, bool steal_enabled);
+
+  // The picked leaf was committed (ScheduleLeaf succeeded): counts the in-flight
+  // slice and, if the leaf still has dispatchable threads (the caller passes what
+  // ScheduleLeaf reported, saving a re-query), re-queues it on its home shard at a
+  // priced key so other CPUs can serve its siblings concurrently.
+  void OnDispatched(hsfq::NodeId leaf, bool still_dispatchable);
+
+  // The slice ended and `used` ns were charged through the tree: advances the leaf's
+  // finish tag by used / EffectiveShare and re-queues it if still dispatchable.
+  void OnCharged(hsfq::NodeId leaf, hscommon::Work used, bool still_dispatchable);
+
+  // Reconciles the shards with the tree after wakeups, sleeps, or structural changes
+  // (driven by SchedulingStructure::StateGeneration): queues every dispatchable leaf,
+  // invalidates entries of leaves that are no longer dispatchable. O(nodes).
+  void Resync();
+
+  // Re-partitions the active leaves across shards balancing summed EffectiveShare
+  // (largest first, ties and equal loads keep the current home). Returns the home
+  // changes made; each migrated leaf's tags are re-normalized to the global virtual
+  // clock (§4 fresh-flow rule, as MoveNode does across tree re-attachment).
+  std::vector<Migration> Rebalance();
+
+  // --- Introspection (tests, stats) ---
+
+  // Home CPU of a leaf, or -1 if the leaf never became dispatchable.
+  int HomeOf(hsfq::NodeId leaf) const;
+
+  // Live queued leaves currently homed on `cpu` (O(states), test-only).
+  size_t QueuedOn(int cpu) const;
+
+  // The global per-weight virtual clock (ns).
+  double virtual_time() const { return vtime_; }
+
+ private:
+  struct LeafState {
+    int home = -1;            // owning shard (-1 until first enqueue)
+    double start = 0.0;       // per-weight SFQ start tag (ns)
+    double finish = 0.0;      // per-weight SFQ finish tag (ns)
+    double share = 0.0;       // cached EffectiveShare
+    uint64_t share_gen = 0;   // tree StateGeneration the cache is valid for
+    hscommon::Work est_slice = 0;  // last charged slice (prices in-flight picks)
+    uint32_t inflight = 0;    // concurrent slices currently running from this leaf
+    // Live heap-entry sequence (lazy invalidation). 32 bits is safe: a leaf's keys
+    // grow monotonically, so its stale entries order BEFORE its live one and are
+    // cleaned off the top before the live entry is ever served — garbage never
+    // survives long enough to see the same sequence value come around again.
+    uint32_t seq = 0;
+    bool queued = false;      // a live entry exists in heaps_[home]
+  };
+
+  LeafState& EnsureState(hsfq::NodeId leaf);
+  void EnsureShare(hsfq::NodeId leaf, LeafState& s);
+  bool EntryLive(const HeapEntry& e) const;
+  void CleanTop(int cpu);
+  void PopTop(int cpu);
+  // Queues `leaf` on its home shard (assigning a round-robin home on first contact).
+  // Re-stamps S = max(v, F) when the leaf has nothing in flight; otherwise keeps its
+  // tags and prices the in-flight slices into the key.
+  void Enqueue(hsfq::NodeId leaf);
+
+  const hsfq::SchedulingStructure* tree_;
+  int ncpus_;
+  double steal_window_;
+  double vtime_ = 0.0;               // global per-weight virtual clock
+  int next_home_ = 0;                // round-robin first-home assignment
+  // Rebalance is a pure function of (active leaves, shares, homes); the first two only
+  // change with the tree generation and homes only change on a re-homing steal, so a
+  // pass is skipped entirely while neither has moved since the last one. This keeps
+  // the periodic rebalance O(1) in steady state instead of O(n log n) per interval.
+  uint64_t rebalanced_gen_ = UINT64_MAX;  // tree generation of the last full pass
+  bool homes_dirty_ = true;               // a steal re-homed a leaf since that pass
+  // Tree generation of the last Resync. While the tree has not moved past it, every
+  // enqueue verified dispatchability at enqueue time and nothing has changed since,
+  // so EntryLive can trust (queued, seq) alone instead of re-asking the tree per
+  // entry; after any tree change it falls back to the full check until the next
+  // Resync. 0 never matches a real generation (StateGeneration starts at 1).
+  uint64_t synced_gen_ = 0;
+  std::vector<LeafState> states_;    // indexed by NodeId
+  std::vector<std::vector<HeapEntry>> heaps_;  // 4-ary min-heap per CPU
+  // Raw front key of each shard heap (+inf when empty), maintained on every heap
+  // mutation. Keys only grow, so a raw front — even when the entry is stale — is a
+  // LOWER BOUND on that shard's live best: the steal precheck reads this one
+  // contiguous array instead of chasing ncpus heap fronts through the cache.
+  std::vector<double> top_raw_;
+};
+
+}  // namespace hsim
+
+#endif  // HSCHED_SRC_SIM_SHARD_H_

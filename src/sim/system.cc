@@ -10,6 +10,10 @@ System::System() : System(Config{}) {}
 
 System::System(const Config& config) : config_(config) {
   cpus_.resize(static_cast<size_t>(std::max(1, config_.ncpus)));
+  if (config_.sharded) {
+    shards_ = std::make_unique<ShardSet>(&tree_, static_cast<int>(cpus_.size()),
+                                         config_.steal_window);
+  }
 }
 
 bool System::IsOnCpu(ThreadId thread) const {
@@ -504,19 +508,103 @@ void System::DispatchOn(int cpu) {
   }
 }
 
+bool System::DispatchShardedOn(int cpu) {
+  Cpu& c = cpus_[static_cast<size_t>(cpu)];
+  assert(c.running == hsfq::kInvalidThread);
+  const ShardSet::Pick pick = shards_->PickFor(cpu, config_.steal);
+  if (pick.leaf == hsfq::kInvalidNode) {
+    return false;
+  }
+  if (pick.stolen) {
+    ++c.steals;
+    if (pick.rehomed) {
+      ++c.migrations;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->RecordMigrate(now_, pick.leaf, static_cast<uint32_t>(pick.from_cpu),
+                             static_cast<uint32_t>(cpu), /*steal=*/true, pick.rehomed,
+                             static_cast<uint32_t>(cpu));
+    }
+  }
+  bool leaf_has_more = false;
+  const ThreadId tid = tree_.ScheduleLeaf(pick.leaf, now_, cpu, &leaf_has_more);
+  assert(tid != hsfq::kInvalidThread && "shard offered a leaf with nothing to run");
+  shards_->OnDispatched(pick.leaf, leaf_has_more);
+  c.running = tid;
+  c.leaf = pick.leaf;
+  Thread& t = ThreadRef(tid);
+  ++t.stats.dispatches;
+  if (t.awaiting_first_dispatch) {
+    const auto latency = static_cast<double>(now_ - t.last_wake);
+    t.stats.sched_latency.Add(latency);
+    if (t.stats.latency_samples.size() < config_.max_latency_samples ||
+        config_.max_latency_samples == 0) {
+      t.stats.latency_samples.push_back(latency);
+    }
+    t.awaiting_first_dispatch = false;
+  }
+  // The cache-warmth model: a stolen leaf's working set is cold here, so the thief
+  // pays the migration penalty on top of the ordinary context-switch cost. Charged as
+  // this CPU's private steal debt, like every SMP dispatch overhead.
+  Time overhead = config_.dispatch_overhead;
+  if (pick.stolen) {
+    overhead += config_.migration_penalty;
+  }
+  if (fault_hooks_ != nullptr) {
+    overhead += std::max<Time>(0, fault_hooks_->OnDispatchOverhead(tid, now_, cpu));
+  }
+  if (overhead > 0) {
+    c.steal_debt += overhead;
+    overhead_time_ += overhead;
+  }
+  // The sharded path knows the leaf it picked, so the quantum query can skip the
+  // thread->leaf hash lookup PreferredQuantumOf would redo.
+  const Work preferred = tree_.PreferredQuantumAt(pick.leaf, tid);
+  Work quantum = preferred > 0 ? preferred : config_.default_quantum;
+  if (fault_hooks_ != nullptr) {
+    quantum = std::max<Work>(1, fault_hooks_->OnQuantumGrant(tid, quantum, now_, cpu));
+  }
+  c.quantum_left = quantum;
+  c.used = 0;
+  if (tracer_ != nullptr) {
+    tracer_->RecordDispatch(now_, tid, c.quantum_left, static_cast<uint32_t>(cpu));
+  }
+  return true;
+}
+
+void System::RunRebalance() {
+  const std::vector<ShardSet::Migration> moves = shards_->Rebalance();
+  for (const ShardSet::Migration& m : moves) {
+    ++cpus_[static_cast<size_t>(m.to)].migrations;
+    if (tracer_ != nullptr) {
+      tracer_->RecordMigrate(now_, m.leaf, static_cast<uint32_t>(m.from),
+                             static_cast<uint32_t>(m.to), /*steal=*/false,
+                             /*rehomed=*/true, static_cast<uint32_t>(m.to));
+    }
+  }
+}
+
 void System::EndSlice(int cpu, bool still_runnable) {
   Cpu& c = cpus_[static_cast<size_t>(cpu)];
   assert(c.running != hsfq::kInvalidThread);
   Thread& t = ThreadRef(c.running);
+  const NodeId leaf = c.leaf;
+  const Work used = c.used;
   tree_.Update(c.running, c.used, now_, still_runnable, cpu);
   t.runnable = still_runnable;
   c.running = hsfq::kInvalidThread;
   c.used = 0;
   c.quantum_left = 0;
+  c.leaf = hsfq::kInvalidNode;
+  if (shards_ != nullptr && leaf != hsfq::kInvalidNode) {
+    // Dispatchability is re-read AFTER the tree charge so the shard re-queue sees
+    // whether the leaf kept runnable threads off-CPU.
+    shards_->OnCharged(leaf, used, tree_.LeafDispatchable(leaf));
+  }
 }
 
 void System::RunUntil(Time until) {
-  if (cpus_.size() > 1) {
+  if (cpus_.size() > 1 || shards_ != nullptr) {
     RunUntilSmp(until);
     return;
   }
@@ -593,6 +681,11 @@ void System::RunUntil(Time until) {
 
 void System::RunUntilSmp(Time until) {
   const size_t ncpus = cpus_.size();
+  const bool sharded = shards_ != nullptr;
+  const bool rebalancing = sharded && config_.rebalance_interval > 0;
+  if (rebalancing && next_rebalance_ == 0) {
+    next_rebalance_ = now_ + config_.rebalance_interval;
+  }
   while (now_ < until) {
     if (events_.NextTime() <= now_) {
       // A global tick: every CPU is preempted (in cpu-id order, keeping the run
@@ -609,11 +702,28 @@ void System::RunUntilSmp(Time until) {
       ServiceInterruptsSmp();
       continue;
     }
+    if (sharded && tree_.StateGeneration() != shard_gen_) {
+      // Wakeups, sleeps, or structural changes happened since the shards last
+      // reconciled: re-queue every dispatchable leaf before filling CPUs (and before
+      // a rebalance pass, so it never partitions on stale queue entries).
+      shards_->Resync();
+      shard_gen_ = tree_.StateGeneration();
+    }
+    if (rebalancing && now_ >= next_rebalance_) {
+      RunRebalance();
+      next_rebalance_ = now_ + config_.rebalance_interval;
+    }
 
     // Fill idle CPUs, lowest id first: work-conserving as long as the shared tree has
-    // a dispatchable thread.
+    // a dispatchable thread (with sharding and stealing off, only as long as each
+    // CPU's own shard has one — the drift the work-conservation check measures).
     for (size_t ci = 0; ci < ncpus; ++ci) {
-      if (cpus_[ci].running == hsfq::kInvalidThread && tree_.HasDispatchable()) {
+      if (cpus_[ci].running != hsfq::kInvalidThread) {
+        continue;
+      }
+      if (sharded) {
+        DispatchShardedOn(static_cast<int>(ci));
+      } else if (tree_.HasDispatchable()) {
         DispatchOn(static_cast<int>(ci));
       }
     }
@@ -621,6 +731,9 @@ void System::RunUntilSmp(Time until) {
     // Advance to the earliest of: next stimulus, the horizon, or a CPU finishing its
     // slice (its steal debt burned plus the rest of min(quantum, burst)).
     Time stop = std::min({events_.NextTime(), NextInterruptTime(), until});
+    if (rebalancing) {
+      stop = std::min(stop, next_rebalance_);
+    }
     size_t busy = 0;
     for (Cpu& c : cpus_) {
       if (c.running == hsfq::kInvalidThread) {
@@ -633,8 +746,12 @@ void System::RunUntilSmp(Time until) {
     }
 
     if (busy == 0) {
-      // The whole machine is idle: jump to the next stimulus.
-      const Time next = std::min({events_.NextTime(), NextInterruptTime(), until});
+      // The whole machine is idle: jump to the next stimulus (a due rebalance counts
+      // as one — a steal-off run must still wake up to re-home stranded leaves).
+      Time next = std::min({events_.NextTime(), NextInterruptTime(), until});
+      if (rebalancing) {
+        next = std::min(next, next_rebalance_);
+      }
       assert(next > now_);
       if (tracer_ != nullptr) {
         for (size_t ci = 0; ci < ncpus; ++ci) {
@@ -649,6 +766,16 @@ void System::RunUntilSmp(Time until) {
     assert(stop >= now_);
     const Time seg = stop - now_;
     if (seg > 0) {
+      if (tracer_ != nullptr && busy < ncpus) {
+        // Partially idle machine: record the idle span per unfilled CPU so the
+        // work-conservation invariant (an idle CPU beside a shard with surplus work)
+        // is visible in the trace, not just in aggregate idle_time_.
+        for (size_t ci = 0; ci < ncpus; ++ci) {
+          if (cpus_[ci].running == hsfq::kInvalidThread) {
+            tracer_->RecordIdle(now_, stop, static_cast<uint32_t>(ci));
+          }
+        }
+      }
       idle_time_ += seg * static_cast<Time>(ncpus - busy);
       for (Cpu& c : cpus_) {
         if (c.running == hsfq::kInvalidThread) {
@@ -741,6 +868,15 @@ hscommon::Status System::WriteStatsJson(const std::string& path) const {
   std::fprintf(f, "  \"overhead_ns\": %lld,\n", static_cast<long long>(overhead_time_));
   std::fprintf(f, "  \"cross_class_blocks\": %llu,\n",
                static_cast<unsigned long long>(cross_class_blocks_));
+
+  std::fputs("  \"cpus\": [\n", f);
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    std::fprintf(f, "    {\"id\": %zu, \"steals\": %llu, \"migrations\": %llu}%s\n", i,
+                 static_cast<unsigned long long>(cpus_[i].steals),
+                 static_cast<unsigned long long>(cpus_[i].migrations),
+                 i + 1 < cpus_.size() ? "," : "");
+  }
+  std::fputs("  ],\n", f);
 
   std::fputs("  \"threads\": [\n", f);
   for (size_t i = 0; i < threads_.size(); ++i) {

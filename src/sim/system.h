@@ -38,6 +38,7 @@
 #include "src/common/types.h"
 #include "src/hsfq/structure.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/shard.h"
 #include "src/sim/workload.h"
 #include "src/trace/tracer.h"
 
@@ -136,6 +137,25 @@ class System {
     // byte-compatible with pre-SMP traces; with more, every CPU dispatches
     // independently against the shared scheduling structure.
     int ncpus = 1;
+    // --- Sharded SMP dispatch (per-CPU run-queue shards, src/sim/shard.h) ---
+    // Replaces the shared-tree descent with per-CPU shard heaps over the leaves:
+    // wakeups enqueue onto the woken leaf's home (cache-affine) shard, idle CPUs
+    // steal, and each dispatch commits through the O(depth) ScheduleLeaf fast path.
+    // Off (the default) keeps the PR-4 shared-tree dispatch, byte for byte.
+    bool sharded = false;
+    // Allow CPUs to take leaves from other shards (sharded mode only). Off
+    // demonstrates the non-work-conserving failure mode the InvariantChecker's
+    // work-conservation check exists for.
+    bool steal = true;
+    // Cache-warmth cost of dispatching a stolen leaf, charged to the thief CPU as
+    // steal debt on top of dispatch_overhead (the affinity model: stealing trades
+    // this penalty against waiting for the home CPU).
+    Time migration_penalty = 0;
+    // Period of the shard share-rebalance pass (0 disables it).
+    Time rebalance_interval = 100 * hscommon::kMillisecond;
+    // Per-weight virtual-time lag (ns) beyond which a busy CPU prefers a remote
+    // shard's leaf over its own best — the bound on cross-shard fairness drift.
+    Time steal_window = 2 * hscommon::kMillisecond;
   };
 
   System();
@@ -247,6 +267,15 @@ class System {
   int ncpus() const { return static_cast<int>(cpus_.size()); }
   // Thread currently in a slice on `cpu` (kInvalidThread when that CPU is idle).
   ThreadId RunningOn(int cpu) const { return cpus_.at(static_cast<size_t>(cpu)).running; }
+  // Sharded-dispatch counters: slices `cpu` took from another CPU's shard, and leaf
+  // re-homings that landed on `cpu` (steal-rehomes plus rebalance moves). Zero when
+  // Config::sharded is off.
+  uint64_t StealsOn(int cpu) const { return cpus_.at(static_cast<size_t>(cpu)).steals; }
+  uint64_t MigrationsOn(int cpu) const {
+    return cpus_.at(static_cast<size_t>(cpu)).migrations;
+  }
+  // The shard set driving sharded dispatch (nullptr when Config::sharded is off).
+  const ShardSet* shards() const { return shards_.get(); }
 
  private:
   struct Thread {
@@ -312,6 +341,15 @@ class System {
   void Dispatch();
   void DispatchOn(int cpu);
 
+  // Sharded dispatch: asks the shard set for this CPU's leaf (possibly stolen),
+  // commits it through the O(depth) ScheduleLeaf fast path, records kMigrate for
+  // steals, and charges the migration penalty. Returns false when no shard offered
+  // work this CPU may take.
+  bool DispatchShardedOn(int cpu);
+
+  // Runs one shard rebalance pass and traces the resulting migrations.
+  void RunRebalance();
+
   // True if `thread` is mid-slice on some CPU.
   bool IsOnCpu(ThreadId thread) const;
 
@@ -356,8 +394,20 @@ class System {
     // others keep computing. SMP path only; the single-CPU path stretches by advancing
     // the global clock directly.
     Time steal_debt = 0;
+    // Sharded-dispatch counters (see StealsOn / MigrationsOn).
+    uint64_t steals = 0;
+    uint64_t migrations = 0;
+    // Leaf whose ScheduleLeaf produced the open slice (sharded mode only; kInvalidNode
+    // otherwise). EndSlice feeds the charge back to the shard set through it.
+    NodeId leaf = hsfq::kInvalidNode;
   };
   std::vector<Cpu> cpus_;
+
+  // Sharded-dispatch state (Config::sharded). shard_gen_ is the tree StateGeneration
+  // the shard set last reconciled against; next_rebalance_ the next due rebalance.
+  std::unique_ptr<ShardSet> shards_;
+  uint64_t shard_gen_ = 0;
+  Time next_rebalance_ = 0;
 
   Time interrupt_time_ = 0;
   Time overhead_time_ = 0;

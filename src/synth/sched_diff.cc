@@ -43,7 +43,9 @@ StatusOr<RunOutput> RunOne(const SynthScenario& scenario, const SchedDiffConfig&
   }
 
   htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, config.cpus);
-  hsim::System sys({.ncpus = config.cpus});
+  const hsim::System::Config sys_config{
+      .ncpus = config.cpus, .sharded = config.sharded, .steal = config.steal};
+  hsim::System sys(sys_config);
   sys.SetTracer(&tracer);
 
   std::optional<hsfault::FaultInjector> injector;
@@ -73,12 +75,21 @@ StatusOr<RunOutput> RunOne(const SynthScenario& scenario, const SchedDiffConfig&
   out.summary.label = config.label;
   out.summary.scheduler = config.scheduler;
   out.summary.cpus = config.cpus;
+  out.summary.sharded = config.sharded;
+  out.summary.steal = config.steal;
   out.summary.duration = until;
   out.summary.events = events.size();
   out.summary.dropped = tracer.TotalDropped();
   out.summary.total_service = sys.total_service();
 
-  hsfault::InvariantChecker checker;
+  hsfault::InvariantChecker::Options checker_options;
+  if (config.sharded) {
+    // Shard keys, not per-node SFQ tags, order the picks, and the steal rule lets
+    // sibling gaps widen by a few steal windows before a steal corrects them.
+    checker_options.ordered_pick_tags = false;
+    checker_options.steal_drift_allowance = 4 * sys_config.steal_window;
+  }
+  hsfault::InvariantChecker checker(checker_options);
   checker.SetDropped(out.summary.dropped);
   for (size_t i = 0; i < events.size(); ++i) {
     checker.OnEvent(events[i], i);
@@ -94,6 +105,14 @@ StatusOr<RunOutput> RunOne(const SynthScenario& scenario, const SchedDiffConfig&
 
   out.analyzer =
       std::make_unique<TraceAnalyzer>(events, out.summary.dropped);
+  uint64_t migrations = 0;
+  for (const TraceAnalyzer::CpuStats& s : out.analyzer->PerCpuStats()) {
+    out.summary.per_cpu.push_back(CpuSummary{s.cpu, s.dispatches, s.busy, s.idle,
+                                             s.steals, s.rebalances, s.utilization});
+    migrations += s.steals + s.rebalances;
+  }
+  out.summary.migration_rate_hz = static_cast<double>(migrations) /
+                                  (static_cast<double>(until) / hscommon::kSecond);
   for (const auto& [source_id, thread_id] : binding->threads) {
     out.source_to_thread[source_id] = thread_id;
   }
@@ -175,16 +194,37 @@ void AppendRunSummary(std::string& out, const RunSummary& run, const char* inden
   out += indent;
   out += "\"scheduler\": " + JsonString(run.scheduler) + ",\n";
   std::snprintf(buf, sizeof(buf),
-                "%s\"cpus\": %d,\n%s\"duration_ns\": %lld,\n%s\"events\": %llu,\n"
+                "%s\"cpus\": %d,\n%s\"sharded\": %s,\n%s\"steal\": %s,\n"
+                "%s\"duration_ns\": %lld,\n%s\"events\": %llu,\n"
                 "%s\"dropped\": %llu,\n%s\"total_service_ns\": %lld,\n"
-                "%s\"violations\": %llu,\n%s\"fairness_violations\": %llu\n",
-                indent, run.cpus, indent, static_cast<long long>(run.duration), indent,
+                "%s\"violations\": %llu,\n%s\"fairness_violations\": %llu,\n"
+                "%s\"migration_rate_hz\": %.3f,\n",
+                indent, run.cpus, indent, run.sharded ? "true" : "false", indent,
+                run.steal ? "true" : "false", indent,
+                static_cast<long long>(run.duration), indent,
                 static_cast<unsigned long long>(run.events), indent,
                 static_cast<unsigned long long>(run.dropped), indent,
                 static_cast<long long>(run.total_service), indent,
                 static_cast<unsigned long long>(run.violations), indent,
-                static_cast<unsigned long long>(run.fairness_violations));
+                static_cast<unsigned long long>(run.fairness_violations), indent,
+                run.migration_rate_hz);
   out += buf;
+  out += indent;
+  out += "\"per_cpu\": [";
+  for (size_t i = 0; i < run.per_cpu.size(); ++i) {
+    const CpuSummary& c = run.per_cpu[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"cpu\": %d, \"dispatches\": %llu, \"busy_ns\": %lld, "
+                  "\"idle_ns\": %lld, \"steals\": %llu, \"rebalances\": %llu, "
+                  "\"utilization\": %.6f}",
+                  i == 0 ? "" : ", ", c.cpu,
+                  static_cast<unsigned long long>(c.dispatches),
+                  static_cast<long long>(c.busy), static_cast<long long>(c.idle),
+                  static_cast<unsigned long long>(c.steals),
+                  static_cast<unsigned long long>(c.rebalances), c.utilization);
+    out += buf;
+  }
+  out += "]\n";
 }
 
 void AppendLatency(std::string& out, const LatencyStats& stats) {
@@ -354,15 +394,31 @@ std::string FormatSchedDiffReport(const SchedDiffReport& report) {
   std::string out;
   for (const RunSummary* run : {&report.a, &report.b}) {
     std::snprintf(buf, sizeof(buf),
-                  "[%s] scheduler=%s cpus=%d duration=%.3fs events=%llu "
+                  "[%s] scheduler=%s cpus=%d%s duration=%.3fs events=%llu "
                   "service=%.3fs violations=%llu (fairness %llu)\n",
                   run->label.c_str(), run->scheduler.c_str(), run->cpus,
+                  run->sharded ? (run->steal ? " sharded" : " sharded,no-steal") : "",
                   static_cast<double>(run->duration) / hscommon::kSecond,
                   static_cast<unsigned long long>(run->events),
                   static_cast<double>(run->total_service) / hscommon::kSecond,
                   static_cast<unsigned long long>(run->violations),
                   static_cast<unsigned long long>(run->fairness_violations));
     out += buf;
+    if (run->cpus > 1) {
+      for (const CpuSummary& c : run->per_cpu) {
+        std::snprintf(buf, sizeof(buf),
+                      "  cpu%-2d util=%5.1f%% dispatches=%-8llu steals=%-6llu "
+                      "rebalances=%llu\n",
+                      c.cpu, 100.0 * c.utilization,
+                      static_cast<unsigned long long>(c.dispatches),
+                      static_cast<unsigned long long>(c.steals),
+                      static_cast<unsigned long long>(c.rebalances));
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "  migration rate: %.1f/s\n",
+                    run->migration_rate_hz);
+      out += buf;
+    }
   }
   out += "per-leaf service shares:\n";
   for (const LeafDiff& leaf : report.leaves) {

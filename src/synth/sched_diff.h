@@ -25,6 +25,13 @@ struct SchedDiffConfig {
   // spec names no scheduler — i.e. all leaves of a synthesized scenario.
   std::string scheduler = "sfq";
   int cpus = 1;
+  // Per-CPU run-queue shards (src/sim/shard.h) instead of the shared weight-tree
+  // walk; the checker then runs with the sharded profile (shard keys, not per-node
+  // SFQ tags, order picks, and sibling gaps widen by the steal window).
+  bool sharded = false;
+  // Work stealing between shards (only meaningful with sharded). Turning it off
+  // demonstrates the stranded-shard failure mode.
+  bool steal = true;
 };
 
 struct SchedDiffOptions {
@@ -71,11 +78,25 @@ struct ThreadLatencyDiff {
   LatencyStats b;
 };
 
+// One CPU's share of a run: decisions made, service delivered, traced idle time,
+// and (on sharded runs) the migration traffic that landed on it.
+struct CpuSummary {
+  int cpu = 0;
+  uint64_t dispatches = 0;
+  Work busy = 0;
+  Time idle = 0;
+  uint64_t steals = 0;
+  uint64_t rebalances = 0;
+  double utilization = 0.0;  // busy / (busy + idle)
+};
+
 // One configuration's run, summarized.
 struct RunSummary {
   std::string label;
   std::string scheduler;
   int cpus = 1;
+  bool sharded = false;
+  bool steal = true;
   Time duration = 0;
   uint64_t events = 0;
   uint64_t dropped = 0;       // tracer ring drops (0 = complete trace)
@@ -83,6 +104,8 @@ struct RunSummary {
   uint64_t violations = 0;          // invariant-checker total
   uint64_t fairness_violations = 0; // the kFairnessGap subset
   std::string checker_report;       // "clean" or one line per violation
+  std::vector<CpuSummary> per_cpu;  // one entry per CPU, ordered by id
+  double migration_rate_hz = 0;     // (steals + rebalances) per simulated second
 };
 
 struct SchedDiffReport {

@@ -49,6 +49,10 @@ enum class EventType : uint8_t {
   // divergence analysis can anchor the blast radius to the injection point.
   kFault = 16,       // a = target thread (or ~0), b = magnitude (ns), name = fault kind
   kMoveNode = 17,    // node = moved node, a = new parent (hsfq_move of a whole class)
+  // Sharded SMP dispatch (src/sim/shard.h): a leaf crossed between per-CPU shards.
+  kMigrate = 18,     // node = leaf, a = source CPU, b = destination CPU,
+                     // flags bit0 = work-steal (0 = rebalance pass), bit1 = the
+                     // leaf's home moved (a steal without it is a one-slice borrow)
 };
 
 // Human-readable tag, for dumps and diff reports.

@@ -140,6 +140,19 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
                ", \"magnitude_ns\": " + std::to_string(e.b) + "}");
         break;
       }
+      case EventType::kMigrate:
+        // Instant on the destination CPU's track: a leaf crossed shards, either
+        // stolen by an idle/lagging CPU or rehomed by a rebalance pass.
+        if (smp) {
+          w.Emit("\"ph\": \"i\", \"s\": \"t\", \"pid\": 2, \"tid\": " +
+                 std::to_string(e.cpu) + ", \"ts\": " + Us(e.time) + ", \"name\": \"" +
+                 std::string((e.flags & 1u) != 0 ? "steal" : "rebalance") + " node " +
+                 std::to_string(e.node) + "\", \"args\": {\"node\": " +
+                 std::to_string(e.node) + ", \"from_cpu\": " + std::to_string(e.a) +
+                 ", \"to_cpu\": " + std::to_string(e.b) + ", \"rehomed\": " +
+                 ((e.flags & 2u) != 0 ? "true" : "false") + "}");
+        }
+        break;
       case EventType::kIdle:
         if (smp) {
           w.Emit("\"ph\": \"X\", \"cat\": \"idle\", \"pid\": 2, \"tid\": " +

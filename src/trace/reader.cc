@@ -159,6 +159,48 @@ double TraceAnalyzer::FairnessGap(uint32_t f, uint32_t g, Time t0, Time t1) cons
   return gap < 0 ? -gap : gap;
 }
 
+std::vector<TraceAnalyzer::CpuStats> TraceAnalyzer::PerCpuStats() const {
+  std::map<int, CpuStats> by_cpu;
+  for (int c = 0; c < cpus_; ++c) {
+    by_cpu[c].cpu = c;
+  }
+  const auto at = [&by_cpu](uint16_t cpu) -> CpuStats& {
+    CpuStats& s = by_cpu[cpu];
+    s.cpu = cpu;
+    return s;
+  };
+  for (const TraceEvent& e : events_) {
+    switch (e.type) {
+      case EventType::kSchedule:
+        ++at(e.cpu).dispatches;
+        break;
+      case EventType::kUpdate:
+        at(e.cpu).busy += e.b;
+        break;
+      case EventType::kIdle:
+        at(e.cpu).idle += e.b;
+        break;
+      case EventType::kMigrate:
+        if ((e.flags & 1u) != 0) {
+          ++at(e.cpu).steals;
+        } else {
+          ++at(e.cpu).rebalances;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<CpuStats> out;
+  out.reserve(by_cpu.size());
+  for (auto& [cpu, s] : by_cpu) {
+    const double active = static_cast<double>(s.busy) + static_cast<double>(s.idle);
+    s.utilization = active > 0 ? static_cast<double>(s.busy) / active : 1.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
 std::vector<Time> TraceAnalyzer::DispatchLatencies(uint64_t thread) const {
   std::vector<Time> out;
   Time pending_wake = -1;

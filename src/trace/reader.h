@@ -112,6 +112,26 @@ class TraceAnalyzer {
   // before rings were per-CPU and for single-CPU runs).
   int cpus() const { return cpus_; }
 
+  // Per-CPU activity aggregated from the stream: dispatch decisions made on that
+  // CPU, service charged by the slices it closed, traced idle spans, and the
+  // sharded-dispatch migration traffic that landed on it (kMigrate events are
+  // recorded on the destination CPU's ring). `utilization` is busy over
+  // busy + idle — dispatch overhead is in neither bucket, so a machine that
+  // never traced an idle span reports 1.0.
+  struct CpuStats {
+    int cpu = 0;
+    uint64_t dispatches = 0;  // kSchedule events on this CPU
+    Work busy = 0;            // service charged by kUpdate events on this CPU
+    Time idle = 0;            // summed kIdle durations
+    uint64_t steals = 0;      // kMigrate with the work-steal flag, destination here
+    uint64_t rebalances = 0;  // kMigrate from a rebalance pass, destination here
+    double utilization = 0.0;
+  };
+
+  // One entry per CPU announced by kTraceStart (plus any extra CPU ids that
+  // appear in the stream), ordered by CPU id.
+  std::vector<CpuStats> PerCpuStats() const;
+
   // Events lost to ring wraparound before this stream (0 = complete trace). When
   // non-zero, the stream starts mid-scenario: early structural events may be missing
   // and absolute service totals undercount.

@@ -25,6 +25,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kIdle: return "Idle";
     case EventType::kFault: return "Fault";
     case EventType::kMoveNode: return "MoveNode";
+    case EventType::kMigrate: return "Migrate";
   }
   return "Unknown";
 }

@@ -227,6 +227,22 @@ class Tracer {
                         until - now, 0, {}, static_cast<uint16_t>(cpu)));
   }
 
+  // --- Sharded-dispatch taps (src/sim/shard.h) ---
+
+  // A leaf crossed between per-CPU shards: `steal` for an idle/fairness work-steal
+  // (false = the periodic rebalance pass), `rehomed` when the leaf's home CPU moved
+  // (a steal without it is a one-slice borrow). Recorded on the destination CPU's
+  // ring just before the dispatch it enabled.
+  void RecordMigrate(hscommon::Time now, uint32_t leaf, uint32_t from_cpu,
+                     uint32_t to_cpu, bool steal, bool rehomed, uint32_t cpu = 0) {
+    if (!enabled_) return;
+    const uint8_t flags =
+        static_cast<uint8_t>((steal ? 1 : 0) | (rehomed ? 2 : 0));
+    Push(cpu, MakeEvent(EventType::kMigrate, now, leaf, from_cpu,
+                        static_cast<int64_t>(to_cpu), flags, {},
+                        static_cast<uint16_t>(cpu)));
+  }
+
   // --- Fault-injection taps (src/fault) ---
 
   // `kind` is a short tag like "drop-wake"; `magnitude` is the fault's size in

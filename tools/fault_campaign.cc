@@ -14,13 +14,15 @@
 //      divergence, changed dispatch decisions, and reconvergence.
 //
 // Usage:
-//   fault_campaign [--scenario=fig8|churn|smp4|all] [--fault=<spec>]
+//   fault_campaign [--scenario=fig8|churn|smp4|smp4-sharded|all] [--fault=<spec>]
 //                  [--duration=<dur>] [--cpus=N] [--out=<dir>]
 //
 // With --fault, only that plan runs (instead of the matrix). With --out, each
 // blast-radius report is also written as JSON into <dir>. --cpus overrides the
 // simulated CPU count of every selected scenario; the pinned `smp4` scenario is the
-// fig8 tree on a 4-CPU machine (its matrix includes a CPU-targeted interrupt storm).
+// fig8 tree on a 4-CPU machine (its matrix includes a CPU-targeted interrupt storm),
+// and `smp4-sharded` is the same machine dispatching through per-CPU run-queue
+// shards with work stealing (checked under the sharded invariant profile).
 
 #include <algorithm>
 #include <cstdio>
@@ -57,9 +59,10 @@ struct RunResult {
 
 // Figure 8(a)'s scenario: SFQ-1 (w=2) and SFQ-2 (w=6) with two CPU-bound threads
 // each, and an SVR4 node hosting five bursty "system" threads.
-RunResult RunFig8(const FaultPlan& plan, Time duration, int ncpus) {
+RunResult RunFig8(const FaultPlan& plan, Time duration, int ncpus,
+                  bool sharded = false) {
   htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
-  hsim::System sys({.ncpus = ncpus});
+  hsim::System sys({.ncpus = ncpus, .sharded = sharded});
   sys.SetTracer(&tracer);
   hsfault::FaultInjector injector(plan);
   if (!plan.empty()) injector.Arm(sys);
@@ -150,13 +153,26 @@ RunResult RunChurn(const FaultPlan& plan, Time duration, int ncpus) {
 // Default CPU count per scenario (overridable with --cpus): the pinned SMP scenario
 // runs the fig8 tree on a 4-CPU machine, everything else stays single-CPU.
 int DefaultCpusFor(const std::string& scenario) {
-  return scenario == "smp4" ? 4 : 1;
+  return scenario == "smp4" || scenario == "smp4-sharded" ? 4 : 1;
 }
 
 RunResult RunScenario(const std::string& name, const FaultPlan& plan, Time duration,
                       int ncpus) {
   if (name == "churn") return RunChurn(plan, duration, ncpus);
-  return RunFig8(plan, duration, ncpus);  // fig8 and smp4 share the tree
+  // fig8, smp4, and smp4-sharded share the tree; the last dispatches through shards.
+  return RunFig8(plan, duration, ncpus, name == "smp4-sharded");
+}
+
+// Checker profile per scenario: sharded dispatch commits shard-key order, not
+// per-node SFQ tag order, and the steal rule widens sibling gaps by a few steal
+// windows (src/fault/invariant_checker.h).
+hsfault::InvariantChecker::Options CheckerOptionsFor(const std::string& scenario) {
+  hsfault::InvariantChecker::Options opts;
+  if (scenario == "smp4-sharded") {
+    opts.ordered_pick_tags = false;
+    opts.steal_drift_allowance = 4 * hsim::System::Config{}.steal_window;
+  }
+  return opts;
 }
 
 // Fault plans pinned per scenario: fixed seeds so CI compares like with like.
@@ -175,6 +191,15 @@ std::vector<std::string> MatrixFor(const std::string& scenario) {
         "seed=3101;storm:start=2s,end=3s,every=200us,steal=150us,cpu=2",
         "seed=3102;drop-wakeup:p=0.2,recovery=25ms",
         "seed=3103;cswitch-spike:p=0.1,cost=300us",
+    };
+  }
+  if (scenario == "smp4-sharded") {
+    return {
+        // A pinned storm skews one shard's progress, forcing fairness steals; dropped
+        // wakeups churn shard membership through the resync path.
+        "seed=3201;storm:start=2s,end=3s,every=200us,steal=150us,cpu=2",
+        "seed=3202;drop-wakeup:p=0.2,recovery=25ms",
+        "seed=3203;cswitch-spike:p=0.1,cost=300us",
     };
   }
   return {
@@ -234,12 +259,14 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> scenarios;
   if (scenario_flag.empty() || scenario_flag == "all") {
-    scenarios = {"fig8", "churn", "smp4"};
+    scenarios = {"fig8", "churn", "smp4", "smp4-sharded"};
   } else if (scenario_flag == "fig8" || scenario_flag == "churn" ||
-             scenario_flag == "smp4") {
+             scenario_flag == "smp4" || scenario_flag == "smp4-sharded") {
     scenarios = {scenario_flag};
   } else {
-    std::fprintf(stderr, "unknown --scenario=%s (want fig8, churn, smp4, or all)\n",
+    std::fprintf(stderr,
+                 "unknown --scenario=%s (want fig8, churn, smp4, smp4-sharded, "
+                 "or all)\n",
                  scenario_flag.c_str());
     return 2;
   }
@@ -252,7 +279,7 @@ int main(int argc, char** argv) {
 
     const RunResult baseline = RunScenario(scenario, FaultPlan{}, duration, ncpus);
     {
-      hsfault::InvariantChecker checker;
+      hsfault::InvariantChecker checker(CheckerOptionsFor(scenario));
       checker.SetDropped(baseline.dropped);
       for (size_t i = 0; i < baseline.events.size(); ++i) {
         checker.OnEvent(baseline.events[i], i);
@@ -300,7 +327,7 @@ int main(int argc, char** argv) {
       std::printf("determinism: two runs byte-identical (%zu events)\n",
                   run1.events.size());
 
-      hsfault::InvariantChecker checker;
+      hsfault::InvariantChecker checker(CheckerOptionsFor(scenario));
       checker.SetDropped(run1.dropped);
       for (size_t i = 0; i < run1.events.size(); ++i) {
         checker.OnEvent(run1.events[i], i);

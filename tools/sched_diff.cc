@@ -9,6 +9,7 @@
 // Usage:
 //   sched_diff --trace=<file.trace> --a=<sched> [--b=<sched>]
 //              [--cpus=N | --cpus-a=N --cpus-b=N]
+//              [--sharded | --sharded-a --sharded-b] [--steal=on|off]
 //              [--mode=exact|histogram] [--anchor=relative|absolute] [--seed=N]
 //              [--duration=<dur>] [--fault=<spec>] [--out=<report.json>]
 //              [--check] [--quiet]
@@ -115,6 +116,22 @@ int main(int argc, char** argv) {
   if (const std::string c = Flag(argc, argv, "cpus-b"); !c.empty()) {
     cpus_b = std::atoi(c.c_str());
   }
+  // --sharded turns per-CPU run-queue shards on for both sides; --sharded-a/-b for
+  // one side only (e.g. shared-tree vs sharded at the same CPU count). --steal=off
+  // disables work stealing on sharded sides.
+  const bool sharded_both = BoolFlag(argc, argv, "sharded");
+  const bool sharded_a = sharded_both || BoolFlag(argc, argv, "sharded-a");
+  const bool sharded_b = sharded_both || BoolFlag(argc, argv, "sharded-b");
+  bool steal = true;
+  if (const std::string s = Flag(argc, argv, "steal"); !s.empty()) {
+    if (s == "on") {
+      steal = true;
+    } else if (s == "off") {
+      steal = false;
+    } else {
+      return Fail("--steal must be on or off");
+    }
+  }
 
   auto file = htrace::ReadTraceFile(trace_path);
   if (!file.ok()) {
@@ -139,8 +156,10 @@ int main(int argc, char** argv) {
   const std::string fault_spec = Flag(argc, argv, "fault");
   if (check_only) {
     auto summary = hsynth::ReplayAndCheck(
-        *scenario, {.label = "check", .scheduler = sched_a, .cpus = cpus_a}, duration,
-        fault_spec);
+        *scenario,
+        {.label = "check", .scheduler = sched_a, .cpus = cpus_a, .sharded = sharded_a,
+         .steal = steal},
+        duration, fault_spec);
     if (!summary.ok()) {
       return Fail(summary.status().message());
     }
@@ -158,8 +177,10 @@ int main(int argc, char** argv) {
   }
 
   hsynth::SchedDiffOptions options;
-  options.a = {.label = "a", .scheduler = sched_a, .cpus = cpus_a};
-  options.b = {.label = "b", .scheduler = sched_b, .cpus = cpus_b};
+  options.a = {.label = "a", .scheduler = sched_a, .cpus = cpus_a,
+               .sharded = sharded_a, .steal = steal};
+  options.b = {.label = "b", .scheduler = sched_b, .cpus = cpus_b,
+               .sharded = sharded_b, .steal = steal};
   options.duration = duration;
   options.fault_spec = fault_spec;
   auto report = hsynth::RunSchedDiff(*scenario, options);

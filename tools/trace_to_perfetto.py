@@ -32,11 +32,11 @@ EVENT_NAMES = [
     "TraceStart", "MakeNode", "RemoveNode", "SetWeight", "AttachThread",
     "DetachThread", "MoveThread", "SetRun", "Sleep", "PickChild", "Schedule",
     "Update", "ThreadName", "Dispatch", "Interrupt", "Idle", "Fault",
-    "MoveNode",
+    "MoveNode", "Migrate",
 ]
 (T_START, T_MKNOD, T_RMNOD, T_SETW, T_ATTACH, T_DETACH, T_MOVE, T_SETRUN,
  T_SLEEP, T_PICK, T_SCHED, T_UPDATE, T_TNAME, T_DISPATCH, T_IRQ, T_IDLE,
- T_FAULT, T_MVNOD) = range(18)
+ T_FAULT, T_MVNOD, T_MIGRATE) = range(19)
 
 
 def read_trace(path):
@@ -175,6 +175,17 @@ def to_perfetto(events):
             out.append({"ph": "X", "pid": 2, "tid": e["cpu"], "name": "idle",
                         "cat": "idle", "ts": e["time"] / 1e3,
                         "dur": e["b"] / 1e3})
+        elif e["type"] == T_MIGRATE and smp:
+            # Shard migration: instant on the destination CPU's track
+            # (node=leaf, a=source CPU, b=destination CPU, flags bit0=steal,
+            # bit1=rehomed), matching the C++ exporter.
+            kind = "steal" if e["flags"] & 1 else "rebalance"
+            out.append({"ph": "i", "pid": 2, "tid": e["cpu"], "s": "t",
+                        "name": f"{kind} node {e['node']}",
+                        "ts": e["time"] / 1e3,
+                        "args": {"node": e["node"], "from_cpu": e["a"],
+                                 "to_cpu": e["b"],
+                                 "rehomed": bool(e["flags"] & 2)}})
         elif e["type"] == T_SETRUN:
             label = thread_names.get(e["a"], f"t{e['a']}")
             out.append({"ph": "i", "pid": 1, "tid": e["node"], "s": "t",
