@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 #include "src/mpeg/player.h"
 #include "src/mpeg/trace.h"
-#include "src/sched/rma.h"
+#include "src/rt/rma.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sim/system.h"
 

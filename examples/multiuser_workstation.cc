@@ -17,7 +17,7 @@
 #include "src/common/table.h"
 #include "src/mpeg/player.h"
 #include "src/mpeg/trace.h"
-#include "src/sched/edf.h"
+#include "src/rt/edf.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sched/ts_svr4.h"
 #include "src/sim/system.h"

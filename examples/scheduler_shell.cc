@@ -24,12 +24,8 @@
 #include "src/common/table.h"
 #include "src/mpeg/player.h"
 #include "src/mpeg/trace.h"
-#include "src/sched/edf.h"
-#include "src/sched/fair_leaf.h"
+#include "src/sched/registry.h"
 #include "src/sched/reserve.h"
-#include "src/sched/rma.h"
-#include "src/sched/sfq_leaf.h"
-#include "src/sched/simple.h"
 #include "src/sched/ts_svr4.h"
 #include "src/sim/system.h"
 #include "src/trace/perfetto_export.h"
@@ -41,32 +37,31 @@ using hscommon::kSecond;
 
 namespace {
 
+// Shell-only aliases kept for muscle memory: `ts` (the SVR4 table) and `reserves`
+// (processor reserves, admission off so the sandbox never says no). Everything else
+// resolves through the src/sched registry, so the shell accepts exactly the names
+// every other tool does — including edf/rma, whose registry defaults keep admission
+// control ON (a spawn that overcommits the leaf is rejected, like the real API).
 std::unique_ptr<hsfq::LeafScheduler> MakeScheduler(const std::string& kind) {
-  if (kind == "sfq") {
-    return std::make_unique<hleaf::SfqLeafScheduler>();
-  }
   if (kind == "ts") {
     return std::make_unique<hleaf::TsScheduler>();
-  }
-  if (kind == "edf") {
-    return std::make_unique<hleaf::EdfScheduler>(
-        hleaf::EdfScheduler::Config{.admission_control = false});
-  }
-  if (kind == "rma") {
-    return std::make_unique<hleaf::RmaScheduler>(
-        hleaf::RmaScheduler::Config{.admission_control = false});
-  }
-  if (kind == "rr") {
-    return std::make_unique<hleaf::RoundRobinScheduler>();
-  }
-  if (kind == "fifo") {
-    return std::make_unique<hleaf::FifoScheduler>();
   }
   if (kind == "reserves") {
     return std::make_unique<hleaf::ReserveScheduler>(
         hleaf::ReserveScheduler::Config{.admission_control = false});
   }
-  return nullptr;
+  auto made = hleaf::MakeLeafScheduler(kind);
+  return made.ok() ? std::move(*made) : nullptr;
+}
+
+// The mknod kind list, built from the registry's single source of truth plus the
+// shell-only aliases above.
+std::string SchedulerKinds() {
+  std::string out;
+  for (const std::string& name : hleaf::LeafSchedulerNames()) {
+    out += name + "|";
+  }
+  return out + "ts|reserves|interior";
 }
 
 class Shell {
@@ -123,8 +118,8 @@ class Shell {
   }
 
   static void Help() {
+    std::printf("  mknod <path> <%s> <weight>\n", SchedulerKinds().c_str());
     std::printf(
-        "  mknod <path> <sfq|ts|edf|rma|rr|fifo|reserves|interior> <weight>\n"
         "  rmnod <path>\n"
         "  weight <path> <weight>\n"
         "  spawn <leaf-path> <name> <cpu|interactive|bursty|mpeg> [weight]\n"
@@ -162,7 +157,8 @@ class Shell {
     if (kind != "interior") {
       sched = MakeScheduler(kind);
       if (sched == nullptr) {
-        std::printf("unknown scheduler kind '%s'\n", kind.c_str());
+        std::printf("unknown scheduler kind '%s' (valid: %s)\n", kind.c_str(),
+                    SchedulerKinds().c_str());
         return;
       }
     }

@@ -29,6 +29,8 @@ bool IsTimed(EventType type) {
     case EventType::kIdle:
     case EventType::kFault:
     case EventType::kMigrate:
+    case EventType::kAdmit:
+    case EventType::kDeadlineMiss:
       return true;
     default:
       return false;
@@ -56,6 +58,7 @@ const char* InvariantChecker::KindName(Violation::Kind kind) {
     case Violation::Kind::kFairnessGap: return "fairness-gap";
     case Violation::Kind::kMigrationInconsistency: return "migration-inconsistency";
     case Violation::Kind::kWorkConservation: return "work-conservation";
+    case Violation::Kind::kDeadlineMiss: return "deadline-miss";
   }
   return "unknown";
 }
@@ -452,6 +455,44 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
                      Format("cpu %u idles %.1fms while %" PRIu64 " runnable thread(s) "
                             "wait off-cpu (e.g. thread %" PRIu64 ")",
                             e.cpu, hscommon::ToMillis(e.b), surplus, sample));
+      }
+      break;
+    }
+
+    case EventType::kAdmit: {
+      // An admission probe targets a live leaf; verdict and utilization are free-form.
+      if (strict && (!NodeAlive(e.node) || !NodeAt(e.node).is_leaf)) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("Admit probe against dead or non-leaf node %u", e.node));
+      }
+      break;
+    }
+
+    case EventType::kDeadlineMiss: {
+      // A miss must name a live attached thread, on the leaf it is attached to, with
+      // positive tardiness — the simulator only emits it when a stamped job completes
+      // past its deadline.
+      const auto it = threads_.find(e.a);
+      if (it == threads_.end()) {
+        if (strict) {
+          AddViolation(Violation::Kind::kTreeInconsistency, index,
+                       Format("DeadlineMiss for unattached thread %" PRIu64, e.a));
+        }
+      } else if (it->second.leaf != e.node) {
+        AddViolation(Violation::Kind::kTreeInconsistency, index,
+                     Format("DeadlineMiss thread %" PRIu64 " at node %u but attached "
+                            "at %u", e.a, e.node, it->second.leaf));
+      }
+      if (e.b <= 0) {
+        AddViolation(Violation::Kind::kDeadlineMiss, index,
+                     Format("DeadlineMiss with non-positive tardiness %lld",
+                            static_cast<long long>(e.b)));
+      }
+      if (options_.expect_no_deadline_miss) {
+        AddViolation(Violation::Kind::kDeadlineMiss, index,
+                     Format("thread %" PRIu64 " missed its deadline by %.3fms in a run "
+                            "declared miss-free (admitted feasible set)",
+                            e.a, hscommon::ToMillis(e.b)));
       }
       break;
     }

@@ -77,6 +77,11 @@ class InvariantChecker {
     // schedulers are work-conserving and (if sharded) have stealing on — a
     // rate-limited leaf scheduler can legitimately idle the machine.
     bool expect_work_conserving = false;
+    // Treat every kDeadlineMiss event as a violation. Enable only for runs whose RT
+    // population was admitted as feasible under a deterministic simulator (the src/rt
+    // guarantee: an admitted EDF set at ncpus=1 runs miss-free); any miss then means
+    // either the admission test or the class scheduler is wrong.
+    bool expect_no_deadline_miss = false;
   };
 
   struct Violation {
@@ -89,6 +94,7 @@ class InvariantChecker {
       kFairnessGap,
       kMigrationInconsistency,
       kWorkConservation,
+      kDeadlineMiss,
     };
     Kind kind;
     size_t event_index = 0;  // position in the stream (0 when found at Finish)

@@ -125,6 +125,10 @@ int HsfqApi::hsfq_admin(int node, AdminCmd cmd, void* args) {
       *static_cast<Work*>(args) = *service;
       return 0;
     }
+    case AdminCmd::kAdmit: {
+      const auto* admit = static_cast<const AdmitArgs*>(args);
+      return ToError(structure_.AdmitThread(admit->thread, id, admit->params, admit->now));
+    }
   }
   return kErrInval;
 }

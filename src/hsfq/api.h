@@ -42,6 +42,21 @@ enum class AdminCmd {
   kGetWeight,   // args: Weight* (out)
   kGetPath,     // args: std::string* (out)
   kGetService,  // args: Work* (out) — cumulative CPU service of the subtree
+  kAdmit,       // args: AdmitArgs* — admission probe against the leaf's class scheduler
+};
+
+// Arguments of AdminCmd::kAdmit — the paper's admission-control op. A non-mutating
+// probe: asks the leaf's class scheduler whether a thread with `params` would be
+// admitted (EDF utilization test, RMA Liu–Layland / response-time analysis; always yes
+// for classes without admission control). Returns 0 when admissible, kErrAgain when the
+// class's schedulability test rejects, kErrInval for malformed params. Either way a
+// kAdmit trace event records the verdict and the leaf's would-be utilization.
+struct AdmitArgs {
+  ThreadParams params;
+  // Thread id the caller would attach under (a label for the trace; kInvalidThread ok).
+  ThreadId thread = kInvalidThread;
+  // Trace timestamp of the probe.
+  Time now = 0;
 };
 
 // A kernel instance: one scheduling structure plus the scheduler-class registry.

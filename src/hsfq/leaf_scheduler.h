@@ -50,6 +50,22 @@ class LeafScheduler {
   // rejects the parameters (e.g. an RMA leaf past the Liu–Layland bound).
   virtual hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) = 0;
 
+  // Non-mutating admission preflight (the paper's hsfq_admin query): would a thread
+  // with these parameters be admitted right now? Classes without admission control
+  // accept everything; admission-controlled classes (src/rt) run the same validation
+  // and schedulability test AddThread would, without booking anything.
+  virtual hscommon::Status AdmitQuery(const ThreadParams& params) const {
+    (void)params;
+    return hscommon::Status::Ok();
+  }
+
+  // True if AddThread can reject for capacity (an admission-controlled class).
+  virtual bool HasAdmissionControl() const { return false; }
+
+  // Booked CPU utilization sum(C_i / T_i) of admitted threads; 0 for classes that do
+  // not meter utilization.
+  virtual double BookedUtilization() const { return 0.0; }
+
   // Unregisters a thread that is not currently running on the CPU.
   virtual void RemoveThread(ThreadId thread) = 0;
 

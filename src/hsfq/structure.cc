@@ -202,6 +202,31 @@ Status SchedulingStructure::AttachThread(ThreadId thread, NodeId leaf,
   return Status::Ok();
 }
 
+Status SchedulingStructure::AdmitThread(ThreadId thread, NodeId leaf,
+                                        const ThreadParams& params, Time now) {
+  if (Status s = ValidateLiveNode(leaf); !s.ok()) {
+    return s;
+  }
+  Node& n = NodeRef(leaf);
+  if (!n.is_leaf()) {
+    return InvalidArgument("node " + std::to_string(leaf) + " is not a leaf");
+  }
+  const Status verdict = n.leaf->AdmitQuery(params);
+  if (tracer_ != nullptr) {
+    // Would-be utilization of the leaf if this set were admitted: what the class has
+    // already booked plus the candidate's C/T demand, in parts per million.
+    double would_be = n.leaf->BookedUtilization();
+    if (params.period > 0 && params.computation > 0) {
+      would_be += static_cast<double>(params.computation) /
+                  static_cast<double>(params.period);
+    }
+    tracer_->RecordAdmit(now, leaf, thread,
+                         static_cast<int64_t>(would_be * 1e6), verdict.ok(),
+                         n.leaf->Name());
+  }
+  return verdict;
+}
+
 Status SchedulingStructure::DetachThread(ThreadId thread) {
   const auto it = thread_to_leaf_.find(thread);
   if (it == thread_to_leaf_.end()) {

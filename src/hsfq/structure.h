@@ -81,6 +81,13 @@ class SchedulingStructure {
   // Adds a thread (initially blocked) to a leaf node.
   Status AttachThread(ThreadId thread, NodeId leaf, const ThreadParams& params);
 
+  // Non-mutating admission probe (the paper's hsfq_admin admission op): asks the leaf's
+  // class scheduler whether a thread with `params` would be admitted, without attaching
+  // anything. Emits a kAdmit trace event either way, carrying the leaf's would-be
+  // utilization (booked + requested, ppm) and the verdict. `thread` is only a label for
+  // the trace (the id the caller would attach under); kInvalidThread is fine.
+  Status AdmitThread(ThreadId thread, NodeId leaf, const ThreadParams& params, Time now);
+
   // Removes a thread that is not currently running.
   Status DetachThread(ThreadId thread);
 

@@ -3,7 +3,7 @@
 #include <array>
 #include <cassert>
 
-#include "src/sched/edf.h"
+#include "src/rt/edf.h"
 #include "src/sched/sfq_leaf.h"
 
 namespace hqos {

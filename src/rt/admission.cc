@@ -1,0 +1,85 @@
+#include "src/rt/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hrt {
+
+namespace {
+
+// Feasibility comparisons tolerate the same rounding slack the leaf schedulers use, so
+// a set sitting exactly on the bound (e.g. U == 1.0 from C == T) is admitted.
+constexpr double kSlack = 1e-12;
+
+Time DeadlineOf(const RtTask& task) {
+  return task.relative_deadline > 0 ? task.relative_deadline : task.period;
+}
+
+}  // namespace
+
+double TaskUtilization(const RtTask& task) {
+  return static_cast<double>(task.computation) / static_cast<double>(task.period);
+}
+
+double TotalUtilization(const std::vector<RtTask>& tasks) {
+  double u = 0.0;
+  for (const RtTask& t : tasks) {
+    u += TaskUtilization(t);
+  }
+  return u;
+}
+
+double LiuLaylandBound(size_t n) {
+  if (n == 0) {
+    return 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  return static_cast<double>(n) * (std::pow(2.0, inv) - 1.0);
+}
+
+bool EdfFeasible(const std::vector<RtTask>& tasks, double cpu_fraction) {
+  return TotalUtilization(tasks) <= cpu_fraction + kSlack;
+}
+
+bool RmaFeasibleLiuLayland(const std::vector<RtTask>& tasks, double cpu_fraction) {
+  return TotalUtilization(tasks) <=
+         LiuLaylandBound(tasks.size()) * cpu_fraction + kSlack;
+}
+
+bool RmaFeasibleResponseTime(const std::vector<RtTask>& tasks, double cpu_fraction) {
+  if (cpu_fraction <= 0.0) {
+    return tasks.empty();
+  }
+  // Rate-monotonic priority order: shorter period first, ties by declaration order
+  // (stable sort keeps the analysis deterministic).
+  std::vector<RtTask> by_priority = tasks;
+  std::stable_sort(by_priority.begin(), by_priority.end(),
+                   [](const RtTask& a, const RtTask& b) { return a.period < b.period; });
+  // Slowed-processor approximation for a partial CPU: every computation inflates by
+  // 1 / cpu_fraction.
+  std::vector<double> cost(by_priority.size());
+  for (size_t i = 0; i < by_priority.size(); ++i) {
+    cost[i] = static_cast<double>(by_priority[i].computation) / cpu_fraction;
+  }
+  for (size_t i = 0; i < by_priority.size(); ++i) {
+    const double deadline = static_cast<double>(DeadlineOf(by_priority[i]));
+    double response = cost[i];
+    for (;;) {
+      double next = cost[i];
+      for (size_t j = 0; j < i; ++j) {
+        next += std::ceil(response / static_cast<double>(by_priority[j].period)) *
+                cost[j];
+      }
+      if (next > deadline + kSlack) {
+        return false;  // diverged past the deadline: infeasible
+      }
+      if (next <= response) {
+        break;  // fixpoint
+      }
+      response = next;
+    }
+  }
+  return true;
+}
+
+}  // namespace hrt

@@ -1,0 +1,64 @@
+// Utilization-based admission control for the real-time leaf classes (src/rt) — the
+// analysis behind the paper's hsfq_admin hook.
+//
+// Three tests, in increasing precision:
+//   * EDF:  sum(C_i / T_i) <= limit          (exact for implicit deadlines, Liu &
+//                                             Layland 1973 Thm. 7)
+//   * RMA:  sum(C_i / T_i) <= n(2^{1/n} - 1)  (sufficient; the classic LL bound)
+//   * RMA:  exact response-time analysis      (necessary and sufficient for static
+//                                             priorities with D_i <= T_i; opt-in,
+//                                             O(n^2 * iterations))
+//
+// The functions are pure: the leaf schedulers (edf.h, rma.h) call them with candidate
+// task sets, and HsfqApi::hsfq_admin's kAdmit command surfaces the verdict as a typed
+// status plus a kAdmit trace event.
+
+#ifndef HSCHED_SRC_RT_ADMISSION_H_
+#define HSCHED_SRC_RT_ADMISSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hrt {
+
+using hscommon::Time;
+using hscommon::Work;
+
+// One periodic task, as declared through hsfq::ThreadParams: a job of `computation` ns
+// is released every `period` ns and must finish within `relative_deadline` ns of its
+// release (0 means "equal to the period").
+struct RtTask {
+  Time period = 0;
+  Work computation = 0;
+  Time relative_deadline = 0;
+};
+
+// C/T of one task.
+double TaskUtilization(const RtTask& task);
+
+// Summed utilization of the set.
+double TotalUtilization(const std::vector<RtTask>& tasks);
+
+// The Liu–Layland rate-monotonic bound n(2^{1/n} - 1); 1.0 for n == 0.
+double LiuLaylandBound(size_t n);
+
+// EDF utilization test: schedulable on `cpu_fraction` of a CPU iff the summed
+// utilization stays within the fraction (implicit-deadline task sets).
+bool EdfFeasible(const std::vector<RtTask>& tasks, double cpu_fraction = 1.0);
+
+// RMA sufficient test: summed utilization within LiuLaylandBound(n) * cpu_fraction.
+bool RmaFeasibleLiuLayland(const std::vector<RtTask>& tasks, double cpu_fraction = 1.0);
+
+// Exact response-time analysis under rate-monotonic priorities (shorter period first):
+// iterates R = C_i + sum_{j higher} ceil(R / T_j) * C_j to a fixpoint and checks
+// R <= D_i for every task. A `cpu_fraction` below 1 inflates each computation by
+// 1/fraction — the standard slowed-processor approximation for a class that only owns
+// part of the CPU. Returns false on divergence (fixpoint exceeds the deadline).
+bool RmaFeasibleResponseTime(const std::vector<RtTask>& tasks,
+                             double cpu_fraction = 1.0);
+
+}  // namespace hrt
+
+#endif  // HSCHED_SRC_RT_ADMISSION_H_

@@ -1,12 +1,71 @@
-#include "src/sched/edf.h"
+#include "src/rt/edf.h"
 
 #include <cassert>
+
+#include "src/rt/admission.h"
 
 namespace hleaf {
 
 EdfScheduler::EdfScheduler() : EdfScheduler(Config{}) {}
 
 EdfScheduler::EdfScheduler(const Config& config) : config_(config) {}
+
+EdfScheduler::HeapEntry EdfScheduler::PackEntry(hscommon::Time deadline, uint32_t slot,
+                                                uint32_t seq) {
+  assert(deadline >= 0);
+  return (static_cast<HeapEntry>(static_cast<uint64_t>(deadline)) << 64) |
+         (static_cast<HeapEntry>(slot) << 32) | static_cast<HeapEntry>(seq);
+}
+
+hscommon::Time EdfScheduler::EntryDeadline(HeapEntry e) {
+  return static_cast<hscommon::Time>(static_cast<uint64_t>(e >> 64));
+}
+
+uint32_t EdfScheduler::EntrySlot(HeapEntry e) {
+  return static_cast<uint32_t>(static_cast<uint64_t>(e) >> 32);
+}
+
+uint32_t EdfScheduler::EntrySeq(HeapEntry e) {
+  return static_cast<uint32_t>(static_cast<uint64_t>(e));
+}
+
+void EdfScheduler::HeapPush(HeapEntry e) {
+  heap_.push_back(e);
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (heap_[parent] <= heap_[i]) {
+      break;
+    }
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EdfScheduler::HeapPop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  size_t i = 0;
+  for (;;) {
+    const size_t first = 4 * i + 1;
+    if (first >= n) {
+      break;
+    }
+    const size_t last = first + 4 < n ? first + 4 : n;
+    size_t best = first;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (heap_[c] < heap_[best]) {
+        best = c;
+      }
+    }
+    if (heap_[i] <= heap_[best]) {
+      break;
+    }
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
 
 hscommon::Status EdfScheduler::ValidateParams(const ThreadParams& params) {
   if (params.period <= 0 || params.computation <= 0) {
@@ -19,24 +78,42 @@ hscommon::Status EdfScheduler::ValidateParams(const ThreadParams& params) {
   return hscommon::Status::Ok();
 }
 
+hscommon::Status EdfScheduler::AdmitQuery(const ThreadParams& params) const {
+  if (auto s = ValidateParams(params); !s.ok()) {
+    return s;
+  }
+  const double u =
+      static_cast<double>(params.computation) / static_cast<double>(params.period);
+  if (config_.admission_control && utilization_ + u > config_.utilization_limit + 1e-12) {
+    return hscommon::ResourceExhausted("EDF admission: utilization would exceed limit");
+  }
+  return hscommon::Status::Ok();
+}
+
 hscommon::Status EdfScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
   if (threads_.contains(thread)) {
     return hscommon::AlreadyExists("thread already in this class");
   }
-  if (auto s = ValidateParams(params); !s.ok()) {
+  if (auto s = AdmitQuery(params); !s.ok()) {
     return s;
-  }
-  const double u = static_cast<double>(params.computation) / static_cast<double>(params.period);
-  if (config_.admission_control && utilization_ + u > config_.utilization_limit + 1e-12) {
-    return hscommon::ResourceExhausted("EDF admission: utilization would exceed limit");
   }
   ThreadState state;
   state.period = params.period;
   state.computation = params.computation;
   state.rel_deadline =
       params.relative_deadline > 0 ? params.relative_deadline : params.period;
+  if (free_slots_.empty()) {
+    state.slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(thread);
+    slot_seq_.push_back(0);
+  } else {
+    state.slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[state.slot] = thread;
+  }
   threads_.emplace(thread, state);
-  utilization_ += u;
+  utilization_ +=
+      static_cast<double>(params.computation) / static_cast<double>(params.period);
   return hscommon::Status::Ok();
 }
 
@@ -44,11 +121,15 @@ void EdfScheduler::RemoveThread(ThreadId thread) {
   const auto it = threads_.find(thread);
   assert(it != threads_.end());
   assert(thread != in_service_);
-  if (it->second.runnable) {
-    ready_.Erase(thread);
+  ThreadState& state = it->second;
+  if (state.runnable) {
+    ++slot_seq_[state.slot];  // lazily invalidates the queued heap entry
+    --runnable_count_;
   }
-  utilization_ -= static_cast<double>(it->second.computation) /
-                  static_cast<double>(it->second.period);
+  slots_[state.slot] = hsfq::kInvalidThread;
+  free_slots_.push_back(state.slot);
+  utilization_ -= static_cast<double>(state.computation) /
+                  static_cast<double>(state.period);
   threads_.erase(it);
 }
 
@@ -83,26 +164,36 @@ void EdfScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
   // A wakeup is a job release: stamp the job's absolute deadline.
   state.abs_deadline = now + state.rel_deadline;
   state.runnable = true;
-  ready_.Push(thread, state.abs_deadline);
+  ++runnable_count_;
+  HeapPush(PackEntry(state.abs_deadline, state.slot, slot_seq_[state.slot]));
 }
 
 void EdfScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
   (void)now;
   ThreadState& state = threads_.at(thread);
   assert(state.runnable && thread != in_service_);
-  ready_.Erase(thread);
+  ++slot_seq_[state.slot];  // lazily invalidates the queued heap entry
   state.runnable = false;
+  --runnable_count_;
 }
 
 ThreadId EdfScheduler::PickNext(hscommon::Time /*now*/) {
   assert(in_service_ == hsfq::kInvalidThread);
-  if (ready_.empty()) {
-    return hsfq::kInvalidThread;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    const uint32_t slot = EntrySlot(top);
+    HeapPop();
+    if (EntrySeq(top) != slot_seq_[slot]) {
+      continue;  // stale: the thread blocked, departed, or was re-stamped
+    }
+    const ThreadId thread = slots_[slot];
+    ThreadState& state = threads_.at(thread);
+    state.runnable = false;
+    --runnable_count_;
+    in_service_ = thread;
+    return thread;
   }
-  const ThreadId thread = ready_.PopMin();
-  threads_.at(thread).runnable = false;
-  in_service_ = thread;
-  return thread;
+  return hsfq::kInvalidThread;
 }
 
 void EdfScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Time /*now*/,
@@ -113,16 +204,17 @@ void EdfScheduler::Charge(ThreadId thread, hscommon::Work /*used*/, hscommon::Ti
   if (still_runnable) {
     // Same job continues: the absolute deadline is unchanged.
     state.runnable = true;
-    ready_.Push(thread, state.abs_deadline);
+    ++runnable_count_;
+    HeapPush(PackEntry(state.abs_deadline, state.slot, slot_seq_[state.slot]));
   }
 }
 
 bool EdfScheduler::HasRunnable() const {
-  return !ready_.empty() || in_service_ != hsfq::kInvalidThread;
+  return runnable_count_ > 0 || in_service_ != hsfq::kInvalidThread;
 }
 
 bool EdfScheduler::HasDispatchable() const {
-  return in_service_ == hsfq::kInvalidThread && !ready_.empty();
+  return in_service_ == hsfq::kInvalidThread && runnable_count_ > 0;
 }
 
 bool EdfScheduler::IsThreadRunnable(ThreadId thread) const {

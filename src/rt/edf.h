@@ -4,14 +4,22 @@
 // blocked->runnable transition is a job release; the job's absolute deadline is
 // release + relative deadline, and the earliest absolute deadline runs first.
 // Admission control enforces sum(C_i / T_i) <= utilization limit, the EDF bound
-// (Liu & Layland 1973) scaled by the fraction of the CPU this class is allocated.
+// (Liu & Layland 1973) scaled by the fraction of the CPU this class is allocated
+// (src/rt/admission.h).
+//
+// The ready queue is a packed-key 4-ary min-heap (the src/sim/shard.h trick): each
+// entry packs (absolute deadline, dense slot, sequence) into one 128-bit integer so a
+// single integer compare yields the full total order and the sift loops stay
+// branchless. Entries are lazily invalidated by sequence number instead of erased in
+// place — a blocked thread's entry surfaces at the top and is dropped on the next pick.
 
-#ifndef HSCHED_SRC_SCHED_EDF_H_
-#define HSCHED_SRC_SCHED_EDF_H_
+#ifndef HSCHED_SRC_RT_EDF_H_
+#define HSCHED_SRC_RT_EDF_H_
 
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
-#include "src/common/dary_heap.h"
 #include "src/hsfq/leaf_scheduler.h"
 
 namespace hleaf {
@@ -36,6 +44,8 @@ class EdfScheduler : public hsfq::LeafScheduler {
   hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
   void RemoveThread(ThreadId thread) override;
   hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  hscommon::Status AdmitQuery(const ThreadParams& params) const override;
+  bool HasAdmissionControl() const override { return config_.admission_control; }
   void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
   void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
   ThreadId PickNext(hscommon::Time now) override;
@@ -49,10 +59,19 @@ class EdfScheduler : public hsfq::LeafScheduler {
   std::string Name() const override { return "EDF"; }
 
   // Booked utilization sum(C/T) of admitted threads.
-  double BookedUtilization() const { return utilization_; }
+  double BookedUtilization() const override { return utilization_; }
 
   // Absolute deadline of the thread's current job (kTimeInfinity if none released).
   hscommon::Time CurrentDeadline(ThreadId thread) const;
+
+  // A heap entry packs (absolute deadline, slot, seq) into one 128-bit integer.
+  // Deadlines are non-negative int64 times, so the unsigned high word orders exactly
+  // like the values and one integer compare gives the (deadline, slot, seq) order.
+  using HeapEntry = unsigned __int128;
+  static HeapEntry PackEntry(hscommon::Time deadline, uint32_t slot, uint32_t seq);
+  static hscommon::Time EntryDeadline(HeapEntry e);
+  static uint32_t EntrySlot(HeapEntry e);
+  static uint32_t EntrySeq(HeapEntry e);
 
  private:
   struct ThreadState {
@@ -61,31 +80,28 @@ class EdfScheduler : public hsfq::LeafScheduler {
     hscommon::Time rel_deadline = 0;
     hscommon::Time abs_deadline = hscommon::kTimeInfinity;
     bool runnable = false;
-    uint32_t heap_pos = hscommon::kHeapNpos;  // slot in ready_, maintained by the heap
+    uint32_t slot = 0;  // dense index into slots_ / slot_seq_ (ThreadIds are sparse)
   };
-
-  // ThreadIds are sparse 64-bit values, so the ready heap's position index lives in the
-  // per-thread state instead of a dense array.
-  struct ReadyPos {
-    EdfScheduler* self;
-    uint32_t& operator()(ThreadId thread) const {
-      return self->threads_.at(thread).heap_pos;
-    }
-  };
-  using ReadyHeap =
-      hscommon::DaryHeap<hscommon::Time, ThreadId,
-                         hscommon::ExternalHeapIndex<ThreadId, ReadyPos>>;
 
   static hscommon::Status ValidateParams(const ThreadParams& params);
+
+  void HeapPush(HeapEntry e);
+  void HeapPop();
 
   Config config_;
   double utilization_ = 0.0;
   std::unordered_map<ThreadId, ThreadState> threads_;
-  // Keyed by absolute deadline.
-  ReadyHeap ready_{hscommon::ExternalHeapIndex<ThreadId, ReadyPos>(ReadyPos{this})};
+  // Dense slot table: slot -> thread (kInvalidThread when free). A slot's sequence
+  // counter survives reuse, so stale heap entries from a departed thread can never
+  // alias a live one.
+  std::vector<ThreadId> slots_;
+  std::vector<uint32_t> slot_seq_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap of packed (deadline, slot, seq)
+  size_t runnable_count_ = 0;    // live (queued) threads, excluding the one in service
   ThreadId in_service_ = hsfq::kInvalidThread;
 };
 
 }  // namespace hleaf
 
-#endif  // HSCHED_SRC_SCHED_EDF_H_
+#endif  // HSCHED_SRC_RT_EDF_H_

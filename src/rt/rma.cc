@@ -1,7 +1,7 @@
-#include "src/sched/rma.h"
+#include "src/rt/rma.h"
 
+#include <algorithm>
 #include <cassert>
-#include <cmath>
 
 namespace hleaf {
 
@@ -9,35 +9,65 @@ RmaScheduler::RmaScheduler() : RmaScheduler(Config{}) {}
 
 RmaScheduler::RmaScheduler(const Config& config) : config_(config) {}
 
-double RmaScheduler::LiuLaylandBound(size_t n) {
-  if (n == 0) {
-    return 1.0;
+std::vector<hrt::RtTask> RmaScheduler::TaskSetWith(const hrt::RtTask& candidate,
+                                                   ThreadId skip) const {
+  std::vector<hrt::RtTask> tasks;
+  tasks.reserve(threads_.size() + 1);
+  for (const auto& [id, state] : threads_) {
+    if (id == skip) {
+      continue;
+    }
+    tasks.push_back(
+        hrt::RtTask{state.period, state.computation, state.rel_deadline});
   }
-  const double inv = 1.0 / static_cast<double>(n);
-  return static_cast<double>(n) * (std::pow(2.0, inv) - 1.0);
+  // Iteration order of the hash map must not matter: the tests below are order-free
+  // (utilization sums) or sort internally (response-time analysis sorts by period,
+  // and equal-period ties carry identical interference either way).
+  tasks.push_back(candidate);
+  return tasks;
+}
+
+bool RmaScheduler::Feasible(const std::vector<hrt::RtTask>& tasks) const {
+  if (config_.response_time_test) {
+    return hrt::RmaFeasibleResponseTime(tasks, config_.cpu_fraction);
+  }
+  if (config_.utilization_test_only) {
+    return hrt::EdfFeasible(tasks, config_.cpu_fraction);
+  }
+  return hrt::RmaFeasibleLiuLayland(tasks, config_.cpu_fraction);
+}
+
+hscommon::Status RmaScheduler::AdmitQuery(const ThreadParams& params) const {
+  if (params.period <= 0 || params.computation <= 0) {
+    return hscommon::InvalidArgument("RMA threads need period > 0 and computation > 0");
+  }
+  if (params.relative_deadline < 0 ||
+      (params.relative_deadline > 0 && params.relative_deadline > params.period)) {
+    return hscommon::InvalidArgument("relative deadline must be in (0, period]");
+  }
+  if (config_.admission_control &&
+      !Feasible(TaskSetWith(hrt::RtTask{params.period, params.computation,
+                                        params.relative_deadline}))) {
+    return hscommon::ResourceExhausted("RMA admission: schedulability bound exceeded");
+  }
+  return hscommon::Status::Ok();
 }
 
 hscommon::Status RmaScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
   if (threads_.contains(thread)) {
     return hscommon::AlreadyExists("thread already in this class");
   }
-  if (params.period <= 0 || params.computation <= 0) {
-    return hscommon::InvalidArgument("RMA threads need period > 0 and computation > 0");
-  }
-  const double u = static_cast<double>(params.computation) / static_cast<double>(params.period);
-  if (config_.admission_control) {
-    const size_t n = threads_.size() + 1;
-    const double bound = config_.utilization_test_only ? 1.0 : LiuLaylandBound(n);
-    if (utilization_ + u > bound * config_.cpu_fraction + 1e-12) {
-      return hscommon::ResourceExhausted("RMA admission: schedulability bound exceeded");
-    }
+  if (auto s = AdmitQuery(params); !s.ok()) {
+    return s;
   }
   ThreadState state;
   state.period = params.period;
   state.computation = params.computation;
+  state.rel_deadline = params.relative_deadline;
   state.effective_period = params.period;
   threads_.emplace(thread, state);
-  utilization_ += u;
+  utilization_ +=
+      static_cast<double>(params.computation) / static_cast<double>(params.period);
   return hscommon::Status::Ok();
 }
 
@@ -68,15 +98,15 @@ hscommon::Status RmaScheduler::SetThreadParams(ThreadId thread, const ThreadPara
       static_cast<double>(state.computation) / static_cast<double>(state.period);
   const double new_u =
       static_cast<double>(params.computation) / static_cast<double>(params.period);
-  if (config_.admission_control) {
-    const double bound =
-        config_.utilization_test_only ? 1.0 : LiuLaylandBound(threads_.size());
-    if (utilization_ - old_u + new_u > bound * config_.cpu_fraction + 1e-12) {
-      return hscommon::ResourceExhausted("RMA admission: schedulability bound exceeded");
-    }
+  if (config_.admission_control &&
+      !Feasible(TaskSetWith(hrt::RtTask{params.period, params.computation,
+                                        params.relative_deadline},
+                            thread))) {
+    return hscommon::ResourceExhausted("RMA admission: schedulability bound exceeded");
   }
   state.period = params.period;
   state.computation = params.computation;
+  state.rel_deadline = params.relative_deadline;
   state.effective_period = params.period;
   utilization_ += new_u - old_u;
   return hscommon::Status::Ok();

@@ -2,16 +2,19 @@
 // the RT class: static priorities, shorter period = higher priority.
 //
 // Admission control uses the Liu–Layland bound U <= n(2^{1/n} - 1) scaled by the class's
-// CPU fraction; an optional priority-inheritance hook counters priority inversion when
-// threads of this class share simulated locks (paper §4's discussion).
+// CPU fraction, or — opt-in via Config::response_time_test — the exact response-time
+// analysis (src/rt/admission.h), which admits every set the sufficient bound admits and
+// more. An optional priority-inheritance hook counters priority inversion when threads
+// of this class share simulated locks (paper §4's discussion).
 
-#ifndef HSCHED_SRC_SCHED_RMA_H_
-#define HSCHED_SRC_SCHED_RMA_H_
+#ifndef HSCHED_SRC_RT_RMA_H_
+#define HSCHED_SRC_RT_RMA_H_
 
 #include <unordered_map>
 
 #include "src/common/dary_heap.h"
 #include "src/hsfq/leaf_scheduler.h"
+#include "src/rt/admission.h"
 
 namespace hleaf {
 
@@ -27,6 +30,10 @@ class RmaScheduler : public hsfq::LeafScheduler {
     // If true, admit up to cpu_fraction (utilization test) instead of the more
     // conservative Liu–Layland bound.
     bool utilization_test_only = false;
+    // If true, admit by exact response-time analysis (necessary and sufficient for
+    // static priorities with D <= T) instead of the Liu–Layland bound. Admits
+    // strictly more sets; costs O(n^2 * iterations) per admission instead of O(1).
+    bool response_time_test = false;
   };
 
   RmaScheduler();
@@ -35,6 +42,8 @@ class RmaScheduler : public hsfq::LeafScheduler {
   hscommon::Status AddThread(ThreadId thread, const ThreadParams& params) override;
   void RemoveThread(ThreadId thread) override;
   hscommon::Status SetThreadParams(ThreadId thread, const ThreadParams& params) override;
+  hscommon::Status AdmitQuery(const ThreadParams& params) const override;
+  bool HasAdmissionControl() const override { return config_.admission_control; }
   void ThreadRunnable(ThreadId thread, hscommon::Time now) override;
   void ThreadBlocked(ThreadId thread, hscommon::Time now) override;
   ThreadId PickNext(hscommon::Time now) override;
@@ -60,15 +69,16 @@ class RmaScheduler : public hsfq::LeafScheduler {
     InheritPriority(holder, hsfq::kInvalidThread);
   }
 
-  double BookedUtilization() const { return utilization_; }
+  double BookedUtilization() const override { return utilization_; }
 
   // The Liu–Layland bound n(2^{1/n}-1) for n tasks.
-  static double LiuLaylandBound(size_t n);
+  static double LiuLaylandBound(size_t n) { return hrt::LiuLaylandBound(n); }
 
  private:
   struct ThreadState {
     hscommon::Time period = 0;
     hscommon::Work computation = 0;
+    hscommon::Time rel_deadline = 0;
     // Effective period used for priority ordering (shrinks under inheritance).
     hscommon::Time effective_period = 0;
     bool runnable = false;
@@ -86,6 +96,13 @@ class RmaScheduler : public hsfq::LeafScheduler {
       hscommon::DaryHeap<hscommon::Time, ThreadId,
                          hscommon::ExternalHeapIndex<ThreadId, ReadyPos>>;
 
+  // The admitted task set plus `candidate`, optionally excluding `skip` (for
+  // SetThreadParams, which replaces a task rather than adding one).
+  std::vector<hrt::RtTask> TaskSetWith(const hrt::RtTask& candidate,
+                                       ThreadId skip = hsfq::kInvalidThread) const;
+  // The class's schedulability test over a candidate task set.
+  bool Feasible(const std::vector<hrt::RtTask>& tasks) const;
+
   Config config_;
   double utilization_ = 0.0;
   std::unordered_map<ThreadId, ThreadState> threads_;
@@ -96,4 +113,4 @@ class RmaScheduler : public hsfq::LeafScheduler {
 
 }  // namespace hleaf
 
-#endif  // HSCHED_SRC_SCHED_RMA_H_
+#endif  // HSCHED_SRC_RT_RMA_H_

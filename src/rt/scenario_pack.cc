@@ -1,0 +1,135 @@
+#include "src/rt/scenario_pack.h"
+
+#include <memory>
+
+#include "src/common/types.h"
+#include "src/sim/workload.h"
+
+namespace hrt {
+
+using hscommon::Time;
+using hscommon::Work;
+using hscommon::kMillisecond;
+using hscommon::kMicrosecond;
+using hscommon::kSecond;
+using hsim::ScenarioNodeSpec;
+using hsim::ScenarioSpec;
+using hsim::ScenarioThreadSpec;
+
+namespace {
+
+// One RT thread: RtPeriodicWorkload stamped jobs + ThreadParams carrying the same
+// {period, wcet, deadline} triple, so class-scheduler admission sees exactly the demand
+// the workload will generate (declared wcet; actual compute jitters below it).
+ScenarioThreadSpec RtThread(std::string name, Time period, Work wcet, double jitter,
+                            uint64_t seed, uint64_t source_id) {
+  ScenarioThreadSpec t;
+  t.name = std::move(name);
+  t.leaf_path = "/rt";
+  t.params.period = period;
+  t.params.computation = wcet;
+  t.params.relative_deadline = period;  // deadline = next release
+  t.source_id = source_id;
+  t.make_workload = [period, wcet, jitter, seed] {
+    return std::unique_ptr<hsim::Workload>(std::make_unique<hsim::RtPeriodicWorkload>(
+        period, wcet, /*relative_deadline=*/0, jitter, seed));
+  };
+  return t;
+}
+
+}  // namespace
+
+ScenarioSpec VideoConfScenario(uint64_t seed) {
+  ScenarioSpec spec;
+  // The RT leaf names no scheduler: the builder's default (or a differential tool's
+  // --a/--b override) decides the class under test. Best effort is pinned to sfq so
+  // the background is identical across configurations.
+  spec.nodes = {
+      ScenarioNodeSpec{"/rt", /*weight=*/3, /*is_leaf=*/true, /*scheduler=*/""},
+      ScenarioNodeSpec{"/best-effort", /*weight=*/1, /*is_leaf=*/true, "sfq"},
+  };
+  // Two 30fps decoders, capture + render audio: ΣC/T ≈ 0.654 of the machine —
+  // feasible under the EDF utilization test with headroom for non-preemptive quanta.
+  spec.threads.push_back(
+      RtThread("video-local", 33 * kMillisecond, 8 * kMillisecond, 0.25, seed + 11, 1));
+  spec.threads.push_back(
+      RtThread("video-remote", 33 * kMillisecond, 7 * kMillisecond, 0.25, seed + 23, 2));
+  spec.threads.push_back(
+      RtThread("audio-capture", 20 * kMillisecond, 2 * kMillisecond, 0.1, seed + 37, 3));
+  spec.threads.push_back(
+      RtThread("audio-render", 20 * kMillisecond, 2 * kMillisecond, 0.1, seed + 41, 4));
+
+  ScenarioThreadSpec editor;
+  editor.name = "editor";
+  editor.leaf_path = "/best-effort";
+  editor.params.weight = 2;
+  editor.source_id = 5;
+  const uint64_t editor_seed = seed + 53;
+  editor.make_workload = [editor_seed] {
+    return std::unique_ptr<hsim::Workload>(std::make_unique<hsim::InteractiveWorkload>(
+        editor_seed, /*mean_think=*/40 * kMillisecond, /*mean_burst=*/3 * kMillisecond));
+  };
+  spec.threads.push_back(std::move(editor));
+
+  ScenarioThreadSpec daemon;
+  daemon.name = "daemon";
+  daemon.leaf_path = "/best-effort";
+  daemon.params.weight = 1;
+  daemon.source_id = 6;
+  const uint64_t daemon_seed = seed + 67;
+  daemon.make_workload = [daemon_seed] {
+    return std::unique_ptr<hsim::Workload>(std::make_unique<hsim::BurstyWorkload>(
+        daemon_seed, /*min_burst=*/1 * kMillisecond, /*max_burst=*/6 * kMillisecond,
+        /*min_sleep=*/10 * kMillisecond, /*max_sleep=*/50 * kMillisecond));
+  };
+  spec.threads.push_back(std::move(daemon));
+
+  spec.horizon = 2 * kSecond;
+  return spec;
+}
+
+ScenarioSpec AudioScenario(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.nodes = {
+      ScenarioNodeSpec{"/rt", /*weight=*/3, /*is_leaf=*/true, /*scheduler=*/""},
+      ScenarioNodeSpec{"/best-effort", /*weight=*/1, /*is_leaf=*/true, "sfq"},
+  };
+  // Four tight 10ms streams: ΣC/T = 0.6.
+  for (uint64_t i = 0; i < 4; ++i) {
+    spec.threads.push_back(RtThread("audio-" + std::to_string(i), 10 * kMillisecond,
+                                    1500 * kMicrosecond, 0.1, seed + 7 * (i + 1),
+                                    i + 1));
+  }
+  ScenarioThreadSpec batch;
+  batch.name = "batch";
+  batch.leaf_path = "/best-effort";
+  batch.source_id = 5;
+  batch.make_workload = [] {
+    return std::unique_ptr<hsim::Workload>(
+        std::make_unique<hsim::CpuBoundWorkload>(20 * kMillisecond));
+  };
+  spec.threads.push_back(std::move(batch));
+
+  spec.horizon = 1 * kSecond;
+  return spec;
+}
+
+std::vector<std::string> RtScenarioNames() { return {"videoconf", "audio"}; }
+
+hscommon::StatusOr<hsim::ScenarioSpec> MakeRtScenario(const std::string& name,
+                                                      uint64_t seed) {
+  if (name == "videoconf") {
+    return VideoConfScenario(seed);
+  }
+  if (name == "audio") {
+    return AudioScenario(seed);
+  }
+  std::string valid;
+  for (const std::string& n : RtScenarioNames()) {
+    valid += valid.empty() ? n : ", " + n;
+  }
+  return hscommon::InvalidArgument("unknown rt scenario '" + name +
+                                   "' (valid: " + valid + ")");
+}
+
+}  // namespace hrt

@@ -1,0 +1,46 @@
+// Deadline-aware scenario pack — canned multimedia workloads for the real-time leaf
+// classes (paper §5's applications: video conferencing and audio playback).
+//
+// Each scenario is a ScenarioSpec whose "/rt" leaf deliberately names NO scheduler, so
+// the builder's default (or a tool's --a/--b override) decides the class scheduler under
+// test — the same population runs under edf, rma, or fair:sfq for differential
+// comparison — while the "/best-effort" leaf is pinned to "sfq" so background load is
+// scheduled identically across configurations. Every RT thread couples an
+// RtPeriodicWorkload (deadline-stamped jobs, jittered compute) with matching
+// ThreadParams {period, wcet, deadline}, so EDF/RMA admission sees the declared demand.
+//
+// The RT populations are feasible by design (ΣC/T well under 1 with headroom for the
+// simulator's non-preemptive quanta), so an admitted set running under edf at ncpus=1
+// produces zero kDeadlineMiss events; scenarios are fully seeded and byte-reproducible.
+
+#ifndef HSCHED_SRC_RT_SCENARIO_PACK_H_
+#define HSCHED_SRC_RT_SCENARIO_PACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/scenario.h"
+
+namespace hrt {
+
+// Video conference: two 30fps video streams plus capture/render audio in "/rt"
+// (ΣC/T ≈ 0.65), an interactive user and a bursty daemon in "/best-effort".
+// Horizon 2s.
+hsim::ScenarioSpec VideoConfScenario(uint64_t seed = 1);
+
+// Soft-real-time audio: four 10ms-period streams in "/rt" (ΣC/T = 0.6) against a
+// CPU-bound batch job in "/best-effort". Horizon 1s.
+hsim::ScenarioSpec AudioScenario(uint64_t seed = 1);
+
+// Scenario names accepted by MakeRtScenario, for tool help text.
+std::vector<std::string> RtScenarioNames();
+
+// Builds the named scenario ("videoconf" or "audio") with the given seed.
+hscommon::StatusOr<hsim::ScenarioSpec> MakeRtScenario(const std::string& name,
+                                                      uint64_t seed);
+
+}  // namespace hrt
+
+#endif  // HSCHED_SRC_RT_SCENARIO_PACK_H_

@@ -1,7 +1,11 @@
 #include "src/sched/registry.h"
 
+#include <iterator>
+
 #include "src/common/types.h"
 #include "src/fair/make.h"
+#include "src/rt/edf.h"
+#include "src/rt/rma.h"
 #include "src/sched/fair_leaf.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sched/simple.h"
@@ -14,18 +18,42 @@ using hscommon::StatusOr;
 
 namespace {
 
+struct AlgorithmEntry {
+  const char* name;
+  hfair::Algorithm algorithm;
+};
+
+// The one table FairAlgorithmNames() and ParseAlgorithm() both read, so the help text
+// and the error message can never drift from what actually parses.
+constexpr AlgorithmEntry kAlgorithms[] = {
+    {"sfq", hfair::Algorithm::kSfq},
+    {"wfq", hfair::Algorithm::kWfq},
+    {"wfq_actual", hfair::Algorithm::kWfqActual},
+    {"wfq_exact", hfair::Algorithm::kWfqExact},
+    {"fqs", hfair::Algorithm::kFqs},
+    {"scfq", hfair::Algorithm::kScfq},
+    {"stride", hfair::Algorithm::kStride},
+    {"stride_classic", hfair::Algorithm::kStrideClassic},
+    {"lottery", hfair::Algorithm::kLottery},
+    {"eevdf", hfair::Algorithm::kEevdf},
+};
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& n : names) {
+    joined += joined.empty() ? n : ", " + n;
+  }
+  return joined;
+}
+
 StatusOr<hfair::Algorithm> ParseAlgorithm(const std::string& name) {
-  if (name == "sfq") return hfair::Algorithm::kSfq;
-  if (name == "wfq") return hfair::Algorithm::kWfq;
-  if (name == "wfq_actual") return hfair::Algorithm::kWfqActual;
-  if (name == "wfq_exact") return hfair::Algorithm::kWfqExact;
-  if (name == "fqs") return hfair::Algorithm::kFqs;
-  if (name == "scfq") return hfair::Algorithm::kScfq;
-  if (name == "stride") return hfair::Algorithm::kStride;
-  if (name == "stride_classic") return hfair::Algorithm::kStrideClassic;
-  if (name == "lottery") return hfair::Algorithm::kLottery;
-  if (name == "eevdf") return hfair::Algorithm::kEevdf;
-  return InvalidArgument("unknown fair-queue algorithm '" + name + "'");
+  for (const AlgorithmEntry& entry : kAlgorithms) {
+    if (name == entry.name) {
+      return entry.algorithm;
+    }
+  }
+  return InvalidArgument("unknown fair-queue algorithm '" + name +
+                         "' (valid: " + JoinNames(FairAlgorithmNames()) + ")");
 }
 
 }  // namespace
@@ -45,6 +73,17 @@ StatusOr<std::unique_ptr<hsfq::LeafScheduler>> MakeLeafScheduler(
   if (name == "fifo") {
     return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<FifoScheduler>());
   }
+  if (name == "edf") {
+    return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<EdfScheduler>());
+  }
+  if (name == "rma") {
+    return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<RmaScheduler>());
+  }
+  if (name == "rma:exact") {
+    RmaScheduler::Config config;
+    config.response_time_test = true;
+    return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<RmaScheduler>(config));
+  }
   if (name.rfind("fair:", 0) == 0) {
     auto algorithm = ParseAlgorithm(name.substr(5));
     if (!algorithm.ok()) {
@@ -53,16 +92,21 @@ StatusOr<std::unique_ptr<hsfq::LeafScheduler>> MakeLeafScheduler(
     return std::unique_ptr<hsfq::LeafScheduler>(std::make_unique<FairLeafScheduler>(
         hfair::MakeFairQueue(*algorithm, 20 * hscommon::kMillisecond)));
   }
-  std::string valid;
-  for (const std::string& n : LeafSchedulerNames()) {
-    valid += valid.empty() ? n : ", " + n;
-  }
-  return InvalidArgument("unknown leaf scheduler '" + name + "' (valid: " + valid +
-                         ")");
+  return InvalidArgument("unknown leaf scheduler '" + name +
+                         "' (valid: " + JoinNames(LeafSchedulerNames()) + ")");
 }
 
 std::vector<std::string> LeafSchedulerNames() {
-  return {"sfq", "ts_svr4", "rr", "fifo", "fair:<algo>"};
+  return {"sfq", "ts_svr4", "rr", "fifo", "edf", "rma", "rma:exact", "fair:<algo>"};
+}
+
+std::vector<std::string> FairAlgorithmNames() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kAlgorithms));
+  for (const AlgorithmEntry& entry : kAlgorithms) {
+    names.emplace_back(entry.name);
+  }
+  return names;
 }
 
 }  // namespace hleaf

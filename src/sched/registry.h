@@ -20,15 +20,21 @@ namespace hleaf {
 //   ts_svr4 | ts | svr4 — TsScheduler with the default dispatch table
 //   rr                  — RoundRobinScheduler
 //   fifo                — FifoScheduler
+//   edf                 — EdfScheduler (utilization-based admission, limit 1.0)
+//   rma                 — RmaScheduler (Liu–Layland admission bound)
+//   rma:exact           — RmaScheduler with exact response-time admission analysis
 //   fair:<algo>         — FairLeafScheduler over hfair::MakeFairQueue; <algo> is one
-//                         of sfq, wfq, wfq_actual, wfq_exact, fqs, scfq, stride,
-//                         stride_classic, lottery, eevdf (20ms assumed quantum)
+//                         of FairAlgorithmNames() (20ms assumed quantum)
 // Unknown names are an InvalidArgument error listing the valid choices.
 hscommon::StatusOr<std::unique_ptr<hsfq::LeafScheduler>> MakeLeafScheduler(
     const std::string& name);
 
-// The non-parameterized registry names, for help text ("fair:<algo>" is listed once).
+// The registry names, for help text ("fair:<algo>" is listed once, parameterized).
+// The single source of truth for every tool/shell listing of leaf-class choices.
 std::vector<std::string> LeafSchedulerNames();
+
+// The <algo> values accepted by "fair:<algo>", in registry order.
+std::vector<std::string> FairAlgorithmNames();
 
 }  // namespace hleaf
 

@@ -58,13 +58,30 @@ hscommon::StatusOr<ThreadId> System::CreateThread(std::string name, NodeId leaf,
   return id;
 }
 
-bool System::RefillBurst(Thread& t) {
+bool System::RefillBurst(Thread& t, int cpu) {
+  if (t.burst_deadline != 0) {
+    // The deadline-stamped burst that just completed (at now_): settle its job's
+    // deadline accounting exactly once, before the workload releases the next action.
+    ++t.stats.deadline_jobs;
+    if (now_ > t.burst_deadline) {
+      const Time tardiness = now_ - t.burst_deadline;
+      ++t.stats.deadline_misses;
+      t.stats.tardiness.Add(static_cast<double>(tardiness));
+      if (tracer_ != nullptr) {
+        const auto leaf = tree_.LeafOf(t.id);
+        tracer_->RecordDeadlineMiss(now_, leaf.ok() ? *leaf : hsfq::kInvalidNode, t.id,
+                                    tardiness, static_cast<uint32_t>(cpu));
+      }
+    }
+    t.burst_deadline = 0;
+  }
   while (t.burst_remaining == 0) {
     const WorkloadAction action = t.workload->NextAction(now_);
     switch (action.kind) {
       case WorkloadAction::Kind::kCompute:
         assert(action.work > 0);
         t.burst_remaining = action.work;
+        t.burst_deadline = action.deadline;
         break;
       case WorkloadAction::Kind::kSleep: {
         if (action.until <= now_) {
@@ -285,6 +302,7 @@ hscommon::Status System::Kill(ThreadId thread) {
   }
   t.wake_pending = false;
   t.burst_remaining = 0;
+  t.burst_deadline = 0;  // the in-flight job never completes: no miss event for it
   t.stats.exited = true;
   return hscommon::Status::Ok();
 }
@@ -805,7 +823,7 @@ void System::RunUntilSmp(Time until) {
       }
       Thread& t = ThreadRef(c.running);
       if (t.burst_remaining == 0) {
-        if (!RefillBurst(t)) {
+        if (!RefillBurst(t, static_cast<int>(ci))) {
           EndSlice(static_cast<int>(ci), /*still_runnable=*/false);  // slept or exited
           continue;
         }
@@ -884,11 +902,16 @@ hscommon::Status System::WriteStatsJson(const std::string& path) const {
     std::fprintf(f,
                  "    {\"id\": %zu, \"name\": \"%s\", \"service_ns\": %lld, "
                  "\"dispatches\": %llu, \"wakeups\": %llu, \"latency_mean_ns\": %.1f, "
-                 "\"latency_max_ns\": %.1f, \"exited\": %s}%s\n",
+                 "\"latency_max_ns\": %.1f, \"deadline_jobs\": %llu, "
+                 "\"deadline_misses\": %llu, \"tardiness_max_ns\": %.1f, "
+                 "\"exited\": %s}%s\n",
                  i, JsonEscape(t.name).c_str(), static_cast<long long>(t.stats.total_service),
                  static_cast<unsigned long long>(t.stats.dispatches),
                  static_cast<unsigned long long>(t.stats.wakeups),
                  t.stats.sched_latency.mean(), t.stats.sched_latency.max(),
+                 static_cast<unsigned long long>(t.stats.deadline_jobs),
+                 static_cast<unsigned long long>(t.stats.deadline_misses),
+                 t.stats.tardiness.max(),
                  t.stats.exited ? "true" : "false", i + 1 < threads_.size() ? "," : "");
   }
   std::fputs("  ],\n", f);

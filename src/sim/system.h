@@ -117,6 +117,12 @@ struct ThreadStats {
   uint64_t wakeups = 0;              // blocked -> runnable transitions
   hscommon::RunningStats sched_latency;  // wakeup -> first dispatch (ns)
   std::vector<double> latency_samples;
+  // Deadline-stamped compute bursts (WorkloadAction::ComputeBy) completed, and how
+  // many of those completed past their deadline. Tardiness = completion - deadline
+  // over the missed jobs only (ns). Jobs cut short by Kill() are not counted.
+  uint64_t deadline_jobs = 0;
+  uint64_t deadline_misses = 0;
+  hscommon::RunningStats tardiness;
   bool exited = false;
 };
 
@@ -285,6 +291,7 @@ class System {
     ThreadStats stats;
 
     Work burst_remaining = 0;   // remaining service of the current compute action
+    Time burst_deadline = 0;    // absolute deadline of that action (0 = none)
     bool runnable = false;      // known-runnable to the scheduling structure
     bool suspended = false;     // external Suspend in force
     bool wake_pending = false;  // a wake fired while suspended
@@ -319,8 +326,11 @@ class System {
 
   // Asks the workload for actions until it yields a compute burst; handles
   // sleep/lock/unlock/exit. Returns true if the thread is runnable (has a burst), false
-  // if it slept, blocked on a mutex, or exited.
-  bool RefillBurst(Thread& t);
+  // if it slept, blocked on a mutex, or exited. Entering with a deadline-stamped burst
+  // just completed (burst_deadline != 0) settles that job's deadline accounting —
+  // emitting kDeadlineMiss when now is past it — exactly once. `cpu` is the CPU the
+  // completed burst ran on (0 on the wake path, where no job is completing).
+  bool RefillBurst(Thread& t, int cpu = 0);
 
   // Remedy plumbing: forwards to the shared leaf scheduler's hooks when both threads
   // belong to the same leaf class.

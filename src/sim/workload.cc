@@ -38,6 +38,38 @@ WorkloadAction PeriodicWorkload::NextAction(Time now) {
   return WorkloadAction::SleepUntil(next_release);
 }
 
+Work RtPeriodicWorkload::JitteredComputation() {
+  if (jitter_ <= 0.0) {
+    return wcet_;
+  }
+  const double scale = 1.0 - jitter_ * prng_.UniformDouble();
+  const Work w = static_cast<Work>(static_cast<double>(wcet_) * scale);
+  return w < 1 ? 1 : w;
+}
+
+WorkloadAction RtPeriodicWorkload::NextAction(Time now) {
+  if (!started_) {
+    // First call: now is the release time of round 0.
+    started_ = true;
+    t0_ = now;
+    in_round_ = true;
+    const Time deadline = t0_ + relative_deadline_;
+    ++round_;
+    return WorkloadAction::ComputeBy(JitteredComputation(), deadline);
+  }
+  // Release the next job: at its scheduled time if it is still in the future, or
+  // immediately (back-to-back computes, no sleep) when the completed job overran it.
+  const Time release = t0_ + static_cast<Time>(round_) * period_;
+  if (in_round_ && release > now) {
+    in_round_ = false;
+    return WorkloadAction::SleepUntil(release);
+  }
+  in_round_ = true;
+  const Time deadline = release + relative_deadline_;
+  ++round_;
+  return WorkloadAction::ComputeBy(JitteredComputation(), deadline);
+}
+
 WorkloadAction InteractiveWorkload::NextAction(Time now) {
   if (computing_) {
     computing_ = false;

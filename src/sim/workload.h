@@ -40,9 +40,16 @@ struct WorkloadAction {
   Work work = 0;
   Time until = 0;
   MutexId mutex = 0;
+  // Absolute completion deadline of a compute burst (0 = none). A deadline-stamped
+  // burst that completes past this time makes the simulator emit a kDeadlineMiss
+  // trace event and count the miss in the thread's stats (src/rt metric family).
+  Time deadline = 0;
 
   static WorkloadAction Compute(Work work) {
     return {.kind = Kind::kCompute, .work = work};
+  }
+  static WorkloadAction ComputeBy(Work work, Time deadline) {
+    return {.kind = Kind::kCompute, .work = work, .deadline = deadline};
   }
   static WorkloadAction SleepUntil(Time until) {
     return {.kind = Kind::kSleep, .until = until};
@@ -111,6 +118,43 @@ class PeriodicWorkload : public Workload {
   uint64_t deadline_misses_ = 0;
   hscommon::RunningStats slack_;
   std::vector<double> slack_samples_;
+};
+
+// Deadline-aware periodic soft-real-time task — the video-conferencing / audio workload
+// of the rt scenario pack (src/rt/scenario_pack.h). Like PeriodicWorkload, but every
+// compute burst is stamped with its job's absolute deadline (release + relative
+// deadline), so the simulator's deadline-miss detection sees each job, and the per-job
+// computation jitters uniformly in [(1 - jitter) * wcet, wcet] — admission keeps using
+// the declared wcet, actual demand varies below it like a real encoder. Overruns queue:
+// a job released while the previous one still computes starts immediately after it,
+// keeping its own scheduled release time (and deadline), so tardiness under overload
+// grows at rate U - 1 instead of resetting each round.
+class RtPeriodicWorkload : public Workload {
+ public:
+  RtPeriodicWorkload(Time period, Work wcet, Time relative_deadline = 0,
+                     double jitter = 0.0, uint64_t seed = 1)
+      : prng_(seed),
+        period_(period),
+        wcet_(wcet),
+        relative_deadline_(relative_deadline > 0 ? relative_deadline : period),
+        jitter_(jitter < 0.0 ? 0.0 : (jitter > 1.0 ? 1.0 : jitter)) {}
+
+  WorkloadAction NextAction(Time now) override;
+
+  uint64_t jobs_released() const { return round_; }
+
+ private:
+  Work JitteredComputation();
+
+  hscommon::Prng prng_;
+  Time period_;
+  Work wcet_;
+  Time relative_deadline_;
+  double jitter_;
+  Time t0_ = 0;
+  uint64_t round_ = 0;  // jobs released so far; the in-flight job is round_ - 1
+  bool started_ = false;
+  bool in_round_ = false;  // a compute burst of the current round is outstanding
 };
 
 // Interactive user: exponential think time, then a short burst — background load with

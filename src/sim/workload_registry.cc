@@ -116,6 +116,33 @@ StatusOr<std::unique_ptr<Workload>> BuildPeriodic(const Kv& kv) {
       std::make_unique<PeriodicWorkload>(*period, *computation, *deadline));
 }
 
+StatusOr<std::unique_ptr<Workload>> BuildRtPeriodic(const Kv& kv) {
+  auto period = RequireTime(kv, "period");
+  if (!period.ok()) return period.status();
+  auto wcet = RequireTime(kv, "wcet");
+  if (!wcet.ok()) return wcet.status();
+  auto deadline = OptionalTime(kv, "deadline", 0);
+  if (!deadline.ok()) return deadline.status();
+  if (*period <= 0 || *wcet <= 0) {
+    return InvalidArgument("rt_periodic: period and wcet must be positive");
+  }
+  double jitter = 0.0;
+  if (const auto it = kv.find("jitter"); it != kv.end()) {
+    jitter = std::atof(it->second.c_str());
+    if (jitter < 0.0 || jitter > 1.0) {
+      return InvalidArgument("rt_periodic: jitter must be in [0, 1]");
+    }
+  }
+  uint64_t seed = 1;
+  if (kv.contains("seed")) {
+    auto parsed = RequireU64(kv, "seed");
+    if (!parsed.ok()) return parsed.status();
+    seed = *parsed;
+  }
+  return std::unique_ptr<Workload>(
+      std::make_unique<RtPeriodicWorkload>(*period, *wcet, *deadline, jitter, seed));
+}
+
 StatusOr<std::unique_ptr<Workload>> BuildInteractive(const Kv& kv) {
   auto seed = RequireU64(kv, "seed");
   if (!seed.ok()) return seed.status();
@@ -168,8 +195,9 @@ StatusOr<std::unique_ptr<Workload>> BuildTrace(const Kv& kv) {
 std::map<std::string, WorkloadBuilder>& Registry() {
   static auto* registry = new std::map<std::string, WorkloadBuilder>{
       {"cpu", BuildCpu},           {"periodic", BuildPeriodic},
-      {"interactive", BuildInteractive}, {"bursty", BuildBursty},
-      {"finite", BuildFinite},     {"trace", BuildTrace},
+      {"rt_periodic", BuildRtPeriodic},  {"interactive", BuildInteractive},
+      {"bursty", BuildBursty},     {"finite", BuildFinite},
+      {"trace", BuildTrace},
   };
   return *registry;
 }

@@ -8,6 +8,8 @@
 // Built-in kinds:
 //   cpu         [chunk=100ms]                      — always-runnable hog
 //   periodic    period=,computation=[,deadline=]   — hard-RT rounds (Figure 9)
+//   rt_periodic period=,wcet=[,deadline=,jitter=,seed=] — deadline-stamped jobs with
+//                jittered compute (RtPeriodicWorkload; drives kDeadlineMiss metrics)
 //   interactive seed=,think=,burst=                — exponential think/burst
 //   bursty      seed=,min_burst=,max_burst=,min_sleep=,max_sleep=
 //   finite      work=                              — batch job, exits when done

@@ -32,12 +32,12 @@ struct RunOutput {
   std::map<uint64_t, uint64_t> source_to_thread;  // source_id -> run's ThreadId
 };
 
-StatusOr<RunOutput> RunOne(const SynthScenario& scenario, const SchedDiffConfig& config,
+StatusOr<RunOutput> RunOne(const hsim::ScenarioSpec& spec, const SchedDiffConfig& config,
                            Time duration, const std::string& fault_spec) {
   if (config.cpus < 1) {
     return InvalidArgument("cpus must be >= 1");
   }
-  const Time until = duration > 0 ? duration : scenario.horizon;
+  const Time until = duration > 0 ? duration : spec.horizon;
   if (until <= 0) {
     return InvalidArgument("scenario has no horizon; pass an explicit duration");
   }
@@ -58,8 +58,6 @@ StatusOr<RunOutput> RunOne(const SynthScenario& scenario, const SchedDiffConfig&
     injector->Arm(sys);
   }
 
-  SynthOptions unused;  // seeds already live in each thread's spec
-  const hsim::ScenarioSpec spec = ToScenarioSpec(scenario, unused);
   auto binding = hsim::BuildScenario(spec, config.scheduler, hleaf::MakeLeafScheduler,
                                      sys);
   if (!binding.ok()) {
@@ -141,9 +139,9 @@ LatencyStats SummarizeLatencies(std::vector<Time> samples) {
 
 // Sibling-leaf pairs of the scenario tree, by path ("/a","/b" share parent "/").
 std::vector<std::pair<std::string, std::string>> SiblingLeafPairs(
-    const SynthScenario& scenario) {
+    const hsim::ScenarioSpec& spec) {
   std::map<std::string, std::vector<std::string>> by_parent;
-  for (const SynthNode& n : scenario.nodes) {
+  for (const hsim::ScenarioNodeSpec& n : spec.nodes) {
     if (!n.is_leaf) {
       continue;
     }
@@ -239,20 +237,42 @@ void AppendLatency(std::string& out, const LatencyStats& stats) {
   out += buf;
 }
 
+// Folds the analyzer's kAdmit/kDeadlineMiss accounting for one leaf path into the
+// report's summary form (all zeros when the leaf saw no RT traffic).
+LeafRtSummary RtSummaryFor(const TraceAnalyzer& analyzer, const std::string& path) {
+  LeafRtSummary out;
+  const auto id = analyzer.NodeByPath(path);
+  if (!id.ok()) {
+    return out;
+  }
+  for (const TraceAnalyzer::LeafRtStats& s : analyzer.PerLeafRtStats()) {
+    if (s.leaf != *id) {
+      continue;
+    }
+    out.releases = s.releases;
+    out.misses = s.misses;
+    out.miss_rate = s.miss_rate;
+    out.tardiness_p50 = TraceAnalyzer::Percentile(s.tardiness, 50);
+    out.tardiness_p99 = TraceAnalyzer::Percentile(s.tardiness, 99);
+    break;
+  }
+  return out;
+}
+
 }  // namespace
 
-StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
+StatusOr<SchedDiffReport> RunSchedDiff(const hsim::ScenarioSpec& spec,
                                        const SchedDiffOptions& options) {
   SchedDiffConfig a = options.a;
   SchedDiffConfig b = options.b;
   if (a.label.empty()) a.label = "a";
   if (b.label.empty()) b.label = "b";
 
-  auto run_a = RunOne(scenario, a, options.duration, options.fault_spec);
+  auto run_a = RunOne(spec, a, options.duration, options.fault_spec);
   if (!run_a.ok()) {
     return run_a.status();
   }
-  auto run_b = RunOne(scenario, b, options.duration, options.fault_spec);
+  auto run_b = RunOne(spec, b, options.duration, options.fault_spec);
   if (!run_b.ok()) {
     return run_b.status();
   }
@@ -271,7 +291,7 @@ StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
     Work b;
   };
   std::vector<std::pair<std::string, LeafServices>> services;
-  for (const SynthNode& node : scenario.nodes) {
+  for (const hsim::ScenarioNodeSpec& node : spec.nodes) {
     if (!node.is_leaf) {
       continue;
     }
@@ -298,11 +318,14 @@ StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
     diff.share_b = total_b > 0 ? static_cast<double>(s.b) / static_cast<double>(total_b)
                                : 0.0;
     diff.share_delta = diff.share_b - diff.share_a;
+    diff.rt_a = RtSummaryFor(*run_a->analyzer, path);
+    diff.rt_b = RtSummaryFor(*run_b->analyzer, path);
+    diff.miss_rate_delta = diff.rt_b.miss_rate - diff.rt_a.miss_rate;
     report.leaves.push_back(std::move(diff));
   }
 
   // §3 fairness gaps over the full run window for every sibling-leaf pair.
-  for (const auto& [f, g] : SiblingLeafPairs(scenario)) {
+  for (const auto& [f, g] : SiblingLeafPairs(spec)) {
     SiblingGap gap;
     gap.f = f;
     gap.g = g;
@@ -322,7 +345,7 @@ StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
   }
 
   // Wakeup -> dispatch latencies, correlated by source thread id.
-  for (const SynthThread& thread : scenario.threads) {
+  for (const hsim::ScenarioThreadSpec& thread : spec.threads) {
     ThreadLatencyDiff diff;
     diff.source_id = thread.source_id;
     diff.name = thread.name;
@@ -339,6 +362,12 @@ StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
   return report;
 }
 
+StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
+                                       const SchedDiffOptions& options) {
+  SynthOptions unused;  // seeds already live in each thread's spec
+  return RunSchedDiff(ToScenarioSpec(scenario, unused), options);
+}
+
 Status WriteSchedDiffJson(const SchedDiffReport& report, const std::string& path) {
   std::string out = "{\n  \"a\": {\n";
   AppendRunSummary(out, report.a, "    ");
@@ -347,14 +376,27 @@ Status WriteSchedDiffJson(const SchedDiffReport& report, const std::string& path
   out += "  },\n  \"leaves\": [\n";
   for (size_t i = 0; i < report.leaves.size(); ++i) {
     const LeafDiff& leaf = report.leaves[i];
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  ", \"weight\": %llu, \"service_a_ns\": %lld, \"service_b_ns\": "
-                  "%lld, \"share_a\": %.6f, \"share_b\": %.6f, \"share_delta\": %.6f}",
-                  static_cast<unsigned long long>(leaf.weight),
-                  static_cast<long long>(leaf.service_a),
-                  static_cast<long long>(leaf.service_b), leaf.share_a, leaf.share_b,
-                  leaf.share_delta);
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"weight\": %llu, \"service_a_ns\": %lld, \"service_b_ns\": "
+        "%lld, \"share_a\": %.6f, \"share_b\": %.6f, \"share_delta\": %.6f, "
+        "\"releases_a\": %llu, \"misses_a\": %llu, \"miss_rate_a\": %.6f, "
+        "\"tardiness_p50_a_ns\": %lld, \"tardiness_p99_a_ns\": %lld, "
+        "\"releases_b\": %llu, \"misses_b\": %llu, \"miss_rate_b\": %.6f, "
+        "\"tardiness_p50_b_ns\": %lld, \"tardiness_p99_b_ns\": %lld, "
+        "\"miss_rate_delta\": %.6f}",
+        static_cast<unsigned long long>(leaf.weight),
+        static_cast<long long>(leaf.service_a), static_cast<long long>(leaf.service_b),
+        leaf.share_a, leaf.share_b, leaf.share_delta,
+        static_cast<unsigned long long>(leaf.rt_a.releases),
+        static_cast<unsigned long long>(leaf.rt_a.misses), leaf.rt_a.miss_rate,
+        static_cast<long long>(leaf.rt_a.tardiness_p50),
+        static_cast<long long>(leaf.rt_a.tardiness_p99),
+        static_cast<unsigned long long>(leaf.rt_b.releases),
+        static_cast<unsigned long long>(leaf.rt_b.misses), leaf.rt_b.miss_rate,
+        static_cast<long long>(leaf.rt_b.tardiness_p50),
+        static_cast<long long>(leaf.rt_b.tardiness_p99), leaf.miss_rate_delta);
     out += "    {\"path\": " + JsonString(leaf.path) + buf;
     out += i + 1 < report.leaves.size() ? ",\n" : "\n";
   }
@@ -429,6 +471,37 @@ std::string FormatSchedDiffReport(const SchedDiffReport& report) {
                   100.0 * leaf.share_b, 100.0 * leaf.share_delta);
     out += buf;
   }
+  // Deadline metrics only when some leaf actually ran deadline-stamped work.
+  bool any_rt = false;
+  for (const LeafDiff& leaf : report.leaves) {
+    any_rt |= leaf.rt_a.releases > 0 || leaf.rt_b.releases > 0 ||
+              leaf.rt_a.misses > 0 || leaf.rt_b.misses > 0;
+  }
+  if (any_rt) {
+    out += "per-leaf deadline metrics (miss rate, tardiness p50/p99 us):\n";
+    for (const LeafDiff& leaf : report.leaves) {
+      if (leaf.rt_a.releases == 0 && leaf.rt_b.releases == 0 &&
+          leaf.rt_a.misses == 0 && leaf.rt_b.misses == 0) {
+        continue;
+      }
+      std::snprintf(
+          buf, sizeof(buf),
+          "  %-24s %s=%5.2f%% (%llu/%llu) %lld/%lld  %s=%5.2f%% (%llu/%llu) "
+          "%lld/%lld  delta=%+.2f%%\n",
+          leaf.path.c_str(), report.a.label.c_str(), 100.0 * leaf.rt_a.miss_rate,
+          static_cast<unsigned long long>(leaf.rt_a.misses),
+          static_cast<unsigned long long>(leaf.rt_a.releases),
+          static_cast<long long>(leaf.rt_a.tardiness_p50 / hscommon::kMicrosecond),
+          static_cast<long long>(leaf.rt_a.tardiness_p99 / hscommon::kMicrosecond),
+          report.b.label.c_str(), 100.0 * leaf.rt_b.miss_rate,
+          static_cast<unsigned long long>(leaf.rt_b.misses),
+          static_cast<unsigned long long>(leaf.rt_b.releases),
+          static_cast<long long>(leaf.rt_b.tardiness_p50 / hscommon::kMicrosecond),
+          static_cast<long long>(leaf.rt_b.tardiness_p99 / hscommon::kMicrosecond),
+          100.0 * leaf.miss_rate_delta);
+      out += buf;
+    }
+  }
   if (!report.sibling_gaps.empty()) {
     out += "sibling fairness gaps (ns of service per unit weight, full window):\n";
     for (const SiblingGap& gap : report.sibling_gaps) {
@@ -455,10 +528,10 @@ std::string FormatSchedDiffReport(const SchedDiffReport& report) {
   return out;
 }
 
-StatusOr<RunSummary> ReplayAndCheck(const SynthScenario& scenario,
+StatusOr<RunSummary> ReplayAndCheck(const hsim::ScenarioSpec& spec,
                                     const SchedDiffConfig& config, Time duration,
                                     const std::string& fault_spec) {
-  auto run = RunOne(scenario, config, duration, fault_spec);
+  auto run = RunOne(spec, config, duration, fault_spec);
   if (!run.ok()) {
     return run.status();
   }
@@ -468,6 +541,13 @@ StatusOr<RunSummary> ReplayAndCheck(const SynthScenario& scenario,
                            " events to ring wraparound; verdict would be unsound");
   }
   return run->summary;
+}
+
+StatusOr<RunSummary> ReplayAndCheck(const SynthScenario& scenario,
+                                    const SchedDiffConfig& config, Time duration,
+                                    const std::string& fault_spec) {
+  SynthOptions unused;
+  return ReplayAndCheck(ToScenarioSpec(scenario, unused), config, duration, fault_spec);
 }
 
 }  // namespace hsynth

@@ -1,8 +1,11 @@
-// Differential scheduler comparison: instantiate ONE synthesized scenario under two
+// Differential scheduler comparison: instantiate ONE scenario under two
 // scheduler/CPU configurations, run both deterministically, and report what changed —
-// per-leaf service shares, §3 sibling fairness gaps, and per-thread wakeup->dispatch
-// latency distributions — plus each run's invariant-checker verdict. Machine-readable
-// via WriteSchedDiffJson (schema in docs/observability.md), human-readable via
+// per-leaf service shares, §3 sibling fairness gaps, per-thread wakeup->dispatch
+// latency distributions, and (for deadline-stamped workloads) per-leaf miss rates and
+// tardiness percentiles — plus each run's invariant-checker verdict. The core runs on
+// any hsim::ScenarioSpec (hand-built, rt scenario pack, or synthesized); the
+// SynthScenario overloads delegate through ToScenarioSpec. Machine-readable via
+// WriteSchedDiffJson (schema in docs/observability.md), human-readable via
 // FormatSchedDiffReport. tools/sched_diff is the CLI.
 
 #ifndef HSCHED_SRC_SYNTH_SCHED_DIFF_H_
@@ -42,6 +45,18 @@ struct SchedDiffOptions {
   std::string fault_spec;
 };
 
+// Real-time metric family of one leaf under one configuration, folded from the
+// kAdmit/kDeadlineMiss trace events (all zero for leaves without deadline-stamped
+// workloads). miss_rate is misses / max(releases, misses) — a conservative upper
+// bound, since an overrunning thread chains jobs without a fresh wakeup.
+struct LeafRtSummary {
+  uint64_t releases = 0;
+  uint64_t misses = 0;
+  double miss_rate = 0;
+  Time tardiness_p50 = 0;  // nearest-rank percentiles over the missed jobs (ns)
+  Time tardiness_p99 = 0;
+};
+
 // Per-leaf service comparison. Shares are fractions of the run's total leaf service.
 struct LeafDiff {
   std::string path;
@@ -51,6 +66,9 @@ struct LeafDiff {
   double share_a = 0;
   double share_b = 0;
   double share_delta = 0;  // share_b - share_a
+  LeafRtSummary rt_a;
+  LeafRtSummary rt_b;
+  double miss_rate_delta = 0;  // rt_b.miss_rate - rt_a.miss_rate
 };
 
 // §3 gap |W_f/r_f − W_g/r_g| between two sibling leaves over the whole run window, in
@@ -116,7 +134,12 @@ struct SchedDiffReport {
   std::vector<ThreadLatencyDiff> latencies;
 };
 
-// Runs the scenario under both configurations and diffs them.
+// Runs the scenario under both configurations and diffs them. The ScenarioSpec form
+// is the core: any leaf whose spec names no scheduler gets each side's
+// `scheduler` (so rt-pack and synthesized scenarios compare class schedulers, while
+// pinned leaves stay identical across both runs).
+hscommon::StatusOr<SchedDiffReport> RunSchedDiff(const hsim::ScenarioSpec& spec,
+                                                 const SchedDiffOptions& options);
 hscommon::StatusOr<SchedDiffReport> RunSchedDiff(const SynthScenario& scenario,
                                                  const SchedDiffOptions& options);
 
@@ -130,6 +153,10 @@ std::string FormatSchedDiffReport(const SchedDiffReport& report);
 // The CI roundtrip gate: run the scenario under ONE configuration and invariant-check
 // the replayed trace. Returns the run summary (callers gate on violations == 0; a
 // truncated replay trace is an error, not a checker pass).
+hscommon::StatusOr<RunSummary> ReplayAndCheck(const hsim::ScenarioSpec& spec,
+                                              const SchedDiffConfig& config,
+                                              Time duration = 0,
+                                              const std::string& fault_spec = "");
 hscommon::StatusOr<RunSummary> ReplayAndCheck(const SynthScenario& scenario,
                                               const SchedDiffConfig& config,
                                               Time duration = 0,

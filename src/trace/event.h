@@ -53,6 +53,12 @@ enum class EventType : uint8_t {
   kMigrate = 18,     // node = leaf, a = source CPU, b = destination CPU,
                      // flags bit0 = work-steal (0 = rebalance pass), bit1 = the
                      // leaf's home moved (a steal without it is a one-slice borrow)
+  // Real-time leaf classes (src/rt): admission control and deadline accounting.
+  kAdmit = 19,       // node = leaf, a = thread, b = would-be utilization of the leaf
+                     // in ppm (booked + requested), flags bit0 = accepted,
+                     // name = leaf scheduler name (paper's hsfq_admin)
+  kDeadlineMiss = 20,// node = leaf, a = thread, b = tardiness (completion - deadline,
+                     // ns); emitted once per job that completes past its deadline
 };
 
 // Human-readable tag, for dumps and diff reports.

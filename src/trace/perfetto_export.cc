@@ -140,6 +140,33 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
                ", \"magnitude_ns\": " + std::to_string(e.b) + "}");
         break;
       }
+      case EventType::kAdmit: {
+        // Thread-scoped instant on the probed leaf's track: admission verdict with the
+        // would-be utilization, so rejected probes are visible next to the workload
+        // they would have joined.
+        const std::string sched(e.name, strnlen(e.name, kEventNameCapacity));
+        const bool accepted = (e.flags & 1u) != 0;
+        w.Emit("\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": " +
+               std::to_string(e.node) + ", \"ts\": " + Us(e.time) +
+               ", \"name\": \"admit " + std::string(accepted ? "ok" : "REJECT") + " " +
+               JsonEscape(ThreadLabel(analyzer, e.a)) +
+               "\", \"args\": {\"thread\": " + std::to_string(e.a) +
+               ", \"scheduler\": \"" + JsonEscape(sched) +
+               "\", \"accepted\": " + (accepted ? "true" : "false") +
+               ", \"utilization_ppm\": " + std::to_string(e.b) + "}");
+        break;
+      }
+      case EventType::kDeadlineMiss: {
+        // Process-scoped marker (like faults): a missed deadline is the headline
+        // failure signal for an RT run and should be visible on every track.
+        w.Emit("\"ph\": \"i\", \"s\": \"p\", \"pid\": 1, \"tid\": 0, \"ts\": " +
+               Us(e.time) + ", \"name\": \"deadline-miss " +
+               JsonEscape(ThreadLabel(analyzer, e.a)) +
+               "\", \"args\": {\"thread\": " + std::to_string(e.a) +
+               ", \"node\": " + std::to_string(e.node) +
+               ", \"tardiness_ns\": " + std::to_string(e.b) + "}");
+        break;
+      }
       case EventType::kMigrate:
         // Instant on the destination CPU's track: a leaf crossed shards, either
         // stolen by an idle/lagging CPU or rehomed by a rebalance pass.

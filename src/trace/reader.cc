@@ -201,6 +201,68 @@ std::vector<TraceAnalyzer::CpuStats> TraceAnalyzer::PerCpuStats() const {
   return out;
 }
 
+std::vector<TraceAnalyzer::LeafRtStats> TraceAnalyzer::PerLeafRtStats() const {
+  std::map<uint32_t, LeafRtStats> by_leaf;
+  const auto at = [&by_leaf](uint32_t leaf) -> LeafRtStats& {
+    LeafRtStats& s = by_leaf[leaf];
+    s.leaf = leaf;
+    return s;
+  };
+  for (const TraceEvent& e : events_) {
+    switch (e.type) {
+      case EventType::kSetRun:
+        ++at(e.node).releases;
+        break;
+      case EventType::kDeadlineMiss: {
+        LeafRtStats& s = at(e.node);
+        ++s.misses;
+        s.tardiness.push_back(e.b);
+        break;
+      }
+      case EventType::kAdmit:
+        if ((e.flags & 1u) != 0) {
+          ++at(e.node).admits_accepted;
+        } else {
+          ++at(e.node).admits_rejected;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<LeafRtStats> out;
+  out.reserve(by_leaf.size());
+  for (auto& [leaf, s] : by_leaf) {
+    std::sort(s.tardiness.begin(), s.tardiness.end());
+    const uint64_t denom = std::max(s.releases, s.misses);
+    s.miss_rate =
+        denom > 0 ? static_cast<double>(s.misses) / static_cast<double>(denom) : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Time TraceAnalyzer::Percentile(const std::vector<Time>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  if (p <= 0) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  size_t idx = static_cast<size_t>(rank);
+  if (static_cast<double>(idx) < rank) {
+    ++idx;  // ceil
+  }
+  if (idx == 0) {
+    idx = 1;
+  }
+  if (idx > sorted.size()) {
+    idx = sorted.size();
+  }
+  return sorted[idx - 1];
+}
+
 std::vector<Time> TraceAnalyzer::DispatchLatencies(uint64_t thread) const {
   std::vector<Time> out;
   Time pending_wake = -1;

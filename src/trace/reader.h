@@ -132,6 +132,29 @@ class TraceAnalyzer {
   // appear in the stream), ordered by CPU id.
   std::vector<CpuStats> PerCpuStats() const;
 
+  // Real-time metric family of one leaf, folded from the kAdmit / kDeadlineMiss
+  // events (src/rt). `releases` counts kSetRun wakeups into the leaf — each wakeup is
+  // a job release for periodic RT threads. An overrunning thread chains jobs without
+  // blocking (one wake covers several jobs), so releases undercounts under overload;
+  // miss_rate is then a conservative upper bound, which is the useful direction.
+  struct LeafRtStats {
+    uint32_t leaf = 0;
+    uint64_t releases = 0;         // kSetRun wakeups into this leaf
+    uint64_t misses = 0;           // kDeadlineMiss events on this leaf
+    uint64_t admits_accepted = 0;  // kAdmit probes with the accepted flag
+    uint64_t admits_rejected = 0;
+    double miss_rate = 0.0;        // misses / max(releases, misses)
+    std::vector<Time> tardiness;   // per-miss completion - deadline, sorted ascending
+  };
+
+  // One entry per leaf that saw any wakeup, admission probe, or deadline miss,
+  // ordered by leaf id.
+  std::vector<LeafRtStats> PerLeafRtStats() const;
+
+  // Nearest-rank percentile of an ascending-sorted sample vector (p in [0, 100]);
+  // 0 when empty.
+  static Time Percentile(const std::vector<Time>& sorted, double p);
+
   // Events lost to ring wraparound before this stream (0 = complete trace). When
   // non-zero, the stream starts mid-scenario: early structural events may be missing
   // and absolute service totals undercount.

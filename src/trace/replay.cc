@@ -26,6 +26,8 @@ const char* EventTypeName(EventType type) {
     case EventType::kFault: return "Fault";
     case EventType::kMoveNode: return "MoveNode";
     case EventType::kMigrate: return "Migrate";
+    case EventType::kAdmit: return "Admit";
+    case EventType::kDeadlineMiss: return "DeadlineMiss";
   }
   return "Unknown";
 }

@@ -243,6 +243,27 @@ class Tracer {
                         static_cast<uint16_t>(cpu)));
   }
 
+  // --- Real-time leaf taps (src/rt) ---
+
+  // An admission decision at an admission-controlled leaf (the paper's hsfq_admin):
+  // `would_be_utilization_ppm` is the leaf's booked utilization plus the requested
+  // task's C/T, in parts per million; `scheduler` names the leaf class ("edf", "rma").
+  void RecordAdmit(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                   int64_t would_be_utilization_ppm, bool accepted,
+                   std::string_view scheduler, uint32_t cpu = 0) {
+    if (!enabled_) return;
+    Push(cpu, MakeEvent(EventType::kAdmit, now, leaf, thread,
+                        would_be_utilization_ppm, accepted ? 1 : 0, scheduler,
+                        static_cast<uint16_t>(cpu)));
+  }
+  // A deadline-stamped job completed `tardiness` ns past its absolute deadline.
+  void RecordDeadlineMiss(hscommon::Time now, uint32_t leaf, uint64_t thread,
+                          hscommon::Time tardiness, uint32_t cpu = 0) {
+    if (!enabled_) return;
+    Push(cpu, MakeEvent(EventType::kDeadlineMiss, now, leaf, thread, tardiness, 0, {},
+                        static_cast<uint16_t>(cpu)));
+  }
+
   // --- Fault-injection taps (src/fault) ---
 
   // `kind` is a short tag like "drop-wake"; `magnitude` is the fault's size in

@@ -317,6 +317,56 @@ TEST(InvariantCheckerTest, WindowLocalLmaxTightensTheBound) {
   EXPECT_TRUE(HasKind(violations, Kind::kFairnessGap));
 }
 
+TEST(InvariantCheckerTest, AdmitProbeMustTargetLiveLeaf) {
+  // A probe against a leaf that was since removed (or an interior node) is a
+  // structural inconsistency; a well-formed probe — accepted or rejected — is clean.
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 0, "interior"));
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 2, 1, 1, 1, "rt"));
+  events.push_back(
+      MakeEvent(EventType::kAdmit, kMillisecond, 2, 7, 600'000, 1, "EDF"));
+  events.push_back(
+      MakeEvent(EventType::kAdmit, kMillisecond, 2, 8, 1'100'000, 0, "EDF"));
+  EXPECT_TRUE(InvariantChecker::Check(events).empty());
+
+  events.push_back(
+      MakeEvent(EventType::kAdmit, 2 * kMillisecond, 1, 9, 100'000, 1, "EDF"));
+  EXPECT_TRUE(HasKind(InvariantChecker::Check(events), Kind::kTreeInconsistency));
+}
+
+TEST(InvariantCheckerTest, DeadlineMissValidation) {
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "rt"));
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 2, 0, 1, 1, "other"));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 1, 7, 1));
+  {
+    // A miss for a thread that was never attached.
+    auto bad = events;
+    bad.push_back(MakeEvent(EventType::kDeadlineMiss, kMillisecond, 1, 99, 500));
+    EXPECT_TRUE(HasKind(InvariantChecker::Check(bad), Kind::kTreeInconsistency));
+  }
+  {
+    // A miss reported on a different leaf than the thread is attached to.
+    auto bad = events;
+    bad.push_back(MakeEvent(EventType::kDeadlineMiss, kMillisecond, 2, 7, 500));
+    EXPECT_TRUE(HasKind(InvariantChecker::Check(bad), Kind::kTreeInconsistency));
+  }
+  {
+    // Tardiness must be positive: a "miss" at or before the deadline is a
+    // contradiction in terms.
+    auto bad = events;
+    bad.push_back(MakeEvent(EventType::kDeadlineMiss, kMillisecond, 1, 7, 0));
+    EXPECT_TRUE(HasKind(InvariantChecker::Check(bad), Kind::kDeadlineMiss));
+  }
+  // A well-formed miss is tolerated by default...
+  events.push_back(MakeEvent(EventType::kDeadlineMiss, kMillisecond, 1, 7, 500));
+  EXPECT_TRUE(InvariantChecker::Check(events).empty());
+  // ...and a violation when the run was declared miss-free.
+  InvariantChecker::Options opts;
+  opts.expect_no_deadline_miss = true;
+  EXPECT_TRUE(HasKind(InvariantChecker::Check(events, opts), Kind::kDeadlineMiss));
+}
+
 TEST(InvariantCheckerTest, ReportNamesTheViolation) {
   std::vector<TraceEvent> events;
   events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "leaf"));

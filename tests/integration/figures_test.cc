@@ -10,7 +10,7 @@
 #include "src/metrics/metrics.h"
 #include "src/mpeg/player.h"
 #include "src/mpeg/trace.h"
-#include "src/sched/rma.h"
+#include "src/rt/rma.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sched/ts_svr4.h"
 #include "src/sim/system.h"

@@ -7,10 +7,10 @@
 #include <memory>
 
 #include "src/fair/make.h"
-#include "src/sched/edf.h"
+#include "src/rt/edf.h"
 #include "src/sched/fair_leaf.h"
 #include "src/sched/reserve.h"
-#include "src/sched/rma.h"
+#include "src/rt/rma.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sched/simple.h"
 #include "src/sched/ts_svr4.h"

@@ -16,7 +16,7 @@
 
 #include "src/fair/make.h"
 #include "src/hsfq/structure.h"
-#include "src/sched/edf.h"
+#include "src/rt/edf.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/tracer.h"

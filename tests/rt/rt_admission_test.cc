@@ -1,0 +1,98 @@
+// The pure admission analyses behind hsfq_admin (src/rt/admission): EDF utilization,
+// the RMA Liu–Layland bound, and exact response-time analysis.
+
+#include "src/rt/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hrt {
+namespace {
+
+TEST(AdmissionTest, TaskUtilization) {
+  EXPECT_DOUBLE_EQ(TaskUtilization({.period = 100, .computation = 25}), 0.25);
+  EXPECT_DOUBLE_EQ(
+      TotalUtilization({{.period = 100, .computation = 25},
+                        {.period = 200, .computation = 100}}),
+      0.75);
+}
+
+TEST(AdmissionTest, LiuLaylandBound) {
+  EXPECT_DOUBLE_EQ(LiuLaylandBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(LiuLaylandBound(1), 1.0);
+  EXPECT_NEAR(LiuLaylandBound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(LiuLaylandBound(3), 0.7798, 1e-3);
+  // Monotone decreasing towards ln 2 ~ 0.6931.
+  EXPECT_GT(LiuLaylandBound(1000), 0.6931);
+  EXPECT_LT(LiuLaylandBound(1000), LiuLaylandBound(3));
+}
+
+TEST(AdmissionTest, EdfUtilizationTest) {
+  // Exactly full is feasible; anything past is not.
+  EXPECT_TRUE(EdfFeasible({{.period = 100, .computation = 50},
+                           {.period = 100, .computation = 50}}));
+  EXPECT_FALSE(EdfFeasible({{.period = 100, .computation = 50},
+                            {.period = 100, .computation = 51}}));
+  // cpu_fraction scales the budget: 0.5 of a CPU fits 0.5 of demand.
+  EXPECT_TRUE(EdfFeasible({{.period = 100, .computation = 50}}, 0.5));
+  EXPECT_FALSE(EdfFeasible({{.period = 100, .computation = 51}}, 0.5));
+  EXPECT_TRUE(EdfFeasible({}));
+}
+
+TEST(AdmissionTest, RmaLiuLaylandIsSufficientNotNecessary) {
+  // Harmonic periods: schedulable up to U = 1 by RMA, but the LL bound (0.828 at
+  // n = 2) already says no at 0.9 — the conservative direction.
+  const std::vector<RtTask> harmonic = {{.period = 100, .computation = 45},
+                                        {.period = 200, .computation = 90}};
+  EXPECT_FALSE(RmaFeasibleLiuLayland(harmonic));
+  // Response-time analysis is exact and admits the same set.
+  EXPECT_TRUE(RmaFeasibleResponseTime(harmonic));
+}
+
+TEST(AdmissionTest, ResponseTimeAnalysisMatchesHandComputation) {
+  // Classic example: T1=(C=1,T=4), T2=(C=2,T=6), T3=(C=3,T=12).
+  // R1=1, R2=3, R3=1+2+3 -> iterate: R3 = 3 + ceil(R/4)*1 + ceil(R/6)*2 = 10 <= 12.
+  const std::vector<RtTask> set = {{.period = 4, .computation = 1},
+                                   {.period = 6, .computation = 2},
+                                   {.period = 12, .computation = 3}};
+  EXPECT_TRUE(RmaFeasibleResponseTime(set));
+  // Utilization 1/4 + 2/6 + 3/12 = 0.833 > LL(3) = 0.7798: the bound rejects what
+  // the exact test proves feasible.
+  EXPECT_FALSE(RmaFeasibleLiuLayland(set));
+
+  // C3=5 lands exactly on the deadline (R3 = 12): still feasible.
+  const std::vector<RtTask> exact = {{.period = 4, .computation = 1},
+                                     {.period = 6, .computation = 2},
+                                     {.period = 12, .computation = 5}};
+  EXPECT_TRUE(RmaFeasibleResponseTime(exact));
+  // C3=6 pushes R3 to 13 > 12: infeasible.
+  const std::vector<RtTask> infeasible = {{.period = 4, .computation = 1},
+                                          {.period = 6, .computation = 2},
+                                          {.period = 12, .computation = 6}};
+  EXPECT_FALSE(RmaFeasibleResponseTime(infeasible));
+}
+
+TEST(AdmissionTest, ResponseTimeHonorsConstrainedDeadlines) {
+  // R(low-priority task) = 30 + ceil(R/50)*20 converges to 50: feasible with the
+  // implicit deadline (100), infeasible once the deadline tightens below 50.
+  const RtTask relaxed = {.period = 100, .computation = 30};
+  const RtTask other = {.period = 50, .computation = 20};
+  EXPECT_TRUE(RmaFeasibleResponseTime({other, relaxed}));
+  const RtTask tight = {.period = 100, .computation = 30, .relative_deadline = 40};
+  EXPECT_FALSE(RmaFeasibleResponseTime({other, tight}));
+  const RtTask loose = {.period = 100, .computation = 30, .relative_deadline = 55};
+  EXPECT_TRUE(RmaFeasibleResponseTime({other, loose}));
+}
+
+TEST(AdmissionTest, CpuFractionInflatesCost) {
+  // One task at U = 0.4: fits a 0.5-CPU class, not a 0.3-CPU class.
+  const std::vector<RtTask> set = {{.period = 100, .computation = 40}};
+  EXPECT_TRUE(RmaFeasibleResponseTime(set, 0.5));
+  EXPECT_FALSE(RmaFeasibleResponseTime(set, 0.3));
+  EXPECT_TRUE(RmaFeasibleLiuLayland(set, 0.5));
+  EXPECT_FALSE(RmaFeasibleLiuLayland(set, 0.3));
+}
+
+}  // namespace
+}  // namespace hrt

@@ -1,0 +1,116 @@
+// Error-path coverage for the leaf-scheduler registry (src/sched/registry): unknown
+// names fail with typed statuses that list the valid choices, and the RT classes
+// resolve to schedulers whose parameter validation rejects malformed ThreadParams
+// instead of asserting.
+
+#include "src/sched/registry.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/hsfq/structure.h"
+
+namespace {
+
+using hsfq::ThreadParams;
+
+bool Contains(const std::vector<std::string>& names, const std::string& want) {
+  return std::find(names.begin(), names.end(), want) != names.end();
+}
+
+TEST(RegistryTest, KnownNamesResolve) {
+  for (const char* name : {"sfq", "ts_svr4", "rr", "fifo", "edf", "rma", "rma:exact",
+                           "fair:sfq", "fair:wfq"}) {
+    auto made = hleaf::MakeLeafScheduler(name);
+    ASSERT_TRUE(made.ok()) << name << ": " << made.status().ToString();
+    ASSERT_NE(*made, nullptr) << name;
+  }
+}
+
+TEST(RegistryTest, UnknownLeafNameListsValidChoices) {
+  auto made = hleaf::MakeLeafScheduler("no-such-scheduler");
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), hscommon::StatusCode::kInvalidArgument);
+  // The message must enumerate the registry so a CLI user can self-correct.
+  for (const std::string& name : hleaf::LeafSchedulerNames()) {
+    EXPECT_NE(made.status().message().find(name), std::string::npos)
+        << "error message does not mention '" << name
+        << "': " << made.status().message();
+  }
+}
+
+TEST(RegistryTest, UnknownFairAlgorithmListsAlgorithms) {
+  auto made = hleaf::MakeLeafScheduler("fair:bogus");
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), hscommon::StatusCode::kInvalidArgument);
+  ASSERT_FALSE(hleaf::FairAlgorithmNames().empty());
+  for (const std::string& algo : hleaf::FairAlgorithmNames()) {
+    EXPECT_NE(made.status().message().find(algo), std::string::npos)
+        << "error message does not mention fair algorithm '" << algo
+        << "': " << made.status().message();
+  }
+}
+
+TEST(RegistryTest, NameListIsTheSingleSourceOfTruth) {
+  const std::vector<std::string> names = hleaf::LeafSchedulerNames();
+  for (const char* want : {"sfq", "edf", "rma", "rma:exact"}) {
+    EXPECT_TRUE(Contains(names, want)) << want;
+  }
+  // Every concrete (non-parameterized) listed name must construct.
+  for (const std::string& name : names) {
+    if (name.find('<') != std::string::npos) {
+      continue;  // "fair:<algo>" is a template entry, not a literal name
+    }
+    auto made = hleaf::MakeLeafScheduler(name);
+    EXPECT_TRUE(made.ok()) << name << ": " << made.status().ToString();
+  }
+}
+
+// The RT classes reject malformed per-thread params with InvalidArgument (no asserts,
+// no silent acceptance): a zero period or computation makes utilization undefined.
+TEST(RegistryTest, RtClassesRejectMissingParams) {
+  for (const char* name : {"edf", "rma", "rma:exact"}) {
+    auto made = hleaf::MakeLeafScheduler(name);
+    ASSERT_TRUE(made.ok()) << name;
+    auto& sched = **made;
+
+    const auto no_params = sched.AddThread(1, ThreadParams{});
+    EXPECT_EQ(no_params.code(), hscommon::StatusCode::kInvalidArgument) << name;
+
+    ThreadParams no_period;
+    no_period.computation = 1000;
+    EXPECT_EQ(sched.AddThread(2, no_period).code(),
+              hscommon::StatusCode::kInvalidArgument)
+        << name;
+
+    ThreadParams bad_deadline;
+    bad_deadline.period = 10'000'000;
+    bad_deadline.computation = 1'000'000;
+    bad_deadline.relative_deadline = 20'000'000;  // > period
+    EXPECT_EQ(sched.AddThread(3, bad_deadline).code(),
+              hscommon::StatusCode::kInvalidArgument)
+        << name;
+
+    // A well-formed task still goes through on the same instance.
+    ThreadParams good;
+    good.period = 10'000'000;
+    good.computation = 1'000'000;
+    EXPECT_TRUE(sched.AddThread(4, good).ok()) << name;
+  }
+}
+
+TEST(RegistryTest, RtClassesAdvertiseAdmissionControl) {
+  for (const char* name : {"edf", "rma", "rma:exact"}) {
+    auto made = hleaf::MakeLeafScheduler(name);
+    ASSERT_TRUE(made.ok()) << name;
+    EXPECT_TRUE((*made)->HasAdmissionControl()) << name;
+    EXPECT_EQ((*made)->BookedUtilization(), 0.0) << name;
+  }
+  auto sfq = hleaf::MakeLeafScheduler("sfq");
+  ASSERT_TRUE(sfq.ok());
+  EXPECT_FALSE((*sfq)->HasAdmissionControl());
+}
+
+}  // namespace

@@ -2,8 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include "src/sched/edf.h"
-#include "src/sched/rma.h"
+#include "src/rt/edf.h"
+#include "src/rt/rma.h"
 
 namespace hleaf {
 namespace {

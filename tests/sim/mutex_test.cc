@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "src/sched/rma.h"
+#include "src/rt/rma.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sim/system.h"
 

@@ -7,7 +7,7 @@
 #include <memory>
 #include <utility>
 
-#include "src/sched/edf.h"
+#include "src/rt/edf.h"
 #include "src/sched/sfq_leaf.h"
 
 namespace hsim {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "src/rt/scenario_pack.h"
 #include "src/sched/registry.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sim/system.h"
@@ -138,6 +139,54 @@ TEST(SchedDiffTest, WritesParseableJson) {
   EXPECT_EQ(depth, 0);
   for (const char* key : {"\"a\"", "\"b\"", "\"leaves\"", "\"sibling_gaps\"",
                           "\"latencies\"", "\"share_delta\"", "\"violations\""}) {
+    EXPECT_NE(content.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(SchedDiffTest, RtScenarioPopulatesDeadlineMetrics) {
+  // The rt scenario pack feeds RunSchedDiff directly (a ScenarioSpec, no synthesis):
+  // an EDF side stays miss-free while a fair-share side accrues misses on /rt, and
+  // both the report struct and the JSON carry the deadline metric family.
+  const hsim::ScenarioSpec spec = hrt::VideoConfScenario(/*seed=*/5);
+  auto report = hsynth::RunSchedDiff(
+      spec, {.a = {.label = "edf", .scheduler = "edf"},
+             .b = {.label = "sfq", .scheduler = "sfq"}});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const hsynth::LeafDiff* rt = nullptr;
+  for (const hsynth::LeafDiff& leaf : report->leaves) {
+    if (leaf.path == "/rt") rt = &leaf;
+  }
+  ASSERT_NE(rt, nullptr);
+  EXPECT_GT(rt->rt_a.releases, 0u);
+  EXPECT_EQ(rt->rt_a.misses, 0u) << "admitted-feasible set must be miss-free under edf";
+  EXPECT_EQ(rt->rt_a.miss_rate, 0.0);
+  // sfq gives /rt only its weight share: the same population misses.
+  EXPECT_GT(rt->rt_b.misses, 0u);
+  EXPECT_GT(rt->rt_b.miss_rate, 0.0);
+  EXPECT_GT(rt->rt_b.tardiness_p99, 0);
+  EXPECT_GE(rt->rt_b.tardiness_p99, rt->rt_b.tardiness_p50);
+  EXPECT_NEAR(rt->miss_rate_delta, rt->rt_b.miss_rate - rt->rt_a.miss_rate, 1e-12);
+
+  const std::string text = hsynth::FormatSchedDiffReport(*report);
+  EXPECT_NE(text.find("per-leaf deadline metrics"), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/sched_diff_rt.json";
+  ASSERT_TRUE(hsynth::WriteSchedDiffJson(*report, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  for (const char* key :
+       {"\"releases_a\"", "\"misses_a\"", "\"miss_rate_a\"", "\"tardiness_p50_a_ns\"",
+        "\"tardiness_p99_a_ns\"", "\"releases_b\"", "\"misses_b\"", "\"miss_rate_b\"",
+        "\"tardiness_p50_b_ns\"", "\"tardiness_p99_b_ns\"", "\"miss_rate_delta\""}) {
     EXPECT_NE(content.find(key), std::string::npos) << key;
   }
 }

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/rt/edf.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sim/system.h"
 #include "src/trace/tracer.h"
@@ -75,6 +76,64 @@ TEST(PerfettoExportTest, OneTrackPerSchedulingNode) {
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '\n');
   EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
+  EXPECT_EQ(CountOccurrences(json, "["), CountOccurrences(json, "]"));
+}
+
+TEST(PerfettoExportTest, AdmitAndDeadlineMissBecomeInstants) {
+  // Drive the RT path end to end: an EDF leaf over capacity (admission bypassed)
+  // plus explicit admission probes, so the export carries both new event kinds.
+  htrace::Tracer tracer;
+  hsim::System sys(
+      hsim::System::Config{.default_quantum = hscommon::kMillisecond});
+  sys.SetTracer(&tracer);
+  const auto rt = *sys.tree().MakeNode(
+      "rt", hsfq::kRootNode, 1,
+      std::make_unique<hleaf::EdfScheduler>(
+          hleaf::EdfScheduler::Config{.admission_control = false}));
+  for (int i = 0; i < 2; ++i) {
+    (void)*sys.CreateThread(
+        "rt" + std::to_string(i), rt,
+        {.period = 20 * hscommon::kMillisecond,
+         .computation = 13 * hscommon::kMillisecond},
+        std::make_unique<hsim::RtPeriodicWorkload>(
+            20 * hscommon::kMillisecond, 13 * hscommon::kMillisecond));
+  }
+  // A second leaf with admission ON hosts one accepted and one rejected probe
+  // (the admission-off leaf above would accept anything).
+  const auto rt2 = *sys.tree().MakeNode(
+      "rt2", hsfq::kRootNode, 1, std::make_unique<hleaf::EdfScheduler>());
+  ASSERT_TRUE(sys.tree()
+                  .AttachThread(77, rt2,
+                                {.period = 100 * hscommon::kMillisecond,
+                                 .computation = 60 * hscommon::kMillisecond})
+                  .ok());
+  ASSERT_TRUE(sys.tree()
+                  .AdmitThread(hsfq::kInvalidThread, rt2,
+                               {.period = 100 * hscommon::kMillisecond,
+                                .computation = 30 * hscommon::kMillisecond},
+                               0)
+                  .ok());
+  ASSERT_FALSE(sys.tree()
+                   .AdmitThread(hsfq::kInvalidThread, rt2,
+                                {.period = 100 * hscommon::kMillisecond,
+                                 .computation = 50 * hscommon::kMillisecond},
+                                0)
+                   .ok());
+  sys.RunUntil(kSecond);
+
+  const std::string path = ::testing::TempDir() + "/rt_export.json";
+  ASSERT_TRUE(htrace::ExportPerfettoJson(tracer, path).ok());
+  const std::string json = ReadAll(path);
+
+  EXPECT_NE(json.find("\"name\": \"admit ok"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"admit REJECT"), std::string::npos);
+  EXPECT_GT(CountOccurrences(json, "\"name\": \"deadline-miss rt"), 0u);
+  EXPECT_GT(CountOccurrences(json, "\"tardiness_ns\""), 0u);
+  EXPECT_NE(json.find("\"scheduler\": \"EDF\""), std::string::npos);
+  EXPECT_NE(json.find("\"accepted\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"accepted\": false"), std::string::npos);
+  // Still balanced JSON with the new emitters in play.
   EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
   EXPECT_EQ(CountOccurrences(json, "["), CountOccurrences(json, "]"));
 }

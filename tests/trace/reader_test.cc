@@ -177,4 +177,73 @@ TEST(TraceAnalyzerTest, PreTraceNodesBecomePlaceholders) {
   EXPECT_FALSE(analyzer.NodeByPath("/late").ok());
 }
 
+TEST(TraceAnalyzerTest, PerLeafRtStatsFoldsAdmitAndMissEvents) {
+  // A synthetic stream: leaf 1 sees 4 wakeups, 2 misses (tardiness 300 and 100), one
+  // accepted and one rejected admission probe; leaf 2 sees only a probe.
+  using htrace::EventType;
+  using htrace::MakeEvent;
+  std::vector<htrace::TraceEvent> events;
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "rt"));
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 2, 0, 1, 1, "spare"));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 1, 7, 1));
+  events.push_back(MakeEvent(EventType::kAdmit, 1, 1, 7, 500'000, 1, "EDF"));
+  events.push_back(MakeEvent(EventType::kAdmit, 2, 1, 8, 1'200'000, 0, "EDF"));
+  events.push_back(MakeEvent(EventType::kAdmit, 3, 2, 9, 100'000, 1, "RMA"));
+  for (int i = 0; i < 4; ++i) {
+    events.push_back(MakeEvent(EventType::kSetRun, 10 * (i + 1), 1, 7, 0));
+  }
+  events.push_back(MakeEvent(EventType::kDeadlineMiss, 25, 1, 7, 300));
+  events.push_back(MakeEvent(EventType::kDeadlineMiss, 45, 1, 7, 100));
+
+  const TraceAnalyzer analyzer(events);
+  const auto stats = analyzer.PerLeafRtStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].leaf, 1u);
+  EXPECT_EQ(stats[0].releases, 4u);
+  EXPECT_EQ(stats[0].misses, 2u);
+  EXPECT_EQ(stats[0].admits_accepted, 1u);
+  EXPECT_EQ(stats[0].admits_rejected, 1u);
+  EXPECT_DOUBLE_EQ(stats[0].miss_rate, 0.5);
+  ASSERT_EQ(stats[0].tardiness.size(), 2u);
+  // Sorted ascending, regardless of arrival order.
+  EXPECT_EQ(stats[0].tardiness[0], 100);
+  EXPECT_EQ(stats[0].tardiness[1], 300);
+  EXPECT_EQ(stats[1].leaf, 2u);
+  EXPECT_EQ(stats[1].admits_accepted, 1u);
+  EXPECT_EQ(stats[1].releases, 0u);
+  EXPECT_EQ(stats[1].miss_rate, 0.0);
+}
+
+TEST(TraceAnalyzerTest, MissRateDenominatorIsConservativeUnderOverload) {
+  // More misses than observed wakeups (an overrunning thread chains jobs without
+  // blocking): the denominator clamps to the miss count so the rate caps at 1.
+  using htrace::EventType;
+  using htrace::MakeEvent;
+  std::vector<htrace::TraceEvent> events;
+  events.push_back(MakeEvent(EventType::kMakeNode, 0, 1, 0, 1, 1, "rt"));
+  events.push_back(MakeEvent(EventType::kAttachThread, 0, 1, 7, 1));
+  events.push_back(MakeEvent(EventType::kSetRun, 10, 1, 7, 0));
+  for (int i = 0; i < 3; ++i) {
+    events.push_back(MakeEvent(EventType::kDeadlineMiss, 20 + i, 1, 7, 50));
+  }
+  const TraceAnalyzer analyzer(events);
+  const auto stats = analyzer.PerLeafRtStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].releases, 1u);
+  EXPECT_EQ(stats[0].misses, 3u);
+  EXPECT_DOUBLE_EQ(stats[0].miss_rate, 1.0);
+}
+
+TEST(TraceAnalyzerTest, PercentileUsesNearestRank) {
+  const std::vector<hscommon::Time> sorted = {10, 20, 30, 40};
+  EXPECT_EQ(TraceAnalyzer::Percentile({}, 50), 0);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 0), 10);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 25), 10);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 50), 20);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 75), 30);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 99), 40);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 100), 40);
+  EXPECT_EQ(TraceAnalyzer::Percentile({7}, 50), 7);
+}
+
 }  // namespace

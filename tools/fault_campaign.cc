@@ -14,7 +14,7 @@
 //      divergence, changed dispatch decisions, and reconvergence.
 //
 // Usage:
-//   fault_campaign [--scenario=fig8|churn|smp4|smp4-sharded|all] [--fault=<spec>]
+//   fault_campaign [--scenario=fig8|churn|smp4|smp4-sharded|rt|all] [--fault=<spec>]
 //                  [--duration=<dur>] [--cpus=N] [--out=<dir>]
 //
 // With --fault, only that plan runs (instead of the matrix). With --out, each
@@ -22,7 +22,11 @@
 // simulated CPU count of every selected scenario; the pinned `smp4` scenario is the
 // fig8 tree on a 4-CPU machine (its matrix includes a CPU-targeted interrupt storm),
 // and `smp4-sharded` is the same machine dispatching through per-CPU run-queue
-// shards with work stealing (checked under the sharded invariant profile).
+// shards with work stealing (checked under the sharded invariant profile). The `rt`
+// scenario is the src/rt video-conferencing pack (pinned seed) under the EDF leaf
+// class: its unfaulted baseline must be deadline-miss-free (the set is admitted
+// feasible), while faulted runs may miss — misses are reported but only structural
+// violations fail the campaign.
 
 #include <algorithm>
 #include <cstdio>
@@ -36,8 +40,11 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/invariant_checker.h"
+#include "src/rt/scenario_pack.h"
+#include "src/sched/registry.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sched/ts_svr4.h"
+#include "src/sim/scenario.h"
 #include "src/sim/system.h"
 #include "src/sim/workload.h"
 #include "src/trace/replay.h"
@@ -150,6 +157,29 @@ RunResult RunChurn(const FaultPlan& plan, Time duration, int ncpus) {
                    sys.diagnostic_count()};
 }
 
+// The src/rt video-conferencing pack (pinned seed 42) under the EDF leaf class:
+// periodic deadline-stamped decoders against a pinned-sfq best-effort background.
+// The 1 ms quantum keeps non-preemptive blocking small against the 20/33 ms periods,
+// so the admitted-feasible set runs miss-free when unfaulted.
+RunResult RunRt(const FaultPlan& plan, Time duration, int ncpus) {
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
+  hsim::System sys({.default_quantum = 1 * kMillisecond, .ncpus = ncpus});
+  sys.SetTracer(&tracer);
+  hsfault::FaultInjector injector(plan);
+  if (!plan.empty()) injector.Arm(sys);
+
+  const hsim::ScenarioSpec spec = hrt::VideoConfScenario(/*seed=*/42);
+  auto binding = hsim::BuildScenario(spec, "edf", hleaf::MakeLeafScheduler, sys);
+  if (!binding.ok()) {
+    std::fprintf(stderr, "rt scenario failed to build: %s\n",
+                 binding.status().ToString().c_str());
+    std::exit(2);
+  }
+  sys.RunUntil(duration);
+  return RunResult{tracer.MergedSnapshot(), tracer.TotalDropped(),
+                   sys.diagnostic_count()};
+}
+
 // Default CPU count per scenario (overridable with --cpus): the pinned SMP scenario
 // runs the fig8 tree on a 4-CPU machine, everything else stays single-CPU.
 int DefaultCpusFor(const std::string& scenario) {
@@ -159,6 +189,7 @@ int DefaultCpusFor(const std::string& scenario) {
 RunResult RunScenario(const std::string& name, const FaultPlan& plan, Time duration,
                       int ncpus) {
   if (name == "churn") return RunChurn(plan, duration, ncpus);
+  if (name == "rt") return RunRt(plan, duration, ncpus);
   // fig8, smp4, and smp4-sharded share the tree; the last dispatches through shards.
   return RunFig8(plan, duration, ncpus, name == "smp4-sharded");
 }
@@ -171,6 +202,12 @@ hsfault::InvariantChecker::Options CheckerOptionsFor(const std::string& scenario
   if (scenario == "smp4-sharded") {
     opts.ordered_pick_tags = false;
     opts.steal_drift_allowance = 4 * hsim::System::Config{}.steal_window;
+  }
+  if (scenario == "rt") {
+    // The pinned population is admitted-feasible under EDF at 1 CPU, so a deadline
+    // miss is a scheduler (or admission) bug on the baseline. Faulted runs may miss;
+    // HasHardViolation tolerates the kDeadlineMiss kind there.
+    opts.expect_no_deadline_miss = true;
   }
   return opts;
 }
@@ -202,6 +239,16 @@ std::vector<std::string> MatrixFor(const std::string& scenario) {
         "seed=3203;cswitch-spike:p=0.1,cost=300us",
     };
   }
+  if (scenario == "rt") {
+    return {
+        // Each plan attacks a different deadline path: stolen cycles shrink the
+        // schedulable headroom, delayed wakeups push releases toward their deadlines,
+        // and jittered clocks perturb the EDF ordering keys.
+        "seed=4101;storm:start=2s,end=3s,every=200us,steal=150us",
+        "seed=4102;delay-wakeup:p=0.3,delay=5ms",
+        "seed=4103;clock-jitter:p=0.5,frac=0.2",
+    };
+  }
   return {
       "seed=1101;drop-wakeup:p=0.2,recovery=25ms",
       "seed=1102;delay-wakeup:p=0.3,delay=5ms",
@@ -213,11 +260,15 @@ std::vector<std::string> MatrixFor(const std::string& scenario) {
   };
 }
 
-// Structural violation kinds fail the campaign even on faulted runs; fairness gaps are
-// tolerated there (a fault may legitimately disturb fairness).
+// Structural violation kinds fail the campaign even on faulted runs; fairness gaps
+// and deadline misses are tolerated there (a fault may legitimately disturb fairness
+// or push an RT job past its deadline).
 bool HasHardViolation(const std::vector<hsfault::InvariantChecker::Violation>& vs) {
   for (const auto& v : vs) {
-    if (v.kind != hsfault::InvariantChecker::Violation::Kind::kFairnessGap) return true;
+    if (v.kind != hsfault::InvariantChecker::Violation::Kind::kFairnessGap &&
+        v.kind != hsfault::InvariantChecker::Violation::Kind::kDeadlineMiss) {
+      return true;
+    }
   }
   return false;
 }
@@ -259,13 +310,14 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> scenarios;
   if (scenario_flag.empty() || scenario_flag == "all") {
-    scenarios = {"fig8", "churn", "smp4", "smp4-sharded"};
+    scenarios = {"fig8", "churn", "smp4", "smp4-sharded", "rt"};
   } else if (scenario_flag == "fig8" || scenario_flag == "churn" ||
-             scenario_flag == "smp4" || scenario_flag == "smp4-sharded") {
+             scenario_flag == "smp4" || scenario_flag == "smp4-sharded" ||
+             scenario_flag == "rt") {
     scenarios = {scenario_flag};
   } else {
     std::fprintf(stderr,
-                 "unknown --scenario=%s (want fig8, churn, smp4, smp4-sharded, "
+                 "unknown --scenario=%s (want fig8, churn, smp4, smp4-sharded, rt, "
                  "or all)\n",
                  scenario_flag.c_str());
     return 2;

@@ -1,0 +1,169 @@
+// Run one of the built-in real-time scenario packs (src/rt/scenario_pack) under a
+// chosen leaf-class scheduler and report the deadline metric family. CI's
+// `rt-determinism` job runs this twice with the same seed and byte-compares the
+// traces.
+//
+// Usage:
+//   rt_scenario --scenario=videoconf|audio [--sched=<leaf>] [--seed=N] [--cpus=N]
+//               [--duration=<dur>] [--quantum=<dur>] [--trace=<base>] [--quiet]
+//
+// --sched takes any src/sched registry name (default edf; rma, sfq, fair:<algo>, ...).
+// --trace=<base> writes <base>.trace (binary HSTRACE1, byte-reproducible) and
+// <base>.json (the simulator's per-thread stats, including deadline_jobs /
+// deadline_misses / tardiness_max_ns). Exit status is 0 even when deadlines are
+// missed — the point of the tool is to measure; gate on the printed miss counts or
+// the JSON if you need a verdict.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/fault/fault_plan.h"
+#include "src/rt/scenario_pack.h"
+#include "src/sched/registry.h"
+#include "src/sim/scenario.h"
+#include "src/sim/system.h"
+#include "src/trace/reader.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/tracer.h"
+
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::Time;
+
+namespace {
+
+std::string Flag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+bool BoolFlag(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "rt_scenario: %s\n", what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scenario_name = Flag(argc, argv, "scenario");
+  if (scenario_name.empty()) {
+    std::string valid;
+    for (const std::string& n : hrt::RtScenarioNames()) {
+      valid += valid.empty() ? n : "|" + n;
+    }
+    return Fail("--scenario=" + valid + " is required");
+  }
+  std::string sched = Flag(argc, argv, "sched");
+  if (sched.empty()) {
+    sched = "edf";
+  }
+  uint64_t seed = 1;
+  if (const std::string s = Flag(argc, argv, "seed"); !s.empty()) {
+    seed = std::strtoull(s.c_str(), nullptr, 10);
+  }
+  int cpus = 1;
+  if (const std::string c = Flag(argc, argv, "cpus"); !c.empty()) {
+    cpus = std::atoi(c.c_str());
+    if (cpus < 1) {
+      return Fail("--cpus must be >= 1");
+    }
+  }
+  // RT classes want short non-preemptive quanta: a blocking best-effort slice delays
+  // every deadline by up to one quantum.
+  Time quantum = 1 * kMillisecond;
+  if (const std::string q = Flag(argc, argv, "quantum"); !q.empty()) {
+    auto parsed = hsfault::ParseDuration(q);
+    if (!parsed.ok()) {
+      return Fail(parsed.status().message());
+    }
+    quantum = *parsed;
+  }
+  Time duration = 0;
+  if (const std::string d = Flag(argc, argv, "duration"); !d.empty()) {
+    auto parsed = hsfault::ParseDuration(d);
+    if (!parsed.ok()) {
+      return Fail(parsed.status().message());
+    }
+    duration = *parsed;
+  }
+  const bool quiet = BoolFlag(argc, argv, "quiet");
+
+  auto spec = hrt::MakeRtScenario(scenario_name, seed);
+  if (!spec.ok()) {
+    return Fail(spec.status().message());
+  }
+  const Time until = duration > 0 ? duration : spec->horizon;
+
+  const std::string trace_base = Flag(argc, argv, "trace");
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, cpus);
+  hsim::System sys(
+      hsim::System::Config{.default_quantum = quantum, .ncpus = cpus});
+  sys.SetTracer(&tracer);
+
+  auto binding = hsim::BuildScenario(*spec, sched, hleaf::MakeLeafScheduler, sys);
+  if (!binding.ok()) {
+    return Fail(binding.status().message());
+  }
+  sys.RunUntil(until);
+
+  const std::vector<htrace::TraceEvent> events = tracer.MergedSnapshot();
+  const htrace::TraceAnalyzer analyzer(events, tracer.TotalDropped());
+  if (!quiet) {
+    std::printf("%s: sched=%s cpus=%d seed=%llu duration=%.3fs events=%zu "
+                "service=%.3fs\n",
+                scenario_name.c_str(), sched.c_str(), cpus,
+                static_cast<unsigned long long>(seed),
+                static_cast<double>(until) / kSecond, events.size(),
+                static_cast<double>(sys.total_service()) / kSecond);
+    for (const auto& s : analyzer.PerLeafRtStats()) {
+      const auto node = analyzer.nodes().find(s.leaf);
+      const std::string path =
+          node != analyzer.nodes().end() ? node->second.path : "node:" +
+                                                                   std::to_string(s.leaf);
+      std::printf("  %-16s releases=%-6llu misses=%-4llu miss_rate=%5.2f%% "
+                  "tardiness p50/p99 us=%lld/%lld\n",
+                  path.c_str(), static_cast<unsigned long long>(s.releases),
+                  static_cast<unsigned long long>(s.misses), 100.0 * s.miss_rate,
+                  static_cast<long long>(
+                      htrace::TraceAnalyzer::Percentile(s.tardiness, 50) /
+                      hscommon::kMicrosecond),
+                  static_cast<long long>(
+                      htrace::TraceAnalyzer::Percentile(s.tardiness, 99) /
+                      hscommon::kMicrosecond));
+    }
+  }
+
+  if (!trace_base.empty()) {
+    if (auto status = htrace::WriteTraceFile(tracer, trace_base + ".trace");
+        !status.ok()) {
+      return Fail(status.message());
+    }
+    if (auto status = sys.WriteStatsJson(trace_base + ".json"); !status.ok()) {
+      return Fail(status.message());
+    }
+    if (!quiet) {
+      std::printf("wrote %s.trace and %s.json\n", trace_base.c_str(),
+                  trace_base.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,22 +1,27 @@
-// Differential scheduler comparison over a synthesized workload (CI's
-// `synth-roundtrip` job and the §6-style what-if tool).
+// Differential scheduler comparison (CI's `synth-roundtrip` and `rt-determinism`
+// jobs, and the §6-style what-if tool).
 //
-// Reads an HSTRACE1 capture, fits a workload scenario per thread (src/synth), and
-// either:
-//   * runs it under TWO scheduler configurations and reports the diff (default), or
-//   * runs it under ONE configuration and gates on the invariant checker (--check).
+// Takes a scenario from ONE of two sources:
+//   * --trace=<file>: an HSTRACE1 capture, fitted to a workload scenario per thread
+//     (src/synth), or
+//   * --scenario=<name>: a built-in real-time scenario pack (src/rt/scenario_pack:
+//     videoconf, audio) with deadline-stamped periodic threads,
+// and either runs it under TWO scheduler configurations and reports the diff
+// (default), or under ONE configuration gated on the invariant checker (--check).
 //
 // Usage:
-//   sched_diff --trace=<file.trace> --a=<sched> [--b=<sched>]
+//   sched_diff (--trace=<file.trace> | --scenario=<name>) --a=<sched> [--b=<sched>]
 //              [--cpus=N | --cpus-a=N --cpus-b=N]
 //              [--sharded | --sharded-a --sharded-b] [--steal=on|off]
 //              [--mode=exact|histogram] [--anchor=relative|absolute] [--seed=N]
 //              [--duration=<dur>] [--fault=<spec>] [--out=<report.json>]
 //              [--check] [--quiet]
 //
-// Scheduler names come from src/sched/registry.h (sfq, ts_svr4, rr, fifo,
-// fair:<algo>). With --check only --a runs; exit status 1 means the invariant checker
-// (including the §3 fairness-gap bound) found violations on the replayed trace.
+// Scheduler names come from src/sched/registry.h (sfq, ts_svr4, rr, fifo, edf, rma,
+// rma:exact, fair:<algo>). With --check only --a runs; exit status 1 means the
+// invariant checker (including the §3 fairness-gap bound) found violations on the
+// replayed trace. On --scenario runs the report's per-leaf deadline metrics (miss
+// rate, tardiness percentiles) carry the comparison; --seed also seeds the pack.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +29,8 @@
 #include <string>
 
 #include "src/fault/fault_plan.h"
+#include "src/rt/scenario_pack.h"
+#include "src/sim/scenario.h"
 #include "src/synth/sched_diff.h"
 #include "src/synth/synthesize.h"
 #include "src/trace/reader.h"
@@ -60,8 +67,9 @@ int Fail(const std::string& what) {
 
 int main(int argc, char** argv) {
   const std::string trace_path = Flag(argc, argv, "trace");
-  if (trace_path.empty()) {
-    return Fail("--trace=<file> is required");
+  const std::string rt_scenario = Flag(argc, argv, "scenario");
+  if (trace_path.empty() == rt_scenario.empty()) {
+    return Fail("exactly one of --trace=<file> or --scenario=<name> is required");
   }
   const std::string sched_a = Flag(argc, argv, "a");
   if (sched_a.empty()) {
@@ -133,30 +141,49 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto file = htrace::ReadTraceFile(trace_path);
-  if (!file.ok()) {
-    return Fail(file.status().message());
-  }
-  const htrace::TraceAnalyzer analyzer(file->events, file->dropped);
-  auto scenario = hsynth::Synthesize(analyzer, synth_options);
-  if (!scenario.ok()) {
-    return Fail(scenario.status().message());
-  }
   const bool quiet = BoolFlag(argc, argv, "quiet");
-  if (!quiet) {
-    std::printf("synthesized %zu nodes, %zu threads from %zu events "
-                "(horizon %.3fs, source cpus %d, mode %s)\n",
-                scenario->nodes.size(), scenario->threads.size(), file->events.size(),
-                static_cast<double>(scenario->horizon) / hscommon::kSecond,
-                scenario->source_cpus,
-                synth_options.mode == hsynth::FitMode::kExactReplay ? "exact"
-                                                                    : "histogram");
+  hsim::ScenarioSpec spec;
+  if (!rt_scenario.empty()) {
+    auto made = hrt::MakeRtScenario(rt_scenario, synth_options.seed);
+    if (!made.ok()) {
+      return Fail(made.status().message());
+    }
+    spec = *std::move(made);
+    if (!quiet) {
+      std::printf("rt scenario '%s': %zu nodes, %zu threads (horizon %.3fs, seed "
+                  "%llu)\n",
+                  rt_scenario.c_str(), spec.nodes.size(), spec.threads.size(),
+                  static_cast<double>(spec.horizon) / hscommon::kSecond,
+                  static_cast<unsigned long long>(synth_options.seed));
+    }
+  } else {
+    auto file = htrace::ReadTraceFile(trace_path);
+    if (!file.ok()) {
+      return Fail(file.status().message());
+    }
+    const htrace::TraceAnalyzer analyzer(file->events, file->dropped);
+    auto scenario = hsynth::Synthesize(analyzer, synth_options);
+    if (!scenario.ok()) {
+      return Fail(scenario.status().message());
+    }
+    if (!quiet) {
+      std::printf("synthesized %zu nodes, %zu threads from %zu events "
+                  "(horizon %.3fs, source cpus %d, mode %s)\n",
+                  scenario->nodes.size(), scenario->threads.size(),
+                  file->events.size(),
+                  static_cast<double>(scenario->horizon) / hscommon::kSecond,
+                  scenario->source_cpus,
+                  synth_options.mode == hsynth::FitMode::kExactReplay ? "exact"
+                                                                      : "histogram");
+    }
+    hsynth::SynthOptions unused;  // seeds already live in each thread's spec
+    spec = hsynth::ToScenarioSpec(*scenario, unused);
   }
 
   const std::string fault_spec = Flag(argc, argv, "fault");
   if (check_only) {
     auto summary = hsynth::ReplayAndCheck(
-        *scenario,
+        spec,
         {.label = "check", .scheduler = sched_a, .cpus = cpus_a, .sharded = sharded_a,
          .steal = steal},
         duration, fault_spec);
@@ -183,7 +210,7 @@ int main(int argc, char** argv) {
                .sharded = sharded_b, .steal = steal};
   options.duration = duration;
   options.fault_spec = fault_spec;
-  auto report = hsynth::RunSchedDiff(*scenario, options);
+  auto report = hsynth::RunSchedDiff(spec, options);
   if (!report.ok()) {
     return Fail(report.status().message());
   }

@@ -32,11 +32,11 @@ EVENT_NAMES = [
     "TraceStart", "MakeNode", "RemoveNode", "SetWeight", "AttachThread",
     "DetachThread", "MoveThread", "SetRun", "Sleep", "PickChild", "Schedule",
     "Update", "ThreadName", "Dispatch", "Interrupt", "Idle", "Fault",
-    "MoveNode", "Migrate",
+    "MoveNode", "Migrate", "Admit", "DeadlineMiss",
 ]
 (T_START, T_MKNOD, T_RMNOD, T_SETW, T_ATTACH, T_DETACH, T_MOVE, T_SETRUN,
  T_SLEEP, T_PICK, T_SCHED, T_UPDATE, T_TNAME, T_DISPATCH, T_IRQ, T_IDLE,
- T_FAULT, T_MVNOD, T_MIGRATE) = range(19)
+ T_FAULT, T_MVNOD, T_MIGRATE, T_ADMIT, T_DLMISS) = range(21)
 
 
 def read_trace(path):
@@ -121,7 +121,8 @@ def build_tree(events):
             nodes[e["node"]]["parent"] = e["a"]
             rebuild_paths(e["node"])
         elif e["type"] in (T_SETRUN, T_SLEEP, T_PICK, T_SCHED, T_UPDATE,
-                           T_ATTACH, T_DETACH, T_MOVE, T_SETW):
+                           T_ATTACH, T_DETACH, T_MOVE, T_SETW, T_ADMIT,
+                           T_DLMISS):
             ensure(e["node"])
         if e["type"] in (T_TNAME, T_ATTACH) and e["name"]:
             thread_names[e["a"]] = e["name"]
@@ -190,6 +191,25 @@ def to_perfetto(events):
             label = thread_names.get(e["a"], f"t{e['a']}")
             out.append({"ph": "i", "pid": 1, "tid": e["node"], "s": "t",
                         "name": f"wake {label}", "ts": e["time"] / 1e3})
+        elif e["type"] == T_ADMIT:
+            # Admission probe on the leaf's track (node=leaf, a=thread,
+            # b=would-be utilization ppm, flags bit0=accepted, name=scheduler).
+            label = thread_names.get(e["a"], f"t{e['a']}")
+            verdict = "ok" if e["flags"] & 1 else "REJECT"
+            out.append({"ph": "i", "pid": 1, "tid": e["node"], "s": "t",
+                        "name": f"admit {verdict} {label}",
+                        "ts": e["time"] / 1e3,
+                        "args": {"thread": e["a"], "scheduler": e["name"],
+                                 "accepted": bool(e["flags"] & 1),
+                                 "utilization_ppm": e["b"]}})
+        elif e["type"] == T_DLMISS:
+            # Process-scoped like faults: the headline RT failure signal.
+            label = thread_names.get(e["a"], f"t{e['a']}")
+            out.append({"ph": "i", "pid": 1, "tid": 0, "s": "p",
+                        "name": f"deadline-miss {label}",
+                        "ts": e["time"] / 1e3,
+                        "args": {"thread": e["a"], "node": e["node"],
+                                 "tardiness_ns": e["b"]}})
     return {"displayTimeUnit": "ms", "traceEvents": out}
 
 
