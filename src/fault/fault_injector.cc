@@ -22,6 +22,24 @@ bool FaultInjector::Applies(const FaultSpec& spec, Time now, uint64_t thread) {
   return spec.thread == kAnyThread || spec.thread == thread;
 }
 
+bool FaultInjector::InEpisode(const FaultSpec& spec, Time now, int64_t* episode) {
+  if (now < spec.start || now > spec.end) return false;
+  const Time since = now - spec.start;
+  if (since % spec.period >= spec.delay) return false;
+  *episode = since / spec.period;
+  return true;
+}
+
+void FaultInjector::NoteEpisode(ArmedSpec& armed, Time now, int cpu) {
+  int64_t episode = 0;
+  if (!InEpisode(armed.spec, now, &episode)) return;
+  if (episode == armed.last_episode) return;
+  armed.last_episode = episode;
+  ++stats_.mem_pressure_episodes;
+  RecordFault(now, FaultKindName(FaultKind::kMemPressure), armed.spec.thread,
+              armed.spec.delay, cpu);
+}
+
 void FaultInjector::RecordFault(Time now, const char* kind, uint64_t thread,
                                 int64_t magnitude, int cpu) {
   if (system_ != nullptr && system_->tracer() != nullptr) {
@@ -85,28 +103,58 @@ void FaultInjector::Arm(hsim::System& system) {
                      });
         break;
       }
+      case FaultKind::kCorrelated: {
+        // One seed event triggers the whole cascade: a storm over [at, at+duration]
+        // (armed here as a windowed interrupt source) plus an api-fail burst over the
+        // same window (ArmApi honors correlated specs). The seed instant itself is
+        // trace-marked so blast-radius analysis anchors the cascade to one event.
+        hsim::InterruptSourceConfig storm;
+        storm.arrival = hsim::InterruptSourceConfig::Arrival::kPeriodic;
+        storm.interval = spec.period;
+        storm.service = spec.cost;
+        storm.start = spec.at;
+        storm.end = spec.at + spec.delay;
+        storm.cpu = spec.cpu;
+        storm.seed = plan_.seed ^ 0x5701'4a3bULL;
+        system.AddInterruptSource(storm);
+        system.At(spec.at, [this](hsim::System& s) {
+          ++stats_.correlated_events;
+          RecordFault(s.now(), FaultKindName(FaultKind::kCorrelated), kAnyThread, 0);
+        });
+        break;
+      }
       default:
         break;  // hook-shaped kinds need no scheduling
     }
   }
 }
 
+bool FaultInjector::ApiCallFails(const char* op) {
+  for (ArmedSpec& armed : armed_) {
+    FaultSpec& spec = armed.spec;
+    // A correlated spec's api-fail burst shares the storm's [at, at+duration] window.
+    const bool correlated = spec.kind == FaultKind::kCorrelated;
+    if (spec.kind != FaultKind::kApiFail && !correlated) continue;
+    if (spec.op != "any" && spec.op != op) continue;
+    const Time now = system_ != nullptr ? system_->now() : 0;
+    const Time start = correlated ? spec.at : spec.start;
+    const Time end = correlated ? spec.at + spec.delay : spec.end;
+    if (now < start || now > end) continue;
+    if (!armed.prng.Bernoulli(spec.p)) continue;
+    ++stats_.api_failures;
+    RecordFault(now, FaultKindName(spec.kind), kAnyThread, 0);
+    return true;
+  }
+  return false;
+}
+
+std::function<bool(const char*)> FaultInjector::ApiFaultGate() {
+  return [this](const char* op) { return ApiCallFails(op); };
+}
+
 void FaultInjector::ArmApi(hsfq::HsfqApi& api) {
   api_ = &api;
-  api.SetFaultHook([this](const char* op) {
-    for (ArmedSpec& armed : armed_) {
-      FaultSpec& spec = armed.spec;
-      if (spec.kind != FaultKind::kApiFail) continue;
-      if (spec.op != "any" && spec.op != op) continue;
-      const Time now = system_ != nullptr ? system_->now() : 0;
-      if (now < spec.start || now > spec.end) continue;
-      if (!armed.prng.Bernoulli(spec.p)) continue;
-      ++stats_.api_failures;
-      RecordFault(now, FaultKindName(FaultKind::kApiFail), kAnyThread, 0);
-      return true;
-    }
-    return false;
-  });
+  api.SetFaultHook(ApiFaultGate());
 }
 
 void FaultInjector::Disarm() {
@@ -143,6 +191,20 @@ Time FaultInjector::OnWakeupDelivery(hsfq::ThreadId thread, Time now) {
 Work FaultInjector::OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now, int cpu) {
   for (ArmedSpec& armed : armed_) {
     const FaultSpec& spec = armed.spec;
+    if (spec.kind == FaultKind::kMemPressure) {
+      // Deterministic starvation episode: the victim's quantum shrinks to (1-frac) of
+      // the programmed size for the episode's duration (reclaim pressure squeezing
+      // runnable time). First matching spec wins, like every quantum perturbation.
+      int64_t episode = 0;
+      if ((spec.thread == kAnyThread || spec.thread == thread) &&
+          InEpisode(spec, now, &episode)) {
+        NoteEpisode(armed, now, cpu);
+        return std::max<Work>(
+            1, static_cast<Work>(std::llround(static_cast<double>(quantum) *
+                                              (1.0 - spec.frac))));
+      }
+      continue;
+    }
     if (spec.kind != FaultKind::kClockJitter) continue;
     if (!Applies(spec, now, thread)) continue;
     if (!armed.prng.Bernoulli(spec.p)) continue;
@@ -161,6 +223,19 @@ Time FaultInjector::OnDispatchOverhead(hsfq::ThreadId thread, Time now, int cpu)
   Time extra = 0;
   for (ArmedSpec& armed : armed_) {
     const FaultSpec& spec = armed.spec;
+    if (spec.kind == FaultKind::kMemPressure) {
+      // Every dispatch during an episode pays the configured stall (page-reclaim /
+      // compaction wall time, stolen but never charged as service). The `thread`
+      // filter scopes the stall to the faulted victim — its pages are the ones being
+      // reclaimed, so only its dispatches fault them back in.
+      int64_t episode = 0;
+      if ((spec.thread == kAnyThread || spec.thread == thread) && spec.cost > 0 &&
+          InEpisode(spec, now, &episode)) {
+        NoteEpisode(armed, now, cpu);
+        extra += spec.cost;
+      }
+      continue;
+    }
     if (spec.kind != FaultKind::kCswitchSpike) continue;
     if (!Applies(spec, now, thread)) continue;
     if (!armed.prng.Bernoulli(spec.p)) continue;
@@ -169,6 +244,21 @@ Time FaultInjector::OnDispatchOverhead(hsfq::ThreadId thread, Time now, int cpu)
     extra += spec.cost;
   }
   return extra;
+}
+
+Work FaultInjector::OnMutexPin(hsfq::ThreadId holder, hsfq::ThreadId waiter, Time now) {
+  (void)waiter;
+  Work pin = 0;
+  for (ArmedSpec& armed : armed_) {
+    const FaultSpec& spec = armed.spec;
+    if (spec.kind != FaultKind::kPriorityInversion) continue;
+    if (!Applies(spec, now, holder)) continue;  // thread= filters the faulted holder
+    if (!armed.prng.Bernoulli(spec.p)) continue;
+    ++stats_.mutex_pins;
+    RecordFault(now, FaultKindName(spec.kind), holder, spec.cost);
+    pin += spec.cost;
+  }
+  return pin;
 }
 
 }  // namespace hsfault

@@ -1,10 +1,13 @@
 // The deterministic fault injector: arms a FaultPlan on a simulated system.
 //
 // The injector implements hsim::FaultHooks (wakeup delivery, quantum grant, dispatch
-// overhead) and additionally schedules event-queue work for the fault kinds that are
-// not hook-shaped: spurious wakeups and thread crashes become scripted events,
+// overhead, mutex pin) and additionally schedules event-queue work for the fault kinds
+// that are not hook-shaped: spurious wakeups and thread crashes become scripted events,
 // interrupt storms become windowed interrupt sources, and transient hsfq_mknod /
-// hsfq_move failures install through HsfqApi::SetFaultHook.
+// hsfq_move failures install through HsfqApi::SetFaultHook. A `correlated` spec arms a
+// windowed storm, an api-fail burst over the same window, and a seed-event trace mark
+// together; `mem-pressure` squeezes quanta and stretches dispatches during
+// deterministic episodes; `priority-inversion` pins contended mutex holders.
 //
 // Determinism: each spec forks its own Prng stream from the plan seed at construction
 // (in spec order), and every draw happens at a point ordered by the simulator's event
@@ -16,6 +19,7 @@
 #define HSCHED_SRC_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,10 +42,14 @@ class FaultInjector : public hsim::FaultHooks {
     uint64_t storms_armed = 0;
     uint64_t api_failures = 0;
     uint64_t crashes = 0;
+    uint64_t mutex_pins = 0;            // priority-inversion holder pins
+    uint64_t mem_pressure_episodes = 0; // mem-pressure starvation episodes entered
+    uint64_t correlated_events = 0;     // correlated seed events fired
 
     uint64_t total() const {
       return dropped_wakeups + delayed_wakeups + spurious_wakes + jittered_quanta +
-             cswitch_spikes + storms_armed + api_failures + crashes;
+             cswitch_spikes + storms_armed + api_failures + crashes + mutex_pins +
+             mem_pressure_episodes + correlated_events;
     }
   };
 
@@ -62,6 +70,14 @@ class FaultInjector : public hsim::FaultHooks {
   // simulated timestamps.
   void ArmApi(hsfq::HsfqApi& api);
 
+  // The same transient-failure decision as a standalone gate, with the
+  // HsfqApi::SetFaultHook contract (true = this call fails with kErrAgain). For
+  // components that issue structural ops directly on a System's tree — the overload
+  // governor (src/guard) gates its mknod/move calls through this so api-fail and
+  // correlated bursts exercise its retry/backoff path. The callable borrows this
+  // injector and must not outlive it.
+  std::function<bool(const char* op)> ApiFaultGate();
+
   // Detaches from the armed system/api. Scheduled events already in the queue keep
   // their (now inert) callbacks; call before destroying the injector if the system
   // outlives it.
@@ -74,16 +90,28 @@ class FaultInjector : public hsim::FaultHooks {
   Time OnWakeupDelivery(hsfq::ThreadId thread, Time now) override;
   Work OnQuantumGrant(hsfq::ThreadId thread, Work quantum, Time now, int cpu) override;
   Time OnDispatchOverhead(hsfq::ThreadId thread, Time now, int cpu) override;
+  Work OnMutexPin(hsfq::ThreadId holder, hsfq::ThreadId waiter, Time now) override;
 
  private:
   struct ArmedSpec {
     FaultSpec spec;
     hscommon::Prng prng;
     uint64_t round_robin = 0;  // spurious-wake target rotation
+    int64_t last_episode = -1; // mem-pressure episode already traced (kFault once per)
   };
 
   // True when `spec` applies at `now` to `thread`.
   static bool Applies(const FaultSpec& spec, Time now, uint64_t thread);
+
+  // True when `now` falls inside one of a mem-pressure spec's deterministic episodes;
+  // `episode` gets the episode ordinal (for once-per-episode trace marks).
+  static bool InEpisode(const FaultSpec& spec, Time now, int64_t* episode);
+
+  // Records the episode's kFault marker the first time a hook observes it.
+  void NoteEpisode(ArmedSpec& armed, Time now, int cpu);
+
+  // The api-fail decision shared by ArmApi and ApiFaultGate.
+  bool ApiCallFails(const char* op);
 
   void RecordFault(Time now, const char* kind, uint64_t thread, int64_t magnitude,
                    int cpu = 0);

@@ -59,7 +59,8 @@ StatusOr<FaultKind> ParseKind(std::string_view name) {
   for (const FaultKind k :
        {FaultKind::kDropWakeup, FaultKind::kDelayWakeup, FaultKind::kSpuriousWake,
         FaultKind::kClockJitter, FaultKind::kCswitchSpike, FaultKind::kStorm,
-        FaultKind::kApiFail, FaultKind::kCrash}) {
+        FaultKind::kApiFail, FaultKind::kCrash, FaultKind::kPriorityInversion,
+        FaultKind::kMemPressure, FaultKind::kCorrelated}) {
     if (name == FaultKindName(k)) return k;
   }
   return InvalidArgument("unknown fault kind '" + std::string(name) + "'");
@@ -100,58 +101,122 @@ Status ValidateSpec(const FaultSpec& spec) {
     case FaultKind::kCrash:
       if (spec.thread == kAnyThread) return InvalidArgument(kind + " needs thread=<id>");
       break;
+    case FaultKind::kPriorityInversion:
+      if (spec.cost <= 0) return InvalidArgument(kind + " needs pin > 0");
+      break;
+    case FaultKind::kMemPressure:
+      if (spec.period <= 0) return InvalidArgument(kind + " needs every > 0");
+      if (spec.delay <= 0) return InvalidArgument(kind + " needs duration > 0");
+      if (spec.frac <= 0.0) return InvalidArgument(kind + " needs frac in (0,1)");
+      break;
+    case FaultKind::kCorrelated:
+      if (spec.delay <= 0) return InvalidArgument(kind + " needs duration > 0");
+      if (spec.period <= 0) return InvalidArgument(kind + " needs every > 0");
+      if (spec.cost <= 0) return InvalidArgument(kind + " needs steal > 0");
+      if (spec.op != "any" && spec.op != "mknod" && spec.op != "move") {
+        return InvalidArgument(kind + " op must be mknod, move, or any");
+      }
+      break;
   }
   return Status::Ok();
 }
 
+// One bit per FaultSpec field, for duplicate-key detection across aliases (delay and
+// recovery fill the same field, so a clause naming both is as ambiguous as naming
+// either twice).
+enum FieldBit : uint32_t {
+  kFieldP = 1u << 0,
+  kFieldFrac = 1u << 1,
+  kFieldThread = 1u << 2,
+  kFieldOp = 1u << 3,
+  kFieldCpu = 1u << 4,
+  kFieldDelay = 1u << 5,
+  kFieldPeriod = 1u << 6,
+  kFieldCost = 1u << 7,
+  kFieldStart = 1u << 8,
+  kFieldEnd = 1u << 9,
+  kFieldAt = 1u << 10,
+};
+
 // Applies one `key=value` pair to `spec`. Key names follow the documented spec-string
-// vocabulary, which renames a few fields per kind (recovery/steal/every).
-Status ApplyKey(FaultSpec& spec, std::string_view key, std::string_view value) {
+// vocabulary, which renames a few fields per kind (recovery/steal/every). `seen`
+// accumulates FieldBits across the clause; a key whose field is already set is
+// rejected rather than silently keeping the last value.
+Status ApplyKey(FaultSpec& spec, std::string_view key, std::string_view value,
+                uint32_t& seen) {
+  const auto take = [&](uint32_t bit) -> Status {
+    if (seen & bit) {
+      return InvalidArgument("duplicate key '" + std::string(key) +
+                             "' in clause (or an alias naming the same field)");
+    }
+    seen |= bit;
+    return Status::Ok();
+  };
   if (key == "p") {
+    if (auto s = take(kFieldP); !s.ok()) return s;
     auto v = ParseProbability(value);
     if (!v.ok()) return v.status();
     spec.p = *v;
     return Status::Ok();
   }
   if (key == "frac") {
+    if (auto s = take(kFieldFrac); !s.ok()) return s;
     auto v = ParseFraction(value);
     if (!v.ok()) return v.status();
     spec.frac = *v;
     return Status::Ok();
   }
   if (key == "thread") {
+    if (auto s = take(kFieldThread); !s.ok()) return s;
     auto v = ParseU64(value);
     if (!v.ok()) return v.status();
     spec.thread = *v;
     return Status::Ok();
   }
   if (key == "op") {
+    if (auto s = take(kFieldOp); !s.ok()) return s;
     spec.op = std::string(value);
     return Status::Ok();
   }
   if (key == "cpu") {
+    if (auto s = take(kFieldCpu); !s.ok()) return s;
     auto v = ParseU64(value);
     if (!v.ok()) return v.status();
     spec.cpu = static_cast<int>(*v);
     return Status::Ok();
   }
   // Everything else is a duration.
-  auto d = ParseDuration(value);
-  if (!d.ok()) return d.status();
-  if (key == "delay" || key == "recovery") {
-    spec.delay = *d;
+  uint32_t bit = 0;
+  if (key == "delay" || key == "recovery" || key == "duration") {
+    bit = kFieldDelay;
   } else if (key == "every" || key == "period") {
-    spec.period = *d;
-  } else if (key == "cost" || key == "steal") {
-    spec.cost = *d;
+    bit = kFieldPeriod;
+  } else if (key == "cost" || key == "steal" || key == "pin" || key == "stall") {
+    bit = kFieldCost;
   } else if (key == "start") {
-    spec.start = *d;
+    bit = kFieldStart;
   } else if (key == "end") {
-    spec.end = *d;
+    bit = kFieldEnd;
   } else if (key == "at") {
-    spec.at = *d;
+    bit = kFieldAt;
   } else {
     return InvalidArgument("unknown key '" + std::string(key) + "'");
+  }
+  if (auto s = take(bit); !s.ok()) return s;
+  auto d = ParseDuration(value);
+  if (!d.ok()) return d.status();
+  if (bit == kFieldDelay) {
+    spec.delay = *d;
+  } else if (bit == kFieldPeriod) {
+    spec.period = *d;
+  } else if (bit == kFieldCost) {
+    spec.cost = *d;
+  } else if (bit == kFieldStart) {
+    spec.start = *d;
+  } else if (bit == kFieldEnd) {
+    spec.end = *d;
+  } else {
+    spec.at = *d;
   }
   return Status::Ok();
 }
@@ -168,6 +233,9 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kStorm: return "storm";
     case FaultKind::kApiFail: return "api-fail";
     case FaultKind::kCrash: return "crash";
+    case FaultKind::kPriorityInversion: return "priority-inversion";
+    case FaultKind::kMemPressure: return "mem-pressure";
+    case FaultKind::kCorrelated: return "correlated";
   }
   return "unknown";
 }
@@ -228,13 +296,14 @@ StatusOr<FaultPlan> FaultPlan::Parse(std::string_view text) {
     if (!kind.ok()) return kind.status();
     FaultSpec spec;
     spec.kind = *kind;
+    uint32_t seen_keys = 0;
     if (colon != std::string_view::npos) {
       for (const std::string_view kv : Split(clause.substr(colon + 1), ',')) {
         const size_t eq = kv.find('=');
         if (eq == std::string_view::npos) {
           return InvalidArgument("expected key=value, got '" + std::string(kv) + "'");
         }
-        auto s = ApplyKey(spec, kv.substr(0, eq), kv.substr(eq + 1));
+        auto s = ApplyKey(spec, kv.substr(0, eq), kv.substr(eq + 1), seen_keys);
         if (!s.ok()) return s;
       }
     }
@@ -278,8 +347,28 @@ std::string FaultPlan::ToString() const {
       case FaultKind::kCrash:
         out += ":at=" + FormatDuration(spec.at) + ",thread=" + std::to_string(spec.thread);
         break;
+      case FaultKind::kPriorityInversion:
+        out += ":p=" + std::to_string(spec.p) + ",pin=" + FormatDuration(spec.cost);
+        if (spec.thread != kAnyThread) out += ",thread=" + std::to_string(spec.thread);
+        break;
+      case FaultKind::kMemPressure:
+        out += ":every=" + FormatDuration(spec.period) +
+               ",duration=" + FormatDuration(spec.delay) +
+               ",frac=" + std::to_string(spec.frac);
+        if (spec.cost > 0) out += ",stall=" + FormatDuration(spec.cost);
+        if (spec.thread != kAnyThread) out += ",thread=" + std::to_string(spec.thread);
+        break;
+      case FaultKind::kCorrelated:
+        out += ":at=" + FormatDuration(spec.at) +
+               ",duration=" + FormatDuration(spec.delay) +
+               ",every=" + FormatDuration(spec.period) +
+               ",steal=" + FormatDuration(spec.cost) + ",p=" + std::to_string(spec.p);
+        if (spec.op != "any") out += ",op=" + spec.op;
+        if (spec.cpu != 0) out += ",cpu=" + std::to_string(spec.cpu);
+        break;
     }
-    if (spec.kind != FaultKind::kStorm && spec.kind != FaultKind::kCrash) {
+    if (spec.kind != FaultKind::kStorm && spec.kind != FaultKind::kCrash &&
+        spec.kind != FaultKind::kCorrelated) {
       if (spec.start != 0) out += ",start=" + FormatDuration(spec.start);
       if (spec.end != hscommon::kTimeInfinity) out += ",end=" + FormatDuration(spec.end);
     }

@@ -58,6 +58,23 @@ enum class FaultKind : uint8_t {
   kApiFail,
   // Thread `thread` is killed at time `at` (mid-scenario crash).
   kCrash,
+  // A contended mutex acquire finds the holder "faulted": the holder keeps the lock an
+  // extra `pin` of compute with probability `p` (a page-faulting or interrupted
+  // critical section — the classic priority-inversion trigger, exercised against RMA's
+  // OnResourceBlocked/Released inheritance path). `thread` restricts to one holder.
+  kPriorityInversion,
+  // Memory pressure stand-in: deterministic starvation episodes every `every`, each
+  // lasting `duration`. Inside an episode every granted quantum shrinks to
+  // (1-frac) of its programmed size and each dispatch pays an extra `stall` of
+  // uncharged wall time (reclaim/compaction stalls). `thread` restricts both the
+  // quantum squeeze and the stall to one victim — it is the victim's working set
+  // being reclaimed, so its dispatches are the ones that fault pages back in.
+  kMemPressure,
+  // Correlated composition: one seed event at `at` triggers an interrupt storm
+  // (`every`/`steal`) and an api-fail burst (probability `p`, filter `op`) together
+  // over [at, at+duration] — the cascading-failure shape independent clauses cannot
+  // express because their windows are configured, not caused.
+  kCorrelated,
 };
 
 // The printable tag for a kind ("drop-wakeup", "storm", ...). Also the tag recorded in
@@ -67,14 +84,15 @@ const char* FaultKindName(FaultKind kind);
 struct FaultSpec {
   FaultKind kind = FaultKind::kDropWakeup;
   double p = 1.0;            // per-opportunity probability (drop/delay/jitter/spike/api)
-  Time delay = 0;            // drop recovery latency / wakeup delay
-  Time period = 0;           // spurious-wake cadence / storm inter-arrival
-  double frac = 0.0;         // clock-jitter magnitude (fraction of the quantum)
+  Time delay = 0;            // drop recovery latency / wakeup delay / episode duration
+  Time period = 0;           // spurious-wake cadence / storm inter-arrival / episode cadence
+  double frac = 0.0;         // clock-jitter magnitude / mem-pressure quantum squeeze
   Time cost = 0;             // cswitch-spike extra overhead / storm per-interrupt steal
+                             // / inversion pin / mem-pressure stall
   Time start = 0;            // active window begin
   Time end = hscommon::kTimeInfinity;  // active window end
-  Time at = 0;               // crash instant
-  uint64_t thread = kAnyThread;  // restrict to one thread (crash target)
+  Time at = 0;               // crash instant / correlated seed-event instant
+  uint64_t thread = kAnyThread;  // restrict to one thread (crash target, pinned holder)
   std::string op = "any";    // api-fail call filter
   int cpu = 0;               // storm target CPU (SMP scenarios; single-CPU ignores it)
 };
@@ -85,8 +103,9 @@ struct FaultPlan {
 
   bool empty() const { return specs.empty(); }
 
-  // Parses the spec-string format above. Unknown kinds, unknown keys, and malformed
-  // values are errors; an empty string parses to an empty plan.
+  // Parses the spec-string format above. Unknown kinds, unknown keys, malformed
+  // values, and duplicate keys within a clause (including aliases naming the same
+  // field, e.g. delay + recovery) are errors; an empty string parses to an empty plan.
   static hscommon::StatusOr<FaultPlan> Parse(std::string_view text);
 
   // Canonical spec string (Parse(ToString()) reproduces the plan).

@@ -31,6 +31,7 @@ bool IsTimed(EventType type) {
     case EventType::kMigrate:
     case EventType::kAdmit:
     case EventType::kDeadlineMiss:
+    case EventType::kGovern:
       return true;
     default:
       return false;
@@ -59,6 +60,7 @@ const char* InvariantChecker::KindName(Violation::Kind kind) {
     case Violation::Kind::kMigrationInconsistency: return "migration-inconsistency";
     case Violation::Kind::kWorkConservation: return "work-conservation";
     case Violation::Kind::kDeadlineMiss: return "deadline-miss";
+    case Violation::Kind::kGovernorProtocol: return "governor-protocol";
   }
   return "unknown";
 }
@@ -235,6 +237,8 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
 
     case EventType::kMoveNode: {
       const auto to = static_cast<uint32_t>(e.a);
+      // A structural move of a demoted node is the promised re-attach.
+      open_demotions_.erase(e.node);
       if (!NodeAlive(e.node) || !NodeAlive(to)) {
         if (strict) {
           AddViolation(Violation::Kind::kTreeInconsistency, index,
@@ -488,11 +492,72 @@ void InvariantChecker::OnEvent(const TraceEvent& e, size_t index) {
                      Format("DeadlineMiss with non-positive tardiness %lld",
                             static_cast<long long>(e.b)));
       }
-      if (options_.expect_no_deadline_miss) {
+      if (options_.expect_no_deadline_miss && demoted_nodes_.count(e.node) == 0) {
+        // Misses on a governor-demoted leaf are the declared cost of degradation;
+        // everyone else's guarantee must still hold.
         AddViolation(Violation::Kind::kDeadlineMiss, index,
                      Format("thread %" PRIu64 " missed its deadline by %.3fms in a run "
                             "declared miss-free (admitted feasible set)",
                             e.a, hscommon::ToMillis(e.b)));
+      }
+      break;
+    }
+
+    case EventType::kGovern: {
+      const auto action = static_cast<htrace::GovernAction>(e.flags);
+      switch (action) {
+        case htrace::GovernAction::kDemote: {
+          if (strict && (!NodeAlive(e.node) || !NodeAt(e.node).is_leaf)) {
+            AddViolation(Violation::Kind::kGovernorProtocol, index,
+                         Format("demote of dead or non-leaf node %u", e.node));
+          }
+          const auto dest = static_cast<uint32_t>(e.a);
+          if (strict && (!NodeAlive(dest) || NodeAt(dest).is_leaf)) {
+            AddViolation(Violation::Kind::kGovernorProtocol, index,
+                         Format("demote of node %u to dead or leaf destination %u",
+                                e.node, dest));
+          }
+          // The decision opens an obligation: the re-attach (kMoveNode of this node)
+          // must follow before the trace ends.
+          open_demotions_[e.node] = e.time;
+          demoted_nodes_.insert(e.node);
+          break;
+        }
+        case htrace::GovernAction::kRevoke:
+          // Never revoke an unattached (dead or never-created) or non-leaf node.
+          if (strict && (!NodeAlive(e.node) || !NodeAt(e.node).is_leaf)) {
+            AddViolation(Violation::Kind::kGovernorProtocol, index,
+                         Format("revoke of unattached or non-leaf node %u", e.node));
+          }
+          break;
+        case htrace::GovernAction::kThrottle:
+        case htrace::GovernAction::kRestore:
+          if (strict && !NodeAlive(e.node)) {
+            AddViolation(Violation::Kind::kGovernorProtocol, index,
+                         Format("%s of dead node %u",
+                                action == htrace::GovernAction::kThrottle ? "throttle"
+                                                                          : "restore",
+                                e.node));
+          }
+          if (e.b < 1) {
+            AddViolation(Violation::Kind::kGovernorProtocol, index,
+                         Format("%s of node %u to invalid weight %lld",
+                                action == htrace::GovernAction::kThrottle ? "throttle"
+                                                                          : "restore",
+                                e.node, static_cast<long long>(e.b)));
+          }
+          break;
+        case htrace::GovernAction::kBackoff:
+          if (e.b <= 0) {
+            AddViolation(Violation::Kind::kGovernorProtocol, index,
+                         Format("backoff for node %u with non-positive delay %lld",
+                                e.node, static_cast<long long>(e.b)));
+          }
+          break;
+        default:
+          AddViolation(Violation::Kind::kGovernorProtocol, index,
+                       Format("kGovern with unknown action code %u", e.flags));
+          break;
       }
       break;
     }
@@ -512,6 +577,12 @@ void InvariantChecker::Finish() {
     CloseWindow(key.first, key.second, w, 0);
   }
   windows_.clear();
+  for (const auto& [node, when] : open_demotions_) {
+    AddViolation(Violation::Kind::kGovernorProtocol, 0,
+                 Format("demotion of node %u at t=%lld never followed by its "
+                        "re-attach (guarantee revoked, leaf left in place)",
+                        node, static_cast<long long>(when)));
+  }
   for (const auto& [tid, t] : threads_) {
     if (!t.runnable) continue;
     const Time waiting_since = std::max(t.runnable_since, t.last_scheduled);

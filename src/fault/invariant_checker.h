@@ -24,7 +24,11 @@
 //     backlogged work (you cannot steal or rebalance idle load), so no thread can
 //     be lost across a shard migration;
 //   * work conservation (opt-in) — no CPU records an idle span while a runnable
-//     thread sits off-CPU, the property sharded dispatch with stealing must keep.
+//     thread sits off-CPU, the property sharded dispatch with stealing must keep;
+//   * governor protocol — every kGovern action references a live node of the right
+//     shape (never a revoke or demote of an unattached node), and every demotion is
+//     eventually followed by the promised re-attach (a kMoveNode of the demoted leaf);
+//     an abandoned demotion — guarantee revoked, leaf never moved — is a violation.
 //
 // Violations are collected as structured diagnostics (never asserts), so a faulted run
 // reports what broke instead of aborting. Feed events incrementally with OnEvent() +
@@ -35,6 +39,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -80,7 +85,10 @@ class InvariantChecker {
     // Treat every kDeadlineMiss event as a violation. Enable only for runs whose RT
     // population was admitted as feasible under a deterministic simulator (the src/rt
     // guarantee: an admitted EDF set at ncpus=1 runs miss-free); any miss then means
-    // either the admission test or the class scheduler is wrong.
+    // either the admission test or the class scheduler is wrong. Leaves the overload
+    // governor demoted (a kGovern demote earlier in the trace) are exempt: demotion
+    // voids the guarantee, so their misses are the accepted cost of degradation, not
+    // a scheduler bug — the gate then verifies the SURVIVING guarantees held.
     bool expect_no_deadline_miss = false;
   };
 
@@ -95,6 +103,7 @@ class InvariantChecker {
       kMigrationInconsistency,
       kWorkConservation,
       kDeadlineMiss,
+      kGovernorProtocol,
     };
     Kind kind;
     size_t event_index = 0;  // position in the stream (0 when found at Finish)
@@ -183,6 +192,10 @@ class InvariantChecker {
 
   Options options_;
   std::map<uint32_t, NodeState> nodes_;
+  // Governor bookkeeping: demote decisions whose re-attach (kMoveNode) is still
+  // pending, and every node ever demoted (miss-exempt under expect_no_deadline_miss).
+  std::map<uint32_t, Time> open_demotions_;
+  std::set<uint32_t> demoted_nodes_;
   std::map<uint64_t, ThreadState> threads_;
   // Open fairness windows keyed by (smaller child id, larger child id).
   std::map<std::pair<uint32_t, uint32_t>, FairWindow> windows_;

@@ -1,0 +1,274 @@
+#include "src/guard/governor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/trace/tracer.h"
+
+namespace hguard {
+namespace {
+
+void Record(hsim::System& s, htrace::GovernAction action, NodeId node, uint64_t a,
+            int64_t b, const char* name) {
+  if (s.tracer() != nullptr) {
+    s.tracer()->RecordGovern(s.now(), action, node, a, b, name);
+  }
+}
+
+}  // namespace
+
+OverloadGovernor::OverloadGovernor() : OverloadGovernor(Config{}) {}
+
+OverloadGovernor::OverloadGovernor(const Config& config) : config_(config) {
+  assert(config_.window > 0 && config_.trip_windows >= 1 && config_.clear_windows >= 1);
+}
+
+void OverloadGovernor::Attach(hsim::System& system) {
+  assert(system_ == nullptr && "attach a governor to exactly one system");
+  system_ = &system;
+  system.Every(config_.window, config_.window,
+               [this](hsim::System& s) { Tick(s); });
+}
+
+void OverloadGovernor::Tick(hsim::System& s) {
+  ++stats_.windows;
+  auto& tree = s.tree();
+
+  // Collect per-leaf window deltas, ascending thread id. Threads that exited or were
+  // detached have no leaf and drop out of the aggregation.
+  std::map<NodeId, LeafWindow> leaves;
+  const size_t n = s.ThreadCount();
+  if (thread_snap_.size() < n) thread_snap_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto tid = static_cast<hsfq::ThreadId>(i);
+    const auto leaf = tree.LeafOf(tid);
+    const auto& st = s.StatsOf(tid);
+    ThreadSnap& snap = thread_snap_[i];
+    if (leaf.ok()) {
+      LeafWindow& w = leaves[*leaf];
+      w.jobs += st.deadline_jobs - snap.jobs;
+      w.misses += st.deadline_misses - snap.misses;
+      if (s.AwaitingDispatchFor(tid) >= config_.starvation_age) {
+        w.starved = true;
+      }
+    }
+    snap.jobs = st.deadline_jobs;
+    snap.misses = st.deadline_misses;
+  }
+
+  bool any_bad = false;
+  for (const auto& [leaf, w] : leaves) {
+    if (demote_begun_.count(leaf) != 0) {
+      continue;  // already degraded: misses under the penalty weight are expected
+    }
+    const bool miss_storm =
+        w.misses >= config_.min_misses &&
+        static_cast<double>(w.misses) >=
+            config_.miss_rate * static_cast<double>(std::max<uint64_t>(w.jobs, 1));
+    if (miss_storm) ++stats_.miss_storms;
+    if (w.starved) ++stats_.starvations;
+    int& streak = bad_streak_[leaf];
+    if (!miss_storm && !w.starved) {
+      streak = 0;
+      continue;
+    }
+    any_bad = true;
+    ++streak;
+    const hsfq::LeafScheduler* ls = tree.LeafSchedulerOf(leaf);
+    const bool rt = ls != nullptr && ls->HasAdmissionControl();
+    if (rt && miss_storm && streak >= config_.trip_windows) {
+      // Persistent storm: the leaf's declared parameters are lies (or its allocation
+      // is gone) — degrade it so the rest of the hierarchy's guarantees survive.
+      Demote(s, leaf, w.misses, /*attempt=*/0);
+    } else {
+      // First stage: protect the victim by squeezing best-effort competition.
+      ThrottleSiblings(s, leaf);
+    }
+  }
+
+  if (CheckFairnessDrift(s)) any_bad = true;
+
+  // Hysteresis: restore throttled weights only after a run of clean windows.
+  if (any_bad) {
+    clean_streak_ = 0;
+  } else if (!throttled_.empty() && ++clean_streak_ >= config_.clear_windows) {
+    RestoreThrottles(s);
+  }
+}
+
+bool OverloadGovernor::Gated(hsim::System& s, const char* op, NodeId leaf,
+                             uint64_t misses, int attempt) {
+  if (!gate_ || !gate_(op)) return false;
+  if (attempt >= config_.max_retries) {
+    // Abandon: the leaf stays revoked but unmoved — the checker's open re-attach
+    // obligation flags the failed mitigation rather than hiding it.
+    ++stats_.retries_exhausted;
+    return true;
+  }
+  const Time delay =
+      std::min(config_.backoff_max, config_.backoff_initial << attempt);
+  ++stats_.backoffs;
+  Record(s, htrace::GovernAction::kBackoff, leaf,
+         static_cast<uint64_t>(attempt + 1), delay, "backoff");
+  s.At(s.now() + delay, [this, leaf, misses, attempt](hsim::System& sys) {
+    Demote(sys, leaf, misses, attempt + 1);
+  });
+  return true;
+}
+
+void OverloadGovernor::Demote(hsim::System& s, NodeId leaf, uint64_t misses,
+                              int attempt) {
+  auto& tree = s.tree();
+  if (demoted_.count(leaf) != 0) return;
+
+  // Stage 1: the penalty class exists (created on first demotion).
+  if (!have_penalty_) {
+    if (Gated(s, "mknod", leaf, misses, attempt)) return;
+    auto made = tree.MakeNode(config_.penalty_node, hsfq::kRootNode,
+                              config_.penalty_weight, nullptr);
+    if (made.ok()) {
+      penalty_ = *made;
+    } else {
+      // A node of that name already exists (scenario pre-created it): adopt it.
+      auto found = tree.Parse(config_.penalty_node, hsfq::kRootNode);
+      if (!found.ok() || tree.IsLeaf(*found)) return;
+      penalty_ = *found;
+    }
+    have_penalty_ = true;
+  }
+
+  // Stage 2: the decision fires exactly once — guarantee void from this instant.
+  if (demote_begun_.count(leaf) == 0) {
+    demote_begun_.insert(leaf);
+    ++stats_.demotions;
+    Record(s, htrace::GovernAction::kDemote, leaf, penalty_,
+           static_cast<int64_t>(misses), "demote");
+    if (tree.RevokeAdmissions(leaf, s.now()).ok()) {
+      ++stats_.revocations;
+    }
+  }
+
+  // Stage 3: the §4 re-attach, closing the demote obligation with a kMoveNode event.
+  if (Gated(s, "move", leaf, misses, attempt)) return;
+  if (tree.MoveNode(leaf, penalty_, s.now()).ok()) {
+    demoted_.insert(leaf);
+    return;
+  }
+  // Non-transient refusal (e.g. a same-named sibling already demoted): retry next
+  // window a bounded number of times, then leave the obligation open for the checker.
+  if (attempt >= config_.max_retries) {
+    ++stats_.retries_exhausted;
+    return;
+  }
+  s.At(s.now() + config_.window, [this, leaf, misses, attempt](hsim::System& sys) {
+    Demote(sys, leaf, misses, attempt + 1);
+  });
+}
+
+void OverloadGovernor::ThrottleSiblings(hsim::System& s, NodeId leaf) {
+  auto& tree = s.tree();
+  if (leaf == hsfq::kRootNode) return;
+  const NodeId parent = tree.ParentOf(leaf);
+  auto children = tree.ChildrenOf(parent);
+  std::sort(children.begin(), children.end());
+  for (const NodeId c : children) {
+    if (c == leaf || SubtreeHasRtLeaf(tree, c)) continue;
+    Throttle(s, c);
+  }
+}
+
+void OverloadGovernor::Throttle(hsim::System& s, NodeId node) {
+  if (throttled_.count(node) != 0) return;
+  auto& tree = s.tree();
+  const auto weight = tree.GetNodeWeight(node);
+  if (!weight.ok()) return;
+  const Weight cut = std::max<Weight>(
+      1, *weight / static_cast<Weight>(config_.throttle_divisor));
+  if (cut == *weight) return;
+  if (!tree.SetNodeWeight(node, cut).ok()) return;
+  throttled_[node] = *weight;
+  ++stats_.throttles;
+  Record(s, htrace::GovernAction::kThrottle, node, 0, cut, "throttle");
+}
+
+void OverloadGovernor::RestoreThrottles(hsim::System& s) {
+  auto& tree = s.tree();
+  for (const auto& [node, weight] : throttled_) {
+    if (!tree.GetNodeWeight(node).ok()) continue;  // node removed meanwhile
+    if (!tree.SetNodeWeight(node, weight).ok()) continue;
+    ++stats_.restores;
+    Record(s, htrace::GovernAction::kRestore, node, 0, weight, "restore");
+  }
+  throttled_.clear();
+  clean_streak_ = 0;
+}
+
+bool OverloadGovernor::CheckFairnessDrift(hsim::System& s) {
+  auto& tree = s.tree();
+  bool any = false;
+  std::vector<NodeId> stack{hsfq::kRootNode};
+  while (!stack.empty()) {
+    const NodeId parent = stack.back();
+    stack.pop_back();
+    if (tree.IsLeaf(parent)) continue;
+    auto children = tree.ChildrenOf(parent);
+    std::sort(children.begin(), children.end());
+    // Per-weight service delta of each child subtree this window. Only children that
+    // actually ran participate: an idle class is not a fairness victim (§3's bound
+    // covers simultaneously backlogged classes).
+    std::vector<std::pair<NodeId, double>> active;
+    for (const NodeId c : children) {
+      stack.push_back(c);
+      const auto svc = tree.ServiceOf(c);
+      if (!svc.ok()) continue;
+      Work& snap = service_snap_[c];
+      Work delta = *svc - snap;
+      if (delta < 0) delta = 0;  // node id reused after removal: restart the window
+      snap = *svc;
+      if (delta == 0) continue;
+      const auto weight = tree.GetNodeWeight(c);
+      if (!weight.ok()) continue;
+      active.emplace_back(c, static_cast<double>(delta) /
+                                 static_cast<double>(std::max<Weight>(1, *weight)));
+    }
+    if (active.size() < 2) continue;
+    double min_norm = std::numeric_limits<double>::infinity();
+    NodeId min_child = hsfq::kRootNode;
+    for (const auto& [c, norm] : active) {
+      if (norm < min_norm) {
+        min_norm = norm;
+        min_child = c;
+      }
+    }
+    const double gap = static_cast<double>(config_.fairness_gap);
+    // Intervene only when the under-served side holds a guarantee to protect.
+    if (!SubtreeHasRtLeaf(tree, min_child)) continue;
+    bool drifted = false;
+    for (const auto& [c, norm] : active) {
+      if (c == min_child || norm - min_norm <= gap) continue;
+      if (SubtreeHasRtLeaf(tree, c)) continue;  // never throttle a guaranteed class
+      drifted = true;
+      Throttle(s, c);
+    }
+    if (drifted) {
+      any = true;
+      ++stats_.drift_detections;
+    }
+  }
+  return any;
+}
+
+bool OverloadGovernor::SubtreeHasRtLeaf(const hsfq::SchedulingStructure& tree,
+                                        NodeId node) const {
+  if (tree.IsLeaf(node)) {
+    const hsfq::LeafScheduler* ls = tree.LeafSchedulerOf(node);
+    return ls != nullptr && ls->HasAdmissionControl();
+  }
+  for (const NodeId c : tree.ChildrenOf(node)) {
+    if (SubtreeHasRtLeaf(tree, c)) return true;
+  }
+  return false;
+}
+
+}  // namespace hguard

@@ -1,0 +1,179 @@
+// The overload governor: online failure detection and graceful degradation.
+//
+// The paper's admission control (§3) guarantees rates only while its assumptions hold —
+// declared computation times, bounded interrupt load, no memory pressure. When a fault
+// breaks those assumptions the hierarchy has no defense: an overrunning RT class keeps
+// its reservation and every guarantee around it silently erodes. The governor closes
+// that gap. It runs INSIDE the simulator loop as a periodic scripted event (so on SMP
+// it fires only at globally quiesced ticks, where structural mutation is legal), watches
+// cheap per-leaf counters each window, and reacts deterministically:
+//
+//   detectors                         reactions
+//   ---------                         ---------
+//   deadline-miss rate per window     demote: revoke the leaf's admission guarantees
+//   starvation age of runnable        (hsfq_admin kRevoke) and re-attach it under a
+//     never-dispatched threads        penalty-weighted best-effort node via the §4
+//   §3 fairness-gap drift between     MoveNode retag path
+//     active siblings                 throttle: cut best-effort sibling weights to
+//   kErrAgain pressure on its own     protect a starving / drifting RT leaf; restore
+//     structural calls                after `clear_windows` clean windows (hysteresis)
+//                                     backoff: bounded exponential retry of gated calls
+//
+// Escalation is two-stage with hysteresis: the first `trip_windows - 1` consecutive bad
+// windows throttle best-effort competition (cheap, reversible); only a persistent miss
+// storm demotes (irreversible — the revoked guarantee stays void). Every action is a
+// kGovern trace event, so governed runs replay byte-identically and the InvariantChecker
+// can hold the governor to its own protocol (a demotion must be followed by the
+// re-attach; never revoke an unattached node).
+//
+// Determinism: every decision is a pure function of simulator state read at a scripted
+// tick, iterated in ascending node/thread id order; backoff delays are fixed powers of
+// two. Two runs of the same scenario + plan produce byte-identical traces (the fault
+// campaign's double-run gate enforces this).
+
+#ifndef HSCHED_SRC_GUARD_GOVERNOR_H_
+#define HSCHED_SRC_GUARD_GOVERNOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hsfq/structure.h"
+#include "src/sim/system.h"
+
+namespace hguard {
+
+using hscommon::Time;
+using hscommon::Work;
+using hsfq::NodeId;
+using hsfq::Weight;
+
+class OverloadGovernor {
+ public:
+  struct Config {
+    // Detection window: the governor ticks once per window (scripted Every event).
+    Time window = 250 * hscommon::kMillisecond;
+    // Miss-storm detector: a window is bad for a leaf when it saw >= min_misses
+    // deadline misses AND misses >= miss_rate * jobs completed in that window.
+    uint64_t min_misses = 3;
+    double miss_rate = 0.25;
+    // Consecutive bad windows before a miss-storming RT leaf is demoted.
+    int trip_windows = 2;
+    // Consecutive clean windows before throttled weights are restored (hysteresis:
+    // asymmetric trip/clear thresholds prevent oscillation at the boundary).
+    int clear_windows = 4;
+    // Starvation detector: a runnable thread that has waited this long since its
+    // wakeup without a single dispatch marks its leaf's window bad.
+    Time starvation_age = 500 * hscommon::kMillisecond;
+    // §3 fairness-gap drift: max allowed spread of per-weight service (ns of service
+    // per unit weight) between simultaneously active siblings in one window before
+    // the over-served best-effort siblings are throttled.
+    Time fairness_gap = 400 * hscommon::kMillisecond;
+    // Throttled best-effort nodes run at weight / throttle_divisor (floor 1).
+    int throttle_divisor = 4;
+    // Demotion destination: an interior SFQ node created under the root on first
+    // demotion, holding demoted leaves at a deliberately small weight.
+    std::string penalty_node = "penalty";
+    Weight penalty_weight = 1;
+    // Bounded exponential backoff for structural calls failing transiently
+    // (kErrAgain from the fault gate): initial << attempt, capped, bounded retries.
+    Time backoff_initial = hscommon::kMillisecond;
+    Time backoff_max = 64 * hscommon::kMillisecond;
+    int max_retries = 6;
+  };
+
+  // Action counters, for tests and campaign reports.
+  struct Stats {
+    uint64_t windows = 0;            // detection ticks run
+    uint64_t miss_storms = 0;        // bad windows from the miss-rate detector
+    uint64_t starvations = 0;        // bad windows from the starvation-age detector
+    uint64_t drift_detections = 0;   // fairness-gap interventions (per parent)
+    uint64_t demotions = 0;          // kDemote decisions (once per leaf)
+    uint64_t revocations = 0;        // successful kRevoke verbs issued
+    uint64_t throttles = 0;          // weights cut
+    uint64_t restores = 0;           // weights restored
+    uint64_t backoffs = 0;           // retries scheduled after a gated failure
+    uint64_t retries_exhausted = 0;  // actions abandoned after max_retries
+  };
+
+  OverloadGovernor();
+  explicit OverloadGovernor(const Config& config);
+
+  // Installs the periodic detection tick on `system`. Call once, before RunUntil,
+  // while now() == 0. The governor must outlive the system (scripted events hold
+  // pointers to it).
+  void Attach(hsim::System& system);
+
+  // Subjects the governor's own structural calls (penalty mknod, demotion move) to a
+  // transient-failure gate with the HsfqApi::SetFaultHook contract: `gate(op)` true
+  // means the call fails as kErrAgain and the governor retries with bounded
+  // exponential backoff. Wire FaultInjector::ApiFaultGate() here to let api-fail /
+  // correlated bursts hit the governor. Pass nullptr to remove.
+  void SetFaultGate(std::function<bool(const char* op)> gate) {
+    gate_ = std::move(gate);
+  }
+
+  const Config& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+
+  // True once `leaf` has been re-attached under the penalty node.
+  bool IsDemoted(NodeId leaf) const { return demoted_.count(leaf) != 0; }
+  // True once the demotion decision fired (guarantee revoked), even if the re-attach
+  // is still pending behind backoff retries.
+  bool IsBeingDemoted(NodeId leaf) const { return demote_begun_.count(leaf) != 0; }
+  // The penalty node id, or hsfq::kRootNode before the first demotion created it.
+  NodeId penalty_node() const { return have_penalty_ ? penalty_ : hsfq::kRootNode; }
+
+ private:
+  // Per-leaf aggregate of one detection window.
+  struct LeafWindow {
+    uint64_t jobs = 0;    // deadline-stamped jobs completed this window
+    uint64_t misses = 0;  // of those, completed past their deadline
+    bool starved = false; // some runnable thread aged past starvation_age undispatched
+  };
+  struct ThreadSnap {
+    uint64_t jobs = 0;
+    uint64_t misses = 0;
+  };
+
+  void Tick(hsim::System& s);
+  // The demotion state machine; re-entered by backoff retries with a bumped attempt.
+  void Demote(hsim::System& s, NodeId leaf, uint64_t misses, int attempt);
+  // Consults the fault gate for `op`; on transient failure schedules a backoff retry
+  // of Demote (or gives up after max_retries) and returns true.
+  bool Gated(hsim::System& s, const char* op, NodeId leaf, uint64_t misses,
+             int attempt);
+  // Cuts the weight of every best-effort sibling of `leaf` (subtrees holding no
+  // admission-controlled leaf).
+  void ThrottleSiblings(hsim::System& s, NodeId leaf);
+  void Throttle(hsim::System& s, NodeId node);
+  void RestoreThrottles(hsim::System& s);
+  // Sweeps interior nodes for per-weight service spread; throttles over-served
+  // best-effort siblings of an under-served RT subtree. Returns true if any parent
+  // drifted past the bound.
+  bool CheckFairnessDrift(hsim::System& s);
+  bool SubtreeHasRtLeaf(const hsfq::SchedulingStructure& tree, NodeId node) const;
+
+  Config config_;
+  Stats stats_;
+  hsim::System* system_ = nullptr;
+  std::function<bool(const char* op)> gate_;
+
+  std::vector<ThreadSnap> thread_snap_;     // per-thread counters at last tick
+  std::map<NodeId, Work> service_snap_;     // per-node subtree service at last tick
+  std::map<NodeId, int> bad_streak_;        // consecutive bad windows per leaf
+  std::map<NodeId, Weight> throttled_;      // throttled node -> original weight
+  std::set<NodeId> demote_begun_;           // demote decision fired (revoked)
+  std::set<NodeId> demoted_;                // re-attach under penalty completed
+  int clean_streak_ = 0;                    // consecutive windows with no bad signal
+  bool have_penalty_ = false;
+  NodeId penalty_ = hsfq::kRootNode;
+};
+
+}  // namespace hguard
+
+#endif  // HSCHED_SRC_GUARD_GOVERNOR_H_

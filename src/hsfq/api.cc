@@ -129,6 +129,10 @@ int HsfqApi::hsfq_admin(int node, AdminCmd cmd, void* args) {
       const auto* admit = static_cast<const AdmitArgs*>(args);
       return ToError(structure_.AdmitThread(admit->thread, id, admit->params, admit->now));
     }
+    case AdminCmd::kRevoke: {
+      const auto* revoke = static_cast<const RevokeArgs*>(args);
+      return ToError(structure_.RevokeAdmissions(id, revoke->now));
+    }
   }
   return kErrInval;
 }

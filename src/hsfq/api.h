@@ -43,6 +43,7 @@ enum class AdminCmd {
   kGetPath,     // args: std::string* (out)
   kGetService,  // args: Work* (out) — cumulative CPU service of the subtree
   kAdmit,       // args: AdmitArgs* — admission probe against the leaf's class scheduler
+  kRevoke,      // args: RevokeArgs* — void the leaf's admission guarantees (governor)
 };
 
 // Arguments of AdminCmd::kAdmit — the paper's admission-control op. A non-mutating
@@ -56,6 +57,17 @@ struct AdmitArgs {
   // Thread id the caller would attach under (a label for the trace; kInvalidThread ok).
   ThreadId thread = kInvalidThread;
   // Trace timestamp of the probe.
+  Time now = 0;
+};
+
+// Arguments of AdminCmd::kRevoke — the overload governor's degradation verb. Voids the
+// leaf's admission guarantees (the class scheduler stops reporting booked utilization
+// and rejects further admissions; attached threads keep running) and records a kGovern
+// "revoke" trace event. Returns 0 on success; a node id that is not a live leaf is
+// kErrInval — admin verbs take raw ids from outside the kernel, so a stale id is a
+// caller bug, never an assert.
+struct RevokeArgs {
+  // Trace timestamp of the revocation.
   Time now = 0;
 };
 

@@ -62,6 +62,14 @@ class LeafScheduler {
   // True if AddThread can reject for capacity (an admission-controlled class).
   virtual bool HasAdmissionControl() const { return false; }
 
+  // Revokes every admission guarantee this class has issued (the hsfq_admin kRevoke
+  // verb, driven by the overload governor when it demotes a miss-storming leaf): the
+  // class stops reporting booked utilization and rejects all further admission
+  // requests. Attached threads stay schedulable and internal accounting keeps
+  // tracking them — revocation voids the guarantee, it does not evict. No-op for
+  // classes without admission control.
+  virtual void RevokeAdmissions() {}
+
   // Booked CPU utilization sum(C_i / T_i) of admitted threads; 0 for classes that do
   // not meter utilization.
   virtual double BookedUtilization() const { return 0.0; }

@@ -204,8 +204,10 @@ Status SchedulingStructure::AttachThread(ThreadId thread, NodeId leaf,
 
 Status SchedulingStructure::AdmitThread(ThreadId thread, NodeId leaf,
                                         const ThreadParams& params, Time now) {
-  if (Status s = ValidateLiveNode(leaf); !s.ok()) {
-    return s;
+  // Admin verbs take raw node ids from outside the kernel: an unknown or removed id is
+  // an invalid argument (kErrInval at the system-call layer), not a lookup miss.
+  if (!ValidateLiveNode(leaf).ok()) {
+    return InvalidArgument("admit target " + std::to_string(leaf) + " is not a live node");
   }
   Node& n = NodeRef(leaf);
   if (!n.is_leaf()) {
@@ -225,6 +227,24 @@ Status SchedulingStructure::AdmitThread(ThreadId thread, NodeId leaf,
                          n.leaf->Name());
   }
   return verdict;
+}
+
+Status SchedulingStructure::RevokeAdmissions(NodeId leaf, Time now) {
+  if (!ValidateLiveNode(leaf).ok()) {
+    return InvalidArgument("revoke target " + std::to_string(leaf) +
+                           " is not a live node");
+  }
+  Node& n = NodeRef(leaf);
+  if (!n.is_leaf()) {
+    return InvalidArgument("node " + std::to_string(leaf) + " is not a leaf");
+  }
+  const double booked = n.leaf->BookedUtilization();
+  n.leaf->RevokeAdmissions();
+  if (tracer_ != nullptr) {
+    tracer_->RecordGovern(now, htrace::GovernAction::kRevoke, leaf, 0,
+                          static_cast<int64_t>(booked * 1e6), "revoke");
+  }
+  return Status::Ok();
 }
 
 Status SchedulingStructure::DetachThread(ThreadId thread) {

@@ -88,6 +88,14 @@ class SchedulingStructure {
   // the trace (the id the caller would attach under); kInvalidThread is fine.
   Status AdmitThread(ThreadId thread, NodeId leaf, const ThreadParams& params, Time now);
 
+  // Revokes the leaf's admission guarantees (the hsfq_admin kRevoke verb): the class
+  // scheduler stops reporting booked utilization and rejects further admissions;
+  // attached threads keep running. Emits a kGovern "revoke" trace event carrying the
+  // booked utilization (ppm) that was voided. Like AdmitThread, an id that is not a
+  // live leaf is InvalidArgument — admin verbs take raw ids from outside the kernel,
+  // so a stale id is a caller bug, not a lookup miss.
+  Status RevokeAdmissions(NodeId leaf, Time now);
+
   // Removes a thread that is not currently running.
   Status DetachThread(ThreadId thread);
 

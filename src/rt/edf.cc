@@ -82,6 +82,10 @@ hscommon::Status EdfScheduler::AdmitQuery(const ThreadParams& params) const {
   if (auto s = ValidateParams(params); !s.ok()) {
     return s;
   }
+  if (revoked_) {
+    return hscommon::ResourceExhausted(
+        "EDF admission: guarantees revoked (leaf demoted by the overload governor)");
+  }
   const double u =
       static_cast<double>(params.computation) / static_cast<double>(params.period);
   if (config_.admission_control && utilization_ + u > config_.utilization_limit + 1e-12) {

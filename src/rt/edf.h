@@ -58,8 +58,15 @@ class EdfScheduler : public hsfq::LeafScheduler {
   bool IsThreadRunnable(ThreadId thread) const override;
   std::string Name() const override { return "EDF"; }
 
-  // Booked utilization sum(C/T) of admitted threads.
-  double BookedUtilization() const override { return utilization_; }
+  // Booked utilization sum(C/T) of admitted threads (0 once revoked — the guarantee
+  // is void even though attached threads keep being tracked internally).
+  double BookedUtilization() const override { return revoked_ ? 0.0 : utilization_; }
+
+  // Voids this leaf's admission guarantee: BookedUtilization reports 0 and every
+  // further AdmitQuery/AddThread is rejected. Attached threads keep running (the
+  // governor's demotion re-parents them under a best-effort node; eviction is not
+  // this layer's call). Permanent for the scheduler instance.
+  void RevokeAdmissions() override { revoked_ = true; }
 
   // Absolute deadline of the thread's current job (kTimeInfinity if none released).
   hscommon::Time CurrentDeadline(ThreadId thread) const;
@@ -90,6 +97,7 @@ class EdfScheduler : public hsfq::LeafScheduler {
 
   Config config_;
   double utilization_ = 0.0;
+  bool revoked_ = false;  // admission guarantee voided (RevokeAdmissions)
   std::unordered_map<ThreadId, ThreadState> threads_;
   // Dense slot table: slot -> thread (kInvalidThread when free). A slot's sequence
   // counter survives reuse, so stale heap entries from a departed thread can never

@@ -45,6 +45,10 @@ hscommon::Status RmaScheduler::AdmitQuery(const ThreadParams& params) const {
       (params.relative_deadline > 0 && params.relative_deadline > params.period)) {
     return hscommon::InvalidArgument("relative deadline must be in (0, period]");
   }
+  if (revoked_) {
+    return hscommon::ResourceExhausted(
+        "RMA admission: guarantees revoked (leaf demoted by the overload governor)");
+  }
   if (config_.admission_control &&
       !Feasible(TaskSetWith(hrt::RtTask{params.period, params.computation,
                                         params.relative_deadline}))) {

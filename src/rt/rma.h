@@ -69,7 +69,14 @@ class RmaScheduler : public hsfq::LeafScheduler {
     InheritPriority(holder, hsfq::kInvalidThread);
   }
 
-  double BookedUtilization() const override { return utilization_; }
+  // 0 once revoked — the guarantee is void even though attached threads keep being
+  // tracked internally.
+  double BookedUtilization() const override { return revoked_ ? 0.0 : utilization_; }
+
+  // Voids this leaf's admission guarantee: BookedUtilization reports 0 and every
+  // further AdmitQuery/AddThread is rejected (the hsfq_admin kRevoke verb). Attached
+  // threads keep running; permanent for the scheduler instance.
+  void RevokeAdmissions() override { revoked_ = true; }
 
   // The Liu–Layland bound n(2^{1/n}-1) for n tasks.
   static double LiuLaylandBound(size_t n) { return hrt::LiuLaylandBound(n); }
@@ -105,6 +112,7 @@ class RmaScheduler : public hsfq::LeafScheduler {
 
   Config config_;
   double utilization_ = 0.0;
+  bool revoked_ = false;  // admission guarantee voided (RevokeAdmissions)
   std::unordered_map<ThreadId, ThreadState> threads_;
   // Keyed by (effective period, id) — the rate-monotonic priority order.
   ReadyHeap ready_{hscommon::ExternalHeapIndex<ThreadId, ReadyPos>(ReadyPos{this})};

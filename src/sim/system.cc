@@ -170,6 +170,15 @@ bool System::LockMutex(MutexId id, Thread& t) {
   }
   m.waiters.push_back(t.id);
   ++m.stats.contentions;
+  // Priority-inversion fault model: a "faulted" holder pins the lock by growing its
+  // current critical section. Safe to apply mid-simulation — per-slice stop times are
+  // recomputed from burst_remaining every iteration of the dispatch loop.
+  if (fault_hooks_ != nullptr) {
+    const Work pin = std::max<Work>(0, fault_hooks_->OnMutexPin(m.holder, t.id, now_));
+    if (pin > 0) {
+      ThreadRef(m.holder).burst_remaining += pin;
+    }
+  }
   ApplyInversionRemedy(m.holder, t.id);
   return false;
 }
@@ -934,6 +943,14 @@ hscommon::Status System::WriteStatsJson(const std::string& path) const {
 }
 
 const ThreadStats& System::StatsOf(ThreadId thread) const { return ThreadRef(thread).stats; }
+
+Time System::AwaitingDispatchFor(ThreadId thread) const {
+  const Thread& t = ThreadRef(thread);
+  if (!t.runnable || !t.awaiting_first_dispatch || IsOnCpu(thread)) {
+    return 0;
+  }
+  return now_ - t.last_wake;
+}
 
 Workload* System::WorkloadOf(ThreadId thread) const {
   return threads_[thread]->workload.get();

@@ -92,6 +92,15 @@ class FaultHooks {
   virtual Time OnDispatchOverhead(hsfq::ThreadId /*thread*/, Time /*now*/, int /*cpu*/) {
     return 0;
   }
+
+  // Called when `waiter` blocks on a mutex held by `holder`. Return extra compute (ns)
+  // the holder's current critical section grows by — a "faulted" holder pinning the
+  // lock (page faults, interrupted critical section): the priority-inversion fault
+  // model. Values < 0 are clamped to 0.
+  virtual Work OnMutexPin(hsfq::ThreadId /*holder*/, hsfq::ThreadId /*waiter*/,
+                          Time /*now*/) {
+    return 0;
+  }
 };
 
 // A recoverable anomaly the simulator survived instead of aborting on: misuse of the
@@ -232,6 +241,11 @@ class System {
   Workload* WorkloadOf(ThreadId thread) const;
   const std::string& NameOf(ThreadId thread) const;
   size_t ThreadCount() const { return threads_.size(); }
+
+  // How long `thread` has been runnable without receiving a dispatch since its last
+  // wakeup (0 when blocked, mid-slice, or already dispatched) — the overload
+  // governor's starvation-age signal.
+  Time AwaitingDispatchFor(ThreadId thread) const;
 
   // Recoverable anomalies survived so far (bounded retention: the first
   // kMaxDiagnostics are kept; diagnostic_count() keeps counting past the cap).

@@ -59,6 +59,22 @@ enum class EventType : uint8_t {
                      // name = leaf scheduler name (paper's hsfq_admin)
   kDeadlineMiss = 20,// node = leaf, a = thread, b = tardiness (completion - deadline,
                      // ns); emitted once per job that completes past its deadline
+  // Overload governor (src/guard): every online mitigation decision is a trace event,
+  // so governed runs replay byte-identically and blast-radius analysis can anchor to
+  // the exact governor action.
+  kGovern = 21,      // node = acted-on node, a = action argument (destination node,
+                     // throttled sibling, or retry op hash), b = magnitude (miss count,
+                     // restored weight, or backoff ns), flags = GovernAction code,
+                     // name = action ("demote"/"revoke"/"throttle"/"restore"/"backoff")
+};
+
+// GovernAction codes carried in TraceEvent::flags for kGovern events.
+enum class GovernAction : uint8_t {
+  kDemote = 1,    // node = demoted leaf, a = destination (penalty) node, b = window miss count
+  kRevoke = 2,    // node = leaf whose admissions were revoked, b = booked utilization ppm
+  kThrottle = 3,  // node = throttled best-effort node, b = new weight
+  kRestore = 4,   // node = restored node, b = restored weight
+  kBackoff = 5,   // node = target node of the retried api op, a = attempt #, b = delay ns
 };
 
 // Human-readable tag, for dumps and diff reports.

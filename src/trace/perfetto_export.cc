@@ -167,6 +167,17 @@ Status ExportPerfettoJson(const std::vector<TraceEvent>& events, const std::stri
                ", \"tardiness_ns\": " + std::to_string(e.b) + "}");
         break;
       }
+      case EventType::kGovern: {
+        // Process-scoped marker (like faults): a governor mitigation changes the
+        // machine's policy and should be visible on every track.
+        const std::string action(e.name, strnlen(e.name, kEventNameCapacity));
+        w.Emit("\"ph\": \"i\", \"s\": \"p\", \"pid\": 1, \"tid\": 0, \"ts\": " +
+               Us(e.time) + ", \"name\": \"govern:" + JsonEscape(action) +
+               "\", \"args\": {\"node\": " + std::to_string(e.node) +
+               ", \"arg\": " + std::to_string(e.a) +
+               ", \"magnitude\": " + std::to_string(e.b) + "}");
+        break;
+      }
       case EventType::kMigrate:
         // Instant on the destination CPU's track: a leaf crossed shards, either
         // stolen by an idle/lagging CPU or rehomed by a rebalance pass.

@@ -242,6 +242,22 @@ std::vector<TraceAnalyzer::LeafRtStats> TraceAnalyzer::PerLeafRtStats() const {
   return out;
 }
 
+std::vector<TraceAnalyzer::GovernorAction> TraceAnalyzer::GovernorActions() const {
+  std::vector<GovernorAction> out;
+  for (const TraceEvent& e : events_) {
+    if (e.type != EventType::kGovern) continue;
+    GovernorAction a;
+    a.time = e.time;
+    a.action = static_cast<GovernAction>(e.flags);
+    a.node = e.node;
+    a.arg = e.a;
+    a.magnitude = e.b;
+    a.name = e.name;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
 Time TraceAnalyzer::Percentile(const std::vector<Time>& sorted, double p) {
   if (sorted.empty()) {
     return 0;

@@ -151,6 +151,21 @@ class TraceAnalyzer {
   // ordered by leaf id.
   std::vector<LeafRtStats> PerLeafRtStats() const;
 
+  // One overload-governor action (kGovern event), decoded. The campaign and tests
+  // read these to assert mitigation ordering (e.g. a demote within one detection
+  // window of the first fault) without touching raw event fields.
+  struct GovernorAction {
+    Time time = 0;
+    GovernAction action = GovernAction::kDemote;
+    uint32_t node = 0;   // acted-on node
+    uint64_t arg = 0;    // destination node / attempt # (see event.h)
+    int64_t magnitude = 0;  // miss count / weight / backoff ns
+    std::string name;    // "demote" / "revoke" / "throttle" / "restore" / "backoff"
+  };
+
+  // Every kGovern event in stream order (empty when no governor ran).
+  std::vector<GovernorAction> GovernorActions() const;
+
   // Nearest-rank percentile of an ascending-sorted sample vector (p in [0, 100]);
   // 0 when empty.
   static Time Percentile(const std::vector<Time>& sorted, double p);

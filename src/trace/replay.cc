@@ -28,6 +28,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kMigrate: return "Migrate";
     case EventType::kAdmit: return "Admit";
     case EventType::kDeadlineMiss: return "DeadlineMiss";
+    case EventType::kGovern: return "Govern";
   }
   return "Unknown";
 }

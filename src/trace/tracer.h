@@ -264,6 +264,19 @@ class Tracer {
                         static_cast<uint16_t>(cpu)));
   }
 
+  // --- Overload-governor taps (src/guard) ---
+
+  // One governor mitigation decision: `action` is the typed code mirrored in `name`
+  // ("demote"/"revoke"/"throttle"/"restore"/"backoff"), `node` the acted-on node,
+  // `a`/`b` the action-specific argument and magnitude (see GovernAction).
+  void RecordGovern(hscommon::Time now, GovernAction action, uint32_t node,
+                    uint64_t a, int64_t b, std::string_view name, uint32_t cpu = 0) {
+    if (!enabled_) return;
+    Push(cpu, MakeEvent(EventType::kGovern, now, node, a, b,
+                        static_cast<uint8_t>(action), name,
+                        static_cast<uint16_t>(cpu)));
+  }
+
   // --- Fault-injection taps (src/fault) ---
 
   // `kind` is a short tag like "drop-wake"; `magnitude` is the fault's size in

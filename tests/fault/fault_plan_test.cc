@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/prng.h"
+
 namespace hsfault {
 namespace {
 
 using hscommon::kMicrosecond;
 using hscommon::kMillisecond;
 using hscommon::kSecond;
+using hscommon::StatusCode;
 
 TEST(ParseDurationTest, AcceptsAllUnits) {
   EXPECT_EQ(*ParseDuration("250"), 250);  // bare numbers are nanoseconds
@@ -92,6 +95,92 @@ TEST(FaultPlanTest, ValidationCatchesUnrecoverablePlans) {
   EXPECT_TRUE(FaultPlan::Parse("api-fail:p=0.5,op=move").ok());
   // Probabilities live in [0, 1].
   EXPECT_FALSE(FaultPlan::Parse("delay-wakeup:p=1.5,delay=1ms").ok());
+}
+
+TEST(FaultPlanTest, RejectsDuplicateKeysWithinClause) {
+  // Naming the same key twice is ambiguous: the parser must reject it with a typed
+  // error rather than silently keep either value.
+  auto dup = FaultPlan::Parse("drop-wakeup:p=0.1,p=0.2,recovery=1ms");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().ToString().find("duplicate"), std::string::npos);
+  // Aliases fill the same field, so a clause naming both is just as ambiguous.
+  EXPECT_FALSE(FaultPlan::Parse("drop-wakeup:p=0.1,delay=1ms,recovery=2ms").ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("mem-pressure:every=1ms,period=2ms,duration=1ms,frac=0.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("priority-inversion:pin=1ms,cost=2ms").ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("correlated:at=1s,duration=1ms,every=1ms,steal=2us,steal=3us")
+          .ok());
+  // The same key in different clauses is fine — dedup is per clause.
+  EXPECT_TRUE(
+      FaultPlan::Parse("delay-wakeup:p=0.1,delay=1ms;delay-wakeup:p=0.2,delay=2ms")
+          .ok());
+}
+
+TEST(FaultPlanTest, RobustnessKindsValidateRequiredFields) {
+  EXPECT_FALSE(FaultPlan::Parse("priority-inversion:p=0.5").ok());  // needs pin
+  EXPECT_FALSE(FaultPlan::Parse("mem-pressure:every=1ms,frac=0.5").ok());  // duration
+  EXPECT_FALSE(FaultPlan::Parse("mem-pressure:duration=1ms,frac=0.5").ok());  // every
+  EXPECT_FALSE(FaultPlan::Parse("mem-pressure:every=1ms,duration=1ms").ok());  // frac
+  EXPECT_FALSE(
+      FaultPlan::Parse("correlated:at=1s,every=1ms,steal=1us").ok());  // duration
+  EXPECT_FALSE(
+      FaultPlan::Parse("correlated:at=1s,duration=1ms,every=1ms").ok());  // steal
+  EXPECT_FALSE(
+      FaultPlan::Parse("correlated:at=1s,duration=1ms,every=1ms,steal=1us,op=rmnod")
+          .ok());  // closed op filter
+  EXPECT_TRUE(FaultPlan::Parse("priority-inversion:p=0.5,pin=2ms,thread=3").ok());
+  EXPECT_TRUE(
+      FaultPlan::Parse("mem-pressure:every=400ms,duration=350ms,frac=0.98,"
+                       "stall=100us,thread=0,start=1s,end=6s")
+          .ok());
+  EXPECT_TRUE(
+      FaultPlan::Parse("correlated:at=2s,duration=800ms,every=250us,steal=120us,"
+                       "p=0.8,op=mknod")
+          .ok());
+}
+
+// Seeded round-trip fuzz over the three robustness kinds: any spec the printer can
+// emit must reparse to the same canonical string (Parse(ToString()) is the identity
+// on canonical forms).
+TEST(FaultPlanTest, RobustnessKindsRoundTripFuzz) {
+  hscommon::Prng prng(20260807);
+  for (int i = 0; i < 300; ++i) {
+    FaultSpec spec;
+    const int which = static_cast<int>(prng.UniformInt(0, 2));
+    if (which == 0) {
+      spec.kind = FaultKind::kPriorityInversion;
+      spec.p = 0.05 + 0.9 * prng.UniformDouble();
+      spec.cost = prng.UniformInt(1, 5 * kMillisecond);
+      if (prng.Bernoulli(0.5)) spec.thread = prng.UniformInt(0, 7);
+    } else if (which == 1) {
+      spec.kind = FaultKind::kMemPressure;
+      spec.period = prng.UniformInt(1, kSecond);
+      spec.delay = prng.UniformInt(1, spec.period);
+      spec.frac = 0.05 + 0.9 * prng.UniformDouble();
+      if (prng.Bernoulli(0.5)) spec.cost = prng.UniformInt(1, kMillisecond);
+      if (prng.Bernoulli(0.5)) spec.thread = prng.UniformInt(0, 7);
+    } else {
+      spec.kind = FaultKind::kCorrelated;
+      spec.at = prng.UniformInt(0, 8 * kSecond);
+      spec.delay = prng.UniformInt(1, kSecond);
+      spec.period = prng.UniformInt(1, kMillisecond);
+      spec.cost = prng.UniformInt(1, kMillisecond);
+      spec.p = 0.05 + 0.9 * prng.UniformDouble();
+      spec.op = prng.Bernoulli(0.5) ? "any" : (prng.Bernoulli(0.5) ? "mknod" : "move");
+    }
+    FaultPlan plan;
+    plan.seed = static_cast<uint64_t>(prng.UniformInt(0, 1 << 20));
+    plan.specs.push_back(spec);
+    const std::string printed = plan.ToString();
+    auto reparsed = FaultPlan::Parse(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << ": " << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->ToString(), printed);
+    ASSERT_EQ(reparsed->specs.size(), 1u);
+    EXPECT_EQ(reparsed->specs[0].kind, spec.kind);
+    EXPECT_EQ(reparsed->specs[0].thread, spec.thread);
+  }
 }
 
 TEST(FaultPlanTest, KindNamesMatchParser) {

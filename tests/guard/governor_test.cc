@@ -1,0 +1,236 @@
+// The overload governor end to end: detection and two-stage escalation (throttle, then
+// demote into the penalty class), hysteresis on restore, bounded exponential backoff
+// behind a transient fault gate, the checker's governor-protocol obligation, and
+// byte-identical determinism of governed runs.
+
+#include "src/guard/governor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fault/invariant_checker.h"
+#include "src/hsfq/structure.h"
+#include "src/rt/edf.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+#include "src/trace/reader.h"
+#include "src/trace/replay.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using hguard::OverloadGovernor;
+using hscommon::kMillisecond;
+using hscommon::kSecond;
+using hscommon::StatusCode;
+using hscommon::Time;
+using hsfq::kRootNode;
+using hsfq::NodeId;
+
+// The campaign's overload shape, minus the fault injector: one EDF leaf whose declared
+// parameters are lies (workload computes 16ms per 20ms period against a declared 4ms),
+// one honest EDF leaf, one best-effort competitor. The liar's fair share (4/10 of one
+// CPU) cannot cover its 0.8 demand, so it miss-storms from the first window.
+struct Scenario {
+  hsim::System sys{hsim::System::Config{.default_quantum = 1 * kMillisecond}};
+  NodeId liar = kRootNode;
+  NodeId honest = kRootNode;
+  NodeId be = kRootNode;
+  hsim::ThreadId honest_tid = 0;
+
+  explicit Scenario(htrace::Tracer& tracer) {
+    sys.SetTracer(&tracer);
+    auto& tree = sys.tree();
+    liar = *tree.MakeNode("rt-bad", kRootNode, 4,
+                          std::make_unique<hleaf::EdfScheduler>());
+    honest = *tree.MakeNode("rt-good", kRootNode, 4,
+                            std::make_unique<hleaf::EdfScheduler>());
+    be = *tree.MakeNode("be", kRootNode, 2,
+                        std::make_unique<hleaf::SfqLeafScheduler>());
+    // Admission sees U = 0.2; the workload actually demands 0.8.
+    auto liar_tid = sys.CreateThread("liar", liar,
+                                     {.period = 20 * kMillisecond,
+                                      .computation = 4 * kMillisecond},
+                                     std::make_unique<hsim::RtPeriodicWorkload>(
+                                         20 * kMillisecond, 16 * kMillisecond));
+    EXPECT_TRUE(liar_tid.ok());
+    auto audio_tid = sys.CreateThread("audio", honest,
+                                      {.period = 40 * kMillisecond,
+                                       .computation = 2 * kMillisecond},
+                                      std::make_unique<hsim::RtPeriodicWorkload>(
+                                          40 * kMillisecond, 2 * kMillisecond));
+    EXPECT_TRUE(audio_tid.ok());
+    honest_tid = *audio_tid;
+    EXPECT_TRUE(
+        sys.CreateThread("dhry", be, {.weight = 1},
+                         std::make_unique<hsim::CpuBoundWorkload>(kMillisecond))
+            .ok());
+  }
+};
+
+size_t CountActions(const std::vector<htrace::TraceAnalyzer::GovernorAction>& actions,
+                    const std::string& name) {
+  size_t n = 0;
+  for (const auto& a : actions) {
+    if (a.name == name) ++n;
+  }
+  return n;
+}
+
+TEST(GovernorTest, EscalatesThrottleThenDemoteAndRestoresWithHysteresis) {
+  htrace::Tracer tracer;
+  Scenario sc(tracer);
+  OverloadGovernor governor;
+  governor.Attach(sc.sys);
+  sc.sys.RunUntil(4 * kSecond);
+
+  // Escalation: window 1 (t=250ms) is bad -> throttle the best-effort sibling;
+  // window 2 (t=500ms) is the trip_windows'th consecutive bad window -> demote.
+  const OverloadGovernor::Stats& stats = governor.stats();
+  EXPECT_GE(stats.miss_storms, 2u);
+  EXPECT_EQ(stats.throttles, 1u);
+  EXPECT_EQ(stats.demotions, 1u);
+  EXPECT_EQ(stats.revocations, 1u);
+  EXPECT_TRUE(governor.IsDemoted(sc.liar));
+  EXPECT_FALSE(governor.IsDemoted(sc.honest));
+
+  // The demotion re-attached the liar under the penalty class at penalty weight.
+  const NodeId penalty = governor.penalty_node();
+  ASSERT_NE(penalty, kRootNode);
+  EXPECT_EQ(sc.sys.tree().ParentOf(sc.liar), penalty);
+  EXPECT_EQ(*sc.sys.tree().GetNodeWeight(penalty), governor.config().penalty_weight);
+  // Its guarantee is void: the probe that passed at CreateThread now bounces.
+  EXPECT_EQ(sc.sys.tree()
+                .AdmitThread(hsfq::kInvalidThread, sc.liar,
+                             {.period = 20 * kMillisecond,
+                              .computation = 4 * kMillisecond},
+                             sc.sys.now())
+                .code(),
+            StatusCode::kResourceExhausted);
+
+  // The honest leaf rode out the storm without a single miss.
+  EXPECT_GT(sc.sys.StatsOf(sc.honest_tid).deadline_jobs, 0u);
+  EXPECT_EQ(sc.sys.StatsOf(sc.honest_tid).deadline_misses, 0u);
+
+  // Hysteresis: once the liar is degraded the windows go clean, and after
+  // clear_windows of them the throttled best-effort weight comes back.
+  EXPECT_EQ(stats.restores, 1u);
+  EXPECT_EQ(*sc.sys.tree().GetNodeWeight(sc.be), 2);
+
+  // Every action is on the record, demote before restore, and the demote event names
+  // the penalty destination.
+  const htrace::TraceAnalyzer an(tracer.MergedSnapshot(), tracer.TotalDropped());
+  const auto actions = an.GovernorActions();
+  EXPECT_EQ(CountActions(actions, "throttle"), 1u);
+  EXPECT_EQ(CountActions(actions, "demote"), 1u);
+  EXPECT_EQ(CountActions(actions, "revoke"), 1u);
+  EXPECT_EQ(CountActions(actions, "restore"), 1u);
+  for (const auto& a : actions) {
+    if (a.name == "demote") {
+      EXPECT_EQ(a.node, sc.liar);
+      EXPECT_EQ(a.arg, penalty);
+      EXPECT_EQ(a.time, 2 * governor.config().window);
+      EXPECT_GE(a.magnitude, 3);  // the window's miss count, >= min_misses
+    }
+  }
+
+  // The checker sees a closed demote -> re-attach obligation: no protocol violation.
+  hsfault::InvariantChecker::Options opts;
+  for (const auto& v :
+       hsfault::InvariantChecker::Check(tracer.MergedSnapshot(), opts)) {
+    EXPECT_NE(v.kind, hsfault::InvariantChecker::Violation::Kind::kGovernorProtocol)
+        << v.what;
+  }
+}
+
+TEST(GovernorTest, BacksOffExponentiallyThroughTransientGateFailures) {
+  htrace::Tracer tracer;
+  Scenario sc(tracer);
+  OverloadGovernor governor;
+  // Transient fault gate: the first three structural calls fail kErrAgain-style, then
+  // the fault clears. The governor must retry on the 1-2-4ms schedule and land the
+  // demotion, not give up and not act twice.
+  int failures_left = 3;
+  governor.SetFaultGate([&failures_left](const char*) { return failures_left-- > 0; });
+  governor.Attach(sc.sys);
+  sc.sys.RunUntil(4 * kSecond);
+
+  const OverloadGovernor::Stats& stats = governor.stats();
+  EXPECT_EQ(stats.backoffs, 3u);
+  EXPECT_EQ(stats.retries_exhausted, 0u);
+  EXPECT_EQ(stats.demotions, 1u);
+  EXPECT_TRUE(governor.IsDemoted(sc.liar));
+
+  const htrace::TraceAnalyzer an(tracer.MergedSnapshot(), tracer.TotalDropped());
+  std::vector<htrace::TraceAnalyzer::GovernorAction> backoffs;
+  Time demote_time = -1;
+  for (const auto& a : an.GovernorActions()) {
+    if (a.name == "backoff") backoffs.push_back(a);
+    if (a.name == "demote") demote_time = a.time;
+  }
+  ASSERT_EQ(backoffs.size(), 3u);
+  for (size_t i = 0; i < backoffs.size(); ++i) {
+    EXPECT_EQ(backoffs[i].arg, i + 1);  // attempt number
+    EXPECT_EQ(backoffs[i].magnitude,
+              governor.config().backoff_initial << i);  // 1ms, 2ms, 4ms
+  }
+  // The decision landed 1+2+4ms after the trip tick at 2 windows.
+  EXPECT_EQ(demote_time, 2 * governor.config().window + 7 * kMillisecond);
+}
+
+TEST(GovernorTest, ExhaustedRetriesLeaveTheObligationOpenForTheChecker) {
+  htrace::Tracer tracer;
+  Scenario sc(tracer);
+  OverloadGovernor governor;
+  // A persistent fault on the re-attach only: the revoke lands, the move never does.
+  governor.SetFaultGate(
+      [](const char* op) { return std::string_view(op) == "move"; });
+  governor.Attach(sc.sys);
+  sc.sys.RunUntil(4 * kSecond);
+
+  const OverloadGovernor::Stats& stats = governor.stats();
+  EXPECT_EQ(stats.demotions, 1u);
+  EXPECT_EQ(stats.revocations, 1u);
+  EXPECT_EQ(stats.backoffs, static_cast<uint64_t>(governor.config().max_retries));
+  EXPECT_EQ(stats.retries_exhausted, 1u);
+  EXPECT_TRUE(governor.IsBeingDemoted(sc.liar));
+  EXPECT_FALSE(governor.IsDemoted(sc.liar));
+  EXPECT_NE(sc.sys.tree().ParentOf(sc.liar), governor.penalty_node());
+
+  // The abandoned mitigation is not hidden: the checker flags the unclosed demotion.
+  hsfault::InvariantChecker::Options opts;
+  bool flagged = false;
+  for (const auto& v :
+       hsfault::InvariantChecker::Check(tracer.MergedSnapshot(), opts)) {
+    if (v.kind == hsfault::InvariantChecker::Violation::Kind::kGovernorProtocol) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(GovernorTest, GovernedRunsAreByteIdentical) {
+  auto run = [](htrace::Tracer& tracer) {
+    Scenario sc(tracer);
+    OverloadGovernor governor;
+    int failures_left = 2;
+    governor.SetFaultGate(
+        [&failures_left](const char*) { return failures_left-- > 0; });
+    governor.Attach(sc.sys);
+    sc.sys.RunUntil(4 * kSecond);
+  };
+  htrace::Tracer a;
+  htrace::Tracer b;
+  run(a);
+  run(b);
+  ASSERT_GT(a.MergedSnapshot().size(), 0u);
+  const htrace::TraceDiff diff = htrace::DiffTraces(a, b);
+  EXPECT_TRUE(diff.identical) << diff.description;
+}
+
+}  // namespace

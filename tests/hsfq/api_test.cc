@@ -6,18 +6,23 @@
 
 #include <map>
 
+#include "src/rt/edf.h"
 #include "src/sched/sfq_leaf.h"
 #include "src/sched/ts_svr4.h"
 
 namespace hsfq {
 namespace {
 
+using hscommon::kMillisecond;
+
 constexpr SchedulerId kSfqSid = 1;
 constexpr SchedulerId kTsSid = 2;
+constexpr SchedulerId kEdfSid = 3;
 
 void RegisterSchedulers(HsfqApi& api) {
   api.RegisterScheduler(kSfqSid, [] { return std::make_unique<hleaf::SfqLeafScheduler>(); });
   api.RegisterScheduler(kTsSid, [] { return std::make_unique<hleaf::TsScheduler>(); });
+  api.RegisterScheduler(kEdfSid, [] { return std::make_unique<hleaf::EdfScheduler>(); });
 }
 
 TEST(ApiTest, MknodBuildsFigure2Structure) {
@@ -126,6 +131,67 @@ TEST(ApiTest, AdminGetService) {
   EXPECT_EQ(api.hsfq_admin(0, AdminCmd::kGetService, &service), 0);  // root aggregates
   EXPECT_EQ(service, 1000);
   EXPECT_EQ(api.hsfq_admin(777, AdminCmd::kGetService, &service), kErrNoEnt);
+}
+
+TEST(ApiTest, AdminAdmitProbeVerdicts) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int edf = api.hsfq_mknod("edf", 0, 1, kNodeLeaf, kEdfSid);
+  ASSERT_GT(edf, 0);
+  // A feasible demand is admissible; the probe does not book anything, so it keeps
+  // answering yes.
+  AdmitArgs feasible;
+  feasible.params = {.period = 20 * kMillisecond, .computation = 4 * kMillisecond};
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kAdmit, &feasible), 0);
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kAdmit, &feasible), 0);
+  // C > T exceeds the utilization limit: the class rejects, which is retry-shaped
+  // (kErrAgain), not a caller bug.
+  AdmitArgs infeasible;
+  infeasible.params = {.period = 10 * kMillisecond, .computation = 20 * kMillisecond};
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kAdmit, &infeasible), kErrAgain);
+  // Malformed RT params are a caller bug.
+  AdmitArgs malformed;
+  malformed.params = {.period = 0, .computation = 4 * kMillisecond};
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kAdmit, &malformed), kErrInval);
+}
+
+TEST(ApiTest, AdminAdmitAndRevokeMapStaleIdsToEinval) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int interior = api.hsfq_mknod("be", 0, 1, kNodeInterior, 0);
+  const int leaf = api.hsfq_mknod("edf", interior, 1, kNodeLeaf, kEdfSid);
+  ASSERT_GT(leaf, 0);
+  RevokeArgs revoke;
+  AdmitArgs probe;
+  probe.params = {.period = 20 * kMillisecond, .computation = 4 * kMillisecond};
+  // Admin verbs take raw ids from outside the kernel: unknown ids, interior nodes,
+  // and detached (removed) leaves are typed errors, never asserts.
+  EXPECT_EQ(api.hsfq_admin(777, AdminCmd::kRevoke, &revoke), kErrInval);
+  EXPECT_EQ(api.hsfq_admin(777, AdminCmd::kAdmit, &probe), kErrInval);
+  EXPECT_EQ(api.hsfq_admin(interior, AdminCmd::kRevoke, &revoke), kErrInval);
+  EXPECT_EQ(api.hsfq_admin(interior, AdminCmd::kAdmit, &probe), kErrInval);
+  EXPECT_EQ(api.hsfq_admin(-3, AdminCmd::kRevoke, &revoke), kErrInval);
+  EXPECT_EQ(api.hsfq_admin(leaf, AdminCmd::kRevoke, nullptr), kErrInval);
+  ASSERT_EQ(api.hsfq_rmnod(leaf, 0), 0);
+  EXPECT_EQ(api.hsfq_admin(leaf, AdminCmd::kRevoke, &revoke), kErrInval);
+  EXPECT_EQ(api.hsfq_admin(leaf, AdminCmd::kAdmit, &probe), kErrInval);
+}
+
+TEST(ApiTest, AdminRevokeVoidsFurtherAdmissions) {
+  HsfqApi api;
+  RegisterSchedulers(api);
+  const int edf = api.hsfq_mknod("edf", 0, 1, kNodeLeaf, kEdfSid);
+  ASSERT_GT(edf, 0);
+  AdmitArgs probe;
+  probe.params = {.period = 20 * kMillisecond, .computation = 4 * kMillisecond};
+  ASSERT_EQ(api.hsfq_admin(edf, AdminCmd::kAdmit, &probe), 0);
+  RevokeArgs revoke;
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kRevoke, &revoke), 0);
+  // The guarantee is void: the same probe that passed now bounces. Revoking twice is
+  // idempotent, not an error — the guarantee is simply still void.
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kAdmit, &probe), kErrAgain);
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kRevoke, &revoke), 0);
+  EXPECT_EQ(api.hsfq_admin(edf, AdminCmd::kAdmit, &probe), kErrAgain);
 }
 
 TEST(ApiTest, EndToEndSchedulingThroughApi) {

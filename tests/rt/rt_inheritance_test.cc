@@ -1,0 +1,147 @@
+// RMA priority inheritance against the classic three-thread inversion (paper §4:
+// "standard priority inheritance techniques can be employed"): a low-priority holder,
+// a medium-priority compute hog, and a high-priority waiter on the same mutex. With
+// inheritance the holder runs at the waiter's rate-monotonic priority and the blocked
+// thread's latency is bounded by the critical section; without it the medium thread
+// interposes for its whole burst.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/rt/rma.h"
+#include "src/sim/system.h"
+#include "src/sim/workload.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hscommon::Time;
+using hsfq::kRootNode;
+using Step = hsim::ScriptedWorkload::Step;
+
+// One-shot scripts; each thread exits when its script ends.
+//
+// Hand-computed timeline (1ms quanta, one CPU, all three in one RMA leaf):
+//   t=0   low  locks the mutex and starts an 8ms critical section
+//   t=2   high wakes, preempts (period 20ms beats 90ms), blocks on the mutex
+//   t=3   med  wakes with a 30ms burst (period 50ms)
+//
+// With inheritance: blocking transfers high's priority to low (effective period
+// 20ms), so low beats med, finishes the remaining ~6ms of critical section, and
+// unlocks at t~8ms; high computes 1ms and exits by t~10ms — blocked latency is
+// bounded by the remaining critical section plus quantum slop.
+//
+// Without inheritance: med (50ms) outranks the unaided low (90ms) for its entire
+// 30ms burst. low only resumes at t~33ms, unlocks at t~39ms, and high exits at
+// t~40ms — the inversion lasts the medium burst, unbounded by the critical section.
+struct InversionRun {
+  Time high_done = 0;        // simulated time when the high thread exited
+  uint64_t contentions = 0;  // mutex lock operations that had to wait
+  uint64_t cross_class = 0;  // blocks the remedy could not cover
+};
+
+InversionRun RunInversion(bool inheritance) {
+  hsim::System sys(hsim::System::Config{.default_quantum = 1 * kMillisecond,
+                                        .inversion_remedy = inheritance});
+  auto leaf = sys.tree().MakeNode("rma", kRootNode, 1,
+                                  std::make_unique<hleaf::RmaScheduler>());
+  EXPECT_TRUE(leaf.ok());
+  const hsim::MutexId m = sys.CreateMutex();
+
+  // U = 10/90 + 15/50 + 2/20 ~ 0.51, under the Liu-Layland bound for three tasks.
+  auto low = sys.CreateThread(
+      "low", *leaf, {.period = 90 * kMillisecond, .computation = 10 * kMillisecond},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(8 * kMillisecond),
+                            Step::Unlock(m)},
+          /*loop=*/false));
+  auto med = sys.CreateThread(
+      "med", *leaf, {.period = 50 * kMillisecond, .computation = 15 * kMillisecond},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::SleepFor(3 * kMillisecond),
+                            Step::Compute(30 * kMillisecond)},
+          /*loop=*/false));
+  auto high = sys.CreateThread(
+      "high", *leaf, {.period = 20 * kMillisecond, .computation = 2 * kMillisecond},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::SleepFor(2 * kMillisecond), Step::Lock(m),
+                            Step::Compute(1 * kMillisecond), Step::Unlock(m)},
+          /*loop=*/false));
+  EXPECT_TRUE(low.ok() && med.ok() && high.ok());
+
+  // Step in 1ms grains to timestamp the high thread's exit.
+  InversionRun out;
+  for (Time t = kMillisecond; t <= 100 * kMillisecond; t += kMillisecond) {
+    sys.RunUntil(t);
+    if (sys.StatsOf(*high).exited) {
+      out.high_done = t;
+      break;
+    }
+  }
+  out.contentions = sys.StatsOfMutex(m).contentions;
+  out.cross_class = sys.cross_class_blocks();
+  return out;
+}
+
+TEST(RtInheritanceTest, InheritanceBoundsBlockedHighPriorityLatency) {
+  const InversionRun with = RunInversion(/*inheritance=*/true);
+  // The contention happened (the scenario is not vacuous) and was same-class, so the
+  // remedy applied.
+  EXPECT_GE(with.contentions, 1u);
+  EXPECT_EQ(with.cross_class, 0u);
+  ASSERT_GT(with.high_done, 0) << "high thread never finished";
+  // Bound: woke at 2ms, waited out the remaining ~6ms of critical section, computed
+  // 1ms — plus a few quanta of dispatch slop. Nowhere near the 30ms medium burst.
+  EXPECT_LE(with.high_done, 13 * kMillisecond);
+}
+
+TEST(RtInheritanceTest, WithoutInheritanceMediumBurstStallsHigh) {
+  const InversionRun without = RunInversion(/*inheritance=*/false);
+  EXPECT_GE(without.contentions, 1u);
+  ASSERT_GT(without.high_done, 0) << "high thread never finished";
+  // The unaided holder waits out the entire 30ms medium burst before it can release:
+  // classic unbounded inversion, scaling with the interloper rather than the critical
+  // section.
+  EXPECT_GE(without.high_done, 33 * kMillisecond);
+
+  const InversionRun with = RunInversion(/*inheritance=*/true);
+  EXPECT_GE(without.high_done, with.high_done + 20 * kMillisecond)
+      << "inheritance should shave off (most of) the medium burst";
+}
+
+// The mechanism in isolation: blocking re-keys the holder to the waiter's period in
+// the ready order; release restores it. (The System wires OnResourceBlocked/Released
+// only for same-leaf contention — this is the hook those calls land on.)
+TEST(RtInheritanceTest, InheritPriorityReKeysReadyOrder) {
+  hleaf::RmaScheduler rma;
+  // holder=1 (period 100ms), med=2 (50ms), waiter=3 (10ms, blocked on the resource).
+  ASSERT_TRUE(rma.AddThread(1, {.period = 100 * kMillisecond,
+                                .computation = 1 * kMillisecond})
+                  .ok());
+  ASSERT_TRUE(rma.AddThread(2, {.period = 50 * kMillisecond,
+                                .computation = 1 * kMillisecond})
+                  .ok());
+  ASSERT_TRUE(rma.AddThread(3, {.period = 10 * kMillisecond,
+                                .computation = 1 * kMillisecond})
+                  .ok());
+  rma.ThreadRunnable(1, 0);
+  rma.ThreadRunnable(2, 0);
+
+  // Rate-monotonic order: the 50ms thread outranks the unaided 100ms holder.
+  ASSERT_EQ(rma.PickNext(0), 2u);
+  rma.Charge(2, 1, 0, /*still_runnable=*/true);
+
+  // The waiter's 10ms period transfers to the holder, which now wins.
+  rma.OnResourceBlocked(/*holder=*/1, /*waiter=*/3);
+  ASSERT_EQ(rma.PickNext(0), 1u);
+  rma.Charge(1, 1, 0, /*still_runnable=*/true);
+
+  // Release restores the holder's own priority; the 50ms thread wins again.
+  rma.OnResourceReleased(/*holder=*/1, /*waiter=*/3);
+  ASSERT_EQ(rma.PickNext(0), 2u);
+  rma.Charge(2, 1, 0, /*still_runnable=*/true);
+}
+
+}  // namespace

@@ -14,11 +14,13 @@
 //      divergence, changed dispatch decisions, and reconvergence.
 //
 // Usage:
-//   fault_campaign [--scenario=fig8|churn|smp4|smp4-sharded|rt|all] [--fault=<spec>]
-//                  [--duration=<dur>] [--cpus=N] [--out=<dir>]
+//   fault_campaign [--scenario=fig8|churn|smp4|smp4-sharded|rt|rt-inversion|rt-mem|
+//                              rt-correlated|all]
+//                  [--fault=<spec>] [--duration=<dur>] [--cpus=N] [--out=<dir>]
 //
 // With --fault, only that plan runs (instead of the matrix). With --out, each
-// blast-radius report is also written as JSON into <dir>. --cpus overrides the
+// blast-radius report is also written as JSON into <dir>, plus a campaign-level
+// summary (<dir>/campaign.json — schema-checked by CI). --cpus overrides the
 // simulated CPU count of every selected scenario; the pinned `smp4` scenario is the
 // fig8 tree on a 4-CPU machine (its matrix includes a CPU-targeted interrupt storm),
 // and `smp4-sharded` is the same machine dispatching through per-CPU run-queue
@@ -27,11 +29,26 @@
 // class: its unfaulted baseline must be deadline-miss-free (the set is admitted
 // feasible), while faulted runs may miss — misses are reported but only structural
 // violations fail the campaign.
+//
+// Three scenarios cover the overload-governor and the robustness fault kinds:
+//   rt-inversion   the classic low/medium/high mutex scenario on an RMA leaf, faulted
+//                  with `priority-inversion` pins against the inheritance remedy;
+//   rt-mem         a governed EDF tree under `mem-pressure`: run twice more with the
+//                  governor OFF (the victim must miss-storm) and ON (the victim must be
+//                  demoted within one detection window, every surviving RT leaf must
+//                  finish miss-free, and the §3 fairness gap of the backlogged
+//                  best-effort siblings must stay within bound after the demote);
+//   rt-correlated  the governed tree under a `correlated:` cascade whose api-fail
+//                  burst also gates the governor's own mknod/move calls, exercising
+//                  its bounded-backoff retry path (checked by the governor-protocol
+//                  invariant rules).
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +57,9 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/invariant_checker.h"
+#include "src/guard/governor.h"
+#include "src/rt/edf.h"
+#include "src/rt/rma.h"
 #include "src/rt/scenario_pack.h"
 #include "src/sched/registry.h"
 #include "src/sched/sfq_leaf.h"
@@ -47,6 +67,7 @@
 #include "src/sim/scenario.h"
 #include "src/sim/system.h"
 #include "src/sim/workload.h"
+#include "src/trace/reader.h"
 #include "src/trace/replay.h"
 #include "src/trace/tracer.h"
 
@@ -180,6 +201,105 @@ RunResult RunRt(const FaultPlan& plan, Time duration, int ncpus) {
                    sys.diagnostic_count()};
 }
 
+// Governed RT tree shared by rt-mem and rt-correlated: the mem-pressure victim leaf
+// "rt-a" (one decoder, U = 0.2, thread 0 — the pinned plans carry thread=0) and the
+// protected survivor leaf "rt-b" (two audio threads, U = 0.1) against two backlogged
+// best-effort SFQ leaves, with an OverloadGovernor (src/guard) attached. The governor
+// runs with trip_windows = 1 so a mitigation lands within one detection window of the
+// first bad window — the acceptance gate CheckGuardGates enforces. `gate_governor`
+// wires the injector's api-fault gate into the governor, so a correlated burst can
+// fail the governor's own mknod/move calls and exercise its bounded-backoff path.
+RunResult RunGuard(const FaultPlan& plan, Time duration, int ncpus, bool governed,
+                   bool gate_governor) {
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
+  hsim::System sys({.default_quantum = 1 * kMillisecond, .ncpus = ncpus});
+  sys.SetTracer(&tracer);
+  hsfault::FaultInjector injector(plan);
+  if (!plan.empty()) injector.Arm(sys);
+  hguard::OverloadGovernor::Config gcfg;
+  gcfg.trip_windows = 1;
+  hguard::OverloadGovernor governor(gcfg);
+  if (governed) {
+    if (gate_governor) governor.SetFaultGate(injector.ApiFaultGate());
+    governor.Attach(sys);
+  }
+
+  const auto rt_a = *sys.tree().MakeNode("rt-a", hsfq::kRootNode, 4,
+                                         std::make_unique<hleaf::EdfScheduler>());
+  const auto rt_b = *sys.tree().MakeNode("rt-b", hsfq::kRootNode, 6,
+                                         std::make_unique<hleaf::EdfScheduler>());
+  const auto be1 = *sys.tree().MakeNode("be1", hsfq::kRootNode, 2,
+                                        std::make_unique<hleaf::SfqLeafScheduler>());
+  const auto be2 = *sys.tree().MakeNode("be2", hsfq::kRootNode, 2,
+                                        std::make_unique<hleaf::SfqLeafScheduler>());
+  (void)*sys.CreateThread(
+      "victim", rt_a, {.period = 20 * kMillisecond, .computation = 4 * kMillisecond},
+      std::make_unique<hsim::RtPeriodicWorkload>(20 * kMillisecond, 4 * kMillisecond));
+  for (int i = 0; i < 2; ++i) {
+    (void)*sys.CreateThread(
+        "audio" + std::to_string(i), rt_b,
+        {.period = 40 * kMillisecond, .computation = 2 * kMillisecond},
+        std::make_unique<hsim::RtPeriodicWorkload>(40 * kMillisecond,
+                                                   2 * kMillisecond));
+  }
+  (void)*sys.CreateThread("be1-dhry", be1, {},
+                          std::make_unique<hsim::CpuBoundWorkload>());
+  (void)*sys.CreateThread("be2-dhry", be2, {},
+                          std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(duration);
+  return RunResult{tracer.MergedSnapshot(), tracer.TotalDropped(),
+                   sys.diagnostic_count()};
+}
+
+// The classic three-thread priority-inversion scenario on an RMA leaf (paper §4's
+// inheritance discussion): a low-rate holder and a high-rate waiter share a mutex
+// while a medium-rate compute thread preempts the holder. The priority-inversion
+// fault kind pins the holder inside its critical section; RMA's
+// OnResourceBlocked/Released inheritance remedy bounds the waiter's blocking.
+RunResult RunInversion(const FaultPlan& plan, Time duration, int ncpus) {
+  htrace::Tracer tracer(htrace::Tracer::kDefaultCapacity, ncpus);
+  hsim::System sys({.default_quantum = 1 * kMillisecond, .ncpus = ncpus});
+  sys.SetTracer(&tracer);
+  hsfault::FaultInjector injector(plan);
+  if (!plan.empty()) injector.Arm(sys);
+
+  const auto rma = *sys.tree().MakeNode("rma", hsfq::kRootNode, 4,
+                                        std::make_unique<hleaf::RmaScheduler>());
+  const auto be = *sys.tree().MakeNode("be", hsfq::kRootNode, 2,
+                                       std::make_unique<hleaf::SfqLeafScheduler>());
+  const hsim::MutexId m = sys.CreateMutex();
+  using Step = hsim::ScriptedWorkload::Step;
+  // Thread 0: the low-priority holder (longest period) — the pinned plans target it.
+  // Its 4 ms critical section and the waiter's drifting cycle length collide a few
+  // times per second, so every plan gets a steady stream of contended acquires.
+  (void)*sys.CreateThread(
+      "inv-low", rma, {.period = 100 * kMillisecond, .computation = 5 * kMillisecond},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::Lock(m), Step::Compute(4 * kMillisecond),
+                            Step::Unlock(m), Step::SleepFor(30 * kMillisecond)},
+          /*loop=*/true));
+  // Thread 1: the high-priority waiter that contends for the same mutex.
+  (void)*sys.CreateThread(
+      "inv-high", rma, {.period = 20 * kMillisecond, .computation = 2 * kMillisecond},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::SleepFor(6 * kMillisecond), Step::Lock(m),
+                            Step::Compute(1 * kMillisecond), Step::Unlock(m),
+                            Step::SleepFor(12 * kMillisecond)},
+          /*loop=*/true));
+  // Thread 2: the medium-rate compute thread that preempts the pinned holder.
+  (void)*sys.CreateThread(
+      "inv-med", rma, {.period = 50 * kMillisecond, .computation = 5 * kMillisecond},
+      std::make_unique<hsim::ScriptedWorkload>(
+          std::vector<Step>{Step::Compute(4 * kMillisecond),
+                            Step::SleepFor(8 * kMillisecond)},
+          /*loop=*/true));
+  (void)*sys.CreateThread("be-dhry", be, {},
+                          std::make_unique<hsim::CpuBoundWorkload>());
+  sys.RunUntil(duration);
+  return RunResult{tracer.MergedSnapshot(), tracer.TotalDropped(),
+                   sys.diagnostic_count()};
+}
+
 // Default CPU count per scenario (overridable with --cpus): the pinned SMP scenario
 // runs the fig8 tree on a 4-CPU machine, everything else stays single-CPU.
 int DefaultCpusFor(const std::string& scenario) {
@@ -190,6 +310,13 @@ RunResult RunScenario(const std::string& name, const FaultPlan& plan, Time durat
                       int ncpus) {
   if (name == "churn") return RunChurn(plan, duration, ncpus);
   if (name == "rt") return RunRt(plan, duration, ncpus);
+  if (name == "rt-inversion") return RunInversion(plan, duration, ncpus);
+  if (name == "rt-mem") {
+    return RunGuard(plan, duration, ncpus, /*governed=*/true, /*gate_governor=*/false);
+  }
+  if (name == "rt-correlated") {
+    return RunGuard(plan, duration, ncpus, /*governed=*/true, /*gate_governor=*/true);
+  }
   // fig8, smp4, and smp4-sharded share the tree; the last dispatches through shards.
   return RunFig8(plan, duration, ncpus, name == "smp4-sharded");
 }
@@ -203,10 +330,11 @@ hsfault::InvariantChecker::Options CheckerOptionsFor(const std::string& scenario
     opts.ordered_pick_tags = false;
     opts.steal_drift_allowance = 4 * hsim::System::Config{}.steal_window;
   }
-  if (scenario == "rt") {
-    // The pinned population is admitted-feasible under EDF at 1 CPU, so a deadline
+  if (scenario == "rt" || scenario == "rt-mem" || scenario == "rt-correlated") {
+    // The pinned populations are admitted-feasible under EDF at 1 CPU, so a deadline
     // miss is a scheduler (or admission) bug on the baseline. Faulted runs may miss;
-    // HasHardViolation tolerates the kDeadlineMiss kind there.
+    // HasHardViolation tolerates the kDeadlineMiss kind there (and the checker
+    // exempts a leaf the governor demoted — its guarantee was deliberately revoked).
     opts.expect_no_deadline_miss = true;
   }
   return opts;
@@ -249,6 +377,35 @@ std::vector<std::string> MatrixFor(const std::string& scenario) {
         "seed=4103;clock-jitter:p=0.5,frac=0.2",
     };
   }
+  if (scenario == "rt-inversion") {
+    return {
+        // A deterministic pin of the low-priority holder every critical section, a
+        // probabilistic any-holder pin, and a pin composed with dispatch-cost spikes.
+        "seed=4101;priority-inversion:p=1,pin=3ms,thread=0",
+        "seed=4102;priority-inversion:p=0.5,pin=5ms",
+        "seed=4103;priority-inversion:p=0.3,pin=2ms;cswitch-spike:p=0.1,cost=200us",
+    };
+  }
+  if (scenario == "rt-mem") {
+    return {
+        // Reclaim episodes squeeze the victim's quanta to 2-10% and tax each of its
+        // (now far more numerous) dispatches with an uncharged stall — the
+        // working-set thrash that turns a feasible U = 0.2 reservation into a miss
+        // storm without changing its declared demand.
+        "seed=4201;mem-pressure:every=400ms,duration=350ms,frac=0.98,stall=100us,"
+        "thread=0,start=1s,end=6s",
+        "seed=4202;mem-pressure:every=500ms,duration=300ms,frac=0.95,stall=150us,"
+        "thread=0,start=1s,end=5s",
+    };
+  }
+  if (scenario == "rt-correlated") {
+    return {
+        // One seed event: an interrupt storm starves the RT leaves into a miss storm
+        // while the coupled api-fail burst makes the governor's own mitigation calls
+        // fail transiently — mitigation under the same cascade it is mitigating.
+        "seed=4301;correlated:at=2s,duration=800ms,every=250us,steal=120us,p=0.8",
+    };
+  }
   return {
       "seed=1101;drop-wakeup:p=0.2,recovery=25ms",
       "seed=1102;delay-wakeup:p=0.3,delay=5ms",
@@ -271,6 +428,197 @@ bool HasHardViolation(const std::vector<hsfault::InvariantChecker::Violation>& v
     }
   }
   return false;
+}
+
+// Results of the rt-mem differential gates, also surfaced in campaign.json.
+struct GuardGates {
+  bool checked = false;
+  uint64_t ungoverned_victim_misses = 0;  // governor-off run, /rt-a
+  Time first_miss = -1;                   // governed run, first kDeadlineMiss
+  Time demote_time = -1;                  // governed run, first kDemote
+  bool demoted_in_window = false;
+  bool survivors_miss_free = false;
+  double fairness_gap_ns = 0.0;  // §3 gap of /be1 vs /be2 after the demote
+  bool fairness_ok = false;
+};
+
+// The §3 bound for the two backlogged best-effort siblings (weight 2 each, 1 ms
+// quanta) is q/r + q/r = 1 ms of service per unit weight; 5 ms leaves room for
+// episode-boundary discretization while still catching a broken retag.
+constexpr double kGuardFairnessBoundNs = 5.0 * kMillisecond;
+
+// The rt-mem acceptance gates (the governor's reason to exist): with the governor
+// OFF the same plan must make the victim leaf miss-storm; with it ON the victim must
+// be demoted within one detection window of the window where misses first appeared,
+// every surviving RT leaf must finish miss-free, and the fairness gap between the
+// backlogged best-effort siblings must stay within bound after the demote. Returns
+// the number of failed gates.
+int CheckGuardGates(const FaultPlan& plan, const RunResult& governed, Time duration,
+                    int ncpus, GuardGates& out) {
+  int failures = 0;
+  out.checked = true;
+
+  // Governor-off differential: if the victim survives the fault untreated, the
+  // governed run proves nothing and the scenario has gone stale.
+  const RunResult off =
+      RunGuard(plan, duration, ncpus, /*governed=*/false, /*gate_governor=*/false);
+  htrace::TraceAnalyzer off_an(off.events, off.dropped);
+  const auto off_victim = off_an.NodeByPath("/rt-a");
+  for (const auto& leaf : off_an.PerLeafRtStats()) {
+    if (off_victim.ok() && leaf.leaf == *off_victim) {
+      out.ungoverned_victim_misses = leaf.misses;
+    }
+  }
+  if (out.ungoverned_victim_misses == 0) {
+    std::fprintf(stderr,
+                 "FAIL: governor-off run missed no deadlines on /rt-a (fault too "
+                 "weak to need mitigation)\n");
+    ++failures;
+  } else {
+    std::printf("governor off: /rt-a missed %llu deadlines untreated\n",
+                static_cast<unsigned long long>(out.ungoverned_victim_misses));
+  }
+
+  htrace::TraceAnalyzer an(governed.events, governed.dropped);
+  for (const auto& e : governed.events) {
+    if (e.type == htrace::EventType::kDeadlineMiss) {
+      out.first_miss = e.time;
+      break;
+    }
+  }
+  uint32_t demoted_node = UINT32_MAX;
+  for (const auto& g : an.GovernorActions()) {
+    if (g.action == htrace::GovernAction::kDemote) {
+      out.demote_time = g.time;
+      demoted_node = g.node;
+      break;
+    }
+  }
+  // "Within one detection window": the governor ticks once per window, so the miss
+  // must be answered no later than the end of the window after the one it fell in.
+  const Time window = hguard::OverloadGovernor::Config{}.window;
+  const Time first_bad_window_end =
+      out.first_miss < 0 ? -1 : ((out.first_miss + window - 1) / window) * window;
+  out.demoted_in_window = out.first_miss >= 0 && out.demote_time >= 0 &&
+                          out.demote_time <= first_bad_window_end + window;
+  if (!out.demoted_in_window) {
+    std::fprintf(stderr,
+                 "FAIL: governed run did not demote within one detection window "
+                 "(first miss t=%lld, demote t=%lld)\n",
+                 static_cast<long long>(out.first_miss),
+                 static_cast<long long>(out.demote_time));
+    ++failures;
+  } else {
+    std::printf("governed: demote at t=%.3fs, %.0fms after the first miss\n",
+                hscommon::ToSeconds(out.demote_time),
+                static_cast<double>(out.demote_time - out.first_miss) / kMillisecond);
+  }
+
+  // Surviving RT leaves (everything but the demoted victim) finish miss-free.
+  out.survivors_miss_free = true;
+  for (const auto& leaf : an.PerLeafRtStats()) {
+    if (leaf.leaf == demoted_node) continue;
+    if (leaf.misses != 0) {
+      out.survivors_miss_free = false;
+      std::fprintf(stderr, "FAIL: surviving RT leaf %s missed %llu deadlines\n",
+                   an.nodes().count(leaf.leaf) != 0
+                       ? an.nodes().at(leaf.leaf).path.c_str()
+                       : "?",
+                   static_cast<unsigned long long>(leaf.misses));
+      ++failures;
+    }
+  }
+  if (out.survivors_miss_free) {
+    std::printf("governed: surviving RT leaves finished miss-free\n");
+  }
+
+  // §3 fairness of the backlogged best-effort siblings over the post-demote window.
+  const auto be1 = an.NodeByPath("/be1");
+  const auto be2 = an.NodeByPath("/be2");
+  if (be1.ok() && be2.ok() && out.demote_time >= 0) {
+    out.fairness_gap_ns = an.FairnessGap(*be1, *be2, out.demote_time, duration);
+    out.fairness_ok = out.fairness_gap_ns <= kGuardFairnessBoundNs;
+  }
+  if (!out.fairness_ok) {
+    std::fprintf(stderr,
+                 "FAIL: post-demote fairness gap of /be1 vs /be2 is %.0f us "
+                 "(bound %.0f us)\n",
+                 out.fairness_gap_ns / 1000.0, kGuardFairnessBoundNs / 1000.0);
+    ++failures;
+  } else {
+    std::printf("governed: post-demote be fairness gap %.0f us (bound %.0f us)\n",
+                out.fairness_gap_ns / 1000.0, kGuardFairnessBoundNs / 1000.0);
+  }
+  return failures;
+}
+
+// --- campaign.json (the CI-schema-checked summary) ---
+
+struct FaultRecord {
+  std::string spec;
+  bool deterministic = false;
+  bool hard_violation = true;
+  size_t events = 0;
+  size_t violations = 0;
+  GuardGates gates;
+};
+
+struct ScenarioRecord {
+  std::string name;
+  int cpus = 1;
+  size_t baseline_events = 0;
+  bool baseline_clean = false;
+  std::vector<FaultRecord> faults;
+};
+
+const char* Bool(bool b) { return b ? "true" : "false"; }
+
+// Hand-rolled writer (the repo carries no JSON library); every string written here
+// is a pinned scenario name or spec string with no characters needing escapes.
+bool WriteCampaignJson(const std::string& path, Time duration, int failures,
+                       const std::vector<ScenarioRecord>& scenarios) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"version\": 1,\n  \"duration_s\": %.3f,\n",
+               hscommon::ToSeconds(duration));
+  std::fprintf(f, "  \"failures\": %d,\n  \"scenarios\": [", failures);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioRecord& s = scenarios[i];
+    std::fprintf(f,
+                 "%s\n    {\n      \"name\": \"%s\",\n      \"cpus\": %d,\n"
+                 "      \"baseline_events\": %zu,\n      \"baseline_clean\": %s,\n"
+                 "      \"faults\": [",
+                 i == 0 ? "" : ",", s.name.c_str(), s.cpus, s.baseline_events,
+                 Bool(s.baseline_clean));
+    for (size_t j = 0; j < s.faults.size(); ++j) {
+      const FaultRecord& r = s.faults[j];
+      std::fprintf(f,
+                   "%s\n        {\n          \"spec\": \"%s\",\n"
+                   "          \"deterministic\": %s,\n"
+                   "          \"hard_violation\": %s,\n"
+                   "          \"events\": %zu,\n          \"violations\": %zu",
+                   j == 0 ? "" : ",", r.spec.c_str(), Bool(r.deterministic),
+                   Bool(r.hard_violation), r.events, r.violations);
+      if (r.gates.checked) {
+        std::fprintf(
+            f,
+            ",\n          \"gates\": {\n"
+            "            \"ungoverned_victim_misses\": %llu,\n"
+            "            \"demoted_in_window\": %s,\n"
+            "            \"survivors_miss_free\": %s,\n"
+            "            \"fairness_gap_ns\": %.0f,\n"
+            "            \"fairness_ok\": %s\n          }",
+            static_cast<unsigned long long>(r.gates.ungoverned_victim_misses),
+            Bool(r.gates.demoted_in_window), Bool(r.gates.survivors_miss_free),
+            r.gates.fairness_gap_ns, Bool(r.gates.fairness_ok));
+      }
+      std::fprintf(f, "\n        }");
+    }
+    std::fprintf(f, "%s]\n    }", s.faults.empty() ? "" : "\n      ");
+  }
+  std::fprintf(f, "%s]\n}\n", scenarios.empty() ? "" : "\n  ");
+  std::fclose(f);
+  return true;
 }
 
 std::string Flag(int argc, char** argv, const std::string& name) {
@@ -308,26 +656,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<std::string> known = {"fig8",         "churn",  "smp4",
+                                          "smp4-sharded", "rt",     "rt-inversion",
+                                          "rt-mem",       "rt-correlated"};
   std::vector<std::string> scenarios;
   if (scenario_flag.empty() || scenario_flag == "all") {
-    scenarios = {"fig8", "churn", "smp4", "smp4-sharded", "rt"};
-  } else if (scenario_flag == "fig8" || scenario_flag == "churn" ||
-             scenario_flag == "smp4" || scenario_flag == "smp4-sharded" ||
-             scenario_flag == "rt") {
+    scenarios = known;
+  } else if (std::find(known.begin(), known.end(), scenario_flag) != known.end()) {
     scenarios = {scenario_flag};
   } else {
     std::fprintf(stderr,
                  "unknown --scenario=%s (want fig8, churn, smp4, smp4-sharded, rt, "
-                 "or all)\n",
+                 "rt-inversion, rt-mem, rt-correlated, or all)\n",
                  scenario_flag.c_str());
     return 2;
   }
 
   int failures = 0;
+  std::vector<ScenarioRecord> report;
   for (const std::string& scenario : scenarios) {
     const int ncpus = cpus_override > 0 ? cpus_override : DefaultCpusFor(scenario);
     std::printf("=== scenario %s (%.1fs simulated, %d cpu%s) ===\n", scenario.c_str(),
                 hscommon::ToSeconds(duration), ncpus, ncpus == 1 ? "" : "s");
+
+    ScenarioRecord record;
+    record.name = scenario;
+    record.cpus = ncpus;
 
     const RunResult baseline = RunScenario(scenario, FaultPlan{}, duration, ncpus);
     {
@@ -339,15 +693,19 @@ int main(int argc, char** argv) {
       checker.Finish();
       std::printf("baseline: %zu events, %s\n", baseline.events.size(),
                   checker.Report().c_str());
+      record.baseline_events = baseline.events.size();
+      record.baseline_clean = checker.clean() && baseline.diagnostics == 0;
       if (!checker.clean()) {
         std::fprintf(stderr, "FAIL: unfaulted baseline violates invariants\n");
         ++failures;
+        report.push_back(record);
         continue;
       }
       if (baseline.diagnostics != 0) {
         std::fprintf(stderr, "FAIL: unfaulted baseline reported %llu diagnostics\n",
                      static_cast<unsigned long long>(baseline.diagnostics));
         ++failures;
+        report.push_back(record);
         continue;
       }
     }
@@ -358,11 +716,14 @@ int main(int argc, char** argv) {
     int index = 0;
     for (const std::string& spec : matrix) {
       ++index;
+      FaultRecord fault_record;
+      fault_record.spec = spec;
       auto plan = FaultPlan::Parse(spec);
       if (!plan.ok()) {
         std::fprintf(stderr, "FAIL: bad fault spec '%s': %s\n", spec.c_str(),
                      plan.status().ToString().c_str());
         ++failures;
+        record.faults.push_back(fault_record);
         continue;
       }
       std::printf("\n--- fault %d: %s ---\n", index, spec.c_str());
@@ -370,10 +731,13 @@ int main(int argc, char** argv) {
       const RunResult run1 = RunScenario(scenario, *plan, duration, ncpus);
       const RunResult run2 = RunScenario(scenario, *plan, duration, ncpus);
       const htrace::TraceDiff determinism = htrace::DiffTraces(run1.events, run2.events);
+      fault_record.deterministic = determinism.identical;
+      fault_record.events = run1.events.size();
       if (!determinism.identical) {
         std::fprintf(stderr, "FAIL: faulted run is not deterministic:\n%s\n",
                      determinism.description.c_str());
         ++failures;
+        record.faults.push_back(fault_record);
         continue;
       }
       std::printf("determinism: two runs byte-identical (%zu events)\n",
@@ -386,9 +750,28 @@ int main(int argc, char** argv) {
       }
       checker.Finish();
       std::printf("invariants: %s\n", checker.Report().c_str());
-      if (HasHardViolation(checker.violations())) {
+      fault_record.violations = checker.violations().size();
+      fault_record.hard_violation = HasHardViolation(checker.violations());
+      if (fault_record.hard_violation) {
         std::fprintf(stderr, "FAIL: faulted run broke a structural invariant\n");
         ++failures;
+      }
+
+      if (scenario == "rt-mem" || scenario == "rt-correlated") {
+        // Operator-facing digest of what the governor did (kGovern events).
+        htrace::TraceAnalyzer an(run1.events, run1.dropped);
+        const auto actions = an.GovernorActions();
+        std::map<std::string, int> by_kind;
+        for (const auto& g : actions) ++by_kind[g.name];
+        std::string digest;
+        for (const auto& [kind, n] : by_kind) {
+          digest += (digest.empty() ? "" : ", ") + kind + " x" + std::to_string(n);
+        }
+        std::printf("governor: %zu action(s)%s%s\n", actions.size(),
+                    digest.empty() ? "" : ": ", digest.c_str());
+      }
+      if (scenario == "rt-mem") {
+        failures += CheckGuardGates(*plan, run1, duration, ncpus, fault_record.gates);
       }
 
       const hsfault::BlastRadiusReport blast =
@@ -405,8 +788,19 @@ int main(int argc, char** argv) {
                        written.ToString().c_str());
         }
       }
+      record.faults.push_back(fault_record);
     }
+    report.push_back(record);
     std::printf("\n");
+  }
+
+  if (!out_dir.empty()) {
+    const std::string path = out_dir + "/campaign.json";
+    if (WriteCampaignJson(path, duration, failures, report)) {
+      std::printf("(campaign report: %s)\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    }
   }
 
   if (failures > 0) {

@@ -32,11 +32,11 @@ EVENT_NAMES = [
     "TraceStart", "MakeNode", "RemoveNode", "SetWeight", "AttachThread",
     "DetachThread", "MoveThread", "SetRun", "Sleep", "PickChild", "Schedule",
     "Update", "ThreadName", "Dispatch", "Interrupt", "Idle", "Fault",
-    "MoveNode", "Migrate", "Admit", "DeadlineMiss",
+    "MoveNode", "Migrate", "Admit", "DeadlineMiss", "Govern",
 ]
 (T_START, T_MKNOD, T_RMNOD, T_SETW, T_ATTACH, T_DETACH, T_MOVE, T_SETRUN,
  T_SLEEP, T_PICK, T_SCHED, T_UPDATE, T_TNAME, T_DISPATCH, T_IRQ, T_IDLE,
- T_FAULT, T_MVNOD, T_MIGRATE, T_ADMIT, T_DLMISS) = range(21)
+ T_FAULT, T_MVNOD, T_MIGRATE, T_ADMIT, T_DLMISS, T_GOVERN) = range(22)
 
 
 def read_trace(path):
@@ -122,7 +122,7 @@ def build_tree(events):
             rebuild_paths(e["node"])
         elif e["type"] in (T_SETRUN, T_SLEEP, T_PICK, T_SCHED, T_UPDATE,
                            T_ATTACH, T_DETACH, T_MOVE, T_SETW, T_ADMIT,
-                           T_DLMISS):
+                           T_DLMISS, T_GOVERN):
             ensure(e["node"])
         if e["type"] in (T_TNAME, T_ATTACH) and e["name"]:
             thread_names[e["a"]] = e["name"]
@@ -210,6 +210,14 @@ def to_perfetto(events):
                         "ts": e["time"] / 1e3,
                         "args": {"thread": e["a"], "node": e["node"],
                                  "tardiness_ns": e["b"]}})
+        elif e["type"] == T_GOVERN:
+            # Process-scoped like faults: a governor mitigation (demote/revoke/
+            # throttle/restore/backoff) changes machine policy for every track.
+            out.append({"ph": "i", "pid": 1, "tid": 0, "s": "p",
+                        "name": f"govern:{e['name']}",
+                        "ts": e["time"] / 1e3,
+                        "args": {"node": e["node"], "arg": e["a"],
+                                 "magnitude": e["b"]}})
     return {"displayTimeUnit": "ms", "traceEvents": out}
 
 
