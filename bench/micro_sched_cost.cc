@@ -12,9 +12,14 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "src/fair/make.h"
 #include "src/hsfq/structure.h"
+#include "src/sched/registry.h"
 #include "src/sched/sfq_leaf.h"
+#include "src/sim/multi_tenant.h"
+#include "src/sim/scenario.h"
 #include "src/sim/shard.h"
 #include "src/sim/system.h"
 #include "src/sim/workload.h"
@@ -23,6 +28,16 @@
 using hscommon::kMillisecond;
 
 namespace {
+
+// Process peak RSS in MiB (ru_maxrss is KiB on Linux) — the machine-level companion
+// to ArenaFootprintBytes in the memory-vs-n curve.
+double PeakRssMb() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 void BM_SfqDecision(benchmark::State& state) {
   const auto flows = static_cast<int>(state.range(0));
@@ -270,9 +285,45 @@ void BM_DecisionScaleLeaves(benchmark::State& state) {
     cpu = (cpu + 1) % kNcpus;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  // The memory half of the scale curve: structure-side bytes per leaf (machine
+  // independent — container capacities, not allocator behavior) plus process peak RSS.
+  state.counters["bytes_per_leaf"] = benchmark::Counter(
+      static_cast<double>(tree.ArenaFootprintBytes()) / nleaves);
+  state.counters["peak_rss_mb"] = benchmark::Counter(PeakRssMb());
 }
 BENCHMARK(BM_DecisionScaleLeaves)
     ->ArgsProduct({{1000, 10000, 100000}, {0, 1}});
+
+// Construction cost and footprint of the production-shaped multi-tenant tree
+// (tenant -> user -> session, src/sim/multi_tenant.h) at 10^4 .. 10^6 leaves: each
+// iteration builds the full System from the generated ScenarioSpec. bytes_per_leaf
+// extends the memory-vs-n curve to a million leaves, where a dispatch sweep would
+// dominate the benchmark wall clock; dispatch cost at scale lives in
+// BM_DecisionScaleLeaves and the scale_smoke CI cell.
+void BM_MultiTenantBuild(benchmark::State& state) {
+  const int nleaves = static_cast<int>(state.range(0));
+  state.SetLabel(std::to_string(nleaves) + "leaves");
+  hsim::MultiTenantSpec spec;
+  spec.tenants = 100;
+  spec.sessions_per_user = 10;
+  spec.users_per_tenant = static_cast<size_t>(nleaves) /
+                          (spec.tenants * spec.sessions_per_user);
+  spec.active_per_user = 0;  // topology only: the curve isolates structural bytes
+  size_t bytes = 0;
+  for (auto _ : state) {
+    hsim::System sys({.ncpus = 1});
+    const hsim::ScenarioSpec scenario = hsim::MakeMultiTenantScenario(spec);
+    auto binding = hsim::BuildScenario(scenario, "sfq", hleaf::MakeLeafScheduler, sys);
+    benchmark::DoNotOptimize(binding);
+    bytes = sys.tree().ArenaFootprintBytes();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nleaves);
+  state.counters["bytes_per_leaf"] =
+      benchmark::Counter(static_cast<double>(bytes) / nleaves);
+  state.counters["peak_rss_mb"] = benchmark::Counter(PeakRssMb());
+}
+BENCHMARK(BM_MultiTenantBuild)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

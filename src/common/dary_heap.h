@@ -56,6 +56,7 @@ class DenseHeapIndex {
     pos_[i] = pos;
   }
   void Reserve(size_t n) { pos_.reserve(n); }
+  size_t MemoryBytes() const { return pos_.capacity() * sizeof(uint32_t); }
 
  private:
   std::vector<uint32_t> pos_;
@@ -73,6 +74,7 @@ class ExternalHeapIndex {
   uint32_t Get(Id id) const { return pos_of_(id); }
   void Set(Id id, uint32_t pos) { pos_of_(id) = pos; }
   void Reserve(size_t /*n*/) {}
+  size_t MemoryBytes() const { return 0; }  // positions live in caller-owned state
 
  private:
   PosOf pos_of_;
@@ -162,6 +164,12 @@ class DaryHeap {
   // The heap invariant guarantees nothing about element order beyond front() being the
   // minimum.
   const std::vector<Entry>& Entries() const { return heap_; }
+
+  // Heap-owned storage in bytes (entry array capacity plus a dense index), for the
+  // hierarchy's bytes/leaf accounting.
+  size_t MemoryBytes() const {
+    return heap_.capacity() * sizeof(Entry) + index_.MemoryBytes();
+  }
 
  private:
   // (key, id) lexicographic strict weak order; requires only operator< on Key.

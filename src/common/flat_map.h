@@ -1,0 +1,153 @@
+// Open-addressing hash map for integral keys — the arena-era replacement for the
+// node-per-entry std::unordered_map on hot admin paths.
+//
+// Linear probing over one contiguous power-of-two slot array, with backward-shift
+// deletion (no tombstones, so lookup chains never rot under churn). A reserved key
+// value marks empty slots, so the table carries no per-slot occupancy byte and a probe
+// touches nothing but the packed {key, value} pairs. Steady-state Insert/Erase cycles
+// at a stable population never allocate: memory is only touched when the load factor
+// crosses the growth threshold, which a churn loop at constant size never does.
+//
+// Used by SchedulingStructure for the thread -> leaf index, where attach/detach churn
+// at 10^5..10^6 threads must stay allocation-free and cache-compact.
+
+#ifndef HSCHED_SRC_COMMON_FLAT_MAP_H_
+#define HSCHED_SRC_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hscommon {
+
+// `kEmptyKey` is the reserved slot marker: inserting it is a caller bug (asserted).
+template <typename Key, typename Value, Key kEmptyKey>
+class FlatMap {
+  static_assert(sizeof(Key) <= 8, "FlatMap keys are hashed as 64-bit integers");
+
+ public:
+  FlatMap() = default;
+
+  // Returns a pointer to the mapped value, or nullptr when absent.
+  Value* Find(Key key) {
+    if (size_ == 0) return nullptr;
+    for (size_t i = Home(key);; i = Next(i)) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      if (slots_[i].key == kEmptyKey) return nullptr;
+    }
+  }
+  const Value* Find(Key key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  // Inserts key -> value; returns false (and leaves the map unchanged) when the key is
+  // already present.
+  bool Insert(Key key, Value value) {
+    assert(key != kEmptyKey && "the empty-slot marker cannot be a live key");
+    ReserveFor(size_ + 1);
+    for (size_t i = Home(key);; i = Next(i)) {
+      if (slots_[i].key == key) return false;
+      if (slots_[i].key == kEmptyKey) {
+        slots_[i] = Slot{key, std::move(value)};
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  // Removes the key; returns false when it was absent. Backward-shift deletion keeps
+  // every surviving probe chain gap-free without tombstones.
+  bool Erase(Key key) {
+    if (size_ == 0) return false;
+    size_t i = Home(key);
+    for (;; i = Next(i)) {
+      if (slots_[i].key == kEmptyKey) return false;
+      if (slots_[i].key == key) break;
+    }
+    size_t hole = i;
+    for (size_t j = Next(hole);; j = Next(j)) {
+      if (slots_[j].key == kEmptyKey) break;
+      // Slide j back into the hole unless j already sits at or after its home
+      // position within the chain segment the hole splits.
+      const size_t home = Home(slots_[j].key);
+      const bool movable = hole <= j ? (home <= hole || home > j)
+                                     : (home <= hole && home > j);
+      if (movable) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Grows the slot array so `n` live keys fit without further allocation.
+  void Reserve(size_t n) { ReserveFor(n); }
+
+  // Map-owned storage in bytes.
+  size_t MemoryBytes() const { return slots_.capacity() * sizeof(Slot); }
+
+  // Visits every live entry (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key = kEmptyKey;
+    Value value{};
+  };
+
+  // SplitMix64 finalizer: full-avalanche mixing so sequential ids spread across slots.
+  static size_t Mix(Key key) {
+    uint64_t x = static_cast<uint64_t>(key);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+
+  size_t Home(Key key) const { return Mix(key) & (slots_.size() - 1); }
+  size_t Next(size_t i) const { return (i + 1) & (slots_.size() - 1); }
+
+  void ReserveFor(size_t n) {
+    // Grow at 70% load; the array starts at 16 slots.
+    if (slots_.size() >= 16 && n * 10 <= slots_.size() * 7) return;
+    size_t cap = slots_.empty() ? 16 : slots_.size();
+    while (n * 10 > cap * 7) cap *= 2;
+    if (cap == slots_.size()) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key != kEmptyKey) {
+        for (size_t i = Home(s.key);; i = Next(i)) {
+          if (slots_[i].key == kEmptyKey) {
+            slots_[i] = std::move(s);
+            ++size_;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace hscommon
+
+#endif  // HSCHED_SRC_COMMON_FLAT_MAP_H_

@@ -6,7 +6,9 @@
 #ifndef HSCHED_SRC_FAIR_FLOW_TABLE_H_
 #define HSCHED_SRC_FAIR_FLOW_TABLE_H_
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 #include <vector>
 
 #include "src/fair/fair_queue.h"
@@ -17,9 +19,13 @@ template <typename FlowState>
 class FlowTable {
  public:
   // Allocates a slot (possibly recycling a freed one, reset to a default-constructed
-  // state) and returns its id.
+  // state) and returns its id. Freed slots are recycled lowest-id-first so the live
+  // id range stays dense under churn — callers that mirror flows in id-indexed side
+  // arrays (the hierarchy's flow_to_child) can then compact those arrays to the live
+  // population instead of the historical maximum.
   FlowId Allocate() {
     if (!free_.empty()) {
+      std::pop_heap(free_.begin(), free_.end(), std::greater<FlowId>());
       const FlowId id = free_.back();
       free_.pop_back();
       slots_[id] = Slot{FlowState{}, true};
@@ -29,11 +35,17 @@ class FlowTable {
     return static_cast<FlowId>(slots_.size() - 1);
   }
 
-  // Frees the slot; the id may be recycled by a later Allocate.
+  // Frees the slot; the id may be recycled by a later Allocate. When freed slots come
+  // to dominate the table, the trailing free run is trimmed so the table tracks the
+  // live population rather than the historical maximum.
   void Free(FlowId id) {
     assert(Contains(id));
     slots_[id].in_use = false;
     free_.push_back(id);
+    std::push_heap(free_.begin(), free_.end(), std::greater<FlowId>());
+    if (slots_.size() >= 16 && free_.size() * 2 >= slots_.size()) {
+      Compact();
+    }
   }
 
   bool Contains(FlowId id) const { return id < slots_.size() && slots_[id].in_use; }
@@ -60,7 +72,33 @@ class FlowTable {
     }
   }
 
+  // Total slots, live and free — the id-indexed span mirror arrays must cover.
+  size_t SlotCount() const { return slots_.size(); }
+
+  // Table-owned storage in bytes (slot and free-list capacities).
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(Slot) + free_.capacity() * sizeof(FlowId);
+  }
+
  private:
+  // Drops the trailing run of free slots and rebuilds the free heap over the rest.
+  // O(slots); only invoked from Free once half the table is dead, so churn at a
+  // stable population amortizes it away.
+  void Compact() {
+    size_t n = slots_.size();
+    while (n > 0 && !slots_[n - 1].in_use) --n;
+    // Trim only sizeable runs so the O(free-list) rebuild below is amortized away.
+    if (slots_.size() - n < std::max<size_t>(8, slots_.size() / 4)) return;
+    slots_.resize(n);
+    if (slots_.capacity() >= 16 && slots_.size() * 4 <= slots_.capacity()) {
+      slots_.shrink_to_fit();
+    }
+    free_.erase(std::remove_if(free_.begin(), free_.end(),
+                               [n](FlowId id) { return id >= n; }),
+                free_.end());
+    std::make_heap(free_.begin(), free_.end(), std::greater<FlowId>());
+  }
+
   struct Slot {
     FlowState state;
     bool in_use = false;

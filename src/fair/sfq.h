@@ -124,6 +124,17 @@ class Sfq : public FairQueue {
   // True if the given flow is currently backlogged (waiting, not in service).
   bool IsBacklogged(FlowId flow) const { return flows_[flow].backlogged; }
 
+  // Flow slots allocated (live plus recycled-free), i.e. the id span a caller-side
+  // flow-indexed mirror array must cover.
+  size_t FlowSlotCount() const { return flows_.SlotCount(); }
+
+  // Bytes owned by this scheduler's dynamic state (flow table, ready heap,
+  // in-service list) — the hierarchy's bytes/leaf accounting.
+  size_t MemoryBytes() const {
+    return flows_.MemoryBytes() + ready_.MemoryBytes() +
+           in_service_list_.capacity() * sizeof(FlowId);
+  }
+
  private:
   struct FlowState {
     Weight weight = 1;

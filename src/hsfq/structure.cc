@@ -1,6 +1,8 @@
 #include "src/hsfq/structure.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "src/common/virtual_time.h"
 
@@ -16,16 +18,37 @@ namespace {
 // Deepest root->leaf path the sharded dispatch fast path supports; matches the
 // offline invariant checker's ancestor-walk bound.
 constexpr size_t kMaxDepth = 64;
+// "Name never interned" sentinel from NamePool::Lookup.
+constexpr uint32_t kNoName = UINT32_MAX;
 }  // namespace
+
+uint32_t SchedulingStructure::NamePool::Intern(std::string_view name) {
+  if (const auto it = ids_.find(name); it != ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  // Approximate: the string payload plus one map node (bucket pointer + key/value).
+  bytes_ += name.size() + sizeof(std::string) + 4 * sizeof(void*);
+  return id;
+}
+
+uint32_t SchedulingStructure::NamePool::Lookup(std::string_view name) const {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kNoName : it->second;
+}
 
 SchedulingStructure::SchedulingStructure() {
   const NodeId root = AllocateNode();
   assert(root == kRootNode);
-  Node& n = nodes_[root];
-  n.name = "";
-  n.parent = kInvalidNode;
-  n.weight = 1;
-  n.sfq = std::make_unique<hfair::Sfq>();
+  (void)root;
+  cold_[kRootNode].name_id = names_.Intern("");
+  cold_[kRootNode].sfq = std::make_unique<hfair::Sfq>();
+  HotNode& h = hot_[kRootNode];
+  h.parent = kInvalidNode;
+  h.weight = 1;
+  h.sfq = cold_[kRootNode].sfq.get();
 }
 
 SchedulingStructure::~SchedulingStructure() = default;
@@ -33,32 +56,77 @@ SchedulingStructure::~SchedulingStructure() = default;
 NodeId SchedulingStructure::AllocateNode() {
   ++node_count_;
   if (!free_nodes_.empty()) {
+    // Lowest free slot first: the live id range stays dense under churn, which keeps
+    // the arena (and every parent's flow mirror) compactable to the live population.
+    std::pop_heap(free_nodes_.begin(), free_nodes_.end(), std::greater<NodeId>());
     const NodeId id = free_nodes_.back();
     free_nodes_.pop_back();
-    nodes_[id] = Node{};
-    nodes_[id].in_use = true;
+    hot_[id].in_use = true;
     return id;
   }
-  nodes_.emplace_back();
-  nodes_.back().in_use = true;
-  return static_cast<NodeId>(nodes_.size() - 1);
+  hot_.emplace_back();
+  hot_.back().in_use = true;
+  cold_.emplace_back();
+  if (slot_gen_.size() < hot_.size()) {
+    slot_gen_.push_back(0);  // high-water sized: survives trims, so handles never lie
+  }
+  return static_cast<NodeId>(hot_.size() - 1);
 }
 
-SchedulingStructure::Node& SchedulingStructure::NodeRef(NodeId id) {
-  assert(id < nodes_.size() && nodes_[id].in_use);
-  return nodes_[id];
-}
+void SchedulingStructure::FreeNode(NodeId id) {
+  ++slot_gen_[id];  // stale NodeHandles to this slot stop validating
+  hot_[id] = HotNode{};
+  cold_[id] = ColdNode{};
+  free_nodes_.push_back(id);
+  std::push_heap(free_nodes_.begin(), free_nodes_.end(), std::greater<NodeId>());
+  --node_count_;
 
-const SchedulingStructure::Node& SchedulingStructure::NodeRef(NodeId id) const {
-  assert(id < nodes_.size() && nodes_[id].in_use);
-  return nodes_[id];
+  // Trim the trailing dead run so SlotCount() tracks the live population, not the
+  // historical maximum. Only sizeable runs, to amortize the free-heap rebuild.
+  size_t n = hot_.size();
+  while (n > 1 && !hot_[n - 1].in_use) --n;
+  if (hot_.size() - n < std::max<size_t>(8, hot_.size() / 4)) {
+    return;
+  }
+  hot_.resize(n);
+  cold_.resize(n);
+  free_nodes_.erase(std::remove_if(free_nodes_.begin(), free_nodes_.end(),
+                                   [n](NodeId f) { return f >= n; }),
+                    free_nodes_.end());
+  std::make_heap(free_nodes_.begin(), free_nodes_.end(), std::greater<NodeId>());
 }
 
 Status SchedulingStructure::ValidateLiveNode(NodeId id) const {
-  if (id >= nodes_.size() || !nodes_[id].in_use) {
+  if (id >= hot_.size() || !hot_[id].in_use) {
     return NotFound("no such node id " + std::to_string(id));
   }
   return Status::Ok();
+}
+
+void SchedulingStructure::SetFlowChild(NodeId node, hfair::FlowId flow, NodeId child) {
+  ColdNode& c = cold_[node];
+  if (c.flow_to_child.size() <= flow) {
+    c.flow_to_child.resize(flow + 1, kInvalidNode);
+  }
+  c.flow_to_child[flow] = child;
+  hot_[node].flow_to_child = c.flow_to_child.data();
+}
+
+void SchedulingStructure::ClearFlowChild(NodeId node, hfair::FlowId flow) {
+  ColdNode& c = cold_[node];
+  assert(flow < c.flow_to_child.size());
+  c.flow_to_child[flow] = kInvalidNode;
+  // Compact: with min-id flow recycling the trailing invalid run IS the slack between
+  // the live flow span and the historical maximum, so popping it bounds the mirror by
+  // the live child population.
+  while (!c.flow_to_child.empty() && c.flow_to_child.back() == kInvalidNode) {
+    c.flow_to_child.pop_back();
+  }
+  if (c.flow_to_child.capacity() > 8 &&
+      c.flow_to_child.size() * 4 <= c.flow_to_child.capacity()) {
+    c.flow_to_child.shrink_to_fit();
+  }
+  hot_[node].flow_to_child = c.flow_to_child.data();
 }
 
 StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId parent,
@@ -73,36 +141,38 @@ StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId p
   if (weight < 1) {
     return InvalidArgument("node weight must be >= 1");
   }
-  Node& p = NodeRef(parent);
-  if (p.is_leaf()) {
+  if (hot_[parent].is_leaf()) {
     return FailedPrecondition("parent '" + PathOf(parent) + "' is a leaf node");
   }
-  if (auto it = p.child_index.find(name); it != p.child_index.end()) {
-    return AlreadyExists("node '" + PathOf(it->second) + "' already exists");
+  // Interning up front costs nothing when the name recurs (the steady churn shape) and
+  // the id doubles as the duplicate-sibling probe.
+  const uint32_t name_id = names_.Intern(name);
+  if (const NodeId* dup = cold_[parent].child_index.Find(name_id); dup != nullptr) {
+    return AlreadyExists("node '" + PathOf(*dup) + "' already exists");
   }
 
-  const NodeId id = AllocateNode();
-  Node& n = nodes_[id];
-  n.name = name;
-  n.parent = parent;
-  n.weight = weight;
+  const NodeId id = AllocateNode();  // may reallocate hot_/cold_: take refs after
+  ColdNode& c = cold_[id];
+  HotNode& h = hot_[id];
+  c.name_id = name_id;
+  h.parent = parent;
+  h.weight = weight;
   if (leaf_scheduler != nullptr) {
-    n.leaf = std::move(leaf_scheduler);
+    c.leaf = std::move(leaf_scheduler);
+    h.leaf = c.leaf.get();
   } else {
-    n.sfq = std::make_unique<hfair::Sfq>();
+    c.sfq = std::make_unique<hfair::Sfq>();
+    h.sfq = c.sfq.get();
   }
   // Register the new node as a flow of its parent's SFQ instance.
-  Node& parent_ref = NodeRef(parent);  // re-fetch: AllocateNode may have reallocated
-  n.flow_in_parent = parent_ref.sfq->AddFlow(weight);
-  if (parent_ref.flow_to_child.size() <= n.flow_in_parent) {
-    parent_ref.flow_to_child.resize(n.flow_in_parent + 1, kInvalidNode);
-  }
-  parent_ref.flow_to_child[n.flow_in_parent] = id;
-  parent_ref.children.push_back(id);
-  parent_ref.child_index.emplace(name, id);
+  h.flow_in_parent = hot_[parent].sfq->AddFlow(weight);
+  SetFlowChild(parent, h.flow_in_parent, id);
+  cold_[parent].children.push_back(id);
+  cold_[parent].child_index.Insert(name_id, id);
   ++state_gen_;
+  MarkDirtyAll();
   if (tracer_ != nullptr) {
-    tracer_->RecordMakeNode(0, id, parent, weight, n.is_leaf(), name);
+    tracer_->RecordMakeNode(0, id, parent, weight, h.is_leaf(), name);
   }
   return id;
 }
@@ -111,35 +181,39 @@ StatusOr<NodeId> SchedulingStructure::Parse(const std::string& path, NodeId hint
   if (path.empty()) {
     return InvalidArgument("empty path");
   }
+  std::string_view rest(path);
   NodeId cur;
-  size_t pos = 0;
-  if (path[0] == '/') {
+  if (rest.front() == '/') {
     cur = kRootNode;
-    pos = 1;
+    rest.remove_prefix(1);
   } else {
     if (Status s = ValidateLiveNode(hint); !s.ok()) {
       return s;
     }
     cur = hint;
   }
-  while (pos < path.size()) {
-    const size_t next = path.find('/', pos);
-    const std::string component =
-        path.substr(pos, next == std::string::npos ? std::string::npos : next - pos);
-    pos = next == std::string::npos ? path.size() : next + 1;
+  while (!rest.empty()) {
+    const size_t slash = rest.find('/');
+    const std::string_view component = rest.substr(0, slash);
+    rest.remove_prefix(slash == std::string_view::npos ? rest.size() : slash + 1);
     if (component.empty() || component == ".") {
       continue;
     }
-    const Node& n = NodeRef(cur);
     if (component == "..") {
-      cur = n.parent == kInvalidNode ? kRootNode : n.parent;
+      const NodeId parent = hot_[cur].parent;
+      cur = parent == kInvalidNode ? kRootNode : parent;
       continue;
     }
-    const auto found = n.child_index.find(component);
-    if (found == n.child_index.end()) {
-      return NotFound("no node '" + component + "' under '" + PathOf(cur) + "'");
+    // A name that was never interned cannot name any child; otherwise one integer
+    // probe of the child index resolves the component. No allocation either way.
+    const uint32_t name_id = names_.Lookup(component);
+    const NodeId* found =
+        name_id == kNoName ? nullptr : cold_[cur].child_index.Find(name_id);
+    if (found == nullptr) {
+      return NotFound("no node '" + std::string(component) + "' under '" + PathOf(cur) +
+                      "'");
     }
-    cur = found->second;
+    cur = *found;
   }
   return cur;
 }
@@ -151,11 +225,11 @@ Status SchedulingStructure::RemoveNode(NodeId node) {
   if (node == kRootNode) {
     return FailedPrecondition("cannot remove the root node");
   }
-  Node& n = NodeRef(node);
-  if (!n.children.empty()) {
+  HotNode& n = hot_[node];
+  if (!cold_[node].children.empty()) {
     return FailedPrecondition("node '" + PathOf(node) + "' still has children");
   }
-  if (n.thread_count > 0) {
+  if (cold_[node].thread_count > 0) {
     return FailedPrecondition("node '" + PathOf(node) + "' still has threads");
   }
   if (n.in_service()) {
@@ -163,16 +237,15 @@ Status SchedulingStructure::RemoveNode(NodeId node) {
   }
   assert(!n.runnable && "a node with no threads cannot be runnable");
 
-  Node& p = NodeRef(n.parent);
-  p.sfq->RemoveFlow(n.flow_in_parent);
-  p.flow_to_child[n.flow_in_parent] = kInvalidNode;
-  std::erase(p.children, node);
-  p.child_index.erase(n.name);
+  const NodeId parent = n.parent;
+  hot_[parent].sfq->RemoveFlow(n.flow_in_parent);
+  ClearFlowChild(parent, n.flow_in_parent);
+  std::erase(cold_[parent].children, node);
+  cold_[parent].child_index.Erase(cold_[node].name_id);
 
-  nodes_[node] = Node{};
-  free_nodes_.push_back(node);
-  --node_count_;
+  FreeNode(node);
   ++state_gen_;
+  MarkDirtyAll();
   if (tracer_ != nullptr) {
     tracer_->RecordRemoveNode(0, node);
   }
@@ -184,18 +257,22 @@ Status SchedulingStructure::AttachThread(ThreadId thread, NodeId leaf,
   if (Status s = ValidateLiveNode(leaf); !s.ok()) {
     return s;
   }
-  Node& n = NodeRef(leaf);
+  if (thread == kInvalidThread) {
+    return InvalidArgument("kInvalidThread cannot be attached");
+  }
+  HotNode& n = hot_[leaf];
   if (!n.is_leaf()) {
     return FailedPrecondition("node '" + PathOf(leaf) + "' is not a leaf");
   }
-  if (thread_to_leaf_.contains(thread)) {
+  if (thread_to_leaf_.Contains(thread)) {
     return AlreadyExists("thread " + std::to_string(thread) + " is already attached");
   }
   if (Status s = n.leaf->AddThread(thread, params); !s.ok()) {
     return s;
   }
-  thread_to_leaf_.emplace(thread, leaf);
-  ++n.thread_count;
+  thread_to_leaf_.Insert(thread, leaf);
+  ++cold_[leaf].thread_count;
+  MarkDirtyLeaf(leaf);
   if (tracer_ != nullptr) {
     tracer_->RecordAttachThread(0, leaf, thread, params.weight);
   }
@@ -209,7 +286,7 @@ Status SchedulingStructure::AdmitThread(ThreadId thread, NodeId leaf,
   if (!ValidateLiveNode(leaf).ok()) {
     return InvalidArgument("admit target " + std::to_string(leaf) + " is not a live node");
   }
-  Node& n = NodeRef(leaf);
+  HotNode& n = hot_[leaf];
   if (!n.is_leaf()) {
     return InvalidArgument("node " + std::to_string(leaf) + " is not a leaf");
   }
@@ -234,12 +311,13 @@ Status SchedulingStructure::RevokeAdmissions(NodeId leaf, Time now) {
     return InvalidArgument("revoke target " + std::to_string(leaf) +
                            " is not a live node");
   }
-  Node& n = NodeRef(leaf);
+  HotNode& n = hot_[leaf];
   if (!n.is_leaf()) {
     return InvalidArgument("node " + std::to_string(leaf) + " is not a leaf");
   }
   const double booked = n.leaf->BookedUtilization();
   n.leaf->RevokeAdmissions();
+  MarkDirtyLeaf(leaf);  // revocation may retract queued reservation threads
   if (tracer_ != nullptr) {
     tracer_->RecordGovern(now, htrace::GovernAction::kRevoke, leaf, 0,
                           static_cast<int64_t>(booked * 1e6), "revoke");
@@ -248,22 +326,23 @@ Status SchedulingStructure::RevokeAdmissions(NodeId leaf, Time now) {
 }
 
 Status SchedulingStructure::DetachThread(ThreadId thread) {
-  const auto it = thread_to_leaf_.find(thread);
-  if (it == thread_to_leaf_.end()) {
+  const NodeId* found = thread_to_leaf_.Find(thread);
+  if (found == nullptr) {
     return NotFound("thread " + std::to_string(thread) + " is not attached");
   }
   if (IsRunning(thread)) {
     return FailedPrecondition("thread " + std::to_string(thread) + " is running");
   }
-  const NodeId leaf_id = it->second;
-  Node& n = NodeRef(leaf_id);
+  const NodeId leaf_id = *found;
+  HotNode& n = hot_[leaf_id];
   const bool was_runnable = n.leaf->IsThreadRunnable(thread);
   n.leaf->RemoveThread(thread);
-  --n.thread_count;
-  thread_to_leaf_.erase(it);
+  --cold_[leaf_id].thread_count;
+  thread_to_leaf_.Erase(thread);
   if (was_runnable && n.runnable && !n.in_service() && !n.leaf->HasRunnable()) {
     PropagateSleep(leaf_id, /*now=*/0);
   }
+  MarkDirtyLeaf(leaf_id);
   if (tracer_ != nullptr) {
     tracer_->RecordDetachThread(0, leaf_id, thread);
   }
@@ -272,20 +351,20 @@ Status SchedulingStructure::DetachThread(ThreadId thread) {
 
 Status SchedulingStructure::MoveThread(ThreadId thread, NodeId to, const ThreadParams& params,
                                        Time now) {
-  const auto it = thread_to_leaf_.find(thread);
-  if (it == thread_to_leaf_.end()) {
+  const NodeId* found = thread_to_leaf_.Find(thread);
+  if (found == nullptr) {
     return NotFound("thread " + std::to_string(thread) + " is not attached");
   }
   if (Status s = ValidateLiveNode(to); !s.ok()) {
     return s;
   }
-  if (!NodeRef(to).is_leaf()) {
+  if (!hot_[to].is_leaf()) {
     return FailedPrecondition("destination '" + PathOf(to) + "' is not a leaf");
   }
   if (IsRunning(thread)) {
     return FailedPrecondition("thread " + std::to_string(thread) + " is running");
   }
-  const bool was_runnable = NodeRef(it->second).leaf->IsThreadRunnable(thread);
+  const bool was_runnable = hot_[*found].leaf->IsThreadRunnable(thread);
   if (Status s = DetachThread(thread); !s.ok()) {
     return s;
   }
@@ -311,14 +390,14 @@ Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
   if (node == kRootNode) {
     return FailedPrecondition("cannot move the root node");
   }
-  Node& n = NodeRef(node);
-  if (NodeRef(to).is_leaf()) {
+  HotNode& n = hot_[node];
+  if (hot_[to].is_leaf()) {
     return FailedPrecondition("destination '" + PathOf(to) + "' is not an interior node");
   }
   if (to == n.parent) {
     return Status::Ok();  // already there
   }
-  for (NodeId cur = to; cur != kRootNode; cur = NodeRef(cur).parent) {
+  for (NodeId cur = to; cur != kRootNode; cur = hot_[cur].parent) {
     if (cur == node) {
       return FailedPrecondition("destination '" + PathOf(to) +
                                 "' is inside the moved subtree");
@@ -328,23 +407,23 @@ Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
   if (n.in_service()) {
     return FailedPrecondition("node '" + PathOf(node) + "' is being dispatched");
   }
-  if (auto it = NodeRef(to).child_index.find(n.name);
-      it != NodeRef(to).child_index.end()) {
-    return AlreadyExists("node '" + PathOf(it->second) + "' already exists");
+  if (const NodeId* dup = cold_[to].child_index.Find(cold_[node].name_id);
+      dup != nullptr) {
+    return AlreadyExists("node '" + PathOf(*dup) + "' already exists");
   }
 
   const bool was_runnable = n.runnable;
   const NodeId old_parent = n.parent;
-  Node& old_p = NodeRef(old_parent);
   if (was_runnable) {
     // Runnable and not in service => its flow is backlogged in the old parent.
-    old_p.sfq->Depart(n.flow_in_parent, now);
+    hot_[old_parent].sfq->Depart(n.flow_in_parent, now);
   }
-  old_p.sfq->RemoveFlow(n.flow_in_parent);
-  old_p.flow_to_child[n.flow_in_parent] = kInvalidNode;
-  std::erase(old_p.children, node);
-  old_p.child_index.erase(n.name);
-  if (was_runnable && !(old_p.sfq->HasBacklog() || old_p.sfq->InServiceCount() > 0)) {
+  hot_[old_parent].sfq->RemoveFlow(n.flow_in_parent);
+  ClearFlowChild(old_parent, n.flow_in_parent);
+  std::erase(cold_[old_parent].children, node);
+  cold_[old_parent].child_index.Erase(cold_[node].name_id);
+  if (was_runnable && !(hot_[old_parent].sfq->HasBacklog() ||
+                        hot_[old_parent].sfq->InServiceCount() > 0)) {
     PropagateSleep(old_parent, now);  // the old parent lost its last runnable child
   }
 
@@ -353,16 +432,13 @@ Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
   // the arrival below (or the next PropagateRunnable) stamps S = max(v_dest, 0) =
   // v_dest, so the subtree competes from the destination's present — neither starved by
   // a clock that ran far ahead nor handed a windfall by one that lagged.
-  Node& dest = NodeRef(to);
   n.parent = to;
-  n.flow_in_parent = dest.sfq->AddFlow(n.weight);
-  if (dest.flow_to_child.size() <= n.flow_in_parent) {
-    dest.flow_to_child.resize(n.flow_in_parent + 1, kInvalidNode);
-  }
-  dest.flow_to_child[n.flow_in_parent] = node;
-  dest.children.push_back(node);
-  dest.child_index.emplace(n.name, node);
+  n.flow_in_parent = hot_[to].sfq->AddFlow(n.weight);
+  SetFlowChild(to, n.flow_in_parent, node);
+  cold_[to].children.push_back(node);
+  cold_[to].child_index.Insert(cold_[node].name_id, node);
   ++state_gen_;
+  MarkDirtyAll();
   if (was_runnable) {
     PropagateRunnable(node, now);
   }
@@ -379,15 +455,16 @@ Status SchedulingStructure::SetNodeWeight(NodeId node, Weight weight) {
   if (weight < 1) {
     return InvalidArgument("node weight must be >= 1");
   }
-  Node& n = NodeRef(node);
+  HotNode& n = hot_[node];
   n.weight = weight;
   ++state_gen_;
+  MarkDirtyAll();
   if (n.parent != kInvalidNode) {
     // Re-price, don't just relabel: a backlogged flow's start tag was stamped under the
     // old weight, so the plain SetWeight would charge its already-queued slice at the old
     // rate until the next Complete. SetWeightNormalized rescales the pending span
     // (S - v) by w_old/w_new so the very next slice is served at the new share.
-    NodeRef(n.parent).sfq->SetWeightNormalized(n.flow_in_parent, weight);
+    hot_[n.parent].sfq->SetWeightNormalized(n.flow_in_parent, weight);
   }
   if (tracer_ != nullptr) {
     tracer_->RecordSetWeight(0, node, weight);
@@ -399,15 +476,15 @@ StatusOr<Weight> SchedulingStructure::GetNodeWeight(NodeId node) const {
   if (Status s = ValidateLiveNode(node); !s.ok()) {
     return s;
   }
-  return NodeRef(node).weight;
+  return hot_[node].weight;
 }
 
 Status SchedulingStructure::SetThreadParams(ThreadId thread, const ThreadParams& params) {
-  const auto it = thread_to_leaf_.find(thread);
-  if (it == thread_to_leaf_.end()) {
+  const NodeId* found = thread_to_leaf_.Find(thread);
+  if (found == nullptr) {
     return NotFound("thread " + std::to_string(thread) + " is not attached");
   }
-  return NodeRef(it->second).leaf->SetThreadParams(thread, params);
+  return hot_[*found].leaf->SetThreadParams(thread, params);
 }
 
 void SchedulingStructure::PropagateRunnable(NodeId node, Time now) {
@@ -416,12 +493,12 @@ void SchedulingStructure::PropagateRunnable(NodeId node, Time now) {
   ++state_gen_;
   NodeId cur = node;
   for (;;) {
-    Node& n = NodeRef(cur);
+    HotNode& n = hot_[cur];
     n.runnable = true;
     if (cur == kRootNode) {
       return;
     }
-    Node& p = NodeRef(n.parent);
+    HotNode& p = hot_[n.parent];
     p.sfq->Arrive(n.flow_in_parent, now);
     if (p.runnable) {
       return;
@@ -437,12 +514,12 @@ void SchedulingStructure::PropagateSleep(NodeId node, Time now) {
   ++state_gen_;
   NodeId cur = node;
   for (;;) {
-    Node& n = NodeRef(cur);
+    HotNode& n = hot_[cur];
     n.runnable = false;
     if (cur == kRootNode) {
       return;
     }
-    Node& p = NodeRef(n.parent);
+    HotNode& p = hot_[n.parent];
     p.sfq->Depart(n.flow_in_parent);
     if (p.sfq->HasBacklog() || p.sfq->InServiceCount() > 0) {
       return;  // the parent still has another runnable child
@@ -452,34 +529,38 @@ void SchedulingStructure::PropagateSleep(NodeId node, Time now) {
 }
 
 void SchedulingStructure::SetRun(ThreadId thread, Time now) {
-  const auto it = thread_to_leaf_.find(thread);
-  assert(it != thread_to_leaf_.end() && "SetRun on unattached thread");
+  const NodeId* found = thread_to_leaf_.Find(thread);
+  assert(found != nullptr && "SetRun on unattached thread");
+  const NodeId leaf_id = *found;
   if (tracer_ != nullptr) {
-    tracer_->RecordSetRun(now, it->second, thread);
+    tracer_->RecordSetRun(now, leaf_id, thread);
   }
-  Node& n = NodeRef(it->second);
+  HotNode& n = hot_[leaf_id];
   n.leaf->ThreadRunnable(thread, now);
   if (!n.runnable) {
-    PropagateRunnable(it->second, now);
+    PropagateRunnable(leaf_id, now);
   }
+  MarkDirtyLeaf(leaf_id);
 }
 
 void SchedulingStructure::Sleep(ThreadId thread, Time now) {
-  const auto it = thread_to_leaf_.find(thread);
-  assert(it != thread_to_leaf_.end() && "Sleep on unattached thread");
+  const NodeId* found = thread_to_leaf_.Find(thread);
+  assert(found != nullptr && "Sleep on unattached thread");
   assert(!IsRunning(thread) && "a running thread blocks via Update instead");
+  const NodeId leaf_id = *found;
   if (tracer_ != nullptr) {
-    tracer_->RecordSleep(now, it->second, thread);
+    tracer_->RecordSleep(now, leaf_id, thread);
   }
-  Node& n = NodeRef(it->second);
+  HotNode& n = hot_[leaf_id];
   n.leaf->ThreadBlocked(thread, now);
   if (n.runnable && !n.in_service() && !n.leaf->HasRunnable()) {
-    PropagateSleep(it->second, now);
+    PropagateSleep(leaf_id, now);
   }
+  MarkDirtyLeaf(leaf_id);
 }
 
 bool SchedulingStructure::Dispatchable(NodeId id) const {
-  const Node& n = NodeRef(id);
+  const HotNode& n = hot_[id];
   if (n.is_leaf()) {
     return n.leaf->HasDispatchable();
   }
@@ -513,7 +594,7 @@ ThreadId SchedulingStructure::Schedule(Time now, int cpu) {
   }
   NodeId cur = kRootNode;
   for (;;) {
-    Node& n = NodeRef(cur);
+    HotNode& n = hot_[cur];
     ++n.in_service_count;
     if (n.is_leaf()) {
       break;
@@ -562,7 +643,7 @@ ThreadId SchedulingStructure::Schedule(Time now, int cpu) {
     }
     cur = child;
   }
-  Node& leaf = NodeRef(cur);
+  HotNode& leaf = hot_[cur];
   const ThreadId thread = leaf.leaf->PickNext(now);
   assert(thread != kInvalidThread && "dispatchable leaf with no dispatchable thread");
   assert(!IsRunning(thread) && "leaf handed out a thread that is already on a CPU");
@@ -593,8 +674,9 @@ void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool stil
     tracer_->RecordUpdate(now, leaf_id, thread, used, still_runnable,
                           static_cast<uint32_t>(cpu));
   }
-  Node& leaf = NodeRef(leaf_id);
+  HotNode& leaf = hot_[leaf_id];
   leaf.leaf->Charge(thread, used, now, still_runnable);
+  MarkDirtyLeaf(leaf_id);
   const bool leaf_was_runnable = leaf.runnable;
 
   if (fast) {
@@ -611,8 +693,8 @@ void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool stil
     if (leaf.runnable != leaf_was_runnable) {
       ++state_gen_;
     }
-    for (NodeId cur = leaf_id; cur != kRootNode; cur = NodeRef(cur).parent) {
-      Node& p = NodeRef(NodeRef(cur).parent);
+    for (NodeId cur = leaf_id; cur != kRootNode; cur = hot_[cur].parent) {
+      HotNode& p = hot_[hot_[cur].parent];
       --p.in_service_count;
       p.total_service += used;
     }
@@ -632,8 +714,8 @@ void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool stil
 
   NodeId cur = leaf_id;
   while (cur != kRootNode) {
-    Node& n = NodeRef(cur);
-    Node& p = NodeRef(n.parent);
+    HotNode& n = hot_[cur];
+    HotNode& p = hot_[n.parent];
     p.sfq->Complete(n.flow_in_parent, used, now, n.runnable);
     // Another CPU may still be dispatched through p (its flow is in service, not in the
     // ready backlog), so runnability must account for outstanding services — the classic
@@ -652,7 +734,7 @@ void SchedulingStructure::Update(ThreadId thread, Work used, Time now, bool stil
 ThreadId SchedulingStructure::ScheduleLeaf(NodeId leaf_id, Time now, int cpu,
                                            bool* still_dispatchable) {
   ++schedule_count_;
-  Node& leaf = NodeRef(leaf_id);
+  HotNode& leaf = hot_[leaf_id];
   assert(leaf.is_leaf() && "ScheduleLeaf needs a leaf node");
   if (!leaf.leaf->HasDispatchable()) {
     return kInvalidThread;
@@ -662,10 +744,10 @@ ThreadId SchedulingStructure::ScheduleLeaf(NodeId leaf_id, Time now, int cpu,
   // parent's ready set (Update's fast walk and PropagateSleep retract it when the
   // subtree really goes idle). Only the in-service counts move: they guard
   // MoveNode/RemoveNode and tell Sleep a subtree has a CPU inside it.
-  for (NodeId cur = leaf_id; cur != kRootNode; cur = NodeRef(cur).parent) {
-    ++NodeRef(cur).in_service_count;
+  for (NodeId cur = leaf_id; cur != kRootNode; cur = hot_[cur].parent) {
+    ++hot_[cur].in_service_count;
   }
-  ++NodeRef(kRootNode).in_service_count;
+  ++hot_[kRootNode].in_service_count;
   const ThreadId thread = leaf.leaf->PickNext(now);
   assert(thread != kInvalidThread && "dispatchable leaf with no dispatchable thread");
   assert(!IsRunning(thread) && "leaf handed out a thread that is already on a CPU");
@@ -680,16 +762,16 @@ ThreadId SchedulingStructure::ScheduleLeaf(NodeId leaf_id, Time now, int cpu,
 }
 
 bool SchedulingStructure::LeafDispatchable(NodeId node) const {
-  if (node >= nodes_.size() || !nodes_[node].in_use || !nodes_[node].is_leaf()) {
+  if (node >= hot_.size() || !hot_[node].in_use || !hot_[node].is_leaf()) {
     return false;
   }
-  return nodes_[node].leaf->HasDispatchable();
+  return hot_[node].leaf->HasDispatchable();
 }
 
 std::vector<NodeId> SchedulingStructure::DispatchableLeaves() const {
   std::vector<NodeId> out;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
+  for (NodeId id = 0; id < hot_.size(); ++id) {
+    const HotNode& n = hot_[id];
     if (n.in_use && n.is_leaf() && n.leaf->HasDispatchable()) {
       out.push_back(id);
     }
@@ -697,16 +779,25 @@ std::vector<NodeId> SchedulingStructure::DispatchableLeaves() const {
   return out;
 }
 
+bool SchedulingStructure::DrainDispatchDirty(std::vector<NodeId>* out) const {
+  const bool complete = !dirty_overflow_;
+  if (complete) {
+    out->insert(out->end(), dirty_leaves_.begin(), dirty_leaves_.end());
+  }
+  dirty_leaves_.clear();
+  dirty_overflow_ = false;
+  return complete;
+}
+
 double SchedulingStructure::EffectiveShare(NodeId leaf) const {
   double share = 1.0;
   NodeId cur = leaf;
   while (cur != kRootNode) {
-    const Node& n = NodeRef(cur);
-    const Node& p = NodeRef(n.parent);
+    const HotNode& n = hot_[cur];
     Weight sum = 0;
-    for (NodeId sibling : p.children) {
-      if (sibling == cur || nodes_[sibling].runnable) {
-        sum += nodes_[sibling].weight;
+    for (NodeId sibling : cold_[n.parent].children) {
+      if (sibling == cur || hot_[sibling].runnable) {
+        sum += hot_[sibling].weight;
       }
     }
     assert(sum >= n.weight);
@@ -716,72 +807,93 @@ double SchedulingStructure::EffectiveShare(NodeId leaf) const {
   return share;
 }
 
-bool SchedulingStructure::HasRunnable() const { return NodeRef(kRootNode).runnable; }
+bool SchedulingStructure::HasRunnable() const { return hot_[kRootNode].runnable; }
 
 StatusOr<NodeId> SchedulingStructure::LeafOf(ThreadId thread) const {
-  const auto it = thread_to_leaf_.find(thread);
-  if (it == thread_to_leaf_.end()) {
+  const NodeId* found = thread_to_leaf_.Find(thread);
+  if (found == nullptr) {
     return NotFound("thread " + std::to_string(thread) + " is not attached");
   }
-  return it->second;
+  return *found;
 }
 
 std::string SchedulingStructure::PathOf(NodeId node) const {
   if (node == kRootNode) {
     return "/";
   }
-  std::vector<const std::string*> parts;
+  std::vector<std::string_view> parts;
   NodeId cur = node;
   while (cur != kRootNode) {
-    const Node& n = NodeRef(cur);
-    parts.push_back(&n.name);
-    cur = n.parent;
+    parts.push_back(names_.NameOf(cold_[cur].name_id));
+    cur = hot_[cur].parent;
   }
   std::string path;
   for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
     path += '/';
-    path += **it;
+    path += *it;
   }
   return path;
 }
 
-NodeId SchedulingStructure::ParentOf(NodeId node) const { return NodeRef(node).parent; }
+NodeId SchedulingStructure::ParentOf(NodeId node) const { return hot_[node].parent; }
 
-bool SchedulingStructure::IsLeaf(NodeId node) const { return NodeRef(node).is_leaf(); }
+bool SchedulingStructure::IsLeaf(NodeId node) const { return hot_[node].is_leaf(); }
 
 std::vector<NodeId> SchedulingStructure::ChildrenOf(NodeId node) const {
-  return NodeRef(node).children;
+  return cold_[node].children;
+}
+
+size_t SchedulingStructure::FlowSlotsOf(NodeId node) const {
+  return cold_[node].flow_to_child.size();
+}
+
+size_t SchedulingStructure::ArenaFootprintBytes() const {
+  size_t bytes = hot_.capacity() * sizeof(HotNode) + cold_.capacity() * sizeof(ColdNode) +
+                 slot_gen_.capacity() * sizeof(uint32_t) +
+                 free_nodes_.capacity() * sizeof(NodeId) +
+                 running_.capacity() * sizeof(RunningEntry) + names_.MemoryBytes() +
+                 thread_to_leaf_.MemoryBytes() +
+                 dirty_leaves_.capacity() * sizeof(NodeId);
+  for (NodeId id = 0; id < hot_.size(); ++id) {
+    const ColdNode& c = cold_[id];
+    bytes += c.children.capacity() * sizeof(NodeId) + c.child_index.MemoryBytes() +
+             c.flow_to_child.capacity() * sizeof(NodeId);
+    if (c.sfq != nullptr) {
+      bytes += sizeof(hfair::Sfq) + c.sfq->MemoryBytes();
+    }
+  }
+  return bytes;
 }
 
 LeafScheduler* SchedulingStructure::LeafSchedulerOf(NodeId leaf) const {
-  return NodeRef(leaf).leaf.get();
+  return hot_[leaf].leaf;
 }
 
 Work SchedulingStructure::PreferredQuantumOf(ThreadId thread) const {
-  const auto it = thread_to_leaf_.find(thread);
-  if (it == thread_to_leaf_.end()) {
+  const NodeId* found = thread_to_leaf_.Find(thread);
+  if (found == nullptr) {
     return 0;
   }
-  return NodeRef(it->second).leaf->PreferredQuantum(thread);
+  return hot_[*found].leaf->PreferredQuantum(thread);
 }
 
 StatusOr<Work> SchedulingStructure::ServiceOf(NodeId node) const {
   if (Status s = ValidateLiveNode(node); !s.ok()) {
     return s;
   }
-  return NodeRef(node).total_service;
+  return hot_[node].total_service;
 }
 
 hscommon::VirtualTime SchedulingStructure::StartTagOf(NodeId child) const {
-  const Node& n = NodeRef(child);
+  const HotNode& n = hot_[child];
   assert(n.parent != kInvalidNode);
-  return NodeRef(n.parent).sfq->StartTag(n.flow_in_parent);
+  return hot_[n.parent].sfq->StartTag(n.flow_in_parent);
 }
 
 hscommon::VirtualTime SchedulingStructure::FinishTagOf(NodeId child) const {
-  const Node& n = NodeRef(child);
+  const HotNode& n = hot_[child];
   assert(n.parent != kInvalidNode);
-  return NodeRef(n.parent).sfq->FinishTag(n.flow_in_parent);
+  return hot_[n.parent].sfq->FinishTag(n.flow_in_parent);
 }
 
 std::string SchedulingStructure::DebugString() const {
@@ -791,13 +903,18 @@ std::string SchedulingStructure::DebugString() const {
   while (!stack.empty()) {
     const auto [id, depth] = stack.back();
     stack.pop_back();
-    const Node& n = NodeRef(id);
+    const HotNode& n = hot_[id];
+    const ColdNode& c = cold_[id];
     out.append(static_cast<size_t>(depth) * 2, ' ');
-    out += id == kRootNode ? "/" : n.name;
+    if (id == kRootNode) {
+      out += "/";
+    } else {
+      out += names_.NameOf(c.name_id);
+    }
     out += " (w=" + std::to_string(n.weight);
     if (n.is_leaf()) {
       out += ", " + n.leaf->Name();
-      out += ", threads=" + std::to_string(n.thread_count);
+      out += ", threads=" + std::to_string(c.thread_count);
     }
     if (n.runnable) {
       out += ", runnable";
@@ -809,12 +926,12 @@ std::string SchedulingStructure::DebugString() const {
       }
     }
     if (id != kRootNode) {
-      out += ", S=" + NodeRef(n.parent).sfq->StartTag(n.flow_in_parent).ToString();
-      out += ", F=" + NodeRef(n.parent).sfq->FinishTag(n.flow_in_parent).ToString();
+      out += ", S=" + hot_[n.parent].sfq->StartTag(n.flow_in_parent).ToString();
+      out += ", F=" + hot_[n.parent].sfq->FinishTag(n.flow_in_parent).ToString();
     }
     out += ")\n";
     // Push children in reverse so they render in creation order.
-    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+    for (auto it = c.children.rbegin(); it != c.children.rend(); ++it) {
       stack.emplace_back(*it, depth + 1);
     }
   }
@@ -822,37 +939,58 @@ std::string SchedulingStructure::DebugString() const {
 }
 
 Status SchedulingStructure::CheckInvariants() const {
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
+  if (hot_.size() != cold_.size() || slot_gen_.size() < hot_.size()) {
+    return Internal("arena arrays disagree on slot count");
+  }
+  for (NodeId id = 0; id < hot_.size(); ++id) {
+    const HotNode& n = hot_[id];
+    const ColdNode& c = cold_[id];
     if (!n.in_use) {
       continue;
     }
+    // Hot/cold mirror agreement.
+    if (n.sfq != c.sfq.get() || n.leaf != c.leaf.get()) {
+      return Internal("node " + std::to_string(id) + " hot mirrors disagree with owners");
+    }
+    if (!c.flow_to_child.empty() && n.flow_to_child != c.flow_to_child.data()) {
+      return Internal("node " + std::to_string(id) + " flow mirror is stale");
+    }
+    if ((n.sfq != nullptr) == (n.leaf != nullptr)) {
+      return Internal("node " + std::to_string(id) + " must be exactly one of interior/leaf");
+    }
     // Parent/child mutual consistency.
     if (id != kRootNode) {
-      if (n.parent >= nodes_.size() || !nodes_[n.parent].in_use) {
+      if (n.parent >= hot_.size() || !hot_[n.parent].in_use) {
         return Internal("node " + std::to_string(id) + " has a dead parent");
       }
-      const Node& p = nodes_[n.parent];
+      const ColdNode& pc = cold_[n.parent];
       bool found = false;
-      for (NodeId c : p.children) {
-        found = found || c == id;
+      for (NodeId child : pc.children) {
+        found = found || child == id;
       }
       if (!found) {
         return Internal("node " + std::to_string(id) + " missing from parent's children");
       }
-      if (p.flow_to_child.size() <= n.flow_in_parent ||
-          p.flow_to_child[n.flow_in_parent] != id) {
+      if (pc.flow_to_child.size() <= n.flow_in_parent ||
+          pc.flow_to_child[n.flow_in_parent] != id) {
         return Internal("node " + std::to_string(id) + " has a stale flow mapping");
       }
-      if (p.sfq->GetWeight(n.flow_in_parent) != n.weight) {
+      const NodeId* by_name = pc.child_index.Find(c.name_id);
+      if (by_name == nullptr || *by_name != id) {
+        return Internal("node " + std::to_string(id) + " missing from parent's name index");
+      }
+      if (hot_[n.parent].sfq->GetWeight(n.flow_in_parent) != n.weight) {
         return Internal("node " + std::to_string(id) + " weight disagrees with parent SFQ");
       }
     }
     if (n.weight < 1) {
       return Internal("node " + std::to_string(id) + " has zero weight");
     }
-    if (n.is_leaf() && !n.children.empty()) {
+    if (n.is_leaf() && !c.children.empty()) {
       return Internal("leaf node " + std::to_string(id) + " has children");
+    }
+    if (!n.is_leaf() && c.child_index.size() != c.children.size()) {
+      return Internal("node " + std::to_string(id) + " child index size mismatch");
     }
     // Runnability consistency.
     if (n.is_leaf()) {
@@ -862,20 +1000,22 @@ Status SchedulingStructure::CheckInvariants() const {
       }
     } else {
       bool any_child_runnable = false;
-      for (NodeId c : n.children) {
-        any_child_runnable = any_child_runnable || nodes_[c].runnable;
+      for (NodeId child : c.children) {
+        any_child_runnable = any_child_runnable || hot_[child].runnable;
       }
       if (n.runnable != any_child_runnable) {
         return Internal("interior " + PathOf(id) + " runnable flag is stale");
       }
     }
   }
-  for (const auto& [thread, leaf] : thread_to_leaf_) {
-    if (leaf >= nodes_.size() || !nodes_[leaf].in_use || !nodes_[leaf].is_leaf()) {
-      return Internal("thread " + std::to_string(thread) + " maps to a non-leaf");
+  Status thread_status = Status::Ok();
+  thread_to_leaf_.ForEach([&](ThreadId thread, NodeId leaf) {
+    if (thread_status.ok() &&
+        (leaf >= hot_.size() || !hot_[leaf].in_use || !hot_[leaf].is_leaf())) {
+      thread_status = Internal("thread " + std::to_string(thread) + " maps to a non-leaf");
     }
-  }
-  return Status::Ok();
+  });
+  return thread_status;
 }
 
 }  // namespace hsfq

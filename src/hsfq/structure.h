@@ -9,16 +9,29 @@
 //
 // Node naming follows the paper: every node has a UNIX-filename-like path such as
 // "/best-effort/user1", resolvable absolutely or relative to a hint node (hsfq_parse).
+//
+// Storage layout (million-leaf scale): nodes live in a generation-indexed arena of two
+// parallel arrays. The HOT array packs exactly the fields the dispatch walks touch —
+// parent link, flow id, SFQ/leaf scheduler pointers, weight, runnability, service
+// counters — so a root-to-leaf descent reads a handful of packed cache lines no matter
+// how much admin state the tree carries. The COLD array holds everything only admin
+// operations need: names (interned in a pool, so lookups compare 32-bit ids instead of
+// strings), the child-name index, child lists, and the owning smart pointers whose raw
+// mirrors the hot array carries. A NodeId is the arena slot index — ids are dense,
+// recycled lowest-first, and stable for the lifetime of the node — and each slot carries
+// a generation counter so callers holding a NodeHandle can detect recycled ids.
 
 #ifndef HSCHED_SRC_HSFQ_STRUCTURE_H_
 #define HSCHED_SRC_HSFQ_STRUCTURE_H_
 
-#include <map>
+#include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/fair/sfq.h"
@@ -30,11 +43,21 @@ namespace hsfq {
 using hscommon::Status;
 using hscommon::StatusOr;
 
-// Identifies a node in one SchedulingStructure.
+// Identifies a node in one SchedulingStructure: the node's arena slot index. Slot
+// indices are recycled after RemoveNode (lowest free index first, so the live id range
+// stays dense under churn); a NodeId alone cannot distinguish a node from a later node
+// reusing its slot — callers that cache ids across removals use NodeHandle.
 using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 // The root always exists and has id 0.
 inline constexpr NodeId kRootNode = 0;
+
+// A NodeId paired with the slot's generation at capture time: IsCurrent() tells a
+// caller whether the id still names the same node or the slot has been recycled.
+struct NodeHandle {
+  NodeId id = kInvalidNode;
+  uint32_t generation = 0;
+};
 
 class SchedulingStructure {
  public:
@@ -53,6 +76,8 @@ class SchedulingStructure {
                             std::unique_ptr<LeafScheduler> leaf_scheduler);
 
   // hsfq_parse: resolves "/abs/path" or "relative/path" (relative to `hint`) to a node.
+  // Allocation-free: components are matched as string_views against the interned name
+  // pool, and child lookup is an integer probe, not a string compare.
   StatusOr<NodeId> Parse(const std::string& path, NodeId hint = kRootNode) const;
 
   // hsfq_rmnod: removes a node with no children and no threads. The root is not removable.
@@ -78,7 +103,8 @@ class SchedulingStructure {
 
   // --- Thread membership ---
 
-  // Adds a thread (initially blocked) to a leaf node.
+  // Adds a thread (initially blocked) to a leaf node. kInvalidThread is not a valid
+  // thread id.
   Status AttachThread(ThreadId thread, NodeId leaf, const ThreadParams& params);
 
   // Non-mutating admission probe (the paper's hsfq_admin admission op): asks the leaf's
@@ -158,6 +184,31 @@ class SchedulingStructure {
   // and recompute on a generation mismatch.
   uint64_t StateGeneration() const { return state_gen_; }
 
+  // --- Dispatchability change log (sharded-dispatch reconciliation) ---
+  //
+  // The structure keeps a bounded log of leaves whose dispatchability MAY have
+  // changed — every SetRun / Sleep / Update / AttachThread / DetachThread appends
+  // the touched leaf. A sharded dispatcher drains it each scheduling round and
+  // reconciles only those leaves instead of sweeping every node: the sweep that was
+  // O(total leaves) per wakeup becomes O(leaves actually touched), which is what
+  // makes dispatch over 10^5-leaf trees tractable. Structural changes (MakeNode /
+  // RemoveNode / MoveNode / SetNodeWeight) and log overflow poison the log, telling
+  // the caller to fall back to the full sweep — so a consumer that never drains
+  // (single-CPU, non-sharded) pays at most the fixed cap and then nothing.
+
+  // True when the log holds entries or has been poisoned since the last drain.
+  bool DispatchDirtyPending() const {
+    return dirty_overflow_ || !dirty_leaves_.empty();
+  }
+
+  // Appends the logged leaves to `out` and clears the log. Returns true when the
+  // log is COMPLETE — every dispatchability change since the last drain is in it;
+  // false when the caller must reconcile with a full sweep (structural change or
+  // overflow). Entries may repeat and may name leaves whose dispatchability did not
+  // actually change; reconciliation is idempotent per leaf. Const: the log is an
+  // observer channel (the dispatcher holds the tree const), not scheduling state.
+  bool DrainDispatchDirty(std::vector<NodeId>* out) const;
+
   // --- Introspection ---
 
   // True if any thread anywhere in the tree is runnable.
@@ -191,6 +242,37 @@ class SchedulingStructure {
   std::vector<NodeId> ChildrenOf(NodeId node) const;
   size_t NodeCount() const { return node_count_; }
 
+  // --- Arena introspection ---
+
+  // The slot's current handle; `id` must be a live node.
+  NodeHandle HandleOf(NodeId id) const {
+    return NodeHandle{id, slot_gen_[id]};
+  }
+
+  // True when the handle still names the node it was captured from: the slot is live
+  // and has not been recycled since.
+  bool IsCurrent(NodeHandle h) const {
+    return h.id < hot_.size() && hot_[h.id].in_use && slot_gen_[h.id] == h.generation;
+  }
+
+  // Arena slots allocated (live + free). Under churn at a stable population this
+  // tracks the live node count, not the historical maximum — the regression tests for
+  // bounded footprint pin exactly that.
+  size_t SlotCount() const { return hot_.size(); }
+
+  // Live flow-table span of an interior node's SFQ: the size its flow_to_child mirror
+  // must cover. Bounded-footprint tests assert this stays proportional to the live
+  // child count under attach/detach churn.
+  size_t FlowSlotsOf(NodeId node) const;
+
+  // Approximate bytes of heap owned by the structure: hot/cold arenas, per-node child
+  // lists and indexes, flow mirrors, interior SFQ state, the name pool, and the thread
+  // map. Excludes leaf-scheduler internals (class-specific) — this is the
+  // structure-side cost the arena layout governs, and the numerator of the bytes/leaf
+  // benchmark series. Machine-independent by construction (counts container
+  // capacities, not allocator behavior), so CI can gate on it.
+  size_t ArenaFootprintBytes() const;
+
   // Leaf scheduler access (for tests and quantum negotiation).
   LeafScheduler* LeafSchedulerOf(NodeId leaf) const;
 
@@ -200,7 +282,7 @@ class SchedulingStructure {
   // Same, but for a caller that already knows the thread's leaf (the sharded dispatch
   // path, which picked the leaf itself): skips the thread->leaf hash lookup.
   Work PreferredQuantumAt(NodeId leaf, ThreadId thread) const {
-    return NodeRef(leaf).leaf->PreferredQuantum(thread);
+    return hot_[leaf].leaf->PreferredQuantum(thread);
   }
 
   // SFQ tag introspection for an interior node's child (tests).
@@ -228,8 +310,9 @@ class SchedulingStructure {
   void SetTracer(htrace::Tracer* tracer) { tracer_ = tracer; }
   htrace::Tracer* tracer() const { return tracer_; }
 
-  // Verifies internal invariants (tree shape, runnability consistency); returns an error
-  // describing the first violation. Used by tests and debug builds.
+  // Verifies internal invariants (tree shape, runnability consistency, hot/cold mirror
+  // agreement); returns an error describing the first violation. Used by tests and
+  // debug builds.
   Status CheckInvariants() const;
 
   // Multi-line ASCII rendering of the tree: names, weights, leaf scheduler names,
@@ -237,43 +320,91 @@ class SchedulingStructure {
   std::string DebugString() const;
 
  private:
-  struct Node {
-    std::string name;
+  // Fields the dispatch paths (Schedule / ScheduleLeaf / Update / SetRun / Sleep /
+  // Dispatchable) touch, packed into one contiguous array so a root-to-leaf descent
+  // stays within a few cache lines per level. `sfq`, `leaf`, and `flow_to_child` are
+  // raw mirrors of cold-side owners, kept in sync by the cold-side mutators.
+  struct HotNode {
     NodeId parent = kInvalidNode;
-    std::vector<NodeId> children;
-    // Children keyed by name: MakeNode/MoveNode uniqueness checks and path lookups
-    // without the O(children) sibling scan (which made wide-tree construction
-    // quadratic and capped usable population sizes).
-    std::map<std::string, NodeId, std::less<>> child_index;
-    Weight weight = 1;
-    bool in_use = false;
-
-    // Interior-node state: SFQ over child flows.
-    std::unique_ptr<hfair::Sfq> sfq;
-    std::vector<NodeId> flow_to_child;  // indexed by hfair::FlowId
-
-    // Leaf-node state.
-    std::unique_ptr<LeafScheduler> leaf;
-
     hfair::FlowId flow_in_parent = hfair::kInvalidFlow;
-    size_t thread_count = 0;  // threads attached (leaf nodes only)
-    Work total_service = 0;   // cumulative service charged to this subtree
-    bool runnable = false;    // some descendant thread is runnable
+    hfair::Sfq* sfq = nullptr;          // owned by ColdNode::sfq
+    LeafScheduler* leaf = nullptr;      // owned by ColdNode::leaf
+    const NodeId* flow_to_child = nullptr;  // ColdNode::flow_to_child.data()
+    Weight weight = 1;
+    Work total_service = 0;  // cumulative service charged to this subtree
     // Number of dispatched root->leaf paths passing through this node (0 or 1 on a
     // single CPU; up to ncpus on SMP, where several CPUs can serve one subtree).
     uint32_t in_service_count = 0;
+    bool runnable = false;  // some descendant thread is runnable
+    bool in_use = false;
 
     bool is_leaf() const { return leaf != nullptr; }
     bool in_service() const { return in_service_count > 0; }
   };
 
+  // Admin-only state: names, child lists and indexes, and the owning pointers behind
+  // the hot mirrors. Never touched by the dispatch walks.
+  struct ColdNode {
+    uint32_t name_id = UINT32_MAX;  // into NamePool
+    std::vector<NodeId> children;
+    // Children keyed by interned name id: MakeNode/MoveNode uniqueness checks and path
+    // lookups without the O(children) sibling scan — and, unlike the std::map this
+    // replaces, without a per-child heap node or string compares.
+    hscommon::FlatMap<uint32_t, NodeId, UINT32_MAX> child_index;
+    std::vector<NodeId> flow_to_child;  // indexed by hfair::FlowId
+    std::unique_ptr<hfair::Sfq> sfq;    // interior nodes
+    std::unique_ptr<LeafScheduler> leaf;  // leaf nodes
+    size_t thread_count = 0;  // threads attached (leaf nodes only)
+  };
+
+  // Interns path components so child indexes and lookups work on 32-bit ids. Ids are
+  // never recycled: the pool is bounded by the number of DISTINCT names ever created
+  // (recurring names — the common churn shape — are free), not by churn volume.
+  class NamePool {
+   public:
+    // Id for `name`, interning on first sight (the only allocating case).
+    uint32_t Intern(std::string_view name);
+    // Id of an already-interned name, or UINT32_MAX. Allocation-free.
+    uint32_t Lookup(std::string_view name) const;
+    std::string_view NameOf(uint32_t id) const { return names_[id]; }
+    size_t MemoryBytes() const { return bytes_; }
+
+   private:
+    std::deque<std::string> names_;  // deque: stable buffers for the map's views
+    std::unordered_map<std::string_view, uint32_t> ids_;
+    size_t bytes_ = 0;
+  };
+
   NodeId AllocateNode();
-  Node& NodeRef(NodeId id);
-  const Node& NodeRef(NodeId id) const;
+  void FreeNode(NodeId id);
   Status ValidateLiveNode(NodeId id) const;
+
+  // Points a node's flow_to_child entry at `child` (growing the array as needed) and
+  // refreshes the hot mirror. The single mutation point for the flow mirror.
+  void SetFlowChild(NodeId node, hfair::FlowId flow, NodeId child);
+  // Clears a flow entry and compacts the trailing invalid run, so a node's array
+  // tracks its live flow span instead of the historical maximum.
+  void ClearFlowChild(NodeId node, hfair::FlowId flow);
 
   // True if the subtree rooted at `id` holds a runnable thread not already on a CPU.
   bool Dispatchable(NodeId id) const;
+
+  // Logs a leaf whose dispatchability may have changed; past the cap the log is
+  // poisoned instead of grown, so an undrained log costs O(cap) memory total.
+  void MarkDirtyLeaf(NodeId leaf) {
+    if (dirty_overflow_) {
+      return;
+    }
+    if (dirty_leaves_.size() < kDirtyLeafCap) {
+      dirty_leaves_.push_back(leaf);
+    } else {
+      dirty_overflow_ = true;
+    }
+  }
+
+  // Poisons the log: the next drain reports it incomplete (structural changes whose
+  // dispatchability effects are not confined to one known leaf).
+  void MarkDirtyAll() { dirty_overflow_ = true; }
 
   // Marks `node` runnable and arrives it in its parent, recursing upward until an
   // already-runnable ancestor (the paper's early-stop).
@@ -283,10 +414,13 @@ class SchedulingStructure {
   // ancestors lose their last runnable child.
   void PropagateSleep(NodeId node, Time now);
 
-  std::vector<Node> nodes_;
-  std::vector<NodeId> free_nodes_;
+  std::vector<HotNode> hot_;
+  std::vector<ColdNode> cold_;
+  std::vector<uint32_t> slot_gen_;  // high-water sized: survives arena trimming
+  std::vector<NodeId> free_nodes_;  // min-heap: lowest id recycled first
   size_t node_count_ = 0;
-  std::unordered_map<ThreadId, NodeId> thread_to_leaf_;
+  NamePool names_;
+  hscommon::FlatMap<ThreadId, NodeId, kInvalidThread> thread_to_leaf_;
 
   // Outstanding dispatches, in Schedule order (at most one per CPU). `fast` marks a
   // ScheduleLeaf dispatch: its charge in Update must take the matching fast walk
@@ -304,6 +438,14 @@ class SchedulingStructure {
   uint64_t schedule_count_ = 0;
   uint64_t update_count_ = 0;
   uint64_t state_gen_ = 1;
+
+  // Dispatchability change log (see DrainDispatchDirty). The cap bounds what an
+  // undrained log can cost; one overflowed round merely costs the consumer a full
+  // sweep, which was the unconditional price before the log existed. Mutable so the
+  // const-viewing dispatcher can drain it.
+  static constexpr size_t kDirtyLeafCap = 4096;
+  mutable std::vector<NodeId> dirty_leaves_;
+  mutable bool dirty_overflow_ = false;
 };
 
 }  // namespace hsfq

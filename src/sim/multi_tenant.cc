@@ -1,0 +1,82 @@
+#include "src/sim/multi_tenant.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/prng.h"
+#include "src/sim/workload.h"
+
+namespace hsim {
+
+namespace {
+// Per-thread PRNG stream: the repo-wide convention for forking a scenario seed into
+// independent deterministic streams (one large prime stride per entity).
+uint64_t ThreadSeed(uint64_t seed, uint64_t index) { return seed * 1000003 + index; }
+}  // namespace
+
+size_t MultiTenantLeafCount(const MultiTenantSpec& spec) {
+  return spec.tenants * spec.users_per_tenant * spec.sessions_per_user;
+}
+
+ScenarioSpec MakeMultiTenantScenario(const MultiTenantSpec& spec) {
+  ScenarioSpec out;
+  const size_t leaves = MultiTenantLeafCount(spec);
+  const size_t active = std::min(spec.active_per_user, spec.sessions_per_user);
+  out.nodes.reserve(spec.tenants * (1 + spec.users_per_tenant) + leaves);
+  out.threads.reserve(spec.tenants * spec.users_per_tenant * active);
+  out.horizon = spec.horizon;
+
+  // One PRNG drives the structural randomness (weight offsets, start stagger); thread
+  // workloads get their own forked streams so the population count does not perturb
+  // individual behaviors.
+  hscommon::Prng prng(spec.seed);
+  uint64_t thread_index = 0;
+
+  for (size_t t = 0; t < spec.tenants; ++t) {
+    const std::string tenant_path = "/t" + std::to_string(t);
+    // Cycle through a small weight palette with a seeded phase: unequal shares at
+    // every level, reproducible per seed.
+    const hscommon::Weight tenant_w =
+        1 + static_cast<hscommon::Weight>((t + prng.UniformU64(4)) % 4);
+    out.nodes.push_back(ScenarioNodeSpec{tenant_path, tenant_w, /*is_leaf=*/false, ""});
+
+    for (size_t u = 0; u < spec.users_per_tenant; ++u) {
+      const std::string user_path = tenant_path + "/u" + std::to_string(u);
+      const hscommon::Weight user_w =
+          1 + static_cast<hscommon::Weight>((u + prng.UniformU64(3)) % 3);
+      out.nodes.push_back(ScenarioNodeSpec{user_path, user_w, /*is_leaf=*/false, ""});
+
+      for (size_t s = 0; s < spec.sessions_per_user; ++s) {
+        const std::string session_path = user_path + "/s" + std::to_string(s);
+        out.nodes.push_back(
+            ScenarioNodeSpec{session_path, 1, /*is_leaf=*/true, spec.scheduler});
+        if (s >= active) {
+          continue;  // dormant session: topology only
+        }
+        ScenarioThreadSpec thread;
+        thread.name = "t" + std::to_string(t) + ".u" + std::to_string(u) + ".s" +
+                      std::to_string(s);
+        thread.leaf_path = session_path;
+        thread.start_time =
+            spec.start_window > 0
+                ? static_cast<Time>(prng.UniformU64(static_cast<uint64_t>(spec.start_window)))
+                : 0;
+        thread.source_id = ++thread_index;  // 1-based: 0 means "not derived"
+        const uint64_t wl_seed = ThreadSeed(spec.seed, thread_index);
+        const Work min_burst = spec.min_burst;
+        const Work max_burst = spec.max_burst;
+        const Time min_sleep = spec.min_sleep;
+        const Time max_sleep = spec.max_sleep;
+        thread.make_workload = [wl_seed, min_burst, max_burst, min_sleep, max_sleep]() {
+          return std::make_unique<BurstyWorkload>(wl_seed, min_burst, max_burst,
+                                                  min_sleep, max_sleep);
+        };
+        out.threads.push_back(std::move(thread));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hsim

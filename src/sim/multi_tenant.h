@@ -1,0 +1,70 @@
+// Multi-tenant scenario generator — the ROADMAP's production-shaped tree at scale.
+//
+// Builds a ScenarioSpec for a tenant -> user -> session hierarchy (the deployment
+// granularity of Solaris SRM-style resource management): every tenant is a weighted
+// class under the root, every user a class under its tenant, and every session a leaf
+// under its user. Session leaves carry bursty closed-loop threads (compute a burst,
+// sleep, repeat) on a deterministic per-thread PRNG stream, so two builds from the same
+// spec drive byte-identical simulations.
+//
+// Shapes of interest: 100 x 100 x 10 = 10^5 leaves, 100 x 1000 x 10 = 10^6 leaves.
+// Generation cost is O(leaves); population is throttled separately from topology
+// (active_per_user) so a million-leaf tree need not carry a million live threads.
+
+#ifndef HSCHED_SRC_SIM_MULTI_TENANT_H_
+#define HSCHED_SRC_SIM_MULTI_TENANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/sim/scenario.h"
+
+namespace hsim {
+
+struct MultiTenantSpec {
+  // Topology: leaves = tenants * users_per_tenant * sessions_per_user.
+  size_t tenants = 10;
+  size_t users_per_tenant = 10;
+  size_t sessions_per_user = 10;
+
+  // Thread population: each user gets bursty closed-loop threads on this many of its
+  // sessions (the first ones, deterministically). The remaining session leaves exist
+  // but idle — exactly the production shape where most sessions are dormant at any
+  // instant. Clamped to sessions_per_user.
+  size_t active_per_user = 1;
+
+  // Deterministic seed. Tenant/user weights and every thread's workload stream and
+  // start stagger derive from it — same seed, same scenario, byte for byte.
+  uint64_t seed = 1;
+
+  // Leaf scheduler registry name ("" = the builder's default).
+  std::string scheduler;
+
+  // Bursty closed-loop user behavior: compute a burst in [min_burst, max_burst], then
+  // sleep in [min_sleep, max_sleep].
+  Work min_burst = hscommon::kMillisecond;
+  Work max_burst = 8 * hscommon::kMillisecond;
+  Time min_sleep = 2 * hscommon::kMillisecond;
+  Time max_sleep = 20 * hscommon::kMillisecond;
+
+  // Thread wakeups are staggered uniformly over this window so the simulation does not
+  // start with every user arriving in the same instant.
+  Time start_window = 10 * hscommon::kMillisecond;
+
+  // Natural run length recorded into the spec.
+  Time horizon = 200 * hscommon::kMillisecond;
+};
+
+// Total session leaves the spec describes.
+size_t MultiTenantLeafCount(const MultiTenantSpec& spec);
+
+// Builds the scenario: node paths "/t<i>/u<j>/s<k>", thread names "t<i>.u<j>.s<k>".
+// Tenant weights cycle 1..4 and user weights 1..3 (seed-shuffled), so the tree
+// exercises weighted fairness at every level rather than a uniform split.
+ScenarioSpec MakeMultiTenantScenario(const MultiTenantSpec& spec);
+
+}  // namespace hsim
+
+#endif  // HSCHED_SRC_SIM_MULTI_TENANT_H_

@@ -281,6 +281,32 @@ void ShardSet::OnCharged(NodeId leaf, hscommon::Work used, bool still_dispatchab
   }
 }
 
+void ShardSet::Reconcile() {
+  if (tree_->StateGeneration() == synced_gen_ && !tree_->DispatchDirtyPending()) {
+    return;  // nothing moved since the last round
+  }
+  dirty_scratch_.clear();
+  if (!tree_->DrainDispatchDirty(&dirty_scratch_)) {
+    Resync();  // structural change or log overflow: the log is not a complete account
+    return;
+  }
+  // The log names every leaf whose dispatchability may have changed (repeats allowed,
+  // false alarms allowed), so fixing up exactly these leaves re-establishes the full
+  // sweep's postcondition: queued <=> dispatchable for every leaf not held by a CPU.
+  // That postcondition is what lets EntryLive trust (queued, seq) alone below.
+  for (NodeId leaf : dirty_scratch_) {
+    LeafState& s = EnsureState(leaf);
+    const bool dispatchable = tree_->LeafDispatchable(leaf);
+    if (dispatchable && !s.queued) {
+      Enqueue(leaf);
+    } else if (!dispatchable && s.queued) {
+      s.queued = false;  // lazy invalidation: the heap entry dies at the next clean
+      ++s.seq;
+    }
+  }
+  synced_gen_ = tree_->StateGeneration();
+}
+
 void ShardSet::Resync() {
   for (size_t id = 0; id < states_.size(); ++id) {
     LeafState& s = states_[id];

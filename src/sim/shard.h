@@ -98,9 +98,16 @@ class ShardSet {
   // finish tag by used / EffectiveShare and re-queues it if still dispatchable.
   void OnCharged(hsfq::NodeId leaf, hscommon::Work used, bool still_dispatchable);
 
-  // Reconciles the shards with the tree after wakeups, sleeps, or structural changes
-  // (driven by SchedulingStructure::StateGeneration): queues every dispatchable leaf,
-  // invalidates entries of leaves that are no longer dispatchable. O(nodes).
+  // Reconciles the shards with the tree after wakeups, sleeps, or structural changes.
+  // Drains the tree's dispatchability change log and fixes up only the touched leaves
+  // — O(leaves touched since the last round), the fast path that keeps 10^5-leaf
+  // dispatch from paying a full sweep per wakeup. Falls back to Resync() when the log
+  // is incomplete (structural change or overflow). O(1) when nothing changed; call it
+  // every scheduling round.
+  void Reconcile();
+
+  // Full reconciliation sweep: queues every dispatchable leaf, invalidates entries of
+  // leaves that are no longer dispatchable. O(nodes) — Reconcile's fallback.
   void Resync();
 
   // Re-partitions the active leaves across shards balancing summed EffectiveShare
@@ -165,6 +172,7 @@ class ShardSet {
   // Resync. 0 never matches a real generation (StateGeneration starts at 1).
   uint64_t synced_gen_ = 0;
   std::vector<LeafState> states_;    // indexed by NodeId
+  std::vector<hsfq::NodeId> dirty_scratch_;  // Reconcile's drain buffer (reused)
   std::vector<std::vector<HeapEntry>> heaps_;  // 4-ary min-heap per CPU
   // Raw front key of each shard heap (+inf when empty), maintained on every heap
   // mutation. Keys only grow, so a raw front — even when the entry is stale — is a

@@ -729,12 +729,13 @@ void System::RunUntilSmp(Time until) {
       ServiceInterruptsSmp();
       continue;
     }
-    if (sharded && tree_.StateGeneration() != shard_gen_) {
+    if (sharded) {
       // Wakeups, sleeps, or structural changes happened since the shards last
-      // reconciled: re-queue every dispatchable leaf before filling CPUs (and before
-      // a rebalance pass, so it never partitions on stale queue entries).
-      shards_->Resync();
-      shard_gen_ = tree_.StateGeneration();
+      // reconciled: fix up the touched leaves before filling CPUs (and before a
+      // rebalance pass, so it never partitions on stale queue entries). O(1) when
+      // nothing moved; O(touched leaves) otherwise — never a full sweep unless the
+      // tree reports a structural change.
+      shards_->Reconcile();
     }
     if (rebalancing && now_ >= next_rebalance_) {
       RunRebalance();

@@ -427,10 +427,10 @@ class System {
   };
   std::vector<Cpu> cpus_;
 
-  // Sharded-dispatch state (Config::sharded). shard_gen_ is the tree StateGeneration
-  // the shard set last reconciled against; next_rebalance_ the next due rebalance.
+  // Sharded-dispatch state (Config::sharded); next_rebalance_ the next due rebalance.
+  // The shard set tracks its own reconciliation against the tree's dispatchability
+  // change log (ShardSet::Reconcile).
   std::unique_ptr<ShardSet> shards_;
-  uint64_t shard_gen_ = 0;
   Time next_rebalance_ = 0;
 
   Time interrupt_time_ = 0;

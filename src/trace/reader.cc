@@ -262,8 +262,16 @@ Time TraceAnalyzer::Percentile(const std::vector<Time>& sorted, double p) {
   if (sorted.empty()) {
     return 0;
   }
-  if (p <= 0) {
+  // !(p > 0) also catches NaN, which would otherwise reach the float->size_t cast
+  // below (undefined behavior). A non-positive or unordered percent asks for the
+  // distribution's floor.
+  if (!(p > 0.0)) {
     return sorted.front();
+  }
+  // p at or beyond 100 (including +inf) is the maximum; guarding here keeps the rank
+  // arithmetic finite.
+  if (p >= 100.0) {
+    return sorted.back();
   }
   const double rank = p / 100.0 * static_cast<double>(sorted.size());
   size_t idx = static_cast<size_t>(rank);

@@ -166,8 +166,13 @@ class TraceAnalyzer {
   // Every kGovern event in stream order (empty when no governor ran).
   std::vector<GovernorAction> GovernorActions() const;
 
-  // Nearest-rank percentile of an ascending-sorted sample vector (p in [0, 100]);
-  // 0 when empty.
+  // Nearest-rank percentile of an ascending-sorted sample vector. `p` is a PERCENT in
+  // [0, 100]. Pinned contract (the RT miss-rate JSON consumes these unguarded):
+  //   * empty input          -> 0
+  //   * p <= 0, NaN, or -inf -> the minimum (front)
+  //   * p >= 100 or +inf     -> the maximum (back)
+  //   * otherwise            -> sorted[ceil(p/100 * n) - 1] (classic nearest-rank);
+  //     a single-sample vector returns that sample for every p.
   static Time Percentile(const std::vector<Time>& sorted, double p);
 
   // Events lost to ring wraparound before this stream (0 = complete trace). When

@@ -1,0 +1,98 @@
+// FlatMap contract tests: the open-addressing table behind the arena-era thread index.
+// The properties pinned here are exactly what the hot paths rely on — backward-shift
+// deletion keeps probe chains sound under churn, and a stable population never grows
+// the slot array once warmed.
+
+#include "src/common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace {
+
+using ThreadMap = hscommon::FlatMap<uint64_t, int, /*kEmptyKey=*/0>;
+
+TEST(FlatMapTest, InsertFindErase) {
+  ThreadMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(7u), nullptr);
+
+  EXPECT_TRUE(m.Insert(7, 70));
+  EXPECT_TRUE(m.Insert(9, 90));
+  EXPECT_FALSE(m.Insert(7, 71)) << "duplicate insert must be rejected";
+  ASSERT_NE(m.Find(7u), nullptr);
+  EXPECT_EQ(*m.Find(7u), 70) << "rejected duplicate must not overwrite";
+  EXPECT_EQ(m.size(), 2u);
+
+  EXPECT_TRUE(m.Erase(7));
+  EXPECT_FALSE(m.Erase(7));
+  EXPECT_EQ(m.Find(7u), nullptr);
+  ASSERT_NE(m.Find(9u), nullptr);
+  EXPECT_EQ(*m.Find(9u), 90);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, MatchesReferenceMapUnderRandomChurn) {
+  // Deterministic xorshift stream drives interleaved insert/erase/find against
+  // std::map. Sequential-ish keys in a small range force heavy probe-chain overlap,
+  // which is what exercises backward-shift deletion.
+  ThreadMap m;
+  std::map<uint64_t, int> ref;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int step = 0; step < 200000; ++step) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const uint64_t key = 1 + (x % 512);  // never 0 (the empty marker)
+    const int op = static_cast<int>((x >> 32) % 3);
+    if (op == 0) {
+      EXPECT_EQ(m.Insert(key, static_cast<int>(key)), ref.emplace(key, static_cast<int>(key)).second);
+    } else if (op == 1) {
+      EXPECT_EQ(m.Erase(key), ref.erase(key) > 0);
+    } else {
+      const int* found = m.Find(key);
+      EXPECT_EQ(found != nullptr, ref.count(key) > 0) << "key " << key;
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Final full cross-check, both directions.
+  size_t visited = 0;
+  m.ForEach([&](uint64_t key, int value) {
+    ++visited;
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMapTest, StablePopulationChurnNeverGrows) {
+  // The attach/detach promise: once the table holds its steady population, any number
+  // of erase/insert cycles at that size leave the slot array untouched.
+  ThreadMap m;
+  for (uint64_t k = 1; k <= 1000; ++k) m.Insert(k, 1);
+  const size_t warmed = m.MemoryBytes();
+  for (int round = 0; round < 1000; ++round) {
+    for (uint64_t k = 1; k <= 64; ++k) EXPECT_TRUE(m.Erase(k));
+    for (uint64_t k = 1; k <= 64; ++k) EXPECT_TRUE(m.Insert(k, round));
+  }
+  EXPECT_EQ(m.MemoryBytes(), warmed);
+  EXPECT_EQ(m.size(), 1000u);
+}
+
+TEST(FlatMapTest, ReservePreallocates) {
+  ThreadMap m;
+  m.Reserve(100000);
+  const size_t reserved = m.MemoryBytes();
+  for (uint64_t k = 1; k <= 100000; ++k) m.Insert(k, 0);
+  EXPECT_EQ(m.MemoryBytes(), reserved);
+  EXPECT_EQ(m.size(), 100000u);
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    ASSERT_TRUE(m.Contains(k)) << k;
+  }
+}
+
+}  // namespace

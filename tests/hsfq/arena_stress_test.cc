@@ -1,0 +1,151 @@
+// Arena churn stress at the ISSUE 9 scale: 10^5 nodes created, destroyed, and
+// recreated. Pins the bounded-footprint properties the arena layout promises — slot
+// recycling keeps SlotCount at the live population's high-water mark, flow mirrors
+// compact on detach instead of growing with cumulative churn, handles from recycled
+// slots go stale, and ArenaFootprintBytes stays flat across churn waves.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+
+namespace {
+
+using hsfq::kRootNode;
+using hsfq::NodeId;
+using hsfq::SchedulingStructure;
+
+std::unique_ptr<hsfq::LeafScheduler> Leaf() {
+  return std::make_unique<hleaf::SfqLeafScheduler>();
+}
+
+TEST(ArenaStressTest, HundredThousandNodeChurnKeepsSlotCountBounded) {
+  SchedulingStructure tree;
+  constexpr size_t kGroups = 100;
+  constexpr size_t kLeavesPerGroup = 1000;
+
+  std::vector<NodeId> groups;
+  std::vector<std::vector<NodeId>> leaves(kGroups);
+  for (size_t g = 0; g < kGroups; ++g) {
+    groups.push_back(*tree.MakeNode("g" + std::to_string(g), kRootNode, 1, nullptr));
+    for (size_t l = 0; l < kLeavesPerGroup; ++l) {
+      leaves[g].push_back(
+          *tree.MakeNode("s" + std::to_string(l), groups[g], 1 + l % 4, Leaf()));
+    }
+  }
+  const size_t live = tree.NodeCount();
+  EXPECT_EQ(live, 1 + kGroups + kGroups * kLeavesPerGroup);
+  const size_t high_water = tree.SlotCount();
+
+  // Ten churn waves: tear down one group's thousand leaves, rebuild them. Freed slots
+  // must be recycled — the arena may never grow past the live high-water mark even
+  // though 10^4 nodes are destroyed and recreated.
+  for (int wave = 0; wave < 10; ++wave) {
+    const size_t g = static_cast<size_t>(wave) % kGroups;
+    for (NodeId leaf : leaves[g]) {
+      ASSERT_TRUE(tree.RemoveNode(leaf).ok());
+    }
+    leaves[g].clear();
+    for (size_t l = 0; l < kLeavesPerGroup; ++l) {
+      leaves[g].push_back(
+          *tree.MakeNode("s" + std::to_string(l), groups[g], 1 + l % 4, Leaf()));
+    }
+    ASSERT_EQ(tree.NodeCount(), live);
+    ASSERT_LE(tree.SlotCount(), high_water) << "wave " << wave;
+  }
+
+  // The tree still resolves paths after all that recycling.
+  auto parsed = tree.Parse("/g7/s999");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, leaves[7][999]);
+}
+
+TEST(ArenaStressTest, RecycledSlotInvalidatesOldHandles) {
+  SchedulingStructure tree;
+  const NodeId a = *tree.MakeNode("a", kRootNode, 1, Leaf());
+  const hsfq::NodeHandle stale = tree.HandleOf(a);
+  ASSERT_TRUE(tree.IsCurrent(stale));
+
+  ASSERT_TRUE(tree.RemoveNode(a).ok());
+  EXPECT_FALSE(tree.IsCurrent(stale));
+
+  // Min-id recycling hands the same slot to the next node; the old handle must not
+  // mistake the newcomer for the node it was captured from.
+  const NodeId b = *tree.MakeNode("b", kRootNode, 1, Leaf());
+  ASSERT_EQ(b, a) << "expected the freed slot to be recycled min-id-first";
+  EXPECT_FALSE(tree.IsCurrent(stale));
+  EXPECT_TRUE(tree.IsCurrent(tree.HandleOf(b)));
+}
+
+TEST(ArenaStressTest, FlowMirrorCompactsOnDetachChurn) {
+  SchedulingStructure tree;
+  const NodeId parent = *tree.MakeNode("p", kRootNode, 1, nullptr);
+  constexpr size_t kChildren = 64;
+
+  std::vector<NodeId> kids;
+  for (size_t i = 0; i < kChildren; ++i) {
+    kids.push_back(*tree.MakeNode("c" + std::to_string(i), parent, 1, Leaf()));
+  }
+  const size_t warmed_span = tree.FlowSlotsOf(parent);
+  ASSERT_GE(warmed_span, kChildren);
+
+  // Heavy attach/detach churn at a stable population: the flow mirror must stay at
+  // the live span, not accumulate a slot per historical child.
+  for (int round = 0; round < 200; ++round) {
+    for (size_t i = 0; i < kChildren / 2; ++i) {
+      ASSERT_TRUE(tree.RemoveNode(kids[i]).ok());
+    }
+    for (size_t i = 0; i < kChildren / 2; ++i) {
+      kids[i] = *tree.MakeNode("r" + std::to_string(round) + "_" + std::to_string(i),
+                               parent, 1, Leaf());
+    }
+    ASSERT_LE(tree.FlowSlotsOf(parent), warmed_span) << "round " << round;
+  }
+
+  // Full detach compacts the mirror to nothing.
+  for (NodeId kid : kids) {
+    ASSERT_TRUE(tree.RemoveNode(kid).ok());
+  }
+  EXPECT_EQ(tree.FlowSlotsOf(parent), 0u);
+}
+
+TEST(ArenaStressTest, FootprintStaysFlatAcrossChurnWaves) {
+  SchedulingStructure tree;
+  const NodeId group = *tree.MakeNode("g", kRootNode, 1, nullptr);
+  std::vector<NodeId> kids;
+  for (size_t i = 0; i < 2000; ++i) {
+    kids.push_back(*tree.MakeNode("s" + std::to_string(i), group, 1, Leaf()));
+  }
+  // Threads churn too: the thread index must recycle with them.
+  for (hsfq::ThreadId t = 1; t <= 2000; ++t) {
+    ASSERT_TRUE(tree.AttachThread(t, kids[t - 1], {.weight = 1}).ok());
+  }
+
+  // One full warmup wave lets every container reach steady capacity.
+  auto churn = [&] {
+    for (hsfq::ThreadId t = 1; t <= 500; ++t) {
+      ASSERT_TRUE(tree.DetachThread(t).ok());
+    }
+    for (size_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(tree.RemoveNode(kids[i]).ok());
+    }
+    for (size_t i = 0; i < 500; ++i) {
+      kids[i] = *tree.MakeNode("s" + std::to_string(i), group, 1, Leaf());
+    }
+    for (hsfq::ThreadId t = 1; t <= 500; ++t) {
+      ASSERT_TRUE(tree.AttachThread(t, kids[t - 1], {.weight = 1}).ok());
+    }
+  };
+  churn();
+  const size_t warmed = tree.ArenaFootprintBytes();
+  for (int wave = 0; wave < 20; ++wave) {
+    churn();
+    ASSERT_LE(tree.ArenaFootprintBytes(), warmed) << "wave " << wave;
+  }
+}
+
+}  // namespace

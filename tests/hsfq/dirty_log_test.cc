@@ -1,0 +1,146 @@
+// Contract tests for the dispatchability change log (DispatchDirtyPending /
+// DrainDispatchDirty) — the channel that lets the sharded dispatcher reconcile
+// O(touched leaves) per round instead of sweeping every node. The load-bearing
+// property: whenever a drain reports COMPLETE, every leaf whose dispatchability
+// changed since the previous drain is in the drained set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+
+namespace {
+
+using hscommon::kMillisecond;
+using hsfq::kInvalidThread;
+using hsfq::kRootNode;
+using hsfq::NodeId;
+using hsfq::SchedulingStructure;
+using hsfq::ThreadId;
+
+std::unique_ptr<hsfq::LeafScheduler> Leaf() {
+  return std::make_unique<hleaf::SfqLeafScheduler>();
+}
+
+TEST(DirtyLogTest, StructuralOpsPoisonTheLog) {
+  SchedulingStructure tree;
+  const NodeId leaf = *tree.MakeNode("a", kRootNode, 1, Leaf());
+
+  // MakeNode is structural: the log must refuse to claim completeness.
+  std::vector<NodeId> drained;
+  EXPECT_TRUE(tree.DispatchDirtyPending());
+  EXPECT_FALSE(tree.DrainDispatchDirty(&drained));
+  EXPECT_FALSE(tree.DispatchDirtyPending()) << "drain must clear the log";
+
+  // Membership and wakeup ops log the touched leaf and stay complete.
+  ASSERT_TRUE(tree.AttachThread(1, leaf, {.weight = 1}).ok());
+  tree.SetRun(1, 0);
+  drained.clear();
+  EXPECT_TRUE(tree.DrainDispatchDirty(&drained));
+  EXPECT_NE(std::find(drained.begin(), drained.end(), leaf), drained.end());
+
+  // Weight changes are structural again (they shift EffectiveShare everywhere).
+  ASSERT_TRUE(tree.SetNodeWeight(leaf, 3).ok());
+  drained.clear();
+  EXPECT_FALSE(tree.DrainDispatchDirty(&drained));
+}
+
+TEST(DirtyLogTest, OverflowReportsIncomplete) {
+  SchedulingStructure tree;
+  const NodeId leaf = *tree.MakeNode("a", kRootNode, 1, Leaf());
+  ASSERT_TRUE(tree.AttachThread(1, leaf, {.weight = 1}).ok());
+  std::vector<NodeId> drained;
+  tree.DrainDispatchDirty(&drained);
+
+  // Far more logged ops than the cap: the log must poison itself rather than grow
+  // without bound, and the drain must say so.
+  hscommon::Time now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    tree.SetRun(1, now);
+    tree.Sleep(1, now);
+    now += kMillisecond;
+  }
+  drained.clear();
+  EXPECT_FALSE(tree.DrainDispatchDirty(&drained));
+  EXPECT_FALSE(tree.DispatchDirtyPending());
+}
+
+TEST(DirtyLogTest, CompleteDrainCoversEveryDispatchabilityFlip) {
+  // Randomized oracle: between drains, snapshot per-leaf dispatchability; after a
+  // batch of kernel-hook ops, any leaf whose dispatchability flipped must appear in
+  // a drain that claims completeness.
+  SchedulingStructure tree;
+  constexpr int kLeaves = 16;
+  constexpr int kThreadsPerLeaf = 2;
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < kLeaves; ++i) {
+    leaves.push_back(*tree.MakeNode("l" + std::to_string(i), kRootNode, 1 + i % 3, Leaf()));
+  }
+  std::vector<ThreadId> threads;
+  for (int i = 0; i < kLeaves; ++i) {
+    for (int j = 0; j < kThreadsPerLeaf; ++j) {
+      const ThreadId t = static_cast<ThreadId>(1 + i * kThreadsPerLeaf + j);
+      ASSERT_TRUE(tree.AttachThread(t, leaves[i], {.weight = 1}).ok());
+      threads.push_back(t);
+    }
+  }
+  std::vector<NodeId> drained;
+  tree.DrainDispatchDirty(&drained);  // discard the build-up poison
+
+  auto snapshot = [&] {
+    std::map<NodeId, bool> snap;
+    for (NodeId l : leaves) snap[l] = tree.LeafDispatchable(l);
+    return snap;
+  };
+  std::vector<bool> runnable(threads.size(), false);
+
+  hscommon::Prng rng(42);
+  hscommon::Time now = 0;
+  for (int batch = 0; batch < 500; ++batch) {
+    const std::map<NodeId, bool> before = snapshot();
+    for (int op = 0; op < 8; ++op) {
+      const size_t i = rng.Next() % threads.size();
+      now += kMillisecond;
+      if (!runnable[i]) {
+        tree.SetRun(threads[i], now);
+        runnable[i] = true;
+      } else if (rng.Next() % 2 == 0) {
+        tree.Sleep(threads[i], now);
+        runnable[i] = false;
+      } else {
+        // Dispatch-and-charge round-trip through Schedule/Update; the thread picked
+        // may be any runnable one, and it may block on completion.
+        const ThreadId picked = tree.Schedule(now);
+        if (picked == kInvalidThread) continue;
+        const bool stays = rng.Next() % 4 != 0;
+        now += kMillisecond;
+        tree.Update(picked, kMillisecond, now, stays);
+        if (!stays) {
+          const size_t pi = static_cast<size_t>(picked) - 1;
+          ASSERT_LT(pi, runnable.size());
+          runnable[pi] = false;
+        }
+      }
+    }
+    drained.clear();
+    ASSERT_TRUE(tree.DrainDispatchDirty(&drained))
+        << "no structural op ran, so the log must be complete";
+    const std::map<NodeId, bool> after = snapshot();
+    for (NodeId l : leaves) {
+      if (before.at(l) != after.at(l)) {
+        EXPECT_NE(std::find(drained.begin(), drained.end(), l), drained.end())
+            << "leaf " << l << " flipped dispatchability but was not logged (batch "
+            << batch << ")";
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 #include <new>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/fair/make.h"
 #include "src/hsfq/structure.h"
 #include "src/rt/edf.h"
@@ -175,6 +176,90 @@ TEST(AllocFreeTest, TracedHierarchicalDispatchLoopIsAllocationFree) {
   });
   EXPECT_EQ(allocs, 0u);
   EXPECT_GT(tracer.ring().dropped(), 0u);  // the ring really wrapped while we measured
+}
+
+TEST(AllocFreeTest, PathParseIsAllocationFree) {
+  // hsfq_parse runs on admin and setup hot paths at 10^5+ nodes: component matching
+  // against the interned name pool must not build a single temporary string.
+  hsfq::SchedulingStructure tree;
+  std::vector<std::string> paths;
+  for (int d = 0; d < 8; ++d) {
+    const auto dept =
+        *tree.MakeNode("dept" + std::to_string(d), hsfq::kRootNode, 1, nullptr);
+    for (int u = 0; u < 8; ++u) {
+      const auto user =
+          *tree.MakeNode("user" + std::to_string(u), dept, 1, nullptr);
+      (void)*tree.MakeNode("session", user, 1,
+                           std::make_unique<hleaf::SfqLeafScheduler>());
+      paths.push_back("/dept" + std::to_string(d) + "/user" + std::to_string(u) +
+                      "/session");
+    }
+  }
+  const uint64_t allocs = AllocationsInSteadyState([&] {
+    for (int round = 0; round < 500; ++round) {
+      for (const std::string& path : paths) {
+        ASSERT_TRUE(tree.Parse(path).ok());
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+// Minimal allocation-free leaf scheduler: a fixed-capacity membership set with no
+// dispatch behavior. Isolates the STRUCTURE's attach/detach cost (flat-map thread
+// index, per-leaf counters, dirty log) from whatever a real class scheduler allocates
+// per thread internally.
+class NullLeafScheduler final : public hsfq::LeafScheduler {
+ public:
+  NullLeafScheduler() { members_.Reserve(1024); }
+  hscommon::Status AddThread(hsfq::ThreadId t, const hsfq::ThreadParams&) override {
+    members_.Insert(t, true);
+    return hscommon::Status::Ok();
+  }
+  void RemoveThread(hsfq::ThreadId t) override { members_.Erase(t); }
+  hscommon::Status SetThreadParams(hsfq::ThreadId,
+                                   const hsfq::ThreadParams&) override {
+    return hscommon::Status::Ok();
+  }
+  void ThreadRunnable(hsfq::ThreadId, hscommon::Time) override {}
+  void ThreadBlocked(hsfq::ThreadId, hscommon::Time) override {}
+  hsfq::ThreadId PickNext(hscommon::Time) override { return hsfq::kInvalidThread; }
+  void Charge(hsfq::ThreadId, hscommon::Work, hscommon::Time, bool) override {}
+  bool HasRunnable() const override { return false; }
+  bool IsThreadRunnable(hsfq::ThreadId) const override { return false; }
+  std::string Name() const override { return "null"; }
+
+ private:
+  hscommon::FlatMap<hsfq::ThreadId, bool, hsfq::kInvalidThread> members_;
+};
+
+TEST(AllocFreeTest, AttachDetachChurnIsAllocationFree) {
+  // Thread membership churn at a stable population: the structure's flat-map thread
+  // index, per-leaf counters, and dispatchability log must all sit at their
+  // high-water marks after warmup — a detach/attach cycle may not allocate. The null
+  // leaf scheduler keeps class-internal storage out of the measurement.
+  hsfq::SchedulingStructure tree;
+  std::vector<hsfq::NodeId> leaves;
+  for (int l = 0; l < 8; ++l) {
+    leaves.push_back(*tree.MakeNode("class" + std::to_string(l), hsfq::kRootNode, 1,
+                                    std::make_unique<NullLeafScheduler>()));
+  }
+  constexpr hsfq::ThreadId kThreads = 256;
+  for (hsfq::ThreadId t = 1; t <= kThreads; ++t) {
+    ASSERT_TRUE(tree.AttachThread(t, leaves[t % leaves.size()], {.weight = 1}).ok());
+  }
+  const uint64_t allocs = AllocationsInSteadyState([&] {
+    for (int round = 0; round < 2000; ++round) {
+      for (hsfq::ThreadId t = 1; t <= 16; ++t) {
+        ASSERT_TRUE(tree.DetachThread(t).ok());
+      }
+      for (hsfq::ThreadId t = 1; t <= 16; ++t) {
+        ASSERT_TRUE(
+            tree.AttachThread(t, leaves[t % leaves.size()], {.weight = 1}).ok());
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
 }
 
 TEST(AllocFreeTest, EventQueueScheduleFireLoopIsAllocationFree) {

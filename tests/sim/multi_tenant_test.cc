@@ -1,0 +1,125 @@
+// Multi-tenant scenario generator tests: the tenant -> user -> session tree must have
+// the advertised shape, be a pure function of its spec (same seed, same scenario), and
+// drive byte-identical sharded simulations — the determinism property every scale
+// benchmark and campaign built on these trees depends on.
+
+#include "src/sim/multi_tenant.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/fault/invariant_checker.h"
+#include "src/sched/registry.h"
+#include "src/sim/scenario.h"
+#include "src/sim/system.h"
+#include "src/trace/replay.h"
+#include "src/trace/tracer.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+
+MultiTenantSpec SmallSpec() {
+  MultiTenantSpec spec;
+  spec.tenants = 4;
+  spec.users_per_tenant = 3;
+  spec.sessions_per_user = 5;
+  spec.active_per_user = 2;
+  spec.seed = 7;
+  spec.horizon = 50 * kMillisecond;
+  return spec;
+}
+
+TEST(MultiTenantTest, TreeShapeMatchesSpec) {
+  const MultiTenantSpec spec = SmallSpec();
+  EXPECT_EQ(MultiTenantLeafCount(spec), 4u * 3u * 5u);
+
+  const ScenarioSpec scenario = MakeMultiTenantScenario(spec);
+  // Nodes: tenants + users + session leaves; threads: one per active session.
+  EXPECT_EQ(scenario.nodes.size(), 4u + 4u * 3u + 4u * 3u * 5u);
+  EXPECT_EQ(scenario.threads.size(), 4u * 3u * 2u);
+  EXPECT_EQ(scenario.horizon, spec.horizon);
+
+  size_t leaves = 0;
+  std::set<std::string> paths;
+  for (const auto& node : scenario.nodes) {
+    EXPECT_TRUE(paths.insert(node.path).second) << "duplicate path " << node.path;
+    EXPECT_GE(node.weight, 1);
+    if (node.is_leaf) ++leaves;
+  }
+  EXPECT_EQ(leaves, MultiTenantLeafCount(spec));
+  EXPECT_TRUE(paths.count("/t0/u0/s0"));
+  EXPECT_TRUE(paths.count("/t3/u2/s4"));
+  for (const auto& thread : scenario.threads) {
+    EXPECT_TRUE(paths.count(thread.leaf_path)) << thread.leaf_path;
+  }
+}
+
+TEST(MultiTenantTest, SameSpecSameScenario) {
+  const MultiTenantSpec spec = SmallSpec();
+  const ScenarioSpec a = MakeMultiTenantScenario(spec);
+  const ScenarioSpec b = MakeMultiTenantScenario(spec);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].path, b.nodes[i].path);
+    EXPECT_EQ(a.nodes[i].weight, b.nodes[i].weight);
+    EXPECT_EQ(a.nodes[i].is_leaf, b.nodes[i].is_leaf);
+  }
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (size_t i = 0; i < a.threads.size(); ++i) {
+    EXPECT_EQ(a.threads[i].name, b.threads[i].name);
+    EXPECT_EQ(a.threads[i].leaf_path, b.threads[i].leaf_path);
+    EXPECT_EQ(a.threads[i].start_time, b.threads[i].start_time);
+  }
+
+  // A different seed must actually reshuffle something (weights or staggering).
+  MultiTenantSpec other = spec;
+  other.seed = 8;
+  const ScenarioSpec c = MakeMultiTenantScenario(other);
+  bool differs = false;
+  for (size_t i = 0; i < a.nodes.size() && !differs; ++i) {
+    differs = a.nodes[i].weight != c.nodes[i].weight;
+  }
+  for (size_t i = 0; i < a.threads.size() && !differs; ++i) {
+    differs = a.threads[i].start_time != c.threads[i].start_time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MultiTenantTest, ShardedRunIsDeterministicAndClean) {
+  const MultiTenantSpec spec = SmallSpec();
+  const ScenarioSpec scenario = MakeMultiTenantScenario(spec);
+  const System::Config config{.ncpus = 4, .sharded = true, .steal = true};
+
+  auto run = [&](htrace::Tracer* tracer) {
+    System sys(config);
+    sys.SetTracer(tracer);
+    ASSERT_TRUE(
+        BuildScenario(scenario, "sfq", hleaf::MakeLeafScheduler, sys).ok());
+    sys.RunUntil(scenario.horizon);
+  };
+  htrace::Tracer t1(1 << 16, 4);
+  htrace::Tracer t2(1 << 16, 4);
+  run(&t1);
+  run(&t2);
+  ASSERT_EQ(t1.TotalDropped(), 0u);
+  const auto diff = htrace::DiffTraces(t1, t2);
+  EXPECT_TRUE(diff.identical) << diff.description;
+
+  hsfault::InvariantChecker::Options opts;
+  opts.ordered_pick_tags = false;
+  opts.steal_drift_allowance = 4 * config.steal_window;
+  hsfault::InvariantChecker checker(opts);
+  const auto events = t1.MergedSnapshot();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 0; i < events.size(); ++i) checker.OnEvent(events[i], i);
+  checker.Finish();
+  EXPECT_TRUE(checker.clean()) << checker.Report();
+}
+
+}  // namespace
+}  // namespace hsim

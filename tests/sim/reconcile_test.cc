@@ -1,0 +1,104 @@
+// ShardSet::Reconcile equivalence: draining the tree's dispatchability change log must
+// leave the shards in the same aggregate state a full Resync sweep would — every
+// dispatchable leaf queued, every non-dispatchable leaf not — across wakeup/sleep
+// churn AND across the structural ops that poison the log and force the fallback.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/prng.h"
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/shard.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hsfq::kRootNode;
+using hsfq::NodeId;
+using hsfq::SchedulingStructure;
+using hsfq::ThreadId;
+
+constexpr int kCpus = 4;
+
+size_t TotalQueued(const ShardSet& shards) {
+  size_t n = 0;
+  for (int cpu = 0; cpu < kCpus; ++cpu) n += shards.QueuedOn(cpu);
+  return n;
+}
+
+TEST(ReconcileTest, TracksFullSweepAcrossChurn) {
+  SchedulingStructure tree;
+  std::vector<NodeId> leaves;
+  std::vector<ThreadId> threads;
+  for (int i = 0; i < 24; ++i) {
+    leaves.push_back(*tree.MakeNode("l" + std::to_string(i), kRootNode, 1 + i % 3,
+                                    std::make_unique<hleaf::SfqLeafScheduler>()));
+    const ThreadId t = static_cast<ThreadId>(i + 1);
+    ASSERT_TRUE(tree.AttachThread(t, leaves.back(), {.weight = 1}).ok());
+    threads.push_back(t);
+  }
+
+  ShardSet incremental(&tree, kCpus, 2 * kMillisecond);
+  incremental.Reconcile();  // initial sync (build ops poisoned the log -> full sweep)
+  EXPECT_EQ(TotalQueued(incremental), tree.DispatchableLeaves().size());
+
+  std::vector<bool> runnable(threads.size(), false);
+  hscommon::Prng rng(123);
+  hscommon::Time now = 0;
+  int extra = 0;
+  for (int batch = 0; batch < 300; ++batch) {
+    for (int op = 0; op < 6; ++op) {
+      now += kMillisecond;
+      const uint64_t r = rng.Next();
+      if (r % 50 == 0) {
+        // Occasional structural op: poisons the log, Reconcile must fall back to the
+        // full sweep and still converge.
+        leaves.push_back(*tree.MakeNode("x" + std::to_string(extra++), kRootNode, 2,
+                                        std::make_unique<hleaf::SfqLeafScheduler>()));
+      } else {
+        const size_t i = r % threads.size();
+        if (runnable[i]) {
+          tree.Sleep(threads[i], now);
+          runnable[i] = false;
+        } else {
+          tree.SetRun(threads[i], now);
+          runnable[i] = true;
+        }
+      }
+    }
+    incremental.Reconcile();
+    // The oracle: after reconciliation the queued population IS the dispatchable
+    // population (nothing is in flight), and a from-scratch full sweep agrees.
+    const size_t dispatchable = tree.DispatchableLeaves().size();
+    ASSERT_EQ(TotalQueued(incremental), dispatchable) << "batch " << batch;
+    ShardSet fresh(&tree, kCpus, 2 * kMillisecond);
+    fresh.Resync();
+    ASSERT_EQ(TotalQueued(fresh), dispatchable) << "batch " << batch;
+  }
+}
+
+TEST(ReconcileTest, NoOpWhenNothingChanged) {
+  SchedulingStructure tree;
+  const NodeId leaf = *tree.MakeNode("a", kRootNode, 1,
+                                     std::make_unique<hleaf::SfqLeafScheduler>());
+  ASSERT_TRUE(tree.AttachThread(1, leaf, {.weight = 1}).ok());
+  tree.SetRun(1, 0);
+
+  ShardSet shards(&tree, kCpus, 2 * kMillisecond);
+  shards.Reconcile();
+  ASSERT_EQ(TotalQueued(shards), 1u);
+  // With the log drained and the generation unchanged, further rounds are no-ops:
+  // same queued state, and the tree reports nothing pending.
+  EXPECT_FALSE(tree.DispatchDirtyPending());
+  shards.Reconcile();
+  shards.Reconcile();
+  EXPECT_EQ(TotalQueued(shards), 1u);
+}
+
+}  // namespace
+}  // namespace hsim

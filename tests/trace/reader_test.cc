@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "src/sched/sfq_leaf.h"
@@ -244,6 +245,37 @@ TEST(TraceAnalyzerTest, PercentileUsesNearestRank) {
   EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 99), 40);
   EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 100), 40);
   EXPECT_EQ(TraceAnalyzer::Percentile({7}, 50), 7);
+}
+
+TEST(TraceAnalyzerTest, PercentileEdgeCasesPinTheContract) {
+  const std::vector<hscommon::Time> sorted = {10, 20, 30, 40};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Empty input is 0 for every p, including the pathological ones.
+  EXPECT_EQ(TraceAnalyzer::Percentile({}, 0), 0);
+  EXPECT_EQ(TraceAnalyzer::Percentile({}, 100), 0);
+  EXPECT_EQ(TraceAnalyzer::Percentile({}, nan), 0);
+
+  // Out-of-range and unordered percents clamp to the extremes instead of reading out
+  // of bounds or hitting a UB float->int cast.
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, -5), 10);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, -inf), 10);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, nan), 10);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 150), 40);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, inf), 40);
+
+  // A single sample is every percentile of itself.
+  EXPECT_EQ(TraceAnalyzer::Percentile({7}, 0), 7);
+  EXPECT_EQ(TraceAnalyzer::Percentile({7}, 0.001), 7);
+  EXPECT_EQ(TraceAnalyzer::Percentile({7}, 99.999), 7);
+  EXPECT_EQ(TraceAnalyzer::Percentile({7}, 100), 7);
+
+  // Tiny positive percents round up to the first sample (nearest rank is 1-based).
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 0.001), 10);
+  // Just above a rank boundary moves to the next sample: ceil semantics.
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 25.0001), 20);
+  EXPECT_EQ(TraceAnalyzer::Percentile(sorted, 99.999), 40);
 }
 
 }  // namespace

@@ -20,6 +20,16 @@ import json
 import sys
 
 
+# google-benchmark's own per-run keys; anything numeric outside this set is a user
+# counter (e.g. bytes_per_leaf, peak_rss_mb) and is carried through verbatim.
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name", "run_type",
+    "repetitions", "repetition_index", "threads", "iterations", "real_time",
+    "cpu_time", "time_unit", "items_per_second", "bytes_per_second", "label",
+    "error_occurred", "error_message", "aggregate_name", "aggregate_unit",
+}
+
+
 def load_runs(files):
     """Returns ({name: row}, context) for a list of google-benchmark JSON files."""
     rows = {}
@@ -41,6 +51,9 @@ def load_runs(files):
                 row["items_per_second"] = bench["items_per_second"]
             if "label" in bench and bench["label"]:
                 row["label"] = bench["label"]
+            for key, value in bench.items():
+                if key not in _STANDARD_KEYS and isinstance(value, (int, float)):
+                    row[key] = value
             rows[bench["name"]] = row
     return rows, context
 

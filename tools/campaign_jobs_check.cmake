@@ -1,0 +1,42 @@
+# CTest gate for the parallel campaign runner: --jobs=4 must produce byte-identical
+# stdout, stderr, and campaign.json to --jobs=1. Run as
+#   cmake -DCAMPAIGN=<fault_campaign binary> -DWORK_DIR=<scratch dir> -P this-file
+# Both runs share one --out directory (the per-fault report paths are echoed into
+# stdout, so differing directories would trivially break the comparison); the serial
+# run's artifacts are copied aside before the parallel run overwrites them.
+
+if(NOT CAMPAIGN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCAMPAIGN=... -DWORK_DIR=... -P campaign_jobs_check.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+
+foreach(jobs 1 4)
+  file(MAKE_DIRECTORY "${WORK_DIR}/out")
+  execute_process(
+    # 2s simulated: long enough for the rt-mem fault to trip its guard gates (1s is
+    # below the governor's detection window and the campaign legitimately fails).
+    COMMAND "${CAMPAIGN}" --duration=2s --jobs=${jobs} --out=${WORK_DIR}/out
+    OUTPUT_FILE "${WORK_DIR}/jobs${jobs}.stdout"
+    ERROR_FILE "${WORK_DIR}/jobs${jobs}.stderr"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    file(READ "${WORK_DIR}/jobs${jobs}.stderr" err)
+    message(FATAL_ERROR "fault_campaign --jobs=${jobs} failed (rc=${rc}):\n${err}")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E copy
+    "${WORK_DIR}/out/campaign.json" "${WORK_DIR}/jobs${jobs}.campaign.json")
+endforeach()
+
+foreach(artifact stdout stderr campaign.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      "${WORK_DIR}/jobs1.${artifact}" "${WORK_DIR}/jobs4.${artifact}"
+    RESULT_VARIABLE differs)
+  if(NOT differs EQUAL 0)
+    message(FATAL_ERROR "--jobs=4 ${artifact} differs from --jobs=1 — the parallel "
+                        "campaign runner lost byte-for-byte determinism")
+  endif()
+endforeach()
+
+message(STATUS "campaign --jobs=4 output byte-identical to --jobs=1")

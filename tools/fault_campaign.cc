@@ -17,6 +17,14 @@
 //   fault_campaign [--scenario=fig8|churn|smp4|smp4-sharded|rt|rt-inversion|rt-mem|
 //                              rt-correlated|all]
 //                  [--fault=<spec>] [--duration=<dur>] [--cpus=N] [--out=<dir>]
+//                  [--jobs=N]
+//
+// With --jobs=N, up to N scenarios run concurrently, each on its own isolated
+// System + tracer (the simulations share no mutable state). Every scenario's output
+// is buffered and flushed in scenario order, and the campaign summary is assembled
+// in the same order — so the bytes on stdout/stderr and in campaign.json are
+// IDENTICAL to a --jobs=1 run (CI's parallel-campaign determinism gate compares
+// them). --jobs=1 (the default) takes the same buffered path.
 //
 // With --fault, only that plan runs (instead of the matrix). With --out, each
 // blast-radius report is also written as JSON into <dir>, plus a campaign-level
@@ -44,6 +52,8 @@
 //                  invariant rules).
 
 #include <algorithm>
+#include <atomic>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +61,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/fault/blast_radius.h"
@@ -78,6 +89,29 @@ using hsfault::FaultPlan;
 using hsfq::ThreadId;
 
 namespace {
+
+// printf-append into a per-scenario buffer: every line a scenario produces goes
+// through here so concurrent workers never interleave on the real streams — the
+// buffers are flushed in scenario order, making --jobs=N output byte-identical to
+// serial.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void Append(std::string& buf, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    const size_t old = buf.size();
+    buf.resize(old + static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data() + old, static_cast<size_t>(n) + 1, fmt, ap2);
+    buf.resize(old + static_cast<size_t>(n));
+  }
+  va_end(ap2);
+}
 
 struct RunResult {
   std::vector<htrace::TraceEvent> events;
@@ -454,7 +488,8 @@ constexpr double kGuardFairnessBoundNs = 5.0 * kMillisecond;
 // backlogged best-effort siblings must stay within bound after the demote. Returns
 // the number of failed gates.
 int CheckGuardGates(const FaultPlan& plan, const RunResult& governed, Time duration,
-                    int ncpus, GuardGates& out) {
+                    int ncpus, GuardGates& out, std::string& sout,
+                    std::string& serr) {
   int failures = 0;
   out.checked = true;
 
@@ -470,13 +505,13 @@ int CheckGuardGates(const FaultPlan& plan, const RunResult& governed, Time durat
     }
   }
   if (out.ungoverned_victim_misses == 0) {
-    std::fprintf(stderr,
-                 "FAIL: governor-off run missed no deadlines on /rt-a (fault too "
-                 "weak to need mitigation)\n");
+    Append(serr,
+           "FAIL: governor-off run missed no deadlines on /rt-a (fault too "
+           "weak to need mitigation)\n");
     ++failures;
   } else {
-    std::printf("governor off: /rt-a missed %llu deadlines untreated\n",
-                static_cast<unsigned long long>(out.ungoverned_victim_misses));
+    Append(sout, "governor off: /rt-a missed %llu deadlines untreated\n",
+           static_cast<unsigned long long>(out.ungoverned_victim_misses));
   }
 
   htrace::TraceAnalyzer an(governed.events, governed.dropped);
@@ -502,16 +537,16 @@ int CheckGuardGates(const FaultPlan& plan, const RunResult& governed, Time durat
   out.demoted_in_window = out.first_miss >= 0 && out.demote_time >= 0 &&
                           out.demote_time <= first_bad_window_end + window;
   if (!out.demoted_in_window) {
-    std::fprintf(stderr,
-                 "FAIL: governed run did not demote within one detection window "
-                 "(first miss t=%lld, demote t=%lld)\n",
-                 static_cast<long long>(out.first_miss),
-                 static_cast<long long>(out.demote_time));
+    Append(serr,
+           "FAIL: governed run did not demote within one detection window "
+           "(first miss t=%lld, demote t=%lld)\n",
+           static_cast<long long>(out.first_miss),
+           static_cast<long long>(out.demote_time));
     ++failures;
   } else {
-    std::printf("governed: demote at t=%.3fs, %.0fms after the first miss\n",
-                hscommon::ToSeconds(out.demote_time),
-                static_cast<double>(out.demote_time - out.first_miss) / kMillisecond);
+    Append(sout, "governed: demote at t=%.3fs, %.0fms after the first miss\n",
+           hscommon::ToSeconds(out.demote_time),
+           static_cast<double>(out.demote_time - out.first_miss) / kMillisecond);
   }
 
   // Surviving RT leaves (everything but the demoted victim) finish miss-free.
@@ -520,16 +555,16 @@ int CheckGuardGates(const FaultPlan& plan, const RunResult& governed, Time durat
     if (leaf.leaf == demoted_node) continue;
     if (leaf.misses != 0) {
       out.survivors_miss_free = false;
-      std::fprintf(stderr, "FAIL: surviving RT leaf %s missed %llu deadlines\n",
-                   an.nodes().count(leaf.leaf) != 0
-                       ? an.nodes().at(leaf.leaf).path.c_str()
-                       : "?",
-                   static_cast<unsigned long long>(leaf.misses));
+      Append(serr, "FAIL: surviving RT leaf %s missed %llu deadlines\n",
+             an.nodes().count(leaf.leaf) != 0
+                 ? an.nodes().at(leaf.leaf).path.c_str()
+                 : "?",
+             static_cast<unsigned long long>(leaf.misses));
       ++failures;
     }
   }
   if (out.survivors_miss_free) {
-    std::printf("governed: surviving RT leaves finished miss-free\n");
+    Append(sout, "governed: surviving RT leaves finished miss-free\n");
   }
 
   // §3 fairness of the backlogged best-effort siblings over the post-demote window.
@@ -540,14 +575,14 @@ int CheckGuardGates(const FaultPlan& plan, const RunResult& governed, Time durat
     out.fairness_ok = out.fairness_gap_ns <= kGuardFairnessBoundNs;
   }
   if (!out.fairness_ok) {
-    std::fprintf(stderr,
-                 "FAIL: post-demote fairness gap of /be1 vs /be2 is %.0f us "
-                 "(bound %.0f us)\n",
-                 out.fairness_gap_ns / 1000.0, kGuardFairnessBoundNs / 1000.0);
+    Append(serr,
+           "FAIL: post-demote fairness gap of /be1 vs /be2 is %.0f us "
+           "(bound %.0f us)\n",
+           out.fairness_gap_ns / 1000.0, kGuardFairnessBoundNs / 1000.0);
     ++failures;
   } else {
-    std::printf("governed: post-demote be fairness gap %.0f us (bound %.0f us)\n",
-                out.fairness_gap_ns / 1000.0, kGuardFairnessBoundNs / 1000.0);
+    Append(sout, "governed: post-demote be fairness gap %.0f us (bound %.0f us)\n",
+           out.fairness_gap_ns / 1000.0, kGuardFairnessBoundNs / 1000.0);
   }
   return failures;
 }
@@ -631,6 +666,144 @@ std::string Flag(int argc, char** argv, const std::string& name) {
   return "";
 }
 
+// Everything one scenario produces: its summary record, its failure count, and its
+// buffered stdout/stderr text. Workers fill these independently; main flushes them
+// in scenario order.
+struct ScenarioOutcome {
+  ScenarioRecord record;
+  int failures = 0;
+  std::string out;
+  std::string err;
+};
+
+// The full per-scenario campaign: baseline + invariants, then the fault matrix with
+// the determinism oracle, invariant check, guard gates, and blast-radius diff. All
+// output goes into the outcome's buffers; the only filesystem writes are the
+// per-scenario report files under `out_dir` (distinct names per scenario, so
+// concurrent workers never collide).
+ScenarioOutcome RunCampaignScenario(const std::string& scenario,
+                                    const std::string& fault_flag, Time duration,
+                                    int cpus_override, const std::string& out_dir) {
+  ScenarioOutcome outcome;
+  const int ncpus = cpus_override > 0 ? cpus_override : DefaultCpusFor(scenario);
+  Append(outcome.out, "=== scenario %s (%.1fs simulated, %d cpu%s) ===\n",
+         scenario.c_str(), hscommon::ToSeconds(duration), ncpus,
+         ncpus == 1 ? "" : "s");
+
+  ScenarioRecord& record = outcome.record;
+  record.name = scenario;
+  record.cpus = ncpus;
+
+  const RunResult baseline = RunScenario(scenario, FaultPlan{}, duration, ncpus);
+  {
+    hsfault::InvariantChecker checker(CheckerOptionsFor(scenario));
+    checker.SetDropped(baseline.dropped);
+    for (size_t i = 0; i < baseline.events.size(); ++i) {
+      checker.OnEvent(baseline.events[i], i);
+    }
+    checker.Finish();
+    Append(outcome.out, "baseline: %zu events, %s\n", baseline.events.size(),
+           checker.Report().c_str());
+    record.baseline_events = baseline.events.size();
+    record.baseline_clean = checker.clean() && baseline.diagnostics == 0;
+    if (!checker.clean()) {
+      Append(outcome.err, "FAIL: unfaulted baseline violates invariants\n");
+      ++outcome.failures;
+      return outcome;
+    }
+    if (baseline.diagnostics != 0) {
+      Append(outcome.err, "FAIL: unfaulted baseline reported %llu diagnostics\n",
+             static_cast<unsigned long long>(baseline.diagnostics));
+      ++outcome.failures;
+      return outcome;
+    }
+  }
+
+  const std::vector<std::string> matrix =
+      fault_flag.empty() ? MatrixFor(scenario) : std::vector<std::string>{fault_flag};
+  int index = 0;
+  for (const std::string& spec : matrix) {
+    ++index;
+    FaultRecord fault_record;
+    fault_record.spec = spec;
+    auto plan = FaultPlan::Parse(spec);
+    if (!plan.ok()) {
+      Append(outcome.err, "FAIL: bad fault spec '%s': %s\n", spec.c_str(),
+             plan.status().ToString().c_str());
+      ++outcome.failures;
+      record.faults.push_back(fault_record);
+      continue;
+    }
+    Append(outcome.out, "\n--- fault %d: %s ---\n", index, spec.c_str());
+
+    const RunResult run1 = RunScenario(scenario, *plan, duration, ncpus);
+    const RunResult run2 = RunScenario(scenario, *plan, duration, ncpus);
+    const htrace::TraceDiff determinism = htrace::DiffTraces(run1.events, run2.events);
+    fault_record.deterministic = determinism.identical;
+    fault_record.events = run1.events.size();
+    if (!determinism.identical) {
+      Append(outcome.err, "FAIL: faulted run is not deterministic:\n%s\n",
+             determinism.description.c_str());
+      ++outcome.failures;
+      record.faults.push_back(fault_record);
+      continue;
+    }
+    Append(outcome.out, "determinism: two runs byte-identical (%zu events)\n",
+           run1.events.size());
+
+    hsfault::InvariantChecker checker(CheckerOptionsFor(scenario));
+    checker.SetDropped(run1.dropped);
+    for (size_t i = 0; i < run1.events.size(); ++i) {
+      checker.OnEvent(run1.events[i], i);
+    }
+    checker.Finish();
+    Append(outcome.out, "invariants: %s\n", checker.Report().c_str());
+    fault_record.violations = checker.violations().size();
+    fault_record.hard_violation = HasHardViolation(checker.violations());
+    if (fault_record.hard_violation) {
+      Append(outcome.err, "FAIL: faulted run broke a structural invariant\n");
+      ++outcome.failures;
+    }
+
+    if (scenario == "rt-mem" || scenario == "rt-correlated") {
+      // Operator-facing digest of what the governor did (kGovern events).
+      htrace::TraceAnalyzer an(run1.events, run1.dropped);
+      const auto actions = an.GovernorActions();
+      std::map<std::string, int> by_kind;
+      for (const auto& g : actions) ++by_kind[g.name];
+      std::string digest;
+      for (const auto& [kind, n] : by_kind) {
+        digest += (digest.empty() ? "" : ", ") + kind + " x" + std::to_string(n);
+      }
+      Append(outcome.out, "governor: %zu action(s)%s%s\n", actions.size(),
+             digest.empty() ? "" : ": ", digest.c_str());
+    }
+    if (scenario == "rt-mem") {
+      outcome.failures += CheckGuardGates(*plan, run1, duration, ncpus,
+                                          fault_record.gates, outcome.out,
+                                          outcome.err);
+    }
+
+    const hsfault::BlastRadiusReport blast =
+        hsfault::AnalyzeBlastRadius(baseline.events, run1.events);
+    Append(outcome.out, "%s", hsfault::FormatBlastRadiusReport(blast).c_str());
+    if (!out_dir.empty()) {
+      const std::string path =
+          out_dir + "/" + scenario + "_fault" + std::to_string(index) + ".json";
+      const auto written = hsfault::WriteBlastRadiusJson(blast, path);
+      if (written.ok()) {
+        Append(outcome.out, "(report: %s)\n", path.c_str());
+      } else {
+        Append(outcome.err, "cannot write %s: %s\n", path.c_str(),
+               written.ToString().c_str());
+      }
+    }
+    record.faults.push_back(fault_record);
+  }
+  Append(outcome.out, "\n");
+  return outcome;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -672,126 +845,50 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  int jobs = 1;
+  if (const std::string j = Flag(argc, argv, "jobs"); !j.empty()) {
+    jobs = std::atoi(j.c_str());
+    if (jobs < 1 || jobs > 64) {
+      std::fprintf(stderr, "bad --jobs=%s (want 1..64)\n", j.c_str());
+      return 2;
+    }
+  }
+
+  // Every scenario runs through the same buffered path regardless of --jobs, and
+  // buffers are flushed in scenario order, so --jobs=N output is byte-identical
+  // to --jobs=1. Scenarios are fully isolated (each Run* builds its own
+  // System + Tracer); the registries are read-only after first use.
+  std::vector<ScenarioOutcome> outcomes(scenarios.size());
+  const size_t nworkers =
+      std::min<size_t>(static_cast<size_t>(jobs), scenarios.size());
+  if (nworkers <= 1) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      outcomes[i] = RunCampaignScenario(scenarios[i], fault_flag, duration,
+                                        cpus_override, out_dir);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(nworkers);
+    for (size_t w = 0; w < nworkers; ++w) {
+      workers.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < scenarios.size();
+             i = next.fetch_add(1)) {
+          outcomes[i] = RunCampaignScenario(scenarios[i], fault_flag, duration,
+                                            cpus_override, out_dir);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
   int failures = 0;
   std::vector<ScenarioRecord> report;
-  for (const std::string& scenario : scenarios) {
-    const int ncpus = cpus_override > 0 ? cpus_override : DefaultCpusFor(scenario);
-    std::printf("=== scenario %s (%.1fs simulated, %d cpu%s) ===\n", scenario.c_str(),
-                hscommon::ToSeconds(duration), ncpus, ncpus == 1 ? "" : "s");
-
-    ScenarioRecord record;
-    record.name = scenario;
-    record.cpus = ncpus;
-
-    const RunResult baseline = RunScenario(scenario, FaultPlan{}, duration, ncpus);
-    {
-      hsfault::InvariantChecker checker(CheckerOptionsFor(scenario));
-      checker.SetDropped(baseline.dropped);
-      for (size_t i = 0; i < baseline.events.size(); ++i) {
-        checker.OnEvent(baseline.events[i], i);
-      }
-      checker.Finish();
-      std::printf("baseline: %zu events, %s\n", baseline.events.size(),
-                  checker.Report().c_str());
-      record.baseline_events = baseline.events.size();
-      record.baseline_clean = checker.clean() && baseline.diagnostics == 0;
-      if (!checker.clean()) {
-        std::fprintf(stderr, "FAIL: unfaulted baseline violates invariants\n");
-        ++failures;
-        report.push_back(record);
-        continue;
-      }
-      if (baseline.diagnostics != 0) {
-        std::fprintf(stderr, "FAIL: unfaulted baseline reported %llu diagnostics\n",
-                     static_cast<unsigned long long>(baseline.diagnostics));
-        ++failures;
-        report.push_back(record);
-        continue;
-      }
-    }
-
-    const std::vector<std::string> matrix =
-        fault_flag.empty() ? MatrixFor(scenario)
-                           : std::vector<std::string>{fault_flag};
-    int index = 0;
-    for (const std::string& spec : matrix) {
-      ++index;
-      FaultRecord fault_record;
-      fault_record.spec = spec;
-      auto plan = FaultPlan::Parse(spec);
-      if (!plan.ok()) {
-        std::fprintf(stderr, "FAIL: bad fault spec '%s': %s\n", spec.c_str(),
-                     plan.status().ToString().c_str());
-        ++failures;
-        record.faults.push_back(fault_record);
-        continue;
-      }
-      std::printf("\n--- fault %d: %s ---\n", index, spec.c_str());
-
-      const RunResult run1 = RunScenario(scenario, *plan, duration, ncpus);
-      const RunResult run2 = RunScenario(scenario, *plan, duration, ncpus);
-      const htrace::TraceDiff determinism = htrace::DiffTraces(run1.events, run2.events);
-      fault_record.deterministic = determinism.identical;
-      fault_record.events = run1.events.size();
-      if (!determinism.identical) {
-        std::fprintf(stderr, "FAIL: faulted run is not deterministic:\n%s\n",
-                     determinism.description.c_str());
-        ++failures;
-        record.faults.push_back(fault_record);
-        continue;
-      }
-      std::printf("determinism: two runs byte-identical (%zu events)\n",
-                  run1.events.size());
-
-      hsfault::InvariantChecker checker(CheckerOptionsFor(scenario));
-      checker.SetDropped(run1.dropped);
-      for (size_t i = 0; i < run1.events.size(); ++i) {
-        checker.OnEvent(run1.events[i], i);
-      }
-      checker.Finish();
-      std::printf("invariants: %s\n", checker.Report().c_str());
-      fault_record.violations = checker.violations().size();
-      fault_record.hard_violation = HasHardViolation(checker.violations());
-      if (fault_record.hard_violation) {
-        std::fprintf(stderr, "FAIL: faulted run broke a structural invariant\n");
-        ++failures;
-      }
-
-      if (scenario == "rt-mem" || scenario == "rt-correlated") {
-        // Operator-facing digest of what the governor did (kGovern events).
-        htrace::TraceAnalyzer an(run1.events, run1.dropped);
-        const auto actions = an.GovernorActions();
-        std::map<std::string, int> by_kind;
-        for (const auto& g : actions) ++by_kind[g.name];
-        std::string digest;
-        for (const auto& [kind, n] : by_kind) {
-          digest += (digest.empty() ? "" : ", ") + kind + " x" + std::to_string(n);
-        }
-        std::printf("governor: %zu action(s)%s%s\n", actions.size(),
-                    digest.empty() ? "" : ": ", digest.c_str());
-      }
-      if (scenario == "rt-mem") {
-        failures += CheckGuardGates(*plan, run1, duration, ncpus, fault_record.gates);
-      }
-
-      const hsfault::BlastRadiusReport blast =
-          hsfault::AnalyzeBlastRadius(baseline.events, run1.events);
-      std::printf("%s", hsfault::FormatBlastRadiusReport(blast).c_str());
-      if (!out_dir.empty()) {
-        const std::string path =
-            out_dir + "/" + scenario + "_fault" + std::to_string(index) + ".json";
-        const auto written = hsfault::WriteBlastRadiusJson(blast, path);
-        if (written.ok()) {
-          std::printf("(report: %s)\n", path.c_str());
-        } else {
-          std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
-                       written.ToString().c_str());
-        }
-      }
-      record.faults.push_back(fault_record);
-    }
-    report.push_back(record);
-    std::printf("\n");
+  for (ScenarioOutcome& outcome : outcomes) {
+    std::fwrite(outcome.out.data(), 1, outcome.out.size(), stdout);
+    std::fwrite(outcome.err.data(), 1, outcome.err.size(), stderr);
+    failures += outcome.failures;
+    report.push_back(std::move(outcome.record));
   }
 
   if (!out_dir.empty()) {

@@ -1,0 +1,125 @@
+// Scale smoke: builds a multi-tenant tree at 10^5+ leaves, drives dispatch for a
+// simulated horizon, and verifies the structure stays invariant-clean — the CI cell
+// that keeps million-leaf construction and dispatch from silently regressing.
+//
+// Reports machine-independent footprint (ArenaFootprintBytes / leaf) alongside process
+// peak RSS, and exits non-zero when the smoke fails: no dispatches, an invariant
+// violation, or a bytes/leaf blowout past --max-bytes-per-leaf.
+//
+//   scale_smoke --tenants=100 --users=100 --sessions=10 --active=1
+//               --horizon-ms=100 --cpus=4 --sharded=1 --max-bytes-per-leaf=400
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <sys/resource.h>
+
+#include "src/sched/registry.h"
+#include "src/sim/multi_tenant.h"
+#include "src/sim/scenario.h"
+#include "src/sim/system.h"
+
+namespace {
+
+// Peak resident set in bytes (ru_maxrss is KiB on Linux).
+size_t PeakRssBytes() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;
+}
+
+// --name=value (integer) flag, or `def` when absent.
+int64_t Flag(int argc, char** argv, const char* name, int64_t def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoll(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hsim::MultiTenantSpec spec;
+  spec.tenants = static_cast<size_t>(Flag(argc, argv, "tenants", 100));
+  spec.users_per_tenant = static_cast<size_t>(Flag(argc, argv, "users", 100));
+  spec.sessions_per_user = static_cast<size_t>(Flag(argc, argv, "sessions", 10));
+  spec.active_per_user = static_cast<size_t>(Flag(argc, argv, "active", 1));
+  spec.seed = static_cast<uint64_t>(Flag(argc, argv, "seed", 1));
+  spec.horizon = Flag(argc, argv, "horizon-ms", 100) * hscommon::kMillisecond;
+  const int cpus = static_cast<int>(Flag(argc, argv, "cpus", 4));
+  const bool sharded = Flag(argc, argv, "sharded", 1) != 0;
+  const int64_t max_bytes_per_leaf = Flag(argc, argv, "max-bytes-per-leaf", 0);
+
+  const size_t leaves = hsim::MultiTenantLeafCount(spec);
+  std::fprintf(stderr, "scale_smoke: building %zu tenants x %zu users x %zu sessions = %zu leaves\n",
+               spec.tenants, spec.users_per_tenant, spec.sessions_per_user, leaves);
+
+  hsim::System::Config config;
+  config.ncpus = cpus;
+  config.sharded = sharded;
+  hsim::System sys(config);
+
+  const hsim::ScenarioSpec scenario = hsim::MakeMultiTenantScenario(spec);
+  auto binding = hsim::BuildScenario(scenario, "sfq", hleaf::MakeLeafScheduler, sys);
+  if (!binding.ok()) {
+    std::fprintf(stderr, "scale_smoke: build FAILED: %s\n",
+                 binding.status().ToString().c_str());
+    return 1;
+  }
+  if (sys.tree().NodeCount() !=
+      1 + spec.tenants * (1 + spec.users_per_tenant) + leaves) {
+    std::fprintf(stderr, "scale_smoke: node count mismatch (%zu)\n",
+                 sys.tree().NodeCount());
+    return 1;
+  }
+  if (hscommon::Status s = sys.tree().CheckInvariants(); !s.ok()) {
+    std::fprintf(stderr, "scale_smoke: post-build invariants FAILED: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  const size_t built_bytes = sys.tree().ArenaFootprintBytes();
+  // horizon-ms=0 is build-only mode: construction + invariants + footprint, no
+  // dispatch smoke (the way the 10^6-leaf CI cell keeps its runtime bounded).
+  if (spec.horizon > 0) {
+    sys.RunUntil(spec.horizon);
+  }
+
+  if (hscommon::Status s = sys.tree().CheckInvariants(); !s.ok()) {
+    std::fprintf(stderr, "scale_smoke: post-run invariants FAILED: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  const uint64_t dispatches = sys.tree().schedule_count();
+  if (spec.horizon > 0 && dispatches == 0) {
+    std::fprintf(stderr, "scale_smoke: no dispatches over the horizon\n");
+    return 1;
+  }
+  for (const auto& d : sys.diagnostics()) {
+    std::fprintf(stderr, "scale_smoke: diagnostic: %s\n", d.what.c_str());
+  }
+
+  const size_t arena_bytes = sys.tree().ArenaFootprintBytes();
+  const double bytes_per_leaf =
+      static_cast<double>(arena_bytes) / static_cast<double>(leaves);
+  std::printf("leaves=%zu nodes=%zu threads=%zu dispatches=%" PRIu64
+              " arena_bytes=%zu built_bytes=%zu bytes_per_leaf=%.1f peak_rss_mb=%.1f\n",
+              leaves, sys.tree().NodeCount(), scenario.threads.size(), dispatches,
+              arena_bytes, built_bytes, bytes_per_leaf,
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
+  if (max_bytes_per_leaf > 0 &&
+      bytes_per_leaf > static_cast<double>(max_bytes_per_leaf)) {
+    std::fprintf(stderr, "scale_smoke: bytes/leaf %.1f exceeds gate %" PRId64 "\n",
+                 bytes_per_leaf, max_bytes_per_leaf);
+    return 1;
+  }
+  return 0;
+}
