@@ -294,6 +294,97 @@ void BM_DecisionScaleLeaves(benchmark::State& state) {
 BENCHMARK(BM_DecisionScaleLeaves)
     ->ArgsProduct({{1000, 10000, 100000}, {0, 1}});
 
+// The batched-wakeup economy at scale: a 10^5-leaf tree where one storm cohort of
+// 4096 leaves (range(0) threads each) wakes and sleeps as a single synchronized
+// tick, flushed through one deduped Reconcile per phase. Two claims are measured:
+//
+//   * dedup_x = dirty marks / change-log appends — with T threads per leaf, the T
+//     SetRun calls that make a leaf dispatchable coalesce into ONE log entry, so the
+//     ratio approaches T (per-leaf dedup, the per-tick pending-set collapse);
+//   * sweep_save_x = leaves a per-round FULL sweep would have visited / leaves
+//     actually touched — the storm stays inside the change-log cap, so reconciling
+//     costs O(cohort) instead of O(total leaves) and never falls back to the global
+//     Resync (full_resyncs stays at the startup sweep; asserted as a counter).
+//
+// Items = wakeup/sleep transitions absorbed, so items/sec is the kernel-hook
+// throughput under storm load.
+void BM_WakeupStorm(benchmark::State& state) {
+  const int threads_per_leaf = static_cast<int>(state.range(0));
+  constexpr int kLeaves = 100000;
+  constexpr int kCohort = 4096;  // leaves flipped per storm (inside the log cap)
+  constexpr int kNcpus = 4;
+  state.SetLabel(std::to_string(threads_per_leaf) + "thr/leaf");
+  // Production-shaped hierarchy (tenant -> user -> session), not a flat 10^5-way
+  // root: EffectiveShare scans the runnable siblings per level, so fanout shapes
+  // its cost and a flat root would measure the sibling scan, not the log economy.
+  hsfq::SchedulingStructure tree;
+  hsfq::ThreadId next_tid = 1;
+  int made = 0;
+  for (int t = 0; t < 100; ++t) {
+    const hsfq::NodeId tenant =
+        *tree.MakeNode("t" + std::to_string(t), hsfq::kRootNode,
+                       1 + static_cast<hscommon::Weight>(t % 4), nullptr);
+    for (int u = 0; u < 10; ++u) {
+      const hsfq::NodeId user =
+          *tree.MakeNode("u" + std::to_string(u), tenant,
+                         1 + static_cast<hscommon::Weight>(u % 3), nullptr);
+      for (int s = 0; s < 100; ++s) {
+        const hsfq::NodeId leaf =
+            *tree.MakeNode("s" + std::to_string(s), user, 1,
+                           std::make_unique<hleaf::SfqLeafScheduler>());
+        // Session leaves are created in storm-cohort-first order: the first
+        // kCohort leaves carry the storm threads (contiguous tids from 1), the
+        // rest one dormant thread each.
+        const int nthreads = made < kCohort ? threads_per_leaf : 1;
+        for (int k = 0; k < nthreads; ++k) {
+          (void)tree.AttachThread(next_tid++, leaf, {});
+        }
+        ++made;
+      }
+    }
+  }
+  static_assert(100 * 10 * 100 == kLeaves);
+  hsim::ShardSet shards(&tree, kNcpus, 2 * kMillisecond);
+  shards.Reconcile();  // startup sweep (build churn overflows the log: one Resync)
+  const uint64_t marks0 = tree.DirtyMarkCount();
+  const uint64_t appends0 = tree.DirtyAppendCount();
+  const uint64_t entries0 = shards.entries_processed();
+  const uint64_t swept0 = shards.swept_leaves();
+  const uint64_t fulls0 = shards.full_resyncs();
+  uint64_t storms = 0;
+  hscommon::Time now = 0;
+  for (auto _ : state) {
+    now += kMillisecond;
+    hsfq::ThreadId tid = 1;
+    for (int i = 0; i < kCohort; ++i) {
+      for (int k = 0; k < threads_per_leaf; ++k) {
+        tree.SetRun(tid++, now);
+      }
+    }
+    shards.Reconcile();
+    tid = 1;
+    for (int i = 0; i < kCohort; ++i) {
+      for (int k = 0; k < threads_per_leaf; ++k) {
+        tree.Sleep(tid++, now);
+      }
+    }
+    shards.Reconcile();
+    ++storms;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(storms) * 2 * kCohort *
+                          threads_per_leaf);
+  const double marks = static_cast<double>(tree.DirtyMarkCount() - marks0);
+  const double appends = static_cast<double>(tree.DirtyAppendCount() - appends0);
+  const double touched = static_cast<double>(shards.entries_processed() - entries0 +
+                                             shards.swept_leaves() - swept0);
+  state.counters["dedup_x"] = benchmark::Counter(appends > 0 ? marks / appends : 0);
+  state.counters["sweep_save_x"] = benchmark::Counter(
+      touched > 0 ? static_cast<double>(storms) * 2 * kLeaves / touched : 0);
+  state.counters["full_resyncs"] =
+      benchmark::Counter(static_cast<double>(shards.full_resyncs() - fulls0));
+}
+BENCHMARK(BM_WakeupStorm)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
 // Construction cost and footprint of the production-shaped multi-tenant tree
 // (tenant -> user -> session, src/sim/multi_tenant.h) at 10^4 .. 10^6 leaves: each
 // iteration builds the full System from the generated ScenarioSpec. bytes_per_leaf

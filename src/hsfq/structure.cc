@@ -48,6 +48,7 @@ SchedulingStructure::SchedulingStructure() {
   HotNode& h = hot_[kRootNode];
   h.parent = kInvalidNode;
   h.weight = 1;
+  h.subtree = kRootNode;
   h.sfq = cold_[kRootNode].sfq.get();
 }
 
@@ -70,6 +71,9 @@ NodeId SchedulingStructure::AllocateNode() {
   if (slot_gen_.size() < hot_.size()) {
     slot_gen_.push_back(0);  // high-water sized: survives trims, so handles never lie
   }
+  if (dirty_epoch_.size() < hot_.size()) {
+    dirty_epoch_.push_back(0);  // high-water sized alongside slot_gen_
+  }
   return static_cast<NodeId>(hot_.size() - 1);
 }
 
@@ -77,6 +81,9 @@ void SchedulingStructure::FreeNode(NodeId id) {
   ++slot_gen_[id];  // stale NodeHandles to this slot stop validating
   hot_[id] = HotNode{};
   cold_[id] = ColdNode{};
+  if (id < dirty_epoch_.size()) {
+    dirty_epoch_[id] = 0;  // a recycled slot must log afresh, not hit the old stamp
+  }
   free_nodes_.push_back(id);
   std::push_heap(free_nodes_.begin(), free_nodes_.end(), std::greater<NodeId>());
   --node_count_;
@@ -157,6 +164,7 @@ StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId p
   c.name_id = name_id;
   h.parent = parent;
   h.weight = weight;
+  h.subtree = parent == kRootNode ? id : hot_[parent].subtree;
   if (leaf_scheduler != nullptr) {
     c.leaf = std::move(leaf_scheduler);
     h.leaf = c.leaf.get();
@@ -170,7 +178,7 @@ StatusOr<NodeId> SchedulingStructure::MakeNode(const std::string& name, NodeId p
   cold_[parent].children.push_back(id);
   cold_[parent].child_index.Insert(name_id, id);
   ++state_gen_;
-  MarkDirtyAll();
+  MarkDirtySubtree(h.subtree);
   if (tracer_ != nullptr) {
     tracer_->RecordMakeNode(0, id, parent, weight, h.is_leaf(), name);
   }
@@ -238,6 +246,7 @@ Status SchedulingStructure::RemoveNode(NodeId node) {
   assert(!n.runnable && "a node with no threads cannot be runnable");
 
   const NodeId parent = n.parent;
+  const NodeId subtree = n.subtree;  // captured: FreeNode wipes the hot slot
   hot_[parent].sfq->RemoveFlow(n.flow_in_parent);
   ClearFlowChild(parent, n.flow_in_parent);
   std::erase(cold_[parent].children, node);
@@ -245,7 +254,7 @@ Status SchedulingStructure::RemoveNode(NodeId node) {
 
   FreeNode(node);
   ++state_gen_;
-  MarkDirtyAll();
+  MarkDirtySubtree(subtree);
   if (tracer_ != nullptr) {
     tracer_->RecordRemoveNode(0, node);
   }
@@ -437,8 +446,13 @@ Status SchedulingStructure::MoveNode(NodeId node, NodeId to, Time now) {
   SetFlowChild(to, n.flow_in_parent, node);
   cold_[to].children.push_back(node);
   cold_[to].child_index.Insert(cold_[node].name_id, node);
+  // The moved subtree changed tenants: poison both sides' logs and re-stamp the
+  // cached top-level roots for every node that moved.
+  const NodeId old_subtree = n.subtree;
+  SetSubtreeRoot(node, to == kRootNode ? node : hot_[to].subtree);
   ++state_gen_;
-  MarkDirtyAll();
+  MarkDirtySubtree(old_subtree);
+  MarkDirtySubtree(hot_[node].subtree);
   if (was_runnable) {
     PropagateRunnable(node, now);
   }
@@ -458,7 +472,11 @@ Status SchedulingStructure::SetNodeWeight(NodeId node, Weight weight) {
   HotNode& n = hot_[node];
   n.weight = weight;
   ++state_gen_;
-  MarkDirtyAll();
+  // A reweight changes shares, not dispatchability; shares refresh off
+  // StateGeneration. The subtree poison is defensive coverage for that tenant
+  // only — a top-level reweight shifts SIBLING tenants' shares too, but those
+  // flow through the same generation bump, so no wider poison is needed.
+  MarkDirtySubtree(n.subtree);
   if (n.parent != kInvalidNode) {
     // Re-price, don't just relabel: a backlogged flow's start tag was stamped under the
     // old weight, so the plain SetWeight would charge its already-queued slice at the old
@@ -779,14 +797,53 @@ std::vector<NodeId> SchedulingStructure::DispatchableLeaves() const {
   return out;
 }
 
-bool SchedulingStructure::DrainDispatchDirty(std::vector<NodeId>* out) const {
+bool SchedulingStructure::DrainDispatchDirty(std::vector<NodeId>* leaves,
+                                             std::vector<NodeId>* poisoned) const {
   const bool complete = !dirty_overflow_;
   if (complete) {
-    out->insert(out->end(), dirty_leaves_.begin(), dirty_leaves_.end());
+    leaves->insert(leaves->end(), dirty_leaves_.begin(), dirty_leaves_.end());
+    if (poisoned != nullptr) {
+      poisoned->insert(poisoned->end(), dirty_subtrees_.begin(), dirty_subtrees_.end());
+    }
   }
   dirty_leaves_.clear();
+  dirty_subtrees_.clear();
   dirty_overflow_ = false;
+  // Bumping the epoch empties the per-slot pending set in O(1). On the (decades
+  // away at realistic rates) wrap, clear the stamps so stale marks cannot alias
+  // the reused epoch value.
+  if (++dirty_epoch_cur_ == 0) {
+    std::fill(dirty_epoch_.begin(), dirty_epoch_.end(), 0u);
+    dirty_epoch_cur_ = 1;
+  }
   return complete;
+}
+
+bool SchedulingStructure::DrainDispatchDirty(std::vector<NodeId>* out) const {
+  // Legacy consumers cannot scope a sweep to a subtree, so any poison — global or
+  // tenant-local — must read as "log incomplete, do the full sweep".
+  const bool had_subtree_poison = !dirty_subtrees_.empty();
+  return DrainDispatchDirty(out, nullptr) && !had_subtree_poison;
+}
+
+void SchedulingStructure::LeavesUnder(NodeId node, std::vector<NodeId>* out) const {
+  if (node >= hot_.size() || !hot_[node].in_use) {
+    return;
+  }
+  if (hot_[node].is_leaf()) {
+    out->push_back(node);
+    return;
+  }
+  for (NodeId child : cold_[node].children) {
+    LeavesUnder(child, out);
+  }
+}
+
+void SchedulingStructure::SetSubtreeRoot(NodeId node, NodeId subtree_root) {
+  hot_[node].subtree = subtree_root;
+  for (NodeId child : cold_[node].children) {
+    SetSubtreeRoot(child, subtree_root);
+  }
 }
 
 double SchedulingStructure::EffectiveShare(NodeId leaf) const {
@@ -853,7 +910,9 @@ size_t SchedulingStructure::ArenaFootprintBytes() const {
                  free_nodes_.capacity() * sizeof(NodeId) +
                  running_.capacity() * sizeof(RunningEntry) + names_.MemoryBytes() +
                  thread_to_leaf_.MemoryBytes() +
-                 dirty_leaves_.capacity() * sizeof(NodeId);
+                 dirty_leaves_.capacity() * sizeof(NodeId) +
+                 dirty_subtrees_.capacity() * sizeof(NodeId) +
+                 dirty_epoch_.capacity() * sizeof(uint32_t);
   for (NodeId id = 0; id < hot_.size(); ++id) {
     const ColdNode& c = cold_[id];
     bytes += c.children.capacity() * sizeof(NodeId) + c.child_index.MemoryBytes() +
@@ -982,6 +1041,14 @@ Status SchedulingStructure::CheckInvariants() const {
       if (hot_[n.parent].sfq->GetWeight(n.flow_in_parent) != n.weight) {
         return Internal("node " + std::to_string(id) + " weight disagrees with parent SFQ");
       }
+      // Cached top-level subtree root: itself for root children, inherited otherwise.
+      const NodeId expect_subtree =
+          n.parent == kRootNode ? id : hot_[n.parent].subtree;
+      if (n.subtree != expect_subtree) {
+        return Internal("node " + std::to_string(id) + " caches a stale subtree root");
+      }
+    } else if (n.subtree != kRootNode) {
+      return Internal("root caches a non-root subtree root");
     }
     if (n.weight < 1) {
       return Internal("node " + std::to_string(id) + " has zero weight");

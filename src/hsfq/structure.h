@@ -187,27 +187,65 @@ class SchedulingStructure {
   // --- Dispatchability change log (sharded-dispatch reconciliation) ---
   //
   // The structure keeps a bounded log of leaves whose dispatchability MAY have
-  // changed — every SetRun / Sleep / Update / AttachThread / DetachThread appends
+  // changed — every SetRun / Sleep / Update / AttachThread / DetachThread logs
   // the touched leaf. A sharded dispatcher drains it each scheduling round and
   // reconciles only those leaves instead of sweeping every node: the sweep that was
   // O(total leaves) per wakeup becomes O(leaves actually touched), which is what
-  // makes dispatch over 10^5-leaf trees tractable. Structural changes (MakeNode /
-  // RemoveNode / MoveNode / SetNodeWeight) and log overflow poison the log, telling
-  // the caller to fall back to the full sweep — so a consumer that never drains
-  // (single-CPU, non-sharded) pays at most the fixed cap and then nothing.
+  // makes dispatch over 10^5-leaf trees tractable.
+  //
+  // The log is DEDUPED per drain round, keyed by leaf slot: a 10k-thread wakeup
+  // storm concentrated on k leaves appends k entries, not 10k — the per-tick
+  // pending set behind batched wakeups. Dedup keeps the FIRST occurrence of each
+  // leaf, so the drained order equals the order dispatchability changes first
+  // touched each leaf; since reconciliation of one leaf is idempotent within a
+  // round (the tree does not move during a drain), processing the deduped log is
+  // observably identical to processing every duplicate.
+  //
+  // Structural changes (MakeNode / RemoveNode / MoveNode / SetNodeWeight) no longer
+  // poison the whole log: they poison only the TOP-LEVEL SUBTREE (the tenant — the
+  // root child the node lives under), and the drain hands back the poisoned subtree
+  // roots so the consumer can run a subtree-scoped sweep instead of a global one.
+  // Only root-level structural ops and log overflow still force the full sweep — so
+  // a consumer that never drains (single-CPU, non-sharded) pays at most the fixed
+  // cap and then nothing.
 
-  // True when the log holds entries or has been poisoned since the last drain.
+  // True when the log holds entries or poison since the last drain.
   bool DispatchDirtyPending() const {
-    return dirty_overflow_ || !dirty_leaves_.empty();
+    return dirty_overflow_ || !dirty_leaves_.empty() || !dirty_subtrees_.empty();
   }
 
-  // Appends the logged leaves to `out` and clears the log. Returns true when the
-  // log is COMPLETE — every dispatchability change since the last drain is in it;
-  // false when the caller must reconcile with a full sweep (structural change or
-  // overflow). Entries may repeat and may name leaves whose dispatchability did not
-  // actually change; reconciliation is idempotent per leaf. Const: the log is an
-  // observer channel (the dispatcher holds the tree const), not scheduling state.
+  // Appends the deduped logged leaves to `leaves` and the poisoned top-level
+  // subtree roots to `poisoned` (when non-null), then clears the log. Returns true
+  // unless the log was GLOBALLY poisoned (root-level structural change or
+  // overflow), in which case nothing is appended and the caller must reconcile
+  // with a full sweep. A poisoned subtree root may name a node that has since been
+  // removed (or its slot recycled) — consumers must validate liveness and treat a
+  // dead root as "nothing left to sweep" (a removed node had no threads, so its
+  // detach entries already cover it). Entries may name leaves whose dispatchability
+  // did not actually change; reconciliation is idempotent per leaf. Const: the log
+  // is an observer channel (the dispatcher holds the tree const), not scheduling
+  // state.
+  bool DrainDispatchDirty(std::vector<NodeId>* leaves,
+                          std::vector<NodeId>* poisoned) const;
+
+  // Legacy single-vector drain: identical, but reports ANY poison (global or
+  // subtree-scoped) as incomplete, for consumers that cannot scope a sweep.
   bool DrainDispatchDirty(std::vector<NodeId>* out) const;
+
+  // The top-level subtree `node` lives under: the root child on its ancestor path
+  // (itself when node is a root child), kRootNode for the root itself. O(1) — the
+  // arena caches it per node and maintains it across MoveNode.
+  NodeId SubtreeRootOf(NodeId node) const { return hot_[node].subtree; }
+
+  // Appends every live leaf in the subtree rooted at `node` (inclusive) to `out`.
+  // A dead or invalid `node` appends nothing. O(subtree size).
+  void LeavesUnder(NodeId node, std::vector<NodeId>* out) const;
+
+  // Dirty-log telemetry: kernel-hook log calls vs entries actually appended after
+  // dedup. The gap is the wakeup-storm batching win (appends/marks is the dedup
+  // ratio a storm benchmark gates on).
+  uint64_t DirtyMarkCount() const { return dirty_marks_; }
+  uint64_t DirtyAppendCount() const { return dirty_appends_; }
 
   // --- Introspection ---
 
@@ -331,6 +369,11 @@ class SchedulingStructure {
     LeafScheduler* leaf = nullptr;      // owned by ColdNode::leaf
     const NodeId* flow_to_child = nullptr;  // ColdNode::flow_to_child.data()
     Weight weight = 1;
+    // Top-level subtree this node lives under (root child on its path; the node
+    // itself when its parent is the root; kRootNode for the root). Maintained by
+    // MakeNode/MoveNode so structural churn can poison the dirty log per tenant
+    // instead of globally.
+    NodeId subtree = kInvalidNode;
     Work total_service = 0;  // cumulative service charged to this subtree
     // Number of dispatched root->leaf paths passing through this node (0 or 1 on a
     // single CPU; up to ncpus on SMP, where several CPUs can serve one subtree).
@@ -389,22 +432,67 @@ class SchedulingStructure {
   // True if the subtree rooted at `id` holds a runnable thread not already on a CPU.
   bool Dispatchable(NodeId id) const;
 
-  // Logs a leaf whose dispatchability may have changed; past the cap the log is
-  // poisoned instead of grown, so an undrained log costs O(cap) memory total.
+  // Logs a leaf whose dispatchability may have changed. Deduped per drain round
+  // via a per-slot epoch stamp: re-marking a leaf already in the log is a two-load
+  // no-op, so a wakeup storm cycling the same leaves costs one entry per leaf.
+  // Past the cap (distinct leaves, post-dedup) the log is poisoned instead of
+  // grown, so an undrained log costs O(cap) memory total.
   void MarkDirtyLeaf(NodeId leaf) {
+    ++dirty_marks_;
     if (dirty_overflow_) {
       return;
     }
-    if (dirty_leaves_.size() < kDirtyLeafCap) {
+    if (dirty_epoch_[leaf] == dirty_epoch_cur_) {
+      return;  // already logged this round
+    }
+    if (dirty_leaves_.size() < DirtyLeafCap()) {
+      dirty_epoch_[leaf] = dirty_epoch_cur_;
       dirty_leaves_.push_back(leaf);
+      ++dirty_appends_;
     } else {
       dirty_overflow_ = true;
     }
   }
 
-  // Poisons the log: the next drain reports it incomplete (structural changes whose
-  // dispatchability effects are not confined to one known leaf).
+  // Cap on distinct logged leaves per drain round. Adaptive: small trees keep the
+  // tight fixed bound (an undrained log stays O(kDirtyLeafCapMin) forever), while
+  // a million-leaf tree gets storm headroom proportional to its size — a 50k-leaf
+  // synchronized wakeup storm at 10^6 leaves stays incremental instead of
+  // overflowing into a full sweep, at a worst-case log cost of n/16 slot ids.
+  size_t DirtyLeafCap() const {
+    return std::max(kDirtyLeafCapMin, node_count_ / 16);
+  }
+
+  // Poisons one top-level subtree: the next drain reports `subtree_root` so the
+  // consumer can sweep just that tenant. `subtree_root` must already be resolved
+  // via SubtreeRootOf; kRootNode (a root-level structural change) poisons globally.
+  void MarkDirtySubtree(NodeId subtree_root) {
+    if (dirty_overflow_) {
+      return;
+    }
+    if (subtree_root == kRootNode || subtree_root == kInvalidNode) {
+      MarkDirtyAll();
+      return;
+    }
+    for (NodeId s : dirty_subtrees_) {
+      if (s == subtree_root) {
+        return;
+      }
+    }
+    if (dirty_subtrees_.size() < kDirtySubtreeCap) {
+      dirty_subtrees_.push_back(subtree_root);
+    } else {
+      dirty_overflow_ = true;
+    }
+  }
+
+  // Poisons the log globally: the next drain reports it incomplete and the
+  // consumer falls back to the full sweep.
   void MarkDirtyAll() { dirty_overflow_ = true; }
+
+  // Re-stamps the cached top-level subtree root for the whole subtree at `node`
+  // (MoveNode re-parenting).
+  void SetSubtreeRoot(NodeId node, NodeId subtree_root);
 
   // Marks `node` runnable and arrives it in its parent, recursing upward until an
   // already-runnable ancestor (the paper's early-stop).
@@ -441,11 +529,21 @@ class SchedulingStructure {
 
   // Dispatchability change log (see DrainDispatchDirty). The cap bounds what an
   // undrained log can cost; one overflowed round merely costs the consumer a full
-  // sweep, which was the unconditional price before the log existed. Mutable so the
+  // sweep, which was the unconditional price before the log existed. With dedup
+  // the log cannot exceed the live leaf count either way. Mutable so the
   // const-viewing dispatcher can drain it.
-  static constexpr size_t kDirtyLeafCap = 4096;
+  static constexpr size_t kDirtyLeafCapMin = 4096;
+  static constexpr size_t kDirtySubtreeCap = 64;
   mutable std::vector<NodeId> dirty_leaves_;
+  mutable std::vector<NodeId> dirty_subtrees_;  // deduped poisoned tenant roots
   mutable bool dirty_overflow_ = false;
+  // Per-slot dedup stamp: slot is in the log iff dirty_epoch_[slot] equals the
+  // current epoch. Drains bump the epoch (O(1) log reset); FreeNode clears the
+  // slot's stamp so a recycled slot logs afresh. High-water sized like slot_gen_.
+  mutable std::vector<uint32_t> dirty_epoch_;
+  mutable uint32_t dirty_epoch_cur_ = 1;
+  mutable uint64_t dirty_marks_ = 0;    // MarkDirtyLeaf calls (pre-dedup)
+  mutable uint64_t dirty_appends_ = 0;  // entries actually appended (post-dedup)
 };
 
 }  // namespace hsfq

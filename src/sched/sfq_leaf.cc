@@ -4,45 +4,53 @@
 
 namespace hleaf {
 
+hfair::FlowId SfqLeafScheduler::FlowOf(ThreadId thread) const {
+  const hfair::FlowId* flow = tid_to_flow_.Find(thread);
+  assert(flow != nullptr && "thread not in this class");
+  return *flow;
+}
+
 hscommon::Status SfqLeafScheduler::AddThread(ThreadId thread, const ThreadParams& params) {
   if (params.weight < 1) {
     return hscommon::InvalidArgument("thread weight must be >= 1");
   }
-  if (threads_.contains(thread)) {
+  if (tid_to_flow_.Contains(thread)) {
     return hscommon::AlreadyExists("thread already in this class");
   }
   const hfair::FlowId flow = sfq_.AddFlow(params.weight);
-  threads_[thread] =
-      ThreadState{.flow = flow, .base_weight = params.weight, .runnable = false};
-  if (flow_to_thread_.size() <= flow) {
+  if (state_by_flow_.size() <= flow) {
+    state_by_flow_.resize(flow + 1);
     flow_to_thread_.resize(flow + 1, hsfq::kInvalidThread);
   }
+  state_by_flow_[flow] =
+      ThreadState{.base_weight = params.weight, .donated_in = 0, .runnable = false};
   flow_to_thread_[flow] = thread;
+  tid_to_flow_.Insert(thread, flow);
   return hscommon::Status::Ok();
 }
 
 void SfqLeafScheduler::RemoveThread(ThreadId thread) {
   if (thread == charge_memo_tid_) {
     charge_memo_tid_ = hsfq::kInvalidThread;
-    charge_memo_ = nullptr;
+    charge_memo_flow_ = hfair::kInvalidFlow;
   }
-  const auto it = threads_.find(thread);
-  assert(it != threads_.end());
-  assert(!sfq_.IsInService(it->second.flow));
+  const hfair::FlowId flow = FlowOf(thread);
+  assert(!sfq_.IsInService(flow));
   RevokeDonation(thread);
-  assert(it->second.donated_in == 0 && "remove a donation recipient's donors first");
-  if (it->second.runnable) {
-    sfq_.Depart(it->second.flow);
+  assert(state_by_flow_[flow].donated_in == 0 &&
+         "remove a donation recipient's donors first");
+  if (state_by_flow_[flow].runnable) {
+    sfq_.Depart(flow);
   }
-  flow_to_thread_[it->second.flow] = hsfq::kInvalidThread;
-  sfq_.RemoveFlow(it->second.flow);
-  threads_.erase(it);
+  flow_to_thread_[flow] = hsfq::kInvalidThread;
+  sfq_.RemoveFlow(flow);
+  tid_to_flow_.Erase(thread);
 }
 
 hscommon::Status SfqLeafScheduler::SetThreadParams(ThreadId thread,
                                                    const ThreadParams& params) {
-  const auto it = threads_.find(thread);
-  if (it == threads_.end()) {
+  const hfair::FlowId* flow = tid_to_flow_.Find(thread);
+  if (flow == nullptr) {
     return hscommon::NotFound("no such thread in this class");
   }
   if (params.weight < 1) {
@@ -50,23 +58,25 @@ hscommon::Status SfqLeafScheduler::SetThreadParams(ThreadId thread,
   }
   // The weight of a backlogged flow feeds the *next* finish-tag computation; SFQ does not
   // reorder already-stamped start tags (this is what Figure 11 exercises).
-  it->second.base_weight = params.weight;
-  ApplyEffectiveWeight(thread);
+  state_by_flow_[*flow].base_weight = params.weight;
+  ApplyEffectiveWeight(*flow);
   return hscommon::Status::Ok();
 }
 
 void SfqLeafScheduler::ThreadRunnable(ThreadId thread, hscommon::Time now) {
-  auto& state = threads_.at(thread);
-  assert(!state.runnable && !sfq_.IsInService(state.flow));
-  sfq_.Arrive(state.flow, now);
+  const hfair::FlowId flow = FlowOf(thread);
+  ThreadState& state = state_by_flow_[flow];
+  assert(!state.runnable && !sfq_.IsInService(flow));
+  sfq_.Arrive(flow, now);
   state.runnable = true;
 }
 
 void SfqLeafScheduler::ThreadBlocked(ThreadId thread, hscommon::Time now) {
   (void)now;
-  auto& state = threads_.at(thread);
-  assert(state.runnable && !sfq_.IsInService(state.flow));
-  sfq_.Depart(state.flow);
+  const hfair::FlowId flow = FlowOf(thread);
+  ThreadState& state = state_by_flow_[flow];
+  assert(state.runnable && !sfq_.IsInService(flow));
+  sfq_.Depart(flow);
   state.runnable = false;
 }
 
@@ -84,62 +94,63 @@ ThreadId SfqLeafScheduler::PickNext(hscommon::Time now) {
 
 void SfqLeafScheduler::Charge(ThreadId thread, hscommon::Work used, hscommon::Time now,
                               bool still_runnable) {
-  ThreadState* state = charge_memo_;
+  hfair::FlowId flow = charge_memo_flow_;
   if (thread != charge_memo_tid_) {
-    state = &threads_.at(thread);
+    flow = FlowOf(thread);
     charge_memo_tid_ = thread;
-    charge_memo_ = state;
+    charge_memo_flow_ = flow;
   }
-  assert(sfq_.IsInService(state->flow));
-  sfq_.Complete(state->flow, used, now, still_runnable);
-  state->runnable = still_runnable;
+  assert(sfq_.IsInService(flow));
+  sfq_.Complete(flow, used, now, still_runnable);
+  state_by_flow_[flow].runnable = still_runnable;
 }
 
 bool SfqLeafScheduler::HasRunnable() const {
   return sfq_.HasBacklog() || sfq_.InServiceCount() > 0;
 }
 
-void SfqLeafScheduler::ApplyEffectiveWeight(ThreadId thread) {
-  const ThreadState& state = threads_.at(thread);
-  sfq_.SetWeight(state.flow, state.base_weight + state.donated_in);
+void SfqLeafScheduler::ApplyEffectiveWeight(hfair::FlowId flow) {
+  const ThreadState& state = state_by_flow_[flow];
+  sfq_.SetWeight(flow, state.base_weight + state.donated_in);
 }
 
 void SfqLeafScheduler::DonateWeight(ThreadId donor, ThreadId recipient) {
   assert(donor != recipient);
-  assert(!donations_.contains(donor) && "donor already has an outstanding donation");
-  const ThreadState& d = threads_.at(donor);
-  ThreadState& r = threads_.at(recipient);
+  assert(!donations_.Contains(donor) && "donor already has an outstanding donation");
+  const ThreadState& d = state_by_flow_[FlowOf(donor)];
+  const hfair::FlowId recipient_flow = FlowOf(recipient);
+  ThreadState& r = state_by_flow_[recipient_flow];
   r.donated_in += d.base_weight + d.donated_in;  // transitive: pass through chains
-  donations_.emplace(donor, recipient);
-  ApplyEffectiveWeight(recipient);
+  donations_.Insert(donor, recipient);
+  ApplyEffectiveWeight(recipient_flow);
 }
 
 void SfqLeafScheduler::RevokeDonation(ThreadId donor) {
-  const auto it = donations_.find(donor);
-  if (it == donations_.end()) {
+  const ThreadId* recipient = donations_.Find(donor);
+  if (recipient == nullptr) {
     return;
   }
-  const ThreadId recipient = it->second;
-  const ThreadState& d = threads_.at(donor);
-  ThreadState& r = threads_.at(recipient);
+  const ThreadState& d = state_by_flow_[FlowOf(donor)];
+  const hfair::FlowId recipient_flow = FlowOf(*recipient);
+  ThreadState& r = state_by_flow_[recipient_flow];
   const hscommon::Weight amount = d.base_weight + d.donated_in;
   assert(r.donated_in >= amount);
   r.donated_in -= amount;
-  donations_.erase(it);
-  ApplyEffectiveWeight(recipient);
+  donations_.Erase(donor);
+  ApplyEffectiveWeight(recipient_flow);
 }
 
 hscommon::Weight SfqLeafScheduler::EffectiveWeight(ThreadId thread) const {
-  const ThreadState& state = threads_.at(thread);
+  const ThreadState& state = state_by_flow_[FlowOf(thread)];
   return state.base_weight + state.donated_in;
 }
 
 bool SfqLeafScheduler::IsThreadRunnable(ThreadId thread) const {
-  const auto it = threads_.find(thread);
-  if (it == threads_.end()) {
+  const hfair::FlowId* flow = tid_to_flow_.Find(thread);
+  if (flow == nullptr) {
     return false;
   }
-  return it->second.runnable || sfq_.IsInService(it->second.flow);
+  return state_by_flow_[*flow].runnable || sfq_.IsInService(*flow);
 }
 
 }  // namespace hleaf

@@ -6,8 +6,9 @@
 #ifndef HSCHED_SRC_SCHED_SFQ_LEAF_H_
 #define HSCHED_SRC_SCHED_SFQ_LEAF_H_
 
-#include <unordered_map>
+#include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/fair/sfq.h"
 #include "src/hsfq/leaf_scheduler.h"
 
@@ -64,25 +65,32 @@ class SfqLeafScheduler : public hsfq::LeafScheduler {
   const hfair::Sfq& sfq() const { return sfq_; }
 
  private:
+  // Per-thread scheduling state, stored in a FlowId-indexed arena (the inner SFQ's
+  // flow table recycles the lowest free id first, so the arena stays dense and its
+  // high-water capacity tracks peak membership, not churn volume).
   struct ThreadState {
-    hfair::FlowId flow = hfair::kInvalidFlow;
     hscommon::Weight base_weight = 1;
     hscommon::Weight donated_in = 0;  // weight received from blocked donors
     bool runnable = false;
   };
 
-  void ApplyEffectiveWeight(ThreadId thread);
+  // The flow a live thread is scheduled as; asserts membership.
+  hfair::FlowId FlowOf(ThreadId thread) const;
+  void ApplyEffectiveWeight(hfair::FlowId flow);
 
   hfair::Sfq sfq_;  // also tracks which flows are in service (one per serving CPU)
-  std::unordered_map<ThreadId, ThreadState> threads_;
-  // One-entry memo of the last Charge's hash lookup: a leaf serving one thread
+  // Thread index: open-addressing flat map, allocation-free under steady-state
+  // attach/detach churn (the structure's zero-alloc invariant extends into leaves).
+  hscommon::FlatMap<ThreadId, hfair::FlowId, hsfq::kInvalidThread> tid_to_flow_;
+  std::vector<ThreadState> state_by_flow_;  // indexed by FlowId, kInvalidThread-free
+  std::vector<ThreadId> flow_to_thread_;    // indexed by FlowId
+  // One-entry memo of the last Charge's map lookup: a leaf serving one thread
   // charges the same id every slice, so the steady-state dispatch loop skips the
-  // hash entirely. Node-based unordered_map pointers are stable until erase, and
-  // RemoveThread invalidates the memo.
+  // probe entirely. The memo holds a flow INDEX (stable across arena growth, unlike
+  // a pointer); RemoveThread invalidates it.
   ThreadId charge_memo_tid_ = hsfq::kInvalidThread;
-  ThreadState* charge_memo_ = nullptr;
-  std::vector<ThreadId> flow_to_thread_;  // indexed by FlowId
-  std::unordered_map<ThreadId, ThreadId> donations_;  // donor -> recipient
+  hfair::FlowId charge_memo_flow_ = hfair::kInvalidFlow;
+  hscommon::FlatMap<ThreadId, ThreadId, hsfq::kInvalidThread> donations_;  // donor -> recipient
 };
 
 }  // namespace hleaf

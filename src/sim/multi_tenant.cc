@@ -68,9 +68,11 @@ ScenarioSpec MakeMultiTenantScenario(const MultiTenantSpec& spec) {
         const Work max_burst = spec.max_burst;
         const Time min_sleep = spec.min_sleep;
         const Time max_sleep = spec.max_sleep;
-        thread.make_workload = [wl_seed, min_burst, max_burst, min_sleep, max_sleep]() {
+        const Time storm = spec.storm_period;
+        thread.make_workload = [wl_seed, min_burst, max_burst, min_sleep, max_sleep,
+                                storm]() {
           return std::make_unique<BurstyWorkload>(wl_seed, min_burst, max_burst,
-                                                  min_sleep, max_sleep);
+                                                  min_sleep, max_sleep, storm);
         };
         out.threads.push_back(std::move(thread));
       }

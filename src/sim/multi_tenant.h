@@ -53,6 +53,15 @@ struct MultiTenantSpec {
   // start with every user arriving in the same instant.
   Time start_window = 10 * hscommon::kMillisecond;
 
+  // When non-zero, every sleep's wake time is rounded UP to the next multiple of
+  // this period: the whole population's wakeups coalesce into synchronized storms
+  // (the tick-aligned timer-wheel shape of production kernels). This is the
+  // adversarial load for batched wakeups — thousands of SetRun calls landing in
+  // one scheduling round — and what the storm cells of the scale drive use. Zero
+  // keeps wakeups spread (sleep durations are unchanged either way in
+  // distribution; alignment only delays each wake to the next boundary).
+  Time storm_period = 0;
+
   // Natural run length recorded into the spec.
   Time horizon = 200 * hscommon::kMillisecond;
 };

@@ -281,33 +281,53 @@ void ShardSet::OnCharged(NodeId leaf, hscommon::Work used, bool still_dispatchab
   }
 }
 
+void ShardSet::FixupLeaf(NodeId leaf) {
+  LeafState& s = EnsureState(leaf);
+  const bool dispatchable = tree_->LeafDispatchable(leaf);
+  if (dispatchable && !s.queued) {
+    Enqueue(leaf);
+  } else if (!dispatchable && s.queued) {
+    s.queued = false;  // lazy invalidation: the heap entry dies at the next clean
+    ++s.seq;
+  }
+}
+
 void ShardSet::Reconcile() {
   if (tree_->StateGeneration() == synced_gen_ && !tree_->DispatchDirtyPending()) {
     return;  // nothing moved since the last round
   }
+  ++reconcile_rounds_;
   dirty_scratch_.clear();
-  if (!tree_->DrainDispatchDirty(&dirty_scratch_)) {
-    Resync();  // structural change or log overflow: the log is not a complete account
+  poison_scratch_.clear();
+  if (!tree_->DrainDispatchDirty(&dirty_scratch_, &poison_scratch_)) {
+    Resync();  // root-level structural change or log overflow: nothing is scoped
     return;
   }
-  // The log names every leaf whose dispatchability may have changed (repeats allowed,
-  // false alarms allowed), so fixing up exactly these leaves re-establishes the full
-  // sweep's postcondition: queued <=> dispatchable for every leaf not held by a CPU.
-  // That postcondition is what lets EntryLive trust (queued, seq) alone below.
+  // The log names every leaf whose dispatchability may have changed (deduped — one
+  // entry per distinct leaf, first-occurrence order — false alarms allowed), so
+  // fixing up exactly these leaves re-establishes the full sweep's postcondition:
+  // queued <=> dispatchable for every leaf not held by a CPU. That postcondition is
+  // what lets EntryLive trust (queued, seq) alone below. Entries go first, in log
+  // order: they cover every REAL dispatchability change even inside poisoned
+  // subtrees, so first-contact home assignment sees the same arrival order the
+  // kernel hooks produced.
   for (NodeId leaf : dirty_scratch_) {
-    LeafState& s = EnsureState(leaf);
-    const bool dispatchable = tree_->LeafDispatchable(leaf);
-    if (dispatchable && !s.queued) {
-      Enqueue(leaf);
-    } else if (!dispatchable && s.queued) {
-      s.queued = false;  // lazy invalidation: the heap entry dies at the next clean
-      ++s.seq;
-    }
+    FixupLeaf(leaf);
+  }
+  entries_processed_ += dirty_scratch_.size();
+  // Structural churn arrives as poisoned top-level subtree roots: sweep just those
+  // tenants. Mostly a no-op pass (structural ops do not flip live leaves'
+  // dispatchability) — defensive coverage whose cost is confined to the tenant that
+  // churned, which is the isolation property the per-subtree log exists to provide.
+  for (NodeId sub : poison_scratch_) {
+    ResyncSubtree(sub);
   }
   synced_gen_ = tree_->StateGeneration();
 }
 
 void ShardSet::Resync() {
+  ++full_resyncs_;
+  swept_leaves_ += states_.size();
   for (size_t id = 0; id < states_.size(); ++id) {
     LeafState& s = states_[id];
     if (s.queued && !tree_->LeafDispatchable(static_cast<NodeId>(id))) {
@@ -322,6 +342,16 @@ void ShardSet::Resync() {
     }
   }
   synced_gen_ = tree_->StateGeneration();
+}
+
+void ShardSet::ResyncSubtree(NodeId subtree_root) {
+  ++subtree_resyncs_;
+  subtree_scratch_.clear();
+  tree_->LeavesUnder(subtree_root, &subtree_scratch_);  // dead root: empty, done
+  swept_leaves_ += subtree_scratch_.size();
+  for (NodeId leaf : subtree_scratch_) {
+    FixupLeaf(leaf);
+  }
 }
 
 std::vector<ShardSet::Migration> ShardSet::Rebalance() {
@@ -404,6 +434,16 @@ size_t ShardSet::QueuedOn(int cpu) const {
     }
   }
   return n;
+}
+
+std::vector<hsfq::NodeId> ShardSet::QueuedLeaves() const {
+  std::vector<hsfq::NodeId> out;
+  for (size_t id = 0; id < states_.size(); ++id) {
+    if (states_[id].queued) {
+      out.push_back(static_cast<NodeId>(id));
+    }
+  }
+  return out;
 }
 
 }  // namespace hsim

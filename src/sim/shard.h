@@ -99,16 +99,26 @@ class ShardSet {
   void OnCharged(hsfq::NodeId leaf, hscommon::Work used, bool still_dispatchable);
 
   // Reconciles the shards with the tree after wakeups, sleeps, or structural changes.
-  // Drains the tree's dispatchability change log and fixes up only the touched leaves
-  // — O(leaves touched since the last round), the fast path that keeps 10^5-leaf
-  // dispatch from paying a full sweep per wakeup. Falls back to Resync() when the log
-  // is incomplete (structural change or overflow). O(1) when nothing changed; call it
-  // every scheduling round.
+  // Drains the tree's dispatchability change log — deduped per leaf, so a wakeup
+  // storm cycling the same leaves costs one fix-up per leaf — and fixes up only the
+  // touched leaves: O(distinct leaves touched since the last round), the batched
+  // flush that keeps million-leaf dispatch from paying a full sweep per wakeup.
+  // Structural churn arrives as poisoned TOP-LEVEL subtree roots and triggers a
+  // subtree-scoped sweep (ResyncSubtree) of just that tenant; only a root-level
+  // structural change or log overflow falls back to the global Resync(). O(1) when
+  // nothing changed; call it once per scheduling round, before filling CPUs.
   void Reconcile();
 
   // Full reconciliation sweep: queues every dispatchable leaf, invalidates entries of
   // leaves that are no longer dispatchable. O(nodes) — Reconcile's fallback.
   void Resync();
+
+  // Subtree-scoped sweep: same fix-up, restricted to the live leaves under
+  // `subtree_root`. O(subtree size). A dead or recycled root sweeps whatever now
+  // lives at that slot (or nothing) — safe either way, because the change log's
+  // per-leaf entries already cover every real dispatchability change; the sweep is
+  // defensive coverage for structural churn inside one tenant.
+  void ResyncSubtree(hsfq::NodeId subtree_root);
 
   // Re-partitions the active leaves across shards balancing summed EffectiveShare
   // (largest first, ties and equal loads keep the current home). Returns the home
@@ -123,6 +133,20 @@ class ShardSet {
 
   // Live queued leaves currently homed on `cpu` (O(states), test-only).
   size_t QueuedOn(int cpu) const;
+
+  // Ids of all queued leaves, ascending (O(states), test-only): the shard-state
+  // fingerprint the batched ≡ unbatched ≡ Resync equivalence tests compare.
+  std::vector<hsfq::NodeId> QueuedLeaves() const;
+
+  // Reconciliation telemetry: rounds that did any work, change-log entries fixed
+  // up, global sweeps, subtree-scoped sweeps, and total leaves visited by sweeps.
+  // The poison-boundary tests pin full_resyncs() while another tenant churns; the
+  // wakeup-storm bench reports entries/sweeps per storm.
+  uint64_t reconcile_rounds() const { return reconcile_rounds_; }
+  uint64_t entries_processed() const { return entries_processed_; }
+  uint64_t full_resyncs() const { return full_resyncs_; }
+  uint64_t subtree_resyncs() const { return subtree_resyncs_; }
+  uint64_t swept_leaves() const { return swept_leaves_; }
 
   // The global per-weight virtual clock (ns).
   double virtual_time() const { return vtime_; }
@@ -146,6 +170,9 @@ class ShardSet {
 
   LeafState& EnsureState(hsfq::NodeId leaf);
   void EnsureShare(hsfq::NodeId leaf, LeafState& s);
+  // One leaf's reconciliation step: enqueue if dispatchable and unqueued,
+  // invalidate its entry if queued and no longer dispatchable. Idempotent.
+  void FixupLeaf(hsfq::NodeId leaf);
   bool EntryLive(const HeapEntry& e) const;
   void CleanTop(int cpu);
   void PopTop(int cpu);
@@ -173,6 +200,13 @@ class ShardSet {
   uint64_t synced_gen_ = 0;
   std::vector<LeafState> states_;    // indexed by NodeId
   std::vector<hsfq::NodeId> dirty_scratch_;  // Reconcile's drain buffer (reused)
+  std::vector<hsfq::NodeId> poison_scratch_;   // drained poisoned subtree roots
+  std::vector<hsfq::NodeId> subtree_scratch_;  // ResyncSubtree's leaf list (reused)
+  uint64_t reconcile_rounds_ = 0;   // Reconcile calls that did any work
+  uint64_t entries_processed_ = 0;  // change-log entries fixed up
+  uint64_t full_resyncs_ = 0;       // global sweeps (Resync)
+  uint64_t subtree_resyncs_ = 0;    // tenant-scoped sweeps (ResyncSubtree)
+  uint64_t swept_leaves_ = 0;       // leaves visited by either sweep kind
   std::vector<std::vector<HeapEntry>> heaps_;  // 4-ary min-heap per CPU
   // Raw front key of each shard heap (+inf when empty), maintained on every heap
   // mutation. Keys only grow, so a raw front — even when the entry is stale — is a

@@ -897,6 +897,22 @@ hscommon::Status System::WriteStatsJson(const std::string& path) const {
   std::fprintf(f, "  \"cross_class_blocks\": %llu,\n",
                static_cast<unsigned long long>(cross_class_blocks_));
 
+  if (shards_ != nullptr) {
+    // Sharded-dispatch reconciliation telemetry: how much of the round-by-round
+    // shard upkeep ran incrementally (change-log entries) vs as sweeps, and how
+    // scoped those sweeps stayed (subtree vs global). The scale drives gate on
+    // these staying sweep-light under wakeup storms.
+    std::fprintf(f,
+                 "  \"shards\": {\"reconcile_rounds\": %llu, \"entries_processed\": "
+                 "%llu, \"full_resyncs\": %llu, \"subtree_resyncs\": %llu, "
+                 "\"swept_leaves\": %llu},\n",
+                 static_cast<unsigned long long>(shards_->reconcile_rounds()),
+                 static_cast<unsigned long long>(shards_->entries_processed()),
+                 static_cast<unsigned long long>(shards_->full_resyncs()),
+                 static_cast<unsigned long long>(shards_->subtree_resyncs()),
+                 static_cast<unsigned long long>(shards_->swept_leaves()));
+  }
+
   std::fputs("  \"cpus\": [\n", f);
   for (size_t i = 0; i < cpus_.size(); ++i) {
     std::fprintf(f, "    {\"id\": %zu, \"steals\": %llu, \"migrations\": %llu}%s\n", i,

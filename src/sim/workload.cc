@@ -86,7 +86,13 @@ WorkloadAction InteractiveWorkload::NextAction(Time now) {
 WorkloadAction BurstyWorkload::NextAction(Time now) {
   if (computing_) {
     computing_ = false;
-    return WorkloadAction::SleepUntil(now + prng_.UniformInt(min_sleep_, max_sleep_));
+    Time until = now + prng_.UniformInt(min_sleep_, max_sleep_);
+    if (storm_period_ > 0) {
+      // Snap the wake to the next storm boundary at or after it (never earlier,
+      // so the drawn sleep is a lower bound and a wake cannot land in the past).
+      until = (until + storm_period_ - 1) / storm_period_ * storm_period_;
+    }
+    return WorkloadAction::SleepUntil(until);
   }
   computing_ = true;
   return WorkloadAction::Compute(std::max<Work>(1, prng_.UniformInt(min_burst_, max_burst_)));

@@ -175,15 +175,22 @@ class InteractiveWorkload : public Workload {
 
 // On/off load: uniform-random compute burst, then uniform-random sleep. Models the
 // fluctuating background usage of the SVR4 node in Figure 8(a).
+//
+// A non-zero `storm_period` rounds every wake time UP to the next multiple of the
+// period, so a population of these threads wakes in synchronized storms (the
+// timer-wheel alignment of production kernels) — the stress shape for batched
+// wakeup handling. The drawn sleep duration is unchanged; only the wake instant
+// snaps to the boundary at or after it.
 class BurstyWorkload : public Workload {
  public:
   BurstyWorkload(uint64_t seed, Work min_burst, Work max_burst, Time min_sleep,
-                 Time max_sleep)
+                 Time max_sleep, Time storm_period = 0)
       : prng_(seed),
         min_burst_(min_burst),
         max_burst_(max_burst),
         min_sleep_(min_sleep),
-        max_sleep_(max_sleep) {}
+        max_sleep_(max_sleep),
+        storm_period_(storm_period) {}
 
   WorkloadAction NextAction(Time now) override;
 
@@ -193,6 +200,7 @@ class BurstyWorkload : public Workload {
   Work max_burst_;
   Time min_sleep_;
   Time max_sleep_;
+  Time storm_period_;
   bool computing_ = false;
 };
 

@@ -29,11 +29,12 @@ std::unique_ptr<hsfq::LeafScheduler> Leaf() {
   return std::make_unique<hleaf::SfqLeafScheduler>();
 }
 
-TEST(DirtyLogTest, StructuralOpsPoisonTheLog) {
+TEST(DirtyLogTest, StructuralOpsPoisonTheirSubtree) {
   SchedulingStructure tree;
   const NodeId leaf = *tree.MakeNode("a", kRootNode, 1, Leaf());
 
-  // MakeNode is structural: the log must refuse to claim completeness.
+  // MakeNode is structural: the legacy single-vector drain must refuse to claim
+  // completeness, while the scoped drain names the poisoned top-level subtree.
   std::vector<NodeId> drained;
   EXPECT_TRUE(tree.DispatchDirtyPending());
   EXPECT_FALSE(tree.DrainDispatchDirty(&drained));
@@ -46,26 +47,115 @@ TEST(DirtyLogTest, StructuralOpsPoisonTheLog) {
   EXPECT_TRUE(tree.DrainDispatchDirty(&drained));
   EXPECT_NE(std::find(drained.begin(), drained.end(), leaf), drained.end());
 
-  // Weight changes are structural again (they shift EffectiveShare everywhere).
+  // Weight changes are structural again: poison scoped to the node's own
+  // top-level subtree (here the root-child leaf itself).
   ASSERT_TRUE(tree.SetNodeWeight(leaf, 3).ok());
+  drained.clear();
+  std::vector<NodeId> poisoned;
+  EXPECT_TRUE(tree.DrainDispatchDirty(&drained, &poisoned))
+      << "tenant-scoped poison must not read as global";
+  ASSERT_EQ(poisoned.size(), 1u);
+  EXPECT_EQ(poisoned[0], leaf);
+
+  // The same op through the legacy drain reads as incomplete — consumers that
+  // cannot scope a sweep must still fall back to the full one.
+  ASSERT_TRUE(tree.SetNodeWeight(leaf, 2).ok());
   drained.clear();
   EXPECT_FALSE(tree.DrainDispatchDirty(&drained));
 }
 
-TEST(DirtyLogTest, OverflowReportsIncomplete) {
+TEST(DirtyLogTest, SubtreePoisonIsScopedAndDeduped) {
+  SchedulingStructure tree;
+  const NodeId ta = *tree.MakeNode("ta", kRootNode, 1, nullptr);
+  const NodeId tb = *tree.MakeNode("tb", kRootNode, 1, nullptr);
+  std::vector<NodeId> drained;
+  std::vector<NodeId> poisoned;
+  tree.DrainDispatchDirty(&drained, &poisoned);  // discard the build-up poison
+
+  // Repeated structural churn inside tenant A poisons exactly tenant A, once.
+  const NodeId a1 = *tree.MakeNode("a1", ta, 1, Leaf());
+  const NodeId a2 = *tree.MakeNode("a2", ta, 2, Leaf());
+  ASSERT_TRUE(tree.SetNodeWeight(a1, 3).ok());
+  ASSERT_TRUE(tree.RemoveNode(a2).ok());
+  EXPECT_EQ(tree.SubtreeRootOf(a1), ta);
+  drained.clear();
+  poisoned.clear();
+  EXPECT_TRUE(tree.DrainDispatchDirty(&drained, &poisoned));
+  ASSERT_EQ(poisoned.size(), 1u);
+  EXPECT_EQ(poisoned[0], ta);
+
+  // A root-level structural op cannot be scoped: global poison.
+  ASSERT_TRUE(tree.SetNodeWeight(kRootNode, 2).ok());
+  drained.clear();
+  poisoned.clear();
+  EXPECT_FALSE(tree.DrainDispatchDirty(&drained, &poisoned));
+  EXPECT_TRUE(poisoned.empty());
+
+  // MoveNode poisons both the source and the destination tenant.
+  const NodeId b1 = *tree.MakeNode("b1", tb, 1, nullptr);
+  drained.clear();
+  poisoned.clear();
+  tree.DrainDispatchDirty(&drained, &poisoned);
+  ASSERT_TRUE(tree.MoveNode(a1, b1, 0).ok());
+  EXPECT_EQ(tree.SubtreeRootOf(a1), tb);
+  drained.clear();
+  poisoned.clear();
+  EXPECT_TRUE(tree.DrainDispatchDirty(&drained, &poisoned));
+  std::sort(poisoned.begin(), poisoned.end());
+  EXPECT_EQ(poisoned, (std::vector<NodeId>{ta, tb}));
+}
+
+TEST(DirtyLogTest, WakeupStormDedupesToOneEntryPerLeaf) {
+  // The batched-wakeup contract: cycling the same leaf through SetRun/Sleep any
+  // number of times between drains appends ONE log entry, so a wakeup storm costs
+  // the consumer one fix-up per distinct leaf instead of one per kernel hook.
   SchedulingStructure tree;
   const NodeId leaf = *tree.MakeNode("a", kRootNode, 1, Leaf());
   ASSERT_TRUE(tree.AttachThread(1, leaf, {.weight = 1}).ok());
   std::vector<NodeId> drained;
   tree.DrainDispatchDirty(&drained);
 
-  // Far more logged ops than the cap: the log must poison itself rather than grow
-  // without bound, and the drain must say so.
+  const uint64_t appends_before = tree.DirtyAppendCount();
   hscommon::Time now = 0;
   for (int i = 0; i < 5000; ++i) {
     tree.SetRun(1, now);
     tree.Sleep(1, now);
     now += kMillisecond;
+  }
+  EXPECT_EQ(tree.DirtyAppendCount() - appends_before, 1u);
+  drained.clear();
+  EXPECT_TRUE(tree.DrainDispatchDirty(&drained))
+      << "a deduped storm on one leaf must not overflow the log";
+  EXPECT_EQ(drained, std::vector<NodeId>{leaf});
+
+  // The next round logs the leaf afresh: dedup is per drain epoch, not forever.
+  tree.SetRun(1, now);
+  drained.clear();
+  EXPECT_TRUE(tree.DrainDispatchDirty(&drained));
+  EXPECT_EQ(drained, std::vector<NodeId>{leaf});
+}
+
+TEST(DirtyLogTest, OverflowReportsIncomplete) {
+  // Dedup bounds the log by DISTINCT dirty leaves, so overflow now takes more
+  // distinct leaves than the cap between drains. Build past the cap and flip every
+  // leaf: the log must poison itself rather than grow without bound.
+  SchedulingStructure tree;
+  constexpr size_t kLeaves = 5000;  // > the small-tree cap (4096 distinct leaves)
+  std::vector<NodeId> leaves;
+  leaves.reserve(kLeaves);
+  for (size_t i = 0; i < kLeaves; ++i) {
+    leaves.push_back(*tree.MakeNode("l" + std::to_string(i), kRootNode, 1, Leaf()));
+  }
+  for (size_t i = 0; i < kLeaves; ++i) {
+    ASSERT_TRUE(
+        tree.AttachThread(static_cast<ThreadId>(i + 1), leaves[i], {.weight = 1}).ok());
+  }
+  std::vector<NodeId> drained;
+  tree.DrainDispatchDirty(&drained);
+
+  hscommon::Time now = 0;
+  for (size_t i = 0; i < kLeaves; ++i) {
+    tree.SetRun(static_cast<ThreadId>(i + 1), now);
   }
   drained.clear();
   EXPECT_FALSE(tree.DrainDispatchDirty(&drained));

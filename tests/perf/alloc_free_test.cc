@@ -14,7 +14,6 @@
 #include <new>
 #include <vector>
 
-#include "src/common/flat_map.h"
 #include "src/fair/make.h"
 #include "src/hsfq/structure.h"
 #include "src/rt/edf.h"
@@ -205,44 +204,17 @@ TEST(AllocFreeTest, PathParseIsAllocationFree) {
   EXPECT_EQ(allocs, 0u);
 }
 
-// Minimal allocation-free leaf scheduler: a fixed-capacity membership set with no
-// dispatch behavior. Isolates the STRUCTURE's attach/detach cost (flat-map thread
-// index, per-leaf counters, dirty log) from whatever a real class scheduler allocates
-// per thread internally.
-class NullLeafScheduler final : public hsfq::LeafScheduler {
- public:
-  NullLeafScheduler() { members_.Reserve(1024); }
-  hscommon::Status AddThread(hsfq::ThreadId t, const hsfq::ThreadParams&) override {
-    members_.Insert(t, true);
-    return hscommon::Status::Ok();
-  }
-  void RemoveThread(hsfq::ThreadId t) override { members_.Erase(t); }
-  hscommon::Status SetThreadParams(hsfq::ThreadId,
-                                   const hsfq::ThreadParams&) override {
-    return hscommon::Status::Ok();
-  }
-  void ThreadRunnable(hsfq::ThreadId, hscommon::Time) override {}
-  void ThreadBlocked(hsfq::ThreadId, hscommon::Time) override {}
-  hsfq::ThreadId PickNext(hscommon::Time) override { return hsfq::kInvalidThread; }
-  void Charge(hsfq::ThreadId, hscommon::Work, hscommon::Time, bool) override {}
-  bool HasRunnable() const override { return false; }
-  bool IsThreadRunnable(hsfq::ThreadId) const override { return false; }
-  std::string Name() const override { return "null"; }
-
- private:
-  hscommon::FlatMap<hsfq::ThreadId, bool, hsfq::kInvalidThread> members_;
-};
-
 TEST(AllocFreeTest, AttachDetachChurnIsAllocationFree) {
-  // Thread membership churn at a stable population: the structure's flat-map thread
-  // index, per-leaf counters, and dispatchability log must all sit at their
-  // high-water marks after warmup — a detach/attach cycle may not allocate. The null
-  // leaf scheduler keeps class-internal storage out of the measurement.
+  // Thread membership churn at a stable population, measured END TO END through a
+  // real class scheduler: the structure's flat-map thread index, per-leaf counters,
+  // and dispatchability log, plus the SFQ leaf's own flow-indexed thread arena, must
+  // all sit at their high-water marks after warmup — a detach/attach cycle may not
+  // allocate anywhere in the stack.
   hsfq::SchedulingStructure tree;
   std::vector<hsfq::NodeId> leaves;
   for (int l = 0; l < 8; ++l) {
     leaves.push_back(*tree.MakeNode("class" + std::to_string(l), hsfq::kRootNode, 1,
-                                    std::make_unique<NullLeafScheduler>()));
+                                    std::make_unique<hleaf::SfqLeafScheduler>()));
   }
   constexpr hsfq::ThreadId kThreads = 256;
   for (hsfq::ThreadId t = 1; t <= kThreads; ++t) {

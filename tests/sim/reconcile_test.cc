@@ -82,6 +82,174 @@ TEST(ReconcileTest, TracksFullSweepAcrossChurn) {
   }
 }
 
+// Drives a seeded random op mix — wakeup/sleep toggles, thread attach/detach, leaf
+// create/remove, cross-tenant node moves, weight changes — against one tree. Every
+// decision derives from the PRNG and from state that evolves identically for equal
+// seeds, so two drivers with the same seed perform byte-identical op sequences and
+// their trees (including allocated NodeIds) stay in lockstep. That is the basis for
+// comparing a shard set that reconciles once per BATCH against one that reconciles
+// after every op: same tree evolution, different flush cadence.
+class RandomOpDriver {
+ public:
+  RandomOpDriver(uint64_t seed, SchedulingStructure* tree) : rng_(seed), tree_(tree) {
+    for (int t = 0; t < 3; ++t) {
+      tenants_.push_back(*tree_->MakeNode("t" + std::to_string(t), kRootNode,
+                                          1 + static_cast<hscommon::Weight>(t),
+                                          nullptr));
+      for (int l = 0; l < 3; ++l) {
+        AddLeaf(static_cast<size_t>(t));
+      }
+    }
+    for (int i = 0; i < 6; ++i) {
+      AddThread();
+    }
+  }
+
+  void Step(hscommon::Time now) {
+    const uint64_t r = rng_.UniformU64(100);
+    if (r < 60) {
+      ToggleThread(now);
+    } else if (r < 72) {
+      AddThread();
+    } else if (r < 80) {
+      RemoveThread();
+    } else if (r < 86) {
+      AddLeaf(rng_.UniformU64(tenants_.size()));
+    } else if (r < 92) {
+      MoveLeaf(now);
+    } else if (r < 97) {
+      Reweight();
+    } else {
+      RemoveEmptyLeaf();
+    }
+  }
+
+ private:
+  void AddLeaf(size_t tenant) {
+    leaves_.push_back(*tree_->MakeNode(
+        "x" + std::to_string(next_name_++), tenants_[tenant],
+        1 + static_cast<hscommon::Weight>(rng_.UniformU64(3)),
+        std::make_unique<hleaf::SfqLeafScheduler>()));
+  }
+
+  void AddThread() {
+    const NodeId leaf = leaves_[rng_.UniformU64(leaves_.size())];
+    const ThreadId tid = next_tid_++;
+    ASSERT_TRUE(tree_->AttachThread(tid, leaf, {.weight = 1}).ok());
+    threads_.push_back(tid);
+    thread_leaf_.push_back(leaf);
+    runnable_.push_back(false);
+  }
+
+  void ToggleThread(hscommon::Time now) {
+    if (threads_.empty()) {
+      return;
+    }
+    const size_t i = rng_.UniformU64(threads_.size());
+    if (runnable_[i]) {
+      tree_->Sleep(threads_[i], now);
+    } else {
+      tree_->SetRun(threads_[i], now);
+    }
+    runnable_[i] = !runnable_[i];
+  }
+
+  void RemoveThread() {
+    if (threads_.size() <= 2) {
+      return;
+    }
+    const size_t i = rng_.UniformU64(threads_.size());
+    ASSERT_TRUE(tree_->DetachThread(threads_[i]).ok());
+    threads_[i] = threads_.back();
+    thread_leaf_[i] = thread_leaf_.back();
+    runnable_[i] = runnable_.back();
+    threads_.pop_back();
+    thread_leaf_.pop_back();
+    runnable_.pop_back();
+  }
+
+  void MoveLeaf(hscommon::Time now) {
+    const NodeId leaf = leaves_[rng_.UniformU64(leaves_.size())];
+    const NodeId to = tenants_[rng_.UniformU64(tenants_.size())];
+    // A move to the current parent fails; both trees fail identically, so the
+    // status is irrelevant to lockstep.
+    (void)tree_->MoveNode(leaf, to, now);
+  }
+
+  void Reweight() {
+    const NodeId node = rng_.Bernoulli(0.5)
+                            ? tenants_[rng_.UniformU64(tenants_.size())]
+                            : leaves_[rng_.UniformU64(leaves_.size())];
+    ASSERT_TRUE(
+        tree_->SetNodeWeight(node, 1 + static_cast<hscommon::Weight>(rng_.UniformU64(4)))
+            .ok());
+  }
+
+  void RemoveEmptyLeaf() {
+    if (leaves_.size() <= 4) {
+      return;
+    }
+    const size_t i = rng_.UniformU64(leaves_.size());
+    const NodeId leaf = leaves_[i];
+    for (const NodeId home : thread_leaf_) {
+      if (home == leaf) {
+        return;  // occupied; skip (identically on both trees)
+      }
+    }
+    ASSERT_TRUE(tree_->RemoveNode(leaf).ok());
+    leaves_[i] = leaves_.back();
+    leaves_.pop_back();
+  }
+
+  hscommon::Prng rng_;
+  SchedulingStructure* tree_;
+  std::vector<NodeId> tenants_;
+  std::vector<NodeId> leaves_;
+  std::vector<ThreadId> threads_;
+  std::vector<NodeId> thread_leaf_;  // leaf each live thread is attached to
+  std::vector<bool> runnable_;
+  ThreadId next_tid_ = 1;
+  uint64_t next_name_ = 0;
+};
+
+TEST(ReconcileTest, BatchedMatchesStepwiseAndResyncOracleAcrossSeeds) {
+  // The batching determinism contract, checked as a property: flushing a whole
+  // batch of ops through ONE deduped Reconcile must land the shards on the same
+  // queued-leaf set as reconciling after EVERY op, and both must equal what a
+  // from-scratch full sweep of the final tree computes. Homes may differ between
+  // the cadences (first-contact assignment sees different orders) — the queued SET
+  // is the state the dispatch loop's correctness rests on.
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    SchedulingStructure batched_tree;
+    SchedulingStructure stepwise_tree;
+    RandomOpDriver batched_ops(seed, &batched_tree);
+    RandomOpDriver stepwise_ops(seed, &stepwise_tree);
+    ShardSet batched(&batched_tree, kCpus, 2 * kMillisecond);
+    ShardSet stepwise(&stepwise_tree, kCpus, 2 * kMillisecond);
+    batched.Reconcile();
+    stepwise.Reconcile();
+
+    hscommon::Time now = 0;
+    for (int batch = 0; batch < 6; ++batch) {
+      for (int op = 0; op < 10; ++op) {
+        now += kMillisecond;
+        batched_ops.Step(now);
+        stepwise_ops.Step(now);
+        stepwise.Reconcile();
+      }
+      batched.Reconcile();
+
+      const std::vector<NodeId> queued = batched.QueuedLeaves();
+      ASSERT_EQ(queued, stepwise.QueuedLeaves())
+          << "batched vs stepwise diverged, seed " << seed << " batch " << batch;
+      ShardSet oracle(&batched_tree, kCpus, 2 * kMillisecond);
+      oracle.Resync();
+      ASSERT_EQ(queued, oracle.QueuedLeaves())
+          << "batched vs fresh Resync diverged, seed " << seed << " batch " << batch;
+    }
+  }
+}
+
 TEST(ReconcileTest, NoOpWhenNothingChanged) {
   SchedulingStructure tree;
   const NodeId leaf = *tree.MakeNode("a", kRootNode, 1,

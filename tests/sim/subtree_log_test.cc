@@ -1,0 +1,128 @@
+// Per-subtree change-log poisoning boundary: one tenant's structural churn must cost
+// a sweep of THAT tenant's subtree only. The global Resync fallback is reserved for
+// root-level structural changes (and log overflow); a neighbor tenant's leaves are
+// never visited when an unrelated tenant reshapes itself — the isolation property
+// that keeps a noisy tenant from imposing O(total leaves) reconciliation on everyone.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hsfq/structure.h"
+#include "src/sched/sfq_leaf.h"
+#include "src/sim/shard.h"
+
+namespace hsim {
+namespace {
+
+using hscommon::kMillisecond;
+using hsfq::kRootNode;
+using hsfq::NodeId;
+using hsfq::SchedulingStructure;
+using hsfq::ThreadId;
+
+constexpr int kCpus = 4;
+
+// Two top-level tenants with runnable threads on every leaf, reconciled once so the
+// startup churn is fully flushed before the test's measured ops.
+class SubtreeLogTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kLeavesA = 5;
+  static constexpr size_t kLeavesB = 9;
+
+  void SetUp() override {
+    tenant_a_ = *tree_.MakeNode("ta", kRootNode, 1, nullptr);
+    tenant_b_ = *tree_.MakeNode("tb", kRootNode, 2, nullptr);
+    ThreadId tid = 1;
+    for (size_t i = 0; i < kLeavesA; ++i) {
+      leaves_a_.push_back(MakeLeaf(tenant_a_, "a" + std::to_string(i)));
+      AddRunnableThread(leaves_a_[i], tid++);
+    }
+    for (size_t i = 0; i < kLeavesB; ++i) {
+      leaves_b_.push_back(MakeLeaf(tenant_b_, "b" + std::to_string(i)));
+      AddRunnableThread(leaves_b_[i], tid++);
+    }
+    shards_ = std::make_unique<ShardSet>(&tree_, kCpus, 2 * kMillisecond);
+    shards_->Reconcile();
+    ASSERT_EQ(shards_->QueuedLeaves().size(), kLeavesA + kLeavesB);
+  }
+
+  NodeId MakeLeaf(NodeId parent, const std::string& name) {
+    return *tree_.MakeNode(name, parent, 1,
+                           std::make_unique<hleaf::SfqLeafScheduler>());
+  }
+
+  void AddRunnableThread(NodeId leaf, ThreadId tid) {
+    ASSERT_TRUE(tree_.AttachThread(tid, leaf, {.weight = 1}).ok());
+    tree_.SetRun(tid, 0);
+  }
+
+  SchedulingStructure tree_;
+  NodeId tenant_a_ = hsfq::kInvalidNode;
+  NodeId tenant_b_ = hsfq::kInvalidNode;
+  std::vector<NodeId> leaves_a_;
+  std::vector<NodeId> leaves_b_;
+  std::unique_ptr<ShardSet> shards_;
+};
+
+TEST_F(SubtreeLogTest, TenantChurnSweepsOnlyItsOwnSubtree) {
+  const uint64_t full0 = shards_->full_resyncs();
+  const uint64_t sub0 = shards_->subtree_resyncs();
+  const uint64_t swept0 = shards_->swept_leaves();
+
+  // Tenant A reshapes itself: a new session leaf appears. Tenant B must not pay.
+  const NodeId extra = MakeLeaf(tenant_a_, "a-extra");
+  shards_->Reconcile();
+
+  EXPECT_EQ(shards_->full_resyncs(), full0) << "tenant churn forced a GLOBAL sweep";
+  EXPECT_EQ(shards_->subtree_resyncs(), sub0 + 1);
+  // The sweep visited exactly tenant A's live leaves (the original ones plus the
+  // new, still-threadless one) — none of tenant B's.
+  EXPECT_EQ(shards_->swept_leaves() - swept0, kLeavesA + 1);
+
+  // And the shard state is still exact: everything dispatchable is queued.
+  EXPECT_EQ(shards_->QueuedLeaves().size(), kLeavesA + kLeavesB);
+
+  // Same boundary for a weight change and a node removal inside tenant A.
+  ASSERT_TRUE(tree_.SetNodeWeight(leaves_a_[0], 3).ok());
+  ASSERT_TRUE(tree_.RemoveNode(extra).ok());
+  shards_->Reconcile();
+  EXPECT_EQ(shards_->full_resyncs(), full0);
+  EXPECT_EQ(shards_->swept_leaves() - swept0, 2 * kLeavesA + 1);
+}
+
+TEST_F(SubtreeLogTest, CrossTenantMoveSweepsBothSubtreesAndNothingElse) {
+  SCOPED_TRACE("third tenant must stay unswept");
+  const NodeId tenant_c = *tree_.MakeNode("tc", kRootNode, 1, nullptr);
+  std::vector<NodeId> leaves_c;
+  for (int i = 0; i < 7; ++i) {
+    leaves_c.push_back(MakeLeaf(tenant_c, "c" + std::to_string(i)));
+    AddRunnableThread(leaves_c.back(), 1000 + static_cast<ThreadId>(i));
+  }
+  shards_->Reconcile();
+  const uint64_t full0 = shards_->full_resyncs();
+  const uint64_t swept0 = shards_->swept_leaves();
+
+  // Move one of A's leaves under B: both endpoints get swept, C does not.
+  ASSERT_TRUE(tree_.MoveNode(leaves_a_[1], tenant_b_, /*now=*/kMillisecond).ok());
+  shards_->Reconcile();
+  EXPECT_EQ(shards_->full_resyncs(), full0);
+  // Source subtree now has one leaf fewer, destination one more.
+  EXPECT_EQ(shards_->swept_leaves() - swept0, (kLeavesA - 1) + (kLeavesB + 1));
+  EXPECT_EQ(shards_->QueuedLeaves().size(), kLeavesA + kLeavesB + 7);
+}
+
+TEST_F(SubtreeLogTest, RootLevelChangeFallsBackToGlobalResync) {
+  const uint64_t full0 = shards_->full_resyncs();
+  // Re-weighting the root itself is a structural change with no owning tenant:
+  // the log poisons globally and Reconcile must take the full sweep.
+  ASSERT_TRUE(tree_.SetNodeWeight(kRootNode, 2).ok());
+  shards_->Reconcile();
+  EXPECT_EQ(shards_->full_resyncs(), full0 + 1);
+  EXPECT_EQ(shards_->QueuedLeaves().size(), kLeavesA + kLeavesB);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,14 +1,20 @@
 // Scale smoke: builds a multi-tenant tree at 10^5+ leaves, drives dispatch for a
-// simulated horizon, and verifies the structure stays invariant-clean — the CI cell
-// that keeps million-leaf construction and dispatch from silently regressing.
+// simulated horizon with a LIVE closed-loop thread population, and verifies the
+// structure stays invariant-clean — the CI cell that keeps million-leaf
+// construction and dispatch from silently regressing.
 //
-// Reports machine-independent footprint (ArenaFootprintBytes / leaf) alongside process
-// peak RSS, and exits non-zero when the smoke fails: no dispatches, an invariant
-// violation, or a bytes/leaf blowout past --max-bytes-per-leaf.
+// Reports machine-independent footprint (ArenaFootprintBytes / leaf) alongside
+// process peak RSS and wall-clock phase timings, plus the sharded dispatcher's
+// reconciliation telemetry (change-log entries vs sweeps — the batched-wakeup
+// economy). Exits non-zero when the smoke fails: no dispatches, an invariant
+// violation, a bytes/leaf blowout past --max-bytes-per-leaf, or a run slower than
+// --max-wall-ms.
 //
-//   scale_smoke --tenants=100 --users=100 --sessions=10 --active=1
-//               --horizon-ms=100 --cpus=4 --sharded=1 --max-bytes-per-leaf=400
+//   scale_smoke --tenants=100 --users=1000 --sessions=10 --active=1
+//               --horizon-ms=50 --storm-ms=5 --cpus=4 --sharded=1
+//               --max-bytes-per-leaf=700 --max-wall-ms=120000
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +26,7 @@
 #include "src/sched/registry.h"
 #include "src/sim/multi_tenant.h"
 #include "src/sim/scenario.h"
+#include "src/sim/shard.h"
 #include "src/sim/system.h"
 
 namespace {
@@ -44,6 +51,12 @@ int64_t Flag(int argc, char** argv, const char* name, int64_t def) {
   return def;
 }
 
+double WallMsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,9 +67,13 @@ int main(int argc, char** argv) {
   spec.active_per_user = static_cast<size_t>(Flag(argc, argv, "active", 1));
   spec.seed = static_cast<uint64_t>(Flag(argc, argv, "seed", 1));
   spec.horizon = Flag(argc, argv, "horizon-ms", 100) * hscommon::kMillisecond;
+  // Non-zero aligns the population's wakeups to synchronized storms every this
+  // many simulated milliseconds — the adversarial batched-wakeup shape.
+  spec.storm_period = Flag(argc, argv, "storm-ms", 0) * hscommon::kMillisecond;
   const int cpus = static_cast<int>(Flag(argc, argv, "cpus", 4));
   const bool sharded = Flag(argc, argv, "sharded", 1) != 0;
   const int64_t max_bytes_per_leaf = Flag(argc, argv, "max-bytes-per-leaf", 0);
+  const int64_t max_wall_ms = Flag(argc, argv, "max-wall-ms", 0);
 
   const size_t leaves = hsim::MultiTenantLeafCount(spec);
   std::fprintf(stderr, "scale_smoke: building %zu tenants x %zu users x %zu sessions = %zu leaves\n",
@@ -67,6 +84,7 @@ int main(int argc, char** argv) {
   config.sharded = sharded;
   hsim::System sys(config);
 
+  const auto wall_start = std::chrono::steady_clock::now();
   const hsim::ScenarioSpec scenario = hsim::MakeMultiTenantScenario(spec);
   auto binding = hsim::BuildScenario(scenario, "sfq", hleaf::MakeLeafScheduler, sys);
   if (!binding.ok()) {
@@ -87,11 +105,15 @@ int main(int argc, char** argv) {
   }
 
   const size_t built_bytes = sys.tree().ArenaFootprintBytes();
+  const double build_wall_ms = WallMsSince(wall_start);
   // horizon-ms=0 is build-only mode: construction + invariants + footprint, no
-  // dispatch smoke (the way the 10^6-leaf CI cell keeps its runtime bounded).
+  // dispatch smoke. With a horizon the run is a LIVE drive: every active session's
+  // closed-loop thread computes, sleeps, and storms through real dispatch rounds.
+  const auto run_start = std::chrono::steady_clock::now();
   if (spec.horizon > 0) {
     sys.RunUntil(spec.horizon);
   }
+  const double run_wall_ms = WallMsSince(run_start);
 
   if (hscommon::Status s = sys.tree().CheckInvariants(); !s.ok()) {
     std::fprintf(stderr, "scale_smoke: post-run invariants FAILED: %s\n",
@@ -111,14 +133,36 @@ int main(int argc, char** argv) {
   const double bytes_per_leaf =
       static_cast<double>(arena_bytes) / static_cast<double>(leaves);
   std::printf("leaves=%zu nodes=%zu threads=%zu dispatches=%" PRIu64
-              " arena_bytes=%zu built_bytes=%zu bytes_per_leaf=%.1f peak_rss_mb=%.1f\n",
+              " arena_bytes=%zu built_bytes=%zu bytes_per_leaf=%.1f peak_rss_mb=%.1f"
+              " build_wall_ms=%.0f run_wall_ms=%.0f\n",
               leaves, sys.tree().NodeCount(), scenario.threads.size(), dispatches,
               arena_bytes, built_bytes, bytes_per_leaf,
-              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0), build_wall_ms,
+              run_wall_ms);
+  if (sharded && sys.shards() != nullptr) {
+    // Batched-wakeup economy: marks are kernel-hook log calls, entries what
+    // survived dedup, sweeps how often reconciliation fell back to sweeping
+    // (subtree-scoped vs global) — the telemetry the storm cells eyeball in CI.
+    const hsim::ShardSet& sh = *sys.shards();
+    std::printf("dirty_marks=%" PRIu64 " dirty_appends=%" PRIu64
+                " reconcile_rounds=%" PRIu64 " entries_processed=%" PRIu64
+                " full_resyncs=%" PRIu64 " subtree_resyncs=%" PRIu64
+                " swept_leaves=%" PRIu64 "\n",
+                sys.tree().DirtyMarkCount(), sys.tree().DirtyAppendCount(),
+                sh.reconcile_rounds(), sh.entries_processed(), sh.full_resyncs(),
+                sh.subtree_resyncs(), sh.swept_leaves());
+  }
   if (max_bytes_per_leaf > 0 &&
       bytes_per_leaf > static_cast<double>(max_bytes_per_leaf)) {
     std::fprintf(stderr, "scale_smoke: bytes/leaf %.1f exceeds gate %" PRId64 "\n",
                  bytes_per_leaf, max_bytes_per_leaf);
+    return 1;
+  }
+  if (max_wall_ms > 0 && build_wall_ms + run_wall_ms > static_cast<double>(max_wall_ms)) {
+    std::fprintf(stderr,
+                 "scale_smoke: wall clock %.0f ms (build %.0f + run %.0f) exceeds "
+                 "gate %" PRId64 " ms\n",
+                 build_wall_ms + run_wall_ms, build_wall_ms, run_wall_ms, max_wall_ms);
     return 1;
   }
   return 0;
